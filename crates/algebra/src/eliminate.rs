@@ -1,0 +1,702 @@
+//! Eliminating the SQL-RA condition extensions (Proposition 2, §5).
+//!
+//! Proposition 2 states that `t̄ ∈ E` and `empty(E)` are syntactic sugar:
+//! every SQL-RA *query* has an equivalent pure-RA query. The paper's
+//! proof sketch has three steps, implemented here as two passes:
+//!
+//! 1. **Two-valued-ification and `∈`-elimination**
+//!    ([`twovalify`]). Every selection condition `θ` is replaced by a
+//!    condition `θᵗ` that is `t` exactly when `θ` is `t` and never
+//!    evaluates to `u` — legitimate because `σ` keeps precisely the `t`
+//!    rows. The translation mirrors Figure 10 on the RA side
+//!    (`P(t̄)ᵗ = P(t̄) ∧ ⋀ᵢ const(tᵢ)`, `(¬θ)ᵗ = θᶠ`, …), and `t̄ ∈ E` is
+//!    compiled away in the process:
+//!
+//!    ```text
+//!    (t̄ ∈ E)ᵗ = ¬empty(σ_{⋀ᵢ (tᵢ = Âᵢ ∧ const tᵢ ∧ const Âᵢ)}(ρ_Â(E)))
+//!    (t̄ ∈ E)ᶠ =  empty(σ_{⋀ᵢ (tᵢ = Âᵢ ∨ null tᵢ ∨ null Âᵢ)}(ρ_Â(E)))
+//!    ```
+//!
+//!    with `Â` fresh. After this pass every condition is two-valued and
+//!    the only extension left is `empty`.
+//!
+//! 2. **Decorrelation** ([`decorrelate`]). `σ_{…empty(E₁)…}(E′)`
+//!    becomes a combination of (anti)semijoins: conditions are decomposed
+//!    along their Boolean structure (sound because they are now
+//!    two-valued and row-deterministic), and each `empty`/`¬empty` atom
+//!    turns into a *syntactic semijoin* against the set of parameter
+//!    bindings for which `E₁` is non-empty. That set is computed by
+//!    **lifting**: `lift(E, U)` rewrites a parameterised expression into
+//!    a pure one over signature `ℓ(U) ++ ℓ(E)` pairing every parameter
+//!    binding in `U` with the rows `E` produces under it. Correlated
+//!    parameters become ordinary (fresh-renamed) attributes, exactly the
+//!    classical relational-calculus-to-algebra construction the paper
+//!    alludes to with "left (anti) semijoins".
+//!
+//! The output of [`eliminate`] is a pure Figure 8 expression with the
+//! same semantics on every database — verified differentially in the
+//! tests and, across randomly generated queries, in the `sec5`
+//! experiment binary.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+use sqlsem_core::{EvalError, Name, Schema};
+
+use crate::expr::{signature, RaCond, RaExpr, RaTerm};
+use crate::gadgets::{syntactic_eq, NameGen};
+use crate::params::params;
+
+/// Compiles a closed SQL-RA query into an equivalent pure RA query
+/// (Proposition 2).
+pub fn eliminate(expr: &RaExpr, schema: &Schema) -> Result<RaExpr, EvalError> {
+    let free = params(expr, schema)?;
+    if !free.is_empty() {
+        let mut names: Vec<String> = free.iter().map(|n| n.to_string()).collect();
+        names.sort();
+        return Err(EvalError::malformed(format!(
+            "eliminate requires a closed query; free parameters: {}",
+            names.join(", ")
+        )));
+    }
+    let mut gen = NameGen::avoiding_expr(expr);
+    for (t, attrs) in schema.iter() {
+        gen.reserve([t.clone()]);
+        gen.reserve(attrs.iter().cloned());
+    }
+    let two_valued = twovalify(expr, schema, &mut gen)?;
+    let pure = decorrelate(&two_valued, schema, &mut gen)?;
+    debug_assert!(pure.is_pure(), "decorrelation left an impure expression");
+    Ok(pure)
+}
+
+// ---------------------------------------------------------------------------
+// Pass 1: two-valued-ification and ∈-elimination
+// ---------------------------------------------------------------------------
+
+/// Rewrites every selection condition `θ` to `θᵗ` (two-valued, `∈`-free),
+/// recursively through nested expressions.
+pub fn twovalify(expr: &RaExpr, schema: &Schema, gen: &mut NameGen) -> Result<RaExpr, EvalError> {
+    Ok(match expr {
+        RaExpr::Base(r) => RaExpr::Base(r.clone()),
+        RaExpr::Proj { input, columns } => RaExpr::Proj {
+            input: Box::new(twovalify(input, schema, gen)?),
+            columns: columns.clone(),
+        },
+        RaExpr::Select { input, cond } => RaExpr::Select {
+            input: Box::new(twovalify(input, schema, gen)?),
+            cond: cond_t(cond, schema, gen)?,
+        },
+        RaExpr::Product(a, b) => RaExpr::Product(
+            Box::new(twovalify(a, schema, gen)?),
+            Box::new(twovalify(b, schema, gen)?),
+        ),
+        RaExpr::Union(a, b) => RaExpr::Union(
+            Box::new(twovalify(a, schema, gen)?),
+            Box::new(twovalify(b, schema, gen)?),
+        ),
+        RaExpr::Inter(a, b) => RaExpr::Inter(
+            Box::new(twovalify(a, schema, gen)?),
+            Box::new(twovalify(b, schema, gen)?),
+        ),
+        RaExpr::Diff(a, b) => RaExpr::Diff(
+            Box::new(twovalify(a, schema, gen)?),
+            Box::new(twovalify(b, schema, gen)?),
+        ),
+        RaExpr::Rename { input, to } => {
+            RaExpr::Rename { input: Box::new(twovalify(input, schema, gen)?), to: to.clone() }
+        }
+        RaExpr::Dedup(input) => RaExpr::Dedup(Box::new(twovalify(input, schema, gen)?)),
+    })
+}
+
+/// `θᵗ`: two-valued, `t` iff `θ` is `t`.
+fn cond_t(cond: &RaCond, schema: &Schema, gen: &mut NameGen) -> Result<RaCond, EvalError> {
+    Ok(match cond {
+        RaCond::True => RaCond::True,
+        RaCond::False => RaCond::False,
+        // P(t̄)ᵗ = P(t̄) ∧ ⋀ᵢ const(tᵢ): with a NULL argument the predicate
+        // is u but the const-guard is f, so the conjunction is f.
+        RaCond::Cmp { left, op, right } => RaCond::Cmp {
+            left: left.clone(),
+            op: *op,
+            right: right.clone(),
+        }
+        .and(RaCond::IsConst(left.clone()))
+        .and(RaCond::IsConst(right.clone())),
+        RaCond::Like { term, pattern, negated } => RaCond::Like {
+            term: term.clone(),
+            pattern: pattern.clone(),
+            negated: *negated,
+        }
+        .and(RaCond::IsConst(term.clone()))
+        .and(RaCond::IsConst(pattern.clone())),
+        RaCond::Pred { name, args } => {
+            let guards = RaCond::all(args.iter().map(|a| RaCond::IsConst(a.clone())));
+            RaCond::Pred { name: name.clone(), args: args.clone() }.and(guards)
+        }
+        RaCond::Null(t) => RaCond::Null(t.clone()),
+        RaCond::IsConst(t) => RaCond::IsConst(t.clone()),
+        RaCond::And(a, b) => cond_t(a, schema, gen)?.and(cond_t(b, schema, gen)?),
+        RaCond::Or(a, b) => cond_t(a, schema, gen)?.or(cond_t(b, schema, gen)?),
+        RaCond::Not(c) => cond_f(c, schema, gen)?,
+        RaCond::Empty(e) => RaCond::Empty(Box::new(twovalify(e, schema, gen)?)),
+        RaCond::In { terms, expr } => in_translation(terms, expr, schema, gen, true)?,
+    })
+}
+
+/// `θᶠ`: two-valued, `t` iff `θ` is `f`.
+fn cond_f(cond: &RaCond, schema: &Schema, gen: &mut NameGen) -> Result<RaCond, EvalError> {
+    Ok(match cond {
+        RaCond::True => RaCond::False,
+        RaCond::False => RaCond::True,
+        RaCond::Cmp { left, op, right } => RaCond::Cmp {
+            left: left.clone(),
+            op: op.negated(),
+            right: right.clone(),
+        }
+        .and(RaCond::IsConst(left.clone()))
+        .and(RaCond::IsConst(right.clone())),
+        RaCond::Like { term, pattern, negated } => RaCond::Like {
+            term: term.clone(),
+            pattern: pattern.clone(),
+            negated: !*negated,
+        }
+        .and(RaCond::IsConst(term.clone()))
+        .and(RaCond::IsConst(pattern.clone())),
+        RaCond::Pred { name, args } => {
+            let guards = RaCond::all(args.iter().map(|a| RaCond::IsConst(a.clone())));
+            RaCond::Pred { name: name.clone(), args: args.clone() }.not().and(guards)
+        }
+        RaCond::Null(t) => RaCond::Null(t.clone()).not(),
+        RaCond::IsConst(t) => RaCond::IsConst(t.clone()).not(),
+        RaCond::And(a, b) => cond_f(a, schema, gen)?.or(cond_f(b, schema, gen)?),
+        RaCond::Or(a, b) => cond_f(a, schema, gen)?.and(cond_f(b, schema, gen)?),
+        RaCond::Not(c) => cond_t(c, schema, gen)?,
+        RaCond::Empty(e) => RaCond::Empty(Box::new(twovalify(e, schema, gen)?)).not(),
+        RaCond::In { terms, expr } => in_translation(terms, expr, schema, gen, false)?,
+    })
+}
+
+/// The `∈`-elimination. `positive` selects between `(t̄ ∈ E)ᵗ` and
+/// `(t̄ ∈ E)ᶠ`.
+fn in_translation(
+    terms: &[RaTerm],
+    expr: &RaExpr,
+    schema: &Schema,
+    gen: &mut NameGen,
+    positive: bool,
+) -> Result<RaCond, EvalError> {
+    let inner = twovalify(expr, schema, gen)?;
+    let sig = signature(&inner, schema)?;
+    if sig.len() != terms.len() {
+        return Err(EvalError::ArityMismatch {
+            context: "∈",
+            left: terms.len(),
+            right: sig.len(),
+        });
+    }
+    // Rename the subquery's output to fresh names to avoid capturing the
+    // names appearing in t̄.
+    let hats: Vec<Name> = sig.iter().map(|n| gen.fresh(n.as_str())).collect();
+    let renamed = inner.rename(hats.clone());
+    let comparisons = terms.iter().zip(&hats).map(|(t, hat)| {
+        let hat_term = RaTerm::Name(hat.clone());
+        if positive {
+            // Component is t: equal and both non-null.
+            RaCond::eq(t.clone(), hat_term.clone())
+                .and(RaCond::IsConst(t.clone()))
+                .and(RaCond::IsConst(hat_term))
+        } else {
+            // Component is *not f*: equal, or either side null.
+            RaCond::eq(t.clone(), hat_term.clone())
+                .or(RaCond::Null(t.clone()))
+                .or(RaCond::Null(hat_term))
+        }
+    });
+    let selected = renamed.select(RaCond::all(comparisons));
+    let empty = RaCond::Empty(Box::new(selected));
+    Ok(if positive {
+        // ∃ row with a true tuple equality.
+        empty.not()
+    } else {
+        // No row whose tuple equality is ≠ f: all rows compare to f.
+        empty
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Pass 2: decorrelation of empty(E)
+// ---------------------------------------------------------------------------
+
+/// Rewrites a (closed, two-valued, `∈`-free) expression into pure RA by
+/// turning `empty` atoms into (anti)semijoins.
+pub fn decorrelate(expr: &RaExpr, schema: &Schema, gen: &mut NameGen) -> Result<RaExpr, EvalError> {
+    Ok(match expr {
+        RaExpr::Base(r) => RaExpr::Base(r.clone()),
+        RaExpr::Proj { input, columns } => RaExpr::Proj {
+            input: Box::new(decorrelate(input, schema, gen)?),
+            columns: columns.clone(),
+        },
+        RaExpr::Select { input, cond } => {
+            let w = decorrelate(input, schema, gen)?;
+            filter(w, cond, schema, gen)?
+        }
+        RaExpr::Product(a, b) => RaExpr::Product(
+            Box::new(decorrelate(a, schema, gen)?),
+            Box::new(decorrelate(b, schema, gen)?),
+        ),
+        RaExpr::Union(a, b) => RaExpr::Union(
+            Box::new(decorrelate(a, schema, gen)?),
+            Box::new(decorrelate(b, schema, gen)?),
+        ),
+        RaExpr::Inter(a, b) => RaExpr::Inter(
+            Box::new(decorrelate(a, schema, gen)?),
+            Box::new(decorrelate(b, schema, gen)?),
+        ),
+        RaExpr::Diff(a, b) => RaExpr::Diff(
+            Box::new(decorrelate(a, schema, gen)?),
+            Box::new(decorrelate(b, schema, gen)?),
+        ),
+        RaExpr::Rename { input, to } => RaExpr::Rename {
+            input: Box::new(decorrelate(input, schema, gen)?),
+            to: to.clone(),
+        },
+        RaExpr::Dedup(input) => RaExpr::Dedup(Box::new(decorrelate(input, schema, gen)?)),
+    })
+}
+
+/// `true` iff the condition mentions `empty` (or a stray `∈`).
+fn has_subquery(cond: &RaCond) -> bool {
+    match cond {
+        RaCond::Empty(_) | RaCond::In { .. } => true,
+        RaCond::And(a, b) | RaCond::Or(a, b) => has_subquery(a) || has_subquery(b),
+        RaCond::Not(c) => has_subquery(c),
+        _ => false,
+    }
+}
+
+/// Computes `σ_cond(W)` as pure RA. `W` is pure; `cond` is two-valued
+/// with free names ⊆ `ℓ(W)`; `empty` atoms are compiled to semijoins.
+///
+/// The Boolean decomposition is sound because, after
+/// two-valued-ification, a condition's verdict is a deterministic
+/// function of the row's values: filtering therefore treats equal rows
+/// all-or-nothing, which is what the bag difference/union identities
+/// below rely on.
+fn filter(
+    w: RaExpr,
+    cond: &RaCond,
+    schema: &Schema,
+    gen: &mut NameGen,
+) -> Result<RaExpr, EvalError> {
+    if !has_subquery(cond) {
+        return Ok(match cond {
+            RaCond::True => w,
+            _ => w.select(cond.clone()),
+        });
+    }
+    match cond {
+        RaCond::And(a, b) => {
+            let fa = filter(w, a, schema, gen)?;
+            filter(fa, b, schema, gen)
+        }
+        RaCond::Or(a, b) => {
+            // rows(a) ∪ rows(¬a ∧ b): splits the bag without double
+            // counting.
+            let fa = filter(w.clone(), a, schema, gen)?;
+            let rest = w.diff(fa.clone());
+            let fb = filter(rest, b, schema, gen)?;
+            Ok(fa.union(fb))
+        }
+        RaCond::Not(c) => {
+            let fc = filter(w.clone(), c, schema, gen)?;
+            Ok(w.diff(fc))
+        }
+        RaCond::Empty(e) => {
+            let non_empty = filter_non_empty(w.clone(), e, schema, gen)?;
+            Ok(w.diff(non_empty))
+        }
+        RaCond::In { .. } => Err(EvalError::malformed(
+            "∈ must be eliminated by twovalify before decorrelation",
+        )),
+        // has_subquery returned true, so one of the above matched.
+        _ => unreachable!("atoms without subqueries are handled eagerly"),
+    }
+}
+
+/// The semijoin core: rows of `W` (with multiplicities) for which the
+/// parameterised expression `E` is **non-empty**.
+fn filter_non_empty(
+    w: RaExpr,
+    e: &RaExpr,
+    schema: &Schema,
+    gen: &mut NameGen,
+) -> Result<RaExpr, EvalError> {
+    let w_sig = signature(&w, schema)?;
+    let mut free: Vec<Name> = params(e, schema)?.into_iter().collect();
+    free.sort();
+    for p in &free {
+        if !w_sig.contains(p) {
+            return Err(EvalError::UnboundName(p.clone()));
+        }
+    }
+    // Join on the parameters; or, if E is uncorrelated, on an arbitrary
+    // column of W (any binding then stands for "E is nonempty at all").
+    let join_cols: Vec<Name> =
+        if free.is_empty() { vec![w_sig[0].clone()] } else { free.clone() };
+    let hatted: Vec<(Name, Name)> =
+        join_cols.iter().map(|c| (c.clone(), gen.fresh(c.as_str()))).collect();
+    let hat_names: Vec<Name> = hatted.iter().map(|(_, h)| h.clone()).collect();
+
+    // U: the distinct parameter bindings present in W, hat-renamed so no
+    // name inside E can capture them.
+    let u = w.clone().project(join_cols.clone()).dedup().rename(hat_names.clone());
+
+    // E with its free parameter occurrences renamed to the hats.
+    let subst: HashMap<Name, Name> = hatted
+        .iter()
+        .filter(|(orig, _)| free.contains(orig))
+        .map(|(orig, hat)| (orig.clone(), hat.clone()))
+        .collect();
+    let e_subst = substitute(e, &subst, schema)?;
+
+    // Lift: bindings × rows-of-E-under-that-binding, then keep the
+    // bindings for which at least one row exists.
+    let lifted = lift(&e_subst, u, &hat_names, schema, gen)?;
+    let non_empty_bindings = lifted.project(hat_names.clone()).dedup();
+
+    // Syntactic semijoin of W against the non-empty bindings: each W row
+    // matches at most one binding row, so multiplicities are preserved.
+    let join_cond = RaCond::all(
+        hatted
+            .iter()
+            .map(|(o, h)| syntactic_eq(RaTerm::Name(o.clone()), RaTerm::Name(h.clone()))),
+    );
+    Ok(w.product(non_empty_bindings).select(join_cond).project(w_sig))
+}
+
+/// Capture-avoiding substitution of *free* names in an expression: a
+/// name bound by an enclosing selection's row scope is not free there
+/// and is left alone.
+fn substitute(
+    expr: &RaExpr,
+    map: &HashMap<Name, Name>,
+    schema: &Schema,
+) -> Result<RaExpr, EvalError> {
+    if map.is_empty() {
+        return Ok(expr.clone());
+    }
+    Ok(match expr {
+        RaExpr::Base(r) => RaExpr::Base(r.clone()),
+        RaExpr::Proj { input, columns } => RaExpr::Proj {
+            input: Box::new(substitute(input, map, schema)?),
+            columns: columns.clone(),
+        },
+        RaExpr::Select { input, cond } => {
+            let bound: HashSet<Name> = signature(input, schema)?.into_iter().collect();
+            let narrowed: HashMap<Name, Name> = map
+                .iter()
+                .filter(|(k, _)| !bound.contains(*k))
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect();
+            RaExpr::Select {
+                input: Box::new(substitute(input, map, schema)?),
+                cond: substitute_cond(cond, &narrowed, schema)?,
+            }
+        }
+        RaExpr::Product(a, b) => RaExpr::Product(
+            Box::new(substitute(a, map, schema)?),
+            Box::new(substitute(b, map, schema)?),
+        ),
+        RaExpr::Union(a, b) => RaExpr::Union(
+            Box::new(substitute(a, map, schema)?),
+            Box::new(substitute(b, map, schema)?),
+        ),
+        RaExpr::Inter(a, b) => RaExpr::Inter(
+            Box::new(substitute(a, map, schema)?),
+            Box::new(substitute(b, map, schema)?),
+        ),
+        RaExpr::Diff(a, b) => RaExpr::Diff(
+            Box::new(substitute(a, map, schema)?),
+            Box::new(substitute(b, map, schema)?),
+        ),
+        RaExpr::Rename { input, to } => {
+            RaExpr::Rename { input: Box::new(substitute(input, map, schema)?), to: to.clone() }
+        }
+        RaExpr::Dedup(input) => RaExpr::Dedup(Box::new(substitute(input, map, schema)?)),
+    })
+}
+
+fn substitute_cond(
+    cond: &RaCond,
+    map: &HashMap<Name, Name>,
+    schema: &Schema,
+) -> Result<RaCond, EvalError> {
+    if map.is_empty() {
+        return Ok(cond.clone());
+    }
+    let term = |t: &RaTerm| match t {
+        RaTerm::Name(n) => match map.get(n) {
+            Some(renamed) => RaTerm::Name(renamed.clone()),
+            None => t.clone(),
+        },
+        RaTerm::Const(_) => t.clone(),
+    };
+    Ok(match cond {
+        RaCond::True => RaCond::True,
+        RaCond::False => RaCond::False,
+        RaCond::Cmp { left, op, right } => {
+            RaCond::Cmp { left: term(left), op: *op, right: term(right) }
+        }
+        RaCond::Like { term: t, pattern, negated } => {
+            RaCond::Like { term: term(t), pattern: term(pattern), negated: *negated }
+        }
+        RaCond::Pred { name, args } => {
+            RaCond::Pred { name: name.clone(), args: args.iter().map(term).collect() }
+        }
+        RaCond::Null(t) => RaCond::Null(term(t)),
+        RaCond::IsConst(t) => RaCond::IsConst(term(t)),
+        RaCond::And(a, b) => {
+            substitute_cond(a, map, schema)?.and(substitute_cond(b, map, schema)?)
+        }
+        RaCond::Or(a, b) => {
+            substitute_cond(a, map, schema)?.or(substitute_cond(b, map, schema)?)
+        }
+        RaCond::Not(c) => substitute_cond(c, map, schema)?.not(),
+        RaCond::Empty(e) => RaCond::Empty(Box::new(substitute(e, map, schema)?)),
+        RaCond::In { terms, expr } => RaCond::In {
+            terms: terms.iter().map(term).collect(),
+            expr: Box::new(substitute(expr, map, schema)?),
+        },
+    })
+}
+
+/// The lifting construction: given `E` with free parameters named by
+/// `ℓ(U) = u_sig` (all fresh), produce a pure expression of signature
+/// `u_sig ++ ℓ(E)` whose rows are the pairs `(u, r)` with `r` produced by
+/// `E` under binding `u`, with `E`'s multiplicities (each binding occurs
+/// once in `U`).
+fn lift(
+    e: &RaExpr,
+    u: RaExpr,
+    u_sig: &[Name],
+    schema: &Schema,
+    gen: &mut NameGen,
+) -> Result<RaExpr, EvalError> {
+    Ok(match e {
+        // A base relation ignores the environment: pair every binding
+        // with every row.
+        RaExpr::Base(r) => u.product(RaExpr::Base(r.clone())),
+        RaExpr::Proj { input, columns } => {
+            let lifted = lift(input, u, u_sig, schema, gen)?;
+            let mut keep = u_sig.to_vec();
+            keep.extend(columns.iter().cloned());
+            lifted.project(keep)
+        }
+        RaExpr::Select { input, cond } => {
+            // The lifted input's row carries both the binding (u_sig
+            // part) and the local attributes, so the condition's free
+            // names — hat-renamed parameters and local names alike — are
+            // all columns of the lifted row. `filter` handles any nested
+            // empty() atoms recursively.
+            let lifted = lift(input, u, u_sig, schema, gen)?;
+            filter(lifted, cond, schema, gen)?
+        }
+        RaExpr::Product(a, b) => {
+            // Join the two lifted sides on the binding columns
+            // (syntactically, so NULL-valued parameters pair correctly).
+            let la = lift(a, u.clone(), u_sig, schema, gen)?;
+            let lb = lift(b, u, u_sig, schema, gen)?;
+            let b_sig = signature(b, schema)?;
+            let hats2: Vec<Name> = u_sig.iter().map(|n| gen.fresh(n.as_str())).collect();
+            let mut lb_renamed_sig = hats2.clone();
+            lb_renamed_sig.extend(b_sig.iter().cloned());
+            let lb_renamed = lb.rename(lb_renamed_sig);
+            let join_cond = RaCond::all(u_sig.iter().zip(&hats2).map(|(o, h)| {
+                syntactic_eq(RaTerm::Name(o.clone()), RaTerm::Name(h.clone()))
+            }));
+            let a_sig = signature(a, schema)?;
+            let mut keep = u_sig.to_vec();
+            keep.extend(a_sig);
+            keep.extend(b_sig);
+            la.product(lb_renamed).select(join_cond).project(keep)
+        }
+        RaExpr::Union(a, b) => lift(a, u.clone(), u_sig, schema, gen)?
+            .union(lift(b, u, u_sig, schema, gen)?),
+        RaExpr::Inter(a, b) => lift(a, u.clone(), u_sig, schema, gen)?
+            .intersect(lift(b, u, u_sig, schema, gen)?),
+        RaExpr::Diff(a, b) => {
+            lift(a, u.clone(), u_sig, schema, gen)?.diff(lift(b, u, u_sig, schema, gen)?)
+        }
+        RaExpr::Rename { input, to } => {
+            let lifted = lift(input, u, u_sig, schema, gen)?;
+            let mut full = u_sig.to_vec();
+            full.extend(to.iter().cloned());
+            lifted.rename(full)
+        }
+        // Per-binding duplicate elimination: (u, r) pairs dedup to one
+        // occurrence per binding, which is exactly ε applied under each
+        // environment.
+        RaExpr::Dedup(input) => lift(input, u, u_sig, schema, gen)?.dedup(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::RaEvaluator;
+    use crate::translate::translate;
+    use sqlsem_core::{table, Database, Evaluator, Value};
+    use sqlsem_parser::compile;
+
+    fn schema() -> Schema {
+        Schema::builder().table("R", ["A", "B"]).table("S", ["A"]).build().unwrap()
+    }
+
+    fn db() -> Database {
+        let mut db = Database::new(schema());
+        db.insert("R", table! { ["A", "B"]; [1, 2], [1, 2], [Value::Null, 3], [4, Value::Null] })
+            .unwrap();
+        db.insert("S", table! { ["A"]; [1], [Value::Null], [4] }).unwrap();
+        db
+    }
+
+    /// SQL → SQL-RA → pure RA, all three evaluated and compared.
+    fn check_pipeline(sql: &str) {
+        let schema = schema();
+        let db = db();
+        let q = compile(sql, &schema).unwrap();
+        let expected = Evaluator::new(&db).eval(&q).unwrap();
+        let sqlra = translate(&q, &schema).unwrap();
+        let via_sqlra = RaEvaluator::new(&db).eval(&sqlra).unwrap();
+        assert!(expected.coincides(&via_sqlra), "{sql}: SQL-RA mismatch");
+        let pure = eliminate(&sqlra, &schema).unwrap();
+        assert!(pure.is_pure(), "{sql}: not pure: {pure}");
+        let via_pure = RaEvaluator::new(&db).eval(&pure).unwrap();
+        assert!(
+            expected.coincides(&via_pure),
+            "{sql}\nexpected:\n{expected}\npure RA:\n{via_pure}"
+        );
+    }
+
+    #[test]
+    fn pure_expressions_pass_through() {
+        check_pipeline("SELECT A, B FROM R");
+        check_pipeline("SELECT DISTINCT A FROM R WHERE A = 1");
+        check_pipeline("SELECT A FROM S UNION SELECT A FROM R");
+    }
+
+    #[test]
+    fn uncorrelated_exists_becomes_a_semijoin() {
+        check_pipeline("SELECT A FROM S WHERE EXISTS (SELECT y.A FROM R y)");
+        check_pipeline("SELECT A FROM S WHERE NOT EXISTS (SELECT y.A FROM R y WHERE y.A = 99)");
+    }
+
+    #[test]
+    fn correlated_exists_decorrelates() {
+        check_pipeline(
+            "SELECT A FROM S WHERE EXISTS (SELECT y.A FROM R y WHERE y.A = S.A)",
+        );
+        check_pipeline(
+            "SELECT A FROM S WHERE NOT EXISTS (SELECT y.A FROM R y WHERE y.A = S.A)",
+        );
+    }
+
+    #[test]
+    fn in_and_not_in_eliminate() {
+        check_pipeline("SELECT A FROM S WHERE A IN (SELECT y.A FROM R y)");
+        check_pipeline("SELECT A FROM S WHERE A NOT IN (SELECT y.A FROM R y)");
+        check_pipeline(
+            "SELECT x.A AS a FROM R x WHERE (x.A, x.B) IN (SELECT y.A, y.B FROM R y)",
+        );
+        check_pipeline(
+            "SELECT x.A AS a FROM R x WHERE (x.A, x.B) NOT IN (SELECT y.A, y.B FROM R y)",
+        );
+    }
+
+    #[test]
+    fn example1_q1_eliminates_correctly() {
+        // The NOT IN with NULLs — the paper's flagship example; the
+        // not-f branch of the ∈-translation is what makes it come out
+        // empty rather than {1, 4}.
+        let schema = schema();
+        let mut db = Database::new(schema.clone());
+        db.insert("R", table! { ["A", "B"]; [1, 0], [Value::Null, 0] }).unwrap();
+        db.insert("S", table! { ["A"]; [Value::Null] }).unwrap();
+        let q = compile(
+            "SELECT DISTINCT R.A FROM R WHERE R.A NOT IN (SELECT S.A FROM S)",
+            &schema,
+        )
+        .unwrap();
+        let expected = Evaluator::new(&db).eval(&q).unwrap();
+        assert!(expected.is_empty());
+        let pure = eliminate(&translate(&q, &schema).unwrap(), &schema).unwrap();
+        let got = RaEvaluator::new(&db).eval(&pure).unwrap();
+        assert!(got.is_empty(), "got:\n{got}");
+    }
+
+    #[test]
+    fn boolean_combinations_of_subqueries() {
+        check_pipeline(
+            "SELECT A FROM S WHERE A IN (SELECT y.A FROM R y) OR A IS NULL",
+        );
+        check_pipeline(
+            "SELECT A FROM S WHERE NOT (A IN (SELECT y.A FROM R y) AND A = 1)",
+        );
+        check_pipeline(
+            "SELECT A FROM S WHERE EXISTS (SELECT y.A FROM R y WHERE y.A = S.A) \
+             OR A IN (SELECT z.B AS b FROM R z)",
+        );
+    }
+
+    #[test]
+    fn nested_subqueries_two_levels() {
+        check_pipeline(
+            "SELECT A FROM S WHERE EXISTS (\
+                SELECT y.A FROM R y WHERE y.A = S.A AND y.B IN (SELECT z.B AS b FROM R z))",
+        );
+        check_pipeline(
+            "SELECT A FROM S WHERE A IN (\
+                SELECT y.A FROM R y WHERE EXISTS (SELECT z.A FROM S z WHERE z.A = y.B))",
+        );
+    }
+
+    #[test]
+    fn multiplicities_survive_elimination() {
+        // R has (1,2) twice; the semijoin must keep both copies.
+        check_pipeline(
+            "SELECT x.A AS a, x.B AS b FROM R x WHERE EXISTS (SELECT y.A FROM S y WHERE y.A = x.A)",
+        );
+    }
+
+    #[test]
+    fn eliminate_requires_closed_queries() {
+        let schema = schema();
+        let open = RaExpr::Base(Name::new("R"))
+            .select(RaCond::eq(RaTerm::name("A"), RaTerm::name("FreeParam")));
+        assert!(eliminate(&open, &schema).is_err());
+    }
+
+    #[test]
+    fn twovalify_preserves_selection_semantics() {
+        // On its own, pass 1 must keep σ results identical (θ vs θᵗ).
+        let schema = schema();
+        let db = db();
+        let cases = [
+            RaCond::eq(RaTerm::name("A"), RaTerm::Const(Value::Int(1))),
+            RaCond::eq(RaTerm::name("A"), RaTerm::name("B")).not(),
+            RaCond::cmp(RaTerm::name("A"), sqlsem_core::CmpOp::Lt, RaTerm::name("B"))
+                .or(RaCond::Null(RaTerm::name("A"))),
+            RaCond::eq(RaTerm::name("A"), RaTerm::Const(Value::Null)).not(),
+        ];
+        for cond in cases {
+            let e = RaExpr::Base(Name::new("R")).select(cond.clone());
+            let mut gen = NameGen::avoiding_expr(&e);
+            let tv = twovalify(&e, &schema, &mut gen).unwrap();
+            let a = RaEvaluator::new(&db).eval(&e).unwrap();
+            let b = RaEvaluator::new(&db).eval(&tv).unwrap();
+            assert!(a.coincides(&b), "condition {cond}: {a} vs {b}");
+        }
+    }
+}

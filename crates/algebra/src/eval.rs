@@ -1,0 +1,375 @@
+//! Semantics of bag relational algebra and SQL-RA (Figure 8 and §5).
+//!
+//! An expression `E` evaluated on a database `D` produces the table
+//! `⟦E⟧_D`, with column names `ℓ(E)`. For SQL-RA, every expression
+//! carries an environment `η` (a partial map from *plain* names to
+//! values), which changes only at selections:
+//!
+//! ```text
+//! ⟦σ_θ(E)⟧_{D,η} = { a̅ … | a̅ ∈ₖ ⟦E⟧_{D,η}, ⟦θ⟧_{D, η;η^a̅_{ℓ(E)}} = t }
+//! ```
+//!
+//! Conditions are interpreted under 3VL: predicates are `u` on `NULL`
+//! arguments, `null(t)`/`const(t)`/`empty(E)` are two-valued, `t̄ ∈ E`
+//! follows the same Kleene disjunction as SQL's `IN`.
+
+use std::collections::HashMap;
+
+use sqlsem_core::{
+    CmpOp, Database, EvalError, Name, PredicateRegistry, Row, Schema, Table, Truth, Value,
+};
+
+use crate::expr::{signature, RaCond, RaExpr, RaTerm};
+
+/// An RA environment: a partial map from plain names to values (§5).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RaEnv {
+    bindings: HashMap<Name, Value>,
+}
+
+impl RaEnv {
+    /// The empty environment.
+    pub fn empty() -> RaEnv {
+        RaEnv::default()
+    }
+
+    /// Binds one name.
+    #[must_use]
+    pub fn bind(&self, name: impl Into<Name>, value: Value) -> RaEnv {
+        let mut bindings = self.bindings.clone();
+        bindings.insert(name.into(), value);
+        RaEnv { bindings }
+    }
+
+    /// `η ; η^a̅_β`: this environment overridden by the bindings of a row
+    /// against a (repetition-free) signature.
+    #[must_use]
+    pub fn with_row(&self, sig: &[Name], row: &Row) -> RaEnv {
+        debug_assert_eq!(sig.len(), row.arity());
+        let mut bindings = self.bindings.clone();
+        for (n, v) in sig.iter().zip(row.iter()) {
+            bindings.insert(n.clone(), v.clone());
+        }
+        RaEnv { bindings }
+    }
+
+    /// Looks a name up.
+    pub fn get(&self, name: &Name) -> Option<&Value> {
+        self.bindings.get(name)
+    }
+
+    /// `true` iff no names are bound.
+    pub fn is_empty(&self) -> bool {
+        self.bindings.is_empty()
+    }
+}
+
+/// The SQL-RA evaluator.
+#[derive(Clone, Debug)]
+pub struct RaEvaluator<'a> {
+    db: &'a Database,
+    preds: PredicateRegistry,
+}
+
+impl<'a> RaEvaluator<'a> {
+    /// Creates an evaluator over `db` with no user predicates.
+    pub fn new(db: &'a Database) -> Self {
+        RaEvaluator { db, preds: PredicateRegistry::new() }
+    }
+
+    /// Provides user predicates.
+    #[must_use]
+    pub fn with_predicates(mut self, preds: PredicateRegistry) -> Self {
+        self.preds = preds;
+        self
+    }
+
+    /// The schema in effect.
+    pub fn schema(&self) -> &Schema {
+        self.db.schema()
+    }
+
+    /// Evaluates a *query* (a closed expression): `⟦E⟧_{D,∅}`.
+    pub fn eval(&self, expr: &RaExpr) -> Result<Table, EvalError> {
+        self.eval_in(expr, &RaEnv::empty())
+    }
+
+    /// Evaluates `⟦E⟧_{D,η}`.
+    pub fn eval_in(&self, expr: &RaExpr, env: &RaEnv) -> Result<Table, EvalError> {
+        match expr {
+            RaExpr::Base(r) => self.db.table(r),
+            RaExpr::Proj { input, columns } => {
+                let sig = signature(input, self.db.schema())?;
+                let table = self.eval_in(input, env)?;
+                let positions: Vec<usize> = columns
+                    .iter()
+                    .map(|c| {
+                        sig.iter().position(|n| n == c).ok_or_else(|| {
+                            EvalError::malformed(format!("π projects unknown attribute {c}"))
+                        })
+                    })
+                    .collect::<Result<_, _>>()?;
+                if positions.is_empty() {
+                    return Err(EvalError::ZeroArity);
+                }
+                let mut out = Table::new(columns.clone())?;
+                for row in table.rows() {
+                    out.push(row.project(&positions))?;
+                }
+                Ok(out)
+            }
+            RaExpr::Select { input, cond } => {
+                let sig = signature(input, self.db.schema())?;
+                let table = self.eval_in(input, env)?;
+                let mut out = Table::new(sig.clone())?;
+                for row in table.rows() {
+                    let inner = env.with_row(&sig, row);
+                    if self.eval_cond(cond, &inner)?.is_true() {
+                        out.push(row.clone())?;
+                    }
+                }
+                Ok(out)
+            }
+            RaExpr::Product(a, b) => {
+                // Well-formedness (disjoint signatures) is enforced here
+                // so evaluation cannot silently mis-bind names.
+                signature(expr, self.db.schema())?;
+                Ok(self.eval_in(a, env)?.product(&self.eval_in(b, env)?))
+            }
+            RaExpr::Union(a, b) => self.eval_in(a, env)?.union_all(&self.eval_in(b, env)?),
+            RaExpr::Inter(a, b) => self.eval_in(a, env)?.intersect_all(&self.eval_in(b, env)?),
+            RaExpr::Diff(a, b) => self.eval_in(a, env)?.except_all(&self.eval_in(b, env)?),
+            RaExpr::Rename { input, to } => {
+                signature(expr, self.db.schema())?;
+                self.eval_in(input, env)?.with_columns(to.clone())
+            }
+            RaExpr::Dedup(input) => Ok(self.eval_in(input, env)?.distinct()),
+        }
+    }
+
+    /// Evaluates `⟦θ⟧_{D,η}` under 3VL.
+    pub fn eval_cond(&self, cond: &RaCond, env: &RaEnv) -> Result<Truth, EvalError> {
+        match cond {
+            RaCond::True => Ok(Truth::True),
+            RaCond::False => Ok(Truth::False),
+            RaCond::Cmp { left, op, right } => {
+                let l = self.eval_term(left, env)?;
+                let r = self.eval_term(right, env)?;
+                l.sql_cmp(&r, *op)
+            }
+            RaCond::Like { term, pattern, negated } => {
+                let t = self.eval_term(term, env)?;
+                let p = self.eval_term(pattern, env)?;
+                let truth = t.sql_like(&p)?;
+                Ok(if *negated { truth.not() } else { truth })
+            }
+            RaCond::Pred { name, args } => {
+                let values: Vec<Value> =
+                    args.iter().map(|t| self.eval_term(t, env)).collect::<Result<_, _>>()?;
+                if values.iter().any(Value::is_null) {
+                    return Ok(Truth::Unknown);
+                }
+                Ok(Truth::from_bool(self.preds.apply(name, &values)?))
+            }
+            RaCond::Null(t) => Ok(Truth::from_bool(self.eval_term(t, env)?.is_null())),
+            RaCond::IsConst(t) => Ok(Truth::from_bool(!self.eval_term(t, env)?.is_null())),
+            RaCond::And(a, b) => Ok(self.eval_cond(a, env)?.and(self.eval_cond(b, env)?)),
+            RaCond::Or(a, b) => Ok(self.eval_cond(a, env)?.or(self.eval_cond(b, env)?)),
+            RaCond::Not(c) => Ok(self.eval_cond(c, env)?.not()),
+            RaCond::In { terms, expr } => {
+                let values: Vec<Value> =
+                    terms.iter().map(|t| self.eval_term(t, env)).collect::<Result<_, _>>()?;
+                let table = self.eval_in(expr, env)?;
+                if table.arity() != values.len() {
+                    return Err(EvalError::ArityMismatch {
+                        context: "∈",
+                        left: values.len(),
+                        right: table.arity(),
+                    });
+                }
+                let mut acc = Truth::False;
+                for row in table.rows() {
+                    let mut eq = Truth::True;
+                    for (v, r) in values.iter().zip(row.iter()) {
+                        eq = eq.and(v.sql_cmp(r, CmpOp::Eq)?);
+                    }
+                    acc = acc.or(eq);
+                    if acc.is_true() {
+                        break;
+                    }
+                }
+                Ok(acc)
+            }
+            RaCond::Empty(expr) => Ok(Truth::from_bool(self.eval_in(expr, env)?.is_empty())),
+        }
+    }
+
+    /// `⟦t⟧_η` — names resolve in the environment, constants denote
+    /// themselves.
+    pub fn eval_term(&self, term: &RaTerm, env: &RaEnv) -> Result<Value, EvalError> {
+        match term {
+            RaTerm::Const(v) => Ok(v.clone()),
+            RaTerm::Name(n) => {
+                env.get(n).cloned().ok_or_else(|| EvalError::UnboundName(n.clone()))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlsem_core::{row, table};
+
+    fn db() -> Database {
+        let schema = sqlsem_core::Schema::builder()
+            .table("R", ["A", "B"])
+            .table("S", ["C"])
+            .build()
+            .unwrap();
+        let mut db = Database::new(schema);
+        db.insert("R", table! { ["A", "B"]; [1, 2], [1, 2], [Value::Null, 3] }).unwrap();
+        db.insert("S", table! { ["C"]; [1], [9] }).unwrap();
+        db
+    }
+
+    fn r() -> RaExpr {
+        RaExpr::Base(Name::new("R"))
+    }
+
+    fn s() -> RaExpr {
+        RaExpr::Base(Name::new("S"))
+    }
+
+    #[test]
+    fn projection_is_bag_projection() {
+        // The paper's example: π_A over {(a,b),(a,c)} yields {a,a}.
+        let dbv = db();
+        let out = RaEvaluator::new(&dbv).eval(&r().project(["A"])).unwrap();
+        assert!(out.multiset_eq(&table! { ["A"]; [1], [1], [Value::Null] }));
+    }
+
+    #[test]
+    fn selection_keeps_only_true_rows() {
+        let dbv = db();
+        let cond = RaCond::eq(RaTerm::name("A"), RaTerm::Const(Value::Int(1)));
+        let out = RaEvaluator::new(&dbv).eval(&r().select(cond)).unwrap();
+        // The NULL row evaluates to u and is dropped.
+        assert!(out.multiset_eq(&table! { ["A", "B"]; [1, 2], [1, 2] }));
+    }
+
+    #[test]
+    fn null_and_const_are_two_valued() {
+        let dbv = db();
+        let out = RaEvaluator::new(&dbv).eval(&r().select(RaCond::Null(RaTerm::name("A")))).unwrap();
+        assert_eq!(out.len(), 1);
+        let out =
+            RaEvaluator::new(&dbv).eval(&r().select(RaCond::IsConst(RaTerm::name("A")))).unwrap();
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn product_and_rename() {
+        let dbv = db();
+        let e = r().product(s().rename(["C2"]).project(["C2"]));
+        // Well-formed because C2 is fresh… but S has one column, so the
+        // rename is on the base table directly.
+        let e2 = r().product(RaExpr::Base(Name::new("S")).rename(["C2"]));
+        let _ = e;
+        let out = RaEvaluator::new(&dbv).eval(&e2).unwrap();
+        assert_eq!(out.len(), 6);
+        assert_eq!(out.multiplicity(&row![1, 2, 1]), 2);
+    }
+
+    #[test]
+    fn product_rejects_overlapping_signatures() {
+        let dbv = db();
+        assert!(RaEvaluator::new(&dbv).eval(&r().product(r())).is_err());
+    }
+
+    #[test]
+    fn set_operations_are_bag_ops() {
+        let dbv = db();
+        let a = r().project(["A"]);
+        let s_as_a = RaExpr::Base(Name::new("S")).rename(["A"]);
+        let u = RaEvaluator::new(&dbv).eval(&a.clone().union(s_as_a.clone())).unwrap();
+        assert_eq!(u.len(), 5);
+        let i = RaEvaluator::new(&dbv).eval(&a.clone().intersect(s_as_a.clone())).unwrap();
+        assert!(i.multiset_eq(&table! { ["A"]; [1] }));
+        let d = RaEvaluator::new(&dbv).eval(&a.diff(s_as_a)).unwrap();
+        assert!(d.multiset_eq(&table! { ["A"]; [1], [Value::Null] }));
+    }
+
+    #[test]
+    fn dedup_caps_multiplicities() {
+        let dbv = db();
+        let out = RaEvaluator::new(&dbv).eval(&r().dedup()).unwrap();
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn selection_env_overrides_outer(){
+        // σ with a parameter: the inner row binding shadows the outer η
+        // on the same name, as in η;η^a̅.
+        let dbv = db();
+        let env = RaEnv::empty().bind("A", Value::Int(999)).bind("P", Value::Int(1));
+        // A = P: A comes from the row (shadows 999), P from the env.
+        let cond = RaCond::eq(RaTerm::name("A"), RaTerm::name("P"));
+        let out = RaEvaluator::new(&dbv).eval_in(&r().select(cond), &env).unwrap();
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn in_condition_follows_kleene_disjunction() {
+        let dbv = db();
+        let ev = RaEvaluator::new(&dbv);
+        // A ∈ S with A = NULL: u (NULL = 1 is u, NULL = 9 is u).
+        let env = RaEnv::empty().bind("A", Value::Null);
+        let cond = RaCond::In { terms: vec![RaTerm::name("A")], expr: Box::new(s()) };
+        assert_eq!(ev.eval_cond(&cond, &env).unwrap(), Truth::Unknown);
+        // A = 1: t.
+        let env = RaEnv::empty().bind("A", Value::Int(1));
+        assert_eq!(ev.eval_cond(&cond, &env).unwrap(), Truth::True);
+        // A = 2: f.
+        let env = RaEnv::empty().bind("A", Value::Int(2));
+        assert_eq!(ev.eval_cond(&cond, &env).unwrap(), Truth::False);
+    }
+
+    #[test]
+    fn empty_condition_is_two_valued() {
+        let dbv = db();
+        let ev = RaEvaluator::new(&dbv);
+        let env = RaEnv::empty();
+        assert_eq!(ev.eval_cond(&RaCond::Empty(Box::new(s())), &env).unwrap(), Truth::False);
+        let none = s().select(RaCond::False);
+        assert_eq!(ev.eval_cond(&RaCond::Empty(Box::new(none)), &env).unwrap(), Truth::True);
+    }
+
+    #[test]
+    fn correlated_empty_sees_outer_binding() {
+        // empty(σ_{C = X}(S)) with X bound outside.
+        let dbv = db();
+        let ev = RaEvaluator::new(&dbv);
+        let sub = s().select(RaCond::eq(RaTerm::name("C"), RaTerm::name("X")));
+        let cond = RaCond::Empty(Box::new(sub));
+        assert_eq!(
+            ev.eval_cond(&cond, &RaEnv::empty().bind("X", Value::Int(1))).unwrap(),
+            Truth::False
+        );
+        assert_eq!(
+            ev.eval_cond(&cond, &RaEnv::empty().bind("X", Value::Int(5))).unwrap(),
+            Truth::True
+        );
+    }
+
+    #[test]
+    fn unbound_names_error() {
+        let dbv = db();
+        let ev = RaEvaluator::new(&dbv);
+        let cond = RaCond::eq(RaTerm::name("Zzz"), RaTerm::Const(Value::Int(1)));
+        assert_eq!(
+            ev.eval_cond(&cond, &RaEnv::empty()).unwrap_err(),
+            EvalError::UnboundName(Name::new("Zzz"))
+        );
+    }
+}

@@ -1,0 +1,577 @@
+//! Syntax of bag relational algebra and SQL-RA (§5).
+//!
+//! The grammar of RA expressions is that of the paper:
+//!
+//! ```text
+//! E := R | π_β(E) | σ_θ(E) | E × E | E ∪ E | E ∩ E | E − E
+//!    | ρ_{β→β′}(E) | ε(E)
+//! θ := TRUE | FALSE | P(t̄) | const(t) | null(t) | θ∧θ | θ∨θ | ¬θ
+//! ```
+//!
+//! **SQL-RA** extends conditions with `t̄ ∈ E` and `empty(E)` — the direct
+//! analogues of SQL's `IN` and `EXISTS` subqueries. An expression whose
+//! conditions avoid the two extensions is *pure* RA
+//! ([`RaExpr::is_pure`]); Proposition 2 says the extensions are syntactic
+//! sugar, and [`crate::eliminate`] implements that compilation.
+//!
+//! Crucially — and unlike SQL query outputs — RA signatures never repeat
+//! attribute names; [`signature`] checks the §5 well-formedness side
+//! conditions while computing `ℓ(E)`.
+
+use std::fmt;
+
+use sqlsem_core::{CmpOp, EvalError, Name, Schema, Value};
+
+/// An RA term: a (plain) attribute name, or a constant (`NULL` is
+/// `Const(Value::Null)`).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum RaTerm {
+    /// An attribute name, resolved against the enclosing selection's row
+    /// or, failing that, the environment (a *parameter*, §5).
+    Name(Name),
+    /// A constant or `NULL`.
+    Const(Value),
+}
+
+impl RaTerm {
+    /// Convenience constructor for a name term.
+    pub fn name(n: impl Into<Name>) -> RaTerm {
+        RaTerm::Name(n.into())
+    }
+
+    /// The name, if this term is one.
+    pub fn as_name(&self) -> Option<&Name> {
+        match self {
+            RaTerm::Name(n) => Some(n),
+            RaTerm::Const(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for RaTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RaTerm::Name(n) => write!(f, "{n}"),
+            RaTerm::Const(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<Name> for RaTerm {
+    fn from(n: Name) -> Self {
+        RaTerm::Name(n)
+    }
+}
+
+impl From<Value> for RaTerm {
+    fn from(v: Value) -> Self {
+        RaTerm::Const(v)
+    }
+}
+
+/// A selection condition (SQL-RA form; pure RA avoids `In` and `Empty`).
+#[derive(Clone, Debug, PartialEq)]
+pub enum RaCond {
+    /// `TRUE`
+    True,
+    /// `FALSE`
+    False,
+    /// A built-in comparison `t₁ op t₂` (the always-present equality plus
+    /// the order predicates), interpreted under 3VL.
+    Cmp {
+        /// Left term.
+        left: RaTerm,
+        /// Operator.
+        op: CmpOp,
+        /// Right term.
+        right: RaTerm,
+    },
+    /// `t [NOT] LIKE p` — carried over from SQL's predicate collection.
+    Like {
+        /// Matched term.
+        term: RaTerm,
+        /// Pattern.
+        pattern: RaTerm,
+        /// Negated?
+        negated: bool,
+    },
+    /// A user predicate from the collection `P`.
+    Pred {
+        /// Registered name.
+        name: String,
+        /// Arguments.
+        args: Vec<RaTerm>,
+    },
+    /// `null(t)` — two-valued test for `NULL`.
+    Null(RaTerm),
+    /// `const(t)` — the negation of `null(t)`.
+    IsConst(RaTerm),
+    /// Conjunction (3VL).
+    And(Box<RaCond>, Box<RaCond>),
+    /// Disjunction (3VL).
+    Or(Box<RaCond>, Box<RaCond>),
+    /// Negation (3VL).
+    Not(Box<RaCond>),
+    /// SQL-RA: `t̄ ∈ E` — the analogue of SQL's `IN`.
+    In {
+        /// The tuple of terms.
+        terms: Vec<RaTerm>,
+        /// The (possibly parameterised) expression.
+        expr: Box<RaExpr>,
+    },
+    /// SQL-RA: `empty(E)` — the (negated) analogue of SQL's `EXISTS`.
+    Empty(Box<RaExpr>),
+}
+
+impl RaCond {
+    /// `t₁ op t₂`.
+    pub fn cmp(left: impl Into<RaTerm>, op: CmpOp, right: impl Into<RaTerm>) -> RaCond {
+        RaCond::Cmp { left: left.into(), op, right: right.into() }
+    }
+
+    /// `t₁ = t₂`.
+    pub fn eq(left: impl Into<RaTerm>, right: impl Into<RaTerm>) -> RaCond {
+        RaCond::cmp(left, CmpOp::Eq, right)
+    }
+
+    /// `self ∧ other`.
+    #[must_use]
+    pub fn and(self, other: RaCond) -> RaCond {
+        RaCond::And(Box::new(self), Box::new(other))
+    }
+
+    /// `self ∨ other`.
+    #[must_use]
+    pub fn or(self, other: RaCond) -> RaCond {
+        RaCond::Or(Box::new(self), Box::new(other))
+    }
+
+    /// `¬self`.
+    #[must_use]
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> RaCond {
+        RaCond::Not(Box::new(self))
+    }
+
+    /// Conjunction of all; `TRUE` when empty.
+    pub fn all(conds: impl IntoIterator<Item = RaCond>) -> RaCond {
+        let mut it = conds.into_iter();
+        match it.next() {
+            None => RaCond::True,
+            Some(first) => it.fold(first, RaCond::and),
+        }
+    }
+
+    /// Disjunction of all; `FALSE` when empty.
+    pub fn any(conds: impl IntoIterator<Item = RaCond>) -> RaCond {
+        let mut it = conds.into_iter();
+        match it.next() {
+            None => RaCond::False,
+            Some(first) => it.fold(first, RaCond::or),
+        }
+    }
+
+    /// `true` iff the condition avoids the SQL-RA extensions (`∈`,
+    /// `empty`).
+    pub fn is_pure(&self) -> bool {
+        match self {
+            RaCond::In { .. } | RaCond::Empty(_) => false,
+            RaCond::And(a, b) | RaCond::Or(a, b) => a.is_pure() && b.is_pure(),
+            RaCond::Not(c) => c.is_pure(),
+            _ => true,
+        }
+    }
+}
+
+/// A (SQL-)RA expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RaExpr {
+    /// A base relation `R`.
+    Base(Name),
+    /// Projection `π_β(E)`: `β` must be a repetition-free sub-tuple of
+    /// `ℓ(E)`.
+    Proj {
+        /// Input.
+        input: Box<RaExpr>,
+        /// The projected attributes, in output order.
+        columns: Vec<Name>,
+    },
+    /// Selection `σ_θ(E)`.
+    Select {
+        /// Input.
+        input: Box<RaExpr>,
+        /// The condition (evaluated under 3VL; rows kept when `t`).
+        cond: RaCond,
+    },
+    /// Product `E₁ × E₂`: signatures must be disjoint.
+    Product(Box<RaExpr>, Box<RaExpr>),
+    /// Bag union: signatures must coincide.
+    Union(Box<RaExpr>, Box<RaExpr>),
+    /// Bag intersection: signatures must coincide.
+    Inter(Box<RaExpr>, Box<RaExpr>),
+    /// Bag difference: signatures must coincide.
+    Diff(Box<RaExpr>, Box<RaExpr>),
+    /// Renaming `ρ_{β→β′}(E)`: `β = ℓ(E)` implicitly; `to` is `β′`.
+    Rename {
+        /// Input.
+        input: Box<RaExpr>,
+        /// The new signature (same length as `ℓ(E)`, repetition-free).
+        to: Vec<Name>,
+    },
+    /// Duplicate elimination `ε(E)`.
+    Dedup(Box<RaExpr>),
+}
+
+impl RaExpr {
+    /// `π_β(self)`.
+    #[must_use]
+    pub fn project<N: Into<Name>, I: IntoIterator<Item = N>>(self, columns: I) -> RaExpr {
+        RaExpr::Proj {
+            input: Box::new(self),
+            columns: columns.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// `σ_cond(self)`.
+    #[must_use]
+    pub fn select(self, cond: RaCond) -> RaExpr {
+        RaExpr::Select { input: Box::new(self), cond }
+    }
+
+    /// `self × other`.
+    #[must_use]
+    pub fn product(self, other: RaExpr) -> RaExpr {
+        RaExpr::Product(Box::new(self), Box::new(other))
+    }
+
+    /// `self ∪ other`.
+    #[must_use]
+    pub fn union(self, other: RaExpr) -> RaExpr {
+        RaExpr::Union(Box::new(self), Box::new(other))
+    }
+
+    /// `self ∩ other`.
+    #[must_use]
+    pub fn intersect(self, other: RaExpr) -> RaExpr {
+        RaExpr::Inter(Box::new(self), Box::new(other))
+    }
+
+    /// `self − other`.
+    #[must_use]
+    pub fn diff(self, other: RaExpr) -> RaExpr {
+        RaExpr::Diff(Box::new(self), Box::new(other))
+    }
+
+    /// `ρ_{ℓ(self)→to}(self)`.
+    #[must_use]
+    pub fn rename<N: Into<Name>, I: IntoIterator<Item = N>>(self, to: I) -> RaExpr {
+        RaExpr::Rename { input: Box::new(self), to: to.into_iter().map(Into::into).collect() }
+    }
+
+    /// `ε(self)`.
+    #[must_use]
+    pub fn dedup(self) -> RaExpr {
+        RaExpr::Dedup(Box::new(self))
+    }
+
+    /// `true` iff the expression (and every nested one) avoids the SQL-RA
+    /// condition extensions — i.e. it is an expression of the Figure 8
+    /// grammar.
+    pub fn is_pure(&self) -> bool {
+        match self {
+            RaExpr::Base(_) => true,
+            RaExpr::Proj { input, .. } | RaExpr::Rename { input, .. } | RaExpr::Dedup(input) => {
+                input.is_pure()
+            }
+            RaExpr::Select { input, cond } => input.is_pure() && cond_is_pure_deep(cond),
+            RaExpr::Product(a, b)
+            | RaExpr::Union(a, b)
+            | RaExpr::Inter(a, b)
+            | RaExpr::Diff(a, b) => a.is_pure() && b.is_pure(),
+        }
+    }
+
+    /// Number of operators in the expression tree (a size measure for the
+    /// experiment reports).
+    pub fn size(&self) -> usize {
+        let mut n = 1;
+        match self {
+            RaExpr::Base(_) => {}
+            RaExpr::Proj { input, .. } | RaExpr::Rename { input, .. } | RaExpr::Dedup(input) => {
+                n += input.size();
+            }
+            RaExpr::Select { input, cond } => {
+                n += input.size();
+                n += cond_size(cond);
+            }
+            RaExpr::Product(a, b)
+            | RaExpr::Union(a, b)
+            | RaExpr::Inter(a, b)
+            | RaExpr::Diff(a, b) => {
+                n += a.size() + b.size();
+            }
+        }
+        n
+    }
+}
+
+fn cond_is_pure_deep(cond: &RaCond) -> bool {
+    match cond {
+        RaCond::In { .. } | RaCond::Empty(_) => false,
+        RaCond::And(a, b) | RaCond::Or(a, b) => cond_is_pure_deep(a) && cond_is_pure_deep(b),
+        RaCond::Not(c) => cond_is_pure_deep(c),
+        _ => true,
+    }
+}
+
+fn cond_size(cond: &RaCond) -> usize {
+    match cond {
+        RaCond::And(a, b) | RaCond::Or(a, b) => 1 + cond_size(a) + cond_size(b),
+        RaCond::Not(c) => 1 + cond_size(c),
+        RaCond::In { expr, .. } => 1 + expr.size(),
+        RaCond::Empty(expr) => 1 + expr.size(),
+        _ => 1,
+    }
+}
+
+/// Computes the signature `ℓ(E)` while checking the §5 well-formedness
+/// side conditions: product signatures disjoint, set-operation signatures
+/// equal, projections repetition-free subsets, renamings repetition-free
+/// and length-matching. RA signatures are always repetition-free.
+pub fn signature(expr: &RaExpr, schema: &Schema) -> Result<Vec<Name>, EvalError> {
+    match expr {
+        RaExpr::Base(r) => match schema.attributes(r) {
+            Some(attrs) => Ok(attrs.to_vec()),
+            None => Err(EvalError::UnknownTable(r.clone())),
+        },
+        RaExpr::Proj { input, columns } => {
+            let sig = signature(input, schema)?;
+            if columns.is_empty() {
+                return Err(EvalError::ZeroArity);
+            }
+            let mut seen = std::collections::HashSet::with_capacity(columns.len());
+            for c in columns {
+                if !sig.contains(c) {
+                    return Err(EvalError::malformed(format!(
+                        "π projects {c}, which is not in the signature"
+                    )));
+                }
+                if !seen.insert(c) {
+                    return Err(EvalError::malformed(format!("π repeats attribute {c}")));
+                }
+            }
+            Ok(columns.clone())
+        }
+        RaExpr::Select { input, .. } | RaExpr::Dedup(input) => signature(input, schema),
+        RaExpr::Product(a, b) => {
+            let sa = signature(a, schema)?;
+            let sb = signature(b, schema)?;
+            for n in &sb {
+                if sa.contains(n) {
+                    return Err(EvalError::malformed(format!(
+                        "× operands share attribute {n}"
+                    )));
+                }
+            }
+            let mut out = sa;
+            out.extend(sb);
+            Ok(out)
+        }
+        RaExpr::Union(a, b) | RaExpr::Inter(a, b) | RaExpr::Diff(a, b) => {
+            let sa = signature(a, schema)?;
+            let sb = signature(b, schema)?;
+            if sa != sb {
+                return Err(EvalError::malformed(
+                    "set-operation operands have different signatures",
+                ));
+            }
+            Ok(sa)
+        }
+        RaExpr::Rename { input, to } => {
+            let sig = signature(input, schema)?;
+            if sig.len() != to.len() {
+                return Err(EvalError::ArityMismatch {
+                    context: "ρ renaming",
+                    left: sig.len(),
+                    right: to.len(),
+                });
+            }
+            let mut seen = std::collections::HashSet::with_capacity(to.len());
+            for n in to {
+                if !seen.insert(n) {
+                    return Err(EvalError::malformed(format!("ρ repeats attribute {n}")));
+                }
+            }
+            Ok(to.clone())
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Display: compact mathematical notation, e.g.
+//   ρ[B→A](ε(R′) ▷ σ[B=C](R′ × S′)) — useful in reports and examples.
+// ---------------------------------------------------------------------------
+
+impl fmt::Display for RaExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RaExpr::Base(r) => write!(f, "{r}"),
+            RaExpr::Proj { input, columns } => {
+                write!(f, "π[{}]({input})", join(columns))
+            }
+            RaExpr::Select { input, cond } => write!(f, "σ[{cond}]({input})"),
+            RaExpr::Product(a, b) => write!(f, "({a} × {b})"),
+            RaExpr::Union(a, b) => write!(f, "({a} ∪ {b})"),
+            RaExpr::Inter(a, b) => write!(f, "({a} ∩ {b})"),
+            RaExpr::Diff(a, b) => write!(f, "({a} − {b})"),
+            RaExpr::Rename { input, to } => write!(f, "ρ[→{}]({input})", join(to)),
+            RaExpr::Dedup(input) => write!(f, "ε({input})"),
+        }
+    }
+}
+
+impl fmt::Display for RaCond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RaCond::True => f.write_str("TRUE"),
+            RaCond::False => f.write_str("FALSE"),
+            RaCond::Cmp { left, op, right } => write!(f, "{left} {op} {right}"),
+            RaCond::Like { term, pattern, negated } => {
+                write!(f, "{term} {}LIKE {pattern}", if *negated { "NOT " } else { "" })
+            }
+            RaCond::Pred { name, args } => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                f.write_str(")")
+            }
+            RaCond::Null(t) => write!(f, "null({t})"),
+            RaCond::IsConst(t) => write!(f, "const({t})"),
+            RaCond::And(a, b) => write!(f, "({a} ∧ {b})"),
+            RaCond::Or(a, b) => write!(f, "({a} ∨ {b})"),
+            RaCond::Not(c) => write!(f, "¬{c}"),
+            RaCond::In { terms, expr } => {
+                if terms.len() == 1 {
+                    write!(f, "{} ∈ ({expr})", terms[0])
+                } else {
+                    f.write_str("(")?;
+                    for (i, t) in terms.iter().enumerate() {
+                        if i > 0 {
+                            f.write_str(", ")?;
+                        }
+                        write!(f, "{t}")?;
+                    }
+                    write!(f, ") ∈ ({expr})")
+                }
+            }
+            RaCond::Empty(e) => write!(f, "empty({e})"),
+        }
+    }
+}
+
+fn join(names: &[Name]) -> String {
+    names.iter().map(|n| n.to_string()).collect::<Vec<_>>().join(",")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::builder().table("R", ["A", "B"]).table("S", ["C"]).build().unwrap()
+    }
+
+    fn names(ns: &[&str]) -> Vec<Name> {
+        ns.iter().map(Name::new).collect()
+    }
+
+    #[test]
+    fn base_signature_comes_from_schema() {
+        assert_eq!(signature(&RaExpr::Base(Name::new("R")), &schema()).unwrap(), names(&["A", "B"]));
+        assert!(matches!(
+            signature(&RaExpr::Base(Name::new("Z")), &schema()),
+            Err(EvalError::UnknownTable(_))
+        ));
+    }
+
+    #[test]
+    fn projection_checks_membership_and_repetition() {
+        let r = RaExpr::Base(Name::new("R"));
+        assert_eq!(signature(&r.clone().project(["B"]), &schema()).unwrap(), names(&["B"]));
+        assert!(signature(&r.clone().project(["Z"]), &schema()).is_err());
+        assert!(signature(&r.clone().project(["A", "A"]), &schema()).is_err());
+        assert!(signature(&r.project(Vec::<Name>::new()), &schema()).is_err());
+    }
+
+    #[test]
+    fn product_requires_disjoint_signatures() {
+        let r = RaExpr::Base(Name::new("R"));
+        let s = RaExpr::Base(Name::new("S"));
+        assert_eq!(
+            signature(&r.clone().product(s), &schema()).unwrap(),
+            names(&["A", "B", "C"])
+        );
+        assert!(signature(&r.clone().product(r), &schema()).is_err());
+    }
+
+    #[test]
+    fn set_ops_require_equal_signatures() {
+        let r = RaExpr::Base(Name::new("R"));
+        let s = RaExpr::Base(Name::new("S"));
+        assert!(signature(&r.clone().union(s.clone()), &schema()).is_err());
+        let s2 = s.rename(["A"]);
+        let r2 = r.project(["A"]);
+        assert_eq!(signature(&r2.union(s2), &schema()).unwrap(), names(&["A"]));
+    }
+
+    #[test]
+    fn rename_checks_arity_and_repetition() {
+        let r = RaExpr::Base(Name::new("R"));
+        assert_eq!(signature(&r.clone().rename(["X", "Y"]), &schema()).unwrap(), names(&["X", "Y"]));
+        assert!(signature(&r.clone().rename(["X"]), &schema()).is_err());
+        assert!(signature(&r.rename(["X", "X"]), &schema()).is_err());
+    }
+
+    #[test]
+    fn purity_detects_sqlra_extensions() {
+        let r = RaExpr::Base(Name::new("R"));
+        assert!(r.is_pure());
+        let with_empty = r.clone().select(RaCond::Empty(Box::new(RaExpr::Base(Name::new("S")))));
+        assert!(!with_empty.is_pure());
+        let with_in = r.clone().select(RaCond::In {
+            terms: vec![RaTerm::name("A")],
+            expr: Box::new(RaExpr::Base(Name::new("S"))),
+        });
+        assert!(!with_in.is_pure());
+        // Nested inside another expression.
+        let nested = with_empty.project(["A"]);
+        assert!(!nested.is_pure());
+        // Pure conditions stay pure.
+        let cond = RaCond::eq(RaTerm::name("A"), RaTerm::Const(Value::Int(1)))
+            .and(RaCond::Null(RaTerm::name("B")))
+            .not();
+        assert!(r.select(cond).is_pure());
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let e = RaExpr::Base(Name::new("R"))
+            .select(RaCond::eq(RaTerm::name("A"), RaTerm::Const(Value::Int(1))))
+            .project(["A"])
+            .dedup();
+        assert_eq!(e.to_string(), "ε(π[A](σ[A = 1](R)))");
+    }
+
+    #[test]
+    fn size_counts_nested_expressions() {
+        let r = RaExpr::Base(Name::new("R"));
+        assert_eq!(r.size(), 1);
+        let s = RaExpr::Base(Name::new("S"));
+        let e = r.select(RaCond::Empty(Box::new(s)));
+        assert_eq!(e.size(), 4); // σ + base + empty-atom + inner base
+    }
+}

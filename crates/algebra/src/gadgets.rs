@@ -1,0 +1,434 @@
+//! Derived RA operators used by the §5 translation: syntactic equality,
+//! syntactic natural (anti)joins, and the projection-with-repetition
+//! gadget `π^α_β`.
+//!
+//! All of these expand into the core RA grammar; nothing here extends the
+//! language. A shared [`NameGen`] provides fresh attribute names for the
+//! intermediate renamings.
+
+use std::collections::HashSet;
+
+use sqlsem_core::{EvalError, Name, Schema};
+
+use crate::expr::{signature, RaCond, RaExpr, RaTerm};
+
+/// A fresh-name source that provably avoids every name in use.
+#[derive(Clone, Debug, Default)]
+pub struct NameGen {
+    used: HashSet<Name>,
+    counter: usize,
+}
+
+impl NameGen {
+    /// Creates a generator avoiding the given names.
+    pub fn avoiding(used: impl IntoIterator<Item = Name>) -> NameGen {
+        NameGen { used: used.into_iter().collect(), counter: 0 }
+    }
+
+    /// Creates a generator avoiding every name that occurs anywhere in an
+    /// expression (signatures, conditions, nested expressions).
+    pub fn avoiding_expr(expr: &RaExpr) -> NameGen {
+        let mut used = HashSet::new();
+        collect_names(expr, &mut used);
+        NameGen { used, counter: 0 }
+    }
+
+    /// Marks additional names as used.
+    pub fn reserve(&mut self, names: impl IntoIterator<Item = Name>) {
+        self.used.extend(names);
+    }
+
+    /// Produces a fresh name with a readable hint.
+    pub fn fresh(&mut self, hint: &str) -> Name {
+        loop {
+            self.counter += 1;
+            let candidate = Name::new(format!("{hint}#{}", self.counter));
+            if self.used.insert(candidate.clone()) {
+                return candidate;
+            }
+        }
+    }
+}
+
+/// Collects every attribute name mentioned anywhere in `expr`.
+pub fn collect_names(expr: &RaExpr, out: &mut HashSet<Name>) {
+    match expr {
+        RaExpr::Base(r) => {
+            out.insert(r.clone());
+        }
+        RaExpr::Proj { input, columns } => {
+            out.extend(columns.iter().cloned());
+            collect_names(input, out);
+        }
+        RaExpr::Select { input, cond } => {
+            collect_cond_names(cond, out);
+            collect_names(input, out);
+        }
+        RaExpr::Product(a, b)
+        | RaExpr::Union(a, b)
+        | RaExpr::Inter(a, b)
+        | RaExpr::Diff(a, b) => {
+            collect_names(a, out);
+            collect_names(b, out);
+        }
+        RaExpr::Rename { input, to } => {
+            out.extend(to.iter().cloned());
+            collect_names(input, out);
+        }
+        RaExpr::Dedup(input) => collect_names(input, out),
+    }
+}
+
+fn collect_cond_names(cond: &RaCond, out: &mut HashSet<Name>) {
+    let mut term = |t: &RaTerm| {
+        if let RaTerm::Name(n) = t {
+            out.insert(n.clone());
+        }
+    };
+    match cond {
+        RaCond::True | RaCond::False => {}
+        RaCond::Cmp { left, right, .. } => {
+            term(left);
+            term(right);
+        }
+        RaCond::Like { term: t, pattern, .. } => {
+            term(t);
+            term(pattern);
+        }
+        RaCond::Pred { args, .. } => args.iter().for_each(term),
+        RaCond::Null(t) | RaCond::IsConst(t) => term(t),
+        RaCond::And(a, b) | RaCond::Or(a, b) => {
+            collect_cond_names(a, out);
+            collect_cond_names(b, out);
+        }
+        RaCond::Not(c) => collect_cond_names(c, out),
+        RaCond::In { terms, expr } => {
+            terms.iter().for_each(term);
+            collect_names(expr, out);
+        }
+        RaCond::Empty(e) => collect_names(e, out),
+    }
+}
+
+/// Syntactic equality `t₁ ≐ t₂` (Definition 2), expressed in the core
+/// condition language:
+/// `(t₁ = t₂ ∧ const(t₁) ∧ const(t₂)) ∨ (null(t₁) ∧ null(t₂))`.
+///
+/// Always two-valued, and `NULL ≐ NULL` holds.
+pub fn syntactic_eq(t1: RaTerm, t2: RaTerm) -> RaCond {
+    RaCond::eq(t1.clone(), t2.clone())
+        .and(RaCond::IsConst(t1.clone()))
+        .and(RaCond::IsConst(t2.clone()))
+        .or(RaCond::Null(t1).and(RaCond::Null(t2)))
+}
+
+/// Syntactic natural join `E₁ ⋈ₛ E₂`: natural join where the comparison
+/// on common attributes is *syntactic* equality (so `NULL` matches
+/// `NULL`). Output signature: `ℓ(E₁)` followed by `ℓ(E₂) − ℓ(E₁)`.
+pub fn syntactic_natural_join(
+    e1: RaExpr,
+    e2: RaExpr,
+    schema: &Schema,
+    gen: &mut NameGen,
+) -> Result<RaExpr, EvalError> {
+    let sig1 = signature(&e1, schema)?;
+    let sig2 = signature(&e2, schema)?;
+    let common: Vec<Name> = sig2.iter().filter(|n| sig1.contains(n)).cloned().collect();
+    if common.is_empty() {
+        return Ok(e1.product(e2));
+    }
+    // Rename e2's signature so the product is well-formed: common
+    // attributes get fresh names, private ones keep theirs.
+    let renamed: Vec<(Name, Name)> = sig2
+        .iter()
+        .map(|n| {
+            if common.contains(n) {
+                (n.clone(), gen.fresh(n.as_str()))
+            } else {
+                (n.clone(), n.clone())
+            }
+        })
+        .collect();
+    let e2r = e2.rename(renamed.iter().map(|(_, fresh)| fresh.clone()).collect::<Vec<_>>());
+    let join_cond = RaCond::all(renamed.iter().filter(|(orig, fresh)| orig != fresh).map(
+        |(orig, fresh)| syntactic_eq(RaTerm::Name(orig.clone()), RaTerm::Name(fresh.clone())),
+    ));
+    // Keep ℓ(E₁) then e2's private attributes.
+    let keep: Vec<Name> = sig1
+        .iter()
+        .cloned()
+        .chain(sig2.iter().filter(|n| !common.contains(n)).cloned())
+        .collect();
+    Ok(e1.product(e2r).select(join_cond).project(keep))
+}
+
+/// Syntactic left antijoin `E₁ ▷ₛ E₂ = E₁ − E₁ ∩ π_{ℓ(E₁)}(E₁ ⋈ₛ E₂)`
+/// (the operation used for the paper's translations of Q1/Q2 at the end
+/// of §5): the rows of `E₁`, with their multiplicities, having **no**
+/// syntactic join partner in `E₂`.
+pub fn syntactic_antijoin(
+    e1: RaExpr,
+    e2: RaExpr,
+    schema: &Schema,
+    gen: &mut NameGen,
+) -> Result<RaExpr, EvalError> {
+    let sig1 = signature(&e1, schema)?;
+    let join = syntactic_natural_join(e1.clone(), e2, schema, gen)?;
+    let matched = join.project(sig1);
+    Ok(e1.clone().diff(e1.intersect(matched)))
+}
+
+/// Syntactic left semijoin `E₁ ⋉ₛ E₂ = E₁ ∩ π_{ℓ(E₁)}(E₁ ⋈ₛ E₂)`: the
+/// rows of `E₁`, with their multiplicities, having a syntactic join
+/// partner in `E₂`.
+pub fn syntactic_semijoin(
+    e1: RaExpr,
+    e2: RaExpr,
+    schema: &Schema,
+    gen: &mut NameGen,
+) -> Result<RaExpr, EvalError> {
+    let sig1 = signature(&e1, schema)?;
+    let join = syntactic_natural_join(e1.clone(), e2, schema, gen)?;
+    Ok(e1.intersect(join.project(sig1)))
+}
+
+/// The projection-with-repetition gadget `π^α_β(E)` (§5): projects the
+/// attribute tuple `α` — which **may repeat attributes** — out of `E`,
+/// naming the outputs `β` (distinct, disjoint from `ℓ(E)`).
+///
+/// When `α` is repetition-free this is just `ρ_{α→β}(π_α(E))`. Otherwise
+/// repetitions are simulated with extra syntactic joins:
+///
+/// ```text
+/// π_β(σ_{α ≐ β}(E ⋈ₛ (⋈ₛ_{i} ε(ρ_{αᵢ→βᵢ}(E)))))
+/// ```
+///
+/// where `ρ_{αᵢ→βᵢ}` renames only the attribute `αᵢ`.
+pub fn project_with_repetition(
+    expr: RaExpr,
+    alpha: &[Name],
+    beta: &[Name],
+    schema: &Schema,
+    gen: &mut NameGen,
+) -> Result<RaExpr, EvalError> {
+    assert_eq!(alpha.len(), beta.len(), "α and β must have the same length");
+    if alpha.is_empty() {
+        return Err(EvalError::ZeroArity);
+    }
+    let sig = signature(&expr, schema)?;
+    for a in alpha {
+        if !sig.contains(a) {
+            return Err(EvalError::malformed(format!("π^α_β projects unknown attribute {a}")));
+        }
+    }
+    let mut seen = HashSet::with_capacity(alpha.len());
+    let has_repetition = !alpha.iter().all(|a| seen.insert(a));
+
+    if !has_repetition {
+        return Ok(expr.project(alpha.to_vec()).rename(beta.to_vec()));
+    }
+
+    // One copy of E per α-position, with αᵢ renamed to βᵢ and the rest of
+    // the signature kept; deduplicated so each E-row matches exactly one
+    // partner per copy.
+    let mut joined: Option<RaExpr> = None;
+    for (a, b) in alpha.iter().zip(beta) {
+        let to: Vec<Name> =
+            sig.iter().map(|n| if n == a { b.clone() } else { n.clone() }).collect();
+        let copy = expr.clone().rename(to).dedup();
+        joined = Some(match joined {
+            None => copy,
+            Some(acc) => syntactic_natural_join(acc, copy, schema, gen)?,
+        });
+    }
+    let copies = joined.expect("α is non-empty");
+    let joined_all = syntactic_natural_join(expr, copies, schema, gen)?;
+    let fix = RaCond::all(
+        alpha
+            .iter()
+            .zip(beta)
+            .map(|(a, b)| syntactic_eq(RaTerm::Name(a.clone()), RaTerm::Name(b.clone()))),
+    );
+    Ok(joined_all.select(fix).project(beta.to_vec()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::RaEvaluator;
+    use sqlsem_core::{row, table, Database, Value};
+
+    fn db() -> Database {
+        let schema = Schema::builder().table("R", ["A", "B"]).table("S", ["B", "C"]).build().unwrap();
+        let mut db = Database::new(schema);
+        db.insert("R", table! { ["A", "B"]; [1, 2], [1, 2], [3, Value::Null] }).unwrap();
+        db.insert("S", table! { ["B", "C"]; [2, 7], [Value::Null, 8] }).unwrap();
+        db
+    }
+
+    fn r() -> RaExpr {
+        RaExpr::Base(Name::new("R"))
+    }
+
+    fn s() -> RaExpr {
+        RaExpr::Base(Name::new("S"))
+    }
+
+    #[test]
+    fn syntactic_eq_matches_nulls() {
+        let dbv = db();
+        let ev = RaEvaluator::new(&dbv);
+        let env = crate::eval::RaEnv::empty();
+        let t = |v: Value| RaTerm::Const(v);
+        use sqlsem_core::Truth;
+        assert_eq!(
+            ev.eval_cond(&syntactic_eq(t(Value::Null), t(Value::Null)), &env).unwrap(),
+            Truth::True
+        );
+        assert_eq!(
+            ev.eval_cond(&syntactic_eq(t(Value::Int(1)), t(Value::Null)), &env).unwrap(),
+            Truth::False
+        );
+        assert_eq!(
+            ev.eval_cond(&syntactic_eq(t(Value::Int(1)), t(Value::Int(1))), &env).unwrap(),
+            Truth::True
+        );
+        assert_eq!(
+            ev.eval_cond(&syntactic_eq(t(Value::Int(1)), t(Value::Int(2))), &env).unwrap(),
+            Truth::False
+        );
+    }
+
+    #[test]
+    fn natural_join_joins_on_common_attributes_syntactically() {
+        let dbv = db();
+        let mut gen = NameGen::avoiding_expr(&r().product(s()));
+        let join = syntactic_natural_join(r(), s(), dbv.schema(), &mut gen).unwrap();
+        let out = RaEvaluator::new(&dbv).eval(&join).unwrap();
+        // (1,2)×2 joins (2,7); (3,NULL) joins (NULL,8) *syntactically*.
+        assert!(out.multiset_eq(&table! { ["A", "B", "C"]; [1, 2, 7], [1, 2, 7], [3, Value::Null, 8] }),
+            "got:\n{out}");
+    }
+
+    #[test]
+    fn natural_join_without_common_attributes_is_product() {
+        let dbv = db();
+        let mut gen = NameGen::default();
+        let s2 = s().rename(["X", "Y"]);
+        let join = syntactic_natural_join(r(), s2, dbv.schema(), &mut gen).unwrap();
+        let out = RaEvaluator::new(&dbv).eval(&join).unwrap();
+        assert_eq!(out.len(), 6);
+    }
+
+    #[test]
+    fn antijoin_keeps_unmatched_rows_with_multiplicity() {
+        let dbv = db();
+        let mut gen = NameGen::avoiding_expr(&r().product(s()));
+        // Antijoin R with S on B: (1,2) matches, (3,NULL) matches → empty.
+        let anti = syntactic_antijoin(r(), s(), dbv.schema(), &mut gen).unwrap();
+        let out = RaEvaluator::new(&dbv).eval(&anti).unwrap();
+        assert!(out.is_empty(), "got:\n{out}");
+        // Against an empty S everything stays, duplicates intact.
+        let empty_s = s().select(RaCond::False);
+        let anti = syntactic_antijoin(r(), empty_s, dbv.schema(), &mut gen).unwrap();
+        let out = RaEvaluator::new(&dbv).eval(&anti).unwrap();
+        assert_eq!(out.len(), 3);
+        assert_eq!(out.multiplicity(&row![1, 2]), 2);
+    }
+
+    #[test]
+    fn semijoin_keeps_matched_rows_with_multiplicity() {
+        let dbv = db();
+        let mut gen = NameGen::avoiding_expr(&r().product(s()));
+        let semi = syntactic_semijoin(r(), s(), dbv.schema(), &mut gen).unwrap();
+        let out = RaEvaluator::new(&dbv).eval(&semi).unwrap();
+        assert_eq!(out.len(), 3);
+        assert_eq!(out.multiplicity(&row![1, 2]), 2);
+        assert_eq!(out.multiplicity(&row![3, Value::Null]), 1);
+    }
+
+    #[test]
+    fn projection_gadget_without_repetition_is_rename_of_projection() {
+        let dbv = db();
+        let mut gen = NameGen::avoiding_expr(&r());
+        let e = project_with_repetition(
+            r(),
+            &[Name::new("B"), Name::new("A")],
+            &[Name::new("X"), Name::new("Y")],
+            dbv.schema(),
+            &mut gen,
+        )
+        .unwrap();
+        let out = RaEvaluator::new(&dbv).eval(&e).unwrap();
+        assert!(out.coincides(&table! { ["X", "Y"]; [2, 1], [2, 1], [Value::Null, 3] }),
+            "got:\n{out}");
+    }
+
+    #[test]
+    fn projection_gadget_duplicates_columns() {
+        // π^{(A,A)}_{(X,Y)}: SELECT R.A AS X, R.A AS Y — duplicating data
+        // with multiplicities preserved, including on NULL-carrying rows.
+        let dbv = db();
+        let mut gen = NameGen::avoiding_expr(&r());
+        gen.reserve([Name::new("X"), Name::new("Y")]);
+        let e = project_with_repetition(
+            r(),
+            &[Name::new("A"), Name::new("A")],
+            &[Name::new("X"), Name::new("Y")],
+            dbv.schema(),
+            &mut gen,
+        )
+        .unwrap();
+        let out = RaEvaluator::new(&dbv).eval(&e).unwrap();
+        assert!(out.coincides(&table! { ["X", "Y"]; [1, 1], [1, 1], [3, 3] }), "got:\n{out}");
+    }
+
+    #[test]
+    fn projection_gadget_mixed_repetition() {
+        // π^{(A,A,B)}_{(X,Y,Z)} with a NULL in B: NULLs must survive via
+        // the syntactic joins.
+        let dbv = db();
+        let mut gen = NameGen::avoiding_expr(&r());
+        gen.reserve([Name::new("X"), Name::new("Y"), Name::new("Z")]);
+        let e = project_with_repetition(
+            r(),
+            &[Name::new("A"), Name::new("A"), Name::new("B")],
+            &[Name::new("X"), Name::new("Y"), Name::new("Z")],
+            dbv.schema(),
+            &mut gen,
+        )
+        .unwrap();
+        let out = RaEvaluator::new(&dbv).eval(&e).unwrap();
+        assert!(
+            out.coincides(&table! { ["X", "Y", "Z"]; [1, 1, 2], [1, 1, 2], [3, 3, Value::Null] }),
+            "got:\n{out}"
+        );
+    }
+
+    #[test]
+    fn gadget_outputs_stay_pure() {
+        let dbv = db();
+        let mut gen = NameGen::avoiding_expr(&r());
+        gen.reserve([Name::new("X"), Name::new("Y")]);
+        let e = project_with_repetition(
+            r(),
+            &[Name::new("A"), Name::new("A")],
+            &[Name::new("X"), Name::new("Y")],
+            dbv.schema(),
+            &mut gen,
+        )
+        .unwrap();
+        assert!(e.is_pure());
+        let anti = syntactic_antijoin(r(), s(), dbv.schema(), &mut gen).unwrap();
+        assert!(anti.is_pure());
+    }
+
+    #[test]
+    fn name_gen_avoids_collisions() {
+        let mut gen = NameGen::avoiding([Name::new("x#1")]);
+        let f = gen.fresh("x");
+        assert_ne!(f, Name::new("x#1"));
+        let g = gen.fresh("x");
+        assert_ne!(f, g);
+    }
+}

@@ -1,0 +1,61 @@
+//! # sqlsem-algebra
+//!
+//! Bag relational algebra, SQL-RA, and the provably correct translation
+//! from basic SQL — the §5 development of Guagliardo & Libkin
+//! (PVLDB 2017), culminating in Theorem 1: *data manipulation queries of
+//! basic SQL and relational algebra under bag semantics have the same
+//! expressive power*.
+//!
+//! | Module | Paper artifact |
+//! |--------|----------------|
+//! | [`expr`] | RA/SQL-RA syntax and signatures `ℓ(E)` (§5) |
+//! | [`eval`] | the semantics `⟦E⟧_{D,η}` (Figure 8 + SQL-RA extension) |
+//! | [`params`] | parameters `param(E)`, `param(θ, A)` (§5) |
+//! | [`gadgets`] | `≐`, syntactic (anti/semi)joins, `π^α_β` (Def. 2, §5) |
+//! | [`translate`] | SQL → SQL-RA under `χ` (Figure 9, Prop. 1) |
+//! | [`eliminate`] | SQL-RA → pure RA (Prop. 2) |
+//!
+//! End-to-end (Theorem 1, forward direction):
+//!
+//! ```
+//! use sqlsem_algebra::{eliminate, translate, RaEvaluator};
+//! use sqlsem_core::{table, Database, Evaluator, Schema, Value};
+//! use sqlsem_parser::compile;
+//!
+//! let schema = Schema::builder().table("R", ["A"]).table("S", ["A"]).build().unwrap();
+//! let mut db = Database::new(schema.clone());
+//! db.insert("R", table! { ["A"]; [1], [Value::Null] }).unwrap();
+//! db.insert("S", table! { ["A"]; [Value::Null] }).unwrap();
+//!
+//! // Example 1's Q1 — empty under 3VL.
+//! let q = compile("SELECT DISTINCT R.A FROM R WHERE R.A NOT IN (SELECT S.A FROM S)", &schema)
+//!     .unwrap();
+//! let sqlra = translate(&q, &schema).unwrap();          // Figure 9
+//! let pure = eliminate(&sqlra, &schema).unwrap();       // Proposition 2
+//! assert!(pure.is_pure());
+//!
+//! let sql_answer = Evaluator::new(&db).eval(&q).unwrap();
+//! let ra_answer = RaEvaluator::new(&db).eval(&pure).unwrap();
+//! assert!(sql_answer.coincides(&ra_answer));
+//! assert!(sql_answer.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod eliminate;
+pub mod eval;
+pub mod expr;
+pub mod gadgets;
+pub mod params;
+pub mod translate;
+
+pub use eliminate::{decorrelate, eliminate, twovalify};
+pub use eval::{RaEnv, RaEvaluator};
+pub use expr::{signature, RaCond, RaExpr, RaTerm};
+pub use gadgets::{
+    project_with_repetition, syntactic_antijoin, syntactic_eq, syntactic_natural_join,
+    syntactic_semijoin, NameGen,
+};
+pub use params::{cond_params, is_closed, params};
+pub use translate::{is_data_manipulation, translate, Chi, TranslateError};

@@ -1,0 +1,178 @@
+//! Parameters of SQL-RA expressions (§5).
+//!
+//! The set `param(E)` of names an expression needs from its environment,
+//! and `param(θ, A)` for a condition relative to a set of locally bound
+//! attribute names, defined by mutual recursion exactly as in the paper:
+//!
+//! ```text
+//! param(R)              = ∅
+//! param(E₁ op E₂)       = param(E₁) ∪ param(E₂)
+//! param(π_α(E))         = param(E)
+//! param(σ_θ(E))         = param(E) ∪ param(θ, ℓ(E))
+//! param(P(t̄), A)        = names(t̄) − A
+//! param(θ₁ conn θ₂, A)  = param(θ₁, A) ∪ param(θ₂, A)
+//! param(¬θ, A)          = param(θ, A)
+//! param(empty(E), A)    = param(E) − A
+//! param(t̄ ∈ E, A)       = (names(t̄) ∪ param(E)) − A
+//! ```
+//!
+//! (The paper's definition omits the `param(E)` summand for `σ_θ(E)` —
+//! an evident typo, since a selection over a parameterised input plainly
+//! inherits its parameters; we include it.)
+//!
+//! An SQL-RA expression is a *query* iff `param(E) = ∅`.
+
+use std::collections::HashSet;
+
+use sqlsem_core::{EvalError, Name, Schema};
+
+use crate::expr::{signature, RaCond, RaExpr, RaTerm};
+
+/// Computes `param(E)`. Needs the schema to compute `ℓ(E)` at
+/// selections.
+pub fn params(expr: &RaExpr, schema: &Schema) -> Result<HashSet<Name>, EvalError> {
+    match expr {
+        RaExpr::Base(_) => Ok(HashSet::new()),
+        RaExpr::Proj { input, .. } | RaExpr::Rename { input, .. } | RaExpr::Dedup(input) => {
+            params(input, schema)
+        }
+        RaExpr::Select { input, cond } => {
+            let mut out = params(input, schema)?;
+            let bound: HashSet<Name> = signature(input, schema)?.into_iter().collect();
+            out.extend(cond_params(cond, &bound, schema)?);
+            Ok(out)
+        }
+        RaExpr::Product(a, b)
+        | RaExpr::Union(a, b)
+        | RaExpr::Inter(a, b)
+        | RaExpr::Diff(a, b) => {
+            let mut out = params(a, schema)?;
+            out.extend(params(b, schema)?);
+            Ok(out)
+        }
+    }
+}
+
+/// Computes `param(θ, A)`.
+pub fn cond_params(
+    cond: &RaCond,
+    bound: &HashSet<Name>,
+    schema: &Schema,
+) -> Result<HashSet<Name>, EvalError> {
+    match cond {
+        RaCond::True | RaCond::False => Ok(HashSet::new()),
+        RaCond::Cmp { left, right, .. } => Ok(term_names([left, right], bound)),
+        RaCond::Like { term, pattern, .. } => Ok(term_names([term, pattern], bound)),
+        RaCond::Pred { args, .. } => Ok(term_names(args, bound)),
+        RaCond::Null(t) | RaCond::IsConst(t) => Ok(term_names([t], bound)),
+        RaCond::And(a, b) | RaCond::Or(a, b) => {
+            let mut out = cond_params(a, bound, schema)?;
+            out.extend(cond_params(b, bound, schema)?);
+            Ok(out)
+        }
+        RaCond::Not(c) => cond_params(c, bound, schema),
+        RaCond::Empty(e) => {
+            let mut out = params(e, schema)?;
+            out.retain(|n| !bound.contains(n));
+            Ok(out)
+        }
+        RaCond::In { terms, expr } => {
+            let mut out = term_names(terms, bound);
+            let mut inner = params(expr, schema)?;
+            inner.retain(|n| !bound.contains(n));
+            out.extend(inner);
+            Ok(out)
+        }
+    }
+}
+
+/// `names(t̄) − A`: the name-terms among `terms` not bound locally.
+fn term_names<'a>(
+    terms: impl IntoIterator<Item = &'a RaTerm>,
+    bound: &HashSet<Name>,
+) -> HashSet<Name> {
+    terms
+        .into_iter()
+        .filter_map(RaTerm::as_name)
+        .filter(|n| !bound.contains(*n))
+        .cloned()
+        .collect()
+}
+
+/// `true` iff the expression is an SQL-RA *query*: `param(E) = ∅`.
+pub fn is_closed(expr: &RaExpr, schema: &Schema) -> Result<bool, EvalError> {
+    Ok(params(expr, schema)?.is_empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlsem_core::Value;
+
+    fn schema() -> Schema {
+        Schema::builder().table("R", ["A", "B"]).table("S", ["C"]).build().unwrap()
+    }
+
+    fn set(names: &[&str]) -> HashSet<Name> {
+        names.iter().map(Name::new).collect()
+    }
+
+    #[test]
+    fn base_relations_have_no_params() {
+        assert_eq!(params(&RaExpr::Base(Name::new("R")), &schema()).unwrap(), set(&[]));
+    }
+
+    #[test]
+    fn locally_bound_names_are_not_params() {
+        let e = RaExpr::Base(Name::new("R"))
+            .select(RaCond::eq(RaTerm::name("A"), RaTerm::Const(Value::Int(1))));
+        assert_eq!(params(&e, &schema()).unwrap(), set(&[]));
+    }
+
+    #[test]
+    fn free_names_in_conditions_are_params() {
+        let e = RaExpr::Base(Name::new("R")).select(RaCond::eq(RaTerm::name("A"), RaTerm::name("X")));
+        assert_eq!(params(&e, &schema()).unwrap(), set(&["X"]));
+    }
+
+    #[test]
+    fn empty_subtracts_local_scope() {
+        // empty(σ_{C = A}(S)) inside a σ over R: A is bound by R, so the
+        // whole thing is closed.
+        let inner = RaExpr::Base(Name::new("S"))
+            .select(RaCond::eq(RaTerm::name("C"), RaTerm::name("A")));
+        let outer = RaExpr::Base(Name::new("R")).select(RaCond::Empty(Box::new(inner.clone())));
+        assert_eq!(params(&outer, &schema()).unwrap(), set(&[]));
+        // The inner expression alone has the parameter A.
+        assert_eq!(params(&inner, &schema()).unwrap(), set(&["A"]));
+    }
+
+    #[test]
+    fn in_params_include_the_terms() {
+        let cond = RaCond::In {
+            terms: vec![RaTerm::name("X"), RaTerm::Const(Value::Int(1))],
+            expr: Box::new(RaExpr::Base(Name::new("S"))),
+        };
+        let e = RaExpr::Base(Name::new("R")).select(cond);
+        assert_eq!(params(&e, &schema()).unwrap(), set(&["X"]));
+    }
+
+    #[test]
+    fn selection_inherits_input_params() {
+        // The paper's definition (with the typo fixed): σ over a
+        // parameterised input keeps the input's parameters.
+        let inner = RaExpr::Base(Name::new("S"))
+            .select(RaCond::eq(RaTerm::name("C"), RaTerm::name("Y")));
+        let outer = inner.select(RaCond::Null(RaTerm::name("C")));
+        assert_eq!(params(&outer, &schema()).unwrap(), set(&["Y"]));
+    }
+
+    #[test]
+    fn is_closed_detects_queries() {
+        let closed = RaExpr::Base(Name::new("R")).project(["A"]);
+        assert!(is_closed(&closed, &schema()).unwrap());
+        let open = RaExpr::Base(Name::new("R"))
+            .select(RaCond::eq(RaTerm::name("A"), RaTerm::name("Free")));
+        assert!(!is_closed(&open, &schema()).unwrap());
+    }
+}

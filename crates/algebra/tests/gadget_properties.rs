@@ -1,0 +1,144 @@
+//! Property-based tests for the §5 gadgets: syntactic equality,
+//! syntactic (anti/semi)joins, and the `π^α_β` projection gadget.
+
+use proptest::prelude::*;
+
+use sqlsem_algebra::{
+    project_with_repetition, syntactic_antijoin, syntactic_eq, syntactic_natural_join,
+    syntactic_semijoin, NameGen, RaEvaluator, RaExpr, RaTerm,
+};
+use sqlsem_core::{Database, Name, Row, Schema, Table, Truth, Value};
+
+fn value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        2 => Just(Value::Null),
+        5 => (0i64..4).prop_map(Value::Int),
+    ]
+}
+
+fn row(arity: usize) -> impl Strategy<Value = Row> {
+    proptest::collection::vec(value(), arity).prop_map(Row::new)
+}
+
+/// A two-table database: R(A,B) and S(B,C) — sharing attribute B so
+/// natural joins are non-trivial.
+fn db_strategy() -> impl Strategy<Value = Database> {
+    (proptest::collection::vec(row(2), 0..8), proptest::collection::vec(row(2), 0..8)).prop_map(
+        |(r_rows, s_rows)| {
+            let schema = Schema::builder()
+                .table("R", ["A", "B"])
+                .table("S", ["B", "C"])
+                .build()
+                .unwrap();
+            let mut db = Database::new(schema);
+            db.insert("R", Table::with_rows(vec![Name::new("A"), Name::new("B")], r_rows).unwrap())
+                .unwrap();
+            db.insert("S", Table::with_rows(vec![Name::new("B"), Name::new("C")], s_rows).unwrap())
+                .unwrap();
+            db
+        },
+    )
+}
+
+fn r() -> RaExpr {
+    RaExpr::Base(Name::new("R"))
+}
+
+fn s() -> RaExpr {
+    RaExpr::Base(Name::new("S"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// ⋉ₛ and ▷ₛ partition E₁: every row of R goes to exactly one side,
+    /// with its multiplicity.
+    #[test]
+    fn semijoin_and_antijoin_partition(db in db_strategy()) {
+        let schema = db.schema().clone();
+        let mut gen = NameGen::avoiding_expr(&r().product(s()));
+        let semi = syntactic_semijoin(r(), s(), &schema, &mut gen).unwrap();
+        let anti = syntactic_antijoin(r(), s(), &schema, &mut gen).unwrap();
+        let ev = RaEvaluator::new(&db);
+        let all = ev.eval(&r()).unwrap();
+        let semi_t = ev.eval(&semi).unwrap();
+        let anti_t = ev.eval(&anti).unwrap();
+        let reunited = semi_t.union_all(&anti_t).unwrap();
+        prop_assert!(reunited.multiset_eq(&all),
+            "R:\n{all}\nsemi:\n{semi_t}\nanti:\n{anti_t}");
+    }
+
+    /// The syntactic natural join agrees with a by-hand nested loop
+    /// using syntactic equality on the shared attribute B.
+    #[test]
+    fn natural_join_matches_nested_loop(db in db_strategy()) {
+        let schema = db.schema().clone();
+        let mut gen = NameGen::avoiding_expr(&r().product(s()));
+        let join = syntactic_natural_join(r(), s(), &schema, &mut gen).unwrap();
+        let got = RaEvaluator::new(&db).eval(&join).unwrap();
+
+        let rt = db.table("R").unwrap();
+        let st = db.table("S").unwrap();
+        let mut expected =
+            Table::new(vec![Name::new("A"), Name::new("B"), Name::new("C")]).unwrap();
+        for rrow in rt.rows() {
+            for srow in st.rows() {
+                if rrow[1] == srow[0] {
+                    expected
+                        .push(Row::new(vec![rrow[0].clone(), rrow[1].clone(), srow[1].clone()]))
+                        .unwrap();
+                }
+            }
+        }
+        prop_assert!(got.multiset_eq(&expected), "got:\n{got}\nexpected:\n{expected}");
+    }
+
+    /// π^α_β with a duplicated column equals duplicating values by hand.
+    #[test]
+    fn projection_gadget_matches_by_hand_duplication(db in db_strategy()) {
+        let schema = db.schema().clone();
+        let mut gen = NameGen::avoiding_expr(&r());
+        gen.reserve([Name::new("X"), Name::new("Y"), Name::new("Z")]);
+        let alpha = [Name::new("A"), Name::new("A"), Name::new("B")];
+        let beta = [Name::new("X"), Name::new("Y"), Name::new("Z")];
+        let e = project_with_repetition(r(), &alpha, &beta, &schema, &mut gen).unwrap();
+        let got = RaEvaluator::new(&db).eval(&e).unwrap();
+
+        let rt = db.table("R").unwrap();
+        let mut expected =
+            Table::new(vec![Name::new("X"), Name::new("Y"), Name::new("Z")]).unwrap();
+        for rrow in rt.rows() {
+            expected
+                .push(Row::new(vec![rrow[0].clone(), rrow[0].clone(), rrow[1].clone()]))
+                .unwrap();
+        }
+        prop_assert!(got.multiset_eq(&expected), "got:\n{got}\nexpected:\n{expected}");
+    }
+
+    /// `≐` is a two-valued equivalence relation on values.
+    #[test]
+    fn syntactic_eq_is_an_equivalence(a in value(), b in value(), c in value()) {
+        let db = Database::new(Schema::builder().table("R", ["A"]).build().unwrap());
+        let ev = RaEvaluator::new(&db);
+        let env = sqlsem_algebra::RaEnv::empty();
+        let test = |x: &Value, y: &Value| {
+            ev.eval_cond(
+                &syntactic_eq(RaTerm::Const(x.clone()), RaTerm::Const(y.clone())),
+                &env,
+            )
+            .unwrap()
+        };
+        // Two-valued:
+        prop_assert_ne!(test(&a, &b), Truth::Unknown);
+        // Reflexive:
+        prop_assert_eq!(test(&a, &a), Truth::True);
+        // Symmetric:
+        prop_assert_eq!(test(&a, &b), test(&b, &a));
+        // Transitive:
+        if test(&a, &b).is_true() && test(&b, &c).is_true() {
+            prop_assert_eq!(test(&a, &c), Truth::True);
+        }
+        // Agrees with the derived Eq on Value:
+        prop_assert_eq!(test(&a, &b).is_true(), a == b);
+    }
+}

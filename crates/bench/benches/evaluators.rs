@@ -1,0 +1,189 @@
+//! Performance comparison of the three evaluation routes on identical
+//! workloads:
+//!
+//! * the denotational interpreter (the executable specification,
+//!   Figures 4–7);
+//! * the independent volcano-style engine (positional plans);
+//! * the evaluated relational-algebra translation (Theorem 1 route).
+//!
+//! The paper's own implementation is explicitly *not* built for speed
+//! ("we only need this implementation to verify correctness … not for
+//! its performance", §4); these benches quantify the cost of staying
+//! this close to the figures, and how evaluation scales in database size
+//! and query nesting.
+
+use std::time::Duration;
+
+use criterion::measurement::Measurement;
+use criterion::{criterion_group, criterion_main, BenchmarkGroup, BenchmarkId, Criterion};
+
+/// Keeps the full suite quick: correctness is covered by the tests, the
+/// benches only need stable relative numbers.
+fn configure<M: Measurement>(group: &mut BenchmarkGroup<'_, M>) {
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1200));
+    group.sample_size(20);
+}
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sqlsem_algebra::{eliminate, translate, RaEvaluator};
+use sqlsem_core::{Database, Evaluator, Query, Schema};
+use sqlsem_engine::Engine;
+use sqlsem_generator::{random_database, DataGenConfig, QueryGenConfig, QueryGenerator};
+use sqlsem_parser::compile;
+
+fn small_schema() -> Schema {
+    Schema::builder()
+        .table("R", ["A", "B"])
+        .table("S", ["A", "C"])
+        .build()
+        .unwrap()
+}
+
+fn instance(schema: &Schema, rows: usize, seed: u64) -> Database {
+    let config = DataGenConfig { min_rows: rows, max_rows: rows, null_rate: 0.2, domain: 10 };
+    random_database(schema, &config, &mut StdRng::seed_from_u64(seed))
+}
+
+/// The workload queries: a join, a correlated NOT EXISTS, and a NOT IN —
+/// the shapes the paper's examples revolve around.
+fn workload(schema: &Schema) -> Vec<(&'static str, Query)> {
+    [
+        ("join", "SELECT R.A, S.C FROM R, S WHERE R.A = S.A"),
+        (
+            "not_exists",
+            "SELECT R.A FROM R WHERE NOT EXISTS (SELECT * FROM S WHERE S.A = R.A)",
+        ),
+        ("not_in", "SELECT DISTINCT R.A FROM R WHERE R.A NOT IN (SELECT S.A FROM S)"),
+        ("setops", "SELECT A FROM R UNION SELECT A FROM S EXCEPT SELECT A FROM S"),
+    ]
+    .into_iter()
+    .map(|(name, sql)| (name, compile(sql, schema).unwrap()))
+    .collect()
+}
+
+fn bench_routes(c: &mut Criterion) {
+    let schema = small_schema();
+    let db = instance(&schema, 25, 42);
+    let mut group = c.benchmark_group("routes");
+    configure(&mut group);
+    for (name, query) in workload(&schema) {
+        group.bench_with_input(BenchmarkId::new("denotational", name), &query, |b, q| {
+            let ev = Evaluator::new(&db);
+            b.iter(|| ev.eval(q).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("engine", name), &query, |b, q| {
+            let engine = Engine::new(&db);
+            b.iter(|| engine.execute(q).unwrap());
+        });
+        // The RA route: translation done once (it is query compilation),
+        // evaluation measured.
+        if let Ok(sqlra) = translate(&query, &schema) {
+            let pure = eliminate(&sqlra, &schema).unwrap();
+            group.bench_with_input(BenchmarkId::new("pure_ra", name), &pure, |b, e| {
+                let ra = RaEvaluator::new(&db);
+                b.iter(|| ra.eval(e).unwrap());
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_scaling_rows(c: &mut Criterion) {
+    let schema = small_schema();
+    let query = compile(
+        "SELECT DISTINCT R.A FROM R WHERE R.A NOT IN (SELECT S.A FROM S)",
+        &schema,
+    )
+    .unwrap();
+    let mut group = c.benchmark_group("scaling_rows");
+    configure(&mut group);
+    for rows in [5usize, 10, 20, 40] {
+        let db = instance(&schema, rows, 7);
+        group.bench_with_input(BenchmarkId::new("denotational", rows), &db, |b, db| {
+            let ev = Evaluator::new(db);
+            b.iter(|| ev.eval(&query).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("engine", rows), &db, |b, db| {
+            let engine = Engine::new(db);
+            b.iter(|| engine.execute(&query).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_random_queries(c: &mut Criterion) {
+    // Amortised cost per generated query+database pair — what one
+    // iteration of the §4 validation costs per implementation.
+    let schema = sqlsem_generator::paper_schema();
+    let gen = QueryGenerator::new(&schema, QueryGenConfig::small());
+    let cases: Vec<(Query, Database)> = (0..16)
+        .map(|i| {
+            let mut rng = StdRng::seed_from_u64(1000 + i);
+            let q = gen.generate(&mut rng);
+            let db = random_database(&schema, &DataGenConfig::small(), &mut rng);
+            (q, db)
+        })
+        .collect();
+    let mut group = c.benchmark_group("validation_iteration");
+    configure(&mut group);
+    group.bench_function("denotational", |b| {
+        b.iter(|| {
+            for (q, db) in &cases {
+                let _ = Evaluator::new(db).eval(q);
+            }
+        })
+    });
+    group.bench_function("engine", |b| {
+        b.iter(|| {
+            for (q, db) in &cases {
+                let _ = Engine::new(db).execute(q);
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_translation_cost(c: &mut Criterion) {
+    // Compile-time cost of the §5 and §6 translations themselves.
+    let schema = sqlsem_generator::paper_schema();
+    let gen = QueryGenerator::new(&schema, QueryGenConfig::data_manipulation());
+    let queries: Vec<Query> = (0..16)
+        .map(|i| gen.generate(&mut StdRng::seed_from_u64(2000 + i)))
+        .collect();
+    let mut group = c.benchmark_group("translations");
+    configure(&mut group);
+    group.bench_function("sql_to_sqlra", |b| {
+        b.iter(|| {
+            for q in &queries {
+                let _ = translate(q, &schema).unwrap();
+            }
+        })
+    });
+    group.bench_function("sqlra_to_pure_ra", |b| {
+        let translated: Vec<_> = queries.iter().map(|q| translate(q, &schema).unwrap()).collect();
+        b.iter(|| {
+            for e in &translated {
+                let _ = eliminate(e, &schema).unwrap();
+            }
+        })
+    });
+    group.bench_function("threevl_to_twovl", |b| {
+        b.iter(|| {
+            for q in &queries {
+                let _ = sqlsem_twovl::to_two_valued(q, sqlsem_twovl::EqInterpretation::Conflate);
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_routes,
+    bench_scaling_rows,
+    bench_random_queries,
+    bench_translation_cost
+);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Regenerates Example 1: three inequivalent ways of writing `R − S`
+//! in the presence of nulls, plus their relational-algebra translations
+//! from the end of §5.
+//!
+//! Paper claim: on `R = {1, NULL}`, `S = {NULL}` the queries return
+//! `Q1 = ∅`, `Q2 = {1, NULL}`, `Q3 = {1}`.
+//!
+//! ```text
+//! cargo run -p sqlsem-bench --bin ex1_difference
+//! ```
+
+use sqlsem_algebra::{syntactic_antijoin, NameGen, RaCond, RaEvaluator, RaExpr, RaTerm};
+use sqlsem_core::{table, Database, Evaluator, Name, Schema, Value};
+use sqlsem_parser::compile;
+
+fn main() {
+    let schema = Schema::builder().table("R", ["A"]).table("S", ["A"]).build().unwrap();
+    let mut db = Database::new(schema.clone());
+    db.insert("R", table! { ["A"]; [1], [Value::Null] }).unwrap();
+    db.insert("S", table! { ["A"]; [Value::Null] }).unwrap();
+
+    println!("Example 1: R = {{1, NULL}}, S = {{NULL}}\n");
+
+    let queries = [
+        ("Q1", "SELECT DISTINCT R.A FROM R WHERE R.A NOT IN (SELECT S.A FROM S)"),
+        ("Q2", "SELECT DISTINCT R.A FROM R WHERE NOT EXISTS (SELECT * FROM S WHERE S.A = R.A)"),
+        ("Q3", "SELECT R.A FROM R EXCEPT SELECT S.A FROM S"),
+    ];
+    let ev = Evaluator::new(&db);
+    for (name, sql) in queries {
+        let q = compile(sql, &schema).unwrap();
+        let out = ev.eval(&q).unwrap();
+        println!("{name}: {sql}");
+        println!("{out}\n");
+    }
+
+    println!("--- §5 relational algebra translations (paper, end of section 5) ---\n");
+    // R′ = ρ_{A→B}(R), S′ = ρ_{A→C}(S)
+    //
+    // NOTE (erratum): the paper's displayed equations attach σ_{B=C} to
+    // Q1 and the null-augmented condition to Q2, but the semantics
+    // demands the opposite pairing: NOT IN (Q1) discards a row when some
+    // comparison is t *or u*, so its antijoin needs the
+    // B=C ∨ null(B) ∨ null(C) condition, while NOT EXISTS (Q2) only
+    // discards on a *true* comparison, i.e. plain B=C. The assignments
+    // below are the semantically correct ones, and reproduce the paper's
+    // own expected answers (∅, {1, NULL}, {1}).
+    let r1 = RaExpr::Base(Name::new("R")).rename(["B"]);
+    let s1 = RaExpr::Base(Name::new("S")).rename(["C"]);
+    let mut gen = NameGen::avoiding([Name::new("A"), Name::new("B"), Name::new("C")]);
+
+    // Q1 = ρ_{B→A}( ε(R′) ▷ₛ σ_{B=C ∨ null(B) ∨ null(C)}(R′ × S′) )
+    let q1 = syntactic_antijoin(
+        r1.clone().dedup(),
+        r1.clone().product(s1.clone()).select(
+            RaCond::eq(RaTerm::name("B"), RaTerm::name("C"))
+                .or(RaCond::Null(RaTerm::name("B")))
+                .or(RaCond::Null(RaTerm::name("C"))),
+        ),
+        db.schema(),
+        &mut gen,
+    )
+    .unwrap()
+    .rename(["A"]);
+
+    // Q2 = ρ_{B→A}( ε(R′) ▷ₛ σ_{B=C}(R′ × S′) )
+    let q2 = syntactic_antijoin(
+        r1.clone().dedup(),
+        r1.clone()
+            .product(s1.clone())
+            .select(RaCond::eq(RaTerm::name("B"), RaTerm::name("C"))),
+        db.schema(),
+        &mut gen,
+    )
+    .unwrap()
+    .rename(["A"]);
+
+    // Q3 = ε(R) − S
+    let q3 = RaExpr::Base(Name::new("R")).dedup().diff(RaExpr::Base(Name::new("S")));
+
+    let ra = RaEvaluator::new(&db);
+    for (name, expr, expect) in [
+        ("Q1", &q1, "∅"),
+        ("Q2", &q2, "{1, NULL}"),
+        ("Q3", &q3, "{1}"),
+    ] {
+        let out = ra.eval(expr).unwrap();
+        println!("{name} in RA (expected {expect}):");
+        println!("{out}\n");
+    }
+}

@@ -1,0 +1,48 @@
+//! Regenerates Example 2: the context-dependence of `SELECT *`.
+//!
+//! Paper claims: `SELECT * FROM (SELECT R.A, R.A FROM R) AS T` is
+//! accepted by PostgreSQL but rejected by some commercial systems
+//! (modelled by the Oracle dialect); wrapped in `EXISTS` it is accepted
+//! everywhere.
+//!
+//! ```text
+//! cargo run -p sqlsem-bench --bin ex2_star_ambiguity
+//! ```
+
+use sqlsem_core::{table, Database, Dialect, Evaluator, Schema};
+use sqlsem_engine::Engine;
+use sqlsem_parser::compile;
+
+fn main() {
+    let schema = Schema::builder().table("R", ["A"]).build().unwrap();
+    let mut db = Database::new(schema.clone());
+    db.insert("R", table! { ["A"]; [1], [2] }).unwrap();
+
+    let standalone = "SELECT * FROM (SELECT R.A, R.A FROM R) AS T";
+    let under_exists =
+        "SELECT * FROM R WHERE EXISTS ( SELECT * FROM (SELECT R.A, R.A FROM R) AS T )";
+
+    println!("Example 2: R = {{1, 2}}\n");
+    for (label, sql) in [("standalone", standalone), ("under EXISTS", under_exists)] {
+        println!("== {label}: {sql}\n");
+        let q = compile(sql, &schema).unwrap();
+        for dialect in Dialect::ALL {
+            let semantics = Evaluator::new(&db).with_dialect(dialect).eval(&q);
+            let engine = Engine::new(&db).with_dialect(dialect).execute(&q);
+            let verdict = |r: &Result<sqlsem_core::Table, sqlsem_core::EvalError>| match r {
+                Ok(t) => format!("ok, {} row(s), columns {:?}",
+                    t.len(),
+                    t.columns().iter().map(|c| c.to_string()).collect::<Vec<_>>()),
+                Err(e) => format!("ERROR: {e}"),
+            };
+            println!("  {dialect:<12} semantics: {}", verdict(&semantics));
+            println!("  {dialect:<12} engine:    {}", verdict(&engine));
+        }
+        println!();
+    }
+    println!(
+        "Paper: the standalone query compiles on PostgreSQL but errors on\n\
+         Oracle; under EXISTS the star is replaced by a constant and the\n\
+         query is fine everywhere, returning R whenever R is nonempty."
+    );
+}

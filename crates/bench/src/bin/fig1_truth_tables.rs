@@ -1,0 +1,40 @@
+//! Regenerates Figure 1: the truth tables of SQL's three-valued logic.
+//!
+//! ```text
+//! cargo run -p sqlsem-bench --bin fig1_truth_tables
+//! ```
+
+use sqlsem_core::Truth;
+
+fn main() {
+    println!("Figure 1: Truth tables for SQL's 3VL (Kleene logic)\n");
+
+    println!("  ∧ | t f u");
+    println!("  --+------");
+    for a in Truth::ALL {
+        let row: String =
+            Truth::ALL.iter().map(|b| format!("{} ", a.and(*b).letter())).collect();
+        println!("  {} | {}", a.letter(), row.trim_end());
+    }
+
+    println!();
+    println!("  ∨ | t f u");
+    println!("  --+------");
+    for a in Truth::ALL {
+        let row: String = Truth::ALL.iter().map(|b| format!("{} ", a.or(*b).letter())).collect();
+        println!("  {} | {}", a.letter(), row.trim_end());
+    }
+
+    println!();
+    println!("  ¬ |");
+    println!("  --+--");
+    for a in Truth::ALL {
+        println!("  {} | {}", a.letter(), a.not().letter());
+    }
+
+    println!();
+    println!(
+        "WHERE-clause conflation: only rows whose condition is t are kept; \
+         f and u are both discarded."
+    );
+}

@@ -1,0 +1,10 @@
+//! Regenerates the §4 generator-calibration table: TPC-H query shape
+//! statistics and the four parameters derived from them.
+//!
+//! ```text
+//! cargo run -p sqlsem-bench --bin tpch_calibration
+//! ```
+
+fn main() {
+    print!("{}", sqlsem_generator::tpch::calibration_report());
+}

@@ -1,0 +1,54 @@
+//! # sqlsem-bench
+//!
+//! Experiment binaries and Criterion benchmarks reproducing the paper's
+//! evaluation. Each binary regenerates one paper artifact; see
+//! `EXPERIMENTS.md` at the repository root for the index and the
+//! paper-vs-measured record.
+//!
+//! | Binary | Paper artifact |
+//! |--------|----------------|
+//! | `fig1_truth_tables` | Figure 1 — the 3VL truth tables |
+//! | `ex1_difference` | Example 1 — Q1/Q2/Q3 inequivalence under nulls, plus their §5 RA translations |
+//! | `ex2_star_ambiguity` | Example 2 — `SELECT *` ambiguity per dialect |
+//! | `tpch_calibration` | §4 — TPC-H shape statistics and derived generator parameters |
+//! | `sec4_validation` | §4 — the randomised differential validation |
+//! | `sec5_ra_equivalence` | §5 / Theorem 1 — SQL ≡ RA on random queries |
+//! | `sec6_twovl` | §6 / Theorem 2 — 3VL ≡ 2VL on random queries |
+//!
+//! Benchmarks (`cargo bench -p sqlsem-bench`) measure the cost of the
+//! denotational interpreter against the independent engine and the
+//! evaluated RA translation, plus microbenchmarks of the bag operations.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+/// Minimal `--flag value` argument parsing for the experiment binaries
+/// (kept dependency-free on purpose).
+pub fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
+    let args: Vec<String> = std::env::args().collect();
+    for i in 0..args.len() {
+        if args[i] == name {
+            if let Some(v) = args.get(i + 1) {
+                if let Ok(parsed) = v.parse::<T>() {
+                    return parsed;
+                }
+                eprintln!("warning: could not parse {name} {v}; using default");
+            }
+        }
+    }
+    default
+}
+
+/// `true` iff the bare flag is present.
+pub fn flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn arg_returns_default_when_absent() {
+        assert_eq!(super::arg("--not-passed", 7usize), 7);
+        assert!(!super::flag("--not-passed-either"));
+    }
+}

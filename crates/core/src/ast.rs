@@ -1,0 +1,793 @@
+//! Abstract syntax of basic SQL in fully annotated form (Figure 2).
+//!
+//! The paper assumes (§2, w.l.o.g.) that queries are given in a form where
+//! every attribute reference is a *full name* `T.A`, every table or
+//! subquery in `FROM` carries an explicit alias, and every `SELECT` item
+//! carries an explicit output name. This module is the Rust rendering of
+//! that annotated grammar:
+//!
+//! ```text
+//! Q := SELECT [DISTINCT] α:β′ FROM τ:β WHERE θ
+//!    | SELECT [DISTINCT] *    FROM τ:β WHERE θ
+//!    | Q (UNION | INTERSECT | EXCEPT) [ALL] Q
+//!
+//! θ := TRUE | FALSE | P(t₁,…,tₖ) | t IS [NOT] NULL
+//!    | t̄ [NOT] IN Q | EXISTS Q | θ AND θ | θ OR θ | NOT θ
+//! ```
+//!
+//! Surface SQL (with unqualified names) is handled by the `sqlsem-parser`
+//! crate, whose annotation pass produces values of these types.
+//!
+//! One extension beyond Figure 2 is included: a `FROM` item may rename the
+//! columns of its table, `T AS N(A₁,…,Aₙ)`. The paper itself uses this
+//! construct in the Figure 10 translation, so the fragment must contain it
+//! for §6 to be self-contained.
+
+use std::fmt;
+
+use crate::name::{FullName, Name};
+use crate::value::{CmpOp, Value};
+
+/// A term `t`: a constant from `C`, `NULL`, or a full name (§2).
+///
+/// `NULL` is represented as `Term::Const(Value::Null)`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Term {
+    /// A constant or `NULL`.
+    Const(Value),
+    /// A fully qualified column reference `T.A`.
+    Col(FullName),
+}
+
+impl Term {
+    /// Convenience constructor for a column reference.
+    pub fn col(table: impl Into<Name>, column: impl Into<Name>) -> Term {
+        Term::Col(FullName::new(table, column))
+    }
+
+    /// The `NULL` term.
+    pub fn null() -> Term {
+        Term::Const(Value::Null)
+    }
+
+    /// `true` iff the term is a (full-)name reference rather than a
+    /// constant — the `names(·)` filter used when computing parameters in
+    /// §5.
+    pub fn is_name(&self) -> bool {
+        matches!(self, Term::Col(_))
+    }
+
+    /// The full name, if the term is a column reference.
+    pub fn as_col(&self) -> Option<&FullName> {
+        match self {
+            Term::Col(n) => Some(n),
+            Term::Const(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Const(v) => write!(f, "{v}"),
+            Term::Col(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+impl From<Value> for Term {
+    fn from(v: Value) -> Self {
+        Term::Const(v)
+    }
+}
+
+impl From<FullName> for Term {
+    fn from(n: FullName) -> Self {
+        Term::Col(n)
+    }
+}
+
+impl From<i64> for Term {
+    fn from(n: i64) -> Self {
+        Term::Const(Value::Int(n))
+    }
+}
+
+/// One item of an explicit `SELECT` list: `t AS N′`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SelectItem {
+    /// The term being output.
+    pub term: Term,
+    /// The output column name `N′` (an element of `β′`).
+    pub alias: Name,
+}
+
+impl SelectItem {
+    /// Creates `term AS alias`.
+    pub fn new(term: impl Into<Term>, alias: impl Into<Name>) -> Self {
+        SelectItem { term: term.into(), alias: alias.into() }
+    }
+}
+
+impl fmt::Display for SelectItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} AS {}", self.term, self.alias)
+    }
+}
+
+/// The `SELECT` list: either `*` or an explicit list `α:β′`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SelectList {
+    /// `SELECT *` — whose meaning depends on the context (§3): expanded to
+    /// the full names of the local scope, or replaced by an arbitrary
+    /// constant when the query is directly under `EXISTS`.
+    Star,
+    /// An explicit list `t₁ AS N′₁, …, tₘ AS N′ₘ` (m > 0).
+    Items(Vec<SelectItem>),
+}
+
+impl SelectList {
+    /// Builds an explicit list from `(term, alias)` pairs.
+    pub fn items<T, N, I>(pairs: I) -> SelectList
+    where
+        T: Into<Term>,
+        N: Into<Name>,
+        I: IntoIterator<Item = (T, N)>,
+    {
+        SelectList::Items(pairs.into_iter().map(|(t, n)| SelectItem::new(t, n)).collect())
+    }
+
+    /// `true` iff the list is `*`.
+    pub fn is_star(&self) -> bool {
+        matches!(self, SelectList::Star)
+    }
+}
+
+/// A reference to a table: either a base table name or a subquery (the
+/// `T` of the paper's conventions).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TableRef {
+    /// A base table `R`.
+    Base(Name),
+    /// A parenthesised subquery.
+    Query(Box<Query>),
+}
+
+/// One item of a `FROM` clause: `T AS N` or `T AS N(A₁,…,Aₙ)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FromItem {
+    /// The table being aliased.
+    pub table: TableRef,
+    /// The alias `N` (an element of `β`).
+    pub alias: Name,
+    /// Optional column renaming `(A₁,…,Aₙ)`; used by the Figure 10
+    /// translation. `None` means the columns keep the table's own names.
+    pub columns: Option<Vec<Name>>,
+}
+
+impl FromItem {
+    /// Aliases a base table: `R AS alias`.
+    pub fn base(table: impl Into<Name>, alias: impl Into<Name>) -> Self {
+        FromItem { table: TableRef::Base(table.into()), alias: alias.into(), columns: None }
+    }
+
+    /// Aliases a subquery: `(Q) AS alias`.
+    pub fn subquery(query: Query, alias: impl Into<Name>) -> Self {
+        FromItem { table: TableRef::Query(Box::new(query)), alias: alias.into(), columns: None }
+    }
+
+    /// Adds a column renaming: `… AS alias(columns…)`.
+    #[must_use]
+    pub fn with_columns<N: Into<Name>, I: IntoIterator<Item = N>>(mut self, columns: I) -> Self {
+        self.columns = Some(columns.into_iter().map(Into::into).collect());
+        self
+    }
+}
+
+/// The set operations of Figure 2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SetOp {
+    /// `UNION [ALL]`
+    Union,
+    /// `INTERSECT [ALL]`
+    Intersect,
+    /// `EXCEPT [ALL]` (`MINUS` in Oracle's surface syntax)
+    Except,
+}
+
+impl SetOp {
+    /// The Standard keyword.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            SetOp::Union => "UNION",
+            SetOp::Intersect => "INTERSECT",
+            SetOp::Except => "EXCEPT",
+        }
+    }
+}
+
+/// A `SELECT`-`FROM`-`WHERE` block.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SelectQuery {
+    /// Whether `DISTINCT` duplicate elimination is applied.
+    pub distinct: bool,
+    /// The `SELECT` list (`*` or `α:β′`).
+    pub select: SelectList,
+    /// The `FROM` clause `τ:β` (non-empty, k > 0).
+    pub from: Vec<FromItem>,
+    /// The `WHERE` condition θ (`TRUE` when absent in surface syntax).
+    pub where_: Condition,
+}
+
+impl SelectQuery {
+    /// Creates a plain `SELECT … FROM … WHERE TRUE` block.
+    pub fn new(select: SelectList, from: Vec<FromItem>) -> Self {
+        SelectQuery { distinct: false, select, from, where_: Condition::True }
+    }
+
+    /// Sets the `WHERE` condition.
+    #[must_use]
+    pub fn filter(mut self, cond: Condition) -> Self {
+        self.where_ = cond;
+        self
+    }
+
+    /// Turns on `DISTINCT`.
+    #[must_use]
+    pub fn distinct(mut self) -> Self {
+        self.distinct = true;
+        self
+    }
+}
+
+/// A basic SQL query (Figure 2).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Query {
+    /// A `SELECT`-`FROM`-`WHERE` block.
+    Select(SelectQuery),
+    /// A set operation between two queries.
+    SetOp {
+        /// Which operation.
+        op: SetOp,
+        /// `true` for the bag (`ALL`) flavour.
+        all: bool,
+        /// Left operand.
+        left: Box<Query>,
+        /// Right operand.
+        right: Box<Query>,
+    },
+}
+
+impl Query {
+    /// Wraps a block as a query.
+    pub fn select(q: SelectQuery) -> Query {
+        Query::Select(q)
+    }
+
+    /// `self UNION [ALL] other`.
+    #[must_use]
+    pub fn union(self, other: Query, all: bool) -> Query {
+        Query::SetOp { op: SetOp::Union, all, left: Box::new(self), right: Box::new(other) }
+    }
+
+    /// `self INTERSECT [ALL] other`.
+    #[must_use]
+    pub fn intersect(self, other: Query, all: bool) -> Query {
+        Query::SetOp { op: SetOp::Intersect, all, left: Box::new(self), right: Box::new(other) }
+    }
+
+    /// `self EXCEPT [ALL] other`.
+    #[must_use]
+    pub fn except(self, other: Query, all: bool) -> Query {
+        Query::SetOp { op: SetOp::Except, all, left: Box::new(self), right: Box::new(other) }
+    }
+
+    /// Visits this query and every subquery (in `FROM` and in conditions),
+    /// outermost first.
+    pub fn visit(&self, f: &mut impl FnMut(&Query)) {
+        f(self);
+        match self {
+            Query::Select(s) => {
+                for item in &s.from {
+                    if let TableRef::Query(q) = &item.table {
+                        q.visit(f);
+                    }
+                }
+                s.where_.visit_queries(f);
+            }
+            Query::SetOp { left, right, .. } => {
+                left.visit(f);
+                right.visit(f);
+            }
+        }
+    }
+
+    /// Number of `SELECT` blocks and set operations in the query — a crude
+    /// size measure used by the generators and experiment reports.
+    pub fn size(&self) -> usize {
+        let mut n = 0;
+        self.visit(&mut |_| n += 1);
+        n
+    }
+}
+
+/// A condition θ (Figure 2).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Condition {
+    /// The constant condition `TRUE`.
+    True,
+    /// The constant condition `FALSE`.
+    False,
+    /// A built-in comparison `t₁ op t₂` — the always-available predicates
+    /// of the collection `P` (equality plus the order comparisons).
+    Cmp {
+        /// Left term.
+        left: Term,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Right term.
+        right: Term,
+    },
+    /// `t [NOT] LIKE pattern` — the paper's example of a type-specific
+    /// string predicate in `P`.
+    Like {
+        /// The string being matched.
+        term: Term,
+        /// The pattern (with `%` and `_`).
+        pattern: Term,
+        /// `true` for `NOT LIKE`.
+        negated: bool,
+    },
+    /// An application `P(t₁,…,tₖ)` of a user-registered predicate from the
+    /// collection `P` (§2 parameterises the fragment by `P`).
+    Pred {
+        /// The predicate name, resolved in the evaluator's registry.
+        name: String,
+        /// Argument terms.
+        args: Vec<Term>,
+    },
+    /// `t IS [NOT] NULL`.
+    IsNull {
+        /// The term being tested.
+        term: Term,
+        /// `true` for `IS NOT NULL`.
+        negated: bool,
+    },
+    /// `t₁ IS [NOT] DISTINCT FROM t₂` — standard SQL's spelling of
+    /// (the negation of) the paper's *syntactic equality* `≐`
+    /// (Definition 2): always two-valued, with `NULL` not distinct from
+    /// `NULL`. An extension beyond Figure 2, expressible in the
+    /// fragment (Definition 2 shows the encoding), included because it
+    /// ties `≐` to real SQL surface syntax.
+    IsDistinct {
+        /// Left term.
+        left: Term,
+        /// Right term.
+        right: Term,
+        /// `true` for `IS NOT DISTINCT FROM` (i.e. the test is `≐`).
+        negated: bool,
+    },
+    /// `t̄ [NOT] IN Q`.
+    In {
+        /// The tuple of terms `t̄` (non-empty).
+        terms: Vec<Term>,
+        /// The subquery.
+        query: Box<Query>,
+        /// `true` for `NOT IN`.
+        negated: bool,
+    },
+    /// `EXISTS Q`.
+    Exists(Box<Query>),
+    /// `θ AND θ`.
+    And(Box<Condition>, Box<Condition>),
+    /// `θ OR θ`.
+    Or(Box<Condition>, Box<Condition>),
+    /// `NOT θ`.
+    Not(Box<Condition>),
+}
+
+impl Condition {
+    /// `left op right`.
+    pub fn cmp(left: impl Into<Term>, op: CmpOp, right: impl Into<Term>) -> Condition {
+        Condition::Cmp { left: left.into(), op, right: right.into() }
+    }
+
+    /// `left = right`.
+    pub fn eq(left: impl Into<Term>, right: impl Into<Term>) -> Condition {
+        Condition::cmp(left, CmpOp::Eq, right)
+    }
+
+    /// `term IS NULL`.
+    pub fn is_null(term: impl Into<Term>) -> Condition {
+        Condition::IsNull { term: term.into(), negated: false }
+    }
+
+    /// `term IS NOT NULL`.
+    pub fn is_not_null(term: impl Into<Term>) -> Condition {
+        Condition::IsNull { term: term.into(), negated: true }
+    }
+
+    /// `left IS NOT DISTINCT FROM right` — syntactic equality `≐`.
+    pub fn not_distinct(left: impl Into<Term>, right: impl Into<Term>) -> Condition {
+        Condition::IsDistinct { left: left.into(), right: right.into(), negated: true }
+    }
+
+    /// `left IS DISTINCT FROM right`.
+    pub fn distinct_from(left: impl Into<Term>, right: impl Into<Term>) -> Condition {
+        Condition::IsDistinct { left: left.into(), right: right.into(), negated: false }
+    }
+
+    /// `t̄ IN (query)`.
+    pub fn in_query<T: Into<Term>, I: IntoIterator<Item = T>>(terms: I, query: Query) -> Condition {
+        Condition::In {
+            terms: terms.into_iter().map(Into::into).collect(),
+            query: Box::new(query),
+            negated: false,
+        }
+    }
+
+    /// `t̄ NOT IN (query)`.
+    pub fn not_in<T: Into<Term>, I: IntoIterator<Item = T>>(terms: I, query: Query) -> Condition {
+        Condition::In {
+            terms: terms.into_iter().map(Into::into).collect(),
+            query: Box::new(query),
+            negated: true,
+        }
+    }
+
+    /// `EXISTS (query)`.
+    pub fn exists(query: Query) -> Condition {
+        Condition::Exists(Box::new(query))
+    }
+
+    /// `self AND other`.
+    #[must_use]
+    pub fn and(self, other: Condition) -> Condition {
+        Condition::And(Box::new(self), Box::new(other))
+    }
+
+    /// `self OR other`.
+    #[must_use]
+    pub fn or(self, other: Condition) -> Condition {
+        Condition::Or(Box::new(self), Box::new(other))
+    }
+
+    /// `NOT self`.
+    #[must_use]
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Condition {
+        Condition::Not(Box::new(self))
+    }
+
+    /// Conjunction of all conditions in the iterator; `TRUE` when empty.
+    pub fn all(conds: impl IntoIterator<Item = Condition>) -> Condition {
+        let mut iter = conds.into_iter();
+        match iter.next() {
+            None => Condition::True,
+            Some(first) => iter.fold(first, Condition::and),
+        }
+    }
+
+    /// Disjunction of all conditions in the iterator; `FALSE` when empty.
+    pub fn any(conds: impl IntoIterator<Item = Condition>) -> Condition {
+        let mut iter = conds.into_iter();
+        match iter.next() {
+            None => Condition::False,
+            Some(first) => iter.fold(first, Condition::or),
+        }
+    }
+
+    /// Visits every query nested in the condition, outermost first.
+    pub fn visit_queries(&self, f: &mut impl FnMut(&Query)) {
+        match self {
+            Condition::In { query, .. } => query.visit(f),
+            Condition::Exists(query) => query.visit(f),
+            Condition::And(a, b) | Condition::Or(a, b) => {
+                a.visit_queries(f);
+                b.visit_queries(f);
+            }
+            Condition::Not(c) => c.visit_queries(f),
+            Condition::True
+            | Condition::False
+            | Condition::Cmp { .. }
+            | Condition::Like { .. }
+            | Condition::Pred { .. }
+            | Condition::IsNull { .. }
+            | Condition::IsDistinct { .. } => {}
+        }
+    }
+
+    /// Number of *atomic* conditions (comparisons, predicates, null tests,
+    /// `IN`/`EXISTS`) in this condition, not descending into subqueries.
+    /// This is the `cond` statistic of the §4 generator parameters.
+    pub fn atom_count(&self) -> usize {
+        match self {
+            Condition::And(a, b) | Condition::Or(a, b) => a.atom_count() + b.atom_count(),
+            Condition::Not(c) => c.atom_count(),
+            Condition::True | Condition::False => 0,
+            _ => 1,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pretty-printing. The `Display` impls render the fully annotated form in
+// Standard syntax; dialect-specific rendering (e.g. Oracle `MINUS`) lives in
+// the parser crate, which also knows how to re-parse what is printed here.
+// ---------------------------------------------------------------------------
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Query::Select(s) => write!(f, "{s}"),
+            Query::SetOp { op, all, left, right } => {
+                // Operands that are themselves set operations are
+                // parenthesised so the printed text has unambiguous
+                // associativity.
+                fmt_setop_operand(left, f)?;
+                write!(f, " {}{} ", op.keyword(), if *all { " ALL" } else { "" })?;
+                fmt_setop_operand(right, f)
+            }
+        }
+    }
+}
+
+fn fmt_setop_operand(q: &Query, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match q {
+        Query::Select(_) => write!(f, "{q}"),
+        Query::SetOp { .. } => write!(f, "({q})"),
+    }
+}
+
+impl fmt::Display for SelectQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SELECT ")?;
+        if self.distinct {
+            f.write_str("DISTINCT ")?;
+        }
+        match &self.select {
+            SelectList::Star => f.write_str("*")?,
+            SelectList::Items(items) => {
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+            }
+        }
+        f.write_str(" FROM ")?;
+        for (i, item) in self.from.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            match &item.table {
+                TableRef::Base(r) => write!(f, "{r}")?,
+                TableRef::Query(q) => write!(f, "({q})")?,
+            }
+            write!(f, " AS {}", item.alias)?;
+            if let Some(cols) = &item.columns {
+                f.write_str("(")?;
+                for (j, c) in cols.iter().enumerate() {
+                    if j > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{c}")?;
+                }
+                f.write_str(")")?;
+            }
+        }
+        if self.where_ != Condition::True {
+            write!(f, " WHERE {}", self.where_)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Condition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Condition::True => f.write_str("TRUE"),
+            Condition::False => f.write_str("FALSE"),
+            Condition::Cmp { left, op, right } => write!(f, "{left} {op} {right}"),
+            Condition::Like { term, pattern, negated } => {
+                write!(f, "{term} {}LIKE {pattern}", if *negated { "NOT " } else { "" })
+            }
+            Condition::Pred { name, args } => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                f.write_str(")")
+            }
+            Condition::IsNull { term, negated } => {
+                write!(f, "{term} IS {}NULL", if *negated { "NOT " } else { "" })
+            }
+            Condition::IsDistinct { left, right, negated } => {
+                write!(f, "{left} IS {}DISTINCT FROM {right}", if *negated { "NOT " } else { "" })
+            }
+            Condition::In { terms, query, negated } => {
+                fmt_term_tuple(terms, f)?;
+                write!(f, " {}IN ({query})", if *negated { "NOT " } else { "" })
+            }
+            Condition::Exists(q) => write!(f, "EXISTS ({q})"),
+            Condition::And(a, b) => {
+                fmt_cond_operand(a, self, false, f)?;
+                f.write_str(" AND ")?;
+                fmt_cond_operand(b, self, true, f)
+            }
+            Condition::Or(a, b) => {
+                fmt_cond_operand(a, self, false, f)?;
+                f.write_str(" OR ")?;
+                fmt_cond_operand(b, self, true, f)
+            }
+            Condition::Not(c) => {
+                f.write_str("NOT ")?;
+                match **c {
+                    Condition::And(..) | Condition::Or(..) => write!(f, "({c})"),
+                    _ => write!(f, "{c}"),
+                }
+            }
+        }
+    }
+}
+
+/// Renders a tuple of terms: a single term bare, several in parentheses.
+fn fmt_term_tuple(terms: &[Term], f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    if terms.len() == 1 {
+        write!(f, "{}", terms[0])
+    } else {
+        f.write_str("(")?;
+        for (i, t) in terms.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+/// Parenthesises a Boolean operand so the printed text re-parses to the
+/// *same tree*: mixed connectives always need parentheses for clarity,
+/// and a same-connective right child needs them because the parser
+/// associates to the left.
+fn fmt_cond_operand(
+    child: &Condition,
+    parent: &Condition,
+    is_right: bool,
+    f: &mut fmt::Formatter<'_>,
+) -> fmt::Result {
+    let needs_parens = match (parent, child) {
+        (Condition::And(..), Condition::Or(..)) => true,
+        (Condition::Or(..), Condition::And(..)) => true,
+        (Condition::And(..), Condition::And(..)) | (Condition::Or(..), Condition::Or(..)) => {
+            is_right
+        }
+        _ => false,
+    };
+    if needs_parens {
+        write!(f, "({child})")
+    } else {
+        write!(f, "{child}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `SELECT R.A AS A FROM R AS R` — the running shape of the paper.
+    fn simple_select() -> Query {
+        Query::Select(SelectQuery::new(
+            SelectList::items([(Term::col("R", "A"), "A")]),
+            vec![FromItem::base("R", "R")],
+        ))
+    }
+
+    #[test]
+    fn display_simple_select() {
+        assert_eq!(simple_select().to_string(), "SELECT R.A AS A FROM R AS R");
+    }
+
+    #[test]
+    fn display_distinct_and_where() {
+        let q = Query::Select(
+            SelectQuery::new(
+                SelectList::items([(Term::col("R", "A"), "A")]),
+                vec![FromItem::base("R", "R")],
+            )
+            .distinct()
+            .filter(Condition::eq(Term::col("R", "A"), Term::from(1i64))),
+        );
+        assert_eq!(q.to_string(), "SELECT DISTINCT R.A AS A FROM R AS R WHERE R.A = 1");
+    }
+
+    #[test]
+    fn display_star_and_subquery() {
+        let inner = simple_select();
+        let q = Query::Select(SelectQuery::new(
+            SelectList::Star,
+            vec![FromItem::subquery(inner, "T")],
+        ));
+        assert_eq!(q.to_string(), "SELECT * FROM (SELECT R.A AS A FROM R AS R) AS T");
+    }
+
+    #[test]
+    fn display_from_with_column_rename() {
+        let q = Query::Select(SelectQuery::new(
+            SelectList::Star,
+            vec![FromItem::subquery(simple_select(), "N").with_columns(["A1"])],
+        ));
+        assert_eq!(q.to_string(), "SELECT * FROM (SELECT R.A AS A FROM R AS R) AS N(A1)");
+    }
+
+    #[test]
+    fn display_set_ops_parenthesise_nested() {
+        let q = simple_select().union(simple_select(), true).except(simple_select(), false);
+        let s = q.to_string();
+        assert!(s.starts_with("(SELECT"), "{s}");
+        assert!(s.contains("UNION ALL"), "{s}");
+        assert!(s.contains(") EXCEPT SELECT"), "{s}");
+    }
+
+    #[test]
+    fn display_conditions() {
+        let c = Condition::eq(Term::col("R", "A"), Term::col("S", "B"))
+            .and(Condition::is_not_null(Term::col("R", "A")))
+            .or(Condition::not(Condition::exists(simple_select())));
+        let s = c.to_string();
+        assert_eq!(
+            s,
+            "(R.A = S.B AND R.A IS NOT NULL) OR NOT EXISTS (SELECT R.A AS A FROM R AS R)"
+        );
+    }
+
+    #[test]
+    fn display_in_tuple() {
+        let c = Condition::in_query([Term::col("R", "A"), Term::col("R", "B")], simple_select());
+        assert_eq!(c.to_string(), "(R.A, R.B) IN (SELECT R.A AS A FROM R AS R)");
+        let c = Condition::not_in([Term::col("R", "A")], simple_select());
+        assert_eq!(c.to_string(), "R.A NOT IN (SELECT R.A AS A FROM R AS R)");
+    }
+
+    #[test]
+    fn all_and_any_have_units() {
+        assert_eq!(Condition::all([]), Condition::True);
+        assert_eq!(Condition::any([]), Condition::False);
+        let c = Condition::is_null(Term::col("R", "A"));
+        assert_eq!(Condition::all([c.clone()]), c);
+        assert_eq!(Condition::any([c.clone()]), c);
+    }
+
+    #[test]
+    fn atom_count_counts_leaves() {
+        let c = Condition::eq(Term::col("R", "A"), Term::from(1i64))
+            .and(Condition::is_null(Term::col("R", "B")).or(Condition::exists(simple_select())));
+        assert_eq!(c.atom_count(), 3);
+        assert_eq!(Condition::True.atom_count(), 0);
+    }
+
+    #[test]
+    fn visit_reaches_nested_queries() {
+        let inner = simple_select();
+        let q = Query::Select(
+            SelectQuery::new(SelectList::Star, vec![FromItem::subquery(inner.clone(), "T")])
+                .filter(Condition::exists(inner)),
+        );
+        assert_eq!(q.size(), 3);
+    }
+
+    #[test]
+    fn like_display() {
+        let c = Condition::Like {
+            term: Term::col("R", "A"),
+            pattern: Term::Const(Value::str("a%")),
+            negated: true,
+        };
+        assert_eq!(c.to_string(), "R.A NOT LIKE 'a%'");
+    }
+}

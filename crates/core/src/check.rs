@@ -1,0 +1,336 @@
+//! Static name resolution: the "compile-time" checks of real RDBMSs.
+//!
+//! The paper's semantics (Figures 4–7) surfaces ambiguous or unbound
+//! references *at evaluation time*, when the environment is consulted
+//! (§3). Real systems reject such queries when compiling them, before
+//! touching any data: Oracle rejects Example 2's first query outright, and
+//! PostgreSQL rejects explicitly written ambiguous references while
+//! accepting ambiguous `*`. This module implements that static analysis;
+//! the evaluator runs it for the dialects that behave this way
+//! ([`Dialect::checks_ambiguity_statically`]).
+//!
+//! Resolution follows §3's scoping rule: each `SELECT`-`FROM`-`WHERE`
+//! block defines a scope; a reference `M.N` is looked up in the local
+//! scope first, then in the scopes of the enclosing blocks, innermost
+//! first. If the innermost scope containing the reference contains it more
+//! than once, the reference is ambiguous.
+
+use crate::ast::{Condition, Query, SelectList, TableRef, Term};
+use crate::dialect::Dialect;
+use crate::error::EvalError;
+use crate::name::FullName;
+use crate::schema::Schema;
+use crate::sig;
+
+/// Statically checks a *closed* query (one with no parameters): every
+/// reference must resolve unambiguously against the scopes of the query
+/// itself, `FROM` aliases must be distinct, base tables must exist, and —
+/// for non-compositional star dialects — `SELECT *` must not expand to an
+/// ambiguous reference unless the block sits directly under `EXISTS`.
+pub fn check_query(query: &Query, schema: &Schema, dialect: Dialect) -> Result<(), EvalError> {
+    check_rec(query, schema, dialect, &mut Vec::new(), false)
+}
+
+fn check_rec(
+    query: &Query,
+    schema: &Schema,
+    dialect: Dialect,
+    stack: &mut Vec<Vec<FullName>>,
+    exists: bool,
+) -> Result<(), EvalError> {
+    match query {
+        Query::SetOp { left, right, .. } => {
+            check_rec(left, schema, dialect, stack, false)?;
+            check_rec(right, schema, dialect, stack, false)
+        }
+        Query::Select(s) => {
+            // FROM subqueries are checked in the *enclosing* scopes only:
+            // the local scope is not visible to them (Figure 5 evaluates
+            // them under the outer environment η).
+            for item in &s.from {
+                if let TableRef::Query(sub) = &item.table {
+                    check_rec(sub, schema, dialect, stack, false)?;
+                }
+            }
+            let local = sig::scope(&s.from, schema)?;
+            stack.push(local);
+            let result = check_block(s, schema, dialect, stack, exists);
+            stack.pop();
+            result
+        }
+    }
+}
+
+fn check_block(
+    s: &crate::ast::SelectQuery,
+    schema: &Schema,
+    dialect: Dialect,
+    stack: &mut Vec<Vec<FullName>>,
+    exists: bool,
+) -> Result<(), EvalError> {
+    match &s.select {
+        SelectList::Items(items) => {
+            if items.is_empty() {
+                return Err(EvalError::ZeroArity);
+            }
+            for item in items {
+                resolve_term(&item.term, stack)?;
+            }
+        }
+        SelectList::Star => {
+            // PostgreSQL's compositional star never dereferences names;
+            // under EXISTS the Standard replaces * with a constant. In
+            // the remaining case the star expands to a reference to every
+            // full name of the local scope, so repetitions are ambiguous.
+            if !dialect.star_is_compositional() && !exists {
+                let local = stack.last().expect("local scope was pushed");
+                let mut seen = std::collections::HashSet::with_capacity(local.len());
+                for n in local {
+                    if !seen.insert(n) {
+                        return Err(EvalError::AmbiguousReference(n.clone()));
+                    }
+                }
+            }
+        }
+    }
+    check_condition(&s.where_, schema, dialect, stack)
+}
+
+fn check_condition(
+    cond: &Condition,
+    schema: &Schema,
+    dialect: Dialect,
+    stack: &mut Vec<Vec<FullName>>,
+) -> Result<(), EvalError> {
+    match cond {
+        Condition::True | Condition::False => Ok(()),
+        Condition::Cmp { left, right, .. } => {
+            resolve_term(left, stack)?;
+            resolve_term(right, stack)
+        }
+        Condition::Like { term, pattern, .. } => {
+            resolve_term(term, stack)?;
+            resolve_term(pattern, stack)
+        }
+        Condition::Pred { args, .. } => {
+            for t in args {
+                resolve_term(t, stack)?;
+            }
+            Ok(())
+        }
+        Condition::IsNull { term, .. } => resolve_term(term, stack),
+        Condition::IsDistinct { left, right, .. } => {
+            resolve_term(left, stack)?;
+            resolve_term(right, stack)
+        }
+        Condition::In { terms, query, .. } => {
+            for t in terms {
+                resolve_term(t, stack)?;
+            }
+            check_rec(query, schema, dialect, stack, false)
+        }
+        Condition::Exists(query) => check_rec(query, schema, dialect, stack, true),
+        Condition::And(a, b) | Condition::Or(a, b) => {
+            check_condition(a, schema, dialect, stack)?;
+            check_condition(b, schema, dialect, stack)
+        }
+        Condition::Not(c) => check_condition(c, schema, dialect, stack),
+    }
+}
+
+fn resolve_term(term: &Term, stack: &[Vec<FullName>]) -> Result<(), EvalError> {
+    match term {
+        Term::Const(_) => Ok(()),
+        Term::Col(name) => resolve(name, stack),
+    }
+}
+
+/// Resolves a full name against the scope stack, innermost scope first
+/// (§3: "we first look for a match in the FROM clause of the local scope
+/// …; if a match is not found, we look at the FROM clause of the innermost
+/// scope in which the current one is nested, and so on").
+fn resolve(name: &FullName, stack: &[Vec<FullName>]) -> Result<(), EvalError> {
+    for scope in stack.iter().rev() {
+        let occurrences = scope.iter().filter(|n| *n == name).count();
+        match occurrences {
+            0 => continue,
+            1 => return Ok(()),
+            _ => return Err(EvalError::AmbiguousReference(name.clone())),
+        }
+    }
+    Err(EvalError::UnboundReference(name.clone()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{FromItem, SelectQuery};
+    use crate::name::Name;
+
+    fn schema() -> Schema {
+        Schema::builder().table("R", ["A"]).table("S", ["A", "B"]).build().unwrap()
+    }
+
+    /// `SELECT R.A AS A, R.A AS A2 FROM R AS R` — duplicates *data*, not
+    /// names; always fine.
+    fn dup_data() -> Query {
+        Query::Select(SelectQuery::new(
+            SelectList::items([(Term::col("R", "A"), "A"), (Term::col("R", "A"), "A2")]),
+            vec![FromItem::base("R", "R")],
+        ))
+    }
+
+    /// `SELECT R.A AS A, R.A AS A FROM R AS R` — a subquery producing a
+    /// table with the repeated column name `A` (Example 2's inner query).
+    fn dup_columns() -> Query {
+        Query::Select(SelectQuery::new(
+            SelectList::items([(Term::col("R", "A"), "A"), (Term::col("R", "A"), "A")]),
+            vec![FromItem::base("R", "R")],
+        ))
+    }
+
+    /// `SELECT * FROM (dup_columns) AS T` — Example 2, first query.
+    fn example2_standalone() -> Query {
+        Query::Select(SelectQuery::new(
+            SelectList::Star,
+            vec![FromItem::subquery(dup_columns(), "T")],
+        ))
+    }
+
+    /// `SELECT * FROM R WHERE EXISTS (example2_standalone)` — Example 2,
+    /// second query.
+    fn example2_under_exists() -> Query {
+        Query::Select(
+            SelectQuery::new(SelectList::Star, vec![FromItem::base("R", "R")])
+                .filter(Condition::exists(example2_standalone())),
+        )
+    }
+
+    #[test]
+    fn well_formed_queries_pass_all_dialects() {
+        for d in Dialect::ALL {
+            assert_eq!(check_query(&dup_data(), &schema(), d), Ok(()));
+        }
+    }
+
+    #[test]
+    fn ambiguous_star_rejected_on_oracle_accepted_on_postgres() {
+        // Example 2: "This will be accepted by PostgreSQL, but it will
+        // result in a compile-time error in some of the commercial
+        // RDBMSs."
+        let q = example2_standalone();
+        assert!(check_query(&q, &schema(), Dialect::Oracle)
+            .unwrap_err()
+            .is_ambiguity());
+        assert_eq!(check_query(&q, &schema(), Dialect::PostgreSql), Ok(()));
+    }
+
+    #[test]
+    fn ambiguous_star_under_exists_accepted_everywhere() {
+        // Example 2: "then suddenly it is fine, even with RDBMSs where
+        // the subquery alone refused to compile."
+        let q = example2_under_exists();
+        for d in Dialect::ALL {
+            assert_eq!(check_query(&q, &schema(), d), Ok(()), "dialect {d}");
+        }
+    }
+
+    #[test]
+    fn explicit_ambiguous_reference_rejected_everywhere() {
+        // SELECT T.A AS X FROM (dup_columns) AS T — the reference T.A is
+        // ambiguous no matter the dialect.
+        let q = Query::Select(SelectQuery::new(
+            SelectList::items([(Term::col("T", "A"), "X")]),
+            vec![FromItem::subquery(dup_columns(), "T")],
+        ));
+        for d in [Dialect::PostgreSql, Dialect::Oracle] {
+            assert!(check_query(&q, &schema(), d).unwrap_err().is_ambiguity(), "dialect {d}");
+        }
+    }
+
+    #[test]
+    fn unbound_reference_rejected() {
+        let q = Query::Select(SelectQuery::new(
+            SelectList::items([(Term::col("Z", "A"), "X")]),
+            vec![FromItem::base("R", "R")],
+        ));
+        assert_eq!(
+            check_query(&q, &schema(), Dialect::Oracle).unwrap_err(),
+            EvalError::UnboundReference(FullName::new("Z", "A"))
+        );
+    }
+
+    #[test]
+    fn correlated_reference_resolves_outward() {
+        // SELECT R.A AS A FROM R AS R WHERE EXISTS
+        //   (SELECT S.A AS A FROM S AS S WHERE S.B = R.A)
+        let inner = Query::Select(
+            SelectQuery::new(
+                SelectList::items([(Term::col("S", "A"), "A")]),
+                vec![FromItem::base("S", "S")],
+            )
+            .filter(Condition::eq(Term::col("S", "B"), Term::col("R", "A"))),
+        );
+        let q = Query::Select(
+            SelectQuery::new(
+                SelectList::items([(Term::col("R", "A"), "A")]),
+                vec![FromItem::base("R", "R")],
+            )
+            .filter(Condition::exists(inner)),
+        );
+        for d in Dialect::ALL {
+            assert_eq!(check_query(&q, &schema(), d), Ok(()));
+        }
+    }
+
+    #[test]
+    fn from_subquery_cannot_see_sibling_scope() {
+        // SELECT * FROM R AS R, (SELECT R.A AS X FROM S AS S) AS T:
+        // the subquery's R.A is unbound (no LATERAL in the fragment).
+        let sub = Query::Select(SelectQuery::new(
+            SelectList::items([(Term::col("R", "A"), "X")]),
+            vec![FromItem::base("S", "S")],
+        ));
+        let q = Query::Select(SelectQuery::new(
+            SelectList::Star,
+            vec![FromItem::base("R", "R"), FromItem::subquery(sub, "T")],
+        ));
+        assert_eq!(
+            check_query(&q, &schema(), Dialect::PostgreSql).unwrap_err(),
+            EvalError::UnboundReference(FullName::new("R", "A"))
+        );
+    }
+
+    #[test]
+    fn local_scope_shadows_outer_unambiguously() {
+        // Outer has T.A once; inner scope has T.A twice: the inner
+        // reference is ambiguous even though an outer binding exists.
+        let inner = Query::Select(
+            SelectQuery::new(
+                SelectList::items([(Term::Const(crate::Value::Int(1)), "X")]),
+                vec![FromItem::subquery(dup_columns(), "T")],
+            )
+            .filter(Condition::is_null(Term::col("T", "A"))),
+        );
+        let q = Query::Select(
+            SelectQuery::new(
+                SelectList::items([(Term::col("T", "A"), "A")]),
+                vec![FromItem::base("R", "T")],
+            )
+            .filter(Condition::exists(inner)),
+        );
+        assert!(check_query(&q, &schema(), Dialect::Oracle).unwrap_err().is_ambiguity());
+    }
+
+    #[test]
+    fn duplicate_aliases_rejected() {
+        let q = Query::Select(SelectQuery::new(
+            SelectList::Star,
+            vec![FromItem::base("R", "T"), FromItem::base("S", "T")],
+        ));
+        assert_eq!(
+            check_query(&q, &schema(), Dialect::PostgreSql).unwrap_err(),
+            EvalError::DuplicateAlias(Name::new("T"))
+        );
+    }
+}

@@ -1,0 +1,290 @@
+//! Environments: bindings of full names to values (§3, "Scopes and
+//! bindings").
+//!
+//! An environment `η` is a partial map from full names (`N²`) to values.
+//! It provides the bindings for query *parameters* — full names referenced
+//! by a subquery but bound by an enclosing scope. The paper defines four
+//! operations, all implemented here:
+//!
+//! * `η_{Ā,r̄}` ([`Env::of_record`]) — binds each *non-repeated* element of
+//!   `Ā` to the corresponding value of `r̄`; repeated full names are
+//!   *ambiguous* and the environment is undefined on them.
+//! * `η ⇑ Ā` ([`Env::unbind`]) — removes the bindings for all of `Ā`.
+//! * `η ; η′` ([`Env::override_with`]) — `η` overridden by `η′`.
+//! * `η r̄⊕ Ā = (η ⇑ Ā); η_{Ā,r̄}` ([`Env::update`]) — the scope update
+//!   applied for each record of a `FROM` product.
+//!
+//! Repeated full names are represented by an explicit [`Binding::Ambiguous`]
+//! marker rather than by absence: looking one up raises
+//! [`EvalError::AmbiguousReference`] (the Standard/Oracle behaviour of
+//! Example 2), which is distinguishable from a name that was never bound
+//! ([`EvalError::UnboundReference`]). For the purposes of the paper's
+//! algebra of environments the marker behaves exactly like "undefined":
+//! it is erased by `⇑` and shadowed by rebinding, and it never falls back
+//! to an outer binding — precisely because `⇑` removed that binding first.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::error::EvalError;
+use crate::name::FullName;
+use crate::row::Row;
+use crate::value::Value;
+
+/// What a full name is bound to in an environment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Binding {
+    /// A proper binding to a value.
+    Value(Value),
+    /// The name occurred more than once in the scope it was bound from;
+    /// referencing it is an error (§3: "a reference to a repeated full
+    /// name is ambiguous").
+    Ambiguous,
+}
+
+/// An environment `η`: a partial map from full names to values, with
+/// explicit ambiguity markers.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Env {
+    bindings: HashMap<FullName, Binding>,
+}
+
+impl Env {
+    /// The empty environment `∅` — what top-level queries are evaluated
+    /// under (`⟦Q⟧_D = ⟦Q⟧_{D,∅,0}`).
+    pub fn empty() -> Env {
+        Env::default()
+    }
+
+    /// The environment `η_{Ā,r̄}`: each non-repeated `Aᵢ` in `names` is
+    /// bound to the corresponding value of `row`; repeated names are
+    /// marked ambiguous.
+    ///
+    /// Errors if the tuple lengths differ (the paper requires `Ā` and `r̄`
+    /// of the same length).
+    pub fn of_record(names: &[FullName], row: &Row) -> Result<Env, EvalError> {
+        if names.len() != row.arity() {
+            return Err(EvalError::ArityMismatch {
+                context: "environment binding",
+                left: names.len(),
+                right: row.arity(),
+            });
+        }
+        let mut bindings = HashMap::with_capacity(names.len());
+        for (name, value) in names.iter().zip(row.iter()) {
+            match bindings.entry(name.clone()) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    e.insert(Binding::Ambiguous);
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(Binding::Value(value.clone()));
+                }
+            }
+        }
+        Ok(Env { bindings })
+    }
+
+    /// The environment `η ⇑ Ā`: identical to `self` but undefined on every
+    /// name in `names`.
+    #[must_use]
+    pub fn unbind(&self, names: &[FullName]) -> Env {
+        let mut bindings = self.bindings.clone();
+        for n in names {
+            bindings.remove(n);
+        }
+        Env { bindings }
+    }
+
+    /// The environment `η ; η′`: `self` overridden by `other` (`other`
+    /// wins where both are defined).
+    #[must_use]
+    pub fn override_with(&self, other: &Env) -> Env {
+        let mut bindings = self.bindings.clone();
+        for (n, b) in &other.bindings {
+            bindings.insert(n.clone(), b.clone());
+        }
+        Env { bindings }
+    }
+
+    /// The scope update `η r̄⊕ Ā = (η ⇑ Ā); η_{Ā,r̄}`: unbinds all of
+    /// `names`, then binds them to the values of `row` (with ambiguity
+    /// markers for repeated names).
+    pub fn update(&self, names: &[FullName], row: &Row) -> Result<Env, EvalError> {
+        Ok(self.unbind(names).override_with(&Env::of_record(names, row)?))
+    }
+
+    /// Binds a single full name to a value (a convenience for building
+    /// parameter environments in tests and examples).
+    #[must_use]
+    pub fn bind(&self, name: FullName, value: Value) -> Env {
+        let mut bindings = self.bindings.clone();
+        bindings.insert(name, Binding::Value(value));
+        Env { bindings }
+    }
+
+    /// Looks up a full name: the value it is bound to, or an error if the
+    /// name is unbound or ambiguous.
+    pub fn lookup(&self, name: &FullName) -> Result<&Value, EvalError> {
+        match self.bindings.get(name) {
+            Some(Binding::Value(v)) => Ok(v),
+            Some(Binding::Ambiguous) => Err(EvalError::AmbiguousReference(name.clone())),
+            None => Err(EvalError::UnboundReference(name.clone())),
+        }
+    }
+
+    /// The raw binding of a name, if any.
+    pub fn get(&self, name: &FullName) -> Option<&Binding> {
+        self.bindings.get(name)
+    }
+
+    /// `true` iff the environment has no bindings at all.
+    pub fn is_empty(&self) -> bool {
+        self.bindings.is_empty()
+    }
+
+    /// Number of names the environment is defined on (including ambiguous
+    /// markers).
+    pub fn len(&self) -> usize {
+        self.bindings.len()
+    }
+
+    /// Iterates over the bindings in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&FullName, &Binding)> {
+        self.bindings.iter()
+    }
+}
+
+impl fmt::Display for Env {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut entries: Vec<_> = self.bindings.iter().collect();
+        entries.sort_by_key(|(a, _)| *a);
+        f.write_str("{")?;
+        for (i, (n, b)) in entries.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            match b {
+                Binding::Value(v) => write!(f, "{n} ↦ {v}")?,
+                Binding::Ambiguous => write!(f, "{n} ↦ ‹ambiguous›")?,
+            }
+        }
+        f.write_str("}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+
+    fn names(ns: &[(&str, &str)]) -> Vec<FullName> {
+        ns.iter().map(|(t, c)| FullName::new(*t, *c)).collect()
+    }
+
+    #[test]
+    fn of_record_binds_positionally() {
+        let env = Env::of_record(&names(&[("R", "A"), ("R", "B")]), &row![1, 2]).unwrap();
+        assert_eq!(env.lookup(&FullName::new("R", "A")).unwrap(), &Value::Int(1));
+        assert_eq!(env.lookup(&FullName::new("R", "B")).unwrap(), &Value::Int(2));
+    }
+
+    #[test]
+    fn of_record_marks_repeated_names_ambiguous() {
+        let env = Env::of_record(&names(&[("T", "A"), ("T", "A")]), &row![1, 2]).unwrap();
+        assert_eq!(
+            env.lookup(&FullName::new("T", "A")).unwrap_err(),
+            EvalError::AmbiguousReference(FullName::new("T", "A"))
+        );
+    }
+
+    #[test]
+    fn of_record_checks_arity() {
+        assert!(matches!(
+            Env::of_record(&names(&[("R", "A")]), &row![1, 2]).unwrap_err(),
+            EvalError::ArityMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn lookup_unbound_is_distinct_from_ambiguous() {
+        let env = Env::empty();
+        assert_eq!(
+            env.lookup(&FullName::new("R", "A")).unwrap_err(),
+            EvalError::UnboundReference(FullName::new("R", "A"))
+        );
+    }
+
+    #[test]
+    fn unbind_removes_bindings() {
+        let a = FullName::new("R", "A");
+        let env = Env::empty().bind(a.clone(), Value::Int(1));
+        let env = env.unbind(std::slice::from_ref(&a));
+        assert!(env.lookup(&a).is_err());
+        assert!(env.is_empty());
+    }
+
+    #[test]
+    fn override_prefers_right() {
+        let a = FullName::new("R", "A");
+        let b = FullName::new("S", "B");
+        let left = Env::empty().bind(a.clone(), Value::Int(1)).bind(b.clone(), Value::Int(9));
+        let right = Env::empty().bind(a.clone(), Value::Int(2));
+        let env = left.override_with(&right);
+        assert_eq!(env.lookup(&a).unwrap(), &Value::Int(2));
+        // Names only in the left survive.
+        assert_eq!(env.lookup(&b).unwrap(), &Value::Int(9));
+    }
+
+    #[test]
+    fn update_shadows_outer_scope() {
+        // η binds R.A (outer scope); the local FROM rebinds it.
+        let a = FullName::new("R", "A");
+        let outer = Env::empty().bind(a.clone(), Value::Int(1));
+        let env = outer.update(std::slice::from_ref(&a), &row![42]).unwrap();
+        assert_eq!(env.lookup(&a).unwrap(), &Value::Int(42));
+    }
+
+    #[test]
+    fn update_with_repeats_hides_outer_binding() {
+        // The crucial case: the local scope has T.A twice. The outer
+        // binding must NOT shine through — the reference is ambiguous, not
+        // resolved outward, because η ⇑ Ā removed it first.
+        let a = FullName::new("T", "A");
+        let outer = Env::empty().bind(a.clone(), Value::Int(1));
+        let env = outer.update(&names(&[("T", "A"), ("T", "A")]), &row![2, 3]).unwrap();
+        assert_eq!(env.lookup(&a).unwrap_err(), EvalError::AmbiguousReference(a));
+    }
+
+    #[test]
+    fn update_preserves_unrelated_bindings() {
+        let a = FullName::new("R", "A");
+        let b = FullName::new("S", "B");
+        let outer = Env::empty().bind(b.clone(), Value::Int(7));
+        let env = outer.update(std::slice::from_ref(&a), &row![1]).unwrap();
+        assert_eq!(env.lookup(&b).unwrap(), &Value::Int(7));
+        assert_eq!(env.lookup(&a).unwrap(), &Value::Int(1));
+    }
+
+    #[test]
+    fn ambiguous_marker_is_cleared_by_rebinding() {
+        let a = FullName::new("T", "A");
+        let ambiguous = Env::of_record(&names(&[("T", "A"), ("T", "A")]), &row![1, 2]).unwrap();
+        let env = ambiguous.update(std::slice::from_ref(&a), &row![5]).unwrap();
+        assert_eq!(env.lookup(&a).unwrap(), &Value::Int(5));
+    }
+
+    #[test]
+    fn nulls_are_ordinary_bound_values() {
+        let a = FullName::new("R", "A");
+        let env = Env::of_record(std::slice::from_ref(&a), &row![Value::Null]).unwrap();
+        assert_eq!(env.lookup(&a).unwrap(), &Value::Null);
+    }
+
+    #[test]
+    fn display_is_sorted_and_readable() {
+        let env = Env::empty()
+            .bind(FullName::new("S", "B"), Value::Int(2))
+            .bind(FullName::new("R", "A"), Value::Int(1));
+        assert_eq!(env.to_string(), "{R.A ↦ 1, S.B ↦ 2}");
+    }
+}

@@ -1,0 +1,854 @@
+//! The denotational semantics of basic SQL (Figures 4–7).
+//!
+//! [`Evaluator`] implements the semantic function `⟦Q⟧_{D,η,x}`: given a
+//! database `D`, an environment `η` for the query's parameters, and the
+//! Boolean switch `x` (set exactly when the query is the outermost query
+//! nested inside an `EXISTS` condition), it produces the output table.
+//! The top-level entry point [`Evaluator::eval`] computes
+//! `⟦Q⟧_D = ⟦Q⟧_{D,∅,0}`.
+//!
+//! This evaluator is intentionally a *direct transcription* of the
+//! figures — Cartesian products are materialised, subqueries are
+//! re-evaluated for every environment, conditions are interpreted
+//! recursively. It is the executable specification; the optimised,
+//! independently structured implementation used as a validation oracle
+//! lives in the `sqlsem-engine` crate.
+//!
+//! Two orthogonal switches adjust the semantics:
+//!
+//! * [`Dialect`] — the §4 per-system adjustments (PostgreSQL's
+//!   compositional `*`, Oracle's static ambiguity errors);
+//! * [`LogicMode`] — the §6 two-valued semantics `⟦·⟧₂ᵥ`, under either
+//!   interpretation of equality.
+
+use crate::ast::{Condition, FromItem, Query, SelectList, SelectQuery, SetOp, TableRef, Term};
+use crate::check;
+use crate::dialect::{Dialect, LogicMode};
+use crate::env::Env;
+use crate::error::EvalError;
+use crate::name::Name;
+use crate::pred::PredicateRegistry;
+use crate::row::Row;
+use crate::schema::Database;
+use crate::sig;
+use crate::table::Table;
+use crate::truth::Truth;
+use crate::value::{CmpOp, Value};
+
+/// The arbitrary constant `c` substituted for `*` in queries directly
+/// under `EXISTS` (Figure 5). Any constant gives the same semantics,
+/// since only emptiness of the result matters; fixing one makes results
+/// reproducible byte-for-byte.
+pub const STAR_EXISTS_CONSTANT: Value = Value::Int(1);
+
+/// The arbitrary output name `N` paired with [`STAR_EXISTS_CONSTANT`].
+pub const STAR_EXISTS_COLUMN: &str = "c";
+
+/// The semantic function `⟦·⟧` of Figures 4–7, packaged with its fixed
+/// inputs: the database, the dialect adjustment and the logic mode.
+///
+/// ```
+/// use sqlsem_core::ast::{FromItem, Query, SelectList, SelectQuery, Term};
+/// use sqlsem_core::{Database, Evaluator, Schema, table};
+///
+/// let schema = Schema::builder().table("R", ["A"]).build().unwrap();
+/// let mut db = Database::new(schema);
+/// db.insert("R", table! { ["A"]; [1], [2] }).unwrap();
+///
+/// // SELECT R.A AS A FROM R AS R
+/// let q = Query::Select(SelectQuery::new(
+///     SelectList::items([(Term::col("R", "A"), "A")]),
+///     vec![FromItem::base("R", "R")],
+/// ));
+/// let out = Evaluator::new(&db).eval(&q).unwrap();
+/// assert_eq!(out.len(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Evaluator<'a> {
+    db: &'a Database,
+    dialect: Dialect,
+    logic: LogicMode,
+    preds: PredicateRegistry,
+}
+
+impl<'a> Evaluator<'a> {
+    /// An evaluator for the Standard semantics under three-valued logic,
+    /// with no user predicates registered.
+    pub fn new(db: &'a Database) -> Self {
+        Evaluator {
+            db,
+            dialect: Dialect::Standard,
+            logic: LogicMode::ThreeValued,
+            preds: PredicateRegistry::new(),
+        }
+    }
+
+    /// Selects the dialect adjustment (§4).
+    #[must_use]
+    pub fn with_dialect(mut self, dialect: Dialect) -> Self {
+        self.dialect = dialect;
+        self
+    }
+
+    /// Selects the logic mode (§6).
+    #[must_use]
+    pub fn with_logic(mut self, logic: LogicMode) -> Self {
+        self.logic = logic;
+        self
+    }
+
+    /// Provides the open part of the predicate collection `P`.
+    #[must_use]
+    pub fn with_predicates(mut self, preds: PredicateRegistry) -> Self {
+        self.preds = preds;
+        self
+    }
+
+    /// The database the evaluator reads.
+    pub fn database(&self) -> &'a Database {
+        self.db
+    }
+
+    /// The dialect in effect.
+    pub fn dialect(&self) -> Dialect {
+        self.dialect
+    }
+
+    /// The logic mode in effect.
+    pub fn logic(&self) -> LogicMode {
+        self.logic
+    }
+
+    /// Evaluates a closed query: `⟦Q⟧_D = ⟦Q⟧_{D,∅,0}`.
+    ///
+    /// For the dialects that model compile-time behaviour (PostgreSQL,
+    /// Oracle) a static resolution check runs first, so ambiguous or
+    /// unbound references error even when no data would be touched.
+    pub fn eval(&self, query: &Query) -> Result<Table, EvalError> {
+        if self.dialect.checks_ambiguity_statically() {
+            check::check_query(query, self.db.schema(), self.dialect)?;
+        }
+        self.eval_query(query, &Env::empty(), false)
+    }
+
+    /// The full semantic function `⟦Q⟧_{D,η,x}`; `exists` is the Boolean
+    /// switch `x`, set exactly when `query` is the outermost query nested
+    /// inside an `EXISTS` condition.
+    pub fn eval_query(&self, query: &Query, env: &Env, exists: bool) -> Result<Table, EvalError> {
+        match query {
+            Query::Select(s) => self.eval_select(s, env, exists),
+            Query::SetOp { op, all, left, right } => {
+                // Figure 7: operands are always evaluated with x = 0.
+                let l = self.eval_query(left, env, false)?;
+                let r = self.eval_query(right, env, false)?;
+                match (op, all) {
+                    (SetOp::Union, true) => l.union_all(&r),
+                    (SetOp::Union, false) => Ok(l.union_all(&r)?.distinct()),
+                    (SetOp::Intersect, true) => l.intersect_all(&r),
+                    (SetOp::Intersect, false) => Ok(l.intersect_all(&r)?.distinct()),
+                    (SetOp::Except, true) => l.except_all(&r),
+                    // Figure 7: ⟦Q₁ EXCEPT Q₂⟧ = ε(⟦Q₁⟧) − ⟦Q₂⟧; note the
+                    // ε applies to the *left* operand only.
+                    (SetOp::Except, false) => l.distinct().except_all(&r),
+                }
+            }
+        }
+    }
+
+    /// `⟦SELECT … FROM τ:β WHERE θ⟧_{D,η,x}` (Figure 5).
+    fn eval_select(&self, s: &SelectQuery, env: &Env, exists: bool) -> Result<Table, EvalError> {
+        if s.from.is_empty() {
+            return Err(EvalError::malformed("FROM clause must reference at least one table"));
+        }
+        sig::check_distinct_aliases(&s.from)?;
+
+        // ⟦τ:β⟧_{D,η,x} = ⟦T₁⟧_{D,η,0} × ⋯ × ⟦Tₖ⟧_{D,η,0}: each element of
+        // the FROM clause is evaluated under the *outer* environment.
+        let tables: Vec<Table> =
+            s.from.iter().map(|item| self.eval_from_item(item, env)).collect::<Result<_, _>>()?;
+
+        // The scope ℓ(τ:β): each table's columns prefixed by its alias.
+        let mut scope = Vec::new();
+        for (item, t) in s.from.iter().zip(&tables) {
+            scope.extend(item.alias.prefix(t.columns()));
+        }
+
+        // The Cartesian product, with ℓ(τ) as its column tuple.
+        let mut product = tables[0].clone();
+        for t in &tables[1..] {
+            product = product.product(t);
+        }
+
+        // ⟦FROM τ:β WHERE θ⟧: keep each record r̄ whose revised environment
+        // η′ = η r̄⊕ ℓ(τ:β) makes θ true. The revised environment is kept
+        // alongside, because the SELECT list is evaluated under it.
+        let mut kept: Vec<(Row, Env)> = Vec::new();
+        for row in product.rows() {
+            let env1 = env.update(&scope, row)?;
+            if self.eval_condition(&s.where_, &env1)?.is_true() {
+                kept.push((row.clone(), env1));
+            }
+        }
+
+        let result = match &s.select {
+            SelectList::Items(items) => {
+                if items.is_empty() {
+                    return Err(EvalError::ZeroArity);
+                }
+                let columns = items.iter().map(|i| i.alias.clone()).collect();
+                let mut out = Table::new(columns)?;
+                for (_, env1) in &kept {
+                    let row: Row = items
+                        .iter()
+                        .map(|i| self.eval_term(&i.term, env1))
+                        .collect::<Result<_, _>>()?;
+                    out.push(row)?;
+                }
+                out
+            }
+            SelectList::Star if self.dialect.star_is_compositional() => {
+                // PostgreSQL adjustment (§4): ⟦SELECT *⟧ is the FROM–WHERE
+                // result itself, in every context.
+                let mut out = Table::new(product.columns().to_vec())?;
+                for (row, _) in kept {
+                    out.push(row)?;
+                }
+                out
+            }
+            SelectList::Star if exists => {
+                // Figure 5, x = 1: replace * by an arbitrary constant.
+                let mut out = Table::new(vec![Name::new(STAR_EXISTS_COLUMN)])?;
+                for _ in &kept {
+                    out.push(Row::new(vec![STAR_EXISTS_CONSTANT]))?;
+                }
+                out
+            }
+            SelectList::Star => {
+                // Figure 5, x = 0: expand * to SELECT ℓ(τ:β) : ℓ(τ). The
+                // expansion *references* each full name of the scope, so a
+                // repeated full name errors here — exactly Example 2.
+                let mut out = Table::new(product.columns().to_vec())?;
+                for (_, env1) in &kept {
+                    let row: Row =
+                        scope.iter().map(|n| env1.lookup(n).cloned()).collect::<Result<_, _>>()?;
+                    out.push(row)?;
+                }
+                out
+            }
+        };
+
+        Ok(if s.distinct { result.distinct() } else { result })
+    }
+
+    /// `⟦T⟧_{D,η,0}` for one element of a `FROM` clause, applying the
+    /// optional column renaming `AS N(A₁,…,Aₙ)`.
+    fn eval_from_item(&self, item: &FromItem, env: &Env) -> Result<Table, EvalError> {
+        let table = match &item.table {
+            TableRef::Base(r) => self.db.table(r)?,
+            TableRef::Query(q) => self.eval_query(q, env, false)?,
+        };
+        match &item.columns {
+            None => Ok(table),
+            Some(cols) => {
+                if cols.len() != table.arity() {
+                    return Err(EvalError::ColumnRenameArity {
+                        alias: item.alias.clone(),
+                        expected: table.arity(),
+                        got: cols.len(),
+                    });
+                }
+                table.with_columns(cols.clone())
+            }
+        }
+    }
+
+    /// `⟦θ⟧_{D,η}` (Figure 6), under the evaluator's logic mode.
+    pub fn eval_condition(&self, cond: &Condition, env: &Env) -> Result<Truth, EvalError> {
+        match cond {
+            Condition::True => Ok(Truth::True),
+            Condition::False => Ok(Truth::False),
+            Condition::Cmp { left, op, right } => {
+                let l = self.eval_term(left, env)?;
+                let r = self.eval_term(right, env)?;
+                self.cmp_values(&l, *op, &r)
+            }
+            Condition::Like { term, pattern, negated } => {
+                let t = self.eval_term(term, env)?;
+                let p = self.eval_term(pattern, env)?;
+                let truth = match self.logic {
+                    LogicMode::ThreeValued => t.sql_like(&p)?,
+                    // §6: every predicate conflates u with f.
+                    _ => conflate(t.sql_like(&p)?),
+                };
+                Ok(if *negated { truth.not() } else { truth })
+            }
+            Condition::Pred { name, args } => {
+                let values: Vec<Value> =
+                    args.iter().map(|t| self.eval_term(t, env)).collect::<Result<_, _>>()?;
+                if values.iter().any(Value::is_null) {
+                    // Figure 6: u when an argument is NULL; the §6
+                    // two-valued semantics conflates that to f.
+                    return Ok(match self.logic {
+                        LogicMode::ThreeValued => Truth::Unknown,
+                        _ => Truth::False,
+                    });
+                }
+                Ok(Truth::from_bool(self.preds.apply(name, &values)?))
+            }
+            Condition::IsNull { term, negated } => {
+                // Already two-valued in every mode (Figure 6).
+                let truth = Truth::from_bool(self.eval_term(term, env)?.is_null());
+                Ok(if *negated { truth.not() } else { truth })
+            }
+            Condition::IsDistinct { left, right, negated } => {
+                // Syntactic equality ≐ (Definition 2): two-valued in
+                // every logic mode; IS NOT DISTINCT FROM *is* ≐.
+                let l = self.eval_term(left, env)?;
+                let r = self.eval_term(right, env)?;
+                let same = l.syntactic_eq(&r);
+                Ok(if *negated { same } else { same.not() })
+            }
+            Condition::In { terms, query, negated } => {
+                let truth = self.eval_in(terms, query, env)?;
+                Ok(if *negated { truth.not() } else { truth })
+            }
+            Condition::Exists(query) => {
+                // ⟦EXISTS Q⟧: non-emptiness of ⟦Q⟧_{D,η,1}.
+                let t = self.eval_query(query, env, true)?;
+                Ok(Truth::from_bool(!t.is_empty()))
+            }
+            Condition::And(a, b) => {
+                Ok(self.eval_condition(a, env)?.and(self.eval_condition(b, env)?))
+            }
+            Condition::Or(a, b) => {
+                Ok(self.eval_condition(a, env)?.or(self.eval_condition(b, env)?))
+            }
+            Condition::Not(c) => Ok(self.eval_condition(c, env)?.not()),
+        }
+    }
+
+    /// `⟦t̄ IN Q⟧_{D,η}` (Figure 6): the Kleene disjunction of the tuple
+    /// equalities `t̄ = r̄` over all records `r̄` of `⟦Q⟧_{D,η,0}`.
+    fn eval_in(&self, terms: &[Term], query: &Query, env: &Env) -> Result<Truth, EvalError> {
+        let values: Vec<Value> =
+            terms.iter().map(|t| self.eval_term(t, env)).collect::<Result<_, _>>()?;
+        let sub = self.eval_query(query, env, false)?;
+        if sub.arity() != values.len() {
+            return Err(EvalError::ArityMismatch {
+                context: "IN",
+                left: values.len(),
+                right: sub.arity(),
+            });
+        }
+        let mut acc = Truth::False;
+        for row in sub.rows() {
+            acc = acc.or(self.tuple_eq(&values, row.values())?);
+            if acc.is_true() {
+                // t absorbs the Kleene disjunction; stopping early cannot
+                // change the result.
+                break;
+            }
+        }
+        Ok(acc)
+    }
+
+    /// The tuple equality `(t₁,…,tₙ) = (t′₁,…,t′ₙ) = ⋀ᵢ tᵢ = t′ᵢ`
+    /// (Figure 6), under the evaluator's interpretation of `=`.
+    pub fn tuple_eq(&self, left: &[Value], right: &[Value]) -> Result<Truth, EvalError> {
+        debug_assert_eq!(left.len(), right.len());
+        let mut acc = Truth::True;
+        for (l, r) in left.iter().zip(right) {
+            acc = acc.and(self.cmp_values(l, CmpOp::Eq, r)?);
+            if acc.is_false() {
+                break;
+            }
+        }
+        Ok(acc)
+    }
+
+    /// A single comparison under the evaluator's logic mode.
+    fn cmp_values(&self, left: &Value, op: CmpOp, right: &Value) -> Result<Truth, EvalError> {
+        match self.logic {
+            LogicMode::ThreeValued => left.sql_cmp(right, op),
+            LogicMode::TwoValuedConflate => Ok(conflate(left.sql_cmp(right, op)?)),
+            LogicMode::TwoValuedSyntacticEq => match op {
+                // §6's alternative: `=` means syntactic equality ≐.
+                CmpOp::Eq => Ok(left.syntactic_eq(right)),
+                _ => Ok(conflate(left.sql_cmp(right, op)?)),
+            },
+        }
+    }
+
+    /// `⟦t⟧_η` (Figure 4).
+    pub fn eval_term(&self, term: &Term, env: &Env) -> Result<Value, EvalError> {
+        match term {
+            Term::Const(v) => Ok(v.clone()),
+            Term::Col(name) => env.lookup(name).cloned(),
+        }
+    }
+}
+
+/// Conflates `u` with `f` — the passage from Figure 6 to the §6
+/// two-valued predicate rules.
+fn conflate(t: Truth) -> Truth {
+    if t.is_true() {
+        Truth::True
+    } else {
+        Truth::False
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::{row, table};
+
+    /// The Example 1 database: R = {1, NULL}, S = {NULL}.
+    fn example1_db() -> Database {
+        let schema = Schema::builder().table("R", ["A"]).table("S", ["A"]).build().unwrap();
+        let mut db = Database::new(schema);
+        db.insert("R", table! { ["A"]; [1], [Value::Null] }).unwrap();
+        db.insert("S", table! { ["A"]; [Value::Null] }).unwrap();
+        db
+    }
+
+    /// Q1: SELECT DISTINCT R.A FROM R WHERE R.A NOT IN (SELECT S.A FROM S)
+    fn q1() -> Query {
+        let sub = Query::Select(SelectQuery::new(
+            SelectList::items([(Term::col("S", "A"), "A")]),
+            vec![FromItem::base("S", "S")],
+        ));
+        Query::Select(
+            SelectQuery::new(
+                SelectList::items([(Term::col("R", "A"), "A")]),
+                vec![FromItem::base("R", "R")],
+            )
+            .distinct()
+            .filter(Condition::not_in([Term::col("R", "A")], sub)),
+        )
+    }
+
+    /// Q2: SELECT DISTINCT R.A FROM R WHERE NOT EXISTS
+    ///     (SELECT * FROM S WHERE S.A = R.A)
+    fn q2() -> Query {
+        let sub = Query::Select(
+            SelectQuery::new(SelectList::Star, vec![FromItem::base("S", "S")])
+                .filter(Condition::eq(Term::col("S", "A"), Term::col("R", "A"))),
+        );
+        Query::Select(
+            SelectQuery::new(
+                SelectList::items([(Term::col("R", "A"), "A")]),
+                vec![FromItem::base("R", "R")],
+            )
+            .distinct()
+            .filter(Condition::not(Condition::exists(sub))),
+        )
+    }
+
+    /// Q3: SELECT R.A FROM R EXCEPT SELECT S.A FROM S
+    fn q3() -> Query {
+        let left = Query::Select(SelectQuery::new(
+            SelectList::items([(Term::col("R", "A"), "A")]),
+            vec![FromItem::base("R", "R")],
+        ));
+        let right = Query::Select(SelectQuery::new(
+            SelectList::items([(Term::col("S", "A"), "A")]),
+            vec![FromItem::base("S", "S")],
+        ));
+        left.except(right, false)
+    }
+
+    #[test]
+    fn example1_q1_is_empty() {
+        // R.A NOT IN (NULL) is never true: 1 <> NULL is u, NULL <> NULL
+        // is u, so no row survives.
+        let db = example1_db();
+        let out = Evaluator::new(&db).eval(&q1()).unwrap();
+        assert!(out.is_empty(), "got:\n{out}");
+    }
+
+    #[test]
+    fn example1_q2_returns_both_rows() {
+        // The subquery's S.A = R.A is u for every row, so EXISTS is false
+        // and NOT EXISTS is true for both rows of R.
+        let db = example1_db();
+        let out = Evaluator::new(&db).eval(&q2()).unwrap();
+        assert!(out.coincides(&table! { ["A"]; [1], [Value::Null] }), "got:\n{out}");
+    }
+
+    #[test]
+    fn example1_q3_returns_one() {
+        // EXCEPT compares syntactically: NULL is removed by the NULL in
+        // S, and 1 survives.
+        let db = example1_db();
+        let out = Evaluator::new(&db).eval(&q3()).unwrap();
+        assert!(out.coincides(&table! { ["A"]; [1] }), "got:\n{out}");
+    }
+
+    #[test]
+    fn example1_all_dialects_agree() {
+        let db = example1_db();
+        for d in Dialect::ALL {
+            let ev = Evaluator::new(&db).with_dialect(d);
+            assert!(ev.eval(&q1()).unwrap().is_empty());
+            assert_eq!(ev.eval(&q2()).unwrap().len(), 2);
+            assert_eq!(ev.eval(&q3()).unwrap().len(), 1);
+        }
+    }
+
+    fn example2_db() -> Database {
+        let schema = Schema::builder().table("R", ["A"]).build().unwrap();
+        let mut db = Database::new(schema);
+        db.insert("R", table! { ["A"]; [1], [2] }).unwrap();
+        db
+    }
+
+    /// SELECT * FROM (SELECT R.A AS A, R.A AS A FROM R AS R) AS T
+    fn example2_standalone() -> Query {
+        let inner = Query::Select(SelectQuery::new(
+            SelectList::items([(Term::col("R", "A"), "A"), (Term::col("R", "A"), "A")]),
+            vec![FromItem::base("R", "R")],
+        ));
+        Query::Select(SelectQuery::new(SelectList::Star, vec![FromItem::subquery(inner, "T")]))
+    }
+
+    /// SELECT * FROM R AS R WHERE EXISTS (example2_standalone)
+    fn example2_under_exists() -> Query {
+        Query::Select(
+            SelectQuery::new(SelectList::Star, vec![FromItem::base("R", "R")])
+                .filter(Condition::exists(example2_standalone())),
+        )
+    }
+
+    #[test]
+    fn example2_standalone_errors_on_standard_and_oracle() {
+        let db = example2_db();
+        for d in [Dialect::Standard, Dialect::Oracle] {
+            let err = Evaluator::new(&db).with_dialect(d).eval(&example2_standalone()).unwrap_err();
+            assert!(err.is_ambiguity(), "dialect {d}: {err}");
+        }
+    }
+
+    #[test]
+    fn example2_standalone_works_on_postgres() {
+        let db = example2_db();
+        let out = Evaluator::new(&db)
+            .with_dialect(Dialect::PostgreSql)
+            .eval(&example2_standalone())
+            .unwrap();
+        assert!(out.coincides(&table! { ["A", "A"]; [1, 1], [2, 2] }), "got:\n{out}");
+    }
+
+    #[test]
+    fn example2_under_exists_works_everywhere() {
+        // "… then suddenly it is fine": the ambiguous * sits directly
+        // under EXISTS, so it is replaced by a constant and never
+        // dereferenced. The outer query returns R whenever R is nonempty.
+        let db = example2_db();
+        for d in Dialect::ALL {
+            let out = Evaluator::new(&db).with_dialect(d).eval(&example2_under_exists()).unwrap();
+            assert!(out.coincides(&table! { ["A"]; [1], [2] }), "dialect {d}: got\n{out}");
+        }
+    }
+
+    #[test]
+    fn standard_ambiguity_is_runtime_only() {
+        // The Standard semantics of Figures 4–7 raises ambiguity when the
+        // environment is consulted; with an empty R there is no record to
+        // consult it for, so the query succeeds (with an empty output).
+        // The Oracle adjustment checks statically and still errors.
+        let schema = Schema::builder().table("R", ["A"]).build().unwrap();
+        let db = Database::new(schema); // R is empty
+        let q = example2_standalone();
+        let out = Evaluator::new(&db).eval(&q).unwrap();
+        assert!(out.is_empty());
+        assert!(Evaluator::new(&db)
+            .with_dialect(Dialect::Oracle)
+            .eval(&q)
+            .unwrap_err()
+            .is_ambiguity());
+    }
+
+    #[test]
+    fn multiplicities_flow_through_products() {
+        // SELECT R.A AS A FROM R AS R, S AS S — each row of R repeated
+        // |S| times, with S's own multiplicities.
+        let schema = Schema::builder().table("R", ["A"]).table("S", ["B"]).build().unwrap();
+        let mut db = Database::new(schema);
+        db.insert("R", table! { ["A"]; [1], [1] }).unwrap();
+        db.insert("S", table! { ["B"]; [7], [7], [8] }).unwrap();
+        let q = Query::Select(SelectQuery::new(
+            SelectList::items([(Term::col("R", "A"), "A")]),
+            vec![FromItem::base("R", "R"), FromItem::base("S", "S")],
+        ));
+        let out = Evaluator::new(&db).eval(&q).unwrap();
+        assert_eq!(out.multiplicity(&row![1]), 6);
+    }
+
+    #[test]
+    fn where_uses_revised_environment() {
+        // Correlated subquery: the inner S.B = R.A resolves R.A from the
+        // outer scope per record.
+        let schema = Schema::builder().table("R", ["A"]).table("S", ["B"]).build().unwrap();
+        let mut db = Database::new(schema);
+        db.insert("R", table! { ["A"]; [1], [2], [3] }).unwrap();
+        db.insert("S", table! { ["B"]; [2], [3], [3] }).unwrap();
+        let sub = Query::Select(
+            SelectQuery::new(SelectList::Star, vec![FromItem::base("S", "S")])
+                .filter(Condition::eq(Term::col("S", "B"), Term::col("R", "A"))),
+        );
+        let q = Query::Select(
+            SelectQuery::new(
+                SelectList::items([(Term::col("R", "A"), "A")]),
+                vec![FromItem::base("R", "R")],
+            )
+            .filter(Condition::exists(sub)),
+        );
+        let out = Evaluator::new(&db).eval(&q).unwrap();
+        assert!(out.coincides(&table! { ["A"]; [2], [3] }), "got:\n{out}");
+    }
+
+    #[test]
+    fn select_can_output_constants_and_nulls() {
+        let db = example2_db();
+        let q = Query::Select(SelectQuery::new(
+            SelectList::items([
+                (Term::Const(Value::Int(9)), "X"),
+                (Term::Const(Value::Null), "Y"),
+                (Term::col("R", "A"), "Z"),
+            ]),
+            vec![FromItem::base("R", "R")],
+        ));
+        let out = Evaluator::new(&db).eval(&q).unwrap();
+        assert!(out
+            .coincides(&table! { ["X", "Y", "Z"]; [9, Value::Null, 1], [9, Value::Null, 2] }));
+    }
+
+    #[test]
+    fn distinct_eliminates_duplicates() {
+        let schema = Schema::builder().table("R", ["A"]).build().unwrap();
+        let mut db = Database::new(schema);
+        db.insert("R", table! { ["A"]; [1], [1], [2] }).unwrap();
+        let q = |distinct: bool| {
+            let base = SelectQuery::new(
+                SelectList::items([(Term::col("R", "A"), "A")]),
+                vec![FromItem::base("R", "R")],
+            );
+            Query::Select(if distinct { base.distinct() } else { base })
+        };
+        let ev = Evaluator::new(&db);
+        assert_eq!(ev.eval(&q(false)).unwrap().len(), 3);
+        assert_eq!(ev.eval(&q(true)).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn set_operations_match_figure7() {
+        let schema = Schema::builder().table("R", ["A"]).table("S", ["A"]).build().unwrap();
+        let mut db = Database::new(schema);
+        db.insert("R", table! { ["A"]; [1], [1], [2] }).unwrap();
+        db.insert("S", table! { ["A"]; [1], [3] }).unwrap();
+        let sel = |t: &str| {
+            Query::Select(SelectQuery::new(
+                SelectList::items([(Term::col(t, "A"), "A")]),
+                vec![FromItem::base(t, t)],
+            ))
+        };
+        let ev = Evaluator::new(&db);
+
+        let u_all = ev.eval(&sel("R").union(sel("S"), true)).unwrap();
+        assert!(u_all.multiset_eq(&table! { ["A"]; [1], [1], [1], [2], [3] }));
+        let u = ev.eval(&sel("R").union(sel("S"), false)).unwrap();
+        assert!(u.multiset_eq(&table! { ["A"]; [1], [2], [3] }));
+
+        let i_all = ev.eval(&sel("R").intersect(sel("S"), true)).unwrap();
+        assert!(i_all.multiset_eq(&table! { ["A"]; [1] }));
+        let i = ev.eval(&sel("R").intersect(sel("S"), false)).unwrap();
+        assert!(i.multiset_eq(&table! { ["A"]; [1] }));
+
+        let e_all = ev.eval(&sel("R").except(sel("S"), true)).unwrap();
+        assert!(e_all.multiset_eq(&table! { ["A"]; [1], [2] }));
+        // ε(R) − S: ε gives {1,2}, minus {1,3} leaves {2}.
+        let e = ev.eval(&sel("R").except(sel("S"), false)).unwrap();
+        assert!(e.multiset_eq(&table! { ["A"]; [2] }));
+    }
+
+    #[test]
+    fn except_deduplicates_left_before_subtracting() {
+        // The asymmetry of Figure 7's EXCEPT: ε applies to the left only.
+        // R = {1,1}, S = {} : EXCEPT gives {1} not {1,1}.
+        let schema = Schema::builder().table("R", ["A"]).table("S", ["A"]).build().unwrap();
+        let mut db = Database::new(schema);
+        db.insert("R", table! { ["A"]; [1], [1] }).unwrap();
+        let r = Query::Select(SelectQuery::new(
+            SelectList::items([(Term::col("R", "A"), "A")]),
+            vec![FromItem::base("R", "R")],
+        ));
+        let s = Query::Select(SelectQuery::new(
+            SelectList::items([(Term::col("S", "A"), "A")]),
+            vec![FromItem::base("S", "S")],
+        ));
+        let out = Evaluator::new(&db).eval(&r.except(s, false)).unwrap();
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn in_with_nulls_follows_kleene_disjunction() {
+        let schema = Schema::builder().table("R", ["A"]).table("S", ["A"]).build().unwrap();
+        let mut db = Database::new(schema);
+        db.insert("R", table! { ["A"]; [1] }).unwrap();
+        db.insert("S", table! { ["A"]; [Value::Null], [2] }).unwrap();
+        let sub = Query::Select(SelectQuery::new(
+            SelectList::items([(Term::col("S", "A"), "A")]),
+            vec![FromItem::base("S", "S")],
+        ));
+        let ev = Evaluator::new(&db);
+        let env = Env::empty();
+        // 1 IN (NULL, 2): u ∨ f = u.
+        let c = Condition::in_query([Term::from(1i64)], sub.clone());
+        assert_eq!(ev.eval_condition(&c, &env).unwrap(), Truth::Unknown);
+        // 2 IN (NULL, 2): u ∨ t = t.
+        let c = Condition::in_query([Term::from(2i64)], sub.clone());
+        assert_eq!(ev.eval_condition(&c, &env).unwrap(), Truth::True);
+        // 1 NOT IN (NULL, 2) = ¬u = u.
+        let c = Condition::not_in([Term::from(1i64)], sub.clone());
+        assert_eq!(ev.eval_condition(&c, &env).unwrap(), Truth::Unknown);
+        // IN over an empty result is f.
+        let empty_sub = Query::Select(
+            SelectQuery::new(
+                SelectList::items([(Term::col("S", "A"), "A")]),
+                vec![FromItem::base("S", "S")],
+            )
+            .filter(Condition::False),
+        );
+        let c = Condition::in_query([Term::from(1i64)], empty_sub);
+        assert_eq!(ev.eval_condition(&c, &env).unwrap(), Truth::False);
+    }
+
+    #[test]
+    fn in_checks_arity() {
+        let db = example2_db();
+        let sub = Query::Select(SelectQuery::new(
+            SelectList::items([(Term::col("R", "A"), "A")]),
+            vec![FromItem::base("R", "R")],
+        ));
+        let c = Condition::in_query([Term::from(1i64), Term::from(2i64)], sub);
+        assert!(matches!(
+            Evaluator::new(&db).eval_condition(&c, &Env::empty()).unwrap_err(),
+            EvalError::ArityMismatch { context: "IN", .. }
+        ));
+    }
+
+    #[test]
+    fn two_valued_conflate_changes_not_in() {
+        // Under ⟦·⟧₂ᵥ Example 1's Q1 returns {1, NULL}: every equality
+        // with NULL is f, so NOT IN succeeds for both rows.
+        let db = example1_db();
+        let out =
+            Evaluator::new(&db).with_logic(LogicMode::TwoValuedConflate).eval(&q1()).unwrap();
+        assert!(out.coincides(&table! { ["A"]; [1], [Value::Null] }), "got:\n{out}");
+    }
+
+    #[test]
+    fn two_valued_syntactic_eq_changes_not_in_differently() {
+        // With = as ≐, NULL = NULL is t, so NULL IN (SELECT S.A …) is t
+        // and only the row 1 survives NOT IN.
+        let db = example1_db();
+        let out =
+            Evaluator::new(&db).with_logic(LogicMode::TwoValuedSyntacticEq).eval(&q1()).unwrap();
+        assert!(out.coincides(&table! { ["A"]; [1] }), "got:\n{out}");
+    }
+
+    #[test]
+    fn two_valued_modes_agree_with_3vl_on_null_free_data() {
+        // On databases without nulls the three semantics coincide (§6:
+        // the differences all come from u).
+        let schema = Schema::builder().table("R", ["A"]).table("S", ["A"]).build().unwrap();
+        let mut db = Database::new(schema);
+        db.insert("R", table! { ["A"]; [1], [2] }).unwrap();
+        db.insert("S", table! { ["A"]; [2] }).unwrap();
+        for logic in LogicMode::ALL {
+            let out = Evaluator::new(&db).with_logic(logic).eval(&q1()).unwrap();
+            assert!(out.coincides(&table! { ["A"]; [1] }), "mode {logic}: got\n{out}");
+        }
+    }
+
+    #[test]
+    fn user_predicates_follow_figure6_null_rule() {
+        let schema = Schema::builder().table("R", ["A"]).build().unwrap();
+        let mut db = Database::new(schema);
+        db.insert("R", table! { ["A"]; [2], [3], [Value::Null] }).unwrap();
+        let q = Query::Select(
+            SelectQuery::new(
+                SelectList::items([(Term::col("R", "A"), "A")]),
+                vec![FromItem::base("R", "R")],
+            )
+            .filter(Condition::Pred { name: "even".into(), args: vec![Term::col("R", "A")] }),
+        );
+        let ev = Evaluator::new(&db).with_predicates(PredicateRegistry::with_examples());
+        let out = ev.eval(&q).unwrap();
+        assert!(out.coincides(&table! { ["A"]; [2] }), "got:\n{out}");
+        // NOT even(A): NULL row still excluded (¬u = u).
+        let q_not = Query::Select(
+            SelectQuery::new(
+                SelectList::items([(Term::col("R", "A"), "A")]),
+                vec![FromItem::base("R", "R")],
+            )
+            .filter(Condition::not(Condition::Pred {
+                name: "even".into(),
+                args: vec![Term::col("R", "A")],
+            })),
+        );
+        let out = ev.eval(&q_not).unwrap();
+        assert!(out.coincides(&table! { ["A"]; [3] }), "got:\n{out}");
+    }
+
+    #[test]
+    fn from_subqueries_are_evaluated_under_outer_env() {
+        // A FROM subquery with a parameter bound by the environment: used
+        // when the block itself is nested. Here we exercise eval_query
+        // directly with a non-empty environment.
+        let schema = Schema::builder().table("R", ["A"]).build().unwrap();
+        let mut db = Database::new(schema);
+        db.insert("R", table! { ["A"]; [1], [2] }).unwrap();
+        let inner = Query::Select(
+            SelectQuery::new(
+                SelectList::items([(Term::col("R", "A"), "A")]),
+                vec![FromItem::base("R", "R")],
+            )
+            .filter(Condition::eq(Term::col("R", "A"), Term::col("Outer", "X"))),
+        );
+        let q = Query::Select(SelectQuery::new(
+            SelectList::Star,
+            vec![FromItem::subquery(inner, "T")],
+        ));
+        let env = Env::empty().bind(crate::FullName::new("Outer", "X"), Value::Int(2));
+        let out = Evaluator::new(&db).eval_query(&q, &env, false).unwrap();
+        assert!(out.coincides(&table! { ["A"]; [2] }), "got:\n{out}");
+    }
+
+    #[test]
+    fn empty_from_is_malformed() {
+        let db = example2_db();
+        let q = Query::Select(SelectQuery::new(
+            SelectList::items([(Term::from(1i64), "X")]),
+            vec![],
+        ));
+        assert!(matches!(
+            Evaluator::new(&db).eval(&q).unwrap_err(),
+            EvalError::Malformed(_)
+        ));
+    }
+
+    #[test]
+    fn column_rename_in_from_is_applied() {
+        // SELECT N.X AS X FROM R AS N(X) — the Figure 10 construct.
+        let db = example2_db();
+        let q = Query::Select(SelectQuery::new(
+            SelectList::items([(Term::col("N", "X"), "X")]),
+            vec![FromItem::base("R", "N").with_columns(["X"])],
+        ));
+        let out = Evaluator::new(&db).eval(&q).unwrap();
+        assert!(out.coincides(&table! { ["X"]; [1], [2] }), "got:\n{out}");
+    }
+}

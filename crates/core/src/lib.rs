@@ -1,0 +1,84 @@
+//! # sqlsem-core
+//!
+//! An executable rendering of the formal semantics of basic SQL from
+//! Paolo Guagliardo and Leonid Libkin, *A Formal Semantics of SQL Queries,
+//! Its Validation, and Applications*, PVLDB 11(1), 2017.
+//!
+//! The crate contains, module by module, the paper's definitional figures:
+//!
+//! | Module | Paper artifact |
+//! |--------|----------------|
+//! | [`name`] | the sets `N` of names and `N²` of full names (§2) |
+//! | [`value`] | the set `C` of constants plus `NULL`; SQL vs syntactic equality (§2, Def. 2) |
+//! | [`truth`] | SQL's three-valued Kleene logic (Figure 1) |
+//! | [`row`], [`table`] | records, bags, and the bag operations `∪ ∩ − × ε` (§2–3) |
+//! | [`schema`] | schemas and database instances (§2) |
+//! | [`ast`] | the syntax of basic SQL in fully annotated form (Figure 2) |
+//! | [`sig`] | output attributes `ℓ(Q)` and scopes `ℓ(τ:β)` (Figure 3) |
+//! | [`env`] | environments and the operations `η_{Ā,r̄}`, `⇑`, `;`, `r̄⊕` (§3) |
+//! | [`pred`] | the open collection `P` of predicates (§2) |
+//! | [`eval`] | the denotational semantics `⟦·⟧_{D,η,x}` (Figures 4–7) |
+//! | [`dialect`] | the §4 per-system adjustments and the §6 logic modes |
+//! | [`check`] | static name resolution (compile-time RDBMS behaviour) |
+//!
+//! The quickest way in is [`Evaluator`]:
+//!
+//! ```
+//! use sqlsem_core::ast::{Condition, FromItem, Query, SelectList, SelectQuery, Term};
+//! use sqlsem_core::{table, Database, Evaluator, Schema, Value};
+//!
+//! // Schema and data of the paper's Example 1: R = {1, NULL}, S = {NULL}.
+//! let schema = Schema::builder().table("R", ["A"]).table("S", ["A"]).build().unwrap();
+//! let mut db = Database::new(schema);
+//! db.insert("R", table! { ["A"]; [1], [Value::Null] }).unwrap();
+//! db.insert("S", table! { ["A"]; [Value::Null] }).unwrap();
+//!
+//! // Q1: SELECT DISTINCT R.A FROM R WHERE R.A NOT IN (SELECT S.A FROM S)
+//! let sub = Query::Select(SelectQuery::new(
+//!     SelectList::items([(Term::col("S", "A"), "A")]),
+//!     vec![FromItem::base("S", "S")],
+//! ));
+//! let q1 = Query::Select(
+//!     SelectQuery::new(
+//!         SelectList::items([(Term::col("R", "A"), "A")]),
+//!         vec![FromItem::base("R", "R")],
+//!     )
+//!     .distinct()
+//!     .filter(Condition::not_in([Term::col("R", "A")], sub)),
+//! );
+//!
+//! // Under SQL's 3VL the NOT IN never succeeds: the answer is empty.
+//! let out = Evaluator::new(&db).eval(&q1).unwrap();
+//! assert!(out.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ast;
+pub mod check;
+pub mod dialect;
+pub mod env;
+pub mod error;
+pub mod eval;
+pub mod name;
+pub mod pred;
+pub mod row;
+pub mod schema;
+pub mod sig;
+pub mod table;
+pub mod truth;
+pub mod value;
+
+pub use ast::{Condition, FromItem, Query, SelectItem, SelectList, SelectQuery, SetOp, Term};
+pub use dialect::{Dialect, LogicMode};
+pub use env::{Binding, Env};
+pub use error::EvalError;
+pub use eval::{Evaluator, STAR_EXISTS_COLUMN, STAR_EXISTS_CONSTANT};
+pub use name::{FullName, Name};
+pub use pred::{Predicate, PredicateRegistry};
+pub use row::Row;
+pub use schema::{Database, Schema, SchemaBuilder, SchemaError};
+pub use table::Table;
+pub use truth::Truth;
+pub use value::{CmpOp, Value};

@@ -1,0 +1,188 @@
+//! Names and full names (the sets `N` and `N²` of the paper, §2).
+//!
+//! SQL column references in the *fully annotated* form of queries are always
+//! *full names* `T.A`: a pair of a table (or alias) name and an attribute
+//! name. Plain [`Name`]s name base tables, aliases, and output columns.
+//!
+//! Names are immutable and cheaply cloneable (`Arc<str>` internally), since
+//! the evaluator copies scopes per row.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::sync::Arc;
+
+/// An SQL identifier: the name of a table, alias, or column (an element of
+/// the countable set `N` of the paper).
+///
+/// Comparison, hashing and ordering are by the underlying string.
+///
+/// ```
+/// use sqlsem_core::Name;
+/// let a = Name::new("A");
+/// assert_eq!(a.as_str(), "A");
+/// assert_eq!(a, Name::from("A"));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Name(Arc<str>);
+
+impl Name {
+    /// Creates a name from any string-like value.
+    pub fn new(s: impl AsRef<str>) -> Self {
+        Name(Arc::from(s.as_ref()))
+    }
+
+    /// The name as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Builds the full name `self.column` (the prefixing operation
+    /// `N.(N₁,…,Nₙ)` of §3 applied to a single attribute).
+    pub fn dot(&self, column: impl Into<Name>) -> FullName {
+        FullName { table: self.clone(), column: column.into() }
+    }
+
+    /// Prefixes every name in `columns` with `self`, yielding the tuple of
+    /// full names `(self.N₁, …, self.Nₖ)` — the operation `N.(N₁,…,Nₖ)`
+    /// of §3 used to build the scope `ℓ(τ:β)`.
+    pub fn prefix(&self, columns: &[Name]) -> Vec<FullName> {
+        columns.iter().map(|c| self.dot(c.clone())).collect()
+    }
+}
+
+impl fmt::Debug for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Name({})", self.0)
+    }
+}
+
+impl fmt::Display for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Name {
+    fn from(s: &str) -> Self {
+        Name::new(s)
+    }
+}
+
+impl From<String> for Name {
+    fn from(s: String) -> Self {
+        Name(Arc::from(s))
+    }
+}
+
+impl From<&Name> for Name {
+    fn from(n: &Name) -> Self {
+        n.clone()
+    }
+}
+
+impl Borrow<str> for Name {
+    fn borrow(&self) -> &str {
+        &self.0
+    }
+}
+
+impl AsRef<str> for Name {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+/// A *full name* `T.A` — an element of `N²` in the paper, written `N₁.N₂`.
+///
+/// Full names are what the environment binds to values, and what the
+/// `SELECT` and `WHERE` clauses of annotated queries refer to.
+///
+/// ```
+/// use sqlsem_core::{FullName, Name};
+/// let fnm = Name::new("R").dot("A");
+/// assert_eq!(fnm.to_string(), "R.A");
+/// assert_eq!(fnm, FullName::new("R", "A"));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FullName {
+    /// The qualifier: a table name or alias introduced in a `FROM` clause.
+    pub table: Name,
+    /// The attribute name within that table.
+    pub column: Name,
+}
+
+impl FullName {
+    /// Creates the full name `table.column`.
+    pub fn new(table: impl Into<Name>, column: impl Into<Name>) -> Self {
+        FullName { table: table.into(), column: column.into() }
+    }
+}
+
+impl fmt::Debug for FullName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FullName({}.{})", self.table, self.column)
+    }
+}
+
+impl fmt::Display for FullName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.table, self.column)
+    }
+}
+
+impl From<(&str, &str)> for FullName {
+    fn from((t, c): (&str, &str)) -> Self {
+        FullName::new(t, c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn name_equality_is_by_string() {
+        assert_eq!(Name::new("abc"), Name::from("abc".to_string()));
+        assert_ne!(Name::new("abc"), Name::new("ABC"));
+    }
+
+    #[test]
+    fn name_ordering_is_lexicographic() {
+        let mut v = vec![Name::new("b"), Name::new("a"), Name::new("c")];
+        v.sort();
+        assert_eq!(v, vec![Name::new("a"), Name::new("b"), Name::new("c")]);
+    }
+
+    #[test]
+    fn names_hash_like_strings() {
+        let mut set = HashSet::new();
+        set.insert(Name::new("x"));
+        assert!(set.contains("x"));
+        assert!(!set.contains("y"));
+    }
+
+    #[test]
+    fn prefix_builds_scope_names() {
+        let r = Name::new("R");
+        let cols = [Name::new("A"), Name::new("B")];
+        let scope = r.prefix(&cols);
+        assert_eq!(scope, vec![FullName::new("R", "A"), FullName::new("R", "B")]);
+    }
+
+    #[test]
+    fn full_name_display() {
+        assert_eq!(FullName::new("T", "C").to_string(), "T.C");
+    }
+
+    #[test]
+    fn full_name_from_pair() {
+        let f: FullName = ("S", "B").into();
+        assert_eq!(f, FullName::new("S", "B"));
+    }
+
+    #[test]
+    fn dot_builds_full_name() {
+        assert_eq!(Name::new("R").dot("A"), FullName::new("R", "A"));
+    }
+}

@@ -1,0 +1,192 @@
+//! The collection `P` of predicates on base types (§2).
+//!
+//! The fragment is parameterised by a collection `P` of predicates, of
+//! which equality is always present; comparisons and `LIKE` are the
+//! paper's examples of type-specific members. Those are built into the
+//! AST ([`crate::ast::Condition::Cmp`], [`crate::ast::Condition::Like`]);
+//! this module provides the *open* part of `P`: a registry of named
+//! user predicates over non-null values.
+//!
+//! Per Figure 6, the evaluator applies a registered predicate only when
+//! all arguments are non-null; a `NULL` argument short-circuits to
+//! *unknown* (three-valued modes) or *false* (two-valued modes) before the
+//! predicate function is ever called, so predicate implementations never
+//! see nulls.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::EvalError;
+use crate::value::Value;
+
+/// The function type of a registered predicate: total on non-null values
+/// of the right types, erroring on type mismatches.
+pub type PredicateFn = dyn Fn(&[Value]) -> Result<bool, EvalError> + Send + Sync;
+
+/// A named predicate with a declared arity.
+#[derive(Clone)]
+pub struct Predicate {
+    arity: usize,
+    func: Arc<PredicateFn>,
+}
+
+impl Predicate {
+    /// Wraps a function as a predicate of the given arity.
+    pub fn new(
+        arity: usize,
+        func: impl Fn(&[Value]) -> Result<bool, EvalError> + Send + Sync + 'static,
+    ) -> Self {
+        Predicate { arity, func: Arc::new(func) }
+    }
+
+    /// Declared arity.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Applies the predicate to non-null arguments.
+    pub fn apply(&self, args: &[Value]) -> Result<bool, EvalError> {
+        (self.func)(args)
+    }
+}
+
+impl fmt::Debug for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Predicate(arity={})", self.arity)
+    }
+}
+
+/// A registry resolving predicate names used in
+/// [`crate::ast::Condition::Pred`] conditions.
+#[derive(Clone, Debug, Default)]
+pub struct PredicateRegistry {
+    preds: HashMap<String, Predicate>,
+}
+
+impl PredicateRegistry {
+    /// An empty registry — sufficient for all queries that stick to the
+    /// built-in comparisons and `LIKE`.
+    pub fn new() -> Self {
+        PredicateRegistry::default()
+    }
+
+    /// A registry with a few integer predicates used by tests, examples
+    /// and documentation: `even(x)`, `positive(x)` and `divides(d, x)`.
+    pub fn with_examples() -> Self {
+        let mut r = PredicateRegistry::new();
+        r.register("even", 1, |args| match &args[0] {
+            Value::Int(n) => Ok(n % 2 == 0),
+            v => Err(EvalError::TypeMismatch { op: "even".into(), left: v.type_name(), right: "-" }),
+        });
+        r.register("positive", 1, |args| match &args[0] {
+            Value::Int(n) => Ok(*n > 0),
+            v => Err(EvalError::TypeMismatch {
+                op: "positive".into(),
+                left: v.type_name(),
+                right: "-",
+            }),
+        });
+        r.register("divides", 2, |args| match (&args[0], &args[1]) {
+            (Value::Int(d), Value::Int(n)) => Ok(*d != 0 && n % d == 0),
+            (a, b) => Err(EvalError::TypeMismatch {
+                op: "divides".into(),
+                left: a.type_name(),
+                right: b.type_name(),
+            }),
+        });
+        r
+    }
+
+    /// Registers (or replaces) a predicate under `name`.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        arity: usize,
+        func: impl Fn(&[Value]) -> Result<bool, EvalError> + Send + Sync + 'static,
+    ) {
+        self.preds.insert(name.into(), Predicate::new(arity, func));
+    }
+
+    /// Resolves and applies a predicate, checking arity. Arguments must
+    /// already be non-null (the Figure 6 null rule is the caller's job).
+    pub fn apply(&self, name: &str, args: &[Value]) -> Result<bool, EvalError> {
+        let Some(p) = self.preds.get(name) else {
+            return Err(EvalError::UnknownPredicate(name.to_string()));
+        };
+        if args.len() != p.arity() {
+            return Err(EvalError::PredicateArity {
+                name: name.to_string(),
+                expected: p.arity(),
+                got: args.len(),
+            });
+        }
+        p.apply(args)
+    }
+
+    /// `true` iff a predicate with this name is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.preds.contains_key(name)
+    }
+
+    /// Number of registered predicates.
+    pub fn len(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// `true` iff no predicates are registered.
+    pub fn is_empty(&self) -> bool {
+        self.preds.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn examples_registry_works() {
+        let r = PredicateRegistry::with_examples();
+        assert!(r.apply("even", &[Value::Int(4)]).unwrap());
+        assert!(!r.apply("even", &[Value::Int(3)]).unwrap());
+        assert!(r.apply("positive", &[Value::Int(1)]).unwrap());
+        assert!(!r.apply("positive", &[Value::Int(-1)]).unwrap());
+        assert!(r.apply("divides", &[Value::Int(3), Value::Int(9)]).unwrap());
+        assert!(!r.apply("divides", &[Value::Int(0), Value::Int(9)]).unwrap());
+    }
+
+    #[test]
+    fn unknown_predicate_errors() {
+        let r = PredicateRegistry::new();
+        assert_eq!(
+            r.apply("nope", &[Value::Int(1)]).unwrap_err(),
+            EvalError::UnknownPredicate("nope".into())
+        );
+    }
+
+    #[test]
+    fn arity_is_checked() {
+        let r = PredicateRegistry::with_examples();
+        assert_eq!(
+            r.apply("even", &[Value::Int(1), Value::Int(2)]).unwrap_err(),
+            EvalError::PredicateArity { name: "even".into(), expected: 1, got: 2 }
+        );
+    }
+
+    #[test]
+    fn type_errors_propagate() {
+        let r = PredicateRegistry::with_examples();
+        assert!(r.apply("even", &[Value::str("x")]).is_err());
+    }
+
+    #[test]
+    fn registration_replaces() {
+        let mut r = PredicateRegistry::new();
+        r.register("p", 1, |_| Ok(true));
+        assert!(r.apply("p", &[Value::Int(0)]).unwrap());
+        r.register("p", 1, |_| Ok(false));
+        assert!(!r.apply("p", &[Value::Int(0)]).unwrap());
+        assert_eq!(r.len(), 1);
+        assert!(!r.is_empty());
+    }
+}

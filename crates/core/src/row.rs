@@ -1,0 +1,252 @@
+//! Records: tuples of values (§2).
+//!
+//! A [`Row`] is "a tuple of elements of `C ∪ {NULL}`" — the unit of data in
+//! tables. Rows compare, hash and order by *syntactic* identity (`NULL`
+//! equals `NULL`), which is exactly the comparison SQL's bag operations and
+//! `DISTINCT` use (§1, §3).
+
+use std::fmt;
+use std::ops::Index;
+
+use crate::value::Value;
+
+/// A record: a fixed tuple of [`Value`]s.
+///
+/// The derived `Eq`/`Hash`/`Ord` give syntactic identity on records (two
+/// `NULL`s are identical), matching the paper's treatment of records in bag
+/// operations. Ordering is used only to render tables deterministically.
+///
+/// ```
+/// use sqlsem_core::{row, Row, Value};
+/// let r = row![1, Value::Null, "x"];
+/// assert_eq!(r.arity(), 3);
+/// assert_eq!(r[0], Value::Int(1));
+/// assert!(r[1].is_null());
+/// ```
+#[derive(Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Row(Vec<Value>);
+
+impl Row {
+    /// Creates a record from a vector of values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Row(values)
+    }
+
+    /// The empty record. Only used transiently while building products;
+    /// tables never hold zero-arity rows (§2 requires arity `k > 0`).
+    pub fn empty() -> Self {
+        Row(Vec::new())
+    }
+
+    /// Number of values in the record.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// `true` iff the record has no values.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The value at position `i`, if any.
+    pub fn get(&self, i: usize) -> Option<&Value> {
+        self.0.get(i)
+    }
+
+    /// The values as a slice.
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// Iterates over the values.
+    pub fn iter(&self) -> std::slice::Iter<'_, Value> {
+        self.0.iter()
+    }
+
+    /// Concatenation of two records — the record `(r̄₁, r̄₂)` used by the
+    /// Cartesian product (§3).
+    #[must_use]
+    pub fn concat(&self, other: &Row) -> Row {
+        let mut v = Vec::with_capacity(self.0.len() + other.0.len());
+        v.extend_from_slice(&self.0);
+        v.extend_from_slice(&other.0);
+        Row(v)
+    }
+
+    /// Appends the values of `other` in place (used by product loops to
+    /// avoid intermediate allocations).
+    pub fn extend(&mut self, other: &Row) {
+        self.0.extend_from_slice(&other.0);
+    }
+
+    /// The record restricted to the given positions (bag projection).
+    ///
+    /// # Panics
+    /// Panics if a position is out of bounds; callers validate positions
+    /// against the table signature first.
+    #[must_use]
+    pub fn project(&self, positions: &[usize]) -> Row {
+        Row(positions.iter().map(|&i| self.0[i].clone()).collect())
+    }
+
+    /// `true` iff any value in the record is `NULL`.
+    pub fn has_null(&self) -> bool {
+        self.0.iter().any(Value::is_null)
+    }
+
+    /// Consumes the record, returning its values.
+    pub fn into_values(self) -> Vec<Value> {
+        self.0
+    }
+}
+
+impl Index<usize> for Row {
+    type Output = Value;
+    fn index(&self, i: usize) -> &Value {
+        &self.0[i]
+    }
+}
+
+impl From<Vec<Value>> for Row {
+    fn from(v: Vec<Value>) -> Self {
+        Row(v)
+    }
+}
+
+impl FromIterator<Value> for Row {
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Self {
+        Row(iter.into_iter().collect())
+    }
+}
+
+impl IntoIterator for Row {
+    type Item = Value;
+    type IntoIter = std::vec::IntoIter<Value>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Row {
+    type Item = &'a Value;
+    type IntoIter = std::slice::Iter<'a, Value>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+/// Shared rendering for `Debug` and `Display`: `(v₁, v₂, …)`.
+fn fmt_tuple(values: &[Value], f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    f.write_str("(")?;
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            f.write_str(", ")?;
+        }
+        write!(f, "{v}")?;
+    }
+    f.write_str(")")
+}
+
+impl fmt::Debug for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_tuple(&self.0, f)
+    }
+}
+
+impl fmt::Display for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_tuple(&self.0, f)
+    }
+}
+
+/// Builds a [`Row`] from value-like expressions.
+///
+/// Each element is converted with `Into<Value>`, so integers, `&str`,
+/// booleans and [`Value`]s (e.g. `Value::Null`) can be mixed freely:
+///
+/// ```
+/// use sqlsem_core::{row, Value};
+/// let r = row![1, "a", Value::Null, true];
+/// assert_eq!(r.arity(), 4);
+/// ```
+#[macro_export]
+macro_rules! row {
+    ($($v:expr),* $(,)?) => {
+        $crate::Row::new(vec![$($crate::Value::from($v)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn rows_compare_syntactically() {
+        assert_eq!(row![1, Value::Null], row![1, Value::Null]);
+        assert_ne!(row![1, Value::Null], row![1, 2]);
+        assert_ne!(row![1], row![1, 1]);
+    }
+
+    #[test]
+    fn rows_hash_syntactically() {
+        let mut set = HashSet::new();
+        set.insert(row![Value::Null]);
+        assert!(set.contains(&row![Value::Null]));
+        assert!(!set.contains(&row![0]));
+    }
+
+    #[test]
+    fn concat_preserves_order() {
+        let r = row![1, 2].concat(&row![3]);
+        assert_eq!(r, row![1, 2, 3]);
+        assert_eq!(r.arity(), 3);
+    }
+
+    #[test]
+    fn extend_matches_concat() {
+        let mut r = row![1];
+        r.extend(&row![2, 3]);
+        assert_eq!(r, row![1].concat(&row![2, 3]));
+    }
+
+    #[test]
+    fn project_picks_positions() {
+        let r = row![10, 20, 30];
+        assert_eq!(r.project(&[2, 0, 0]), row![30, 10, 10]);
+        assert_eq!(r.project(&[]), Row::empty());
+    }
+
+    #[test]
+    fn has_null_detects_nulls() {
+        assert!(row![1, Value::Null].has_null());
+        assert!(!row![1, 2].has_null());
+        assert!(!Row::empty().has_null());
+    }
+
+    #[test]
+    fn display_is_tuple_notation() {
+        assert_eq!(row![1, Value::Null, "a"].to_string(), "(1, NULL, 'a')");
+        assert_eq!(Row::empty().to_string(), "()");
+    }
+
+    #[test]
+    fn indexing_and_get() {
+        let r = row![7, 8];
+        assert_eq!(r[1], Value::Int(8));
+        assert_eq!(r.get(2), None);
+    }
+
+    #[test]
+    fn iteration_orders_left_to_right() {
+        let r = row![1, 2, 3];
+        let v: Vec<i64> = r
+            .iter()
+            .map(|v| match v {
+                Value::Int(n) => *n,
+                _ => panic!(),
+            })
+            .collect();
+        assert_eq!(v, vec![1, 2, 3]);
+    }
+}

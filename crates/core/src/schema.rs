@@ -1,0 +1,318 @@
+//! Schemas and databases (§2).
+//!
+//! A schema is a set of base-table names, each associated with a non-empty
+//! tuple `ℓ(R)` of *distinct* attribute names; a database maps each base
+//! table to a table of matching arity. Note the asymmetry the paper points
+//! out: *base* tables cannot have repeated column names, but query outputs
+//! can.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::error::EvalError;
+use crate::name::Name;
+use crate::table::Table;
+
+/// A database schema: an ordered collection of base-table declarations
+/// `R(A₁, …, Aₙ)` with distinct attribute names.
+///
+/// ```
+/// use sqlsem_core::Schema;
+/// let schema = Schema::builder()
+///     .table("R", ["A"])
+///     .table("S", ["A", "B"])
+///     .build()
+///     .unwrap();
+/// assert_eq!(schema.attributes("S").unwrap().len(), 2);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Schema {
+    tables: Vec<(Name, Vec<Name>)>,
+    index: HashMap<Name, usize>,
+}
+
+impl Schema {
+    /// Starts building a schema.
+    pub fn builder() -> SchemaBuilder {
+        SchemaBuilder { tables: Vec::new() }
+    }
+
+    /// The attribute tuple `ℓ(R)` of a base table, if declared.
+    pub fn attributes(&self, table: impl AsRef<str>) -> Option<&[Name]> {
+        self.index.get(table.as_ref()).map(|&i| self.tables[i].1.as_slice())
+    }
+
+    /// `true` iff the schema declares a base table with this name.
+    pub fn contains(&self, table: impl AsRef<str>) -> bool {
+        self.index.contains_key(table.as_ref())
+    }
+
+    /// Iterates over the declarations in declaration order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Name, &[Name])> {
+        self.tables.iter().map(|(n, attrs)| (n, attrs.as_slice()))
+    }
+
+    /// The set of all column names of all base tables — the set `N_base`
+    /// used when choosing the renaming `χ` in §5.
+    pub fn all_attribute_names(&self) -> impl Iterator<Item = &Name> {
+        self.tables.iter().flat_map(|(_, attrs)| attrs.iter())
+    }
+
+    /// Number of base tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// `true` iff the schema declares no tables.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, (name, attrs)) in self.tables.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{name}(")?;
+            for (j, a) in attrs.iter().enumerate() {
+                if j > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{a}")?;
+            }
+            f.write_str(")")?;
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`Schema`]; validation happens in [`SchemaBuilder::build`].
+#[derive(Clone, Debug)]
+pub struct SchemaBuilder {
+    tables: Vec<(Name, Vec<Name>)>,
+}
+
+impl SchemaBuilder {
+    /// Declares a base table `name(attrs…)`.
+    pub fn table<N, A, I>(mut self, name: N, attrs: I) -> Self
+    where
+        N: Into<Name>,
+        A: Into<Name>,
+        I: IntoIterator<Item = A>,
+    {
+        self.tables.push((name.into(), attrs.into_iter().map(Into::into).collect()));
+        self
+    }
+
+    /// Finishes the schema, checking that table names are unique and each
+    /// attribute tuple is non-empty with distinct names (§2).
+    pub fn build(self) -> Result<Schema, SchemaError> {
+        let mut index = HashMap::with_capacity(self.tables.len());
+        for (i, (name, attrs)) in self.tables.iter().enumerate() {
+            if index.insert(name.clone(), i).is_some() {
+                return Err(SchemaError::DuplicateTable(name.clone()));
+            }
+            if attrs.is_empty() {
+                return Err(SchemaError::NoAttributes(name.clone()));
+            }
+            let mut seen = std::collections::HashSet::with_capacity(attrs.len());
+            for a in attrs {
+                if !seen.insert(a.clone()) {
+                    return Err(SchemaError::DuplicateAttribute {
+                        table: name.clone(),
+                        attribute: a.clone(),
+                    });
+                }
+            }
+        }
+        Ok(Schema { tables: self.tables, index })
+    }
+}
+
+/// Errors raised when declaring a schema.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SchemaError {
+    /// Two base tables share a name.
+    DuplicateTable(Name),
+    /// A base table has repeated attribute names (§2 requires base-table
+    /// attributes to be distinct).
+    DuplicateAttribute {
+        /// The table with the repetition.
+        table: Name,
+        /// The repeated attribute.
+        attribute: Name,
+    },
+    /// A base table was declared with no attributes.
+    NoAttributes(Name),
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::DuplicateTable(t) => write!(f, "table {t} declared more than once"),
+            SchemaError::DuplicateAttribute { table, attribute } => {
+                write!(f, "table {table} declares attribute {attribute} more than once")
+            }
+            SchemaError::NoAttributes(t) => write!(f, "table {t} has no attributes"),
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+/// A database `D`: an instance assigning to each base table of a schema a
+/// bag of records of matching arity.
+///
+/// Tables that have not been populated are implicitly empty. The stored
+/// table's column names are always the schema's attribute names.
+///
+/// ```
+/// use sqlsem_core::{Database, Schema, Value, table};
+/// let schema = Schema::builder().table("R", ["A"]).build().unwrap();
+/// let mut db = Database::new(schema);
+/// db.insert("R", table! { ["A"]; [1], [Value::Null] }).unwrap();
+/// assert_eq!(db.table("R").unwrap().len(), 2);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Database {
+    schema: Schema,
+    tables: HashMap<Name, Table>,
+}
+
+impl Database {
+    /// Creates a database over the schema with every base table empty.
+    pub fn new(schema: Schema) -> Self {
+        Database { schema, tables: HashMap::new() }
+    }
+
+    /// The schema of the database.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Populates (or replaces) the contents of base table `name`.
+    ///
+    /// The given table must have the arity the schema declares; its column
+    /// names are replaced by the schema's attribute names.
+    pub fn insert(&mut self, name: impl Into<Name>, table: Table) -> Result<(), EvalError> {
+        let name = name.into();
+        let Some(attrs) = self.schema.attributes(&name) else {
+            return Err(EvalError::UnknownTable(name));
+        };
+        if table.arity() != attrs.len() {
+            return Err(EvalError::ArityMismatch {
+                context: "database instance",
+                left: attrs.len(),
+                right: table.arity(),
+            });
+        }
+        let table = table.with_columns(attrs.to_vec())?;
+        self.tables.insert(name, table);
+        Ok(())
+    }
+
+    /// The interpretation `R^D` of a base table: its stored contents, or
+    /// an empty table with the schema's columns if never populated.
+    pub fn table(&self, name: impl AsRef<str>) -> Result<Table, EvalError> {
+        let name = name.as_ref();
+        if let Some(t) = self.tables.get(name) {
+            return Ok(t.clone());
+        }
+        match self.schema.attributes(name) {
+            Some(attrs) => Table::new(attrs.to_vec()),
+            None => Err(EvalError::UnknownTable(Name::new(name))),
+        }
+    }
+
+    /// Total number of rows across all base tables (for experiment
+    /// reporting).
+    pub fn total_rows(&self) -> usize {
+        self.tables.values().map(Table::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{row, table};
+
+    #[test]
+    fn builder_validates_duplicate_tables() {
+        let err = Schema::builder().table("R", ["A"]).table("R", ["B"]).build().unwrap_err();
+        assert_eq!(err, SchemaError::DuplicateTable(Name::new("R")));
+    }
+
+    #[test]
+    fn builder_validates_duplicate_attributes() {
+        let err = Schema::builder().table("R", ["A", "A"]).build().unwrap_err();
+        assert_eq!(
+            err,
+            SchemaError::DuplicateAttribute { table: Name::new("R"), attribute: Name::new("A") }
+        );
+    }
+
+    #[test]
+    fn builder_validates_empty_attributes() {
+        let err = Schema::builder().table("R", Vec::<Name>::new()).build().unwrap_err();
+        assert_eq!(err, SchemaError::NoAttributes(Name::new("R")));
+    }
+
+    #[test]
+    fn attributes_lookup() {
+        let s = Schema::builder().table("R", ["A", "B"]).build().unwrap();
+        assert_eq!(s.attributes("R").unwrap(), &[Name::new("A"), Name::new("B")]);
+        assert!(s.attributes("S").is_none());
+        assert!(s.contains("R"));
+        assert!(!s.contains("S"));
+    }
+
+    #[test]
+    fn schema_display() {
+        let s = Schema::builder().table("R", ["A"]).table("S", ["B", "C"]).build().unwrap();
+        assert_eq!(s.to_string(), "R(A)\nS(B, C)");
+    }
+
+    #[test]
+    fn unpopulated_tables_are_empty() {
+        let s = Schema::builder().table("R", ["A"]).build().unwrap();
+        let db = Database::new(s);
+        let t = db.table("R").unwrap();
+        assert!(t.is_empty());
+        assert_eq!(t.columns(), &[Name::new("A")]);
+    }
+
+    #[test]
+    fn insert_checks_schema() {
+        let s = Schema::builder().table("R", ["A"]).build().unwrap();
+        let mut db = Database::new(s);
+        assert!(matches!(
+            db.insert("X", table! { ["A"]; [1] }).unwrap_err(),
+            EvalError::UnknownTable(_)
+        ));
+        assert!(matches!(
+            db.insert("R", table! { ["A", "B"]; [1, 2] }).unwrap_err(),
+            EvalError::ArityMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn insert_adopts_schema_column_names() {
+        let s = Schema::builder().table("R", ["A"]).build().unwrap();
+        let mut db = Database::new(s);
+        db.insert("R", table! { ["anything"]; [7] }).unwrap();
+        let t = db.table("R").unwrap();
+        assert_eq!(t.columns(), &[Name::new("A")]);
+        assert_eq!(t.multiplicity(&row![7]), 1);
+    }
+
+    #[test]
+    fn total_rows_sums_tables() {
+        let s = Schema::builder().table("R", ["A"]).table("S", ["B"]).build().unwrap();
+        let mut db = Database::new(s);
+        db.insert("R", table! { ["A"]; [1], [2] }).unwrap();
+        db.insert("S", table! { ["B"]; [3] }).unwrap();
+        assert_eq!(db.total_rows(), 3);
+    }
+}

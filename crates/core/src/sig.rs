@@ -1,0 +1,206 @@
+//! Output attributes `ℓ(Q)` and scopes `ℓ(τ:β)` (Figure 3 and §3).
+//!
+//! `ℓ(Q)` is the tuple of (plain) names labelling the columns of the table
+//! a query produces; it is defined inductively:
+//!
+//! ```text
+//! ℓ(R)                                = the schema's attribute tuple
+//! ℓ(τ)                                = ℓ(T₁) ⋯ ℓ(Tₖ)
+//! ℓ(SELECT [DISTINCT] α:β′ FROM …)    = β′
+//! ℓ(SELECT [DISTINCT] * FROM τ:β …)   = ℓ(τ)
+//! ℓ(Q₁ op [ALL] Q₂)                   = ℓ(Q₁)
+//! ```
+//!
+//! The *scope* of a `FROM` clause, `ℓ(τ:β) = N₁.ℓ(T₁) ⋯ Nₖ.ℓ(Tₖ)`, is the
+//! tuple of **full** names the clause brings into scope; the evaluator
+//! binds it to each record of the Cartesian product (§3).
+
+use crate::ast::{FromItem, Query, SelectList, TableRef};
+use crate::error::EvalError;
+use crate::name::{FullName, Name};
+use crate::schema::Schema;
+
+/// The output attribute tuple `ℓ(Q)` of a query (Figure 3).
+///
+/// Needs the schema to resolve the attribute tuples of base tables.
+/// Errors if a base table is unknown or a `FROM` column renaming has the
+/// wrong arity; both mark queries that would not compile.
+pub fn output_columns(query: &Query, schema: &Schema) -> Result<Vec<Name>, EvalError> {
+    match query {
+        Query::Select(s) => match &s.select {
+            SelectList::Items(items) => {
+                if items.is_empty() {
+                    return Err(EvalError::ZeroArity);
+                }
+                Ok(items.iter().map(|i| i.alias.clone()).collect())
+            }
+            SelectList::Star => {
+                let mut cols = Vec::new();
+                for item in &s.from {
+                    cols.extend(from_item_columns(item, schema)?);
+                }
+                Ok(cols)
+            }
+        },
+        Query::SetOp { left, .. } => output_columns(left, schema),
+    }
+}
+
+/// The column tuple contributed by one `FROM` item: the item's renaming
+/// `(A₁,…,Aₙ)` when present, otherwise `ℓ(T)` of the underlying table.
+pub fn from_item_columns(item: &FromItem, schema: &Schema) -> Result<Vec<Name>, EvalError> {
+    let natural = match &item.table {
+        TableRef::Base(r) => match schema.attributes(r) {
+            Some(attrs) => attrs.to_vec(),
+            None => return Err(EvalError::UnknownTable(r.clone())),
+        },
+        TableRef::Query(q) => output_columns(q, schema)?,
+    };
+    match &item.columns {
+        None => Ok(natural),
+        Some(renamed) => {
+            if renamed.len() != natural.len() {
+                return Err(EvalError::ColumnRenameArity {
+                    alias: item.alias.clone(),
+                    expected: natural.len(),
+                    got: renamed.len(),
+                });
+            }
+            Ok(renamed.clone())
+        }
+    }
+}
+
+/// The scope `ℓ(τ:β)` of a `FROM` clause: each item's columns prefixed by
+/// its alias, concatenated in clause order (§3).
+///
+/// Also rejects duplicate aliases within one `FROM` clause, which RDBMSs
+/// refuse at compile time.
+pub fn scope(from: &[FromItem], schema: &Schema) -> Result<Vec<FullName>, EvalError> {
+    check_distinct_aliases(from)?;
+    let mut names = Vec::new();
+    for item in from {
+        let cols = from_item_columns(item, schema)?;
+        names.extend(item.alias.prefix(&cols));
+    }
+    Ok(names)
+}
+
+/// Errors with [`EvalError::DuplicateAlias`] if two `FROM` items share an
+/// alias.
+pub fn check_distinct_aliases(from: &[FromItem]) -> Result<(), EvalError> {
+    let mut seen = std::collections::HashSet::with_capacity(from.len());
+    for item in from {
+        if !seen.insert(&item.alias) {
+            return Err(EvalError::DuplicateAlias(item.alias.clone()));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{SelectQuery, Term};
+
+    fn schema() -> Schema {
+        Schema::builder().table("R", ["A", "B"]).table("S", ["A", "C"]).build().unwrap()
+    }
+
+    fn names(ns: &[&str]) -> Vec<Name> {
+        ns.iter().map(Name::new).collect()
+    }
+
+    #[test]
+    fn explicit_select_list_gives_aliases() {
+        let q = Query::Select(SelectQuery::new(
+            SelectList::items([(Term::col("R", "A"), "X"), (Term::col("R", "A"), "Y")]),
+            vec![FromItem::base("R", "R")],
+        ));
+        assert_eq!(output_columns(&q, &schema()).unwrap(), names(&["X", "Y"]));
+    }
+
+    #[test]
+    fn star_concatenates_from_signatures() {
+        // The paper's own example: SELECT * FROM R,S with R(A,B), S(A,C)
+        // has ℓ(Q) = (A, B, A, C).
+        let q = Query::Select(SelectQuery::new(
+            SelectList::Star,
+            vec![FromItem::base("R", "R"), FromItem::base("S", "S")],
+        ));
+        assert_eq!(output_columns(&q, &schema()).unwrap(), names(&["A", "B", "A", "C"]));
+    }
+
+    #[test]
+    fn star_uses_renamed_columns() {
+        let q = Query::Select(SelectQuery::new(
+            SelectList::Star,
+            vec![FromItem::base("R", "T").with_columns(["X", "Y"])],
+        ));
+        assert_eq!(output_columns(&q, &schema()).unwrap(), names(&["X", "Y"]));
+    }
+
+    #[test]
+    fn setop_takes_left_signature() {
+        let left = Query::Select(SelectQuery::new(
+            SelectList::items([(Term::col("R", "A"), "L")]),
+            vec![FromItem::base("R", "R")],
+        ));
+        let right = Query::Select(SelectQuery::new(
+            SelectList::items([(Term::col("S", "A"), "R")]),
+            vec![FromItem::base("S", "S")],
+        ));
+        let q = left.union(right, true);
+        assert_eq!(output_columns(&q, &schema()).unwrap(), names(&["L"]));
+    }
+
+    #[test]
+    fn scope_prefixes_with_aliases() {
+        let from = vec![FromItem::base("R", "X"), FromItem::base("S", "Y")];
+        let s = scope(&from, &schema()).unwrap();
+        assert_eq!(
+            s,
+            vec![
+                FullName::new("X", "A"),
+                FullName::new("X", "B"),
+                FullName::new("Y", "A"),
+                FullName::new("Y", "C"),
+            ]
+        );
+    }
+
+    #[test]
+    fn scope_rejects_duplicate_aliases() {
+        let from = vec![FromItem::base("R", "T"), FromItem::base("S", "T")];
+        assert_eq!(
+            scope(&from, &schema()).unwrap_err(),
+            EvalError::DuplicateAlias(Name::new("T"))
+        );
+    }
+
+    #[test]
+    fn unknown_base_table_is_an_error() {
+        let from = vec![FromItem::base("Z", "Z")];
+        assert_eq!(scope(&from, &schema()).unwrap_err(), EvalError::UnknownTable(Name::new("Z")));
+    }
+
+    #[test]
+    fn column_rename_arity_checked() {
+        let from = vec![FromItem::base("R", "T").with_columns(["X"])];
+        assert!(matches!(
+            scope(&from, &schema()).unwrap_err(),
+            EvalError::ColumnRenameArity { expected: 2, got: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn subquery_signature_flows_through_from() {
+        let inner = Query::Select(SelectQuery::new(
+            SelectList::items([(Term::col("R", "A"), "P"), (Term::col("R", "B"), "Q")]),
+            vec![FromItem::base("R", "R")],
+        ));
+        let from = vec![FromItem::subquery(inner, "U")];
+        let s = scope(&from, &schema()).unwrap();
+        assert_eq!(s, vec![FullName::new("U", "P"), FullName::new("U", "Q")]);
+    }
+}

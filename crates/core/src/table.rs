@@ -1,0 +1,465 @@
+//! Tables as bags of records, and the bag operations of §3.
+//!
+//! A table of arity `k > 0` is a *bag* of records of length `k` (§2): the
+//! same record can occur multiple times, and the multiplicity `#(r̄, T)` is
+//! part of the data. A [`Table`] also carries the tuple of column names of
+//! its output — possibly with repetitions, since SQL queries can produce
+//! tables with repeated column names (`SELECT R.A, R.A FROM R`).
+//!
+//! The bag operations implemented here are exactly those of §3
+//! ("Operations on tables"), keyed on *syntactic* record identity
+//! (`NULL` equals `NULL`):
+//!
+//! ```text
+//! #(t̄, T₁ ∪ T₂) = #(t̄, T₁) + #(t̄, T₂)
+//! #(t̄, T₁ ∩ T₂) = min(#(t̄, T₁), #(t̄, T₂))
+//! #(t̄, T₁ − T₂) = max(#(t̄, T₁) − #(t̄, T₂), 0)
+//! #((t̄₁,t̄₂), T₁ × T₂) = #(t̄₁, T₁) · #(t̄₂, T₂)
+//! #(t̄, ε(T)) = min(#(t̄, T), 1)
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::error::EvalError;
+use crate::name::Name;
+use crate::row::Row;
+
+/// A table: a tuple of column names plus a bag of records of matching
+/// arity.
+///
+/// Row order is internally preserved (insertion order) but is *not* part
+/// of the table's identity: the §4 correctness criterion compares tables
+/// by column names and row multiplicities only, which is what
+/// [`Table::coincides`] implements.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Table {
+    columns: Vec<Name>,
+    rows: Vec<Row>,
+}
+
+impl Table {
+    /// Creates an empty table with the given column names.
+    ///
+    /// Errors with [`EvalError::ZeroArity`] if `columns` is empty: the
+    /// data model requires arity `k > 0` (§2).
+    pub fn new(columns: Vec<Name>) -> Result<Self, EvalError> {
+        if columns.is_empty() {
+            return Err(EvalError::ZeroArity);
+        }
+        Ok(Table { columns, rows: Vec::new() })
+    }
+
+    /// Creates a table with the given columns and rows, validating that
+    /// every row has the right arity.
+    pub fn with_rows(columns: Vec<Name>, rows: Vec<Row>) -> Result<Self, EvalError> {
+        let mut t = Table::new(columns)?;
+        for r in rows {
+            t.push(r)?;
+        }
+        Ok(t)
+    }
+
+    /// Appends one occurrence of a record to the bag.
+    pub fn push(&mut self, row: Row) -> Result<(), EvalError> {
+        if row.arity() != self.arity() {
+            return Err(EvalError::RowArity { expected: self.arity(), got: row.arity() });
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// The tuple of column names (possibly with repetitions).
+    pub fn columns(&self) -> &[Name] {
+        &self.columns
+    }
+
+    /// Renames the columns, keeping the rows. Used by set operations
+    /// (which adopt the left operand's names, Figure 3) and by the
+    /// algebra's ρ.
+    pub fn with_columns(mut self, columns: Vec<Name>) -> Result<Self, EvalError> {
+        if columns.len() != self.arity() {
+            return Err(EvalError::ArityMismatch {
+                context: "column rename",
+                left: self.arity(),
+                right: columns.len(),
+            });
+        }
+        self.columns = columns;
+        Ok(self)
+    }
+
+    /// The arity `k` of the table.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Total number of records counted with multiplicity, `Σ_r̄ #(r̄, T)`.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` iff the bag has no records — the test `EXISTS` performs
+    /// (Figure 6).
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Iterates over the records, with multiplicity (each occurrence is
+    /// yielded separately).
+    pub fn rows(&self) -> std::slice::Iter<'_, Row> {
+        self.rows.iter()
+    }
+
+    /// Consumes the table, returning its rows.
+    pub fn into_rows(self) -> Vec<Row> {
+        self.rows
+    }
+
+    /// The multiplicity `#(r̄, T)` of a record in the bag; `0` if the
+    /// record does not occur.
+    pub fn multiplicity(&self, row: &Row) -> usize {
+        self.rows.iter().filter(|r| *r == row).count()
+    }
+
+    /// `true` iff `r̄ ∈ T`, i.e. `#(r̄, T) > 0`.
+    pub fn contains(&self, row: &Row) -> bool {
+        self.rows.iter().any(|r| r == row)
+    }
+
+    /// The multiplicity map of the bag: each distinct record with its
+    /// count. Keyed on syntactic record identity.
+    pub fn counts(&self) -> HashMap<&Row, usize> {
+        let mut m: HashMap<&Row, usize> = HashMap::with_capacity(self.rows.len());
+        for r in &self.rows {
+            *m.entry(r).or_insert(0) += 1;
+        }
+        m
+    }
+
+    /// Bag union `T₁ ∪ T₂`: multiplicities add. Column names are taken
+    /// from the left operand (Figure 3: `ℓ(Q₁ UNION ALL Q₂) = ℓ(Q₁)`).
+    pub fn union_all(&self, other: &Table) -> Result<Table, EvalError> {
+        self.check_compatible(other, "UNION ALL")?;
+        let mut rows = Vec::with_capacity(self.rows.len() + other.rows.len());
+        rows.extend_from_slice(&self.rows);
+        rows.extend_from_slice(&other.rows);
+        Ok(Table { columns: self.columns.clone(), rows })
+    }
+
+    /// Bag intersection `T₁ ∩ T₂`: multiplicities take the minimum.
+    pub fn intersect_all(&self, other: &Table) -> Result<Table, EvalError> {
+        self.check_compatible(other, "INTERSECT ALL")?;
+        let mut budget = other.counts();
+        let rows = self
+            .rows
+            .iter()
+            .filter(|r| match budget.get_mut(*r) {
+                Some(n) if *n > 0 => {
+                    *n -= 1;
+                    true
+                }
+                _ => false,
+            })
+            .cloned()
+            .collect();
+        Ok(Table { columns: self.columns.clone(), rows })
+    }
+
+    /// Bag difference `T₁ − T₂`: multiplicities subtract, floored at zero.
+    pub fn except_all(&self, other: &Table) -> Result<Table, EvalError> {
+        self.check_compatible(other, "EXCEPT ALL")?;
+        let mut budget = other.counts();
+        let rows = self
+            .rows
+            .iter()
+            .filter(|r| match budget.get_mut(*r) {
+                Some(n) if *n > 0 => {
+                    *n -= 1;
+                    false
+                }
+                _ => true,
+            })
+            .cloned()
+            .collect();
+        Ok(Table { columns: self.columns.clone(), rows })
+    }
+
+    /// Cartesian product `T₁ × T₂`: multiplicities multiply, records
+    /// concatenate, column tuples concatenate.
+    #[must_use]
+    pub fn product(&self, other: &Table) -> Table {
+        let mut columns = Vec::with_capacity(self.arity() + other.arity());
+        columns.extend_from_slice(&self.columns);
+        columns.extend_from_slice(&other.columns);
+        let mut rows = Vec::with_capacity(self.rows.len() * other.rows.len());
+        for left in &self.rows {
+            for right in &other.rows {
+                rows.push(left.concat(right));
+            }
+        }
+        Table { columns, rows }
+    }
+
+    /// Duplicate elimination `ε(T)`: keeps one occurrence of each record
+    /// (the first, preserving encounter order).
+    #[must_use]
+    pub fn distinct(&self) -> Table {
+        let mut seen = std::collections::HashSet::with_capacity(self.rows.len());
+        let rows = self.rows.iter().filter(|r| seen.insert((*r).clone())).cloned().collect();
+        Table { columns: self.columns.clone(), rows }
+    }
+
+    /// `true` iff the two bags contain the same records with the same
+    /// multiplicities, ignoring column names and row order.
+    pub fn multiset_eq(&self, other: &Table) -> bool {
+        self.arity() == other.arity()
+            && self.rows.len() == other.rows.len()
+            && self.counts() == other.counts()
+    }
+
+    /// The §4 correctness criterion: the tables *coincide* iff they have
+    /// the same number of columns, with the same names in the same order,
+    /// and the same rows with the same multiplicities (row order is
+    /// arbitrary).
+    pub fn coincides(&self, other: &Table) -> bool {
+        self.columns == other.columns && self.multiset_eq(other)
+    }
+
+    /// The rows sorted by syntactic value order; used only for
+    /// deterministic rendering and golden tests.
+    pub fn sorted_rows(&self) -> Vec<Row> {
+        let mut rows = self.rows.clone();
+        rows.sort();
+        rows
+    }
+}
+
+impl Table {
+    fn check_compatible(&self, other: &Table, context: &'static str) -> Result<(), EvalError> {
+        if self.arity() != other.arity() {
+            return Err(EvalError::ArityMismatch {
+                context,
+                left: self.arity(),
+                right: other.arity(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Table {
+    /// Renders the table with a header row and sorted records, e.g.:
+    ///
+    /// ```text
+    ///  A | B
+    /// ---+---
+    ///  1 | NULL
+    /// ```
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let header: Vec<String> = self.columns.iter().map(|c| c.to_string()).collect();
+        let rows: Vec<Vec<String>> = self
+            .sorted_rows()
+            .iter()
+            .map(|r| r.iter().map(|v| v.to_string()).collect())
+            .collect();
+        let mut widths: Vec<usize> = header.iter().map(String::len).collect();
+        for row in &rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let write_line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(" | ")?;
+                }
+                write!(f, "{cell:<width$}", width = widths[i])?;
+            }
+            writeln!(f)
+        };
+        write_line(f, &header)?;
+        for (i, w) in widths.iter().enumerate() {
+            if i > 0 {
+                f.write_str("-+-")?;
+            }
+            f.write_str(&"-".repeat(*w))?;
+        }
+        writeln!(f)?;
+        for row in &rows {
+            write_line(f, row)?;
+        }
+        write!(f, "({} row{})", self.len(), if self.len() == 1 { "" } else { "s" })
+    }
+}
+
+/// Builds a [`Table`] from column names and rows.
+///
+/// ```
+/// use sqlsem_core::{table, Value};
+/// let t = table! {
+///     ["A", "B"];
+///     [1, Value::Null],
+///     [2, 5],
+/// };
+/// assert_eq!(t.arity(), 2);
+/// assert_eq!(t.len(), 2);
+/// ```
+#[macro_export]
+macro_rules! table {
+    ([$($col:expr),* $(,)?] $(; $([$($v:expr),* $(,)?]),* $(,)?)?) => {
+        $crate::Table::with_rows(
+            vec![$($crate::Name::new($col)),*],
+            vec![$($($crate::row![$($v),*]),*)?],
+        )
+        .expect("table! literal is well-formed")
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+    use crate::row;
+
+    fn names(cs: &[&str]) -> Vec<Name> {
+        cs.iter().map(Name::new).collect()
+    }
+
+    #[test]
+    fn zero_arity_rejected() {
+        assert_eq!(Table::new(vec![]).unwrap_err(), EvalError::ZeroArity);
+    }
+
+    #[test]
+    fn push_checks_arity() {
+        let mut t = Table::new(names(&["A"])).unwrap();
+        assert!(t.push(row![1]).is_ok());
+        assert_eq!(t.push(row![1, 2]).unwrap_err(), EvalError::RowArity { expected: 1, got: 2 });
+    }
+
+    #[test]
+    fn multiplicity_counts_occurrences() {
+        let t = table! { ["A"]; [1], [2], [1], [1] };
+        assert_eq!(t.multiplicity(&row![1]), 3);
+        assert_eq!(t.multiplicity(&row![2]), 1);
+        assert_eq!(t.multiplicity(&row![3]), 0);
+        assert!(t.contains(&row![2]));
+        assert!(!t.contains(&row![9]));
+    }
+
+    #[test]
+    fn union_adds_multiplicities() {
+        let a = table! { ["A"]; [1], [1] };
+        let b = table! { ["A"]; [1], [2] };
+        let u = a.union_all(&b).unwrap();
+        assert_eq!(u.multiplicity(&row![1]), 3);
+        assert_eq!(u.multiplicity(&row![2]), 1);
+        assert_eq!(u.len(), 4);
+    }
+
+    #[test]
+    fn intersection_takes_minimum() {
+        let a = table! { ["A"]; [1], [1], [1], [2] };
+        let b = table! { ["A"]; [1], [1], [3] };
+        let i = a.intersect_all(&b).unwrap();
+        assert_eq!(i.multiplicity(&row![1]), 2);
+        assert_eq!(i.multiplicity(&row![2]), 0);
+        assert_eq!(i.multiplicity(&row![3]), 0);
+    }
+
+    #[test]
+    fn difference_floors_at_zero() {
+        let a = table! { ["A"]; [1], [1], [1], [2] };
+        let b = table! { ["A"]; [1], [1], [2], [2] };
+        let d = a.except_all(&b).unwrap();
+        assert_eq!(d.multiplicity(&row![1]), 1);
+        assert_eq!(d.multiplicity(&row![2]), 0);
+    }
+
+    #[test]
+    fn bag_ops_use_syntactic_identity_on_nulls() {
+        let a = table! { ["A"]; [Value::Null], [Value::Null], [1] };
+        let b = table! { ["A"]; [Value::Null] };
+        assert_eq!(a.intersect_all(&b).unwrap().multiplicity(&row![Value::Null]), 1);
+        assert_eq!(a.except_all(&b).unwrap().multiplicity(&row![Value::Null]), 1);
+        assert_eq!(a.union_all(&b).unwrap().multiplicity(&row![Value::Null]), 3);
+    }
+
+    #[test]
+    fn product_multiplies_multiplicities() {
+        let a = table! { ["A"]; [1], [1] };
+        let b = table! { ["B"]; [5], [5], [6] };
+        let p = a.product(&b);
+        assert_eq!(p.columns(), names(&["A", "B"]).as_slice());
+        assert_eq!(p.len(), 6);
+        assert_eq!(p.multiplicity(&row![1, 5]), 4);
+        assert_eq!(p.multiplicity(&row![1, 6]), 2);
+    }
+
+    #[test]
+    fn distinct_caps_multiplicity_at_one() {
+        let t = table! { ["A"]; [1], [1], [2], [1] };
+        let d = t.distinct();
+        assert_eq!(d.multiplicity(&row![1]), 1);
+        assert_eq!(d.multiplicity(&row![2]), 1);
+        assert_eq!(d.len(), 2);
+        // ε is idempotent.
+        assert!(d.distinct().multiset_eq(&d));
+    }
+
+    #[test]
+    fn set_ops_reject_arity_mismatch() {
+        let a = table! { ["A"]; [1] };
+        let b = table! { ["A", "B"]; [1, 2] };
+        assert!(a.union_all(&b).is_err());
+        assert!(a.intersect_all(&b).is_err());
+        assert!(a.except_all(&b).is_err());
+    }
+
+    #[test]
+    fn set_ops_keep_left_column_names() {
+        let a = table! { ["A"]; [1] };
+        let b = table! { ["X"]; [2] };
+        assert_eq!(a.union_all(&b).unwrap().columns(), names(&["A"]).as_slice());
+        assert_eq!(a.intersect_all(&b).unwrap().columns(), names(&["A"]).as_slice());
+        assert_eq!(a.except_all(&b).unwrap().columns(), names(&["A"]).as_slice());
+    }
+
+    #[test]
+    fn coincides_is_the_section4_criterion() {
+        let a = table! { ["A", "B"]; [1, 2], [1, 2], [3, 4] };
+        let shuffled = table! { ["A", "B"]; [3, 4], [1, 2], [1, 2] };
+        assert!(a.coincides(&shuffled));
+        // Different multiplicity.
+        let fewer = table! { ["A", "B"]; [1, 2], [3, 4] };
+        assert!(!a.coincides(&fewer));
+        // Same rows, different column names.
+        let renamed = table! { ["A", "C"]; [1, 2], [1, 2], [3, 4] };
+        assert!(!a.coincides(&renamed));
+        assert!(a.multiset_eq(&renamed));
+    }
+
+    #[test]
+    fn repeated_column_names_are_allowed() {
+        let t = table! { ["A", "A"]; [1, 1] };
+        assert_eq!(t.columns(), names(&["A", "A"]).as_slice());
+    }
+
+    #[test]
+    fn display_renders_header_and_rows() {
+        let t = table! { ["A", "B"]; [2, 1], [1, Value::Null] };
+        let s = t.to_string();
+        assert!(s.contains("A | B"), "{s}");
+        assert!(s.contains("NULL"), "{s}");
+        assert!(s.contains("(2 rows)"), "{s}");
+    }
+
+    #[test]
+    fn empty_product_is_empty() {
+        let a = table! { ["A"]; [1] };
+        let empty = table! { ["B"]; };
+        assert!(a.product(&empty).is_empty());
+        assert!(empty.product(&a).is_empty());
+    }
+}

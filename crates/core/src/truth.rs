@@ -1,0 +1,225 @@
+//! SQL's three truth values and the Kleene logic of Figure 1.
+//!
+//! SQL evaluates `WHERE` conditions in a three-valued logic (3VL) with
+//! values *true* (`t`), *false* (`f`) and *unknown* (`u`); the connectives
+//! `AND`, `OR`, `NOT` follow the Kleene truth tables reproduced below
+//! (Figure 1 of the paper):
+//!
+//! ```text
+//!  ∧ | t f u      ∨ | t f u      ¬ |
+//!  --+------      --+------      --+--
+//!  t | t f u      t | t t t      t | f
+//!  f | f f f      f | t f u      f | t
+//!  u | u f u      u | t u u      u | u
+//! ```
+//!
+//! After evaluating the condition, SQL *conflates* `f` and `u`: only rows
+//! whose condition is `t` are kept ([`Truth::is_true`]).
+
+use std::fmt;
+use std::ops;
+
+/// A truth value of SQL's three-valued logic: `t`, `f` or `u`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Truth {
+    /// The truth value *false* (`f`).
+    False,
+    /// The truth value *unknown* (`u`), produced by comparisons involving
+    /// `NULL`.
+    Unknown,
+    /// The truth value *true* (`t`).
+    True,
+}
+
+pub use Truth::{False, True, Unknown};
+
+impl Truth {
+    /// All three truth values, in the order `t`, `f`, `u` used by Figure 1.
+    pub const ALL: [Truth; 3] = [True, False, Unknown];
+
+    /// Kleene conjunction (`∧` table of Figure 1).
+    #[must_use]
+    pub fn and(self, other: Truth) -> Truth {
+        match (self, other) {
+            (False, _) | (_, False) => False,
+            (True, True) => True,
+            _ => Unknown,
+        }
+    }
+
+    /// Kleene disjunction (`∨` table of Figure 1).
+    #[must_use]
+    pub fn or(self, other: Truth) -> Truth {
+        match (self, other) {
+            (True, _) | (_, True) => True,
+            (False, False) => False,
+            _ => Unknown,
+        }
+    }
+
+    /// Kleene negation (`¬` table of Figure 1). The `std::ops::Not`
+    /// impl delegates here; the inherent method reads better in the
+    /// semantics code.
+    #[must_use]
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Truth {
+        match self {
+            True => False,
+            False => True,
+            Unknown => Unknown,
+        }
+    }
+
+    /// `true` iff the value is `t`.
+    ///
+    /// This is the conflation SQL applies to `WHERE` results: `f` and `u`
+    /// both discard the row.
+    pub fn is_true(self) -> bool {
+        self == True
+    }
+
+    /// `true` iff the value is `f`.
+    pub fn is_false(self) -> bool {
+        self == False
+    }
+
+    /// `true` iff the value is `u`.
+    pub fn is_unknown(self) -> bool {
+        self == Unknown
+    }
+
+    /// Injects a Boolean into 3VL (`true ↦ t`, `false ↦ f`).
+    pub fn from_bool(b: bool) -> Truth {
+        if b {
+            True
+        } else {
+            False
+        }
+    }
+
+    /// Kleene conjunction of all values in the iterator; `t` when empty
+    /// (the unit of `∧`). Used for the tuple equality
+    /// `(t₁,…,tₙ) = (t′₁,…,t′ₙ) = ⋀ᵢ tᵢ = t′ᵢ` of Figure 6.
+    pub fn all(iter: impl IntoIterator<Item = Truth>) -> Truth {
+        iter.into_iter().fold(True, Truth::and)
+    }
+
+    /// Kleene disjunction of all values in the iterator; `f` when empty
+    /// (the unit of `∨`). Used for `IN`, which is the disjunction of the
+    /// equalities with each row of the subquery result (Figure 6).
+    pub fn any(iter: impl IntoIterator<Item = Truth>) -> Truth {
+        iter.into_iter().fold(False, Truth::or)
+    }
+
+    /// Conflates `u` with `f`, yielding a Boolean — the passage from 3VL to
+    /// the two-valued semantics of §6.
+    pub fn conflate_unknown(self) -> bool {
+        self.is_true()
+    }
+
+    /// The single-letter rendering used by Figure 1: `t`, `f` or `u`.
+    pub fn letter(self) -> char {
+        match self {
+            True => 't',
+            False => 'f',
+            Unknown => 'u',
+        }
+    }
+}
+
+impl fmt::Display for Truth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.letter())
+    }
+}
+
+impl From<bool> for Truth {
+    fn from(b: bool) -> Self {
+        Truth::from_bool(b)
+    }
+}
+
+impl ops::BitAnd for Truth {
+    type Output = Truth;
+    fn bitand(self, rhs: Truth) -> Truth {
+        self.and(rhs)
+    }
+}
+
+impl ops::BitOr for Truth {
+    type Output = Truth;
+    fn bitor(self, rhs: Truth) -> Truth {
+        self.or(rhs)
+    }
+}
+
+impl ops::Not for Truth {
+    type Output = Truth;
+    fn not(self) -> Truth {
+        Truth::not(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conjunction_matches_figure_1() {
+        // Rows/columns in the order t, f, u exactly as printed in Figure 1.
+        let expected = [[True, False, Unknown], [False, False, False], [Unknown, False, Unknown]];
+        for (i, &a) in Truth::ALL.iter().enumerate() {
+            for (j, &b) in Truth::ALL.iter().enumerate() {
+                assert_eq!(a.and(b), expected[i][j], "{a} AND {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn disjunction_matches_figure_1() {
+        let expected = [[True, True, True], [True, False, Unknown], [True, Unknown, Unknown]];
+        for (i, &a) in Truth::ALL.iter().enumerate() {
+            for (j, &b) in Truth::ALL.iter().enumerate() {
+                assert_eq!(a.or(b), expected[i][j], "{a} OR {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn negation_matches_figure_1() {
+        assert_eq!(True.not(), False);
+        assert_eq!(False.not(), True);
+        assert_eq!(Unknown.not(), Unknown);
+    }
+
+    #[test]
+    fn conflation_keeps_only_true() {
+        assert!(True.is_true());
+        assert!(!False.is_true());
+        assert!(!Unknown.is_true());
+    }
+
+    #[test]
+    fn folds_have_correct_units() {
+        assert_eq!(Truth::all([]), True);
+        assert_eq!(Truth::any([]), False);
+        assert_eq!(Truth::all([True, Unknown]), Unknown);
+        assert_eq!(Truth::all([True, Unknown, False]), False);
+        assert_eq!(Truth::any([False, Unknown]), Unknown);
+        assert_eq!(Truth::any([False, Unknown, True]), True);
+    }
+
+    #[test]
+    fn operators_delegate() {
+        assert_eq!(True & Unknown, Unknown);
+        assert_eq!(False | Unknown, Unknown);
+        assert_eq!(!Unknown, Unknown);
+    }
+
+    #[test]
+    fn display_uses_single_letters() {
+        assert_eq!(True.to_string(), "t");
+        assert_eq!(False.to_string(), "f");
+        assert_eq!(Unknown.to_string(), "u");
+    }
+}

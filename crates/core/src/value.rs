@@ -1,0 +1,376 @@
+//! Data values: the set `C` of constants together with `NULL` (§2).
+//!
+//! The paper assumes a single countable set of data values of all types
+//! (queries are assumed to be well-typed, §2), populated with `NULL`.
+//! [`Value`] is the Rust rendering: a closed enum of `NULL`, Booleans,
+//! 64-bit integers and strings, which covers everything the paper's
+//! experiments exercise (their schema uses only `int` columns) while being
+//! realistic enough for examples.
+//!
+//! Two notions of equality coexist, and keeping them apart is the crux of
+//! the paper:
+//!
+//! * **Syntactic equality** `≐` (Definition 2): two values are equal iff
+//!   they are the same constant or both `NULL`. This is the derived
+//!   [`PartialEq`]/[`Eq`]/[`Hash`] on `Value`, and it is what the bag
+//!   operations (`UNION`/`INTERSECT`/`EXCEPT`, duplicate elimination) use.
+//! * **SQL equality** under 3VL ([`Value::sql_eq`]): comparisons involving
+//!   `NULL` evaluate to *unknown*.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::EvalError;
+use crate::truth::Truth;
+
+/// A single database value: `NULL` or a constant from `C`.
+///
+/// The derived `Eq`/`Ord`/`Hash` implement *syntactic* identity, in which
+/// `NULL` equals `NULL` — exactly the comparison SQL's set operations and
+/// `DISTINCT` use (§1, §3 of the paper). The derived order is used only to
+/// render results deterministically; SQL comparisons go through
+/// [`Value::sql_cmp`].
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// SQL's `NULL`.
+    Null,
+    /// A Boolean constant.
+    Bool(bool),
+    /// An integer constant.
+    Int(i64),
+    /// A string constant. `Arc<str>` keeps rows cheap to clone.
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Creates a string value.
+    pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// `true` iff this value is `NULL`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Syntactic equality `≐` of Definition 2: `t` iff both sides are the
+    /// same constant or both are `NULL`; `f` otherwise. Never `u`.
+    pub fn syntactic_eq(&self, other: &Value) -> Truth {
+        Truth::from_bool(self == other)
+    }
+
+    /// SQL (3VL) equality: `u` if either side is `NULL`, otherwise the
+    /// Boolean outcome of the comparison (Figure 6, case `P` = `=`).
+    ///
+    /// Comparing non-null constants of different types is a type error —
+    /// the paper assumes queries have been type-checked (§2), so reaching
+    /// such a comparison indicates a malformed query.
+    pub fn sql_eq(&self, other: &Value) -> Result<Truth, EvalError> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => Ok(Truth::Unknown),
+            (Value::Bool(a), Value::Bool(b)) => Ok(Truth::from_bool(a == b)),
+            (Value::Int(a), Value::Int(b)) => Ok(Truth::from_bool(a == b)),
+            (Value::Str(a), Value::Str(b)) => Ok(Truth::from_bool(a == b)),
+            _ => Err(self.type_mismatch(other, "=")),
+        }
+    }
+
+    /// SQL (3VL) ordering comparison: `u` if either side is `NULL`,
+    /// otherwise the Boolean outcome. `op` selects the comparison.
+    pub fn sql_cmp(&self, other: &Value, op: CmpOp) -> Result<Truth, EvalError> {
+        use std::cmp::Ordering;
+        if self.is_null() || other.is_null() {
+            return Ok(Truth::Unknown);
+        }
+        if let CmpOp::Eq = op {
+            return self.sql_eq(other);
+        }
+        if let CmpOp::Neq = op {
+            return Ok(self.sql_eq(other)?.not());
+        }
+        let ord: Ordering = match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            _ => return Err(self.type_mismatch(other, op.symbol())),
+        };
+        let holds = match op {
+            CmpOp::Lt => ord.is_lt(),
+            CmpOp::Leq => ord.is_le(),
+            CmpOp::Gt => ord.is_gt(),
+            CmpOp::Geq => ord.is_ge(),
+            CmpOp::Eq | CmpOp::Neq => unreachable!("handled above"),
+        };
+        Ok(Truth::from_bool(holds))
+    }
+
+    /// SQL `LIKE` with `%` (any sequence) and `_` (any single character):
+    /// `u` if either side is `NULL`; a type error unless both are strings.
+    pub fn sql_like(&self, pattern: &Value) -> Result<Truth, EvalError> {
+        match (self, pattern) {
+            (Value::Null, _) | (_, Value::Null) => Ok(Truth::Unknown),
+            (Value::Str(s), Value::Str(p)) => Ok(Truth::from_bool(like_match(s, p))),
+            _ => Err(self.type_mismatch(pattern, "LIKE")),
+        }
+    }
+
+    /// The name of this value's type, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "boolean",
+            Value::Int(_) => "integer",
+            Value::Str(_) => "string",
+        }
+    }
+
+    fn type_mismatch(&self, other: &Value, op: &str) -> EvalError {
+        EvalError::TypeMismatch {
+            op: op.to_string(),
+            left: self.type_name(),
+            right: other.type_name(),
+        }
+    }
+}
+
+/// The built-in comparison predicates, always available in the collection
+/// `P` (the paper assumes at least `=`; `<`, `≤` etc. are its examples of
+/// type-specific predicates).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Leq,
+    /// `>`
+    Gt,
+    /// `>=`
+    Geq,
+}
+
+impl CmpOp {
+    /// All comparison operators.
+    pub const ALL: [CmpOp; 6] = [CmpOp::Eq, CmpOp::Neq, CmpOp::Lt, CmpOp::Leq, CmpOp::Gt, CmpOp::Geq];
+
+    /// The SQL surface syntax of the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Neq => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Leq => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Geq => ">=",
+        }
+    }
+
+    /// The operator whose 3VL value is the negation of this one on
+    /// non-null arguments (`=`↔`<>`, `<`↔`>=`, `>`↔`<=`).
+    pub fn negated(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Neq,
+            CmpOp::Neq => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Geq,
+            CmpOp::Leq => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Leq,
+            CmpOp::Geq => CmpOp::Lt,
+        }
+    }
+
+    /// The operator with the argument order swapped (`<`↔`>`, `<=`↔`>=`).
+    pub fn flipped(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Neq => CmpOp::Neq,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Leq => CmpOp::Geq,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Geq => CmpOp::Leq,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            Value::Bool(true) => f.write_str("TRUE"),
+            Value::Bool(false) => f.write_str("FALSE"),
+            Value::Int(n) => write!(f, "{n}"),
+            Value::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(n: i64) -> Self {
+        Value::Int(n)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(n: i32) -> Self {
+        Value::Int(n as i64)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(Arc::from(s))
+    }
+}
+
+/// Matches `text` against a SQL `LIKE` pattern with `%` and `_`
+/// metacharacters, by character (not byte), using iterative backtracking on
+/// the most recent `%`.
+fn like_match(text: &str, pattern: &str) -> bool {
+    let t: Vec<char> = text.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    let (mut ti, mut pi) = (0usize, 0usize);
+    // Position of the last `%` seen and the text position it matched up to.
+    let (mut star, mut mark) = (None::<usize>, 0usize);
+    while ti < t.len() {
+        if pi < p.len() && (p[pi] == '_' || p[pi] == t[ti]) {
+            ti += 1;
+            pi += 1;
+        } else if pi < p.len() && p[pi] == '%' {
+            star = Some(pi);
+            mark = ti;
+            pi += 1;
+        } else if let Some(s) = star {
+            // Let the last `%` absorb one more character and retry.
+            pi = s + 1;
+            mark += 1;
+            ti = mark;
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '%' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::truth::{False, True, Unknown};
+
+    #[test]
+    fn syntactic_equality_treats_nulls_as_equal() {
+        assert_eq!(Value::Null.syntactic_eq(&Value::Null), True);
+        assert_eq!(Value::Null.syntactic_eq(&Value::Int(1)), False);
+        assert_eq!(Value::Int(1).syntactic_eq(&Value::Int(1)), True);
+        assert_eq!(Value::Int(1).syntactic_eq(&Value::Int(2)), False);
+    }
+
+    #[test]
+    fn sql_equality_is_unknown_on_null() {
+        assert_eq!(Value::Null.sql_eq(&Value::Null).unwrap(), Unknown);
+        assert_eq!(Value::Null.sql_eq(&Value::Int(1)).unwrap(), Unknown);
+        assert_eq!(Value::Int(1).sql_eq(&Value::Null).unwrap(), Unknown);
+        assert_eq!(Value::Int(1).sql_eq(&Value::Int(1)).unwrap(), True);
+        assert_eq!(Value::str("a").sql_eq(&Value::str("b")).unwrap(), False);
+    }
+
+    #[test]
+    fn sql_equality_rejects_type_clashes() {
+        assert!(Value::Int(1).sql_eq(&Value::str("1")).is_err());
+        assert!(Value::Bool(true).sql_eq(&Value::Int(1)).is_err());
+        // ... but NULL against anything is fine (unknown).
+        assert_eq!(Value::Null.sql_eq(&Value::Bool(true)).unwrap(), Unknown);
+    }
+
+    #[test]
+    fn ordering_comparisons() {
+        let (a, b) = (Value::Int(1), Value::Int(2));
+        assert_eq!(a.sql_cmp(&b, CmpOp::Lt).unwrap(), True);
+        assert_eq!(a.sql_cmp(&b, CmpOp::Geq).unwrap(), False);
+        assert_eq!(a.sql_cmp(&b, CmpOp::Neq).unwrap(), True);
+        assert_eq!(a.sql_cmp(&a, CmpOp::Leq).unwrap(), True);
+        assert_eq!(Value::str("abc").sql_cmp(&Value::str("abd"), CmpOp::Lt).unwrap(), True);
+        assert_eq!(Value::Null.sql_cmp(&b, CmpOp::Lt).unwrap(), Unknown);
+        assert_eq!(a.sql_cmp(&Value::Null, CmpOp::Gt).unwrap(), Unknown);
+    }
+
+    #[test]
+    fn negated_op_is_3vl_complement_on_constants() {
+        for op in CmpOp::ALL {
+            for (a, b) in [(1, 2), (2, 2), (3, 2)] {
+                let (a, b) = (Value::Int(a), Value::Int(b));
+                assert_eq!(a.sql_cmp(&b, op).unwrap().not(), a.sql_cmp(&b, op.negated()).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn flipped_op_swaps_arguments() {
+        for op in CmpOp::ALL {
+            for (a, b) in [(1, 2), (2, 2), (3, 2)] {
+                let (a, b) = (Value::Int(a), Value::Int(b));
+                assert_eq!(a.sql_cmp(&b, op).unwrap(), b.sql_cmp(&a, op.flipped()).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn like_basic_patterns() {
+        let s = |x: &str| Value::str(x);
+        assert_eq!(s("hello").sql_like(&s("hello")).unwrap(), True);
+        assert_eq!(s("hello").sql_like(&s("h%")).unwrap(), True);
+        assert_eq!(s("hello").sql_like(&s("%o")).unwrap(), True);
+        assert_eq!(s("hello").sql_like(&s("%ell%")).unwrap(), True);
+        assert_eq!(s("hello").sql_like(&s("h_llo")).unwrap(), True);
+        assert_eq!(s("hello").sql_like(&s("h_l_o")).unwrap(), True);
+        assert_eq!(s("hello").sql_like(&s("h_o")).unwrap(), False);
+        assert_eq!(s("hello").sql_like(&s("")).unwrap(), False);
+        assert_eq!(s("").sql_like(&s("%")).unwrap(), True);
+        assert_eq!(s("abc").sql_like(&s("a%b%c")).unwrap(), True);
+        assert_eq!(s("ab").sql_like(&s("a_b")).unwrap(), False);
+    }
+
+    #[test]
+    fn like_backtracks_across_multiple_percents() {
+        let s = |x: &str| Value::str(x);
+        assert_eq!(s("mississippi").sql_like(&s("%iss%pi")).unwrap(), True);
+        assert_eq!(s("mississippi").sql_like(&s("%iss%issi%")).unwrap(), True);
+        assert_eq!(s("mississippi").sql_like(&s("%zz%")).unwrap(), False);
+    }
+
+    #[test]
+    fn like_is_unknown_on_null() {
+        assert_eq!(Value::Null.sql_like(&Value::str("%")).unwrap(), Unknown);
+        assert_eq!(Value::str("x").sql_like(&Value::Null).unwrap(), Unknown);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Int(-7).to_string(), "-7");
+        assert_eq!(Value::str("it's").to_string(), "'it''s'");
+        assert_eq!(Value::Bool(true).to_string(), "TRUE");
+    }
+}

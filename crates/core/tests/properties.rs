@@ -1,0 +1,268 @@
+//! Property-based tests for the core data model: Kleene-logic laws
+//! (Figure 1), bag-operation laws (§3), and environment laws (§3).
+
+use proptest::prelude::*;
+use sqlsem_core::{Env, FullName, Name, Row, Table, Truth, Value};
+
+// ---------------------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------------------
+
+fn truth() -> impl Strategy<Value = Truth> {
+    prop_oneof![Just(Truth::True), Just(Truth::False), Just(Truth::Unknown)]
+}
+
+fn value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        2 => Just(Value::Null),
+        5 => (0i64..5).prop_map(Value::Int),
+        2 => (0i64..500).prop_map(Value::Int),
+    ]
+}
+
+fn row(arity: usize) -> impl Strategy<Value = Row> {
+    proptest::collection::vec(value(), arity).prop_map(Row::new)
+}
+
+/// A table with `arity` columns named C0..C{arity-1} and up to 12 rows.
+fn table(arity: usize) -> impl Strategy<Value = Table> {
+    proptest::collection::vec(row(arity), 0..12).prop_map(move |rows| {
+        let cols = (0..arity).map(|i| Name::new(format!("C{i}"))).collect();
+        Table::with_rows(cols, rows).unwrap()
+    })
+}
+
+fn full_names(max: usize) -> impl Strategy<Value = Vec<FullName>> {
+    proptest::collection::vec((0usize..3, 0usize..3), 1..=max)
+        .prop_map(|v| v.into_iter().map(|(t, c)| FullName::new(format!("T{t}"), format!("C{c}"))).collect())
+}
+
+// ---------------------------------------------------------------------------
+// Kleene logic laws (Figure 1)
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn and_is_commutative(a in truth(), b in truth()) {
+        prop_assert_eq!(a.and(b), b.and(a));
+    }
+
+    #[test]
+    fn or_is_commutative(a in truth(), b in truth()) {
+        prop_assert_eq!(a.or(b), b.or(a));
+    }
+
+    #[test]
+    fn and_is_associative(a in truth(), b in truth(), c in truth()) {
+        prop_assert_eq!(a.and(b).and(c), a.and(b.and(c)));
+    }
+
+    #[test]
+    fn or_is_associative(a in truth(), b in truth(), c in truth()) {
+        prop_assert_eq!(a.or(b).or(c), a.or(b.or(c)));
+    }
+
+    #[test]
+    fn and_distributes_over_or(a in truth(), b in truth(), c in truth()) {
+        prop_assert_eq!(a.and(b.or(c)), a.and(b).or(a.and(c)));
+    }
+
+    #[test]
+    fn de_morgan(a in truth(), b in truth()) {
+        prop_assert_eq!(a.and(b).not(), a.not().or(b.not()));
+        prop_assert_eq!(a.or(b).not(), a.not().and(b.not()));
+    }
+
+    #[test]
+    fn negation_is_involutive(a in truth()) {
+        prop_assert_eq!(a.not().not(), a);
+    }
+
+    #[test]
+    fn units_and_absorbing_elements(a in truth()) {
+        prop_assert_eq!(a.and(Truth::True), a);
+        prop_assert_eq!(a.or(Truth::False), a);
+        prop_assert_eq!(a.and(Truth::False), Truth::False);
+        prop_assert_eq!(a.or(Truth::True), Truth::True);
+    }
+
+    #[test]
+    fn kleene_has_no_excluded_middle_only_for_unknown(a in truth()) {
+        // a ∨ ¬a = t exactly when a is not u — the signature difference
+        // between Kleene 3VL and Boolean logic.
+        let lem = a.or(a.not());
+        if a.is_unknown() {
+            prop_assert_eq!(lem, Truth::Unknown);
+        } else {
+            prop_assert_eq!(lem, Truth::True);
+        }
+    }
+
+    #[test]
+    fn folds_agree_with_binary_ops(v in proptest::collection::vec(truth(), 0..6)) {
+        let all = Truth::all(v.clone());
+        let any = Truth::any(v.clone());
+        prop_assert_eq!(all, v.iter().fold(Truth::True, |acc, &t| acc.and(t)));
+        prop_assert_eq!(any, v.iter().fold(Truth::False, |acc, &t| acc.or(t)));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bag-operation laws (§3)
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn union_counts_add(a in table(2), b in table(2), probe in row(2)) {
+        let u = a.union_all(&b).unwrap();
+        prop_assert_eq!(u.multiplicity(&probe), a.multiplicity(&probe) + b.multiplicity(&probe));
+    }
+
+    #[test]
+    fn intersection_counts_min(a in table(2), b in table(2), probe in row(2)) {
+        let i = a.intersect_all(&b).unwrap();
+        prop_assert_eq!(i.multiplicity(&probe), a.multiplicity(&probe).min(b.multiplicity(&probe)));
+    }
+
+    #[test]
+    fn difference_counts_saturating_sub(a in table(2), b in table(2), probe in row(2)) {
+        let d = a.except_all(&b).unwrap();
+        prop_assert_eq!(
+            d.multiplicity(&probe),
+            a.multiplicity(&probe).saturating_sub(b.multiplicity(&probe))
+        );
+    }
+
+    #[test]
+    fn product_counts_multiply(a in table(1), b in table(1), pa in row(1), pb in row(1)) {
+        let p = a.product(&b);
+        let probe = pa.concat(&pb);
+        prop_assert_eq!(p.multiplicity(&probe), a.multiplicity(&pa) * b.multiplicity(&pb));
+    }
+
+    #[test]
+    fn distinct_caps_at_one(a in table(2), probe in row(2)) {
+        let d = a.distinct();
+        prop_assert_eq!(d.multiplicity(&probe), a.multiplicity(&probe).min(1));
+    }
+
+    #[test]
+    fn distinct_is_idempotent(a in table(2)) {
+        prop_assert!(a.distinct().multiset_eq(&a.distinct().distinct()));
+    }
+
+    #[test]
+    fn union_is_commutative_as_multiset(a in table(2), b in table(2)) {
+        let ab = a.union_all(&b).unwrap();
+        let ba = b.union_all(&a).unwrap();
+        prop_assert!(ab.multiset_eq(&ba));
+    }
+
+    #[test]
+    fn intersection_is_commutative_as_multiset(a in table(2), b in table(2)) {
+        let ab = a.intersect_all(&b).unwrap();
+        let ba = b.intersect_all(&a).unwrap();
+        prop_assert!(ab.multiset_eq(&ba));
+    }
+
+    #[test]
+    fn inclusion_exclusion_of_counts(a in table(1), b in table(1), probe in row(1)) {
+        // m_a + m_b = 2·min(m_a,m_b) + (m_a−m_b)⁺ + (m_b−m_a)⁺, i.e.
+        // #(a∪b) = 2·#(a∩b) + #(a−b) + #(b−a) on each record.
+        let lhs = a.union_all(&b).unwrap().multiplicity(&probe);
+        let rhs = 2 * a.intersect_all(&b).unwrap().multiplicity(&probe)
+            + a.except_all(&b).unwrap().multiplicity(&probe)
+            + b.except_all(&a).unwrap().multiplicity(&probe);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn except_self_is_empty(a in table(2)) {
+        prop_assert!(a.except_all(&a).unwrap().is_empty());
+    }
+
+    #[test]
+    fn coincides_is_an_equivalence_on_shuffles(a in table(2), seed in 0u64..1000) {
+        // Shuffling rows never changes coincidence.
+        let mut rows = a.rows().cloned().collect::<Vec<_>>();
+        // Cheap deterministic shuffle.
+        let n = rows.len();
+        if n > 1 {
+            for i in 0..n {
+                let j = (seed as usize + i * 7) % n;
+                rows.swap(i, j);
+            }
+        }
+        let shuffled = Table::with_rows(a.columns().to_vec(), rows).unwrap();
+        prop_assert!(a.coincides(&shuffled));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Environment laws (§3)
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn update_binds_every_unrepeated_name(names in full_names(5), seed in 0i64..100) {
+        let vals: Vec<Value> = (0..names.len()).map(|i| Value::Int(seed + i as i64)).collect();
+        let row = Row::new(vals.clone());
+        let env = Env::empty().update(&names, &row).unwrap();
+        for (i, n) in names.iter().enumerate() {
+            let occurrences = names.iter().filter(|m| *m == n).count();
+            if occurrences == 1 {
+                prop_assert_eq!(env.lookup(n).unwrap(), &vals[i]);
+            } else {
+                prop_assert!(env.lookup(n).unwrap_err().is_ambiguity());
+            }
+        }
+    }
+
+    #[test]
+    fn update_never_consults_outer_for_scoped_names(names in full_names(5)) {
+        // Pre-bind every name in an outer env to a sentinel; after the
+        // update, no lookup of a scoped name may return the sentinel.
+        let sentinel = Value::Int(-999);
+        let mut outer = Env::empty();
+        for n in &names {
+            outer = outer.bind(n.clone(), sentinel.clone());
+        }
+        let row = Row::new(vec![Value::Int(0); names.len()]);
+        let env = outer.update(&names, &row).unwrap();
+        for n in &names {
+            if let Ok(v) = env.lookup(n) {
+                prop_assert_ne!(v, &sentinel);
+            }
+        }
+    }
+
+    #[test]
+    fn override_is_associative(names in full_names(4)) {
+        // (η₁;η₂);η₃ = η₁;(η₂;η₃) pointwise.
+        let mk = |offset: i64| {
+            let mut e = Env::empty();
+            for (i, n) in names.iter().enumerate() {
+                if (i as i64 + offset) % 2 == 0 {
+                    e = e.bind(n.clone(), Value::Int(offset * 100 + i as i64));
+                }
+            }
+            e
+        };
+        let (e1, e2, e3) = (mk(0), mk(1), mk(2));
+        let left = e1.override_with(&e2).override_with(&e3);
+        let right = e1.override_with(&e2.override_with(&e3));
+        for n in &names {
+            prop_assert_eq!(left.lookup(n).ok(), right.lookup(n).ok());
+        }
+    }
+
+    #[test]
+    fn unbind_then_lookup_fails(names in full_names(4)) {
+        let row = Row::new(vec![Value::Int(1); names.len()]);
+        let env = Env::empty().update(&names, &row).unwrap();
+        let cleared = env.unbind(&names);
+        for n in &names {
+            prop_assert!(cleared.lookup(n).is_err());
+        }
+    }
+}

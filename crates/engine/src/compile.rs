@@ -1,0 +1,378 @@
+//! Query compilation: annotated AST → positional physical plan.
+//!
+//! This is the engine's analogue of an RDBMS's bind/plan phase. All full
+//! names are resolved here, against a compile-time stack of scopes that
+//! mirrors the runtime correlation stack; ambiguous and unbound
+//! references are rejected *before execution*, which is exactly how the
+//! real systems the paper validates against behave (Example 2, §4).
+
+use sqlsem_core::ast::{Condition, FromItem, Query, SelectList, SelectQuery, TableRef, Term};
+use sqlsem_core::{
+    Database, Dialect, EvalError, FullName, Name, STAR_EXISTS_COLUMN, STAR_EXISTS_CONSTANT,
+};
+
+use crate::plan::{Expr, Plan, Prepared, Pred};
+
+/// Compiles a closed annotated query for execution over `db`.
+pub fn compile(query: &Query, db: &Database, dialect: Dialect) -> Result<Prepared, EvalError> {
+    let mut c = Compiler { db, dialect, stack: Vec::new() };
+    c.query(query, false)
+}
+
+struct Compiler<'a> {
+    db: &'a Database,
+    dialect: Dialect,
+    /// Compile-time images of the runtime frames: innermost scope last.
+    stack: Vec<Vec<FullName>>,
+}
+
+impl Compiler<'_> {
+    fn query(&mut self, query: &Query, exists: bool) -> Result<Prepared, EvalError> {
+        match query {
+            Query::Select(s) => self.select(s, exists),
+            Query::SetOp { op, all, left, right } => {
+                let l = self.query(left, false)?;
+                let r = self.query(right, false)?;
+                if l.columns.len() != r.columns.len() {
+                    return Err(EvalError::ArityMismatch {
+                        context: "set operation",
+                        left: l.columns.len(),
+                        right: r.columns.len(),
+                    });
+                }
+                Ok(Prepared {
+                    plan: Plan::SetOp {
+                        op: *op,
+                        all: *all,
+                        left: Box::new(l.plan),
+                        right: Box::new(r.plan),
+                    },
+                    columns: l.columns,
+                })
+            }
+        }
+    }
+
+    fn select(&mut self, s: &SelectQuery, exists: bool) -> Result<Prepared, EvalError> {
+        if s.from.is_empty() {
+            return Err(EvalError::malformed("FROM clause must reference at least one table"));
+        }
+        sqlsem_core::sig::check_distinct_aliases(&s.from)?;
+
+        // Compile FROM inputs in the *enclosing* scopes only.
+        let mut inputs = Vec::with_capacity(s.from.len());
+        let mut scope: Vec<FullName> = Vec::new();
+        for item in &s.from {
+            let (plan, columns) = self.from_item(item)?;
+            scope.extend(item.alias.prefix(&columns));
+            inputs.push(plan);
+        }
+        let product =
+            if inputs.len() == 1 { inputs.pop().expect("one input") } else { Plan::Product { inputs } };
+
+        self.stack.push(scope);
+        let result = self.select_tail(s, product, exists);
+        self.stack.pop();
+        result
+    }
+
+    /// Everything after the FROM clause: WHERE filter and SELECT
+    /// projection, compiled with the local scope pushed.
+    fn select_tail(
+        &mut self,
+        s: &SelectQuery,
+        product: Plan,
+        exists: bool,
+    ) -> Result<Prepared, EvalError> {
+        let pred = self.condition(&s.where_)?;
+        let filtered = match pred {
+            Pred::True => product,
+            pred => Plan::Filter { input: Box::new(product), pred },
+        };
+
+        let scope = self.stack.last().expect("local scope pushed").clone();
+        let (exprs, columns): (Vec<Expr>, Vec<Name>) = match &s.select {
+            SelectList::Items(items) => {
+                if items.is_empty() {
+                    return Err(EvalError::ZeroArity);
+                }
+                let mut exprs = Vec::with_capacity(items.len());
+                let mut columns = Vec::with_capacity(items.len());
+                for item in items {
+                    exprs.push(self.term(&item.term)?);
+                    columns.push(item.alias.clone());
+                }
+                (exprs, columns)
+            }
+            SelectList::Star if self.dialect.star_is_compositional() => {
+                // PostgreSQL: pass the product row through unchanged.
+                let exprs = (0..scope.len()).map(|i| Expr::Col { depth: 0, index: i }).collect();
+                (exprs, scope.iter().map(|n| n.column.clone()).collect())
+            }
+            SelectList::Star if exists => {
+                // The Figure 5 x = 1 rule: an arbitrary constant.
+                (vec![Expr::Const(STAR_EXISTS_CONSTANT)], vec![Name::new(STAR_EXISTS_COLUMN)])
+            }
+            SelectList::Star => {
+                // Standard/Oracle: * expands to a reference to every full
+                // name of the local scope; repetitions are ambiguous.
+                let mut exprs = Vec::with_capacity(scope.len());
+                for name in &scope {
+                    exprs.push(self.resolve(name)?);
+                }
+                (exprs, scope.iter().map(|n| n.column.clone()).collect())
+            }
+        };
+
+        let projected = Plan::Project { input: Box::new(filtered), exprs };
+        let plan = if s.distinct { Plan::Distinct { input: Box::new(projected) } } else { projected };
+        Ok(Prepared { plan, columns })
+    }
+
+    // `from_*` here is the FROM clause, not a conversion constructor.
+    #[allow(clippy::wrong_self_convention)]
+    fn from_item(&mut self, item: &FromItem) -> Result<(Plan, Vec<Name>), EvalError> {
+        let (plan, natural) = match &item.table {
+            TableRef::Base(r) => {
+                let Some(attrs) = self.db.schema().attributes(r) else {
+                    return Err(EvalError::UnknownTable(r.clone()));
+                };
+                (Plan::Scan { table: r.clone() }, attrs.to_vec())
+            }
+            TableRef::Query(q) => {
+                let prepared = self.query(q, false)?;
+                (prepared.plan, prepared.columns)
+            }
+        };
+        match &item.columns {
+            None => Ok((plan, natural)),
+            Some(renamed) => {
+                if renamed.len() != natural.len() {
+                    return Err(EvalError::ColumnRenameArity {
+                        alias: item.alias.clone(),
+                        expected: natural.len(),
+                        got: renamed.len(),
+                    });
+                }
+                // Renaming only changes compile-time names, not the plan.
+                Ok((plan, renamed.clone()))
+            }
+        }
+    }
+
+    fn condition(&mut self, cond: &Condition) -> Result<Pred, EvalError> {
+        Ok(match cond {
+            Condition::True => Pred::True,
+            Condition::False => Pred::False,
+            Condition::Cmp { left, op, right } => {
+                Pred::Cmp { left: self.term(left)?, op: *op, right: self.term(right)? }
+            }
+            Condition::Like { term, pattern, negated } => Pred::Like {
+                term: self.term(term)?,
+                pattern: self.term(pattern)?,
+                negated: *negated,
+            },
+            Condition::Pred { name, args } => Pred::User {
+                name: name.clone(),
+                args: args.iter().map(|t| self.term(t)).collect::<Result<_, _>>()?,
+            },
+            Condition::IsNull { term, negated } => {
+                Pred::IsNull { expr: self.term(term)?, negated: *negated }
+            }
+            Condition::IsDistinct { left, right, negated } => Pred::IsDistinct {
+                left: self.term(left)?,
+                right: self.term(right)?,
+                negated: *negated,
+            },
+            Condition::In { terms, query, negated } => {
+                let exprs: Vec<Expr> =
+                    terms.iter().map(|t| self.term(t)).collect::<Result<_, _>>()?;
+                let sub = self.query(query, false)?;
+                if sub.columns.len() != exprs.len() {
+                    return Err(EvalError::ArityMismatch {
+                        context: "IN",
+                        left: exprs.len(),
+                        right: sub.columns.len(),
+                    });
+                }
+                Pred::In { exprs, plan: Box::new(sub.plan), negated: *negated }
+            }
+            Condition::Exists(query) => {
+                let sub = self.query(query, true)?;
+                Pred::Exists(Box::new(sub.plan))
+            }
+            Condition::And(a, b) => {
+                Pred::And(Box::new(self.condition(a)?), Box::new(self.condition(b)?))
+            }
+            Condition::Or(a, b) => {
+                Pred::Or(Box::new(self.condition(a)?), Box::new(self.condition(b)?))
+            }
+            Condition::Not(c) => Pred::Not(Box::new(self.condition(c)?)),
+        })
+    }
+
+    fn term(&mut self, term: &Term) -> Result<Expr, EvalError> {
+        match term {
+            Term::Const(v) => Ok(Expr::Const(v.clone())),
+            Term::Col(name) => self.resolve(name),
+        }
+    }
+
+    /// Positional resolution: the innermost scope containing the full
+    /// name wins; multiple positions there make the reference ambiguous.
+    ///
+    /// Resolution failures are compile-time errors for the dialects that
+    /// behave like real systems (PostgreSQL, Oracle); under the Standard
+    /// dialect they are *deferred* into the plan, because Figures 4–7
+    /// raise them only when the environment is actually consulted.
+    fn resolve(&self, name: &FullName) -> Result<Expr, EvalError> {
+        let failure = 'search: {
+            for (depth, scope) in self.stack.iter().rev().enumerate() {
+                let mut positions = scope.iter().enumerate().filter(|(_, n)| *n == name);
+                let Some((index, _)) = positions.next() else { continue };
+                if positions.next().is_some() {
+                    break 'search EvalError::AmbiguousReference(name.clone());
+                }
+                return Ok(Expr::Col { depth, index });
+            }
+            EvalError::UnboundReference(name.clone())
+        };
+        if self.dialect.checks_ambiguity_statically() {
+            Err(failure)
+        } else {
+            Ok(Expr::Deferred(failure))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlsem_core::ast::{SelectList, SelectQuery};
+    use sqlsem_core::{Schema, Value};
+
+    fn db() -> Database {
+        let schema = Schema::builder().table("R", ["A", "B"]).table("S", ["A"]).build().unwrap();
+        Database::new(schema)
+    }
+
+    #[test]
+    fn resolves_positionally_within_the_block() {
+        // SELECT X.B AS B, Y.A AS A FROM R AS X, S AS Y → positions 1, 2.
+        let q = Query::Select(SelectQuery::new(
+            SelectList::items([(Term::col("X", "B"), "B"), (Term::col("Y", "A"), "A")]),
+            vec![FromItem::base("R", "X"), FromItem::base("S", "Y")],
+        ));
+        let db = db();
+        let p = compile(&q, &db, Dialect::Standard).unwrap();
+        let Plan::Project { exprs, .. } = &p.plan else { panic!("{:?}", p.plan) };
+        assert_eq!(exprs[0], Expr::Col { depth: 0, index: 1 });
+        assert_eq!(exprs[1], Expr::Col { depth: 0, index: 2 });
+    }
+
+    #[test]
+    fn correlated_references_get_positive_depth() {
+        // SELECT R.A AS A FROM R AS R WHERE EXISTS
+        //   (SELECT * FROM S AS S WHERE S.A = R.A)
+        let sub = Query::Select(
+            SelectQuery::new(SelectList::Star, vec![FromItem::base("S", "S")])
+                .filter(Condition::eq(Term::col("S", "A"), Term::col("R", "A"))),
+        );
+        let q = Query::Select(
+            SelectQuery::new(
+                SelectList::items([(Term::col("R", "A"), "A")]),
+                vec![FromItem::base("R", "R")],
+            )
+            .filter(Condition::exists(sub)),
+        );
+        let dbv = db();
+        let p = compile(&q, &dbv, Dialect::Standard).unwrap();
+        // Dig out the inner Filter's comparison.
+        let Plan::Project { input, .. } = &p.plan else { panic!() };
+        let Plan::Filter { pred: Pred::Exists(sub), .. } = &**input else { panic!() };
+        let Plan::Project { input: sub_in, exprs } = &**sub else { panic!() };
+        // * under EXISTS became the arbitrary constant.
+        assert_eq!(exprs, &vec![Expr::Const(Value::Int(1))]);
+        let Plan::Filter { pred, .. } = &**sub_in else { panic!() };
+        let Pred::Cmp { left, right, .. } = pred else { panic!() };
+        assert_eq!(left, &Expr::Col { depth: 0, index: 0 }); // S.A, inner scope
+        assert_eq!(right, &Expr::Col { depth: 1, index: 0 }); // R.A, one up
+    }
+
+    #[test]
+    fn ambiguous_star_rejected_at_compile_time_on_oracle_deferred_on_standard() {
+        let inner = Query::Select(SelectQuery::new(
+            SelectList::items([(Term::col("R", "A"), "A"), (Term::col("R", "A"), "A")]),
+            vec![FromItem::base("R", "R")],
+        ));
+        let q = Query::Select(SelectQuery::new(
+            SelectList::Star,
+            vec![FromItem::subquery(inner, "T")],
+        ));
+        let dbv = db();
+        // Oracle: hard compile error.
+        assert!(compile(&q, &dbv, Dialect::Oracle).unwrap_err().is_ambiguity());
+        // Standard: compiles, but the ambiguity is planted in the plan
+        // (Figures 4–7 raise it only when the environment is consulted).
+        let p = compile(&q, &dbv, Dialect::Standard).unwrap();
+        let Plan::Project { exprs, .. } = &p.plan else { panic!("{:?}", p.plan) };
+        assert!(exprs.iter().any(|e| matches!(e, Expr::Deferred(err) if err.is_ambiguity())));
+        // PostgreSQL passes the rows through without dereferencing.
+        assert!(compile(&q, &dbv, Dialect::PostgreSql).is_ok());
+    }
+
+    #[test]
+    fn true_where_clause_elides_filter() {
+        let q = Query::Select(SelectQuery::new(
+            SelectList::items([(Term::col("S", "A"), "A")]),
+            vec![FromItem::base("S", "S")],
+        ));
+        let dbv = db();
+        let p = compile(&q, &dbv, Dialect::Standard).unwrap();
+        let Plan::Project { input, .. } = &p.plan else { panic!() };
+        assert!(matches!(**input, Plan::Scan { .. }));
+    }
+
+    #[test]
+    fn unknown_table_and_unbound_reference_error() {
+        let dbv = db();
+        let q = Query::Select(SelectQuery::new(
+            SelectList::items([(Term::col("Z", "A"), "A")]),
+            vec![FromItem::base("Z", "Z")],
+        ));
+        assert!(matches!(
+            compile(&q, &dbv, Dialect::Standard).unwrap_err(),
+            EvalError::UnknownTable(_)
+        ));
+        let q = Query::Select(SelectQuery::new(
+            SelectList::items([(Term::col("Q", "A"), "A")]),
+            vec![FromItem::base("S", "S")],
+        ));
+        // Static dialects reject unbound references at compile time…
+        assert!(matches!(
+            compile(&q, &dbv, Dialect::Oracle).unwrap_err(),
+            EvalError::UnboundReference(_)
+        ));
+        // …the Standard dialect defers them to evaluation.
+        let p = compile(&q, &dbv, Dialect::Standard).unwrap();
+        let Plan::Project { exprs, .. } = &p.plan else { panic!() };
+        assert!(matches!(&exprs[0], Expr::Deferred(EvalError::UnboundReference(_))));
+    }
+
+    #[test]
+    fn set_op_arity_mismatch_rejected() {
+        let one = Query::Select(SelectQuery::new(
+            SelectList::items([(Term::col("S", "A"), "A")]),
+            vec![FromItem::base("S", "S")],
+        ));
+        let two = Query::Select(SelectQuery::new(
+            SelectList::items([(Term::col("R", "A"), "A"), (Term::col("R", "B"), "B")]),
+            vec![FromItem::base("R", "R")],
+        ));
+        let dbv = db();
+        assert!(matches!(
+            compile(&one.union(two, true), &dbv, Dialect::Standard).unwrap_err(),
+            EvalError::ArityMismatch { .. }
+        ));
+    }
+}

@@ -1,0 +1,474 @@
+//! Plan execution.
+//!
+//! The executor materialises each operator bottom-up (small inputs — the
+//! §4 experiments cap base tables at 50 rows — make this the simplest
+//! correct choice). Correlation is a stack of *frames*: whenever a
+//! `Filter` or `Project` evaluates expressions for a candidate row, it
+//! pushes that row; subplans executed inside predicates therefore see
+//! their outer rows at `depth ≥ 1`.
+
+use std::collections::HashMap;
+
+use sqlsem_core::{
+    CmpOp, Database, Dialect, EvalError, LogicMode, PredicateRegistry, Row, SetOp, Truth, Value,
+};
+
+use crate::plan::{Expr, Plan, Pred};
+
+/// The runtime context for one query execution.
+pub struct Executor<'a> {
+    /// The database being read.
+    pub db: &'a Database,
+    /// The logic mode (§6) conditions are evaluated under.
+    pub logic: LogicMode,
+    /// The registry for user predicates.
+    pub preds: &'a PredicateRegistry,
+    /// Correlation frames, innermost last.
+    frames: Vec<Row>,
+}
+
+impl<'a> Executor<'a> {
+    /// Creates an executor with an empty correlation stack.
+    pub fn new(db: &'a Database, logic: LogicMode, preds: &'a PredicateRegistry) -> Self {
+        Executor { db, logic, preds, frames: Vec::new() }
+    }
+
+    /// Runs a plan to completion, returning its bag of rows.
+    pub fn run(&mut self, plan: &Plan) -> Result<Vec<Row>, EvalError> {
+        match plan {
+            Plan::Scan { table } => Ok(self.db.table(table)?.into_rows()),
+            Plan::Product { inputs } => {
+                let mut acc: Vec<Row> = vec![Row::empty()];
+                for input in inputs {
+                    let rows = self.run(input)?;
+                    let mut next = Vec::with_capacity(acc.len() * rows.len());
+                    for left in &acc {
+                        for right in &rows {
+                            next.push(left.concat(right));
+                        }
+                    }
+                    acc = next;
+                }
+                Ok(acc)
+            }
+            Plan::Filter { input, pred } => {
+                let rows = self.run(input)?;
+                let mut kept = Vec::new();
+                for row in rows {
+                    self.frames.push(row);
+                    let verdict = self.eval_pred(pred);
+                    let row = self.frames.pop().expect("frame pushed above");
+                    if verdict?.is_true() {
+                        kept.push(row);
+                    }
+                }
+                Ok(kept)
+            }
+            Plan::Project { input, exprs } => {
+                let rows = self.run(input)?;
+                let mut out = Vec::with_capacity(rows.len());
+                for row in rows {
+                    self.frames.push(row);
+                    let projected: Result<Row, EvalError> =
+                        exprs.iter().map(|e| self.eval_expr(e)).collect();
+                    self.frames.pop();
+                    out.push(projected?);
+                }
+                Ok(out)
+            }
+            Plan::Distinct { input } => {
+                let rows = self.run(input)?;
+                let mut seen = std::collections::HashSet::with_capacity(rows.len());
+                Ok(rows.into_iter().filter(|r| seen.insert(r.clone())).collect())
+            }
+            Plan::SetOp { op, all, left, right } => {
+                let l = self.run(left)?;
+                let r = self.run(right)?;
+                Ok(set_op(*op, *all, l, r))
+            }
+        }
+    }
+
+    fn eval_expr(&self, expr: &Expr) -> Result<Value, EvalError> {
+        match expr {
+            Expr::Const(v) => Ok(v.clone()),
+            Expr::Deferred(err) => Err(err.clone()),
+            Expr::Col { depth, index } => {
+                let frame = self
+                    .frames
+                    .len()
+                    .checked_sub(1 + depth)
+                    .and_then(|i| self.frames.get(i))
+                    .ok_or_else(|| EvalError::malformed("correlation depth out of range"))?;
+                frame
+                    .get(*index)
+                    .cloned()
+                    .ok_or_else(|| EvalError::malformed("column index out of range"))
+            }
+        }
+    }
+
+    fn eval_pred(&mut self, pred: &Pred) -> Result<Truth, EvalError> {
+        match pred {
+            Pred::True => Ok(Truth::True),
+            Pred::False => Ok(Truth::False),
+            Pred::Cmp { left, op, right } => {
+                let l = self.eval_expr(left)?;
+                let r = self.eval_expr(right)?;
+                self.compare(&l, *op, &r)
+            }
+            Pred::Like { term, pattern, negated } => {
+                let t = self.eval_expr(term)?;
+                let p = self.eval_expr(pattern)?;
+                let truth = match self.logic {
+                    LogicMode::ThreeValued => t.sql_like(&p)?,
+                    _ => two_valued(t.sql_like(&p)?),
+                };
+                Ok(if *negated { truth.not() } else { truth })
+            }
+            Pred::User { name, args } => {
+                let values: Vec<Value> =
+                    args.iter().map(|e| self.eval_expr(e)).collect::<Result<_, _>>()?;
+                if values.iter().any(Value::is_null) {
+                    return Ok(match self.logic {
+                        LogicMode::ThreeValued => Truth::Unknown,
+                        _ => Truth::False,
+                    });
+                }
+                Ok(Truth::from_bool(self.preds.apply(name, &values)?))
+            }
+            Pred::IsNull { expr, negated } => {
+                let truth = Truth::from_bool(self.eval_expr(expr)?.is_null());
+                Ok(if *negated { truth.not() } else { truth })
+            }
+            Pred::IsDistinct { left, right, negated } => {
+                let l = self.eval_expr(left)?;
+                let r = self.eval_expr(right)?;
+                let same = l.syntactic_eq(&r);
+                Ok(if *negated { same } else { same.not() })
+            }
+            Pred::In { exprs, plan, negated } => {
+                let values: Vec<Value> =
+                    exprs.iter().map(|e| self.eval_expr(e)).collect::<Result<_, _>>()?;
+                let rows = self.run(plan)?;
+                let mut acc = Truth::False;
+                for row in &rows {
+                    if row.arity() != values.len() {
+                        return Err(EvalError::ArityMismatch {
+                            context: "IN",
+                            left: values.len(),
+                            right: row.arity(),
+                        });
+                    }
+                    let mut eq = Truth::True;
+                    for (v, r) in values.iter().zip(row.iter()) {
+                        eq = eq.and(self.compare(v, CmpOp::Eq, r)?);
+                    }
+                    acc = acc.or(eq);
+                    if acc.is_true() {
+                        break;
+                    }
+                }
+                Ok(if *negated { acc.not() } else { acc })
+            }
+            Pred::Exists(plan) => {
+                let rows = self.run(plan)?;
+                Ok(Truth::from_bool(!rows.is_empty()))
+            }
+            Pred::And(a, b) => Ok(self.eval_pred(a)?.and(self.eval_pred(b)?)),
+            Pred::Or(a, b) => Ok(self.eval_pred(a)?.or(self.eval_pred(b)?)),
+            Pred::Not(p) => Ok(self.eval_pred(p)?.not()),
+        }
+    }
+
+    fn compare(&self, left: &Value, op: CmpOp, right: &Value) -> Result<Truth, EvalError> {
+        match self.logic {
+            LogicMode::ThreeValued => left.sql_cmp(right, op),
+            LogicMode::TwoValuedConflate => Ok(two_valued(left.sql_cmp(right, op)?)),
+            LogicMode::TwoValuedSyntacticEq => match op {
+                CmpOp::Eq => Ok(left.syntactic_eq(right)),
+                _ => Ok(two_valued(left.sql_cmp(right, op)?)),
+            },
+        }
+    }
+}
+
+fn two_valued(t: Truth) -> Truth {
+    if t.is_true() {
+        Truth::True
+    } else {
+        Truth::False
+    }
+}
+
+/// Hash-count implementations of the Figure 7 set operations — a
+/// different algorithm from the core crate's list-walk versions, on
+/// purpose (independent implementations should not share code paths).
+fn set_op(op: SetOp, all: bool, left: Vec<Row>, right: Vec<Row>) -> Vec<Row> {
+    match (op, all) {
+        (SetOp::Union, true) => {
+            let mut out = left;
+            out.extend(right);
+            out
+        }
+        (SetOp::Union, false) => {
+            let mut out = left;
+            out.extend(right);
+            dedup(out)
+        }
+        (SetOp::Intersect, all) => {
+            let mut counts = count(&right);
+            let mut out = Vec::new();
+            for row in left {
+                if let Some(n) = counts.get_mut(&row) {
+                    if *n > 0 {
+                        *n -= 1;
+                        out.push(row);
+                    }
+                }
+            }
+            if all {
+                out
+            } else {
+                dedup(out)
+            }
+        }
+        (SetOp::Except, true) => {
+            let mut counts = count(&right);
+            let mut out = Vec::new();
+            for row in left {
+                match counts.get_mut(&row) {
+                    Some(n) if *n > 0 => *n -= 1,
+                    _ => out.push(row),
+                }
+            }
+            out
+        }
+        (SetOp::Except, false) => {
+            // ε(left) − right (Figure 7: ε applies to the left operand).
+            let counts = count(&right);
+            let mut out = Vec::new();
+            let mut seen = std::collections::HashSet::new();
+            for row in left {
+                if seen.insert(row.clone()) && !counts.contains_key(&row) {
+                    out.push(row);
+                }
+            }
+            out
+        }
+    }
+}
+
+fn count(rows: &[Row]) -> HashMap<Row, usize> {
+    let mut m = HashMap::with_capacity(rows.len());
+    for r in rows {
+        *m.entry(r.clone()).or_insert(0) += 1;
+    }
+    m
+}
+
+fn dedup(rows: Vec<Row>) -> Vec<Row> {
+    let mut seen = std::collections::HashSet::with_capacity(rows.len());
+    rows.into_iter().filter(|r| seen.insert(r.clone())).collect()
+}
+
+/// Convenience wrapper: compiles and runs a closed query, returning a
+/// [`sqlsem_core::Table`].
+pub fn execute(
+    query: &sqlsem_core::Query,
+    db: &Database,
+    dialect: Dialect,
+    logic: LogicMode,
+    preds: &PredicateRegistry,
+) -> Result<sqlsem_core::Table, EvalError> {
+    let prepared = crate::compile::compile(query, db, dialect)?;
+    let mut exec = Executor::new(db, logic, preds);
+    let rows = exec.run(&prepared.plan)?;
+    sqlsem_core::Table::with_rows(prepared.columns, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlsem_core::ast::{Condition, FromItem, Query, SelectList, SelectQuery, Term};
+    use sqlsem_core::{row, table, Schema};
+
+    fn example1_db() -> Database {
+        let schema = Schema::builder().table("R", ["A"]).table("S", ["A"]).build().unwrap();
+        let mut db = Database::new(schema);
+        db.insert("R", table! { ["A"]; [1], [Value::Null] }).unwrap();
+        db.insert("S", table! { ["A"]; [Value::Null] }).unwrap();
+        db
+    }
+
+    fn run(q: &Query, db: &Database, dialect: Dialect) -> Result<sqlsem_core::Table, EvalError> {
+        execute(q, db, dialect, LogicMode::ThreeValued, &PredicateRegistry::new())
+    }
+
+    #[test]
+    fn engine_reproduces_example1() {
+        let db = example1_db();
+        let sub = Query::Select(SelectQuery::new(
+            SelectList::items([(Term::col("S", "A"), "A")]),
+            vec![FromItem::base("S", "S")],
+        ));
+        let q1 = Query::Select(
+            SelectQuery::new(
+                SelectList::items([(Term::col("R", "A"), "A")]),
+                vec![FromItem::base("R", "R")],
+            )
+            .distinct()
+            .filter(Condition::not_in([Term::col("R", "A")], sub)),
+        );
+        assert!(run(&q1, &db, Dialect::Standard).unwrap().is_empty());
+
+        let sub2 = Query::Select(
+            SelectQuery::new(SelectList::Star, vec![FromItem::base("S", "S")])
+                .filter(Condition::eq(Term::col("S", "A"), Term::col("R", "A"))),
+        );
+        let q2 = Query::Select(
+            SelectQuery::new(
+                SelectList::items([(Term::col("R", "A"), "A")]),
+                vec![FromItem::base("R", "R")],
+            )
+            .distinct()
+            .filter(Condition::not(Condition::exists(sub2))),
+        );
+        assert!(run(&q2, &db, Dialect::Standard)
+            .unwrap()
+            .coincides(&table! { ["A"]; [1], [Value::Null] }));
+
+        let left = Query::Select(SelectQuery::new(
+            SelectList::items([(Term::col("R", "A"), "A")]),
+            vec![FromItem::base("R", "R")],
+        ));
+        let right = Query::Select(SelectQuery::new(
+            SelectList::items([(Term::col("S", "A"), "A")]),
+            vec![FromItem::base("S", "S")],
+        ));
+        let q3 = left.except(right, false);
+        assert!(run(&q3, &db, Dialect::Standard).unwrap().coincides(&table! { ["A"]; [1] }));
+    }
+
+    #[test]
+    fn correlation_depth_resolves_correct_frame() {
+        // Two levels of correlation: innermost references both its own
+        // scope and the two enclosing ones.
+        let schema = Schema::builder()
+            .table("R", ["A"])
+            .table("S", ["B"])
+            .table("T", ["C"])
+            .build()
+            .unwrap();
+        let mut db = Database::new(schema);
+        db.insert("R", table! { ["A"]; [1], [2] }).unwrap();
+        db.insert("S", table! { ["B"]; [1], [2] }).unwrap();
+        db.insert("T", table! { ["C"]; [2] }).unwrap();
+        // SELECT R.A FROM R WHERE EXISTS (
+        //   SELECT * FROM S WHERE S.B = R.A AND EXISTS (
+        //     SELECT * FROM T WHERE T.C = S.B AND T.C = R.A))
+        let innermost = Query::Select(
+            SelectQuery::new(SelectList::Star, vec![FromItem::base("T", "T")]).filter(
+                Condition::eq(Term::col("T", "C"), Term::col("S", "B"))
+                    .and(Condition::eq(Term::col("T", "C"), Term::col("R", "A"))),
+            ),
+        );
+        let middle = Query::Select(
+            SelectQuery::new(SelectList::Star, vec![FromItem::base("S", "S")]).filter(
+                Condition::eq(Term::col("S", "B"), Term::col("R", "A"))
+                    .and(Condition::exists(innermost)),
+            ),
+        );
+        let q = Query::Select(
+            SelectQuery::new(
+                SelectList::items([(Term::col("R", "A"), "A")]),
+                vec![FromItem::base("R", "R")],
+            )
+            .filter(Condition::exists(middle)),
+        );
+        let out = run(&q, &db, Dialect::Standard).unwrap();
+        assert!(out.coincides(&table! { ["A"]; [2] }), "got:\n{out}");
+    }
+
+    #[test]
+    fn product_multiplicities_multiply() {
+        let schema = Schema::builder().table("R", ["A"]).table("S", ["B"]).build().unwrap();
+        let mut db = Database::new(schema);
+        db.insert("R", table! { ["A"]; [1], [1] }).unwrap();
+        db.insert("S", table! { ["B"]; [5], [5], [5] }).unwrap();
+        let q = Query::Select(SelectQuery::new(
+            SelectList::Star,
+            vec![FromItem::base("R", "R"), FromItem::base("S", "S")],
+        ));
+        let out = run(&q, &db, Dialect::Standard).unwrap();
+        assert_eq!(out.multiplicity(&row![1, 5]), 6);
+    }
+
+    #[test]
+    fn postgres_star_passthrough_keeps_duplicate_columns() {
+        let schema = Schema::builder().table("R", ["A"]).build().unwrap();
+        let mut db = Database::new(schema);
+        db.insert("R", table! { ["A"]; [3] }).unwrap();
+        let inner = Query::Select(SelectQuery::new(
+            SelectList::items([(Term::col("R", "A"), "A"), (Term::col("R", "A"), "A")]),
+            vec![FromItem::base("R", "R")],
+        ));
+        let q = Query::Select(SelectQuery::new(
+            SelectList::Star,
+            vec![FromItem::subquery(inner, "T")],
+        ));
+        let out = run(&q, &db, Dialect::PostgreSql).unwrap();
+        assert!(out.coincides(&table! { ["A", "A"]; [3, 3] }), "got:\n{out}");
+        // Standard/Oracle reject the same query at compile time.
+        assert!(run(&q, &db, Dialect::Oracle).unwrap_err().is_ambiguity());
+    }
+
+    #[test]
+    fn set_operations_match_figure7() {
+        let schema = Schema::builder().table("R", ["A"]).table("S", ["A"]).build().unwrap();
+        let mut db = Database::new(schema);
+        db.insert("R", table! { ["A"]; [1], [1], [2] }).unwrap();
+        db.insert("S", table! { ["A"]; [1], [3] }).unwrap();
+        let sel = |t: &str| {
+            Query::Select(SelectQuery::new(
+                SelectList::items([(Term::col(t, "A"), "A")]),
+                vec![FromItem::base(t, t)],
+            ))
+        };
+        let db_ref = &db;
+        let check = |q: Query, expected: sqlsem_core::Table| {
+            let out = run(&q, db_ref, Dialect::Standard).unwrap();
+            assert!(out.multiset_eq(&expected), "query {q}: got\n{out}");
+        };
+        check(sel("R").union(sel("S"), true), table! { ["A"]; [1], [1], [1], [2], [3] });
+        check(sel("R").union(sel("S"), false), table! { ["A"]; [1], [2], [3] });
+        check(sel("R").intersect(sel("S"), true), table! { ["A"]; [1] });
+        check(sel("R").intersect(sel("S"), false), table! { ["A"]; [1] });
+        check(sel("R").except(sel("S"), true), table! { ["A"]; [1], [2] });
+        check(sel("R").except(sel("S"), false), table! { ["A"]; [2] });
+    }
+
+    #[test]
+    fn logic_modes_are_supported() {
+        let db = example1_db();
+        let sub = Query::Select(SelectQuery::new(
+            SelectList::items([(Term::col("S", "A"), "A")]),
+            vec![FromItem::base("S", "S")],
+        ));
+        let q1 = Query::Select(
+            SelectQuery::new(
+                SelectList::items([(Term::col("R", "A"), "A")]),
+                vec![FromItem::base("R", "R")],
+            )
+            .distinct()
+            .filter(Condition::not_in([Term::col("R", "A")], sub)),
+        );
+        let preds = PredicateRegistry::new();
+        let conflate =
+            execute(&q1, &db, Dialect::Standard, LogicMode::TwoValuedConflate, &preds).unwrap();
+        assert!(conflate.coincides(&table! { ["A"]; [1], [Value::Null] }));
+        let syntactic =
+            execute(&q1, &db, Dialect::Standard, LogicMode::TwoValuedSyntacticEq, &preds).unwrap();
+        assert!(syntactic.coincides(&table! { ["A"]; [1] }));
+    }
+}

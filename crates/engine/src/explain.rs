@@ -1,0 +1,166 @@
+//! `EXPLAIN`-style rendering of physical plans.
+//!
+//! Real systems expose their compiled plans for inspection; the engine
+//! does the same, which also makes the positional name resolution
+//! visible: every column reference prints as `#depth.index`.
+
+use std::fmt::Write as _;
+
+use crate::plan::{Expr, Plan, Prepared, Pred};
+
+/// Renders a prepared query as an indented operator tree.
+pub fn explain(prepared: &Prepared) -> String {
+    let mut out = String::new();
+    let cols: Vec<String> = prepared.columns.iter().map(|c| c.to_string()).collect();
+    let _ = writeln!(out, "output: [{}]", cols.join(", "));
+    explain_plan(&prepared.plan, 0, &mut out);
+    out
+}
+
+fn indent(level: usize, out: &mut String) {
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+fn explain_plan(plan: &Plan, level: usize, out: &mut String) {
+    indent(level, out);
+    match plan {
+        Plan::Scan { table } => {
+            let _ = writeln!(out, "Scan {table}");
+        }
+        Plan::Product { inputs } => {
+            let _ = writeln!(out, "Product ({} inputs)", inputs.len());
+            for input in inputs {
+                explain_plan(input, level + 1, out);
+            }
+        }
+        Plan::Filter { input, pred } => {
+            let _ = writeln!(out, "Filter {}", render_pred(pred));
+            explain_plan(input, level + 1, out);
+            explain_subplans(pred, level + 1, out);
+        }
+        Plan::Project { input, exprs } => {
+            let rendered: Vec<String> = exprs.iter().map(render_expr).collect();
+            let _ = writeln!(out, "Project [{}]", rendered.join(", "));
+            explain_plan(input, level + 1, out);
+        }
+        Plan::Distinct { input } => {
+            let _ = writeln!(out, "Distinct");
+            explain_plan(input, level + 1, out);
+        }
+        Plan::SetOp { op, all, left, right } => {
+            let _ = writeln!(out, "{}{}", op.keyword(), if *all { " ALL" } else { "" });
+            explain_plan(left, level + 1, out);
+            explain_plan(right, level + 1, out);
+        }
+    }
+}
+
+/// Subplans referenced by a predicate (IN/EXISTS) are printed beneath
+/// the filter, labelled.
+fn explain_subplans(pred: &Pred, level: usize, out: &mut String) {
+    match pred {
+        Pred::In { plan, .. } => {
+            indent(level, out);
+            out.push_str("[IN subplan]\n");
+            explain_plan(plan, level + 1, out);
+        }
+        Pred::Exists(plan) => {
+            indent(level, out);
+            out.push_str("[EXISTS subplan]\n");
+            explain_plan(plan, level + 1, out);
+        }
+        Pred::And(a, b) | Pred::Or(a, b) => {
+            explain_subplans(a, level, out);
+            explain_subplans(b, level, out);
+        }
+        Pred::Not(p) => explain_subplans(p, level, out),
+        _ => {}
+    }
+}
+
+fn render_expr(expr: &Expr) -> String {
+    match expr {
+        Expr::Const(v) => v.to_string(),
+        Expr::Col { depth, index } => format!("#{depth}.{index}"),
+        Expr::Deferred(err) => format!("⟂({err})"),
+    }
+}
+
+fn render_pred(pred: &Pred) -> String {
+    match pred {
+        Pred::True => "TRUE".into(),
+        Pred::False => "FALSE".into(),
+        Pred::Cmp { left, op, right } => {
+            format!("{} {op} {}", render_expr(left), render_expr(right))
+        }
+        Pred::Like { term, pattern, negated } => format!(
+            "{} {}LIKE {}",
+            render_expr(term),
+            if *negated { "NOT " } else { "" },
+            render_expr(pattern)
+        ),
+        Pred::User { name, args } => {
+            let rendered: Vec<String> = args.iter().map(render_expr).collect();
+            format!("{name}({})", rendered.join(", "))
+        }
+        Pred::IsNull { expr, negated } => {
+            format!("{} IS {}NULL", render_expr(expr), if *negated { "NOT " } else { "" })
+        }
+        Pred::IsDistinct { left, right, negated } => format!(
+            "{} IS {}DISTINCT FROM {}",
+            render_expr(left),
+            if *negated { "NOT " } else { "" },
+            render_expr(right)
+        ),
+        Pred::In { exprs, negated, .. } => {
+            let rendered: Vec<String> = exprs.iter().map(render_expr).collect();
+            format!("({}) {}IN <subplan>", rendered.join(", "), if *negated { "NOT " } else { "" })
+        }
+        Pred::Exists(_) => "EXISTS <subplan>".into(),
+        Pred::And(a, b) => format!("({} AND {})", render_pred(a), render_pred(b)),
+        Pred::Or(a, b) => format!("({} OR {})", render_pred(a), render_pred(b)),
+        Pred::Not(p) => format!("NOT {}", render_pred(p)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlsem_core::{Database, Dialect, Schema};
+    use sqlsem_parser::compile;
+
+    #[test]
+    fn explain_shows_the_operator_tree() {
+        let schema =
+            Schema::builder().table("R", ["A", "B"]).table("S", ["A"]).build().unwrap();
+        let db = Database::new(schema.clone());
+        let q = compile(
+            "SELECT DISTINCT R.A FROM R WHERE R.B = 1 AND \
+             EXISTS (SELECT * FROM S WHERE S.A = R.A)",
+            &schema,
+        )
+        .unwrap();
+        let prepared = crate::compile::compile(&q, &db, Dialect::Standard).unwrap();
+        let text = explain(&prepared);
+        assert!(text.contains("Distinct"), "{text}");
+        assert!(text.contains("Project [#0.0]"), "{text}");
+        assert!(text.contains("Filter"), "{text}");
+        assert!(text.contains("[EXISTS subplan]"), "{text}");
+        assert!(text.contains("Scan R"), "{text}");
+        assert!(text.contains("Scan S"), "{text}");
+        // The correlated reference prints with its depth.
+        assert!(text.contains("#1.0"), "{text}");
+    }
+
+    #[test]
+    fn explain_renders_deferred_errors() {
+        let schema = Schema::builder().table("R", ["A"]).build().unwrap();
+        let db = Database::new(schema.clone());
+        let q = compile("SELECT * FROM (SELECT R.A, R.A FROM R) AS T", &schema).unwrap();
+        let prepared = crate::compile::compile(&q, &db, Dialect::Standard).unwrap();
+        let text = explain(&prepared);
+        assert!(text.contains('⟂'), "{text}");
+    }
+}

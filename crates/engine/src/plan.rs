@@ -1,0 +1,176 @@
+//! Physical plans: the engine's compiled representation of queries.
+//!
+//! Unlike the denotational evaluator — which interprets the AST directly
+//! and resolves full names against *environments* at every step — the
+//! engine compiles each query block into a tree of plan operators whose
+//! column references are **positional**: a reference is a pair
+//! `(depth, index)` meaning "column `index` of the row being produced
+//! `depth` blocks up the correlation stack". All name resolution happens
+//! once, at plan time, exactly like an RDBMS binds names when compiling a
+//! statement. This makes the engine a structurally independent
+//! implementation, which is what gives the §4 differential validation its
+//! force.
+
+use sqlsem_core::{CmpOp, Name, Value};
+
+/// A compiled scalar expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// A literal constant (or `NULL`).
+    Const(Value),
+    /// A positional column reference: column `index` of the frame `depth`
+    /// levels up the correlation stack (0 = the current block's row).
+    Col {
+        /// How many blocks up the correlation stack.
+        depth: usize,
+        /// Column position within that frame.
+        index: usize,
+    },
+    /// A reference that failed to resolve under the *Standard* dialect.
+    /// The Figures 4–7 semantics surfaces ambiguous/unbound references
+    /// only when the environment is consulted, so for that dialect the
+    /// engine defers the error to evaluation time: the query succeeds if
+    /// the expression is never reached (e.g. the table is empty). The
+    /// PostgreSQL/Oracle dialects reject at compile time instead.
+    Deferred(sqlsem_core::EvalError),
+}
+
+/// A compiled condition.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Pred {
+    /// `TRUE`
+    True,
+    /// `FALSE`
+    False,
+    /// `e₁ op e₂`
+    Cmp {
+        /// Left expression.
+        left: Expr,
+        /// Operator.
+        op: CmpOp,
+        /// Right expression.
+        right: Expr,
+    },
+    /// `e [NOT] LIKE p`
+    Like {
+        /// Matched expression.
+        term: Expr,
+        /// Pattern expression.
+        pattern: Expr,
+        /// `NOT LIKE`?
+        negated: bool,
+    },
+    /// A user predicate from the registry.
+    User {
+        /// Registered name.
+        name: String,
+        /// Argument expressions.
+        args: Vec<Expr>,
+    },
+    /// `e IS [NOT] NULL`
+    IsNull {
+        /// Tested expression.
+        expr: Expr,
+        /// Negated?
+        negated: bool,
+    },
+    /// `e₁ IS [NOT] DISTINCT FROM e₂` — syntactic (in)equality.
+    IsDistinct {
+        /// Left expression.
+        left: Expr,
+        /// Right expression.
+        right: Expr,
+        /// `true` for `IS NOT DISTINCT FROM`.
+        negated: bool,
+    },
+    /// `ē [NOT] IN (subplan)`
+    In {
+        /// The tuple of expressions.
+        exprs: Vec<Expr>,
+        /// The compiled subquery.
+        plan: Box<Plan>,
+        /// Negated?
+        negated: bool,
+    },
+    /// `EXISTS (subplan)`
+    Exists(Box<Plan>),
+    /// Conjunction.
+    And(Box<Pred>, Box<Pred>),
+    /// Disjunction.
+    Or(Box<Pred>, Box<Pred>),
+    /// Negation.
+    Not(Box<Pred>),
+}
+
+/// A plan operator. Every operator produces a bag of rows.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Plan {
+    /// Scan a base table.
+    Scan {
+        /// The base table name.
+        table: Name,
+    },
+    /// N-ary Cartesian product (the `FROM` clause of one block).
+    Product {
+        /// The inputs, in clause order.
+        inputs: Vec<Plan>,
+    },
+    /// Keep rows satisfying the predicate. Evaluating the predicate
+    /// pushes the candidate row onto the correlation stack, so `depth 0`
+    /// references inside it (and inside its subplans) see that row.
+    Filter {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Predicate.
+        pred: Pred,
+    },
+    /// Map each input row through the expressions. Like `Filter`, pushes
+    /// the input row while evaluating.
+    Project {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Output expressions, one per output column.
+        exprs: Vec<Expr>,
+    },
+    /// Duplicate elimination `ε`.
+    Distinct {
+        /// Input plan.
+        input: Box<Plan>,
+    },
+    /// A set operation between two subplans.
+    SetOp {
+        /// Which operation.
+        op: sqlsem_core::SetOp,
+        /// Bag (`ALL`) flavour?
+        all: bool,
+        /// Left input.
+        left: Box<Plan>,
+        /// Right input.
+        right: Box<Plan>,
+    },
+}
+
+impl Plan {
+    /// Number of columns this plan produces. Plans are always built with
+    /// consistent arities by the compiler, so this is total.
+    pub fn arity(&self, db: &sqlsem_core::Database) -> usize {
+        match self {
+            Plan::Scan { table } => {
+                db.schema().attributes(table).map_or(0, |attrs| attrs.len())
+            }
+            Plan::Product { inputs } => inputs.iter().map(|p| p.arity(db)).sum(),
+            Plan::Filter { input, .. } | Plan::Distinct { input } => input.arity(db),
+            Plan::Project { exprs, .. } => exprs.len(),
+            Plan::SetOp { left, .. } => left.arity(db),
+        }
+    }
+}
+
+/// A fully compiled query: the root plan plus its output column names.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Prepared {
+    /// The root operator.
+    pub plan: Plan,
+    /// Output column names, in order (possibly repeated).
+    pub columns: Vec<Name>,
+}

@@ -1,0 +1,701 @@
+//! The random query generator of §4.
+//!
+//! The paper validates its semantics against 100,000 randomly generated
+//! queries whose *shape* is calibrated on the TPC-H benchmark: at most 6
+//! tables mentioned per query (counting repetitions and nested
+//! subqueries), nesting depth at most 3, at most 3 output attributes per
+//! `SELECT`, and at most 8 atomic conditions per `WHERE`
+//! ([`QueryGenConfig::tpch_calibrated`]).
+//!
+//! Queries are generated directly in the fully annotated form of §2, well
+//! formed by construction: aliases are fresh, every reference resolves,
+//! set operands have matching arity, and correlated references only point
+//! at enclosing scopes. Two knobs deliberately generate *problematic*
+//! queries:
+//!
+//! * `ambiguous_star_prob` produces Example 2-shaped blocks
+//!   (`SELECT * FROM (SELECT x.A, x.A FROM …) AS t`) so the validation
+//!   harness can confirm that the Oracle-adjusted semantics errors in
+//!   exactly the same cases as the engine does — the paper reports this
+//!   agreement explicitly;
+//! * `repeated_output_prob` gives two `SELECT` items the same output
+//!   name, exercising repeated column names in subquery results.
+//!
+//! [`QueryGenConfig::data_manipulation`] restricts generation to the
+//! *data manipulation queries* of Definition 1 (§5): explicit `SELECT`
+//! lists of full names drawn from the local `FROM`, no repeated output
+//! names, no stars — the fragment for which Theorem 1 gives an equivalent
+//! relational algebra query.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use sqlsem_core::ast::{
+    Condition, FromItem, Query, SelectItem, SelectList, SelectQuery, Term,
+};
+use sqlsem_core::{CmpOp, FullName, Name, Schema, SetOp, Value};
+
+/// Shape parameters for random query generation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueryGenConfig {
+    /// Maximum number of tables mentioned in the whole query, counting
+    /// repetitions and nested subqueries (paper: 6).
+    pub max_tables: usize,
+    /// Maximum nesting depth of subqueries in `FROM` and `WHERE`
+    /// (paper: 3).
+    pub max_nest: usize,
+    /// Maximum number of attributes in a `SELECT` clause (paper: 3).
+    pub max_attrs: usize,
+    /// Maximum number of atomic conditions in a `WHERE` clause
+    /// (paper: 8).
+    pub max_conds: usize,
+    /// Probability that a block's `SELECT` list is `*`.
+    pub star_prob: f64,
+    /// Probability that a block is `DISTINCT`.
+    pub distinct_prob: f64,
+    /// Probability that a query node is a set operation (halved at each
+    /// nesting level).
+    pub setop_prob: f64,
+    /// Probability that a `FROM` item is a subquery rather than a base
+    /// table.
+    pub from_subquery_prob: f64,
+    /// Probability that a condition atom is `IN`/`EXISTS` (budget
+    /// permitting).
+    pub subquery_cond_prob: f64,
+    /// Probability that a generated term references an *enclosing* scope
+    /// (a correlated parameter) when one is available.
+    pub correlated_prob: f64,
+    /// Probability that a term is a constant rather than a column.
+    pub constant_prob: f64,
+    /// Probability that a constant is `NULL` rather than an integer.
+    pub null_const_prob: f64,
+    /// Integer constants are drawn from `0..domain` (matching the data
+    /// generator's domain so comparisons hit).
+    pub domain: i64,
+    /// Probability of producing an Example 2-shaped ambiguous-star block.
+    pub ambiguous_star_prob: f64,
+    /// Probability that two `SELECT` items share an output name.
+    pub repeated_output_prob: f64,
+    /// Restrict to Definition 1 data manipulation queries (§5).
+    pub data_manipulation_only: bool,
+}
+
+impl QueryGenConfig {
+    /// The paper's TPC-H-calibrated parameters: `tables = 6`, `nest = 3`,
+    /// `attr = 3`, `cond = 8` (§4).
+    pub fn tpch_calibrated() -> Self {
+        QueryGenConfig {
+            max_tables: 6,
+            max_nest: 3,
+            max_attrs: 3,
+            max_conds: 8,
+            star_prob: 0.2,
+            distinct_prob: 0.3,
+            setop_prob: 0.15,
+            from_subquery_prob: 0.25,
+            subquery_cond_prob: 0.3,
+            correlated_prob: 0.35,
+            constant_prob: 0.35,
+            null_const_prob: 0.1,
+            domain: 10,
+            ambiguous_star_prob: 0.01,
+            repeated_output_prob: 0.05,
+            data_manipulation_only: false,
+        }
+    }
+
+    /// Smaller shapes for fast in-tree randomised tests.
+    pub fn small() -> Self {
+        QueryGenConfig {
+            max_tables: 3,
+            max_nest: 2,
+            max_conds: 4,
+            ..QueryGenConfig::tpch_calibrated()
+        }
+    }
+
+    /// Definition 1 data manipulation queries (§5): explicit select lists
+    /// of local full names, distinct output names, no stars, no
+    /// ambiguous-star blocks.
+    pub fn data_manipulation() -> Self {
+        QueryGenConfig {
+            star_prob: 0.0,
+            ambiguous_star_prob: 0.0,
+            repeated_output_prob: 0.0,
+            data_manipulation_only: true,
+            ..QueryGenConfig::small()
+        }
+    }
+}
+
+impl Default for QueryGenConfig {
+    fn default() -> Self {
+        QueryGenConfig::tpch_calibrated()
+    }
+}
+
+/// A random query generator over a fixed schema.
+#[derive(Clone, Debug)]
+pub struct QueryGenerator<'a> {
+    schema: &'a Schema,
+    config: QueryGenConfig,
+}
+
+/// One visible `FROM` entry during generation.
+#[derive(Clone, Debug)]
+struct ScopeEntry {
+    alias: Name,
+    columns: Vec<Name>,
+}
+
+type Scope = Vec<ScopeEntry>;
+
+impl<'a> QueryGenerator<'a> {
+    /// Creates a generator for `schema` with the given shape parameters.
+    pub fn new(schema: &'a Schema, config: QueryGenConfig) -> Self {
+        assert!(!schema.is_empty(), "query generation needs at least one base table");
+        QueryGenerator { schema, config }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &QueryGenConfig {
+        &self.config
+    }
+
+    /// Generates one closed, well-formed query.
+    pub fn generate(&self, rng: &mut StdRng) -> Query {
+        let mut state = Gen {
+            schema: self.schema,
+            config: &self.config,
+            tables_budget: self.config.max_tables,
+            alias_counter: 0,
+        };
+        state.query(rng, 0, &mut Vec::new(), None)
+    }
+}
+
+struct Gen<'a> {
+    schema: &'a Schema,
+    config: &'a QueryGenConfig,
+    /// Remaining tables (counting repetitions, across nesting) this query
+    /// may still mention.
+    tables_budget: usize,
+    alias_counter: usize,
+}
+
+impl Gen<'_> {
+    fn fresh_alias(&mut self) -> Name {
+        self.alias_counter += 1;
+        Name::new(format!("t{}", self.alias_counter))
+    }
+
+    /// Generates a query node; `required_arity` forces the output arity
+    /// (for set operands and `IN` subqueries).
+    fn query(
+        &mut self,
+        rng: &mut StdRng,
+        depth: usize,
+        scopes: &mut Vec<Scope>,
+        required_arity: Option<usize>,
+    ) -> Query {
+        let setop_prob = self.config.setop_prob / (1 << depth) as f64;
+        if depth < self.config.max_nest && self.tables_budget >= 2 && rng.gen_bool(setop_prob) {
+            // Fix the arity up front so both operands conform (and stay
+            // within the attr limit — a star operand could not be matched
+            // by the other side in general).
+            let arity =
+                required_arity.unwrap_or_else(|| rng.gen_range(1..=self.config.max_attrs));
+            let (left, _) = self.select(rng, depth, scopes, Some(arity));
+            // The left operand may have drained the budget with nested
+            // subqueries; only attach a right operand if one more table
+            // can be paid for, so the budget stays a hard cap.
+            if self.tables_budget >= 1 {
+                let (right, _) = self.select(rng, depth, scopes, Some(arity));
+                let op = *[SetOp::Union, SetOp::Intersect, SetOp::Except]
+                    .choose(rng)
+                    .expect("non-empty slice");
+                let all = rng.gen_bool(0.5);
+                return Query::SetOp { op, all, left: Box::new(left), right: Box::new(right) };
+            }
+            return left;
+        }
+        self.select(rng, depth, scopes, required_arity).0
+    }
+
+    /// Generates a `SELECT` block, returning it with its output arity.
+    fn select(
+        &mut self,
+        rng: &mut StdRng,
+        depth: usize,
+        scopes: &mut Vec<Scope>,
+        required_arity: Option<usize>,
+    ) -> (Query, usize) {
+        // Example 2-shaped block: SELECT * over a subquery with repeated
+        // output names. Ambiguous on Standard/Oracle, fine on PostgreSQL.
+        if !self.config.data_manipulation_only
+            && required_arity.is_none()
+            && self.tables_budget >= 1
+            && rng.gen_bool(self.config.ambiguous_star_prob)
+        {
+            return self.ambiguous_star_block(rng, scopes);
+        }
+
+        // FROM clause: 1..=k items within budget. Every call site
+        // guarantees at least one table is still affordable.
+        debug_assert!(self.tables_budget >= 1, "select() entered with an empty table budget");
+        self.tables_budget = self.tables_budget.saturating_sub(1);
+        let max_items = (self.tables_budget + 1).min(3);
+        let n_items = rng.gen_range(1..=max_items.max(1));
+        // The first item was already budgeted; the rest consume as added.
+        let mut from = Vec::with_capacity(n_items);
+        let mut scope: Scope = Vec::with_capacity(n_items);
+        for i in 0..n_items {
+            if i > 0 {
+                if self.tables_budget == 0 {
+                    break;
+                }
+                self.tables_budget -= 1;
+            }
+            let (item, entry) = self.from_item(rng, depth, scopes);
+            from.push(item);
+            scope.push(entry);
+        }
+
+        scopes.push(scope);
+        let select = self.select_list(rng, scopes, required_arity);
+        let arity = match &select {
+            SelectList::Items(items) => items.len(),
+            SelectList::Star => scopes.last().expect("pushed").iter().map(|e| e.columns.len()).sum(),
+        };
+        let n_atoms = rng.gen_range(0..=self.config.max_conds);
+        let where_ = if n_atoms == 0 {
+            Condition::True
+        } else {
+            self.condition(rng, depth, scopes, n_atoms)
+        };
+        scopes.pop();
+
+        let distinct = rng.gen_bool(self.config.distinct_prob);
+        (Query::Select(SelectQuery { distinct, select, from, where_ }), arity)
+    }
+
+    /// `SELECT * FROM (SELECT x.A1 AS A, x.A1 AS A FROM R AS x) AS t`.
+    fn ambiguous_star_block(&mut self, rng: &mut StdRng, scopes: &mut Vec<Scope>) -> (Query, usize) {
+        self.tables_budget = self.tables_budget.saturating_sub(1);
+        let (base, columns) = self.random_base_table(rng);
+        let inner_alias = self.fresh_alias();
+        let col = columns.choose(rng).expect("base tables are non-empty").clone();
+        let term = Term::Col(FullName::new(inner_alias.clone(), col));
+        let dup = Name::new("A");
+        let inner = Query::Select(SelectQuery::new(
+            SelectList::Items(vec![
+                SelectItem { term: term.clone(), alias: dup.clone() },
+                SelectItem { term, alias: dup },
+            ]),
+            vec![FromItem::base(base, inner_alias)],
+        ));
+        let outer_alias = self.fresh_alias();
+        let q = Query::Select(SelectQuery::new(
+            SelectList::Star,
+            vec![FromItem::subquery(inner, outer_alias)],
+        ));
+        let _ = scopes; // the block is self-contained
+        (q, 2)
+    }
+
+    // `from_*` here is the FROM clause, not a conversion constructor.
+    #[allow(clippy::wrong_self_convention)]
+    fn from_item(&mut self, rng: &mut StdRng, depth: usize, scopes: &mut Vec<Scope>) -> (FromItem, ScopeEntry) {
+        let alias = self.fresh_alias();
+        if depth < self.config.max_nest
+            && self.tables_budget >= 1
+            && rng.gen_bool(self.config.from_subquery_prob)
+        {
+            // FROM subqueries see only the *enclosing* scopes, which is
+            // exactly what `scopes` currently holds (the local scope is
+            // pushed after the FROM clause is complete).
+            let (sub, _) = self.select(rng, depth + 1, scopes, None);
+            let columns = sqlsem_core::sig::output_columns(&sub, self.schema)
+                .expect("generated queries are well-formed");
+            let item = FromItem::subquery(sub, alias.clone());
+            (item, ScopeEntry { alias, columns })
+        } else {
+            let (base, columns) = self.random_base_table(rng);
+            let item = FromItem { table: sqlsem_core::ast::TableRef::Base(base), alias: alias.clone(), columns: None };
+            (item, ScopeEntry { alias, columns })
+        }
+    }
+
+    fn random_base_table(&self, rng: &mut StdRng) -> (Name, Vec<Name>) {
+        let idx = rng.gen_range(0..self.schema.len());
+        let (name, attrs) = self.schema.iter().nth(idx).expect("index in range");
+        (name.clone(), attrs.to_vec())
+    }
+
+    fn select_list(
+        &mut self,
+        rng: &mut StdRng,
+        scopes: &[Scope],
+        required_arity: Option<usize>,
+    ) -> SelectList {
+        if required_arity.is_none()
+            && !self.config.data_manipulation_only
+            && rng.gen_bool(self.config.star_prob)
+        {
+            return SelectList::Star;
+        }
+        let m = required_arity.unwrap_or_else(|| rng.gen_range(1..=self.config.max_attrs));
+        let mut items = Vec::with_capacity(m);
+        for i in 0..m {
+            let term = if self.config.data_manipulation_only {
+                // Definition 1: only full names from the local FROM.
+                Term::Col(self.local_column(rng, scopes))
+            } else {
+                self.term(rng, scopes)
+            };
+            let alias = Name::new(format!("c{}", i + 1));
+            items.push(SelectItem { term, alias });
+        }
+        // Occasionally repeat an output name (outside Definition 1).
+        if items.len() >= 2 && rng.gen_bool(self.config.repeated_output_prob) {
+            let a = items[0].alias.clone();
+            items[1].alias = a;
+        }
+        SelectList::Items(items)
+    }
+
+    fn condition(
+        &mut self,
+        rng: &mut StdRng,
+        depth: usize,
+        scopes: &mut Vec<Scope>,
+        n_atoms: usize,
+    ) -> Condition {
+        debug_assert!(n_atoms >= 1);
+        let node = if n_atoms == 1 {
+            self.atom(rng, depth, scopes)
+        } else {
+            let left_n = rng.gen_range(1..n_atoms);
+            let left = self.condition(rng, depth, scopes, left_n);
+            let right = self.condition(rng, depth, scopes, n_atoms - left_n);
+            if rng.gen_bool(0.5) {
+                left.and(right)
+            } else {
+                left.or(right)
+            }
+        };
+        if rng.gen_bool(0.2) {
+            node.not()
+        } else {
+            node
+        }
+    }
+
+    fn atom(&mut self, rng: &mut StdRng, depth: usize, scopes: &mut Vec<Scope>) -> Condition {
+        let can_nest = depth < self.config.max_nest && self.tables_budget >= 1;
+        if can_nest && rng.gen_bool(self.config.subquery_cond_prob) {
+            if rng.gen_bool(0.5) {
+                // t̄ [NOT] IN (Q)
+                let width = if rng.gen_bool(0.8) { 1 } else { 2 };
+                let terms: Vec<Term> = (0..width).map(|_| self.term(rng, scopes)).collect();
+                let sub = self.query(rng, depth + 1, scopes, Some(width));
+                return Condition::In {
+                    terms,
+                    query: Box::new(sub),
+                    negated: rng.gen_bool(0.5),
+                };
+            }
+            // [NOT] EXISTS (Q)
+            let sub = self.query(rng, depth + 1, scopes, None);
+            let exists = Condition::exists(sub);
+            return if rng.gen_bool(0.5) { exists.not() } else { exists };
+        }
+        match rng.gen_range(0..12) {
+            0 => Condition::IsNull { term: self.term(rng, scopes), negated: rng.gen_bool(0.5) },
+            1 => {
+                if rng.gen_bool(0.5) {
+                    Condition::True
+                } else {
+                    Condition::False
+                }
+            }
+            // Syntactic (in)equality — Definition 2 in surface syntax.
+            2 => Condition::IsDistinct {
+                left: self.term(rng, scopes),
+                right: self.term(rng, scopes),
+                negated: rng.gen_bool(0.5),
+            },
+            _ => {
+                let op = *CmpOp::ALL.choose(rng).expect("non-empty");
+                Condition::Cmp {
+                    left: self.term(rng, scopes),
+                    op,
+                    right: self.term(rng, scopes),
+                }
+            }
+        }
+    }
+
+    /// A term over the visible scopes: a constant, a local column, or
+    /// (with `correlated_prob`) a column of an enclosing scope.
+    fn term(&mut self, rng: &mut StdRng, scopes: &[Scope]) -> Term {
+        if rng.gen_bool(self.config.constant_prob) {
+            return if rng.gen_bool(self.config.null_const_prob) {
+                Term::Const(Value::Null)
+            } else {
+                Term::Const(Value::Int(rng.gen_range(0..self.config.domain)))
+            };
+        }
+        let use_outer = scopes.len() > 1 && rng.gen_bool(self.config.correlated_prob);
+        if use_outer {
+            let outer_idx = rng.gen_range(0..scopes.len() - 1);
+            if let Some(name) = Self::column_in(&scopes[outer_idx], rng) {
+                return Term::Col(name);
+            }
+        }
+        match Self::column_in(scopes.last().expect("inside a block"), rng) {
+            Some(name) => Term::Col(name),
+            // Every local column is a repeated (ambiguous) name — fall
+            // back to a constant rather than produce a reference that
+            // cannot resolve.
+            None => Term::Const(Value::Int(rng.gen_range(0..self.config.domain))),
+        }
+    }
+
+    /// A random column of the innermost scope; only names that are
+    /// referencable (unique within their entry) are candidates.
+    fn local_column(&self, rng: &mut StdRng, scopes: &[Scope]) -> FullName {
+        let local = scopes.last().expect("inside a block");
+        Self::column_in(local, rng)
+            .expect("data-manipulation scopes always have unique column names")
+    }
+
+    /// A random *unambiguous* column reference into `scope`: a repeated
+    /// column name within one entry cannot be referenced (it would be the
+    /// Example 2 ambiguity), so such names are excluded.
+    fn column_in(scope: &Scope, rng: &mut StdRng) -> Option<FullName> {
+        let mut candidates: Vec<FullName> = Vec::new();
+        for entry in scope {
+            for col in &entry.columns {
+                let unique = entry.columns.iter().filter(|c| *c == col).count() == 1;
+                if unique {
+                    candidates.push(FullName::new(entry.alias.clone(), col.clone()));
+                }
+            }
+        }
+        candidates.choose(rng).cloned()
+    }
+}
+
+/// Whether a query is a *data manipulation query* in the sense of
+/// Definition 1 (§5): the query and every subquery use explicit `SELECT`
+/// lists whose output names do not repeat, and every selected term is a
+/// full name whose qualifier is bound by the local `FROM` clause.
+pub fn is_data_manipulation(query: &Query) -> bool {
+    match query {
+        Query::SetOp { left, right, .. } => {
+            is_data_manipulation(left) && is_data_manipulation(right)
+        }
+        Query::Select(s) => {
+            let SelectList::Items(items) = &s.select else {
+                return false; // stars are not allowed
+            };
+            // Output names must not repeat.
+            let mut seen = std::collections::HashSet::with_capacity(items.len());
+            if !items.iter().all(|i| seen.insert(&i.alias)) {
+                return false;
+            }
+            // Every selected term is a full name over the local FROM.
+            let local: std::collections::HashSet<&Name> =
+                s.from.iter().map(|f| &f.alias).collect();
+            if !items.iter().all(|i| match &i.term {
+                Term::Col(n) => local.contains(&n.table),
+                Term::Const(_) => false,
+            }) {
+                return false;
+            }
+            // Recurse into FROM and WHERE subqueries.
+            let from_ok = s.from.iter().all(|f| match &f.table {
+                sqlsem_core::ast::TableRef::Base(_) => true,
+                sqlsem_core::ast::TableRef::Query(q) => is_data_manipulation(q),
+            });
+            let mut cond_ok = true;
+            s.where_.visit_queries(&mut |q| {
+                // visit_queries visits nested queries of subqueries too;
+                // is_data_manipulation recursion already covers those, but
+                // re-checking is harmless and keeps this simple.
+                cond_ok &= is_data_manipulation_block_shape(q);
+            });
+            from_ok && cond_ok
+        }
+    }
+}
+
+/// The non-recursive part of the Definition 1 check (used when a visitor
+/// already provides the recursion).
+fn is_data_manipulation_block_shape(query: &Query) -> bool {
+    match query {
+        Query::SetOp { .. } => true, // operands are visited separately
+        Query::Select(s) => {
+            let SelectList::Items(items) = &s.select else { return false };
+            let mut seen = std::collections::HashSet::with_capacity(items.len());
+            if !items.iter().all(|i| seen.insert(&i.alias)) {
+                return false;
+            }
+            let local: std::collections::HashSet<&Name> =
+                s.from.iter().map(|f| &f.alias).collect();
+            items.iter().all(|i| match &i.term {
+                Term::Col(n) => local.contains(&n.table),
+                Term::Const(_) => false,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::paper_schema;
+    use rand::SeedableRng;
+    use sqlsem_core::check::check_query;
+    use sqlsem_core::Dialect;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let schema = paper_schema();
+        let g = QueryGenerator::new(&schema, QueryGenConfig::small());
+        let a = g.generate(&mut StdRng::seed_from_u64(42));
+        let b = g.generate(&mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn generated_queries_resolve_statically() {
+        // Every generated query must pass the static resolution check in
+        // the PostgreSQL dialect (which allows ambiguous stars); the only
+        // Oracle failures must be ambiguity errors from the Example 2
+        // gadget.
+        let schema = paper_schema();
+        let g = QueryGenerator::new(&schema, QueryGenConfig::tpch_calibrated());
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut oracle_ambiguous = 0;
+        for i in 0..500 {
+            let q = g.generate(&mut rng);
+            check_query(&q, &schema, Dialect::PostgreSql)
+                .unwrap_or_else(|e| panic!("query {i} fails PostgreSQL check: {e}\n{q}"));
+            if let Err(e) = check_query(&q, &schema, Dialect::Oracle) {
+                assert!(e.is_ambiguity(), "query {i}: unexpected Oracle error {e}\n{q}");
+                oracle_ambiguous += 1;
+            }
+        }
+        assert!(oracle_ambiguous > 0, "the ambiguous-star gadget never fired in 500 queries");
+    }
+
+    #[test]
+    fn respects_table_budget() {
+        let schema = paper_schema();
+        let config = QueryGenConfig::tpch_calibrated();
+        let g = QueryGenerator::new(&schema, config.clone());
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..300 {
+            let q = g.generate(&mut rng);
+            let mut tables = 0;
+            q.visit(&mut |node| {
+                if let Query::Select(s) = node {
+                    tables += s
+                        .from
+                        .iter()
+                        .filter(|f| matches!(f.table, sqlsem_core::ast::TableRef::Base(_)))
+                        .count();
+                }
+            });
+            assert!(tables <= config.max_tables, "query mentions {tables} base tables:\n{q}");
+        }
+    }
+
+    #[test]
+    fn respects_nesting_and_attr_limits() {
+        let schema = paper_schema();
+        let config = QueryGenConfig::tpch_calibrated();
+        let g = QueryGenerator::new(&schema, config.clone());
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..300 {
+            let q = g.generate(&mut rng);
+            q.visit(&mut |node| {
+                if let Query::Select(s) = node {
+                    if let SelectList::Items(items) = &s.select {
+                        assert!(items.len() <= config.max_attrs.max(2));
+                    }
+                    assert!(s.where_.atom_count() <= config.max_conds);
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn data_manipulation_preset_generates_definition1_queries() {
+        let schema = paper_schema();
+        let g = QueryGenerator::new(&schema, QueryGenConfig::data_manipulation());
+        let mut rng = StdRng::seed_from_u64(4);
+        for i in 0..300 {
+            let q = g.generate(&mut rng);
+            assert!(is_data_manipulation(&q), "query {i} violates Definition 1:\n{q}");
+            check_query(&q, &schema, Dialect::Oracle)
+                .unwrap_or_else(|e| panic!("query {i} fails static check: {e}\n{q}"));
+        }
+    }
+
+    #[test]
+    fn is_data_manipulation_rejects_counterexamples() {
+        let schema = paper_schema();
+        let _ = &schema;
+        // Star select.
+        let star = Query::Select(SelectQuery::new(SelectList::Star, vec![FromItem::base("R1", "x")]));
+        assert!(!is_data_manipulation(&star));
+        // Constant in SELECT.
+        let konst = Query::Select(SelectQuery::new(
+            SelectList::items([(Term::Const(Value::Int(1)), "c1")]),
+            vec![FromItem::base("R1", "x")],
+        ));
+        assert!(!is_data_manipulation(&konst));
+        // Repeated output names.
+        let dup = Query::Select(SelectQuery::new(
+            SelectList::Items(vec![
+                SelectItem::new(Term::col("x", "A1"), "c"),
+                SelectItem::new(Term::col("x", "A2"), "c"),
+            ]),
+            vec![FromItem::base("R1", "x")],
+        ));
+        assert!(!is_data_manipulation(&dup));
+        // Correlated name in SELECT (qualifier not in local FROM).
+        let correlated = Query::Select(SelectQuery::new(
+            SelectList::items([(Term::col("outer", "A1"), "c1")]),
+            vec![FromItem::base("R1", "x")],
+        ));
+        assert!(!is_data_manipulation(&correlated));
+        // A good one.
+        let ok = Query::Select(SelectQuery::new(
+            SelectList::items([(Term::col("x", "A1"), "c1")]),
+            vec![FromItem::base("R1", "x")],
+        ));
+        assert!(is_data_manipulation(&ok));
+    }
+
+    #[test]
+    fn generated_queries_roundtrip_through_the_parser() {
+        // print → parse → annotate must reproduce the AST exactly.
+        let schema = paper_schema();
+        let g = QueryGenerator::new(&schema, QueryGenConfig::small());
+        let mut rng = StdRng::seed_from_u64(5);
+        for i in 0..200 {
+            let q = g.generate(&mut rng);
+            for dialect in Dialect::ALL {
+                let text = sqlsem_parser::to_sql(&q, dialect);
+                let back = sqlsem_parser::compile(&text, &schema)
+                    .unwrap_or_else(|e| panic!("query {i} does not re-parse [{dialect}]: {e}\n{text}"));
+                assert_eq!(back, q, "query {i} round-trip mismatch [{dialect}]:\n{text}");
+            }
+        }
+    }
+}

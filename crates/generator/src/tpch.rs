@@ -1,0 +1,146 @@
+//! TPC-H shape statistics used to calibrate the query generator (§4).
+//!
+//! The paper does not *run* TPC-H — benchmarks measure performance, and
+//! with only 22 queries they are far too small for validating a
+//! semantics. Instead it inspects the **shape** of the TPC-H queries and
+//! derives four generator parameters from them: `tables = 6`, `nest = 3`,
+//! `attr = 3`, `cond = 8`. This module records the supporting statistics
+//! so that the calibration is reproducible.
+//!
+//! The per-query numbers below are reconstructed from the query
+//! definitions of the TPC-H 2.17.1 specification (the revision the paper
+//! cites). Counted are: base tables mentioned in the query including
+//! repetitions and nested subqueries, the deepest subquery nesting, and
+//! atomic conditions in the largest `WHERE` clause. Aggregates match the
+//! figures the paper quotes: eight base tables; on average 3.2 tables per
+//! query with all but one query using 6 or fewer; only three queries with
+//! more than 8 conditions; no query nesting deeper than 3.
+
+/// Shape statistics of one TPC-H query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QueryShape {
+    /// Query number (1–22).
+    pub query: u8,
+    /// Base tables mentioned, counting repetitions and subqueries.
+    pub tables: u8,
+    /// Maximum nesting depth of subqueries.
+    pub nesting: u8,
+    /// Atomic conditions in the largest `WHERE` clause.
+    pub conditions: u8,
+}
+
+/// Reconstructed shape statistics for the 22 TPC-H queries.
+pub const TPCH_SHAPES: [QueryShape; 22] = [
+    QueryShape { query: 1, tables: 1, nesting: 0, conditions: 1 },
+    QueryShape { query: 2, tables: 4, nesting: 1, conditions: 8 },
+    QueryShape { query: 3, tables: 3, nesting: 0, conditions: 4 },
+    QueryShape { query: 4, tables: 2, nesting: 1, conditions: 3 },
+    QueryShape { query: 5, tables: 6, nesting: 0, conditions: 7 },
+    QueryShape { query: 6, tables: 1, nesting: 0, conditions: 3 },
+    QueryShape { query: 7, tables: 4, nesting: 1, conditions: 7 },
+    QueryShape { query: 8, tables: 8, nesting: 1, conditions: 9 },
+    QueryShape { query: 9, tables: 6, nesting: 1, conditions: 5 },
+    QueryShape { query: 10, tables: 4, nesting: 0, conditions: 5 },
+    QueryShape { query: 11, tables: 3, nesting: 1, conditions: 3 },
+    QueryShape { query: 12, tables: 2, nesting: 0, conditions: 6 },
+    QueryShape { query: 13, tables: 2, nesting: 1, conditions: 2 },
+    QueryShape { query: 14, tables: 2, nesting: 0, conditions: 2 },
+    QueryShape { query: 15, tables: 2, nesting: 1, conditions: 2 },
+    QueryShape { query: 16, tables: 3, nesting: 1, conditions: 4 },
+    QueryShape { query: 17, tables: 2, nesting: 1, conditions: 3 },
+    QueryShape { query: 18, tables: 3, nesting: 1, conditions: 3 },
+    QueryShape { query: 19, tables: 2, nesting: 0, conditions: 12 },
+    QueryShape { query: 20, tables: 4, nesting: 3, conditions: 4 },
+    QueryShape { query: 21, tables: 4, nesting: 2, conditions: 9 },
+    QueryShape { query: 22, tables: 2, nesting: 2, conditions: 4 },
+];
+
+/// Number of base tables in the TPC-H schema.
+pub const TPCH_BASE_TABLES: usize = 8;
+
+/// The generator parameters the paper derives from the statistics.
+pub const CALIBRATED: (usize, usize, usize, usize) = (6, 3, 3, 8);
+
+/// Aggregate statistics over [`TPCH_SHAPES`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Aggregates {
+    /// Mean number of tables per query.
+    pub mean_tables: f64,
+    /// Queries using more than 6 tables.
+    pub queries_over_6_tables: usize,
+    /// Queries with more than 8 conditions.
+    pub queries_over_8_conditions: usize,
+    /// Maximum nesting depth observed.
+    pub max_nesting: u8,
+}
+
+/// Computes the aggregates the paper quotes.
+pub fn aggregates() -> Aggregates {
+    let n = TPCH_SHAPES.len() as f64;
+    Aggregates {
+        mean_tables: TPCH_SHAPES.iter().map(|s| s.tables as f64).sum::<f64>() / n,
+        queries_over_6_tables: TPCH_SHAPES.iter().filter(|s| s.tables > 6).count(),
+        queries_over_8_conditions: TPCH_SHAPES.iter().filter(|s| s.conditions > 8).count(),
+        max_nesting: TPCH_SHAPES.iter().map(|s| s.nesting).max().unwrap_or(0),
+    }
+}
+
+/// Renders the calibration table and the derived parameters, for the
+/// `tpch_calibration` experiment binary.
+pub fn calibration_report() -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "TPC-H query shape statistics (reconstructed from TPC-H 2.17.1)");
+    let _ = writeln!(out, "{:>5} {:>7} {:>8} {:>11}", "query", "tables", "nesting", "conditions");
+    for s in TPCH_SHAPES {
+        let _ = writeln!(out, "{:>5} {:>7} {:>8} {:>11}", s.query, s.tables, s.nesting, s.conditions);
+    }
+    let a = aggregates();
+    let _ = writeln!(out);
+    let _ = writeln!(out, "base tables in schema:          {TPCH_BASE_TABLES} (paper: 8)");
+    let _ = writeln!(out, "mean tables per query:          {:.1} (paper: 3.2)", a.mean_tables);
+    let _ = writeln!(out, "queries using more than 6:      {} (paper: 1)", a.queries_over_6_tables);
+    let _ = writeln!(out, "queries with more than 8 conds: {} (paper: 3)", a.queries_over_8_conditions);
+    let _ = writeln!(out, "maximum nesting depth:          {} (paper: ≤ 3)", a.max_nesting);
+    let (t, n, at, c) = CALIBRATED;
+    let _ = writeln!(out);
+    let _ = writeln!(out, "derived generator parameters: tables={t} nest={n} attr={at} cond={c}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_match_the_papers_quotes() {
+        let a = aggregates();
+        // "on average each benchmark query uses only 3.2"
+        assert!((a.mean_tables - 3.2).abs() < 0.05, "mean {}", a.mean_tables);
+        // "all queries but one use 6 or fewer"
+        assert_eq!(a.queries_over_6_tables, 1);
+        // "only three queries use more than 8 conditions"
+        assert_eq!(a.queries_over_8_conditions, 3);
+        // "no query exceeds 3 levels of nesting"
+        assert!(a.max_nesting <= 3);
+    }
+
+    #[test]
+    fn calibrated_parameters_are_the_papers() {
+        assert_eq!(CALIBRATED, (6, 3, 3, 8));
+        let cfg = crate::QueryGenConfig::tpch_calibrated();
+        assert_eq!(
+            (cfg.max_tables, cfg.max_nest, cfg.max_attrs, cfg.max_conds),
+            CALIBRATED
+        );
+    }
+
+    #[test]
+    fn report_mentions_all_queries() {
+        let r = calibration_report();
+        assert!(r.contains("tables=6 nest=3 attr=3 cond=8"));
+        for q in 1..=22 {
+            assert!(r.contains(&format!("\n{q:>5} ")), "missing query {q}");
+        }
+    }
+}

@@ -1,0 +1,536 @@
+//! Annotation: compiling surface SQL into the fully annotated form of §2.
+//!
+//! The paper assumes w.l.o.g. that queries are given with every attribute
+//! reference qualified by the table (alias) it comes from, every `FROM`
+//! entry explicitly aliased, and every output column explicitly named —
+//! "this closely resembles what happens when compiling SQL queries:
+//! RDBMSs add similar annotations to table and attribute names" (§2).
+//! This module is that compiler. For example (§2):
+//!
+//! ```text
+//! SELECT A, B AS C FROM R, (SELECT B FROM T) AS U WHERE A = B
+//! ```
+//!
+//! over `R(A)`, `T(A,B)` annotates to
+//!
+//! ```text
+//! SELECT R.A AS A, U.B AS C
+//! FROM R AS R, (SELECT T.B AS B FROM T AS T) AS U
+//! WHERE R.A = U.B
+//! ```
+//!
+//! Name resolution follows §3's scoping rule: a reference is matched
+//! against the local `FROM` clause first, then against enclosing scopes,
+//! innermost first. A qualifier is resolved to the *innermost* scope that
+//! defines the alias; a missing column there is an error (aliases shadow,
+//! they do not fall through).
+
+use std::fmt;
+
+use sqlsem_core::ast as core_ast;
+use sqlsem_core::{Name, Schema, Value};
+
+use crate::surface::{
+    SCondition, SFromItem, SQuery, SSelectList, SSelectQuery, STableRef, STerm,
+};
+
+/// The output name given to constant `SELECT` items that carry no `AS`
+/// alias (PostgreSQL's convention).
+pub const UNNAMED_COLUMN: &str = "?column?";
+
+/// An error raised while compiling a surface query to annotated form.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AnnotateError {
+    /// A `FROM` clause references a base table not in the schema.
+    UnknownTable(Name),
+    /// A column reference matched nothing in any scope.
+    UnknownColumn {
+        /// The qualifier, if the reference was qualified.
+        qualifier: Option<Name>,
+        /// The column name.
+        column: Name,
+    },
+    /// A column reference matched more than one column in the scope it
+    /// resolved against.
+    AmbiguousColumn {
+        /// The qualifier, if the reference was qualified.
+        qualifier: Option<Name>,
+        /// The column name.
+        column: Name,
+    },
+    /// A subquery in `FROM` has no alias; the Standard requires one.
+    SubqueryNeedsAlias,
+    /// Two `FROM` items in the same clause share an alias.
+    DuplicateAlias(Name),
+    /// A column renaming `AS N(A₁,…,Aₙ)` has the wrong arity.
+    ColumnRenameArity {
+        /// The alias `N`.
+        alias: Name,
+        /// Number of columns of the underlying table.
+        expected: usize,
+        /// Number of names written.
+        got: usize,
+    },
+}
+
+impl fmt::Display for AnnotateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let qualified = |q: &Option<Name>, c: &Name| match q {
+            Some(t) => format!("{t}.{c}"),
+            None => c.to_string(),
+        };
+        match self {
+            AnnotateError::UnknownTable(t) => write!(f, "unknown table {t}"),
+            AnnotateError::UnknownColumn { qualifier, column } => {
+                write!(f, "column {} does not exist", qualified(qualifier, column))
+            }
+            AnnotateError::AmbiguousColumn { qualifier, column } => {
+                write!(f, "column reference {} is ambiguous", qualified(qualifier, column))
+            }
+            AnnotateError::SubqueryNeedsAlias => {
+                write!(f, "subquery in FROM must have an alias")
+            }
+            AnnotateError::DuplicateAlias(a) => {
+                write!(f, "table name {a} specified more than once")
+            }
+            AnnotateError::ColumnRenameArity { alias, expected, got } => {
+                write!(f, "alias {alias}(...) renames {got} column(s), table has {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AnnotateError {}
+
+/// One `FROM` entry visible in a scope: its alias and column names.
+#[derive(Clone, Debug)]
+struct ScopeEntry {
+    alias: Name,
+    columns: Vec<Name>,
+}
+
+type Scope = Vec<ScopeEntry>;
+
+/// Compiles a surface query to the fully annotated form over the given
+/// schema.
+pub fn annotate(query: &SQuery, schema: &Schema) -> Result<core_ast::Query, AnnotateError> {
+    annotate_query(query, schema, &mut Vec::new())
+}
+
+fn annotate_query(
+    query: &SQuery,
+    schema: &Schema,
+    stack: &mut Vec<Scope>,
+) -> Result<core_ast::Query, AnnotateError> {
+    match query {
+        SQuery::Select(s) => Ok(core_ast::Query::Select(annotate_select(s, schema, stack)?)),
+        SQuery::SetOp { op, all, left, right } => Ok(core_ast::Query::SetOp {
+            op: *op,
+            all: *all,
+            left: Box::new(annotate_query(left, schema, stack)?),
+            right: Box::new(annotate_query(right, schema, stack)?),
+        }),
+    }
+}
+
+fn annotate_select(
+    s: &SSelectQuery,
+    schema: &Schema,
+    stack: &mut Vec<Scope>,
+) -> Result<core_ast::SelectQuery, AnnotateError> {
+    // FROM items first: subqueries are annotated in the *enclosing*
+    // scopes (the local scope is not visible to them, Figure 5).
+    let mut from = Vec::with_capacity(s.from.len());
+    let mut scope: Scope = Vec::with_capacity(s.from.len());
+    for item in &s.from {
+        let (core_item, entry) = annotate_from_item(item, schema, stack)?;
+        from.push(core_item);
+        scope.push(entry);
+    }
+    // Duplicate aliases are a compile error in RDBMSs.
+    let mut seen = std::collections::HashSet::with_capacity(scope.len());
+    for e in &scope {
+        if !seen.insert(e.alias.clone()) {
+            return Err(AnnotateError::DuplicateAlias(e.alias.clone()));
+        }
+    }
+
+    stack.push(scope);
+    let result = (|| {
+        let select = match &s.select {
+            SSelectList::Star => core_ast::SelectList::Star,
+            SSelectList::Items(items) => {
+                let mut out = Vec::with_capacity(items.len());
+                for item in items {
+                    let term = resolve_term(&item.term, stack)?;
+                    let alias = match (&item.alias, &item.term) {
+                        (Some(a), _) => a.clone(),
+                        // Unnamed column references keep the column name…
+                        (None, STerm::Col { column, .. }) => column.clone(),
+                        // …and unnamed constants get the marker name.
+                        (None, STerm::Const(_)) => Name::new(UNNAMED_COLUMN),
+                    };
+                    out.push(core_ast::SelectItem { term, alias });
+                }
+                core_ast::SelectList::Items(out)
+            }
+        };
+        let where_ = match &s.where_ {
+            None => core_ast::Condition::True,
+            Some(c) => annotate_condition(c, schema, stack)?,
+        };
+        Ok(core_ast::SelectQuery { distinct: s.distinct, select, from, where_ })
+    })();
+    stack.pop();
+    result
+}
+
+fn annotate_from_item(
+    item: &SFromItem,
+    schema: &Schema,
+    stack: &mut Vec<Scope>,
+) -> Result<(core_ast::FromItem, ScopeEntry), AnnotateError> {
+    let (table, natural_columns, default_alias) = match &item.table {
+        STableRef::Base(r) => {
+            let Some(attrs) = schema.attributes(r) else {
+                return Err(AnnotateError::UnknownTable(r.clone()));
+            };
+            (core_ast::TableRef::Base(r.clone()), attrs.to_vec(), Some(r.clone()))
+        }
+        STableRef::Query(q) => {
+            let annotated = annotate_query(q, schema, stack)?;
+            let columns = sqlsem_core::sig::output_columns(&annotated, schema)
+                .expect("annotated query has a well-defined signature");
+            (core_ast::TableRef::Query(Box::new(annotated)), columns, None)
+        }
+    };
+    let alias = match (&item.alias, default_alias) {
+        (Some(a), _) => a.clone(),
+        (None, Some(base)) => base,
+        (None, None) => return Err(AnnotateError::SubqueryNeedsAlias),
+    };
+    let visible_columns = match &item.columns {
+        None => natural_columns,
+        Some(renamed) => {
+            if renamed.len() != natural_columns.len() {
+                return Err(AnnotateError::ColumnRenameArity {
+                    alias,
+                    expected: natural_columns.len(),
+                    got: renamed.len(),
+                });
+            }
+            renamed.clone()
+        }
+    };
+    let core_item = core_ast::FromItem {
+        table,
+        alias: alias.clone(),
+        columns: item.columns.clone(),
+    };
+    Ok((core_item, ScopeEntry { alias, columns: visible_columns }))
+}
+
+fn annotate_condition(
+    cond: &SCondition,
+    schema: &Schema,
+    stack: &mut Vec<Scope>,
+) -> Result<core_ast::Condition, AnnotateError> {
+    Ok(match cond {
+        SCondition::True => core_ast::Condition::True,
+        SCondition::False => core_ast::Condition::False,
+        SCondition::Cmp { left, op, right } => core_ast::Condition::Cmp {
+            left: resolve_term(left, stack)?,
+            op: *op,
+            right: resolve_term(right, stack)?,
+        },
+        SCondition::Like { term, pattern, negated } => core_ast::Condition::Like {
+            term: resolve_term(term, stack)?,
+            pattern: resolve_term(pattern, stack)?,
+            negated: *negated,
+        },
+        SCondition::Pred { name, args } => core_ast::Condition::Pred {
+            name: name.clone(),
+            args: args.iter().map(|t| resolve_term(t, stack)).collect::<Result<_, _>>()?,
+        },
+        SCondition::IsNull { term, negated } => core_ast::Condition::IsNull {
+            term: resolve_term(term, stack)?,
+            negated: *negated,
+        },
+        SCondition::IsDistinct { left, right, negated } => core_ast::Condition::IsDistinct {
+            left: resolve_term(left, stack)?,
+            right: resolve_term(right, stack)?,
+            negated: *negated,
+        },
+        SCondition::In { terms, query, negated } => core_ast::Condition::In {
+            terms: terms.iter().map(|t| resolve_term(t, stack)).collect::<Result<_, _>>()?,
+            query: Box::new(annotate_query(query, schema, stack)?),
+            negated: *negated,
+        },
+        SCondition::Exists(q) => {
+            core_ast::Condition::Exists(Box::new(annotate_query(q, schema, stack)?))
+        }
+        SCondition::And(a, b) => core_ast::Condition::And(
+            Box::new(annotate_condition(a, schema, stack)?),
+            Box::new(annotate_condition(b, schema, stack)?),
+        ),
+        SCondition::Or(a, b) => core_ast::Condition::Or(
+            Box::new(annotate_condition(a, schema, stack)?),
+            Box::new(annotate_condition(b, schema, stack)?),
+        ),
+        SCondition::Not(c) => {
+            core_ast::Condition::Not(Box::new(annotate_condition(c, schema, stack)?))
+        }
+    })
+}
+
+fn resolve_term(term: &STerm, stack: &[Scope]) -> Result<core_ast::Term, AnnotateError> {
+    match term {
+        STerm::Const(v) => Ok(core_ast::Term::Const(v.clone())),
+        STerm::Col { table: Some(t), column: c } => {
+            // Qualified: find the innermost scope defining alias `t`.
+            for scope in stack.iter().rev() {
+                let Some(entry) = scope.iter().find(|e| &e.alias == t) else {
+                    continue;
+                };
+                let occurrences = entry.columns.iter().filter(|n| *n == c).count();
+                return match occurrences {
+                    0 => Err(AnnotateError::UnknownColumn {
+                        qualifier: Some(t.clone()),
+                        column: c.clone(),
+                    }),
+                    1 => Ok(core_ast::Term::col(t.clone(), c.clone())),
+                    _ => Err(AnnotateError::AmbiguousColumn {
+                        qualifier: Some(t.clone()),
+                        column: c.clone(),
+                    }),
+                };
+            }
+            Err(AnnotateError::UnknownColumn { qualifier: Some(t.clone()), column: c.clone() })
+        }
+        STerm::Col { table: None, column: c } => {
+            // Unqualified: the innermost scope containing the column name
+            // anywhere wins; more than one match there is ambiguous.
+            for scope in stack.iter().rev() {
+                let mut matches = scope.iter().flat_map(|e| {
+                    e.columns.iter().filter(|n| *n == c).map(move |_| e.alias.clone())
+                });
+                let Some(first) = matches.next() else { continue };
+                if matches.next().is_some() {
+                    return Err(AnnotateError::AmbiguousColumn {
+                        qualifier: None,
+                        column: c.clone(),
+                    });
+                }
+                return Ok(core_ast::Term::col(first, c.clone()));
+            }
+            Err(AnnotateError::UnknownColumn { qualifier: None, column: c.clone() })
+        }
+    }
+}
+
+/// `TRUE`/`FALSE` constants in surface term position become boolean
+/// [`Value`]s; re-exported for tests.
+#[allow(dead_code)]
+fn _type_anchor(_: Value) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use sqlsem_core::ast::{Condition, Query, SelectList, Term};
+
+    fn schema() -> Schema {
+        Schema::builder()
+            .table("R", ["A"])
+            .table("S", ["A"])
+            .table("T", ["A", "B"])
+            .build()
+            .unwrap()
+    }
+
+    fn compile(sql: &str) -> Result<Query, AnnotateError> {
+        annotate(&parse_query(sql).unwrap(), &schema())
+    }
+
+    #[test]
+    fn annotates_the_section2_example() {
+        // The paper's worked annotation example (§2).
+        let q = compile("SELECT A, B AS C FROM R, (SELECT B FROM T) AS U WHERE A = B").unwrap();
+        assert_eq!(
+            q.to_string(),
+            "SELECT R.A AS A, U.B AS C FROM R AS R, (SELECT T.B AS B FROM T AS T) AS U \
+             WHERE R.A = U.B"
+        );
+    }
+
+    #[test]
+    fn base_tables_default_their_own_alias() {
+        let q = compile("SELECT R.A FROM R").unwrap();
+        assert_eq!(q.to_string(), "SELECT R.A AS A FROM R AS R");
+    }
+
+    #[test]
+    fn constants_get_the_unnamed_marker() {
+        let q = compile("SELECT 1, 2 AS two FROM R").unwrap();
+        let Query::Select(s) = &q else { panic!() };
+        let SelectList::Items(items) = &s.select else { panic!() };
+        assert_eq!(items[0].alias, Name::new(UNNAMED_COLUMN));
+        assert_eq!(items[1].alias, Name::new("two"));
+    }
+
+    #[test]
+    fn unqualified_resolution_prefers_local_scope() {
+        // Inner block references A: S is local, so S.A wins over outer R.A.
+        let q = compile(
+            "SELECT R.A FROM R WHERE EXISTS (SELECT A FROM S WHERE A = R.A)",
+        )
+        .unwrap();
+        let Query::Select(s) = &q else { panic!() };
+        let Condition::Exists(sub) = &s.where_ else { panic!() };
+        let Query::Select(inner) = &**sub else { panic!() };
+        let SelectList::Items(items) = &inner.select else { panic!() };
+        assert_eq!(items[0].term, Term::col("S", "A"));
+        let Condition::Cmp { left, .. } = &inner.where_ else { panic!() };
+        assert_eq!(left, &Term::col("S", "A"));
+    }
+
+    #[test]
+    fn correlated_references_resolve_outward() {
+        let q = compile(
+            "SELECT A FROM R WHERE EXISTS (SELECT B FROM T WHERE B = A)",
+        );
+        // Inner `A` is not in T's columns? T(A,B) has A! So it resolves to
+        // T.A locally, not to R.A.
+        let q = q.unwrap();
+        let Query::Select(s) = &q else { panic!() };
+        let Condition::Exists(sub) = &s.where_ else { panic!() };
+        let Query::Select(inner) = &**sub else { panic!() };
+        let Condition::Cmp { right, .. } = &inner.where_ else { panic!() };
+        assert_eq!(right, &Term::col("T", "A"));
+    }
+
+    #[test]
+    fn genuinely_correlated_reference() {
+        // S(A) has no B: inner B = A has B from T? No — FROM S only. The
+        // unqualified reference `R.x` style: use qualified R.A to correlate.
+        let q = compile(
+            "SELECT A FROM S WHERE EXISTS (SELECT A FROM R WHERE R.A = S.A)",
+        )
+        .unwrap();
+        let Query::Select(s) = &q else { panic!() };
+        let Condition::Exists(sub) = &s.where_ else { panic!() };
+        let Query::Select(inner) = &**sub else { panic!() };
+        let Condition::Cmp { left, right, .. } = &inner.where_ else { panic!() };
+        assert_eq!(left, &Term::col("R", "A"));
+        assert_eq!(right, &Term::col("S", "A"));
+    }
+
+    #[test]
+    fn ambiguous_unqualified_reference_errors() {
+        let err = compile("SELECT A FROM R, S").unwrap_err();
+        assert_eq!(err, AnnotateError::AmbiguousColumn { qualifier: None, column: Name::new("A") });
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        let err = compile("SELECT Z FROM R").unwrap_err();
+        assert_eq!(err, AnnotateError::UnknownColumn { qualifier: None, column: Name::new("Z") });
+        let err = compile("SELECT R.Z FROM R").unwrap_err();
+        assert_eq!(
+            err,
+            AnnotateError::UnknownColumn { qualifier: Some(Name::new("R")), column: Name::new("Z") }
+        );
+    }
+
+    #[test]
+    fn unknown_table_errors() {
+        let err = compile("SELECT A FROM Nope").unwrap_err();
+        assert_eq!(err, AnnotateError::UnknownTable(Name::new("Nope")));
+    }
+
+    #[test]
+    fn alias_shadowing_does_not_fall_through() {
+        // Inner scope defines alias R over S(A); R.B must error even
+        // though outer R is T(A,B)… here outer alias is also R.
+        let err = compile(
+            "SELECT R.A FROM T AS R WHERE EXISTS (SELECT R.B FROM S AS R)",
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            AnnotateError::UnknownColumn { qualifier: Some(Name::new("R")), column: Name::new("B") }
+        );
+    }
+
+    #[test]
+    fn subquery_without_alias_errors() {
+        let err = compile("SELECT A FROM (SELECT A FROM R)").unwrap_err();
+        assert_eq!(err, AnnotateError::SubqueryNeedsAlias);
+    }
+
+    #[test]
+    fn duplicate_aliases_error() {
+        let err = compile("SELECT T.A FROM R AS T, S AS T").unwrap_err();
+        assert_eq!(err, AnnotateError::DuplicateAlias(Name::new("T")));
+    }
+
+    #[test]
+    fn from_subqueries_cannot_see_siblings() {
+        let err = compile("SELECT * FROM R, (SELECT R.A FROM S) AS U").unwrap_err();
+        assert_eq!(
+            err,
+            AnnotateError::UnknownColumn { qualifier: Some(Name::new("R")), column: Name::new("A") }
+        );
+    }
+
+    #[test]
+    fn column_rename_changes_visible_names() {
+        let q = compile("SELECT N.X FROM R AS N(X)").unwrap();
+        assert_eq!(q.to_string(), "SELECT N.X AS X FROM R AS N(X)");
+        let err = compile("SELECT N.A FROM R AS N(X)").unwrap_err();
+        assert!(matches!(err, AnnotateError::UnknownColumn { .. }));
+    }
+
+    #[test]
+    fn column_rename_arity_checked() {
+        let err = compile("SELECT * FROM T AS N(X)").unwrap_err();
+        assert_eq!(
+            err,
+            AnnotateError::ColumnRenameArity { alias: Name::new("N"), expected: 2, got: 1 }
+        );
+    }
+
+    #[test]
+    fn set_operands_annotate_independently() {
+        let q = compile("SELECT A FROM R EXCEPT SELECT A FROM S").unwrap();
+        assert_eq!(
+            q.to_string(),
+            "SELECT R.A AS A FROM R AS R EXCEPT SELECT S.A AS A FROM S AS S"
+        );
+    }
+
+    #[test]
+    fn example1_queries_annotate() {
+        let q1 = compile("SELECT DISTINCT R.A FROM R WHERE R.A NOT IN (SELECT S.A FROM S)")
+            .unwrap();
+        assert_eq!(
+            q1.to_string(),
+            "SELECT DISTINCT R.A AS A FROM R AS R WHERE R.A NOT IN (SELECT S.A AS A FROM S AS S)"
+        );
+        let q2 = compile(
+            "SELECT DISTINCT R.A FROM R WHERE NOT EXISTS (SELECT * FROM S WHERE S.A = R.A)",
+        )
+        .unwrap();
+        assert_eq!(
+            q2.to_string(),
+            "SELECT DISTINCT R.A AS A FROM R AS R WHERE NOT EXISTS \
+             (SELECT * FROM S AS S WHERE S.A = R.A)"
+        );
+    }
+
+    #[test]
+    fn star_select_keeps_star() {
+        let q = compile("SELECT * FROM R, S").unwrap();
+        assert_eq!(q.to_string(), "SELECT * FROM R AS R, S AS S");
+    }
+}

@@ -1,0 +1,127 @@
+//! # sqlsem-parser
+//!
+//! Surface syntax for the basic SQL fragment of Guagliardo & Libkin
+//! (PVLDB 2017): a lexer and recursive-descent parser for the Figure 2
+//! grammar, the *annotation* pass that compiles surface queries into the
+//! fully annotated form the formal semantics is defined on (§2), and
+//! dialect-aware printers (§4: Oracle spells `EXCEPT` as `MINUS`).
+//!
+//! The one-stop entry point is [`compile`]:
+//!
+//! ```
+//! use sqlsem_parser::compile;
+//! use sqlsem_core::Schema;
+//!
+//! let schema = Schema::builder().table("R", ["A"]).table("T", ["A", "B"]).build().unwrap();
+//! let q = compile("SELECT A, B AS C FROM R, (SELECT B FROM T) AS U WHERE A = B", &schema)
+//!     .unwrap();
+//! assert_eq!(
+//!     q.to_string(),
+//!     "SELECT R.A AS A, U.B AS C FROM R AS R, (SELECT T.B AS B FROM T AS T) AS U \
+//!      WHERE R.A = U.B"
+//! );
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod annotate;
+pub mod parser;
+pub mod print;
+pub mod surface;
+pub mod token;
+
+use std::fmt;
+
+use sqlsem_core::{Query, Schema};
+
+pub use annotate::{annotate, AnnotateError, UNNAMED_COLUMN};
+pub use parser::{parse_condition, parse_query, ParseError};
+pub use print::{to_sql, to_sql_pretty};
+pub use token::{lex, LexError};
+
+/// A parse or annotation failure from [`compile`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CompileError {
+    /// The text did not parse.
+    Parse(ParseError),
+    /// The query did not resolve against the schema.
+    Annotate(AnnotateError),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Parse(e) => write!(f, "{e}"),
+            CompileError::Annotate(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<ParseError> for CompileError {
+    fn from(e: ParseError) -> Self {
+        CompileError::Parse(e)
+    }
+}
+
+impl From<AnnotateError> for CompileError {
+    fn from(e: AnnotateError) -> Self {
+        CompileError::Annotate(e)
+    }
+}
+
+/// Parses SQL text and compiles it to the fully annotated form over
+/// `schema` — the front half of what an RDBMS does before executing
+/// (§2's "successfully type-checked and compiled").
+pub fn compile(sql: &str, schema: &Schema) -> Result<Query, CompileError> {
+    let surface = parse_query(sql)?;
+    Ok(annotate(&surface, schema)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlsem_core::{table, Database, Dialect, Evaluator, Value};
+
+    #[test]
+    fn compile_then_evaluate_example1() {
+        let schema = Schema::builder().table("R", ["A"]).table("S", ["A"]).build().unwrap();
+        let mut db = Database::new(schema.clone());
+        db.insert("R", table! { ["A"]; [1], [Value::Null] }).unwrap();
+        db.insert("S", table! { ["A"]; [Value::Null] }).unwrap();
+
+        let q1 = compile("SELECT DISTINCT R.A FROM R WHERE R.A NOT IN (SELECT S.A FROM S)", &schema)
+            .unwrap();
+        let q2 = compile(
+            "SELECT DISTINCT R.A FROM R WHERE NOT EXISTS (SELECT * FROM S WHERE S.A = R.A)",
+            &schema,
+        )
+        .unwrap();
+        let q3 = compile("SELECT R.A FROM R EXCEPT SELECT S.A FROM S", &schema).unwrap();
+
+        let ev = Evaluator::new(&db);
+        assert!(ev.eval(&q1).unwrap().is_empty());
+        assert!(ev.eval(&q2).unwrap().coincides(&table! { ["A"]; [1], [Value::Null] }));
+        assert!(ev.eval(&q3).unwrap().coincides(&table! { ["A"]; [1] }));
+    }
+
+    #[test]
+    fn oracle_minus_compiles_and_runs() {
+        let schema = Schema::builder().table("R", ["A"]).table("S", ["A"]).build().unwrap();
+        let mut db = Database::new(schema.clone());
+        db.insert("R", table! { ["A"]; [1], [2] }).unwrap();
+        db.insert("S", table! { ["A"]; [2] }).unwrap();
+        let q = compile("SELECT R.A FROM R MINUS SELECT S.A FROM S", &schema).unwrap();
+        let out = Evaluator::new(&db).with_dialect(Dialect::Oracle).eval(&q).unwrap();
+        assert!(out.coincides(&table! { ["A"]; [1] }));
+    }
+
+    #[test]
+    fn compile_errors_are_reported() {
+        let schema = Schema::builder().table("R", ["A"]).build().unwrap();
+        assert!(matches!(compile("SELECT FROM", &schema), Err(CompileError::Parse(_))));
+        assert!(matches!(compile("SELECT Z FROM R", &schema), Err(CompileError::Annotate(_))));
+    }
+}

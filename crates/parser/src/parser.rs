@@ -1,0 +1,705 @@
+//! Recursive-descent parser for the basic SQL fragment (Figure 2, surface
+//! form).
+//!
+//! Grammar notes:
+//!
+//! * Set operations follow SQL precedence: `INTERSECT` binds tighter than
+//!   `UNION`/`EXCEPT`(/`MINUS`), which associate to the left.
+//! * Boolean conditions follow `OR < AND < NOT < atom`.
+//! * A parenthesised token sequence can open either a tuple (for `IN`) or
+//!   a nested condition; the parser resolves this with bounded
+//!   backtracking over the token index.
+
+use sqlsem_core::{CmpOp, Name, SetOp, Value};
+
+use crate::surface::{
+    SCondition, SFromItem, SQuery, SSelectItem, SSelectList, SSelectQuery, STableRef, STerm,
+};
+use crate::token::{lex, Keyword, Token, TokenKind};
+
+/// A parse error with the byte offset of the offending token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset into the source text (end of input if tokens ran out).
+    pub offset: usize,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses one query from SQL source text; errors if trailing tokens
+/// remain.
+pub fn parse_query(input: &str) -> Result<SQuery, ParseError> {
+    let tokens = lex(input)
+        .map_err(|e| ParseError { message: e.message, offset: e.offset })?;
+    let mut p = Parser { tokens, pos: 0, input_len: input.len() };
+    let q = p.query()?;
+    p.expect_end()?;
+    Ok(q)
+}
+
+/// Parses a standalone condition (used by tests and the REPL-style
+/// examples).
+pub fn parse_condition(input: &str) -> Result<SCondition, ParseError> {
+    let tokens = lex(input)
+        .map_err(|e| ParseError { message: e.message, offset: e.offset })?;
+    let mut p = Parser { tokens, pos: 0, input_len: input.len() };
+    let c = p.condition()?;
+    p.expect_end()?;
+    Ok(c)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    input_len: usize,
+}
+
+impl Parser {
+    // -- token plumbing ----------------------------------------------------
+
+    fn peek(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<&TokenKind> {
+        self.tokens.get(self.pos + ahead).map(|t| &t.kind)
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens.get(self.pos).map_or(self.input_len, |t| t.offset)
+    }
+
+    fn bump(&mut self) -> Option<TokenKind> {
+        let t = self.tokens.get(self.pos).map(|t| t.kind.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError { message: message.into(), offset: self.offset() })
+    }
+
+    fn eat_kw(&mut self, kw: Keyword) -> bool {
+        if self.peek() == Some(&TokenKind::Keyword(kw)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: Keyword) -> Result<(), ParseError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            self.error(format!("expected {kw}"))
+        }
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == Some(kind) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<(), ParseError> {
+        if self.eat(kind) {
+            Ok(())
+        } else {
+            self.error(format!("expected {kind}"))
+        }
+    }
+
+    fn expect_end(&self) -> Result<(), ParseError> {
+        if self.pos == self.tokens.len() {
+            Ok(())
+        } else {
+            self.error("unexpected trailing input")
+        }
+    }
+
+    fn ident(&mut self) -> Result<Name, ParseError> {
+        match self.peek() {
+            Some(TokenKind::Ident(_)) => {
+                let Some(TokenKind::Ident(s)) = self.bump() else { unreachable!() };
+                Ok(Name::new(s))
+            }
+            _ => self.error("expected identifier"),
+        }
+    }
+
+    // -- queries -----------------------------------------------------------
+
+    /// query := intersect_chain ((UNION | EXCEPT | MINUS) [ALL] intersect_chain)*
+    fn query(&mut self) -> Result<SQuery, ParseError> {
+        let mut left = self.intersect_chain()?;
+        loop {
+            let op = match self.peek() {
+                Some(TokenKind::Keyword(Keyword::Union)) => SetOp::Union,
+                Some(TokenKind::Keyword(Keyword::Except))
+                | Some(TokenKind::Keyword(Keyword::Minus)) => SetOp::Except,
+                _ => break,
+            };
+            self.pos += 1;
+            let all = self.eat_kw(Keyword::All);
+            let right = self.intersect_chain()?;
+            left = SQuery::SetOp { op, all, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    /// intersect_chain := primary_query (INTERSECT [ALL] primary_query)*
+    fn intersect_chain(&mut self) -> Result<SQuery, ParseError> {
+        let mut left = self.primary_query()?;
+        while self.eat_kw(Keyword::Intersect) {
+            let all = self.eat_kw(Keyword::All);
+            let right = self.primary_query()?;
+            left =
+                SQuery::SetOp { op: SetOp::Intersect, all, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    /// primary_query := select_block | '(' query ')'
+    fn primary_query(&mut self) -> Result<SQuery, ParseError> {
+        if self.eat(&TokenKind::LParen) {
+            let q = self.query()?;
+            self.expect(&TokenKind::RParen)?;
+            Ok(q)
+        } else {
+            Ok(SQuery::Select(self.select_block()?))
+        }
+    }
+
+    /// select_block := SELECT [DISTINCT] select_list FROM from_item
+    ///                 (',' from_item)* [WHERE condition]
+    fn select_block(&mut self) -> Result<SSelectQuery, ParseError> {
+        self.expect_kw(Keyword::Select)?;
+        let distinct = self.eat_kw(Keyword::Distinct);
+        let select = self.select_list()?;
+        self.expect_kw(Keyword::From)?;
+        let mut from = vec![self.from_item()?];
+        while self.eat(&TokenKind::Comma) {
+            from.push(self.from_item()?);
+        }
+        let where_ = if self.eat_kw(Keyword::Where) { Some(self.condition()?) } else { None };
+        Ok(SSelectQuery { distinct, select, from, where_ })
+    }
+
+    fn select_list(&mut self) -> Result<SSelectList, ParseError> {
+        if self.eat(&TokenKind::Star) {
+            return Ok(SSelectList::Star);
+        }
+        let mut items = vec![self.select_item()?];
+        while self.eat(&TokenKind::Comma) {
+            items.push(self.select_item()?);
+        }
+        Ok(SSelectList::Items(items))
+    }
+
+    fn select_item(&mut self) -> Result<SSelectItem, ParseError> {
+        let term = self.term()?;
+        let alias = if self.eat_kw(Keyword::As) { Some(self.ident()?) } else { None };
+        Ok(SSelectItem { term, alias })
+    }
+
+    // `from_*` here is the FROM clause, not a conversion constructor.
+    #[allow(clippy::wrong_self_convention)]
+    fn from_item(&mut self) -> Result<SFromItem, ParseError> {
+        let table = if self.eat(&TokenKind::LParen) {
+            let q = self.query()?;
+            self.expect(&TokenKind::RParen)?;
+            STableRef::Query(Box::new(q))
+        } else {
+            STableRef::Base(self.ident()?)
+        };
+        // Alias: `AS N`, or a bare identifier.
+        let alias = if self.eat_kw(Keyword::As) || matches!(self.peek(), Some(TokenKind::Ident(_)))
+        {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        // Optional column renaming `(A₁,…,Aₙ)`, only after an alias.
+        let columns = if alias.is_some() && self.eat(&TokenKind::LParen) {
+            let mut cols = vec![self.ident()?];
+            while self.eat(&TokenKind::Comma) {
+                cols.push(self.ident()?);
+            }
+            self.expect(&TokenKind::RParen)?;
+            Some(cols)
+        } else {
+            None
+        };
+        Ok(SFromItem { table, alias, columns })
+    }
+
+    // -- conditions ----------------------------------------------------------
+
+    /// condition := and_chain (OR and_chain)*
+    fn condition(&mut self) -> Result<SCondition, ParseError> {
+        let mut left = self.and_chain()?;
+        while self.eat_kw(Keyword::Or) {
+            let right = self.and_chain()?;
+            left = SCondition::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    /// and_chain := not_cond (AND not_cond)*
+    fn and_chain(&mut self) -> Result<SCondition, ParseError> {
+        let mut left = self.not_cond()?;
+        while self.eat_kw(Keyword::And) {
+            let right = self.not_cond()?;
+            left = SCondition::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    /// not_cond := NOT not_cond | atom
+    fn not_cond(&mut self) -> Result<SCondition, ParseError> {
+        if self.eat_kw(Keyword::Not) {
+            Ok(SCondition::Not(Box::new(self.not_cond()?)))
+        } else {
+            self.atom()
+        }
+    }
+
+    fn atom(&mut self) -> Result<SCondition, ParseError> {
+        // TRUE/FALSE are condition constants unless immediately compared
+        // as terms (e.g. `TRUE = TRUE`).
+        match self.peek() {
+            Some(TokenKind::Keyword(Keyword::True)) if !self.next_is_term_suffix(1) => {
+                self.pos += 1;
+                return Ok(SCondition::True);
+            }
+            Some(TokenKind::Keyword(Keyword::False)) if !self.next_is_term_suffix(1) => {
+                self.pos += 1;
+                return Ok(SCondition::False);
+            }
+            Some(TokenKind::Keyword(Keyword::Exists)) => {
+                self.pos += 1;
+                self.expect(&TokenKind::LParen)?;
+                let q = self.query()?;
+                self.expect(&TokenKind::RParen)?;
+                return Ok(SCondition::Exists(Box::new(q)));
+            }
+            _ => {}
+        }
+
+        // A predicate application `name(t₁,…,tₖ)`: identifier directly
+        // followed by `(`, where the identifier is not a column qualifier.
+        if let (Some(TokenKind::Ident(_)), Some(TokenKind::LParen)) =
+            (self.peek(), self.peek_at(1))
+        {
+            let name = match self.bump() {
+                Some(TokenKind::Ident(s)) => s,
+                _ => unreachable!(),
+            };
+            self.expect(&TokenKind::LParen)?;
+            let mut args = vec![self.term()?];
+            while self.eat(&TokenKind::Comma) {
+                args.push(self.term()?);
+            }
+            self.expect(&TokenKind::RParen)?;
+            return Ok(SCondition::Pred { name, args });
+        }
+
+        // A parenthesised group: either a tuple followed by [NOT] IN, or
+        // a nested condition. Try the tuple reading first, with
+        // backtracking.
+        if self.peek() == Some(&TokenKind::LParen) {
+            let save = self.pos;
+            if let Ok(cond) = self.try_tuple_in() {
+                return Ok(cond);
+            }
+            self.pos = save;
+            self.expect(&TokenKind::LParen)?;
+            let c = self.condition()?;
+            self.expect(&TokenKind::RParen)?;
+            return Ok(c);
+        }
+
+        // Otherwise: a term followed by a comparison, IS [NOT] NULL,
+        // [NOT] LIKE, or [NOT] IN.
+        let term = self.term()?;
+        self.term_tail(vec![term])
+    }
+
+    /// Attempts `'(' t₁,…,tₙ ')' [NOT] IN '(' query ')'`; fails (for
+    /// backtracking) if the shape does not match.
+    fn try_tuple_in(&mut self) -> Result<SCondition, ParseError> {
+        self.expect(&TokenKind::LParen)?;
+        let mut terms = vec![self.term()?];
+        while self.eat(&TokenKind::Comma) {
+            terms.push(self.term()?);
+        }
+        self.expect(&TokenKind::RParen)?;
+        let negated = self.eat_kw(Keyword::Not);
+        if !self.eat_kw(Keyword::In) {
+            return self.error("not a tuple IN");
+        }
+        self.expect(&TokenKind::LParen)?;
+        let q = self.query()?;
+        self.expect(&TokenKind::RParen)?;
+        Ok(SCondition::In { terms, query: Box::new(q), negated })
+    }
+
+    /// Parses the remainder of an atomic condition once its (first) term
+    /// is known.
+    fn term_tail(&mut self, terms: Vec<STerm>) -> Result<SCondition, ParseError> {
+        let single = terms.len() == 1;
+        let first = terms[0].clone();
+        match self.peek() {
+            Some(TokenKind::Eq | TokenKind::Neq | TokenKind::Lt | TokenKind::Leq
+                | TokenKind::Gt | TokenKind::Geq)
+                if single =>
+            {
+                let op = match self.bump().unwrap() {
+                    TokenKind::Eq => CmpOp::Eq,
+                    TokenKind::Neq => CmpOp::Neq,
+                    TokenKind::Lt => CmpOp::Lt,
+                    TokenKind::Leq => CmpOp::Leq,
+                    TokenKind::Gt => CmpOp::Gt,
+                    TokenKind::Geq => CmpOp::Geq,
+                    _ => unreachable!(),
+                };
+                let right = self.term()?;
+                Ok(SCondition::Cmp { left: first, op, right })
+            }
+            Some(TokenKind::Keyword(Keyword::Is)) if single => {
+                self.pos += 1;
+                let negated = self.eat_kw(Keyword::Not);
+                if self.eat_kw(Keyword::Distinct) {
+                    // t₁ IS [NOT] DISTINCT FROM t₂ — Definition 2's ≐ in
+                    // standard SQL clothing.
+                    self.expect_kw(Keyword::From)?;
+                    let right = self.term()?;
+                    return Ok(SCondition::IsDistinct { left: first, right, negated });
+                }
+                self.expect_kw(Keyword::Null)?;
+                Ok(SCondition::IsNull { term: first, negated })
+            }
+            Some(TokenKind::Keyword(Keyword::Like)) if single => {
+                self.pos += 1;
+                let pattern = self.term()?;
+                Ok(SCondition::Like { term: first, pattern, negated: false })
+            }
+            Some(TokenKind::Keyword(Keyword::Not)) => {
+                self.pos += 1;
+                if self.eat_kw(Keyword::Like) {
+                    if !single {
+                        return self.error("NOT LIKE applies to a single term");
+                    }
+                    let pattern = self.term()?;
+                    return Ok(SCondition::Like { term: first, pattern, negated: true });
+                }
+                self.expect_kw(Keyword::In)?;
+                self.expect(&TokenKind::LParen)?;
+                let q = self.query()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(SCondition::In { terms, query: Box::new(q), negated: true })
+            }
+            Some(TokenKind::Keyword(Keyword::In)) => {
+                self.pos += 1;
+                self.expect(&TokenKind::LParen)?;
+                let q = self.query()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(SCondition::In { terms, query: Box::new(q), negated: false })
+            }
+            _ => self.error("expected a comparison, IS [NOT] NULL, [NOT] LIKE or [NOT] IN"),
+        }
+    }
+
+    /// `true` iff the token at `self.pos + ahead` continues a term (a
+    /// comparison operator, `IS`, `LIKE`, `IN` or `NOT`), which
+    /// disambiguates `TRUE`/`FALSE` as constants vs conditions.
+    fn next_is_term_suffix(&self, ahead: usize) -> bool {
+        matches!(
+            self.peek_at(ahead),
+            Some(
+                TokenKind::Eq
+                    | TokenKind::Neq
+                    | TokenKind::Lt
+                    | TokenKind::Leq
+                    | TokenKind::Gt
+                    | TokenKind::Geq
+                    | TokenKind::Keyword(Keyword::Is)
+            )
+        )
+    }
+
+    // -- terms ----------------------------------------------------------------
+
+    fn term(&mut self) -> Result<STerm, ParseError> {
+        match self.peek() {
+            Some(TokenKind::Int(_)) => {
+                let Some(TokenKind::Int(n)) = self.bump() else { unreachable!() };
+                Ok(STerm::Const(Value::Int(n)))
+            }
+            Some(TokenKind::Dash) => {
+                self.pos += 1;
+                match self.bump() {
+                    Some(TokenKind::Int(n)) => Ok(STerm::Const(Value::Int(-n))),
+                    _ => self.error("expected integer after '-'"),
+                }
+            }
+            Some(TokenKind::Str(_)) => {
+                let Some(TokenKind::Str(s)) = self.bump() else { unreachable!() };
+                Ok(STerm::Const(Value::from(s)))
+            }
+            Some(TokenKind::Keyword(Keyword::Null)) => {
+                self.pos += 1;
+                Ok(STerm::Const(Value::Null))
+            }
+            Some(TokenKind::Keyword(Keyword::True)) => {
+                self.pos += 1;
+                Ok(STerm::Const(Value::Bool(true)))
+            }
+            Some(TokenKind::Keyword(Keyword::False)) => {
+                self.pos += 1;
+                Ok(STerm::Const(Value::Bool(false)))
+            }
+            Some(TokenKind::Ident(_)) => {
+                let first = self.ident()?;
+                if self.eat(&TokenKind::Dot) {
+                    let column = self.ident()?;
+                    Ok(STerm::Col { table: Some(first), column })
+                } else {
+                    Ok(STerm::Col { table: None, column: first })
+                }
+            }
+            _ => self.error("expected a term"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_select() {
+        let q = parse_query("SELECT A FROM R").unwrap();
+        let SQuery::Select(s) = q else { panic!() };
+        assert!(!s.distinct);
+        assert_eq!(s.select, SSelectList::Items(vec![SSelectItem { term: STerm::col("A"), alias: None }]));
+        assert_eq!(s.from.len(), 1);
+        assert!(s.where_.is_none());
+    }
+
+    #[test]
+    fn parses_star_and_distinct() {
+        let q = parse_query("SELECT DISTINCT * FROM R, S").unwrap();
+        let SQuery::Select(s) = q else { panic!() };
+        assert!(s.distinct);
+        assert_eq!(s.select, SSelectList::Star);
+        assert_eq!(s.from.len(), 2);
+    }
+
+    #[test]
+    fn parses_aliases_with_and_without_as() {
+        let q = parse_query("SELECT x.A FROM R AS x, S y").unwrap();
+        let SQuery::Select(s) = q else { panic!() };
+        assert_eq!(s.from[0].alias, Some(Name::new("x")));
+        assert_eq!(s.from[1].alias, Some(Name::new("y")));
+    }
+
+    #[test]
+    fn parses_from_column_rename() {
+        let q = parse_query("SELECT * FROM R AS N(A1, A2)").unwrap();
+        let SQuery::Select(s) = q else { panic!() };
+        assert_eq!(s.from[0].columns, Some(vec![Name::new("A1"), Name::new("A2")]));
+    }
+
+    #[test]
+    fn parses_subquery_in_from() {
+        let q = parse_query("SELECT * FROM (SELECT B FROM T) AS U").unwrap();
+        let SQuery::Select(s) = q else { panic!() };
+        assert!(matches!(s.from[0].table, STableRef::Query(_)));
+        assert_eq!(s.from[0].alias, Some(Name::new("U")));
+    }
+
+    #[test]
+    fn parses_comparisons_and_boolean_precedence() {
+        // OR binds loosest: (a AND b) OR (NOT c).
+        let c = parse_condition("A = 1 AND B <> 2 OR NOT C < 3").unwrap();
+        let SCondition::Or(l, r) = c else { panic!() };
+        assert!(matches!(*l, SCondition::And(..)));
+        assert!(matches!(*r, SCondition::Not(..)));
+    }
+
+    #[test]
+    fn parses_parenthesised_conditions() {
+        let c = parse_condition("A = 1 AND (B = 2 OR C = 3)").unwrap();
+        let SCondition::And(_, r) = c else { panic!() };
+        assert!(matches!(*r, SCondition::Or(..)));
+    }
+
+    #[test]
+    fn parses_is_null_and_like() {
+        assert!(matches!(
+            parse_condition("R.A IS NULL").unwrap(),
+            SCondition::IsNull { negated: false, .. }
+        ));
+        assert!(matches!(
+            parse_condition("R.A IS NOT NULL").unwrap(),
+            SCondition::IsNull { negated: true, .. }
+        ));
+        assert!(matches!(
+            parse_condition("A LIKE 'x%'").unwrap(),
+            SCondition::Like { negated: false, .. }
+        ));
+        assert!(matches!(
+            parse_condition("A NOT LIKE '_'").unwrap(),
+            SCondition::Like { negated: true, .. }
+        ));
+    }
+
+    #[test]
+    fn parses_in_and_not_in() {
+        let c = parse_condition("R.A IN (SELECT A FROM S)").unwrap();
+        assert!(matches!(c, SCondition::In { negated: false, ref terms, .. } if terms.len() == 1));
+        let c = parse_condition("R.A NOT IN (SELECT A FROM S)").unwrap();
+        assert!(matches!(c, SCondition::In { negated: true, .. }));
+    }
+
+    #[test]
+    fn parses_tuple_in() {
+        let c = parse_condition("(R.A, R.B) IN (SELECT A, B FROM S)").unwrap();
+        assert!(matches!(c, SCondition::In { ref terms, negated: false, .. } if terms.len() == 2));
+        let c = parse_condition("(R.A, R.B) NOT IN (SELECT A, B FROM S)").unwrap();
+        assert!(matches!(c, SCondition::In { negated: true, .. }));
+    }
+
+    #[test]
+    fn parses_exists() {
+        let c = parse_condition("EXISTS (SELECT * FROM S)").unwrap();
+        assert!(matches!(c, SCondition::Exists(_)));
+    }
+
+    #[test]
+    fn parses_predicate_application() {
+        let c = parse_condition("even(R.A)").unwrap();
+        assert!(matches!(c, SCondition::Pred { ref name, ref args } if name == "even" && args.len() == 1));
+    }
+
+    #[test]
+    fn parses_set_operations_with_precedence() {
+        // INTERSECT binds tighter: R UNION (S INTERSECT T).
+        let q = parse_query("SELECT A FROM R UNION SELECT A FROM S INTERSECT SELECT A FROM T")
+            .unwrap();
+        let SQuery::SetOp { op: SetOp::Union, all: false, right, .. } = q else {
+            panic!("expected top-level UNION, got {q:?}")
+        };
+        assert!(matches!(*right, SQuery::SetOp { op: SetOp::Intersect, .. }));
+    }
+
+    #[test]
+    fn union_except_associate_left() {
+        let q = parse_query("SELECT A FROM R UNION SELECT A FROM S EXCEPT SELECT A FROM T")
+            .unwrap();
+        let SQuery::SetOp { op: SetOp::Except, left, .. } = q else {
+            panic!("expected top-level EXCEPT, got {q:?}")
+        };
+        assert!(matches!(*left, SQuery::SetOp { op: SetOp::Union, .. }));
+    }
+
+    #[test]
+    fn minus_parses_as_except() {
+        let q = parse_query("SELECT A FROM R MINUS SELECT A FROM S").unwrap();
+        assert!(matches!(q, SQuery::SetOp { op: SetOp::Except, all: false, .. }));
+    }
+
+    #[test]
+    fn parenthesised_queries_override_precedence() {
+        let q = parse_query(
+            "SELECT A FROM R UNION (SELECT A FROM S EXCEPT SELECT A FROM T)",
+        )
+        .unwrap();
+        let SQuery::SetOp { op: SetOp::Union, right, .. } = q else { panic!() };
+        assert!(matches!(*right, SQuery::SetOp { op: SetOp::Except, .. }));
+    }
+
+    #[test]
+    fn set_op_all_flag() {
+        let q = parse_query("SELECT A FROM R UNION ALL SELECT A FROM S").unwrap();
+        assert!(matches!(q, SQuery::SetOp { op: SetOp::Union, all: true, .. }));
+    }
+
+    #[test]
+    fn parses_constants() {
+        let c = parse_condition("A = -5 OR A = 'x''y' OR A = NULL OR A = TRUE").unwrap();
+        // Just check it parses; shape is exercised elsewhere.
+        assert!(matches!(c, SCondition::Or(..)));
+    }
+
+    #[test]
+    fn true_false_as_conditions() {
+        assert_eq!(parse_condition("TRUE").unwrap(), SCondition::True);
+        assert_eq!(parse_condition("FALSE AND TRUE").unwrap(),
+            SCondition::And(Box::new(SCondition::False), Box::new(SCondition::True)));
+        // …but as terms when compared.
+        assert!(matches!(
+            parse_condition("TRUE = FALSE").unwrap(),
+            SCondition::Cmp { op: CmpOp::Eq, .. }
+        ));
+    }
+
+    #[test]
+    fn trailing_tokens_error() {
+        let err = parse_query("SELECT A FROM R WHERE TRUE TRUE").unwrap_err();
+        assert!(err.message.contains("trailing"), "{err}");
+        // A bare identifier after the table parses as its alias, so the
+        // error there is about the dangling comma instead.
+        assert!(parse_query("SELECT A FROM R garbage ,").is_err());
+    }
+
+    #[test]
+    fn missing_from_errors() {
+        let err = parse_query("SELECT A").unwrap_err();
+        assert!(err.message.contains("FROM"), "{err}");
+    }
+
+    #[test]
+    fn error_offsets_point_at_tokens() {
+        let err = parse_query("SELECT A FROM WHERE").unwrap_err();
+        assert_eq!(err.offset, 14);
+    }
+
+    #[test]
+    fn example1_queries_parse() {
+        // The three difference queries of the paper's Example 1.
+        parse_query(
+            "SELECT DISTINCT R.A FROM R WHERE R.A NOT IN (SELECT S.A FROM S)",
+        )
+        .unwrap();
+        parse_query(
+            "SELECT DISTINCT R.A FROM R WHERE NOT EXISTS (SELECT * FROM S WHERE S.A = R.A)",
+        )
+        .unwrap();
+        parse_query("SELECT R.A FROM R EXCEPT SELECT S.A FROM S").unwrap();
+    }
+
+    #[test]
+    fn example2_queries_parse() {
+        parse_query("SELECT * FROM (SELECT R.A, R.A FROM R) AS T").unwrap();
+        parse_query(
+            "SELECT * FROM R WHERE EXISTS ( SELECT * FROM (SELECT R.A, R.A FROM R) AS T )",
+        )
+        .unwrap();
+    }
+}

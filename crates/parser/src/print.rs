@@ -1,0 +1,365 @@
+//! Printing annotated queries back to SQL text, per dialect.
+//!
+//! The core AST's `Display` renders Standard syntax; this module adds the
+//! dialect-specific surface differences of §4 — Oracle spells `EXCEPT` as
+//! `MINUS` — plus an indented multi-line renderer for reports. Everything
+//! printed here re-parses and re-annotates to the same AST (round-trip
+//! tests live at the bottom and in the generator crate's property tests).
+
+use std::fmt::Write as _;
+
+use sqlsem_core::ast::{Condition, FromItem, Query, SelectList, SelectQuery, SetOp, TableRef, Term};
+use sqlsem_core::Dialect;
+
+/// Renders an annotated query as a single line of SQL in the given
+/// dialect.
+pub fn to_sql(query: &Query, dialect: Dialect) -> String {
+    let mut out = String::new();
+    write_query(&mut out, query, dialect);
+    out
+}
+
+/// Renders an annotated query as indented multi-line SQL in the given
+/// dialect, for human consumption in experiment reports.
+pub fn to_sql_pretty(query: &Query, dialect: Dialect) -> String {
+    let mut out = String::new();
+    write_query_pretty(&mut out, query, dialect, 0);
+    out
+}
+
+fn keyword(op: SetOp, dialect: Dialect) -> &'static str {
+    match op {
+        SetOp::Except => dialect.except_keyword(),
+        other => other.keyword(),
+    }
+}
+
+fn write_query(out: &mut String, query: &Query, dialect: Dialect) {
+    match query {
+        Query::Select(s) => write_select(out, s, dialect),
+        Query::SetOp { op, all, left, right } => {
+            write_operand(out, left, dialect);
+            let _ = write!(out, " {}{} ", keyword(*op, dialect), if *all { " ALL" } else { "" });
+            write_operand(out, right, dialect);
+        }
+    }
+}
+
+fn write_operand(out: &mut String, query: &Query, dialect: Dialect) {
+    match query {
+        Query::Select(_) => write_query(out, query, dialect),
+        Query::SetOp { .. } => {
+            out.push('(');
+            write_query(out, query, dialect);
+            out.push(')');
+        }
+    }
+}
+
+fn write_select(out: &mut String, s: &SelectQuery, dialect: Dialect) {
+    out.push_str("SELECT ");
+    if s.distinct {
+        out.push_str("DISTINCT ");
+    }
+    match &s.select {
+        SelectList::Star => out.push('*'),
+        SelectList::Items(items) => {
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{} AS {}", item.term, item.alias);
+            }
+        }
+    }
+    out.push_str(" FROM ");
+    for (i, item) in s.from.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        write_from_item(out, item, dialect);
+    }
+    if s.where_ != Condition::True {
+        out.push_str(" WHERE ");
+        write_condition(out, &s.where_, dialect);
+    }
+}
+
+fn write_from_item(out: &mut String, item: &FromItem, dialect: Dialect) {
+    match &item.table {
+        TableRef::Base(r) => {
+            let _ = write!(out, "{r}");
+        }
+        TableRef::Query(q) => {
+            out.push('(');
+            write_query(out, q, dialect);
+            out.push(')');
+        }
+    }
+    let _ = write!(out, " AS {}", item.alias);
+    if let Some(cols) = &item.columns {
+        out.push('(');
+        for (i, c) in cols.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{c}");
+        }
+        out.push(')');
+    }
+}
+
+fn write_condition(out: &mut String, cond: &Condition, dialect: Dialect) {
+    match cond {
+        Condition::True => out.push_str("TRUE"),
+        Condition::False => out.push_str("FALSE"),
+        Condition::Cmp { left, op, right } => {
+            let _ = write!(out, "{left} {op} {right}");
+        }
+        Condition::Like { term, pattern, negated } => {
+            let _ = write!(out, "{term} {}LIKE {pattern}", if *negated { "NOT " } else { "" });
+        }
+        Condition::Pred { name, args } => {
+            let _ = write!(out, "{name}(");
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{a}");
+            }
+            out.push(')');
+        }
+        Condition::IsNull { term, negated } => {
+            let _ = write!(out, "{term} IS {}NULL", if *negated { "NOT " } else { "" });
+        }
+        Condition::IsDistinct { left, right, negated } => {
+            let _ = write!(
+                out,
+                "{left} IS {}DISTINCT FROM {right}",
+                if *negated { "NOT " } else { "" }
+            );
+        }
+        Condition::In { terms, query, negated } => {
+            write_term_tuple(out, terms);
+            let _ = write!(out, " {}IN (", if *negated { "NOT " } else { "" });
+            write_query(out, query, dialect);
+            out.push(')');
+        }
+        Condition::Exists(q) => {
+            out.push_str("EXISTS (");
+            write_query(out, q, dialect);
+            out.push(')');
+        }
+        Condition::And(a, b) => {
+            write_cond_operand(out, a, cond, false, dialect);
+            out.push_str(" AND ");
+            write_cond_operand(out, b, cond, true, dialect);
+        }
+        Condition::Or(a, b) => {
+            write_cond_operand(out, a, cond, false, dialect);
+            out.push_str(" OR ");
+            write_cond_operand(out, b, cond, true, dialect);
+        }
+        Condition::Not(c) => {
+            out.push_str("NOT ");
+            match **c {
+                Condition::And(..) | Condition::Or(..) => {
+                    out.push('(');
+                    write_condition(out, c, dialect);
+                    out.push(')');
+                }
+                _ => write_condition(out, c, dialect),
+            }
+        }
+    }
+}
+
+fn write_term_tuple(out: &mut String, terms: &[Term]) {
+    if terms.len() == 1 {
+        let _ = write!(out, "{}", terms[0]);
+    } else {
+        out.push('(');
+        for (i, t) in terms.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{t}");
+        }
+        out.push(')');
+    }
+}
+
+fn write_cond_operand(
+    out: &mut String,
+    child: &Condition,
+    parent: &Condition,
+    is_right: bool,
+    dialect: Dialect,
+) {
+    // Same rule as the core `Display`: mixed connectives always get
+    // parentheses; a same-connective right child does too, because the
+    // parser associates to the left.
+    let needs_parens = match (parent, child) {
+        (Condition::And(..), Condition::Or(..)) | (Condition::Or(..), Condition::And(..)) => true,
+        (Condition::And(..), Condition::And(..)) | (Condition::Or(..), Condition::Or(..)) => {
+            is_right
+        }
+        _ => false,
+    };
+    if needs_parens {
+        out.push('(');
+        write_condition(out, child, dialect);
+        out.push(')');
+    } else {
+        write_condition(out, child, dialect);
+    }
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+fn write_query_pretty(out: &mut String, query: &Query, dialect: Dialect, level: usize) {
+    match query {
+        Query::Select(s) => {
+            indent(out, level);
+            out.push_str("SELECT ");
+            if s.distinct {
+                out.push_str("DISTINCT ");
+            }
+            match &s.select {
+                SelectList::Star => out.push('*'),
+                SelectList::Items(items) => {
+                    for (i, item) in items.iter().enumerate() {
+                        if i > 0 {
+                            out.push_str(", ");
+                        }
+                        let _ = write!(out, "{} AS {}", item.term, item.alias);
+                    }
+                }
+            }
+            out.push('\n');
+            indent(out, level);
+            out.push_str("FROM ");
+            for (i, item) in s.from.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                match &item.table {
+                    TableRef::Base(_) => write_from_item(out, item, dialect),
+                    TableRef::Query(q) => {
+                        out.push_str("(\n");
+                        write_query_pretty(out, q, dialect, level + 1);
+                        out.push('\n');
+                        indent(out, level);
+                        let _ = write!(out, ") AS {}", item.alias);
+                        if let Some(cols) = &item.columns {
+                            out.push('(');
+                            for (j, c) in cols.iter().enumerate() {
+                                if j > 0 {
+                                    out.push_str(", ");
+                                }
+                                let _ = write!(out, "{c}");
+                            }
+                            out.push(')');
+                        }
+                    }
+                }
+            }
+            if s.where_ != Condition::True {
+                out.push('\n');
+                indent(out, level);
+                out.push_str("WHERE ");
+                write_condition(out, &s.where_, dialect);
+            }
+        }
+        Query::SetOp { op, all, left, right } => {
+            write_query_pretty(out, left, dialect, level);
+            out.push('\n');
+            indent(out, level);
+            let _ = write!(out, "{}{}", keyword(*op, dialect), if *all { " ALL" } else { "" });
+            out.push('\n');
+            write_query_pretty(out, right, dialect, level);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotate::annotate;
+    use crate::parser::parse_query;
+    use sqlsem_core::Schema;
+
+    fn schema() -> Schema {
+        Schema::builder().table("R", ["A"]).table("S", ["A"]).build().unwrap()
+    }
+
+    fn compile(sql: &str) -> Query {
+        annotate(&parse_query(sql).unwrap(), &schema()).unwrap()
+    }
+
+    #[test]
+    fn standard_matches_core_display() {
+        let q = compile("SELECT DISTINCT R.A FROM R WHERE R.A NOT IN (SELECT S.A FROM S)");
+        assert_eq!(to_sql(&q, Dialect::Standard), q.to_string());
+    }
+
+    #[test]
+    fn oracle_prints_minus() {
+        let q = compile("SELECT A FROM R EXCEPT SELECT A FROM S");
+        let oracle = to_sql(&q, Dialect::Oracle);
+        assert!(oracle.contains(" MINUS "), "{oracle}");
+        assert!(!oracle.contains("EXCEPT"), "{oracle}");
+        // And PostgreSQL/Standard keep EXCEPT.
+        assert!(to_sql(&q, Dialect::PostgreSql).contains(" EXCEPT "));
+    }
+
+    #[test]
+    fn minus_nested_in_subquery_is_translated_too() {
+        let q = compile(
+            "SELECT A FROM R WHERE A IN (SELECT A FROM R EXCEPT SELECT A FROM S)",
+        );
+        let oracle = to_sql(&q, Dialect::Oracle);
+        assert!(oracle.contains("MINUS"), "{oracle}");
+    }
+
+    #[test]
+    fn printed_sql_reparses_to_same_ast() {
+        for sql in [
+            "SELECT DISTINCT R.A FROM R WHERE R.A NOT IN (SELECT S.A FROM S)",
+            "SELECT * FROM R, S WHERE R.A = S.A OR R.A IS NULL",
+            "SELECT A FROM R UNION ALL SELECT A FROM S",
+            "SELECT A FROM R EXCEPT SELECT A FROM S",
+            "SELECT R.A FROM R WHERE EXISTS (SELECT * FROM S WHERE S.A = R.A) AND R.A = 1",
+        ] {
+            let q = compile(sql);
+            for dialect in Dialect::ALL {
+                let printed = to_sql(&q, dialect);
+                let reparsed = annotate(&parse_query(&printed).unwrap(), &schema()).unwrap();
+                assert_eq!(reparsed, q, "dialect {dialect}: {printed}");
+            }
+        }
+    }
+
+    #[test]
+    fn pretty_renders_multiline() {
+        let q = compile("SELECT A FROM (SELECT A FROM R) AS T WHERE A = 1");
+        let pretty = to_sql_pretty(&q, Dialect::Standard);
+        assert!(pretty.contains('\n'));
+        // Pretty output still reparses identically.
+        let reparsed = annotate(&parse_query(&pretty).unwrap(), &schema()).unwrap();
+        assert_eq!(reparsed, q);
+    }
+
+    #[test]
+    fn pretty_renders_set_ops() {
+        let q = compile("SELECT A FROM R UNION ALL SELECT A FROM S");
+        let pretty = to_sql_pretty(&q, Dialect::Standard);
+        assert!(pretty.contains("UNION ALL"));
+        let reparsed = annotate(&parse_query(&pretty).unwrap(), &schema()).unwrap();
+        assert_eq!(reparsed, q);
+    }
+}

@@ -1,0 +1,174 @@
+//! Surface syntax: basic SQL *before* annotation.
+//!
+//! Programmers write `SELECT A, B AS C FROM R, (SELECT B FROM T) AS U
+//! WHERE A = B` — with unqualified column references, implicit aliases and
+//! unnamed output columns. The paper assumes (§2, w.l.o.g.) that such
+//! queries have been compiled into a *fully annotated* form; the types in
+//! this module represent the "before" side of that compilation, and
+//! [`crate::annotate`] performs it.
+
+use sqlsem_core::{CmpOp, Name, Value};
+
+/// A surface term: a constant, `NULL`, or a (possibly unqualified) column
+/// reference.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum STerm {
+    /// A constant or `NULL`.
+    Const(Value),
+    /// A column reference, optionally qualified by a table name or alias.
+    Col {
+        /// The qualifier, if written (`R` in `R.A`).
+        table: Option<Name>,
+        /// The column name (`A`).
+        column: Name,
+    },
+}
+
+impl STerm {
+    /// An unqualified column reference.
+    pub fn col(column: impl Into<Name>) -> STerm {
+        STerm::Col { table: None, column: column.into() }
+    }
+
+    /// A qualified column reference `table.column`.
+    pub fn qcol(table: impl Into<Name>, column: impl Into<Name>) -> STerm {
+        STerm::Col { table: Some(table.into()), column: column.into() }
+    }
+}
+
+/// One item of a surface `SELECT` list: a term with an optional `AS` name.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SSelectItem {
+    /// The term being selected.
+    pub term: STerm,
+    /// The output name, if written.
+    pub alias: Option<Name>,
+}
+
+/// A surface `SELECT` list.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SSelectList {
+    /// `*`
+    Star,
+    /// Explicit items.
+    Items(Vec<SSelectItem>),
+}
+
+/// A surface table reference.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum STableRef {
+    /// A base table name.
+    Base(Name),
+    /// A parenthesised subquery.
+    Query(Box<SQuery>),
+}
+
+/// One surface `FROM` item: `T [AS N [(A₁,…,Aₙ)]]`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SFromItem {
+    /// The table.
+    pub table: STableRef,
+    /// The alias, if written. Base tables default to their own name;
+    /// subqueries must be aliased.
+    pub alias: Option<Name>,
+    /// Optional column renaming.
+    pub columns: Option<Vec<Name>>,
+}
+
+/// A surface `SELECT` block.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SSelectQuery {
+    /// `DISTINCT`?
+    pub distinct: bool,
+    /// The select list.
+    pub select: SSelectList,
+    /// The `FROM` clause (non-empty).
+    pub from: Vec<SFromItem>,
+    /// The `WHERE` condition; `None` means no clause was written.
+    pub where_: Option<SCondition>,
+}
+
+/// A surface query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SQuery {
+    /// A `SELECT` block.
+    Select(SSelectQuery),
+    /// A set operation.
+    SetOp {
+        /// Which operation (`MINUS` parses as `Except`).
+        op: sqlsem_core::SetOp,
+        /// `ALL`?
+        all: bool,
+        /// Left operand.
+        left: Box<SQuery>,
+        /// Right operand.
+        right: Box<SQuery>,
+    },
+}
+
+/// A surface condition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SCondition {
+    /// `TRUE`
+    True,
+    /// `FALSE`
+    False,
+    /// `t₁ op t₂`
+    Cmp {
+        /// Left term.
+        left: STerm,
+        /// Operator.
+        op: CmpOp,
+        /// Right term.
+        right: STerm,
+    },
+    /// `t [NOT] LIKE p`
+    Like {
+        /// Matched term.
+        term: STerm,
+        /// Pattern.
+        pattern: STerm,
+        /// `NOT LIKE`?
+        negated: bool,
+    },
+    /// `P(t₁,…,tₖ)` — user predicate application.
+    Pred {
+        /// Predicate name.
+        name: String,
+        /// Arguments.
+        args: Vec<STerm>,
+    },
+    /// `t IS [NOT] NULL`
+    IsNull {
+        /// Tested term.
+        term: STerm,
+        /// `IS NOT NULL`?
+        negated: bool,
+    },
+    /// `t₁ IS [NOT] DISTINCT FROM t₂`
+    IsDistinct {
+        /// Left term.
+        left: STerm,
+        /// Right term.
+        right: STerm,
+        /// `IS NOT DISTINCT FROM`?
+        negated: bool,
+    },
+    /// `t̄ [NOT] IN (Q)`
+    In {
+        /// The tuple of terms.
+        terms: Vec<STerm>,
+        /// The subquery.
+        query: Box<SQuery>,
+        /// `NOT IN`?
+        negated: bool,
+    },
+    /// `EXISTS (Q)`
+    Exists(Box<SQuery>),
+    /// `θ AND θ`
+    And(Box<SCondition>, Box<SCondition>),
+    /// `θ OR θ`
+    Or(Box<SCondition>, Box<SCondition>),
+    /// `NOT θ`
+    Not(Box<SCondition>),
+}

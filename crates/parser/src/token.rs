@@ -1,0 +1,427 @@
+//! Lexer for the basic SQL fragment.
+//!
+//! Tokens are the usual SQL atoms: keywords (case-insensitive),
+//! identifiers, integer and string literals, comparison operators and
+//! punctuation. The lexer recognises both the Standard's `EXCEPT` and
+//! Oracle's `MINUS` spelling of bag difference (§4), leaving the choice of
+//! dialect to the printer.
+
+use std::fmt;
+
+/// A lexical error: an unexpected character or an unterminated literal.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LexError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset into the input where the error was detected.
+    pub offset: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lexical error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// The keywords of the fragment. `MINUS` is Oracle's spelling of
+/// `EXCEPT`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Keyword {
+    Select,
+    Distinct,
+    From,
+    Where,
+    As,
+    And,
+    Or,
+    Not,
+    In,
+    Exists,
+    Is,
+    Null,
+    Like,
+    True,
+    False,
+    Union,
+    Intersect,
+    Except,
+    Minus,
+    All,
+}
+
+impl Keyword {
+    /// Parses a keyword from an identifier-shaped word, case-insensitively.
+    pub fn from_word(word: &str) -> Option<Keyword> {
+        // The keyword set is small; an uppercase copy beats a hash map.
+        let upper = word.to_ascii_uppercase();
+        match upper.as_str() {
+            "SELECT" => Some(Keyword::Select),
+            "DISTINCT" => Some(Keyword::Distinct),
+            "FROM" => Some(Keyword::From),
+            "WHERE" => Some(Keyword::Where),
+            "AS" => Some(Keyword::As),
+            "AND" => Some(Keyword::And),
+            "OR" => Some(Keyword::Or),
+            "NOT" => Some(Keyword::Not),
+            "IN" => Some(Keyword::In),
+            "EXISTS" => Some(Keyword::Exists),
+            "IS" => Some(Keyword::Is),
+            "NULL" => Some(Keyword::Null),
+            "LIKE" => Some(Keyword::Like),
+            "TRUE" => Some(Keyword::True),
+            "FALSE" => Some(Keyword::False),
+            "UNION" => Some(Keyword::Union),
+            "INTERSECT" => Some(Keyword::Intersect),
+            "EXCEPT" => Some(Keyword::Except),
+            "MINUS" => Some(Keyword::Minus),
+            "ALL" => Some(Keyword::All),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Keyword {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Keyword::Select => "SELECT",
+            Keyword::Distinct => "DISTINCT",
+            Keyword::From => "FROM",
+            Keyword::Where => "WHERE",
+            Keyword::As => "AS",
+            Keyword::And => "AND",
+            Keyword::Or => "OR",
+            Keyword::Not => "NOT",
+            Keyword::In => "IN",
+            Keyword::Exists => "EXISTS",
+            Keyword::Is => "IS",
+            Keyword::Null => "NULL",
+            Keyword::Like => "LIKE",
+            Keyword::True => "TRUE",
+            Keyword::False => "FALSE",
+            Keyword::Union => "UNION",
+            Keyword::Intersect => "INTERSECT",
+            Keyword::Except => "EXCEPT",
+            Keyword::Minus => "MINUS",
+            Keyword::All => "ALL",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A lexical token, with the byte offset where it starts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// The token's kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset into the source text.
+    pub offset: usize,
+}
+
+/// The kinds of token the fragment uses.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// A keyword (case-insensitive in the source).
+    Keyword(Keyword),
+    /// An identifier: `[A-Za-z_][A-Za-z0-9_$]*` that is not a keyword.
+    Ident(String),
+    /// A non-negative integer literal; negation is handled by the parser.
+    Int(i64),
+    /// A string literal `'…'` with `''` escaping.
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Leq,
+    /// `>`
+    Gt,
+    /// `>=`
+    Geq,
+    /// `-` (only used for negative integer literals in this fragment)
+    Dash,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Keyword(k) => write!(f, "{k}"),
+            TokenKind::Ident(s) => write!(f, "{s}"),
+            TokenKind::Int(n) => write!(f, "{n}"),
+            TokenKind::Str(s) => write!(f, "'{s}'"),
+            TokenKind::LParen => f.write_str("("),
+            TokenKind::RParen => f.write_str(")"),
+            TokenKind::Comma => f.write_str(","),
+            TokenKind::Dot => f.write_str("."),
+            TokenKind::Star => f.write_str("*"),
+            TokenKind::Eq => f.write_str("="),
+            TokenKind::Neq => f.write_str("<>"),
+            TokenKind::Lt => f.write_str("<"),
+            TokenKind::Leq => f.write_str("<="),
+            TokenKind::Gt => f.write_str(">"),
+            TokenKind::Geq => f.write_str(">="),
+            TokenKind::Dash => f.write_str("-"),
+        }
+    }
+}
+
+/// Tokenises SQL source text.
+pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = i;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                i += 1;
+            }
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                // SQL line comment.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                tokens.push(Token { kind: TokenKind::LParen, offset: start });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token { kind: TokenKind::RParen, offset: start });
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token { kind: TokenKind::Comma, offset: start });
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token { kind: TokenKind::Dot, offset: start });
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token { kind: TokenKind::Star, offset: start });
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token { kind: TokenKind::Eq, offset: start });
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token { kind: TokenKind::Dash, offset: start });
+                i += 1;
+            }
+            '<' => {
+                let kind = match bytes.get(i + 1) {
+                    Some(b'=') => {
+                        i += 2;
+                        TokenKind::Leq
+                    }
+                    Some(b'>') => {
+                        i += 2;
+                        TokenKind::Neq
+                    }
+                    _ => {
+                        i += 1;
+                        TokenKind::Lt
+                    }
+                };
+                tokens.push(Token { kind, offset: start });
+            }
+            '>' => {
+                let kind = if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                    TokenKind::Geq
+                } else {
+                    i += 1;
+                    TokenKind::Gt
+                };
+                tokens.push(Token { kind, offset: start });
+            }
+            '!' if bytes.get(i + 1) == Some(&b'=') => {
+                tokens.push(Token { kind: TokenKind::Neq, offset: start });
+                i += 2;
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(LexError {
+                                message: "unterminated string literal".into(),
+                                offset: start,
+                            })
+                        }
+                        Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::Str(s), offset: start });
+            }
+            '0'..='9' => {
+                let mut end = i;
+                while end < bytes.len() && bytes[end].is_ascii_digit() {
+                    end += 1;
+                }
+                let text = &input[i..end];
+                let n: i64 = text.parse().map_err(|_| LexError {
+                    message: format!("integer literal {text} out of range"),
+                    offset: start,
+                })?;
+                tokens.push(Token { kind: TokenKind::Int(n), offset: start });
+                i = end;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut end = i;
+                while end < bytes.len() {
+                    let b = bytes[end] as char;
+                    if b.is_ascii_alphanumeric() || b == '_' || b == '$' {
+                        end += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let word = &input[i..end];
+                let kind = match Keyword::from_word(word) {
+                    Some(k) => TokenKind::Keyword(k),
+                    None => TokenKind::Ident(word.to_string()),
+                };
+                tokens.push(Token { kind, offset: start });
+                i = end;
+            }
+            other => {
+                return Err(LexError {
+                    message: format!("unexpected character {other:?}"),
+                    offset: start,
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        lex(input).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_keywords_case_insensitively() {
+        assert_eq!(
+            kinds("select FROM Where"),
+            vec![
+                TokenKind::Keyword(Keyword::Select),
+                TokenKind::Keyword(Keyword::From),
+                TokenKind::Keyword(Keyword::Where),
+            ]
+        );
+    }
+
+    #[test]
+    fn identifiers_keep_their_case() {
+        assert_eq!(kinds("Foo _bar a$1"), vec![
+            TokenKind::Ident("Foo".into()),
+            TokenKind::Ident("_bar".into()),
+            TokenKind::Ident("a$1".into()),
+        ]);
+    }
+
+    #[test]
+    fn lexes_operators() {
+        assert_eq!(
+            kinds("= <> != < <= > >="),
+            vec![
+                TokenKind::Eq,
+                TokenKind::Neq,
+                TokenKind::Neq,
+                TokenKind::Lt,
+                TokenKind::Leq,
+                TokenKind::Gt,
+                TokenKind::Geq,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_punctuation_and_star() {
+        assert_eq!(
+            kinds("( ) , . *"),
+            vec![
+                TokenKind::LParen,
+                TokenKind::RParen,
+                TokenKind::Comma,
+                TokenKind::Dot,
+                TokenKind::Star,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_integers_and_dash() {
+        assert_eq!(kinds("42 -7"), vec![TokenKind::Int(42), TokenKind::Dash, TokenKind::Int(7)]);
+    }
+
+    #[test]
+    fn lexes_strings_with_escapes() {
+        assert_eq!(kinds("'it''s'"), vec![TokenKind::Str("it's".into())]);
+        assert_eq!(kinds("''"), vec![TokenKind::Str(String::new())]);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        let err = lex("'oops").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+        assert_eq!(err.offset, 0);
+    }
+
+    #[test]
+    fn line_comments_are_skipped() {
+        assert_eq!(
+            kinds("SELECT -- everything\n1"),
+            vec![TokenKind::Keyword(Keyword::Select), TokenKind::Int(1)]
+        );
+    }
+
+    #[test]
+    fn minus_keyword_is_recognised() {
+        assert_eq!(kinds("MINUS minus"), vec![
+            TokenKind::Keyword(Keyword::Minus),
+            TokenKind::Keyword(Keyword::Minus),
+        ]);
+    }
+
+    #[test]
+    fn unexpected_character_reports_offset() {
+        let err = lex("SELECT ?").unwrap_err();
+        assert_eq!(err.offset, 7);
+    }
+}

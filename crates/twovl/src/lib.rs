@@ -1,0 +1,207 @@
+//! # sqlsem-twovl
+//!
+//! Three-valued logic is *not needed* for basic SQL: the §6 development
+//! of Guagliardo & Libkin (PVLDB 2017), Theorem 2, implemented as
+//! executable query-to-query translations.
+//!
+//! * [`to_two_valued`] — the Figure 10 translation `Q ↦ Q′` with
+//!   `⟦Q⟧_D = ⟦Q′⟧₂ᵥ_D`: the original 3VL behaviour, reproduced under a
+//!   purely two-valued evaluation;
+//! * [`to_three_valued`] — the converse `Q ↦ Q″` with
+//!   `⟦Q⟧₂ᵥ_D = ⟦Q″⟧_D`;
+//! * both parameterised by the [`EqInterpretation`] of the equality
+//!   predicate (conflating or syntactic), as in the paper;
+//! * [`blow_up`] — size statistics quantifying the §6 remark that
+//!   emulating 3VL behaviour under 2VL "leads to more cumbersome …
+//!   queries".
+//!
+//! ```
+//! use sqlsem_core::{table, Database, Evaluator, Schema, Value};
+//! use sqlsem_parser::compile;
+//! use sqlsem_twovl::{to_two_valued, EqInterpretation};
+//!
+//! let schema = Schema::builder().table("R", ["A"]).table("S", ["A"]).build().unwrap();
+//! let mut db = Database::new(schema.clone());
+//! db.insert("R", table! { ["A"]; [1], [Value::Null] }).unwrap();
+//! db.insert("S", table! { ["A"]; [Value::Null] }).unwrap();
+//!
+//! // Example 1's Q1: empty under 3VL because of the NULL in S.
+//! let q = compile("SELECT DISTINCT R.A FROM R WHERE R.A NOT IN (SELECT S.A FROM S)", &schema)
+//!     .unwrap();
+//! let q2 = to_two_valued(&q, EqInterpretation::Conflate);
+//!
+//! let three_valued = Evaluator::new(&db).eval(&q).unwrap();
+//! let two_valued = Evaluator::new(&db)
+//!     .with_logic(EqInterpretation::Conflate.logic_mode())
+//!     .eval(&q2)
+//!     .unwrap();
+//! assert!(three_valued.coincides(&two_valued)); // both empty
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod translate;
+
+pub use translate::{blow_up, to_three_valued, to_two_valued, BlowUp, EqInterpretation};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlsem_core::{table, Database, Evaluator, Schema, Value};
+    use sqlsem_parser::compile;
+
+    fn schema() -> Schema {
+        Schema::builder().table("R", ["A", "B"]).table("S", ["A"]).build().unwrap()
+    }
+
+    fn db() -> Database {
+        let mut db = Database::new(schema());
+        db.insert("R", table! { ["A", "B"]; [1, 2], [1, 2], [Value::Null, 3], [4, Value::Null] })
+            .unwrap();
+        db.insert("S", table! { ["A"]; [1], [Value::Null], [4] }).unwrap();
+        db
+    }
+
+    /// Checks the forward direction on one query under both equality
+    /// interpretations: ⟦Q⟧ = ⟦Q′⟧₂ᵥ.
+    fn check_forward(sql: &str) {
+        let schema = schema();
+        let db = db();
+        let q = compile(sql, &schema).unwrap();
+        let expected = Evaluator::new(&db).eval(&q).unwrap();
+        for eq in [EqInterpretation::Conflate, EqInterpretation::Syntactic] {
+            let q2 = to_two_valued(&q, eq);
+            let got = Evaluator::new(&db).with_logic(eq.logic_mode()).eval(&q2).unwrap();
+            assert!(
+                expected.coincides(&got),
+                "{sql} [{eq:?}]\n3VL:\n{expected}\n2VL of translated:\n{got}\ntranslated: {q2}"
+            );
+        }
+    }
+
+    /// Checks the backward direction: ⟦Q⟧₂ᵥ = ⟦Q″⟧.
+    fn check_backward(sql: &str) {
+        let schema = schema();
+        let db = db();
+        let q = compile(sql, &schema).unwrap();
+        for eq in [EqInterpretation::Conflate, EqInterpretation::Syntactic] {
+            let expected = Evaluator::new(&db).with_logic(eq.logic_mode()).eval(&q).unwrap();
+            let q3 = to_three_valued(&q, eq);
+            let got = Evaluator::new(&db).eval(&q3).unwrap();
+            assert!(
+                expected.coincides(&got),
+                "{sql} [{eq:?}]\n2VL:\n{expected}\n3VL of translated:\n{got}\ntranslated: {q3}"
+            );
+        }
+    }
+
+    const QUERIES: &[&str] = &[
+        "SELECT A, B FROM R",
+        "SELECT A FROM R WHERE A = 1",
+        "SELECT A FROM R WHERE NOT A = 1",
+        "SELECT A FROM R WHERE A <> 1 OR B IS NULL",
+        "SELECT A FROM R WHERE NOT (A = 1 AND B = 2)",
+        "SELECT A FROM R WHERE A < B",
+        "SELECT A FROM S WHERE A IN (SELECT A FROM R)",
+        "SELECT A FROM S WHERE A NOT IN (SELECT A FROM R)",
+        "SELECT A FROM S WHERE NOT A IN (SELECT A FROM R)",
+        "SELECT A FROM S WHERE EXISTS (SELECT * FROM R WHERE R.A = S.A)",
+        "SELECT A FROM S WHERE NOT EXISTS (SELECT * FROM R WHERE R.A = S.A)",
+        "SELECT DISTINCT A FROM R WHERE (A, B) IN (SELECT A, B FROM R)",
+        "SELECT DISTINCT A FROM R WHERE (A, B) NOT IN (SELECT A, B FROM R)",
+        "SELECT A FROM S WHERE A IN (SELECT A FROM R) OR A IS NULL",
+        "SELECT A FROM S UNION SELECT A FROM R",
+        "SELECT A FROM S EXCEPT SELECT A FROM R",
+        "SELECT DISTINCT R.A FROM R WHERE R.A NOT IN (SELECT S.A FROM S)",
+        "SELECT x.A AS a FROM R x WHERE NOT (x.A IN (SELECT A FROM S) AND x.B = 2)",
+    ];
+
+    #[test]
+    fn forward_direction_on_handwritten_queries() {
+        for sql in QUERIES {
+            check_forward(sql);
+        }
+    }
+
+    #[test]
+    fn backward_direction_on_handwritten_queries() {
+        for sql in QUERIES {
+            check_backward(sql);
+        }
+    }
+
+    #[test]
+    fn example1_q1_is_the_flagship_case() {
+        // Under 3VL, Q1 is empty; the naive 2VL evaluation of Q1 itself
+        // is NOT empty — the translation is what restores the behaviour.
+        let schema = Schema::builder().table("R", ["A"]).table("S", ["A"]).build().unwrap();
+        let mut db = Database::new(schema.clone());
+        db.insert("R", table! { ["A"]; [1], [Value::Null] }).unwrap();
+        db.insert("S", table! { ["A"]; [Value::Null] }).unwrap();
+        let q = compile(
+            "SELECT DISTINCT R.A FROM R WHERE R.A NOT IN (SELECT S.A FROM S)",
+            &schema,
+        )
+        .unwrap();
+        let three = Evaluator::new(&db).eval(&q).unwrap();
+        assert!(three.is_empty());
+        // Naive 2VL disagrees…
+        let naive = Evaluator::new(&db)
+            .with_logic(EqInterpretation::Conflate.logic_mode())
+            .eval(&q)
+            .unwrap();
+        assert!(!naive.coincides(&three));
+        // …the translation agrees.
+        let q2 = to_two_valued(&q, EqInterpretation::Conflate);
+        let translated = Evaluator::new(&db)
+            .with_logic(EqInterpretation::Conflate.logic_mode())
+            .eval(&q2)
+            .unwrap();
+        assert!(translated.coincides(&three));
+    }
+
+    #[test]
+    fn translations_leave_null_free_data_unchanged() {
+        let schema = schema();
+        let mut db = Database::new(schema.clone());
+        db.insert("R", table! { ["A", "B"]; [1, 2], [3, 4] }).unwrap();
+        db.insert("S", table! { ["A"]; [1] }).unwrap();
+        for sql in QUERIES {
+            let q = compile(sql, &schema).unwrap();
+            let base = Evaluator::new(&db).eval(&q).unwrap();
+            for eq in [EqInterpretation::Conflate, EqInterpretation::Syntactic] {
+                let q2 = to_two_valued(&q, eq);
+                let got = Evaluator::new(&db).with_logic(eq.logic_mode()).eval(&q2).unwrap();
+                assert!(base.coincides(&got), "{sql} [{eq:?}] on null-free data");
+            }
+        }
+    }
+
+    #[test]
+    fn blow_up_reports_growth() {
+        let schema = schema();
+        let q = compile(
+            "SELECT A FROM S WHERE A NOT IN (SELECT A FROM R WHERE NOT R.B = 2)",
+            &schema,
+        )
+        .unwrap();
+        let b = blow_up(&q, EqInterpretation::Conflate);
+        assert!(b.atoms_after > b.atoms_before, "{b:?}");
+        assert!(b.blocks_after >= b.blocks_before, "{b:?}");
+    }
+
+    #[test]
+    fn translation_only_touches_conditions() {
+        // Output columns and shape are preserved.
+        let schema = schema();
+        let q = compile("SELECT DISTINCT A, B FROM R WHERE A = 1", &schema).unwrap();
+        for eq in [EqInterpretation::Conflate, EqInterpretation::Syntactic] {
+            let q2 = to_two_valued(&q, eq);
+            assert_eq!(
+                sqlsem_core::sig::output_columns(&q, &schema).unwrap(),
+                sqlsem_core::sig::output_columns(&q2, &schema).unwrap()
+            );
+        }
+    }
+}

@@ -1,0 +1,478 @@
+//! The Figure 10 translations: eliminating three-valued logic (§6,
+//! Theorem 2).
+//!
+//! Theorem 2: basic SQL queries have the same expressiveness under the
+//! three-valued and the two-valued semantics — for every query `Q` there
+//! are queries `Q′` and `Q″` with `⟦Q⟧_D = ⟦Q′⟧₂ᵥ_D` and
+//! `⟦Q⟧₂ᵥ_D = ⟦Q″⟧_D` on all databases, under either interpretation of
+//! equality.
+//!
+//! The forward direction ([`to_two_valued`]) defines, by mutual
+//! induction, conditions `θᵗ` and `θᶠ` that describe under two-valued
+//! semantics when `θ` is `t` (resp. `f`) under 3VL, and rewrites every
+//! `WHERE` clause to its `θᵗ`. The delicate case is `NOT IN`, whose
+//! `f`-translation needs the construct `Q′ AS N(A₁,…,Aₙ)` to name the
+//! subquery's columns:
+//!
+//! ```text
+//! (t̄ IN Q)ᶠ = NOT EXISTS (SELECT * FROM Q′ AS N(A₁,…,Aₙ) WHERE
+//!                (t₁ IS NULL OR A₁ IS NULL OR t₁ = N.A₁) AND … )
+//! ```
+//!
+//! When equality is interpreted *syntactically* (`≐`, Definition 2) the
+//! equality atoms additionally guard against `NULL ≐ NULL` succeeding
+//! where SQL's `=` would be unknown.
+//!
+//! The backward direction ([`to_three_valued`]) is the "immediate" one
+//! the paper describes: two-valued predicates are expressed in 3VL by
+//! conjoining `IS NOT NULL` guards (and, for `≐`, adding the both-`NULL`
+//! disjunct).
+
+use std::collections::HashSet;
+
+use sqlsem_core::ast::{
+    Condition, FromItem, Query, SelectList, SelectQuery, TableRef, Term,
+};
+use sqlsem_core::{CmpOp, LogicMode, Name};
+
+/// Which two-valued interpretation of the equality predicate is in force
+/// (§6 offers both; Theorem 2 holds for either).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EqInterpretation {
+    /// `=` conflates `u` with `f`, like every other predicate.
+    Conflate,
+    /// `=` means syntactic equality `≐` (Definition 2): `NULL ≐ NULL`
+    /// holds.
+    Syntactic,
+}
+
+impl EqInterpretation {
+    /// The matching evaluator mode.
+    pub fn logic_mode(self) -> LogicMode {
+        match self {
+            EqInterpretation::Conflate => LogicMode::TwoValuedConflate,
+            EqInterpretation::Syntactic => LogicMode::TwoValuedSyntacticEq,
+        }
+    }
+}
+
+/// Fresh plain-name source for the `Q′ AS N(A₁,…,Aₙ)` constructs.
+#[derive(Clone, Debug, Default)]
+struct Names {
+    used: HashSet<Name>,
+    counter: usize,
+}
+
+impl Names {
+    fn avoiding_query(q: &Query) -> Names {
+        let mut used = HashSet::new();
+        collect_names(q, &mut used);
+        Names { used, counter: 0 }
+    }
+
+    fn fresh(&mut self, hint: &str) -> Name {
+        loop {
+            self.counter += 1;
+            let candidate = Name::new(format!("{hint}_{}", self.counter));
+            if self.used.insert(candidate.clone()) {
+                return candidate;
+            }
+        }
+    }
+}
+
+/// Collects every name used anywhere in the query (aliases, columns,
+/// output names, base tables).
+fn collect_names(query: &Query, out: &mut HashSet<Name>) {
+    query.visit(&mut |node| {
+        if let Query::Select(s) = node {
+            if let SelectList::Items(items) = &s.select {
+                for i in items {
+                    out.insert(i.alias.clone());
+                    if let Term::Col(n) = &i.term {
+                        out.insert(n.table.clone());
+                        out.insert(n.column.clone());
+                    }
+                }
+            }
+            for f in &s.from {
+                out.insert(f.alias.clone());
+                if let TableRef::Base(r) = &f.table {
+                    out.insert(r.clone());
+                }
+                if let Some(cols) = &f.columns {
+                    out.extend(cols.iter().cloned());
+                }
+            }
+            collect_cond_names(&s.where_, out);
+        }
+    });
+}
+
+fn collect_cond_names(cond: &Condition, out: &mut HashSet<Name>) {
+    let mut term = |t: &Term| {
+        if let Term::Col(n) = t {
+            out.insert(n.table.clone());
+            out.insert(n.column.clone());
+        }
+    };
+    match cond {
+        Condition::True | Condition::False => {}
+        Condition::Cmp { left, right, .. } => {
+            term(left);
+            term(right);
+        }
+        Condition::Like { term: t, pattern, .. } => {
+            term(t);
+            term(pattern);
+        }
+        Condition::Pred { args, .. } => args.iter().for_each(term),
+        Condition::IsNull { term: t, .. } => term(t),
+        Condition::IsDistinct { left, right, .. } => {
+            term(left);
+            term(right);
+        }
+        Condition::In { terms, .. } => terms.iter().for_each(term),
+        Condition::Exists(_) => {}
+        Condition::And(a, b) | Condition::Or(a, b) => {
+            collect_cond_names(a, out);
+            collect_cond_names(b, out);
+        }
+        Condition::Not(c) => collect_cond_names(c, out),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Forward direction: 3VL → 2VL (Figure 10)
+// ---------------------------------------------------------------------------
+
+/// The `Q ↦ Q′` translation of Theorem 2: `⟦Q⟧_D = ⟦Q′⟧₂ᵥ_D` for every
+/// database, where `⟦·⟧₂ᵥ` is the two-valued semantics with equality
+/// interpreted per `eq`.
+pub fn to_two_valued(query: &Query, eq: EqInterpretation) -> Query {
+    let mut names = Names::avoiding_query(query);
+    query_2v(query, eq, &mut names)
+}
+
+fn query_2v(query: &Query, eq: EqInterpretation, names: &mut Names) -> Query {
+    match query {
+        Query::SetOp { op, all, left, right } => Query::SetOp {
+            op: *op,
+            all: *all,
+            left: Box::new(query_2v(left, eq, names)),
+            right: Box::new(query_2v(right, eq, names)),
+        },
+        Query::Select(s) => Query::Select(SelectQuery {
+            distinct: s.distinct,
+            select: s.select.clone(),
+            from: s
+                .from
+                .iter()
+                .map(|f| FromItem {
+                    table: match &f.table {
+                        TableRef::Base(r) => TableRef::Base(r.clone()),
+                        TableRef::Query(q) => TableRef::Query(Box::new(query_2v(q, eq, names))),
+                    },
+                    alias: f.alias.clone(),
+                    columns: f.columns.clone(),
+                })
+                .collect(),
+            // Only rows with θ = t are kept, so θ becomes θᵗ.
+            where_: cond_t(&s.where_, eq, names),
+        }),
+    }
+}
+
+/// `θᵗ`: true under `⟦·⟧₂ᵥ` exactly when `θ` is `t` under 3VL.
+fn cond_t(cond: &Condition, eq: EqInterpretation, names: &mut Names) -> Condition {
+    match cond {
+        Condition::True => Condition::True,
+        Condition::False => Condition::False,
+        Condition::Cmp { left, op, right } => match (eq, op) {
+            // Syntactic mode: (t₁ = t₂)ᵗ = t₁ = t₂ AND (t₁,t₂) IS NOT NULL.
+            (EqInterpretation::Syntactic, CmpOp::Eq) => Condition::Cmp {
+                left: left.clone(),
+                op: *op,
+                right: right.clone(),
+            }
+            .and(Condition::is_not_null(left.clone()))
+            .and(Condition::is_not_null(right.clone())),
+            // Conflating mode: P(t̄)ᵗ = P(t̄) — conflation already maps u
+            // to f.
+            _ => cond.clone(),
+        },
+        // Other predicates conflate in both modes.
+        Condition::Like { .. } | Condition::Pred { .. } => cond.clone(),
+        // Already two-valued under every semantics.
+        Condition::IsNull { .. } | Condition::IsDistinct { .. } => cond.clone(),
+        Condition::Exists(q) => Condition::Exists(Box::new(query_2v(q, eq, names))),
+        Condition::And(a, b) => cond_t(a, eq, names).and(cond_t(b, eq, names)),
+        Condition::Or(a, b) => cond_t(a, eq, names).or(cond_t(b, eq, names)),
+        Condition::Not(c) => cond_f(c, eq, names),
+        Condition::In { terms, query, negated } => {
+            if *negated {
+                in_f(terms, query, eq, names)
+            } else {
+                in_t(terms, query, eq, names)
+            }
+        }
+    }
+}
+
+/// `θᶠ`: true under `⟦·⟧₂ᵥ` exactly when `θ` is `f` under 3VL.
+fn cond_f(cond: &Condition, eq: EqInterpretation, names: &mut Names) -> Condition {
+    match cond {
+        Condition::True => Condition::False,
+        Condition::False => Condition::True,
+        // P(t̄)ᶠ = NOT P(t̄) AND t̄ IS NOT NULL.
+        Condition::Cmp { left, op, right } => {
+            let base = match (eq, op) {
+                (EqInterpretation::Syntactic, CmpOp::Eq) => {
+                    Condition::Cmp { left: left.clone(), op: *op, right: right.clone() }.not()
+                }
+                _ => Condition::Cmp { left: left.clone(), op: *op, right: right.clone() }.not(),
+            };
+            base.and(Condition::is_not_null(left.clone()))
+                .and(Condition::is_not_null(right.clone()))
+        }
+        Condition::Like { term, pattern, negated } => Condition::Like {
+            term: term.clone(),
+            pattern: pattern.clone(),
+            negated: !*negated,
+        }
+        .and(Condition::is_not_null(term.clone()))
+        .and(Condition::is_not_null(pattern.clone())),
+        Condition::Pred { name, args } => {
+            let guards =
+                Condition::all(args.iter().map(|a| Condition::is_not_null(a.clone())));
+            Condition::Pred { name: name.clone(), args: args.clone() }.not().and(guards)
+        }
+        Condition::IsNull { term, negated } => {
+            Condition::IsNull { term: term.clone(), negated: !*negated }
+        }
+        // Two-valued: its f-translation is the opposite polarity.
+        Condition::IsDistinct { left, right, negated } => Condition::IsDistinct {
+            left: left.clone(),
+            right: right.clone(),
+            negated: !*negated,
+        },
+        Condition::Exists(q) => Condition::Exists(Box::new(query_2v(q, eq, names))).not(),
+        Condition::And(a, b) => cond_f(a, eq, names).or(cond_f(b, eq, names)),
+        Condition::Or(a, b) => cond_f(a, eq, names).and(cond_f(b, eq, names)),
+        Condition::Not(c) => cond_t(c, eq, names),
+        Condition::In { terms, query, negated } => {
+            if *negated {
+                in_t(terms, query, eq, names)
+            } else {
+                in_f(terms, query, eq, names)
+            }
+        }
+    }
+}
+
+/// `(t̄ IN Q)ᵗ`.
+fn in_t(terms: &[Term], query: &Query, eq: EqInterpretation, names: &mut Names) -> Condition {
+    let q2 = query_2v(query, eq, names);
+    match eq {
+        // Conflating equality: t̄ IN Q′ is already right — each component
+        // equality conflates u to f, so the disjunction is t exactly when
+        // a row matches with all components true.
+        EqInterpretation::Conflate => Condition::In {
+            terms: terms.to_vec(),
+            query: Box::new(q2),
+            negated: false,
+        },
+        // Syntactic equality would let NULL match NULL, so the membership
+        // is spelled out with guarded comparisons (§6):
+        // EXISTS (SELECT * FROM Q′ AS N(Ā) WHERE ⋀ (tᵢ = N.Aᵢ)ᵗ).
+        EqInterpretation::Syntactic => {
+            let (from_item, alias, columns) = named_subquery(q2, terms.len(), names);
+            let comparisons = Condition::all(terms.iter().zip(&columns).map(|(t, a)| {
+                let col = Term::col(alias.clone(), a.clone());
+                Condition::eq(t.clone(), col.clone())
+                    .and(Condition::is_not_null(t.clone()))
+                    .and(Condition::is_not_null(col))
+            }));
+            Condition::exists(Query::Select(
+                SelectQuery::new(SelectList::Star, vec![from_item]).filter(comparisons),
+            ))
+        }
+    }
+}
+
+/// `(t̄ IN Q)ᶠ` — the Figure 10 `NOT EXISTS` construction.
+fn in_f(terms: &[Term], query: &Query, eq: EqInterpretation, names: &mut Names) -> Condition {
+    let q2 = query_2v(query, eq, names);
+    let (from_item, alias, columns) = named_subquery(q2, terms.len(), names);
+    let component = |t: &Term, a: &Name| -> Condition {
+        let col = Term::col(alias.clone(), a.clone());
+        let equality = match eq {
+            // tᵢ = N.Aᵢ (conflating equality is u-free already).
+            EqInterpretation::Conflate => Condition::eq(t.clone(), col.clone()),
+            // (tᵢ = N.Aᵢ)ᵗ — guard the syntactic equality.
+            EqInterpretation::Syntactic => Condition::eq(t.clone(), col.clone())
+                .and(Condition::is_not_null(t.clone()))
+                .and(Condition::is_not_null(col.clone())),
+        };
+        Condition::is_null(t.clone()).or(Condition::is_null(col)).or(equality)
+    };
+    let body = Condition::all(terms.iter().zip(&columns).map(|(t, a)| component(t, a)));
+    Condition::exists(Query::Select(
+        SelectQuery::new(SelectList::Star, vec![from_item]).filter(body),
+    ))
+    .not()
+}
+
+/// Builds `Q′ AS N(A₁,…,Aₙ)` with fresh `N`, `Āᵢ`.
+fn named_subquery(q: Query, arity: usize, names: &mut Names) -> (FromItem, Name, Vec<Name>) {
+    let alias = names.fresh("n");
+    let columns: Vec<Name> = (0..arity).map(|_| names.fresh("a")).collect();
+    let item = FromItem::subquery(q, alias.clone()).with_columns(columns.clone());
+    (item, alias, columns)
+}
+
+// ---------------------------------------------------------------------------
+// Backward direction: 2VL → 3VL
+// ---------------------------------------------------------------------------
+
+/// The `Q ↦ Q″` translation: `⟦Q⟧₂ᵥ_D = ⟦Q″⟧_D` (3VL) for every
+/// database. Predicates gain `IS NOT NULL` guards (making `u`
+/// unreachable); under the syntactic interpretation, equality atoms are
+/// expanded per Definition 2.
+pub fn to_three_valued(query: &Query, eq: EqInterpretation) -> Query {
+    let mut names = Names::avoiding_query(query);
+    query_3v(query, eq, &mut names)
+}
+
+fn query_3v(query: &Query, eq: EqInterpretation, names: &mut Names) -> Query {
+    match query {
+        Query::SetOp { op, all, left, right } => Query::SetOp {
+            op: *op,
+            all: *all,
+            left: Box::new(query_3v(left, eq, names)),
+            right: Box::new(query_3v(right, eq, names)),
+        },
+        Query::Select(s) => Query::Select(SelectQuery {
+            distinct: s.distinct,
+            select: s.select.clone(),
+            from: s
+                .from
+                .iter()
+                .map(|f| FromItem {
+                    table: match &f.table {
+                        TableRef::Base(r) => TableRef::Base(r.clone()),
+                        TableRef::Query(q) => TableRef::Query(Box::new(query_3v(q, eq, names))),
+                    },
+                    alias: f.alias.clone(),
+                    columns: f.columns.clone(),
+                })
+                .collect(),
+            where_: cond_3v(&s.where_, eq, names),
+        }),
+    }
+}
+
+/// Expresses the two-valued semantics of a condition in 3VL: the result
+/// never evaluates to `u`, and is `t` exactly when the condition is `t`
+/// under `⟦·⟧₂ᵥ`.
+fn cond_3v(cond: &Condition, eq: EqInterpretation, names: &mut Names) -> Condition {
+    match cond {
+        // Already two-valued under 3VL as well: nothing to do.
+        Condition::True
+        | Condition::False
+        | Condition::IsNull { .. }
+        | Condition::IsDistinct { .. } => cond.clone(),
+        Condition::Cmp { left, op, right } => {
+            let guarded = Condition::Cmp { left: left.clone(), op: *op, right: right.clone() }
+                .and(Condition::is_not_null(left.clone()))
+                .and(Condition::is_not_null(right.clone()));
+            match (eq, op) {
+                // Syntactic equality: t₁ ≐ t₂ is also t when both are
+                // NULL (Definition 2).
+                (EqInterpretation::Syntactic, CmpOp::Eq) => guarded.or(Condition::is_null(
+                    left.clone(),
+                )
+                .and(Condition::is_null(right.clone()))),
+                _ => guarded,
+            }
+        }
+        Condition::Like { term, pattern, negated } => Condition::Like {
+            term: term.clone(),
+            pattern: pattern.clone(),
+            negated: *negated,
+        }
+        .and(Condition::is_not_null(term.clone()))
+        .and(Condition::is_not_null(pattern.clone())),
+        Condition::Pred { name, args } => {
+            let guards =
+                Condition::all(args.iter().map(|a| Condition::is_not_null(a.clone())));
+            Condition::Pred { name: name.clone(), args: args.clone() }.and(guards)
+        }
+        Condition::Exists(q) => Condition::Exists(Box::new(query_3v(q, eq, names))),
+        Condition::And(a, b) => cond_3v(a, eq, names).and(cond_3v(b, eq, names)),
+        Condition::Or(a, b) => cond_3v(a, eq, names).or(cond_3v(b, eq, names)),
+        // The inner condition is u-free by induction, so ¬ is classical.
+        Condition::Not(c) => cond_3v(c, eq, names).not(),
+        Condition::In { terms, query, negated } => {
+            // ⟦t̄ IN Q⟧₂ᵥ = ∃ row with all components 2v-true: spell it
+            // out with EXISTS and per-component u-free equalities.
+            let q3 = query_3v(query, eq, names);
+            let (from_item, alias, columns) = named_subquery(q3, terms.len(), names);
+            let body = Condition::all(terms.iter().zip(&columns).map(|(t, a)| {
+                let col = Term::col(alias.clone(), a.clone());
+                let guarded = Condition::eq(t.clone(), col.clone())
+                    .and(Condition::is_not_null(t.clone()))
+                    .and(Condition::is_not_null(col.clone()));
+                match eq {
+                    EqInterpretation::Conflate => guarded,
+                    EqInterpretation::Syntactic => guarded.or(Condition::is_null(t.clone())
+                        .and(Condition::is_null(col))),
+                }
+            }));
+            let exists = Condition::exists(Query::Select(
+                SelectQuery::new(SelectList::Star, vec![from_item]).filter(body),
+            ));
+            if *negated {
+                exists.not()
+            } else {
+                exists
+            }
+        }
+    }
+}
+
+/// Size statistics of the `Q ↦ Q′` translation, for the §6 discussion of
+/// rewriting overhead ("emulating old behavior turns into case analysis,
+/// which leads to more cumbersome … queries").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlowUp {
+    /// Condition atoms in the original query (all blocks).
+    pub atoms_before: usize,
+    /// Condition atoms after translation.
+    pub atoms_after: usize,
+    /// `SELECT` blocks before.
+    pub blocks_before: usize,
+    /// `SELECT` blocks after.
+    pub blocks_after: usize,
+}
+
+/// Measures how much larger `to_two_valued(q, eq)` is than `q`.
+pub fn blow_up(q: &Query, eq: EqInterpretation) -> BlowUp {
+    let translated = to_two_valued(q, eq);
+    BlowUp {
+        atoms_before: total_atoms(q),
+        atoms_after: total_atoms(&translated),
+        blocks_before: q.size(),
+        blocks_after: translated.size(),
+    }
+}
+
+fn total_atoms(q: &Query) -> usize {
+    let mut n = 0;
+    q.visit(&mut |node| {
+        if let Query::Select(s) = node {
+            n += s.where_.atom_count();
+        }
+    });
+    n
+}

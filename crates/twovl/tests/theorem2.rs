@@ -1,0 +1,79 @@
+//! Theorem 2 as a randomised property: for every generated basic SQL
+//! query `Q` and random database `D`, under both interpretations of
+//! equality,
+//!
+//! ```text
+//! ⟦Q⟧_D          =  ⟦to_two_valued(Q)⟧₂ᵥ_D       (forward)
+//! ⟦Q⟧₂ᵥ_D        =  ⟦to_three_valued(Q)⟧_D       (backward)
+//! ```
+//!
+//! Queries that error (the generator's Example 2-style ambiguous stars)
+//! must error identically on both sides.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sqlsem_core::{Evaluator, LogicMode};
+use sqlsem_generator::{
+    paper_schema, random_database, DataGenConfig, QueryGenConfig, QueryGenerator,
+};
+use sqlsem_twovl::{to_three_valued, to_two_valued, EqInterpretation};
+
+fn run_cases(n: usize, base_seed: u64, data: DataGenConfig) {
+    let schema = paper_schema();
+    let gen = QueryGenerator::new(&schema, QueryGenConfig::small());
+    for i in 0..n {
+        let mut rng = StdRng::seed_from_u64(base_seed + i as u64);
+        let query = gen.generate(&mut rng);
+        let db = random_database(&schema, &data, &mut rng);
+
+        for eq in [EqInterpretation::Conflate, EqInterpretation::Syntactic] {
+            // Forward: ⟦Q⟧ (3VL) vs ⟦Q′⟧ (2VL).
+            let three = Evaluator::new(&db).eval(&query);
+            let translated = to_two_valued(&query, eq);
+            let two = Evaluator::new(&db).with_logic(eq.logic_mode()).eval(&translated);
+            match (&three, &two) {
+                (Ok(a), Ok(b)) => assert!(
+                    a.coincides(b),
+                    "case {i} [{eq:?}] forward mismatch\n{query}\n3VL:\n{a}\n2VL:\n{b}"
+                ),
+                (Err(e1), Err(e2)) => {
+                    assert_eq!(e1.is_ambiguity(), e2.is_ambiguity(), "case {i} [{eq:?}]");
+                }
+                (a, b) => panic!("case {i} [{eq:?}] verdict mismatch: {a:?} vs {b:?}\n{query}"),
+            }
+
+            // Backward: ⟦Q⟧₂ᵥ vs ⟦Q″⟧ (3VL).
+            let two_of_q = Evaluator::new(&db).with_logic(eq.logic_mode()).eval(&query);
+            let back = to_three_valued(&query, eq);
+            let three_of_back =
+                Evaluator::new(&db).with_logic(LogicMode::ThreeValued).eval(&back);
+            match (&two_of_q, &three_of_back) {
+                (Ok(a), Ok(b)) => assert!(
+                    a.coincides(b),
+                    "case {i} [{eq:?}] backward mismatch\n{query}\n2VL:\n{a}\n3VL:\n{b}"
+                ),
+                (Err(e1), Err(e2)) => {
+                    assert_eq!(e1.is_ambiguity(), e2.is_ambiguity(), "case {i} [{eq:?}]");
+                }
+                (a, b) => panic!("case {i} [{eq:?}] verdict mismatch: {a:?} vs {b:?}\n{query}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn theorem2_holds_on_random_queries() {
+    run_cases(150, 0x7E0, DataGenConfig::small());
+}
+
+#[test]
+fn theorem2_holds_with_many_nulls() {
+    let data = DataGenConfig { min_rows: 0, max_rows: 4, null_rate: 0.5, domain: 3 };
+    run_cases(100, 0x7E1, data);
+}
+
+#[test]
+fn theorem2_is_trivial_without_nulls() {
+    run_cases(60, 0x7E2, DataGenConfig::small_null_free());
+}

@@ -1,0 +1,125 @@
+//! The §4 correctness criterion.
+//!
+//! Two evaluation outcomes *coincide* iff the produced tables have
+//! precisely the same number of columns, with the same names and in the
+//! same order, and precisely the same rows with the same multiplicities
+//! (row order is arbitrary). Errors count as agreement only when both
+//! sides raise one of the same character — the paper's experiments hit
+//! exactly the ambiguous-reference errors of Oracle, where "our
+//! implementation (the variant adjusted for Oracle) also raised an error
+//! … as expected".
+
+use sqlsem_core::{EvalError, Table};
+
+/// The outcome of evaluating one query on one implementation.
+pub type Outcome = Result<Table, EvalError>;
+
+/// The result of comparing two outcomes under the §4 criterion.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Both produced tables and the tables coincide.
+    AgreeResult,
+    /// Both raised errors of the same character (ambiguity vs not).
+    AgreeError,
+    /// The outcomes differ; the payload explains how.
+    Disagree(String),
+}
+
+impl Verdict {
+    /// `true` for either form of agreement.
+    pub fn agrees(&self) -> bool {
+        !matches!(self, Verdict::Disagree(_))
+    }
+}
+
+/// Compares a reference outcome (the formal semantics) against a
+/// candidate outcome (an engine playing the RDBMS role).
+pub fn compare(reference: &Outcome, candidate: &Outcome) -> Verdict {
+    match (reference, candidate) {
+        (Ok(a), Ok(b)) => {
+            if a.columns() != b.columns() {
+                Verdict::Disagree(format!(
+                    "column mismatch: [{}] vs [{}]",
+                    join_names(a),
+                    join_names(b)
+                ))
+            } else if !a.multiset_eq(b) {
+                Verdict::Disagree(format!(
+                    "row multiset mismatch ({} vs {} rows)",
+                    a.len(),
+                    b.len()
+                ))
+            } else {
+                Verdict::AgreeResult
+            }
+        }
+        (Err(e1), Err(e2)) => {
+            if e1.is_ambiguity() == e2.is_ambiguity() {
+                Verdict::AgreeError
+            } else {
+                Verdict::Disagree(format!("error character differs: {e1} vs {e2}"))
+            }
+        }
+        (Ok(_), Err(e)) => Verdict::Disagree(format!("reference succeeded, candidate errored: {e}")),
+        (Err(e), Ok(_)) => Verdict::Disagree(format!("reference errored ({e}), candidate succeeded")),
+    }
+}
+
+fn join_names(t: &Table) -> String {
+    t.columns().iter().map(|n| n.to_string()).collect::<Vec<_>>().join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlsem_core::{table, FullName, Name, Value};
+
+    #[test]
+    fn identical_tables_agree() {
+        let a: Outcome = Ok(table! { ["A"]; [1], [2] });
+        let b: Outcome = Ok(table! { ["A"]; [2], [1] });
+        assert_eq!(compare(&a, &b), Verdict::AgreeResult);
+    }
+
+    #[test]
+    fn multiplicities_matter() {
+        let a: Outcome = Ok(table! { ["A"]; [1], [1] });
+        let b: Outcome = Ok(table! { ["A"]; [1] });
+        assert!(matches!(compare(&a, &b), Verdict::Disagree(_)));
+    }
+
+    #[test]
+    fn column_names_and_order_matter() {
+        let a: Outcome = Ok(table! { ["A", "B"]; [1, 2] });
+        let b: Outcome = Ok(table! { ["B", "A"]; [1, 2] });
+        assert!(matches!(compare(&a, &b), Verdict::Disagree(_)));
+    }
+
+    #[test]
+    fn nulls_compare_syntactically() {
+        let a: Outcome = Ok(table! { ["A"]; [Value::Null] });
+        let b: Outcome = Ok(table! { ["A"]; [Value::Null] });
+        assert_eq!(compare(&a, &b), Verdict::AgreeResult);
+    }
+
+    #[test]
+    fn matching_ambiguity_errors_agree() {
+        let e = || EvalError::AmbiguousReference(FullName::new("T", "A"));
+        assert_eq!(compare(&Err(e()), &Err(e())), Verdict::AgreeError);
+    }
+
+    #[test]
+    fn mismatched_error_character_disagrees() {
+        let amb: Outcome = Err(EvalError::AmbiguousReference(FullName::new("T", "A")));
+        let other: Outcome = Err(EvalError::UnknownTable(Name::new("R")));
+        assert!(matches!(compare(&amb, &other), Verdict::Disagree(_)));
+    }
+
+    #[test]
+    fn ok_vs_err_disagrees() {
+        let ok: Outcome = Ok(table! { ["A"]; [1] });
+        let err: Outcome = Err(EvalError::UnknownTable(Name::new("R")));
+        assert!(matches!(compare(&ok, &err), Verdict::Disagree(_)));
+        assert!(matches!(compare(&err, &ok), Verdict::Disagree(_)));
+    }
+}

@@ -1,0 +1,281 @@
+//! The §4 validation experiment: randomly generated queries over random
+//! databases, evaluated by the formal semantics and by an independent
+//! engine, compared under the correctness criterion.
+//!
+//! For each iteration the harness derives a fresh deterministic RNG,
+//! generates a query and a database instance, and for each configured
+//! dialect compares `⟦Q⟧_D` as computed by [`sqlsem_core::Evaluator`]
+//! (the formal semantics, adjusted to the dialect) against the output of
+//! [`sqlsem_engine::Engine`] (the stand-in for PostgreSQL/Oracle). The
+//! paper runs this for 100,000 queries and reports that "the results were
+//! always the same", including matching ambiguity errors on Oracle.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sqlsem_core::{Database, Dialect, Evaluator, Query, Schema};
+use sqlsem_engine::Engine;
+use sqlsem_generator::{random_database, DataGenConfig, QueryGenConfig, QueryGenerator};
+
+use crate::compare::{compare, Verdict};
+
+/// Configuration of a validation run.
+#[derive(Clone, Debug)]
+pub struct ValidationConfig {
+    /// Number of query/database pairs to generate.
+    pub queries: usize,
+    /// Master seed; iteration `i` uses a deterministic derivation of it.
+    pub seed: u64,
+    /// Query shape parameters.
+    pub query_config: QueryGenConfig,
+    /// Database generation parameters.
+    pub data_config: DataGenConfig,
+    /// Dialects to validate (each compares semantics-vs-engine adjusted
+    /// to that dialect).
+    pub dialects: Vec<Dialect>,
+    /// How many disagreement samples to retain in the report.
+    pub keep_samples: usize,
+    /// Additionally check that printing and re-compiling each query
+    /// reproduces it exactly (exercises the parser on random queries).
+    pub check_roundtrip: bool,
+}
+
+impl ValidationConfig {
+    /// The paper's configuration, scaled by `queries`: TPC-H-calibrated
+    /// shapes, row cap 50. (The paper ran 100,000 queries.)
+    pub fn paper(queries: usize, seed: u64) -> Self {
+        ValidationConfig {
+            queries,
+            seed,
+            query_config: QueryGenConfig::tpch_calibrated(),
+            data_config: DataGenConfig::paper(),
+            dialects: vec![Dialect::PostgreSql, Dialect::Oracle],
+            keep_samples: 5,
+            check_roundtrip: false,
+        }
+    }
+
+    /// A fast configuration for in-tree tests: small shapes, small
+    /// tables, all dialects, round-trip checking on.
+    pub fn quick(queries: usize, seed: u64) -> Self {
+        ValidationConfig {
+            queries,
+            seed,
+            query_config: QueryGenConfig::small(),
+            data_config: DataGenConfig::small(),
+            dialects: Dialect::ALL.to_vec(),
+            keep_samples: 5,
+            check_roundtrip: true,
+        }
+    }
+}
+
+/// Agreement tallies for one dialect.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DialectStats {
+    /// Runs where both sides produced coinciding tables.
+    pub agree_results: usize,
+    /// Runs where both sides raised errors of the same character (the
+    /// Oracle ambiguous-`*` cases of §4).
+    pub agree_errors: usize,
+    /// Runs where the sides disagreed.
+    pub disagreements: usize,
+}
+
+impl DialectStats {
+    /// Total runs tallied.
+    pub fn total(&self) -> usize {
+        self.agree_results + self.agree_errors + self.disagreements
+    }
+}
+
+/// A retained disagreement, for debugging.
+#[derive(Clone, Debug)]
+pub struct Disagreement {
+    /// Which iteration produced it.
+    pub iteration: usize,
+    /// Which dialect.
+    pub dialect: Dialect,
+    /// The query, printed in the dialect's syntax.
+    pub sql: String,
+    /// How the outcomes differed.
+    pub detail: String,
+}
+
+/// The outcome of a validation run.
+#[derive(Clone, Debug)]
+pub struct ValidationReport {
+    /// Number of query/database pairs generated.
+    pub queries: usize,
+    /// Per-dialect tallies, in the order configured.
+    pub per_dialect: Vec<(Dialect, DialectStats)>,
+    /// Retained disagreement samples.
+    pub samples: Vec<Disagreement>,
+    /// Parser round-trip failures (when enabled).
+    pub roundtrip_failures: usize,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+}
+
+impl ValidationReport {
+    /// `true` iff every comparison agreed (the paper's headline result).
+    pub fn all_agree(&self) -> bool {
+        self.roundtrip_failures == 0
+            && self.per_dialect.iter().all(|(_, s)| s.disagreements == 0)
+    }
+}
+
+impl fmt::Display for ValidationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "validated {} random queries in {:.2?} ({} dialect comparisons)",
+            self.queries,
+            self.elapsed,
+            self.per_dialect.iter().map(|(_, s)| s.total()).sum::<usize>()
+        )?;
+        for (dialect, stats) in &self.per_dialect {
+            writeln!(
+                f,
+                "  {dialect:<12} agree: {:>8}   agree-on-error: {:>6}   disagree: {:>4}",
+                stats.agree_results, stats.agree_errors, stats.disagreements
+            )?;
+        }
+        if self.roundtrip_failures > 0 {
+            writeln!(f, "  parser round-trip failures: {}", self.roundtrip_failures)?;
+        }
+        for s in &self.samples {
+            writeln!(f, "  DISAGREEMENT #{} [{}]: {}", s.iteration, s.dialect, s.detail)?;
+            writeln!(f, "    {}", s.sql)?;
+        }
+        write!(
+            f,
+            "verdict: {}",
+            if self.all_agree() { "ALWAYS AGREED (paper: same)" } else { "DISAGREEMENTS FOUND" }
+        )
+    }
+}
+
+/// Derives the per-iteration RNG. SplitMix64 over the master seed keeps
+/// iterations independent and reproducible individually.
+pub fn iteration_rng(seed: u64, iteration: usize) -> StdRng {
+    let mut z = seed.wrapping_add((iteration as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    StdRng::seed_from_u64(z ^ (z >> 31))
+}
+
+/// Generates the query/database pair for one iteration.
+pub fn iteration_case(
+    schema: &Schema,
+    config: &ValidationConfig,
+    iteration: usize,
+) -> (Query, Database) {
+    let mut rng = iteration_rng(config.seed, iteration);
+    let gen = QueryGenerator::new(schema, config.query_config.clone());
+    let query = gen.generate(&mut rng);
+    let db = random_database(schema, &config.data_config, &mut rng);
+    (query, db)
+}
+
+/// Runs the §4 validation experiment.
+pub fn run_validation(schema: &Schema, config: &ValidationConfig) -> ValidationReport {
+    let start = Instant::now();
+    let mut per_dialect: Vec<(Dialect, DialectStats)> =
+        config.dialects.iter().map(|d| (*d, DialectStats::default())).collect();
+    let mut samples = Vec::new();
+    let mut roundtrip_failures = 0usize;
+
+    for i in 0..config.queries {
+        let (query, db) = iteration_case(schema, config, i);
+
+        if config.check_roundtrip {
+            let text = sqlsem_parser::to_sql(&query, Dialect::Standard);
+            match sqlsem_parser::compile(&text, schema) {
+                Ok(back) if back == query => {}
+                _ => roundtrip_failures += 1,
+            }
+        }
+
+        for (dialect, stats) in per_dialect.iter_mut() {
+            let reference = Evaluator::new(&db).with_dialect(*dialect).eval(&query);
+            let candidate = Engine::new(&db).with_dialect(*dialect).execute(&query);
+            match compare(&reference, &candidate) {
+                Verdict::AgreeResult => stats.agree_results += 1,
+                Verdict::AgreeError => stats.agree_errors += 1,
+                Verdict::Disagree(detail) => {
+                    stats.disagreements += 1;
+                    if samples.len() < config.keep_samples {
+                        samples.push(Disagreement {
+                            iteration: i,
+                            dialect: *dialect,
+                            sql: sqlsem_parser::to_sql(&query, *dialect),
+                            detail,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    ValidationReport {
+        queries: config.queries,
+        per_dialect,
+        samples,
+        roundtrip_failures,
+        elapsed: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlsem_generator::paper_schema;
+
+    #[test]
+    fn small_validation_run_always_agrees() {
+        // A scaled-down §4: 150 random queries over the paper schema,
+        // all three dialects. The paper's result — always agree — must
+        // hold here too.
+        let schema = paper_schema();
+        let config = ValidationConfig::quick(150, 0xC0FFEE);
+        let report = run_validation(&schema, &config);
+        assert!(report.all_agree(), "{report}");
+        // The run must actually exercise error agreement now and then
+        // (ambiguous stars on Standard/Oracle).
+        let oracle = report
+            .per_dialect
+            .iter()
+            .find(|(d, _)| *d == Dialect::Oracle)
+            .map(|(_, s)| s.clone())
+            .unwrap();
+        assert_eq!(oracle.total(), 150);
+    }
+
+    #[test]
+    fn iteration_rng_is_stable_and_independent() {
+        let a1 = iteration_rng(1, 0);
+        let a2 = iteration_rng(1, 0);
+        // Same seed+iteration → same stream.
+        let mut x1 = a1;
+        let mut x2 = a2;
+        use rand::Rng;
+        assert_eq!(x1.gen::<u64>(), x2.gen::<u64>());
+        // Different iterations → different streams (overwhelmingly).
+        let mut y = iteration_rng(1, 1);
+        assert_ne!(x1.gen::<u64>(), y.gen::<u64>());
+    }
+
+    #[test]
+    fn report_renders() {
+        let schema = paper_schema();
+        let config = ValidationConfig::quick(5, 7);
+        let report = run_validation(&schema, &config);
+        let text = report.to_string();
+        assert!(text.contains("validated 5 random queries"), "{text}");
+        assert!(text.contains("verdict:"), "{text}");
+    }
+}

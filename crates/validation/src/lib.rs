@@ -1,0 +1,19 @@
+//! # sqlsem-validation
+//!
+//! The experimental validation machinery of §4: the correctness
+//! criterion ([`compare`]) and the differential harness
+//! ([`run_validation`]) that compares the formal semantics against the
+//! independent engine on randomly generated queries and databases —
+//! the reproduction of the paper's 100,000-query experiment.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod compare;
+pub mod harness;
+
+pub use compare::{compare, Outcome, Verdict};
+pub use harness::{
+    iteration_case, iteration_rng, run_validation, DialectStats, Disagreement, ValidationConfig,
+    ValidationReport,
+};

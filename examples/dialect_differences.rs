@@ -1,0 +1,54 @@
+//! Dialect differences (§4): PostgreSQL's compositional `SELECT *`,
+//! Oracle's compile-time ambiguity errors and `MINUS` spelling — the
+//! paper's Example 2, interactive.
+//!
+//! ```text
+//! cargo run --example dialect_differences
+//! ```
+
+use sqlsem::{compile, table, to_sql, Database, Dialect, Evaluator, Schema};
+
+fn main() {
+    let schema = Schema::builder().table("R", ["A"]).table("S", ["A"]).build().unwrap();
+    let mut db = Database::new(schema.clone());
+    db.insert("R", table! { ["A"]; [1], [2] }).unwrap();
+    db.insert("S", table! { ["A"]; [2] }).unwrap();
+
+    // --- Example 2: the ambiguous star -----------------------------------
+    let ambiguous = compile("SELECT * FROM (SELECT R.A, R.A FROM R) AS T", &schema).unwrap();
+    println!("Q: {ambiguous}\n");
+    for dialect in Dialect::ALL {
+        match Evaluator::new(&db).with_dialect(dialect).eval(&ambiguous) {
+            Ok(t) => println!("  {dialect:<12} → ok ({} rows, {} columns)", t.len(), t.arity()),
+            Err(e) => println!("  {dialect:<12} → {e}"),
+        }
+    }
+    println!(
+        "\n  (PostgreSQL's star is compositional; Oracle rejects at compile\n\
+         \x20  time; the Standard semantics errors only when the ambiguous\n\
+         \x20  reference is actually evaluated.)\n"
+    );
+
+    // --- The same query under EXISTS works everywhere --------------------
+    let wrapped = compile(
+        "SELECT * FROM R WHERE EXISTS ( SELECT * FROM (SELECT R.A, R.A FROM R) AS T )",
+        &schema,
+    )
+    .unwrap();
+    println!("Q wrapped in EXISTS: accepted by every dialect:");
+    for dialect in Dialect::ALL {
+        let t = Evaluator::new(&db).with_dialect(dialect).eval(&wrapped).unwrap();
+        println!("  {dialect:<12} → {} rows", t.len());
+    }
+
+    // --- Surface syntax: EXCEPT vs MINUS ----------------------------------
+    println!("\nEXCEPT / MINUS round trip:");
+    let diff = compile("SELECT R.A FROM R EXCEPT SELECT S.A FROM S", &schema).unwrap();
+    for dialect in Dialect::ALL {
+        println!("  {dialect:<12} prints: {}", to_sql(&diff, dialect));
+    }
+    // Oracle's spelling parses right back.
+    let reparsed = compile(&to_sql(&diff, Dialect::Oracle), &schema).unwrap();
+    assert_eq!(reparsed, diff);
+    println!("\n  …and the MINUS form re-parses to the identical query.");
+}

@@ -1,0 +1,70 @@
+//! The classic SQL null pitfalls, reproduced under the formal semantics —
+//! the paper's Example 1 and friends.
+//!
+//! Three queries that all "compute `R − S`" — and three different
+//! answers once `NULL` is involved.
+//!
+//! ```text
+//! cargo run --example null_pitfalls
+//! ```
+
+use sqlsem::{compile, table, Database, Evaluator, LogicMode, Schema, Value};
+
+fn main() {
+    let schema = Schema::builder().table("R", ["A"]).table("S", ["A"]).build().unwrap();
+    let mut db = Database::new(schema.clone());
+    db.insert("R", table! { ["A"]; [1], [Value::Null] }).unwrap();
+    db.insert("S", table! { ["A"]; [Value::Null] }).unwrap();
+
+    println!("R = {{1, NULL}}   S = {{NULL}}\n");
+
+    let variants = [
+        (
+            "NOT IN",
+            "SELECT DISTINCT R.A FROM R WHERE R.A NOT IN (SELECT S.A FROM S)",
+            "1 NOT IN (NULL) is unknown — nothing qualifies",
+        ),
+        (
+            "NOT EXISTS",
+            "SELECT DISTINCT R.A FROM R WHERE NOT EXISTS (SELECT * FROM S WHERE S.A = R.A)",
+            "S.A = R.A is unknown for every row, EXISTS is false — everything qualifies",
+        ),
+        (
+            "EXCEPT",
+            "SELECT R.A FROM R EXCEPT SELECT S.A FROM S",
+            "EXCEPT compares *syntactically*: NULL equals NULL, so only 1 survives",
+        ),
+    ];
+
+    let ev = Evaluator::new(&db);
+    for (name, sql, why) in variants {
+        let q = compile(sql, &schema).unwrap();
+        let out = ev.eval(&q).unwrap();
+        println!("== {name}\n   {sql}\n   {why}");
+        println!("{out}\n");
+    }
+
+    // The same NOT IN query under the two-valued semantics of §6 — the
+    // "fix" many programmers expect, and what the paper proves can
+    // always be emulated.
+    let q1 = compile(
+        "SELECT DISTINCT R.A FROM R WHERE R.A NOT IN (SELECT S.A FROM S)",
+        &schema,
+    )
+    .unwrap();
+    println!("== the same NOT IN under two-valued logic (§6)");
+    for (mode, label) in [
+        (LogicMode::TwoValuedConflate, "u conflated with f"),
+        (LogicMode::TwoValuedSyntacticEq, "= as syntactic equality (NULL = NULL true)"),
+    ] {
+        let out = Evaluator::new(&db).with_logic(mode).eval(&q1).unwrap();
+        println!("-- {label}:");
+        println!("{out}\n");
+    }
+
+    // One more classic: A = A does not keep NULL rows.
+    let q = compile("SELECT A FROM R WHERE A = A", &schema).unwrap();
+    let out = ev.eval(&q).unwrap();
+    println!("== WHERE A = A is not a tautology under 3VL:");
+    println!("{out}");
+}

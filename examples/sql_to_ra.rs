@@ -1,0 +1,52 @@
+//! The §5 pipeline, end to end: SQL → SQL-RA (Figure 9) → pure
+//! relational algebra (Proposition 2), with every stage evaluated and
+//! compared — Theorem 1 on display.
+//!
+//! ```text
+//! cargo run --example sql_to_ra
+//! ```
+
+use sqlsem::{compile, table, Database, Evaluator, Schema, Value};
+use sqlsem_algebra::{eliminate, translate, RaEvaluator};
+
+fn main() {
+    let schema = Schema::builder()
+        .table("R", ["A", "B"])
+        .table("S", ["A"])
+        .build()
+        .unwrap();
+    let mut db = Database::new(schema.clone());
+    db.insert("R", table! { ["A", "B"]; [1, 2], [1, 2], [Value::Null, 3] }).unwrap();
+    db.insert("S", table! { ["A"]; [1], [Value::Null] }).unwrap();
+
+    let queries = [
+        "SELECT x.A AS a FROM R x WHERE x.B IS NOT NULL",
+        "SELECT DISTINCT R.A FROM R WHERE R.A NOT IN (SELECT S.A FROM S)",
+        "SELECT x.A AS a FROM R x WHERE EXISTS (SELECT S.A FROM S WHERE S.A = x.A)",
+        "SELECT x.A AS a1, x.A AS a2 FROM R x",
+    ];
+
+    for sql in queries {
+        println!("================================================================");
+        println!("SQL:      {sql}");
+        let q = compile(sql, &schema).unwrap();
+
+        let sqlra = translate(&q, &schema).unwrap();
+        println!("SQL-RA:   {sqlra}");
+        println!("          ({} operators)", sqlra.size());
+
+        let pure = eliminate(&sqlra, &schema).unwrap();
+        assert!(pure.is_pure());
+        println!("pure RA:  {} operators after eliminating ∈/empty", pure.size());
+
+        let expected = Evaluator::new(&db).eval(&q).unwrap();
+        let via_sqlra = RaEvaluator::new(&db).eval(&sqlra).unwrap();
+        let via_pure = RaEvaluator::new(&db).eval(&pure).unwrap();
+        assert!(expected.coincides(&via_sqlra), "Proposition 1");
+        assert!(expected.coincides(&via_pure), "Proposition 2");
+
+        println!("result (identical on all three routes):");
+        println!("{expected}\n");
+    }
+    println!("Theorem 1 verified on all examples: SQL ≡ RA under bag semantics.");
+}

@@ -1,0 +1,45 @@
+//! The §6 rewriter: watch Figure 10 turn a three-valued query into a
+//! two-valued one that computes exactly the same answers (Theorem 2) —
+//! and see the size cost the paper warns about.
+//!
+//! ```text
+//! cargo run --example twovl_rewriter
+//! ```
+
+use sqlsem::{compile, table, to_sql_pretty, Database, Dialect, Evaluator, Schema, Value};
+use sqlsem_twovl::{blow_up, to_two_valued, EqInterpretation};
+
+fn main() {
+    let schema = Schema::builder().table("R", ["A"]).table("S", ["A"]).build().unwrap();
+    let mut db = Database::new(schema.clone());
+    db.insert("R", table! { ["A"]; [1], [Value::Null] }).unwrap();
+    db.insert("S", table! { ["A"]; [Value::Null], [2] }).unwrap();
+
+    let sql = "SELECT DISTINCT R.A FROM R WHERE R.A NOT IN (SELECT S.A FROM S)";
+    let q = compile(sql, &schema).unwrap();
+
+    println!("original (evaluated under 3VL):\n{}\n", to_sql_pretty(&q, Dialect::Standard));
+
+    for eq in [EqInterpretation::Conflate, EqInterpretation::Syntactic] {
+        let q2 = to_two_valued(&q, eq);
+        println!("--- rewritten for {eq:?} equality ---");
+        println!("{}\n", to_sql_pretty(&q2, Dialect::Standard));
+
+        let three = Evaluator::new(&db).eval(&q).unwrap();
+        let two = Evaluator::new(&db).with_logic(eq.logic_mode()).eval(&q2).unwrap();
+        assert!(three.coincides(&two));
+        println!("3VL answer and 2VL answer coincide:\n{three}");
+
+        let b = blow_up(&q, eq);
+        println!(
+            "size: {} → {} condition atoms, {} → {} query nodes\n",
+            b.atoms_before, b.atoms_after, b.blocks_before, b.blocks_after
+        );
+    }
+
+    println!(
+        "Theorem 2: three-valued logic adds no expressive power — but the\n\
+         rewriting is exactly the kind of case analysis the paper argues\n\
+         makes dropping 3VL impractical for legacy SQL."
+    );
+}

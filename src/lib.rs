@@ -1,0 +1,55 @@
+//! # sqlsem
+//!
+//! An executable formal semantics of basic SQL — a from-scratch Rust
+//! reproduction of Paolo Guagliardo and Leonid Libkin, *A Formal
+//! Semantics of SQL Queries, Its Validation, and Applications*,
+//! PVLDB 11(1), 2017.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`core`] — data model, annotated AST, environments, 3VL, and the
+//!   denotational semantics `⟦·⟧_{D,η,x}` of Figures 1–7;
+//! * [`parser`] — surface SQL: lexer, parser, the §2 annotation pass,
+//!   and dialect-aware printers;
+//! * [`engine`] — an independent volcano-style engine standing in for
+//!   the PostgreSQL/Oracle validation oracles of §4;
+//! * [`algebra`] — bag relational algebra, SQL-RA, and the provably
+//!   correct SQL → RA translation of §5 (Theorem 1);
+//! * [`twovl`] — the Figure 10 translations eliminating three-valued
+//!   logic (§6, Theorem 2);
+//! * [`generator`] — TPC-H-calibrated random query and data generation;
+//! * [`validation`] — the §4 differential validation harness.
+//!
+//! The most common entry points are re-exported at the top level:
+//!
+//! ```
+//! use sqlsem::{compile, table, Database, Evaluator, Schema, Value};
+//!
+//! // Example 1 from the paper: R = {1, NULL}, S = {NULL}.
+//! let schema = Schema::builder().table("R", ["A"]).table("S", ["A"]).build().unwrap();
+//! let mut db = Database::new(schema.clone());
+//! db.insert("R", table! { ["A"]; [1], [Value::Null] }).unwrap();
+//! db.insert("S", table! { ["A"]; [Value::Null] }).unwrap();
+//!
+//! let q = compile("SELECT DISTINCT R.A FROM R WHERE R.A NOT IN (SELECT S.A FROM S)", &schema)
+//!     .unwrap();
+//! assert!(Evaluator::new(&db).eval(&q).unwrap().is_empty());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use sqlsem_algebra as algebra;
+pub use sqlsem_core as core;
+pub use sqlsem_engine as engine;
+pub use sqlsem_generator as generator;
+pub use sqlsem_parser as parser;
+pub use sqlsem_twovl as twovl;
+pub use sqlsem_validation as validation;
+
+pub use sqlsem_core::{
+    row, table, CmpOp, Condition, Database, Dialect, Env, EvalError, Evaluator, FromItem,
+    FullName, LogicMode, Name, PredicateRegistry, Query, Row, Schema, SelectList, SelectQuery,
+    SetOp, Table, Term, Truth, Value,
+};
+pub use sqlsem_parser::{compile, parse_query, to_sql, to_sql_pretty};

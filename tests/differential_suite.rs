@@ -1,0 +1,96 @@
+//! A scaled-down version of every randomised experiment, run as part of
+//! the ordinary test suite so `cargo test --workspace` exercises the
+//! paper's three headline claims on every build.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sqlsem::{Dialect, Evaluator};
+use sqlsem_algebra::{eliminate, translate, RaEvaluator};
+use sqlsem_generator::{
+    is_data_manipulation, paper_schema, random_database, DataGenConfig, QueryGenConfig,
+    QueryGenerator,
+};
+use sqlsem_twovl::{to_two_valued, EqInterpretation};
+use sqlsem_validation::{run_validation, ValidationConfig};
+
+#[test]
+fn section4_validation_scaled_down() {
+    // Paper: 100,000 queries, always agreed. Here: 250 per build.
+    let schema = paper_schema();
+    let config = ValidationConfig::quick(250, 20260608);
+    let report = run_validation(&schema, &config);
+    assert!(report.all_agree(), "{report}");
+    // Sanity: the experiment exercised both success and error agreement.
+    let total: usize = report.per_dialect.iter().map(|(_, s)| s.total()).sum();
+    assert_eq!(total, 250 * 3);
+    assert!(
+        report.per_dialect.iter().any(|(_, s)| s.agree_errors > 0),
+        "no error-agreement cases generated: {report}"
+    );
+}
+
+#[test]
+fn theorem1_scaled_down() {
+    let schema = paper_schema();
+    let gen = QueryGenerator::new(&schema, QueryGenConfig::data_manipulation());
+    for i in 0..60u64 {
+        let mut rng = StdRng::seed_from_u64(0x5EC5 + i);
+        let q = gen.generate(&mut rng);
+        assert!(is_data_manipulation(&q));
+        let db = random_database(&schema, &DataGenConfig::small(), &mut rng);
+        let expected = Evaluator::new(&db).eval(&q).unwrap();
+        let pure = eliminate(&translate(&q, &schema).unwrap(), &schema).unwrap();
+        let got = RaEvaluator::new(&db).eval(&pure).unwrap();
+        assert!(expected.coincides(&got), "case {i}:\n{q}");
+    }
+}
+
+#[test]
+fn theorem2_scaled_down() {
+    let schema = paper_schema();
+    let gen = QueryGenerator::new(&schema, QueryGenConfig::small());
+    for i in 0..60u64 {
+        let mut rng = StdRng::seed_from_u64(0x5EC6 + i);
+        let q = gen.generate(&mut rng);
+        let db = random_database(&schema, &DataGenConfig::small(), &mut rng);
+        for eq in [EqInterpretation::Conflate, EqInterpretation::Syntactic] {
+            let three = Evaluator::new(&db).eval(&q);
+            let two = Evaluator::new(&db)
+                .with_logic(eq.logic_mode())
+                .eval(&to_two_valued(&q, eq));
+            match (three, two) {
+                (Ok(a), Ok(b)) => assert!(a.coincides(&b), "case {i} [{eq:?}]:\n{q}"),
+                (Err(e1), Err(e2)) => assert_eq!(e1.is_ambiguity(), e2.is_ambiguity()),
+                (a, b) => panic!("case {i} [{eq:?}]: {a:?} vs {b:?}\n{q}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn dialects_disagree_only_where_the_paper_says() {
+    // Across random queries, PostgreSQL and Oracle results either both
+    // succeed with the same table, or Oracle errors on an ambiguity
+    // PostgreSQL tolerates (Example 2's pattern). There is no query
+    // where both succeed with different tables.
+    let schema = paper_schema();
+    let gen = QueryGenerator::new(&schema, QueryGenConfig::small());
+    let mut oracle_only_errors = 0;
+    for i in 0..150u64 {
+        let mut rng = StdRng::seed_from_u64(0x5EC7 + i);
+        let q = gen.generate(&mut rng);
+        let db = random_database(&schema, &DataGenConfig::small(), &mut rng);
+        let pg = Evaluator::new(&db).with_dialect(Dialect::PostgreSql).eval(&q);
+        let ora = Evaluator::new(&db).with_dialect(Dialect::Oracle).eval(&q);
+        match (pg, ora) {
+            (Ok(a), Ok(b)) => assert!(a.coincides(&b), "case {i}:\n{q}"),
+            (Ok(_), Err(e)) => {
+                assert!(e.is_ambiguity(), "case {i}: unexpected Oracle error {e}\n{q}");
+                oracle_only_errors += 1;
+            }
+            (Err(e), _) => panic!("case {i}: PostgreSQL rejected a generated query: {e}\n{q}"),
+        }
+    }
+    assert!(oracle_only_errors > 0, "the Example 2 pattern never fired");
+}

@@ -1,0 +1,167 @@
+//! Tests for the `IS [NOT] DISTINCT FROM` extension: Definition 2's
+//! syntactic equality `≐` as standard SQL surface syntax, across every
+//! component of the repository.
+
+use sqlsem::{compile, table, Database, Dialect, Evaluator, LogicMode, Schema, Value};
+use sqlsem_algebra::{eliminate, translate, RaEvaluator};
+use sqlsem_engine::Engine;
+use sqlsem_twovl::{to_three_valued, to_two_valued, EqInterpretation};
+
+fn setup() -> (Schema, Database) {
+    let schema = Schema::builder().table("R", ["A", "B"]).build().unwrap();
+    let mut db = Database::new(schema.clone());
+    db.insert(
+        "R",
+        table! {
+            ["A", "B"];
+            [1, 1],
+            [1, 2],
+            [Value::Null, Value::Null],
+            [Value::Null, 3],
+        },
+    )
+    .unwrap();
+    (schema, db)
+}
+
+#[test]
+fn is_not_distinct_from_is_syntactic_equality() {
+    // A ≐ B: matches (1,1) and (NULL,NULL) — unlike A = B, which drops
+    // the NULL pair.
+    let (schema, db) = setup();
+    let q = compile("SELECT A, B FROM R WHERE A IS NOT DISTINCT FROM B", &schema).unwrap();
+    let out = Evaluator::new(&db).eval(&q).unwrap();
+    assert!(
+        out.coincides(&table! { ["A", "B"]; [1, 1], [Value::Null, Value::Null] }),
+        "got:\n{out}"
+    );
+
+    let eq = compile("SELECT A, B FROM R WHERE A = B", &schema).unwrap();
+    let out = Evaluator::new(&db).eval(&eq).unwrap();
+    assert!(out.coincides(&table! { ["A", "B"]; [1, 1] }), "got:\n{out}");
+}
+
+#[test]
+fn is_distinct_from_is_its_negation() {
+    let (schema, db) = setup();
+    let q = compile("SELECT A, B FROM R WHERE A IS DISTINCT FROM B", &schema).unwrap();
+    let out = Evaluator::new(&db).eval(&q).unwrap();
+    // Two-valued: every row is classified, no u limbo.
+    assert!(
+        out.coincides(&table! { ["A", "B"]; [1, 2], [Value::Null, 3] }),
+        "got:\n{out}"
+    );
+}
+
+#[test]
+fn two_valued_in_every_logic_mode() {
+    // ≐ never produces u, so all three logic modes agree on it.
+    let (schema, db) = setup();
+    let q = compile("SELECT A FROM R WHERE A IS NOT DISTINCT FROM B", &schema).unwrap();
+    let base = Evaluator::new(&db).eval(&q).unwrap();
+    for mode in LogicMode::ALL {
+        let out = Evaluator::new(&db).with_logic(mode).eval(&q).unwrap();
+        assert!(base.coincides(&out), "mode {mode}");
+    }
+}
+
+#[test]
+fn engine_agrees() {
+    let (schema, db) = setup();
+    for sql in [
+        "SELECT A, B FROM R WHERE A IS NOT DISTINCT FROM B",
+        "SELECT A, B FROM R WHERE A IS DISTINCT FROM B",
+        "SELECT A FROM R WHERE NOT (A IS DISTINCT FROM 1)",
+        "SELECT A FROM R WHERE A IS NOT DISTINCT FROM NULL",
+    ] {
+        let q = compile(sql, &schema).unwrap();
+        for dialect in Dialect::ALL {
+            let reference = Evaluator::new(&db).with_dialect(dialect).eval(&q).unwrap();
+            let engine = Engine::new(&db).with_dialect(dialect).execute(&q).unwrap();
+            assert!(reference.coincides(&engine), "{sql} [{dialect}]");
+        }
+    }
+}
+
+#[test]
+fn parser_roundtrip() {
+    let (schema, _) = setup();
+    for sql in [
+        "SELECT A FROM R WHERE A IS NOT DISTINCT FROM B",
+        "SELECT A FROM R WHERE A IS DISTINCT FROM 3 AND B IS NOT DISTINCT FROM NULL",
+    ] {
+        let q = compile(sql, &schema).unwrap();
+        for dialect in Dialect::ALL {
+            let printed = sqlsem::to_sql(&q, dialect);
+            let back = compile(&printed, &schema).unwrap();
+            assert_eq!(back, q, "{sql} via {printed}");
+        }
+    }
+}
+
+#[test]
+fn translates_to_relational_algebra() {
+    // The ≐ encoding of Definition 2 flows through translate/eliminate.
+    let (schema, db) = setup();
+    let q = compile(
+        "SELECT x.A AS a FROM R x WHERE x.A IS NOT DISTINCT FROM x.B",
+        &schema,
+    )
+    .unwrap();
+    let expected = Evaluator::new(&db).eval(&q).unwrap();
+    let sqlra = translate(&q, &schema).unwrap();
+    let via_sqlra = RaEvaluator::new(&db).eval(&sqlra).unwrap();
+    assert!(expected.coincides(&via_sqlra));
+    let pure = eliminate(&sqlra, &schema).unwrap();
+    assert!(pure.is_pure());
+    let via_pure = RaEvaluator::new(&db).eval(&pure).unwrap();
+    assert!(expected.coincides(&via_pure));
+}
+
+#[test]
+fn survives_the_twovl_translations() {
+    let (schema, db) = setup();
+    let q = compile(
+        "SELECT A FROM R WHERE A IS DISTINCT FROM B OR A = 1",
+        &schema,
+    )
+    .unwrap();
+    for eq in [EqInterpretation::Conflate, EqInterpretation::Syntactic] {
+        let three = Evaluator::new(&db).eval(&q).unwrap();
+        let q2 = to_two_valued(&q, eq);
+        let two = Evaluator::new(&db).with_logic(eq.logic_mode()).eval(&q2).unwrap();
+        assert!(three.coincides(&two), "[{eq:?}] forward");
+
+        let two_direct = Evaluator::new(&db).with_logic(eq.logic_mode()).eval(&q).unwrap();
+        let q3 = to_three_valued(&q, eq);
+        let back = Evaluator::new(&db).eval(&q3).unwrap();
+        assert!(two_direct.coincides(&back), "[{eq:?}] backward");
+    }
+}
+
+#[test]
+fn under_not_it_stays_classical() {
+    // NOT (A IS DISTINCT FROM B) ≡ A IS NOT DISTINCT FROM B — genuine
+    // two-valued negation, no u to lose rows to.
+    let (schema, db) = setup();
+    let a = compile("SELECT A FROM R WHERE NOT (A IS DISTINCT FROM B)", &schema).unwrap();
+    let b = compile("SELECT A FROM R WHERE A IS NOT DISTINCT FROM B", &schema).unwrap();
+    let ev = Evaluator::new(&db);
+    assert!(ev.eval(&a).unwrap().coincides(&ev.eval(&b).unwrap()));
+}
+
+#[test]
+fn equivalent_to_the_definition2_encoding() {
+    // t₁ ≐ t₂ ⇔ (t₁ = t₂ AND t₁ IS NOT NULL AND t₂ IS NOT NULL)
+    //           OR (t₁ IS NULL AND t₂ IS NULL).
+    let (schema, db) = setup();
+    let sugar = compile("SELECT A FROM R WHERE A IS NOT DISTINCT FROM B", &schema).unwrap();
+    let encoded = compile(
+        "SELECT A FROM R WHERE (A = B AND A IS NOT NULL AND B IS NOT NULL) \
+         OR (A IS NULL AND B IS NULL)",
+        &schema,
+    )
+    .unwrap();
+    let ev = Evaluator::new(&db);
+    assert!(ev.eval(&sugar).unwrap().coincides(&ev.eval(&encoded).unwrap()));
+}

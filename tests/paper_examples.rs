@@ -1,0 +1,182 @@
+//! Golden tests for every worked example in the paper.
+
+use sqlsem::{compile, table, Database, Dialect, Evaluator, Schema, Value};
+use sqlsem_engine::Engine;
+
+/// Example 1's database: R = {1, NULL}, S = {NULL}.
+fn example1_db() -> (Schema, Database) {
+    let schema = Schema::builder().table("R", ["A"]).table("S", ["A"]).build().unwrap();
+    let mut db = Database::new(schema.clone());
+    db.insert("R", table! { ["A"]; [1], [Value::Null] }).unwrap();
+    db.insert("S", table! { ["A"]; [Value::Null] }).unwrap();
+    (schema, db)
+}
+
+#[test]
+fn example1_results_match_the_paper() {
+    // "Q1(D) = ∅, Q2(D) = {1, NULL} and Q3(D) = {1}."
+    let (schema, db) = example1_db();
+    let q1 = compile("SELECT DISTINCT R.A FROM R WHERE R.A NOT IN (SELECT S.A FROM S)", &schema)
+        .unwrap();
+    let q2 = compile(
+        "SELECT DISTINCT R.A FROM R WHERE NOT EXISTS (SELECT * FROM S WHERE S.A = R.A)",
+        &schema,
+    )
+    .unwrap();
+    let q3 = compile("SELECT R.A FROM R EXCEPT SELECT S.A FROM S", &schema).unwrap();
+
+    for dialect in Dialect::ALL {
+        let ev = Evaluator::new(&db).with_dialect(dialect);
+        assert!(ev.eval(&q1).unwrap().is_empty(), "Q1 [{dialect}]");
+        assert!(
+            ev.eval(&q2).unwrap().coincides(&table! { ["A"]; [1], [Value::Null] }),
+            "Q2 [{dialect}]"
+        );
+        assert!(ev.eval(&q3).unwrap().coincides(&table! { ["A"]; [1] }), "Q3 [{dialect}]");
+
+        // The independent engine agrees on all three.
+        let en = Engine::new(&db).with_dialect(dialect);
+        assert!(en.execute(&q1).unwrap().is_empty());
+        assert_eq!(en.execute(&q2).unwrap().len(), 2);
+        assert_eq!(en.execute(&q3).unwrap().len(), 1);
+    }
+}
+
+#[test]
+fn example2_standalone_query_is_dialect_dependent() {
+    // "This will be accepted by PostgreSQL, but it will result in a
+    // compile-time error in some of the commercial RDBMSs."
+    let schema = Schema::builder().table("R", ["A"]).build().unwrap();
+    let mut db = Database::new(schema.clone());
+    db.insert("R", table! { ["A"]; [7] }).unwrap();
+    let q = compile("SELECT * FROM (SELECT R.A, R.A FROM R) AS T", &schema).unwrap();
+
+    // PostgreSQL: fine, returns the duplicated column.
+    let pg = Evaluator::new(&db).with_dialect(Dialect::PostgreSql).eval(&q).unwrap();
+    assert!(pg.coincides(&table! { ["A", "A"]; [7, 7] }));
+    // Oracle: ambiguity error.
+    assert!(Evaluator::new(&db).with_dialect(Dialect::Oracle).eval(&q).unwrap_err().is_ambiguity());
+    // Standard semantics: error surfaces at evaluation.
+    assert!(Evaluator::new(&db).eval(&q).unwrap_err().is_ambiguity());
+}
+
+#[test]
+fn example2_under_exists_works_everywhere() {
+    // "then suddenly it is fine, even with RDBMSs where the subquery
+    // alone refused to compile" — and it outputs R whenever R is
+    // nonempty.
+    let schema = Schema::builder().table("R", ["A"]).build().unwrap();
+    let mut db = Database::new(schema.clone());
+    db.insert("R", table! { ["A"]; [7], [8] }).unwrap();
+    let q = compile(
+        "SELECT * FROM R WHERE EXISTS ( SELECT * FROM (SELECT R.A, R.A FROM R) AS T )",
+        &schema,
+    )
+    .unwrap();
+    for dialect in Dialect::ALL {
+        let out = Evaluator::new(&db).with_dialect(dialect).eval(&q).unwrap();
+        assert!(out.coincides(&table! { ["A"]; [7], [8] }), "[{dialect}]");
+        let out = Engine::new(&db).with_dialect(dialect).execute(&q).unwrap();
+        assert!(out.coincides(&table! { ["A"]; [7], [8] }), "engine [{dialect}]");
+    }
+}
+
+#[test]
+fn section2_annotation_example() {
+    // The paper's worked annotation (§2).
+    let schema = Schema::builder().table("R", ["A"]).table("T", ["A", "B"]).build().unwrap();
+    let q = compile("SELECT A, B AS C FROM R, (SELECT B FROM T) AS U WHERE A = B", &schema)
+        .unwrap();
+    assert_eq!(
+        q.to_string(),
+        "SELECT R.A AS A, U.B AS C FROM R AS R, (SELECT T.B AS B FROM T AS T) AS U \
+         WHERE R.A = U.B"
+    );
+}
+
+#[test]
+fn section3_star_signature_example() {
+    // "for Q = SELECT * FROM R,S on a schema with R(A,B) and S(A,C), we
+    // have ℓ(Q) = (A, B, A, C)."
+    let schema =
+        Schema::builder().table("R", ["A", "B"]).table("S", ["A", "C"]).build().unwrap();
+    let q = compile("SELECT * FROM R, S", &schema).unwrap();
+    let sig = sqlsem::core::sig::output_columns(&q, &schema).unwrap();
+    let names: Vec<&str> = sig.iter().map(|n| n.as_str()).collect();
+    assert_eq!(names, vec!["A", "B", "A", "C"]);
+}
+
+#[test]
+fn figure5_projection_example() {
+    // "for a base table R(A,B) with R^D = {(a,b),(a,c)} we get
+    // ⟦π_A(R)⟧_D = {a, a}" — bag projection keeps duplicates.
+    use sqlsem_algebra::{RaEvaluator, RaExpr};
+    let schema = Schema::builder().table("R", ["A", "B"]).build().unwrap();
+    let mut db = Database::new(schema);
+    db.insert("R", table! { ["A", "B"]; [0, 1], [0, 2] }).unwrap();
+    let out = RaEvaluator::new(&db)
+        .eval(&RaExpr::Base(sqlsem::Name::new("R")).project(["A"]))
+        .unwrap();
+    assert!(out.multiset_eq(&table! { ["A"]; [0], [0] }));
+}
+
+#[test]
+fn section5_worked_ra_translations() {
+    // The Q1–Q3 algebra expressions at the end of §5, built from the
+    // gadgets. Note the erratum documented in ex1_difference: the paper
+    // swaps the conditions of Q1 and Q2; these are the semantically
+    // correct pairings, reproducing the paper's own expected answers.
+    use sqlsem_algebra::{syntactic_antijoin, NameGen, RaCond, RaEvaluator, RaExpr, RaTerm};
+    let (_, db) = example1_db();
+    let r1 = RaExpr::Base(sqlsem::Name::new("R")).rename(["B"]);
+    let s1 = RaExpr::Base(sqlsem::Name::new("S")).rename(["C"]);
+    let mut gen = NameGen::avoiding(
+        ["A", "B", "C"].into_iter().map(sqlsem::Name::new),
+    );
+
+    let not_f = RaCond::eq(RaTerm::name("B"), RaTerm::name("C"))
+        .or(RaCond::Null(RaTerm::name("B")))
+        .or(RaCond::Null(RaTerm::name("C")));
+    let q1 = syntactic_antijoin(
+        r1.clone().dedup(),
+        r1.clone().product(s1.clone()).select(not_f),
+        db.schema(),
+        &mut gen,
+    )
+    .unwrap()
+    .rename(["A"]);
+    let q2 = syntactic_antijoin(
+        r1.clone().dedup(),
+        r1.clone().product(s1.clone()).select(RaCond::eq(RaTerm::name("B"), RaTerm::name("C"))),
+        db.schema(),
+        &mut gen,
+    )
+    .unwrap()
+    .rename(["A"]);
+    let q3 = RaExpr::Base(sqlsem::Name::new("R"))
+        .dedup()
+        .diff(RaExpr::Base(sqlsem::Name::new("S")));
+
+    let ra = RaEvaluator::new(&db);
+    assert!(ra.eval(&q1).unwrap().is_empty());
+    assert!(ra.eval(&q2).unwrap().coincides(&table! { ["A"]; [1], [Value::Null] }));
+    assert!(ra.eval(&q3).unwrap().coincides(&table! { ["A"]; [1] }));
+}
+
+#[test]
+fn figure1_truth_tables_golden() {
+    use sqlsem::Truth;
+    let t = Truth::True;
+    let f = Truth::False;
+    let u = Truth::Unknown;
+    // ∧ rows (t, f, u):
+    assert_eq!([t.and(t), t.and(f), t.and(u)], [t, f, u]);
+    assert_eq!([f.and(t), f.and(f), f.and(u)], [f, f, f]);
+    assert_eq!([u.and(t), u.and(f), u.and(u)], [u, f, u]);
+    // ∨ rows:
+    assert_eq!([t.or(t), t.or(f), t.or(u)], [t, t, t]);
+    assert_eq!([f.or(t), f.or(f), f.or(u)], [t, f, u]);
+    assert_eq!([u.or(t), u.or(f), u.or(u)], [t, u, u]);
+    // ¬:
+    assert_eq!([t.not(), f.not(), u.not()], [f, t, u]);
+}

