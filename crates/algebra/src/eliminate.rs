@@ -99,10 +99,9 @@ pub fn twovalify(expr: &RaExpr, schema: &Schema, gen: &mut NameGen) -> Result<Ra
             Box::new(twovalify(a, schema, gen)?),
             Box::new(twovalify(b, schema, gen)?),
         ),
-        RaExpr::Diff(a, b) => RaExpr::Diff(
-            Box::new(twovalify(a, schema, gen)?),
-            Box::new(twovalify(b, schema, gen)?),
-        ),
+        RaExpr::Diff(a, b) => {
+            RaExpr::Diff(Box::new(twovalify(a, schema, gen)?), Box::new(twovalify(b, schema, gen)?))
+        }
         RaExpr::Rename { input, to } => {
             RaExpr::Rename { input: Box::new(twovalify(input, schema, gen)?), to: to.clone() }
         }
@@ -117,20 +116,16 @@ fn cond_t(cond: &RaCond, schema: &Schema, gen: &mut NameGen) -> Result<RaCond, E
         RaCond::False => RaCond::False,
         // P(t̄)ᵗ = P(t̄) ∧ ⋀ᵢ const(tᵢ): with a NULL argument the predicate
         // is u but the const-guard is f, so the conjunction is f.
-        RaCond::Cmp { left, op, right } => RaCond::Cmp {
-            left: left.clone(),
-            op: *op,
-            right: right.clone(),
+        RaCond::Cmp { left, op, right } => {
+            RaCond::Cmp { left: left.clone(), op: *op, right: right.clone() }
+                .and(RaCond::IsConst(left.clone()))
+                .and(RaCond::IsConst(right.clone()))
         }
-        .and(RaCond::IsConst(left.clone()))
-        .and(RaCond::IsConst(right.clone())),
-        RaCond::Like { term, pattern, negated } => RaCond::Like {
-            term: term.clone(),
-            pattern: pattern.clone(),
-            negated: *negated,
+        RaCond::Like { term, pattern, negated } => {
+            RaCond::Like { term: term.clone(), pattern: pattern.clone(), negated: *negated }
+                .and(RaCond::IsConst(term.clone()))
+                .and(RaCond::IsConst(pattern.clone()))
         }
-        .and(RaCond::IsConst(term.clone()))
-        .and(RaCond::IsConst(pattern.clone())),
         RaCond::Pred { name, args } => {
             let guards = RaCond::all(args.iter().map(|a| RaCond::IsConst(a.clone())));
             RaCond::Pred { name: name.clone(), args: args.clone() }.and(guards)
@@ -150,20 +145,16 @@ fn cond_f(cond: &RaCond, schema: &Schema, gen: &mut NameGen) -> Result<RaCond, E
     Ok(match cond {
         RaCond::True => RaCond::False,
         RaCond::False => RaCond::True,
-        RaCond::Cmp { left, op, right } => RaCond::Cmp {
-            left: left.clone(),
-            op: op.negated(),
-            right: right.clone(),
+        RaCond::Cmp { left, op, right } => {
+            RaCond::Cmp { left: left.clone(), op: op.negated(), right: right.clone() }
+                .and(RaCond::IsConst(left.clone()))
+                .and(RaCond::IsConst(right.clone()))
         }
-        .and(RaCond::IsConst(left.clone()))
-        .and(RaCond::IsConst(right.clone())),
-        RaCond::Like { term, pattern, negated } => RaCond::Like {
-            term: term.clone(),
-            pattern: pattern.clone(),
-            negated: !*negated,
+        RaCond::Like { term, pattern, negated } => {
+            RaCond::Like { term: term.clone(), pattern: pattern.clone(), negated: !*negated }
+                .and(RaCond::IsConst(term.clone()))
+                .and(RaCond::IsConst(pattern.clone()))
         }
-        .and(RaCond::IsConst(term.clone()))
-        .and(RaCond::IsConst(pattern.clone())),
         RaCond::Pred { name, args } => {
             let guards = RaCond::all(args.iter().map(|a| RaCond::IsConst(a.clone())));
             RaCond::Pred { name: name.clone(), args: args.clone() }.not().and(guards)
@@ -191,9 +182,7 @@ fn in_translation(
     let sig = signature(&inner, schema)?;
     if sig.len() != terms.len() {
         return Err(EvalError::ArityMismatch {
-            context: "∈",
-            left: terms.len(),
-            right: sig.len(),
+            context: "∈", left: terms.len(), right: sig.len()
         });
     }
     // Rename the subquery's output to fresh names to avoid capturing the
@@ -258,10 +247,9 @@ pub fn decorrelate(expr: &RaExpr, schema: &Schema, gen: &mut NameGen) -> Result<
             Box::new(decorrelate(a, schema, gen)?),
             Box::new(decorrelate(b, schema, gen)?),
         ),
-        RaExpr::Rename { input, to } => RaExpr::Rename {
-            input: Box::new(decorrelate(input, schema, gen)?),
-            to: to.clone(),
-        },
+        RaExpr::Rename { input, to } => {
+            RaExpr::Rename { input: Box::new(decorrelate(input, schema, gen)?), to: to.clone() }
+        }
         RaExpr::Dedup(input) => RaExpr::Dedup(Box::new(decorrelate(input, schema, gen)?)),
     })
 }
@@ -317,9 +305,9 @@ fn filter(
             let non_empty = filter_non_empty(w.clone(), e, schema, gen)?;
             Ok(w.diff(non_empty))
         }
-        RaCond::In { .. } => Err(EvalError::malformed(
-            "∈ must be eliminated by twovalify before decorrelation",
-        )),
+        RaCond::In { .. } => {
+            Err(EvalError::malformed("∈ must be eliminated by twovalify before decorrelation"))
+        }
         // has_subquery returned true, so one of the above matched.
         _ => unreachable!("atoms without subqueries are handled eagerly"),
     }
@@ -343,8 +331,7 @@ fn filter_non_empty(
     }
     // Join on the parameters; or, if E is uncorrelated, on an arbitrary
     // column of W (any binding then stands for "E is nonempty at all").
-    let join_cols: Vec<Name> =
-        if free.is_empty() { vec![w_sig[0].clone()] } else { free.clone() };
+    let join_cols: Vec<Name> = if free.is_empty() { vec![w_sig[0].clone()] } else { free.clone() };
     let hatted: Vec<(Name, Name)> =
         join_cols.iter().map(|c| (c.clone(), gen.fresh(c.as_str()))).collect();
     let hat_names: Vec<Name> = hatted.iter().map(|(_, h)| h.clone()).collect();
@@ -369,9 +356,7 @@ fn filter_non_empty(
     // Syntactic semijoin of W against the non-empty bindings: each W row
     // matches at most one binding row, so multiplicities are preserved.
     let join_cond = RaCond::all(
-        hatted
-            .iter()
-            .map(|(o, h)| syntactic_eq(RaTerm::Name(o.clone()), RaTerm::Name(h.clone()))),
+        hatted.iter().map(|(o, h)| syntactic_eq(RaTerm::Name(o.clone()), RaTerm::Name(h.clone()))),
     );
     Ok(w.product(non_empty_bindings).select(join_cond).project(w_sig))
 }
@@ -457,12 +442,8 @@ fn substitute_cond(
         }
         RaCond::Null(t) => RaCond::Null(term(t)),
         RaCond::IsConst(t) => RaCond::IsConst(term(t)),
-        RaCond::And(a, b) => {
-            substitute_cond(a, map, schema)?.and(substitute_cond(b, map, schema)?)
-        }
-        RaCond::Or(a, b) => {
-            substitute_cond(a, map, schema)?.or(substitute_cond(b, map, schema)?)
-        }
+        RaCond::And(a, b) => substitute_cond(a, map, schema)?.and(substitute_cond(b, map, schema)?),
+        RaCond::Or(a, b) => substitute_cond(a, map, schema)?.or(substitute_cond(b, map, schema)?),
         RaCond::Not(c) => substitute_cond(c, map, schema)?.not(),
         RaCond::Empty(e) => RaCond::Empty(Box::new(substitute(e, map, schema)?)),
         RaCond::In { terms, expr } => RaCond::In {
@@ -513,19 +494,24 @@ fn lift(
             let mut lb_renamed_sig = hats2.clone();
             lb_renamed_sig.extend(b_sig.iter().cloned());
             let lb_renamed = lb.rename(lb_renamed_sig);
-            let join_cond = RaCond::all(u_sig.iter().zip(&hats2).map(|(o, h)| {
-                syntactic_eq(RaTerm::Name(o.clone()), RaTerm::Name(h.clone()))
-            }));
+            let join_cond = RaCond::all(
+                u_sig
+                    .iter()
+                    .zip(&hats2)
+                    .map(|(o, h)| syntactic_eq(RaTerm::Name(o.clone()), RaTerm::Name(h.clone()))),
+            );
             let a_sig = signature(a, schema)?;
             let mut keep = u_sig.to_vec();
             keep.extend(a_sig);
             keep.extend(b_sig);
             la.product(lb_renamed).select(join_cond).project(keep)
         }
-        RaExpr::Union(a, b) => lift(a, u.clone(), u_sig, schema, gen)?
-            .union(lift(b, u, u_sig, schema, gen)?),
-        RaExpr::Inter(a, b) => lift(a, u.clone(), u_sig, schema, gen)?
-            .intersect(lift(b, u, u_sig, schema, gen)?),
+        RaExpr::Union(a, b) => {
+            lift(a, u.clone(), u_sig, schema, gen)?.union(lift(b, u, u_sig, schema, gen)?)
+        }
+        RaExpr::Inter(a, b) => {
+            lift(a, u.clone(), u_sig, schema, gen)?.intersect(lift(b, u, u_sig, schema, gen)?)
+        }
         RaExpr::Diff(a, b) => {
             lift(a, u.clone(), u_sig, schema, gen)?.diff(lift(b, u, u_sig, schema, gen)?)
         }
@@ -595,21 +581,15 @@ mod tests {
 
     #[test]
     fn correlated_exists_decorrelates() {
-        check_pipeline(
-            "SELECT A FROM S WHERE EXISTS (SELECT y.A FROM R y WHERE y.A = S.A)",
-        );
-        check_pipeline(
-            "SELECT A FROM S WHERE NOT EXISTS (SELECT y.A FROM R y WHERE y.A = S.A)",
-        );
+        check_pipeline("SELECT A FROM S WHERE EXISTS (SELECT y.A FROM R y WHERE y.A = S.A)");
+        check_pipeline("SELECT A FROM S WHERE NOT EXISTS (SELECT y.A FROM R y WHERE y.A = S.A)");
     }
 
     #[test]
     fn in_and_not_in_eliminate() {
         check_pipeline("SELECT A FROM S WHERE A IN (SELECT y.A FROM R y)");
         check_pipeline("SELECT A FROM S WHERE A NOT IN (SELECT y.A FROM R y)");
-        check_pipeline(
-            "SELECT x.A AS a FROM R x WHERE (x.A, x.B) IN (SELECT y.A, y.B FROM R y)",
-        );
+        check_pipeline("SELECT x.A AS a FROM R x WHERE (x.A, x.B) IN (SELECT y.A, y.B FROM R y)");
         check_pipeline(
             "SELECT x.A AS a FROM R x WHERE (x.A, x.B) NOT IN (SELECT y.A, y.B FROM R y)",
         );
@@ -624,11 +604,8 @@ mod tests {
         let mut db = Database::new(schema.clone());
         db.insert("R", table! { ["A", "B"]; [1, 0], [Value::Null, 0] }).unwrap();
         db.insert("S", table! { ["A"]; [Value::Null] }).unwrap();
-        let q = compile(
-            "SELECT DISTINCT R.A FROM R WHERE R.A NOT IN (SELECT S.A FROM S)",
-            &schema,
-        )
-        .unwrap();
+        let q = compile("SELECT DISTINCT R.A FROM R WHERE R.A NOT IN (SELECT S.A FROM S)", &schema)
+            .unwrap();
         let expected = Evaluator::new(&db).eval(&q).unwrap();
         assert!(expected.is_empty());
         let pure = eliminate(&translate(&q, &schema).unwrap(), &schema).unwrap();
@@ -638,12 +615,8 @@ mod tests {
 
     #[test]
     fn boolean_combinations_of_subqueries() {
-        check_pipeline(
-            "SELECT A FROM S WHERE A IN (SELECT y.A FROM R y) OR A IS NULL",
-        );
-        check_pipeline(
-            "SELECT A FROM S WHERE NOT (A IN (SELECT y.A FROM R y) AND A = 1)",
-        );
+        check_pipeline("SELECT A FROM S WHERE A IN (SELECT y.A FROM R y) OR A IS NULL");
+        check_pipeline("SELECT A FROM S WHERE NOT (A IN (SELECT y.A FROM R y) AND A = 1)");
         check_pipeline(
             "SELECT A FROM S WHERE EXISTS (SELECT y.A FROM R y WHERE y.A = S.A) \
              OR A IN (SELECT z.B AS b FROM R z)",

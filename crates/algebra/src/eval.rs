@@ -209,9 +209,7 @@ impl<'a> RaEvaluator<'a> {
     pub fn eval_term(&self, term: &RaTerm, env: &RaEnv) -> Result<Value, EvalError> {
         match term {
             RaTerm::Const(v) => Ok(v.clone()),
-            RaTerm::Name(n) => {
-                env.get(n).cloned().ok_or_else(|| EvalError::UnboundName(n.clone()))
-            }
+            RaTerm::Name(n) => env.get(n).cloned().ok_or_else(|| EvalError::UnboundName(n.clone())),
         }
     }
 }
@@ -261,7 +259,8 @@ mod tests {
     #[test]
     fn null_and_const_are_two_valued() {
         let dbv = db();
-        let out = RaEvaluator::new(&dbv).eval(&r().select(RaCond::Null(RaTerm::name("A")))).unwrap();
+        let out =
+            RaEvaluator::new(&dbv).eval(&r().select(RaCond::Null(RaTerm::name("A")))).unwrap();
         assert_eq!(out.len(), 1);
         let out =
             RaEvaluator::new(&dbv).eval(&r().select(RaCond::IsConst(RaTerm::name("A")))).unwrap();
@@ -308,7 +307,7 @@ mod tests {
     }
 
     #[test]
-    fn selection_env_overrides_outer(){
+    fn selection_env_overrides_outer() {
         // σ with a parameter: the inner row binding shadows the outer η
         // on the same name, as in η;η^a̅.
         let dbv = db();

@@ -368,9 +368,7 @@ pub fn signature(expr: &RaExpr, schema: &Schema) -> Result<Vec<Name>, EvalError>
             let sb = signature(b, schema)?;
             for n in &sb {
                 if sa.contains(n) {
-                    return Err(EvalError::malformed(format!(
-                        "× operands share attribute {n}"
-                    )));
+                    return Err(EvalError::malformed(format!("× operands share attribute {n}")));
                 }
             }
             let mut out = sa;
@@ -491,7 +489,10 @@ mod tests {
 
     #[test]
     fn base_signature_comes_from_schema() {
-        assert_eq!(signature(&RaExpr::Base(Name::new("R")), &schema()).unwrap(), names(&["A", "B"]));
+        assert_eq!(
+            signature(&RaExpr::Base(Name::new("R")), &schema()).unwrap(),
+            names(&["A", "B"])
+        );
         assert!(matches!(
             signature(&RaExpr::Base(Name::new("Z")), &schema()),
             Err(EvalError::UnknownTable(_))
@@ -511,10 +512,7 @@ mod tests {
     fn product_requires_disjoint_signatures() {
         let r = RaExpr::Base(Name::new("R"));
         let s = RaExpr::Base(Name::new("S"));
-        assert_eq!(
-            signature(&r.clone().product(s), &schema()).unwrap(),
-            names(&["A", "B", "C"])
-        );
+        assert_eq!(signature(&r.clone().product(s), &schema()).unwrap(), names(&["A", "B", "C"]));
         assert!(signature(&r.clone().product(r), &schema()).is_err());
     }
 
@@ -531,7 +529,10 @@ mod tests {
     #[test]
     fn rename_checks_arity_and_repetition() {
         let r = RaExpr::Base(Name::new("R"));
-        assert_eq!(signature(&r.clone().rename(["X", "Y"]), &schema()).unwrap(), names(&["X", "Y"]));
+        assert_eq!(
+            signature(&r.clone().rename(["X", "Y"]), &schema()).unwrap(),
+            names(&["X", "Y"])
+        );
         assert!(signature(&r.clone().rename(["X"]), &schema()).is_err());
         assert!(signature(&r.rename(["X", "X"]), &schema()).is_err());
     }

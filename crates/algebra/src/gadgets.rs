@@ -64,10 +64,7 @@ pub fn collect_names(expr: &RaExpr, out: &mut HashSet<Name>) {
             collect_cond_names(cond, out);
             collect_names(input, out);
         }
-        RaExpr::Product(a, b)
-        | RaExpr::Union(a, b)
-        | RaExpr::Inter(a, b)
-        | RaExpr::Diff(a, b) => {
+        RaExpr::Product(a, b) | RaExpr::Union(a, b) | RaExpr::Inter(a, b) | RaExpr::Diff(a, b) => {
             collect_names(a, out);
             collect_names(b, out);
         }
@@ -150,15 +147,13 @@ pub fn syntactic_natural_join(
         })
         .collect();
     let e2r = e2.rename(renamed.iter().map(|(_, fresh)| fresh.clone()).collect::<Vec<_>>());
-    let join_cond = RaCond::all(renamed.iter().filter(|(orig, fresh)| orig != fresh).map(
-        |(orig, fresh)| syntactic_eq(RaTerm::Name(orig.clone()), RaTerm::Name(fresh.clone())),
-    ));
+    let join_cond =
+        RaCond::all(renamed.iter().filter(|(orig, fresh)| orig != fresh).map(|(orig, fresh)| {
+            syntactic_eq(RaTerm::Name(orig.clone()), RaTerm::Name(fresh.clone()))
+        }));
     // Keep ℓ(E₁) then e2's private attributes.
-    let keep: Vec<Name> = sig1
-        .iter()
-        .cloned()
-        .chain(sig2.iter().filter(|n| !common.contains(n)).cloned())
-        .collect();
+    let keep: Vec<Name> =
+        sig1.iter().cloned().chain(sig2.iter().filter(|n| !common.contains(n)).cloned()).collect();
     Ok(e1.product(e2r).select(join_cond).project(keep))
 }
 
@@ -259,7 +254,8 @@ mod tests {
     use sqlsem_core::{row, table, Database, Value};
 
     fn db() -> Database {
-        let schema = Schema::builder().table("R", ["A", "B"]).table("S", ["B", "C"]).build().unwrap();
+        let schema =
+            Schema::builder().table("R", ["A", "B"]).table("S", ["B", "C"]).build().unwrap();
         let mut db = Database::new(schema);
         db.insert("R", table! { ["A", "B"]; [1, 2], [1, 2], [3, Value::Null] }).unwrap();
         db.insert("S", table! { ["B", "C"]; [2, 7], [Value::Null, 8] }).unwrap();
@@ -306,8 +302,10 @@ mod tests {
         let join = syntactic_natural_join(r(), s(), dbv.schema(), &mut gen).unwrap();
         let out = RaEvaluator::new(&dbv).eval(&join).unwrap();
         // (1,2)×2 joins (2,7); (3,NULL) joins (NULL,8) *syntactically*.
-        assert!(out.multiset_eq(&table! { ["A", "B", "C"]; [1, 2, 7], [1, 2, 7], [3, Value::Null, 8] }),
-            "got:\n{out}");
+        assert!(
+            out.multiset_eq(&table! { ["A", "B", "C"]; [1, 2, 7], [1, 2, 7], [3, Value::Null, 8] }),
+            "got:\n{out}"
+        );
     }
 
     #[test]
@@ -360,8 +358,10 @@ mod tests {
         )
         .unwrap();
         let out = RaEvaluator::new(&dbv).eval(&e).unwrap();
-        assert!(out.coincides(&table! { ["X", "Y"]; [2, 1], [2, 1], [Value::Null, 3] }),
-            "got:\n{out}");
+        assert!(
+            out.coincides(&table! { ["X", "Y"]; [2, 1], [2, 1], [Value::Null, 3] }),
+            "got:\n{out}"
+        );
     }
 
     #[test]

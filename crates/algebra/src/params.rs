@@ -42,10 +42,7 @@ pub fn params(expr: &RaExpr, schema: &Schema) -> Result<HashSet<Name>, EvalError
             out.extend(cond_params(cond, &bound, schema)?);
             Ok(out)
         }
-        RaExpr::Product(a, b)
-        | RaExpr::Union(a, b)
-        | RaExpr::Inter(a, b)
-        | RaExpr::Diff(a, b) => {
+        RaExpr::Product(a, b) | RaExpr::Union(a, b) | RaExpr::Inter(a, b) | RaExpr::Diff(a, b) => {
             let mut out = params(a, schema)?;
             out.extend(params(b, schema)?);
             Ok(out)
@@ -91,12 +88,7 @@ fn term_names<'a>(
     terms: impl IntoIterator<Item = &'a RaTerm>,
     bound: &HashSet<Name>,
 ) -> HashSet<Name> {
-    terms
-        .into_iter()
-        .filter_map(RaTerm::as_name)
-        .filter(|n| !bound.contains(*n))
-        .cloned()
-        .collect()
+    terms.into_iter().filter_map(RaTerm::as_name).filter(|n| !bound.contains(*n)).cloned().collect()
 }
 
 /// `true` iff the expression is an SQL-RA *query*: `param(E) = ∅`.
@@ -131,7 +123,8 @@ mod tests {
 
     #[test]
     fn free_names_in_conditions_are_params() {
-        let e = RaExpr::Base(Name::new("R")).select(RaCond::eq(RaTerm::name("A"), RaTerm::name("X")));
+        let e =
+            RaExpr::Base(Name::new("R")).select(RaCond::eq(RaTerm::name("A"), RaTerm::name("X")));
         assert_eq!(params(&e, &schema()).unwrap(), set(&["X"]));
     }
 
@@ -139,8 +132,8 @@ mod tests {
     fn empty_subtracts_local_scope() {
         // empty(σ_{C = A}(S)) inside a σ over R: A is bound by R, so the
         // whole thing is closed.
-        let inner = RaExpr::Base(Name::new("S"))
-            .select(RaCond::eq(RaTerm::name("C"), RaTerm::name("A")));
+        let inner =
+            RaExpr::Base(Name::new("S")).select(RaCond::eq(RaTerm::name("C"), RaTerm::name("A")));
         let outer = RaExpr::Base(Name::new("R")).select(RaCond::Empty(Box::new(inner.clone())));
         assert_eq!(params(&outer, &schema()).unwrap(), set(&[]));
         // The inner expression alone has the parameter A.
@@ -161,8 +154,8 @@ mod tests {
     fn selection_inherits_input_params() {
         // The paper's definition (with the typo fixed): σ over a
         // parameterised input keeps the input's parameters.
-        let inner = RaExpr::Base(Name::new("S"))
-            .select(RaCond::eq(RaTerm::name("C"), RaTerm::name("Y")));
+        let inner =
+            RaExpr::Base(Name::new("S")).select(RaCond::eq(RaTerm::name("C"), RaTerm::name("Y")));
         let outer = inner.select(RaCond::Null(RaTerm::name("C")));
         assert_eq!(params(&outer, &schema()).unwrap(), set(&["Y"]));
     }

@@ -348,8 +348,7 @@ impl Translator<'_> {
             })
             .collect();
         let beta: Vec<Name> = items.iter().map(|i| i.alias.clone()).collect();
-        let projected =
-            project_with_repetition(filtered, &alpha, &beta, self.schema, self.gen)?;
+        let projected = project_with_repetition(filtered, &alpha, &beta, self.schema, self.gen)?;
         Ok(if s.distinct { projected.dedup() } else { projected })
     }
 
@@ -390,11 +389,9 @@ impl Translator<'_> {
         Ok(match cond {
             Condition::True => RaCond::True,
             Condition::False => RaCond::False,
-            Condition::Cmp { left, op, right } => RaCond::Cmp {
-                left: self.term(left),
-                op: *op,
-                right: self.term(right),
-            },
+            Condition::Cmp { left, op, right } => {
+                RaCond::Cmp { left: self.term(left), op: *op, right: self.term(right) }
+            }
             Condition::Like { term, pattern, negated } => RaCond::Like {
                 term: self.term(term),
                 pattern: self.term(pattern),
@@ -460,11 +457,7 @@ mod tests {
     use sqlsem_parser::compile;
 
     fn schema() -> Schema {
-        Schema::builder()
-            .table("R", ["A", "B"])
-            .table("S", ["A"])
-            .build()
-            .unwrap()
+        Schema::builder().table("R", ["A", "B"]).table("S", ["A"]).build().unwrap()
     }
 
     fn db() -> Database {
@@ -483,10 +476,7 @@ mod tests {
         let expected = Evaluator::new(&db).eval(&q).unwrap();
         let e = translate(&q, &schema).unwrap();
         let got = RaEvaluator::new(&db).eval(&e).unwrap();
-        assert!(
-            expected.coincides(&got),
-            "{sql}\nSQL:\n{expected}\nRA:\n{got}\nexpr: {e}"
-        );
+        assert!(expected.coincides(&got), "{sql}\nSQL:\n{expected}\nRA:\n{got}\nexpr: {e}");
     }
 
     #[test]
@@ -512,9 +502,7 @@ mod tests {
     fn in_and_not_in_translate() {
         check_equivalent("SELECT A FROM S WHERE A IN (SELECT A FROM R)");
         check_equivalent("SELECT A FROM S WHERE A NOT IN (SELECT A FROM R)");
-        check_equivalent(
-            "SELECT x.A AS a FROM R x WHERE (x.A, x.B) IN (SELECT y.A, y.B FROM R y)",
-        );
+        check_equivalent("SELECT x.A AS a FROM R x WHERE (x.A, x.B) IN (SELECT y.A, y.B FROM R y)");
     }
 
     #[test]

@@ -25,11 +25,8 @@ fn row(arity: usize) -> impl Strategy<Value = Row> {
 fn db_strategy() -> impl Strategy<Value = Database> {
     (proptest::collection::vec(row(2), 0..8), proptest::collection::vec(row(2), 0..8)).prop_map(
         |(r_rows, s_rows)| {
-            let schema = Schema::builder()
-                .table("R", ["A", "B"])
-                .table("S", ["B", "C"])
-                .build()
-                .unwrap();
+            let schema =
+                Schema::builder().table("R", ["A", "B"]).table("S", ["B", "C"]).build().unwrap();
             let mut db = Database::new(schema);
             db.insert("R", Table::with_rows(vec![Name::new("A"), Name::new("B")], r_rows).unwrap())
                 .unwrap();

@@ -34,11 +34,7 @@ use sqlsem_generator::{random_database, DataGenConfig, QueryGenConfig, QueryGene
 use sqlsem_parser::compile;
 
 fn small_schema() -> Schema {
-    Schema::builder()
-        .table("R", ["A", "B"])
-        .table("S", ["A", "C"])
-        .build()
-        .unwrap()
+    Schema::builder().table("R", ["A", "B"]).table("S", ["A", "C"]).build().unwrap()
 }
 
 fn instance(schema: &Schema, rows: usize, seed: u64) -> Database {
@@ -51,10 +47,7 @@ fn instance(schema: &Schema, rows: usize, seed: u64) -> Database {
 fn workload(schema: &Schema) -> Vec<(&'static str, Query)> {
     [
         ("join", "SELECT R.A, S.C FROM R, S WHERE R.A = S.A"),
-        (
-            "not_exists",
-            "SELECT R.A FROM R WHERE NOT EXISTS (SELECT * FROM S WHERE S.A = R.A)",
-        ),
+        ("not_exists", "SELECT R.A FROM R WHERE NOT EXISTS (SELECT * FROM S WHERE S.A = R.A)"),
         ("not_in", "SELECT DISTINCT R.A FROM R WHERE R.A NOT IN (SELECT S.A FROM S)"),
         ("setops", "SELECT A FROM R UNION SELECT A FROM S EXCEPT SELECT A FROM S"),
     ]
@@ -92,11 +85,8 @@ fn bench_routes(c: &mut Criterion) {
 
 fn bench_scaling_rows(c: &mut Criterion) {
     let schema = small_schema();
-    let query = compile(
-        "SELECT DISTINCT R.A FROM R WHERE R.A NOT IN (SELECT S.A FROM S)",
-        &schema,
-    )
-    .unwrap();
+    let query = compile("SELECT DISTINCT R.A FROM R WHERE R.A NOT IN (SELECT S.A FROM S)", &schema)
+        .unwrap();
     let mut group = c.benchmark_group("scaling_rows");
     configure(&mut group);
     for rows in [5usize, 10, 20, 40] {
@@ -149,9 +139,8 @@ fn bench_translation_cost(c: &mut Criterion) {
     // Compile-time cost of the §5 and §6 translations themselves.
     let schema = sqlsem_generator::paper_schema();
     let gen = QueryGenerator::new(&schema, QueryGenConfig::data_manipulation());
-    let queries: Vec<Query> = (0..16)
-        .map(|i| gen.generate(&mut StdRng::seed_from_u64(2000 + i)))
-        .collect();
+    let queries: Vec<Query> =
+        (0..16).map(|i| gen.generate(&mut StdRng::seed_from_u64(2000 + i))).collect();
     let mut group = c.benchmark_group("translations");
     configure(&mut group);
     group.bench_function("sql_to_sqlra", |b| {

@@ -66,9 +66,7 @@ fn main() {
     // Q2 = ρ_{B→A}( ε(R′) ▷ₛ σ_{B=C}(R′ × S′) )
     let q2 = syntactic_antijoin(
         r1.clone().dedup(),
-        r1.clone()
-            .product(s1.clone())
-            .select(RaCond::eq(RaTerm::name("B"), RaTerm::name("C"))),
+        r1.clone().product(s1.clone()).select(RaCond::eq(RaTerm::name("B"), RaTerm::name("C"))),
         db.schema(),
         &mut gen,
     )
@@ -79,11 +77,7 @@ fn main() {
     let q3 = RaExpr::Base(Name::new("R")).dedup().diff(RaExpr::Base(Name::new("S")));
 
     let ra = RaEvaluator::new(&db);
-    for (name, expr, expect) in [
-        ("Q1", &q1, "∅"),
-        ("Q2", &q2, "{1, NULL}"),
-        ("Q3", &q3, "{1}"),
-    ] {
+    for (name, expr, expect) in [("Q1", &q1, "∅"), ("Q2", &q2, "{1, NULL}"), ("Q3", &q3, "{1}")] {
         let out = ra.eval(expr).unwrap();
         println!("{name} in RA (expected {expect}):");
         println!("{out}\n");

@@ -30,9 +30,11 @@ fn main() {
             let semantics = Evaluator::new(&db).with_dialect(dialect).eval(&q);
             let engine = Engine::new(&db).with_dialect(dialect).execute(&q);
             let verdict = |r: &Result<sqlsem_core::Table, sqlsem_core::EvalError>| match r {
-                Ok(t) => format!("ok, {} row(s), columns {:?}",
+                Ok(t) => format!(
+                    "ok, {} row(s), columns {:?}",
                     t.len(),
-                    t.columns().iter().map(|c| c.to_string()).collect::<Vec<_>>()),
+                    t.columns().iter().map(|c| c.to_string()).collect::<Vec<_>>()
+                ),
                 Err(e) => format!("ERROR: {e}"),
             };
             println!("  {dialect:<12} semantics: {}", verdict(&semantics));

@@ -12,8 +12,7 @@ fn main() {
     println!("  ∧ | t f u");
     println!("  --+------");
     for a in Truth::ALL {
-        let row: String =
-            Truth::ALL.iter().map(|b| format!("{} ", a.and(*b).letter())).collect();
+        let row: String = Truth::ALL.iter().map(|b| format!("{} ", a.and(*b).letter())).collect();
         println!("  {} | {}", a.letter(), row.trim_end());
     }
 

@@ -91,7 +91,11 @@ fn main() {
         );
         println!(
             "  verdict: {}",
-            if disagree == 0 { "ALWAYS EQUIVALENT (Theorem 2 holds on this sample)" } else { "DISAGREEMENTS FOUND" }
+            if disagree == 0 {
+                "ALWAYS EQUIVALENT (Theorem 2 holds on this sample)"
+            } else {
+                "DISAGREEMENTS FOUND"
+            }
         );
         println!();
         if disagree > 0 {

@@ -709,10 +709,8 @@ mod tests {
     #[test]
     fn display_star_and_subquery() {
         let inner = simple_select();
-        let q = Query::Select(SelectQuery::new(
-            SelectList::Star,
-            vec![FromItem::subquery(inner, "T")],
-        ));
+        let q =
+            Query::Select(SelectQuery::new(SelectList::Star, vec![FromItem::subquery(inner, "T")]));
         assert_eq!(q.to_string(), "SELECT * FROM (SELECT R.A AS A FROM R AS R) AS T");
     }
 

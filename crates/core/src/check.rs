@@ -219,9 +219,7 @@ mod tests {
         // result in a compile-time error in some of the commercial
         // RDBMSs."
         let q = example2_standalone();
-        assert!(check_query(&q, &schema(), Dialect::Oracle)
-            .unwrap_err()
-            .is_ambiguity());
+        assert!(check_query(&q, &schema(), Dialect::Oracle).unwrap_err().is_ambiguity());
         assert_eq!(check_query(&q, &schema(), Dialect::PostgreSql), Ok(()));
     }
 

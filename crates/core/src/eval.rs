@@ -621,8 +621,9 @@ mod tests {
             vec![FromItem::base("R", "R")],
         ));
         let out = Evaluator::new(&db).eval(&q).unwrap();
-        assert!(out
-            .coincides(&table! { ["X", "Y", "Z"]; [9, Value::Null, 1], [9, Value::Null, 2] }));
+        assert!(
+            out.coincides(&table! { ["X", "Y", "Z"]; [9, Value::Null, 1], [9, Value::Null, 2] })
+        );
     }
 
     #[test]
@@ -744,8 +745,7 @@ mod tests {
         // Under ⟦·⟧₂ᵥ Example 1's Q1 returns {1, NULL}: every equality
         // with NULL is f, so NOT IN succeeds for both rows.
         let db = example1_db();
-        let out =
-            Evaluator::new(&db).with_logic(LogicMode::TwoValuedConflate).eval(&q1()).unwrap();
+        let out = Evaluator::new(&db).with_logic(LogicMode::TwoValuedConflate).eval(&q1()).unwrap();
         assert!(out.coincides(&table! { ["A"]; [1], [Value::Null] }), "got:\n{out}");
     }
 
@@ -818,10 +818,8 @@ mod tests {
             )
             .filter(Condition::eq(Term::col("R", "A"), Term::col("Outer", "X"))),
         );
-        let q = Query::Select(SelectQuery::new(
-            SelectList::Star,
-            vec![FromItem::subquery(inner, "T")],
-        ));
+        let q =
+            Query::Select(SelectQuery::new(SelectList::Star, vec![FromItem::subquery(inner, "T")]));
         let env = Env::empty().bind(crate::FullName::new("Outer", "X"), Value::Int(2));
         let out = Evaluator::new(&db).eval_query(&q, &env, false).unwrap();
         assert!(out.coincides(&table! { ["A"]; [2] }), "got:\n{out}");
@@ -830,14 +828,9 @@ mod tests {
     #[test]
     fn empty_from_is_malformed() {
         let db = example2_db();
-        let q = Query::Select(SelectQuery::new(
-            SelectList::items([(Term::from(1i64), "X")]),
-            vec![],
-        ));
-        assert!(matches!(
-            Evaluator::new(&db).eval(&q).unwrap_err(),
-            EvalError::Malformed(_)
-        ));
+        let q =
+            Query::Select(SelectQuery::new(SelectList::items([(Term::from(1i64), "X")]), vec![]));
+        assert!(matches!(Evaluator::new(&db).eval(&q).unwrap_err(), EvalError::Malformed(_)));
     }
 
     #[test]

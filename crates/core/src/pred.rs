@@ -77,7 +77,9 @@ impl PredicateRegistry {
         let mut r = PredicateRegistry::new();
         r.register("even", 1, |args| match &args[0] {
             Value::Int(n) => Ok(n % 2 == 0),
-            v => Err(EvalError::TypeMismatch { op: "even".into(), left: v.type_name(), right: "-" }),
+            v => {
+                Err(EvalError::TypeMismatch { op: "even".into(), left: v.type_name(), right: "-" })
+            }
         });
         r.register("positive", 1, |args| match &args[0] {
             Value::Int(n) => Ok(*n > 0),

@@ -172,10 +172,7 @@ mod tests {
     #[test]
     fn scope_rejects_duplicate_aliases() {
         let from = vec![FromItem::base("R", "T"), FromItem::base("S", "T")];
-        assert_eq!(
-            scope(&from, &schema()).unwrap_err(),
-            EvalError::DuplicateAlias(Name::new("T"))
-        );
+        assert_eq!(scope(&from, &schema()).unwrap_err(), EvalError::DuplicateAlias(Name::new("T")));
     }
 
     #[test]

@@ -258,11 +258,8 @@ impl fmt::Display for Table {
     /// ```
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let header: Vec<String> = self.columns.iter().map(|c| c.to_string()).collect();
-        let rows: Vec<Vec<String>> = self
-            .sorted_rows()
-            .iter()
-            .map(|r| r.iter().map(|v| v.to_string()).collect())
-            .collect();
+        let rows: Vec<Vec<String>> =
+            self.sorted_rows().iter().map(|r| r.iter().map(|v| v.to_string()).collect()).collect();
         let mut widths: Vec<usize> = header.iter().map(String::len).collect();
         for row in &rows {
             for (i, cell) in row.iter().enumerate() {
@@ -319,8 +316,8 @@ macro_rules! table {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::value::Value;
     use crate::row;
+    use crate::value::Value;
 
     fn names(cs: &[&str]) -> Vec<Name> {
         cs.iter().map(Name::new).collect()

@@ -154,7 +154,8 @@ pub enum CmpOp {
 
 impl CmpOp {
     /// All comparison operators.
-    pub const ALL: [CmpOp; 6] = [CmpOp::Eq, CmpOp::Neq, CmpOp::Lt, CmpOp::Leq, CmpOp::Gt, CmpOp::Geq];
+    pub const ALL: [CmpOp; 6] =
+        [CmpOp::Eq, CmpOp::Neq, CmpOp::Lt, CmpOp::Leq, CmpOp::Gt, CmpOp::Geq];
 
     /// The SQL surface syntax of the operator.
     pub fn symbol(self) -> &'static str {

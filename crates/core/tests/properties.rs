@@ -33,8 +33,9 @@ fn table(arity: usize) -> impl Strategy<Value = Table> {
 }
 
 fn full_names(max: usize) -> impl Strategy<Value = Vec<FullName>> {
-    proptest::collection::vec((0usize..3, 0usize..3), 1..=max)
-        .prop_map(|v| v.into_iter().map(|(t, c)| FullName::new(format!("T{t}"), format!("C{c}"))).collect())
+    proptest::collection::vec((0usize..3, 0usize..3), 1..=max).prop_map(|v| {
+        v.into_iter().map(|(t, c)| FullName::new(format!("T{t}"), format!("C{c}"))).collect()
+    })
 }
 
 // ---------------------------------------------------------------------------

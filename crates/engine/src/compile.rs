@@ -11,7 +11,7 @@ use sqlsem_core::{
     Database, Dialect, EvalError, FullName, Name, STAR_EXISTS_COLUMN, STAR_EXISTS_CONSTANT,
 };
 
-use crate::plan::{Expr, Plan, Prepared, Pred};
+use crate::plan::{Expr, Plan, Pred, Prepared};
 
 /// Compiles a closed annotated query for execution over `db`.
 pub fn compile(query: &Query, db: &Database, dialect: Dialect) -> Result<Prepared, EvalError> {
@@ -67,8 +67,11 @@ impl Compiler<'_> {
             scope.extend(item.alias.prefix(&columns));
             inputs.push(plan);
         }
-        let product =
-            if inputs.len() == 1 { inputs.pop().expect("one input") } else { Plan::Product { inputs } };
+        let product = if inputs.len() == 1 {
+            inputs.pop().expect("one input")
+        } else {
+            Plan::Product { inputs }
+        };
 
         self.stack.push(scope);
         let result = self.select_tail(s, product, exists);
@@ -125,7 +128,8 @@ impl Compiler<'_> {
         };
 
         let projected = Plan::Project { input: Box::new(filtered), exprs };
-        let plan = if s.distinct { Plan::Distinct { input: Box::new(projected) } } else { projected };
+        let plan =
+            if s.distinct { Plan::Distinct { input: Box::new(projected) } } else { projected };
         Ok(Prepared { plan, columns })
     }
 
@@ -305,10 +309,8 @@ mod tests {
             SelectList::items([(Term::col("R", "A"), "A"), (Term::col("R", "A"), "A")]),
             vec![FromItem::base("R", "R")],
         ));
-        let q = Query::Select(SelectQuery::new(
-            SelectList::Star,
-            vec![FromItem::subquery(inner, "T")],
-        ));
+        let q =
+            Query::Select(SelectQuery::new(SelectList::Star, vec![FromItem::subquery(inner, "T")]));
         let dbv = db();
         // Oracle: hard compile error.
         assert!(compile(&q, &dbv, Dialect::Oracle).unwrap_err().is_ambiguity());

@@ -413,10 +413,8 @@ mod tests {
             SelectList::items([(Term::col("R", "A"), "A"), (Term::col("R", "A"), "A")]),
             vec![FromItem::base("R", "R")],
         ));
-        let q = Query::Select(SelectQuery::new(
-            SelectList::Star,
-            vec![FromItem::subquery(inner, "T")],
-        ));
+        let q =
+            Query::Select(SelectQuery::new(SelectList::Star, vec![FromItem::subquery(inner, "T")]));
         let out = run(&q, &db, Dialect::PostgreSql).unwrap();
         assert!(out.coincides(&table! { ["A", "A"]; [3, 3] }), "got:\n{out}");
         // Standard/Oracle reject the same query at compile time.

@@ -6,7 +6,7 @@
 
 use std::fmt::Write as _;
 
-use crate::plan::{Expr, Plan, Prepared, Pred};
+use crate::plan::{Expr, Plan, Pred, Prepared};
 
 /// Renders a prepared query as an indented operator tree.
 pub fn explain(prepared: &Prepared) -> String {
@@ -133,8 +133,7 @@ mod tests {
 
     #[test]
     fn explain_shows_the_operator_tree() {
-        let schema =
-            Schema::builder().table("R", ["A", "B"]).table("S", ["A"]).build().unwrap();
+        let schema = Schema::builder().table("R", ["A", "B"]).table("S", ["A"]).build().unwrap();
         let db = Database::new(schema.clone());
         let q = compile(
             "SELECT DISTINCT R.A FROM R WHERE R.B = 1 AND \

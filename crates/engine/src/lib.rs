@@ -54,7 +54,7 @@ use sqlsem_core::{Database, Dialect, EvalError, LogicMode, PredicateRegistry, Qu
 pub use compile::compile as compile_plan;
 pub use exec::Executor;
 pub use explain::explain;
-pub use plan::{Expr, Plan, Prepared, Pred};
+pub use plan::{Expr, Plan, Pred, Prepared};
 
 /// The engine facade: a database plus dialect/logic configuration,
 /// mirroring [`sqlsem_core::Evaluator`]'s interface so the validation
@@ -132,11 +132,7 @@ mod tests {
     /// randomised version of this test lives in `sqlsem-validation`.
     #[test]
     fn engine_agrees_with_denotational_semantics_on_handwritten_queries() {
-        let schema = Schema::builder()
-            .table("R", ["A", "B"])
-            .table("S", ["A"])
-            .build()
-            .unwrap();
+        let schema = Schema::builder().table("R", ["A", "B"]).table("S", ["A"]).build().unwrap();
         let mut db = Database::new(schema.clone());
         db.insert("R", table! { ["A", "B"]; [1, 2], [1, 2], [Value::Null, 3], [4, Value::Null] })
             .unwrap();
@@ -167,7 +163,10 @@ mod tests {
                 let mine = Engine::new(&db).with_dialect(dialect).execute(&q);
                 match (reference, mine) {
                     (Ok(a), Ok(b)) => {
-                        assert!(a.coincides(&b), "{text} [{dialect}]:\nsemantics:\n{a}\nengine:\n{b}");
+                        assert!(
+                            a.coincides(&b),
+                            "{text} [{dialect}]:\nsemantics:\n{a}\nengine:\n{b}"
+                        );
                     }
                     (Err(e1), Err(e2)) => {
                         assert_eq!(e1.is_ambiguity(), e2.is_ambiguity(), "{text} [{dialect}]");
@@ -187,7 +186,11 @@ mod tests {
         let schema = Schema::builder().table("R", ["A"]).build().unwrap();
         let empty = Database::new(schema.clone());
         let q = sql("SELECT * FROM (SELECT R.A, R.A FROM R) AS T", &schema).unwrap();
-        assert!(Engine::new(&empty).with_dialect(Dialect::Oracle).execute(&q).unwrap_err().is_ambiguity());
+        assert!(Engine::new(&empty)
+            .with_dialect(Dialect::Oracle)
+            .execute(&q)
+            .unwrap_err()
+            .is_ambiguity());
         assert!(Engine::new(&empty).execute(&q).unwrap().is_empty());
         assert!(Engine::new(&empty).with_dialect(Dialect::PostgreSql).execute(&q).is_ok());
 

@@ -155,9 +155,7 @@ impl Plan {
     /// consistent arities by the compiler, so this is total.
     pub fn arity(&self, db: &sqlsem_core::Database) -> usize {
         match self {
-            Plan::Scan { table } => {
-                db.schema().attributes(table).map_or(0, |attrs| attrs.len())
-            }
+            Plan::Scan { table } => db.schema().attributes(table).map_or(0, |attrs| attrs.len()),
             Plan::Product { inputs } => inputs.iter().map(|p| p.arity(db)).sum(),
             Plan::Filter { input, .. } | Plan::Distinct { input } => input.arity(db),
             Plan::Project { exprs, .. } => exprs.len(),

@@ -31,9 +31,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
-use sqlsem_core::ast::{
-    Condition, FromItem, Query, SelectItem, SelectList, SelectQuery, Term,
-};
+use sqlsem_core::ast::{Condition, FromItem, Query, SelectItem, SelectList, SelectQuery, Term};
 use sqlsem_core::{CmpOp, FullName, Name, Schema, SetOp, Value};
 
 /// Shape parameters for random query generation.
@@ -105,12 +103,16 @@ impl QueryGenConfig {
         }
     }
 
-    /// Smaller shapes for fast in-tree randomised tests.
+    /// Smaller shapes for fast in-tree randomised tests. The
+    /// ambiguous-star probability is raised well above the calibrated
+    /// 0.01 so short runs (a few hundred queries) reliably exercise the
+    /// Example 2 dialect divergence.
     pub fn small() -> Self {
         QueryGenConfig {
             max_tables: 3,
             max_nest: 2,
             max_conds: 4,
+            ambiguous_star_prob: 0.08,
             ..QueryGenConfig::tpch_calibrated()
         }
     }
@@ -204,8 +206,7 @@ impl Gen<'_> {
             // Fix the arity up front so both operands conform (and stay
             // within the attr limit — a star operand could not be matched
             // by the other side in general).
-            let arity =
-                required_arity.unwrap_or_else(|| rng.gen_range(1..=self.config.max_attrs));
+            let arity = required_arity.unwrap_or_else(|| rng.gen_range(1..=self.config.max_attrs));
             let (left, _) = self.select(rng, depth, scopes, Some(arity));
             // The left operand may have drained the budget with nested
             // subqueries; only attach a right operand if one more table
@@ -266,7 +267,9 @@ impl Gen<'_> {
         let select = self.select_list(rng, scopes, required_arity);
         let arity = match &select {
             SelectList::Items(items) => items.len(),
-            SelectList::Star => scopes.last().expect("pushed").iter().map(|e| e.columns.len()).sum(),
+            SelectList::Star => {
+                scopes.last().expect("pushed").iter().map(|e| e.columns.len()).sum()
+            }
         };
         let n_atoms = rng.gen_range(0..=self.config.max_conds);
         let where_ = if n_atoms == 0 {
@@ -281,7 +284,11 @@ impl Gen<'_> {
     }
 
     /// `SELECT * FROM (SELECT x.A1 AS A, x.A1 AS A FROM R AS x) AS t`.
-    fn ambiguous_star_block(&mut self, rng: &mut StdRng, scopes: &mut Vec<Scope>) -> (Query, usize) {
+    fn ambiguous_star_block(
+        &mut self,
+        rng: &mut StdRng,
+        scopes: &mut Vec<Scope>,
+    ) -> (Query, usize) {
         self.tables_budget = self.tables_budget.saturating_sub(1);
         let (base, columns) = self.random_base_table(rng);
         let inner_alias = self.fresh_alias();
@@ -306,7 +313,12 @@ impl Gen<'_> {
 
     // `from_*` here is the FROM clause, not a conversion constructor.
     #[allow(clippy::wrong_self_convention)]
-    fn from_item(&mut self, rng: &mut StdRng, depth: usize, scopes: &mut Vec<Scope>) -> (FromItem, ScopeEntry) {
+    fn from_item(
+        &mut self,
+        rng: &mut StdRng,
+        depth: usize,
+        scopes: &mut Vec<Scope>,
+    ) -> (FromItem, ScopeEntry) {
         let alias = self.fresh_alias();
         if depth < self.config.max_nest
             && self.tables_budget >= 1
@@ -322,7 +334,11 @@ impl Gen<'_> {
             (item, ScopeEntry { alias, columns })
         } else {
             let (base, columns) = self.random_base_table(rng);
-            let item = FromItem { table: sqlsem_core::ast::TableRef::Base(base), alias: alias.clone(), columns: None };
+            let item = FromItem {
+                table: sqlsem_core::ast::TableRef::Base(base),
+                alias: alias.clone(),
+                columns: None,
+            };
             (item, ScopeEntry { alias, columns })
         }
     }
@@ -400,11 +416,7 @@ impl Gen<'_> {
                 let width = if rng.gen_bool(0.8) { 1 } else { 2 };
                 let terms: Vec<Term> = (0..width).map(|_| self.term(rng, scopes)).collect();
                 let sub = self.query(rng, depth + 1, scopes, Some(width));
-                return Condition::In {
-                    terms,
-                    query: Box::new(sub),
-                    negated: rng.gen_bool(0.5),
-                };
+                return Condition::In { terms, query: Box::new(sub), negated: rng.gen_bool(0.5) };
             }
             // [NOT] EXISTS (Q)
             let sub = self.query(rng, depth + 1, scopes, None);
@@ -428,11 +440,7 @@ impl Gen<'_> {
             },
             _ => {
                 let op = *CmpOp::ALL.choose(rng).expect("non-empty");
-                Condition::Cmp {
-                    left: self.term(rng, scopes),
-                    op,
-                    right: self.term(rng, scopes),
-                }
+                Condition::Cmp { left: self.term(rng, scopes), op, right: self.term(rng, scopes) }
             }
         }
     }
@@ -507,8 +515,7 @@ pub fn is_data_manipulation(query: &Query) -> bool {
                 return false;
             }
             // Every selected term is a full name over the local FROM.
-            let local: std::collections::HashSet<&Name> =
-                s.from.iter().map(|f| &f.alias).collect();
+            let local: std::collections::HashSet<&Name> = s.from.iter().map(|f| &f.alias).collect();
             if !items.iter().all(|i| match &i.term {
                 Term::Col(n) => local.contains(&n.table),
                 Term::Const(_) => false,
@@ -543,8 +550,7 @@ fn is_data_manipulation_block_shape(query: &Query) -> bool {
             if !items.iter().all(|i| seen.insert(&i.alias)) {
                 return false;
             }
-            let local: std::collections::HashSet<&Name> =
-                s.from.iter().map(|f| &f.alias).collect();
+            let local: std::collections::HashSet<&Name> = s.from.iter().map(|f| &f.alias).collect();
             items.iter().all(|i| match &i.term {
                 Term::Col(n) => local.contains(&n.table),
                 Term::Const(_) => false,
@@ -651,7 +657,8 @@ mod tests {
         let schema = paper_schema();
         let _ = &schema;
         // Star select.
-        let star = Query::Select(SelectQuery::new(SelectList::Star, vec![FromItem::base("R1", "x")]));
+        let star =
+            Query::Select(SelectQuery::new(SelectList::Star, vec![FromItem::base("R1", "x")]));
         assert!(!is_data_manipulation(&star));
         // Constant in SELECT.
         let konst = Query::Select(SelectQuery::new(
@@ -692,8 +699,9 @@ mod tests {
             let q = g.generate(&mut rng);
             for dialect in Dialect::ALL {
                 let text = sqlsem_parser::to_sql(&q, dialect);
-                let back = sqlsem_parser::compile(&text, &schema)
-                    .unwrap_or_else(|e| panic!("query {i} does not re-parse [{dialect}]: {e}\n{text}"));
+                let back = sqlsem_parser::compile(&text, &schema).unwrap_or_else(|e| {
+                    panic!("query {i} does not re-parse [{dialect}]: {e}\n{text}")
+                });
                 assert_eq!(back, q, "query {i} round-trip mismatch [{dialect}]:\n{text}");
             }
         }

@@ -93,14 +93,16 @@ pub fn calibration_report() -> String {
     let _ = writeln!(out, "TPC-H query shape statistics (reconstructed from TPC-H 2.17.1)");
     let _ = writeln!(out, "{:>5} {:>7} {:>8} {:>11}", "query", "tables", "nesting", "conditions");
     for s in TPCH_SHAPES {
-        let _ = writeln!(out, "{:>5} {:>7} {:>8} {:>11}", s.query, s.tables, s.nesting, s.conditions);
+        let _ =
+            writeln!(out, "{:>5} {:>7} {:>8} {:>11}", s.query, s.tables, s.nesting, s.conditions);
     }
     let a = aggregates();
     let _ = writeln!(out);
     let _ = writeln!(out, "base tables in schema:          {TPCH_BASE_TABLES} (paper: 8)");
     let _ = writeln!(out, "mean tables per query:          {:.1} (paper: 3.2)", a.mean_tables);
     let _ = writeln!(out, "queries using more than 6:      {} (paper: 1)", a.queries_over_6_tables);
-    let _ = writeln!(out, "queries with more than 8 conds: {} (paper: 3)", a.queries_over_8_conditions);
+    let _ =
+        writeln!(out, "queries with more than 8 conds: {} (paper: 3)", a.queries_over_8_conditions);
     let _ = writeln!(out, "maximum nesting depth:          {} (paper: ≤ 3)", a.max_nesting);
     let (t, n, at, c) = CALIBRATED;
     let _ = writeln!(out);
@@ -129,10 +131,7 @@ mod tests {
     fn calibrated_parameters_are_the_papers() {
         assert_eq!(CALIBRATED, (6, 3, 3, 8));
         let cfg = crate::QueryGenConfig::tpch_calibrated();
-        assert_eq!(
-            (cfg.max_tables, cfg.max_nest, cfg.max_attrs, cfg.max_conds),
-            CALIBRATED
-        );
+        assert_eq!((cfg.max_tables, cfg.max_nest, cfg.max_attrs, cfg.max_conds), CALIBRATED);
     }
 
     #[test]

@@ -30,9 +30,7 @@ use std::fmt;
 use sqlsem_core::ast as core_ast;
 use sqlsem_core::{Name, Schema, Value};
 
-use crate::surface::{
-    SCondition, SFromItem, SQuery, SSelectList, SSelectQuery, STableRef, STerm,
-};
+use crate::surface::{SCondition, SFromItem, SQuery, SSelectList, SSelectQuery, STableRef, STerm};
 
 /// The output name given to constant `SELECT` items that carry no `AS`
 /// alias (PostgreSQL's convention).
@@ -222,11 +220,8 @@ fn annotate_from_item(
             renamed.clone()
         }
     };
-    let core_item = core_ast::FromItem {
-        table,
-        alias: alias.clone(),
-        columns: item.columns.clone(),
-    };
+    let core_item =
+        core_ast::FromItem { table, alias: alias.clone(), columns: item.columns.clone() };
     Ok((core_item, ScopeEntry { alias, columns: visible_columns }))
 }
 
@@ -252,10 +247,9 @@ fn annotate_condition(
             name: name.clone(),
             args: args.iter().map(|t| resolve_term(t, stack)).collect::<Result<_, _>>()?,
         },
-        SCondition::IsNull { term, negated } => core_ast::Condition::IsNull {
-            term: resolve_term(term, stack)?,
-            negated: *negated,
-        },
+        SCondition::IsNull { term, negated } => {
+            core_ast::Condition::IsNull { term: resolve_term(term, stack)?, negated: *negated }
+        }
         SCondition::IsDistinct { left, right, negated } => core_ast::Condition::IsDistinct {
             left: resolve_term(left, stack)?,
             right: resolve_term(right, stack)?,
@@ -381,10 +375,7 @@ mod tests {
     #[test]
     fn unqualified_resolution_prefers_local_scope() {
         // Inner block references A: S is local, so S.A wins over outer R.A.
-        let q = compile(
-            "SELECT R.A FROM R WHERE EXISTS (SELECT A FROM S WHERE A = R.A)",
-        )
-        .unwrap();
+        let q = compile("SELECT R.A FROM R WHERE EXISTS (SELECT A FROM S WHERE A = R.A)").unwrap();
         let Query::Select(s) = &q else { panic!() };
         let Condition::Exists(sub) = &s.where_ else { panic!() };
         let Query::Select(inner) = &**sub else { panic!() };
@@ -396,9 +387,7 @@ mod tests {
 
     #[test]
     fn correlated_references_resolve_outward() {
-        let q = compile(
-            "SELECT A FROM R WHERE EXISTS (SELECT B FROM T WHERE B = A)",
-        );
+        let q = compile("SELECT A FROM R WHERE EXISTS (SELECT B FROM T WHERE B = A)");
         // Inner `A` is not in T's columns? T(A,B) has A! So it resolves to
         // T.A locally, not to R.A.
         let q = q.unwrap();
@@ -413,10 +402,7 @@ mod tests {
     fn genuinely_correlated_reference() {
         // S(A) has no B: inner B = A has B from T? No — FROM S only. The
         // unqualified reference `R.x` style: use qualified R.A to correlate.
-        let q = compile(
-            "SELECT A FROM S WHERE EXISTS (SELECT A FROM R WHERE R.A = S.A)",
-        )
-        .unwrap();
+        let q = compile("SELECT A FROM S WHERE EXISTS (SELECT A FROM R WHERE R.A = S.A)").unwrap();
         let Query::Select(s) = &q else { panic!() };
         let Condition::Exists(sub) = &s.where_ else { panic!() };
         let Query::Select(inner) = &**sub else { panic!() };
@@ -438,7 +424,10 @@ mod tests {
         let err = compile("SELECT R.Z FROM R").unwrap_err();
         assert_eq!(
             err,
-            AnnotateError::UnknownColumn { qualifier: Some(Name::new("R")), column: Name::new("Z") }
+            AnnotateError::UnknownColumn {
+                qualifier: Some(Name::new("R")),
+                column: Name::new("Z")
+            }
         );
     }
 
@@ -452,13 +441,14 @@ mod tests {
     fn alias_shadowing_does_not_fall_through() {
         // Inner scope defines alias R over S(A); R.B must error even
         // though outer R is T(A,B)… here outer alias is also R.
-        let err = compile(
-            "SELECT R.A FROM T AS R WHERE EXISTS (SELECT R.B FROM S AS R)",
-        )
-        .unwrap_err();
+        let err =
+            compile("SELECT R.A FROM T AS R WHERE EXISTS (SELECT R.B FROM S AS R)").unwrap_err();
         assert_eq!(
             err,
-            AnnotateError::UnknownColumn { qualifier: Some(Name::new("R")), column: Name::new("B") }
+            AnnotateError::UnknownColumn {
+                qualifier: Some(Name::new("R")),
+                column: Name::new("B")
+            }
         );
     }
 
@@ -479,7 +469,10 @@ mod tests {
         let err = compile("SELECT * FROM R, (SELECT R.A FROM S) AS U").unwrap_err();
         assert_eq!(
             err,
-            AnnotateError::UnknownColumn { qualifier: Some(Name::new("R")), column: Name::new("A") }
+            AnnotateError::UnknownColumn {
+                qualifier: Some(Name::new("R")),
+                column: Name::new("A")
+            }
         );
     }
 
@@ -503,16 +496,13 @@ mod tests {
     #[test]
     fn set_operands_annotate_independently() {
         let q = compile("SELECT A FROM R EXCEPT SELECT A FROM S").unwrap();
-        assert_eq!(
-            q.to_string(),
-            "SELECT R.A AS A FROM R AS R EXCEPT SELECT S.A AS A FROM S AS S"
-        );
+        assert_eq!(q.to_string(), "SELECT R.A AS A FROM R AS R EXCEPT SELECT S.A AS A FROM S AS S");
     }
 
     #[test]
     fn example1_queries_annotate() {
-        let q1 = compile("SELECT DISTINCT R.A FROM R WHERE R.A NOT IN (SELECT S.A FROM S)")
-            .unwrap();
+        let q1 =
+            compile("SELECT DISTINCT R.A FROM R WHERE R.A NOT IN (SELECT S.A FROM S)").unwrap();
         assert_eq!(
             q1.to_string(),
             "SELECT DISTINCT R.A AS A FROM R AS R WHERE R.A NOT IN (SELECT S.A AS A FROM S AS S)"

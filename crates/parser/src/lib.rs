@@ -92,8 +92,9 @@ mod tests {
         db.insert("R", table! { ["A"]; [1], [Value::Null] }).unwrap();
         db.insert("S", table! { ["A"]; [Value::Null] }).unwrap();
 
-        let q1 = compile("SELECT DISTINCT R.A FROM R WHERE R.A NOT IN (SELECT S.A FROM S)", &schema)
-            .unwrap();
+        let q1 =
+            compile("SELECT DISTINCT R.A FROM R WHERE R.A NOT IN (SELECT S.A FROM S)", &schema)
+                .unwrap();
         let q2 = compile(
             "SELECT DISTINCT R.A FROM R WHERE NOT EXISTS (SELECT * FROM S WHERE S.A = R.A)",
             &schema,

@@ -37,8 +37,7 @@ impl std::error::Error for ParseError {}
 /// Parses one query from SQL source text; errors if trailing tokens
 /// remain.
 pub fn parse_query(input: &str) -> Result<SQuery, ParseError> {
-    let tokens = lex(input)
-        .map_err(|e| ParseError { message: e.message, offset: e.offset })?;
+    let tokens = lex(input).map_err(|e| ParseError { message: e.message, offset: e.offset })?;
     let mut p = Parser { tokens, pos: 0, input_len: input.len() };
     let q = p.query()?;
     p.expect_end()?;
@@ -48,8 +47,7 @@ pub fn parse_query(input: &str) -> Result<SQuery, ParseError> {
 /// Parses a standalone condition (used by tests and the REPL-style
 /// examples).
 pub fn parse_condition(input: &str) -> Result<SCondition, ParseError> {
-    let tokens = lex(input)
-        .map_err(|e| ParseError { message: e.message, offset: e.offset })?;
+    let tokens = lex(input).map_err(|e| ParseError { message: e.message, offset: e.offset })?;
     let mut p = Parser { tokens, pos: 0, input_len: input.len() };
     let c = p.condition()?;
     p.expect_end()?;
@@ -167,8 +165,12 @@ impl Parser {
         while self.eat_kw(Keyword::Intersect) {
             let all = self.eat_kw(Keyword::All);
             let right = self.primary_query()?;
-            left =
-                SQuery::SetOp { op: SetOp::Intersect, all, left: Box::new(left), right: Box::new(right) };
+            left = SQuery::SetOp {
+                op: SetOp::Intersect,
+                all,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -302,8 +304,7 @@ impl Parser {
 
         // A predicate application `name(t₁,…,tₖ)`: identifier directly
         // followed by `(`, where the identifier is not a column qualifier.
-        if let (Some(TokenKind::Ident(_)), Some(TokenKind::LParen)) =
-            (self.peek(), self.peek_at(1))
+        if let (Some(TokenKind::Ident(_)), Some(TokenKind::LParen)) = (self.peek(), self.peek_at(1))
         {
             let name = match self.bump() {
                 Some(TokenKind::Ident(s)) => s,
@@ -364,10 +365,14 @@ impl Parser {
         let single = terms.len() == 1;
         let first = terms[0].clone();
         match self.peek() {
-            Some(TokenKind::Eq | TokenKind::Neq | TokenKind::Lt | TokenKind::Leq
-                | TokenKind::Gt | TokenKind::Geq)
-                if single =>
-            {
+            Some(
+                TokenKind::Eq
+                | TokenKind::Neq
+                | TokenKind::Lt
+                | TokenKind::Leq
+                | TokenKind::Gt
+                | TokenKind::Geq,
+            ) if single => {
                 let op = match self.bump().unwrap() {
                     TokenKind::Eq => CmpOp::Eq,
                     TokenKind::Neq => CmpOp::Neq,
@@ -496,7 +501,10 @@ mod tests {
         let q = parse_query("SELECT A FROM R").unwrap();
         let SQuery::Select(s) = q else { panic!() };
         assert!(!s.distinct);
-        assert_eq!(s.select, SSelectList::Items(vec![SSelectItem { term: STerm::col("A"), alias: None }]));
+        assert_eq!(
+            s.select,
+            SSelectList::Items(vec![SSelectItem { term: STerm::col("A"), alias: None }])
+        );
         assert_eq!(s.from.len(), 1);
         assert!(s.where_.is_none());
     }
@@ -594,14 +602,16 @@ mod tests {
     #[test]
     fn parses_predicate_application() {
         let c = parse_condition("even(R.A)").unwrap();
-        assert!(matches!(c, SCondition::Pred { ref name, ref args } if name == "even" && args.len() == 1));
+        assert!(
+            matches!(c, SCondition::Pred { ref name, ref args } if name == "even" && args.len() == 1)
+        );
     }
 
     #[test]
     fn parses_set_operations_with_precedence() {
         // INTERSECT binds tighter: R UNION (S INTERSECT T).
-        let q = parse_query("SELECT A FROM R UNION SELECT A FROM S INTERSECT SELECT A FROM T")
-            .unwrap();
+        let q =
+            parse_query("SELECT A FROM R UNION SELECT A FROM S INTERSECT SELECT A FROM T").unwrap();
         let SQuery::SetOp { op: SetOp::Union, all: false, right, .. } = q else {
             panic!("expected top-level UNION, got {q:?}")
         };
@@ -610,8 +620,8 @@ mod tests {
 
     #[test]
     fn union_except_associate_left() {
-        let q = parse_query("SELECT A FROM R UNION SELECT A FROM S EXCEPT SELECT A FROM T")
-            .unwrap();
+        let q =
+            parse_query("SELECT A FROM R UNION SELECT A FROM S EXCEPT SELECT A FROM T").unwrap();
         let SQuery::SetOp { op: SetOp::Except, left, .. } = q else {
             panic!("expected top-level EXCEPT, got {q:?}")
         };
@@ -626,10 +636,8 @@ mod tests {
 
     #[test]
     fn parenthesised_queries_override_precedence() {
-        let q = parse_query(
-            "SELECT A FROM R UNION (SELECT A FROM S EXCEPT SELECT A FROM T)",
-        )
-        .unwrap();
+        let q =
+            parse_query("SELECT A FROM R UNION (SELECT A FROM S EXCEPT SELECT A FROM T)").unwrap();
         let SQuery::SetOp { op: SetOp::Union, right, .. } = q else { panic!() };
         assert!(matches!(*right, SQuery::SetOp { op: SetOp::Except, .. }));
     }
@@ -650,8 +658,10 @@ mod tests {
     #[test]
     fn true_false_as_conditions() {
         assert_eq!(parse_condition("TRUE").unwrap(), SCondition::True);
-        assert_eq!(parse_condition("FALSE AND TRUE").unwrap(),
-            SCondition::And(Box::new(SCondition::False), Box::new(SCondition::True)));
+        assert_eq!(
+            parse_condition("FALSE AND TRUE").unwrap(),
+            SCondition::And(Box::new(SCondition::False), Box::new(SCondition::True))
+        );
         // …but as terms when compared.
         assert!(matches!(
             parse_condition("TRUE = FALSE").unwrap(),
@@ -683,10 +693,7 @@ mod tests {
     #[test]
     fn example1_queries_parse() {
         // The three difference queries of the paper's Example 1.
-        parse_query(
-            "SELECT DISTINCT R.A FROM R WHERE R.A NOT IN (SELECT S.A FROM S)",
-        )
-        .unwrap();
+        parse_query("SELECT DISTINCT R.A FROM R WHERE R.A NOT IN (SELECT S.A FROM S)").unwrap();
         parse_query(
             "SELECT DISTINCT R.A FROM R WHERE NOT EXISTS (SELECT * FROM S WHERE S.A = R.A)",
         )
@@ -697,9 +704,7 @@ mod tests {
     #[test]
     fn example2_queries_parse() {
         parse_query("SELECT * FROM (SELECT R.A, R.A FROM R) AS T").unwrap();
-        parse_query(
-            "SELECT * FROM R WHERE EXISTS ( SELECT * FROM (SELECT R.A, R.A FROM R) AS T )",
-        )
-        .unwrap();
+        parse_query("SELECT * FROM R WHERE EXISTS ( SELECT * FROM (SELECT R.A, R.A FROM R) AS T )")
+            .unwrap();
     }
 }

@@ -8,7 +8,9 @@
 
 use std::fmt::Write as _;
 
-use sqlsem_core::ast::{Condition, FromItem, Query, SelectList, SelectQuery, SetOp, TableRef, Term};
+use sqlsem_core::ast::{
+    Condition, FromItem, Query, SelectList, SelectQuery, SetOp, TableRef, Term,
+};
 use sqlsem_core::Dialect;
 
 /// Renders an annotated query as a single line of SQL in the given
@@ -319,9 +321,7 @@ mod tests {
 
     #[test]
     fn minus_nested_in_subquery_is_translated_too() {
-        let q = compile(
-            "SELECT A FROM R WHERE A IN (SELECT A FROM R EXCEPT SELECT A FROM S)",
-        );
+        let q = compile("SELECT A FROM R WHERE A IN (SELECT A FROM R EXCEPT SELECT A FROM S)");
         let oracle = to_sql(&q, Dialect::Oracle);
         assert!(oracle.contains("MINUS"), "{oracle}");
     }

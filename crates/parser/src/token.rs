@@ -348,11 +348,14 @@ mod tests {
 
     #[test]
     fn identifiers_keep_their_case() {
-        assert_eq!(kinds("Foo _bar a$1"), vec![
-            TokenKind::Ident("Foo".into()),
-            TokenKind::Ident("_bar".into()),
-            TokenKind::Ident("a$1".into()),
-        ]);
+        assert_eq!(
+            kinds("Foo _bar a$1"),
+            vec![
+                TokenKind::Ident("Foo".into()),
+                TokenKind::Ident("_bar".into()),
+                TokenKind::Ident("a$1".into()),
+            ]
+        );
     }
 
     #[test]
@@ -413,10 +416,10 @@ mod tests {
 
     #[test]
     fn minus_keyword_is_recognised() {
-        assert_eq!(kinds("MINUS minus"), vec![
-            TokenKind::Keyword(Keyword::Minus),
-            TokenKind::Keyword(Keyword::Minus),
-        ]);
+        assert_eq!(
+            kinds("MINUS minus"),
+            vec![TokenKind::Keyword(Keyword::Minus), TokenKind::Keyword(Keyword::Minus),]
+        );
     }
 
     #[test]

@@ -139,11 +139,8 @@ mod tests {
         let mut db = Database::new(schema.clone());
         db.insert("R", table! { ["A"]; [1], [Value::Null] }).unwrap();
         db.insert("S", table! { ["A"]; [Value::Null] }).unwrap();
-        let q = compile(
-            "SELECT DISTINCT R.A FROM R WHERE R.A NOT IN (SELECT S.A FROM S)",
-            &schema,
-        )
-        .unwrap();
+        let q = compile("SELECT DISTINCT R.A FROM R WHERE R.A NOT IN (SELECT S.A FROM S)", &schema)
+            .unwrap();
         let three = Evaluator::new(&db).eval(&q).unwrap();
         assert!(three.is_empty());
         // Naive 2VL disagrees…
@@ -181,11 +178,9 @@ mod tests {
     #[test]
     fn blow_up_reports_growth() {
         let schema = schema();
-        let q = compile(
-            "SELECT A FROM S WHERE A NOT IN (SELECT A FROM R WHERE NOT R.B = 2)",
-            &schema,
-        )
-        .unwrap();
+        let q =
+            compile("SELECT A FROM S WHERE A NOT IN (SELECT A FROM R WHERE NOT R.B = 2)", &schema)
+                .unwrap();
         let b = blow_up(&q, EqInterpretation::Conflate);
         assert!(b.atoms_after > b.atoms_before, "{b:?}");
         assert!(b.blocks_after >= b.blocks_before, "{b:?}");

@@ -30,9 +30,7 @@
 
 use std::collections::HashSet;
 
-use sqlsem_core::ast::{
-    Condition, FromItem, Query, SelectList, SelectQuery, TableRef, Term,
-};
+use sqlsem_core::ast::{Condition, FromItem, Query, SelectList, SelectQuery, TableRef, Term};
 use sqlsem_core::{CmpOp, LogicMode, Name};
 
 /// Which two-valued interpretation of the equality predicate is in force
@@ -190,13 +188,11 @@ fn cond_t(cond: &Condition, eq: EqInterpretation, names: &mut Names) -> Conditio
         Condition::False => Condition::False,
         Condition::Cmp { left, op, right } => match (eq, op) {
             // Syntactic mode: (t₁ = t₂)ᵗ = t₁ = t₂ AND (t₁,t₂) IS NOT NULL.
-            (EqInterpretation::Syntactic, CmpOp::Eq) => Condition::Cmp {
-                left: left.clone(),
-                op: *op,
-                right: right.clone(),
+            (EqInterpretation::Syntactic, CmpOp::Eq) => {
+                Condition::Cmp { left: left.clone(), op: *op, right: right.clone() }
+                    .and(Condition::is_not_null(left.clone()))
+                    .and(Condition::is_not_null(right.clone()))
             }
-            .and(Condition::is_not_null(left.clone()))
-            .and(Condition::is_not_null(right.clone())),
             // Conflating mode: P(t̄)ᵗ = P(t̄) — conflation already maps u
             // to f.
             _ => cond.clone(),
@@ -235,27 +231,22 @@ fn cond_f(cond: &Condition, eq: EqInterpretation, names: &mut Names) -> Conditio
             base.and(Condition::is_not_null(left.clone()))
                 .and(Condition::is_not_null(right.clone()))
         }
-        Condition::Like { term, pattern, negated } => Condition::Like {
-            term: term.clone(),
-            pattern: pattern.clone(),
-            negated: !*negated,
+        Condition::Like { term, pattern, negated } => {
+            Condition::Like { term: term.clone(), pattern: pattern.clone(), negated: !*negated }
+                .and(Condition::is_not_null(term.clone()))
+                .and(Condition::is_not_null(pattern.clone()))
         }
-        .and(Condition::is_not_null(term.clone()))
-        .and(Condition::is_not_null(pattern.clone())),
         Condition::Pred { name, args } => {
-            let guards =
-                Condition::all(args.iter().map(|a| Condition::is_not_null(a.clone())));
+            let guards = Condition::all(args.iter().map(|a| Condition::is_not_null(a.clone())));
             Condition::Pred { name: name.clone(), args: args.clone() }.not().and(guards)
         }
         Condition::IsNull { term, negated } => {
             Condition::IsNull { term: term.clone(), negated: !*negated }
         }
         // Two-valued: its f-translation is the opposite polarity.
-        Condition::IsDistinct { left, right, negated } => Condition::IsDistinct {
-            left: left.clone(),
-            right: right.clone(),
-            negated: !*negated,
-        },
+        Condition::IsDistinct { left, right, negated } => {
+            Condition::IsDistinct { left: left.clone(), right: right.clone(), negated: !*negated }
+        }
         Condition::Exists(q) => Condition::Exists(Box::new(query_2v(q, eq, names))).not(),
         Condition::And(a, b) => cond_f(a, eq, names).or(cond_f(b, eq, names)),
         Condition::Or(a, b) => cond_f(a, eq, names).and(cond_f(b, eq, names)),
@@ -277,11 +268,9 @@ fn in_t(terms: &[Term], query: &Query, eq: EqInterpretation, names: &mut Names) 
         // Conflating equality: t̄ IN Q′ is already right — each component
         // equality conflates u to f, so the disjunction is t exactly when
         // a row matches with all components true.
-        EqInterpretation::Conflate => Condition::In {
-            terms: terms.to_vec(),
-            query: Box::new(q2),
-            negated: false,
-        },
+        EqInterpretation::Conflate => {
+            Condition::In { terms: terms.to_vec(), query: Box::new(q2), negated: false }
+        }
         // Syntactic equality would let NULL match NULL, so the membership
         // is spelled out with guarded comparisons (§6):
         // EXISTS (SELECT * FROM Q′ AS N(Ā) WHERE ⋀ (tᵢ = N.Aᵢ)ᵗ).
@@ -389,23 +378,18 @@ fn cond_3v(cond: &Condition, eq: EqInterpretation, names: &mut Names) -> Conditi
             match (eq, op) {
                 // Syntactic equality: t₁ ≐ t₂ is also t when both are
                 // NULL (Definition 2).
-                (EqInterpretation::Syntactic, CmpOp::Eq) => guarded.or(Condition::is_null(
-                    left.clone(),
-                )
-                .and(Condition::is_null(right.clone()))),
+                (EqInterpretation::Syntactic, CmpOp::Eq) => guarded
+                    .or(Condition::is_null(left.clone()).and(Condition::is_null(right.clone()))),
                 _ => guarded,
             }
         }
-        Condition::Like { term, pattern, negated } => Condition::Like {
-            term: term.clone(),
-            pattern: pattern.clone(),
-            negated: *negated,
+        Condition::Like { term, pattern, negated } => {
+            Condition::Like { term: term.clone(), pattern: pattern.clone(), negated: *negated }
+                .and(Condition::is_not_null(term.clone()))
+                .and(Condition::is_not_null(pattern.clone()))
         }
-        .and(Condition::is_not_null(term.clone()))
-        .and(Condition::is_not_null(pattern.clone())),
         Condition::Pred { name, args } => {
-            let guards =
-                Condition::all(args.iter().map(|a| Condition::is_not_null(a.clone())));
+            let guards = Condition::all(args.iter().map(|a| Condition::is_not_null(a.clone())));
             Condition::Pred { name: name.clone(), args: args.clone() }.and(guards)
         }
         Condition::Exists(q) => Condition::Exists(Box::new(query_3v(q, eq, names))),
@@ -425,8 +409,9 @@ fn cond_3v(cond: &Condition, eq: EqInterpretation, names: &mut Names) -> Conditi
                     .and(Condition::is_not_null(col.clone()));
                 match eq {
                     EqInterpretation::Conflate => guarded,
-                    EqInterpretation::Syntactic => guarded.or(Condition::is_null(t.clone())
-                        .and(Condition::is_null(col))),
+                    EqInterpretation::Syntactic => {
+                        guarded.or(Condition::is_null(t.clone()).and(Condition::is_null(col)))
+                    }
                 }
             }));
             let exists = Condition::exists(Query::Select(

@@ -46,8 +46,7 @@ fn run_cases(n: usize, base_seed: u64, data: DataGenConfig) {
             // Backward: ⟦Q⟧₂ᵥ vs ⟦Q″⟧ (3VL).
             let two_of_q = Evaluator::new(&db).with_logic(eq.logic_mode()).eval(&query);
             let back = to_three_valued(&query, eq);
-            let three_of_back =
-                Evaluator::new(&db).with_logic(LogicMode::ThreeValued).eval(&back);
+            let three_of_back = Evaluator::new(&db).with_logic(LogicMode::ThreeValued).eval(&back);
             match (&two_of_q, &three_of_back) {
                 (Ok(a), Ok(b)) => assert!(
                     a.coincides(b),

@@ -60,8 +60,12 @@ pub fn compare(reference: &Outcome, candidate: &Outcome) -> Verdict {
                 Verdict::Disagree(format!("error character differs: {e1} vs {e2}"))
             }
         }
-        (Ok(_), Err(e)) => Verdict::Disagree(format!("reference succeeded, candidate errored: {e}")),
-        (Err(e), Ok(_)) => Verdict::Disagree(format!("reference errored ({e}), candidate succeeded")),
+        (Ok(_), Err(e)) => {
+            Verdict::Disagree(format!("reference succeeded, candidate errored: {e}"))
+        }
+        (Err(e), Ok(_)) => {
+            Verdict::Disagree(format!("reference errored ({e}), candidate succeeded"))
+        }
     }
 }
 

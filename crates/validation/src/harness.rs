@@ -123,8 +123,7 @@ pub struct ValidationReport {
 impl ValidationReport {
     /// `true` iff every comparison agreed (the paper's headline result).
     pub fn all_agree(&self) -> bool {
-        self.roundtrip_failures == 0
-            && self.per_dialect.iter().all(|(_, s)| s.disagreements == 0)
+        self.roundtrip_failures == 0 && self.per_dialect.iter().all(|(_, s)| s.disagreements == 0)
     }
 }
 

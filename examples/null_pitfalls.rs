@@ -47,11 +47,8 @@ fn main() {
     // The same NOT IN query under the two-valued semantics of §6 — the
     // "fix" many programmers expect, and what the paper proves can
     // always be emulated.
-    let q1 = compile(
-        "SELECT DISTINCT R.A FROM R WHERE R.A NOT IN (SELECT S.A FROM S)",
-        &schema,
-    )
-    .unwrap();
+    let q1 = compile("SELECT DISTINCT R.A FROM R WHERE R.A NOT IN (SELECT S.A FROM S)", &schema)
+        .unwrap();
     println!("== the same NOT IN under two-valued logic (§6)");
     for (mode, label) in [
         (LogicMode::TwoValuedConflate, "u conflated with f"),

@@ -10,11 +10,7 @@ use sqlsem::{compile, table, Database, Evaluator, Schema, Value};
 use sqlsem_algebra::{eliminate, translate, RaEvaluator};
 
 fn main() {
-    let schema = Schema::builder()
-        .table("R", ["A", "B"])
-        .table("S", ["A"])
-        .build()
-        .unwrap();
+    let schema = Schema::builder().table("R", ["A", "B"]).table("S", ["A"]).build().unwrap();
     let mut db = Database::new(schema.clone());
     db.insert("R", table! { ["A", "B"]; [1, 2], [1, 2], [Value::Null, 3] }).unwrap();
     db.insert("S", table! { ["A"]; [1], [Value::Null] }).unwrap();

@@ -56,9 +56,7 @@ fn theorem2_scaled_down() {
         let db = random_database(&schema, &DataGenConfig::small(), &mut rng);
         for eq in [EqInterpretation::Conflate, EqInterpretation::Syntactic] {
             let three = Evaluator::new(&db).eval(&q);
-            let two = Evaluator::new(&db)
-                .with_logic(eq.logic_mode())
-                .eval(&to_two_valued(&q, eq));
+            let two = Evaluator::new(&db).with_logic(eq.logic_mode()).eval(&to_two_valued(&q, eq));
             match (three, two) {
                 (Ok(a), Ok(b)) => assert!(a.coincides(&b), "case {i} [{eq:?}]:\n{q}"),
                 (Err(e1), Err(e2)) => assert_eq!(e1.is_ambiguity(), e2.is_ambiguity()),

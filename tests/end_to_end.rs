@@ -28,11 +28,8 @@ fn db() -> Database {
     )
     .unwrap();
     db.insert("S", table! { ["A"]; [1], [Value::Null], [4], [4] }).unwrap();
-    db.insert(
-        "T",
-        table! { ["A", "B", "C"]; [1, 2, 3], [Value::Null, Value::Null, Value::Null] },
-    )
-    .unwrap();
+    db.insert("T", table! { ["A", "B", "C"]; [1, 2, 3], [Value::Null, Value::Null, Value::Null] })
+        .unwrap();
     db
 }
 

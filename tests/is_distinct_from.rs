@@ -47,10 +47,7 @@ fn is_distinct_from_is_its_negation() {
     let q = compile("SELECT A, B FROM R WHERE A IS DISTINCT FROM B", &schema).unwrap();
     let out = Evaluator::new(&db).eval(&q).unwrap();
     // Two-valued: every row is classified, no u limbo.
-    assert!(
-        out.coincides(&table! { ["A", "B"]; [1, 2], [Value::Null, 3] }),
-        "got:\n{out}"
-    );
+    assert!(out.coincides(&table! { ["A", "B"]; [1, 2], [Value::Null, 3] }), "got:\n{out}");
 }
 
 #[test]
@@ -103,11 +100,8 @@ fn parser_roundtrip() {
 fn translates_to_relational_algebra() {
     // The ≐ encoding of Definition 2 flows through translate/eliminate.
     let (schema, db) = setup();
-    let q = compile(
-        "SELECT x.A AS a FROM R x WHERE x.A IS NOT DISTINCT FROM x.B",
-        &schema,
-    )
-    .unwrap();
+    let q =
+        compile("SELECT x.A AS a FROM R x WHERE x.A IS NOT DISTINCT FROM x.B", &schema).unwrap();
     let expected = Evaluator::new(&db).eval(&q).unwrap();
     let sqlra = translate(&q, &schema).unwrap();
     let via_sqlra = RaEvaluator::new(&db).eval(&sqlra).unwrap();
@@ -121,11 +115,7 @@ fn translates_to_relational_algebra() {
 #[test]
 fn survives_the_twovl_translations() {
     let (schema, db) = setup();
-    let q = compile(
-        "SELECT A FROM R WHERE A IS DISTINCT FROM B OR A = 1",
-        &schema,
-    )
-    .unwrap();
+    let q = compile("SELECT A FROM R WHERE A IS DISTINCT FROM B OR A = 1", &schema).unwrap();
     for eq in [EqInterpretation::Conflate, EqInterpretation::Syntactic] {
         let three = Evaluator::new(&db).eval(&q).unwrap();
         let q2 = to_two_valued(&q, eq);

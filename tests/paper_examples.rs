@@ -85,8 +85,8 @@ fn example2_under_exists_works_everywhere() {
 fn section2_annotation_example() {
     // The paper's worked annotation (§2).
     let schema = Schema::builder().table("R", ["A"]).table("T", ["A", "B"]).build().unwrap();
-    let q = compile("SELECT A, B AS C FROM R, (SELECT B FROM T) AS U WHERE A = B", &schema)
-        .unwrap();
+    let q =
+        compile("SELECT A, B AS C FROM R, (SELECT B FROM T) AS U WHERE A = B", &schema).unwrap();
     assert_eq!(
         q.to_string(),
         "SELECT R.A AS A, U.B AS C FROM R AS R, (SELECT T.B AS B FROM T AS T) AS U \
@@ -98,8 +98,7 @@ fn section2_annotation_example() {
 fn section3_star_signature_example() {
     // "for Q = SELECT * FROM R,S on a schema with R(A,B) and S(A,C), we
     // have ℓ(Q) = (A, B, A, C)."
-    let schema =
-        Schema::builder().table("R", ["A", "B"]).table("S", ["A", "C"]).build().unwrap();
+    let schema = Schema::builder().table("R", ["A", "B"]).table("S", ["A", "C"]).build().unwrap();
     let q = compile("SELECT * FROM R, S", &schema).unwrap();
     let sig = sqlsem::core::sig::output_columns(&q, &schema).unwrap();
     let names: Vec<&str> = sig.iter().map(|n| n.as_str()).collect();
@@ -114,9 +113,8 @@ fn figure5_projection_example() {
     let schema = Schema::builder().table("R", ["A", "B"]).build().unwrap();
     let mut db = Database::new(schema);
     db.insert("R", table! { ["A", "B"]; [0, 1], [0, 2] }).unwrap();
-    let out = RaEvaluator::new(&db)
-        .eval(&RaExpr::Base(sqlsem::Name::new("R")).project(["A"]))
-        .unwrap();
+    let out =
+        RaEvaluator::new(&db).eval(&RaExpr::Base(sqlsem::Name::new("R")).project(["A"])).unwrap();
     assert!(out.multiset_eq(&table! { ["A"]; [0], [0] }));
 }
 
@@ -130,9 +128,7 @@ fn section5_worked_ra_translations() {
     let (_, db) = example1_db();
     let r1 = RaExpr::Base(sqlsem::Name::new("R")).rename(["B"]);
     let s1 = RaExpr::Base(sqlsem::Name::new("S")).rename(["C"]);
-    let mut gen = NameGen::avoiding(
-        ["A", "B", "C"].into_iter().map(sqlsem::Name::new),
-    );
+    let mut gen = NameGen::avoiding(["A", "B", "C"].into_iter().map(sqlsem::Name::new));
 
     let not_f = RaCond::eq(RaTerm::name("B"), RaTerm::name("C"))
         .or(RaCond::Null(RaTerm::name("B")))
@@ -153,9 +149,8 @@ fn section5_worked_ra_translations() {
     )
     .unwrap()
     .rename(["A"]);
-    let q3 = RaExpr::Base(sqlsem::Name::new("R"))
-        .dedup()
-        .diff(RaExpr::Base(sqlsem::Name::new("S")));
+    let q3 =
+        RaExpr::Base(sqlsem::Name::new("R")).dedup().diff(RaExpr::Base(sqlsem::Name::new("S")));
 
     let ra = RaEvaluator::new(&db);
     assert!(ra.eval(&q1).unwrap().is_empty());

@@ -60,12 +60,7 @@ fn assert_equivalent(n: usize, seed: u64, rewrite: impl Fn(&Query) -> Query, law
 #[test]
 fn double_negation_in_where_is_identity() {
     // ¬ is involutive in Kleene logic, so NOT NOT θ ≡ θ.
-    assert_equivalent(
-        60,
-        0xD0,
-        |q| map_conditions(q, &|c| c.clone().not().not()),
-        "NOT NOT θ ≡ θ",
-    );
+    assert_equivalent(60, 0xD0, |q| map_conditions(q, &|c| c.clone().not().not()), "NOT NOT θ ≡ θ");
 }
 
 #[test]
@@ -148,21 +143,17 @@ fn positive_in_equals_exists_rewrite() {
     // negated pair that diverges (Example 1). Checked on a concrete
     // schema with handwritten shapes over random data.
     let schema = Schema::builder().table("R", ["A"]).table("S", ["A"]).build().unwrap();
-    let q_in = sqlsem::compile(
-        "SELECT DISTINCT R.A FROM R WHERE R.A IN (SELECT S.A FROM S)",
-        &schema,
-    )
-    .unwrap();
+    let q_in =
+        sqlsem::compile("SELECT DISTINCT R.A FROM R WHERE R.A IN (SELECT S.A FROM S)", &schema)
+            .unwrap();
     let q_exists = sqlsem::compile(
         "SELECT DISTINCT R.A FROM R WHERE EXISTS (SELECT * FROM S WHERE S.A = R.A)",
         &schema,
     )
     .unwrap();
-    let q_not_in = sqlsem::compile(
-        "SELECT DISTINCT R.A FROM R WHERE R.A NOT IN (SELECT S.A FROM S)",
-        &schema,
-    )
-    .unwrap();
+    let q_not_in =
+        sqlsem::compile("SELECT DISTINCT R.A FROM R WHERE R.A NOT IN (SELECT S.A FROM S)", &schema)
+            .unwrap();
     let q_not_exists = sqlsem::compile(
         "SELECT DISTINCT R.A FROM R WHERE NOT EXISTS (SELECT * FROM S WHERE S.A = R.A)",
         &schema,

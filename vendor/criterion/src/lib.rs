@@ -1,0 +1,277 @@
+//! Offline, API-compatible stand-in for the parts of `criterion` this
+//! workspace uses: [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`],
+//! [`Bencher::iter`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Unlike the real criterion there is no statistical analysis, HTML report,
+//! or baseline comparison: each benchmark warms up for the configured
+//! warm-up time, then runs timed batches until the configured measurement
+//! time elapses, and prints mean and best ns-per-iteration to stdout. That
+//! is enough for the relative comparisons the workspace's benches make.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement backends. Only wall-clock time is provided.
+pub mod measurement {
+    /// A way of measuring benchmark cost (marker trait in this stub).
+    pub trait Measurement {}
+
+    /// Wall-clock time measurement — the default and only backend.
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct WallTime;
+
+    impl Measurement for WallTime {}
+}
+
+use measurement::{Measurement, WallTime};
+
+/// A benchmark identifier: function name and/or parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// An id made of a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        BenchmarkId { label: label.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// Timing configuration shared by groups and the top-level [`Criterion`].
+#[derive(Clone, Copy, Debug)]
+struct Timing {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl Default for Timing {
+    fn default() -> Self {
+        Timing {
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_millis(1200),
+            sample_size: 20,
+        }
+    }
+}
+
+/// The benchmark manager handed to `criterion_group!` target functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    timing: Timing,
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_, WallTime> {
+        BenchmarkGroup {
+            name: name.into(),
+            timing: self.timing,
+            _criterion: self,
+            _measurement: std::marker::PhantomData,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl Into<String>, mut f: F) {
+        run_one(&name.into(), self.timing, &mut f);
+    }
+}
+
+/// A group of related benchmarks with shared timing settings.
+pub struct BenchmarkGroup<'a, M: Measurement> {
+    name: String,
+    timing: Timing,
+    _criterion: &'a mut Criterion,
+    _measurement: std::marker::PhantomData<M>,
+}
+
+impl<M: Measurement> BenchmarkGroup<'_, M> {
+    /// Sets how long each benchmark warms up before measurement.
+    pub fn warm_up_time(&mut self, duration: Duration) -> &mut Self {
+        self.timing.warm_up = duration;
+        self
+    }
+
+    /// Sets how long each benchmark is measured.
+    pub fn measurement_time(&mut self, duration: Duration) -> &mut Self {
+        self.timing.measurement = duration;
+        self
+    }
+
+    /// Sets the number of timed samples taken per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        assert!(samples > 0, "sample_size must be positive");
+        self.timing.sample_size = samples;
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_one(&label, self.timing, &mut f);
+        self
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(&label, self.timing, &mut |bencher: &mut Bencher| f(bencher, input));
+        self
+    }
+
+    /// Ends the group. (All reporting already happened per benchmark.)
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; [`iter`](Bencher::iter) does the timing.
+pub struct Bencher {
+    timing: Timing,
+    mean_ns: f64,
+    best_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, running it repeatedly for the configured
+    /// measurement window after the configured warm-up.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warm-up: also used to estimate per-iteration cost for batching.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.timing.warm_up || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let est_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters as f64).max(1.0);
+
+        // Size batches so each sample takes roughly measurement/sample_size.
+        let per_sample = self.timing.measurement.as_nanos() as f64 / self.timing.sample_size as f64;
+        let batch = ((per_sample / est_ns).round() as u64).max(1);
+
+        let mut total_ns = 0.0f64;
+        let mut best_ns = f64::INFINITY;
+        let mut iters: u64 = 0;
+        let run_start = Instant::now();
+        for _ in 0..self.timing.sample_size {
+            let sample_start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let sample_ns = sample_start.elapsed().as_nanos() as f64;
+            total_ns += sample_ns;
+            best_ns = best_ns.min(sample_ns / batch as f64);
+            iters += batch;
+            if run_start.elapsed() > self.timing.measurement.mul_f64(2.0) {
+                break; // Runaway routine: stop early rather than hang.
+            }
+        }
+        self.mean_ns = total_ns / iters as f64;
+        self.best_ns = best_ns;
+        self.iters = iters;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, timing: Timing, f: &mut F) {
+    let mut bencher = Bencher { timing, mean_ns: 0.0, best_ns: 0.0, iters: 0 };
+    f(&mut bencher);
+    println!(
+        "{label:<50} mean {:>12}  best {:>12}  ({} iters)",
+        format_ns(bencher.mean_ns),
+        format_ns(bencher.best_ns),
+        bencher.iters,
+    );
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Bundles benchmark functions into a group runner for [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `fn main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("union_all", 100).label, "union_all/100");
+        assert_eq!(BenchmarkId::from_parameter(30).label, "30");
+    }
+
+    #[test]
+    fn a_tiny_benchmark_runs_and_counts_iterations() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("smoke");
+        group
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(10))
+            .sample_size(3);
+        let data: Vec<u64> = (0..64).collect();
+        group.bench_with_input(BenchmarkId::new("sum", data.len()), &data, |bencher, d| {
+            bencher.iter(|| d.iter().sum::<u64>())
+        });
+        group.bench_function("trivial", |bencher| bencher.iter(|| 1 + 1));
+        group.finish();
+    }
+}
