@@ -1,0 +1,115 @@
+//! Scaling bench for the hash equi-join path: the same two-table join is
+//! executed by the naive engine (filter over a materialized cross
+//! product, quadratic in the row count) and the optimized engine (hash
+//! build + probe, linear in rows + matches) at 1×/10×/100× the paper's
+//! 50-row cap.
+//!
+//! Both sides are checked to coincide before timing, so the numbers are
+//! for provably identical results. With `--record` the measurements are
+//! written to `BENCH_join_scaling.json` in the current directory — CI
+//! keeps the first recorded file as the performance baseline.
+//!
+//! ```text
+//! cargo run --release -p sqlsem-bench --bin join_scaling -- --record
+//! cargo run --release -p sqlsem-bench --bin join_scaling -- --quick
+//! ```
+
+use std::time::Instant;
+
+use sqlsem_bench::{arg, flag};
+use sqlsem_core::{Database, Row, Schema, Table, Value};
+use sqlsem_engine::Engine;
+
+/// R(A,B) ⋈ S(A,C) on A: each side has `n` rows, keys `0..n` with every
+/// tenth key null — the join output stays ~`n` rows, so the optimized
+/// path is linear while the naive product materializes `n²` rows.
+fn instance(schema: &Schema, n: usize) -> Database {
+    let mut db = Database::new(schema.clone());
+    let key = |i: usize| {
+        if i % 10 == 9 {
+            Value::Null
+        } else {
+            Value::Int(i as i64)
+        }
+    };
+    let rows = |payload: i64| -> Vec<Row> {
+        (0..n).map(|i| Row::new(vec![key(i), Value::Int(i as i64 * payload)])).collect()
+    };
+    let table = |payload, cols: [&str; 2]| {
+        Table::with_rows(cols.map(Into::into).to_vec(), rows(payload)).unwrap()
+    };
+    db.insert("R", table(2, ["A", "B"])).unwrap();
+    db.insert("S", table(3, ["A", "C"])).unwrap();
+    db
+}
+
+fn median_ms(mut runs: Vec<f64>) -> f64 {
+    runs.sort_by(|a, b| a.total_cmp(b));
+    runs[runs.len() / 2]
+}
+
+fn time_ms(mut f: impl FnMut() -> usize, reps: usize) -> (f64, usize) {
+    let mut rows = 0;
+    let runs: Vec<f64> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            rows = f();
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    (median_ms(runs), rows)
+}
+
+fn main() {
+    let quick = flag("--quick");
+    let record = flag("--record");
+    let reps: usize = arg("--reps", 3);
+    let sizes: Vec<usize> = if quick { vec![50, 500] } else { vec![50, 500, 5000] };
+    // The naive path materializes n² rows; cap it where that stops being
+    // a reasonable thing to ask of a benchmark run (25M rows at n=5000
+    // still completes, so the default cap only guards larger requests).
+    let naive_cap: usize = arg("--naive-cap", 5_000);
+
+    let schema = Schema::builder().table("R", ["A", "B"]).table("S", ["A", "C"]).build().unwrap();
+    let q = sqlsem_parser::compile("SELECT R.B, S.C FROM R, S WHERE R.A = S.A", &schema).unwrap();
+
+    println!("join scaling: R ⋈ S on A, {reps} reps, median ms per execution\n");
+    println!(
+        "{:>8} {:>14} {:>14} {:>10} {:>10}",
+        "rows", "naive_ms", "optimized_ms", "speedup", "out_rows"
+    );
+    let mut lines = Vec::new();
+    for &n in &sizes {
+        let db = instance(&schema, n);
+        let naive = Engine::new(&db).with_optimizations(false);
+        let optimized = Engine::new(&db);
+        // Correctness gate before timing.
+        let a = naive.execute(&q).unwrap();
+        let b = optimized.execute(&q).unwrap();
+        assert!(a.coincides(&b), "naive and optimized disagree at n={n}");
+
+        let (opt_ms, out_rows) = time_ms(|| optimized.execute(&q).unwrap().len(), reps);
+        let (naive_ms, naive_txt) = if n <= naive_cap {
+            let (ms, _) = time_ms(|| naive.execute(&q).unwrap().len(), reps);
+            (ms, format!("{ms:.3}"))
+        } else {
+            (f64::NAN, "skipped".to_string())
+        };
+        let speedup =
+            if naive_ms.is_nan() { "-".to_string() } else { format!("{:.1}x", naive_ms / opt_ms) };
+        println!("{n:>8} {naive_txt:>14} {opt_ms:>14.3} {speedup:>10} {out_rows:>10}");
+        lines.push(format!(
+            "    {{\"rows\": {n}, \"naive_ms\": {}, \"optimized_ms\": {opt_ms:.4}, \"out_rows\": {out_rows}}}",
+            if naive_ms.is_nan() { "null".to_string() } else { format!("{naive_ms:.4}") }
+        ));
+    }
+
+    if record {
+        let json = format!(
+            "{{\n  \"bench\": \"join_scaling\",\n  \"query\": \"SELECT R.B, S.C FROM R, S WHERE R.A = S.A\",\n  \"reps\": {reps},\n  \"measurements\": [\n{}\n  ]\n}}\n",
+            lines.join(",\n")
+        );
+        std::fs::write("BENCH_join_scaling.json", &json).expect("write baseline");
+        println!("\nrecorded BENCH_join_scaling.json");
+    }
+}

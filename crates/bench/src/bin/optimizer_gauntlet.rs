@@ -1,0 +1,151 @@
+//! The optimizer's differential gauntlet: thousands of generated queries
+//! through the **optimized** engine (predicate pushdown, hash equi-joins,
+//! subquery caching, `EXISTS` early exit) against two oracles, under
+//! every `LogicMode` × dialect combination:
+//!
+//! * the denotational interpreter (`sqlsem_core::Evaluator`) — the
+//!   executable specification, under the §4 coincidence criterion;
+//! * the engine's own naive execution path (optimizations off) — the
+//!   HoTTSQL-style discipline of justifying each rewrite against a
+//!   semantics.
+//!
+//! The fixed prefix replays the paper's pitfall queries (Example 1's
+//! three null-sensitive shapes, Example 2's ambiguous star) before the
+//! random sweep. Exit status is non-zero on any disagreement.
+//!
+//! ```text
+//! cargo run --release -p sqlsem-bench --bin optimizer_gauntlet -- \
+//!     --queries 2000 --seed 1
+//! ```
+
+use sqlsem_bench::arg;
+use sqlsem_core::{Dialect, Evaluator, LogicMode, Query, Schema};
+use sqlsem_engine::Engine;
+use sqlsem_generator::paper_schema;
+use sqlsem_validation::{compare, iteration_case, ValidationConfig, Verdict};
+
+/// Example 1 and Example 2, the shapes whose null/ambiguity behaviour
+/// the optimizations are most likely to disturb.
+fn pitfall_cases() -> (Schema, Vec<Query>) {
+    let schema = Schema::builder().table("R", ["A"]).table("S", ["A"]).build().unwrap();
+    let sqls = [
+        "SELECT DISTINCT R.A FROM R WHERE R.A NOT IN (SELECT S.A FROM S)",
+        "SELECT DISTINCT R.A FROM R WHERE NOT EXISTS (SELECT * FROM S WHERE S.A = R.A)",
+        "SELECT A FROM R EXCEPT SELECT A FROM S",
+        "SELECT * FROM R x, S y WHERE x.A = y.A",
+        "SELECT * FROM (SELECT R.A, R.A FROM R) AS T",
+    ];
+    let queries = sqls.iter().map(|s| sqlsem_parser::compile(s, &schema).unwrap()).collect();
+    (schema, queries)
+}
+
+fn pitfall_db(schema: &Schema) -> sqlsem_core::Database {
+    use sqlsem_core::{table, Value};
+    let mut db = sqlsem_core::Database::new(schema.clone());
+    db.insert("R", table! { ["A"]; [1], [Value::Null] }).unwrap();
+    db.insert("S", table! { ["A"]; [Value::Null] }).unwrap();
+    db
+}
+
+struct Tally {
+    dialect: Dialect,
+    logic: LogicMode,
+    vs_spec: usize,
+    vs_naive: usize,
+    disagreements: usize,
+}
+
+fn main() {
+    let queries: usize = arg("--queries", 2_000);
+    let seed: u64 = arg("--seed", 1);
+    let rows: usize = arg("--rows", 8);
+
+    let combos: Vec<(Dialect, LogicMode)> = Dialect::ALL
+        .into_iter()
+        .flat_map(|d| LogicMode::ALL.into_iter().map(move |l| (d, l)))
+        .collect();
+    let mut tallies: Vec<Tally> = combos
+        .iter()
+        .map(|(d, l)| Tally { dialect: *d, logic: *l, vs_spec: 0, vs_naive: 0, disagreements: 0 })
+        .collect();
+    let mut samples: Vec<String> = Vec::new();
+
+    let mut check = |tally: &mut Tally, query: &Query, db: &sqlsem_core::Database| {
+        let (dialect, logic) = (tally.dialect, tally.logic);
+        let optimized = Engine::new(db).with_dialect(dialect).with_logic(logic).execute(query);
+        let spec = Evaluator::new(db).with_dialect(dialect).with_logic(logic).eval(query);
+        let naive = Engine::new(db)
+            .with_dialect(dialect)
+            .with_logic(logic)
+            .with_optimizations(false)
+            .execute(query);
+        for (oracle, outcome, count) in
+            [("spec", &spec, &mut tally.vs_spec), ("naive", &naive, &mut tally.vs_naive)]
+        {
+            match compare(outcome, &optimized) {
+                Verdict::AgreeResult | Verdict::AgreeError => *count += 1,
+                Verdict::Disagree(detail) => {
+                    tally.disagreements += 1;
+                    if samples.len() < 5 {
+                        samples.push(format!(
+                            "[{dialect} / {logic:?} vs {oracle}] {detail}\n    {}",
+                            sqlsem_parser::to_sql(query, dialect)
+                        ));
+                    }
+                }
+            }
+        }
+    };
+
+    let (pitfall_schema, pitfalls) = pitfall_cases();
+    let pit_db = pitfall_db(&pitfall_schema);
+    for tally in tallies.iter_mut() {
+        for query in &pitfalls {
+            check(tally, query, &pit_db);
+        }
+    }
+
+    let schema = paper_schema();
+    let mut config = ValidationConfig::quick(queries, seed);
+    config.data_config.max_rows = rows;
+    let start = std::time::Instant::now();
+    for i in 0..queries {
+        let (query, db) = iteration_case(&schema, &config, i);
+        for tally in tallies.iter_mut() {
+            check(tally, &query, &db);
+        }
+    }
+
+    println!(
+        "optimizer gauntlet: {} pitfall + {queries} random queries per combination \
+         (seed {seed}, row cap {rows}) in {:.2?}\n",
+        pitfalls.len(),
+        start.elapsed()
+    );
+    let mut total_disagreements = 0;
+    for t in &tallies {
+        total_disagreements += t.disagreements;
+        println!(
+            "  {:<12} {:<22} vs-spec: {:>6}   vs-naive: {:>6}   disagree: {:>4}",
+            t.dialect.to_string(),
+            format!("{:?}", t.logic),
+            t.vs_spec,
+            t.vs_naive,
+            t.disagreements
+        );
+    }
+    for s in &samples {
+        println!("  DISAGREEMENT {s}");
+    }
+    println!(
+        "\nverdict: {}",
+        if total_disagreements == 0 {
+            "0 disagreements — optimizations are invisible under the coincidence criterion"
+        } else {
+            "DISAGREEMENTS FOUND"
+        }
+    );
+    if total_disagreements > 0 {
+        std::process::exit(1);
+    }
+}

@@ -36,6 +36,7 @@ fn main() {
             ..if paper_rows { DataGenConfig::paper() } else { DataGenConfig::small() }
         },
         dialects: vec![Dialect::PostgreSql, Dialect::Oracle, Dialect::Standard],
+        logics: vec![sqlsem_core::LogicMode::ThreeValued],
         keep_samples: 5,
         check_roundtrip: true,
     };

@@ -14,10 +14,13 @@
 //! | `sec4_validation` | §4 — the randomised differential validation |
 //! | `sec5_ra_equivalence` | §5 / Theorem 1 — SQL ≡ RA on random queries |
 //! | `sec6_twovl` | §6 / Theorem 2 — 3VL ≡ 2VL on random queries |
+//! | `optimizer_gauntlet` | beyond the paper — optimized engine vs spec interpreter vs naive engine, all `LogicMode` × dialect combinations |
+//! | `join_scaling` | beyond the paper — hash-join vs naive-product scaling at 1×/10×/100× the §4 row cap (`--record` writes `BENCH_join_scaling.json`) |
 //!
 //! Benchmarks (`cargo bench -p sqlsem-bench`) measure the cost of the
 //! denotational interpreter against the independent engine and the
-//! evaluated RA translation, plus microbenchmarks of the bag operations.
+//! evaluated RA translation, plus microbenchmarks of the bag operations
+//! and of the engine optimizer's rewrites (`join_scaling`).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

@@ -1,0 +1,310 @@
+//! Static analyses that gate the optimizer.
+//!
+//! Every rewrite in [`crate::optimize`] must be invisible under the §4
+//! coincidence criterion, and that criterion counts *error behaviour*:
+//! an optimized plan that errors where the naive plan returns rows (or
+//! vice versa) is a disagreement. Reordering or eliding predicate
+//! evaluations can do exactly that — a pushed-down conjunct runs on
+//! input rows the naive plan never reached (another product input was
+//! empty), and a pushed filter can empty the product so a later
+//! error-raising conjunct never runs. The analyses here make the
+//! rewrites safe:
+//!
+//! * **Totality** ([`pred_total`], [`plan_total`]): proves a predicate or
+//!   subplan can never raise a runtime error, using a conservative
+//!   per-column type analysis seeded from the actual database instance
+//!   (the engine compiles against a concrete `Database`, so column types
+//!   are known). Only totally error-free filters are split, pushed, or
+//!   turned into hash joins, and only totally error-free `EXISTS`
+//!   subplans may stop early.
+//! * **Correlation depth** ([`plan_is_correlated`]): decides whether a
+//!   subplan reads any frame of the correlation stack outside itself. An
+//!   uncorrelated subplan produces the same rows on every execution, so
+//!   its result can be cached across outer rows.
+//! * **Determinism** ([`plan_has_user_pred`]): user predicates are opaque
+//!   host functions; plans invoking them are never cached or reordered.
+
+use sqlsem_core::{Database, Value};
+
+use crate::plan::{Expr, Plan, Pred};
+
+/// A conservative set of runtime types a column (or expression) may take,
+/// as a bitmask over `NULL`/`BOOL`/`INT`/`STR`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct TypeSet(u8);
+
+impl TypeSet {
+    const NULL: u8 = 1;
+    const BOOL: u8 = 2;
+    const INT: u8 = 4;
+    const STR: u8 = 8;
+
+    /// No values at all (e.g. a column of an empty table).
+    pub(crate) const EMPTY: TypeSet = TypeSet(0);
+    /// All types: the conservative "don't know" answer.
+    pub(crate) const ALL: TypeSet = TypeSet(0b1111);
+
+    fn of_value(v: &Value) -> TypeSet {
+        TypeSet(match v {
+            Value::Null => TypeSet::NULL,
+            Value::Bool(_) => TypeSet::BOOL,
+            Value::Int(_) => TypeSet::INT,
+            Value::Str(_) => TypeSet::STR,
+        })
+    }
+
+    fn union(self, other: TypeSet) -> TypeSet {
+        TypeSet(self.0 | other.0)
+    }
+
+    /// The set with `NULL` removed — the types that participate in typed
+    /// comparisons (`NULL` short-circuits to *unknown* before any type
+    /// check in [`Value::sql_cmp`]).
+    fn non_null(self) -> TypeSet {
+        TypeSet(self.0 & !TypeSet::NULL)
+    }
+
+    fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    fn count(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    fn is_subset(self, of: u8) -> bool {
+        self.0 & !of == 0
+    }
+}
+
+/// The compile-time image of the runtime correlation stack: one frame of
+/// column type sets per enclosing block, innermost last.
+pub(crate) type TypeFrames = Vec<Vec<TypeSet>>;
+
+/// Per-column type sets of the rows `plan` produces, under the given
+/// outer frames (correlated references resolve against `frames`).
+pub(crate) fn col_types(plan: &Plan, frames: &mut TypeFrames, db: &Database) -> Vec<TypeSet> {
+    match plan {
+        Plan::Scan { table } => match db.table(table) {
+            Ok(t) => {
+                let mut cols = vec![TypeSet::EMPTY; t.arity()];
+                for row in t.rows() {
+                    for (c, v) in cols.iter_mut().zip(row.iter()) {
+                        *c = c.union(TypeSet::of_value(v));
+                    }
+                }
+                cols
+            }
+            Err(_) => Vec::new(),
+        },
+        Plan::Product { inputs } => inputs.iter().flat_map(|p| col_types(p, frames, db)).collect(),
+        Plan::Filter { input, .. } | Plan::Distinct { input } => col_types(input, frames, db),
+        Plan::Project { input, exprs } => {
+            let inner = col_types(input, frames, db);
+            frames.push(inner);
+            let out = exprs.iter().map(|e| expr_types(e, frames).unwrap_or(TypeSet::ALL)).collect();
+            frames.pop();
+            out
+        }
+        // Union rows come from both sides; intersect/except output rows
+        // are drawn from the left operand.
+        Plan::SetOp { op: sqlsem_core::SetOp::Union, left, right, .. } => {
+            let l = col_types(left, frames, db);
+            let r = col_types(right, frames, db);
+            l.iter().zip(r.iter()).map(|(a, b)| a.union(*b)).collect()
+        }
+        Plan::SetOp { left, .. } => col_types(left, frames, db),
+        Plan::HashJoin { left, right, .. } => {
+            let mut l = col_types(left, frames, db);
+            l.extend(col_types(right, frames, db));
+            l
+        }
+    }
+}
+
+/// Type sets an expression may evaluate to; `None` marks an expression
+/// that can raise (a deferred resolution error).
+fn expr_types(expr: &Expr, frames: &TypeFrames) -> Option<TypeSet> {
+    match expr {
+        Expr::Const(v) => Some(TypeSet::of_value(v)),
+        Expr::Deferred(_) => None,
+        Expr::Col { depth, index } => Some(
+            frames
+                .len()
+                .checked_sub(1 + depth)
+                .and_then(|i| frames.get(i))
+                .and_then(|f| f.get(*index))
+                .copied()
+                .unwrap_or(TypeSet::ALL),
+        ),
+    }
+}
+
+/// `true` iff a comparison between values drawn from `l` and `r` can
+/// never hit [`Value::sql_cmp`]'s type-mismatch error: one side is
+/// always `NULL` (unknown short-circuits first), or both sides share a
+/// single non-null type.
+fn cmp_total(l: TypeSet, r: TypeSet) -> bool {
+    let (l, r) = (l.non_null(), r.non_null());
+    l.is_empty() || r.is_empty() || (l.union(r).count() == 1)
+}
+
+/// `true` iff evaluating `pred` can never raise a runtime error, for any
+/// row consistent with the type frames. `frames.last()` must be the
+/// frame the predicate's depth-0 references resolve against.
+pub(crate) fn pred_total(pred: &Pred, frames: &mut TypeFrames, db: &Database) -> bool {
+    match pred {
+        Pred::True | Pred::False => true,
+        Pred::Cmp { left, op: _, right } => {
+            match (expr_types(left, frames), expr_types(right, frames)) {
+                (Some(l), Some(r)) => cmp_total(l, r),
+                _ => false,
+            }
+        }
+        Pred::Like { term, pattern, .. } => {
+            match (expr_types(term, frames), expr_types(pattern, frames)) {
+                (Some(t), Some(p)) => {
+                    let (t, p) = (t.non_null(), p.non_null());
+                    t.is_empty()
+                        || p.is_empty()
+                        || (t.is_subset(TypeSet::STR) && p.is_subset(TypeSet::STR))
+                }
+                _ => false,
+            }
+        }
+        // User predicates are opaque host functions returning `Result`.
+        Pred::User { .. } => false,
+        Pred::IsNull { expr, .. } => expr_types(expr, frames).is_some(),
+        Pred::IsDistinct { left, right, .. } => {
+            expr_types(left, frames).is_some() && expr_types(right, frames).is_some()
+        }
+        Pred::In { exprs, plan, .. } => {
+            let Some(tuple) =
+                exprs.iter().map(|e| expr_types(e, frames)).collect::<Option<Vec<_>>>()
+            else {
+                return false;
+            };
+            if !plan_total(plan, frames, db) {
+                return false;
+            }
+            // The per-row membership test compares the tuple against the
+            // subquery's columns with `=` — those comparisons must be
+            // total too.
+            let sub = col_types(plan, frames, db);
+            tuple.len() == sub.len() && tuple.iter().zip(sub.iter()).all(|(a, b)| cmp_total(*a, *b))
+        }
+        Pred::Exists { plan, .. } => plan_total(plan, frames, db),
+        Pred::And(a, b) | Pred::Or(a, b) => pred_total(a, frames, db) && pred_total(b, frames, db),
+        Pred::Not(p) => pred_total(p, frames, db),
+    }
+}
+
+/// `true` iff executing `plan` can never raise a runtime error (no
+/// deferred resolution failures, no type-mismatch comparisons, no user
+/// predicates), under the given outer type frames.
+pub(crate) fn plan_total(plan: &Plan, frames: &mut TypeFrames, db: &Database) -> bool {
+    match plan {
+        Plan::Scan { .. } => true,
+        Plan::Product { inputs } => inputs.iter().all(|p| plan_total(p, frames, db)),
+        Plan::Distinct { input } => plan_total(input, frames, db),
+        Plan::Filter { input, pred } => {
+            if !plan_total(input, frames, db) {
+                return false;
+            }
+            let types = col_types(input, frames, db);
+            frames.push(types);
+            let ok = pred_total(pred, frames, db);
+            frames.pop();
+            ok
+        }
+        Plan::Project { input, exprs } => {
+            if !plan_total(input, frames, db) {
+                return false;
+            }
+            let types = col_types(input, frames, db);
+            frames.push(types);
+            let ok = exprs.iter().all(|e| expr_types(e, frames).is_some());
+            frames.pop();
+            ok
+        }
+        Plan::SetOp { left, right, .. } => {
+            plan_total(left, frames, db) && plan_total(right, frames, db)
+        }
+        // Join keys are plain column references (total by construction).
+        Plan::HashJoin { left, right, .. } => {
+            plan_total(left, frames, db) && plan_total(right, frames, db)
+        }
+    }
+}
+
+/// `true` iff the subplan reads any correlation frame outside itself.
+/// `local` counts the frames pushed *within* the subplan at the current
+/// syntactic position (0 at the subplan root): a column reference with
+/// `depth >= local` escapes to an enclosing block's row.
+pub(crate) fn plan_is_correlated(plan: &Plan, local: usize) -> bool {
+    match plan {
+        Plan::Scan { .. } => false,
+        Plan::Product { inputs } => inputs.iter().any(|p| plan_is_correlated(p, local)),
+        Plan::Distinct { input } => plan_is_correlated(input, local),
+        Plan::Filter { input, pred } => {
+            plan_is_correlated(input, local) || pred_is_correlated(pred, local + 1)
+        }
+        Plan::Project { input, exprs } => {
+            plan_is_correlated(input, local) || exprs.iter().any(|e| expr_escapes(e, local + 1))
+        }
+        Plan::SetOp { left, right, .. } | Plan::HashJoin { left, right, .. } => {
+            plan_is_correlated(left, local) || plan_is_correlated(right, local)
+        }
+    }
+}
+
+fn pred_is_correlated(pred: &Pred, local: usize) -> bool {
+    match pred {
+        Pred::True | Pred::False => false,
+        Pred::Cmp { left, right, .. } | Pred::IsDistinct { left, right, .. } => {
+            expr_escapes(left, local) || expr_escapes(right, local)
+        }
+        Pred::Like { term, pattern, .. } => {
+            expr_escapes(term, local) || expr_escapes(pattern, local)
+        }
+        Pred::User { args, .. } => args.iter().any(|e| expr_escapes(e, local)),
+        Pred::IsNull { expr, .. } => expr_escapes(expr, local),
+        Pred::In { exprs, plan, .. } => {
+            exprs.iter().any(|e| expr_escapes(e, local)) || plan_is_correlated(plan, local)
+        }
+        Pred::Exists { plan, .. } => plan_is_correlated(plan, local),
+        Pred::And(a, b) | Pred::Or(a, b) => {
+            pred_is_correlated(a, local) || pred_is_correlated(b, local)
+        }
+        Pred::Not(p) => pred_is_correlated(p, local),
+    }
+}
+
+fn expr_escapes(expr: &Expr, local: usize) -> bool {
+    matches!(expr, Expr::Col { depth, .. } if *depth >= local)
+}
+
+/// `true` iff the plan invokes any user predicate (an opaque, possibly
+/// non-deterministic host function): such plans are never cached.
+pub(crate) fn plan_has_user_pred(plan: &Plan) -> bool {
+    match plan {
+        Plan::Scan { .. } => false,
+        Plan::Product { inputs } => inputs.iter().any(plan_has_user_pred),
+        Plan::Distinct { input } => plan_has_user_pred(input),
+        Plan::Filter { input, pred } => plan_has_user_pred(input) || pred_has_user_pred(pred),
+        Plan::Project { input, .. } => plan_has_user_pred(input),
+        Plan::SetOp { left, right, .. } | Plan::HashJoin { left, right, .. } => {
+            plan_has_user_pred(left) || plan_has_user_pred(right)
+        }
+    }
+}
+
+fn pred_has_user_pred(pred: &Pred) -> bool {
+    match pred {
+        Pred::User { .. } => true,
+        Pred::In { plan, .. } | Pred::Exists { plan, .. } => plan_has_user_pred(plan),
+        Pred::And(a, b) | Pred::Or(a, b) => pred_has_user_pred(a) || pred_has_user_pred(b),
+        Pred::Not(p) => pred_has_user_pred(p),
+        _ => false,
+    }
+}

@@ -48,6 +48,7 @@ impl Compiler<'_> {
                         right: Box::new(r.plan),
                     },
                     columns: l.columns,
+                    cache_slots: 0,
                 })
             }
         }
@@ -130,7 +131,7 @@ impl Compiler<'_> {
         let projected = Plan::Project { input: Box::new(filtered), exprs };
         let plan =
             if s.distinct { Plan::Distinct { input: Box::new(projected) } } else { projected };
-        Ok(Prepared { plan, columns })
+        Ok(Prepared { plan, columns, cache_slots: 0 })
     }
 
     // `from_*` here is the FROM clause, not a conversion constructor.
@@ -199,11 +200,11 @@ impl Compiler<'_> {
                         right: sub.columns.len(),
                     });
                 }
-                Pred::In { exprs, plan: Box::new(sub.plan), negated: *negated }
+                Pred::In { exprs, plan: Box::new(sub.plan), negated: *negated, cache: None }
             }
             Condition::Exists(query) => {
                 let sub = self.query(query, true)?;
-                Pred::Exists(Box::new(sub.plan))
+                Pred::Exists { plan: Box::new(sub.plan), early_exit: false, cache: None }
             }
             Condition::And(a, b) => {
                 Pred::And(Box::new(self.condition(a)?), Box::new(self.condition(b)?))
@@ -293,7 +294,7 @@ mod tests {
         let p = compile(&q, &dbv, Dialect::Standard).unwrap();
         // Dig out the inner Filter's comparison.
         let Plan::Project { input, .. } = &p.plan else { panic!() };
-        let Plan::Filter { pred: Pred::Exists(sub), .. } = &**input else { panic!() };
+        let Plan::Filter { pred: Pred::Exists { plan: sub, .. }, .. } = &**input else { panic!() };
         let Plan::Project { input: sub_in, exprs } = &**sub else { panic!() };
         // * under EXISTS became the arbitrary constant.
         assert_eq!(exprs, &vec![Expr::Const(Value::Int(1))]);

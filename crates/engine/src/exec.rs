@@ -2,20 +2,37 @@
 //!
 //! The executor materialises each operator bottom-up (small inputs — the
 //! §4 experiments cap base tables at 50 rows — make this the simplest
-//! correct choice). Correlation is a stack of *frames*: whenever a
-//! `Filter` or `Project` evaluates expressions for a candidate row, it
-//! pushes that row; subplans executed inside predicates therefore see
-//! their outer rows at `depth ≥ 1`.
+//! correct choice), with three scale escapes introduced alongside the
+//! optimizer: hash equi-joins ([`Plan::HashJoin`]) instead of
+//! filter-over-product, memoized uncorrelated subqueries (cache slots
+//! assigned by [`crate::optimize`]), and a streaming cursor that lets
+//! `EXISTS` stop at the first produced row. Correlation is a stack of
+//! *frames*: whenever a `Filter` or `Project` evaluates expressions for
+//! a candidate row, it pushes that row; subplans executed inside
+//! predicates therefore see their outer rows at `depth ≥ 1`.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
 
 use sqlsem_core::{
     CmpOp, Database, Dialect, EvalError, LogicMode, PredicateRegistry, Row, SetOp, Truth, Value,
 };
 
-use crate::plan::{Expr, Plan, Pred};
+use crate::plan::{Expr, JoinKey, Plan, Pred};
+
+/// A memoized subquery result, stored in the slot the optimizer assigned.
+enum CachedSub {
+    /// Materialized rows of an uncorrelated `IN` subquery.
+    Rows(Rc<Vec<Row>>),
+    /// Non-emptiness verdict of an uncorrelated `EXISTS` subquery.
+    Nonempty(bool),
+}
 
 /// The runtime context for one query execution.
+///
+/// Subquery cache slots are scoped to the plan being run: reuse one
+/// executor per prepared plan (as [`crate::Engine::execute`] does), not
+/// across different optimized plans.
 pub struct Executor<'a> {
     /// The database being read.
     pub db: &'a Database,
@@ -25,12 +42,35 @@ pub struct Executor<'a> {
     pub preds: &'a PredicateRegistry,
     /// Correlation frames, innermost last.
     frames: Vec<Row>,
+    /// Memoized uncorrelated subquery results, indexed by cache slot.
+    caches: Vec<Option<CachedSub>>,
+    /// `IN` subplans (by address) whose arity was already validated this
+    /// execution — the check is static, so one walk per site suffices.
+    arity_ok: HashSet<usize>,
+    /// Rows emitted by `Product` and `HashJoin` operators — the
+    /// intermediate-tuple count that the optimizations exist to shrink.
+    produced: usize,
 }
 
 impl<'a> Executor<'a> {
     /// Creates an executor with an empty correlation stack.
     pub fn new(db: &'a Database, logic: LogicMode, preds: &'a PredicateRegistry) -> Self {
-        Executor { db, logic, preds, frames: Vec::new() }
+        Executor {
+            db,
+            logic,
+            preds,
+            frames: Vec::new(),
+            caches: Vec::new(),
+            arity_ok: HashSet::new(),
+            produced: 0,
+        }
+    }
+
+    /// Number of intermediate rows `Product` and `HashJoin` operators
+    /// have emitted so far — instrumentation for asserting that an
+    /// optimization avoided materializing work (no timing involved).
+    pub fn rows_produced(&self) -> usize {
+        self.produced
     }
 
     /// Runs a plan to completion, returning its bag of rows.
@@ -47,6 +87,7 @@ impl<'a> Executor<'a> {
                             next.push(left.concat(right));
                         }
                     }
+                    self.produced += next.len();
                     acc = next;
                 }
                 Ok(acc)
@@ -78,15 +119,57 @@ impl<'a> Executor<'a> {
             }
             Plan::Distinct { input } => {
                 let rows = self.run(input)?;
-                let mut seen = std::collections::HashSet::with_capacity(rows.len());
-                Ok(rows.into_iter().filter(|r| seen.insert(r.clone())).collect())
+                Ok(dedup(rows))
             }
             Plan::SetOp { op, all, left, right } => {
                 let l = self.run(left)?;
                 let r = self.run(right)?;
                 Ok(set_op(*op, *all, l, r))
             }
+            Plan::HashJoin { left, right, keys } => self.hash_join(left, right, keys),
         }
+    }
+
+    /// Build on the right, probe with the left. A key with `NULL` never
+    /// matches under 3VL (and under the conflating 2VL, where *unknown*
+    /// becomes *false*); under the syntactic-equality 2VL `=` compares
+    /// `NULL ≐ NULL` to *true*, so nulls participate like any constant.
+    /// Null-safe keys (`IS NOT DISTINCT FROM`) always match syntactically.
+    fn hash_join(
+        &mut self,
+        left: &Plan,
+        right: &Plan,
+        keys: &[JoinKey],
+    ) -> Result<Vec<Row>, EvalError> {
+        // Left first: the naive product materialises its inputs in
+        // clause order, and error order must not change.
+        let lrows = self.run(left)?;
+        let rrows = self.run(right)?;
+        let null_matches = matches!(self.logic, LogicMode::TwoValuedSyntacticEq);
+        let excluded = |row: &Row, side: fn(&JoinKey) -> usize| {
+            !null_matches && keys.iter().any(|k| !k.null_safe && row[side(k)].is_null())
+        };
+        let mut table: HashMap<Vec<&Value>, Vec<usize>> = HashMap::with_capacity(rrows.len());
+        for (i, row) in rrows.iter().enumerate() {
+            if excluded(row, |k| k.right) {
+                continue;
+            }
+            table.entry(keys.iter().map(|k| &row[k.right]).collect()).or_default().push(i);
+        }
+        let mut out = Vec::new();
+        for lrow in &lrows {
+            if excluded(lrow, |k| k.left) {
+                continue;
+            }
+            let key: Vec<&Value> = keys.iter().map(|k| &lrow[k.left]).collect();
+            if let Some(matches) = table.get(&key) {
+                for &i in matches {
+                    out.push(lrow.concat(&rrows[i]));
+                }
+            }
+        }
+        self.produced += out.len();
+        Ok(out)
     }
 
     fn eval_expr(&self, expr: &Expr) -> Result<Value, EvalError> {
@@ -147,19 +230,27 @@ impl<'a> Executor<'a> {
                 let same = l.syntactic_eq(&r);
                 Ok(if *negated { same } else { same.not() })
             }
-            Pred::In { exprs, plan, negated } => {
+            Pred::In { exprs, plan, negated, cache } => {
                 let values: Vec<Value> =
                     exprs.iter().map(|e| self.eval_expr(e)).collect::<Result<_, _>>()?;
-                let rows = self.run(plan)?;
-                let mut acc = Truth::False;
-                for row in &rows {
-                    if row.arity() != values.len() {
+                // The subplan's arity is a static property of the plan:
+                // check it once per site, up front, so the error verdict
+                // cannot depend on the order of the subquery's rows (and
+                // repeated evaluations don't re-walk the subplan).
+                if !self.arity_ok.contains(&(&**plan as *const Plan as usize)) {
+                    let arity = plan.arity_checked(self.db)?;
+                    if arity != values.len() {
                         return Err(EvalError::ArityMismatch {
                             context: "IN",
                             left: values.len(),
-                            right: row.arity(),
+                            right: arity,
                         });
                     }
+                    self.arity_ok.insert(&**plan as *const Plan as usize);
+                }
+                let rows = self.subquery_rows(plan, *cache)?;
+                let mut acc = Truth::False;
+                for row in rows.iter() {
                     let mut eq = Truth::True;
                     for (v, r) in values.iter().zip(row.iter()) {
                         eq = eq.and(self.compare(v, CmpOp::Eq, r)?);
@@ -171,14 +262,63 @@ impl<'a> Executor<'a> {
                 }
                 Ok(if *negated { acc.not() } else { acc })
             }
-            Pred::Exists(plan) => {
-                let rows = self.run(plan)?;
-                Ok(Truth::from_bool(!rows.is_empty()))
+            Pred::Exists { plan, early_exit, cache } => {
+                if let Some(hit) = cache.and_then(|slot| match self.caches.get(slot) {
+                    Some(Some(CachedSub::Nonempty(b))) => Some(*b),
+                    _ => None,
+                }) {
+                    return Ok(Truth::from_bool(hit));
+                }
+                let nonempty = if *early_exit {
+                    self.subplan_nonempty(plan)?
+                } else {
+                    !self.run(plan)?.is_empty()
+                };
+                if let Some(slot) = *cache {
+                    self.cache_store(slot, CachedSub::Nonempty(nonempty));
+                }
+                Ok(Truth::from_bool(nonempty))
             }
             Pred::And(a, b) => Ok(self.eval_pred(a)?.and(self.eval_pred(b)?)),
             Pred::Or(a, b) => Ok(self.eval_pred(a)?.or(self.eval_pred(b)?)),
             Pred::Not(p) => Ok(self.eval_pred(p)?.not()),
         }
+    }
+
+    /// The materialized rows of an `IN` subquery, memoized when the
+    /// optimizer proved the subplan uncorrelated and deterministic.
+    fn subquery_rows(
+        &mut self,
+        plan: &Plan,
+        cache: Option<usize>,
+    ) -> Result<Rc<Vec<Row>>, EvalError> {
+        if let Some(hit) = cache.and_then(|slot| match self.caches.get(slot) {
+            Some(Some(CachedSub::Rows(rows))) => Some(rows.clone()),
+            _ => None,
+        }) {
+            return Ok(hit);
+        }
+        let rows = Rc::new(self.run(plan)?);
+        if let Some(slot) = cache {
+            self.cache_store(slot, CachedSub::Rows(rows.clone()));
+        }
+        Ok(rows)
+    }
+
+    fn cache_store(&mut self, slot: usize, value: CachedSub) {
+        if self.caches.len() <= slot {
+            self.caches.resize_with(slot + 1, || None);
+        }
+        self.caches[slot] = Some(value);
+    }
+
+    /// `EXISTS` with early exit: pull rows through a streaming cursor and
+    /// stop at the first one, instead of materializing the subquery. Only
+    /// called for subplans the optimizer proved error-free, so the
+    /// skipped evaluations cannot change the error verdict.
+    fn subplan_nonempty(&mut self, plan: &Plan) -> Result<bool, EvalError> {
+        let mut cursor = Cursor::build(self, plan)?;
+        Ok(cursor.next(self)?.is_some())
     }
 
     fn compare(&self, left: &Value, op: CmpOp, right: &Value) -> Result<Truth, EvalError> {
@@ -201,9 +341,119 @@ fn two_valued(t: Truth) -> Truth {
     }
 }
 
+/// A demand-driven row source over a plan: `Scan`s, set operations and
+/// hash joins are materialized up front (in the same order the eager
+/// executor would touch them), but products, filters, projections and
+/// duplicate elimination produce rows one at a time — which is what lets
+/// `EXISTS` stop after the first row of an arbitrarily large product.
+enum Cursor<'p> {
+    Rows(std::vec::IntoIter<Row>),
+    Product {
+        inputs: Vec<Vec<Row>>,
+        /// Odometer over the input row vectors, rightmost digit fastest —
+        /// the same order as the eager nested loops.
+        pos: Vec<usize>,
+        done: bool,
+    },
+    Filter {
+        input: Box<Cursor<'p>>,
+        pred: &'p Pred,
+    },
+    Project {
+        input: Box<Cursor<'p>>,
+        exprs: &'p [Expr],
+    },
+    Distinct {
+        input: Box<Cursor<'p>>,
+        seen: HashSet<Row>,
+    },
+}
+
+impl<'p> Cursor<'p> {
+    fn build(exec: &mut Executor<'_>, plan: &'p Plan) -> Result<Cursor<'p>, EvalError> {
+        Ok(match plan {
+            Plan::Scan { .. } | Plan::SetOp { .. } | Plan::HashJoin { .. } => {
+                Cursor::Rows(exec.run(plan)?.into_iter())
+            }
+            Plan::Product { inputs } => {
+                let inputs: Vec<Vec<Row>> =
+                    inputs.iter().map(|p| exec.run(p)).collect::<Result<_, _>>()?;
+                let done = inputs.iter().any(Vec::is_empty);
+                let pos = vec![0; inputs.len()];
+                Cursor::Product { inputs, pos, done }
+            }
+            Plan::Filter { input, pred } => {
+                Cursor::Filter { input: Box::new(Cursor::build(exec, input)?), pred }
+            }
+            Plan::Project { input, exprs } => {
+                Cursor::Project { input: Box::new(Cursor::build(exec, input)?), exprs }
+            }
+            Plan::Distinct { input } => Cursor::Distinct {
+                input: Box::new(Cursor::build(exec, input)?),
+                seen: HashSet::new(),
+            },
+        })
+    }
+
+    fn next(&mut self, exec: &mut Executor<'_>) -> Result<Option<Row>, EvalError> {
+        match self {
+            Cursor::Rows(rows) => Ok(rows.next()),
+            Cursor::Product { inputs, pos, done } => {
+                if *done {
+                    return Ok(None);
+                }
+                let mut row = Row::empty();
+                for (input, &p) in inputs.iter().zip(pos.iter()) {
+                    row.extend(&input[p]);
+                }
+                exec.produced += 1;
+                // Advance the odometer.
+                *done = true;
+                for (digit, input) in pos.iter_mut().zip(inputs.iter()).rev() {
+                    *digit += 1;
+                    if *digit < input.len() {
+                        *done = false;
+                        break;
+                    }
+                    *digit = 0;
+                }
+                Ok(Some(row))
+            }
+            Cursor::Filter { input, pred } => loop {
+                let Some(row) = input.next(exec)? else { return Ok(None) };
+                exec.frames.push(row);
+                let verdict = exec.eval_pred(pred);
+                let row = exec.frames.pop().expect("frame pushed above");
+                if verdict?.is_true() {
+                    return Ok(Some(row));
+                }
+            },
+            Cursor::Project { input, exprs } => {
+                let Some(row) = input.next(exec)? else { return Ok(None) };
+                exec.frames.push(row);
+                let projected: Result<Row, EvalError> =
+                    exprs.iter().map(|e| exec.eval_expr(e)).collect();
+                exec.frames.pop();
+                Ok(Some(projected?))
+            }
+            Cursor::Distinct { input, seen } => loop {
+                let Some(row) = input.next(exec)? else { return Ok(None) };
+                if !seen.contains(&row) {
+                    seen.insert(row.clone());
+                    return Ok(Some(row));
+                }
+            },
+        }
+    }
+}
+
 /// Hash-count implementations of the Figure 7 set operations — a
 /// different algorithm from the core crate's list-walk versions, on
 /// purpose (independent implementations should not share code paths).
+///
+/// All of them hash *borrowed* rows (as [`sqlsem_core::Table::counts`]
+/// does): a keep-mask is computed over references first, then the kept
+/// rows are moved out — no row is ever cloned, whether kept or dropped.
 fn set_op(op: SetOp, all: bool, left: Vec<Row>, right: Vec<Row>) -> Vec<Row> {
     match (op, all) {
         (SetOp::Union, true) => {
@@ -218,15 +468,17 @@ fn set_op(op: SetOp, all: bool, left: Vec<Row>, right: Vec<Row>) -> Vec<Row> {
         }
         (SetOp::Intersect, all) => {
             let mut counts = count(&right);
-            let mut out = Vec::new();
-            for row in left {
-                if let Some(n) = counts.get_mut(&row) {
-                    if *n > 0 {
+            let keep: Vec<bool> = left
+                .iter()
+                .map(|row| match counts.get_mut(row) {
+                    Some(n) if *n > 0 => {
                         *n -= 1;
-                        out.push(row);
+                        true
                     }
-                }
-            }
+                    _ => false,
+                })
+                .collect();
+            let out = filter_by(left, keep);
             if all {
                 out
             } else {
@@ -235,45 +487,56 @@ fn set_op(op: SetOp, all: bool, left: Vec<Row>, right: Vec<Row>) -> Vec<Row> {
         }
         (SetOp::Except, true) => {
             let mut counts = count(&right);
-            let mut out = Vec::new();
-            for row in left {
-                match counts.get_mut(&row) {
-                    Some(n) if *n > 0 => *n -= 1,
-                    _ => out.push(row),
-                }
-            }
-            out
+            let keep: Vec<bool> = left
+                .iter()
+                .map(|row| match counts.get_mut(row) {
+                    Some(n) if *n > 0 => {
+                        *n -= 1;
+                        false
+                    }
+                    _ => true,
+                })
+                .collect();
+            filter_by(left, keep)
         }
         (SetOp::Except, false) => {
             // ε(left) − right (Figure 7: ε applies to the left operand).
             let counts = count(&right);
-            let mut out = Vec::new();
-            let mut seen = std::collections::HashSet::new();
-            for row in left {
-                if seen.insert(row.clone()) && !counts.contains_key(&row) {
-                    out.push(row);
-                }
-            }
-            out
+            let mut seen = HashSet::with_capacity(left.len());
+            let keep: Vec<bool> =
+                left.iter().map(|row| seen.insert(row) && !counts.contains_key(row)).collect();
+            filter_by(left, keep)
         }
     }
 }
 
-fn count(rows: &[Row]) -> HashMap<Row, usize> {
-    let mut m = HashMap::with_capacity(rows.len());
+/// The multiplicity map of a bag, keyed on borrowed rows.
+fn count(rows: &[Row]) -> HashMap<&Row, usize> {
+    let mut m: HashMap<&Row, usize> = HashMap::with_capacity(rows.len());
     for r in rows {
-        *m.entry(r.clone()).or_insert(0) += 1;
+        *m.entry(r).or_insert(0) += 1;
     }
     m
 }
 
+/// Duplicate elimination `ε` without cloning: first occurrences are
+/// marked over borrowed rows, then moved out.
 fn dedup(rows: Vec<Row>) -> Vec<Row> {
-    let mut seen = std::collections::HashSet::with_capacity(rows.len());
-    rows.into_iter().filter(|r| seen.insert(r.clone())).collect()
+    let mut seen = HashSet::with_capacity(rows.len());
+    let keep: Vec<bool> = rows.iter().map(|r| seen.insert(r)).collect();
+    filter_by(rows, keep)
 }
 
-/// Convenience wrapper: compiles and runs a closed query, returning a
-/// [`sqlsem_core::Table`].
+/// Moves out exactly the rows whose mask entry is `true`.
+fn filter_by(rows: Vec<Row>, keep: Vec<bool>) -> Vec<Row> {
+    let mut keep = keep.into_iter();
+    rows.into_iter().filter(|_| keep.next().expect("mask covers all rows")).collect()
+}
+
+/// Convenience wrapper: compiles and runs a closed query **without** the
+/// optimizer, returning a [`sqlsem_core::Table`]. This is the naive
+/// execution path the optimizer is differentially validated against; the
+/// [`crate::Engine`] facade runs the optimized path by default.
 pub fn execute(
     query: &sqlsem_core::Query,
     db: &Database,
@@ -444,6 +707,157 @@ mod tests {
         check(sel("R").intersect(sel("S"), false), table! { ["A"]; [1] });
         check(sel("R").except(sel("S"), true), table! { ["A"]; [1], [2] });
         check(sel("R").except(sel("S"), false), table! { ["A"]; [2] });
+    }
+
+    #[test]
+    fn in_arity_mismatch_errors_regardless_of_row_order() {
+        // Regression: the executor used to sniff each subquery row's
+        // arity inside the membership loop and break as soon as the
+        // accumulator went true — so a mismatching row *after* a matching
+        // one was silently masked, and the error verdict depended on row
+        // order. The arity is now validated once, from the plan itself.
+        // Only a hand-built inconsistent plan can exhibit mixed arities
+        // (the compiler rejects them), so build one directly: a UNION of
+        // a 1-column scan and a 2-column scan.
+        let schema = Schema::builder().table("U", ["A"]).table("W", ["A", "B"]).build().unwrap();
+        let mut db = Database::new(schema);
+        db.insert("U", table! { ["A"]; [1] }).unwrap();
+        db.insert("W", table! { ["A", "B"]; [2, 3] }).unwrap();
+        let sub = |first: &str, second: &str| Plan::SetOp {
+            op: SetOp::Union,
+            all: true,
+            left: Box::new(Plan::Scan { table: first.into() }),
+            right: Box::new(Plan::Scan { table: second.into() }),
+        };
+        let preds = PredicateRegistry::new();
+        for (first, second) in [("U", "W"), ("W", "U")] {
+            // `1 IN (subquery)`: the matching 1-column row ("U") comes
+            // first in one orientation and last in the other; both must
+            // error identically.
+            let plan = Plan::Filter {
+                input: Box::new(Plan::Scan { table: "U".into() }),
+                pred: Pred::In {
+                    exprs: vec![Expr::Const(Value::Int(1))],
+                    plan: Box::new(sub(first, second)),
+                    negated: false,
+                    cache: None,
+                },
+            };
+            let mut exec = Executor::new(&db, LogicMode::ThreeValued, &preds);
+            let err = exec.run(&plan).unwrap_err();
+            assert!(
+                matches!(err, EvalError::ArityMismatch { .. }),
+                "{first} UNION {second}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn early_exit_exists_does_not_materialize_the_product() {
+        use sqlsem_core::ast::{Condition, FromItem, Query, SelectList, SelectQuery, Term};
+        let schema = Schema::builder().table("R", ["A"]).table("S", ["B"]).build().unwrap();
+        let mut db = Database::new(schema);
+        let rows: Vec<Row> = (0..100).map(|i| row![i]).collect();
+        let hundred = sqlsem_core::Table::with_rows(vec!["A".into()], rows).unwrap();
+        db.insert("R", hundred.clone()).unwrap();
+        db.insert("S", hundred.with_columns(vec!["B".into()]).unwrap()).unwrap();
+        // EXISTS over a 100×100 product.
+        let sub = Query::Select(SelectQuery::new(
+            SelectList::Star,
+            vec![FromItem::base("R", "X"), FromItem::base("S", "Y")],
+        ));
+        let q = Query::Select(
+            SelectQuery::new(
+                SelectList::items([(Term::col("R", "A"), "A")]),
+                vec![FromItem::base("R", "R")],
+            )
+            .filter(Condition::exists(sub)),
+        );
+        let preds = PredicateRegistry::new();
+        let naive = crate::compile::compile(&q, &db, Dialect::Standard).unwrap();
+        let mut exec = Executor::new(&db, LogicMode::ThreeValued, &preds);
+        exec.run(&naive.plan).unwrap();
+        let naive_produced = exec.rows_produced();
+        assert!(naive_produced >= 100 * 100, "naive: {naive_produced}");
+
+        let optimized = crate::optimize::optimize(naive, &db);
+        let mut exec = Executor::new(&db, LogicMode::ThreeValued, &preds);
+        exec.run(&optimized.plan).unwrap();
+        // One probe row per outer candidate at most — and the verdict is
+        // cached after the first, so the product yields a single row.
+        assert!(exec.rows_produced() <= 1, "optimized: {}", exec.rows_produced());
+    }
+
+    #[test]
+    fn uncorrelated_in_subquery_runs_once_not_per_row() {
+        use sqlsem_core::ast::{Condition, FromItem, Query, SelectList, SelectQuery, Term};
+        let schema = Schema::builder().table("R", ["A"]).table("S", ["B"]).build().unwrap();
+        let mut db = Database::new(schema);
+        let rows: Vec<Row> = (0..30).map(|i| row![i]).collect();
+        let thirty = sqlsem_core::Table::with_rows(vec!["A".into()], rows).unwrap();
+        db.insert("R", thirty.clone()).unwrap();
+        db.insert("S", thirty.with_columns(vec!["B".into()]).unwrap()).unwrap();
+        // The IN subquery contains a 30×30 product: per-outer-row
+        // re-execution costs 30 × 900 produced rows, cached costs 900.
+        let sub = Query::Select(SelectQuery::new(
+            SelectList::items([(Term::col("X", "A"), "A")]),
+            vec![FromItem::base("R", "X"), FromItem::base("S", "Y")],
+        ));
+        let q = Query::Select(
+            SelectQuery::new(
+                SelectList::items([(Term::col("R", "A"), "A")]),
+                vec![FromItem::base("R", "R")],
+            )
+            .filter(Condition::in_query([Term::col("R", "A")], sub)),
+        );
+        let preds = PredicateRegistry::new();
+        let naive = crate::compile::compile(&q, &db, Dialect::Standard).unwrap();
+        let mut exec = Executor::new(&db, LogicMode::ThreeValued, &preds);
+        let kept = exec.run(&naive.plan).unwrap().len();
+        assert!(exec.rows_produced() >= 30 * 900, "naive: {}", exec.rows_produced());
+
+        let optimized = crate::optimize::optimize(naive, &db);
+        assert_eq!(optimized.cache_slots, 1);
+        let mut exec = Executor::new(&db, LogicMode::ThreeValued, &preds);
+        assert_eq!(exec.run(&optimized.plan).unwrap().len(), kept);
+        // One subquery execution: 30 rows after the first input, 900
+        // after the second. The naive plan pays that 930 per outer row.
+        assert!(exec.rows_produced() <= 930, "cached: {}", exec.rows_produced());
+    }
+
+    #[test]
+    fn hash_join_null_keys_follow_the_logic_mode() {
+        let schema = Schema::builder().table("R", ["A"]).table("S", ["A"]).build().unwrap();
+        let mut db = Database::new(schema.clone());
+        db.insert("R", table! { ["A"]; [1], [Value::Null] }).unwrap();
+        db.insert("S", table! { ["A"]; [1], [Value::Null], [Value::Null] }).unwrap();
+        let q = sqlsem_parser::compile("SELECT * FROM R x, S y WHERE x.A = y.A", &schema).unwrap();
+        let plan = |engine: &crate::Engine<'_>| engine.prepare(&q).unwrap().plan;
+        let engine = crate::Engine::new(&db).with_dialect(Dialect::PostgreSql);
+        assert!(
+            matches!(plan(&engine), Plan::Project { input, .. } if matches!(*input, Plan::HashJoin { .. })),
+        );
+        // 3VL and the conflating 2VL: NULL = NULL is not true, one match.
+        for logic in [LogicMode::ThreeValued, LogicMode::TwoValuedConflate] {
+            let out = engine.clone().with_logic(logic).execute(&q).unwrap();
+            assert_eq!(out.len(), 1, "{logic:?}:\n{out}");
+            assert_eq!(out.multiplicity(&row![1, 1]), 1);
+        }
+        // Syntactic-equality 2VL: NULL ≐ NULL holds, so the null row of R
+        // joins both null rows of S.
+        let out = engine.clone().with_logic(LogicMode::TwoValuedSyntacticEq).execute(&q).unwrap();
+        assert_eq!(out.len(), 3, "{out}");
+        assert_eq!(out.multiplicity(&row![Value::Null, Value::Null]), 2);
+        // IS NOT DISTINCT FROM joins nulls under *every* logic mode.
+        let q2 = sqlsem_parser::compile(
+            "SELECT * FROM R x, S y WHERE x.A IS NOT DISTINCT FROM y.A",
+            &schema,
+        )
+        .unwrap();
+        for logic in LogicMode::ALL {
+            let out = engine.clone().with_logic(logic).execute(&q2).unwrap();
+            assert_eq!(out.len(), 3, "{logic:?}:\n{out}");
+        }
     }
 
     #[test]

@@ -54,6 +54,40 @@ fn explain_plan(plan: &Plan, level: usize, out: &mut String) {
             explain_plan(left, level + 1, out);
             explain_plan(right, level + 1, out);
         }
+        Plan::HashJoin { left, right, keys } => {
+            let rendered: Vec<String> = keys
+                .iter()
+                .map(|k| {
+                    format!(
+                        "left.{} {} right.{}",
+                        k.left,
+                        if k.null_safe { "<=>" } else { "=" },
+                        k.right
+                    )
+                })
+                .collect();
+            let _ = writeln!(out, "HashJoin on [{}]", rendered.join(", "));
+            explain_plan(left, level + 1, out);
+            explain_plan(right, level + 1, out);
+        }
+    }
+}
+
+/// The optimizer annotations of a subquery predicate, rendered after its
+/// label: whether the subplan result is cached across outer rows, and
+/// (for `EXISTS`) whether execution may stop at the first row.
+fn annotations(early_exit: bool, cache: Option<usize>) -> String {
+    let mut notes = Vec::new();
+    if early_exit {
+        notes.push("early-exit".to_string());
+    }
+    if let Some(slot) = cache {
+        notes.push(format!("cached #{slot}"));
+    }
+    if notes.is_empty() {
+        String::new()
+    } else {
+        format!(", {}", notes.join(", "))
     }
 }
 
@@ -61,14 +95,14 @@ fn explain_plan(plan: &Plan, level: usize, out: &mut String) {
 /// the filter, labelled.
 fn explain_subplans(pred: &Pred, level: usize, out: &mut String) {
     match pred {
-        Pred::In { plan, .. } => {
+        Pred::In { plan, cache, .. } => {
             indent(level, out);
-            out.push_str("[IN subplan]\n");
+            let _ = writeln!(out, "[IN subplan{}]", annotations(false, *cache));
             explain_plan(plan, level + 1, out);
         }
-        Pred::Exists(plan) => {
+        Pred::Exists { plan, early_exit, cache } => {
             indent(level, out);
-            out.push_str("[EXISTS subplan]\n");
+            let _ = writeln!(out, "[EXISTS subplan{}]", annotations(*early_exit, *cache));
             explain_plan(plan, level + 1, out);
         }
         Pred::And(a, b) | Pred::Or(a, b) => {
@@ -118,7 +152,7 @@ fn render_pred(pred: &Pred) -> String {
             let rendered: Vec<String> = exprs.iter().map(render_expr).collect();
             format!("({}) {}IN <subplan>", rendered.join(", "), if *negated { "NOT " } else { "" })
         }
-        Pred::Exists(_) => "EXISTS <subplan>".into(),
+        Pred::Exists { .. } => "EXISTS <subplan>".into(),
         Pred::And(a, b) => format!("({} AND {})", render_pred(a), render_pred(b)),
         Pred::Or(a, b) => format!("({} OR {})", render_pred(a), render_pred(b)),
         Pred::Not(p) => format!("NOT {}", render_pred(p)),
@@ -151,6 +185,24 @@ mod tests {
         assert!(text.contains("Scan S"), "{text}");
         // The correlated reference prints with its depth.
         assert!(text.contains("#1.0"), "{text}");
+    }
+
+    #[test]
+    fn explain_renders_optimizer_decisions() {
+        let schema = Schema::builder().table("R", ["A", "B"]).table("S", ["A"]).build().unwrap();
+        let db = Database::new(schema.clone());
+        let q = compile(
+            "SELECT R.B FROM R, S WHERE R.A = S.A AND R.B = 1 AND \
+             R.A IN (SELECT S.A FROM S)",
+            &schema,
+        )
+        .unwrap();
+        let text = crate::Engine::new(&db).explain(&q).unwrap();
+        assert!(text.contains("HashJoin on [left.0 = right.0]"), "{text}");
+        // The single-input conjuncts were pushed below the join…
+        assert!(text.contains("Filter (#0.1 = 1 AND (#0.0) IN <subplan>)"), "{text}");
+        // …and the uncorrelated IN subquery is cached.
+        assert!(text.contains("[IN subplan, cached #0]"), "{text}");
     }
 
     #[test]

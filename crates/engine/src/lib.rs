@@ -44,9 +44,11 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod analysis;
 pub mod compile;
 pub mod exec;
 pub mod explain;
+pub mod optimize;
 pub mod plan;
 
 use sqlsem_core::{Database, Dialect, EvalError, LogicMode, PredicateRegistry, Query, Table};
@@ -54,7 +56,8 @@ use sqlsem_core::{Database, Dialect, EvalError, LogicMode, PredicateRegistry, Qu
 pub use compile::compile as compile_plan;
 pub use exec::Executor;
 pub use explain::explain;
-pub use plan::{Expr, Plan, Pred, Prepared};
+pub use optimize::optimize;
+pub use plan::{Expr, JoinKey, Plan, Pred, Prepared};
 
 /// The engine facade: a database plus dialect/logic configuration,
 /// mirroring [`sqlsem_core::Evaluator`]'s interface so the validation
@@ -65,16 +68,19 @@ pub struct Engine<'a> {
     dialect: Dialect,
     logic: LogicMode,
     preds: PredicateRegistry,
+    optimize: bool,
 }
 
 impl<'a> Engine<'a> {
-    /// An engine with Standard dialect and three-valued logic.
+    /// An engine with Standard dialect, three-valued logic and the
+    /// optimizer enabled.
     pub fn new(db: &'a Database) -> Self {
         Engine {
             db,
             dialect: Dialect::Standard,
             logic: LogicMode::ThreeValued,
             preds: PredicateRegistry::new(),
+            optimize: true,
         }
     }
 
@@ -99,25 +105,43 @@ impl<'a> Engine<'a> {
         self
     }
 
+    /// Enables or disables the optimizing pass ([`optimize`]): predicate
+    /// pushdown, hash equi-joins, subquery caching and `EXISTS` early
+    /// exit. On by default; turning it off gives the structurally naive
+    /// plan, which is the baseline the optimizer is differentially
+    /// validated against.
+    #[must_use]
+    pub fn with_optimizations(mut self, optimize: bool) -> Self {
+        self.optimize = optimize;
+        self
+    }
+
     /// The dialect in effect.
     pub fn dialect(&self) -> Dialect {
         self.dialect
     }
 
-    /// Compiles a query to a physical plan without running it.
+    /// Compiles a query to a physical plan without running it (optimized
+    /// unless [`Engine::with_optimizations`] turned the pass off).
     pub fn prepare(&self, query: &Query) -> Result<Prepared, EvalError> {
-        compile::compile(query, self.db, self.dialect)
+        let prepared = compile::compile(query, self.db, self.dialect)?;
+        Ok(if self.optimize { optimize::optimize(prepared, self.db) } else { prepared })
     }
 
     /// `EXPLAIN`: the compiled plan as an indented operator tree, with
-    /// positional references rendered as `#depth.index`.
+    /// positional references rendered as `#depth.index` and optimizer
+    /// decisions (hash joins, pushed filters, subquery caching and early
+    /// exit) visible as operators and annotations.
     pub fn explain(&self, query: &Query) -> Result<String, EvalError> {
         Ok(explain::explain(&self.prepare(query)?))
     }
 
     /// Compiles and executes a closed query.
     pub fn execute(&self, query: &Query) -> Result<Table, EvalError> {
-        exec::execute(query, self.db, self.dialect, self.logic, &self.preds)
+        let prepared = self.prepare(query)?;
+        let mut exec = Executor::new(self.db, self.logic, &self.preds);
+        let rows = exec.run(&prepared.plan)?;
+        Table::with_rows(prepared.columns, rows)
     }
 }
 

@@ -1,0 +1,613 @@
+//! The optimizing pass: naive plan → pushed-down, hash-joined, cached plan.
+//!
+//! The compiler ([`crate::compile`]) emits a structurally naive plan —
+//! one `Product` per `FROM` clause with the whole `WHERE` in a single
+//! `Filter` on top, and subquery predicates that re-execute their
+//! subplans per outer row. This pass rewrites that plan into something an
+//! RDBMS would run, while staying *invisible* under the §4 coincidence
+//! criterion (same rows, same multiplicities, same error verdicts):
+//!
+//! 1. **Conjunct splitting + predicate pushdown.** A `Filter` over a
+//!    `Product` is split into its top-level conjuncts; each conjunct
+//!    whose depth-0 column references fall inside a single product input
+//!    is pushed down to a `Filter` directly over that input (references
+//!    are re-indexed, including those reaching the product row from
+//!    inside nested subqueries).
+//! 2. **Hash equi-joins.** Conjuncts of the form `col = col` (or the
+//!    null-safe `col IS NOT DISTINCT FROM col`) spanning two different
+//!    inputs become [`Plan::HashJoin`] keys; the product is rebuilt as a
+//!    left-deep chain of hash joins (and residual cross products), in the
+//!    original input order so the row layout is unchanged.
+//! 3. **Subquery caching.** `IN`/`EXISTS` subplans that are uncorrelated
+//!    (no references escaping the subplan) and deterministic (no user
+//!    predicates) get a cache slot: they run once per query instead of
+//!    once per candidate row.
+//! 4. **`EXISTS` early exit.** Provably error-free `EXISTS` subplans are
+//!    marked so the executor may stop after the first produced row
+//!    instead of materializing the subquery.
+//!
+//! Steps 1, 2 and 4 change *when* (or whether) predicate sites get
+//! evaluated, which is observable through runtime errors — so they only
+//! apply where [`crate::analysis`] proves every affected conjunct and
+//! subplan total. Step 3 only changes *how often* a deterministic subplan
+//! runs, so it applies independently of totality. The differential
+//! gauntlet (`optimizer_gauntlet`) and the `optimizer_equivalence`
+//! property suite hold this pass to the coincidence criterion on
+//! thousands of generated queries.
+
+use sqlsem_core::{CmpOp, Database};
+
+use crate::analysis::{
+    col_types, plan_has_user_pred, plan_is_correlated, plan_total, pred_total, TypeFrames,
+};
+use crate::plan::{Expr, JoinKey, Plan, Pred, Prepared};
+
+/// Optimizes a compiled plan. The result computes the same function as
+/// the input — same rows, same multiplicities, same error verdicts —
+/// under every dialect and logic mode.
+pub fn optimize(prepared: Prepared, db: &Database) -> Prepared {
+    let mut opt = Optimizer { db, frames: Vec::new(), slots: 0 };
+    let plan = opt.plan(prepared.plan);
+    Prepared { plan, columns: prepared.columns, cache_slots: opt.slots }
+}
+
+struct Optimizer<'a> {
+    db: &'a Database,
+    /// Compile-time type frames mirroring the runtime correlation stack.
+    frames: TypeFrames,
+    /// Next free subquery cache slot.
+    slots: usize,
+}
+
+impl Optimizer<'_> {
+    fn plan(&mut self, plan: Plan) -> Plan {
+        match plan {
+            Plan::Scan { .. } => plan,
+            Plan::Product { inputs } => {
+                Plan::Product { inputs: inputs.into_iter().map(|p| self.plan(p)).collect() }
+            }
+            Plan::Distinct { input } => Plan::Distinct { input: Box::new(self.plan(*input)) },
+            Plan::SetOp { op, all, left, right } => Plan::SetOp {
+                op,
+                all,
+                left: Box::new(self.plan(*left)),
+                right: Box::new(self.plan(*right)),
+            },
+            Plan::HashJoin { left, right, keys } => Plan::HashJoin {
+                left: Box::new(self.plan(*left)),
+                right: Box::new(self.plan(*right)),
+                keys,
+            },
+            Plan::Project { input, exprs } => {
+                Plan::Project { input: Box::new(self.plan(*input)), exprs }
+            }
+            Plan::Filter { input, pred } => {
+                let input = self.plan(*input);
+                let input_types = col_types(&input, &mut self.frames, self.db);
+                // Annotate the predicate's subqueries (and optimize their
+                // plans) under the filter's own frame.
+                self.frames.push(input_types);
+                let pred = self.pred(pred);
+                self.frames.pop();
+                match input {
+                    Plan::Product { inputs } => self.reorder(inputs, pred),
+                    input => Plan::Filter { input: Box::new(input), pred },
+                }
+            }
+        }
+    }
+
+    /// Rewrites `IN`/`EXISTS` subqueries inside a predicate: optimizes
+    /// their subplans, assigns cache slots to uncorrelated deterministic
+    /// ones, and marks error-free `EXISTS` subplans for early exit.
+    /// `self.frames` must already include the enclosing filter's frame.
+    fn pred(&mut self, pred: Pred) -> Pred {
+        match pred {
+            Pred::In { exprs, plan, negated, cache: _ } => {
+                let plan = self.plan(*plan);
+                let cache = self.cache_slot(&plan);
+                Pred::In { exprs, plan: Box::new(plan), negated, cache }
+            }
+            Pred::Exists { plan, early_exit: _, cache: _ } => {
+                let plan = self.plan(*plan);
+                let cache = self.cache_slot(&plan);
+                let early_exit = plan_total(&plan, &mut self.frames, self.db);
+                Pred::Exists { plan: Box::new(plan), early_exit, cache }
+            }
+            Pred::And(a, b) => Pred::And(Box::new(self.pred(*a)), Box::new(self.pred(*b))),
+            Pred::Or(a, b) => Pred::Or(Box::new(self.pred(*a)), Box::new(self.pred(*b))),
+            Pred::Not(p) => Pred::Not(Box::new(self.pred(*p))),
+            leaf => leaf,
+        }
+    }
+
+    /// A fresh cache slot if the subplan may be materialized once and
+    /// reused across outer rows: it must not read enclosing frames and
+    /// must not invoke user predicates (determinism).
+    fn cache_slot(&mut self, plan: &Plan) -> Option<usize> {
+        if plan_is_correlated(plan, 0) || plan_has_user_pred(plan) {
+            return None;
+        }
+        let slot = self.slots;
+        self.slots += 1;
+        Some(slot)
+    }
+
+    /// The heart of the pass: `Filter` over `Product` becomes pushed
+    /// filters + a left-deep hash-join chain + a residual filter.
+    fn reorder(&mut self, inputs: Vec<Plan>, pred: Pred) -> Plan {
+        let widths: Vec<usize> = inputs.iter().map(|p| p.arity(self.db)).collect();
+        let offsets: Vec<usize> = widths
+            .iter()
+            .scan(0, |acc, w| {
+                let off = *acc;
+                *acc += w;
+                Some(off)
+            })
+            .collect();
+
+        let conjuncts = split_and(pred);
+
+        // The whole conjunction must be provably error-free before any
+        // reordering: a pushed conjunct may run on rows the naive plan
+        // never filtered (another input empty), and pushed filtering may
+        // starve a later error-raising conjunct of the row that would
+        // have made it error. Either way an error verdict flips.
+        let product_types: Vec<_> =
+            inputs.iter().flat_map(|p| col_types(p, &mut self.frames, self.db)).collect();
+        self.frames.push(product_types);
+        let total = conjuncts.iter().all(|c| pred_total(c, &mut self.frames, self.db));
+        self.frames.pop();
+        if !total {
+            let pred = and_all(conjuncts).expect("split of a predicate is non-empty");
+            return Plan::Filter { input: Box::new(Plan::Product { inputs }), pred };
+        }
+
+        let input_of = |col: usize| offsets.iter().rposition(|off| *off <= col).unwrap_or(0);
+
+        let mut pushed: Vec<Vec<Pred>> = inputs.iter().map(|_| Vec::new()).collect();
+        let mut joins: Vec<(usize, JoinKey)> = Vec::new(); // (later input, key w/ global cols)
+        let mut residual: Vec<Pred> = Vec::new();
+
+        for conjunct in conjuncts {
+            // Join candidate: an equality between plain columns of two
+            // different inputs.
+            if let Some((l, r, null_safe)) = equi_join_shape(&conjunct) {
+                let (li, ri) = (input_of(l), input_of(r));
+                if li != ri {
+                    let (first, later) = if li < ri { (l, r) } else { (r, l) };
+                    let later_input = input_of(later);
+                    joins.push((
+                        later_input,
+                        JoinKey { left: first, right: later - offsets[later_input], null_safe },
+                    ));
+                    continue;
+                }
+            }
+            let refs = product_refs(&conjunct, 0);
+            let covering: Vec<usize> = {
+                let mut is: Vec<usize> = refs.iter().map(|c| input_of(*c)).collect();
+                is.dedup();
+                is
+            };
+            match covering.as_slice() {
+                // No reference to the product row: evaluate as early as
+                // possible, on the first input.
+                [] => pushed[0].push(conjunct),
+                [i] => {
+                    let i = *i;
+                    pushed[i].push(remap_pred(conjunct, 0, offsets[i]));
+                }
+                _ => residual.push(conjunct),
+            }
+        }
+
+        if joins.is_empty() && pushed.iter().all(Vec::is_empty) {
+            // Nothing moved: keep the naive shape.
+            let pred = and_all(residual).expect("all conjuncts residual");
+            return Plan::Filter { input: Box::new(Plan::Product { inputs }), pred };
+        }
+
+        // Apply the pushed filters, then fold inputs left to right:
+        // hash-join where keys exist, cross product otherwise. The chain
+        // preserves the original concatenation layout, so residual
+        // predicates and the projection above need no re-indexing.
+        let mut filtered: Vec<Plan> = Vec::with_capacity(inputs.len());
+        for (input, preds) in inputs.into_iter().zip(pushed) {
+            filtered.push(match and_all(preds) {
+                Some(pred) => Plan::Filter { input: Box::new(input), pred },
+                None => input,
+            });
+        }
+
+        if joins.is_empty() {
+            let product = Plan::Product { inputs: filtered };
+            return match and_all(residual) {
+                Some(pred) => Plan::Filter { input: Box::new(product), pred },
+                None => product,
+            };
+        }
+
+        let mut chain: Option<Plan> = None;
+        for (i, input) in filtered.into_iter().enumerate() {
+            chain = Some(match chain {
+                None => input,
+                Some(left) => {
+                    let keys: Vec<JoinKey> =
+                        joins.iter().filter(|(at, _)| *at == i).map(|(_, k)| *k).collect();
+                    if keys.is_empty() {
+                        Plan::Product { inputs: vec![left, input] }
+                    } else {
+                        Plan::HashJoin { left: Box::new(left), right: Box::new(input), keys }
+                    }
+                }
+            });
+        }
+        let chain = chain.expect("FROM clause has at least one input");
+        match and_all(residual) {
+            Some(pred) => Plan::Filter { input: Box::new(chain), pred },
+            None => chain,
+        }
+    }
+}
+
+/// Flattens the top-level conjunction, preserving evaluation order.
+fn split_and(pred: Pred) -> Vec<Pred> {
+    match pred {
+        Pred::And(a, b) => {
+            let mut out = split_and(*a);
+            out.extend(split_and(*b));
+            out
+        }
+        p => vec![p],
+    }
+}
+
+/// Re-folds conjuncts left-associatively; `None` for an empty list.
+fn and_all(conjuncts: Vec<Pred>) -> Option<Pred> {
+    conjuncts.into_iter().reduce(|a, b| Pred::And(Box::new(a), Box::new(b)))
+}
+
+/// Matches `#0.l = #0.r` (null_safe = false) and
+/// `#0.l IS NOT DISTINCT FROM #0.r` (null_safe = true).
+fn equi_join_shape(pred: &Pred) -> Option<(usize, usize, bool)> {
+    match pred {
+        Pred::Cmp {
+            left: Expr::Col { depth: 0, index: l },
+            op: CmpOp::Eq,
+            right: Expr::Col { depth: 0, index: r },
+        } => Some((*l, *r, false)),
+        Pred::IsDistinct {
+            left: Expr::Col { depth: 0, index: l },
+            right: Expr::Col { depth: 0, index: r },
+            negated: true,
+        } => Some((*l, *r, true)),
+        _ => None,
+    }
+}
+
+/// All product-row columns the conjunct reads, i.e. every column
+/// reference whose depth resolves to the filter frame — including
+/// references made from inside nested subqueries, whose depths are
+/// correspondingly larger. `target` is the depth at which the current
+/// context sees the filter frame (0 at the conjunct's top level).
+fn product_refs(pred: &Pred, target: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    collect_pred_refs(pred, target, &mut out);
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+fn collect_pred_refs(pred: &Pred, target: usize, out: &mut Vec<usize>) {
+    let mut expr = |e: &Expr| {
+        if let Expr::Col { depth, index } = e {
+            if *depth == target {
+                out.push(*index);
+            }
+        }
+    };
+    match pred {
+        Pred::True | Pred::False => {}
+        Pred::Cmp { left, right, .. } | Pred::IsDistinct { left, right, .. } => {
+            expr(left);
+            expr(right);
+        }
+        Pred::Like { term, pattern, .. } => {
+            expr(term);
+            expr(pattern);
+        }
+        Pred::User { args, .. } => args.iter().for_each(&mut expr),
+        Pred::IsNull { expr: e, .. } => expr(e),
+        Pred::In { exprs, plan, .. } => {
+            exprs.iter().for_each(&mut expr);
+            collect_plan_refs(plan, target, out);
+        }
+        Pred::Exists { plan, .. } => collect_plan_refs(plan, target, out),
+        Pred::And(a, b) | Pred::Or(a, b) => {
+            collect_pred_refs(a, target, out);
+            collect_pred_refs(b, target, out);
+        }
+        Pred::Not(p) => collect_pred_refs(p, target, out),
+    }
+}
+
+/// Walks a subplan looking for references that resolve to the filter
+/// frame. Each `Filter`/`Project` inside the subplan pushes one more
+/// runtime frame around its expressions, so the target depth grows by
+/// one when descending into them.
+fn collect_plan_refs(plan: &Plan, target: usize, out: &mut Vec<usize>) {
+    match plan {
+        Plan::Scan { .. } => {}
+        Plan::Product { inputs } => {
+            inputs.iter().for_each(|p| collect_plan_refs(p, target, out));
+        }
+        Plan::Distinct { input } => collect_plan_refs(input, target, out),
+        Plan::Filter { input, pred } => {
+            collect_plan_refs(input, target, out);
+            collect_pred_refs(pred, target + 1, out);
+        }
+        Plan::Project { input, exprs } => {
+            collect_plan_refs(input, target, out);
+            for e in exprs {
+                if let Expr::Col { depth, index } = e {
+                    if *depth == target + 1 {
+                        out.push(*index);
+                    }
+                }
+            }
+        }
+        Plan::SetOp { left, right, .. } | Plan::HashJoin { left, right, .. } => {
+            collect_plan_refs(left, target, out);
+            collect_plan_refs(right, target, out);
+        }
+    }
+}
+
+/// Rewrites a conjunct being pushed from the product's filter down to a
+/// single input's filter: every reference to the product row (at the
+/// tracked target depth) has the input's column offset subtracted.
+/// References to enclosing blocks keep their depths — the correlation
+/// stack below the filter frame is identical in both positions.
+fn remap_pred(pred: Pred, target: usize, offset: usize) -> Pred {
+    let expr = |e: Expr| remap_expr(e, target, offset);
+    match pred {
+        Pred::True | Pred::False => pred,
+        Pred::Cmp { left, op, right } => Pred::Cmp { left: expr(left), op, right: expr(right) },
+        Pred::Like { term, pattern, negated } => {
+            Pred::Like { term: expr(term), pattern: expr(pattern), negated }
+        }
+        Pred::User { name, args } => {
+            Pred::User { name, args: args.into_iter().map(expr).collect() }
+        }
+        Pred::IsNull { expr: e, negated } => Pred::IsNull { expr: expr(e), negated },
+        Pred::IsDistinct { left, right, negated } => {
+            Pred::IsDistinct { left: expr(left), right: expr(right), negated }
+        }
+        Pred::In { exprs, plan, negated, cache } => Pred::In {
+            exprs: exprs.into_iter().map(expr).collect(),
+            plan: Box::new(remap_plan(*plan, target, offset)),
+            negated,
+            cache,
+        },
+        Pred::Exists { plan, early_exit, cache } => {
+            Pred::Exists { plan: Box::new(remap_plan(*plan, target, offset)), early_exit, cache }
+        }
+        Pred::And(a, b) => Pred::And(
+            Box::new(remap_pred(*a, target, offset)),
+            Box::new(remap_pred(*b, target, offset)),
+        ),
+        Pred::Or(a, b) => Pred::Or(
+            Box::new(remap_pred(*a, target, offset)),
+            Box::new(remap_pred(*b, target, offset)),
+        ),
+        Pred::Not(p) => Pred::Not(Box::new(remap_pred(*p, target, offset))),
+    }
+}
+
+fn remap_plan(plan: Plan, target: usize, offset: usize) -> Plan {
+    match plan {
+        Plan::Scan { .. } => plan,
+        Plan::Product { inputs } => Plan::Product {
+            inputs: inputs.into_iter().map(|p| remap_plan(p, target, offset)).collect(),
+        },
+        Plan::Distinct { input } => {
+            Plan::Distinct { input: Box::new(remap_plan(*input, target, offset)) }
+        }
+        Plan::Filter { input, pred } => Plan::Filter {
+            input: Box::new(remap_plan(*input, target, offset)),
+            pred: remap_pred(pred, target + 1, offset),
+        },
+        Plan::Project { input, exprs } => Plan::Project {
+            input: Box::new(remap_plan(*input, target, offset)),
+            exprs: exprs.into_iter().map(|e| remap_expr(e, target + 1, offset)).collect(),
+        },
+        Plan::SetOp { op, all, left, right } => Plan::SetOp {
+            op,
+            all,
+            left: Box::new(remap_plan(*left, target, offset)),
+            right: Box::new(remap_plan(*right, target, offset)),
+        },
+        Plan::HashJoin { left, right, keys } => Plan::HashJoin {
+            left: Box::new(remap_plan(*left, target, offset)),
+            right: Box::new(remap_plan(*right, target, offset)),
+            keys,
+        },
+    }
+}
+
+fn remap_expr(expr: Expr, target: usize, offset: usize) -> Expr {
+    match expr {
+        Expr::Col { depth, index } if depth == target => Expr::Col { depth, index: index - offset },
+        e => e,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlsem_core::{table, Dialect, Schema, Value};
+    use sqlsem_parser::compile as sql;
+
+    fn db() -> Database {
+        let schema =
+            Schema::builder().table("R", ["A", "B"]).table("S", ["A", "C"]).build().unwrap();
+        let mut db = Database::new(schema);
+        db.insert("R", table! { ["A", "B"]; [1, 2], [Value::Null, 3] }).unwrap();
+        db.insert("S", table! { ["A", "C"]; [1, 9], [4, 8] }).unwrap();
+        db
+    }
+
+    fn prepare(text: &str, db: &Database) -> Prepared {
+        let schema = db.schema().clone();
+        let q = sql(text, &schema).unwrap();
+        let naive = crate::compile::compile(&q, db, Dialect::Standard).unwrap();
+        optimize(naive, db)
+    }
+
+    fn count_ops(plan: &Plan, pred: &mut dyn FnMut(&Plan) -> bool) -> usize {
+        let mut n = usize::from(pred(plan));
+        match plan {
+            Plan::Scan { .. } => {}
+            Plan::Product { inputs } => {
+                n += inputs.iter().map(|p| count_ops(p, pred)).sum::<usize>();
+            }
+            Plan::Filter { input, .. } | Plan::Distinct { input } => {
+                n += count_ops(input, pred);
+            }
+            Plan::Project { input, .. } => n += count_ops(input, pred),
+            Plan::SetOp { left, right, .. } | Plan::HashJoin { left, right, .. } => {
+                n += count_ops(left, pred) + count_ops(right, pred);
+            }
+        }
+        n
+    }
+
+    #[test]
+    fn equality_conjunct_becomes_hash_join_and_rest_is_pushed() {
+        let db = db();
+        let p = prepare("SELECT R.B, S.C FROM R, S WHERE R.A = S.A AND R.B = 2 AND S.C > 0", &db);
+        assert_eq!(count_ops(&p.plan, &mut |p| matches!(p, Plan::HashJoin { .. })), 1);
+        assert_eq!(count_ops(&p.plan, &mut |p| matches!(p, Plan::Product { .. })), 0);
+        // Both single-input conjuncts were pushed below the join.
+        let Plan::Project { input, .. } = &p.plan else { panic!("{:?}", p.plan) };
+        let Plan::HashJoin { left, right, keys } = &**input else { panic!("{input:?}") };
+        assert_eq!(keys, &vec![JoinKey { left: 0, right: 0, null_safe: false }]);
+        assert!(matches!(&**left, Plan::Filter { .. }), "{left:?}");
+        assert!(matches!(&**right, Plan::Filter { .. }), "{right:?}");
+    }
+
+    #[test]
+    fn is_not_distinct_from_becomes_null_safe_key() {
+        let db = db();
+        let p = prepare("SELECT R.A FROM R, S WHERE R.A IS NOT DISTINCT FROM S.A", &db);
+        let Plan::Project { input, .. } = &p.plan else { panic!() };
+        let Plan::HashJoin { keys, .. } = &**input else { panic!("{input:?}") };
+        assert_eq!(keys, &vec![JoinKey { left: 0, right: 0, null_safe: true }]);
+    }
+
+    #[test]
+    fn uncorrelated_subqueries_get_cache_slots_correlated_do_not() {
+        let db = db();
+        let p = prepare(
+            "SELECT R.A FROM R WHERE R.A IN (SELECT S.A FROM S) \
+             AND EXISTS (SELECT * FROM S WHERE S.A = R.A)",
+            &db,
+        );
+        assert_eq!(p.cache_slots, 1);
+        let Plan::Project { input, .. } = &p.plan else { panic!() };
+        let Plan::Filter { pred, .. } = &**input else { panic!("{input:?}") };
+        let Pred::And(a, b) = pred else { panic!("{pred:?}") };
+        let Pred::In { cache, .. } = &**a else { panic!("{a:?}") };
+        assert_eq!(*cache, Some(0));
+        let Pred::Exists { cache, early_exit, .. } = &**b else { panic!("{b:?}") };
+        assert_eq!(*cache, None, "correlated EXISTS must not be cached");
+        assert!(*early_exit, "error-free EXISTS subplan may stop early");
+    }
+
+    #[test]
+    fn error_prone_conjunctions_are_not_reordered() {
+        // `R.A = 'x'` can raise a type-mismatch error at runtime (R.A
+        // holds integers), so nothing in this WHERE may move: pushing
+        // `R.A = S.A` could starve the error of the row that raises it.
+        let db = db();
+        let p = prepare("SELECT R.A FROM R, S WHERE R.A = S.A AND R.A = 'x'", &db);
+        assert_eq!(count_ops(&p.plan, &mut |p| matches!(p, Plan::HashJoin { .. })), 0);
+        assert_eq!(count_ops(&p.plan, &mut |p| matches!(p, Plan::Product { .. })), 1);
+        let Plan::Project { input, .. } = &p.plan else { panic!() };
+        assert!(
+            matches!(&**input, Plan::Filter { input, .. } if matches!(&**input, Plan::Product { .. })),
+            "{input:?}"
+        );
+    }
+
+    #[test]
+    fn like_over_integer_columns_disables_early_exit() {
+        let db = db();
+        let p = prepare("SELECT R.A FROM R WHERE EXISTS (SELECT * FROM S WHERE S.A LIKE 'x')", &db);
+        let Plan::Project { input, .. } = &p.plan else { panic!() };
+        let Plan::Filter { pred, .. } = &**input else { panic!("{input:?}") };
+        let Pred::Exists { early_exit, cache, .. } = pred else { panic!("{pred:?}") };
+        assert!(!*early_exit, "LIKE on an integer column can error row-by-row");
+        // … but caching is still sound: the subplan is uncorrelated and
+        // deterministic, so every execution raises the same verdict.
+        assert_eq!(*cache, Some(0));
+    }
+
+    #[test]
+    fn correlated_conjuncts_push_into_the_covering_input() {
+        // The correlated comparison only reads T (the subquery's second
+        // input), so it must sink into T's own filter even though it also
+        // reads the outer row.
+        let db = db();
+        let p = prepare(
+            "SELECT R.A FROM R WHERE EXISTS (SELECT * FROM S, R T WHERE T.B = R.B AND S.A = T.A)",
+            &db,
+        );
+        let Plan::Project { input, .. } = &p.plan else { panic!() };
+        let Plan::Filter { pred, .. } = &**input else { panic!("{input:?}") };
+        let Pred::Exists { plan, .. } = pred else { panic!("{pred:?}") };
+        // Inside the subplan: HashJoin(S, Filter(T)) with no residual.
+        let Plan::Project { input: sub, .. } = &**plan else { panic!("{plan:?}") };
+        let Plan::HashJoin { left, right, keys } = &**sub else { panic!("{sub:?}") };
+        assert!(matches!(&**left, Plan::Scan { .. }), "{left:?}");
+        let Plan::Filter { pred: pushed, input: t } = &**right else { panic!("{right:?}") };
+        assert!(matches!(&**t, Plan::Scan { .. }));
+        // T.B sits at product column 3; after the push it is T's column 1,
+        // and the outer reference R.B keeps its depth.
+        let Pred::Cmp { left: l, right: r, .. } = pushed else { panic!("{pushed:?}") };
+        assert_eq!(l, &Expr::Col { depth: 0, index: 1 });
+        assert_eq!(r, &Expr::Col { depth: 1, index: 1 });
+        assert_eq!(keys, &vec![JoinKey { left: 0, right: 0, null_safe: false }]);
+    }
+
+    #[test]
+    fn optimized_plans_execute_identically_on_the_motivating_shapes() {
+        use sqlsem_core::{LogicMode, PredicateRegistry};
+        let db = db();
+        let schema = db.schema().clone();
+        let queries = [
+            "SELECT R.B, S.C FROM R, S WHERE R.A = S.A",
+            "SELECT R.A FROM R, S WHERE R.A IS NOT DISTINCT FROM S.A",
+            "SELECT R.A FROM R WHERE R.A IN (SELECT S.A FROM S)",
+            "SELECT R.A FROM R WHERE R.A NOT IN (SELECT S.A FROM S)",
+            "SELECT R.A FROM R WHERE EXISTS (SELECT * FROM S WHERE S.A = R.A)",
+            "SELECT DISTINCT R.A FROM R, S WHERE R.A = S.A AND R.B = 2",
+        ];
+        let preds = PredicateRegistry::new();
+        for text in queries {
+            let q = sql(text, &schema).unwrap();
+            for logic in LogicMode::ALL {
+                let naive = crate::exec::execute(&q, &db, Dialect::Standard, logic, &preds);
+                let engine = crate::Engine::new(&db).with_logic(logic);
+                let opt = engine.execute(&q);
+                match (naive, opt) {
+                    (Ok(a), Ok(b)) => {
+                        assert!(a.coincides(&b), "{text} [{logic:?}]:\n{a}\nvs\n{b}");
+                    }
+                    (a, b) => panic!("{text} [{logic:?}]: {a:?} vs {b:?}"),
+                }
+            }
+        }
+    }
+}

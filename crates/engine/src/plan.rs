@@ -11,7 +11,7 @@
 //! implementation, which is what gives the §4 differential validation its
 //! force.
 
-use sqlsem_core::{CmpOp, Name, Value};
+use sqlsem_core::{CmpOp, EvalError, Name, Value};
 
 /// A compiled scalar expression.
 #[derive(Clone, Debug, PartialEq)]
@@ -91,9 +91,26 @@ pub enum Pred {
         plan: Box<Plan>,
         /// Negated?
         negated: bool,
+        /// Cache slot for the materialized subquery rows, assigned by the
+        /// optimizer when the subplan is uncorrelated and deterministic
+        /// (so it executes once per query rather than once per outer row).
+        /// `None` in naive plans.
+        cache: Option<usize>,
     },
     /// `EXISTS (subplan)`
-    Exists(Box<Plan>),
+    Exists {
+        /// The compiled subquery.
+        plan: Box<Plan>,
+        /// When `true`, execution may stop after the first produced row
+        /// instead of materializing the whole subquery. Set by the
+        /// optimizer only when the subplan is provably error-free, so
+        /// skipping later rows cannot suppress a runtime error the naive
+        /// execution would raise.
+        early_exit: bool,
+        /// Cache slot for the subquery's non-emptiness verdict (same
+        /// eligibility rules as [`Pred::In::cache`]).
+        cache: Option<usize>,
+    },
     /// Conjunction.
     And(Box<Pred>, Box<Pred>),
     /// Disjunction.
@@ -148,6 +165,32 @@ pub enum Plan {
         /// Right input.
         right: Box<Plan>,
     },
+    /// Hash equi-join: the rows of `left × right` whose key columns join,
+    /// produced by building a hash table on `right` and probing it with
+    /// `left`. Introduced by the optimizer for equality conjuncts that
+    /// span two inputs of a [`Plan::Product`]; the output row layout is
+    /// `left ++ right`, identical to the product it replaces.
+    HashJoin {
+        /// Left (probe) input.
+        left: Box<Plan>,
+        /// Right (build) input.
+        right: Box<Plan>,
+        /// The join keys, all of which must match for a pair to join.
+        keys: Vec<JoinKey>,
+    },
+}
+
+/// One equality column pair of a [`Plan::HashJoin`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct JoinKey {
+    /// Column position in the left input's rows.
+    pub left: usize,
+    /// Column position in the right input's rows.
+    pub right: usize,
+    /// `true` for keys compiled from `IS NOT DISTINCT FROM`: the match is
+    /// syntactic, so `NULL` joins with `NULL`. Plain `=` keys (`false`)
+    /// never match on `NULL` under three-valued logic.
+    pub null_safe: bool,
 }
 
 impl Plan {
@@ -160,6 +203,49 @@ impl Plan {
             Plan::Filter { input, .. } | Plan::Distinct { input } => input.arity(db),
             Plan::Project { exprs, .. } => exprs.len(),
             Plan::SetOp { left, .. } => left.arity(db),
+            Plan::HashJoin { left, right, .. } => left.arity(db) + right.arity(db),
+        }
+    }
+
+    /// Like [`Plan::arity`], but additionally verifies that the plan is
+    /// internally arity-consistent (both set-operation operands produce
+    /// the same number of columns). The compiler only builds consistent
+    /// plans, so this exists for hand-constructed ones: it lets the
+    /// executor validate a subplan's arity *once*, up front, instead of
+    /// sniffing each produced row — which made error behaviour depend on
+    /// row order.
+    pub fn arity_checked(&self, db: &sqlsem_core::Database) -> Result<usize, EvalError> {
+        match self {
+            Plan::Scan { .. } => Ok(self.arity(db)),
+            Plan::Project { input, exprs } => {
+                // A projection fixes its own arity, but its input must
+                // still be consistent for the guarantee to hold below it.
+                input.arity_checked(db)?;
+                Ok(exprs.len())
+            }
+            Plan::Product { inputs } => {
+                let mut sum = 0;
+                for input in inputs {
+                    sum += input.arity_checked(db)?;
+                }
+                Ok(sum)
+            }
+            Plan::Filter { input, .. } | Plan::Distinct { input } => input.arity_checked(db),
+            Plan::SetOp { left, right, .. } => {
+                let l = left.arity_checked(db)?;
+                let r = right.arity_checked(db)?;
+                if l != r {
+                    return Err(EvalError::ArityMismatch {
+                        context: "set operation",
+                        left: l,
+                        right: r,
+                    });
+                }
+                Ok(l)
+            }
+            Plan::HashJoin { left, right, .. } => {
+                Ok(left.arity_checked(db)? + right.arity_checked(db)?)
+            }
         }
     }
 }
@@ -171,4 +257,7 @@ pub struct Prepared {
     pub plan: Plan,
     /// Output column names, in order (possibly repeated).
     pub columns: Vec<Name>,
+    /// Number of subquery cache slots the optimizer allocated (0 for
+    /// naive plans); the executor sizes its cache accordingly.
+    pub cache_slots: usize,
 }

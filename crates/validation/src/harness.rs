@@ -16,7 +16,7 @@ use std::time::{Duration, Instant};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use sqlsem_core::{Database, Dialect, Evaluator, Query, Schema};
+use sqlsem_core::{Database, Dialect, Evaluator, LogicMode, Query, Schema};
 use sqlsem_engine::Engine;
 use sqlsem_generator::{random_database, DataGenConfig, QueryGenConfig, QueryGenerator};
 
@@ -36,6 +36,9 @@ pub struct ValidationConfig {
     /// Dialects to validate (each compares semantics-vs-engine adjusted
     /// to that dialect).
     pub dialects: Vec<Dialect>,
+    /// Logic modes to validate under (§6); each dialect's tallies
+    /// aggregate over all of them. The paper's experiment uses 3VL only.
+    pub logics: Vec<LogicMode>,
     /// How many disagreement samples to retain in the report.
     pub keep_samples: usize,
     /// Additionally check that printing and re-compiling each query
@@ -53,6 +56,7 @@ impl ValidationConfig {
             query_config: QueryGenConfig::tpch_calibrated(),
             data_config: DataGenConfig::paper(),
             dialects: vec![Dialect::PostgreSql, Dialect::Oracle],
+            logics: vec![LogicMode::ThreeValued],
             keep_samples: 5,
             check_roundtrip: false,
         }
@@ -67,6 +71,7 @@ impl ValidationConfig {
             query_config: QueryGenConfig::small(),
             data_config: DataGenConfig::small(),
             dialects: Dialect::ALL.to_vec(),
+            logics: vec![LogicMode::ThreeValued],
             keep_samples: 5,
             check_roundtrip: true,
         }
@@ -200,20 +205,24 @@ pub fn run_validation(schema: &Schema, config: &ValidationConfig) -> ValidationR
         }
 
         for (dialect, stats) in per_dialect.iter_mut() {
-            let reference = Evaluator::new(&db).with_dialect(*dialect).eval(&query);
-            let candidate = Engine::new(&db).with_dialect(*dialect).execute(&query);
-            match compare(&reference, &candidate) {
-                Verdict::AgreeResult => stats.agree_results += 1,
-                Verdict::AgreeError => stats.agree_errors += 1,
-                Verdict::Disagree(detail) => {
-                    stats.disagreements += 1;
-                    if samples.len() < config.keep_samples {
-                        samples.push(Disagreement {
-                            iteration: i,
-                            dialect: *dialect,
-                            sql: sqlsem_parser::to_sql(&query, *dialect),
-                            detail,
-                        });
+            for logic in &config.logics {
+                let reference =
+                    Evaluator::new(&db).with_dialect(*dialect).with_logic(*logic).eval(&query);
+                let candidate =
+                    Engine::new(&db).with_dialect(*dialect).with_logic(*logic).execute(&query);
+                match compare(&reference, &candidate) {
+                    Verdict::AgreeResult => stats.agree_results += 1,
+                    Verdict::AgreeError => stats.agree_errors += 1,
+                    Verdict::Disagree(detail) => {
+                        stats.disagreements += 1;
+                        if samples.len() < config.keep_samples {
+                            samples.push(Disagreement {
+                                iteration: i,
+                                dialect: *dialect,
+                                sql: sqlsem_parser::to_sql(&query, *dialect),
+                                detail,
+                            });
+                        }
                     }
                 }
             }
