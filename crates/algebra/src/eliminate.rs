@@ -106,6 +106,12 @@ pub fn twovalify(expr: &RaExpr, schema: &Schema, gen: &mut NameGen) -> Result<Ra
             RaExpr::Rename { input: Box::new(twovalify(input, schema, gen)?), to: to.clone() }
         }
         RaExpr::Dedup(input) => RaExpr::Dedup(Box::new(twovalify(input, schema, gen)?)),
+        // γ carries no conditions of its own.
+        RaExpr::GroupBy { input, keys, aggs } => RaExpr::GroupBy {
+            input: Box::new(twovalify(input, schema, gen)?),
+            keys: keys.clone(),
+            aggs: aggs.clone(),
+        },
     })
 }
 
@@ -251,6 +257,11 @@ pub fn decorrelate(expr: &RaExpr, schema: &Schema, gen: &mut NameGen) -> Result<
             RaExpr::Rename { input: Box::new(decorrelate(input, schema, gen)?), to: to.clone() }
         }
         RaExpr::Dedup(input) => RaExpr::Dedup(Box::new(decorrelate(input, schema, gen)?)),
+        RaExpr::GroupBy { input, keys, aggs } => RaExpr::GroupBy {
+            input: Box::new(decorrelate(input, schema, gen)?),
+            keys: keys.clone(),
+            aggs: aggs.clone(),
+        },
     })
 }
 
@@ -410,6 +421,13 @@ fn substitute(
             RaExpr::Rename { input: Box::new(substitute(input, map, schema)?), to: to.clone() }
         }
         RaExpr::Dedup(input) => RaExpr::Dedup(Box::new(substitute(input, map, schema)?)),
+        // γ's keys and arguments are attributes of the input's signature,
+        // never free parameters; only the input can mention them.
+        RaExpr::GroupBy { input, keys, aggs } => RaExpr::GroupBy {
+            input: Box::new(substitute(input, map, schema)?),
+            keys: keys.clone(),
+            aggs: aggs.clone(),
+        },
     })
 }
 
@@ -525,6 +543,31 @@ fn lift(
         // occurrence per binding, which is exactly ε applied under each
         // environment.
         RaExpr::Dedup(input) => lift(input, u, u_sig, schema, gen)?.dedup(),
+        RaExpr::GroupBy { input, keys, aggs } => {
+            if params(e, schema)?.is_empty() {
+                // Uncorrelated: the same groups under every binding.
+                u.product(e.clone())
+            } else if !keys.is_empty() {
+                // Per-binding grouping: adding the binding columns to the
+                // keys partitions each binding's rows separately. A
+                // binding under which the input is empty yields no group,
+                // matching γ with non-empty keys.
+                let mut lifted_keys = u_sig.to_vec();
+                lifted_keys.extend(keys.iter().cloned());
+                RaExpr::GroupBy {
+                    input: Box::new(lift(input, u, u_sig, schema, gen)?),
+                    keys: lifted_keys,
+                    aggs: aggs.clone(),
+                }
+            } else {
+                // Key-less γ yields one group even for an empty input,
+                // which the lifting construction cannot express (it has
+                // no row to carry the binding).
+                return Err(EvalError::malformed(
+                    "cannot decorrelate a parameterised key-less aggregation",
+                ));
+            }
+        }
     })
 }
 
@@ -571,6 +614,22 @@ mod tests {
         check_pipeline("SELECT A, B FROM R");
         check_pipeline("SELECT DISTINCT A FROM R WHERE A = 1");
         check_pipeline("SELECT A FROM S UNION SELECT A FROM R");
+    }
+
+    #[test]
+    fn grouped_queries_survive_the_whole_pipeline() {
+        // γ is an operator, not a condition extension: elimination leaves
+        // it in place while chasing ∈/empty out of the rest.
+        check_pipeline("SELECT x.A AS k, COUNT(*) AS n FROM R x GROUP BY x.A");
+        check_pipeline("SELECT x.A AS k, SUM(x.B) AS s FROM R x GROUP BY x.A HAVING COUNT(*) > 1");
+        check_pipeline(
+            "SELECT x.A AS k, COUNT(*) AS n FROM R x \
+             WHERE EXISTS (SELECT y.A FROM S y WHERE y.A = x.A) GROUP BY x.A",
+        );
+        check_pipeline(
+            "SELECT A FROM S WHERE A IN \
+             (SELECT x.A AS k FROM R x GROUP BY x.A HAVING COUNT(*) > 1)",
+        );
     }
 
     #[test]

@@ -144,6 +144,60 @@ impl<'a> RaEvaluator<'a> {
                 self.eval_in(input, env)?.with_columns(to.clone())
             }
             RaExpr::Dedup(input) => Ok(self.eval_in(input, env)?.distinct()),
+            RaExpr::GroupBy { input, keys, aggs } => {
+                let out_sig = signature(expr, self.db.schema())?;
+                let in_sig = signature(input, self.db.schema())?;
+                let table = self.eval_in(input, env)?;
+                let key_pos: Vec<usize> = keys
+                    .iter()
+                    .map(|k| in_sig.iter().position(|n| n == k).expect("checked by signature"))
+                    .collect();
+                // Partition null-safely (the syntactic identity of the
+                // derived `Eq`/`Hash`), preserving first-appearance order.
+                let mut order: Vec<Vec<Value>> = Vec::new();
+                let mut groups: Vec<Vec<&Row>> = Vec::new();
+                let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
+                for row in table.rows() {
+                    let key: Vec<Value> = key_pos.iter().map(|&i| row[i].clone()).collect();
+                    match index.get(&key) {
+                        Some(&i) => groups[i].push(row),
+                        None => {
+                            index.insert(key.clone(), order.len());
+                            order.push(key);
+                            groups.push(vec![row]);
+                        }
+                    }
+                }
+                // With no keys there is always exactly one group — the
+                // implicit group of `SELECT COUNT(*) FROM R`.
+                if keys.is_empty() && order.is_empty() {
+                    order.push(Vec::new());
+                    groups.push(Vec::new());
+                }
+                let mut out = Table::new(out_sig)?;
+                for (key, group) in order.into_iter().zip(groups) {
+                    let mut row = key;
+                    for agg in aggs {
+                        row.push(match &agg.arg {
+                            // COUNT(*): records counted regardless of nulls.
+                            None => Value::Int(group.len() as i64),
+                            Some(arg) => {
+                                let pos = in_sig
+                                    .iter()
+                                    .position(|n| n == arg)
+                                    .expect("checked by signature");
+                                sqlsem_core::aggregate(
+                                    agg.func,
+                                    agg.distinct,
+                                    group.iter().map(|r| r[pos].clone()),
+                                )?
+                            }
+                        });
+                    }
+                    out.push(Row::new(row))?;
+                }
+                Ok(out)
+            }
         }
     }
 
@@ -304,6 +358,78 @@ mod tests {
         let dbv = db();
         let out = RaEvaluator::new(&dbv).eval(&r().dedup()).unwrap();
         assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn group_by_partitions_null_safely_and_follows_the_null_discipline() {
+        use crate::expr::RaAggregate;
+        use sqlsem_core::AggFunc;
+        let schema = sqlsem_core::Schema::builder().table("R", ["A", "B"]).build().unwrap();
+        let mut db = Database::new(schema);
+        db.insert(
+            "R",
+            table! { ["A", "B"]; [1, 2], [1, Value::Null], [Value::Null, 5], [Value::Null, 5] },
+        )
+        .unwrap();
+        let e = RaExpr::Base(Name::new("R")).group_by(
+            ["A"],
+            vec![
+                RaAggregate {
+                    func: AggFunc::Count,
+                    distinct: false,
+                    arg: None,
+                    output: "n".into(),
+                },
+                RaAggregate {
+                    func: AggFunc::Count,
+                    distinct: false,
+                    arg: Some(Name::new("B")),
+                    output: "m".into(),
+                },
+                RaAggregate {
+                    func: AggFunc::Sum,
+                    distinct: true,
+                    arg: Some(Name::new("B")),
+                    output: "s".into(),
+                },
+            ],
+        );
+        let out = RaEvaluator::new(&db).eval(&e).unwrap();
+        assert!(
+            out.multiset_eq(&table! {
+                ["A", "n", "m", "s"];
+                [1, 2, 1, 2],
+                [Value::Null, 2, 2, 5]
+            }),
+            "got:\n{out}"
+        );
+    }
+
+    #[test]
+    fn keyless_group_by_always_yields_one_group() {
+        use crate::expr::RaAggregate;
+        use sqlsem_core::AggFunc;
+        let schema = sqlsem_core::Schema::builder().table("R", ["A"]).build().unwrap();
+        let db = Database::new(schema); // R empty
+        let e = RaExpr::Base(Name::new("R")).group_by(
+            Vec::<Name>::new(),
+            vec![
+                RaAggregate {
+                    func: AggFunc::Count,
+                    distinct: false,
+                    arg: None,
+                    output: "n".into(),
+                },
+                RaAggregate {
+                    func: AggFunc::Max,
+                    distinct: false,
+                    arg: Some(Name::new("A")),
+                    output: "hi".into(),
+                },
+            ],
+        );
+        let out = RaEvaluator::new(&db).eval(&e).unwrap();
+        assert!(out.multiset_eq(&table! { ["n", "hi"]; [0, Value::Null] }), "got:\n{out}");
     }
 
     #[test]

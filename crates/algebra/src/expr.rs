@@ -20,7 +20,7 @@
 
 use std::fmt;
 
-use sqlsem_core::{CmpOp, EvalError, Name, Schema, Value};
+use sqlsem_core::{AggFunc, CmpOp, EvalError, Name, Schema, Value};
 
 /// An RA term: a (plain) attribute name, or a constant (`NULL` is
 /// `Const(Value::Null)`).
@@ -220,6 +220,51 @@ pub enum RaExpr {
     },
     /// Duplicate elimination `ε(E)`.
     Dedup(Box<RaExpr>),
+    /// Grouping with aggregation `γ_{β; F₁→N₁,…,Fₘ→Nₘ}(E)`: partition
+    /// the rows of `E` by the (null-safe) values of the key attributes
+    /// `keys ⊆ ℓ(E)`, and output one row per group, carrying the key
+    /// values followed by the aggregate results. With empty `keys` there
+    /// is always exactly one (possibly empty) group.
+    ///
+    /// This is the operator the grouped SQL fragment translates to; the
+    /// output signature is `keys ++ outputs`, which — like every RA
+    /// signature — must be repetition-free.
+    GroupBy {
+        /// Input.
+        input: Box<RaExpr>,
+        /// Grouping attributes (a repetition-free subset of `ℓ(E)`).
+        keys: Vec<Name>,
+        /// The aggregates, each with a fresh output attribute.
+        aggs: Vec<RaAggregate>,
+    },
+}
+
+/// One aggregate of a [`RaExpr::GroupBy`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct RaAggregate {
+    /// Which function.
+    pub func: AggFunc,
+    /// `F(DISTINCT ·)`?
+    pub distinct: bool,
+    /// The argument attribute; `None` is `COUNT(*)`.
+    pub arg: Option<Name>,
+    /// The output attribute naming this aggregate's column.
+    pub output: Name,
+}
+
+impl fmt::Display for RaAggregate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.arg {
+            None => write!(f, "{}(*)→{}", self.func.keyword(), self.output),
+            Some(a) => write!(
+                f,
+                "{}({}{a})→{}",
+                self.func.keyword(),
+                if self.distinct { "DISTINCT " } else { "" },
+                self.output
+            ),
+        }
+    }
 }
 
 impl RaExpr {
@@ -274,15 +319,30 @@ impl RaExpr {
         RaExpr::Dedup(Box::new(self))
     }
 
+    /// `γ_{keys; aggs}(self)`.
+    #[must_use]
+    pub fn group_by<N: Into<Name>, I: IntoIterator<Item = N>>(
+        self,
+        keys: I,
+        aggs: Vec<RaAggregate>,
+    ) -> RaExpr {
+        RaExpr::GroupBy {
+            input: Box::new(self),
+            keys: keys.into_iter().map(Into::into).collect(),
+            aggs,
+        }
+    }
+
     /// `true` iff the expression (and every nested one) avoids the SQL-RA
     /// condition extensions — i.e. it is an expression of the Figure 8
     /// grammar.
     pub fn is_pure(&self) -> bool {
         match self {
             RaExpr::Base(_) => true,
-            RaExpr::Proj { input, .. } | RaExpr::Rename { input, .. } | RaExpr::Dedup(input) => {
-                input.is_pure()
-            }
+            RaExpr::Proj { input, .. }
+            | RaExpr::Rename { input, .. }
+            | RaExpr::Dedup(input)
+            | RaExpr::GroupBy { input, .. } => input.is_pure(),
             RaExpr::Select { input, cond } => input.is_pure() && cond_is_pure_deep(cond),
             RaExpr::Product(a, b)
             | RaExpr::Union(a, b)
@@ -297,7 +357,10 @@ impl RaExpr {
         let mut n = 1;
         match self {
             RaExpr::Base(_) => {}
-            RaExpr::Proj { input, .. } | RaExpr::Rename { input, .. } | RaExpr::Dedup(input) => {
+            RaExpr::Proj { input, .. }
+            | RaExpr::Rename { input, .. }
+            | RaExpr::Dedup(input)
+            | RaExpr::GroupBy { input, .. } => {
                 n += input.size();
             }
             RaExpr::Select { input, cond } => {
@@ -402,6 +465,44 @@ pub fn signature(expr: &RaExpr, schema: &Schema) -> Result<Vec<Name>, EvalError>
             }
             Ok(to.clone())
         }
+        RaExpr::GroupBy { input, keys, aggs } => {
+            let sig = signature(input, schema)?;
+            if keys.is_empty() && aggs.is_empty() {
+                return Err(EvalError::ZeroArity);
+            }
+            let mut out = Vec::with_capacity(keys.len() + aggs.len());
+            let mut seen = std::collections::HashSet::with_capacity(keys.len() + aggs.len());
+            for k in keys {
+                if !sig.contains(k) {
+                    return Err(EvalError::malformed(format!(
+                        "γ groups by {k}, which is not in the signature"
+                    )));
+                }
+                if !seen.insert(k) {
+                    return Err(EvalError::malformed(format!("γ repeats key {k}")));
+                }
+                out.push(k.clone());
+            }
+            for agg in aggs {
+                if let Some(arg) = &agg.arg {
+                    if !sig.contains(arg) {
+                        return Err(EvalError::malformed(format!(
+                            "γ aggregates {arg}, which is not in the signature"
+                        )));
+                    }
+                } else if agg.func != AggFunc::Count {
+                    return Err(EvalError::malformed("only COUNT may be applied to *"));
+                }
+                if !seen.insert(&agg.output) {
+                    return Err(EvalError::malformed(format!(
+                        "γ repeats output attribute {}",
+                        agg.output
+                    )));
+                }
+                out.push(agg.output.clone());
+            }
+            Ok(out)
+        }
     }
 }
 
@@ -424,6 +525,10 @@ impl fmt::Display for RaExpr {
             RaExpr::Diff(a, b) => write!(f, "({a} − {b})"),
             RaExpr::Rename { input, to } => write!(f, "ρ[→{}]({input})", join(to)),
             RaExpr::Dedup(input) => write!(f, "ε({input})"),
+            RaExpr::GroupBy { input, keys, aggs } => {
+                let rendered: Vec<String> = aggs.iter().map(|a| a.to_string()).collect();
+                write!(f, "γ[{}; {}]({input})", join(keys), rendered.join(", "))
+            }
         }
     }
 }

@@ -73,6 +73,14 @@ pub fn collect_names(expr: &RaExpr, out: &mut HashSet<Name>) {
             collect_names(input, out);
         }
         RaExpr::Dedup(input) => collect_names(input, out),
+        RaExpr::GroupBy { input, keys, aggs } => {
+            out.extend(keys.iter().cloned());
+            for agg in aggs {
+                out.extend(agg.arg.iter().cloned());
+                out.insert(agg.output.clone());
+            }
+            collect_names(input, out);
+        }
     }
 }
 

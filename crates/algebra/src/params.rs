@@ -33,9 +33,12 @@ use crate::expr::{signature, RaCond, RaExpr, RaTerm};
 pub fn params(expr: &RaExpr, schema: &Schema) -> Result<HashSet<Name>, EvalError> {
     match expr {
         RaExpr::Base(_) => Ok(HashSet::new()),
-        RaExpr::Proj { input, .. } | RaExpr::Rename { input, .. } | RaExpr::Dedup(input) => {
-            params(input, schema)
-        }
+        // γ's keys and aggregate arguments are attributes of the input's
+        // signature, never environment references.
+        RaExpr::Proj { input, .. }
+        | RaExpr::Rename { input, .. }
+        | RaExpr::Dedup(input)
+        | RaExpr::GroupBy { input, .. } => params(input, schema),
         RaExpr::Select { input, cond } => {
             let mut out = params(input, schema)?;
             let bound: HashSet<Name> = signature(input, schema)?.into_iter().collect();

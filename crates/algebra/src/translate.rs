@@ -67,34 +67,7 @@ pub fn is_data_manipulation(query: &Query) -> Result<(), TranslateError> {
             is_data_manipulation(right)
         }
         Query::Select(s) => {
-            let SelectList::Items(items) = &s.select else {
-                return Err(TranslateError::NotDataManipulation("SELECT * is not allowed".into()));
-            };
-            let mut seen = HashSet::with_capacity(items.len());
-            for item in items {
-                if !seen.insert(&item.alias) {
-                    return Err(TranslateError::NotDataManipulation(format!(
-                        "output name {} repeats",
-                        item.alias
-                    )));
-                }
-            }
-            let local: HashSet<&Name> = s.from.iter().map(|f| &f.alias).collect();
-            for item in items {
-                match &item.term {
-                    Term::Const(_) => {
-                        return Err(TranslateError::NotDataManipulation(
-                            "constants cannot appear in SELECT".into(),
-                        ))
-                    }
-                    Term::Col(n) if !local.contains(&n.table) => {
-                        return Err(TranslateError::NotDataManipulation(format!(
-                            "selected name {n} is not bound by the local FROM"
-                        )))
-                    }
-                    Term::Col(_) => {}
-                }
-            }
+            check_block_shape_select(s)?;
             for f in &s.from {
                 if let TableRef::Query(q) = &f.table {
                     is_data_manipulation(q)?;
@@ -121,37 +94,150 @@ pub fn is_data_manipulation(query: &Query) -> Result<(), TranslateError> {
 fn check_block_shape(query: &Query) -> Result<(), TranslateError> {
     match query {
         Query::SetOp { .. } => Ok(()), // operands are visited separately
-        Query::Select(s) => {
-            let SelectList::Items(items) = &s.select else {
-                return Err(TranslateError::NotDataManipulation("SELECT * is not allowed".into()));
-            };
-            let mut seen = HashSet::with_capacity(items.len());
-            for item in items {
-                if !seen.insert(&item.alias) {
+        Query::Select(s) => check_block_shape_select(s),
+    }
+}
+
+fn check_block_shape_select(s: &SelectQuery) -> Result<(), TranslateError> {
+    let SelectList::Items(items) = &s.select else {
+        return Err(TranslateError::NotDataManipulation("SELECT * is not allowed".into()));
+    };
+    let mut seen = HashSet::with_capacity(items.len());
+    for item in items {
+        if !seen.insert(&item.alias) {
+            return Err(TranslateError::NotDataManipulation(format!(
+                "output name {} repeats",
+                item.alias
+            )));
+        }
+    }
+    where_aggregate_free(&s.where_)?;
+    if s.is_grouped() {
+        return check_grouped_shape(s, items);
+    }
+    let local: HashSet<&Name> = s.from.iter().map(|f| &f.alias).collect();
+    for item in items {
+        match &item.term {
+            Term::Const(_) => {
+                return Err(TranslateError::NotDataManipulation(
+                    "constants cannot appear in SELECT".into(),
+                ))
+            }
+            Term::Agg(_) => {
+                return Err(TranslateError::NotDataManipulation(
+                    "aggregates require a grouped block".into(),
+                ))
+            }
+            Term::Col(n) if !local.contains(&n.table) => {
+                return Err(TranslateError::NotDataManipulation(format!(
+                    "selected name {n} is not bound by the local FROM"
+                )))
+            }
+            Term::Col(_) => {}
+        }
+    }
+    Ok(())
+}
+
+/// Rejects aggregate terms in a `WHERE` clause (subqueries excluded —
+/// they are checked as blocks of their own).
+fn where_aggregate_free(cond: &Condition) -> Result<(), TranslateError> {
+    let mut found = false;
+    cond.visit_terms(&mut |t| found |= t.is_aggregate());
+    if found {
+        Err(TranslateError::NotDataManipulation(
+            "aggregate functions are not allowed in WHERE".into(),
+        ))
+    } else {
+        Ok(())
+    }
+}
+
+/// The grouped extension of Definition 1, shaped so the block maps onto
+/// `π^α_β(σ_having(γ_{keys; aggs}(σ_where(E))))`: `GROUP BY` keys are
+/// distinct local full names, every `SELECT` item is a key or an
+/// aggregate over a local full name (or `COUNT(*)`), and `HAVING` is a
+/// subquery-free condition over keys, aggregates and constants.
+fn check_grouped_shape(
+    s: &SelectQuery,
+    items: &[sqlsem_core::SelectItem],
+) -> Result<(), TranslateError> {
+    let local: HashSet<&Name> = s.from.iter().map(|f| &f.alias).collect();
+    let mut seen_keys = HashSet::with_capacity(s.group_by.len());
+    for key in &s.group_by {
+        match key {
+            Term::Col(n) if local.contains(&n.table) => {
+                if !seen_keys.insert(key) {
                     return Err(TranslateError::NotDataManipulation(format!(
-                        "output name {} repeats",
-                        item.alias
+                        "GROUP BY key {n} repeats"
                     )));
                 }
             }
-            let local: HashSet<&Name> = s.from.iter().map(|f| &f.alias).collect();
-            for item in items {
-                match &item.term {
-                    Term::Const(_) => {
-                        return Err(TranslateError::NotDataManipulation(
-                            "constants cannot appear in SELECT".into(),
-                        ))
-                    }
-                    Term::Col(n) if !local.contains(&n.table) => {
-                        return Err(TranslateError::NotDataManipulation(format!(
-                            "selected name {n} is not bound by the local FROM"
-                        )))
-                    }
-                    Term::Col(_) => {}
-                }
+            other => {
+                return Err(TranslateError::NotDataManipulation(format!(
+                    "GROUP BY key {other} is not a local full name"
+                )))
             }
-            Ok(())
         }
+    }
+    for item in items {
+        grouped_term_shape(&item.term, s, &local, false)?;
+    }
+    grouped_cond_shape(&s.having, s, &local)
+}
+
+/// One grouped-context term: a `GROUP BY` key, an aggregate over a local
+/// full name (or `COUNT(*)`), or — in `HAVING` only — a constant.
+fn grouped_term_shape(
+    term: &Term,
+    s: &SelectQuery,
+    local: &HashSet<&Name>,
+    allow_const: bool,
+) -> Result<(), TranslateError> {
+    if s.group_by.contains(term) {
+        return Ok(());
+    }
+    match term {
+        Term::Const(_) if allow_const => Ok(()),
+        Term::Agg(agg) => match &agg.arg {
+            None => Ok(()),
+            Some(Term::Col(n)) if local.contains(&n.table) => Ok(()),
+            Some(other) => Err(TranslateError::NotDataManipulation(format!(
+                "aggregate argument {other} is not a local full name"
+            ))),
+        },
+        other => Err(TranslateError::NotDataManipulation(format!(
+            "grouped term {other} is neither a GROUP BY key nor an aggregate"
+        ))),
+    }
+}
+
+fn grouped_cond_shape(
+    cond: &Condition,
+    s: &SelectQuery,
+    local: &HashSet<&Name>,
+) -> Result<(), TranslateError> {
+    let term = |t: &Term| grouped_term_shape(t, s, local, true);
+    match cond {
+        Condition::True | Condition::False => Ok(()),
+        Condition::Cmp { left, right, .. } | Condition::IsDistinct { left, right, .. } => {
+            term(left)?;
+            term(right)
+        }
+        Condition::Like { term: t, pattern, .. } => {
+            term(t)?;
+            term(pattern)
+        }
+        Condition::Pred { args, .. } => args.iter().try_for_each(term),
+        Condition::IsNull { term: t, .. } => term(t),
+        Condition::In { .. } | Condition::Exists(_) => Err(TranslateError::NotDataManipulation(
+            "HAVING subqueries are not supported by the RA translation".into(),
+        )),
+        Condition::And(a, b) | Condition::Or(a, b) => {
+            grouped_cond_shape(a, s, local)?;
+            grouped_cond_shape(b, s, local)
+        }
+        Condition::Not(c) => grouped_cond_shape(c, s, local),
     }
 }
 
@@ -208,10 +294,7 @@ pub fn query_names(query: &Query, out: &mut HashSet<Name>) {
             if let SelectList::Items(items) = &s.select {
                 for i in items {
                     out.insert(i.alias.clone());
-                    if let Term::Col(n) = &i.term {
-                        out.insert(n.table.clone());
-                        out.insert(n.column.clone());
-                    }
+                    collect_term_names(&i.term, out);
                 }
             }
             for f in &s.from {
@@ -224,42 +307,24 @@ pub fn query_names(query: &Query, out: &mut HashSet<Name>) {
                 }
             }
             collect_condition_names(&s.where_, out);
+            for key in &s.group_by {
+                collect_term_names(key, out);
+            }
+            collect_condition_names(&s.having, out);
         }
     });
 }
 
+fn collect_term_names(term: &Term, out: &mut HashSet<Name>) {
+    term.visit_columns(&mut |n| {
+        out.insert(n.table.clone());
+        out.insert(n.column.clone());
+    });
+}
+
 fn collect_condition_names(cond: &Condition, out: &mut HashSet<Name>) {
-    let mut term = |t: &Term| {
-        if let Term::Col(n) = t {
-            out.insert(n.table.clone());
-            out.insert(n.column.clone());
-        }
-    };
-    match cond {
-        Condition::True | Condition::False => {}
-        Condition::Cmp { left, right, .. } => {
-            term(left);
-            term(right);
-        }
-        Condition::Like { term: t, pattern, .. } => {
-            term(t);
-            term(pattern);
-        }
-        Condition::Pred { args, .. } => args.iter().for_each(term),
-        Condition::IsNull { term: t, .. } => term(t),
-        Condition::IsDistinct { left, right, .. } => {
-            term(left);
-            term(right);
-        }
-        Condition::In { terms, .. } => terms.iter().for_each(term),
-        Condition::Exists(_) => {}
-        Condition::And(a, b) | Condition::Or(a, b) => {
-            collect_condition_names(a, out);
-            collect_condition_names(b, out);
-        }
-        Condition::Not(c) => collect_condition_names(c, out),
-    }
     // Nested queries are handled by `query_names`' visitor.
+    cond.visit_terms(&mut |t| collect_term_names(t, out));
 }
 
 /// Translates a data manipulation query to an equivalent SQL-RA query
@@ -336,20 +401,152 @@ impl Translator<'_> {
             cond => from_expr.select(cond),
         };
 
-        // SELECT α : β′ ↦ π^{χ(α)}_{β′}
         let SelectList::Items(items) = &s.select else {
             unreachable!("checked by is_data_manipulation");
         };
+
+        if s.is_grouped() {
+            return self.grouped_select(s, items, filtered);
+        }
+
+        // SELECT α : β′ ↦ π^{χ(α)}_{β′}
         let alpha: Vec<Name> = items
             .iter()
             .map(|i| match &i.term {
                 Term::Col(n) => self.chi.name(n),
-                Term::Const(_) => unreachable!("checked by is_data_manipulation"),
+                Term::Const(_) | Term::Agg(_) => unreachable!("checked by is_data_manipulation"),
             })
             .collect();
         let beta: Vec<Name> = items.iter().map(|i| i.alias.clone()).collect();
         let projected = project_with_repetition(filtered, &alpha, &beta, self.schema, self.gen)?;
         Ok(if s.distinct { projected.dedup() } else { projected })
+    }
+
+    /// The grouping translation rule:
+    ///
+    /// ```text
+    /// SELECT ᾱ FROM τ:β WHERE θ GROUP BY k̄ HAVING θ′
+    ///   ↦ π^α_β( σ_{θ̂′}( γ_{χ(k̄); aggs}( σ_{θ̂}(E_τ) ) ) )
+    /// ```
+    ///
+    /// where `aggs` are the block's aggregates (select list and having,
+    /// deduplicated) with fresh output attributes, and `θ̂′` replaces each
+    /// aggregate by its output attribute and each key by its χ-name.
+    fn grouped_select(
+        &mut self,
+        s: &SelectQuery,
+        items: &[sqlsem_core::SelectItem],
+        filtered: RaExpr,
+    ) -> Result<RaExpr, TranslateError> {
+        let keys: Vec<Name> = s
+            .group_by
+            .iter()
+            .map(|k| match k {
+                Term::Col(n) => self.chi.name(n),
+                _ => unreachable!("checked by is_data_manipulation"),
+            })
+            .collect();
+        let aggs_ast: Vec<&sqlsem_core::Aggregate> = s.aggregates();
+        let mut aggs = Vec::with_capacity(aggs_ast.len());
+        for a in &aggs_ast {
+            let arg = match &a.arg {
+                None => None,
+                Some(Term::Col(n)) => Some(self.chi.name(n)),
+                Some(_) => unreachable!("checked by is_data_manipulation"),
+            };
+            aggs.push(crate::expr::RaAggregate {
+                func: a.func,
+                distinct: a.distinct,
+                arg,
+                output: self.gen.fresh(a.func.default_alias()),
+            });
+        }
+        // Maps a grouped term to its attribute in γ's output signature.
+        let grouped_attr = |tr: &Translator<'_>, t: &Term| -> Option<Name> {
+            if let Term::Col(n) = t {
+                if s.group_by.contains(t) {
+                    return Some(tr.chi.name(n));
+                }
+            }
+            if let Term::Agg(a) = t {
+                let i = aggs_ast.iter().position(|seen| *seen == &**a)?;
+                return Some(aggs[i].output.clone());
+            }
+            None
+        };
+
+        let grouped = filtered.group_by(keys, aggs.clone());
+        let with_having = match self.grouped_condition(&s.having, &grouped_attr)? {
+            RaCond::True => grouped,
+            cond => grouped.select(cond),
+        };
+
+        let alpha: Vec<Name> = items
+            .iter()
+            .map(|i| grouped_attr(self, &i.term).expect("checked by is_data_manipulation"))
+            .collect();
+        let beta: Vec<Name> = items.iter().map(|i| i.alias.clone()).collect();
+        let projected = project_with_repetition(with_having, &alpha, &beta, self.schema, self.gen)?;
+        Ok(if s.distinct { projected.dedup() } else { projected })
+    }
+
+    /// Translates a (subquery-free) `HAVING` condition over γ's output.
+    fn grouped_condition(
+        &mut self,
+        cond: &Condition,
+        attr: &dyn Fn(&Translator<'_>, &Term) -> Option<Name>,
+    ) -> Result<RaCond, TranslateError> {
+        let term = |tr: &Translator<'_>, t: &Term| -> RaTerm {
+            match attr(tr, t) {
+                Some(name) => RaTerm::Name(name),
+                None => match t {
+                    Term::Const(v) => RaTerm::Const(v.clone()),
+                    _ => unreachable!("checked by is_data_manipulation"),
+                },
+            }
+        };
+        Ok(match cond {
+            Condition::True => RaCond::True,
+            Condition::False => RaCond::False,
+            Condition::Cmp { left, op, right } => {
+                RaCond::Cmp { left: term(self, left), op: *op, right: term(self, right) }
+            }
+            Condition::Like { term: t, pattern, negated } => RaCond::Like {
+                term: term(self, t),
+                pattern: term(self, pattern),
+                negated: *negated,
+            },
+            Condition::Pred { name, args } => RaCond::Pred {
+                name: name.clone(),
+                args: args.iter().map(|t| term(self, t)).collect(),
+            },
+            Condition::IsNull { term: t, negated } => {
+                let cond = RaCond::Null(term(self, t));
+                if *negated {
+                    cond.not()
+                } else {
+                    cond
+                }
+            }
+            Condition::IsDistinct { left, right, negated } => {
+                let eq = crate::gadgets::syntactic_eq(term(self, left), term(self, right));
+                if *negated {
+                    eq
+                } else {
+                    eq.not()
+                }
+            }
+            Condition::In { .. } | Condition::Exists(_) => {
+                unreachable!("checked by is_data_manipulation")
+            }
+            Condition::And(a, b) => {
+                self.grouped_condition(a, attr)?.and(self.grouped_condition(b, attr)?)
+            }
+            Condition::Or(a, b) => {
+                self.grouped_condition(a, attr)?.or(self.grouped_condition(b, attr)?)
+            }
+            Condition::Not(c) => self.grouped_condition(c, attr)?.not(),
+        })
     }
 
     /// `T AS N ↦ ρ^χ_N(E)` — prefixing by renaming. (`from_*` is the
@@ -445,6 +642,7 @@ impl Translator<'_> {
         match term {
             Term::Const(v) => RaTerm::Const(v.clone()),
             Term::Col(n) => RaTerm::Name(self.chi.name(n)),
+            Term::Agg(_) => unreachable!("WHERE clauses are checked aggregate-free"),
         }
     }
 }
@@ -541,6 +739,61 @@ mod tests {
         check_equivalent(
             "SELECT DISTINCT R.A FROM R WHERE NOT EXISTS (SELECT S.A FROM S WHERE S.A = R.A)",
         );
+    }
+
+    #[test]
+    fn grouped_queries_translate_through_the_grouping_operator() {
+        check_equivalent("SELECT x.A AS k, COUNT(*) AS n FROM R x GROUP BY x.A");
+        check_equivalent(
+            "SELECT x.A AS k, SUM(x.B) AS s, AVG(x.B) AS a, MIN(x.B) AS lo, MAX(x.B) AS hi \
+             FROM R x GROUP BY x.A",
+        );
+        check_equivalent("SELECT COUNT(x.A) AS n, COUNT(DISTINCT x.A) AS u FROM R x");
+        check_equivalent(
+            "SELECT x.A AS k FROM R x GROUP BY x.A HAVING COUNT(*) > 1 AND x.A IS NOT NULL",
+        );
+        check_equivalent(
+            "SELECT x.A AS k, COUNT(*) AS n FROM R x, S y WHERE x.A = y.A GROUP BY x.A",
+        );
+        // HAVING may use aggregates the SELECT list does not mention.
+        check_equivalent("SELECT x.A AS k FROM R x GROUP BY x.A HAVING SUM(x.B) IS NOT NULL");
+        // Grouped subquery in FROM.
+        check_equivalent(
+            "SELECT T.n AS n FROM (SELECT x.A AS k, COUNT(*) AS n FROM R x GROUP BY x.A) AS T \
+             WHERE T.n > 1",
+        );
+        // Repeated outputs over a key still go through the π^α_β gadget.
+        check_equivalent("SELECT x.A AS k1, x.A AS k2, COUNT(*) AS n FROM R x GROUP BY x.A");
+    }
+
+    #[test]
+    fn grouped_translation_output_uses_the_grouping_operator() {
+        let schema = schema();
+        let q = compile("SELECT x.A AS k, COUNT(*) AS n FROM R x GROUP BY x.A", &schema).unwrap();
+        let e = translate(&q, &schema).unwrap();
+        assert!(e.to_string().contains("γ["), "γ missing from {e}");
+        let sig = crate::expr::signature(&e, &schema).unwrap();
+        assert_eq!(sig, vec![Name::new("k"), Name::new("n")]);
+    }
+
+    #[test]
+    fn grouped_queries_outside_the_fragment_are_rejected() {
+        let schema = schema();
+        for sql in [
+            // HAVING subqueries have no RA rendering here.
+            "SELECT x.A AS k FROM R x GROUP BY x.A \
+             HAVING EXISTS (SELECT y.A FROM S y WHERE y.A = x.A)",
+            // Aggregates without grouping context in WHERE.
+            "SELECT x.A AS k FROM R x WHERE COUNT(*) > 1",
+            // A non-key, non-aggregated select term.
+            "SELECT x.B AS b FROM R x GROUP BY x.A",
+        ] {
+            let q = compile(sql, &schema).unwrap();
+            assert!(
+                matches!(translate(&q, &schema), Err(TranslateError::NotDataManipulation(_))),
+                "{sql} should be rejected"
+            );
+        }
     }
 
     #[test]

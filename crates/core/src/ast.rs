@@ -28,15 +28,101 @@ use std::fmt;
 use crate::name::{FullName, Name};
 use crate::value::{CmpOp, Value};
 
-/// A term `t`: a constant from `C`, `NULL`, or a full name (§2).
+/// The aggregate functions of the grouping fragment.
 ///
-/// `NULL` is represented as `Term::Const(Value::Null)`.
+/// These are the five aggregates SQL:1992 makes mandatory and the ones
+/// every TPC-H query uses; the fragment's null discipline is the
+/// Standard's: aggregates skip `NULL` inputs, `COUNT` of an empty (or
+/// all-`NULL`) collection is `0` while the other four are `NULL`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// `COUNT(t)` / `COUNT(*)` — the only aggregate that may take `*`.
+    Count,
+    /// `SUM(t)` over integers.
+    Sum,
+    /// `AVG(t)` — integer average, truncating towards zero (`SUM/COUNT`
+    /// in `i64` arithmetic), mirroring integer `AVG` in SQL systems.
+    Avg,
+    /// `MIN(t)` under the type's order.
+    Min,
+    /// `MAX(t)` under the type's order.
+    Max,
+}
+
+impl AggFunc {
+    /// All aggregate functions.
+    pub const ALL: [AggFunc; 5] =
+        [AggFunc::Count, AggFunc::Sum, AggFunc::Avg, AggFunc::Min, AggFunc::Max];
+
+    /// The SQL keyword.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Avg => "AVG",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+        }
+    }
+
+    /// The output name an unaliased aggregate gets in surface SQL
+    /// (PostgreSQL's convention: the lowercase function name).
+    pub fn default_alias(self) -> &'static str {
+        match self {
+            AggFunc::Count => "count",
+            AggFunc::Sum => "sum",
+            AggFunc::Avg => "avg",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+        }
+    }
+}
+
+/// An aggregate application `F([DISTINCT] t)` or `COUNT(*)`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Aggregate {
+    /// Which function.
+    pub func: AggFunc,
+    /// `true` for `F(DISTINCT t)`: the collected non-`NULL` values are
+    /// deduplicated (under syntactic value identity) before folding.
+    pub distinct: bool,
+    /// The argument term, evaluated once per group member; `None` is
+    /// `COUNT(*)` (rows counted regardless of nulls) and is only valid
+    /// for [`AggFunc::Count`].
+    pub arg: Option<Term>,
+}
+
+impl fmt::Display for Aggregate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.arg {
+            None => write!(f, "{}(*)", self.func.keyword()),
+            Some(t) => {
+                write!(
+                    f,
+                    "{}({}{t})",
+                    self.func.keyword(),
+                    if self.distinct { "DISTINCT " } else { "" }
+                )
+            }
+        }
+    }
+}
+
+/// A term `t`: a constant from `C`, a full name (§2), or — in the
+/// grouping fragment — an aggregate application.
+///
+/// `NULL` is represented as `Term::Const(Value::Null)`. Aggregate terms
+/// are only meaningful in the `SELECT` list and `HAVING` clause of a
+/// grouped block; everywhere else they are rejected
+/// ([`crate::error::EvalError::MisplacedAggregate`]).
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum Term {
     /// A constant or `NULL`.
     Const(Value),
     /// A fully qualified column reference `T.A`.
     Col(FullName),
+    /// An aggregate application `F([DISTINCT] t)` / `COUNT(*)`.
+    Agg(Box<Aggregate>),
 }
 
 impl Term {
@@ -50,6 +136,41 @@ impl Term {
         Term::Const(Value::Null)
     }
 
+    /// `COUNT(*)`.
+    pub fn count_star() -> Term {
+        Term::Agg(Box::new(Aggregate { func: AggFunc::Count, distinct: false, arg: None }))
+    }
+
+    /// `func(arg)`.
+    pub fn agg(func: AggFunc, arg: impl Into<Term>) -> Term {
+        Term::Agg(Box::new(Aggregate { func, distinct: false, arg: Some(arg.into()) }))
+    }
+
+    /// `func(DISTINCT arg)`.
+    pub fn agg_distinct(func: AggFunc, arg: impl Into<Term>) -> Term {
+        Term::Agg(Box::new(Aggregate { func, distinct: true, arg: Some(arg.into()) }))
+    }
+
+    /// `true` iff the term is an aggregate application.
+    pub fn is_aggregate(&self) -> bool {
+        matches!(self, Term::Agg(_))
+    }
+
+    /// Visits every full name the term mentions, descending into
+    /// aggregate arguments — the walker behind name collection in the
+    /// translation crates.
+    pub fn visit_columns(&self, f: &mut impl FnMut(&FullName)) {
+        match self {
+            Term::Const(_) => {}
+            Term::Col(n) => f(n),
+            Term::Agg(a) => {
+                if let Some(arg) = &a.arg {
+                    arg.visit_columns(f);
+                }
+            }
+        }
+    }
+
     /// `true` iff the term is a (full-)name reference rather than a
     /// constant — the `names(·)` filter used when computing parameters in
     /// §5.
@@ -61,7 +182,7 @@ impl Term {
     pub fn as_col(&self) -> Option<&FullName> {
         match self {
             Term::Col(n) => Some(n),
-            Term::Const(_) => None,
+            Term::Const(_) | Term::Agg(_) => None,
         }
     }
 }
@@ -71,6 +192,7 @@ impl fmt::Display for Term {
         match self {
             Term::Const(v) => write!(f, "{v}"),
             Term::Col(n) => write!(f, "{n}"),
+            Term::Agg(a) => write!(f, "{a}"),
         }
     }
 }
@@ -206,7 +328,8 @@ impl SetOp {
     }
 }
 
-/// A `SELECT`-`FROM`-`WHERE` block.
+/// A `SELECT`-`FROM`-`WHERE` block, optionally grouped
+/// (`GROUP BY`/`HAVING`/aggregates).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SelectQuery {
     /// Whether `DISTINCT` duplicate elimination is applied.
@@ -217,12 +340,25 @@ pub struct SelectQuery {
     pub from: Vec<FromItem>,
     /// The `WHERE` condition θ (`TRUE` when absent in surface syntax).
     pub where_: Condition,
+    /// The `GROUP BY` keys (empty when the clause is absent). Keys
+    /// compare null-safely: `NULL` keys form one group.
+    pub group_by: Vec<Term>,
+    /// The `HAVING` condition (`TRUE` when absent), evaluated once per
+    /// group under the grouped environment (group keys + aggregates).
+    pub having: Condition,
 }
 
 impl SelectQuery {
     /// Creates a plain `SELECT … FROM … WHERE TRUE` block.
     pub fn new(select: SelectList, from: Vec<FromItem>) -> Self {
-        SelectQuery { distinct: false, select, from, where_: Condition::True }
+        SelectQuery {
+            distinct: false,
+            select,
+            from,
+            where_: Condition::True,
+            group_by: Vec::new(),
+            having: Condition::True,
+        }
     }
 
     /// Sets the `WHERE` condition.
@@ -238,9 +374,67 @@ impl SelectQuery {
         self.distinct = true;
         self
     }
+
+    /// Sets the `GROUP BY` keys.
+    #[must_use]
+    pub fn group_by<T: Into<Term>, I: IntoIterator<Item = T>>(mut self, keys: I) -> Self {
+        self.group_by = keys.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Sets the `HAVING` condition.
+    #[must_use]
+    pub fn having(mut self, cond: Condition) -> Self {
+        self.having = cond;
+        self
+    }
+
+    /// `true` iff the block is evaluated with grouping semantics: it has
+    /// `GROUP BY` keys, a `HAVING` clause, or an aggregate in its
+    /// `SELECT` list (implicit single-group aggregation, as in
+    /// `SELECT COUNT(*) FROM R`).
+    pub fn is_grouped(&self) -> bool {
+        if !self.group_by.is_empty() || self.having != Condition::True {
+            return true;
+        }
+        match &self.select {
+            SelectList::Star => false,
+            SelectList::Items(items) => items.iter().any(|i| i.term.is_aggregate()),
+        }
+    }
+
+    /// The aggregates of this block's `SELECT` list and `HAVING` clause,
+    /// in syntactic order with duplicates removed. Subqueries are *not*
+    /// descended into: their aggregates belong to their own blocks.
+    pub fn aggregates(&self) -> Vec<&Aggregate> {
+        let mut out: Vec<&Aggregate> = Vec::new();
+        // Quadratic dedup is fine: blocks have a handful of aggregates.
+        let mut push = |a| {
+            if !out.contains(&a) {
+                out.push(a);
+            }
+        };
+        if let SelectList::Items(items) = &self.select {
+            for item in items {
+                if let Term::Agg(a) = &item.term {
+                    push(a);
+                }
+            }
+        }
+        self.having.visit_terms(&mut |t| {
+            if let Term::Agg(a) = t {
+                push(a);
+            }
+        });
+        out
+    }
 }
 
 /// A basic SQL query (Figure 2).
+// A `SELECT` block is stored inline: queries are overwhelmingly blocks,
+// so boxing them to shrink the `SetOp` variant would pessimise the
+// common case.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Query {
     /// A `SELECT`-`FROM`-`WHERE` block.
@@ -294,6 +488,7 @@ impl Query {
                     }
                 }
                 s.where_.visit_queries(f);
+                s.having.visit_queries(f);
             }
             Query::SetOp { left, right, .. } => {
                 left.visit(f);
@@ -497,6 +692,34 @@ impl Condition {
         }
     }
 
+    /// Visits every term of the condition — comparison operands,
+    /// predicate arguments, null-test subjects, `IN` members — *without*
+    /// descending into subqueries (whose terms belong to their own
+    /// blocks). The walker behind aggregate collection and name
+    /// gathering; pair with [`Term::visit_columns`] to reach names
+    /// inside aggregate arguments.
+    pub fn visit_terms<'a>(&'a self, f: &mut impl FnMut(&'a Term)) {
+        match self {
+            Condition::True | Condition::False | Condition::Exists(_) => {}
+            Condition::Cmp { left, right, .. } | Condition::IsDistinct { left, right, .. } => {
+                f(left);
+                f(right);
+            }
+            Condition::Like { term, pattern, .. } => {
+                f(term);
+                f(pattern);
+            }
+            Condition::Pred { args, .. } => args.iter().for_each(f),
+            Condition::IsNull { term, .. } => f(term),
+            Condition::In { terms, .. } => terms.iter().for_each(f),
+            Condition::And(a, b) | Condition::Or(a, b) => {
+                a.visit_terms(f);
+                b.visit_terms(f);
+            }
+            Condition::Not(c) => c.visit_terms(f),
+        }
+    }
+
     /// Number of *atomic* conditions (comparisons, predicates, null tests,
     /// `IN`/`EXISTS`) in this condition, not descending into subqueries.
     /// This is the `cond` statistic of the §4 generator parameters.
@@ -579,6 +802,18 @@ impl fmt::Display for SelectQuery {
         }
         if self.where_ != Condition::True {
             write!(f, " WHERE {}", self.where_)?;
+        }
+        if !self.group_by.is_empty() {
+            f.write_str(" GROUP BY ")?;
+            for (i, k) in self.group_by.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{k}")?;
+            }
+        }
+        if self.having != Condition::True {
+            write!(f, " HAVING {}", self.having)?;
         }
         Ok(())
     }

@@ -15,10 +15,12 @@
 //! first. If the innermost scope containing the reference contains it more
 //! than once, the reference is ambiguous.
 
-use crate::ast::{Condition, Query, SelectList, TableRef, Term};
+use std::collections::HashSet;
+
+use crate::ast::{AggFunc, Condition, Query, SelectList, SelectQuery, TableRef, Term};
 use crate::dialect::Dialect;
 use crate::error::EvalError;
-use crate::name::FullName;
+use crate::name::{FullName, Name};
 use crate::schema::Schema;
 use crate::sig;
 
@@ -62,12 +64,15 @@ fn check_rec(
 }
 
 fn check_block(
-    s: &crate::ast::SelectQuery,
+    s: &SelectQuery,
     schema: &Schema,
     dialect: Dialect,
     stack: &mut Vec<Vec<FullName>>,
     exists: bool,
 ) -> Result<(), EvalError> {
+    if s.is_grouped() {
+        return check_grouped_block(s, schema, dialect, stack);
+    }
     match &s.select {
         SelectList::Items(items) => {
             if items.is_empty() {
@@ -94,6 +99,135 @@ fn check_block(
         }
     }
     check_condition(&s.where_, schema, dialect, stack)
+}
+
+/// The grouped-environment typing rules: `WHERE` and `GROUP BY` are
+/// aggregate-free and resolve in the ordinary scopes; aggregate
+/// arguments resolve in the block's own scope (they range over group
+/// members); every other `SELECT`/`HAVING` term must be a group key, a
+/// constant, or an outer-scope reference — and subqueries nested in
+/// `HAVING` see the *key scope* in place of the block's scope, because
+/// at runtime the grouped environment binds exactly the named keys.
+fn check_grouped_block(
+    s: &SelectQuery,
+    schema: &Schema,
+    dialect: Dialect,
+    stack: &mut Vec<Vec<FullName>>,
+) -> Result<(), EvalError> {
+    if s.select.is_star() {
+        return Err(EvalError::malformed(
+            "SELECT * cannot be combined with GROUP BY, HAVING or aggregates",
+        ));
+    }
+    // WHERE is checked (and kept aggregate-free) under the full scopes.
+    check_condition(&s.where_, schema, dialect, stack)?;
+    // GROUP BY keys resolve like ordinary terms; aggregates are rejected
+    // by `resolve_term`.
+    for key in &s.group_by {
+        resolve_term(key, stack)?;
+    }
+    // Aggregate arguments range over the group's member records, so they
+    // resolve with the local scope still in place; nested aggregates are
+    // rejected by `resolve_term`.
+    for agg in s.aggregates() {
+        match &agg.arg {
+            None if agg.func != AggFunc::Count => {
+                return Err(EvalError::malformed("only COUNT may be applied to *"))
+            }
+            None => {}
+            Some(arg) => resolve_term(arg, stack)?,
+        }
+    }
+    // Swap the local scope for the key scope (the full names the grouped
+    // environment binds), then check the SELECT list and HAVING.
+    let local_aliases: HashSet<Name> = s.from.iter().map(|f| f.alias.clone()).collect();
+    let local = stack.pop().expect("local scope was pushed");
+    let mut key_scope: Vec<FullName> = Vec::new();
+    for key in &s.group_by {
+        if let Term::Col(n) = key {
+            if !key_scope.contains(n) {
+                key_scope.push(n.clone());
+            }
+        }
+    }
+    stack.push(key_scope);
+    let result = (|| {
+        if let SelectList::Items(items) = &s.select {
+            if items.is_empty() {
+                return Err(EvalError::ZeroArity);
+            }
+            for item in items {
+                check_grouped_term(&item.term, s, &local_aliases, stack)?;
+            }
+        }
+        check_grouped_condition(&s.having, s, &local_aliases, schema, dialect, stack)
+    })();
+    stack.pop();
+    stack.push(local);
+    result
+}
+
+fn check_grouped_term(
+    term: &Term,
+    s: &SelectQuery,
+    local_aliases: &HashSet<Name>,
+    stack: &[Vec<FullName>],
+) -> Result<(), EvalError> {
+    if s.group_by.contains(term) {
+        return Ok(()); // a group key: already resolved
+    }
+    match term {
+        Term::Const(_) => Ok(()),
+        Term::Agg(_) => Ok(()), // arguments were checked up front
+        Term::Col(n) => {
+            if local_aliases.contains(&n.table) {
+                Err(EvalError::UngroupedColumn(n.clone()))
+            } else {
+                resolve(n, stack)
+            }
+        }
+    }
+}
+
+fn check_grouped_condition(
+    cond: &Condition,
+    s: &SelectQuery,
+    local_aliases: &HashSet<Name>,
+    schema: &Schema,
+    dialect: Dialect,
+    stack: &mut Vec<Vec<FullName>>,
+) -> Result<(), EvalError> {
+    match cond {
+        Condition::True | Condition::False => Ok(()),
+        Condition::Cmp { left, right, .. } | Condition::IsDistinct { left, right, .. } => {
+            check_grouped_term(left, s, local_aliases, stack)?;
+            check_grouped_term(right, s, local_aliases, stack)
+        }
+        Condition::Like { term, pattern, .. } => {
+            check_grouped_term(term, s, local_aliases, stack)?;
+            check_grouped_term(pattern, s, local_aliases, stack)
+        }
+        Condition::Pred { args, .. } => {
+            for t in args {
+                check_grouped_term(t, s, local_aliases, stack)?;
+            }
+            Ok(())
+        }
+        Condition::IsNull { term, .. } => check_grouped_term(term, s, local_aliases, stack),
+        Condition::In { terms, query, .. } => {
+            for t in terms {
+                check_grouped_term(t, s, local_aliases, stack)?;
+            }
+            // The subquery sees the key scope (pushed by the caller).
+            check_rec(query, schema, dialect, stack, false)
+        }
+        Condition::Exists(query) => check_rec(query, schema, dialect, stack, true),
+        Condition::And(a, b) | Condition::Or(a, b) => {
+            check_grouped_condition(a, s, local_aliases, schema, dialect, stack)?;
+            check_grouped_condition(b, s, local_aliases, schema, dialect, stack)
+        }
+        Condition::Not(c) => check_grouped_condition(c, s, local_aliases, schema, dialect, stack),
+    }
 }
 
 fn check_condition(
@@ -142,6 +276,10 @@ fn resolve_term(term: &Term, stack: &[Vec<FullName>]) -> Result<(), EvalError> {
     match term {
         Term::Const(_) => Ok(()),
         Term::Col(name) => resolve(name, stack),
+        // Aggregates are only legal in the SELECT list / HAVING clause of
+        // a grouped block, which `check_grouped_block` handles; any term
+        // reaching this resolver is in a plain context.
+        Term::Agg(_) => Err(EvalError::MisplacedAggregate("this context")),
     }
 }
 
@@ -318,6 +456,102 @@ mod tests {
             .filter(Condition::exists(inner)),
         );
         assert!(check_query(&q, &schema(), Dialect::Oracle).unwrap_err().is_ambiguity());
+    }
+
+    #[test]
+    fn grouped_blocks_obey_the_grouped_environment_typing() {
+        use crate::ast::SelectItem;
+        use crate::Value;
+        let grouped = |items: Vec<SelectItem>, having: Condition| {
+            Query::Select(
+                SelectQuery::new(SelectList::Items(items), vec![FromItem::base("S", "S")])
+                    .group_by([Term::col("S", "A")])
+                    .having(having),
+            )
+        };
+        // Keys and aggregates over any local column: fine.
+        let ok = grouped(
+            vec![
+                SelectItem::new(Term::col("S", "A"), "k"),
+                SelectItem::new(Term::agg(crate::AggFunc::Sum, Term::col("S", "B")), "s"),
+            ],
+            Condition::cmp(Term::count_star(), crate::CmpOp::Gt, Term::from(0i64)),
+        );
+        for d in [Dialect::PostgreSql, Dialect::Oracle] {
+            assert_eq!(check_query(&ok, &schema(), d), Ok(()), "dialect {d}");
+        }
+        // A non-key local column outside an aggregate: rejected.
+        let bad = grouped(vec![SelectItem::new(Term::col("S", "B"), "b")], Condition::True);
+        assert!(matches!(
+            check_query(&bad, &schema(), Dialect::PostgreSql).unwrap_err(),
+            EvalError::UngroupedColumn(_)
+        ));
+        // An aggregate in WHERE: rejected.
+        let bad = Query::Select(
+            SelectQuery::new(
+                SelectList::items([(Term::col("S", "A"), "A")]),
+                vec![FromItem::base("S", "S")],
+            )
+            .filter(Condition::cmp(
+                Term::count_star(),
+                crate::CmpOp::Gt,
+                Term::from(0i64),
+            )),
+        );
+        assert!(matches!(
+            check_query(&bad, &schema(), Dialect::Oracle).unwrap_err(),
+            EvalError::MisplacedAggregate(_)
+        ));
+        // An aggregate as a GROUP BY key: rejected.
+        let bad = Query::Select(
+            SelectQuery::new(
+                SelectList::items([(Term::Const(Value::Int(1)), "one")]),
+                vec![FromItem::base("S", "S")],
+            )
+            .group_by([Term::count_star()]),
+        );
+        assert!(matches!(
+            check_query(&bad, &schema(), Dialect::Oracle).unwrap_err(),
+            EvalError::MisplacedAggregate(_)
+        ));
+        // SELECT * over groups: rejected.
+        let bad = Query::Select(
+            SelectQuery::new(SelectList::Star, vec![FromItem::base("S", "S")])
+                .group_by([Term::col("S", "A")]),
+        );
+        assert!(matches!(
+            check_query(&bad, &schema(), Dialect::Oracle).unwrap_err(),
+            EvalError::Malformed(_)
+        ));
+    }
+
+    #[test]
+    fn having_subqueries_see_the_key_scope_not_the_local_scope() {
+        use crate::ast::SelectItem;
+        // HAVING EXISTS (… WHERE R.A = S.A): S.A is a key, fine; S.B is
+        // not a key, so the same reference to S.B is unbound (the grouped
+        // environment binds only the keys).
+        let sub = |col: &str| {
+            Query::Select(
+                SelectQuery::new(SelectList::Star, vec![FromItem::base("R", "R")])
+                    .filter(Condition::eq(Term::col("R", "A"), Term::col("S", col))),
+            )
+        };
+        let grouped = |col: &str| {
+            Query::Select(
+                SelectQuery::new(
+                    SelectList::Items(vec![SelectItem::new(Term::col("S", "A"), "k")]),
+                    vec![FromItem::base("S", "S")],
+                )
+                .group_by([Term::col("S", "A")])
+                .having(Condition::exists(sub(col))),
+            )
+        };
+        assert_eq!(check_query(&grouped("A"), &schema(), Dialect::Oracle), Ok(()));
+        assert!(matches!(
+            check_query(&grouped("B"), &schema(), Dialect::Oracle).unwrap_err(),
+            EvalError::UnboundReference(_)
+        ));
     }
 
     #[test]

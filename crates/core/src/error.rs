@@ -90,6 +90,16 @@ pub enum EvalError {
         /// Number of names provided.
         got: usize,
     },
+    /// An aggregate application appeared where aggregates are not
+    /// allowed: in a `WHERE` clause, in `GROUP BY` keys, nested inside
+    /// another aggregate's argument, or in an ungrouped context that is
+    /// not a `SELECT` list / `HAVING` clause.
+    MisplacedAggregate(&'static str),
+    /// A column reference in the `SELECT` list or `HAVING` clause of a
+    /// grouped block is neither aggregated nor one of the `GROUP BY`
+    /// keys — the Standard's "column must appear in the GROUP BY clause
+    /// or be used in an aggregate function" error.
+    UngroupedColumn(FullName),
     /// A relational-algebra expression is not well-formed (§5 lists the
     /// side conditions for each operation).
     Malformed(String),
@@ -138,6 +148,16 @@ impl fmt::Display for EvalError {
             }
             EvalError::ColumnRenameArity { alias, expected, got } => {
                 write!(f, "alias {alias}(...) renames {got} column(s), table has {expected}")
+            }
+            EvalError::MisplacedAggregate(context) => {
+                write!(f, "aggregate functions are not allowed in {context}")
+            }
+            EvalError::UngroupedColumn(n) => {
+                write!(
+                    f,
+                    "column {n} must appear in the GROUP BY clause or be used in an \
+                     aggregate function"
+                )
             }
             EvalError::Malformed(msg) => write!(f, "malformed expression: {msg}"),
         }

@@ -21,7 +21,11 @@
 //! * [`LogicMode`] — the §6 two-valued semantics `⟦·⟧₂ᵥ`, under either
 //!   interpretation of equality.
 
-use crate::ast::{Condition, FromItem, Query, SelectList, SelectQuery, SetOp, TableRef, Term};
+use std::collections::{HashMap, HashSet};
+
+use crate::ast::{
+    AggFunc, Aggregate, Condition, FromItem, Query, SelectList, SelectQuery, SetOp, TableRef, Term,
+};
 use crate::check;
 use crate::dialect::{Dialect, LogicMode};
 use crate::env::Env;
@@ -155,10 +159,19 @@ impl<'a> Evaluator<'a> {
         }
     }
 
-    /// `⟦SELECT … FROM τ:β WHERE θ⟧_{D,η,x}` (Figure 5).
+    /// `⟦SELECT … FROM τ:β WHERE θ⟧_{D,η,x}` (Figure 5), extended with
+    /// the grouping fragment (`GROUP BY`/`HAVING`/aggregates).
     fn eval_select(&self, s: &SelectQuery, env: &Env, exists: bool) -> Result<Table, EvalError> {
         if s.from.is_empty() {
             return Err(EvalError::malformed("FROM clause must reference at least one table"));
+        }
+        if s.is_grouped() && s.select.is_star() {
+            // `SELECT *` has no meaning over groups; rejected before any
+            // data is touched, in every dialect, so the engine's
+            // compile-time rejection coincides with this semantics.
+            return Err(EvalError::malformed(
+                "SELECT * cannot be combined with GROUP BY, HAVING or aggregates",
+            ));
         }
         sig::check_distinct_aliases(&s.from)?;
 
@@ -188,6 +201,10 @@ impl<'a> Evaluator<'a> {
             if self.eval_condition(&s.where_, &env1)?.is_true() {
                 kept.push((row.clone(), env1));
             }
+        }
+
+        if s.is_grouped() {
+            return self.eval_grouped(s, &kept, env);
         }
 
         let result = match &s.select {
@@ -262,19 +279,180 @@ impl<'a> Evaluator<'a> {
         }
     }
 
+    /// The grouping fragment's semantics: partition the surviving
+    /// `FROM`–`WHERE` records by the (null-safe) `GROUP BY` key tuple,
+    /// compute every aggregate of the block eagerly per group, keep the
+    /// groups whose `HAVING` condition is true under the *grouped
+    /// environment* (outer bindings plus the group's key bindings), and
+    /// project one output record per surviving group.
+    ///
+    /// Null discipline (the Standard's): aggregates skip `NULL` inputs;
+    /// `COUNT(*)` counts records; over an empty collection `COUNT` is `0`
+    /// while `SUM`/`AVG`/`MIN`/`MAX` are `NULL`; `DISTINCT` aggregates
+    /// deduplicate under syntactic value identity (nulls are already
+    /// gone, so the SQL and syntactic equalities coincide there); and
+    /// grouping keys compare null-safely — `NULL` keys form one group.
+    fn eval_grouped(
+        &self,
+        s: &SelectQuery,
+        kept: &[(Row, Env)],
+        env: &Env,
+    ) -> Result<Table, EvalError> {
+        // Partition by key tuple, preserving first-appearance order so
+        // results are reproducible byte-for-byte.
+        let mut keys_in_order: Vec<Vec<Value>> = Vec::new();
+        let mut members: Vec<Vec<&Env>> = Vec::new();
+        let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
+        for (_, env1) in kept {
+            let key: Vec<Value> =
+                s.group_by.iter().map(|t| self.eval_term(t, env1)).collect::<Result<_, _>>()?;
+            match index.get(&key) {
+                Some(&i) => members[i].push(env1),
+                None => {
+                    index.insert(key.clone(), keys_in_order.len());
+                    keys_in_order.push(key);
+                    members.push(vec![env1]);
+                }
+            }
+        }
+        // Implicit grouping (`SELECT COUNT(*) FROM R` and friends): with
+        // no GROUP BY keys there is always exactly one — possibly empty —
+        // group, which is how `COUNT(*)` over an empty table yields 0.
+        if s.group_by.is_empty() && keys_in_order.is_empty() {
+            keys_in_order.push(Vec::new());
+            members.push(Vec::new());
+        }
+
+        let SelectList::Items(items) = &s.select else {
+            unreachable!("grouped star rejected in eval_select");
+        };
+        if items.is_empty() {
+            return Err(EvalError::ZeroArity);
+        }
+        let aggs = s.aggregates();
+        let local_aliases: HashSet<&Name> = s.from.iter().map(|f| &f.alias).collect();
+
+        let columns = items.iter().map(|i| i.alias.clone()).collect();
+        let mut out = Table::new(columns)?;
+        for (key, group) in keys_in_order.iter().zip(&members) {
+            // Every aggregate of the block is computed for every group —
+            // the γ view of grouping — so error behaviour does not
+            // depend on which groups HAVING later discards.
+            let agg_values: Vec<Value> =
+                aggs.iter().map(|a| self.compute_aggregate(a, group)).collect::<Result<_, _>>()?;
+            // The grouped environment: the outer η extended with the
+            // group's key bindings (named keys only).
+            let mut genv = env.clone();
+            for (t, v) in s.group_by.iter().zip(key) {
+                if let Term::Col(n) = t {
+                    genv = genv.bind(n.clone(), v.clone());
+                }
+            }
+            let ctx = GroupCtx {
+                keys: &s.group_by,
+                key_values: key,
+                aggs: &aggs,
+                agg_values: &agg_values,
+                env: &genv,
+                local_aliases: &local_aliases,
+            };
+            if !self.eval_grouped_condition(&s.having, &ctx)?.is_true() {
+                continue;
+            }
+            let row: Row = items
+                .iter()
+                .map(|i| self.eval_grouped_term(&i.term, &ctx))
+                .collect::<Result<_, _>>()?;
+            out.push(row)?;
+        }
+        Ok(if s.distinct { out.distinct() } else { out })
+    }
+
+    /// One aggregate over one group: evaluate the argument per member
+    /// record, drop `NULL`s, deduplicate if `DISTINCT`, fold.
+    fn compute_aggregate(&self, agg: &Aggregate, group: &[&Env]) -> Result<Value, EvalError> {
+        let Some(arg) = &agg.arg else {
+            if agg.func != AggFunc::Count {
+                return Err(EvalError::malformed("only COUNT may be applied to *"));
+            }
+            // COUNT(*): records counted regardless of nulls.
+            return Ok(Value::Int(group.len() as i64));
+        };
+        let mut values = Vec::with_capacity(group.len());
+        for env1 in group {
+            // Nested aggregates in the argument error here: the plain
+            // term evaluation rejects `Term::Agg`.
+            values.push(self.eval_term(arg, env1)?);
+        }
+        aggregate(agg.func, agg.distinct, values)
+    }
+
+    /// `⟦θ⟧` under a grouped environment: terms resolve against the
+    /// group (keys, aggregates), subqueries run under the grouped
+    /// environment `η_G`.
+    fn eval_grouped_condition(
+        &self,
+        cond: &Condition,
+        ctx: &GroupCtx<'_>,
+    ) -> Result<Truth, EvalError> {
+        self.eval_condition_scoped(cond, &TermScope::Grouped(ctx))
+    }
+
+    /// `⟦t⟧` under a grouped environment: a term that *is* one of the
+    /// `GROUP BY` keys denotes the group's key value; an aggregate
+    /// denotes its precomputed per-group value; any other reference to a
+    /// local (`FROM`-bound) alias is the Standard's "must appear in the
+    /// GROUP BY clause" error; outer references resolve in `η_G`.
+    fn eval_grouped_term(&self, term: &Term, ctx: &GroupCtx<'_>) -> Result<Value, EvalError> {
+        if let Some(i) = ctx.keys.iter().position(|k| k == term) {
+            return Ok(ctx.key_values[i].clone());
+        }
+        match term {
+            Term::Const(v) => Ok(v.clone()),
+            Term::Agg(a) => match ctx.aggs.iter().position(|seen| *seen == &**a) {
+                Some(i) => Ok(ctx.agg_values[i].clone()),
+                None => Err(EvalError::malformed("aggregate not collected for its block")),
+            },
+            Term::Col(n) => {
+                if ctx.local_aliases.contains(&n.table) {
+                    Err(EvalError::UngroupedColumn(n.clone()))
+                } else {
+                    ctx.env.lookup(n).cloned()
+                }
+            }
+        }
+    }
+
     /// `⟦θ⟧_{D,η}` (Figure 6), under the evaluator's logic mode.
     pub fn eval_condition(&self, cond: &Condition, env: &Env) -> Result<Truth, EvalError> {
+        self.eval_condition_scoped(cond, &TermScope::Plain(env))
+    }
+
+    /// The one condition walker behind both `eval_condition` (Figure 6)
+    /// and the grouped `HAVING` semantics: the scope decides how terms
+    /// resolve and which environment subqueries run under; everything
+    /// else — logic-mode conflation, Kleene connectives, the `IN`
+    /// disjunction — is identical in both settings by construction.
+    fn eval_condition_scoped(
+        &self,
+        cond: &Condition,
+        scope: &TermScope<'_>,
+    ) -> Result<Truth, EvalError> {
+        let term = |t: &Term| match scope {
+            TermScope::Plain(env) => self.eval_term(t, env),
+            TermScope::Grouped(ctx) => self.eval_grouped_term(t, ctx),
+        };
         match cond {
             Condition::True => Ok(Truth::True),
             Condition::False => Ok(Truth::False),
             Condition::Cmp { left, op, right } => {
-                let l = self.eval_term(left, env)?;
-                let r = self.eval_term(right, env)?;
+                let l = term(left)?;
+                let r = term(right)?;
                 self.cmp_values(&l, *op, &r)
             }
-            Condition::Like { term, pattern, negated } => {
-                let t = self.eval_term(term, env)?;
-                let p = self.eval_term(pattern, env)?;
+            Condition::Like { term: t, pattern, negated } => {
+                let t = term(t)?;
+                let p = term(pattern)?;
                 let truth = match self.logic {
                     LogicMode::ThreeValued => t.sql_like(&p)?,
                     // §6: every predicate conflates u with f.
@@ -283,8 +461,7 @@ impl<'a> Evaluator<'a> {
                 Ok(if *negated { truth.not() } else { truth })
             }
             Condition::Pred { name, args } => {
-                let values: Vec<Value> =
-                    args.iter().map(|t| self.eval_term(t, env)).collect::<Result<_, _>>()?;
+                let values: Vec<Value> = args.iter().map(term).collect::<Result<_, _>>()?;
                 if values.iter().any(Value::is_null) {
                     // Figure 6: u when an argument is NULL; the §6
                     // two-valued semantics conflates that to f.
@@ -295,43 +472,45 @@ impl<'a> Evaluator<'a> {
                 }
                 Ok(Truth::from_bool(self.preds.apply(name, &values)?))
             }
-            Condition::IsNull { term, negated } => {
+            Condition::IsNull { term: t, negated } => {
                 // Already two-valued in every mode (Figure 6).
-                let truth = Truth::from_bool(self.eval_term(term, env)?.is_null());
+                let truth = Truth::from_bool(term(t)?.is_null());
                 Ok(if *negated { truth.not() } else { truth })
             }
             Condition::IsDistinct { left, right, negated } => {
                 // Syntactic equality ≐ (Definition 2): two-valued in
                 // every logic mode; IS NOT DISTINCT FROM *is* ≐.
-                let l = self.eval_term(left, env)?;
-                let r = self.eval_term(right, env)?;
-                let same = l.syntactic_eq(&r);
+                let same = term(left)?.syntactic_eq(&term(right)?);
                 Ok(if *negated { same } else { same.not() })
             }
             Condition::In { terms, query, negated } => {
-                let truth = self.eval_in(terms, query, env)?;
+                let values: Vec<Value> = terms.iter().map(term).collect::<Result<_, _>>()?;
+                let truth = self.eval_in_values(values, query, scope.env())?;
                 Ok(if *negated { truth.not() } else { truth })
             }
             Condition::Exists(query) => {
                 // ⟦EXISTS Q⟧: non-emptiness of ⟦Q⟧_{D,η,1}.
-                let t = self.eval_query(query, env, true)?;
+                let t = self.eval_query(query, scope.env(), true)?;
                 Ok(Truth::from_bool(!t.is_empty()))
             }
             Condition::And(a, b) => {
-                Ok(self.eval_condition(a, env)?.and(self.eval_condition(b, env)?))
+                Ok(self.eval_condition_scoped(a, scope)?.and(self.eval_condition_scoped(b, scope)?))
             }
             Condition::Or(a, b) => {
-                Ok(self.eval_condition(a, env)?.or(self.eval_condition(b, env)?))
+                Ok(self.eval_condition_scoped(a, scope)?.or(self.eval_condition_scoped(b, scope)?))
             }
-            Condition::Not(c) => Ok(self.eval_condition(c, env)?.not()),
+            Condition::Not(c) => Ok(self.eval_condition_scoped(c, scope)?.not()),
         }
     }
 
-    /// `⟦t̄ IN Q⟧_{D,η}` (Figure 6): the Kleene disjunction of the tuple
-    /// equalities `t̄ = r̄` over all records `r̄` of `⟦Q⟧_{D,η,0}`.
-    fn eval_in(&self, terms: &[Term], query: &Query, env: &Env) -> Result<Truth, EvalError> {
-        let values: Vec<Value> =
-            terms.iter().map(|t| self.eval_term(t, env)).collect::<Result<_, _>>()?;
+    /// The membership test of `IN` once the left tuple is evaluated
+    /// (shared between the plain and the grouped condition semantics).
+    fn eval_in_values(
+        &self,
+        values: Vec<Value>,
+        query: &Query,
+        env: &Env,
+    ) -> Result<Truth, EvalError> {
         let sub = self.eval_query(query, env, false)?;
         if sub.arity() != values.len() {
             return Err(EvalError::ArityMismatch {
@@ -379,13 +558,122 @@ impl<'a> Evaluator<'a> {
         }
     }
 
-    /// `⟦t⟧_η` (Figure 4).
+    /// `⟦t⟧_η` (Figure 4). Aggregate terms have no meaning outside the
+    /// `SELECT` list / `HAVING` clause of a grouped block and error here.
     pub fn eval_term(&self, term: &Term, env: &Env) -> Result<Value, EvalError> {
         match term {
             Term::Const(v) => Ok(v.clone()),
             Term::Col(name) => env.lookup(name).cloned(),
+            Term::Agg(_) => Err(EvalError::MisplacedAggregate("this context")),
         }
     }
+}
+
+/// How condition terms resolve: against an ordinary environment
+/// (Figure 6) or against a group (keys, aggregates, `η_G`).
+enum TermScope<'a> {
+    Plain(&'a Env),
+    Grouped(&'a GroupCtx<'a>),
+}
+
+impl TermScope<'_> {
+    /// The environment subqueries of the condition run under.
+    fn env(&self) -> &Env {
+        match self {
+            TermScope::Plain(env) => env,
+            TermScope::Grouped(ctx) => ctx.env,
+        }
+    }
+}
+
+/// The per-group state grouped terms and conditions resolve against.
+struct GroupCtx<'a> {
+    /// The `GROUP BY` key terms, in clause order.
+    keys: &'a [Term],
+    /// The group's key values, parallel to `keys`.
+    key_values: &'a [Value],
+    /// The block's collected aggregates (select list + having, deduped).
+    aggs: &'a [&'a Aggregate],
+    /// The group's aggregate values, parallel to `aggs`.
+    agg_values: &'a [Value],
+    /// The grouped environment `η_G`: outer bindings + key bindings.
+    env: &'a Env,
+    /// Aliases bound by the block's own `FROM` clause.
+    local_aliases: &'a HashSet<&'a Name>,
+}
+
+/// The value-level semantics of one aggregate over one group's argument
+/// values: `NULL` inputs are skipped, `DISTINCT` deduplicates the
+/// survivors under syntactic value identity, then the function folds.
+/// `COUNT` of the empty surviving collection is `0`; the other four are
+/// `NULL`. (`COUNT(*)` does not go through here — it counts records,
+/// not values.)
+///
+/// Shared by the denotational interpreter and the relational-algebra
+/// evaluator, the way [`Value::sql_cmp`] already is; the engine's
+/// incremental accumulators implement the same discipline independently.
+pub fn aggregate(
+    func: AggFunc,
+    distinct: bool,
+    values: impl IntoIterator<Item = Value>,
+) -> Result<Value, EvalError> {
+    let mut values: Vec<Value> = values.into_iter().filter(|v| !v.is_null()).collect();
+    if distinct {
+        let mut seen = HashSet::with_capacity(values.len());
+        values.retain(|v| seen.insert(v.clone()));
+    }
+    fold_aggregate(func, &values)
+}
+
+/// Folds a collection of non-`NULL` values with an aggregate function.
+fn fold_aggregate(func: AggFunc, values: &[Value]) -> Result<Value, EvalError> {
+    match func {
+        AggFunc::Count => Ok(Value::Int(values.len() as i64)),
+        AggFunc::Sum => Ok(sum_ints("SUM", values)?.map_or(Value::Null, Value::Int)),
+        AggFunc::Avg => Ok(match sum_ints("AVG", values)? {
+            None => Value::Null,
+            // Integer average, truncating towards zero — `AVG = SUM/COUNT`
+            // holds exactly in `i64` arithmetic.
+            Some(sum) => Value::Int(sum / values.len() as i64),
+        }),
+        AggFunc::Min => fold_extremum(values, CmpOp::Lt),
+        AggFunc::Max => fold_extremum(values, CmpOp::Gt),
+    }
+}
+
+/// Sums integer values; `None` for the empty collection. Non-integer
+/// inputs are a type error, overflow is a (deterministic) runtime error.
+fn sum_ints(op: &'static str, values: &[Value]) -> Result<Option<i64>, EvalError> {
+    let mut acc: Option<i64> = None;
+    for v in values {
+        let Value::Int(n) = v else {
+            return Err(EvalError::TypeMismatch {
+                op: op.to_string(),
+                left: "integer",
+                right: v.type_name(),
+            });
+        };
+        acc = Some(match acc.unwrap_or(0).checked_add(*n) {
+            Some(total) => total,
+            None => return Err(EvalError::malformed(format!("integer overflow in {op}"))),
+        });
+    }
+    Ok(acc)
+}
+
+/// `MIN`/`MAX` via the SQL order; mixed-type collections surface the
+/// comparison's type error. `NULL` for the empty collection.
+fn fold_extremum(values: &[Value], keep_if: CmpOp) -> Result<Value, EvalError> {
+    let mut iter = values.iter();
+    let Some(first) = iter.next() else { return Ok(Value::Null) };
+    let mut acc = first.clone();
+    for v in iter {
+        // Values are non-null, so the comparison is never unknown.
+        if v.sql_cmp(&acc, keep_if)?.is_true() {
+            acc = v.clone();
+        }
+    }
+    Ok(acc)
 }
 
 /// Conflates `u` with `f` — the passage from Figure 6 to the §6
@@ -401,6 +689,7 @@ fn conflate(t: Truth) -> Truth {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ast::SelectItem;
     use crate::schema::Schema;
     use crate::{row, table};
 
@@ -831,6 +1120,174 @@ mod tests {
         let q =
             Query::Select(SelectQuery::new(SelectList::items([(Term::from(1i64), "X")]), vec![]));
         assert!(matches!(Evaluator::new(&db).eval(&q).unwrap_err(), EvalError::Malformed(_)));
+    }
+
+    /// `SELECT R.A AS k, <aggs> FROM R AS R GROUP BY R.A [HAVING …]`.
+    fn grouped(items: Vec<SelectItem>, having: Condition) -> Query {
+        Query::Select(
+            SelectQuery::new(SelectList::Items(items), vec![FromItem::base("R", "R")])
+                .group_by([Term::col("R", "A")])
+                .having(having),
+        )
+    }
+
+    #[test]
+    fn grouped_counts_follow_the_null_discipline() {
+        // R.A = {1, 1, NULL}: nulls form one group; COUNT(*) counts
+        // records, COUNT(R.A) skips NULLs.
+        let schema = Schema::builder().table("R", ["A"]).build().unwrap();
+        let mut db = Database::new(schema);
+        db.insert("R", table! { ["A"]; [1], [1], [Value::Null] }).unwrap();
+        let q = grouped(
+            vec![
+                SelectItem::new(Term::col("R", "A"), "k"),
+                SelectItem::new(Term::count_star(), "stars"),
+                SelectItem::new(Term::agg(AggFunc::Count, Term::col("R", "A")), "vals"),
+            ],
+            Condition::True,
+        );
+        let out = Evaluator::new(&db).eval(&q).unwrap();
+        assert!(
+            out.coincides(&table! { ["k", "stars", "vals"]; [1, 2, 2], [Value::Null, 1, 0] }),
+            "got:\n{out}"
+        );
+    }
+
+    #[test]
+    fn empty_group_aggregates_split_between_zero_and_null() {
+        // Implicit single group over an empty table: COUNT is 0, the
+        // other four are NULL.
+        let schema = Schema::builder().table("R", ["A"]).build().unwrap();
+        let db = Database::new(schema);
+        let q = Query::Select(SelectQuery::new(
+            SelectList::Items(vec![
+                SelectItem::new(Term::count_star(), "n"),
+                SelectItem::new(Term::agg(AggFunc::Sum, Term::col("R", "A")), "s"),
+                SelectItem::new(Term::agg(AggFunc::Avg, Term::col("R", "A")), "a"),
+                SelectItem::new(Term::agg(AggFunc::Min, Term::col("R", "A")), "lo"),
+                SelectItem::new(Term::agg(AggFunc::Max, Term::col("R", "A")), "hi"),
+            ]),
+            vec![FromItem::base("R", "R")],
+        ));
+        let out = Evaluator::new(&db).eval(&q).unwrap();
+        assert!(out.coincides(&table! {
+            ["n", "s", "a", "lo", "hi"];
+            [0, Value::Null, Value::Null, Value::Null, Value::Null]
+        }));
+    }
+
+    #[test]
+    fn having_filters_groups_and_sees_the_grouped_environment() {
+        let schema = Schema::builder().table("R", ["A"]).build().unwrap();
+        let mut db = Database::new(schema);
+        db.insert("R", table! { ["A"]; [1], [1], [2] }).unwrap();
+        // HAVING COUNT(*) > 1 keeps only the group of 1s; the key R.A is
+        // usable in HAVING too.
+        let q = grouped(
+            vec![SelectItem::new(Term::col("R", "A"), "k")],
+            Condition::cmp(Term::count_star(), CmpOp::Gt, Term::from(1i64))
+                .and(Condition::is_not_null(Term::col("R", "A"))),
+        );
+        let out = Evaluator::new(&db).eval(&q).unwrap();
+        assert!(out.coincides(&table! { ["k"]; [1] }), "got:\n{out}");
+    }
+
+    #[test]
+    fn grouped_typing_errors_surface_at_evaluation() {
+        let schema = Schema::builder().table("R", ["A", "B"]).build().unwrap();
+        let mut db = Database::new(schema);
+        db.insert("R", table! { ["A", "B"]; [1, 2] }).unwrap();
+        // A non-key local column in the SELECT list of a grouped block.
+        let q = grouped(vec![SelectItem::new(Term::col("R", "B"), "b")], Condition::True);
+        assert!(matches!(Evaluator::new(&db).eval(&q).unwrap_err(), EvalError::UngroupedColumn(_)));
+        // An aggregate in WHERE.
+        let q = Query::Select(
+            SelectQuery::new(
+                SelectList::items([(Term::col("R", "A"), "A")]),
+                vec![FromItem::base("R", "R")],
+            )
+            .filter(Condition::cmp(Term::count_star(), CmpOp::Gt, Term::from(0i64))),
+        );
+        assert!(matches!(
+            Evaluator::new(&db).eval(&q).unwrap_err(),
+            EvalError::MisplacedAggregate(_)
+        ));
+        // A nested aggregate in an aggregate argument.
+        let q = grouped(
+            vec![SelectItem::new(
+                Term::agg(AggFunc::Sum, Term::agg(AggFunc::Sum, Term::col("R", "B"))),
+                "s",
+            )],
+            Condition::True,
+        );
+        assert!(matches!(
+            Evaluator::new(&db).eval(&q).unwrap_err(),
+            EvalError::MisplacedAggregate(_)
+        ));
+        // SELECT * over groups.
+        let q = Query::Select(
+            SelectQuery::new(SelectList::Star, vec![FromItem::base("R", "R")])
+                .group_by([Term::col("R", "A")]),
+        );
+        assert!(matches!(Evaluator::new(&db).eval(&q).unwrap_err(), EvalError::Malformed(_)));
+    }
+
+    #[test]
+    fn distinct_aggregates_and_extremes() {
+        let schema = Schema::builder().table("R", ["A"]).build().unwrap();
+        let mut db = Database::new(schema);
+        db.insert("R", table! { ["A"]; [3], [3], [1], [Value::Null] }).unwrap();
+        let q = Query::Select(SelectQuery::new(
+            SelectList::Items(vec![
+                SelectItem::new(Term::agg_distinct(AggFunc::Sum, Term::col("R", "A")), "sd"),
+                SelectItem::new(Term::agg(AggFunc::Min, Term::col("R", "A")), "lo"),
+                SelectItem::new(Term::agg(AggFunc::Max, Term::col("R", "A")), "hi"),
+            ]),
+            vec![FromItem::base("R", "R")],
+        ));
+        let out = Evaluator::new(&db).eval(&q).unwrap();
+        assert!(out.coincides(&table! { ["sd", "lo", "hi"]; [4, 1, 3] }), "got:\n{out}");
+    }
+
+    #[test]
+    fn having_subqueries_run_under_the_grouped_environment() {
+        // HAVING EXISTS (SELECT * FROM S WHERE S.B = R.A): the key R.A
+        // is bound per group; only keys with a partner in S survive.
+        let schema = Schema::builder().table("R", ["A"]).table("S", ["B"]).build().unwrap();
+        let mut db = Database::new(schema);
+        db.insert("R", table! { ["A"]; [1], [1], [2] }).unwrap();
+        db.insert("S", table! { ["B"]; [2] }).unwrap();
+        let sub = Query::Select(
+            SelectQuery::new(SelectList::Star, vec![FromItem::base("S", "S")])
+                .filter(Condition::eq(Term::col("S", "B"), Term::col("R", "A"))),
+        );
+        let q = grouped(
+            vec![
+                SelectItem::new(Term::col("R", "A"), "k"),
+                SelectItem::new(Term::count_star(), "n"),
+            ],
+            Condition::exists(sub),
+        );
+        let out = Evaluator::new(&db).eval(&q).unwrap();
+        assert!(out.coincides(&table! { ["k", "n"]; [2, 1] }), "got:\n{out}");
+    }
+
+    #[test]
+    fn sum_type_errors_are_deterministic() {
+        let schema = Schema::builder().table("R", ["A"]).build().unwrap();
+        let mut db = Database::new(schema);
+        db.insert("R", table! { ["A"]; [Value::str("x")] }).unwrap();
+        let q = Query::Select(SelectQuery::new(
+            SelectList::Items(vec![SelectItem::new(
+                Term::agg(AggFunc::Sum, Term::col("R", "A")),
+                "s",
+            )]),
+            vec![FromItem::base("R", "R")],
+        ));
+        assert!(matches!(
+            Evaluator::new(&db).eval(&q).unwrap_err(),
+            EvalError::TypeMismatch { .. }
+        ));
     }
 
     #[test]

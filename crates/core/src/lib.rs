@@ -70,11 +70,14 @@ pub mod table;
 pub mod truth;
 pub mod value;
 
-pub use ast::{Condition, FromItem, Query, SelectItem, SelectList, SelectQuery, SetOp, Term};
+pub use ast::{
+    AggFunc, Aggregate, Condition, FromItem, Query, SelectItem, SelectList, SelectQuery, SetOp,
+    Term,
+};
 pub use dialect::{Dialect, LogicMode};
 pub use env::{Binding, Env};
 pub use error::EvalError;
-pub use eval::{Evaluator, STAR_EXISTS_COLUMN, STAR_EXISTS_CONSTANT};
+pub use eval::{aggregate, Evaluator, STAR_EXISTS_COLUMN, STAR_EXISTS_CONSTANT};
 pub use name::{FullName, Name};
 pub use pred::{Predicate, PredicateRegistry};
 pub use row::Row;

@@ -24,9 +24,9 @@
 //! * **Determinism** ([`plan_has_user_pred`]): user predicates are opaque
 //!   host functions; plans invoking them are never cached or reordered.
 
-use sqlsem_core::{Database, Value};
+use sqlsem_core::{AggFunc, Database, Value};
 
-use crate::plan::{Expr, Plan, Pred};
+use crate::plan::{AggSpec, Expr, Plan, Pred};
 
 /// A conservative set of runtime types a column (or expression) may take,
 /// as a bitmask over `NULL`/`BOOL`/`INT`/`STR`.
@@ -119,12 +119,76 @@ pub(crate) fn col_types(plan: &Plan, frames: &mut TypeFrames, db: &Database) -> 
             l.extend(col_types(right, frames, db));
             l
         }
+        Plan::GroupAggregate { input, keys, aggs, output, .. } => {
+            let group = group_frame_types(input, keys, aggs, frames, db);
+            frames.push(group);
+            let out =
+                output.iter().map(|e| expr_types(e, frames).unwrap_or(TypeSet::ALL)).collect();
+            frames.pop();
+            out
+        }
+    }
+}
+
+/// The per-column type sets of a [`Plan::GroupAggregate`]'s group frame
+/// `keys ++ aggs`, under the given outer frames.
+pub(crate) fn group_frame_types(
+    input: &Plan,
+    keys: &[Expr],
+    aggs: &[AggSpec],
+    frames: &mut TypeFrames,
+    db: &Database,
+) -> Vec<TypeSet> {
+    let inner = col_types(input, frames, db);
+    frames.push(inner);
+    let mut group: Vec<TypeSet> =
+        keys.iter().map(|e| expr_types(e, frames).unwrap_or(TypeSet::ALL)).collect();
+    for spec in aggs {
+        group.push(agg_result_types(spec, frames));
+    }
+    frames.pop();
+    group
+}
+
+/// The type set an aggregate's per-group result may take. `COUNT` is
+/// always an integer; `SUM`/`AVG` are integer-or-`NULL` (`NULL` for the
+/// empty or all-`NULL` group); `MIN`/`MAX` take the argument's non-null
+/// types plus `NULL`.
+fn agg_result_types(spec: &AggSpec, frames: &TypeFrames) -> TypeSet {
+    match spec.func {
+        AggFunc::Count => TypeSet(TypeSet::INT),
+        AggFunc::Sum | AggFunc::Avg => TypeSet(TypeSet::INT | TypeSet::NULL),
+        AggFunc::Min | AggFunc::Max => {
+            let arg = spec.arg.as_ref().and_then(|e| expr_types(e, frames)).unwrap_or(TypeSet::ALL);
+            TypeSet(arg.non_null().0 | TypeSet::NULL)
+        }
+    }
+}
+
+/// `true` iff computing this aggregate can never raise a runtime error,
+/// for inputs consistent with the frames (`frames.last()` must be the
+/// input-row frame). `SUM`/`AVG` are conservatively non-total: integer
+/// overflow is a (deterministic) runtime error the type analysis cannot
+/// bound.
+pub(crate) fn agg_total(spec: &AggSpec, frames: &TypeFrames) -> bool {
+    match &spec.arg {
+        None => spec.func == AggFunc::Count,
+        Some(arg) => {
+            let Some(types) = expr_types(arg, frames) else { return false };
+            match spec.func {
+                AggFunc::Count => true,
+                AggFunc::Sum | AggFunc::Avg => false,
+                // MIN/MAX compare the argument's non-null values with
+                // each other: total iff they all share one type.
+                AggFunc::Min | AggFunc::Max => types.non_null().count() <= 1,
+            }
+        }
     }
 }
 
 /// Type sets an expression may evaluate to; `None` marks an expression
 /// that can raise (a deferred resolution error).
-fn expr_types(expr: &Expr, frames: &TypeFrames) -> Option<TypeSet> {
+pub(crate) fn expr_types(expr: &Expr, frames: &TypeFrames) -> Option<TypeSet> {
     match expr {
         Expr::Const(v) => Some(TypeSet::of_value(v)),
         Expr::Deferred(_) => None,
@@ -234,6 +298,25 @@ pub(crate) fn plan_total(plan: &Plan, frames: &mut TypeFrames, db: &Database) ->
         Plan::HashJoin { left, right, .. } => {
             plan_total(left, frames, db) && plan_total(right, frames, db)
         }
+        Plan::GroupAggregate { input, keys, aggs, having, output } => {
+            if !plan_total(input, frames, db) {
+                return false;
+            }
+            let inner = col_types(input, frames, db);
+            frames.push(inner);
+            let per_row = keys.iter().all(|e| expr_types(e, frames).is_some())
+                && aggs.iter().all(|spec| agg_total(spec, frames));
+            frames.pop();
+            if !per_row {
+                return false;
+            }
+            let group = group_frame_types(input, keys, aggs, frames, db);
+            frames.push(group);
+            let ok = having.as_ref().is_none_or(|p| pred_total(p, frames, db))
+                && output.iter().all(|e| expr_types(e, frames).is_some());
+            frames.pop();
+            ok
+        }
     }
 }
 
@@ -254,6 +337,16 @@ pub(crate) fn plan_is_correlated(plan: &Plan, local: usize) -> bool {
         }
         Plan::SetOp { left, right, .. } | Plan::HashJoin { left, right, .. } => {
             plan_is_correlated(left, local) || plan_is_correlated(right, local)
+        }
+        // Keys and aggregate arguments run under the input-row frame;
+        // HAVING and the output run under the group frame — one extra
+        // local frame either way.
+        Plan::GroupAggregate { input, keys, aggs, having, output } => {
+            plan_is_correlated(input, local)
+                || keys.iter().any(|e| expr_escapes(e, local + 1))
+                || aggs.iter().any(|s| s.arg.as_ref().is_some_and(|e| expr_escapes(e, local + 1)))
+                || having.as_ref().is_some_and(|p| pred_is_correlated(p, local + 1))
+                || output.iter().any(|e| expr_escapes(e, local + 1))
         }
     }
 }
@@ -295,6 +388,9 @@ pub(crate) fn plan_has_user_pred(plan: &Plan) -> bool {
         Plan::Project { input, .. } => plan_has_user_pred(input),
         Plan::SetOp { left, right, .. } | Plan::HashJoin { left, right, .. } => {
             plan_has_user_pred(left) || plan_has_user_pred(right)
+        }
+        Plan::GroupAggregate { input, having, .. } => {
+            plan_has_user_pred(input) || having.as_ref().is_some_and(pred_has_user_pred)
         }
     }
 }

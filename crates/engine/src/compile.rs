@@ -6,17 +6,36 @@
 //! references are rejected *before execution*, which is exactly how the
 //! real systems the paper validates against behave (Example 2, §4).
 
-use sqlsem_core::ast::{Condition, FromItem, Query, SelectList, SelectQuery, TableRef, Term};
+use std::collections::HashSet;
+
+use sqlsem_core::ast::{
+    Aggregate, Condition, FromItem, Query, SelectList, SelectQuery, TableRef, Term,
+};
 use sqlsem_core::{
-    Database, Dialect, EvalError, FullName, Name, STAR_EXISTS_COLUMN, STAR_EXISTS_CONSTANT,
+    AggFunc, Database, Dialect, EvalError, FullName, Name, STAR_EXISTS_COLUMN, STAR_EXISTS_CONSTANT,
 };
 
-use crate::plan::{Expr, Plan, Pred, Prepared};
+use crate::plan::{AggSpec, Expr, Plan, Pred, Prepared};
 
 /// Compiles a closed annotated query for execution over `db`.
 pub fn compile(query: &Query, db: &Database, dialect: Dialect) -> Result<Prepared, EvalError> {
-    let mut c = Compiler { db, dialect, stack: Vec::new() };
+    let mut c = Compiler { db, dialect, stack: Vec::new(), group: None };
     c.query(query, false)
+}
+
+/// The grouped-resolution context of the block currently being compiled:
+/// active exactly while its `SELECT` list and `HAVING` clause are
+/// translated, when the top frame is the *group frame* `keys ++ aggs`.
+struct GroupContext {
+    /// The `GROUP BY` key terms, in clause order (frame positions
+    /// `0..keys.len()`).
+    keys: Vec<Term>,
+    /// The block's aggregates, deduplicated (frame positions
+    /// `keys.len()..`).
+    aggs: Vec<Aggregate>,
+    /// Aliases bound by the block's own `FROM` clause — references to
+    /// them that are not keys are the "must appear in GROUP BY" error.
+    local_aliases: HashSet<Name>,
 }
 
 struct Compiler<'a> {
@@ -24,6 +43,8 @@ struct Compiler<'a> {
     dialect: Dialect,
     /// Compile-time images of the runtime frames: innermost scope last.
     stack: Vec<Vec<FullName>>,
+    /// Set while compiling the `SELECT`/`HAVING` of a grouped block.
+    group: Option<GroupContext>,
 }
 
 impl Compiler<'_> {
@@ -55,8 +76,24 @@ impl Compiler<'_> {
     }
 
     fn select(&mut self, s: &SelectQuery, exists: bool) -> Result<Prepared, EvalError> {
+        // Each block's grouped context is its own; a subquery compiled
+        // inside a grouped SELECT/HAVING starts ungrouped.
+        let saved_group = self.group.take();
+        let result = self.select_inner(s, exists);
+        self.group = saved_group;
+        result
+    }
+
+    fn select_inner(&mut self, s: &SelectQuery, exists: bool) -> Result<Prepared, EvalError> {
         if s.from.is_empty() {
             return Err(EvalError::malformed("FROM clause must reference at least one table"));
+        }
+        if s.is_grouped() && s.select.is_star() {
+            // Rejected before data access, like the unknown-table and
+            // arity errors: there is no meaningful star over groups.
+            return Err(EvalError::malformed(
+                "SELECT * cannot be combined with GROUP BY, HAVING or aggregates",
+            ));
         }
         sqlsem_core::sig::check_distinct_aliases(&s.from)?;
 
@@ -75,9 +112,91 @@ impl Compiler<'_> {
         };
 
         self.stack.push(scope);
-        let result = self.select_tail(s, product, exists);
+        let result = if s.is_grouped() {
+            self.grouped_tail(s, product)
+        } else {
+            self.select_tail(s, product, exists)
+        };
         self.stack.pop();
         result
+    }
+
+    /// Compiles a grouped block: `FROM`–`WHERE` as usual, then a
+    /// [`Plan::GroupAggregate`] whose `SELECT`/`HAVING` expressions are
+    /// resolved against the *group frame* `keys ++ aggs` — which also
+    /// replaces the block's scope on the compile-time stack, so
+    /// correlated references from `HAVING` subqueries see exactly the
+    /// names the grouped environment binds (the `GROUP BY` keys).
+    fn grouped_tail(&mut self, s: &SelectQuery, product: Plan) -> Result<Prepared, EvalError> {
+        let pred = self.condition(&s.where_)?;
+        let filtered = match pred {
+            Pred::True => product,
+            pred => Plan::Filter { input: Box::new(product), pred },
+        };
+
+        // Keys and aggregate arguments are per-row expressions over the
+        // block's own scope (still the top frame here). Aggregates in
+        // either position are misplaced and rejected by `term`.
+        let keys: Vec<Expr> = s.group_by.iter().map(|t| self.term(t)).collect::<Result<_, _>>()?;
+        let aggs_ast: Vec<Aggregate> = s.aggregates().into_iter().cloned().collect();
+        let mut aggs = Vec::with_capacity(aggs_ast.len());
+        for a in &aggs_ast {
+            let arg = match &a.arg {
+                None if a.func != AggFunc::Count => {
+                    // The semantics raises this per group; groups always
+                    // process eagerly, so a compile-time rejection for
+                    // the static dialects is faithful, and the Standard
+                    // dialect defers it into the finalizer.
+                    if self.dialect.checks_ambiguity_statically() {
+                        return Err(EvalError::malformed("only COUNT may be applied to *"));
+                    }
+                    None
+                }
+                None => None,
+                Some(t) => Some(self.term(t)?),
+            };
+            aggs.push(AggSpec { func: a.func, distinct: a.distinct, arg });
+        }
+
+        // Swap the block's scope for the group frame's name image: the
+        // named keys at their key positions; aggregate (and duplicate-
+        // key) positions get unreferencable placeholders.
+        let mut group_scope: Vec<FullName> = Vec::with_capacity(keys.len() + aggs.len());
+        for (i, key) in s.group_by.iter().enumerate() {
+            let name = match key {
+                Term::Col(n) if !group_scope.contains(n) => n.clone(),
+                _ => placeholder(i),
+            };
+            group_scope.push(name);
+        }
+        for i in 0..aggs.len() {
+            group_scope.push(placeholder(s.group_by.len() + i));
+        }
+        let local_aliases: HashSet<Name> = s.from.iter().map(|f| f.alias.clone()).collect();
+        *self.stack.last_mut().expect("local scope pushed") = group_scope;
+        self.group = Some(GroupContext { keys: s.group_by.clone(), aggs: aggs_ast, local_aliases });
+
+        let SelectList::Items(items) = &s.select else {
+            unreachable!("grouped star rejected above");
+        };
+        if items.is_empty() {
+            return Err(EvalError::ZeroArity);
+        }
+        let mut output = Vec::with_capacity(items.len());
+        let mut columns = Vec::with_capacity(items.len());
+        for item in items {
+            output.push(self.term(&item.term)?);
+            columns.push(item.alias.clone());
+        }
+        let having = match &s.having {
+            Condition::True => None,
+            cond => Some(self.condition(cond)?),
+        };
+        self.group = None;
+
+        let plan = Plan::GroupAggregate { input: Box::new(filtered), keys, aggs, having, output };
+        let plan = if s.distinct { Plan::Distinct { input: Box::new(plan) } } else { plan };
+        Ok(Prepared { plan, columns, cache_slots: 0 })
     }
 
     /// Everything after the FROM clause: WHERE filter and SELECT
@@ -217,9 +336,46 @@ impl Compiler<'_> {
     }
 
     fn term(&mut self, term: &Term) -> Result<Expr, EvalError> {
+        if let Some(group) = &self.group {
+            // Grouped resolution: a term that *is* one of the GROUP BY
+            // keys denotes the group frame's key column; an aggregate
+            // denotes its precomputed column; any other reference to a
+            // FROM-bound alias is the "must appear in GROUP BY" error.
+            if let Some(i) = group.keys.iter().position(|k| k == term) {
+                return Ok(Expr::Col { depth: 0, index: i });
+            }
+            match term {
+                Term::Agg(a) => {
+                    let i = group
+                        .aggs
+                        .iter()
+                        .position(|seen| seen == &**a)
+                        .expect("block aggregates were collected before compilation");
+                    return Ok(Expr::Col { depth: 0, index: group.keys.len() + i });
+                }
+                Term::Col(n) if group.local_aliases.contains(&n.table) => {
+                    return self.fail(EvalError::UngroupedColumn(n.clone()));
+                }
+                _ => {}
+            }
+        }
         match term {
             Term::Const(v) => Ok(Expr::Const(v.clone())),
             Term::Col(name) => self.resolve(name),
+            // Aggregates outside a grouped SELECT/HAVING: WHERE clauses,
+            // GROUP BY keys, nested aggregate arguments.
+            Term::Agg(_) => self.fail(EvalError::MisplacedAggregate("this context")),
+        }
+    }
+
+    /// A resolution failure: a hard compile error for the dialects that
+    /// check statically, a deferred evaluation-time error otherwise
+    /// (mirroring [`Compiler::resolve`]).
+    fn fail(&self, err: EvalError) -> Result<Expr, EvalError> {
+        if self.dialect.checks_ambiguity_statically() {
+            Err(err)
+        } else {
+            Ok(Expr::Deferred(err))
         }
     }
 
@@ -248,6 +404,13 @@ impl Compiler<'_> {
             Ok(Expr::Deferred(failure))
         }
     }
+}
+
+/// An unreferencable full name for group-frame positions that carry no
+/// name (aggregates, constant or duplicate keys). The empty alias cannot
+/// be produced by the lexer, so no query term can resolve to it.
+fn placeholder(position: usize) -> FullName {
+    FullName::new(Name::new(""), Name::new(format!("#{position}")))
 }
 
 #[cfg(test)]

@@ -15,10 +15,11 @@ use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 
 use sqlsem_core::{
-    CmpOp, Database, Dialect, EvalError, LogicMode, PredicateRegistry, Row, SetOp, Truth, Value,
+    AggFunc, CmpOp, Database, Dialect, EvalError, LogicMode, PredicateRegistry, Row, SetOp, Truth,
+    Value,
 };
 
-use crate::plan::{Expr, JoinKey, Plan, Pred};
+use crate::plan::{AggSpec, Expr, JoinKey, Plan, Pred};
 
 /// A memoized subquery result, stored in the slot the optimizer assigned.
 enum CachedSub {
@@ -127,7 +128,91 @@ impl<'a> Executor<'a> {
                 Ok(set_op(*op, *all, l, r))
             }
             Plan::HashJoin { left, right, keys } => self.hash_join(left, right, keys),
+            Plan::GroupAggregate { input, keys, aggs, having, output } => {
+                self.group_aggregate(input, keys, aggs, having.as_ref(), output)
+            }
         }
+    }
+
+    /// Hash grouping with *incremental* accumulators: one pass over the
+    /// input updates every aggregate of every group, then a second pass
+    /// finalizes each group, filters it through `HAVING` and projects
+    /// the output row — both under the group frame `keys ++ aggs`
+    /// (pushed on the correlation stack, so `HAVING` subplans see it at
+    /// depth 0 exactly like the grouped environment of the semantics).
+    ///
+    /// Grouping keys compare null-safely (the syntactic identity of
+    /// [`Value`]'s `Eq`/`Hash`): `NULL` keys form one group, in every
+    /// logic mode. With no keys there is always exactly one group, even
+    /// over an empty input.
+    fn group_aggregate(
+        &mut self,
+        input: &Plan,
+        keys: &[Expr],
+        aggs: &[AggSpec],
+        having: Option<&Pred>,
+        output: &[Expr],
+    ) -> Result<Vec<Row>, EvalError> {
+        let rows = self.run(input)?;
+        let mut order: Vec<Vec<Value>> = Vec::new();
+        let mut states: Vec<Vec<AggAcc>> = Vec::new();
+        let mut index: HashMap<Vec<Value>, usize> = HashMap::with_capacity(rows.len());
+        if keys.is_empty() {
+            // The implicit single group of `SELECT COUNT(*) FROM R`.
+            index.insert(Vec::new(), 0);
+            order.push(Vec::new());
+            states.push(aggs.iter().map(AggAcc::new).collect());
+        }
+        for row in rows {
+            self.frames.push(row);
+            let result = (|| {
+                let key: Vec<Value> =
+                    keys.iter().map(|e| self.eval_expr(e)).collect::<Result<_, _>>()?;
+                let slot = match index.get(&key) {
+                    Some(&i) => i,
+                    None => {
+                        let i = order.len();
+                        index.insert(key.clone(), i);
+                        order.push(key);
+                        states.push(aggs.iter().map(AggAcc::new).collect());
+                        i
+                    }
+                };
+                for (acc, spec) in states[slot].iter_mut().zip(aggs) {
+                    match &spec.arg {
+                        None => acc.step_row(),
+                        Some(e) => acc.step_value(self.eval_expr(e)?)?,
+                    }
+                }
+                Ok(())
+            })();
+            self.frames.pop();
+            result?;
+        }
+
+        let mut out = Vec::new();
+        for (key, group_states) in order.into_iter().zip(states) {
+            let mut frame = key;
+            for acc in group_states {
+                frame.push(acc.finalize()?);
+            }
+            self.frames.push(Row::new(frame));
+            let result = (|| {
+                if let Some(pred) = having {
+                    if !self.eval_pred(pred)?.is_true() {
+                        return Ok(None);
+                    }
+                }
+                let row: Result<Row, EvalError> =
+                    output.iter().map(|e| self.eval_expr(e)).collect();
+                row.map(Some)
+            })();
+            self.frames.pop();
+            if let Some(row) = result? {
+                out.push(row);
+            }
+        }
+        Ok(out)
     }
 
     /// Build on the right, probe with the left. A key with `NULL` never
@@ -341,6 +426,134 @@ fn two_valued(t: Truth) -> Truth {
     }
 }
 
+/// One aggregate's incremental state for one group.
+///
+/// The update discipline is the Standard's: `NULL` inputs are skipped,
+/// `DISTINCT` deduplicates the surviving values under syntactic value
+/// identity, `COUNT(*)` counts rows unconditionally. `SUM`/`AVG` demand
+/// integers and error deterministically on overflow; `MIN`/`MAX` use the
+/// SQL order, so mixed-type groups surface the comparison's type error.
+struct AggAcc {
+    /// The `DISTINCT` filter; `None` for plain aggregates.
+    seen: Option<HashSet<Value>>,
+    state: AccState,
+}
+
+enum AccState {
+    Count(i64),
+    Sum {
+        sum: i64,
+        any: bool,
+    },
+    Avg {
+        sum: i64,
+        n: i64,
+    },
+    Extremum {
+        best: Option<Value>,
+        keep_if: CmpOp,
+    },
+    /// A non-`COUNT` aggregate applied to `*`: errors when finalized,
+    /// i.e. once per query iff at least one group exists — matching the
+    /// semantics, which raises it while computing the group's aggregates.
+    Invalid,
+}
+
+impl AggAcc {
+    fn new(spec: &AggSpec) -> AggAcc {
+        let state = match (spec.func, spec.arg.is_some()) {
+            (AggFunc::Count, _) => AccState::Count(0),
+            (_, false) => AccState::Invalid,
+            (AggFunc::Sum, true) => AccState::Sum { sum: 0, any: false },
+            (AggFunc::Avg, true) => AccState::Avg { sum: 0, n: 0 },
+            (AggFunc::Min, true) => AccState::Extremum { best: None, keep_if: CmpOp::Lt },
+            (AggFunc::Max, true) => AccState::Extremum { best: None, keep_if: CmpOp::Gt },
+        };
+        let seen = (spec.distinct && spec.arg.is_some()).then(HashSet::new);
+        AggAcc { seen, state }
+    }
+
+    /// One input row for an argument-less aggregate (`COUNT(*)`).
+    fn step_row(&mut self) {
+        if let AccState::Count(n) = &mut self.state {
+            *n += 1;
+        }
+    }
+
+    /// One argument value: skip `NULL`s, apply the `DISTINCT` filter,
+    /// fold into the state.
+    fn step_value(&mut self, value: Value) -> Result<(), EvalError> {
+        if value.is_null() {
+            return Ok(());
+        }
+        if let Some(seen) = &mut self.seen {
+            if !seen.insert(value.clone()) {
+                return Ok(());
+            }
+        }
+        match &mut self.state {
+            AccState::Count(n) => *n += 1,
+            AccState::Sum { sum, any } => {
+                *sum = add_int("SUM", *sum, &value)?;
+                *any = true;
+            }
+            AccState::Avg { sum, n } => {
+                *sum = add_int("AVG", *sum, &value)?;
+                *n += 1;
+            }
+            AccState::Extremum { best, keep_if } => match best {
+                None => *best = Some(value),
+                Some(acc) => {
+                    // Both sides non-null, so the comparison is never
+                    // unknown; mixed types error here.
+                    if value.sql_cmp(acc, *keep_if)?.is_true() {
+                        *best = Some(value);
+                    }
+                }
+            },
+            AccState::Invalid => {}
+        }
+        Ok(())
+    }
+
+    fn finalize(self) -> Result<Value, EvalError> {
+        Ok(match self.state {
+            AccState::Count(n) => Value::Int(n),
+            AccState::Sum { sum, any } => {
+                if any {
+                    Value::Int(sum)
+                } else {
+                    Value::Null
+                }
+            }
+            AccState::Avg { sum, n } => {
+                if n == 0 {
+                    Value::Null
+                } else {
+                    // Integer average, truncating towards zero — kept in
+                    // lockstep with the semantics' `SUM/COUNT`.
+                    Value::Int(sum / n)
+                }
+            }
+            AccState::Extremum { best, .. } => best.unwrap_or(Value::Null),
+            AccState::Invalid => {
+                return Err(EvalError::malformed("only COUNT may be applied to *"))
+            }
+        })
+    }
+}
+
+fn add_int(op: &'static str, acc: i64, value: &Value) -> Result<i64, EvalError> {
+    let Value::Int(n) = value else {
+        return Err(EvalError::TypeMismatch {
+            op: op.to_string(),
+            left: "integer",
+            right: value.type_name(),
+        });
+    };
+    acc.checked_add(*n).ok_or_else(|| EvalError::malformed(format!("integer overflow in {op}")))
+}
+
 /// A demand-driven row source over a plan: `Scan`s, set operations and
 /// hash joins are materialized up front (in the same order the eager
 /// executor would touch them), but products, filters, projections and
@@ -372,9 +585,10 @@ enum Cursor<'p> {
 impl<'p> Cursor<'p> {
     fn build(exec: &mut Executor<'_>, plan: &'p Plan) -> Result<Cursor<'p>, EvalError> {
         Ok(match plan {
-            Plan::Scan { .. } | Plan::SetOp { .. } | Plan::HashJoin { .. } => {
-                Cursor::Rows(exec.run(plan)?.into_iter())
-            }
+            Plan::Scan { .. }
+            | Plan::SetOp { .. }
+            | Plan::HashJoin { .. }
+            | Plan::GroupAggregate { .. } => Cursor::Rows(exec.run(plan)?.into_iter()),
             Plan::Product { inputs } => {
                 let inputs: Vec<Vec<Row>> =
                     inputs.iter().map(|p| exec.run(p)).collect::<Result<_, _>>()?;

@@ -6,7 +6,7 @@
 
 use std::fmt::Write as _;
 
-use crate::plan::{Expr, Plan, Pred, Prepared};
+use crate::plan::{AggSpec, Expr, Plan, Pred, Prepared};
 
 /// Renders a prepared query as an indented operator tree.
 pub fn explain(prepared: &Prepared) -> String {
@@ -53,6 +53,26 @@ fn explain_plan(plan: &Plan, level: usize, out: &mut String) {
             let _ = writeln!(out, "{}{}", op.keyword(), if *all { " ALL" } else { "" });
             explain_plan(left, level + 1, out);
             explain_plan(right, level + 1, out);
+        }
+        Plan::GroupAggregate { input, keys, aggs, having, output } => {
+            let keys: Vec<String> = keys.iter().map(render_expr).collect();
+            let aggs_rendered: Vec<String> = aggs.iter().map(render_agg).collect();
+            let out_rendered: Vec<String> = output.iter().map(render_expr).collect();
+            let _ = write!(
+                out,
+                "GroupAggregate keys=[{}] aggs=[{}] output=[{}]",
+                keys.join(", "),
+                aggs_rendered.join(", "),
+                out_rendered.join(", ")
+            );
+            if let Some(pred) = having {
+                let _ = write!(out, " having={}", render_pred(pred));
+            }
+            out.push('\n');
+            explain_plan(input, level + 1, out);
+            if let Some(pred) = having {
+                explain_subplans(pred, level + 1, out);
+            }
         }
         Plan::HashJoin { left, right, keys } => {
             let rendered: Vec<String> = keys
@@ -111,6 +131,18 @@ fn explain_subplans(pred: &Pred, level: usize, out: &mut String) {
         }
         Pred::Not(p) => explain_subplans(p, level, out),
         _ => {}
+    }
+}
+
+fn render_agg(spec: &AggSpec) -> String {
+    match &spec.arg {
+        None => format!("{}(*)", spec.func.keyword()),
+        Some(e) => format!(
+            "{}({}{})",
+            spec.func.keyword(),
+            if spec.distinct { "DISTINCT " } else { "" },
+            render_expr(e)
+        ),
     }
 }
 

@@ -179,6 +179,19 @@ mod tests {
             "SELECT T.A FROM (SELECT A FROM R WHERE R.B IS NOT NULL) AS T",
             "SELECT x.A FROM R x, R y WHERE x.A = y.A",
             "SELECT DISTINCT x.A FROM R x WHERE (x.A, x.B) IN (SELECT A, B FROM R)",
+            // The aggregation fragment.
+            "SELECT COUNT(*) AS n FROM R",
+            "SELECT R.A AS k, COUNT(*) AS n, COUNT(R.B) AS m FROM R GROUP BY R.A",
+            "SELECT R.A AS k, SUM(R.B) AS s, AVG(R.B) AS a, MIN(R.B) AS lo, MAX(R.B) AS hi \
+             FROM R GROUP BY R.A",
+            "SELECT R.A AS k FROM R GROUP BY R.A HAVING COUNT(*) > 1",
+            "SELECT COUNT(DISTINCT R.A) AS u, SUM(DISTINCT R.A) AS sd FROM R",
+            "SELECT R.A AS k, COUNT(*) AS n FROM R GROUP BY R.A \
+             HAVING EXISTS (SELECT * FROM S WHERE S.A = R.A)",
+            "SELECT DISTINCT R.A AS k FROM R GROUP BY R.A, R.B HAVING MAX(R.B) IS NOT NULL",
+            "SELECT T.n AS n FROM (SELECT R.A AS k, COUNT(*) AS n FROM R GROUP BY R.A) AS T \
+             WHERE T.n > 1",
+            "SELECT A FROM S WHERE A IN (SELECT R.A FROM R GROUP BY R.A HAVING COUNT(*) > 1)",
         ];
         for text in queries {
             let q = sql(text, &schema).unwrap();

@@ -38,9 +38,10 @@
 use sqlsem_core::{CmpOp, Database};
 
 use crate::analysis::{
-    col_types, plan_has_user_pred, plan_is_correlated, plan_total, pred_total, TypeFrames,
+    agg_total, col_types, expr_types, group_frame_types, plan_has_user_pred, plan_is_correlated,
+    plan_total, pred_total, TypeFrames,
 };
-use crate::plan::{Expr, JoinKey, Plan, Pred, Prepared};
+use crate::plan::{AggSpec, Expr, JoinKey, Plan, Pred, Prepared};
 
 /// Optimizes a compiled plan. The result computes the same function as
 /// the input — same rows, same multiplicities, same error verdicts —
@@ -94,7 +95,114 @@ impl Optimizer<'_> {
                     input => Plan::Filter { input: Box::new(input), pred },
                 }
             }
+            Plan::GroupAggregate { input, keys, aggs, having, output } => {
+                let input = self.plan(*input);
+                // Optimize HAVING subqueries under the group frame, the
+                // frame their depth-0 references resolve against.
+                let having = having.map(|pred| {
+                    let group = group_frame_types(&input, &keys, &aggs, &mut self.frames, self.db);
+                    self.frames.push(group);
+                    let pred = self.pred(pred);
+                    self.frames.pop();
+                    pred
+                });
+                self.push_having(input, keys, aggs, having, output)
+            }
         }
+    }
+
+    /// HAVING-conjunct pushdown: a conjunct that reads only `GROUP BY`
+    /// key positions holds the same value for every member of a group,
+    /// so it may be evaluated once per input row *before* grouping —
+    /// becoming an ordinary `WHERE`-style filter that predicate pushdown
+    /// and hash joins can then chew on.
+    ///
+    /// The move eliminates whole groups early, which skips their
+    /// per-row aggregate accumulation and their residual-HAVING
+    /// evaluation. It is therefore gated like the PR 2 rewrites: every
+    /// key and aggregate must be provably error-free per row, and every
+    /// *residual* conjunct must be total over the group frame, so no
+    /// error verdict can be suppressed. Conjuncts containing subqueries
+    /// are never moved.
+    fn push_having(
+        &mut self,
+        input: Plan,
+        keys: Vec<Expr>,
+        aggs: Vec<AggSpec>,
+        having: Option<Pred>,
+        output: Vec<Expr>,
+    ) -> Plan {
+        let rebuild = |input: Plan, having: Option<Pred>| Plan::GroupAggregate {
+            input: Box::new(input),
+            keys: keys.clone(),
+            aggs: aggs.clone(),
+            having,
+            output: output.clone(),
+        };
+        let Some(pred) = having else {
+            return rebuild(input, None);
+        };
+        if keys.is_empty() {
+            // The implicit single group exists even over an *empty*
+            // input: eliminating rows cannot eliminate it, so a false
+            // HAVING pushed as a row filter would resurrect the group
+            // (`SELECT COUNT(*) FROM R HAVING FALSE` must return no
+            // rows, not one). Keyless aggregations keep their HAVING.
+            return rebuild(input, Some(pred));
+        }
+
+        let conjuncts = split_and(pred);
+        let key_only = |c: &Pred| {
+            !pred_has_subplan(c) && product_refs(c, 0).iter().all(|col| *col < keys.len())
+        };
+        if !conjuncts.iter().any(&key_only) {
+            return rebuild(input, and_all(conjuncts));
+        }
+
+        // Gate: per-row evaluation (the input itself, the keys, the
+        // aggregate arguments and folds) must be total, and so must the
+        // residual conjuncts the eliminated groups would no longer
+        // evaluate.
+        let per_row_total = {
+            let inner = col_types(&input, &mut self.frames, self.db);
+            self.frames.push(inner);
+            let ok = keys.iter().all(|e| expr_types(e, &self.frames).is_some())
+                && aggs.iter().all(|spec| agg_total(spec, &self.frames));
+            self.frames.pop();
+            ok && plan_total(&input, &mut self.frames, self.db)
+        };
+        let group_types = group_frame_types(&input, &keys, &aggs, &mut self.frames, self.db);
+        self.frames.push(group_types);
+        let residual_total = conjuncts
+            .iter()
+            .filter(|c| !key_only(c))
+            .all(|c| pred_total(c, &mut self.frames, self.db));
+        self.frames.pop();
+        if !per_row_total || !residual_total {
+            return rebuild(input, and_all(conjuncts));
+        }
+
+        let mut pushed = Vec::new();
+        let mut residual = Vec::new();
+        for c in conjuncts {
+            if key_only(&c) {
+                pushed.push(subst_key_refs(c, &keys));
+            } else {
+                residual.push(c);
+            }
+        }
+        // The input is already optimized, so only the *new* filter level
+        // is placed (re-running the whole pass would re-traverse the
+        // subtree and orphan its cache slots): over a surviving raw
+        // product the pushed conjuncts enter the ordinary reorder
+        // machinery (sinking into inputs and hash joins); over anything
+        // else they sit in a plain filter directly above it.
+        let pred = and_all(pushed).expect("at least one key-only conjunct");
+        let input = match input {
+            Plan::Product { inputs } => self.reorder(inputs, pred),
+            input => Plan::Filter { input: Box::new(input), pred },
+        };
+        rebuild(input, and_all(residual))
     }
 
     /// Rewrites `IN`/`EXISTS` subqueries inside a predicate: optimizes
@@ -251,6 +359,52 @@ impl Optimizer<'_> {
     }
 }
 
+/// `true` iff the predicate contains an `IN`/`EXISTS` subplan anywhere.
+fn pred_has_subplan(pred: &Pred) -> bool {
+    match pred {
+        Pred::In { .. } | Pred::Exists { .. } => true,
+        Pred::And(a, b) | Pred::Or(a, b) => pred_has_subplan(a) || pred_has_subplan(b),
+        Pred::Not(p) => pred_has_subplan(p),
+        _ => false,
+    }
+}
+
+/// Rewrites a key-only HAVING conjunct into an input-row predicate:
+/// every depth-0 reference (a group-frame key position) is replaced by
+/// that key's input-row expression. Deeper references keep their depths
+/// — the group frame and the input-row frame sit at the same stack
+/// height. Only called on subplan-free conjuncts.
+fn subst_key_refs(pred: Pred, keys: &[Expr]) -> Pred {
+    let expr = |e: Expr| match e {
+        Expr::Col { depth: 0, index } => keys[index].clone(),
+        e => e,
+    };
+    match pred {
+        Pred::True | Pred::False => pred,
+        Pred::Cmp { left, op, right } => Pred::Cmp { left: expr(left), op, right: expr(right) },
+        Pred::Like { term, pattern, negated } => {
+            Pred::Like { term: expr(term), pattern: expr(pattern), negated }
+        }
+        Pred::User { name, args } => {
+            Pred::User { name, args: args.into_iter().map(expr).collect() }
+        }
+        Pred::IsNull { expr: e, negated } => Pred::IsNull { expr: expr(e), negated },
+        Pred::IsDistinct { left, right, negated } => {
+            Pred::IsDistinct { left: expr(left), right: expr(right), negated }
+        }
+        Pred::And(a, b) => {
+            Pred::And(Box::new(subst_key_refs(*a, keys)), Box::new(subst_key_refs(*b, keys)))
+        }
+        Pred::Or(a, b) => {
+            Pred::Or(Box::new(subst_key_refs(*a, keys)), Box::new(subst_key_refs(*b, keys)))
+        }
+        Pred::Not(p) => Pred::Not(Box::new(subst_key_refs(*p, keys))),
+        Pred::In { .. } | Pred::Exists { .. } => {
+            unreachable!("subplan conjuncts are never pushed")
+        }
+    }
+}
+
 /// Flattens the top-level conjunction, preserving evaluation order.
 fn split_and(pred: Pred) -> Vec<Pred> {
     match pred {
@@ -361,6 +515,24 @@ fn collect_plan_refs(plan: &Plan, target: usize, out: &mut Vec<usize>) {
             collect_plan_refs(left, target, out);
             collect_plan_refs(right, target, out);
         }
+        // Keys/arguments see the input-row frame, HAVING and the output
+        // see the group frame: one extra frame either way.
+        Plan::GroupAggregate { input, keys, aggs, having, output } => {
+            collect_plan_refs(input, target, out);
+            let mut expr = |e: &Expr| {
+                if let Expr::Col { depth, index } = e {
+                    if *depth == target + 1 {
+                        out.push(*index);
+                    }
+                }
+            };
+            keys.iter().for_each(&mut expr);
+            aggs.iter().filter_map(|s| s.arg.as_ref()).for_each(&mut expr);
+            output.iter().for_each(&mut expr);
+            if let Some(pred) = having {
+                collect_pred_refs(pred, target + 1, out);
+            }
+        }
     }
 }
 
@@ -433,6 +605,16 @@ fn remap_plan(plan: Plan, target: usize, offset: usize) -> Plan {
             right: Box::new(remap_plan(*right, target, offset)),
             keys,
         },
+        Plan::GroupAggregate { input, keys, aggs, having, output } => Plan::GroupAggregate {
+            input: Box::new(remap_plan(*input, target, offset)),
+            keys: keys.into_iter().map(|e| remap_expr(e, target + 1, offset)).collect(),
+            aggs: aggs
+                .into_iter()
+                .map(|s| AggSpec { arg: s.arg.map(|e| remap_expr(e, target + 1, offset)), ..s })
+                .collect(),
+            having: having.map(|p| remap_pred(p, target + 1, offset)),
+            output: output.into_iter().map(|e| remap_expr(e, target + 1, offset)).collect(),
+        },
     }
 }
 
@@ -472,7 +654,9 @@ mod tests {
             Plan::Product { inputs } => {
                 n += inputs.iter().map(|p| count_ops(p, pred)).sum::<usize>();
             }
-            Plan::Filter { input, .. } | Plan::Distinct { input } => {
+            Plan::Filter { input, .. }
+            | Plan::Distinct { input }
+            | Plan::GroupAggregate { input, .. } => {
                 n += count_ops(input, pred);
             }
             Plan::Project { input, .. } => n += count_ops(input, pred),
@@ -579,6 +763,110 @@ mod tests {
         assert_eq!(l, &Expr::Col { depth: 0, index: 1 });
         assert_eq!(r, &Expr::Col { depth: 1, index: 1 });
         assert_eq!(keys, &vec![JoinKey { left: 0, right: 0, null_safe: false }]);
+    }
+
+    #[test]
+    fn key_only_having_conjuncts_push_below_the_aggregation() {
+        let db = db();
+        // `R.A = 1` reads only the grouping key: it becomes a filter on
+        // the input (COUNT and MIN are total, so the gate opens); the
+        // aggregate conjunct stays in HAVING.
+        let p = prepare(
+            "SELECT R.A AS k, COUNT(*) AS n FROM R GROUP BY R.A \
+             HAVING R.A = 1 AND COUNT(*) > 0 AND MIN(R.B) IS NULL",
+            &db,
+        );
+        let Plan::GroupAggregate { input: ga_input, having, .. } = &p.plan else {
+            panic!("{:?}", p.plan)
+        };
+        assert!(matches!(&**ga_input, Plan::Filter { .. }), "pushed filter missing: {ga_input:?}");
+        let having = having.as_ref().expect("aggregate conjuncts remain");
+        assert!(
+            matches!(having, Pred::And(..)),
+            "both aggregate conjuncts stay in HAVING: {having:?}"
+        );
+    }
+
+    #[test]
+    fn keyless_having_is_never_pushed() {
+        // Regression: the implicit single group survives an empty input,
+        // so pushing the (vacuously key-only) HAVING conjunct as a row
+        // filter resurrected the group — the optimized engine returned
+        // `[2]` where the spec and the naive engine return no rows.
+        use sqlsem_core::{Evaluator, LogicMode, PredicateRegistry};
+        let db = db();
+        let schema = db.schema().clone();
+        let p = prepare("SELECT COUNT(*) AS n FROM R HAVING 1 = 2", &db);
+        let Plan::GroupAggregate { input, having, .. } = &p.plan else { panic!("{:?}", p.plan) };
+        assert!(matches!(&**input, Plan::Scan { .. }), "no filter may appear: {input:?}");
+        assert!(having.is_some(), "the conjunct must stay in HAVING");
+
+        let preds = PredicateRegistry::new();
+        for sql in [
+            "SELECT COUNT(*) AS n FROM R HAVING 1 = 2",
+            "SELECT S.A FROM S WHERE EXISTS (SELECT COUNT(*) AS n FROM R HAVING S.A = 99)",
+        ] {
+            let q = sqlsem_parser::compile(sql, &schema).unwrap();
+            let spec = Evaluator::new(&db).eval(&q).unwrap();
+            for logic in LogicMode::ALL {
+                let optimized = crate::Engine::new(&db).with_logic(logic).execute(&q).unwrap();
+                let naive =
+                    crate::exec::execute(&q, &db, sqlsem_core::Dialect::Standard, logic, &preds)
+                        .unwrap();
+                assert!(naive.coincides(&optimized), "{sql} [{logic:?}]");
+                if logic == LogicMode::ThreeValued {
+                    assert!(spec.coincides(&optimized), "{sql}:\n{spec}\nvs\n{optimized}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn having_pushdown_is_blocked_when_per_row_evaluation_may_error() {
+        let db = db();
+        // SUM can overflow, so eliminating groups early could suppress
+        // its (deterministic) runtime error: nothing moves.
+        let p = prepare("SELECT R.A AS k, SUM(R.B) AS s FROM R GROUP BY R.A HAVING R.A = 1", &db);
+        let Plan::GroupAggregate { input: ga_input, having, .. } = &p.plan else {
+            panic!("{:?}", p.plan)
+        };
+        assert!(matches!(&**ga_input, Plan::Scan { .. }), "{ga_input:?}");
+        assert!(having.is_some(), "conjunct must stay in HAVING");
+    }
+
+    #[test]
+    fn having_conjuncts_with_subplans_never_move() {
+        let db = db();
+        let p = prepare(
+            "SELECT R.A AS k, COUNT(*) AS n FROM R GROUP BY R.A \
+             HAVING R.A IN (SELECT S.A FROM S)",
+            &db,
+        );
+        let Plan::GroupAggregate { input: ga_input, having, .. } = &p.plan else {
+            panic!("{:?}", p.plan)
+        };
+        assert!(matches!(&**ga_input, Plan::Scan { .. }), "{ga_input:?}");
+        // … but the uncorrelated subquery inside HAVING still gets its
+        // cache slot.
+        assert!(matches!(having, Some(Pred::In { cache: Some(0), .. })), "{having:?}");
+        assert_eq!(p.cache_slots, 1);
+    }
+
+    #[test]
+    fn pushed_having_conjuncts_reach_product_inputs() {
+        // The pushed key conjunct re-enters the ordinary pushdown
+        // machinery and sinks below the product, next to the WHERE
+        // conjuncts.
+        let db = db();
+        let p = prepare(
+            "SELECT R.A AS k, COUNT(*) AS n FROM R, S WHERE R.A = S.A \
+             GROUP BY R.A HAVING R.A = 1",
+            &db,
+        );
+        assert_eq!(count_ops(&p.plan, &mut |p| matches!(p, Plan::HashJoin { .. })), 1);
+        assert_eq!(count_ops(&p.plan, &mut |p| matches!(p, Plan::Product { .. })), 0);
+        let Plan::GroupAggregate { having, .. } = &p.plan else { panic!("{:?}", p.plan) };
+        assert!(having.is_none(), "the key conjunct left HAVING entirely");
     }
 
     #[test]

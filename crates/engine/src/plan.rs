@@ -11,7 +11,7 @@
 //! implementation, which is what gives the §4 differential validation its
 //! force.
 
-use sqlsem_core::{CmpOp, EvalError, Name, Value};
+use sqlsem_core::{AggFunc, CmpOp, EvalError, Name, Value};
 
 /// A compiled scalar expression.
 #[derive(Clone, Debug, PartialEq)]
@@ -165,6 +165,31 @@ pub enum Plan {
         /// Right input.
         right: Box<Plan>,
     },
+    /// Hash-based grouping and aggregation (the `GROUP BY`/`HAVING`
+    /// fragment). Input rows are bucketed by the (null-safe) `keys`
+    /// tuple; each bucket accumulates every aggregate of `aggs`
+    /// incrementally; then, per group, `having` is evaluated (if
+    /// present) and `output` projects the result row — both against the
+    /// *group frame* `keys ++ aggs`, which is pushed on the correlation
+    /// stack in place of the input-row frame.
+    ///
+    /// With empty `keys` the operator computes the implicit single
+    /// group: exactly one group exists even over an empty input, which
+    /// is how `COUNT(*)` over an empty table yields `0`.
+    GroupAggregate {
+        /// Input plan (the `FROM`–`WHERE` part of the block).
+        input: Box<Plan>,
+        /// Grouping key expressions, evaluated per input row.
+        keys: Vec<Expr>,
+        /// The block's aggregates (select list + having, deduplicated).
+        aggs: Vec<AggSpec>,
+        /// The `HAVING` predicate, evaluated per group against the group
+        /// frame; `None` when the clause is absent.
+        having: Option<Pred>,
+        /// Output expressions, one per output column, against the group
+        /// frame.
+        output: Vec<Expr>,
+    },
     /// Hash equi-join: the rows of `left × right` whose key columns join,
     /// produced by building a hash table on `right` and probing it with
     /// `left`. Introduced by the optimizer for equality conjuncts that
@@ -178,6 +203,17 @@ pub enum Plan {
         /// The join keys, all of which must match for a pair to join.
         keys: Vec<JoinKey>,
     },
+}
+
+/// One compiled aggregate of a [`Plan::GroupAggregate`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct AggSpec {
+    /// Which function.
+    pub func: AggFunc,
+    /// `true` for `F(DISTINCT t)`.
+    pub distinct: bool,
+    /// The argument, evaluated per input row; `None` is `COUNT(*)`.
+    pub arg: Option<Expr>,
 }
 
 /// One equality column pair of a [`Plan::HashJoin`].
@@ -202,6 +238,7 @@ impl Plan {
             Plan::Product { inputs } => inputs.iter().map(|p| p.arity(db)).sum(),
             Plan::Filter { input, .. } | Plan::Distinct { input } => input.arity(db),
             Plan::Project { exprs, .. } => exprs.len(),
+            Plan::GroupAggregate { output, .. } => output.len(),
             Plan::SetOp { left, .. } => left.arity(db),
             Plan::HashJoin { left, right, .. } => left.arity(db) + right.arity(db),
         }
@@ -231,6 +268,10 @@ impl Plan {
                 Ok(sum)
             }
             Plan::Filter { input, .. } | Plan::Distinct { input } => input.arity_checked(db),
+            Plan::GroupAggregate { input, output, .. } => {
+                input.arity_checked(db)?;
+                Ok(output.len())
+            }
             Plan::SetOp { left, right, .. } => {
                 let l = left.arity_checked(db)?;
                 let r = right.arity_checked(db)?;

@@ -32,7 +32,7 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 
 use sqlsem_core::ast::{Condition, FromItem, Query, SelectItem, SelectList, SelectQuery, Term};
-use sqlsem_core::{CmpOp, FullName, Name, Schema, SetOp, Value};
+use sqlsem_core::{AggFunc, CmpOp, FullName, Name, Schema, SetOp, Value};
 
 /// Shape parameters for random query generation.
 #[derive(Clone, Debug, PartialEq)]
@@ -75,6 +75,11 @@ pub struct QueryGenConfig {
     pub ambiguous_star_prob: f64,
     /// Probability that two `SELECT` items share an output name.
     pub repeated_output_prob: f64,
+    /// Probability that a block is a *grouped* aggregate block
+    /// (`GROUP BY` keys, a `SELECT` list of keys and aggregates, and —
+    /// half the time — a `HAVING` clause). Gated like
+    /// `ambiguous_star_prob`; `0.0` disables the aggregation fragment.
+    pub aggregate_prob: f64,
     /// Restrict to Definition 1 data manipulation queries (§5).
     pub data_manipulation_only: bool,
 }
@@ -99,6 +104,7 @@ impl QueryGenConfig {
             domain: 10,
             ambiguous_star_prob: 0.01,
             repeated_output_prob: 0.05,
+            aggregate_prob: 0.2,
             data_manipulation_only: false,
         }
     }
@@ -125,6 +131,7 @@ impl QueryGenConfig {
             star_prob: 0.0,
             ambiguous_star_prob: 0.0,
             repeated_output_prob: 0.0,
+            aggregate_prob: 0.0,
             data_manipulation_only: true,
             ..QueryGenConfig::small()
         }
@@ -264,7 +271,16 @@ impl Gen<'_> {
         }
 
         scopes.push(scope);
-        let select = self.select_list(rng, scopes, required_arity);
+        // A block is grouped with `aggregate_prob`, provided the local
+        // scope offers at least one referencable key column.
+        let group_keys = self.group_keys(rng, scopes);
+        let select = match &group_keys {
+            Some(keys) => {
+                let m = required_arity.unwrap_or_else(|| rng.gen_range(1..=self.config.max_attrs));
+                SelectList::Items(self.grouped_items(rng, scopes, keys, m))
+            }
+            None => self.select_list(rng, scopes, required_arity),
+        };
         let arity = match &select {
             SelectList::Items(items) => items.len(),
             SelectList::Star => {
@@ -277,10 +293,196 @@ impl Gen<'_> {
         } else {
             self.condition(rng, depth, scopes, n_atoms)
         };
+        let (group_by, having) = match &group_keys {
+            None => (Vec::new(), Condition::True),
+            Some(keys) => {
+                let having = self.having(rng, depth, scopes, keys);
+                (keys.iter().cloned().map(Term::Col).collect(), having)
+            }
+        };
         scopes.pop();
 
         let distinct = rng.gen_bool(self.config.distinct_prob);
-        (Query::Select(SelectQuery { distinct, select, from, where_ }), arity)
+        let mut block =
+            SelectQuery::new(select, from).filter(where_).group_by(group_by).having(having);
+        block.distinct = distinct;
+        (Query::Select(block), arity)
+    }
+
+    /// The `GROUP BY` keys of a grouped block: 1–2 distinct referencable
+    /// columns of the local scope — or, a quarter of the time, *no* keys
+    /// at all (the implicit single group of `SELECT COUNT(*) FROM R`,
+    /// which exists even over an empty input and has its own optimizer
+    /// pitfalls). `None` when the block stays ungrouped.
+    fn group_keys(&mut self, rng: &mut StdRng, scopes: &[Scope]) -> Option<Vec<FullName>> {
+        if self.config.data_manipulation_only
+            || self.config.aggregate_prob <= 0.0
+            || !rng.gen_bool(self.config.aggregate_prob)
+        {
+            return None;
+        }
+        if rng.gen_bool(0.25) {
+            return Some(Vec::new());
+        }
+        let local = scopes.last().expect("inside a block");
+        let mut keys = Vec::new();
+        for _ in 0..rng.gen_range(1..=2usize) {
+            if let Some(name) = Self::column_in(local, rng) {
+                if !keys.contains(&name) {
+                    keys.push(name);
+                }
+            }
+        }
+        (!keys.is_empty()).then_some(keys)
+    }
+
+    /// The `SELECT` list of a grouped block: a mix of key references and
+    /// aggregates, with fresh output names.
+    fn grouped_items(
+        &mut self,
+        rng: &mut StdRng,
+        scopes: &[Scope],
+        keys: &[FullName],
+        m: usize,
+    ) -> Vec<SelectItem> {
+        (0..m)
+            .map(|i| {
+                let term = match keys.choose(rng) {
+                    Some(key) if rng.gen_bool(0.5) => Term::Col(key.clone()),
+                    // Keyless blocks select aggregates only.
+                    _ => self.aggregate_term(rng, scopes),
+                };
+                SelectItem::new(term, format!("c{}", i + 1))
+            })
+            .collect()
+    }
+
+    /// A random aggregate over the local scope: `COUNT(*)`, or
+    /// `F([DISTINCT] col)` over any referencable column (aggregates may
+    /// range over non-key columns), falling back to a constant argument
+    /// when every local column name is ambiguous.
+    fn aggregate_term(&mut self, rng: &mut StdRng, scopes: &[Scope]) -> Term {
+        let func = *AggFunc::ALL.choose(rng).expect("non-empty");
+        if func == AggFunc::Count && rng.gen_bool(0.3) {
+            return Term::count_star();
+        }
+        let arg = match Self::column_in(scopes.last().expect("inside a block"), rng) {
+            Some(name) => Term::Col(name),
+            None => Term::Const(Value::Int(rng.gen_range(0..self.config.domain))),
+        };
+        if rng.gen_bool(0.2) {
+            Term::agg_distinct(func, arg)
+        } else {
+            Term::agg(func, arg)
+        }
+    }
+
+    /// A term legal in a grouped `SELECT`/`HAVING`: a key, an aggregate,
+    /// or a constant.
+    fn grouped_term(&mut self, rng: &mut StdRng, scopes: &[Scope], keys: &[FullName]) -> Term {
+        match rng.gen_range(0..4) {
+            0 => Term::Const(Value::Int(rng.gen_range(0..self.config.domain))),
+            1 | 2 => self.aggregate_term(rng, scopes),
+            _ => match keys.choose(rng) {
+                Some(key) => Term::Col(key.clone()),
+                None => self.aggregate_term(rng, scopes),
+            },
+        }
+    }
+
+    /// A `HAVING` clause (absent half the time): 1–2 atoms over keys,
+    /// aggregates and constants, occasionally with an `EXISTS`/`IN`
+    /// subquery — generated with the local scope swapped for the *key
+    /// scope*, since the grouped environment binds exactly the keys.
+    fn having(
+        &mut self,
+        rng: &mut StdRng,
+        depth: usize,
+        scopes: &mut Vec<Scope>,
+        keys: &[FullName],
+    ) -> Condition {
+        if !rng.gen_bool(0.5) {
+            return Condition::True;
+        }
+        let n = rng.gen_range(1..=2usize);
+        let mut cond = self.having_atom(rng, depth, scopes, keys);
+        for _ in 1..n {
+            let next = self.having_atom(rng, depth, scopes, keys);
+            cond = if rng.gen_bool(0.5) { cond.and(next) } else { cond.or(next) };
+        }
+        if rng.gen_bool(0.2) {
+            cond.not()
+        } else {
+            cond
+        }
+    }
+
+    fn having_atom(
+        &mut self,
+        rng: &mut StdRng,
+        depth: usize,
+        scopes: &mut Vec<Scope>,
+        keys: &[FullName],
+    ) -> Condition {
+        let can_nest = depth < self.config.max_nest && self.tables_budget >= 1;
+        if can_nest && rng.gen_bool(self.config.subquery_cond_prob / 2.0) {
+            // Subqueries in HAVING see the key scope in place of the
+            // block's scope.
+            let mut key_scope: Scope = Vec::new();
+            for key in keys {
+                match key_scope.iter_mut().find(|e| e.alias == key.table) {
+                    Some(entry) => entry.columns.push(key.column.clone()),
+                    None => key_scope.push(ScopeEntry {
+                        alias: key.table.clone(),
+                        columns: vec![key.column.clone()],
+                    }),
+                }
+            }
+            let saved = std::mem::replace(scopes.last_mut().expect("pushed"), key_scope);
+            let cond = if rng.gen_bool(0.5) {
+                let sub = self.query(rng, depth + 1, scopes, None);
+                let exists = Condition::exists(sub);
+                if rng.gen_bool(0.5) {
+                    exists.not()
+                } else {
+                    exists
+                }
+            } else {
+                // IN members are keys or constants only: an aggregate on
+                // the left of IN has no Figure 10 two-valued rewriting.
+                let term = match keys.choose(rng) {
+                    Some(key) if rng.gen_bool(0.7) => Term::Col(key.clone()),
+                    _ => Term::Const(Value::Int(rng.gen_range(0..self.config.domain))),
+                };
+                let sub = self.query(rng, depth + 1, scopes, Some(1));
+                Condition::In {
+                    terms: vec![term],
+                    query: Box::new(sub),
+                    negated: rng.gen_bool(0.5),
+                }
+            };
+            *scopes.last_mut().expect("pushed") = saved;
+            return cond;
+        }
+        match rng.gen_range(0..6) {
+            0 => Condition::IsNull {
+                term: self.grouped_term(rng, scopes, keys),
+                negated: rng.gen_bool(0.5),
+            },
+            1 => Condition::IsDistinct {
+                left: self.grouped_term(rng, scopes, keys),
+                right: self.grouped_term(rng, scopes, keys),
+                negated: rng.gen_bool(0.5),
+            },
+            _ => {
+                let op = *CmpOp::ALL.choose(rng).expect("non-empty");
+                Condition::Cmp {
+                    left: self.grouped_term(rng, scopes, keys),
+                    op,
+                    right: self.grouped_term(rng, scopes, keys),
+                }
+            }
+        }
     }
 
     /// `SELECT * FROM (SELECT x.A1 AS A, x.A1 AS A FROM R AS x) AS t`.
@@ -515,10 +717,15 @@ pub fn is_data_manipulation(query: &Query) -> bool {
                 return false;
             }
             // Every selected term is a full name over the local FROM.
+            // Grouped blocks fall outside Definition 1 (§5 predates the
+            // aggregation fragment).
+            if s.is_grouped() {
+                return false;
+            }
             let local: std::collections::HashSet<&Name> = s.from.iter().map(|f| &f.alias).collect();
             if !items.iter().all(|i| match &i.term {
                 Term::Col(n) => local.contains(&n.table),
-                Term::Const(_) => false,
+                Term::Const(_) | Term::Agg(_) => false,
             }) {
                 return false;
             }
@@ -545,6 +752,9 @@ fn is_data_manipulation_block_shape(query: &Query) -> bool {
     match query {
         Query::SetOp { .. } => true, // operands are visited separately
         Query::Select(s) => {
+            if s.is_grouped() {
+                return false;
+            }
             let SelectList::Items(items) = &s.select else { return false };
             let mut seen = std::collections::HashSet::with_capacity(items.len());
             if !items.iter().all(|i| seen.insert(&i.alias)) {
@@ -553,7 +763,7 @@ fn is_data_manipulation_block_shape(query: &Query) -> bool {
             let local: std::collections::HashSet<&Name> = s.from.iter().map(|f| &f.alias).collect();
             items.iter().all(|i| match &i.term {
                 Term::Col(n) => local.contains(&n.table),
-                Term::Const(_) => false,
+                Term::Const(_) | Term::Agg(_) => false,
             })
         }
     }
@@ -637,6 +847,40 @@ mod tests {
                 }
             });
         }
+    }
+
+    #[test]
+    fn grouped_blocks_are_generated_and_resolve_statically() {
+        // With the default aggregate_prob a healthy share of blocks
+        // group; every one must pass the static grouped typing rules
+        // (PostgreSQL dialect — ambiguous stars aside, which cannot
+        // occur inside grouped blocks).
+        let schema = paper_schema();
+        let g = QueryGenerator::new(&schema, QueryGenConfig::small());
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut grouped = 0usize;
+        let mut keyless = 0usize;
+        let mut with_having = 0usize;
+        for _ in 0..300 {
+            let q = g.generate(&mut rng);
+            q.visit(&mut |node| {
+                if let Query::Select(s) = node {
+                    if s.is_grouped() {
+                        grouped += 1;
+                        keyless += usize::from(s.group_by.is_empty());
+                        with_having += usize::from(s.having != Condition::True);
+                        if s.group_by.is_empty() {
+                            // Implicit single group: every item aggregates.
+                            let SelectList::Items(items) = &s.select else { panic!() };
+                            assert!(items.iter().all(|i| i.term.is_aggregate()));
+                        }
+                    }
+                }
+            });
+        }
+        assert!(grouped >= 50, "only {grouped} grouped blocks in 300 queries");
+        assert!(keyless >= 10, "only {keyless} keyless aggregations in 300 queries");
+        assert!(with_having >= 10, "only {with_having} HAVING clauses in 300 queries");
     }
 
     #[test]

@@ -27,32 +27,36 @@ pub struct QueryShape {
     pub nesting: u8,
     /// Atomic conditions in the largest `WHERE` clause.
     pub conditions: u8,
+    /// Whether the query groups (`GROUP BY`, usually with `HAVING`).
+    /// Until the aggregation fragment landed, none of these shapes were
+    /// expressible; see [`simplest_grouped_shape`] for the entry point.
+    pub grouped: bool,
 }
 
 /// Reconstructed shape statistics for the 22 TPC-H queries.
 pub const TPCH_SHAPES: [QueryShape; 22] = [
-    QueryShape { query: 1, tables: 1, nesting: 0, conditions: 1 },
-    QueryShape { query: 2, tables: 4, nesting: 1, conditions: 8 },
-    QueryShape { query: 3, tables: 3, nesting: 0, conditions: 4 },
-    QueryShape { query: 4, tables: 2, nesting: 1, conditions: 3 },
-    QueryShape { query: 5, tables: 6, nesting: 0, conditions: 7 },
-    QueryShape { query: 6, tables: 1, nesting: 0, conditions: 3 },
-    QueryShape { query: 7, tables: 4, nesting: 1, conditions: 7 },
-    QueryShape { query: 8, tables: 8, nesting: 1, conditions: 9 },
-    QueryShape { query: 9, tables: 6, nesting: 1, conditions: 5 },
-    QueryShape { query: 10, tables: 4, nesting: 0, conditions: 5 },
-    QueryShape { query: 11, tables: 3, nesting: 1, conditions: 3 },
-    QueryShape { query: 12, tables: 2, nesting: 0, conditions: 6 },
-    QueryShape { query: 13, tables: 2, nesting: 1, conditions: 2 },
-    QueryShape { query: 14, tables: 2, nesting: 0, conditions: 2 },
-    QueryShape { query: 15, tables: 2, nesting: 1, conditions: 2 },
-    QueryShape { query: 16, tables: 3, nesting: 1, conditions: 4 },
-    QueryShape { query: 17, tables: 2, nesting: 1, conditions: 3 },
-    QueryShape { query: 18, tables: 3, nesting: 1, conditions: 3 },
-    QueryShape { query: 19, tables: 2, nesting: 0, conditions: 12 },
-    QueryShape { query: 20, tables: 4, nesting: 3, conditions: 4 },
-    QueryShape { query: 21, tables: 4, nesting: 2, conditions: 9 },
-    QueryShape { query: 22, tables: 2, nesting: 2, conditions: 4 },
+    QueryShape { query: 1, tables: 1, nesting: 0, conditions: 1, grouped: true },
+    QueryShape { query: 2, tables: 4, nesting: 1, conditions: 8, grouped: false },
+    QueryShape { query: 3, tables: 3, nesting: 0, conditions: 4, grouped: true },
+    QueryShape { query: 4, tables: 2, nesting: 1, conditions: 3, grouped: true },
+    QueryShape { query: 5, tables: 6, nesting: 0, conditions: 7, grouped: true },
+    QueryShape { query: 6, tables: 1, nesting: 0, conditions: 3, grouped: false },
+    QueryShape { query: 7, tables: 4, nesting: 1, conditions: 7, grouped: true },
+    QueryShape { query: 8, tables: 8, nesting: 1, conditions: 9, grouped: true },
+    QueryShape { query: 9, tables: 6, nesting: 1, conditions: 5, grouped: true },
+    QueryShape { query: 10, tables: 4, nesting: 0, conditions: 5, grouped: true },
+    QueryShape { query: 11, tables: 3, nesting: 1, conditions: 3, grouped: true },
+    QueryShape { query: 12, tables: 2, nesting: 0, conditions: 6, grouped: true },
+    QueryShape { query: 13, tables: 2, nesting: 1, conditions: 2, grouped: true },
+    QueryShape { query: 14, tables: 2, nesting: 0, conditions: 2, grouped: false },
+    QueryShape { query: 15, tables: 2, nesting: 1, conditions: 2, grouped: true },
+    QueryShape { query: 16, tables: 3, nesting: 1, conditions: 4, grouped: true },
+    QueryShape { query: 17, tables: 2, nesting: 1, conditions: 3, grouped: false },
+    QueryShape { query: 18, tables: 3, nesting: 1, conditions: 3, grouped: true },
+    QueryShape { query: 19, tables: 2, nesting: 0, conditions: 12, grouped: false },
+    QueryShape { query: 20, tables: 4, nesting: 3, conditions: 4, grouped: false },
+    QueryShape { query: 21, tables: 4, nesting: 2, conditions: 9, grouped: true },
+    QueryShape { query: 22, tables: 2, nesting: 2, conditions: 4, grouped: true },
 ];
 
 /// Number of base tables in the TPC-H schema.
@@ -72,6 +76,9 @@ pub struct Aggregates {
     pub queries_over_8_conditions: usize,
     /// Maximum nesting depth observed.
     pub max_nesting: u8,
+    /// Queries that use `GROUP BY` — the workload class the aggregation
+    /// fragment opens up.
+    pub grouped_queries: usize,
 }
 
 /// Computes the aggregates the paper quotes.
@@ -82,7 +89,18 @@ pub fn aggregates() -> Aggregates {
         queries_over_6_tables: TPCH_SHAPES.iter().filter(|s| s.tables > 6).count(),
         queries_over_8_conditions: TPCH_SHAPES.iter().filter(|s| s.conditions > 8).count(),
         max_nesting: TPCH_SHAPES.iter().map(|s| s.nesting).max().unwrap_or(0),
+        grouped_queries: TPCH_SHAPES.iter().filter(|s| s.grouped).count(),
     }
+}
+
+/// The simplest TPC-H-like grouped shape, over the experiments' `R1 … R8`
+/// schema (the Q1 skeleton: one table, one grouping key, the whole
+/// aggregate battery, a `HAVING` filter). Used by the smoke test that
+/// runs it identically through the semantics and the engine.
+pub fn simplest_grouped_shape() -> &'static str {
+    "SELECT R1.A1 AS key, COUNT(*) AS n, SUM(R1.A2) AS total, AVG(R1.A2) AS mean, \
+     MIN(R1.A2) AS lo, MAX(R1.A2) AS hi \
+     FROM R1 GROUP BY R1.A1 HAVING COUNT(*) >= 1"
 }
 
 /// Renders the calibration table and the derived parameters, for the
@@ -91,10 +109,21 @@ pub fn calibration_report() -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
     let _ = writeln!(out, "TPC-H query shape statistics (reconstructed from TPC-H 2.17.1)");
-    let _ = writeln!(out, "{:>5} {:>7} {:>8} {:>11}", "query", "tables", "nesting", "conditions");
+    let _ = writeln!(
+        out,
+        "{:>5} {:>7} {:>8} {:>11} {:>8}",
+        "query", "tables", "nesting", "conditions", "grouped"
+    );
     for s in TPCH_SHAPES {
-        let _ =
-            writeln!(out, "{:>5} {:>7} {:>8} {:>11}", s.query, s.tables, s.nesting, s.conditions);
+        let _ = writeln!(
+            out,
+            "{:>5} {:>7} {:>8} {:>11} {:>8}",
+            s.query,
+            s.tables,
+            s.nesting,
+            s.conditions,
+            if s.grouped { "yes" } else { "" }
+        );
     }
     let a = aggregates();
     let _ = writeln!(out);
@@ -104,6 +133,11 @@ pub fn calibration_report() -> String {
     let _ =
         writeln!(out, "queries with more than 8 conds: {} (paper: 3)", a.queries_over_8_conditions);
     let _ = writeln!(out, "maximum nesting depth:          {} (paper: ≤ 3)", a.max_nesting);
+    let _ = writeln!(
+        out,
+        "queries that group/aggregate:   {} (expressible since the aggregation fragment)",
+        a.grouped_queries
+    );
     let (t, n, at, c) = CALIBRATED;
     let _ = writeln!(out);
     let _ = writeln!(out, "derived generator parameters: tables={t} nest={n} attr={at} cond={c}");

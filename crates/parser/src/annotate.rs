@@ -165,6 +165,9 @@ fn annotate_select(
                         (Some(a), _) => a.clone(),
                         // Unnamed column references keep the column name…
                         (None, STerm::Col { column, .. }) => column.clone(),
+                        // …unnamed aggregates take the function's name
+                        // (PostgreSQL's convention)…
+                        (None, STerm::Agg { func, .. }) => Name::new(func.default_alias()),
                         // …and unnamed constants get the marker name.
                         (None, STerm::Const(_)) => Name::new(UNNAMED_COLUMN),
                     };
@@ -177,7 +180,13 @@ fn annotate_select(
             None => core_ast::Condition::True,
             Some(c) => annotate_condition(c, schema, stack)?,
         };
-        Ok(core_ast::SelectQuery { distinct: s.distinct, select, from, where_ })
+        let group_by =
+            s.group_by.iter().map(|t| resolve_term(t, stack)).collect::<Result<_, _>>()?;
+        let having = match &s.having {
+            None => core_ast::Condition::True,
+            Some(c) => annotate_condition(c, schema, stack)?,
+        };
+        Ok(core_ast::SelectQuery { distinct: s.distinct, select, from, where_, group_by, having })
     })();
     stack.pop();
     result
@@ -280,6 +289,20 @@ fn annotate_condition(
 fn resolve_term(term: &STerm, stack: &[Scope]) -> Result<core_ast::Term, AnnotateError> {
     match term {
         STerm::Const(v) => Ok(core_ast::Term::Const(v.clone())),
+        STerm::Agg { func, distinct, arg } => {
+            // The argument resolves like any other term of the block;
+            // whether the aggregate is legal *here* is the grouped
+            // typing rules' job (checked per dialect, not at annotation).
+            let arg = match arg {
+                None => None,
+                Some(t) => Some(resolve_term(t, stack)?),
+            };
+            Ok(core_ast::Term::Agg(Box::new(core_ast::Aggregate {
+                func: *func,
+                distinct: *distinct,
+                arg,
+            })))
+        }
         STerm::Col { table: Some(t), column: c } => {
             // Qualified: find the innermost scope defining alias `t`.
             for scope in stack.iter().rev() {
@@ -516,6 +539,37 @@ mod tests {
             "SELECT DISTINCT R.A AS A FROM R AS R WHERE NOT EXISTS \
              (SELECT * FROM S AS S WHERE S.A = R.A)"
         );
+    }
+
+    #[test]
+    fn grouped_queries_annotate_with_resolved_keys_and_arguments() {
+        let q = compile("SELECT A, COUNT(*), SUM(B) AS s FROM T GROUP BY A HAVING COUNT(*) > 1")
+            .unwrap();
+        assert_eq!(
+            q.to_string(),
+            "SELECT T.A AS A, COUNT(*) AS count, SUM(T.B) AS s FROM T AS T \
+             GROUP BY T.A HAVING COUNT(*) > 1"
+        );
+    }
+
+    #[test]
+    fn unaliased_aggregates_round_trip_through_their_default_alias() {
+        // `COUNT(*)` gets the default alias `count`, which must remain
+        // parseable (the aggregate names are contextual keywords).
+        let q = compile("SELECT COUNT(*) FROM R").unwrap();
+        let printed = q.to_string();
+        assert_eq!(printed, "SELECT COUNT(*) AS count FROM R AS R");
+        assert_eq!(compile(&printed).unwrap(), q);
+        // A column whose *name* is an aggregate function name stays
+        // usable too.
+        let q = compile("SELECT T.A AS min FROM T").unwrap();
+        assert_eq!(compile(&q.to_string()).unwrap(), q);
+    }
+
+    #[test]
+    fn aggregate_arguments_resolve_in_the_local_scope() {
+        let err = compile("SELECT COUNT(Z) FROM R").unwrap_err();
+        assert_eq!(err, AnnotateError::UnknownColumn { qualifier: None, column: Name::new("Z") });
     }
 
     #[test]

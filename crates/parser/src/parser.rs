@@ -188,6 +188,7 @@ impl Parser {
 
     /// select_block := SELECT [DISTINCT] select_list FROM from_item
     ///                 (',' from_item)* [WHERE condition]
+    ///                 [GROUP BY term (',' term)*] [HAVING condition]
     fn select_block(&mut self) -> Result<SSelectQuery, ParseError> {
         self.expect_kw(Keyword::Select)?;
         let distinct = self.eat_kw(Keyword::Distinct);
@@ -198,7 +199,18 @@ impl Parser {
             from.push(self.from_item()?);
         }
         let where_ = if self.eat_kw(Keyword::Where) { Some(self.condition()?) } else { None };
-        Ok(SSelectQuery { distinct, select, from, where_ })
+        let group_by = if self.eat_kw(Keyword::Group) {
+            self.expect_kw(Keyword::By)?;
+            let mut keys = vec![self.term()?];
+            while self.eat(&TokenKind::Comma) {
+                keys.push(self.term()?);
+            }
+            keys
+        } else {
+            Vec::new()
+        };
+        let having = if self.eat_kw(Keyword::Having) { Some(self.condition()?) } else { None };
+        Ok(SSelectQuery { distinct, select, from, where_, group_by, having })
     }
 
     fn select_list(&mut self) -> Result<SSelectList, ParseError> {
@@ -429,6 +441,19 @@ impl Parser {
         }
     }
 
+    /// The aggregate function named by the current token, if any.
+    fn peek_agg_func(&self) -> Option<sqlsem_core::AggFunc> {
+        use sqlsem_core::AggFunc;
+        match self.peek() {
+            Some(TokenKind::Keyword(Keyword::Count)) => Some(AggFunc::Count),
+            Some(TokenKind::Keyword(Keyword::Sum)) => Some(AggFunc::Sum),
+            Some(TokenKind::Keyword(Keyword::Avg)) => Some(AggFunc::Avg),
+            Some(TokenKind::Keyword(Keyword::Min)) => Some(AggFunc::Min),
+            Some(TokenKind::Keyword(Keyword::Max)) => Some(AggFunc::Max),
+            _ => None,
+        }
+    }
+
     /// `true` iff the token at `self.pos + ahead` continues a term (a
     /// comparison operator, `IS`, `LIKE`, `IN` or `NOT`), which
     /// disambiguates `TRUE`/`FALSE` as constants vs conditions.
@@ -450,6 +475,19 @@ impl Parser {
     // -- terms ----------------------------------------------------------------
 
     fn term(&mut self) -> Result<STerm, ParseError> {
+        if let Some(func) = self.peek_agg_func() {
+            self.pos += 1;
+            self.expect(&TokenKind::LParen)?;
+            // COUNT(*): the only aggregate over `*`.
+            if func == sqlsem_core::AggFunc::Count && self.eat(&TokenKind::Star) {
+                self.expect(&TokenKind::RParen)?;
+                return Ok(STerm::Agg { func, distinct: false, arg: None });
+            }
+            let distinct = self.eat_kw(Keyword::Distinct);
+            let arg = self.term()?;
+            self.expect(&TokenKind::RParen)?;
+            return Ok(STerm::Agg { func, distinct, arg: Some(Box::new(arg)) });
+        }
         match self.peek() {
             Some(TokenKind::Int(_)) => {
                 let Some(TokenKind::Int(n)) = self.bump() else { unreachable!() };
@@ -688,6 +726,57 @@ mod tests {
     fn error_offsets_point_at_tokens() {
         let err = parse_query("SELECT A FROM WHERE").unwrap_err();
         assert_eq!(err.offset, 14);
+    }
+
+    #[test]
+    fn parses_group_by_and_having() {
+        let q = parse_query(
+            "SELECT A, COUNT(*) FROM R GROUP BY A, B HAVING COUNT(*) > 1 AND A IS NOT NULL",
+        )
+        .unwrap();
+        let SQuery::Select(s) = q else { panic!() };
+        assert_eq!(s.group_by, vec![STerm::col("A"), STerm::col("B")]);
+        assert!(matches!(s.having, Some(SCondition::And(..))));
+        let SSelectList::Items(items) = &s.select else { panic!() };
+        assert_eq!(items[1].term, STerm::count_star());
+    }
+
+    #[test]
+    fn parses_aggregate_terms() {
+        use sqlsem_core::AggFunc;
+        let q = parse_query(
+            "SELECT count(*), sum(R.A), avg(A), min(A), max(A), COUNT(DISTINCT A) FROM R",
+        )
+        .unwrap();
+        let SQuery::Select(s) = q else { panic!() };
+        let SSelectList::Items(items) = &s.select else { panic!() };
+        assert_eq!(items[0].term, STerm::count_star());
+        assert_eq!(items[1].term, STerm::agg(AggFunc::Sum, STerm::qcol("R", "A")));
+        assert_eq!(items[2].term, STerm::agg(AggFunc::Avg, STerm::col("A")));
+        assert_eq!(items[3].term, STerm::agg(AggFunc::Min, STerm::col("A")));
+        assert_eq!(items[4].term, STerm::agg(AggFunc::Max, STerm::col("A")));
+        assert!(matches!(
+            &items[5].term,
+            STerm::Agg { func: AggFunc::Count, distinct: true, arg: Some(_) }
+        ));
+    }
+
+    #[test]
+    fn star_inside_non_count_aggregate_errors() {
+        assert!(parse_query("SELECT SUM(*) FROM R").is_err());
+        // COUNT without parentheses is an ordinary identifier (the
+        // aggregate names are contextual keywords): this selects a
+        // column named COUNT.
+        let q = parse_query("SELECT COUNT FROM R").unwrap();
+        let SQuery::Select(s) = q else { panic!() };
+        let SSelectList::Items(items) = &s.select else { panic!() };
+        assert_eq!(items[0].term, STerm::col("COUNT"));
+    }
+
+    #[test]
+    fn group_by_requires_by() {
+        let err = parse_query("SELECT A FROM R GROUP A").unwrap_err();
+        assert!(err.message.contains("BY"), "{err}");
     }
 
     #[test]

@@ -85,6 +85,19 @@ fn write_select(out: &mut String, s: &SelectQuery, dialect: Dialect) {
         out.push_str(" WHERE ");
         write_condition(out, &s.where_, dialect);
     }
+    if !s.group_by.is_empty() {
+        out.push_str(" GROUP BY ");
+        for (i, k) in s.group_by.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{k}");
+        }
+    }
+    if s.having != Condition::True {
+        out.push_str(" HAVING ");
+        write_condition(out, &s.having, dialect);
+    }
 }
 
 fn write_from_item(out: &mut String, item: &FromItem, dialect: Dialect) {
@@ -275,6 +288,23 @@ fn write_query_pretty(out: &mut String, query: &Query, dialect: Dialect, level: 
                 indent(out, level);
                 out.push_str("WHERE ");
                 write_condition(out, &s.where_, dialect);
+            }
+            if !s.group_by.is_empty() {
+                out.push('\n');
+                indent(out, level);
+                out.push_str("GROUP BY ");
+                for (i, k) in s.group_by.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    let _ = write!(out, "{k}");
+                }
+            }
+            if s.having != Condition::True {
+                out.push('\n');
+                indent(out, level);
+                out.push_str("HAVING ");
+                write_condition(out, &s.having, dialect);
             }
         }
         Query::SetOp { op, all, left, right } => {

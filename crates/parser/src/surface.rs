@@ -7,10 +7,10 @@
 //! this module represent the "before" side of that compilation, and
 //! [`crate::annotate`] performs it.
 
-use sqlsem_core::{CmpOp, Name, Value};
+use sqlsem_core::{AggFunc, CmpOp, Name, Value};
 
-/// A surface term: a constant, `NULL`, or a (possibly unqualified) column
-/// reference.
+/// A surface term: a constant, `NULL`, a (possibly unqualified) column
+/// reference, or an aggregate application.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum STerm {
     /// A constant or `NULL`.
@@ -21,6 +21,15 @@ pub enum STerm {
         table: Option<Name>,
         /// The column name (`A`).
         column: Name,
+    },
+    /// An aggregate application `F([DISTINCT] t)` / `COUNT(*)`.
+    Agg {
+        /// Which function.
+        func: AggFunc,
+        /// `F(DISTINCT t)`?
+        distinct: bool,
+        /// The argument; `None` is `COUNT(*)`.
+        arg: Option<Box<STerm>>,
     },
 }
 
@@ -33,6 +42,16 @@ impl STerm {
     /// A qualified column reference `table.column`.
     pub fn qcol(table: impl Into<Name>, column: impl Into<Name>) -> STerm {
         STerm::Col { table: Some(table.into()), column: column.into() }
+    }
+
+    /// `COUNT(*)`.
+    pub fn count_star() -> STerm {
+        STerm::Agg { func: AggFunc::Count, distinct: false, arg: None }
+    }
+
+    /// `func(arg)`.
+    pub fn agg(func: AggFunc, arg: STerm) -> STerm {
+        STerm::Agg { func, distinct: false, arg: Some(Box::new(arg)) }
     }
 }
 
@@ -86,9 +105,16 @@ pub struct SSelectQuery {
     pub from: Vec<SFromItem>,
     /// The `WHERE` condition; `None` means no clause was written.
     pub where_: Option<SCondition>,
+    /// The `GROUP BY` keys; empty when the clause is absent.
+    pub group_by: Vec<STerm>,
+    /// The `HAVING` condition; `None` means no clause was written.
+    pub having: Option<SCondition>,
 }
 
 /// A surface query.
+// Blocks are stored inline for the same reason as `sqlsem_core::Query`:
+// they are the common case.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SQuery {
     /// A `SELECT` block.

@@ -27,6 +27,13 @@ impl std::error::Error for LexError {}
 
 /// The keywords of the fragment. `MINUS` is Oracle's spelling of
 /// `EXCEPT`.
+///
+/// `GROUP`/`BY`/`HAVING` are reserved, as in SQL-92. The aggregate
+/// function names `COUNT`/`SUM`/`AVG`/`MIN`/`MAX` are *contextual*:
+/// keywords only when followed by `(`, identifiers otherwise (the
+/// PostgreSQL convention), which keeps columns and output names like
+/// `count` parseable — including the default aliases the annotation
+/// pass gives unaliased aggregates.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 #[allow(missing_docs)]
 pub enum Keyword {
@@ -50,9 +57,24 @@ pub enum Keyword {
     Except,
     Minus,
     All,
+    Group,
+    By,
+    Having,
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
 }
 
 impl Keyword {
+    /// `true` for the aggregate function names, which are *contextual*
+    /// keywords: the lexer emits them as keywords only when directly
+    /// applied (`COUNT(…)`), and as identifiers otherwise.
+    pub fn is_aggregate_name(self) -> bool {
+        matches!(self, Keyword::Count | Keyword::Sum | Keyword::Avg | Keyword::Min | Keyword::Max)
+    }
+
     /// Parses a keyword from an identifier-shaped word, case-insensitively.
     pub fn from_word(word: &str) -> Option<Keyword> {
         // The keyword set is small; an uppercase copy beats a hash map.
@@ -78,6 +100,14 @@ impl Keyword {
             "EXCEPT" => Some(Keyword::Except),
             "MINUS" => Some(Keyword::Minus),
             "ALL" => Some(Keyword::All),
+            "GROUP" => Some(Keyword::Group),
+            "BY" => Some(Keyword::By),
+            "HAVING" => Some(Keyword::Having),
+            "COUNT" => Some(Keyword::Count),
+            "SUM" => Some(Keyword::Sum),
+            "AVG" => Some(Keyword::Avg),
+            "MIN" => Some(Keyword::Min),
+            "MAX" => Some(Keyword::Max),
             _ => None,
         }
     }
@@ -106,6 +136,14 @@ impl fmt::Display for Keyword {
             Keyword::Except => "EXCEPT",
             Keyword::Minus => "MINUS",
             Keyword::All => "ALL",
+            Keyword::Group => "GROUP",
+            Keyword::By => "BY",
+            Keyword::Having => "HAVING",
+            Keyword::Count => "COUNT",
+            Keyword::Sum => "SUM",
+            Keyword::Avg => "AVG",
+            Keyword::Min => "MIN",
+            Keyword::Max => "MAX",
         };
         f.write_str(s)
     }
@@ -178,6 +216,31 @@ impl fmt::Display for TokenKind {
             TokenKind::Dash => f.write_str("-"),
         }
     }
+}
+
+/// `true` iff the next non-whitespace, non-comment character at or
+/// after `pos` is `(` — the lookahead that decides whether an aggregate
+/// function name acts as a keyword (SQL allows whitespace and comments
+/// before the argument list).
+///
+/// The disambiguation is lexical, so an *identifier* that is an
+/// aggregate name directly followed by `(` — e.g. the column-rename
+/// alias in `R AS count(X)` — is read as an application; rename such
+/// aliases. In term position the keyword reading is the correct one.
+fn followed_by_lparen(bytes: &[u8], mut pos: usize) -> bool {
+    while let Some(b) = bytes.get(pos) {
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => pos += 1,
+            b'-' if bytes.get(pos + 1) == Some(&b'-') => {
+                while pos < bytes.len() && bytes[pos] != b'\n' {
+                    pos += 1;
+                }
+            }
+            b'(' => return true,
+            _ => return false,
+        }
+    }
+    false
 }
 
 /// Tokenises SQL source text.
@@ -309,6 +372,14 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                 }
                 let word = &input[i..end];
                 let kind = match Keyword::from_word(word) {
+                    // The aggregate function names are *contextual*
+                    // keywords, as in PostgreSQL: they act as keywords
+                    // only when a `(` follows (an application), and stay
+                    // ordinary identifiers everywhere else — so a column
+                    // or output name `count` remains parseable.
+                    Some(k) if k.is_aggregate_name() && !followed_by_lparen(bytes, end) => {
+                        TokenKind::Ident(word.to_string())
+                    }
                     Some(k) => TokenKind::Keyword(k),
                     None => TokenKind::Ident(word.to_string()),
                 };
@@ -419,6 +490,56 @@ mod tests {
         assert_eq!(
             kinds("MINUS minus"),
             vec![TokenKind::Keyword(Keyword::Minus), TokenKind::Keyword(Keyword::Minus),]
+        );
+    }
+
+    #[test]
+    fn aggregate_names_are_contextual_keywords() {
+        // Applied: keywords (whitespace before the parenthesis allowed).
+        assert_eq!(
+            kinds("COUNT(*) sum (x)"),
+            vec![
+                TokenKind::Keyword(Keyword::Count),
+                TokenKind::LParen,
+                TokenKind::Star,
+                TokenKind::RParen,
+                TokenKind::Keyword(Keyword::Sum),
+                TokenKind::LParen,
+                TokenKind::Ident("x".into()),
+                TokenKind::RParen,
+            ]
+        );
+        // Bare: ordinary identifiers, case preserved.
+        assert_eq!(
+            kinds("count Min, t.max"),
+            vec![
+                TokenKind::Ident("count".into()),
+                TokenKind::Ident("Min".into()),
+                TokenKind::Comma,
+                TokenKind::Ident("t".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("max".into()),
+            ]
+        );
+        // A line comment between the name and the argument list does
+        // not break the application reading.
+        assert_eq!(
+            kinds("COUNT --args\n (*)"),
+            vec![
+                TokenKind::Keyword(Keyword::Count),
+                TokenKind::LParen,
+                TokenKind::Star,
+                TokenKind::RParen,
+            ]
+        );
+        // GROUP/BY/HAVING stay fully reserved.
+        assert_eq!(
+            kinds("group by having"),
+            vec![
+                TokenKind::Keyword(Keyword::Group),
+                TokenKind::Keyword(Keyword::By),
+                TokenKind::Keyword(Keyword::Having),
+            ]
         );
     }
 

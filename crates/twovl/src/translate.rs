@@ -87,10 +87,7 @@ fn collect_names(query: &Query, out: &mut HashSet<Name>) {
             if let SelectList::Items(items) = &s.select {
                 for i in items {
                     out.insert(i.alias.clone());
-                    if let Term::Col(n) = &i.term {
-                        out.insert(n.table.clone());
-                        out.insert(n.column.clone());
-                    }
+                    collect_term_names(&i.term, out);
                 }
             }
             for f in &s.from {
@@ -103,41 +100,24 @@ fn collect_names(query: &Query, out: &mut HashSet<Name>) {
                 }
             }
             collect_cond_names(&s.where_, out);
+            for key in &s.group_by {
+                collect_term_names(key, out);
+            }
+            collect_cond_names(&s.having, out);
         }
     });
 }
 
+fn collect_term_names(term: &Term, out: &mut HashSet<Name>) {
+    term.visit_columns(&mut |n| {
+        out.insert(n.table.clone());
+        out.insert(n.column.clone());
+    });
+}
+
 fn collect_cond_names(cond: &Condition, out: &mut HashSet<Name>) {
-    let mut term = |t: &Term| {
-        if let Term::Col(n) = t {
-            out.insert(n.table.clone());
-            out.insert(n.column.clone());
-        }
-    };
-    match cond {
-        Condition::True | Condition::False => {}
-        Condition::Cmp { left, right, .. } => {
-            term(left);
-            term(right);
-        }
-        Condition::Like { term: t, pattern, .. } => {
-            term(t);
-            term(pattern);
-        }
-        Condition::Pred { args, .. } => args.iter().for_each(term),
-        Condition::IsNull { term: t, .. } => term(t),
-        Condition::IsDistinct { left, right, .. } => {
-            term(left);
-            term(right);
-        }
-        Condition::In { terms, .. } => terms.iter().for_each(term),
-        Condition::Exists(_) => {}
-        Condition::And(a, b) | Condition::Or(a, b) => {
-            collect_cond_names(a, out);
-            collect_cond_names(b, out);
-        }
-        Condition::Not(c) => collect_cond_names(c, out),
-    }
+    // Nested queries are handled by `collect_names`' visitor.
+    cond.visit_terms(&mut |t| collect_term_names(t, out));
 }
 
 // ---------------------------------------------------------------------------
@@ -177,6 +157,10 @@ fn query_2v(query: &Query, eq: EqInterpretation, names: &mut Names) -> Query {
                 .collect(),
             // Only rows with θ = t are kept, so θ becomes θᵗ.
             where_: cond_t(&s.where_, eq, names),
+            group_by: s.group_by.clone(),
+            // Groups are kept exactly when HAVING is t, so it becomes θᵗ
+            // too; the aggregates themselves are logic-mode independent.
+            having: cond_t(&s.having, eq, names),
         }),
     }
 }
@@ -357,6 +341,8 @@ fn query_3v(query: &Query, eq: EqInterpretation, names: &mut Names) -> Query {
                 })
                 .collect(),
             where_: cond_3v(&s.where_, eq, names),
+            group_by: s.group_by.clone(),
+            having: cond_3v(&s.having, eq, names),
         }),
     }
 }

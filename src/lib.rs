@@ -48,8 +48,8 @@ pub use sqlsem_twovl as twovl;
 pub use sqlsem_validation as validation;
 
 pub use sqlsem_core::{
-    row, table, CmpOp, Condition, Database, Dialect, Env, EvalError, Evaluator, FromItem, FullName,
-    LogicMode, Name, PredicateRegistry, Query, Row, Schema, SelectList, SelectQuery, SetOp, Table,
-    Term, Truth, Value,
+    row, table, AggFunc, Aggregate, CmpOp, Condition, Database, Dialect, Env, EvalError, Evaluator,
+    FromItem, FullName, LogicMode, Name, PredicateRegistry, Query, Row, Schema, SelectList,
+    SelectQuery, SetOp, Table, Term, Truth, Value,
 };
 pub use sqlsem_parser::{compile, parse_query, to_sql, to_sql_pretty};

@@ -1,0 +1,243 @@
+//! Property tests for the aggregation fragment's null pitfalls, plus the
+//! differential oracle over generated grouped queries: the spec
+//! interpreter, the naive engine and the optimized engine must coincide
+//! (same rows, same multiplicities, same error verdicts) on every one.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sqlsem::{compile, table, Database, Dialect, Evaluator, LogicMode, Schema, Value};
+use sqlsem_engine::Engine;
+use sqlsem_generator::{paper_schema, random_database, DataGenConfig, QueryGenConfig};
+use sqlsem_validation::{compare, iteration_case, ValidationConfig, Verdict};
+
+fn random_dbs(n: usize, seed: u64) -> Vec<Database> {
+    let schema = paper_schema();
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| random_database(&schema, &DataGenConfig::small(), &mut rng)).collect()
+}
+
+/// Runs a query on the spec interpreter and both engine paths, asserting
+/// the three coincide, and returns the spec's table.
+fn run_coinciding(sql: &str, db: &Database) -> sqlsem::Table {
+    let q = compile(sql, db.schema()).unwrap();
+    let spec = Evaluator::new(db).eval(&q).unwrap();
+    let optimized = Engine::new(db).execute(&q).unwrap();
+    let naive = Engine::new(db).with_optimizations(false).execute(&q).unwrap();
+    assert!(spec.coincides(&optimized), "{sql}: spec vs optimized\n{spec}\nvs\n{optimized}");
+    assert!(spec.coincides(&naive), "{sql}: spec vs naive\n{spec}\nvs\n{naive}");
+    spec
+}
+
+fn as_int(v: &Value) -> Option<i64> {
+    match v {
+        Value::Int(n) => Some(*n),
+        _ => None,
+    }
+}
+
+#[test]
+fn count_star_dominates_count_of_a_column() {
+    // COUNT(*) counts records; COUNT(a) skips NULLs — per group, always
+    // COUNT(*) ≥ COUNT(a) ≥ COUNT(DISTINCT a).
+    for db in random_dbs(20, 0xA11) {
+        let out = run_coinciding(
+            "SELECT t.A1 AS k, COUNT(*) AS stars, COUNT(t.A2) AS vals, \
+             COUNT(DISTINCT t.A2) AS uniq FROM R2 t GROUP BY t.A1",
+            &db,
+        );
+        for row in out.rows() {
+            let stars = as_int(&row[1]).unwrap();
+            let vals = as_int(&row[2]).unwrap();
+            let uniq = as_int(&row[3]).unwrap();
+            assert!(stars >= vals, "COUNT(*) {stars} < COUNT(a) {vals}");
+            assert!(vals >= uniq, "COUNT(a) {vals} < COUNT(DISTINCT a) {uniq}");
+        }
+    }
+}
+
+#[test]
+fn empty_group_sum_is_null_while_count_is_zero() {
+    // The treacherous asymmetry of the Standard: aggregating the empty
+    // (implicit) group yields 0 for COUNT but NULL for SUM/AVG/MIN/MAX.
+    let schema = paper_schema();
+    let db = Database::new(schema); // every table empty
+    let out = run_coinciding(
+        "SELECT COUNT(*) AS stars, COUNT(t.A1) AS vals, SUM(t.A1) AS s, \
+         AVG(t.A1) AS a, MIN(t.A1) AS lo, MAX(t.A1) AS hi FROM R1 t",
+        &db,
+    );
+    assert!(
+        out.coincides(&table! {
+            ["stars", "vals", "s", "a", "lo", "hi"];
+            [0, 0, Value::Null, Value::Null, Value::Null, Value::Null]
+        }),
+        "got:\n{out}"
+    );
+    // The same asymmetry via WHERE FALSE on a populated table.
+    let mut db = Database::new(paper_schema());
+    db.insert("R1", table! { ["A1", "A2"]; [1, 2], [3, 4] }).unwrap();
+    let out =
+        run_coinciding("SELECT COUNT(t.A1) AS vals, SUM(t.A1) AS s FROM R1 t WHERE FALSE", &db);
+    assert!(out.coincides(&table! { ["vals", "s"]; [0, Value::Null] }), "got:\n{out}");
+}
+
+#[test]
+fn avg_equals_sum_over_count_groupwise() {
+    for db in random_dbs(20, 0xA77) {
+        let out = run_coinciding(
+            "SELECT t.A1 AS k, SUM(t.A2) AS s, COUNT(t.A2) AS c, AVG(t.A2) AS a \
+             FROM R2 t GROUP BY t.A1",
+            &db,
+        );
+        for row in out.rows() {
+            let c = as_int(&row[2]).unwrap();
+            match (as_int(&row[1]), as_int(&row[3])) {
+                (Some(s), Some(a)) => {
+                    assert!(c > 0);
+                    assert_eq!(a, s / c, "AVG {a} != SUM {s} / COUNT {c}");
+                }
+                // All-NULL group: SUM and AVG are both NULL, COUNT is 0.
+                (None, None) => assert_eq!(c, 0),
+                (s, a) => panic!("SUM {s:?} and AVG {a:?} disagree about nullness"),
+            }
+        }
+    }
+}
+
+#[test]
+fn group_by_partitions_are_disjoint_and_exhaustive() {
+    // One output row per key (grouping keys compare null-safely, so keys
+    // are pairwise distinct in the output), and the groups' COUNT(*)s
+    // add up to the number of surviving records — nothing is dropped,
+    // nothing is double-counted.
+    for db in random_dbs(25, 0xD15) {
+        let out = run_coinciding("SELECT t.A1 AS k, COUNT(*) AS n FROM R3 t GROUP BY t.A1", &db);
+        let keys: Vec<&Value> = out.rows().map(|r| &r[0]).collect();
+        for (i, a) in keys.iter().enumerate() {
+            for b in &keys[i + 1..] {
+                assert_ne!(a, b, "grouping key {a} appears in two groups");
+            }
+        }
+        let total: i64 = out.rows().map(|r| as_int(&r[1]).unwrap()).sum();
+        assert_eq!(total as usize, db.table("R3").unwrap().len(), "counts must partition R3");
+    }
+}
+
+#[test]
+fn null_keys_form_a_single_group() {
+    let schema = Schema::builder().table("R", ["A", "B"]).build().unwrap();
+    let mut db = Database::new(schema);
+    db.insert(
+        "R",
+        table! { ["A", "B"]; [Value::Null, 1], [Value::Null, 2], [1, 3], [Value::Null, 4] },
+    )
+    .unwrap();
+    let out =
+        run_coinciding("SELECT R.A AS k, COUNT(*) AS n, SUM(R.B) AS s FROM R GROUP BY R.A", &db);
+    assert!(
+        out.coincides(&table! { ["k", "n", "s"]; [Value::Null, 3, 7], [1, 1, 3] }),
+        "got:\n{out}"
+    );
+}
+
+#[test]
+fn distinct_aggregates_deduplicate_before_folding() {
+    let schema = Schema::builder().table("R", ["A"]).build().unwrap();
+    let mut db = Database::new(schema);
+    db.insert("R", table! { ["A"]; [2], [2], [3], [Value::Null] }).unwrap();
+    let out = run_coinciding(
+        "SELECT COUNT(R.A) AS c, COUNT(DISTINCT R.A) AS cd, \
+         SUM(R.A) AS s, SUM(DISTINCT R.A) AS sd, AVG(DISTINCT R.A) AS ad FROM R",
+        &db,
+    );
+    assert!(out.coincides(&table! { ["c", "cd", "s", "sd", "ad"]; [3, 2, 7, 5, 2] }), "{out}");
+}
+
+#[test]
+fn generated_grouped_queries_coincide_across_the_whole_stack() {
+    // The test archetype's centerpiece: a grouped-heavy random sweep
+    // where spec interpreter ≡ naive engine ≡ optimized engine on rows,
+    // multiplicities and error verdicts, for every dialect × logic mode.
+    let schema = paper_schema();
+    let mut config = ValidationConfig::quick(150, 0x96);
+    config.query_config = QueryGenConfig { aggregate_prob: 0.6, ..QueryGenConfig::small() };
+    let mut grouped_seen = 0usize;
+    for i in 0..config.queries {
+        let (query, db) = iteration_case(&schema, &config, i);
+        let mut has_group = false;
+        query.visit(&mut |node| {
+            if let sqlsem::Query::Select(s) = node {
+                has_group |= s.is_grouped();
+            }
+        });
+        grouped_seen += usize::from(has_group);
+        for dialect in Dialect::ALL {
+            for logic in LogicMode::ALL {
+                let spec = Evaluator::new(&db).with_dialect(dialect).with_logic(logic).eval(&query);
+                let optimized =
+                    Engine::new(&db).with_dialect(dialect).with_logic(logic).execute(&query);
+                let naive = Engine::new(&db)
+                    .with_dialect(dialect)
+                    .with_logic(logic)
+                    .with_optimizations(false)
+                    .execute(&query);
+                match compare(&spec, &optimized) {
+                    Verdict::AgreeResult | Verdict::AgreeError => {}
+                    Verdict::Disagree(detail) => panic!(
+                        "case {i} [{dialect} / {logic:?}] optimized vs spec: {detail}\n{query}"
+                    ),
+                }
+                match compare(&naive, &optimized) {
+                    Verdict::AgreeResult | Verdict::AgreeError => {}
+                    Verdict::Disagree(detail) => panic!(
+                        "case {i} [{dialect} / {logic:?}] optimized vs naive: {detail}\n{query}"
+                    ),
+                }
+            }
+        }
+    }
+    assert!(
+        grouped_seen >= config.queries / 3,
+        "only {grouped_seen} of {} cases exercised grouping",
+        config.queries
+    );
+}
+
+#[test]
+fn tpch_like_grouped_shape_runs_identically_everywhere() {
+    // The simplest TPC-H shape (the Q1 skeleton) now parses,
+    // type-checks in every dialect, and coincides across the stack.
+    let schema = paper_schema();
+    let sql = sqlsem_generator::tpch::simplest_grouped_shape();
+    let q = compile(sql, &schema).unwrap();
+    for dialect in Dialect::ALL {
+        sqlsem::core::check::check_query(&q, &schema, dialect).unwrap();
+    }
+    for db in random_dbs(10, 0x791) {
+        let spec = Evaluator::new(&db).eval(&q).unwrap();
+        for optimized in [true, false] {
+            let engine = Engine::new(&db).with_optimizations(optimized).execute(&q).unwrap();
+            assert!(spec.coincides(&engine), "optimized={optimized}:\n{spec}\nvs\n{engine}");
+        }
+    }
+}
+
+#[test]
+fn explain_renders_group_aggregate_with_keys_and_aggregates() {
+    // The acceptance criterion's EXPLAIN check, plus the HAVING-conjunct
+    // pushdown: the key-only conjunct leaves HAVING and lands in a
+    // filter below the aggregation.
+    let schema = paper_schema();
+    let db = Database::new(schema.clone());
+    let q = compile(
+        "SELECT t.A1 AS k, COUNT(*) AS n, MIN(t.A2) AS lo FROM R2 t \
+         GROUP BY t.A1 HAVING COUNT(*) > 1 AND t.A1 = 3",
+        &schema,
+    )
+    .unwrap();
+    let text = Engine::new(&db).explain(&q).unwrap();
+    assert!(text.contains("GroupAggregate keys=[#0.0] aggs=[COUNT(*), MIN(#0.1)]"), "{text}");
+    // COUNT(*) > 1 stays in HAVING; t.A1 = 3 was pushed below.
+    assert!(text.contains("having=#0.1 > 1"), "{text}");
+    assert!(text.contains("Filter #0.0 = 3"), "{text}");
+}

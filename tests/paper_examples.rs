@@ -159,6 +159,123 @@ fn section5_worked_ra_translations() {
 }
 
 #[test]
+fn example1_grouped_variant_shows_the_not_in_pitfall_under_having() {
+    // Example 1's Q1 with the NOT IN moved into a HAVING clause: the
+    // grouped environment binds R.A per group (each value of R is its own
+    // group here), so the null pitfall plays out identically — under 3VL
+    // `R.A NOT IN (SELECT S.A FROM S)` is never true, and the answer is
+    // empty; the two-valued conflating semantics keeps both groups, and
+    // the syntactic-equality reading keeps only the 1.
+    use sqlsem::LogicMode;
+    let (schema, db) = example1_db();
+    let q = compile(
+        "SELECT R.A AS A, COUNT(*) AS n FROM R GROUP BY R.A \
+         HAVING R.A NOT IN (SELECT S.A FROM S)",
+        &schema,
+    )
+    .unwrap();
+    for dialect in Dialect::ALL {
+        for (logic, expected) in [
+            (LogicMode::ThreeValued, 0usize),
+            (LogicMode::TwoValuedConflate, 2),
+            (LogicMode::TwoValuedSyntacticEq, 1),
+        ] {
+            let spec =
+                Evaluator::new(&db).with_dialect(dialect).with_logic(logic).eval(&q).unwrap();
+            assert_eq!(spec.len(), expected, "spec [{dialect} / {logic:?}]:\n{spec}");
+            let engine =
+                Engine::new(&db).with_dialect(dialect).with_logic(logic).execute(&q).unwrap();
+            assert!(spec.coincides(&engine), "engine disagrees [{dialect} / {logic:?}]");
+        }
+    }
+}
+
+#[test]
+fn example1_grouped_counts_follow_the_standard_null_discipline() {
+    // Over R = {1, NULL}: the NULL forms its own group (keys compare
+    // null-safely), COUNT(*) counts its record but COUNT(R.A) skips the
+    // NULL — 0 for that group.
+    let (schema, db) = example1_db();
+    let q = compile(
+        "SELECT R.A AS A, COUNT(*) AS stars, COUNT(R.A) AS vals FROM R GROUP BY R.A",
+        &schema,
+    )
+    .unwrap();
+    for dialect in Dialect::ALL {
+        let out = Evaluator::new(&db).with_dialect(dialect).eval(&q).unwrap();
+        assert!(
+            out.coincides(&table! { ["A", "stars", "vals"]; [1, 1, 1], [Value::Null, 1, 0] }),
+            "[{dialect}]:\n{out}"
+        );
+        let engine = Engine::new(&db).with_dialect(dialect).execute(&q).unwrap();
+        assert!(out.coincides(&engine), "engine [{dialect}]");
+    }
+}
+
+#[test]
+fn example2_ambiguous_reference_as_grouping_key_errors_like_the_paper_says() {
+    // Example 2's inner block with the repeated output name, used as the
+    // input of a grouped block whose key is the ambiguous T.A: annotated
+    // SQL rejects the reference outright (as every RDBMS does), and the
+    // hand-built annotated query errors with the ambiguity verdict on
+    // the spec interpreter and the engine alike.
+    use sqlsem::{FromItem, Query, SelectList, SelectQuery, Term};
+    let schema = Schema::builder().table("R", ["A"]).build().unwrap();
+    let mut db = Database::new(schema.clone());
+    db.insert("R", table! { ["A"]; [7] }).unwrap();
+    assert!(compile(
+        "SELECT COUNT(*) AS n FROM (SELECT R.A, R.A FROM R) AS T GROUP BY T.A",
+        &schema,
+    )
+    .is_err());
+
+    let inner = Query::Select(SelectQuery::new(
+        SelectList::items([(Term::col("R", "A"), "A"), (Term::col("R", "A"), "A")]),
+        vec![FromItem::base("R", "R")],
+    ));
+    let q = Query::Select(
+        SelectQuery::new(
+            SelectList::items([(Term::col("T", "A"), "k"), (Term::count_star(), "n")]),
+            vec![FromItem::subquery(inner, "T")],
+        )
+        .group_by([Term::col("T", "A")]),
+    );
+    for dialect in Dialect::ALL {
+        let spec = Evaluator::new(&db).with_dialect(dialect).eval(&q);
+        let engine = Engine::new(&db).with_dialect(dialect).execute(&q);
+        assert!(spec.as_ref().unwrap_err().is_ambiguity(), "spec [{dialect}]: {spec:?}");
+        assert!(engine.as_ref().unwrap_err().is_ambiguity(), "engine [{dialect}]: {engine:?}");
+    }
+}
+
+#[test]
+fn grouped_syntax_round_trips_through_every_dialect_printer() {
+    // parse ∘ print = id for the new clauses, in all three dialects.
+    let schema = Schema::builder().table("R", ["A", "B"]).table("S", ["A"]).build().unwrap();
+    for sql in [
+        "SELECT R.A AS k, COUNT(*) AS n FROM R GROUP BY R.A",
+        "SELECT COUNT(DISTINCT R.A) AS n FROM R",
+        "SELECT R.A AS k, SUM(R.B) AS s, AVG(R.B) AS a, MIN(R.B) AS lo, MAX(R.B) AS hi \
+         FROM R GROUP BY R.A HAVING COUNT(*) > 1 AND SUM(R.B) IS NOT NULL",
+        "SELECT R.A AS k FROM R GROUP BY R.A, R.B HAVING MAX(R.B) >= 2 OR R.A IS NULL",
+        "SELECT R.A AS k FROM R GROUP BY R.A \
+         HAVING EXISTS (SELECT * FROM S WHERE S.A = R.A)",
+        "SELECT DISTINCT R.A AS k, COUNT(*) AS n FROM R GROUP BY R.A \
+         HAVING R.A IN (SELECT S.A FROM S)",
+    ] {
+        let q = compile(sql, &schema).unwrap();
+        for dialect in Dialect::ALL {
+            let printed = sqlsem::to_sql(&q, dialect);
+            let reparsed = compile(&printed, &schema).unwrap();
+            assert_eq!(reparsed, q, "[{dialect}] {printed}");
+            let pretty = sqlsem::to_sql_pretty(&q, dialect);
+            let reparsed = compile(&pretty, &schema).unwrap();
+            assert_eq!(reparsed, q, "pretty [{dialect}] {pretty}");
+        }
+    }
+}
+
+#[test]
 fn figure1_truth_tables_golden() {
     use sqlsem::Truth;
     let t = Truth::True;

@@ -38,6 +38,8 @@ fn map_conditions(q: &Query, f: &impl Fn(&Condition) -> Condition) -> Query {
             select: s.select.clone(),
             from: s.from.clone(),
             where_: f(&s.where_),
+            group_by: s.group_by.clone(),
+            having: s.having.clone(),
         }),
     }
 }
