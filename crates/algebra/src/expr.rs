@@ -12,7 +12,7 @@
 //! analogues of SQL's `IN` and `EXISTS` subqueries. An expression whose
 //! conditions avoid the two extensions is *pure* RA
 //! ([`RaExpr::is_pure`]); Proposition 2 says the extensions are syntactic
-//! sugar, and [`crate::eliminate`] implements that compilation.
+//! sugar, and [`crate::eliminate()`](crate::eliminate::eliminate) implements that compilation.
 //!
 //! Crucially — and unlike SQL query outputs — RA signatures never repeat
 //! attribute names; [`signature`] checks the §5 well-formedness side

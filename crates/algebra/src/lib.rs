@@ -10,10 +10,10 @@
 //! |--------|----------------|
 //! | [`expr`] | RA/SQL-RA syntax and signatures `ℓ(E)` (§5) |
 //! | [`eval`] | the semantics `⟦E⟧_{D,η}` (Figure 8 + SQL-RA extension) |
-//! | [`params`] | parameters `param(E)`, `param(θ, A)` (§5) |
+//! | [`params`](mod@params) | parameters `param(E)`, `param(θ, A)` (§5) |
 //! | [`gadgets`] | `≐`, syntactic (anti/semi)joins, `π^α_β` (Def. 2, §5) |
-//! | [`translate`] | SQL → SQL-RA under `χ` (Figure 9, Prop. 1) |
-//! | [`eliminate`] | SQL-RA → pure RA (Prop. 2) |
+//! | [`translate`](mod@translate) | SQL → SQL-RA under `χ` (Figure 9, Prop. 1) |
+//! | [`eliminate`](mod@eliminate) | SQL-RA → pure RA (Prop. 2) |
 //!
 //! End-to-end (Theorem 1, forward direction):
 //!

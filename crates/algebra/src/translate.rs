@@ -18,7 +18,7 @@
 //! The output is an SQL-RA expression with no parameters whose signature
 //! is `ℓ(Q)` and whose value is `⟦Q⟧_D` on every database — Theorem 1's
 //! forward direction. Chasing the SQL-RA conditions away (Proposition 2)
-//! is [`crate::eliminate`]'s job.
+//! is [`crate::eliminate()`](crate::eliminate::eliminate)'s job.
 
 use std::collections::HashSet;
 use std::fmt;

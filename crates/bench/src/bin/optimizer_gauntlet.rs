@@ -1,13 +1,20 @@
-//! The optimizer's differential gauntlet: thousands of generated queries
-//! through the **optimized** engine (predicate pushdown, hash equi-joins,
-//! subquery caching, `EXISTS` early exit) against two oracles, under
-//! every `LogicMode` × dialect combination:
+//! The optimizer's differential gauntlet, driven through the unified
+//! [`Session`] API: thousands of generated queries through a session
+//! configured with the candidate backend (by default the **optimized**
+//! engine — predicate pushdown, hash equi-joins, subquery caching,
+//! `EXISTS` early exit) against two oracles, under every `LogicMode` ×
+//! dialect combination:
 //!
 //! * the denotational interpreter (`sqlsem_core::Evaluator`) — the
 //!   executable specification, under the §4 coincidence criterion;
-//! * the engine's own naive execution path (optimizations off) — the
+//! * the engine's naive execution path (optimizations off) — the
 //!   HoTTSQL-style discipline of justifying each rewrite against a
 //!   semantics.
+//!
+//! Each candidate run goes end to end through the public pipeline —
+//! the query is printed in the dialect's syntax and fed to
+//! [`Session::execute`] as SQL text — so the gauntlet also proves the
+//! `Session` redesign is semantics-preserving.
 //!
 //! The fixed prefix replays the paper's pitfall queries (Example 1's
 //! three null-sensitive shapes, Example 2's ambiguous star) before the
@@ -15,14 +22,17 @@
 //!
 //! ```text
 //! cargo run --release -p sqlsem-bench --bin optimizer_gauntlet -- \
-//!     --queries 2000 --seed 1
+//!     --queries 2000 --seed 1 --backend optimized
 //! ```
 
 use sqlsem_bench::arg;
 use sqlsem_core::{Dialect, Evaluator, LogicMode, Query, Schema};
-use sqlsem_engine::Engine;
+use sqlsem_engine::{Backend, Engine};
 use sqlsem_generator::paper_schema;
-use sqlsem_validation::{compare, iteration_case, ValidationConfig, Verdict};
+use sqlsem_session::Session;
+use sqlsem_validation::{
+    candidate_session, compare, iteration_case, session_outcome, ValidationConfig, Verdict,
+};
 
 /// Example 1 and Example 2, the shapes whose null/ambiguity behaviour
 /// the optimizations are most likely to disturb.
@@ -39,12 +49,18 @@ fn pitfall_cases() -> (Schema, Vec<Query>) {
     (schema, queries)
 }
 
+/// The pitfall database is created through the session's own DDL/DML —
+/// the zero-Rust-builder path the `Session` API exists for.
 fn pitfall_db(schema: &Schema) -> sqlsem_core::Database {
-    use sqlsem_core::{table, Value};
-    let mut db = sqlsem_core::Database::new(schema.clone());
-    db.insert("R", table! { ["A"]; [1], [Value::Null] }).unwrap();
-    db.insert("S", table! { ["A"]; [Value::Null] }).unwrap();
-    db
+    let mut session = Session::builder().with_schema(Schema::default()).build();
+    session
+        .run_script(
+            "CREATE TABLE R (A); CREATE TABLE S (A); \
+             INSERT INTO R VALUES (1), (NULL); INSERT INTO S VALUES (NULL);",
+        )
+        .expect("pitfall script executes");
+    assert_eq!(session.schema(), schema, "script-built schema matches the compiled queries'");
+    session.database().clone()
 }
 
 struct Tally {
@@ -59,6 +75,7 @@ fn main() {
     let queries: usize = arg("--queries", 2_000);
     let seed: u64 = arg("--seed", 1);
     let rows: usize = arg("--rows", 8);
+    let backend: Backend = arg("--backend", Backend::OptimizedEngine);
 
     let combos: Vec<(Dialect, LogicMode)> = Dialect::ALL
         .into_iter()
@@ -70,9 +87,17 @@ fn main() {
         .collect();
     let mut samples: Vec<String> = Vec::new();
 
-    let mut check = |tally: &mut Tally, query: &Query, db: &sqlsem_core::Database| {
+    // The session is built once per database (below) and retargeted per
+    // combination; query execution never mutates the database.
+    let mut check = |tally: &mut Tally, query: &Query, session: &mut Session| {
         let (dialect, logic) = (tally.dialect, tally.logic);
-        let optimized = Engine::new(db).with_dialect(dialect).with_logic(logic).execute(query);
+        session.set_dialect(dialect);
+        session.set_logic(logic);
+        // Candidate: SQL text through the Session with the chosen backend.
+        let sql = sqlsem_parser::to_sql(query, dialect);
+        let candidate = session_outcome(session, &sql);
+        // Oracles: the spec interpreter and the naive engine, direct.
+        let db = session.database();
         let spec = Evaluator::new(db).with_dialect(dialect).with_logic(logic).eval(query);
         let naive = Engine::new(db)
             .with_dialect(dialect)
@@ -82,14 +107,13 @@ fn main() {
         for (oracle, outcome, count) in
             [("spec", &spec, &mut tally.vs_spec), ("naive", &naive, &mut tally.vs_naive)]
         {
-            match compare(outcome, &optimized) {
+            match compare(outcome, &candidate) {
                 Verdict::AgreeResult | Verdict::AgreeError => *count += 1,
                 Verdict::Disagree(detail) => {
                     tally.disagreements += 1;
                     if samples.len() < 5 {
                         samples.push(format!(
-                            "[{dialect} / {logic:?} vs {oracle}] {detail}\n    {}",
-                            sqlsem_parser::to_sql(query, dialect)
+                            "[{dialect} / {logic:?} vs {oracle}] {detail}\n    {sql}"
                         ));
                     }
                 }
@@ -98,10 +122,10 @@ fn main() {
     };
 
     let (pitfall_schema, pitfalls) = pitfall_cases();
-    let pit_db = pitfall_db(&pitfall_schema);
+    let mut pit_session = candidate_session(pitfall_db(&pitfall_schema), backend);
     for tally in tallies.iter_mut() {
         for query in &pitfalls {
-            check(tally, query, &pit_db);
+            check(tally, query, &mut pit_session);
         }
     }
 
@@ -111,14 +135,15 @@ fn main() {
     let start = std::time::Instant::now();
     for i in 0..queries {
         let (query, db) = iteration_case(&schema, &config, i);
+        let mut session = candidate_session(db, backend);
         for tally in tallies.iter_mut() {
-            check(tally, &query, &db);
+            check(tally, &query, &mut session);
         }
     }
 
     println!(
         "optimizer gauntlet: {} pitfall + {queries} random queries per combination \
-         (seed {seed}, row cap {rows}) in {:.2?}\n",
+         (candidate backend {backend} via Session, seed {seed}, row cap {rows}) in {:.2?}\n",
         pitfalls.len(),
         start.elapsed()
     );

@@ -1,7 +1,8 @@
 //! Regenerates the §4 validation experiment: randomly generated queries
 //! over the `R1 … R8` schema, random database instances, formal
-//! semantics vs independent engine, compared under the correctness
-//! criterion, for the PostgreSQL- and Oracle-adjusted variants (plus the
+//! semantics vs the candidate backend — driven end to end through the
+//! unified `Session` API — compared under the correctness criterion,
+//! for the PostgreSQL- and Oracle-adjusted variants (plus the
 //! unadjusted Standard).
 //!
 //! Paper setup: 100,000 queries, base tables capped at 50 rows, always
@@ -9,14 +10,17 @@
 //!
 //! ```text
 //! cargo run --release -p sqlsem-bench --bin sec4_validation -- \
-//!     --queries 100000 --seed 1 --rows 50
+//!     --queries 100000 --seed 1 --rows 50 --backend optimized
 //! ```
 //!
 //! Defaults are scaled down (2,000 queries, 8-row tables) so the binary
-//! finishes in seconds; pass `--paper` for the paper's row cap.
+//! finishes in seconds; pass `--paper` for the paper's row cap, and
+//! `--backend spec|naive|optimized` to choose the candidate the spec is
+//! compared against.
 
 use sqlsem_bench::{arg, flag};
 use sqlsem_core::Dialect;
+use sqlsem_engine::Backend;
 use sqlsem_generator::{paper_schema, DataGenConfig, QueryGenConfig};
 use sqlsem_validation::{run_validation, ValidationConfig};
 
@@ -25,24 +29,25 @@ fn main() {
     let seed: u64 = arg("--seed", 1);
     let paper_rows = flag("--paper");
     let rows: usize = arg("--rows", if paper_rows { 50 } else { 8 });
+    let backend: Backend = arg("--backend", Backend::OptimizedEngine);
 
     let schema = paper_schema();
-    let config = ValidationConfig {
-        queries,
-        seed,
-        query_config: QueryGenConfig::tpch_calibrated(),
-        data_config: DataGenConfig {
+    let config = ValidationConfig::default()
+        .with_queries(queries)
+        .with_seed(seed)
+        .with_query_config(QueryGenConfig::tpch_calibrated())
+        .with_data_config(DataGenConfig {
             max_rows: rows,
             ..if paper_rows { DataGenConfig::paper() } else { DataGenConfig::small() }
-        },
-        dialects: vec![Dialect::PostgreSql, Dialect::Oracle, Dialect::Standard],
-        logics: vec![sqlsem_core::LogicMode::ThreeValued],
-        keep_samples: 5,
-        check_roundtrip: true,
-    };
+        })
+        .with_dialects([Dialect::PostgreSql, Dialect::Oracle, Dialect::Standard])
+        .with_logics([sqlsem_core::LogicMode::ThreeValued])
+        .with_backend(backend)
+        .with_roundtrip(true);
 
     println!(
-        "§4 validation: {queries} random queries over R1..R8 (row cap {rows}, seed {seed})\n\
+        "§4 validation: {queries} random queries over R1..R8 \
+         (row cap {rows}, seed {seed}, candidate backend {backend} via Session)\n\
          query shape: tables=6 nest=3 attr=3 cond=8 (TPC-H calibrated)\n"
     );
     let report = run_validation(&schema, &config);

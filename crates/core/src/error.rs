@@ -16,9 +16,60 @@ use std::fmt;
 
 use crate::name::{FullName, Name};
 
+/// A half-open byte range `start..end` into a piece of SQL source text.
+///
+/// Spans originate in the parser (every token records its byte offset)
+/// and are threaded through the higher layers so that errors can point
+/// back at the offending SQL — the `Session` API wraps every layer's
+/// error together with the span of the statement that caused it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Span {
+    /// Byte offset of the first character covered.
+    pub start: usize,
+    /// Byte offset one past the last character covered.
+    pub end: usize,
+}
+
+impl Span {
+    /// A span covering `start..end`.
+    pub fn new(start: usize, end: usize) -> Span {
+        Span { start, end }
+    }
+
+    /// A span covering all of `text`.
+    pub fn of(text: &str) -> Span {
+        Span { start: 0, end: text.len() }
+    }
+
+    /// Number of bytes covered.
+    pub fn len(&self) -> usize {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// `true` iff the span covers no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The covered slice of `source`, if the span is in bounds.
+    pub fn slice<'a>(&self, source: &'a str) -> Option<&'a str> {
+        source.get(self.start..self.end.min(source.len()))
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bytes {}..{}", self.start, self.end)
+    }
+}
+
 /// An error produced by the semantics, the independent engine, or the
 /// algebra evaluator.
+///
+/// The enum is `#[non_exhaustive]`: future SQL fragments will add error
+/// classes, and downstream matches must keep a wildcard arm.
 #[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum EvalError {
     /// A full name has no binding in the environment: resolution walked all
     /// enclosing scopes without finding a match (§3, "Scopes and bindings").
@@ -184,6 +235,18 @@ mod tests {
         assert!(EvalError::AmbiguousName(Name::new("A")).is_ambiguity());
         assert!(!EvalError::UnboundReference(FullName::new("T", "A")).is_ambiguity());
         assert!(!EvalError::ZeroArity.is_ambiguity());
+    }
+
+    #[test]
+    fn span_accessors() {
+        let s = Span::new(4, 9);
+        assert_eq!(s.len(), 5);
+        assert!(!s.is_empty());
+        assert_eq!(s.slice("SELECT A FROM R"), Some("CT A "));
+        assert_eq!(Span::of("abc"), Span::new(0, 3));
+        assert_eq!(s.to_string(), "bytes 4..9");
+        // Out-of-bounds spans degrade gracefully.
+        assert_eq!(Span::new(100, 200).slice("abc"), None);
     }
 
     #[test]

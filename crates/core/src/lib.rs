@@ -11,11 +11,11 @@
 //! | [`name`] | the sets `N` of names and `N²` of full names (§2) |
 //! | [`value`] | the set `C` of constants plus `NULL`; SQL vs syntactic equality (§2, Def. 2) |
 //! | [`truth`] | SQL's three-valued Kleene logic (Figure 1) |
-//! | [`row`], [`table`] | records, bags, and the bag operations `∪ ∩ − × ε` (§2–3) |
+//! | [`row`](mod@row), [`table`](mod@table) | records, bags, and the bag operations `∪ ∩ − × ε` (§2–3) |
 //! | [`schema`] | schemas and database instances (§2) |
 //! | [`ast`] | the syntax of basic SQL in fully annotated form (Figure 2) |
 //! | [`sig`] | output attributes `ℓ(Q)` and scopes `ℓ(τ:β)` (Figure 3) |
-//! | [`env`] | environments and the operations `η_{Ā,r̄}`, `⇑`, `;`, `r̄⊕` (§3) |
+//! | [`env`](mod@env) | environments and the operations `η_{Ā,r̄}`, `⇑`, `;`, `r̄⊕` (§3) |
 //! | [`pred`] | the open collection `P` of predicates (§2) |
 //! | [`eval`] | the denotational semantics `⟦·⟧_{D,η,x}` (Figures 4–7) |
 //! | [`dialect`] | the §4 per-system adjustments and the §6 logic modes |
@@ -76,7 +76,7 @@ pub use ast::{
 };
 pub use dialect::{Dialect, LogicMode};
 pub use env::{Binding, Env};
-pub use error::EvalError;
+pub use error::{EvalError, Span};
 pub use eval::{aggregate, Evaluator, STAR_EXISTS_COLUMN, STAR_EXISTS_CONSTANT};
 pub use name::{FullName, Name};
 pub use pred::{Predicate, PredicateRegistry};

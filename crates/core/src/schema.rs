@@ -67,6 +67,33 @@ impl Schema {
     pub fn is_empty(&self) -> bool {
         self.tables.is_empty()
     }
+
+    /// A copy of this schema extended with a new base table `name(attrs…)`
+    /// (the schema-level half of `CREATE TABLE`). Fails if the table
+    /// already exists or the attribute tuple is ill-formed.
+    pub fn with_table<N, A, I>(&self, name: N, attrs: I) -> Result<Schema, SchemaError>
+    where
+        N: Into<Name>,
+        A: Into<Name>,
+        I: IntoIterator<Item = A>,
+    {
+        let mut builder = SchemaBuilder { tables: self.tables.clone() };
+        builder = builder.table(name, attrs);
+        builder.build()
+    }
+
+    /// A copy of this schema with base table `name` removed (the
+    /// schema-level half of `DROP TABLE`). Fails if the table is not
+    /// declared.
+    pub fn without_table(&self, name: impl AsRef<str>) -> Result<Schema, SchemaError> {
+        let name = name.as_ref();
+        if !self.contains(name) {
+            return Err(SchemaError::UnknownTable(Name::new(name)));
+        }
+        let tables: Vec<_> =
+            self.tables.iter().filter(|(n, _)| n.as_str() != name).cloned().collect();
+        SchemaBuilder { tables }.build()
+    }
 }
 
 impl fmt::Display for Schema {
@@ -131,11 +158,17 @@ impl SchemaBuilder {
     }
 }
 
-/// Errors raised when declaring a schema.
+/// Errors raised when declaring or altering a schema.
+///
+/// `#[non_exhaustive]`: future DDL fragments will add error classes.
 #[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum SchemaError {
     /// Two base tables share a name.
     DuplicateTable(Name),
+    /// A statement referred to a base table the schema does not declare
+    /// (e.g. `DROP TABLE` on a missing table).
+    UnknownTable(Name),
     /// A base table has repeated attribute names (§2 requires base-table
     /// attributes to be distinct).
     DuplicateAttribute {
@@ -152,6 +185,7 @@ impl fmt::Display for SchemaError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SchemaError::DuplicateTable(t) => write!(f, "table {t} declared more than once"),
+            SchemaError::UnknownTable(t) => write!(f, "table {t} does not exist"),
             SchemaError::DuplicateAttribute { table, attribute } => {
                 write!(f, "table {table} declares attribute {attribute} more than once")
             }
@@ -224,6 +258,57 @@ impl Database {
             Some(attrs) => Table::new(attrs.to_vec()),
             None => Err(EvalError::UnknownTable(Name::new(name))),
         }
+    }
+
+    /// `CREATE TABLE name(attrs…)`: extends the schema with a new, empty
+    /// base table. Existing table contents are untouched.
+    pub fn create_table<N, A, I>(&mut self, name: N, attrs: I) -> Result<(), SchemaError>
+    where
+        N: Into<Name>,
+        A: Into<Name>,
+        I: IntoIterator<Item = A>,
+    {
+        self.schema = self.schema.with_table(name, attrs)?;
+        Ok(())
+    }
+
+    /// `DROP TABLE name`: removes the base table and its contents.
+    pub fn drop_table(&mut self, name: impl AsRef<str>) -> Result<(), SchemaError> {
+        let name = name.as_ref();
+        self.schema = self.schema.without_table(name)?;
+        self.tables.remove(name);
+        Ok(())
+    }
+
+    /// `INSERT INTO name VALUES …`: appends rows to a base table
+    /// (unlike [`Database::insert`], which *replaces* the contents).
+    /// Returns the number of rows appended; fails without modifying the
+    /// table if the name is unknown or any row has the wrong arity.
+    pub fn append_rows<I>(&mut self, name: impl Into<Name>, rows: I) -> Result<usize, EvalError>
+    where
+        I: IntoIterator<Item = crate::row::Row>,
+    {
+        let name = name.into();
+        let Some(attrs) = self.schema.attributes(&name) else {
+            return Err(EvalError::UnknownTable(name));
+        };
+        let arity = attrs.len();
+        let rows: Vec<_> = rows.into_iter().collect();
+        for row in &rows {
+            if row.arity() != arity {
+                return Err(EvalError::RowArity { expected: arity, got: row.arity() });
+            }
+        }
+        let count = rows.len();
+        let table = match self.tables.remove(&name) {
+            Some(t) => t,
+            None => Table::new(attrs.to_vec())?,
+        };
+        let mut all = table.into_rows();
+        all.extend(rows);
+        let columns = self.schema.attributes(&name).expect("checked above").to_vec();
+        self.tables.insert(name, Table::with_rows(columns, all)?);
+        Ok(count)
     }
 
     /// Total number of rows across all base tables (for experiment
@@ -305,6 +390,54 @@ mod tests {
         let t = db.table("R").unwrap();
         assert_eq!(t.columns(), &[Name::new("A")]);
         assert_eq!(t.multiplicity(&row![7]), 1);
+    }
+
+    #[test]
+    fn create_drop_and_append() {
+        let s = Schema::builder().table("R", ["A"]).build().unwrap();
+        let mut db = Database::new(s);
+        db.insert("R", table! { ["A"]; [1] }).unwrap();
+
+        // CREATE TABLE S(B, C) leaves R's contents alone.
+        db.create_table("S", ["B", "C"]).unwrap();
+        assert!(db.schema().contains("S"));
+        assert_eq!(db.table("R").unwrap().len(), 1);
+        assert!(db.table("S").unwrap().is_empty());
+
+        // Re-creating is an error; so is an ill-formed attribute tuple.
+        assert_eq!(db.create_table("S", ["X"]), Err(SchemaError::DuplicateTable(Name::new("S"))));
+        assert!(matches!(
+            db.create_table("T", ["X", "X"]),
+            Err(SchemaError::DuplicateAttribute { .. })
+        ));
+
+        // INSERT appends rather than replacing.
+        assert_eq!(db.append_rows("R", vec![row![2], row![3]]).unwrap(), 2);
+        assert_eq!(db.table("R").unwrap().len(), 3);
+        // Arity is validated atomically: nothing is appended on error.
+        assert!(matches!(
+            db.append_rows("R", vec![row![4], row![5, 6]]),
+            Err(EvalError::RowArity { expected: 1, got: 2 })
+        ));
+        assert_eq!(db.table("R").unwrap().len(), 3);
+        assert!(matches!(db.append_rows("X", vec![row![1]]), Err(EvalError::UnknownTable(_))));
+
+        // DROP TABLE removes declaration and contents.
+        db.drop_table("R").unwrap();
+        assert!(!db.schema().contains("R"));
+        assert!(db.table("R").is_err());
+        assert_eq!(db.drop_table("R"), Err(SchemaError::UnknownTable(Name::new("R"))));
+    }
+
+    #[test]
+    fn schema_with_and_without_table() {
+        let s = Schema::builder().table("R", ["A"]).build().unwrap();
+        let s2 = s.with_table("S", ["B"]).unwrap();
+        assert!(s2.contains("S") && s2.contains("R"));
+        assert!(!s.contains("S"), "with_table must not mutate the original");
+        let s3 = s2.without_table("R").unwrap();
+        assert!(!s3.contains("R") && s3.contains("S"));
+        assert!(matches!(s.without_table("Z"), Err(SchemaError::UnknownTable(_))));
     }
 
     #[test]

@@ -1,0 +1,181 @@
+//! One execution interface over the workspace's three evaluators.
+//!
+//! The paper's whole point is that a single formal semantics stands
+//! behind many consumers; this module is the code-level rendering of
+//! that idea. The three ways the workspace can run a query — the
+//! denotational spec interpreter ([`sqlsem_core::Evaluator`]), the
+//! engine with its optimizer disabled, and the engine with it enabled —
+//! are unified behind the [`QueryBackend`] trait and selected by the
+//! [`Backend`] enum, so that the `Session` API, the §4 harness and the
+//! optimizer gauntlet can all swap evaluation strategies without
+//! touching any other code.
+
+use std::fmt;
+use std::str::FromStr;
+
+use sqlsem_core::{
+    Database, Dialect, EvalError, Evaluator, LogicMode, PredicateRegistry, Query, Table,
+};
+
+use crate::Engine;
+
+/// Anything that can execute an annotated query against a database: the
+/// uniform `execute` the three evaluators hide behind.
+pub trait QueryBackend {
+    /// Executes a closed annotated query, producing a bag of rows or
+    /// the evaluation error the §4 criterion compares on.
+    fn execute(&self, query: &Query) -> Result<Table, EvalError>;
+}
+
+impl QueryBackend for Evaluator<'_> {
+    fn execute(&self, query: &Query) -> Result<Table, EvalError> {
+        self.eval(query)
+    }
+}
+
+impl QueryBackend for Engine<'_> {
+    fn execute(&self, query: &Query) -> Result<Table, EvalError> {
+        Engine::execute(self, query)
+    }
+}
+
+/// Which evaluation strategy a session (or harness) runs queries with.
+///
+/// All three implement the same semantics — the optimizer gauntlet's
+/// standing result is that they are indistinguishable under the paper's
+/// coincidence criterion — but they differ in pedigree and speed:
+///
+/// * [`Backend::SpecInterpreter`] is the executable specification
+///   (Figures 4–7, environments and all), naive by design;
+/// * [`Backend::NaiveEngine`] is the independent positional-plan engine
+///   with its optimizer off — the §4 oracle stand-in;
+/// * [`Backend::OptimizedEngine`] adds predicate pushdown, hash
+///   equi-joins, subquery caching and `EXISTS` early exit.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// The denotational interpreter `⟦·⟧` of `sqlsem-core`.
+    SpecInterpreter,
+    /// The physical-plan engine, optimizations off.
+    NaiveEngine,
+    /// The physical-plan engine, optimizations on (the default).
+    #[default]
+    OptimizedEngine,
+}
+
+impl Backend {
+    /// All backends, for exhaustive differential sweeps.
+    pub const ALL: [Backend; 3] =
+        [Backend::SpecInterpreter, Backend::NaiveEngine, Backend::OptimizedEngine];
+
+    /// An executor for this backend over `db`, configured with the given
+    /// dialect, logic mode and predicate registry.
+    pub fn executor<'a>(
+        self,
+        db: &'a Database,
+        dialect: Dialect,
+        logic: LogicMode,
+        preds: &PredicateRegistry,
+    ) -> Box<dyn QueryBackend + 'a> {
+        match self {
+            Backend::SpecInterpreter => Box::new(
+                Evaluator::new(db)
+                    .with_dialect(dialect)
+                    .with_logic(logic)
+                    .with_predicates(preds.clone()),
+            ),
+            Backend::NaiveEngine => Box::new(
+                Engine::new(db)
+                    .with_dialect(dialect)
+                    .with_logic(logic)
+                    .with_predicates(preds.clone())
+                    .with_optimizations(false),
+            ),
+            Backend::OptimizedEngine => Box::new(
+                Engine::new(db)
+                    .with_dialect(dialect)
+                    .with_logic(logic)
+                    .with_predicates(preds.clone()),
+            ),
+        }
+    }
+
+    /// One-shot convenience: builds the executor and runs `query`.
+    pub fn execute(
+        self,
+        db: &Database,
+        dialect: Dialect,
+        logic: LogicMode,
+        preds: &PredicateRegistry,
+        query: &Query,
+    ) -> Result<Table, EvalError> {
+        self.executor(db, dialect, logic, preds).execute(query)
+    }
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Backend::SpecInterpreter => "spec",
+            Backend::NaiveEngine => "naive",
+            Backend::OptimizedEngine => "optimized",
+        })
+    }
+}
+
+impl FromStr for Backend {
+    type Err = String;
+
+    /// Parses the `--backend` spelling used by the experiment binaries:
+    /// `spec`, `naive` or `optimized`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "spec" | "spec-interpreter" | "interpreter" => Ok(Backend::SpecInterpreter),
+            "naive" | "naive-engine" => Ok(Backend::NaiveEngine),
+            "optimized" | "optimized-engine" | "engine" => Ok(Backend::OptimizedEngine),
+            other => Err(format!("unknown backend {other:?}: expected spec, naive or optimized")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlsem_core::{table, Schema, Value};
+
+    fn example1() -> (Schema, Database) {
+        let schema = Schema::builder().table("R", ["A"]).table("S", ["A"]).build().unwrap();
+        let mut db = Database::new(schema.clone());
+        db.insert("R", table! { ["A"]; [1], [Value::Null] }).unwrap();
+        db.insert("S", table! { ["A"]; [Value::Null] }).unwrap();
+        (schema, db)
+    }
+
+    #[test]
+    fn all_backends_agree_on_example1() {
+        let (schema, db) = example1();
+        let q = sqlsem_parser::compile(
+            "SELECT DISTINCT R.A FROM R WHERE R.A NOT IN (SELECT S.A FROM S)",
+            &schema,
+        )
+        .unwrap();
+        let preds = PredicateRegistry::new();
+        for backend in Backend::ALL {
+            let out = backend
+                .execute(&db, Dialect::Standard, LogicMode::ThreeValued, &preds, &q)
+                .unwrap();
+            assert!(out.is_empty(), "{backend}: {out}");
+        }
+    }
+
+    #[test]
+    fn backend_parses_and_displays() {
+        assert_eq!("spec".parse::<Backend>().unwrap(), Backend::SpecInterpreter);
+        assert_eq!("NAIVE".parse::<Backend>().unwrap(), Backend::NaiveEngine);
+        assert_eq!("optimized".parse::<Backend>().unwrap(), Backend::OptimizedEngine);
+        assert!("postgres".parse::<Backend>().is_err());
+        for b in Backend::ALL {
+            assert_eq!(b.to_string().parse::<Backend>().unwrap(), b);
+        }
+        assert_eq!(Backend::default(), Backend::OptimizedEngine);
+    }
+}

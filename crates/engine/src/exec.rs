@@ -5,7 +5,7 @@
 //! correct choice), with three scale escapes introduced alongside the
 //! optimizer: hash equi-joins ([`Plan::HashJoin`]) instead of
 //! filter-over-product, memoized uncorrelated subqueries (cache slots
-//! assigned by [`crate::optimize`]), and a streaming cursor that lets
+//! assigned by [`crate::optimize()`](crate::optimize::optimize)), and a streaming cursor that lets
 //! `EXISTS` stop at the first produced row. Correlation is a stack of
 //! *frames*: whenever a `Filter` or `Project` evaluates expressions for
 //! a candidate row, it pushes that row; subplans executed inside

@@ -45,6 +45,7 @@
 #![forbid(unsafe_code)]
 
 mod analysis;
+pub mod backend;
 pub mod compile;
 pub mod exec;
 pub mod explain;
@@ -53,6 +54,7 @@ pub mod plan;
 
 use sqlsem_core::{Database, Dialect, EvalError, LogicMode, PredicateRegistry, Query, Table};
 
+pub use backend::{Backend, QueryBackend};
 pub use compile::compile as compile_plan;
 pub use exec::Executor;
 pub use explain::explain;
@@ -105,7 +107,7 @@ impl<'a> Engine<'a> {
         self
     }
 
-    /// Enables or disables the optimizing pass ([`optimize`]): predicate
+    /// Enables or disables the optimizing pass ([`optimize()`](optimize::optimize)): predicate
     /// pushdown, hash equi-joins, subquery caching and `EXISTS` early
     /// exit. On by default; turning it off gives the structurally naive
     /// plan, which is the baseline the optimizer is differentially
@@ -139,9 +141,16 @@ impl<'a> Engine<'a> {
     /// Compiles and executes a closed query.
     pub fn execute(&self, query: &Query) -> Result<Table, EvalError> {
         let prepared = self.prepare(query)?;
+        self.execute_prepared(&prepared)
+    }
+
+    /// Executes an already-compiled plan (from [`Engine::prepare`]),
+    /// skipping the compile+optimize work — the execution half of a
+    /// prepared statement.
+    pub fn execute_prepared(&self, prepared: &Prepared) -> Result<Table, EvalError> {
         let mut exec = Executor::new(self.db, self.logic, &self.preds);
         let rows = exec.run(&prepared.plan)?;
-        Table::with_rows(prepared.columns, rows)
+        Table::with_rows(prepared.columns.clone(), rows)
     }
 }
 

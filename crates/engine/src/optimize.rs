@@ -28,7 +28,7 @@
 //!
 //! Steps 1, 2 and 4 change *when* (or whether) predicate sites get
 //! evaluated, which is observable through runtime errors — so they only
-//! apply where [`crate::analysis`] proves every affected conjunct and
+//! apply where `crate::analysis` proves every affected conjunct and
 //! subplan total. Step 3 only changes *how often* a deterministic subplan
 //! runs, so it applies independently of totality. The differential
 //! gauntlet (`optimizer_gauntlet`) and the `optimizer_equivalence`

@@ -37,7 +37,11 @@ use crate::surface::{SCondition, SFromItem, SQuery, SSelectList, SSelectQuery, S
 pub const UNNAMED_COLUMN: &str = "?column?";
 
 /// An error raised while compiling a surface query to annotated form.
+///
+/// `#[non_exhaustive]`: future SQL fragments will add error classes, and
+/// downstream matches must keep a wildcard arm.
 #[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum AnnotateError {
     /// A `FROM` clause references a base table not in the schema.
     UnknownTable(Name),

@@ -28,6 +28,7 @@
 pub mod annotate;
 pub mod parser;
 pub mod print;
+pub mod statement;
 pub mod surface;
 pub mod token;
 
@@ -36,12 +37,19 @@ use std::fmt;
 use sqlsem_core::{Query, Schema};
 
 pub use annotate::{annotate, AnnotateError, UNNAMED_COLUMN};
-pub use parser::{parse_condition, parse_query, ParseError};
+pub use parser::{parse_condition, parse_query, parse_script, parse_statement, ParseError};
 pub use print::{to_sql, to_sql_pretty};
+pub use statement::{
+    annotate_statement, compile_script, compile_statement, statement_to_sql, CompiledStatement,
+    Statement,
+};
 pub use token::{lex, LexError};
 
 /// A parse or annotation failure from [`compile`].
+///
+/// `#[non_exhaustive]`: future fragments may add compilation stages.
 #[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum CompileError {
     /// The text did not parse.
     Parse(ParseError),

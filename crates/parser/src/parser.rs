@@ -10,10 +10,11 @@
 //!   a nested condition; the parser resolves this with bounded
 //!   backtracking over the token index.
 
-use sqlsem_core::{CmpOp, Name, SetOp, Value};
+use sqlsem_core::{CmpOp, Name, SetOp, Span, Value};
 
 use crate::surface::{
-    SCondition, SFromItem, SQuery, SSelectItem, SSelectList, SSelectQuery, STableRef, STerm,
+    SCondition, SFromItem, SQuery, SSelectItem, SSelectList, SSelectQuery, SStatement, STableRef,
+    STerm,
 };
 use crate::token::{lex, Keyword, Token, TokenKind};
 
@@ -24,6 +25,26 @@ pub struct ParseError {
     pub message: String,
     /// Byte offset into the source text (end of input if tokens ran out).
     pub offset: usize,
+}
+
+impl ParseError {
+    /// Renders the error against its source text as a two-line snippet
+    /// with a caret under the offending position:
+    ///
+    /// ```text
+    /// parse error: expected FROM
+    ///   SELECT A WHERE TRUE
+    ///            ^
+    /// ```
+    pub fn render(&self, source: &str) -> String {
+        let offset = self.offset.min(source.len());
+        // Find the line containing the offset.
+        let line_start = source[..offset].rfind('\n').map_or(0, |i| i + 1);
+        let line_end = source[offset..].find('\n').map_or(source.len(), |i| offset + i);
+        let line = &source[line_start..line_end];
+        let caret_col = source[line_start..offset].chars().count();
+        format!("parse error: {}\n  {}\n  {}^", self.message, line, " ".repeat(caret_col))
+    }
 }
 
 impl std::fmt::Display for ParseError {
@@ -42,6 +63,52 @@ pub fn parse_query(input: &str) -> Result<SQuery, ParseError> {
     let q = p.query()?;
     p.expect_end()?;
     Ok(q)
+}
+
+/// Parses one SQL *statement* — a query, `EXPLAIN`, or one of the
+/// DDL/DML statements of the session fragment — from source text. A
+/// trailing semicolon is allowed; anything after it is an error.
+pub fn parse_statement(input: &str) -> Result<SStatement, ParseError> {
+    let tokens = lex(input).map_err(|e| ParseError { message: e.message, offset: e.offset })?;
+    let mut p = Parser { tokens, pos: 0, input_len: input.len() };
+    let s = p.statement()?;
+    p.eat(&TokenKind::Semicolon);
+    p.expect_end()?;
+    Ok(s)
+}
+
+/// A statement paired with the byte span it occupies in the script it
+/// was parsed from, so errors arising later (annotation, execution) can
+/// still point at the offending SQL.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpannedStatement {
+    /// The parsed statement.
+    pub statement: SStatement,
+    /// Byte range of the statement's tokens within the script source.
+    pub span: Span,
+}
+
+/// Parses a script: a sequence of semicolon-separated statements.
+/// Empty statements (stray semicolons) are skipped; the final semicolon
+/// is optional.
+pub fn parse_script(input: &str) -> Result<Vec<SpannedStatement>, ParseError> {
+    let tokens = lex(input).map_err(|e| ParseError { message: e.message, offset: e.offset })?;
+    let mut p = Parser { tokens, pos: 0, input_len: input.len() };
+    let mut statements = Vec::new();
+    loop {
+        while p.eat(&TokenKind::Semicolon) {}
+        if p.peek().is_none() {
+            break;
+        }
+        let start = p.offset();
+        let statement = p.statement()?;
+        let end = p.offset(); // offset of the `;` (or end of input)
+        statements.push(SpannedStatement { statement, span: Span::new(start, end) });
+        if p.peek().is_some() {
+            p.expect(&TokenKind::Semicolon)?;
+        }
+    }
+    Ok(statements)
 }
 
 /// Parses a standalone condition (used by tests and the REPL-style
@@ -136,6 +203,98 @@ impl Parser {
                 Ok(Name::new(s))
             }
             _ => self.error("expected identifier"),
+        }
+    }
+
+    // -- statements --------------------------------------------------------
+
+    /// statement := CREATE TABLE … | DROP TABLE … | INSERT INTO … |
+    ///              EXPLAIN query | query
+    ///
+    /// `EXPLAIN` is a *positional* keyword, not a reserved word (neither
+    /// SQL-92 nor PostgreSQL reserve it): it is recognised only as the
+    /// bare identifier opening a statement — a position no query can
+    /// occupy, since queries start with `SELECT` or `(` — so `explain`
+    /// remains a perfectly good column or alias name.
+    fn statement(&mut self) -> Result<SStatement, ParseError> {
+        if let Some(TokenKind::Ident(word)) = self.peek() {
+            if word.eq_ignore_ascii_case("EXPLAIN") {
+                self.pos += 1;
+                return Ok(SStatement::Explain(self.query()?));
+            }
+        }
+        match self.peek() {
+            Some(TokenKind::Keyword(Keyword::Create)) => {
+                self.pos += 1;
+                self.expect_kw(Keyword::Table)?;
+                let table = self.ident()?;
+                self.expect(&TokenKind::LParen)?;
+                let mut columns = vec![self.column_declaration()?];
+                while self.eat(&TokenKind::Comma) {
+                    columns.push(self.column_declaration()?);
+                }
+                self.expect(&TokenKind::RParen)?;
+                Ok(SStatement::CreateTable { table, columns })
+            }
+            Some(TokenKind::Keyword(Keyword::Drop)) => {
+                self.pos += 1;
+                self.expect_kw(Keyword::Table)?;
+                Ok(SStatement::DropTable { table: self.ident()? })
+            }
+            Some(TokenKind::Keyword(Keyword::Insert)) => {
+                self.pos += 1;
+                self.expect_kw(Keyword::Into)?;
+                let table = self.ident()?;
+                let columns = if self.eat(&TokenKind::LParen) {
+                    let mut cols = vec![self.ident()?];
+                    while self.eat(&TokenKind::Comma) {
+                        cols.push(self.ident()?);
+                    }
+                    self.expect(&TokenKind::RParen)?;
+                    Some(cols)
+                } else {
+                    None
+                };
+                self.expect_kw(Keyword::Values)?;
+                let mut rows = vec![self.value_tuple()?];
+                while self.eat(&TokenKind::Comma) {
+                    rows.push(self.value_tuple()?);
+                }
+                Ok(SStatement::Insert { table, columns, rows })
+            }
+            _ => Ok(SStatement::Query(self.query()?)),
+        }
+    }
+
+    /// column_declaration := ident [ident]
+    ///
+    /// The fragment's data model is untyped, so a column declaration is
+    /// just a name; a single trailing identifier (`A INT`, `name TEXT`)
+    /// is accepted as a type annotation and discarded.
+    fn column_declaration(&mut self) -> Result<Name, ParseError> {
+        let name = self.ident()?;
+        if matches!(self.peek(), Some(TokenKind::Ident(_))) {
+            self.pos += 1; // discard the type annotation
+        }
+        Ok(name)
+    }
+
+    /// value_tuple := '(' constant (',' constant)* ')'
+    fn value_tuple(&mut self) -> Result<Vec<Value>, ParseError> {
+        self.expect(&TokenKind::LParen)?;
+        let mut values = vec![self.constant()?];
+        while self.eat(&TokenKind::Comma) {
+            values.push(self.constant()?);
+        }
+        self.expect(&TokenKind::RParen)?;
+        Ok(values)
+    }
+
+    /// constant := int | '-' int | string | NULL | TRUE | FALSE
+    fn constant(&mut self) -> Result<Value, ParseError> {
+        match self.term()? {
+            STerm::Const(v) => Ok(v),
+            _ => self.error("expected a constant value"),
         }
     }
 
@@ -726,6 +885,25 @@ mod tests {
     fn error_offsets_point_at_tokens() {
         let err = parse_query("SELECT A FROM WHERE").unwrap_err();
         assert_eq!(err.offset, 14);
+    }
+
+    #[test]
+    fn render_points_a_caret_at_the_offense() {
+        let src = "SELECT A FROM WHERE";
+        let err = parse_query(src).unwrap_err();
+        let rendered = err.render(src);
+        assert_eq!(
+            rendered,
+            "parse error: expected identifier\n  SELECT A FROM WHERE\n                ^"
+        );
+        // Multi-line sources render only the offending line.
+        let src = "SELECT A\nFROM WHERE";
+        let err = parse_query(src).unwrap_err();
+        let rendered = err.render(src);
+        assert!(rendered.contains("\n  FROM WHERE\n       ^"), "{rendered}");
+        // An offset at end-of-input stays in bounds.
+        let err = parse_query("SELECT A FROM").unwrap_err();
+        let _ = err.render("SELECT A FROM");
     }
 
     #[test]

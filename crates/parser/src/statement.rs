@@ -1,0 +1,332 @@
+//! The statement fragment: annotated statements, their compilation, and
+//! their dialect-aware printing.
+//!
+//! The paper's semantics is defined for *queries* over a given database
+//! (§2); the `Session` API additionally speaks the DDL/DML statements
+//! needed to build that database from SQL text. A statement is either a
+//! query (annotated exactly as before), an `EXPLAIN` of a query, or one
+//! of `CREATE TABLE` / `DROP TABLE` / `INSERT INTO … VALUES`, which
+//! mention only base-table names and constants and therefore need no
+//! annotation of their own.
+
+use std::fmt;
+
+use sqlsem_core::{Dialect, Name, Query, Schema, Span, Value};
+
+use crate::annotate::annotate;
+use crate::parser::{parse_script, parse_statement, SpannedStatement};
+use crate::print::to_sql;
+use crate::surface::SStatement;
+use crate::CompileError;
+
+/// A fully compiled statement: embedded queries are in annotated form,
+/// DDL/DML parts are carried through from the surface syntax.
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone, Debug, PartialEq)]
+pub enum Statement {
+    /// A query, annotated against the schema.
+    Query(Query),
+    /// `EXPLAIN Q`, with `Q` annotated against the schema.
+    Explain(Query),
+    /// `CREATE TABLE table (columns…)`.
+    CreateTable {
+        /// The new base table's name.
+        table: Name,
+        /// Its attribute names.
+        columns: Vec<Name>,
+    },
+    /// `DROP TABLE table`.
+    DropTable {
+        /// The base table to remove.
+        table: Name,
+    },
+    /// `INSERT INTO table [(columns…)] VALUES rows…`.
+    Insert {
+        /// The target base table.
+        table: Name,
+        /// Explicit column list, if written.
+        columns: Option<Vec<Name>>,
+        /// The value tuples.
+        rows: Vec<Vec<Value>>,
+    },
+}
+
+impl Statement {
+    /// The embedded query, if the statement is a query or an `EXPLAIN`.
+    pub fn query(&self) -> Option<&Query> {
+        match self {
+            Statement::Query(q) | Statement::Explain(q) => Some(q),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&statement_to_sql(self, Dialect::Standard))
+    }
+}
+
+/// Compiles a surface statement against a schema: queries (including the
+/// query under `EXPLAIN`) are annotated; DDL/DML statements pass through
+/// unchanged (their validation — unknown tables, arity — is an
+/// *execution* concern, because `CREATE TABLE` changes the very schema
+/// later statements are compiled against).
+pub fn annotate_statement(
+    statement: &SStatement,
+    schema: &Schema,
+) -> Result<Statement, crate::AnnotateError> {
+    Ok(match statement {
+        SStatement::Query(q) => Statement::Query(annotate(q, schema)?),
+        SStatement::Explain(q) => Statement::Explain(annotate(q, schema)?),
+        SStatement::CreateTable { table, columns } => {
+            Statement::CreateTable { table: table.clone(), columns: columns.clone() }
+        }
+        SStatement::DropTable { table } => Statement::DropTable { table: table.clone() },
+        SStatement::Insert { table, columns, rows } => {
+            Statement::Insert { table: table.clone(), columns: columns.clone(), rows: rows.clone() }
+        }
+    })
+}
+
+/// Parses and annotates one statement: the statement-level analogue of
+/// [`crate::compile`].
+pub fn compile_statement(sql: &str, schema: &Schema) -> Result<Statement, CompileError> {
+    let surface = parse_statement(sql)?;
+    Ok(annotate_statement(&surface, schema)?)
+}
+
+/// A compiled statement paired with the byte span of its source text
+/// within the script it came from.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CompiledStatement {
+    /// The compiled statement.
+    pub statement: Statement,
+    /// Where its text sits in the script.
+    pub span: Span,
+}
+
+/// Parses a whole script, annotating each statement against the schema
+/// *as left by the preceding statements*: a `CREATE TABLE` makes the new
+/// table visible to every later statement in the same script.
+///
+/// Returns the compiled statements with their spans, or the first error
+/// together with the span of the statement that caused it.
+pub fn compile_script(
+    sql: &str,
+    schema: &Schema,
+) -> Result<Vec<CompiledStatement>, (CompileError, Span)> {
+    let surface = parse_script(sql).map_err(|e| {
+        let span = Span::new(e.offset, sql.len());
+        (CompileError::from(e), span)
+    })?;
+    let mut schema = schema.clone();
+    let mut out = Vec::with_capacity(surface.len());
+    for SpannedStatement { statement, span } in surface {
+        let compiled =
+            annotate_statement(&statement, &schema).map_err(|e| (CompileError::from(e), span))?;
+        // Thread schema effects so later statements see them. Errors
+        // (duplicate table, …) are left for execution to report.
+        match &compiled {
+            Statement::CreateTable { table, columns } => {
+                if let Ok(s) = schema.with_table(table.clone(), columns.clone()) {
+                    schema = s;
+                }
+            }
+            Statement::DropTable { table } => {
+                if let Ok(s) = schema.without_table(table) {
+                    schema = s;
+                }
+            }
+            _ => {}
+        }
+        out.push(CompiledStatement { statement: compiled, span });
+    }
+    Ok(out)
+}
+
+/// Renders a statement as a single line of SQL in the given dialect.
+/// Everything printed here re-parses and re-annotates to the same
+/// statement, in every dialect (round-trip tests below).
+pub fn statement_to_sql(statement: &Statement, dialect: Dialect) -> String {
+    fn name_list(out: &mut String, names: &[Name]) {
+        for (i, n) in names.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(n.as_str());
+        }
+    }
+    match statement {
+        Statement::Query(q) => to_sql(q, dialect),
+        Statement::Explain(q) => format!("EXPLAIN {}", to_sql(q, dialect)),
+        Statement::CreateTable { table, columns } => {
+            let mut out = format!("CREATE TABLE {table} (");
+            name_list(&mut out, columns);
+            out.push(')');
+            out
+        }
+        Statement::DropTable { table } => format!("DROP TABLE {table}"),
+        Statement::Insert { table, columns, rows } => {
+            let mut out = format!("INSERT INTO {table} ");
+            if let Some(cols) = columns {
+                out.push('(');
+                name_list(&mut out, cols);
+                out.push_str(") ");
+            }
+            out.push_str("VALUES ");
+            for (i, row) in rows.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push('(');
+                for (j, v) in row.iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(", ");
+                    }
+                    let _ = fmt::Write::write_fmt(&mut out, format_args!("{v}"));
+                }
+                out.push(')');
+            }
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlsem_core::Dialect;
+
+    fn schema() -> Schema {
+        Schema::builder().table("R", ["A", "B"]).table("S", ["A"]).build().unwrap()
+    }
+
+    #[test]
+    fn parses_create_table() {
+        let s = parse_statement("CREATE TABLE T (A, B, C)").unwrap();
+        assert_eq!(
+            s,
+            SStatement::CreateTable {
+                table: Name::new("T"),
+                columns: vec![Name::new("A"), Name::new("B"), Name::new("C")],
+            }
+        );
+        // Type annotations are accepted and discarded.
+        let s = parse_statement("CREATE TABLE T (id INT, name TEXT);").unwrap();
+        assert_eq!(
+            s,
+            SStatement::CreateTable {
+                table: Name::new("T"),
+                columns: vec![Name::new("id"), Name::new("name")],
+            }
+        );
+        assert!(parse_statement("CREATE TABLE T ()").is_err());
+        assert!(parse_statement("CREATE T (A)").is_err());
+    }
+
+    #[test]
+    fn parses_drop_table() {
+        let s = parse_statement("DROP TABLE R").unwrap();
+        assert_eq!(s, SStatement::DropTable { table: Name::new("R") });
+    }
+
+    #[test]
+    fn parses_insert() {
+        let s = parse_statement("INSERT INTO R VALUES (1, 'x'), (NULL, TRUE)").unwrap();
+        let SStatement::Insert { table, columns, rows } = s else { panic!() };
+        assert_eq!(table, Name::new("R"));
+        assert_eq!(columns, None);
+        assert_eq!(
+            rows,
+            vec![vec![Value::Int(1), Value::str("x")], vec![Value::Null, Value::Bool(true)],]
+        );
+        let s = parse_statement("INSERT INTO R (B, A) VALUES (-3, 4)").unwrap();
+        let SStatement::Insert { columns, rows, .. } = s else { panic!() };
+        assert_eq!(columns, Some(vec![Name::new("B"), Name::new("A")]));
+        assert_eq!(rows, vec![vec![Value::Int(-3), Value::Int(4)]]);
+        // Column references are not constants.
+        assert!(parse_statement("INSERT INTO R VALUES (A)").is_err());
+        assert!(parse_statement("INSERT INTO R VALUES ()").is_err());
+    }
+
+    #[test]
+    fn parses_explain_and_plain_query() {
+        let s = parse_statement("EXPLAIN SELECT A FROM R").unwrap();
+        assert!(matches!(s, SStatement::Explain(_)));
+        let s = parse_statement("explain SELECT A FROM R").unwrap();
+        assert!(matches!(s, SStatement::Explain(_)));
+        let s = parse_statement("SELECT A FROM R;").unwrap();
+        assert!(matches!(s, SStatement::Query(_)));
+    }
+
+    #[test]
+    fn explain_is_not_a_reserved_word() {
+        // Outside statement position, `explain` is an ordinary
+        // identifier: usable as a column, an alias, even a table.
+        use crate::parser::parse_query;
+        parse_query("SELECT explain FROM R").unwrap();
+        parse_query("SELECT A AS explain FROM R explain").unwrap();
+        parse_query("SELECT explain.A FROM explain").unwrap();
+        // And EXPLAIN EXPLAIN is not a statement (no query follows).
+        assert!(parse_statement("EXPLAIN EXPLAIN").is_err());
+    }
+
+    #[test]
+    fn parses_scripts_with_spans() {
+        let script = "CREATE TABLE T (A);\nINSERT INTO T VALUES (1);\nSELECT A FROM T";
+        let statements = parse_script(script).unwrap();
+        assert_eq!(statements.len(), 3);
+        assert!(matches!(statements[0].statement, SStatement::CreateTable { .. }));
+        assert!(matches!(statements[2].statement, SStatement::Query(_)));
+        // Each span covers exactly its statement's text.
+        assert_eq!(statements[0].span.slice(script), Some("CREATE TABLE T (A)"));
+        assert_eq!(statements[1].span.slice(script), Some("INSERT INTO T VALUES (1)"));
+        assert_eq!(statements[2].span.slice(script), Some("SELECT A FROM T"));
+        // Stray semicolons are skipped; empty scripts are fine.
+        assert_eq!(parse_script(";;  ;").unwrap().len(), 0);
+        assert_eq!(parse_script("").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn compile_script_threads_schema_changes() {
+        // The SELECT resolves against the table created earlier in the
+        // same script, which does not exist in the ambient schema.
+        let script = "CREATE TABLE New (X); SELECT X FROM New";
+        let compiled = compile_script(script, &schema()).unwrap();
+        assert_eq!(compiled.len(), 2);
+        assert!(matches!(compiled[1].statement, Statement::Query(_)));
+        // …and a DROP hides the table from later statements.
+        let script = "DROP TABLE S; SELECT A FROM S";
+        let err = compile_script(script, &schema()).unwrap_err();
+        assert!(matches!(err.0, CompileError::Annotate(_)), "{err:?}");
+        assert_eq!(err.1.slice(script), Some("SELECT A FROM S"));
+    }
+
+    #[test]
+    fn statements_round_trip_in_all_dialects() {
+        let statements = [
+            "CREATE TABLE T (A, B)",
+            "DROP TABLE R",
+            "INSERT INTO R VALUES (1, 'it''s'), (-2, NULL)",
+            "INSERT INTO R (B, A) VALUES (TRUE, FALSE)",
+            "EXPLAIN SELECT R.A AS A FROM R AS R WHERE R.A IS NOT NULL",
+            "EXPLAIN SELECT A FROM R EXCEPT SELECT A FROM S",
+        ];
+        for sql in statements {
+            let compiled = compile_statement(sql, &schema()).unwrap();
+            for dialect in Dialect::ALL {
+                let printed = statement_to_sql(&compiled, dialect);
+                let back = compile_statement(&printed, &schema())
+                    .unwrap_or_else(|e| panic!("{dialect}: {printed}: {e}"));
+                assert_eq!(back, compiled, "{dialect}: {printed}");
+            }
+        }
+    }
+
+    #[test]
+    fn display_uses_standard_dialect() {
+        let s = compile_statement("DROP TABLE R", &schema()).unwrap();
+        assert_eq!(s.to_string(), "DROP TABLE R");
+    }
+}

@@ -5,7 +5,7 @@
 //! unnamed output columns. The paper assumes (§2, w.l.o.g.) that such
 //! queries have been compiled into a *fully annotated* form; the types in
 //! this module represent the "before" side of that compilation, and
-//! [`crate::annotate`] performs it.
+//! [`crate::annotate()`](crate::annotate::annotate) performs it.
 
 use sqlsem_core::{AggFunc, CmpOp, Name, Value};
 
@@ -129,6 +129,47 @@ pub enum SQuery {
         left: Box<SQuery>,
         /// Right operand.
         right: Box<SQuery>,
+    },
+}
+
+/// A surface SQL *statement*: a query, or one of the DDL/DML/utility
+/// statements the [`Session`](https://docs.rs/sqlsem) API speaks. The
+/// statement fragment goes beyond the paper (which treats queries over a
+/// fixed database) so that a database can be created and populated from
+/// SQL text alone.
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SStatement {
+    /// A query.
+    Query(SQuery),
+    /// `EXPLAIN Q` — show the execution plan instead of running `Q`.
+    Explain(SQuery),
+    /// `CREATE TABLE R (A₁, …, Aₙ)`. The fragment's data model is
+    /// untyped (§2: constants are just elements of `C`), so column
+    /// declarations are bare names; an optional per-column type
+    /// annotation is accepted and discarded.
+    CreateTable {
+        /// The new base table's name.
+        table: Name,
+        /// Its attribute names (non-empty, distinct — validated when the
+        /// statement executes).
+        columns: Vec<Name>,
+    },
+    /// `DROP TABLE R`.
+    DropTable {
+        /// The base table to remove.
+        table: Name,
+    },
+    /// `INSERT INTO R [(A₁,…,Aₖ)] VALUES (v̄₁), …, (v̄ₘ)`. Values are
+    /// constants of the fragment (integers, strings, booleans, `NULL`).
+    Insert {
+        /// The target base table.
+        table: Name,
+        /// Explicit column list, if written. Unmentioned columns are
+        /// filled with `NULL`.
+        columns: Option<Vec<Name>>,
+        /// The value tuples.
+        rows: Vec<Vec<Value>>,
     },
 }
 

@@ -28,12 +28,17 @@ impl std::error::Error for LexError {}
 /// The keywords of the fragment. `MINUS` is Oracle's spelling of
 /// `EXCEPT`.
 ///
-/// `GROUP`/`BY`/`HAVING` are reserved, as in SQL-92. The aggregate
-/// function names `COUNT`/`SUM`/`AVG`/`MIN`/`MAX` are *contextual*:
-/// keywords only when followed by `(`, identifiers otherwise (the
-/// PostgreSQL convention), which keeps columns and output names like
-/// `count` parseable — including the default aliases the annotation
-/// pass gives unaliased aggregates.
+/// `GROUP`/`BY`/`HAVING` are reserved, as in SQL-92, and so are the
+/// statement keywords `CREATE`/`TABLE`/`DROP`/`INSERT`/`INTO`/`VALUES`
+/// (all SQL-92 reserved words). The aggregate function names
+/// `COUNT`/`SUM`/`AVG`/`MIN`/`MAX` are *contextual*: keywords only when
+/// followed by `(`, identifiers otherwise (the PostgreSQL convention),
+/// which keeps columns and output names like `count` parseable —
+/// including the default aliases the annotation pass gives unaliased
+/// aggregates. `EXPLAIN` is not reserved at all (it is not reserved in
+/// SQL-92 or PostgreSQL either): the statement parser recognises the
+/// bare identifier in statement position, so `explain` stays usable as
+/// a column or alias name.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 #[allow(missing_docs)]
 pub enum Keyword {
@@ -65,6 +70,12 @@ pub enum Keyword {
     Avg,
     Min,
     Max,
+    Create,
+    Table,
+    Drop,
+    Insert,
+    Into,
+    Values,
 }
 
 impl Keyword {
@@ -108,6 +119,12 @@ impl Keyword {
             "AVG" => Some(Keyword::Avg),
             "MIN" => Some(Keyword::Min),
             "MAX" => Some(Keyword::Max),
+            "CREATE" => Some(Keyword::Create),
+            "TABLE" => Some(Keyword::Table),
+            "DROP" => Some(Keyword::Drop),
+            "INSERT" => Some(Keyword::Insert),
+            "INTO" => Some(Keyword::Into),
+            "VALUES" => Some(Keyword::Values),
             _ => None,
         }
     }
@@ -144,6 +161,12 @@ impl fmt::Display for Keyword {
             Keyword::Avg => "AVG",
             Keyword::Min => "MIN",
             Keyword::Max => "MAX",
+            Keyword::Create => "CREATE",
+            Keyword::Table => "TABLE",
+            Keyword::Drop => "DROP",
+            Keyword::Insert => "INSERT",
+            Keyword::Into => "INTO",
+            Keyword::Values => "VALUES",
         };
         f.write_str(s)
     }
@@ -193,6 +216,8 @@ pub enum TokenKind {
     Geq,
     /// `-` (only used for negative integer literals in this fragment)
     Dash,
+    /// `;` — statement separator in scripts.
+    Semicolon,
 }
 
 impl fmt::Display for TokenKind {
@@ -214,6 +239,7 @@ impl fmt::Display for TokenKind {
             TokenKind::Gt => f.write_str(">"),
             TokenKind::Geq => f.write_str(">="),
             TokenKind::Dash => f.write_str("-"),
+            TokenKind::Semicolon => f.write_str(";"),
         }
     }
 }
@@ -271,6 +297,10 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
             }
             ',' => {
                 tokens.push(Token { kind: TokenKind::Comma, offset: start });
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token { kind: TokenKind::Semicolon, offset: start });
                 i += 1;
             }
             '.' => {
@@ -539,6 +569,25 @@ mod tests {
                 TokenKind::Keyword(Keyword::Group),
                 TokenKind::Keyword(Keyword::By),
                 TokenKind::Keyword(Keyword::Having),
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_statement_keywords_and_semicolon() {
+        assert_eq!(
+            kinds("CREATE TABLE; drop insert into values explain"),
+            vec![
+                TokenKind::Keyword(Keyword::Create),
+                TokenKind::Keyword(Keyword::Table),
+                TokenKind::Semicolon,
+                TokenKind::Keyword(Keyword::Drop),
+                TokenKind::Keyword(Keyword::Insert),
+                TokenKind::Keyword(Keyword::Into),
+                TokenKind::Keyword(Keyword::Values),
+                // EXPLAIN is deliberately NOT reserved; the statement
+                // parser handles it positionally.
+                TokenKind::Ident("explain".into()),
             ]
         );
     }

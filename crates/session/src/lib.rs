@@ -1,0 +1,571 @@
+//! # sqlsem-session
+//!
+//! The unified, stateful entry point to the sqlsem semantics stack.
+//!
+//! The paper's value is that *one* formal semantics stands behind many
+//! consumers — validation, translation, optimization. This crate gives
+//! that idea an API: a [`Session`] owns a database, is configured once
+//! with a dialect (§4), a logic mode (§6) and an execution
+//! [`Backend`], and from then on speaks SQL **text** end to end —
+//! including the DDL/DML statement fragment (`CREATE TABLE`,
+//! `DROP TABLE`, `INSERT INTO … VALUES`, `EXPLAIN`) — returning one
+//! result type and one error type:
+//!
+//! ```
+//! use sqlsem_session::Session;
+//!
+//! let mut session = Session::new();
+//! session.execute("CREATE TABLE R (A)").unwrap();
+//! session.execute("INSERT INTO R VALUES (1), (NULL)").unwrap();
+//! let out = session
+//!     .execute("SELECT DISTINCT R.A FROM R WHERE R.A NOT IN (SELECT R.A FROM R WHERE R.A IS NULL)")
+//!     .unwrap();
+//! // Example 1's NOT IN pitfall: NULL poisons the subquery, no rows.
+//! assert!(out.rows().unwrap().is_empty());
+//! ```
+//!
+//! Swapping the execution strategy is a builder choice, not a rewrite:
+//!
+//! ```
+//! use sqlsem_session::{Backend, Session};
+//!
+//! for backend in Backend::ALL {
+//!     let mut s = Session::builder().with_backend(backend).build();
+//!     s.execute("CREATE TABLE R (A)").unwrap();
+//!     s.execute("INSERT INTO R VALUES (1), (2)").unwrap();
+//!     let n = s.execute("SELECT COUNT(*) AS n FROM R").unwrap();
+//!     assert_eq!(n.rows().unwrap().len(), 1);
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod error;
+
+use std::fmt;
+
+use sqlsem_core::{
+    Database, Dialect, EvalError, LogicMode, Name, PredicateRegistry, Query, Row, Schema, Span,
+    Table, Value,
+};
+use sqlsem_engine::{Engine, Prepared};
+use sqlsem_parser::{annotate_statement, parse_script, parse_statement, Statement};
+
+pub use error::SqlsemError;
+pub use sqlsem_engine::Backend;
+
+/// Builder for [`Session`]: dialect × logic mode × backend, plus an
+/// optional starting database and predicate registry.
+///
+/// ```
+/// use sqlsem_core::{Dialect, LogicMode};
+/// use sqlsem_session::{Backend, Session};
+///
+/// let session = Session::builder()
+///     .with_dialect(Dialect::Oracle)
+///     .with_logic(LogicMode::ThreeValued)
+///     .with_backend(Backend::SpecInterpreter)
+///     .build();
+/// assert_eq!(session.dialect(), Dialect::Oracle);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SessionBuilder {
+    dialect: Dialect,
+    logic: LogicMode,
+    backend: Backend,
+    preds: PredicateRegistry,
+    db: Option<Database>,
+}
+
+impl SessionBuilder {
+    /// A builder with the defaults: Standard dialect, three-valued
+    /// logic, optimized engine, empty schema.
+    pub fn new() -> Self {
+        SessionBuilder::default()
+    }
+
+    /// Selects the dialect (§4 adjustments).
+    #[must_use]
+    pub fn with_dialect(mut self, dialect: Dialect) -> Self {
+        self.dialect = dialect;
+        self
+    }
+
+    /// Selects the logic mode (§6).
+    #[must_use]
+    pub fn with_logic(mut self, logic: LogicMode) -> Self {
+        self.logic = logic;
+        self
+    }
+
+    /// Selects the execution backend.
+    #[must_use]
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Provides user predicates (the open collection `P` of §2).
+    #[must_use]
+    pub fn with_predicates(mut self, preds: PredicateRegistry) -> Self {
+        self.preds = preds;
+        self
+    }
+
+    /// Seeds the session with an existing database (schema and data) —
+    /// the bridge from the direct-crate-access flow.
+    #[must_use]
+    pub fn with_database(mut self, db: Database) -> Self {
+        self.db = Some(db);
+        self
+    }
+
+    /// Seeds the session with a schema over which every table is empty.
+    #[must_use]
+    pub fn with_schema(mut self, schema: Schema) -> Self {
+        self.db = Some(Database::new(schema));
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> Session {
+        Session {
+            db: self.db.unwrap_or_else(|| Database::new(Schema::default())),
+            dialect: self.dialect,
+            logic: self.logic,
+            backend: self.backend,
+            preds: self.preds,
+            id: NEXT_SESSION_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            epoch: 0,
+        }
+    }
+}
+
+/// The result of executing one statement: rows for queries, a plan for
+/// `EXPLAIN`, and psql-style acknowledgements for DDL/DML.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum StatementResult {
+    /// A query's output bag.
+    Rows(Table),
+    /// An `EXPLAIN` rendering of the statement's execution plan.
+    Explained(String),
+    /// `CREATE TABLE` succeeded.
+    Created(Name),
+    /// `DROP TABLE` succeeded.
+    Dropped(Name),
+    /// `INSERT` appended this many rows.
+    Inserted {
+        /// The target table.
+        table: Name,
+        /// Number of rows appended.
+        rows: usize,
+    },
+}
+
+impl StatementResult {
+    /// The output table, when the statement was a query.
+    pub fn rows(&self) -> Option<&Table> {
+        match self {
+            StatementResult::Rows(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Consumes the result into the output table, when the statement was
+    /// a query.
+    pub fn into_rows(self) -> Option<Table> {
+        match self {
+            StatementResult::Rows(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// The rendered plan, when the statement was an `EXPLAIN`.
+    pub fn plan(&self) -> Option<&str> {
+        match self {
+            StatementResult::Explained(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// A psql-style command tag: `SELECT 3`, `CREATE TABLE`, `INSERT 0 2`…
+    pub fn tag(&self) -> String {
+        match self {
+            StatementResult::Rows(t) => format!("SELECT {}", t.len()),
+            StatementResult::Explained(_) => "EXPLAIN".to_string(),
+            StatementResult::Created(_) => "CREATE TABLE".to_string(),
+            StatementResult::Dropped(_) => "DROP TABLE".to_string(),
+            StatementResult::Inserted { rows, .. } => format!("INSERT 0 {rows}"),
+        }
+    }
+}
+
+impl fmt::Display for StatementResult {
+    /// Rows render as the table (which already carries its own row
+    /// count); everything else renders as its command tag.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatementResult::Rows(t) => write!(f, "{t}"),
+            StatementResult::Explained(p) => f.write_str(p),
+            _ => f.write_str(&self.tag()),
+        }
+    }
+}
+
+/// A prepared statement: the parse, annotation, and (for the engine
+/// backends) compile+optimize work of one statement, cached for reuse.
+///
+/// Handles stay valid across DDL: each records the identity and schema
+/// *epoch* of the session that compiled it, and
+/// [`Session::execute_prepared`] transparently re-prepares from the
+/// original SQL when the schema (or the session's
+/// dialect/logic/backend configuration) has changed since — or when
+/// the handle is executed on a different session than it was prepared
+/// on, so a cached positional plan never runs against a schema it was
+/// not compiled for.
+#[derive(Clone, Debug)]
+pub struct PreparedStatement {
+    sql: String,
+    statement: Statement,
+    plan: Option<Prepared>,
+    session_id: u64,
+    epoch: u64,
+}
+
+impl PreparedStatement {
+    /// The SQL text this handle was prepared from.
+    pub fn sql(&self) -> &str {
+        &self.sql
+    }
+
+    /// The compiled statement.
+    pub fn statement(&self) -> &Statement {
+        &self.statement
+    }
+}
+
+/// Process-wide counter behind [`Session`] identities, so a prepared
+/// statement can tell which session compiled it.
+static NEXT_SESSION_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// A stateful SQL session: one object that owns a [`Database`] and
+/// executes SQL text under a fixed dialect × logic mode × backend
+/// configuration. See the [crate docs](crate) for examples.
+#[derive(Debug)]
+pub struct Session {
+    db: Database,
+    dialect: Dialect,
+    logic: LogicMode,
+    backend: Backend,
+    preds: PredicateRegistry,
+    /// Process-unique identity; prepared statements record it so a
+    /// handle prepared on one session is never trusted by another whose
+    /// epoch counter happens to coincide.
+    id: u64,
+    /// Bumped on every schema or configuration change; prepared
+    /// statements compare it to know when their cached work is stale.
+    epoch: u64,
+}
+
+impl Clone for Session {
+    /// A cloned session is an independent copy of the database and
+    /// configuration with a *fresh identity*: prepared statements from
+    /// the original transparently re-prepare on first use with the
+    /// clone (the two sessions' schemas can diverge from here on).
+    fn clone(&self) -> Self {
+        Session {
+            db: self.db.clone(),
+            dialect: self.dialect,
+            logic: self.logic,
+            backend: self.backend,
+            preds: self.preds.clone(),
+            id: NEXT_SESSION_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            epoch: 0,
+        }
+    }
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Session::new()
+    }
+}
+
+impl Session {
+    /// A session with the default configuration (Standard dialect, 3VL,
+    /// optimized engine) over an initially empty schema.
+    pub fn new() -> Session {
+        SessionBuilder::new().build()
+    }
+
+    /// Starts configuring a session.
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::new()
+    }
+
+    /// The database the session owns.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// The current schema.
+    pub fn schema(&self) -> &Schema {
+        self.db.schema()
+    }
+
+    /// The dialect in effect.
+    pub fn dialect(&self) -> Dialect {
+        self.dialect
+    }
+
+    /// The logic mode in effect.
+    pub fn logic(&self) -> LogicMode {
+        self.logic
+    }
+
+    /// The execution backend in effect.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// Switches the dialect. Invalidates prepared statements (they
+    /// transparently re-prepare on next execution).
+    pub fn set_dialect(&mut self, dialect: Dialect) {
+        self.dialect = dialect;
+        self.epoch += 1;
+    }
+
+    /// Switches the logic mode. Invalidates prepared statements.
+    pub fn set_logic(&mut self, logic: LogicMode) {
+        self.logic = logic;
+        self.epoch += 1;
+    }
+
+    /// Switches the backend. Invalidates prepared statements.
+    pub fn set_backend(&mut self, backend: Backend) {
+        self.backend = backend;
+        self.epoch += 1;
+    }
+
+    /// Parses and executes one SQL statement (a trailing `;` is
+    /// allowed).
+    pub fn execute(&mut self, sql: &str) -> Result<StatementResult, SqlsemError> {
+        let span = Span::of(sql);
+        let surface = parse_statement(sql).map_err(|e| SqlsemError::parse(e, sql))?;
+        let statement = annotate_statement(&surface, self.db.schema())
+            .map_err(|e| SqlsemError::annotate(e, sql, span))?;
+        self.run(&statement, sql, span)
+    }
+
+    /// Parses and executes a whole script of `;`-separated statements,
+    /// returning one result per statement. Statements are compiled
+    /// lazily, so DDL is visible to everything after it. Execution
+    /// stops at the first error; there is no transactionality —
+    /// statements before the failure stay executed.
+    pub fn run_script(&mut self, sql: &str) -> Result<Vec<StatementResult>, SqlsemError> {
+        let statements = parse_script(sql).map_err(|e| SqlsemError::parse(e, sql))?;
+        let mut results = Vec::with_capacity(statements.len());
+        for spanned in statements {
+            let statement = annotate_statement(&spanned.statement, self.db.schema())
+                .map_err(|e| SqlsemError::annotate(e, sql, spanned.span))?;
+            results.push(self.run(&statement, sql, spanned.span)?);
+        }
+        Ok(results)
+    }
+
+    /// Parses, annotates, and — for the engine backends — compiles and
+    /// optimizes one statement, returning a reusable handle whose
+    /// cached work is skipped on every subsequent
+    /// [`Session::execute_prepared`].
+    pub fn prepare(&self, sql: &str) -> Result<PreparedStatement, SqlsemError> {
+        let span = Span::of(sql);
+        let surface = parse_statement(sql).map_err(|e| SqlsemError::parse(e, sql))?;
+        let statement = annotate_statement(&surface, self.db.schema())
+            .map_err(|e| SqlsemError::annotate(e, sql, span))?;
+        let plan = match (&statement, self.backend) {
+            // The spec interpreter has no compiled form: its "plan" is
+            // the annotated query itself.
+            (_, Backend::SpecInterpreter) => None,
+            (Statement::Query(q) | Statement::Explain(q), _) => {
+                Some(self.engine().prepare(q).map_err(|e| SqlsemError::eval(e, sql, span))?)
+            }
+            _ => None,
+        };
+        Ok(PreparedStatement {
+            sql: sql.to_string(),
+            statement,
+            plan,
+            session_id: self.id,
+            epoch: self.epoch,
+        })
+    }
+
+    /// Executes a prepared statement, reusing its cached compile+optimize
+    /// work. If the schema or session configuration changed since the
+    /// handle was prepared, it is transparently re-prepared from its SQL
+    /// first (so handles never go stale, they just lose one cache hit).
+    pub fn execute_prepared(
+        &mut self,
+        prepared: &mut PreparedStatement,
+    ) -> Result<StatementResult, SqlsemError> {
+        if prepared.session_id != self.id || prepared.epoch != self.epoch {
+            *prepared = self.prepare(&prepared.sql)?;
+        }
+        let span = Span::of(&prepared.sql);
+        let sql = prepared.sql.clone();
+        match (&prepared.statement, &prepared.plan) {
+            (Statement::Query(_), Some(plan)) => {
+                let out = self
+                    .engine()
+                    .execute_prepared(plan)
+                    .map_err(|e| SqlsemError::eval(e, &sql, span))?;
+                Ok(StatementResult::Rows(out))
+            }
+            (Statement::Explain(_), Some(plan)) => {
+                Ok(StatementResult::Explained(sqlsem_engine::explain(plan)))
+            }
+            _ => self.run(&prepared.statement.clone(), &sql, span),
+        }
+    }
+
+    /// Executes an already-annotated query through the session's
+    /// backend, skipping SQL text — a convenience for callers that hold
+    /// annotated ASTs (the direct-crate-access flow). The §4 harness
+    /// and the optimizer gauntlet deliberately do *not* use this: they
+    /// feed printed SQL to [`Session::execute`] so the text pipeline is
+    /// under test too.
+    pub fn execute_query(&self, query: &Query) -> Result<Table, SqlsemError> {
+        self.backend.execute(&self.db, self.dialect, self.logic, &self.preds, query).map_err(|e| {
+            let sql = sqlsem_parser::to_sql(query, self.dialect);
+            let span = Span::of(&sql);
+            SqlsemError::eval(e, sql, span)
+        })
+    }
+
+    /// `EXPLAIN` for an already-annotated query: the execution plan the
+    /// session's backend would use.
+    pub fn explain_query(&self, query: &Query) -> Result<String, SqlsemError> {
+        match self.backend {
+            Backend::SpecInterpreter => Ok(Self::spec_explain(query, self.dialect)),
+            _ => self.engine().explain(query).map_err(|e| {
+                let sql = sqlsem_parser::to_sql(query, self.dialect);
+                let span = Span::of(&sql);
+                SqlsemError::eval(e, sql, span)
+            }),
+        }
+    }
+
+    // -- internals ---------------------------------------------------------
+
+    /// The engine configured for this session (used by the two engine
+    /// backends; `optimize` reflects the backend choice).
+    fn engine(&self) -> Engine<'_> {
+        Engine::new(&self.db)
+            .with_dialect(self.dialect)
+            .with_logic(self.logic)
+            .with_predicates(self.preds.clone())
+            .with_optimizations(self.backend == Backend::OptimizedEngine)
+    }
+
+    /// The `EXPLAIN` rendering for the spec interpreter, which has no
+    /// physical plan: the annotated query, pretty-printed.
+    fn spec_explain(query: &Query, dialect: Dialect) -> String {
+        format!(
+            "SpecInterpreter (no physical plan; Figures 4\u{2013}7 interpret the \
+             annotated query directly)\n{}",
+            sqlsem_parser::to_sql_pretty(query, dialect)
+        )
+    }
+
+    /// Executes one compiled statement.
+    fn run(
+        &mut self,
+        statement: &Statement,
+        sql: &str,
+        span: Span,
+    ) -> Result<StatementResult, SqlsemError> {
+        match statement {
+            Statement::Query(q) => {
+                let out = self
+                    .backend
+                    .execute(&self.db, self.dialect, self.logic, &self.preds, q)
+                    .map_err(|e| SqlsemError::eval(e, sql, span))?;
+                Ok(StatementResult::Rows(out))
+            }
+            Statement::Explain(q) => match self.backend {
+                Backend::SpecInterpreter => {
+                    Ok(StatementResult::Explained(Self::spec_explain(q, self.dialect)))
+                }
+                _ => {
+                    let text =
+                        self.engine().explain(q).map_err(|e| SqlsemError::eval(e, sql, span))?;
+                    Ok(StatementResult::Explained(text))
+                }
+            },
+            Statement::CreateTable { table, columns } => {
+                self.db
+                    .create_table(table.clone(), columns.clone())
+                    .map_err(|e| SqlsemError::schema(e, sql, span))?;
+                self.epoch += 1;
+                Ok(StatementResult::Created(table.clone()))
+            }
+            Statement::DropTable { table } => {
+                self.db.drop_table(table).map_err(|e| SqlsemError::schema(e, sql, span))?;
+                self.epoch += 1;
+                Ok(StatementResult::Dropped(table.clone()))
+            }
+            Statement::Insert { table, columns, rows } => {
+                let count = self
+                    .insert(table, columns.as_deref(), rows)
+                    .map_err(|e| SqlsemError::eval(e, sql, span))?;
+                Ok(StatementResult::Inserted { table: table.clone(), rows: count })
+            }
+        }
+    }
+
+    /// `INSERT INTO table [(columns)] VALUES rows`: reorders each value
+    /// tuple into schema attribute order (filling unmentioned columns
+    /// with `NULL`) and appends.
+    fn insert(
+        &mut self,
+        table: &Name,
+        columns: Option<&[Name]>,
+        rows: &[Vec<Value>],
+    ) -> Result<usize, EvalError> {
+        let Some(attrs) = self.db.schema().attributes(table) else {
+            return Err(EvalError::UnknownTable(table.clone()));
+        };
+        let attrs = attrs.to_vec();
+        let full_rows: Vec<Row> = match columns {
+            None => rows.iter().map(|r| Row::new(r.clone())).collect(),
+            Some(cols) => {
+                // Each named column must exist, once.
+                for (i, c) in cols.iter().enumerate() {
+                    if !attrs.contains(c) {
+                        return Err(EvalError::UnboundName(c.clone()));
+                    }
+                    if cols[..i].contains(c) {
+                        return Err(EvalError::AmbiguousName(c.clone()));
+                    }
+                }
+                let mut reordered = Vec::with_capacity(rows.len());
+                for row in rows {
+                    if row.len() != cols.len() {
+                        return Err(EvalError::RowArity { expected: cols.len(), got: row.len() });
+                    }
+                    let values = attrs
+                        .iter()
+                        .map(|a| {
+                            cols.iter().position(|c| c == a).map_or(Value::Null, |i| row[i].clone())
+                        })
+                        .collect();
+                    reordered.push(Row::new(values));
+                }
+                reordered
+            }
+        };
+        self.db.append_rows(table.clone(), full_rows)
+    }
+}

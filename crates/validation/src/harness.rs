@@ -5,10 +5,15 @@
 //! For each iteration the harness derives a fresh deterministic RNG,
 //! generates a query and a database instance, and for each configured
 //! dialect compares `⟦Q⟧_D` as computed by [`sqlsem_core::Evaluator`]
-//! (the formal semantics, adjusted to the dialect) against the output of
-//! [`sqlsem_engine::Engine`] (the stand-in for PostgreSQL/Oracle). The
-//! paper runs this for 100,000 queries and reports that "the results were
-//! always the same", including matching ambiguity errors on Oracle.
+//! (the formal semantics, adjusted to the dialect) against the query's
+//! SQL text executed through a [`Session`] configured with the
+//! candidate [`Backend`] (by default the optimized engine — the
+//! stand-in for PostgreSQL/Oracle). Driving the candidate through the
+//! session exercises the whole public pipeline — print, parse,
+//! annotate, compile, optimize, execute — on every comparison. The
+//! paper runs this for 100,000 queries and reports that "the results
+//! were always the same", including matching ambiguity errors on
+//! Oracle.
 
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -16,11 +21,12 @@ use std::time::{Duration, Instant};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use sqlsem_core::{Database, Dialect, Evaluator, LogicMode, Query, Schema};
-use sqlsem_engine::Engine;
+use sqlsem_core::{Database, Dialect, EvalError, Evaluator, LogicMode, Query, Schema};
+use sqlsem_engine::Backend;
 use sqlsem_generator::{random_database, DataGenConfig, QueryGenConfig, QueryGenerator};
+use sqlsem_session::Session;
 
-use crate::compare::{compare, Verdict};
+use crate::compare::{compare, Outcome, Verdict};
 
 /// Configuration of a validation run.
 #[derive(Clone, Debug)]
@@ -39,11 +45,23 @@ pub struct ValidationConfig {
     /// Logic modes to validate under (§6); each dialect's tallies
     /// aggregate over all of them. The paper's experiment uses 3VL only.
     pub logics: Vec<LogicMode>,
+    /// Which backend plays the candidate role (the formal semantics is
+    /// always the reference). The default, the optimized engine, is the
+    /// paper's setup: spec vs independent implementation.
+    pub backend: Backend,
     /// How many disagreement samples to retain in the report.
     pub keep_samples: usize,
     /// Additionally check that printing and re-compiling each query
     /// reproduces it exactly (exercises the parser on random queries).
     pub check_roundtrip: bool,
+}
+
+impl Default for ValidationConfig {
+    /// The [`ValidationConfig::quick`] configuration at 200 queries — a
+    /// sensible base to chain `with_*` adjustments onto.
+    fn default() -> Self {
+        ValidationConfig::quick(200, 0xC0FFEE)
+    }
 }
 
 impl ValidationConfig {
@@ -57,6 +75,7 @@ impl ValidationConfig {
             data_config: DataGenConfig::paper(),
             dialects: vec![Dialect::PostgreSql, Dialect::Oracle],
             logics: vec![LogicMode::ThreeValued],
+            backend: Backend::OptimizedEngine,
             keep_samples: 5,
             check_roundtrip: false,
         }
@@ -72,9 +91,68 @@ impl ValidationConfig {
             data_config: DataGenConfig::small(),
             dialects: Dialect::ALL.to_vec(),
             logics: vec![LogicMode::ThreeValued],
+            backend: Backend::OptimizedEngine,
             keep_samples: 5,
             check_roundtrip: true,
         }
+    }
+
+    // -- builder-style adjustments (consistent with `SessionBuilder`) ------
+
+    /// Sets the number of query/database pairs.
+    #[must_use]
+    pub fn with_queries(mut self, queries: usize) -> Self {
+        self.queries = queries;
+        self
+    }
+
+    /// Sets the master seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the query shape parameters.
+    #[must_use]
+    pub fn with_query_config(mut self, query_config: QueryGenConfig) -> Self {
+        self.query_config = query_config;
+        self
+    }
+
+    /// Sets the database generation parameters.
+    #[must_use]
+    pub fn with_data_config(mut self, data_config: DataGenConfig) -> Self {
+        self.data_config = data_config;
+        self
+    }
+
+    /// Sets the dialects to validate.
+    #[must_use]
+    pub fn with_dialects(mut self, dialects: impl IntoIterator<Item = Dialect>) -> Self {
+        self.dialects = dialects.into_iter().collect();
+        self
+    }
+
+    /// Sets the logic modes to validate under.
+    #[must_use]
+    pub fn with_logics(mut self, logics: impl IntoIterator<Item = LogicMode>) -> Self {
+        self.logics = logics.into_iter().collect();
+        self
+    }
+
+    /// Sets the candidate backend.
+    #[must_use]
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Enables or disables the parser round-trip check.
+    #[must_use]
+    pub fn with_roundtrip(mut self, check_roundtrip: bool) -> Self {
+        self.check_roundtrip = check_roundtrip;
+        self
     }
 }
 
@@ -185,7 +263,40 @@ pub fn iteration_case(
     (query, db)
 }
 
-/// Runs the §4 validation experiment.
+/// Executes `sql` through the given [`Session`], reducing the
+/// session's single error type back to the [`EvalError`] the §4
+/// criterion compares on. Session failures that carry no evaluation
+/// error (a parse or annotation failure on printed SQL — a pipeline
+/// bug by construction) surface as [`EvalError::Malformed`], which no
+/// reference outcome produces, so they always count as disagreements.
+///
+/// The session is taken by reference so sweeps can build one session
+/// per database and retarget it with
+/// [`Session::set_dialect`]/[`Session::set_logic`] between
+/// comparisons, instead of cloning the database for every dialect ×
+/// logic × backend combination.
+pub fn session_outcome(session: &mut Session, sql: &str) -> Outcome {
+    match session.execute(sql) {
+        Ok(result) => match result.into_rows() {
+            Some(table) => Ok(table),
+            None => Err(EvalError::malformed("statement did not produce rows")),
+        },
+        Err(e) => Err(e
+            .eval_error()
+            .cloned()
+            .unwrap_or_else(|| EvalError::malformed(format!("session pipeline failure: {e}")))),
+    }
+}
+
+/// A candidate session over `db` for one sweep: the database is moved
+/// in (no clone), and the caller retargets dialect/logic per
+/// comparison.
+pub fn candidate_session(db: Database, backend: Backend) -> Session {
+    Session::builder().with_database(db).with_backend(backend).build()
+}
+
+/// Runs the §4 validation experiment: formal semantics vs the candidate
+/// backend driven end to end through the [`Session`] API.
 pub fn run_validation(schema: &Schema, config: &ValidationConfig) -> ValidationReport {
     let start = Instant::now();
     let mut per_dialect: Vec<(Dialect, DialectStats)> =
@@ -204,12 +315,19 @@ pub fn run_validation(schema: &Schema, config: &ValidationConfig) -> ValidationR
             }
         }
 
+        // One session per iteration (the database moves in; query
+        // execution never mutates it), retargeted per combination.
+        let mut session = candidate_session(db, config.backend);
         for (dialect, stats) in per_dialect.iter_mut() {
+            let sql = sqlsem_parser::to_sql(&query, *dialect);
+            session.set_dialect(*dialect);
             for logic in &config.logics {
-                let reference =
-                    Evaluator::new(&db).with_dialect(*dialect).with_logic(*logic).eval(&query);
-                let candidate =
-                    Engine::new(&db).with_dialect(*dialect).with_logic(*logic).execute(&query);
+                session.set_logic(*logic);
+                let reference = Evaluator::new(session.database())
+                    .with_dialect(*dialect)
+                    .with_logic(*logic)
+                    .eval(&query);
+                let candidate = session_outcome(&mut session, &sql);
                 match compare(&reference, &candidate) {
                     Verdict::AgreeResult => stats.agree_results += 1,
                     Verdict::AgreeError => stats.agree_errors += 1,
@@ -275,6 +393,39 @@ mod tests {
         // Different iterations → different streams (overwhelmingly).
         let mut y = iteration_rng(1, 1);
         assert_ne!(x1.gen::<u64>(), y.gen::<u64>());
+    }
+
+    #[test]
+    fn default_and_builders_compose() {
+        let config = ValidationConfig::default()
+            .with_queries(25)
+            .with_seed(9)
+            .with_dialects([Dialect::Oracle])
+            .with_logics(LogicMode::ALL)
+            .with_backend(Backend::NaiveEngine)
+            .with_roundtrip(false);
+        assert_eq!(config.queries, 25);
+        assert_eq!(config.seed, 9);
+        assert_eq!(config.dialects, vec![Dialect::Oracle]);
+        assert_eq!(config.logics.len(), 3);
+        assert_eq!(config.backend, Backend::NaiveEngine);
+        assert!(!config.check_roundtrip);
+        let report = run_validation(&paper_schema(), &config);
+        assert!(report.all_agree(), "{report}");
+    }
+
+    #[test]
+    fn every_backend_agrees_through_the_session() {
+        // The same 40 cases, candidate swapped across all three
+        // backends — including the spec interpreter itself, which
+        // checks the print→parse→annotate→execute pipeline is the
+        // identity on semantics.
+        let schema = paper_schema();
+        for backend in Backend::ALL {
+            let config = ValidationConfig::quick(40, 0xBEEF).with_backend(backend);
+            let report = run_validation(&schema, &config);
+            assert!(report.all_agree(), "backend {backend}:\n{report}");
+        }
     }
 
     #[test]

@@ -1,10 +1,11 @@
 //! # sqlsem-validation
 //!
 //! The experimental validation machinery of §4: the correctness
-//! criterion ([`compare`]) and the differential harness
-//! ([`run_validation`]) that compares the formal semantics against the
-//! independent engine on randomly generated queries and databases —
-//! the reproduction of the paper's 100,000-query experiment.
+//! criterion ([`compare()`]) and the differential harness
+//! ([`run_validation`]) that compares the formal semantics against a
+//! candidate backend — driven end to end through the `Session` API —
+//! on randomly generated queries and databases: the reproduction of
+//! the paper's 100,000-query experiment.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -14,6 +15,6 @@ pub mod harness;
 
 pub use compare::{compare, Outcome, Verdict};
 pub use harness::{
-    iteration_case, iteration_rng, run_validation, DialectStats, Disagreement, ValidationConfig,
-    ValidationReport,
+    candidate_session, iteration_case, iteration_rng, run_validation, session_outcome,
+    DialectStats, Disagreement, ValidationConfig, ValidationReport,
 };

@@ -1,26 +1,35 @@
 //! Dialect differences (§4): PostgreSQL's compositional `SELECT *`,
 //! Oracle's compile-time ambiguity errors and `MINUS` spelling — the
-//! paper's Example 2, interactive.
+//! paper's Example 2, driven through one [`Session`] per dialect.
 //!
 //! ```text
 //! cargo run --example dialect_differences
 //! ```
 
-use sqlsem::{compile, table, to_sql, Database, Dialect, Evaluator, Schema};
+use sqlsem::{compile, to_sql, Dialect, Session};
+
+/// One populated session per dialect, all built from the same script.
+fn session(dialect: Dialect) -> Session {
+    let mut s = Session::builder().with_dialect(dialect).build();
+    s.run_script(
+        "CREATE TABLE R (A); CREATE TABLE S (A);
+         INSERT INTO R VALUES (1), (2); INSERT INTO S VALUES (2);",
+    )
+    .unwrap();
+    s
+}
 
 fn main() {
-    let schema = Schema::builder().table("R", ["A"]).table("S", ["A"]).build().unwrap();
-    let mut db = Database::new(schema.clone());
-    db.insert("R", table! { ["A"]; [1], [2] }).unwrap();
-    db.insert("S", table! { ["A"]; [2] }).unwrap();
-
     // --- Example 2: the ambiguous star -----------------------------------
-    let ambiguous = compile("SELECT * FROM (SELECT R.A, R.A FROM R) AS T", &schema).unwrap();
+    let ambiguous = "SELECT * FROM (SELECT R.A, R.A FROM R) AS T";
     println!("Q: {ambiguous}\n");
     for dialect in Dialect::ALL {
-        match Evaluator::new(&db).with_dialect(dialect).eval(&ambiguous) {
-            Ok(t) => println!("  {dialect:<12} → ok ({} rows, {} columns)", t.len(), t.arity()),
-            Err(e) => println!("  {dialect:<12} → {e}"),
+        match session(dialect).execute(ambiguous) {
+            Ok(out) => {
+                let t = out.rows().unwrap();
+                println!("  {dialect:<12} → ok ({} rows, {} columns)", t.len(), t.arity());
+            }
+            Err(e) => println!("  {dialect:<12} → {}", e.eval_error().unwrap()),
         }
     }
     println!(
@@ -30,25 +39,28 @@ fn main() {
     );
 
     // --- The same query under EXISTS works everywhere --------------------
-    let wrapped = compile(
-        "SELECT * FROM R WHERE EXISTS ( SELECT * FROM (SELECT R.A, R.A FROM R) AS T )",
-        &schema,
-    )
-    .unwrap();
+    let wrapped = "SELECT * FROM R WHERE EXISTS ( SELECT * FROM (SELECT R.A, R.A FROM R) AS T )";
     println!("Q wrapped in EXISTS: accepted by every dialect:");
     for dialect in Dialect::ALL {
-        let t = Evaluator::new(&db).with_dialect(dialect).eval(&wrapped).unwrap();
-        println!("  {dialect:<12} → {} rows", t.len());
+        let out = session(dialect).execute(wrapped).unwrap();
+        println!("  {dialect:<12} → {} rows", out.rows().unwrap().len());
     }
 
     // --- Surface syntax: EXCEPT vs MINUS ----------------------------------
     println!("\nEXCEPT / MINUS round trip:");
+    let schema = session(Dialect::Standard).schema().clone();
     let diff = compile("SELECT R.A FROM R EXCEPT SELECT S.A FROM S", &schema).unwrap();
     for dialect in Dialect::ALL {
         println!("  {dialect:<12} prints: {}", to_sql(&diff, dialect));
     }
-    // Oracle's spelling parses right back.
+    // Oracle's spelling parses right back — and runs through an Oracle
+    // session.
     let reparsed = compile(&to_sql(&diff, Dialect::Oracle), &schema).unwrap();
     assert_eq!(reparsed, diff);
-    println!("\n  …and the MINUS form re-parses to the identical query.");
+    let out = session(Dialect::Oracle).execute(&to_sql(&diff, Dialect::Oracle)).unwrap();
+    println!(
+        "\n  …and the MINUS form re-parses to the identical query \
+         ({} row through the Oracle session).",
+        out.rows().unwrap().len()
+    );
 }

@@ -1,7 +1,7 @@
 //! A miniature query-equivalence tester in the spirit of the Cosette
 //! line of work the paper discusses: random databases as
 //! counterexample search for `Q₁ ≡ Q₂`, with the *formal semantics* as
-//! the arbiter.
+//! the arbiter — a [`Session`] over the spec-interpreter backend.
 //!
 //! This is the application the introduction motivates: rewriting
 //! `NOT IN` into `NOT EXISTS` is a textbook "equivalence" that is wrong
@@ -14,14 +14,20 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sqlsem::{compile, Database, Evaluator, Query, Schema};
+use sqlsem::{Backend, Database, Schema, Session};
 use sqlsem_generator::{random_database, DataGenConfig};
+
+/// The arbiter: a session whose backend is the executable specification
+/// itself, seeded with a candidate counterexample database.
+fn arbiter(db: &Database) -> Session {
+    Session::builder().with_backend(Backend::SpecInterpreter).with_database(db.clone()).build()
+}
 
 /// Searches for a database on which the two queries disagree; returns it
 /// if found.
 fn find_counterexample(
-    q1: &Query,
-    q2: &Query,
+    sql1: &str,
+    sql2: &str,
     schema: &Schema,
     attempts: usize,
     seed: u64,
@@ -30,9 +36,9 @@ fn find_counterexample(
     let mut rng = StdRng::seed_from_u64(seed);
     for _ in 0..attempts {
         let db = random_database(schema, &config, &mut rng);
-        let ev = Evaluator::new(&db);
-        match (ev.eval(q1), ev.eval(q2)) {
-            (Ok(a), Ok(b)) if a.multiset_eq(&b) => continue,
+        let mut session = arbiter(&db);
+        match (session.execute(sql1), session.execute(sql2)) {
+            (Ok(a), Ok(b)) if a.rows().unwrap().multiset_eq(b.rows().unwrap()) => continue,
             _ => return Some(db),
         }
     }
@@ -40,11 +46,9 @@ fn find_counterexample(
 }
 
 fn check(schema: &Schema, sql1: &str, sql2: &str) {
-    let q1 = compile(sql1, schema).unwrap();
-    let q2 = compile(sql2, schema).unwrap();
     println!("Q1: {sql1}");
     println!("Q2: {sql2}");
-    match find_counterexample(&q1, &q2, schema, 400, 0xC0DE) {
+    match find_counterexample(sql1, sql2, schema, 400, 0xC0DE) {
         None => println!("  no counterexample in 400 random databases — likely equivalent\n"),
         Some(db) => {
             println!("  NOT equivalent; counterexample database:");
@@ -55,9 +59,9 @@ fn check(schema: &Schema, sql1: &str, sql2: &str) {
                     println!("    {line}");
                 }
             }
-            let ev = Evaluator::new(&db);
-            println!("  Q1 result:\n{}", ev.eval(&q1).unwrap());
-            println!("  Q2 result:\n{}", ev.eval(&q2).unwrap());
+            let mut session = arbiter(&db);
+            println!("  Q1 result:\n{}", session.execute(sql1).unwrap());
+            println!("  Q2 result:\n{}", session.execute(sql2).unwrap());
             println!();
         }
     }

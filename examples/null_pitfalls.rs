@@ -1,5 +1,5 @@
 //! The classic SQL null pitfalls, reproduced under the formal semantics —
-//! the paper's Example 1 and friends.
+//! the paper's Example 1 and friends, driven through a [`Session`].
 //!
 //! Three queries that all "compute `R − S`" — and three different
 //! answers once `NULL` is involved.
@@ -8,13 +8,17 @@
 //! cargo run --example null_pitfalls
 //! ```
 
-use sqlsem::{compile, table, Database, Evaluator, LogicMode, Schema, Value};
+use sqlsem::{LogicMode, Session};
 
 fn main() {
-    let schema = Schema::builder().table("R", ["A"]).table("S", ["A"]).build().unwrap();
-    let mut db = Database::new(schema.clone());
-    db.insert("R", table! { ["A"]; [1], [Value::Null] }).unwrap();
-    db.insert("S", table! { ["A"]; [Value::Null] }).unwrap();
+    let mut session = Session::new();
+    session
+        .run_script(
+            "CREATE TABLE R (A); CREATE TABLE S (A);
+             INSERT INTO R VALUES (1), (NULL);
+             INSERT INTO S VALUES (NULL);",
+        )
+        .unwrap();
 
     println!("R = {{1, NULL}}   S = {{NULL}}\n");
 
@@ -36,32 +40,31 @@ fn main() {
         ),
     ];
 
-    let ev = Evaluator::new(&db);
     for (name, sql, why) in variants {
-        let q = compile(sql, &schema).unwrap();
-        let out = ev.eval(&q).unwrap();
+        let out = session.execute(sql).unwrap();
         println!("== {name}\n   {sql}\n   {why}");
         println!("{out}\n");
     }
 
     // The same NOT IN query under the two-valued semantics of §6 — the
     // "fix" many programmers expect, and what the paper proves can
-    // always be emulated.
-    let q1 = compile("SELECT DISTINCT R.A FROM R WHERE R.A NOT IN (SELECT S.A FROM S)", &schema)
-        .unwrap();
+    // always be emulated. Switching logic is a session setting, not a
+    // rewrite.
+    let not_in = "SELECT DISTINCT R.A FROM R WHERE R.A NOT IN (SELECT S.A FROM S)";
     println!("== the same NOT IN under two-valued logic (§6)");
     for (mode, label) in [
         (LogicMode::TwoValuedConflate, "u conflated with f"),
         (LogicMode::TwoValuedSyntacticEq, "= as syntactic equality (NULL = NULL true)"),
     ] {
-        let out = Evaluator::new(&db).with_logic(mode).eval(&q1).unwrap();
+        session.set_logic(mode);
+        let out = session.execute(not_in).unwrap();
         println!("-- {label}:");
         println!("{out}\n");
     }
+    session.set_logic(LogicMode::ThreeValued);
 
     // One more classic: A = A does not keep NULL rows.
-    let q = compile("SELECT A FROM R WHERE A = A", &schema).unwrap();
-    let out = ev.eval(&q).unwrap();
+    let out = session.execute("SELECT A FROM R WHERE A = A").unwrap();
     println!("== WHERE A = A is not a tautology under 3VL:");
     println!("{out}");
 }

@@ -1,0 +1,135 @@
+//! A tiny line-oriented SQL REPL over [`Session`]: reads `;`-terminated
+//! statements from stdin, prints result tables, plans and errors.
+//!
+//! Interactive use:
+//!
+//! ```text
+//! cargo run --example repl
+//! sql> CREATE TABLE R (A);
+//! CREATE TABLE
+//! sql> INSERT INTO R VALUES (1), (NULL);
+//! INSERT 0 2
+//! sql> SELECT COUNT(A) AS n FROM R;
+//!  n
+//! ---
+//!  1
+//! (1 row)
+//! ```
+//!
+//! Non-interactive use (how CI smokes it):
+//!
+//! ```text
+//! cargo run --example repl <<'SQL'
+//! CREATE TABLE R (A);
+//! INSERT INTO R VALUES (1), (NULL);
+//! EXPLAIN SELECT DISTINCT R.A FROM R;
+//! SQL
+//! ```
+//!
+//! Meta commands: `\d` shows the schema, `\backend spec|naive|optimized`,
+//! `\dialect standard|postgresql|oracle`, `\q` quits.
+
+use std::io::{self, BufRead, IsTerminal, Write};
+
+use sqlsem::{Backend, Dialect, Session};
+
+/// Handles a `\…` meta command; returns `false` when the REPL should
+/// quit.
+fn meta_command(session: &mut Session, line: &str) -> bool {
+    let mut words = line.split_whitespace();
+    match (words.next(), words.next()) {
+        (Some("\\q"), _) => return false,
+        (Some("\\d"), _) => {
+            let schema = session.schema();
+            if schema.is_empty() {
+                println!("(no tables — try CREATE TABLE R (A);)");
+            } else {
+                println!("{schema}");
+            }
+        }
+        (Some("\\backend"), Some(arg)) => match arg.parse::<Backend>() {
+            Ok(backend) => {
+                session.set_backend(backend);
+                println!("backend: {backend}");
+            }
+            Err(e) => println!("{e}"),
+        },
+        (Some("\\dialect"), Some(arg)) => {
+            let dialect = match arg.to_ascii_lowercase().as_str() {
+                "standard" => Some(Dialect::Standard),
+                "postgresql" | "postgres" => Some(Dialect::PostgreSql),
+                "oracle" => Some(Dialect::Oracle),
+                _ => None,
+            };
+            match dialect {
+                Some(d) => {
+                    session.set_dialect(d);
+                    println!("dialect: {d}");
+                }
+                None => {
+                    println!("unknown dialect {arg:?}: expected standard, postgresql or oracle")
+                }
+            }
+        }
+        _ => println!(
+            "meta commands: \\d (schema)  \\backend <spec|naive|optimized>  \
+             \\dialect <standard|postgresql|oracle>  \\q (quit)"
+        ),
+    }
+    true
+}
+
+fn main() {
+    let mut session = Session::new();
+    let stdin = io::stdin();
+    let interactive = stdin.is_terminal();
+    if interactive {
+        println!(
+            "sqlsem REPL — dialect {}, logic {}, backend {}. \\q to quit.",
+            session.dialect(),
+            session.logic(),
+            session.backend()
+        );
+    }
+
+    // Statements may span lines; accumulate until a terminating `;`.
+    let mut buffer = String::new();
+    let prompt = |buffer: &str| {
+        if interactive {
+            print!("{}", if buffer.is_empty() { "sql> " } else { "  -> " });
+            io::stdout().flush().ok();
+        }
+    };
+    prompt(&buffer);
+    for line in stdin.lock().lines() {
+        let line = line.expect("stdin is readable");
+        let trimmed = line.trim();
+        if buffer.is_empty() && trimmed.starts_with('\\') {
+            if !meta_command(&mut session, trimmed) {
+                return;
+            }
+            prompt(&buffer);
+            continue;
+        }
+        if !interactive && !trimmed.is_empty() {
+            println!("sql> {trimmed}");
+        }
+        buffer.push_str(&line);
+        buffer.push('\n');
+        // Keep reading until the statement is terminated.
+        if !trimmed.ends_with(';') {
+            prompt(&buffer);
+            continue;
+        }
+        match session.run_script(&buffer) {
+            Ok(results) => {
+                for result in results {
+                    println!("{result}");
+                }
+            }
+            Err(e) => println!("{e}"),
+        }
+        buffer.clear();
+        prompt(&buffer);
+    }
+}

@@ -6,14 +6,23 @@
 //! cargo run --example sql_to_ra
 //! ```
 
-use sqlsem::{compile, table, Database, Evaluator, Schema, Value};
+use sqlsem::{compile, Evaluator, Session};
 use sqlsem_algebra::{eliminate, translate, RaEvaluator};
 
 fn main() {
-    let schema = Schema::builder().table("R", ["A", "B"]).table("S", ["A"]).build().unwrap();
-    let mut db = Database::new(schema.clone());
-    db.insert("R", table! { ["A", "B"]; [1, 2], [1, 2], [Value::Null, 3] }).unwrap();
-    db.insert("S", table! { ["A"]; [1], [Value::Null] }).unwrap();
+    // The database is built in pure SQL through a Session; the §5
+    // translations then work on the annotated queries directly
+    // (the "advanced: direct crate access" flow).
+    let mut session = Session::new();
+    session
+        .run_script(
+            "CREATE TABLE R (A, B); CREATE TABLE S (A);
+             INSERT INTO R VALUES (1, 2), (1, 2), (NULL, 3);
+             INSERT INTO S VALUES (1), (NULL);",
+        )
+        .unwrap();
+    let schema = session.schema().clone();
+    let db = session.database();
 
     let queries = [
         "SELECT x.A AS a FROM R x WHERE x.B IS NOT NULL",
@@ -35,9 +44,9 @@ fn main() {
         assert!(pure.is_pure());
         println!("pure RA:  {} operators after eliminating ∈/empty", pure.size());
 
-        let expected = Evaluator::new(&db).eval(&q).unwrap();
-        let via_sqlra = RaEvaluator::new(&db).eval(&sqlra).unwrap();
-        let via_pure = RaEvaluator::new(&db).eval(&pure).unwrap();
+        let expected = Evaluator::new(db).eval(&q).unwrap();
+        let via_sqlra = RaEvaluator::new(db).eval(&sqlra).unwrap();
+        let via_pure = RaEvaluator::new(db).eval(&pure).unwrap();
         assert!(expected.coincides(&via_sqlra), "Proposition 1");
         assert!(expected.coincides(&via_pure), "Proposition 2");
 

@@ -6,14 +6,22 @@
 //! cargo run --example twovl_rewriter
 //! ```
 
-use sqlsem::{compile, table, to_sql_pretty, Database, Dialect, Evaluator, Schema, Value};
+use sqlsem::{compile, to_sql_pretty, Dialect, Evaluator, Session};
 use sqlsem_twovl::{blow_up, to_two_valued, EqInterpretation};
 
 fn main() {
-    let schema = Schema::builder().table("R", ["A"]).table("S", ["A"]).build().unwrap();
-    let mut db = Database::new(schema.clone());
-    db.insert("R", table! { ["A"]; [1], [Value::Null] }).unwrap();
-    db.insert("S", table! { ["A"]; [Value::Null], [2] }).unwrap();
+    // Build the instance in pure SQL; the Figure 10 rewriter then works
+    // on the annotated query (the "advanced: direct crate access" flow).
+    let mut session = Session::new();
+    session
+        .run_script(
+            "CREATE TABLE R (A); CREATE TABLE S (A);
+             INSERT INTO R VALUES (1), (NULL);
+             INSERT INTO S VALUES (NULL), (2);",
+        )
+        .unwrap();
+    let schema = session.schema().clone();
+    let db = session.database().clone();
 
     let sql = "SELECT DISTINCT R.A FROM R WHERE R.A NOT IN (SELECT S.A FROM S)";
     let q = compile(sql, &schema).unwrap();

@@ -1,7 +1,7 @@
 //! Offline, API-compatible stand-in for the parts of `proptest` this
 //! workspace uses: the [`Strategy`](strategy::Strategy) trait over integer
 //! ranges, tuples, [`Just`](strategy::Just), `prop_map`, weighted
-//! [`prop_oneof!`], [`collection::vec`], [`ProptestConfig`], and the
+//! [`prop_oneof!`], [`collection::vec`], `ProptestConfig`, and the
 //! [`proptest!`] / `prop_assert*!` macros.
 //!
 //! Semantics: each `#[test]` inside [`proptest!`] runs its body
@@ -165,7 +165,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::{Range, RangeInclusive};
 
-    /// A length specification for [`vec`]: an exact `usize`, `lo..hi`, or
+    /// A length specification for [`vec()`]: an exact `usize`, `lo..hi`, or
     /// `lo..=hi`.
     #[derive(Clone, Copy, Debug)]
     pub struct SizeRange {
@@ -193,7 +193,7 @@ pub mod collection {
         }
     }
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,
