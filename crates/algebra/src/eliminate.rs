@@ -112,6 +112,14 @@ pub fn twovalify(expr: &RaExpr, schema: &Schema, gen: &mut NameGen) -> Result<Ra
             keys: keys.clone(),
             aggs: aggs.clone(),
         },
+        // τ is condition-free too: sorting and slicing commute with the
+        // condition rewriting.
+        RaExpr::Sort { input, keys, limit, offset } => RaExpr::Sort {
+            input: Box::new(twovalify(input, schema, gen)?),
+            keys: keys.clone(),
+            limit: *limit,
+            offset: *offset,
+        },
     })
 }
 
@@ -261,6 +269,12 @@ pub fn decorrelate(expr: &RaExpr, schema: &Schema, gen: &mut NameGen) -> Result<
             input: Box::new(decorrelate(input, schema, gen)?),
             keys: keys.clone(),
             aggs: aggs.clone(),
+        },
+        RaExpr::Sort { input, keys, limit, offset } => RaExpr::Sort {
+            input: Box::new(decorrelate(input, schema, gen)?),
+            keys: keys.clone(),
+            limit: *limit,
+            offset: *offset,
         },
     })
 }
@@ -428,6 +442,13 @@ fn substitute(
             keys: keys.clone(),
             aggs: aggs.clone(),
         },
+        // τ's keys are attributes of the input's signature, like γ's.
+        RaExpr::Sort { input, keys, limit, offset } => RaExpr::Sort {
+            input: Box::new(substitute(input, map, schema)?),
+            keys: keys.clone(),
+            limit: *limit,
+            offset: *offset,
+        },
     })
 }
 
@@ -566,6 +587,17 @@ fn lift(
                 return Err(EvalError::malformed(
                     "cannot decorrelate a parameterised key-less aggregation",
                 ));
+            }
+        }
+        RaExpr::Sort { .. } => {
+            if params(e, schema)?.is_empty() {
+                // Uncorrelated: the same (already sliced) list under
+                // every binding.
+                u.product(e.clone())
+            } else {
+                // A parameterised τ would need a per-binding top-k —
+                // outside the lifting construction of Proposition 2.
+                return Err(EvalError::malformed("cannot decorrelate a parameterised sort/limit"));
             }
         }
     })

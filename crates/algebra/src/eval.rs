@@ -144,6 +144,21 @@ impl<'a> RaEvaluator<'a> {
                 self.eval_in(input, env)?.with_columns(to.clone())
             }
             RaExpr::Dedup(input) => Ok(self.eval_in(input, env)?.distinct()),
+            RaExpr::Sort { input, keys, limit, offset } => {
+                signature(expr, self.db.schema())?; // keys ∈ ℓ(E)
+                let table = self.eval_in(input, env)?;
+                // RA signatures are repetition-free, so the shared SQL
+                // list layer (which resolves by name) applies directly.
+                let order_by: Vec<sqlsem_core::OrderKey> = keys
+                    .iter()
+                    .map(|k| sqlsem_core::OrderKey {
+                        column: k.column.clone(),
+                        desc: k.desc,
+                        nulls_first: Some(k.nulls_first),
+                    })
+                    .collect();
+                sqlsem_core::order::sort_and_slice(table, &order_by, *limit, Some(*offset))
+            }
             RaExpr::GroupBy { input, keys, aggs } => {
                 let out_sig = signature(expr, self.db.schema())?;
                 let in_sig = signature(input, self.db.schema())?;

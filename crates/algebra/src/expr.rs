@@ -220,6 +220,25 @@ pub enum RaExpr {
     },
     /// Duplicate elimination `ε(E)`.
     Dedup(Box<RaExpr>),
+    /// The list-layer operator `τ^{n,m}_{keys}(E)` (sort/limit): sort the
+    /// bag stably by the keys, skip the first `offset` records, keep at
+    /// most `limit`. The one operator whose output is a *list*; nested
+    /// under other operators the list degrades back to its bag (but the
+    /// `limit`/`offset` slice still matters).
+    ///
+    /// Like every RA operator, keys are plain attributes of `ℓ(E)`;
+    /// signatures are repetition-free, so resolution cannot be
+    /// ambiguous here (unlike SQL's `ORDER BY`).
+    Sort {
+        /// Input.
+        input: Box<RaExpr>,
+        /// The sort keys, outermost first (empty means slice only).
+        keys: Vec<RaSortKey>,
+        /// Keep at most this many records (`None`: no bound).
+        limit: Option<u64>,
+        /// Skip this many records first.
+        offset: u64,
+    },
     /// Grouping with aggregation `γ_{β; F₁→N₁,…,Fₘ→Nₘ}(E)`: partition
     /// the rows of `E` by the (null-safe) values of the key attributes
     /// `keys ⊆ ℓ(E)`, and output one row per group, carrying the key
@@ -237,6 +256,29 @@ pub enum RaExpr {
         /// The aggregates, each with a fresh output attribute.
         aggs: Vec<RaAggregate>,
     },
+}
+
+/// One sort key of a [`RaExpr::Sort`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RaSortKey {
+    /// The attribute sorted by (must be in `ℓ(E)`).
+    pub column: Name,
+    /// `true` for descending.
+    pub desc: bool,
+    /// `NULL` placement (the NULLS-last default already applied).
+    pub nulls_first: bool,
+}
+
+impl fmt::Display for RaSortKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}{}",
+            self.column,
+            if self.desc { "↓" } else { "↑" },
+            if self.nulls_first { "ⁿ" } else { "" }
+        )
+    }
 }
 
 /// One aggregate of a [`RaExpr::GroupBy`].
@@ -319,6 +361,12 @@ impl RaExpr {
         RaExpr::Dedup(Box::new(self))
     }
 
+    /// `τ^{limit,offset}_{keys}(self)`.
+    #[must_use]
+    pub fn sort(self, keys: Vec<RaSortKey>, limit: Option<u64>, offset: u64) -> RaExpr {
+        RaExpr::Sort { input: Box::new(self), keys, limit, offset }
+    }
+
     /// `γ_{keys; aggs}(self)`.
     #[must_use]
     pub fn group_by<N: Into<Name>, I: IntoIterator<Item = N>>(
@@ -342,7 +390,8 @@ impl RaExpr {
             RaExpr::Proj { input, .. }
             | RaExpr::Rename { input, .. }
             | RaExpr::Dedup(input)
-            | RaExpr::GroupBy { input, .. } => input.is_pure(),
+            | RaExpr::GroupBy { input, .. }
+            | RaExpr::Sort { input, .. } => input.is_pure(),
             RaExpr::Select { input, cond } => input.is_pure() && cond_is_pure_deep(cond),
             RaExpr::Product(a, b)
             | RaExpr::Union(a, b)
@@ -360,7 +409,8 @@ impl RaExpr {
             RaExpr::Proj { input, .. }
             | RaExpr::Rename { input, .. }
             | RaExpr::Dedup(input)
-            | RaExpr::GroupBy { input, .. } => {
+            | RaExpr::GroupBy { input, .. }
+            | RaExpr::Sort { input, .. } => {
                 n += input.size();
             }
             RaExpr::Select { input, cond } => {
@@ -465,6 +515,18 @@ pub fn signature(expr: &RaExpr, schema: &Schema) -> Result<Vec<Name>, EvalError>
             }
             Ok(to.clone())
         }
+        RaExpr::Sort { input, keys, .. } => {
+            let sig = signature(input, schema)?;
+            for k in keys {
+                if !sig.contains(&k.column) {
+                    return Err(EvalError::malformed(format!(
+                        "τ sorts by {}, which is not in the signature",
+                        k.column
+                    )));
+                }
+            }
+            Ok(sig)
+        }
         RaExpr::GroupBy { input, keys, aggs } => {
             let sig = signature(input, schema)?;
             if keys.is_empty() && aggs.is_empty() {
@@ -528,6 +590,17 @@ impl fmt::Display for RaExpr {
             RaExpr::GroupBy { input, keys, aggs } => {
                 let rendered: Vec<String> = aggs.iter().map(|a| a.to_string()).collect();
                 write!(f, "γ[{}; {}]({input})", join(keys), rendered.join(", "))
+            }
+            RaExpr::Sort { input, keys, limit, offset } => {
+                let rendered: Vec<String> = keys.iter().map(|k| k.to_string()).collect();
+                write!(f, "τ[{}", rendered.join(","))?;
+                if let Some(n) = limit {
+                    write!(f, "; limit {n}")?;
+                }
+                if *offset > 0 {
+                    write!(f, "; offset {offset}")?;
+                }
+                write!(f, "]({input})")
             }
         }
     }

@@ -73,6 +73,10 @@ pub fn collect_names(expr: &RaExpr, out: &mut HashSet<Name>) {
             collect_names(input, out);
         }
         RaExpr::Dedup(input) => collect_names(input, out),
+        RaExpr::Sort { input, keys, .. } => {
+            out.extend(keys.iter().map(|k| k.column.clone()));
+            collect_names(input, out);
+        }
         RaExpr::GroupBy { input, keys, aggs } => {
             out.extend(keys.iter().cloned());
             for agg in aggs {

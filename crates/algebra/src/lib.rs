@@ -52,7 +52,7 @@ pub mod translate;
 
 pub use eliminate::{decorrelate, eliminate, twovalify};
 pub use eval::{RaEnv, RaEvaluator};
-pub use expr::{signature, RaCond, RaExpr, RaTerm};
+pub use expr::{signature, RaCond, RaExpr, RaSortKey, RaTerm};
 pub use gadgets::{
     project_with_repetition, syntactic_antijoin, syntactic_eq, syntactic_natural_join,
     syntactic_semijoin, NameGen,

@@ -38,7 +38,8 @@ pub fn params(expr: &RaExpr, schema: &Schema) -> Result<HashSet<Name>, EvalError
         RaExpr::Proj { input, .. }
         | RaExpr::Rename { input, .. }
         | RaExpr::Dedup(input)
-        | RaExpr::GroupBy { input, .. } => params(input, schema),
+        | RaExpr::GroupBy { input, .. }
+        | RaExpr::Sort { input, .. } => params(input, schema),
         RaExpr::Select { input, cond } => {
             let mut out = params(input, schema)?;
             let bound: HashSet<Name> = signature(input, schema)?.into_iter().collect();

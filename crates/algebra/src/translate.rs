@@ -349,6 +349,38 @@ struct Translator<'a> {
     gen: &'a mut NameGen,
 }
 
+/// The list-layer translation rule: an ordered/limited block becomes
+/// `τ^{limit,offset}_{keys}(E)` over the block's translation. After
+/// `π^α_β` the expression's signature *is* `β′` (the output names), so
+/// `ORDER BY` keys translate to themselves — Definition 1 guarantees
+/// `β′` is repetition-free, and a key outside it is the same unbound
+/// error SQL raises.
+fn attach_ordering(s: &SelectQuery, expr: RaExpr) -> Result<RaExpr, TranslateError> {
+    if !s.is_ordered() {
+        return Ok(expr);
+    }
+    let keys = s
+        .order_by
+        .iter()
+        .map(|k| crate::expr::RaSortKey {
+            column: k.column.clone(),
+            desc: k.desc,
+            nulls_first: k.nulls_first_effective(),
+        })
+        .collect();
+    // Key membership in the signature is validated by `signature` at
+    // evaluation; validate eagerly here so translation errors point at
+    // the SQL, matching how SQL's own layers resolve ORDER BY keys.
+    if let SelectList::Items(items) = &s.select {
+        for key in &s.order_by {
+            if !items.iter().any(|i| i.alias == key.column) {
+                return Err(TranslateError::Eval(EvalError::UnboundName(key.column.clone())));
+            }
+        }
+    }
+    Ok(expr.sort(keys, s.limit, s.offset.unwrap_or(0)))
+}
+
 impl Translator<'_> {
     fn query(&mut self, query: &Query) -> Result<RaExpr, TranslateError> {
         match query {
@@ -419,7 +451,8 @@ impl Translator<'_> {
             .collect();
         let beta: Vec<Name> = items.iter().map(|i| i.alias.clone()).collect();
         let projected = project_with_repetition(filtered, &alpha, &beta, self.schema, self.gen)?;
-        Ok(if s.distinct { projected.dedup() } else { projected })
+        let deduped = if s.distinct { projected.dedup() } else { projected };
+        attach_ordering(s, deduped)
     }
 
     /// The grouping translation rule:
@@ -487,7 +520,8 @@ impl Translator<'_> {
             .collect();
         let beta: Vec<Name> = items.iter().map(|i| i.alias.clone()).collect();
         let projected = project_with_repetition(with_having, &alpha, &beta, self.schema, self.gen)?;
-        Ok(if s.distinct { projected.dedup() } else { projected })
+        let deduped = if s.distinct { projected.dedup() } else { projected };
+        attach_ordering(s, deduped)
     }
 
     /// Translates a (subquery-free) `HAVING` condition over γ's output.
@@ -711,6 +745,35 @@ mod tests {
         check_equivalent("SELECT A FROM S INTERSECT SELECT A FROM R");
         check_equivalent("SELECT A FROM S EXCEPT ALL SELECT A FROM R");
         check_equivalent("SELECT A FROM S EXCEPT SELECT A FROM R");
+    }
+
+    #[test]
+    fn ordered_blocks_translate_to_the_sort_operator() {
+        // Result lists must match *as lists*, not just as bags.
+        let schema = schema();
+        let db = db();
+        for sql in [
+            "SELECT R.A AS a, R.B AS b FROM R ORDER BY a DESC NULLS FIRST, b",
+            "SELECT R.A AS a FROM R ORDER BY a LIMIT 2",
+            "SELECT R.A AS a FROM R ORDER BY a NULLS LAST OFFSET 1 ROWS FETCH FIRST 2 ROWS ONLY",
+            "SELECT DISTINCT R.A AS a FROM R ORDER BY a LIMIT 2",
+            "SELECT R.A AS a FROM R LIMIT 1",
+        ] {
+            let q = compile(sql, &schema).unwrap();
+            let expected = Evaluator::new(&db).eval(&q).unwrap();
+            let e = translate(&q, &schema).unwrap();
+            assert!(matches!(e, RaExpr::Sort { .. }), "{sql}: {e}");
+            let got = RaEvaluator::new(&db).eval(&e).unwrap();
+            let a: Vec<_> = expected.rows().collect();
+            let b: Vec<_> = got.rows().collect();
+            assert_eq!(a, b, "{sql}\nexpr: {e}");
+        }
+        // An ORDER BY key outside the output signature is unbound.
+        let q = compile("SELECT R.A AS a FROM R ORDER BY a", &schema).unwrap();
+        let Query::Select(mut s) = q else { panic!() };
+        s.order_by[0].column = Name::new("nope");
+        let err = translate(&Query::Select(s), &schema).unwrap_err();
+        assert!(matches!(err, TranslateError::Eval(EvalError::UnboundName(_))), "{err}");
     }
 
     #[test]

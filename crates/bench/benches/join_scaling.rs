@@ -75,5 +75,21 @@ fn bench_exists_early_exit(c: &mut Criterion) {
     );
 }
 
-criterion_group!(benches, bench_hash_join, bench_subquery_cache, bench_exists_early_exit);
+fn bench_top_k(c: &mut Criterion) {
+    // Naive: full stable sort + slice. Optimized: bounded-heap TopK.
+    bench_case(
+        c,
+        "top_k",
+        "SELECT R.A AS a, R.B AS b FROM R ORDER BY b DESC, a LIMIT 10",
+        &[50, 150, 450],
+    );
+}
+
+criterion_group!(
+    benches,
+    bench_hash_join,
+    bench_subquery_cache,
+    bench_exists_early_exit,
+    bench_top_k
+);
 criterion_main!(benches);

@@ -1,17 +1,30 @@
-//! Scaling bench for the hash equi-join path: the same two-table join is
-//! executed by the naive engine (filter over a materialized cross
-//! product, quadratic in the row count) and the optimized engine (hash
-//! build + probe, linear in rows + matches) at 1×/10×/100× the paper's
-//! 50-row cap.
+//! Scaling bench for the two hot-path rewrites, plus the CI regression
+//! guard.
+//!
+//! Two measurements, at 1×/10×/100× the paper's 50-row cap:
+//!
+//! * **join_scaling** — the same two-table join executed by the naive
+//!   engine (filter over a materialized cross product, quadratic) and
+//!   the optimized engine (hash build + probe, linear in rows +
+//!   matches);
+//! * **top_k** — `ORDER BY … LIMIT 10` executed naively (full stable
+//!   sort, then slice) and optimized (the bounded binary-heap
+//!   [`sqlsem_engine::Plan::TopK`], which keeps at most
+//!   `offset + limit` rows in its sort buffer).
 //!
 //! Both sides are checked to coincide before timing, so the numbers are
 //! for provably identical results. With `--record` the measurements are
-//! written to `BENCH_join_scaling.json` in the current directory — CI
-//! keeps the first recorded file as the performance baseline.
+//! written to `BENCH_join_scaling.json` in the current directory — the
+//! repo keeps a recorded file as the performance baseline. With
+//! `--check <baseline.json>` the bench re-times the optimized paths and
+//! exits non-zero if any measurement at a matching row count regressed
+//! more than [`CHECK_FACTOR`]× + [`CHECK_SLACK_MS`] against the
+//! baseline (the additive slack keeps sub-millisecond points from
+//! flaking on noisy shared CI runners).
 //!
 //! ```text
 //! cargo run --release -p sqlsem-bench --bin join_scaling -- --record
-//! cargo run --release -p sqlsem-bench --bin join_scaling -- --quick
+//! cargo run --release -p sqlsem-bench --bin join_scaling -- --quick --check BENCH_join_scaling.json
 //! ```
 
 use std::time::Instant;
@@ -20,9 +33,23 @@ use sqlsem_bench::{arg, flag};
 use sqlsem_core::{Database, Row, Schema, Table, Value};
 use sqlsem_engine::Engine;
 
+/// Maximum allowed slow-down of an optimized timing against the
+/// committed baseline before `--check` fails.
+const CHECK_FACTOR: f64 = 3.0;
+
+/// Additive slack on top of the 3x threshold. Sub-millisecond baseline
+/// points (the 50/500-row timings) sit in the scheduler-noise regime on
+/// shared CI runners, where a 3x blow-up means nothing; the slack makes
+/// the guard insensitive to that noise while still catching any real
+/// regression (a quadratic slip moves these timings by orders of
+/// magnitude, far past `3x + 1 ms`).
+const CHECK_SLACK_MS: f64 = 1.0;
+
 /// R(A,B) ⋈ S(A,C) on A: each side has `n` rows, keys `0..n` with every
 /// tenth key null — the join output stays ~`n` rows, so the optimized
-/// path is linear while the naive product materializes `n²` rows.
+/// path is linear while the naive product materializes `n²` rows. The
+/// same instance feeds the top-k bench (payload column B is unsorted
+/// enough to make the heap work).
 fn instance(schema: &Schema, n: usize) -> Database {
     let mut db = Database::new(schema.clone());
     let key = |i: usize| {
@@ -33,7 +60,13 @@ fn instance(schema: &Schema, n: usize) -> Database {
         }
     };
     let rows = |payload: i64| -> Vec<Row> {
-        (0..n).map(|i| Row::new(vec![key(i), Value::Int(i as i64 * payload)])).collect()
+        (0..n)
+            .map(|i| {
+                // A scrambled payload so ORDER BY on it actually sorts.
+                let scrambled = ((i as i64).wrapping_mul(2654435761)) % (n as i64 * 7 + 1);
+                Row::new(vec![key(i), Value::Int(scrambled * payload)])
+            })
+            .collect()
     };
     let table = |payload, cols: [&str; 2]| {
         Table::with_rows(cols.map(Into::into).to_vec(), rows(payload)).unwrap()
@@ -60,56 +93,179 @@ fn time_ms(mut f: impl FnMut() -> usize, reps: usize) -> (f64, usize) {
     (median_ms(runs), rows)
 }
 
+/// One recorded measurement line.
+struct Measurement {
+    bench: &'static str,
+    rows: u64,
+    naive_ms: Option<f64>,
+    optimized_ms: f64,
+    out_rows: usize,
+}
+
+/// Extracts `(rows, optimized_ms)` pairs from one `"<bench>": [ … ]`
+/// section of the baseline JSON. Hand-rolled (the workspace is
+/// offline — no serde): scans the section's objects for the `"rows"`
+/// and `"optimized_ms"` fields.
+fn baseline_pairs(json: &str, section: &str) -> Vec<(u64, f64)> {
+    let Some(start) = json.find(&format!("\"{section}\"")) else { return Vec::new() };
+    let rest = &json[start..];
+    let Some(open) = rest.find('[') else { return Vec::new() };
+    let Some(close) = rest.find(']') else { return Vec::new() };
+    let body = &rest[open + 1..close];
+    let field = |obj: &str, name: &str| -> Option<f64> {
+        let at = obj.find(&format!("\"{name}\""))?;
+        let tail = obj[at..].split_once(':')?.1;
+        let num: String = tail
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+            .collect();
+        num.parse().ok()
+    };
+    body.split('}')
+        .filter_map(|obj| {
+            let rows = field(obj, "rows")? as u64;
+            let ms = field(obj, "optimized_ms")?;
+            Some((rows, ms))
+        })
+        .collect()
+}
+
 fn main() {
     let quick = flag("--quick");
     let record = flag("--record");
-    let reps: usize = arg("--reps", 3);
+    let check_path: String = arg("--check", String::new());
+    let reps: usize = arg("--reps", if check_path.is_empty() { 3 } else { 5 });
     let sizes: Vec<usize> = if quick { vec![50, 500] } else { vec![50, 500, 5000] };
-    // The naive path materializes n² rows; cap it where that stops being
+    // The naive join materializes n² rows; cap it where that stops being
     // a reasonable thing to ask of a benchmark run (25M rows at n=5000
     // still completes, so the default cap only guards larger requests).
     let naive_cap: usize = arg("--naive-cap", 5_000);
 
     let schema = Schema::builder().table("R", ["A", "B"]).table("S", ["A", "C"]).build().unwrap();
-    let q = sqlsem_parser::compile("SELECT R.B, S.C FROM R, S WHERE R.A = S.A", &schema).unwrap();
+    let join_q =
+        sqlsem_parser::compile("SELECT R.B, S.C FROM R, S WHERE R.A = S.A", &schema).unwrap();
+    let topk_q = sqlsem_parser::compile(
+        "SELECT R.A AS a, R.B AS b FROM R ORDER BY b DESC, a LIMIT 10",
+        &schema,
+    )
+    .unwrap();
 
-    println!("join scaling: R ⋈ S on A, {reps} reps, median ms per execution\n");
+    println!("join/top-k scaling: {reps} reps, median ms per execution\n");
     println!(
-        "{:>8} {:>14} {:>14} {:>10} {:>10}",
-        "rows", "naive_ms", "optimized_ms", "speedup", "out_rows"
+        "{:>14} {:>8} {:>14} {:>14} {:>10} {:>10}",
+        "bench", "rows", "naive_ms", "optimized_ms", "speedup", "out_rows"
     );
-    let mut lines = Vec::new();
+    let mut measurements: Vec<Measurement> = Vec::new();
     for &n in &sizes {
         let db = instance(&schema, n);
         let naive = Engine::new(&db).with_optimizations(false);
         let optimized = Engine::new(&db);
-        // Correctness gate before timing.
-        let a = naive.execute(&q).unwrap();
-        let b = optimized.execute(&q).unwrap();
-        assert!(a.coincides(&b), "naive and optimized disagree at n={n}");
 
-        let (opt_ms, out_rows) = time_ms(|| optimized.execute(&q).unwrap().len(), reps);
-        let (naive_ms, naive_txt) = if n <= naive_cap {
-            let (ms, _) = time_ms(|| naive.execute(&q).unwrap().len(), reps);
-            (ms, format!("{ms:.3}"))
-        } else {
-            (f64::NAN, "skipped".to_string())
-        };
+        // --- join_scaling ------------------------------------------------
+        // Correctness gate before timing.
+        let a = naive.execute(&join_q).unwrap();
+        let b = optimized.execute(&join_q).unwrap();
+        assert!(a.coincides(&b), "naive and optimized join disagree at n={n}");
+        let (opt_ms, out_rows) = time_ms(|| optimized.execute(&join_q).unwrap().len(), reps);
+        let naive_ms =
+            (n <= naive_cap).then(|| time_ms(|| naive.execute(&join_q).unwrap().len(), reps).0);
+        measurements.push(Measurement {
+            bench: "join_scaling",
+            rows: n as u64,
+            naive_ms,
+            optimized_ms: opt_ms,
+            out_rows,
+        });
+
+        // --- top_k -------------------------------------------------------
+        // The list results must agree *as lists* before timing.
+        let a = naive.execute(&topk_q).unwrap();
+        let b = optimized.execute(&topk_q).unwrap();
+        assert!(a.rows().eq(b.rows()), "naive sort and heap top-k disagree as lists at n={n}");
+        let (opt_ms, out_rows) = time_ms(|| optimized.execute(&topk_q).unwrap().len(), reps);
+        let (sort_ms, _) = time_ms(|| naive.execute(&topk_q).unwrap().len(), reps);
+        measurements.push(Measurement {
+            bench: "top_k",
+            rows: n as u64,
+            naive_ms: Some(sort_ms),
+            optimized_ms: opt_ms,
+            out_rows,
+        });
+    }
+
+    for m in &measurements {
+        let naive_txt = m.naive_ms.map_or("skipped".to_string(), |ms| format!("{ms:.3}"));
         let speedup =
-            if naive_ms.is_nan() { "-".to_string() } else { format!("{:.1}x", naive_ms / opt_ms) };
-        println!("{n:>8} {naive_txt:>14} {opt_ms:>14.3} {speedup:>10} {out_rows:>10}");
-        lines.push(format!(
-            "    {{\"rows\": {n}, \"naive_ms\": {}, \"optimized_ms\": {opt_ms:.4}, \"out_rows\": {out_rows}}}",
-            if naive_ms.is_nan() { "null".to_string() } else { format!("{naive_ms:.4}") }
-        ));
+            m.naive_ms.map_or("-".to_string(), |ms| format!("{:.1}x", ms / m.optimized_ms));
+        println!(
+            "{:>14} {:>8} {:>14} {:>14.3} {:>10} {:>10}",
+            m.bench, m.rows, naive_txt, m.optimized_ms, speedup, m.out_rows
+        );
     }
 
     if record {
+        let section = |name: &str| -> String {
+            measurements
+                .iter()
+                .filter(|m| m.bench == name)
+                .map(|m| {
+                    format!(
+                        "    {{\"rows\": {}, \"naive_ms\": {}, \"optimized_ms\": {:.4}, \"out_rows\": {}}}",
+                        m.rows,
+                        m.naive_ms.map_or("null".to_string(), |ms| format!("{ms:.4}")),
+                        m.optimized_ms,
+                        m.out_rows
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(",\n")
+        };
         let json = format!(
-            "{{\n  \"bench\": \"join_scaling\",\n  \"query\": \"SELECT R.B, S.C FROM R, S WHERE R.A = S.A\",\n  \"reps\": {reps},\n  \"measurements\": [\n{}\n  ]\n}}\n",
-            lines.join(",\n")
+            "{{\n  \"bench\": \"join_scaling\",\n  \"reps\": {reps},\n  \"measurements\": [\n{}\n  ],\n  \"top_k\": [\n{}\n  ]\n}}\n",
+            section("join_scaling"),
+            section("top_k")
         );
         std::fs::write("BENCH_join_scaling.json", &json).expect("write baseline");
         println!("\nrecorded BENCH_join_scaling.json");
+    }
+
+    if !check_path.is_empty() {
+        let baseline = std::fs::read_to_string(&check_path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {check_path}: {e}"));
+        let mut checked = 0usize;
+        let mut regressions = Vec::new();
+        for section in ["measurements", "top_k"] {
+            let name = if section == "measurements" { "join_scaling" } else { "top_k" };
+            for (rows, base_ms) in baseline_pairs(&baseline, section) {
+                let Some(m) = measurements.iter().find(|m| m.bench == name && m.rows == rows)
+                else {
+                    continue;
+                };
+                checked += 1;
+                if m.optimized_ms > base_ms * CHECK_FACTOR + CHECK_SLACK_MS {
+                    regressions.push(format!(
+                        "{name} at {rows} rows: {:.3} ms vs baseline {base_ms:.3} ms \
+                         (> {CHECK_FACTOR}x + {CHECK_SLACK_MS} ms)",
+                        m.optimized_ms
+                    ));
+                }
+            }
+        }
+        println!(
+            "\nbench guard: {checked} baseline point(s) checked \
+             (threshold {CHECK_FACTOR}x + {CHECK_SLACK_MS} ms)"
+        );
+        if checked == 0 {
+            eprintln!("bench guard: no baseline points matched the run's row counts");
+            std::process::exit(1);
+        }
+        if !regressions.is_empty() {
+            for r in &regressions {
+                eprintln!("REGRESSION: {r}");
+            }
+            std::process::exit(1);
+        }
+        println!("bench guard: no regressions");
     }
 }

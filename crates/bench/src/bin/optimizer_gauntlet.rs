@@ -31,7 +31,8 @@ use sqlsem_engine::{Backend, Engine};
 use sqlsem_generator::paper_schema;
 use sqlsem_session::Session;
 use sqlsem_validation::{
-    candidate_session, compare, iteration_case, session_outcome, ValidationConfig, Verdict,
+    candidate_session, compare_with_order, iteration_case, ordered_comparison, session_outcome,
+    ValidationConfig, Verdict,
 };
 
 /// Example 1 and Example 2, the shapes whose null/ambiguity behaviour
@@ -71,11 +72,29 @@ struct Tally {
     disagreements: usize,
 }
 
+/// Writes a disagreement dump — the SQL, the detail, and the full
+/// database instance — for CI to upload as a workflow artifact.
+fn dump_disagreement(dir: &str, index: usize, sql: &str, detail: &str, session: &Session) {
+    let _ = std::fs::create_dir_all(dir);
+    let mut text = format!("-- disagreement #{index}\n-- {detail}\n{sql}\n\n-- database dump\n");
+    let db = session.database();
+    for (table, _) in db.schema().iter() {
+        if let Ok(t) = db.table(table) {
+            text.push_str(&format!("-- {table} ({} rows)\n{t}\n", t.len()));
+        }
+    }
+    let path = format!("{dir}/disagreement_{index}.txt");
+    if let Err(e) = std::fs::write(&path, text) {
+        eprintln!("could not write {path}: {e}");
+    }
+}
+
 fn main() {
     let queries: usize = arg("--queries", 2_000);
     let seed: u64 = arg("--seed", 1);
     let rows: usize = arg("--rows", 8);
     let backend: Backend = arg("--backend", Backend::OptimizedEngine);
+    let dump_dir: String = arg("--dump", String::new());
 
     let combos: Vec<(Dialect, LogicMode)> = Dialect::ALL
         .into_iter()
@@ -89,6 +108,7 @@ fn main() {
 
     // The session is built once per database (below) and retargeted per
     // combination; query execution never mutates the database.
+    let mut dumped = 0usize;
     let mut check = |tally: &mut Tally, query: &Query, session: &mut Session| {
         let (dialect, logic) = (tally.dialect, tally.logic);
         session.set_dialect(dialect);
@@ -96,6 +116,9 @@ fn main() {
         // Candidate: SQL text through the Session with the chosen backend.
         let sql = sqlsem_parser::to_sql(query, dialect);
         let candidate = session_outcome(session, &sql);
+        // Ordered queries are compared as lists (prefix-equality under
+        // ties); everything else under the §4 bag criterion.
+        let order = ordered_comparison(query, session.schema());
         // Oracles: the spec interpreter and the naive engine, direct.
         let db = session.database();
         let spec = Evaluator::new(db).with_dialect(dialect).with_logic(logic).eval(query);
@@ -107,14 +130,17 @@ fn main() {
         for (oracle, outcome, count) in
             [("spec", &spec, &mut tally.vs_spec), ("naive", &naive, &mut tally.vs_naive)]
         {
-            match compare(outcome, &candidate) {
+            match compare_with_order(outcome, &candidate, order.as_ref()) {
                 Verdict::AgreeResult | Verdict::AgreeError => *count += 1,
                 Verdict::Disagree(detail) => {
                     tally.disagreements += 1;
+                    let detail = format!("[{dialect} / {logic:?} vs {oracle}] {detail}");
+                    if !dump_dir.is_empty() && dumped < 20 {
+                        dumped += 1;
+                        dump_disagreement(&dump_dir, dumped, &sql, &detail, session);
+                    }
                     if samples.len() < 5 {
-                        samples.push(format!(
-                            "[{dialect} / {logic:?} vs {oracle}] {detail}\n    {sql}"
-                        ));
+                        samples.push(format!("{detail}\n    {sql}"));
                     }
                 }
             }

@@ -328,8 +328,83 @@ impl SetOp {
     }
 }
 
+/// One key of an `ORDER BY` clause: `N [ASC|DESC] [NULLS FIRST|LAST]`.
+///
+/// Ordering is the one construct of the fragment whose meaning is
+/// *list*-valued, so — following SQL-92 — its keys reference **output
+/// columns** of the block (the names of `ℓ(Q)`), not arbitrary terms of
+/// the scope. A key whose name does not label any output column is
+/// unbound; one labelling several output columns is ambiguous (the
+/// repeated-output-name situation of Example 2, transported to `ORDER
+/// BY`).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct OrderKey {
+    /// The output column the key sorts by.
+    pub column: Name,
+    /// `true` for `DESC`.
+    pub desc: bool,
+    /// Explicit `NULLS FIRST` (`Some(true)`) / `NULLS LAST`
+    /// (`Some(false)`); `None` when unwritten, which means **NULLS
+    /// LAST** in this fragment regardless of direction (the Standard
+    /// leaves the default implementation-defined; fixing one keeps the
+    /// list semantics a function of the query alone).
+    pub nulls_first: Option<bool>,
+}
+
+impl OrderKey {
+    /// An ascending key with the default `NULL` placement.
+    pub fn asc(column: impl Into<Name>) -> OrderKey {
+        OrderKey { column: column.into(), desc: false, nulls_first: None }
+    }
+
+    /// A descending key with the default `NULL` placement.
+    pub fn desc(column: impl Into<Name>) -> OrderKey {
+        OrderKey { column: column.into(), desc: true, nulls_first: None }
+    }
+
+    /// Overrides the `NULL` placement.
+    #[must_use]
+    pub fn nulls_first(mut self, first: bool) -> OrderKey {
+        self.nulls_first = Some(first);
+        self
+    }
+
+    /// The placement actually used: explicit override, or the fragment's
+    /// NULLS-last default.
+    pub fn nulls_first_effective(&self) -> bool {
+        self.nulls_first.unwrap_or(false)
+    }
+}
+
+impl fmt::Display for OrderKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.column)?;
+        if self.desc {
+            f.write_str(" DESC")?;
+        }
+        match self.nulls_first {
+            Some(true) => f.write_str(" NULLS FIRST"),
+            Some(false) => f.write_str(" NULLS LAST"),
+            None => Ok(()),
+        }
+    }
+}
+
+impl From<Name> for OrderKey {
+    fn from(column: Name) -> Self {
+        OrderKey::asc(column)
+    }
+}
+
+impl From<&str> for OrderKey {
+    fn from(column: &str) -> Self {
+        OrderKey::asc(column)
+    }
+}
+
 /// A `SELECT`-`FROM`-`WHERE` block, optionally grouped
-/// (`GROUP BY`/`HAVING`/aggregates).
+/// (`GROUP BY`/`HAVING`/aggregates) and optionally ordered/limited
+/// (`ORDER BY`/`LIMIT`/`OFFSET`, the list-valued extension).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SelectQuery {
     /// Whether `DISTINCT` duplicate elimination is applied.
@@ -346,6 +421,19 @@ pub struct SelectQuery {
     /// The `HAVING` condition (`TRUE` when absent), evaluated once per
     /// group under the grouped environment (group keys + aggregates).
     pub having: Condition,
+    /// The `ORDER BY` keys (empty when the clause is absent). Applied
+    /// *after* projection and `DISTINCT`: the bag result becomes a list,
+    /// stably sorted by the keys (ties keep the bag's deterministic
+    /// production order).
+    pub order_by: Vec<OrderKey>,
+    /// `LIMIT n` / `FETCH FIRST n ROWS ONLY`: keep at most `n` rows of
+    /// the (ordered) list. `None` when absent.
+    pub limit: Option<u64>,
+    /// `OFFSET m [ROWS]`: skip the first `m` rows of the (ordered) list
+    /// before applying `limit`. An offset past the end yields the empty
+    /// list. `None` when absent (`Some(0)` round-trips an explicit
+    /// `OFFSET 0`).
+    pub offset: Option<u64>,
 }
 
 impl SelectQuery {
@@ -358,6 +446,9 @@ impl SelectQuery {
             where_: Condition::True,
             group_by: Vec::new(),
             having: Condition::True,
+            order_by: Vec::new(),
+            limit: None,
+            offset: None,
         }
     }
 
@@ -387,6 +478,34 @@ impl SelectQuery {
     pub fn having(mut self, cond: Condition) -> Self {
         self.having = cond;
         self
+    }
+
+    /// Sets the `ORDER BY` keys.
+    #[must_use]
+    pub fn order_by<K: Into<OrderKey>, I: IntoIterator<Item = K>>(mut self, keys: I) -> Self {
+        self.order_by = keys.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Sets `LIMIT n`.
+    #[must_use]
+    pub fn limit(mut self, n: u64) -> Self {
+        self.limit = Some(n);
+        self
+    }
+
+    /// Sets `OFFSET m`.
+    #[must_use]
+    pub fn offset(mut self, m: u64) -> Self {
+        self.offset = Some(m);
+        self
+    }
+
+    /// `true` iff the block carries any part of the ordering fragment —
+    /// an `ORDER BY` clause, a `LIMIT`, or an `OFFSET` — and its result
+    /// is therefore list-valued.
+    pub fn is_ordered(&self) -> bool {
+        !self.order_by.is_empty() || self.limit.is_some() || self.offset.is_some()
     }
 
     /// `true` iff the block is evaluated with grouping semantics: it has
@@ -757,6 +876,11 @@ impl fmt::Display for Query {
 
 fn fmt_setop_operand(q: &Query, f: &mut fmt::Formatter<'_>) -> fmt::Result {
     match q {
+        // An *ordered* SELECT operand needs parentheses: the parser
+        // attaches bare trailing ORDER BY/LIMIT clauses at query level
+        // (and rejects them on set operations), so only the
+        // parenthesised form re-parses to the same tree.
+        Query::Select(s) if s.is_ordered() => write!(f, "({q})"),
         Query::Select(_) => write!(f, "{q}"),
         Query::SetOp { .. } => write!(f, "({q})"),
     }
@@ -814,6 +938,24 @@ impl fmt::Display for SelectQuery {
         }
         if self.having != Condition::True {
             write!(f, " HAVING {}", self.having)?;
+        }
+        if !self.order_by.is_empty() {
+            f.write_str(" ORDER BY ")?;
+            for (i, k) in self.order_by.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{k}")?;
+            }
+        }
+        // The Standard surface (SQL-92 style): OFFSET before FETCH FIRST.
+        // The PostgreSQL `LIMIT n OFFSET m` spelling lives in the parser
+        // crate's dialect printer.
+        if let Some(m) = self.offset {
+            write!(f, " OFFSET {m} ROWS")?;
+        }
+        if let Some(n) = self.limit {
+            write!(f, " FETCH FIRST {n} ROWS ONLY")?;
         }
         Ok(())
     }

@@ -56,11 +56,44 @@ fn check_rec(
             }
             let local = sig::scope(&s.from, schema)?;
             stack.push(local);
-            let result = check_block(s, schema, dialect, stack, exists);
+            let result = check_block(s, schema, dialect, stack, exists)
+                .and_then(|()| check_order_keys(s, dialect, stack, exists));
             stack.pop();
             result
         }
     }
+}
+
+/// Validates the block's `ORDER BY` keys against its output columns:
+/// SQL-92 style, a key must name exactly one output column. The output
+/// signature depends on the dialect's star semantics and the `EXISTS`
+/// context, mirroring Figure 5 exactly.
+fn check_order_keys(
+    s: &SelectQuery,
+    dialect: Dialect,
+    stack: &[Vec<FullName>],
+    exists: bool,
+) -> Result<(), EvalError> {
+    if s.order_by.is_empty() {
+        return Ok(());
+    }
+    let columns: Vec<Name> = match &s.select {
+        SelectList::Items(items) => items.iter().map(|i| i.alias.clone()).collect(),
+        // Figure 5, x = 1: the star is replaced by one arbitrary
+        // constant column (unless the dialect's star is compositional).
+        SelectList::Star if exists && !dialect.star_is_compositional() => {
+            vec![Name::new(crate::eval::STAR_EXISTS_COLUMN)]
+        }
+        // Star expansion (or PostgreSQL's passthrough): the plain
+        // column names of the local scope, repetitions included.
+        SelectList::Star => {
+            stack.last().expect("local scope pushed").iter().map(|n| n.column.clone()).collect()
+        }
+    };
+    for key in &s.order_by {
+        crate::order::resolve_key(&key.column, &columns)?;
+    }
+    Ok(())
 }
 
 fn check_block(

@@ -203,58 +203,80 @@ impl<'a> Evaluator<'a> {
             }
         }
 
-        if s.is_grouped() {
-            return self.eval_grouped(s, &kept, env);
-        }
+        let result = if s.is_grouped() {
+            self.eval_grouped(s, &kept, env)?
+        } else {
+            self.eval_plain_select(s, &kept, product.columns(), &scope, exists)?
+        };
 
-        let result = match &s.select {
+        let result = if s.distinct { result.distinct() } else { result };
+        // The list layer (ORDER BY / LIMIT / OFFSET) sits on top of the
+        // bag semantics: the bag's deterministic production order is
+        // stably sorted by the keys, then sliced.
+        if s.is_ordered() {
+            crate::order::sort_and_slice(result, &s.order_by, s.limit, s.offset)
+        } else {
+            Ok(result)
+        }
+    }
+
+    /// The ungrouped projection of Figure 5 over the surviving
+    /// `FROM`–`WHERE` records (`DISTINCT` and the list layer are applied
+    /// by the caller).
+    fn eval_plain_select(
+        &self,
+        s: &SelectQuery,
+        kept: &[(Row, Env)],
+        product_columns: &[Name],
+        scope: &[crate::FullName],
+        exists: bool,
+    ) -> Result<Table, EvalError> {
+        match &s.select {
             SelectList::Items(items) => {
                 if items.is_empty() {
                     return Err(EvalError::ZeroArity);
                 }
                 let columns = items.iter().map(|i| i.alias.clone()).collect();
                 let mut out = Table::new(columns)?;
-                for (_, env1) in &kept {
+                for (_, env1) in kept {
                     let row: Row = items
                         .iter()
                         .map(|i| self.eval_term(&i.term, env1))
                         .collect::<Result<_, _>>()?;
                     out.push(row)?;
                 }
-                out
+                Ok(out)
             }
             SelectList::Star if self.dialect.star_is_compositional() => {
                 // PostgreSQL adjustment (§4): ⟦SELECT *⟧ is the FROM–WHERE
                 // result itself, in every context.
-                let mut out = Table::new(product.columns().to_vec())?;
+                let mut out = Table::new(product_columns.to_vec())?;
                 for (row, _) in kept {
-                    out.push(row)?;
+                    out.push(row.clone())?;
                 }
-                out
+                Ok(out)
             }
             SelectList::Star if exists => {
                 // Figure 5, x = 1: replace * by an arbitrary constant.
                 let mut out = Table::new(vec![Name::new(STAR_EXISTS_COLUMN)])?;
-                for _ in &kept {
+                for _ in kept {
                     out.push(Row::new(vec![STAR_EXISTS_CONSTANT]))?;
                 }
-                out
+                Ok(out)
             }
             SelectList::Star => {
                 // Figure 5, x = 0: expand * to SELECT ℓ(τ:β) : ℓ(τ). The
                 // expansion *references* each full name of the scope, so a
                 // repeated full name errors here — exactly Example 2.
-                let mut out = Table::new(product.columns().to_vec())?;
-                for (_, env1) in &kept {
+                let mut out = Table::new(product_columns.to_vec())?;
+                for (_, env1) in kept {
                     let row: Row =
                         scope.iter().map(|n| env1.lookup(n).cloned()).collect::<Result<_, _>>()?;
                     out.push(row)?;
                 }
-                out
+                Ok(out)
             }
-        };
-
-        Ok(if s.distinct { result.distinct() } else { result })
+        }
     }
 
     /// `⟦T⟧_{D,η,0}` for one element of a `FROM` clause, applying the
@@ -365,7 +387,8 @@ impl<'a> Evaluator<'a> {
                 .collect::<Result<_, _>>()?;
             out.push(row)?;
         }
-        Ok(if s.distinct { out.distinct() } else { out })
+        // `DISTINCT` and the list layer are applied by `eval_select`.
+        Ok(out)
     }
 
     /// One aggregate over one group: evaluate the argument per member

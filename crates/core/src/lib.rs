@@ -62,6 +62,7 @@ pub mod env;
 pub mod error;
 pub mod eval;
 pub mod name;
+pub mod order;
 pub mod pred;
 pub mod row;
 pub mod schema;
@@ -71,8 +72,8 @@ pub mod truth;
 pub mod value;
 
 pub use ast::{
-    AggFunc, Aggregate, Condition, FromItem, Query, SelectItem, SelectList, SelectQuery, SetOp,
-    Term,
+    AggFunc, Aggregate, Condition, FromItem, OrderKey, Query, SelectItem, SelectList, SelectQuery,
+    SetOp, Term,
 };
 pub use dialect::{Dialect, LogicMode};
 pub use env::{Binding, Env};

@@ -1,0 +1,278 @@
+//! The list-valued ordering fragment: `ORDER BY` / `LIMIT` / `OFFSET`.
+//!
+//! The paper's semantics — and the formalisations that reproduce it
+//! (HoTTSQL, Ricciotti & Cheney's nulls mechanisation) — stop at
+//! bag-valued queries. Real workloads need ordered, limited results, so
+//! this module extends the semantics with a *list* layer on top of the
+//! bag layer:
+//!
+//! 1. the block's bag result is computed exactly as in Figures 4–7
+//!    (including `DISTINCT`);
+//! 2. the bag — whose production order is already deterministic
+//!    byte-for-byte in this reproduction — is **stably sorted** by the
+//!    `ORDER BY` keys, so tied records keep their deterministic
+//!    production order;
+//! 3. `OFFSET m` drops the first `m` records of the list (an offset past
+//!    the end yields the empty list), then `LIMIT n` keeps at most `n`.
+//!
+//! The key comparison is shared by every implementation in the
+//! workspace (the way [`crate::Value::sql_cmp`] already is):
+//!
+//! * non-`NULL` values compare by the SQL order of their type;
+//! * `NULL` sorts **last by default**, before/after all constants under
+//!   an explicit `NULLS FIRST`/`NULLS LAST`;
+//! * `DESC` reverses the order of the constants but *not* the `NULL`
+//!   placement (`NULLS FIRST` means first in the output, full stop).
+//!
+//! This comparison never consults the logic mode: the §6 two-valued
+//! semantics only reinterpret *predicates*, and the order of non-null
+//! constants coincides in all three modes, so one list semantics is
+//! consistent with all of them. Comparing values of different non-null
+//! types is a deterministic [`EvalError::TypeMismatch`]: each key
+//! column's type is fixed by its first non-`NULL` value in list order,
+//! and the first conflicting record raises — a rule every backend
+//! implements identically, so error verdicts cannot depend on the sort
+//! algorithm.
+
+use std::cmp::Ordering;
+
+use crate::ast::OrderKey;
+use crate::error::EvalError;
+use crate::name::Name;
+use crate::row::Row;
+use crate::table::Table;
+use crate::value::Value;
+
+/// Resolves one `ORDER BY` key against a block's output columns: the
+/// name must label exactly one output column. Zero matches are the
+/// plain-name unbound error; several are the plain-name ambiguity (the
+/// repeated-output-name situation, which [`EvalError::is_ambiguity`]
+/// classifies together with Example 2's errors).
+pub fn resolve_key(column: &Name, columns: &[Name]) -> Result<usize, EvalError> {
+    let mut matches = columns.iter().enumerate().filter(|(_, c)| *c == column);
+    let Some((index, _)) = matches.next() else {
+        return Err(EvalError::UnboundName(column.clone()));
+    };
+    if matches.next().is_some() {
+        return Err(EvalError::AmbiguousName(column.clone()));
+    }
+    Ok(index)
+}
+
+/// The total key comparison of the list semantics (see the module
+/// docs). Both values must be `NULL` or of one shared type; the type
+/// discipline is enforced separately by [`KeyTypeCheck`], so this
+/// function itself is total.
+pub fn key_ordering(a: &Value, b: &Value, desc: bool, nulls_first: bool) -> Ordering {
+    let rank = |v: &Value| match (v.is_null(), nulls_first) {
+        (true, true) => 0u8,
+        (false, _) => 1,
+        (true, false) => 2,
+    };
+    rank(a).cmp(&rank(b)).then_with(|| {
+        if a.is_null() {
+            // Both NULL (equal ranks otherwise differ): tied.
+            Ordering::Equal
+        } else {
+            // Same-type constants: the derived order on `Value` agrees
+            // with the SQL order within each type.
+            let ord = a.cmp(b);
+            if desc {
+                ord.reverse()
+            } else {
+                ord
+            }
+        }
+    })
+}
+
+/// The deterministic type discipline of sort keys: per key column, the
+/// first non-`NULL` value (in list order) fixes the type; any later
+/// non-`NULL` value of a different type raises. Every backend feeds
+/// values in list order *before* reordering anything, so the error —
+/// and the record it fires on — is implementation-independent.
+#[derive(Clone, Debug, Default)]
+pub struct KeyTypeCheck {
+    seen: Vec<Option<&'static str>>,
+}
+
+impl KeyTypeCheck {
+    /// A checker for `keys` sort-key columns.
+    pub fn new(keys: usize) -> Self {
+        KeyTypeCheck { seen: vec![None; keys] }
+    }
+
+    /// Notes one key value; errors on the first type conflict.
+    pub fn note(&mut self, key: usize, value: &Value) -> Result<(), EvalError> {
+        if value.is_null() {
+            return Ok(());
+        }
+        match self.seen[key] {
+            None => self.seen[key] = Some(value.type_name()),
+            Some(t) if t == value.type_name() => {}
+            Some(t) => {
+                return Err(EvalError::TypeMismatch {
+                    op: "ORDER BY".to_string(),
+                    left: t,
+                    right: value.type_name(),
+                })
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One resolved sort key: an output-column position plus direction and
+/// `NULL` placement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ResolvedKey {
+    /// Output-column index the key sorts by.
+    pub index: usize,
+    /// `DESC`?
+    pub desc: bool,
+    /// Effective `NULL` placement (defaults already applied).
+    pub nulls_first: bool,
+}
+
+/// Resolves a whole `ORDER BY` clause against an output signature.
+pub fn resolve_keys(
+    order_by: &[OrderKey],
+    columns: &[Name],
+) -> Result<Vec<ResolvedKey>, EvalError> {
+    order_by
+        .iter()
+        .map(|k| {
+            Ok(ResolvedKey {
+                index: resolve_key(&k.column, columns)?,
+                desc: k.desc,
+                nulls_first: k.nulls_first_effective(),
+            })
+        })
+        .collect()
+}
+
+/// Compares two rows under a resolved key list (total once the type
+/// discipline has passed).
+pub fn row_ordering(a: &Row, b: &Row, keys: &[ResolvedKey]) -> Ordering {
+    for k in keys {
+        let ord = key_ordering(&a[k.index], &b[k.index], k.desc, k.nulls_first);
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    Ordering::Equal
+}
+
+/// The list semantics applied to a bag result: stable sort by the
+/// resolved keys, then `OFFSET`, then `LIMIT`. This is the executable
+/// *specification*; the engine's `Plan::Sort`/`Plan::TopK` operators
+/// implement the same function with independent algorithms.
+pub fn sort_and_slice(
+    table: Table,
+    order_by: &[OrderKey],
+    limit: Option<u64>,
+    offset: Option<u64>,
+) -> Result<Table, EvalError> {
+    let keys = resolve_keys(order_by, table.columns())?;
+    let columns = table.columns().to_vec();
+    let mut rows = table.into_rows();
+    // Type discipline first, in list order, so the error verdict does
+    // not depend on the sort algorithm.
+    let mut check = KeyTypeCheck::new(keys.len());
+    for row in &rows {
+        for (i, k) in keys.iter().enumerate() {
+            check.note(i, &row[k.index])?;
+        }
+    }
+    // `sort_by` is stable: tied records keep their bag production order.
+    rows.sort_by(|a, b| row_ordering(a, b, &keys));
+    let rows = slice_rows(rows, limit, offset);
+    Table::with_rows(columns, rows)
+}
+
+/// `OFFSET`/`LIMIT` on an already-ordered list. An offset past the end
+/// yields the empty list; `LIMIT 0` is legal and empty.
+pub fn slice_rows(rows: Vec<Row>, limit: Option<u64>, offset: Option<u64>) -> Vec<Row> {
+    let skip = usize::try_from(offset.unwrap_or(0)).unwrap_or(usize::MAX);
+    let take = limit.map_or(usize::MAX, |n| usize::try_from(n).unwrap_or(usize::MAX));
+    rows.into_iter().skip(skip).take(take).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{row, table};
+
+    fn keys(ks: &[(usize, bool, bool)]) -> Vec<ResolvedKey> {
+        ks.iter()
+            .map(|&(index, desc, nulls_first)| ResolvedKey { index, desc, nulls_first })
+            .collect()
+    }
+
+    #[test]
+    fn resolve_key_errors_are_classified() {
+        let cols: Vec<Name> = vec!["A".into(), "B".into(), "A".into()];
+        assert_eq!(resolve_key(&Name::new("B"), &cols).unwrap(), 1);
+        assert!(matches!(resolve_key(&Name::new("Z"), &cols), Err(EvalError::UnboundName(_))));
+        let err = resolve_key(&Name::new("A"), &cols).unwrap_err();
+        assert!(err.is_ambiguity(), "{err}");
+    }
+
+    #[test]
+    fn nulls_sort_last_by_default_and_desc_keeps_their_placement() {
+        let t = table! { ["A"]; [2], [Value::Null], [1] };
+        let asc = sort_and_slice(t.clone(), &[OrderKey::asc("A")], None, None).unwrap();
+        let vals: Vec<_> = asc.rows().map(|r| r[0].clone()).collect();
+        assert_eq!(vals, vec![Value::Int(1), Value::Int(2), Value::Null]);
+        // DESC reverses the constants, not the NULL placement.
+        let desc = sort_and_slice(t.clone(), &[OrderKey::desc("A")], None, None).unwrap();
+        let vals: Vec<_> = desc.rows().map(|r| r[0].clone()).collect();
+        assert_eq!(vals, vec![Value::Int(2), Value::Int(1), Value::Null]);
+        // Explicit NULLS FIRST overrides.
+        let first = sort_and_slice(t, &[OrderKey::asc("A").nulls_first(true)], None, None).unwrap();
+        assert_eq!(first.rows().next().unwrap(), &row![Value::Null]);
+    }
+
+    #[test]
+    fn sort_is_stable_on_ties() {
+        let t = table! { ["K", "P"]; [1, 10], [0, 20], [1, 30], [0, 40] };
+        let sorted = sort_and_slice(t, &[OrderKey::asc("K")], None, None).unwrap();
+        let payload: Vec<_> = sorted.rows().map(|r| r[1].clone()).collect();
+        assert_eq!(payload, vec![Value::Int(20), Value::Int(40), Value::Int(10), Value::Int(30)]);
+    }
+
+    #[test]
+    fn offset_past_end_is_empty_and_limit_zero_is_legal() {
+        let t = table! { ["A"]; [1], [2], [3] };
+        let out = sort_and_slice(t.clone(), &[OrderKey::asc("A")], None, Some(10)).unwrap();
+        assert!(out.is_empty());
+        let out = sort_and_slice(t.clone(), &[OrderKey::asc("A")], Some(0), None).unwrap();
+        assert!(out.is_empty());
+        let out = sort_and_slice(t, &[OrderKey::asc("A")], Some(2), Some(1)).unwrap();
+        let vals: Vec<_> = out.rows().map(|r| r[0].clone()).collect();
+        assert_eq!(vals, vec![Value::Int(2), Value::Int(3)]);
+    }
+
+    #[test]
+    fn mixed_type_keys_error_deterministically() {
+        let t = table! { ["A"]; [1], [Value::Null], [Value::str("x")] };
+        let err = sort_and_slice(t, &[OrderKey::asc("A")], None, None).unwrap_err();
+        assert!(
+            matches!(&err, EvalError::TypeMismatch { op, left: "integer", right: "string" }
+                if op == "ORDER BY"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn row_ordering_is_lexicographic_over_keys() {
+        let a = row![1, 2];
+        let b = row![1, 1];
+        assert_eq!(row_ordering(&a, &b, &keys(&[(0, false, false)])), Ordering::Equal);
+        assert_eq!(
+            row_ordering(&a, &b, &keys(&[(0, false, false), (1, false, false)])),
+            Ordering::Greater
+        );
+        assert_eq!(row_ordering(&a, &b, &keys(&[(1, true, false)])), Ordering::Less);
+    }
+}

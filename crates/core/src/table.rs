@@ -226,8 +226,11 @@ impl Table {
         self.columns == other.columns && self.multiset_eq(other)
     }
 
-    /// The rows sorted by syntactic value order; used only for
-    /// deterministic rendering and golden tests.
+    /// The rows sorted by syntactic value order; used by golden tests
+    /// that want a canonical *bag* rendering. `Display` deliberately
+    /// does **not** use this: with the ordering fragment, row order is
+    /// the list semantics' output and re-sorting it for display would
+    /// misreport `ORDER BY` results.
     pub fn sorted_rows(&self) -> Vec<Row> {
         let mut rows = self.rows.clone();
         rows.sort();
@@ -249,7 +252,9 @@ impl Table {
 }
 
 impl fmt::Display for Table {
-    /// Renders the table with a header row and sorted records, e.g.:
+    /// Renders the table with a header row and the records **in list
+    /// order** (the insertion order of the table, which for ordered
+    /// queries *is* the `ORDER BY` semantics — no re-sorting), e.g.:
     ///
     /// ```text
     ///  A | B
@@ -259,7 +264,7 @@ impl fmt::Display for Table {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let header: Vec<String> = self.columns.iter().map(|c| c.to_string()).collect();
         let rows: Vec<Vec<String>> =
-            self.sorted_rows().iter().map(|r| r.iter().map(|v| v.to_string()).collect()).collect();
+            self.rows.iter().map(|r| r.iter().map(|v| v.to_string()).collect()).collect();
         let mut widths: Vec<usize> = header.iter().map(String::len).collect();
         for row in &rows {
             for (i, cell) in row.iter().enumerate() {
@@ -450,6 +455,17 @@ mod tests {
         assert!(s.contains("A | B"), "{s}");
         assert!(s.contains("NULL"), "{s}");
         assert!(s.contains("(2 rows)"), "{s}");
+    }
+
+    #[test]
+    fn display_preserves_list_order() {
+        // No re-sorting for display: [2,…] was produced first, so it
+        // prints first — essential for ordered (ORDER BY) results.
+        let t = table! { ["A", "B"]; [2, 1], [1, 3] };
+        let s = t.to_string();
+        let first = s.find("2 | 1").expect("first row rendered");
+        let second = s.find("1 | 3").expect("second row rendered");
+        assert!(first < second, "{s}");
     }
 
     #[test]

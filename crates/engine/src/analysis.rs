@@ -60,7 +60,7 @@ impl TypeSet {
     /// The set with `NULL` removed — the types that participate in typed
     /// comparisons (`NULL` short-circuits to *unknown* before any type
     /// check in [`Value::sql_cmp`]).
-    fn non_null(self) -> TypeSet {
+    pub(crate) fn non_null(self) -> TypeSet {
         TypeSet(self.0 & !TypeSet::NULL)
     }
 
@@ -68,7 +68,7 @@ impl TypeSet {
         self.0 == 0
     }
 
-    fn count(self) -> u32 {
+    pub(crate) fn count(self) -> u32 {
         self.0.count_ones()
     }
 
@@ -98,7 +98,11 @@ pub(crate) fn col_types(plan: &Plan, frames: &mut TypeFrames, db: &Database) -> 
             Err(_) => Vec::new(),
         },
         Plan::Product { inputs } => inputs.iter().flat_map(|p| col_types(p, frames, db)).collect(),
-        Plan::Filter { input, .. } | Plan::Distinct { input } => col_types(input, frames, db),
+        Plan::Filter { input, .. }
+        | Plan::Distinct { input }
+        | Plan::Sort { input, .. }
+        | Plan::Limit { input, .. }
+        | Plan::TopK { input, .. } => col_types(input, frames, db),
         Plan::Project { input, exprs } => {
             let inner = col_types(input, frames, db);
             frames.push(inner);
@@ -298,6 +302,22 @@ pub(crate) fn plan_total(plan: &Plan, frames: &mut TypeFrames, db: &Database) ->
         Plan::HashJoin { left, right, .. } => {
             plan_total(left, frames, db) && plan_total(right, frames, db)
         }
+        Plan::Limit { input, .. } => plan_total(input, frames, db),
+        // A sort is total iff its keys resolve (no deferred errors) and
+        // each key column is single-typed, so neither the comparison nor
+        // the type discipline can raise.
+        Plan::Sort { input, keys, .. } | Plan::TopK { input, keys, .. } => {
+            if !plan_total(input, frames, db) {
+                return false;
+            }
+            let types = col_types(input, frames, db);
+            frames.push(types);
+            let ok = keys
+                .iter()
+                .all(|k| expr_types(&k.expr, frames).is_some_and(|t| t.non_null().count() <= 1));
+            frames.pop();
+            ok
+        }
         Plan::GroupAggregate { input, keys, aggs, having, output } => {
             if !plan_total(input, frames, db) {
                 return false;
@@ -337,6 +357,13 @@ pub(crate) fn plan_is_correlated(plan: &Plan, local: usize) -> bool {
         }
         Plan::SetOp { left, right, .. } | Plan::HashJoin { left, right, .. } => {
             plan_is_correlated(left, local) || plan_is_correlated(right, local)
+        }
+        Plan::Limit { input, .. } => plan_is_correlated(input, local),
+        // Sort keys run under the output-row frame, one extra local
+        // frame like `Project` expressions.
+        Plan::Sort { input, keys, .. } | Plan::TopK { input, keys, .. } => {
+            plan_is_correlated(input, local)
+                || keys.iter().any(|k| expr_escapes(&k.expr, local + 1))
         }
         // Keys and aggregate arguments run under the input-row frame;
         // HAVING and the output run under the group frame — one extra
@@ -391,6 +418,9 @@ pub(crate) fn plan_has_user_pred(plan: &Plan) -> bool {
         }
         Plan::GroupAggregate { input, having, .. } => {
             plan_has_user_pred(input) || having.as_ref().is_some_and(pred_has_user_pred)
+        }
+        Plan::Sort { input, .. } | Plan::Limit { input, .. } | Plan::TopK { input, .. } => {
+            plan_has_user_pred(input)
         }
     }
 }

@@ -15,7 +15,7 @@ use sqlsem_core::{
     AggFunc, Database, Dialect, EvalError, FullName, Name, STAR_EXISTS_COLUMN, STAR_EXISTS_CONSTANT,
 };
 
-use crate::plan::{AggSpec, Expr, Plan, Pred, Prepared};
+use crate::plan::{AggSpec, Expr, Plan, Pred, Prepared, SortKey};
 
 /// Compiles a closed annotated query for execution over `db`.
 pub fn compile(query: &Query, db: &Database, dialect: Dialect) -> Result<Prepared, EvalError> {
@@ -196,7 +196,47 @@ impl Compiler<'_> {
 
         let plan = Plan::GroupAggregate { input: Box::new(filtered), keys, aggs, having, output };
         let plan = if s.distinct { Plan::Distinct { input: Box::new(plan) } } else { plan };
+        let plan = self.attach_ordering(s, plan, &columns)?;
         Ok(Prepared { plan, columns, cache_slots: 0 })
+    }
+
+    /// The list layer: wraps the block's bag plan with `Sort` (when
+    /// `ORDER BY` is present) and `Limit` (when `LIMIT`/`OFFSET` are).
+    /// Keys resolve against the block's *output* columns (SQL-92);
+    /// resolution failures are hard compile errors for the static
+    /// dialects and deferred into the `Sort` node for the Standard,
+    /// which raises them only when the block is actually evaluated.
+    fn attach_ordering(
+        &mut self,
+        s: &SelectQuery,
+        plan: Plan,
+        columns: &[Name],
+    ) -> Result<Plan, EvalError> {
+        if !s.is_ordered() {
+            return Ok(plan);
+        }
+        let plan = if s.order_by.is_empty() {
+            plan
+        } else {
+            let mut keys = Vec::with_capacity(s.order_by.len());
+            for key in &s.order_by {
+                let expr = match sqlsem_core::order::resolve_key(&key.column, columns) {
+                    Ok(index) => Expr::Col { depth: 0, index },
+                    Err(err) => self.fail(err)?,
+                };
+                keys.push(SortKey {
+                    expr,
+                    desc: key.desc,
+                    nulls_first: key.nulls_first_effective(),
+                });
+            }
+            Plan::Sort { input: Box::new(plan), keys }
+        };
+        Ok(if s.limit.is_some() || s.offset.is_some() {
+            Plan::Limit { input: Box::new(plan), limit: s.limit, offset: s.offset.unwrap_or(0) }
+        } else {
+            plan
+        })
     }
 
     /// Everything after the FROM clause: WHERE filter and SELECT
@@ -250,6 +290,7 @@ impl Compiler<'_> {
         let projected = Plan::Project { input: Box::new(filtered), exprs };
         let plan =
             if s.distinct { Plan::Distinct { input: Box::new(projected) } } else { projected };
+        let plan = self.attach_ordering(s, plan, &columns)?;
         Ok(Prepared { plan, columns, cache_slots: 0 })
     }
 

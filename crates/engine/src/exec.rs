@@ -14,12 +14,13 @@
 use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 
+use sqlsem_core::order;
 use sqlsem_core::{
     AggFunc, CmpOp, Database, Dialect, EvalError, LogicMode, PredicateRegistry, Row, SetOp, Truth,
     Value,
 };
 
-use crate::plan::{AggSpec, Expr, JoinKey, Plan, Pred};
+use crate::plan::{AggSpec, Expr, JoinKey, Plan, Pred, SortKey};
 
 /// A memoized subquery result, stored in the slot the optimizer assigned.
 enum CachedSub {
@@ -131,7 +132,111 @@ impl<'a> Executor<'a> {
             Plan::GroupAggregate { input, keys, aggs, having, output } => {
                 self.group_aggregate(input, keys, aggs, having.as_ref(), output)
             }
+            Plan::Sort { input, keys } => {
+                let rows = self.run(input)?;
+                self.sort_rows(rows, keys)
+            }
+            Plan::Limit { input, limit, offset } => {
+                let rows = self.run(input)?;
+                Ok(order::slice_rows(rows, *limit, Some(*offset)))
+            }
+            Plan::TopK { input, keys, limit, offset } => self.top_k(input, keys, *limit, *offset),
         }
+    }
+
+    /// Raises the deferred resolution error of an unresolved (Standard
+    /// dialect) sort key. Checked before any row is touched: the
+    /// semantics resolves `ORDER BY` keys whenever the block is
+    /// evaluated, even over an empty bag.
+    fn check_sort_keys(keys: &[SortKey]) -> Result<(), EvalError> {
+        for key in keys {
+            if let Expr::Deferred(err) = &key.expr {
+                return Err(err.clone());
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluates one row's sort-key tuple (pushing the row as a frame,
+    /// like `Project` does) and feeds it through the shared type
+    /// discipline.
+    fn sort_key_values(
+        &mut self,
+        row: Row,
+        keys: &[SortKey],
+        check: &mut order::KeyTypeCheck,
+    ) -> Result<(Vec<Value>, Row), EvalError> {
+        self.frames.push(row);
+        let vals: Result<Vec<Value>, EvalError> =
+            keys.iter().map(|k| self.eval_expr(&k.expr)).collect();
+        let row = self.frames.pop().expect("frame pushed above");
+        let vals = vals?;
+        for (i, v) in vals.iter().enumerate() {
+            check.note(i, v)?;
+        }
+        Ok((vals, row))
+    }
+
+    /// Full stable sort — the naive list layer. Key extraction runs in
+    /// input order (so the deterministic type-mismatch discipline sees
+    /// rows in the same order as the specification), then a stable sort
+    /// reorders the decorated rows.
+    fn sort_rows(&mut self, rows: Vec<Row>, keys: &[SortKey]) -> Result<Vec<Row>, EvalError> {
+        Self::check_sort_keys(keys)?;
+        let mut check = order::KeyTypeCheck::new(keys.len());
+        let mut decorated: Vec<(Vec<Value>, Row)> = Vec::with_capacity(rows.len());
+        for row in rows {
+            decorated.push(self.sort_key_values(row, keys, &mut check)?);
+        }
+        decorated.sort_by(|(a, _), (b, _)| {
+            keys.iter()
+                .zip(a.iter().zip(b.iter()))
+                .map(|(k, (x, y))| order::key_ordering(x, y, k.desc, k.nulls_first))
+                .find(|o| *o != std::cmp::Ordering::Equal)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        Ok(decorated.into_iter().map(|(_, row)| row).collect())
+    }
+
+    /// Bounded binary-heap top-k: streams the input through a cursor and
+    /// keeps at most `offset + limit` rows in a max-heap (the heap's top
+    /// is the *worst* retained row, evicted as soon as a better one
+    /// arrives). Ties carry the input sequence number, so the retained
+    /// prefix is exactly the stable sort's. Every input row's keys are
+    /// still evaluated and type-checked — but interleaved with input
+    /// production, which is why the optimizer only builds this operator
+    /// for provably total keys (see `rewrite_limit`): with error-capable
+    /// keys the full sort raises the input's error first.
+    fn top_k(
+        &mut self,
+        input: &Plan,
+        keys: &[SortKey],
+        limit: u64,
+        offset: u64,
+    ) -> Result<Vec<Row>, EvalError> {
+        Self::check_sort_keys(keys)?;
+        let m = usize::try_from(offset.saturating_add(limit)).unwrap_or(usize::MAX);
+        let mut check = order::KeyTypeCheck::new(keys.len());
+        let mut heap: std::collections::BinaryHeap<HeapEntry> = std::collections::BinaryHeap::new();
+        let mut cursor = Cursor::build(self, input)?;
+        let mut seq = 0usize;
+        while let Some(row) = cursor.next(self)? {
+            let (vals, row) = self.sort_key_values(row, keys, &mut check)?;
+            seq += 1;
+            if m == 0 {
+                // LIMIT 0 (+ no offset): nothing can be kept, but the
+                // scan continues so key errors still surface.
+                continue;
+            }
+            let tokens: Vec<SortToken> =
+                vals.into_iter().zip(keys).map(|(v, k)| SortToken::new(v, k)).collect();
+            heap.push(HeapEntry { tokens, seq, row });
+            if heap.len() > m {
+                heap.pop();
+            }
+        }
+        let skip = usize::try_from(offset).unwrap_or(usize::MAX);
+        Ok(heap.into_sorted_vec().into_iter().skip(skip).map(|e| e.row).collect())
     }
 
     /// Hash grouping with *incremental* accumulators: one pass over the
@@ -585,10 +690,15 @@ enum Cursor<'p> {
 impl<'p> Cursor<'p> {
     fn build(exec: &mut Executor<'_>, plan: &'p Plan) -> Result<Cursor<'p>, EvalError> {
         Ok(match plan {
+            // Sorting and slicing are inherently materialising: a sorted
+            // (or offset) prefix needs the whole input anyway.
             Plan::Scan { .. }
             | Plan::SetOp { .. }
             | Plan::HashJoin { .. }
-            | Plan::GroupAggregate { .. } => Cursor::Rows(exec.run(plan)?.into_iter()),
+            | Plan::GroupAggregate { .. }
+            | Plan::Sort { .. }
+            | Plan::Limit { .. }
+            | Plan::TopK { .. } => Cursor::Rows(exec.run(plan)?.into_iter()),
             Plan::Product { inputs } => {
                 let inputs: Vec<Vec<Row>> =
                     inputs.iter().map(|p| exec.run(p)).collect::<Result<_, _>>()?;
@@ -660,6 +770,75 @@ impl<'p> Cursor<'p> {
         }
     }
 }
+
+/// One sort-key value carrying its key's direction and `NULL`
+/// placement, so heap entries can use the standard
+/// [`std::collections::BinaryHeap`]. `Ord` delegates to the one shared
+/// comparison rule, [`order::key_ordering`] — a single source of truth
+/// for `NULL` placement and `DESC` reversal. Consistent as an `Ord`
+/// because every compared entry of one `TopK` shares the same key
+/// directions, and the type discipline has already pinned each key
+/// column to a single type.
+struct SortToken {
+    value: Value,
+    desc: bool,
+    nulls_first: bool,
+}
+
+impl SortToken {
+    fn new(value: Value, key: &SortKey) -> SortToken {
+        SortToken { value, desc: key.desc, nulls_first: key.nulls_first }
+    }
+}
+
+impl Ord for SortToken {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        order::key_ordering(&self.value, &other.value, self.desc, self.nulls_first)
+    }
+}
+
+impl PartialOrd for SortToken {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl PartialEq for SortToken {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for SortToken {}
+
+/// A heap entry of [`Executor::top_k`]: ordered by the key tokens, ties
+/// broken by the input sequence number — which makes the heap's `m`
+/// smallest entries exactly the first `m` rows of the stable sort.
+struct HeapEntry {
+    tokens: Vec<SortToken>,
+    seq: usize,
+    row: Row,
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.tokens.cmp(&other.tokens).then_with(|| self.seq.cmp(&other.seq))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for HeapEntry {}
 
 /// Hash-count implementations of the Figure 7 set operations — a
 /// different algorithm from the core crate's list-walk versions, on

@@ -74,6 +74,38 @@ fn explain_plan(plan: &Plan, level: usize, out: &mut String) {
                 explain_subplans(pred, level + 1, out);
             }
         }
+        Plan::Sort { input, keys } => {
+            let _ = writeln!(out, "Sort keys=[{}]", render_sort_keys(keys));
+            explain_plan(input, level + 1, out);
+        }
+        Plan::Limit { input, limit, offset } => {
+            match limit {
+                Some(n) => {
+                    let _ = write!(out, "Limit n={n}");
+                }
+                None => {
+                    let _ = write!(out, "Limit n=∞");
+                }
+            }
+            if *offset > 0 {
+                let _ = write!(out, " offset={offset}");
+            }
+            out.push('\n');
+            explain_plan(input, level + 1, out);
+        }
+        Plan::TopK { input, keys, limit, offset } => {
+            let _ = write!(out, "TopK k={limit}");
+            if *offset > 0 {
+                let _ = write!(out, " offset={offset}");
+            }
+            let _ = writeln!(
+                out,
+                " keys=[{}] [bounded heap, ≤ {} rows]",
+                render_sort_keys(keys),
+                offset + limit
+            );
+            explain_plan(input, level + 1, out);
+        }
         Plan::HashJoin { left, right, keys } => {
             let rendered: Vec<String> = keys
                 .iter()
@@ -132,6 +164,20 @@ fn explain_subplans(pred: &Pred, level: usize, out: &mut String) {
         Pred::Not(p) => explain_subplans(p, level, out),
         _ => {}
     }
+}
+
+fn render_sort_keys(keys: &[crate::plan::SortKey]) -> String {
+    keys.iter()
+        .map(|k| {
+            format!(
+                "{}{}{}",
+                render_expr(&k.expr),
+                if k.desc { " DESC" } else { "" },
+                if k.nulls_first { " NULLS FIRST" } else { "" }
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
 }
 
 fn render_agg(spec: &AggSpec) -> String {

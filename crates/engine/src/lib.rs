@@ -246,6 +246,96 @@ mod tests {
     }
 
     #[test]
+    fn ordered_queries_produce_the_specification_list_exactly() {
+        // The list layer is compared as a *list*: same rows in the same
+        // positions, not just the same bag.
+        let schema = Schema::builder().table("R", ["A", "B"]).build().unwrap();
+        let mut db = Database::new(schema.clone());
+        db.insert(
+            "R",
+            table! { ["A", "B"]; [2, 10], [1, 20], [2, 30], [Value::Null, 40], [1, 50] },
+        )
+        .unwrap();
+        let queries = [
+            "SELECT R.A AS a, R.B AS b FROM R ORDER BY a",
+            "SELECT R.A AS a, R.B AS b FROM R ORDER BY a DESC NULLS FIRST, b DESC",
+            "SELECT R.A AS a, R.B AS b FROM R ORDER BY a NULLS FIRST LIMIT 3",
+            "SELECT R.A AS a, R.B AS b FROM R ORDER BY b DESC LIMIT 2 OFFSET 1",
+            "SELECT R.A AS a, R.B AS b FROM R ORDER BY a OFFSET 4",
+            "SELECT R.A AS a, R.B AS b FROM R ORDER BY a OFFSET 99",
+            "SELECT R.A AS a FROM R LIMIT 0",
+            "SELECT DISTINCT R.A AS a FROM R ORDER BY a LIMIT 2",
+            "SELECT R.A AS k, COUNT(*) AS n FROM R GROUP BY R.A ORDER BY n DESC, k LIMIT 2",
+        ];
+        for text in queries {
+            let q = sql(text, &schema).unwrap();
+            for dialect in Dialect::ALL {
+                let spec = Evaluator::new(&db).with_dialect(dialect).eval(&q).unwrap();
+                for optimized in [false, true] {
+                    let mine = Engine::new(&db)
+                        .with_dialect(dialect)
+                        .with_optimizations(optimized)
+                        .execute(&q)
+                        .unwrap();
+                    let a: Vec<_> = spec.rows().collect();
+                    let b: Vec<_> = mine.rows().collect();
+                    assert_eq!(a, b, "{text} [{dialect}, optimized={optimized}]");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn order_key_resolution_errors_match_the_dialect_timing() {
+        let schema = Schema::builder().table("R", ["A"]).build().unwrap();
+        let db = Database::new(schema.clone());
+        // Unknown key: static dialects reject at compile time, the
+        // Standard defers — but a top-level sort always runs, so the
+        // error surfaces even over an empty table (as in the spec).
+        let q = sql("SELECT R.A AS a FROM R ORDER BY nope", &schema).unwrap();
+        for dialect in Dialect::ALL {
+            let spec = Evaluator::new(&db).with_dialect(dialect).eval(&q).unwrap_err();
+            let mine = Engine::new(&db).with_dialect(dialect).execute(&q).unwrap_err();
+            assert_eq!(spec.is_ambiguity(), mine.is_ambiguity(), "{dialect}: {spec} vs {mine}");
+        }
+        // Ambiguous key (repeated output name): classified as ambiguity.
+        let q = sql("SELECT R.A AS x, R.A AS x FROM R ORDER BY x", &schema).unwrap();
+        for dialect in Dialect::ALL {
+            let mine = Engine::new(&db).with_dialect(dialect).execute(&q).unwrap_err();
+            assert!(mine.is_ambiguity(), "{dialect}: {mine}");
+        }
+        // …but inside a never-evaluated subquery, the Standard dialect
+        // raises nothing, exactly like the semantics.
+        let q = sql(
+            "SELECT R.A AS a FROM R WHERE EXISTS (SELECT R.A AS a FROM R ORDER BY nope)",
+            &schema,
+        )
+        .unwrap();
+        let spec = Evaluator::new(&db).eval(&q).unwrap();
+        let mine = Engine::new(&db).execute(&q).unwrap();
+        assert!(spec.coincides(&mine));
+        assert!(Engine::new(&db).with_dialect(Dialect::Oracle).execute(&q).is_err());
+    }
+
+    #[test]
+    fn explain_shows_the_top_k_rewrite() {
+        let schema = Schema::builder().table("R", ["A", "B"]).build().unwrap();
+        let db = Database::new(schema.clone());
+        let q = sql("SELECT R.A AS a FROM R ORDER BY a DESC LIMIT 5 OFFSET 2", &schema).unwrap();
+        let optimized = Engine::new(&db).explain(&q).unwrap();
+        assert!(optimized.contains("TopK k=5 offset=2"), "{optimized}");
+        assert!(optimized.contains("DESC"), "{optimized}");
+        assert!(!optimized.contains("Sort"), "{optimized}");
+        // The naive plan keeps the Sort/Limit pair.
+        let naive = {
+            let prepared = compile_plan(&q, &db, Dialect::Standard).unwrap();
+            explain(&prepared)
+        };
+        assert!(naive.contains("Sort keys=["), "{naive}");
+        assert!(naive.contains("Limit n=5 offset=2"), "{naive}");
+    }
+
+    #[test]
     fn prepare_exposes_the_plan() {
         let schema = Schema::builder().table("R", ["A"]).build().unwrap();
         let db = Database::new(schema.clone());

@@ -41,7 +41,7 @@ use crate::analysis::{
     agg_total, col_types, expr_types, group_frame_types, plan_has_user_pred, plan_is_correlated,
     plan_total, pred_total, TypeFrames,
 };
-use crate::plan::{AggSpec, Expr, JoinKey, Plan, Pred, Prepared};
+use crate::plan::{AggSpec, Expr, JoinKey, Plan, Pred, Prepared, SortKey};
 
 /// Optimizes a compiled plan. The result computes the same function as
 /// the input — same rows, same multiplicities, same error verdicts —
@@ -108,7 +108,76 @@ impl Optimizer<'_> {
                 });
                 self.push_having(input, keys, aggs, having, output)
             }
+            Plan::Sort { input, keys } => Plan::Sort { input: Box::new(self.plan(*input)), keys },
+            // Not produced by the compiler, but keep the pass idempotent.
+            Plan::TopK { input, keys, limit, offset } => {
+                Plan::TopK { input: Box::new(self.plan(*input)), keys, limit, offset }
+            }
+            Plan::Limit { input, limit, offset } => {
+                let input = self.plan(*input);
+                self.rewrite_limit(input, limit, offset)
+            }
         }
+    }
+
+    /// The list-layer rewrites:
+    ///
+    /// * `Limit k` over `Sort` becomes a [`Plan::TopK`] — a bounded
+    ///   binary-heap selection that never keeps more than
+    ///   `offset + limit` rows in its sort buffer. Gated, PR-2 style, on
+    ///   the *sort keys* being total (resolvable, single-typed): the
+    ///   naive pair runs the whole input before touching any key, while
+    ///   the streaming top-k interleaves key evaluation with input
+    ///   production — with error-capable keys the two raise *different*
+    ///   errors (a deferred ambiguous key vs the input's own error),
+    ///   and Ok-vs-Err aside, error *character* flips are §4
+    ///   disagreements too. Total keys cannot raise, so only input
+    ///   errors remain, in identical order.
+    /// * a bare `Limit` over a `Project` moves below the projection, so
+    ///   dropped rows are never projected — gated on the projection
+    ///   being total (a deferred or erroring output expression on a
+    ///   dropped row must still raise, PR-2 style).
+    fn rewrite_limit(&mut self, input: Plan, limit: Option<u64>, offset: u64) -> Plan {
+        match input {
+            Plan::Sort { input, keys } => match limit {
+                Some(k) if self.sort_keys_total(&input, &keys) => {
+                    Plan::TopK { input, keys, limit: k, offset }
+                }
+                // OFFSET without LIMIT (no bound to exploit) or
+                // error-capable keys: the full sort stays.
+                _ => Plan::Limit { input: Box::new(Plan::Sort { input, keys }), limit, offset },
+            },
+            Plan::Project { input, exprs } => {
+                let total = {
+                    let types = col_types(&input, &mut self.frames, self.db);
+                    self.frames.push(types);
+                    let ok = exprs.iter().all(|e| expr_types(e, &self.frames).is_some());
+                    self.frames.pop();
+                    ok
+                };
+                if total {
+                    Plan::Project { input: Box::new(Plan::Limit { input, limit, offset }), exprs }
+                } else {
+                    Plan::Limit { input: Box::new(Plan::Project { input, exprs }), limit, offset }
+                }
+            }
+            input => Plan::Limit { input: Box::new(input), limit, offset },
+        }
+    }
+
+    /// `true` iff evaluating the sort keys over the input's rows can
+    /// never raise: every key resolves (no deferred errors) and reads a
+    /// single-typed column, so neither the comparison nor the key type
+    /// discipline can fire. Mirrors the `Sort`/`TopK` arm of
+    /// [`plan_total`](crate::analysis).
+    fn sort_keys_total(&mut self, input: &Plan, keys: &[SortKey]) -> bool {
+        let types = col_types(input, &mut self.frames, self.db);
+        self.frames.push(types);
+        let ok = keys
+            .iter()
+            .all(|k| expr_types(&k.expr, &self.frames).is_some_and(|t| t.non_null().count() <= 1));
+        self.frames.pop();
+        ok
     }
 
     /// HAVING-conjunct pushdown: a conjunct that reads only `GROUP BY`
@@ -515,6 +584,19 @@ fn collect_plan_refs(plan: &Plan, target: usize, out: &mut Vec<usize>) {
             collect_plan_refs(left, target, out);
             collect_plan_refs(right, target, out);
         }
+        Plan::Limit { input, .. } => collect_plan_refs(input, target, out),
+        // Sort keys see the output-row frame: one extra frame, like
+        // `Project` expressions.
+        Plan::Sort { input, keys } | Plan::TopK { input, keys, .. } => {
+            collect_plan_refs(input, target, out);
+            for k in keys {
+                if let Expr::Col { depth, index } = &k.expr {
+                    if *depth == target + 1 {
+                        out.push(*index);
+                    }
+                }
+            }
+        }
         // Keys/arguments see the input-row frame, HAVING and the output
         // see the group frame: one extra frame either way.
         Plan::GroupAggregate { input, keys, aggs, having, output } => {
@@ -615,7 +697,26 @@ fn remap_plan(plan: Plan, target: usize, offset: usize) -> Plan {
             having: having.map(|p| remap_pred(p, target + 1, offset)),
             output: output.into_iter().map(|e| remap_expr(e, target + 1, offset)).collect(),
         },
+        Plan::Sort { input, keys } => Plan::Sort {
+            input: Box::new(remap_plan(*input, target, offset)),
+            keys: remap_sort_keys(keys, target, offset),
+        },
+        Plan::TopK { input, keys, limit, offset: skip } => Plan::TopK {
+            input: Box::new(remap_plan(*input, target, offset)),
+            keys: remap_sort_keys(keys, target, offset),
+            limit,
+            offset: skip,
+        },
+        Plan::Limit { input, limit, offset: skip } => {
+            Plan::Limit { input: Box::new(remap_plan(*input, target, offset)), limit, offset: skip }
+        }
     }
+}
+
+fn remap_sort_keys(keys: Vec<SortKey>, target: usize, offset: usize) -> Vec<SortKey> {
+    keys.into_iter()
+        .map(|k| SortKey { expr: remap_expr(k.expr, target + 1, offset), ..k })
+        .collect()
 }
 
 fn remap_expr(expr: Expr, target: usize, offset: usize) -> Expr {
@@ -656,7 +757,10 @@ mod tests {
             }
             Plan::Filter { input, .. }
             | Plan::Distinct { input }
-            | Plan::GroupAggregate { input, .. } => {
+            | Plan::GroupAggregate { input, .. }
+            | Plan::Sort { input, .. }
+            | Plan::Limit { input, .. }
+            | Plan::TopK { input, .. } => {
                 n += count_ops(input, pred);
             }
             Plan::Project { input, .. } => n += count_ops(input, pred),
@@ -867,6 +971,76 @@ mod tests {
         assert_eq!(count_ops(&p.plan, &mut |p| matches!(p, Plan::Product { .. })), 0);
         let Plan::GroupAggregate { having, .. } = &p.plan else { panic!("{:?}", p.plan) };
         assert!(having.is_none(), "the key conjunct left HAVING entirely");
+    }
+
+    #[test]
+    fn sort_limit_becomes_top_k_and_bare_limit_sinks_below_projection() {
+        let db = db();
+        // ORDER BY + LIMIT → TopK (the Sort disappears).
+        let p = prepare("SELECT R.A AS a FROM R ORDER BY a LIMIT 3 OFFSET 1", &db);
+        let Plan::TopK { limit: 3, offset: 1, ref keys, .. } = p.plan else {
+            panic!("{:?}", p.plan)
+        };
+        assert_eq!(keys[0].expr, Expr::Col { depth: 0, index: 0 });
+        // ORDER BY + OFFSET only: no bound to exploit, Sort stays.
+        let p = prepare("SELECT R.A AS a FROM R ORDER BY a OFFSET 1", &db);
+        assert!(
+            matches!(&p.plan, Plan::Limit { input, .. } if matches!(**input, Plan::Sort { .. })),
+            "{:?}",
+            p.plan
+        );
+        // Bare LIMIT over a total projection sinks below it.
+        let p = prepare("SELECT R.A FROM R LIMIT 2", &db);
+        assert!(
+            matches!(&p.plan, Plan::Project { input, .. } if matches!(**input, Plan::Limit { .. })),
+            "{:?}",
+            p.plan
+        );
+        // A projection that can error (deferred ambiguous reference)
+        // blocks the push: dropped rows must still raise.
+        let p = prepare("SELECT * FROM (SELECT R.A, R.A FROM R) AS T LIMIT 1", &db);
+        assert!(
+            matches!(&p.plan, Plan::Limit { input, .. } if matches!(**input, Plan::Project { .. })),
+            "{:?}",
+            p.plan
+        );
+    }
+
+    #[test]
+    fn error_capable_sort_keys_block_the_top_k_rewrite() {
+        use sqlsem_core::{Evaluator, LogicMode, PredicateRegistry};
+        let db = db();
+        // A deferred (ambiguous, Standard-dialect) sort key can raise:
+        // the streaming top-k would raise it *before* the input's own
+        // errors, flipping the error character — so the rewrite is
+        // gated off and the Sort/Limit pair stays.
+        let p = prepare("SELECT R.A AS x, R.A AS x FROM R ORDER BY x LIMIT 1", &db);
+        assert!(
+            matches!(&p.plan, Plan::Limit { input, .. } if matches!(**input, Plan::Sort { .. })),
+            "{:?}",
+            p.plan
+        );
+        // End-to-end: the WHERE's type error must win over the ambiguous
+        // key on every backend (the review's regression shape).
+        let schema = db.schema().clone();
+        let q = sqlsem_parser::compile(
+            "SELECT R.A AS x, R.A AS x FROM R WHERE R.A > 'foo' ORDER BY x LIMIT 1",
+            &schema,
+        )
+        .unwrap();
+        let spec = Evaluator::new(&db).eval(&q).unwrap_err();
+        let naive = crate::exec::execute(
+            &q,
+            &db,
+            Dialect::Standard,
+            LogicMode::ThreeValued,
+            &PredicateRegistry::new(),
+        )
+        .unwrap_err();
+        let optimized = crate::Engine::new(&db).execute(&q).unwrap_err();
+        assert_eq!(spec.is_ambiguity(), optimized.is_ambiguity(), "{spec} vs {optimized}");
+        assert_eq!(naive.is_ambiguity(), optimized.is_ambiguity(), "{naive} vs {optimized}");
+        assert!(!optimized.is_ambiguity(), "the WHERE type error fires first: {optimized}");
     }
 
     #[test]

@@ -203,6 +203,60 @@ pub enum Plan {
         /// The join keys, all of which must match for a pair to join.
         keys: Vec<JoinKey>,
     },
+    /// Full stable sort: the list layer's `ORDER BY`, compiled over the
+    /// block's output (above projection and `Distinct`). Tied rows keep
+    /// the input's production order.
+    Sort {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Sort keys, outermost first.
+        keys: Vec<SortKey>,
+    },
+    /// `OFFSET`/`LIMIT` on an ordered (or bare) list: skip `offset`
+    /// rows, keep at most `limit`.
+    Limit {
+        /// Input plan.
+        input: Box<Plan>,
+        /// `LIMIT n`; `None` when only an `OFFSET` was written.
+        limit: Option<u64>,
+        /// `OFFSET m` (0 when absent).
+        offset: u64,
+    },
+    /// The optimizer's rewrite of `Sort` + `Limit k`: a bounded
+    /// binary-heap top-k that keeps at most `offset + limit` rows in
+    /// memory while streaming its input, then drops the first `offset`.
+    /// Computes exactly the same list as the pair it replaces. The
+    /// rewrite is gated on the sort keys being provably total
+    /// (resolvable, single-typed): the streaming top-k interleaves key
+    /// evaluation with input production, so an error-capable key could
+    /// otherwise fire before the input's own error and flip the error
+    /// character.
+    TopK {
+        /// Input plan (streamed through a cursor).
+        input: Box<Plan>,
+        /// Sort keys, outermost first.
+        keys: Vec<SortKey>,
+        /// `LIMIT n`.
+        limit: u64,
+        /// `OFFSET m` (0 when absent).
+        offset: u64,
+    },
+}
+
+/// One compiled `ORDER BY` key of a [`Plan::Sort`]/[`Plan::TopK`]: an
+/// expression over the block's output row (depth 0) plus direction and
+/// `NULL` placement. Under the Standard dialect an unresolved key is an
+/// [`Expr::Deferred`], raised when the sort operator first runs —
+/// mirroring the semantics, which resolves keys whenever the block is
+/// evaluated, even over an empty bag.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SortKey {
+    /// The key expression (a depth-0 output column, or deferred).
+    pub expr: Expr,
+    /// `DESC`?
+    pub desc: bool,
+    /// Effective `NULL` placement (the NULLS-last default applied).
+    pub nulls_first: bool,
 }
 
 /// One compiled aggregate of a [`Plan::GroupAggregate`].
@@ -236,7 +290,11 @@ impl Plan {
         match self {
             Plan::Scan { table } => db.schema().attributes(table).map_or(0, |attrs| attrs.len()),
             Plan::Product { inputs } => inputs.iter().map(|p| p.arity(db)).sum(),
-            Plan::Filter { input, .. } | Plan::Distinct { input } => input.arity(db),
+            Plan::Filter { input, .. }
+            | Plan::Distinct { input }
+            | Plan::Sort { input, .. }
+            | Plan::Limit { input, .. }
+            | Plan::TopK { input, .. } => input.arity(db),
             Plan::Project { exprs, .. } => exprs.len(),
             Plan::GroupAggregate { output, .. } => output.len(),
             Plan::SetOp { left, .. } => left.arity(db),
@@ -267,7 +325,11 @@ impl Plan {
                 }
                 Ok(sum)
             }
-            Plan::Filter { input, .. } | Plan::Distinct { input } => input.arity_checked(db),
+            Plan::Filter { input, .. }
+            | Plan::Distinct { input }
+            | Plan::Sort { input, .. }
+            | Plan::Limit { input, .. }
+            | Plan::TopK { input, .. } => input.arity_checked(db),
             Plan::GroupAggregate { input, output, .. } => {
                 input.arity_checked(db)?;
                 Ok(output.len())

@@ -80,6 +80,13 @@ pub struct QueryGenConfig {
     /// half the time — a `HAVING` clause). Gated like
     /// `ambiguous_star_prob`; `0.0` disables the aggregation fragment.
     pub aggregate_prob: f64,
+    /// Probability that the *outermost* block carries the ordering
+    /// fragment: `ORDER BY` over its output columns (1–2 keys, random
+    /// direction and `NULLS` placement), usually with a `LIMIT` and
+    /// sometimes an `OFFSET`. Only the outermost block is ordered, so
+    /// the differential harness can compare the result *as a list*
+    /// (prefix-equality under ties). `0.0` disables the fragment.
+    pub order_prob: f64,
     /// Restrict to Definition 1 data manipulation queries (§5).
     pub data_manipulation_only: bool,
 }
@@ -105,6 +112,7 @@ impl QueryGenConfig {
             ambiguous_star_prob: 0.01,
             repeated_output_prob: 0.05,
             aggregate_prob: 0.2,
+            order_prob: 0.25,
             data_manipulation_only: false,
         }
     }
@@ -132,6 +140,7 @@ impl QueryGenConfig {
             ambiguous_star_prob: 0.0,
             repeated_output_prob: 0.0,
             aggregate_prob: 0.0,
+            order_prob: 0.0,
             data_manipulation_only: true,
             ..QueryGenConfig::small()
         }
@@ -180,7 +189,14 @@ impl<'a> QueryGenerator<'a> {
             tables_budget: self.config.max_tables,
             alias_counter: 0,
         };
-        state.query(rng, 0, &mut Vec::new(), None)
+        let mut query = state.query(rng, 0, &mut Vec::new(), None);
+        if !self.config.data_manipulation_only
+            && self.config.order_prob > 0.0
+            && rng.gen_bool(self.config.order_prob)
+        {
+            attach_ordering(&mut query, rng);
+        }
+        query
     }
 }
 
@@ -698,6 +714,52 @@ impl Gen<'_> {
     }
 }
 
+/// Attaches the ordering fragment to the outermost block of a generated
+/// query: 1–2 `ORDER BY` keys drawn from the block's *uniquely named*
+/// output columns (a repeated output name would be the ambiguous-key
+/// error — the ambiguity gadget covers that class separately), with
+/// random direction and `NULLS` placement; a `LIMIT` most of the time
+/// and an `OFFSET` sometimes, so pagination shapes (offset past the
+/// end, limit cutting inside a tie group, `LIMIT 0`) all occur.
+///
+/// Only explicit-select outermost blocks are ordered; set operations
+/// and star blocks are left bag-valued (the fragment attaches ordering
+/// to `SELECT` blocks only).
+fn attach_ordering(query: &mut Query, rng: &mut StdRng) {
+    let Query::Select(s) = query else { return };
+    let SelectList::Items(items) = &s.select else { return };
+    let candidates: Vec<Name> = items
+        .iter()
+        .map(|i| i.alias.clone())
+        .filter(|a| items.iter().filter(|i| &i.alias == a).count() == 1)
+        .collect();
+    let mut order_by = Vec::new();
+    for _ in 0..rng.gen_range(1..=2usize) {
+        if let Some(column) = candidates.choose(rng) {
+            if order_by.iter().any(|k: &sqlsem_core::OrderKey| &k.column == column) {
+                continue;
+            }
+            order_by.push(sqlsem_core::OrderKey {
+                column: column.clone(),
+                desc: rng.gen_bool(0.4),
+                nulls_first: match rng.gen_range(0..3) {
+                    0 => Some(true),
+                    1 => Some(false),
+                    _ => None,
+                },
+            });
+        }
+    }
+    let limit = rng.gen_bool(0.7).then(|| rng.gen_range(0..=12u64));
+    let offset = rng.gen_bool(0.35).then(|| rng.gen_range(0..=5u64));
+    if order_by.is_empty() && limit.is_none() && offset.is_none() {
+        return;
+    }
+    s.order_by = order_by;
+    s.limit = limit;
+    s.offset = offset;
+}
+
 /// Whether a query is a *data manipulation query* in the sense of
 /// Definition 1 (§5): the query and every subquery use explicit `SELECT`
 /// lists whose output names do not repeat, and every selected term is a
@@ -881,6 +943,33 @@ mod tests {
         assert!(grouped >= 50, "only {grouped} grouped blocks in 300 queries");
         assert!(keyless >= 10, "only {keyless} keyless aggregations in 300 queries");
         assert!(with_having >= 10, "only {with_having} HAVING clauses in 300 queries");
+    }
+
+    #[test]
+    fn ordered_blocks_are_generated_and_resolve_statically() {
+        let schema = paper_schema();
+        let g = QueryGenerator::new(&schema, QueryGenConfig::small());
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut ordered = 0usize;
+        let mut limited = 0usize;
+        let mut with_offset = 0usize;
+        for _ in 0..300 {
+            let q = g.generate(&mut rng);
+            let Query::Select(s) = &q else { continue };
+            if !s.is_ordered() {
+                continue;
+            }
+            ordered += 1;
+            limited += usize::from(s.limit.is_some());
+            with_offset += usize::from(s.offset.is_some());
+            // Ordered queries must still pass the static checks (keys
+            // are drawn from uniquely named output columns).
+            check_query(&q, &schema, Dialect::PostgreSql)
+                .unwrap_or_else(|e| panic!("ordered query fails PostgreSQL check: {e}\n{q}"));
+        }
+        assert!(ordered >= 40, "only {ordered} ordered queries in 300");
+        assert!(limited >= 20, "only {limited} limited queries in 300");
+        assert!(with_offset >= 5, "only {with_offset} offset queries in 300");
     }
 
     #[test]

@@ -190,7 +190,30 @@ fn annotate_select(
             None => core_ast::Condition::True,
             Some(c) => annotate_condition(c, schema, stack)?,
         };
-        Ok(core_ast::SelectQuery { distinct: s.distinct, select, from, where_, group_by, having })
+        // ORDER BY keys reference *output columns* (SQL-92), so they are
+        // carried through verbatim; resolution against the output
+        // signature happens in the evaluation layers, mirroring where
+        // each dialect raises the error.
+        let order_by = s
+            .order_by
+            .iter()
+            .map(|k| core_ast::OrderKey {
+                column: k.column.clone(),
+                desc: k.desc,
+                nulls_first: k.nulls_first,
+            })
+            .collect();
+        Ok(core_ast::SelectQuery {
+            distinct: s.distinct,
+            select,
+            from,
+            where_,
+            group_by,
+            having,
+            order_by,
+            limit: s.limit,
+            offset: s.offset,
+        })
     })();
     stack.pop();
     result

@@ -60,7 +60,7 @@ impl std::error::Error for ParseError {}
 pub fn parse_query(input: &str) -> Result<SQuery, ParseError> {
     let tokens = lex(input).map_err(|e| ParseError { message: e.message, offset: e.offset })?;
     let mut p = Parser { tokens, pos: 0, input_len: input.len() };
-    let q = p.query()?;
+    let q = p.query_with_ordering()?;
     p.expect_end()?;
     Ok(q)
 }
@@ -220,7 +220,7 @@ impl Parser {
         if let Some(TokenKind::Ident(word)) = self.peek() {
             if word.eq_ignore_ascii_case("EXPLAIN") {
                 self.pos += 1;
-                return Ok(SStatement::Explain(self.query()?));
+                return Ok(SStatement::Explain(self.query_with_ordering()?));
             }
         }
         match self.peek() {
@@ -262,7 +262,7 @@ impl Parser {
                 }
                 Ok(SStatement::Insert { table, columns, rows })
             }
-            _ => Ok(SStatement::Query(self.query()?)),
+            _ => Ok(SStatement::Query(self.query_with_ordering()?)),
         }
     }
 
@@ -300,6 +300,50 @@ impl Parser {
 
     // -- queries -----------------------------------------------------------
 
+    /// query_with_ordering := query [ORDER BY order_key (',' order_key)*]
+    ///                        limit_clauses
+    ///
+    /// The ordering fragment attaches to `SELECT` blocks only. An
+    /// `ORDER BY`/`LIMIT`/`OFFSET` written after a *set operation* is a
+    /// parse error: silently binding the clause to the last operand —
+    /// which is what a greedy per-block grammar would do — contradicts
+    /// every dialect the project models (they order the whole set
+    /// expression). Parenthesise an operand to order it, or wrap the
+    /// set operation in a `FROM` subquery to order its result.
+    fn query_with_ordering(&mut self) -> Result<SQuery, ParseError> {
+        let q = self.query()?;
+        let order_offset = self.offset();
+        let order_by = if self.eat_kw(Keyword::Order) {
+            self.expect_kw(Keyword::By)?;
+            let mut keys = vec![self.order_key()?];
+            while self.eat(&TokenKind::Comma) {
+                keys.push(self.order_key()?);
+            }
+            keys
+        } else {
+            Vec::new()
+        };
+        let (limit, offset) = self.limit_clauses()?;
+        if order_by.is_empty() && limit.is_none() && offset.is_none() {
+            return Ok(q);
+        }
+        match q {
+            SQuery::Select(mut s) => {
+                s.order_by = order_by;
+                s.limit = limit;
+                s.offset = offset;
+                Ok(SQuery::Select(s))
+            }
+            SQuery::SetOp { .. } => Err(ParseError {
+                message: "ORDER BY/LIMIT/OFFSET cannot be applied to a set operation in this \
+                          fragment; parenthesise the operand to order it, or wrap the set \
+                          operation in a FROM subquery"
+                    .into(),
+                offset: order_offset,
+            }),
+        }
+    }
+
     /// query := intersect_chain ((UNION | EXCEPT | MINUS) [ALL] intersect_chain)*
     fn query(&mut self) -> Result<SQuery, ParseError> {
         let mut left = self.intersect_chain()?;
@@ -334,10 +378,13 @@ impl Parser {
         Ok(left)
     }
 
-    /// primary_query := select_block | '(' query ')'
+    /// primary_query := select_block | '(' query_with_ordering ')'
+    ///
+    /// Parentheses re-open the ordering clauses: `(SELECT … ORDER BY …
+    /// LIMIT k) UNION …` orders the operand, unambiguously.
     fn primary_query(&mut self) -> Result<SQuery, ParseError> {
         if self.eat(&TokenKind::LParen) {
-            let q = self.query()?;
+            let q = self.query_with_ordering()?;
             self.expect(&TokenKind::RParen)?;
             Ok(q)
         } else {
@@ -348,6 +395,10 @@ impl Parser {
     /// select_block := SELECT [DISTINCT] select_list FROM from_item
     ///                 (',' from_item)* [WHERE condition]
     ///                 [GROUP BY term (',' term)*] [HAVING condition]
+    ///
+    /// The ordering clauses are parsed one level up
+    /// ([`Parser::query_with_ordering`]) so they cannot silently bind to
+    /// a set operation's last operand.
     fn select_block(&mut self) -> Result<SSelectQuery, ParseError> {
         self.expect_kw(Keyword::Select)?;
         let distinct = self.eat_kw(Keyword::Distinct);
@@ -369,7 +420,102 @@ impl Parser {
             Vec::new()
         };
         let having = if self.eat_kw(Keyword::Having) { Some(self.condition()?) } else { None };
-        Ok(SSelectQuery { distinct, select, from, where_, group_by, having })
+        Ok(SSelectQuery {
+            distinct,
+            select,
+            from,
+            where_,
+            group_by,
+            having,
+            order_by: Vec::new(),
+            limit: None,
+            offset: None,
+        })
+    }
+
+    /// order_key := ident [ASC | DESC] [NULLS (FIRST | LAST)]
+    ///
+    /// `NULLS`/`FIRST`/`LAST` are contextual: ordinary identifiers
+    /// recognised by position, as in PostgreSQL.
+    fn order_key(&mut self) -> Result<crate::surface::SOrderKey, ParseError> {
+        let column = self.ident()?;
+        let desc = if self.eat_kw(Keyword::Desc) {
+            true
+        } else {
+            self.eat_kw(Keyword::Asc);
+            false
+        };
+        let nulls_first = if self.eat_contextual("NULLS") {
+            if self.eat_contextual("FIRST") {
+                Some(true)
+            } else if self.eat_contextual("LAST") {
+                Some(false)
+            } else {
+                return self.error("expected FIRST or LAST after NULLS");
+            }
+        } else {
+            None
+        };
+        Ok(crate::surface::SOrderKey { column, desc, nulls_first })
+    }
+
+    /// limit_clauses := the three dialect surfaces, in any order, each at
+    /// most once:
+    ///
+    /// * PostgreSQL: `LIMIT n` and `OFFSET m`
+    /// * SQL-92 style: `OFFSET m [ROW|ROWS]` and
+    ///   `FETCH (FIRST|NEXT) n (ROW|ROWS) ONLY`
+    ///
+    /// All three spellings parse in every dialect (like `EXCEPT` vs
+    /// `MINUS`); the printer chooses the dialect's canonical one.
+    fn limit_clauses(&mut self) -> Result<(Option<u64>, Option<u64>), ParseError> {
+        let mut limit: Option<u64> = None;
+        let mut offset: Option<u64> = None;
+        loop {
+            if limit.is_none() && self.eat_kw(Keyword::Limit) {
+                limit = Some(self.row_count()?);
+            } else if offset.is_none() && self.eat_kw(Keyword::Offset) {
+                offset = Some(self.row_count()?);
+                // Optional SQL-92 noise word.
+                let _ = self.eat_contextual("ROWS") || self.eat_contextual("ROW");
+            } else if limit.is_none() && self.eat_kw(Keyword::Fetch) {
+                if !(self.eat_contextual("FIRST") || self.eat_contextual("NEXT")) {
+                    return self.error("expected FIRST or NEXT after FETCH");
+                }
+                let n = self.row_count()?;
+                if !(self.eat_contextual("ROWS") || self.eat_contextual("ROW")) {
+                    return self.error("expected ROW or ROWS in FETCH clause");
+                }
+                self.expect_kw(Keyword::Only)?;
+                limit = Some(n);
+            } else {
+                return Ok((limit, offset));
+            }
+        }
+    }
+
+    /// A non-negative row count for `LIMIT`/`OFFSET`/`FETCH`.
+    fn row_count(&mut self) -> Result<u64, ParseError> {
+        match self.peek() {
+            Some(TokenKind::Int(_)) => {
+                let Some(TokenKind::Int(n)) = self.bump() else { unreachable!() };
+                Ok(n as u64) // the lexer only produces non-negative ints
+            }
+            _ => self.error("expected a non-negative row count"),
+        }
+    }
+
+    /// Consumes the next token iff it is an identifier equal to `word`
+    /// case-insensitively — the positional reading of the contextual
+    /// ordering words (`NULLS`, `FIRST`, `LAST`, `ROW`, `ROWS`, `NEXT`).
+    fn eat_contextual(&mut self, word: &str) -> bool {
+        match self.peek() {
+            Some(TokenKind::Ident(s)) if s.eq_ignore_ascii_case(word) => {
+                self.pos += 1;
+                true
+            }
+            _ => false,
+        }
     }
 
     fn select_list(&mut self) -> Result<SSelectList, ParseError> {
@@ -393,7 +539,7 @@ impl Parser {
     #[allow(clippy::wrong_self_convention)]
     fn from_item(&mut self) -> Result<SFromItem, ParseError> {
         let table = if self.eat(&TokenKind::LParen) {
-            let q = self.query()?;
+            let q = self.query_with_ordering()?;
             self.expect(&TokenKind::RParen)?;
             STableRef::Query(Box::new(q))
         } else {
@@ -466,7 +612,7 @@ impl Parser {
             Some(TokenKind::Keyword(Keyword::Exists)) => {
                 self.pos += 1;
                 self.expect(&TokenKind::LParen)?;
-                let q = self.query()?;
+                let q = self.query_with_ordering()?;
                 self.expect(&TokenKind::RParen)?;
                 return Ok(SCondition::Exists(Box::new(q)));
             }
@@ -525,7 +671,7 @@ impl Parser {
             return self.error("not a tuple IN");
         }
         self.expect(&TokenKind::LParen)?;
-        let q = self.query()?;
+        let q = self.query_with_ordering()?;
         self.expect(&TokenKind::RParen)?;
         Ok(SCondition::In { terms, query: Box::new(q), negated })
     }
@@ -585,14 +731,14 @@ impl Parser {
                 }
                 self.expect_kw(Keyword::In)?;
                 self.expect(&TokenKind::LParen)?;
-                let q = self.query()?;
+                let q = self.query_with_ordering()?;
                 self.expect(&TokenKind::RParen)?;
                 Ok(SCondition::In { terms, query: Box::new(q), negated: true })
             }
             Some(TokenKind::Keyword(Keyword::In)) => {
                 self.pos += 1;
                 self.expect(&TokenKind::LParen)?;
-                let q = self.query()?;
+                let q = self.query_with_ordering()?;
                 self.expect(&TokenKind::RParen)?;
                 Ok(SCondition::In { terms, query: Box::new(q), negated: false })
             }
@@ -955,6 +1101,86 @@ mod tests {
     fn group_by_requires_by() {
         let err = parse_query("SELECT A FROM R GROUP A").unwrap_err();
         assert!(err.message.contains("BY"), "{err}");
+    }
+
+    #[test]
+    fn parses_order_by_limit_offset_in_all_three_surfaces() {
+        use crate::surface::SOrderKey;
+        // PostgreSQL surface.
+        let q = parse_query("SELECT A FROM R ORDER BY A DESC NULLS FIRST, B LIMIT 10 OFFSET 3")
+            .unwrap();
+        let SQuery::Select(s) = q else { panic!() };
+        assert_eq!(
+            s.order_by,
+            vec![
+                SOrderKey { column: Name::new("A"), desc: true, nulls_first: Some(true) },
+                SOrderKey { column: Name::new("B"), desc: false, nulls_first: None },
+            ]
+        );
+        assert_eq!((s.limit, s.offset), (Some(10), Some(3)));
+        // SQL-92 surface.
+        let q = parse_query(
+            "SELECT A FROM R ORDER BY A ASC NULLS LAST OFFSET 3 ROWS FETCH FIRST 10 ROWS ONLY",
+        )
+        .unwrap();
+        let SQuery::Select(s) = q else { panic!() };
+        assert_eq!(s.order_by[0].nulls_first, Some(false));
+        assert!(!s.order_by[0].desc);
+        assert_eq!((s.limit, s.offset), (Some(10), Some(3)));
+        // FETCH NEXT / singular ROW variants, OFFSET after LIMIT.
+        let q = parse_query("SELECT A FROM R FETCH NEXT 1 ROW ONLY").unwrap();
+        let SQuery::Select(s) = q else { panic!() };
+        assert_eq!(s.limit, Some(1));
+        let q = parse_query("SELECT A FROM R OFFSET 2 LIMIT 5").unwrap();
+        let SQuery::Select(s) = q else { panic!() };
+        assert_eq!((s.limit, s.offset), (Some(5), Some(2)));
+    }
+
+    #[test]
+    fn ordering_after_a_set_operation_is_rejected_not_misbound() {
+        // Binding the clause to the last operand — what a greedy
+        // per-block grammar does — silently contradicts every dialect;
+        // the fragment rejects it instead.
+        let err =
+            parse_query("SELECT A FROM R UNION SELECT A FROM S ORDER BY A LIMIT 1").unwrap_err();
+        assert!(err.message.contains("set operation"), "{err}");
+        let err = parse_query("SELECT A FROM R EXCEPT SELECT A FROM S OFFSET 1").unwrap_err();
+        assert!(err.message.contains("set operation"), "{err}");
+        // A parenthesised operand *can* be ordered.
+        let q = parse_query("(SELECT A FROM R ORDER BY A LIMIT 1) UNION SELECT A FROM S").unwrap();
+        let SQuery::SetOp { left, .. } = q else { panic!() };
+        let SQuery::Select(s) = *left else { panic!() };
+        assert_eq!(s.limit, Some(1));
+        assert_eq!(s.order_by.len(), 1);
+        // And ordered subqueries keep working in FROM and IN.
+        let q = parse_query("SELECT T.A FROM (SELECT A FROM R ORDER BY A LIMIT 2) AS T").unwrap();
+        let SQuery::Select(s) = q else { panic!() };
+        let STableRef::Query(sub) = &s.from[0].table else { panic!() };
+        let SQuery::Select(sub) = &**sub else { panic!() };
+        assert_eq!(sub.limit, Some(2));
+        parse_query("SELECT A FROM R WHERE A IN (SELECT A FROM S ORDER BY A LIMIT 1)").unwrap();
+    }
+
+    #[test]
+    fn contextual_ordering_words_stay_identifiers() {
+        // `first`, `rows`, `nulls` are not reserved: usable as columns.
+        let q = parse_query("SELECT first, rows FROM R WHERE nulls = 1").unwrap();
+        let SQuery::Select(s) = q else { panic!() };
+        let SSelectList::Items(items) = &s.select else { panic!() };
+        assert_eq!(items[0].term, STerm::col("first"));
+        assert_eq!(items[1].term, STerm::col("rows"));
+    }
+
+    #[test]
+    fn malformed_ordering_clauses_error() {
+        assert!(parse_query("SELECT A FROM R ORDER A").is_err());
+        assert!(parse_query("SELECT A FROM R ORDER BY A NULLS").is_err());
+        assert!(parse_query("SELECT A FROM R LIMIT").is_err());
+        assert!(parse_query("SELECT A FROM R LIMIT -1").is_err());
+        assert!(parse_query("SELECT A FROM R FETCH 3 ROWS ONLY").is_err());
+        assert!(parse_query("SELECT A FROM R FETCH FIRST 3 ONLY").is_err());
+        // Duplicate clauses are trailing garbage, not silently merged.
+        assert!(parse_query("SELECT A FROM R LIMIT 1 LIMIT 2").is_err());
     }
 
     #[test]

@@ -49,8 +49,11 @@ fn write_query(out: &mut String, query: &Query, dialect: Dialect) {
 
 fn write_operand(out: &mut String, query: &Query, dialect: Dialect) {
     match query {
-        Query::Select(_) => write_query(out, query, dialect),
-        Query::SetOp { .. } => {
+        // Ordered SELECT operands are parenthesised so the ordering
+        // clauses unambiguously bind to the operand on re-parse (the
+        // parser rejects bare trailing clauses on set operations).
+        Query::Select(s) if !s.is_ordered() => write_query(out, query, dialect),
+        _ => {
             out.push('(');
             write_query(out, query, dialect);
             out.push(')');
@@ -97,6 +100,46 @@ fn write_select(out: &mut String, s: &SelectQuery, dialect: Dialect) {
     if s.having != Condition::True {
         out.push_str(" HAVING ");
         write_condition(out, &s.having, dialect);
+    }
+    if !s.order_by.is_empty() {
+        out.push_str(" ORDER BY ");
+        write_order_keys(out, s);
+    }
+    write_limit_offset(out, s, dialect, " ");
+}
+
+fn write_order_keys(out: &mut String, s: &SelectQuery) {
+    for (i, k) in s.order_by.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{k}");
+    }
+}
+
+/// The dialect-specific `LIMIT`/`OFFSET` surface: PostgreSQL prints
+/// `LIMIT n OFFSET m`; the Standard and Oracle print the SQL-92/Oracle
+/// 12c form `OFFSET m ROWS FETCH FIRST n ROWS ONLY`. `sep` is the
+/// clause separator (a space in compact mode, newline + indent in
+/// pretty mode).
+fn write_limit_offset(out: &mut String, s: &SelectQuery, dialect: Dialect, sep: &str) {
+    match dialect {
+        Dialect::PostgreSql => {
+            if let Some(n) = s.limit {
+                let _ = write!(out, "{sep}LIMIT {n}");
+            }
+            if let Some(m) = s.offset {
+                let _ = write!(out, "{sep}OFFSET {m}");
+            }
+        }
+        Dialect::Standard | Dialect::Oracle => {
+            if let Some(m) = s.offset {
+                let _ = write!(out, "{sep}OFFSET {m} ROWS");
+            }
+            if let Some(n) = s.limit {
+                let _ = write!(out, "{sep}FETCH FIRST {n} ROWS ONLY");
+            }
+        }
     }
 }
 
@@ -306,15 +349,40 @@ fn write_query_pretty(out: &mut String, query: &Query, dialect: Dialect, level: 
                 out.push_str("HAVING ");
                 write_condition(out, &s.having, dialect);
             }
+            if !s.order_by.is_empty() {
+                out.push('\n');
+                indent(out, level);
+                out.push_str("ORDER BY ");
+                write_order_keys(out, s);
+            }
+            let mut sep = String::from("\n");
+            indent(&mut sep, level);
+            write_limit_offset(out, s, dialect, &sep);
         }
         Query::SetOp { op, all, left, right } => {
-            write_query_pretty(out, left, dialect, level);
+            write_operand_pretty(out, left, dialect, level);
             out.push('\n');
             indent(out, level);
             let _ = write!(out, "{}{}", keyword(*op, dialect), if *all { " ALL" } else { "" });
             out.push('\n');
-            write_query_pretty(out, right, dialect, level);
+            write_operand_pretty(out, right, dialect, level);
         }
+    }
+}
+
+/// Pretty-mode set-operation operand: ordered `SELECT` operands get the
+/// same parentheses as in compact mode (see [`write_operand`]).
+fn write_operand_pretty(out: &mut String, query: &Query, dialect: Dialect, level: usize) {
+    match query {
+        Query::Select(s) if s.is_ordered() => {
+            indent(out, level);
+            out.push_str("(\n");
+            write_query_pretty(out, query, dialect, level + 1);
+            out.push('\n');
+            indent(out, level);
+            out.push(')');
+        }
+        _ => write_query_pretty(out, query, dialect, level),
     }
 }
 
@@ -364,6 +432,37 @@ mod tests {
             "SELECT A FROM R UNION ALL SELECT A FROM S",
             "SELECT A FROM R EXCEPT SELECT A FROM S",
             "SELECT R.A FROM R WHERE EXISTS (SELECT * FROM S WHERE S.A = R.A) AND R.A = 1",
+        ] {
+            let q = compile(sql);
+            for dialect in Dialect::ALL {
+                let printed = to_sql(&q, dialect);
+                let reparsed = annotate(&parse_query(&printed).unwrap(), &schema()).unwrap();
+                assert_eq!(reparsed, q, "dialect {dialect}: {printed}");
+            }
+        }
+    }
+
+    #[test]
+    fn ordering_prints_the_dialect_surface_and_round_trips() {
+        let q = compile("SELECT R.A AS a FROM R ORDER BY a DESC NULLS FIRST LIMIT 5 OFFSET 2");
+        let pg = to_sql(&q, Dialect::PostgreSql);
+        assert!(pg.ends_with("ORDER BY a DESC NULLS FIRST LIMIT 5 OFFSET 2"), "{pg}");
+        let std = to_sql(&q, Dialect::Standard);
+        assert!(
+            std.ends_with("ORDER BY a DESC NULLS FIRST OFFSET 2 ROWS FETCH FIRST 5 ROWS ONLY"),
+            "{std}"
+        );
+        for dialect in Dialect::ALL {
+            let printed = to_sql(&q, dialect);
+            let reparsed = annotate(&parse_query(&printed).unwrap(), &schema()).unwrap();
+            assert_eq!(reparsed, q, "dialect {dialect}: {printed}");
+        }
+        // Explicit OFFSET 0 and bare LIMIT survive too.
+        for sql in [
+            "SELECT R.A AS a FROM R ORDER BY a NULLS LAST",
+            "SELECT R.A AS a FROM R LIMIT 3",
+            "SELECT R.A AS a FROM R OFFSET 0",
+            "SELECT DISTINCT R.A AS a FROM R ORDER BY a OFFSET 1 ROWS FETCH FIRST 2 ROWS ONLY",
         ] {
             let q = compile(sql);
             for dialect in Dialect::ALL {

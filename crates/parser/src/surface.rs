@@ -94,6 +94,19 @@ pub struct SFromItem {
     pub columns: Option<Vec<Name>>,
 }
 
+/// One surface `ORDER BY` key: `N [ASC|DESC] [NULLS FIRST|LAST]`. The
+/// key names an *output column* of the block (SQL-92's rule).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SOrderKey {
+    /// The output column name.
+    pub column: Name,
+    /// `DESC`?
+    pub desc: bool,
+    /// Explicit `NULLS FIRST`/`NULLS LAST`; `None` when unwritten
+    /// (NULLS LAST by default).
+    pub nulls_first: Option<bool>,
+}
+
 /// A surface `SELECT` block.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SSelectQuery {
@@ -109,6 +122,12 @@ pub struct SSelectQuery {
     pub group_by: Vec<STerm>,
     /// The `HAVING` condition; `None` means no clause was written.
     pub having: Option<SCondition>,
+    /// The `ORDER BY` keys; empty when the clause is absent.
+    pub order_by: Vec<SOrderKey>,
+    /// `LIMIT n` / `FETCH FIRST n ROWS ONLY`.
+    pub limit: Option<u64>,
+    /// `OFFSET m [ROWS]`.
+    pub offset: Option<u64>,
 }
 
 /// A surface query.

@@ -30,7 +30,13 @@ impl std::error::Error for LexError {}
 ///
 /// `GROUP`/`BY`/`HAVING` are reserved, as in SQL-92, and so are the
 /// statement keywords `CREATE`/`TABLE`/`DROP`/`INSERT`/`INTO`/`VALUES`
-/// (all SQL-92 reserved words). The aggregate function names
+/// (all SQL-92 reserved words). The ordering fragment reserves
+/// `ORDER`/`ASC`/`DESC`/`FETCH`/`ONLY` (SQL-92 reserved words) plus
+/// PostgreSQL's `LIMIT`/`OFFSET`; the remaining ordering words —
+/// `NULLS`, `FIRST`, `LAST`, `ROW`, `ROWS`, `NEXT` — stay ordinary
+/// identifiers that the parser recognises *positionally* (PostgreSQL
+/// treats them as non-reserved too), so columns named `first` or
+/// `rows` keep working. The aggregate function names
 /// `COUNT`/`SUM`/`AVG`/`MIN`/`MAX` are *contextual*: keywords only when
 /// followed by `(`, identifiers otherwise (the PostgreSQL convention),
 /// which keeps columns and output names like `count` parseable —
@@ -76,6 +82,13 @@ pub enum Keyword {
     Insert,
     Into,
     Values,
+    Order,
+    Asc,
+    Desc,
+    Limit,
+    Offset,
+    Fetch,
+    Only,
 }
 
 impl Keyword {
@@ -125,6 +138,13 @@ impl Keyword {
             "INSERT" => Some(Keyword::Insert),
             "INTO" => Some(Keyword::Into),
             "VALUES" => Some(Keyword::Values),
+            "ORDER" => Some(Keyword::Order),
+            "ASC" => Some(Keyword::Asc),
+            "DESC" => Some(Keyword::Desc),
+            "LIMIT" => Some(Keyword::Limit),
+            "OFFSET" => Some(Keyword::Offset),
+            "FETCH" => Some(Keyword::Fetch),
+            "ONLY" => Some(Keyword::Only),
             _ => None,
         }
     }
@@ -167,6 +187,13 @@ impl fmt::Display for Keyword {
             Keyword::Insert => "INSERT",
             Keyword::Into => "INTO",
             Keyword::Values => "VALUES",
+            Keyword::Order => "ORDER",
+            Keyword::Asc => "ASC",
+            Keyword::Desc => "DESC",
+            Keyword::Limit => "LIMIT",
+            Keyword::Offset => "OFFSET",
+            Keyword::Fetch => "FETCH",
+            Keyword::Only => "ONLY",
         };
         f.write_str(s)
     }

@@ -161,6 +161,11 @@ fn query_2v(query: &Query, eq: EqInterpretation, names: &mut Names) -> Query {
             // Groups are kept exactly when HAVING is t, so it becomes θᵗ
             // too; the aggregates themselves are logic-mode independent.
             having: cond_t(&s.having, eq, names),
+            // The list layer (ORDER BY / LIMIT / OFFSET) is condition-free
+            // and logic-mode independent: carried through verbatim.
+            order_by: s.order_by.clone(),
+            limit: s.limit,
+            offset: s.offset,
         }),
     }
 }
@@ -343,6 +348,9 @@ fn query_3v(query: &Query, eq: EqInterpretation, names: &mut Names) -> Query {
             where_: cond_3v(&s.where_, eq, names),
             group_by: s.group_by.clone(),
             having: cond_3v(&s.having, eq, names),
+            order_by: s.order_by.clone(),
+            limit: s.limit,
+            offset: s.offset,
         }),
     }
 }

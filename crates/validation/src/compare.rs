@@ -1,4 +1,5 @@
-//! The §4 correctness criterion.
+//! The §4 correctness criterion — extended with a *list* criterion for
+//! the ordering fragment.
 //!
 //! Two evaluation outcomes *coincide* iff the produced tables have
 //! precisely the same number of columns, with the same names and in the
@@ -8,8 +9,21 @@
 //! exactly the ambiguous-reference errors of Oracle, where "our
 //! implementation (the variant adjusted for Oracle) also raised an error
 //! … as expected".
+//!
+//! **Ordered queries** (top-level `ORDER BY`/`LIMIT`/`OFFSET`) are
+//! compared *as lists, up to ties* ([`compare_with_order`]): both lists
+//! are partitioned into maximal runs of records whose sort-key tuples
+//! are (syntactically) equal; the run structures must match run for run
+//! — same key tuple, same length — and each fully-included run must
+//! hold the same row multiset. Inside a tie run the semantics pins the
+//! order only up to the bag's production order, so rows may permute
+//! within a run; and when `OFFSET` cut the *first* run or `LIMIT` cut
+//! the *last*, the records chosen from the cut run are any valid
+//! sub-multiset, so only that run's key and length are compared
+//! (prefix-equality under ties).
 
-use sqlsem_core::{EvalError, Table};
+use sqlsem_core::ast::Query;
+use sqlsem_core::{EvalError, Row, Schema, Table, Value};
 
 /// The outcome of evaluating one query on one implementation.
 pub type Outcome = Result<Table, EvalError>;
@@ -73,6 +87,132 @@ fn join_names(t: &Table) -> String {
     t.columns().iter().map(|n| n.to_string()).collect::<Vec<_>>().join(", ")
 }
 
+/// How a top-level ordered query's outputs are compared: which output
+/// columns are sort keys, and whether the head/tail tie run may have
+/// been cut (by `OFFSET`/`LIMIT` respectively).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OrderedComparison {
+    /// Output-column indices of the `ORDER BY` keys, in clause order.
+    pub key_cols: Vec<usize>,
+    /// `true` iff an `OFFSET > 0` may have cut the first tie run.
+    pub head_cut: bool,
+    /// The query's `LIMIT`, if any. The last tie run is relaxed only
+    /// when the limit *actually truncated* — i.e. the result length
+    /// equals the limit; a limit that never bit leaves the whole list
+    /// strictly comparable.
+    pub limit: Option<u64>,
+}
+
+/// Derives the [`OrderedComparison`] of a query, if its outermost node
+/// is an ordered `SELECT` block whose keys resolve against the output
+/// signature. `None` means the plain bag criterion applies — either the
+/// query is unordered, or key resolution fails, in which case *both*
+/// sides error and the bag criterion's error comparison is the right
+/// one anyway.
+pub fn ordered_comparison(query: &Query, schema: &Schema) -> Option<OrderedComparison> {
+    let Query::Select(s) = query else { return None };
+    if !s.is_ordered() {
+        return None;
+    }
+    let columns = sqlsem_core::sig::output_columns(query, schema).ok()?;
+    let mut key_cols = Vec::with_capacity(s.order_by.len());
+    for key in &s.order_by {
+        key_cols.push(sqlsem_core::order::resolve_key(&key.column, &columns).ok()?);
+    }
+    Some(OrderedComparison { key_cols, head_cut: s.offset.unwrap_or(0) > 0, limit: s.limit })
+}
+
+/// [`compare`], upgraded to the list criterion when `order` is present.
+pub fn compare_with_order(
+    reference: &Outcome,
+    candidate: &Outcome,
+    order: Option<&OrderedComparison>,
+) -> Verdict {
+    match (order, reference, candidate) {
+        (Some(spec), Ok(a), Ok(b)) => compare_ordered(a, b, spec),
+        _ => compare(reference, candidate),
+    }
+}
+
+/// The list criterion (see the module docs): run-aligned comparison with
+/// tie tolerance and cut-run relaxation.
+fn compare_ordered(a: &Table, b: &Table, spec: &OrderedComparison) -> Verdict {
+    if a.columns() != b.columns() {
+        return Verdict::Disagree(format!(
+            "column mismatch: [{}] vs [{}]",
+            join_names(a),
+            join_names(b)
+        ));
+    }
+    if a.len() != b.len() {
+        return Verdict::Disagree(format!("list length mismatch: {} vs {} rows", a.len(), b.len()));
+    }
+    // The LIMIT only relaxes the last run when it actually truncated
+    // the list (result length == limit); an unused bound leaves the
+    // list fully comparable.
+    let tail_cut = spec.limit.is_some_and(|n| a.len() as u64 == n);
+    let runs_a = tie_runs(a, &spec.key_cols);
+    let runs_b = tie_runs(b, &spec.key_cols);
+    if runs_a.len() != runs_b.len() {
+        return Verdict::Disagree(format!(
+            "tie-run structure differs: {} vs {} runs",
+            runs_a.len(),
+            runs_b.len()
+        ));
+    }
+    let last = runs_a.len().saturating_sub(1);
+    for (i, (run_a, run_b)) in runs_a.iter().zip(&runs_b).enumerate() {
+        let key_a = keys_of(run_a[0], &spec.key_cols);
+        let key_b = keys_of(run_b[0], &spec.key_cols);
+        if key_a != key_b {
+            return Verdict::Disagree(format!("run {i}: sort keys differ at the same position"));
+        }
+        if run_a.len() != run_b.len() {
+            return Verdict::Disagree(format!(
+                "run {i}: lengths differ ({} vs {})",
+                run_a.len(),
+                run_b.len()
+            ));
+        }
+        // A cut run's membership is any valid sub-multiset of the full
+        // tie group, so only its key and length are comparable.
+        let relaxed = (i == 0 && spec.head_cut) || (i == last && tail_cut);
+        if !relaxed && !multiset_eq(run_a, run_b) {
+            return Verdict::Disagree(format!("run {i}: row multisets differ within a tie group"));
+        }
+    }
+    Verdict::AgreeResult
+}
+
+/// Partitions a table's list of rows into maximal runs of equal sort-key
+/// tuples (syntactic equality — `NULL` ties with `NULL`). With no keys,
+/// the whole list is one run.
+fn tie_runs<'t>(table: &'t Table, key_cols: &[usize]) -> Vec<Vec<&'t Row>> {
+    let mut runs: Vec<Vec<&'t Row>> = Vec::new();
+    for row in table.rows() {
+        match runs.last_mut() {
+            Some(run) if keys_of(run[0], key_cols) == keys_of(row, key_cols) => run.push(row),
+            _ => runs.push(vec![row]),
+        }
+    }
+    runs
+}
+
+fn keys_of<'r>(row: &'r Row, key_cols: &[usize]) -> Vec<&'r Value> {
+    key_cols.iter().map(|&i| &row[i]).collect()
+}
+
+fn multiset_eq(a: &[&Row], b: &[&Row]) -> bool {
+    let mut counts: std::collections::HashMap<&Row, isize> = std::collections::HashMap::new();
+    for r in a {
+        *counts.entry(r).or_insert(0) += 1;
+    }
+    for r in b {
+        *counts.entry(r).or_insert(0) -= 1;
+    }
+    counts.values().all(|&n| n == 0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -117,6 +257,69 @@ mod tests {
         let amb: Outcome = Err(EvalError::AmbiguousReference(FullName::new("T", "A")));
         let other: Outcome = Err(EvalError::UnknownTable(Name::new("R")));
         assert!(matches!(compare(&amb, &other), Verdict::Disagree(_)));
+    }
+
+    #[test]
+    fn ordered_comparison_requires_matching_lists_up_to_ties() {
+        let spec = OrderedComparison { key_cols: vec![0], head_cut: false, limit: None };
+        // Identical lists agree.
+        let a: Outcome = Ok(table! { ["K", "P"]; [1, 10], [1, 20], [2, 30] });
+        assert_eq!(compare_with_order(&a, &a, Some(&spec)), Verdict::AgreeResult);
+        // Tied rows may permute within their run…
+        let b: Outcome = Ok(table! { ["K", "P"]; [1, 20], [1, 10], [2, 30] });
+        assert_eq!(compare_with_order(&a, &b, Some(&spec)), Verdict::AgreeResult);
+        // …but rows must not cross runs.
+        let c: Outcome = Ok(table! { ["K", "P"]; [2, 30], [1, 10], [1, 20] });
+        assert!(matches!(compare_with_order(&a, &c, Some(&spec)), Verdict::Disagree(_)));
+        // And within a full run the multiset matters.
+        let d: Outcome = Ok(table! { ["K", "P"]; [1, 10], [1, 10], [2, 30] });
+        assert!(matches!(compare_with_order(&a, &d, Some(&spec)), Verdict::Disagree(_)));
+        // Without the order spec, c is just a permuted bag: agree.
+        assert_eq!(compare_with_order(&a, &c, None), Verdict::AgreeResult);
+    }
+
+    #[test]
+    fn cut_tie_runs_are_relaxed_to_key_and_length() {
+        // LIMIT 2 truncated inside the trailing tie group: each side may
+        // keep a different valid sub-multiset of the ties.
+        let spec = OrderedComparison { key_cols: vec![0], head_cut: false, limit: Some(2) };
+        let a: Outcome = Ok(table! { ["K", "P"]; [1, 10], [2, 20] });
+        let b: Outcome = Ok(table! { ["K", "P"]; [1, 10], [2, 99] });
+        assert_eq!(compare_with_order(&a, &b, Some(&spec)), Verdict::AgreeResult);
+        // The cut run's *key* still has to match.
+        let c: Outcome = Ok(table! { ["K", "P"]; [1, 10], [3, 20] });
+        assert!(matches!(compare_with_order(&a, &c, Some(&spec)), Verdict::Disagree(_)));
+        // A LIMIT that never bit (result shorter than the bound) leaves
+        // the last run strictly comparable: the oracle is not weakened.
+        let loose = OrderedComparison { key_cols: vec![0], head_cut: false, limit: Some(100) };
+        assert!(matches!(compare_with_order(&a, &b, Some(&loose)), Verdict::Disagree(_)));
+        // A fully-included middle run is never relaxed.
+        let strict = OrderedComparison { key_cols: vec![0], head_cut: true, limit: Some(3) };
+        let x: Outcome = Ok(table! { ["K", "P"]; [1, 1], [2, 2], [3, 3] });
+        let y: Outcome = Ok(table! { ["K", "P"]; [1, 9], [2, 2], [3, 9] });
+        assert_eq!(compare_with_order(&x, &y, Some(&strict)), Verdict::AgreeResult);
+        let z: Outcome = Ok(table! { ["K", "P"]; [1, 1], [2, 9], [3, 3] });
+        assert!(matches!(compare_with_order(&x, &z, Some(&strict)), Verdict::Disagree(_)));
+    }
+
+    #[test]
+    fn ordered_comparison_spec_is_derived_from_the_query() {
+        use sqlsem_core::Schema;
+        let schema = Schema::builder().table("R", ["A", "B"]).build().unwrap();
+        let q = |sql: &str| sqlsem_parser::compile(sql, &schema).unwrap();
+        // Unordered: no spec.
+        assert_eq!(ordered_comparison(&q("SELECT A FROM R"), &schema), None);
+        // Ordered: keys resolved to output positions, cut flags set.
+        let spec =
+            ordered_comparison(&q("SELECT A, B FROM R ORDER BY B LIMIT 2 OFFSET 1"), &schema)
+                .unwrap();
+        assert_eq!(spec, OrderedComparison { key_cols: vec![1], head_cut: true, limit: Some(2) });
+        let spec = ordered_comparison(&q("SELECT A, B FROM R ORDER BY A"), &schema).unwrap();
+        assert_eq!(spec, OrderedComparison { key_cols: vec![0], head_cut: false, limit: None });
+        // An unresolvable key (repeated output name): both sides will
+        // error, so the plain criterion applies.
+        let dup = q("SELECT A AS x, B AS x FROM R ORDER BY x");
+        assert_eq!(ordered_comparison(&dup, &schema), None);
     }
 
     #[test]

@@ -26,7 +26,7 @@ use sqlsem_engine::Backend;
 use sqlsem_generator::{random_database, DataGenConfig, QueryGenConfig, QueryGenerator};
 use sqlsem_session::Session;
 
-use crate::compare::{compare, Outcome, Verdict};
+use crate::compare::{compare_with_order, ordered_comparison, Outcome, Verdict};
 
 /// Configuration of a validation run.
 #[derive(Clone, Debug)]
@@ -306,6 +306,9 @@ pub fn run_validation(schema: &Schema, config: &ValidationConfig) -> ValidationR
 
     for i in 0..config.queries {
         let (query, db) = iteration_case(schema, config, i);
+        // Ordered queries are compared as lists (prefix-equality under
+        // ties); everything else under the plain §4 bag criterion.
+        let order = ordered_comparison(&query, schema);
 
         if config.check_roundtrip {
             let text = sqlsem_parser::to_sql(&query, Dialect::Standard);
@@ -328,7 +331,7 @@ pub fn run_validation(schema: &Schema, config: &ValidationConfig) -> ValidationR
                     .with_logic(*logic)
                     .eval(&query);
                 let candidate = session_outcome(&mut session, &sql);
-                match compare(&reference, &candidate) {
+                match compare_with_order(&reference, &candidate, order.as_ref()) {
                     Verdict::AgreeResult => stats.agree_results += 1,
                     Verdict::AgreeError => stats.agree_errors += 1,
                     Verdict::Disagree(detail) => {

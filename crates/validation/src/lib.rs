@@ -13,7 +13,9 @@
 pub mod compare;
 pub mod harness;
 
-pub use compare::{compare, Outcome, Verdict};
+pub use compare::{
+    compare, compare_with_order, ordered_comparison, OrderedComparison, Outcome, Verdict,
+};
 pub use harness::{
     candidate_session, iteration_case, iteration_rng, run_validation, session_outcome,
     DialectStats, Disagreement, ValidationConfig, ValidationReport,

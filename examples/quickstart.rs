@@ -42,14 +42,25 @@ fn main() {
     let plan = session.execute(&format!("EXPLAIN {sql}")).expect("EXPLAIN runs");
     println!("EXPLAIN:\n{plan}\n");
 
-    // 5. Prepared statements cache the parse+compile+optimize work.
+    // 5. The ordering fragment: a paginated top-k query. Results are
+    //    *lists* — the REPL and `Display` print rows in exactly the
+    //    order the semantics assigns (NULLS LAST by default), and the
+    //    optimizer runs `ORDER BY … LIMIT` as a bounded-heap `TopK`.
+    let top = "SELECT name, dept FROM Employee \
+               ORDER BY dept DESC NULLS LAST, name LIMIT 2 OFFSET 1";
+    let page = session.execute(top).expect("top-k query runs");
+    println!("{top}\n{page}\n");
+    let plan = session.execute(&format!("EXPLAIN {top}")).expect("EXPLAIN runs");
+    println!("EXPLAIN (note the TopK):\n{plan}\n");
+
+    // 6. Prepared statements cache the parse+compile+optimize work.
     let mut stmt = session
         .prepare("SELECT COUNT(*) AS employees FROM Employee WHERE Employee.dept IS NOT NULL")
         .expect("statement prepares");
     let count = session.execute_prepared(&mut stmt).expect("prepared statement runs");
     println!("head-count (prepared):\n{count}\n");
 
-    // 6. The three-valued logic is explicit and inspectable.
+    // 7. The three-valued logic is explicit and inspectable.
     println!("NULL-budget row: budget < 500 = {}", Truth::Unknown);
     println!("…negated:        NOT u        = {}", Truth::Unknown.not());
     println!("…so the WHERE keeps only rows where the condition is t.");

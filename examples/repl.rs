@@ -1,5 +1,7 @@
 //! A tiny line-oriented SQL REPL over [`Session`]: reads `;`-terminated
 //! statements from stdin, prints result tables, plans and errors.
+//! Result rows print in the list order the semantics assigns — ordered
+//! (`ORDER BY`) results are never re-sorted for display.
 //!
 //! Interactive use:
 //!

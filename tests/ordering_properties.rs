@@ -1,0 +1,223 @@
+//! Property tests for the list-valued ordering fragment
+//! (`ORDER BY` / `LIMIT` / `OFFSET`):
+//!
+//! * `LIMIT k` returns at most `k` rows, and under a *total* order it is
+//!   exactly the first `k` rows of the unlimited result;
+//! * `OFFSET`/`LIMIT` pagination tiles the full ordered result with no
+//!   overlap and no gap;
+//! * `NULLS FIRST`/`NULLS LAST` are dual (under a total order, one is
+//!   the reverse of the other with the direction flipped);
+//! * the sort is stable: tied records keep the bag's production order;
+//! * all three dialect surfaces round-trip through the parser;
+//! * a 150-query generated sweep holds spec ≡ naive ≡ optimized, as
+//!   lists, across 3 dialects × 3 logic modes — error verdicts included.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sqlsem::core::{table, Evaluator, LogicMode, Row, Table, Value};
+use sqlsem::engine::Engine;
+use sqlsem::{Database, Dialect, Schema};
+use sqlsem_generator::{
+    paper_schema, random_database, DataGenConfig, QueryGenConfig, QueryGenerator,
+};
+use sqlsem_validation::{compare_with_order, ordered_comparison, Verdict};
+
+fn schema() -> Schema {
+    Schema::builder().table("R", ["A", "B"]).build().unwrap()
+}
+
+/// R with duplicate keys, a NULL key and distinguishable payloads in a
+/// known insertion order.
+fn db() -> Database {
+    let mut db = Database::new(schema());
+    db.insert(
+        "R",
+        table! { ["A", "B"];
+            [3, 10], [1, 20], [3, 30], [Value::Null, 40], [2, 50], [1, 60], [2, 70]
+        },
+    )
+    .unwrap();
+    db
+}
+
+fn rows_of(t: &Table) -> Vec<Row> {
+    t.rows().cloned().collect()
+}
+
+/// Evaluates through the spec; asserts the engine (naive and optimized)
+/// produces the identical list, and returns it.
+fn eval_list(sql: &str, db: &Database) -> Vec<Row> {
+    let q = sqlsem::compile(sql, db.schema()).unwrap();
+    let spec = Evaluator::new(db).eval(&q).unwrap();
+    for optimized in [false, true] {
+        let got = Engine::new(db).with_optimizations(optimized).execute(&q).unwrap();
+        assert_eq!(rows_of(&spec), rows_of(&got), "{sql} (optimized={optimized})");
+    }
+    rows_of(&spec)
+}
+
+#[test]
+fn limit_k_returns_at_most_k_rows() {
+    let db = db();
+    for k in 0..10u64 {
+        for sql in [
+            format!("SELECT R.A AS a FROM R ORDER BY a LIMIT {k}"),
+            format!("SELECT R.A AS a FROM R LIMIT {k}"),
+            format!(
+                "SELECT R.B AS b FROM R ORDER BY b DESC OFFSET 2 ROWS FETCH FIRST {k} ROWS ONLY"
+            ),
+        ] {
+            let rows = eval_list(&sql, &db);
+            assert!(rows.len() <= k as usize, "{sql}: {} rows", rows.len());
+        }
+    }
+}
+
+#[test]
+fn limit_is_a_prefix_of_the_unlimited_result_under_total_orders() {
+    let db = db();
+    // B's values are all distinct: the order is total, so LIMIT k must
+    // be exactly the first k of the unlimited list.
+    let full = eval_list("SELECT R.A AS a, R.B AS b FROM R ORDER BY b DESC", &db);
+    for k in 0..=full.len() + 2 {
+        let limited =
+            eval_list(&format!("SELECT R.A AS a, R.B AS b FROM R ORDER BY b DESC LIMIT {k}"), &db);
+        assert_eq!(limited.as_slice(), &full[..k.min(full.len())], "k={k}");
+    }
+}
+
+#[test]
+fn offset_limit_pagination_tiles_the_result() {
+    let db = db();
+    let full = eval_list("SELECT R.A AS a, R.B AS b FROM R ORDER BY b", &db);
+    for page_size in 1..=4usize {
+        let mut paged: Vec<Row> = Vec::new();
+        let mut offset = 0usize;
+        loop {
+            let page = eval_list(
+                &format!(
+                    "SELECT R.A AS a, R.B AS b FROM R ORDER BY b LIMIT {page_size} OFFSET {offset}"
+                ),
+                &db,
+            );
+            if page.is_empty() {
+                break;
+            }
+            assert!(page.len() <= page_size);
+            paged.extend(page);
+            offset += page_size;
+        }
+        // No overlap, no gap: the concatenated pages are the full list.
+        assert_eq!(paged, full, "page size {page_size}");
+    }
+    // An offset past the end is the empty list, not an error.
+    assert!(eval_list("SELECT R.A AS a FROM R ORDER BY a OFFSET 999", &db).is_empty());
+}
+
+#[test]
+fn nulls_first_and_last_are_dual_under_total_orders() {
+    let db = db();
+    // A has duplicates, so use (A, B) — total because B is unique.
+    let first = eval_list("SELECT R.A AS a, R.B AS b FROM R ORDER BY a NULLS FIRST, b", &db);
+    let mut last =
+        eval_list("SELECT R.A AS a, R.B AS b FROM R ORDER BY a DESC NULLS LAST, b DESC", &db);
+    last.reverse();
+    assert_eq!(first, last);
+    // The NULL key row sits at the announced end.
+    assert!(first[0][0].is_null());
+    let default = eval_list("SELECT R.A AS a, R.B AS b FROM R ORDER BY a, b", &db);
+    assert!(default.last().unwrap()[0].is_null(), "NULLS LAST is the default");
+}
+
+#[test]
+fn sort_is_stable_so_ties_keep_production_order() {
+    let db = db();
+    // Key A ties; payload B records the insertion order of the bag.
+    let rows = eval_list("SELECT R.A AS a, R.B AS b FROM R ORDER BY a", &db);
+    let payloads: Vec<i64> = rows
+        .iter()
+        .map(|r| match &r[1] {
+            Value::Int(n) => *n,
+            other => panic!("unexpected payload {other}"),
+        })
+        .collect();
+    // Groups in key order (NULL last), each group in insertion order.
+    assert_eq!(payloads, vec![20, 60, 50, 70, 10, 30, 40]);
+}
+
+#[test]
+fn ordering_syntax_round_trips_in_all_three_dialects() {
+    let schema = schema();
+    for sql in [
+        "SELECT R.A AS a FROM R ORDER BY a",
+        "SELECT R.A AS a, R.B AS b FROM R ORDER BY a DESC NULLS FIRST, b ASC NULLS LAST",
+        "SELECT R.A AS a FROM R ORDER BY a LIMIT 10 OFFSET 3",
+        "SELECT R.A AS a FROM R ORDER BY a OFFSET 3 ROWS FETCH FIRST 10 ROWS ONLY",
+        "SELECT R.A AS a FROM R FETCH NEXT 1 ROW ONLY",
+        "SELECT R.A AS a FROM R LIMIT 0",
+        "SELECT DISTINCT R.A AS a FROM R GROUP BY R.A ORDER BY a LIMIT 2",
+    ] {
+        let q = sqlsem::compile(sql, &schema).unwrap();
+        for dialect in Dialect::ALL {
+            let printed = sqlsem::to_sql(&q, dialect);
+            let back = sqlsem::compile(&printed, &schema)
+                .unwrap_or_else(|e| panic!("[{dialect}] {printed}: {e}"));
+            assert_eq!(back, q, "[{dialect}] {printed}");
+        }
+    }
+}
+
+#[test]
+fn explain_shows_top_k_through_the_session() {
+    use sqlsem::session::Session;
+    let mut session = Session::builder().with_database(db()).build();
+    let out = session.execute("EXPLAIN SELECT R.A AS a FROM R ORDER BY a DESC LIMIT 5").unwrap();
+    let plan = out.plan().expect("EXPLAIN produces a plan").to_string();
+    assert!(plan.contains("TopK k=5"), "{plan}");
+}
+
+#[test]
+fn generated_ordered_sweep_spec_naive_optimized() {
+    // 150 generated queries with the ordering fragment cranked high:
+    // spec ≡ naive ≡ optimized as lists (prefix-equality under ties)
+    // across 3 dialects × 3 logic modes, error verdicts included.
+    let schema = paper_schema();
+    let config = QueryGenConfig { order_prob: 0.9, ..QueryGenConfig::small() };
+    let gen = QueryGenerator::new(&schema, config);
+    let mut ordered = 0usize;
+    let mut error_agreements = 0usize;
+    for i in 0..150u64 {
+        let mut rng = StdRng::seed_from_u64(0x0bd0_0000 + i);
+        let q = gen.generate(&mut rng);
+        let db = random_database(&schema, &DataGenConfig::small(), &mut rng);
+        let order = ordered_comparison(&q, &schema);
+        ordered += usize::from(order.is_some());
+        for dialect in Dialect::ALL {
+            for logic in LogicMode::ALL {
+                let spec = Evaluator::new(&db).with_dialect(dialect).with_logic(logic).eval(&q);
+                let naive = Engine::new(&db)
+                    .with_dialect(dialect)
+                    .with_logic(logic)
+                    .with_optimizations(false)
+                    .execute(&q);
+                let optimized =
+                    Engine::new(&db).with_dialect(dialect).with_logic(logic).execute(&q);
+                for (label, candidate) in [("naive", &naive), ("optimized", &optimized)] {
+                    match compare_with_order(&spec, candidate, order.as_ref()) {
+                        Verdict::Disagree(detail) => panic!(
+                            "case {i} [{dialect} / {logic:?} vs {label}]: {detail}\n  {}",
+                            sqlsem::to_sql(&q, dialect)
+                        ),
+                        Verdict::AgreeError => error_agreements += 1,
+                        Verdict::AgreeResult => {}
+                    }
+                }
+            }
+        }
+    }
+    // The sweep must actually exercise both ordered queries and
+    // error-verdict agreement (ambiguous stars etc.).
+    assert!(ordered >= 60, "only {ordered} ordered queries in 150");
+    assert!(error_agreements > 0, "no error agreements occurred in the sweep");
+}

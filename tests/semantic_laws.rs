@@ -40,6 +40,9 @@ fn map_conditions(q: &Query, f: &impl Fn(&Condition) -> Condition) -> Query {
             where_: f(&s.where_),
             group_by: s.group_by.clone(),
             having: s.having.clone(),
+            order_by: s.order_by.clone(),
+            limit: s.limit,
+            offset: s.offset,
         }),
     }
 }
