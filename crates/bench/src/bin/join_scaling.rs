@@ -12,6 +12,16 @@
 //!   [`sqlsem_engine::Plan::TopK`], which keeps at most
 //!   `offset + limit` rows in its sort buffer).
 //!
+//! Two further measurements pit the row-at-a-time optimized engine
+//! against the columnar executor at 100k and 1M rows (100k only with
+//! `--quick`):
+//!
+//! * **vec_join** — the same equi-join, row hash-join vs the vectorized
+//!   single-`Int`-key hash-join kernel;
+//! * **vec_group** — `GROUP BY` with `COUNT(*)`/`SUM` over a
+//!   1000-group integer key, row-at-a-time grouping vs the columnar
+//!   group kernel's unboxed accumulators.
+//!
 //! Both sides are checked to coincide before timing, so the numbers are
 //! for provably identical results. With `--record` the measurements are
 //! written to `BENCH_join_scaling.json` in the current directory — the
@@ -26,6 +36,9 @@
 //! cargo run --release -p sqlsem-bench --bin join_scaling -- --record
 //! cargo run --release -p sqlsem-bench --bin join_scaling -- --quick --check BENCH_join_scaling.json
 //! ```
+//!
+//! `--check` covers all four sections; the vectorized timings are held
+//! to the same `3x + 1 ms` threshold as the row-engine ones.
 
 use std::time::Instant;
 
@@ -93,7 +106,10 @@ fn time_ms(mut f: impl FnMut() -> usize, reps: usize) -> (f64, usize) {
     (median_ms(runs), rows)
 }
 
-/// One recorded measurement line.
+/// One recorded measurement line. For the `vec_*` benches the
+/// "baseline" side is the row-at-a-time optimized engine and the
+/// "candidate" side is the vectorized executor; the JSON field names
+/// say which is which per section.
 struct Measurement {
     bench: &'static str,
     rows: u64,
@@ -102,11 +118,26 @@ struct Measurement {
     out_rows: usize,
 }
 
-/// Extracts `(rows, optimized_ms)` pairs from one `"<bench>": [ … ]`
+/// G(K,V): `n` rows, `K = i % 1000` with every tenth key null (so the
+/// group kernel also sees the all-nulls group), `V` scrambled.
+fn group_instance(schema: &Schema, n: usize) -> Database {
+    let mut db = Database::new(schema.clone());
+    let rows: Vec<Row> = (0..n)
+        .map(|i| {
+            let k = if i % 10 == 9 { Value::Null } else { Value::Int((i % 1000) as i64) };
+            let v = ((i as i64).wrapping_mul(2654435761)) % 10_007;
+            Row::new(vec![k, Value::Int(v)])
+        })
+        .collect();
+    db.insert("G", Table::with_rows(vec!["K".into(), "V".into()], rows).unwrap()).unwrap();
+    db
+}
+
+/// Extracts `(rows, <ms_field>)` pairs from one `"<bench>": [ … ]`
 /// section of the baseline JSON. Hand-rolled (the workspace is
 /// offline — no serde): scans the section's objects for the `"rows"`
-/// and `"optimized_ms"` fields.
-fn baseline_pairs(json: &str, section: &str) -> Vec<(u64, f64)> {
+/// and requested millisecond fields.
+fn baseline_pairs(json: &str, section: &str, ms_field: &str) -> Vec<(u64, f64)> {
     let Some(start) = json.find(&format!("\"{section}\"")) else { return Vec::new() };
     let rest = &json[start..];
     let Some(open) = rest.find('[') else { return Vec::new() };
@@ -125,7 +156,7 @@ fn baseline_pairs(json: &str, section: &str) -> Vec<(u64, f64)> {
     body.split('}')
         .filter_map(|obj| {
             let rows = field(obj, "rows")? as u64;
-            let ms = field(obj, "optimized_ms")?;
+            let ms = field(obj, ms_field)?;
             Some((rows, ms))
         })
         .collect()
@@ -194,13 +225,62 @@ fn main() {
         });
     }
 
+    // --- vectorized vs row-at-a-time, at columnar scale ------------------
+    let vec_sizes: Vec<usize> = if quick { vec![100_000] } else { vec![100_000, 1_000_000] };
+    let group_schema = Schema::builder().table("G", ["K", "V"]).build().unwrap();
+    let group_q = sqlsem_parser::compile(
+        "SELECT G.K AS k, COUNT(*) AS n, SUM(G.V) AS s FROM G GROUP BY G.K",
+        &group_schema,
+    )
+    .unwrap();
+    for &n in &vec_sizes {
+        let db = instance(&schema, n);
+        let row_engine = Engine::new(&db);
+        let vec_engine = Engine::new(&db).with_vectorized(true);
+        let a = row_engine.execute(&join_q).unwrap();
+        let b = vec_engine.execute(&join_q).unwrap();
+        assert!(a.coincides(&b), "row and vectorized join disagree at n={n}");
+        let (vec_ms, out_rows) = time_ms(|| vec_engine.execute(&join_q).unwrap().len(), reps);
+        let (row_ms, _) = time_ms(|| row_engine.execute(&join_q).unwrap().len(), reps);
+        measurements.push(Measurement {
+            bench: "vec_join",
+            rows: n as u64,
+            naive_ms: Some(row_ms),
+            optimized_ms: vec_ms,
+            out_rows,
+        });
+
+        let gdb = group_instance(&group_schema, n);
+        let row_engine = Engine::new(&gdb);
+        let vec_engine = Engine::new(&gdb).with_vectorized(true);
+        let a = row_engine.execute(&group_q).unwrap();
+        let b = vec_engine.execute(&group_q).unwrap();
+        assert!(a.coincides(&b), "row and vectorized group-by disagree at n={n}");
+        let (vec_ms, out_rows) = time_ms(|| vec_engine.execute(&group_q).unwrap().len(), reps);
+        let (row_ms, _) = time_ms(|| row_engine.execute(&group_q).unwrap().len(), reps);
+        measurements.push(Measurement {
+            bench: "vec_group",
+            rows: n as u64,
+            naive_ms: Some(row_ms),
+            optimized_ms: vec_ms,
+            out_rows,
+        });
+    }
+
     for m in &measurements {
+        let vectorized = m.bench.starts_with("vec_");
         let naive_txt = m.naive_ms.map_or("skipped".to_string(), |ms| format!("{ms:.3}"));
         let speedup =
             m.naive_ms.map_or("-".to_string(), |ms| format!("{:.1}x", ms / m.optimized_ms));
         println!(
-            "{:>14} {:>8} {:>14} {:>14.3} {:>10} {:>10}",
-            m.bench, m.rows, naive_txt, m.optimized_ms, speedup, m.out_rows
+            "{:>14} {:>8} {:>14} {:>14.3} {:>10} {:>10}{}",
+            m.bench,
+            m.rows,
+            naive_txt,
+            m.optimized_ms,
+            speedup,
+            m.out_rows,
+            if vectorized { "   (row vs vectorized)" } else { "" }
         );
     }
 
@@ -221,10 +301,28 @@ fn main() {
                 .collect::<Vec<_>>()
                 .join(",\n")
         };
+        let vec_section = |name: &str| -> String {
+            measurements
+                .iter()
+                .filter(|m| m.bench == name)
+                .map(|m| {
+                    format!(
+                        "    {{\"rows\": {}, \"row_optimized_ms\": {:.4}, \"vectorized_ms\": {:.4}, \"out_rows\": {}}}",
+                        m.rows,
+                        m.naive_ms.unwrap_or(f64::NAN),
+                        m.optimized_ms,
+                        m.out_rows
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(",\n")
+        };
         let json = format!(
-            "{{\n  \"bench\": \"join_scaling\",\n  \"reps\": {reps},\n  \"measurements\": [\n{}\n  ],\n  \"top_k\": [\n{}\n  ]\n}}\n",
+            "{{\n  \"bench\": \"join_scaling\",\n  \"reps\": {reps},\n  \"measurements\": [\n{}\n  ],\n  \"top_k\": [\n{}\n  ],\n  \"vec_join\": [\n{}\n  ],\n  \"vec_group\": [\n{}\n  ]\n}}\n",
             section("join_scaling"),
-            section("top_k")
+            section("top_k"),
+            vec_section("vec_join"),
+            vec_section("vec_group")
         );
         std::fs::write("BENCH_join_scaling.json", &json).expect("write baseline");
         println!("\nrecorded BENCH_join_scaling.json");
@@ -235,9 +333,13 @@ fn main() {
             .unwrap_or_else(|e| panic!("cannot read baseline {check_path}: {e}"));
         let mut checked = 0usize;
         let mut regressions = Vec::new();
-        for section in ["measurements", "top_k"] {
-            let name = if section == "measurements" { "join_scaling" } else { "top_k" };
-            for (rows, base_ms) in baseline_pairs(&baseline, section) {
+        for (section, name, ms_field) in [
+            ("measurements", "join_scaling", "optimized_ms"),
+            ("top_k", "top_k", "optimized_ms"),
+            ("vec_join", "vec_join", "vectorized_ms"),
+            ("vec_group", "vec_group", "vectorized_ms"),
+        ] {
+            for (rows, base_ms) in baseline_pairs(&baseline, section, ms_field) {
                 let Some(m) = measurements.iter().find(|m| m.bench == name && m.rows == rows)
                 else {
                     continue;

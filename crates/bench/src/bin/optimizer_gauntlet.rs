@@ -24,6 +24,10 @@
 //! cargo run --release -p sqlsem-bench --bin optimizer_gauntlet -- \
 //!     --queries 2000 --seed 1 --backend optimized
 //! ```
+//!
+//! `--backend vectorized` runs the columnar executor as the candidate;
+//! `--batch-size N` then sets its batch granularity (the nightly matrix
+//! sweeps 1, 3 and 1024 to fuzz chunk boundaries).
 
 use sqlsem_bench::arg;
 use sqlsem_core::{Dialect, Evaluator, LogicMode, Query, Schema};
@@ -94,6 +98,8 @@ fn main() {
     let seed: u64 = arg("--seed", 1);
     let rows: usize = arg("--rows", 8);
     let backend: Backend = arg("--backend", Backend::OptimizedEngine);
+    let batch_size: usize = arg("--batch-size", 0);
+    let batch_size = (batch_size > 0).then_some(batch_size);
     let dump_dir: String = arg("--dump", String::new());
 
     let combos: Vec<(Dialect, LogicMode)> = Dialect::ALL
@@ -148,7 +154,7 @@ fn main() {
     };
 
     let (pitfall_schema, pitfalls) = pitfall_cases();
-    let mut pit_session = candidate_session(pitfall_db(&pitfall_schema), backend);
+    let mut pit_session = candidate_session(pitfall_db(&pitfall_schema), backend, batch_size);
     for tally in tallies.iter_mut() {
         for query in &pitfalls {
             check(tally, query, &mut pit_session);
@@ -161,15 +167,17 @@ fn main() {
     let start = std::time::Instant::now();
     for i in 0..queries {
         let (query, db) = iteration_case(&schema, &config, i);
-        let mut session = candidate_session(db, backend);
+        let mut session = candidate_session(db, backend, batch_size);
         for tally in tallies.iter_mut() {
             check(tally, &query, &mut session);
         }
     }
 
+    let batch_note = batch_size.map(|n| format!(", batch size {n}")).unwrap_or_default();
     println!(
         "optimizer gauntlet: {} pitfall + {queries} random queries per combination \
-         (candidate backend {backend} via Session, seed {seed}, row cap {rows}) in {:.2?}\n",
+         (candidate backend {backend}{batch_note} via Session, seed {seed}, row cap {rows}) \
+         in {:.2?}\n",
         pitfalls.len(),
         start.elapsed()
     );

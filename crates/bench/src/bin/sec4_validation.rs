@@ -15,8 +15,9 @@
 //!
 //! Defaults are scaled down (2,000 queries, 8-row tables) so the binary
 //! finishes in seconds; pass `--paper` for the paper's row cap, and
-//! `--backend spec|naive|optimized` to choose the candidate the spec is
-//! compared against.
+//! `--backend spec|naive|optimized|vectorized` to choose the candidate
+//! the spec is compared against (`--batch-size N` sets the vectorized
+//! candidate's batch granularity).
 
 use sqlsem_bench::{arg, flag};
 use sqlsem_core::Dialect;
@@ -30,6 +31,7 @@ fn main() {
     let paper_rows = flag("--paper");
     let rows: usize = arg("--rows", if paper_rows { 50 } else { 8 });
     let backend: Backend = arg("--backend", Backend::OptimizedEngine);
+    let batch_size: usize = arg("--batch-size", 0);
 
     let schema = paper_schema();
     let config = ValidationConfig::default()
@@ -44,6 +46,7 @@ fn main() {
         .with_logics([sqlsem_core::LogicMode::ThreeValued])
         .with_backend(backend)
         .with_roundtrip(true);
+    let config = if batch_size > 0 { config.with_batch_size(batch_size) } else { config };
 
     println!(
         "§4 validation: {queries} random queries over R1..R8 \

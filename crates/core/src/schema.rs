@@ -260,6 +260,15 @@ impl Database {
         }
     }
 
+    /// Borrowed view of a stored base table, if one was ever populated —
+    /// the allocation-free variant of [`Database::table`] for executors
+    /// that only need to read the rows (a never-populated table has no
+    /// stored contents; fall back to [`Database::table`] for the empty
+    /// instance or the unknown-table error).
+    pub fn stored_table(&self, name: impl AsRef<str>) -> Option<&Table> {
+        self.tables.get(name.as_ref())
+    }
+
     /// `CREATE TABLE name(attrs…)`: extends the schema with a new, empty
     /// base table. Existing table contents are untouched.
     pub fn create_table<N, A, I>(&mut self, name: N, attrs: I) -> Result<(), SchemaError>

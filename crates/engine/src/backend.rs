@@ -1,10 +1,11 @@
-//! One execution interface over the workspace's three evaluators.
+//! One execution interface over the workspace's four evaluators.
 //!
 //! The paper's whole point is that a single formal semantics stands
 //! behind many consumers; this module is the code-level rendering of
-//! that idea. The three ways the workspace can run a query — the
+//! that idea. The four ways the workspace can run a query — the
 //! denotational spec interpreter ([`sqlsem_core::Evaluator`]), the
-//! engine with its optimizer disabled, and the engine with it enabled —
+//! engine with its optimizer disabled, the engine with it enabled, and
+//! the engine driving its plans through the columnar batch executor —
 //! are unified behind the [`QueryBackend`] trait and selected by the
 //! [`Backend`] enum, so that the `Session` API, the §4 harness and the
 //! optimizer gauntlet can all swap evaluation strategies without
@@ -20,7 +21,7 @@ use sqlsem_core::{
 use crate::Engine;
 
 /// Anything that can execute an annotated query against a database: the
-/// uniform `execute` the three evaluators hide behind.
+/// uniform `execute` the four evaluators hide behind.
 pub trait QueryBackend {
     /// Executes a closed annotated query, producing a bag of rows or
     /// the evaluation error the §4 criterion compares on.
@@ -41,7 +42,7 @@ impl QueryBackend for Engine<'_> {
 
 /// Which evaluation strategy a session (or harness) runs queries with.
 ///
-/// All three implement the same semantics — the optimizer gauntlet's
+/// All four implement the same semantics — the optimizer gauntlet's
 /// standing result is that they are indistinguishable under the paper's
 /// coincidence criterion — but they differ in pedigree and speed:
 ///
@@ -50,7 +51,10 @@ impl QueryBackend for Engine<'_> {
 /// * [`Backend::NaiveEngine`] is the independent positional-plan engine
 ///   with its optimizer off — the §4 oracle stand-in;
 /// * [`Backend::OptimizedEngine`] adds predicate pushdown, hash
-///   equi-joins, subquery caching and `EXISTS` early exit.
+///   equi-joins, subquery caching and `EXISTS` early exit;
+/// * [`Backend::VectorizedEngine`] runs the optimized plans
+///   batch-at-a-time through the columnar executor
+///   ([`crate::vexec::VecExecutor`]).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum Backend {
     /// The denotational interpreter `⟦·⟧` of `sqlsem-core`.
@@ -60,12 +64,19 @@ pub enum Backend {
     /// The physical-plan engine, optimizations on (the default).
     #[default]
     OptimizedEngine,
+    /// The physical-plan engine with optimizations on, executed
+    /// batch-at-a-time over columnar batches.
+    VectorizedEngine,
 }
 
 impl Backend {
     /// All backends, for exhaustive differential sweeps.
-    pub const ALL: [Backend; 3] =
-        [Backend::SpecInterpreter, Backend::NaiveEngine, Backend::OptimizedEngine];
+    pub const ALL: [Backend; 4] = [
+        Backend::SpecInterpreter,
+        Backend::NaiveEngine,
+        Backend::OptimizedEngine,
+        Backend::VectorizedEngine,
+    ];
 
     /// An executor for this backend over `db`, configured with the given
     /// dialect, logic mode and predicate registry.
@@ -96,6 +107,13 @@ impl Backend {
                     .with_logic(logic)
                     .with_predicates(preds.clone()),
             ),
+            Backend::VectorizedEngine => Box::new(
+                Engine::new(db)
+                    .with_dialect(dialect)
+                    .with_logic(logic)
+                    .with_predicates(preds.clone())
+                    .with_vectorized(true),
+            ),
         }
     }
 
@@ -118,6 +136,7 @@ impl fmt::Display for Backend {
             Backend::SpecInterpreter => "spec",
             Backend::NaiveEngine => "naive",
             Backend::OptimizedEngine => "optimized",
+            Backend::VectorizedEngine => "vectorized",
         })
     }
 }
@@ -126,13 +145,16 @@ impl FromStr for Backend {
     type Err = String;
 
     /// Parses the `--backend` spelling used by the experiment binaries:
-    /// `spec`, `naive` or `optimized`.
+    /// `spec`, `naive`, `optimized` or `vectorized`.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         match s.to_ascii_lowercase().as_str() {
             "spec" | "spec-interpreter" | "interpreter" => Ok(Backend::SpecInterpreter),
             "naive" | "naive-engine" => Ok(Backend::NaiveEngine),
             "optimized" | "optimized-engine" | "engine" => Ok(Backend::OptimizedEngine),
-            other => Err(format!("unknown backend {other:?}: expected spec, naive or optimized")),
+            "vectorized" | "vectorized-engine" | "vec" => Ok(Backend::VectorizedEngine),
+            other => Err(format!(
+                "unknown backend {other:?}: expected spec, naive, optimized or vectorized"
+            )),
         }
     }
 }
@@ -172,6 +194,8 @@ mod tests {
         assert_eq!("spec".parse::<Backend>().unwrap(), Backend::SpecInterpreter);
         assert_eq!("NAIVE".parse::<Backend>().unwrap(), Backend::NaiveEngine);
         assert_eq!("optimized".parse::<Backend>().unwrap(), Backend::OptimizedEngine);
+        assert_eq!("vectorized".parse::<Backend>().unwrap(), Backend::VectorizedEngine);
+        assert_eq!("vec".parse::<Backend>().unwrap(), Backend::VectorizedEngine);
         assert!("postgres".parse::<Backend>().is_err());
         for b in Backend::ALL {
             assert_eq!(b.to_string().parse::<Backend>().unwrap(), b);

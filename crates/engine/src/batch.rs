@@ -1,0 +1,693 @@
+//! Columnar batches: the vectorized executor's data representation.
+//!
+//! A [`Batch`] holds up to ~[`DEFAULT_BATCH_SIZE`] rows **column-major**:
+//! one [`Column`] per attribute, each with a per-column null [`Bitmap`].
+//! Filters never materialize their survivors — they refine the batch's
+//! *selection vector* instead, so downstream operators iterate only the
+//! live physical indices while the column storage is shared untouched
+//! (columns are cheaply cloneable behind `Rc`).
+//!
+//! Predicate kernels evaluate a condition over a whole batch at once and
+//! produce a [`TruthVec`] — Kleene truth values as a pair of bitmaps
+//! (*true* bits and *unknown* bits), so three-valued `AND`/`OR`/`NOT`
+//! are word-wise bit operations. The comparison kernels implement one
+//! bitmap semantics per §6 logic mode, mirroring the row executor's
+//! `compare` exactly: under [`LogicMode::ThreeValued`] a `NULL` operand
+//! yields *unknown*, under [`LogicMode::TwoValuedConflate`] it collapses
+//! to *false*, and under [`LogicMode::TwoValuedSyntacticEq`] equality is
+//! syntactic (`NULL ≐ NULL` holds). Kernels are **speculative**: they
+//! evaluate every physical row of the batch, including rows an earlier
+//! filter already deselected, which is only sound because the vectorized
+//! executor runs them solely on predicates the totality analysis
+//! (`crate::analysis`) proved error-free for the whole column type set.
+
+use std::rc::Rc;
+
+use sqlsem_core::{CmpOp, EvalError, LogicMode, Row, Truth, Value};
+
+use crate::exec::compare_values;
+
+/// The default number of rows per batch — the granularity at which the
+/// vectorized executor amortizes interpretation overhead.
+pub const DEFAULT_BATCH_SIZE: usize = 1024;
+
+/// A fixed-length bit vector backed by `u64` words. Bits past `len` are
+/// kept zero (every operation re-masks the tail), so whole-word
+/// operations never leak phantom rows.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// An all-zeros bitmap of `len` bits.
+    pub fn zeros(len: usize) -> Bitmap {
+        Bitmap { words: vec![0; len.div_ceil(64)], len }
+    }
+
+    /// An all-ones bitmap of `len` bits.
+    pub fn ones(len: usize) -> Bitmap {
+        let mut b = Bitmap { words: vec![u64::MAX; len.div_ceil(64)], len };
+        b.mask_tail();
+        b
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` iff the bitmap has no bits at all.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The bit at `i`.
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Sets the bit at `i`.
+    pub fn set(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `true` iff any bit is set.
+    pub fn any(&self) -> bool {
+        self.words.iter().any(|w| *w != 0)
+    }
+
+    /// Zeroes the bits past `len` in the last word, restoring the
+    /// canonical-tail invariant after a whole-word operation.
+    fn mask_tail(&mut self) {
+        let used = self.len % 64;
+        if used != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << used) - 1;
+            }
+        }
+    }
+
+    fn zip_with(&self, other: &Bitmap, f: impl Fn(u64, u64) -> u64) -> Bitmap {
+        debug_assert_eq!(self.len, other.len);
+        let words = self.words.iter().zip(&other.words).map(|(a, b)| f(*a, *b)).collect();
+        let mut out = Bitmap { words, len: self.len };
+        out.mask_tail();
+        out
+    }
+}
+
+/// Column storage. Integer columns are unboxed (`NULL` slots hold a
+/// placeholder `0`; the null bitmap is authoritative); everything else —
+/// strings, booleans, mixed-type columns — stores [`Value`]s directly.
+#[derive(Clone, Debug)]
+pub enum ColumnData {
+    /// All non-null values are integers.
+    Int(Vec<i64>),
+    /// The general representation (nulls stored as [`Value::Null`]).
+    Mixed(Vec<Value>),
+}
+
+struct ColumnInner {
+    data: ColumnData,
+    nulls: Bitmap,
+}
+
+/// One column of a batch: typed storage plus the null bitmap. Cloning is
+/// `O(1)` — the storage is shared behind an `Rc` — which is what makes a
+/// vectorized projection of plain column references free.
+#[derive(Clone)]
+pub struct Column {
+    inner: Rc<ColumnInner>,
+}
+
+impl Column {
+    /// Builds a column from the values at position `index` of `rows`.
+    /// The storage is unboxed iff every non-null value is an integer.
+    pub fn from_rows(rows: &[Row], index: usize) -> Column {
+        let mut nulls = Bitmap::zeros(rows.len());
+        let all_int =
+            rows.iter().all(|r| matches!(r.get(index), Some(Value::Int(_) | Value::Null)));
+        let data = if all_int {
+            let mut ints = Vec::with_capacity(rows.len());
+            for (i, row) in rows.iter().enumerate() {
+                match row.get(index) {
+                    Some(Value::Int(n)) => ints.push(*n),
+                    _ => {
+                        nulls.set(i);
+                        ints.push(0);
+                    }
+                }
+            }
+            ColumnData::Int(ints)
+        } else {
+            let mut values = Vec::with_capacity(rows.len());
+            for (i, row) in rows.iter().enumerate() {
+                let v = row.get(index).cloned().unwrap_or(Value::Null);
+                if v.is_null() {
+                    nulls.set(i);
+                }
+                values.push(v);
+            }
+            ColumnData::Mixed(values)
+        };
+        Column { inner: Rc::new(ColumnInner { data, nulls }) }
+    }
+
+    /// A column broadcasting one constant over `len` rows (how the
+    /// vectorized projection represents `Expr::Const`).
+    pub fn broadcast(value: &Value, len: usize) -> Column {
+        let (data, nulls) = match value {
+            Value::Null => (ColumnData::Int(vec![0; len]), Bitmap::ones(len)),
+            Value::Int(n) => (ColumnData::Int(vec![*n; len]), Bitmap::zeros(len)),
+            other => (ColumnData::Mixed(vec![other.clone(); len]), Bitmap::zeros(len)),
+        };
+        Column { inner: Rc::new(ColumnInner { data, nulls }) }
+    }
+
+    /// Number of physical rows.
+    pub fn len(&self) -> usize {
+        self.inner.nulls.len()
+    }
+
+    /// `true` iff the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `true` iff the value at `i` is `NULL`.
+    pub fn is_null(&self, i: usize) -> bool {
+        self.inner.nulls.get(i)
+    }
+
+    /// The null bitmap.
+    pub fn nulls(&self) -> &Bitmap {
+        &self.inner.nulls
+    }
+
+    /// The typed storage.
+    pub fn data(&self) -> &ColumnData {
+        &self.inner.data
+    }
+
+    /// The value at physical index `i`, as a [`Value`].
+    pub fn value(&self, i: usize) -> Value {
+        if self.inner.nulls.get(i) {
+            return Value::Null;
+        }
+        match &self.inner.data {
+            ColumnData::Int(v) => Value::Int(v[i]),
+            ColumnData::Mixed(v) => v[i].clone(),
+        }
+    }
+
+    /// The unboxed integer storage, when this is an integer column.
+    pub fn as_int(&self) -> Option<&[i64]> {
+        match &self.inner.data {
+            ColumnData::Int(v) => Some(v),
+            ColumnData::Mixed(_) => None,
+        }
+    }
+
+    /// A new dense column holding the values at `indices`, in order.
+    pub fn gather(&self, indices: &[u32]) -> Column {
+        let mut nulls = Bitmap::zeros(indices.len());
+        let data = match &self.inner.data {
+            ColumnData::Int(v) => {
+                let mut ints = Vec::with_capacity(indices.len());
+                for (out, &i) in indices.iter().enumerate() {
+                    let i = i as usize;
+                    if self.inner.nulls.get(i) {
+                        nulls.set(out);
+                    }
+                    ints.push(v[i]);
+                }
+                ColumnData::Int(ints)
+            }
+            ColumnData::Mixed(v) => {
+                let mut values = Vec::with_capacity(indices.len());
+                for (out, &i) in indices.iter().enumerate() {
+                    let i = i as usize;
+                    if self.inner.nulls.get(i) {
+                        nulls.set(out);
+                    }
+                    values.push(v[i].clone());
+                }
+                ColumnData::Mixed(values)
+            }
+        };
+        Column { inner: Rc::new(ColumnInner { data, nulls }) }
+    }
+}
+
+/// A column-major chunk of rows with a selection vector. `sel: None`
+/// means every physical row is live; `Some(indices)` lists the live
+/// physical indices in ascending order. Filtering refines the selection
+/// without touching the (shared) column storage.
+#[derive(Clone)]
+pub struct Batch {
+    columns: Vec<Column>,
+    rows: usize,
+    sel: Option<Rc<Vec<u32>>>,
+}
+
+impl Batch {
+    /// Builds one dense batch from a slice of rows. `arity` fixes the
+    /// column count even when `rows` is empty.
+    pub fn from_rows(arity: usize, rows: &[Row]) -> Batch {
+        let columns = (0..arity).map(|j| Column::from_rows(rows, j)).collect();
+        Batch { columns, rows: rows.len(), sel: None }
+    }
+
+    /// Assembles a batch directly from dense columns (all the same
+    /// physical length).
+    pub fn from_columns(columns: Vec<Column>, rows: usize) -> Batch {
+        debug_assert!(columns.iter().all(|c| c.len() == rows));
+        Batch { columns, rows, sel: None }
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Number of physical rows (selected or not).
+    pub fn physical_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of *selected* rows.
+    pub fn selected(&self) -> usize {
+        match &self.sel {
+            None => self.rows,
+            Some(s) => s.len(),
+        }
+    }
+
+    /// The column at position `j`.
+    pub fn column(&self, j: usize) -> &Column {
+        &self.columns[j]
+    }
+
+    /// Iterates the selected physical row indices, in ascending order.
+    pub fn indices(&self) -> impl Iterator<Item = usize> + '_ {
+        let (range, slice) = match &self.sel {
+            None => (Some(0..self.rows), None),
+            Some(s) => (None, Some(s.iter().map(|&i| i as usize))),
+        };
+        range.into_iter().flatten().chain(slice.into_iter().flatten())
+    }
+
+    /// The selected row at physical index `i`, materialized.
+    pub fn row(&self, i: usize) -> Row {
+        Row::new(self.columns.iter().map(|c| c.value(i)).collect())
+    }
+
+    /// A batch with the same columns but a new selection: the previously
+    /// selected rows whose [`TruthVec`] verdict (indexed by *physical*
+    /// row) is *true*.
+    pub fn restrict(&self, verdicts: &TruthVec) -> Batch {
+        let sel: Vec<u32> =
+            self.indices().filter(|&i| verdicts.is_true(i)).map(|i| i as u32).collect();
+        Batch { columns: self.columns.clone(), rows: self.rows, sel: Some(Rc::new(sel)) }
+    }
+
+    /// A batch with the same columns restricted to an explicit selection
+    /// (physical indices, ascending).
+    pub fn with_selection(&self, sel: Vec<u32>) -> Batch {
+        Batch { columns: self.columns.clone(), rows: self.rows, sel: Some(Rc::new(sel)) }
+    }
+
+    /// A batch with the same selection but different columns — the
+    /// vectorized projection (each column must span the same physical
+    /// row count).
+    pub fn with_columns(&self, columns: Vec<Column>) -> Batch {
+        debug_assert!(columns.iter().all(|c| c.len() == self.rows));
+        Batch { columns, rows: self.rows, sel: self.sel.clone() }
+    }
+
+    /// Appends the selected rows, in order, to `out`.
+    pub fn append_rows(&self, out: &mut Vec<Row>) {
+        for i in self.indices() {
+            out.push(self.row(i));
+        }
+    }
+
+    /// Concatenates the *selected* rows of many batches into one dense
+    /// batch. `arity` fixes the column count when `batches` is empty.
+    pub fn concat(arity: usize, batches: &[Batch]) -> Batch {
+        let mut rows = Vec::new();
+        for b in batches {
+            b.append_rows(&mut rows);
+        }
+        Batch::from_rows(arity, &rows)
+    }
+}
+
+/// Kleene truth values for every physical row of a batch, as two
+/// bitmaps: *true* bits and *unknown* bits (a row with neither is
+/// *false*). The §6 two-valued modes simply never set unknown bits.
+#[derive(Clone, Debug)]
+pub struct TruthVec {
+    t: Bitmap,
+    u: Bitmap,
+}
+
+impl TruthVec {
+    /// All rows *false*.
+    pub fn all_false(len: usize) -> TruthVec {
+        TruthVec { t: Bitmap::zeros(len), u: Bitmap::zeros(len) }
+    }
+
+    /// All rows *true*.
+    pub fn all_true(len: usize) -> TruthVec {
+        TruthVec { t: Bitmap::ones(len), u: Bitmap::zeros(len) }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.t.len()
+    }
+
+    /// `true` iff the vector covers no rows.
+    pub fn is_empty(&self) -> bool {
+        self.t.is_empty()
+    }
+
+    /// Sets row `i` to the given truth value (rows start *false*).
+    pub fn set(&mut self, i: usize, truth: Truth) {
+        match truth {
+            Truth::True => self.t.set(i),
+            Truth::Unknown => self.u.set(i),
+            Truth::False => {}
+        }
+    }
+
+    /// The verdict at row `i` is *true*.
+    pub fn is_true(&self, i: usize) -> bool {
+        self.t.get(i)
+    }
+
+    /// The Kleene conjunction, row-wise: false dominates, then unknown.
+    pub fn and(&self, other: &TruthVec) -> TruthVec {
+        let t = self.t.zip_with(&other.t, |a, b| a & b);
+        // false(x) = !t(x) & !u(x); the result is unknown wherever
+        // neither side is false but the conjunction is not true.
+        let fa = self.t.zip_with(&self.u, |t, u| !(t | u));
+        let fb = other.t.zip_with(&other.u, |t, u| !(t | u));
+        let f = fa.zip_with(&fb, |a, b| a | b);
+        let u = t.zip_with(&f, |t, f| !(t | f));
+        TruthVec { t, u }
+    }
+
+    /// The Kleene disjunction, row-wise: true dominates, then unknown.
+    pub fn or(&self, other: &TruthVec) -> TruthVec {
+        let t = self.t.zip_with(&other.t, |a, b| a | b);
+        let fa = self.t.zip_with(&self.u, |t, u| !(t | u));
+        let fb = other.t.zip_with(&other.u, |t, u| !(t | u));
+        let f = fa.zip_with(&fb, |a, b| a & b);
+        let u = t.zip_with(&f, |t, f| !(t | f));
+        TruthVec { t, u }
+    }
+
+    /// The Kleene negation: true and false swap, unknown is a fixpoint.
+    pub fn not(&self) -> TruthVec {
+        let t = self.t.zip_with(&self.u, |t, u| !(t | u));
+        TruthVec { t, u: self.u.clone() }
+    }
+}
+
+/// Integer comparison without boxing, matching [`Value::sql_cmp`] on two
+/// non-null integers.
+fn int_cmp(op: CmpOp, a: i64, b: i64) -> bool {
+    match op {
+        CmpOp::Eq => a == b,
+        CmpOp::Neq => a != b,
+        CmpOp::Lt => a < b,
+        CmpOp::Leq => a <= b,
+        CmpOp::Gt => a > b,
+        CmpOp::Geq => a >= b,
+    }
+}
+
+/// The whole-batch comparison kernel: evaluates `left op right` for
+/// every physical row under the given logic mode. Two integer columns
+/// take an unboxed path; otherwise each row goes through the same
+/// `compare_values` the row executor uses, so the two paths cannot
+/// drift. Errors can only surface on the general path and only when the
+/// caller skipped the totality gate.
+pub fn cmp_kernel(
+    logic: LogicMode,
+    left: &Column,
+    op: CmpOp,
+    right: &Column,
+) -> Result<TruthVec, EvalError> {
+    let len = left.len();
+    debug_assert_eq!(len, right.len());
+    let mut out = TruthVec::all_false(len);
+    if let (Some(a), Some(b)) = (left.as_int(), right.as_int()) {
+        for i in 0..len {
+            let (ln, rn) = (left.is_null(i), right.is_null(i));
+            let truth = match logic {
+                LogicMode::ThreeValued if ln || rn => Truth::Unknown,
+                LogicMode::TwoValuedSyntacticEq if op == CmpOp::Eq => {
+                    Truth::from_bool(if ln || rn { ln && rn } else { a[i] == b[i] })
+                }
+                _ if ln || rn => Truth::False,
+                _ => Truth::from_bool(int_cmp(op, a[i], b[i])),
+            };
+            out.set(i, truth);
+        }
+        return Ok(out);
+    }
+    for i in 0..len {
+        out.set(i, compare_values(logic, &left.value(i), op, &right.value(i))?);
+    }
+    Ok(out)
+}
+
+/// The `IS [NOT] NULL` kernel: reads the null bitmap directly. Total in
+/// every logic mode.
+pub fn is_null_kernel(column: &Column, negated: bool) -> TruthVec {
+    let len = column.len();
+    let mut out = TruthVec::all_false(len);
+    for i in 0..len {
+        let truth = Truth::from_bool(column.is_null(i) != negated);
+        out.set(i, truth);
+    }
+    out
+}
+
+/// The `IS [NOT] DISTINCT FROM` kernel: syntactic equality, where
+/// `NULL ≐ NULL` holds in every logic mode. `negated` follows
+/// [`Pred::IsDistinct`](crate::plan::Pred::IsDistinct): `true` means
+/// `IS NOT DISTINCT FROM` (keep the syntactically equal rows).
+pub fn is_distinct_kernel(left: &Column, right: &Column, negated: bool) -> TruthVec {
+    let len = left.len();
+    debug_assert_eq!(len, right.len());
+    let mut out = TruthVec::all_false(len);
+    if let (Some(a), Some(b)) = (left.as_int(), right.as_int()) {
+        for i in 0..len {
+            let (ln, rn) = (left.is_null(i), right.is_null(i));
+            let same = if ln || rn { ln && rn } else { a[i] == b[i] };
+            out.set(i, Truth::from_bool(same == negated));
+        }
+        return out;
+    }
+    for i in 0..len {
+        let same = left.value(i).syntactic_eq(&right.value(i));
+        out.set(i, if negated { same } else { same.not() });
+    }
+    out
+}
+
+/// The `LIKE` kernel: per-row [`Value::sql_like`] with the §6 logic-mode
+/// adjustment (non-three-valued modes conflate *unknown* to *false*),
+/// mirroring the row executor's `Pred::Like` arm.
+pub fn like_kernel(
+    logic: LogicMode,
+    term: &Column,
+    pattern: &Column,
+    negated: bool,
+) -> Result<TruthVec, EvalError> {
+    let len = term.len();
+    debug_assert_eq!(len, pattern.len());
+    let mut out = TruthVec::all_false(len);
+    for i in 0..len {
+        let raw = term.value(i).sql_like(&pattern.value(i))?;
+        let truth = match logic {
+            LogicMode::ThreeValued => raw,
+            _ => {
+                if raw.is_true() {
+                    Truth::True
+                } else {
+                    Truth::False
+                }
+            }
+        };
+        out.set(i, if negated { truth.not() } else { truth });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlsem_core::row;
+
+    fn col(values: &[Value]) -> Column {
+        let rows: Vec<Row> = values.iter().map(|v| Row::new(vec![v.clone()])).collect();
+        Column::from_rows(&rows, 0)
+    }
+
+    #[test]
+    fn bitmap_tail_stays_masked() {
+        let mut b = Bitmap::ones(70);
+        assert_eq!(b.count(), 70);
+        b.set(69);
+        assert_eq!(b.count(), 70);
+        let z = Bitmap::zeros(70);
+        assert!(!z.any());
+        assert_eq!(b.zip_with(&z, |a, _| !a).count(), 0);
+    }
+
+    #[test]
+    fn column_types_and_values_round_trip() {
+        let ints = col(&[Value::Int(1), Value::Null, Value::Int(-3)]);
+        assert!(ints.as_int().is_some());
+        assert_eq!(ints.value(0), Value::Int(1));
+        assert_eq!(ints.value(1), Value::Null);
+        assert!(ints.is_null(1));
+        let mixed = col(&[Value::Int(1), Value::from("x")]);
+        assert!(mixed.as_int().is_none());
+        assert_eq!(mixed.value(1), Value::from("x"));
+    }
+
+    #[test]
+    fn selection_vectors_refine_without_copying_columns() {
+        let rows: Vec<Row> = (0..10).map(|i| row![i]).collect();
+        let batch = Batch::from_rows(1, &rows);
+        assert_eq!(batch.selected(), 10);
+        let mut even = TruthVec::all_false(10);
+        for i in (0..10).step_by(2) {
+            even.set(i, Truth::True);
+        }
+        let filtered = batch.restrict(&even);
+        assert_eq!(filtered.selected(), 5);
+        assert_eq!(filtered.physical_rows(), 10);
+        let mut small = TruthVec::all_false(10);
+        for i in 0..4 {
+            small.set(i, Truth::True);
+        }
+        let twice = filtered.restrict(&small);
+        assert_eq!(twice.indices().collect::<Vec<_>>(), vec![0, 2]);
+    }
+
+    #[test]
+    fn truthvec_kleene_tables() {
+        // Exhaustive 3×3 check against sqlsem_core::Truth.
+        let all = [Truth::False, Truth::Unknown, Truth::True];
+        for a in all {
+            for b in all {
+                let mut va = TruthVec::all_false(1);
+                va.set(0, a);
+                let mut vb = TruthVec::all_false(1);
+                vb.set(0, b);
+                let get = |v: &TruthVec| {
+                    if v.t.get(0) {
+                        Truth::True
+                    } else if v.u.get(0) {
+                        Truth::Unknown
+                    } else {
+                        Truth::False
+                    }
+                };
+                assert_eq!(get(&va.and(&vb)), a.and(b), "{a:?} AND {b:?}");
+                assert_eq!(get(&va.or(&vb)), a.or(b), "{a:?} OR {b:?}");
+                assert_eq!(get(&va.not()), a.not(), "NOT {a:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn cmp_kernel_matches_row_compare_in_every_logic_mode() {
+        let values =
+            [Value::Null, Value::Int(0), Value::Int(1), Value::from("a"), Value::Bool(true)];
+        let n = values.len();
+        let mut lvals = Vec::new();
+        let mut rvals = Vec::new();
+        for l in &values {
+            for r in &values {
+                lvals.push(l.clone());
+                rvals.push(r.clone());
+            }
+        }
+        let (lcol, rcol) = (col(&lvals), col(&rvals));
+        for logic in LogicMode::ALL {
+            for op in [CmpOp::Eq, CmpOp::Neq, CmpOp::Lt, CmpOp::Leq, CmpOp::Gt, CmpOp::Geq] {
+                let kernel = cmp_kernel(logic, &lcol, op, &rcol);
+                for i in 0..n * n {
+                    let reference = compare_values(logic, &lvals[i], op, &rvals[i]);
+                    match (&kernel, reference) {
+                        (Ok(k), Ok(t)) => {
+                            let got = if k.is_true(i) { Truth::True } else { Truth::False };
+                            // Only compare the is_true verdict the filter
+                            // consumes; unknown vs false both drop rows.
+                            assert_eq!(got.is_true(), t.is_true(), "{logic:?} {op:?} row {i}");
+                        }
+                        (Err(_), Err(_)) => {}
+                        // A kernel error covers the whole batch: every
+                        // mixed-type matrix errs somewhere, so reference
+                        // errors on *some* row are fine. The totality
+                        // gate keeps real runs off this path entirely.
+                        (Err(_), Ok(_)) | (Ok(_), Err(_)) => {}
+                    }
+                }
+            }
+        }
+        // Pure-integer columns: exact truth values, all modes, no errors.
+        let li = col(&[Value::Int(1), Value::Null, Value::Int(2), Value::Null]);
+        let ri = col(&[Value::Int(1), Value::Int(1), Value::Null, Value::Null]);
+        for logic in LogicMode::ALL {
+            for op in [CmpOp::Eq, CmpOp::Neq, CmpOp::Lt, CmpOp::Leq, CmpOp::Gt, CmpOp::Geq] {
+                let k = cmp_kernel(logic, &li, op, &ri).unwrap();
+                for i in 0..4 {
+                    let reference = compare_values(logic, &li.value(i), op, &ri.value(i)).unwrap();
+                    let got = if k.is_true(i) {
+                        Truth::True
+                    } else if k.u.get(i) {
+                        Truth::Unknown
+                    } else {
+                        Truth::False
+                    };
+                    assert_eq!(got, reference, "{logic:?} {op:?} row {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn null_kernels_follow_the_bitmaps() {
+        let c = col(&[Value::Int(1), Value::Null]);
+        let is_null = is_null_kernel(&c, false);
+        assert!(!is_null.is_true(0) && is_null.is_true(1));
+        let not_null = is_null_kernel(&c, true);
+        assert!(not_null.is_true(0) && !not_null.is_true(1));
+
+        let l = col(&[Value::Null, Value::Null, Value::Int(1), Value::Int(1)]);
+        let r = col(&[Value::Null, Value::Int(1), Value::Int(1), Value::Int(2)]);
+        // negated=true is IS NOT DISTINCT FROM: true where syntactically equal.
+        let same = is_distinct_kernel(&l, &r, true);
+        assert!(same.is_true(0) && !same.is_true(1) && same.is_true(2) && !same.is_true(3));
+        let distinct = is_distinct_kernel(&l, &r, false);
+        assert!(!distinct.is_true(0) && distinct.is_true(1));
+    }
+}

@@ -5,6 +5,11 @@
 //! mirrors the runtime correlation stack; ambiguous and unbound
 //! references are rejected *before execution*, which is exactly how the
 //! real systems the paper validates against behave (Example 2, §4).
+//!
+//! Compilation is executor-agnostic: the same [`Prepared`] plan feeds
+//! the row engine and the vectorized executor, and the batch-vs-row
+//! routing happens afterwards (`optimize::route_batches`), so nothing
+//! here needs to know which executor will run the plan.
 
 use std::collections::HashSet;
 

@@ -180,8 +180,13 @@ impl<'a> Executor<'a> {
     /// Full stable sort — the naive list layer. Key extraction runs in
     /// input order (so the deterministic type-mismatch discipline sees
     /// rows in the same order as the specification), then a stable sort
-    /// reorders the decorated rows.
-    fn sort_rows(&mut self, rows: Vec<Row>, keys: &[SortKey]) -> Result<Vec<Row>, EvalError> {
+    /// reorders the decorated rows. Shared with the vectorized executor,
+    /// whose sort operator is a row-at-a-time feed over its batches.
+    pub(crate) fn sort_rows(
+        &mut self,
+        rows: Vec<Row>,
+        keys: &[SortKey],
+    ) -> Result<Vec<Row>, EvalError> {
         Self::check_sort_keys(keys)?;
         let mut check = order::KeyTypeCheck::new(keys.len());
         let mut decorated: Vec<(Vec<Value>, Row)> = Vec::with_capacity(rows.len());
@@ -259,6 +264,20 @@ impl<'a> Executor<'a> {
         output: &[Expr],
     ) -> Result<Vec<Row>, EvalError> {
         let rows = self.run(input)?;
+        self.group_rows(rows, keys, aggs, having, output)
+    }
+
+    /// The grouping phase over already-materialized input rows — split
+    /// out so the vectorized executor can fall back to the exact row
+    /// semantics for aggregations its kernels do not cover.
+    pub(crate) fn group_rows(
+        &mut self,
+        rows: Vec<Row>,
+        keys: &[Expr],
+        aggs: &[AggSpec],
+        having: Option<&Pred>,
+        output: &[Expr],
+    ) -> Result<Vec<Row>, EvalError> {
         let mut order: Vec<Vec<Value>> = Vec::new();
         let mut states: Vec<Vec<AggAcc>> = Vec::new();
         let mut index: HashMap<Vec<Value>, usize> = HashMap::with_capacity(rows.len());
@@ -362,7 +381,19 @@ impl<'a> Executor<'a> {
         Ok(out)
     }
 
-    fn eval_expr(&self, expr: &Expr) -> Result<Value, EvalError> {
+    /// Pushes a correlation frame — the vectorized executor's guarded
+    /// per-row paths use this to evaluate expressions and predicates
+    /// through the row engine, so both executors share one semantics.
+    pub(crate) fn push_frame(&mut self, row: Row) {
+        self.frames.push(row);
+    }
+
+    /// Pops the innermost correlation frame, returning it.
+    pub(crate) fn pop_frame(&mut self) -> Row {
+        self.frames.pop().expect("pop_frame pairs with push_frame")
+    }
+
+    pub(crate) fn eval_expr(&self, expr: &Expr) -> Result<Value, EvalError> {
         match expr {
             Expr::Const(v) => Ok(v.clone()),
             Expr::Deferred(err) => Err(err.clone()),
@@ -381,7 +412,7 @@ impl<'a> Executor<'a> {
         }
     }
 
-    fn eval_pred(&mut self, pred: &Pred) -> Result<Truth, EvalError> {
+    pub(crate) fn eval_pred(&mut self, pred: &Pred) -> Result<Truth, EvalError> {
         match pred {
             Pred::True => Ok(Truth::True),
             Pred::False => Ok(Truth::False),
@@ -512,14 +543,27 @@ impl<'a> Executor<'a> {
     }
 
     fn compare(&self, left: &Value, op: CmpOp, right: &Value) -> Result<Truth, EvalError> {
-        match self.logic {
-            LogicMode::ThreeValued => left.sql_cmp(right, op),
-            LogicMode::TwoValuedConflate => Ok(two_valued(left.sql_cmp(right, op)?)),
-            LogicMode::TwoValuedSyntacticEq => match op {
-                CmpOp::Eq => Ok(left.syntactic_eq(right)),
-                _ => Ok(two_valued(left.sql_cmp(right, op)?)),
-            },
-        }
+        compare_values(self.logic, left, op, right)
+    }
+}
+
+/// One comparison under a §6 logic mode — the single source of truth
+/// shared by the row executor and the vectorized comparison kernels
+/// ([`crate::batch::cmp_kernel`]), so the two execution paths cannot
+/// drift apart on null or mixed-type behaviour.
+pub(crate) fn compare_values(
+    logic: LogicMode,
+    left: &Value,
+    op: CmpOp,
+    right: &Value,
+) -> Result<Truth, EvalError> {
+    match logic {
+        LogicMode::ThreeValued => left.sql_cmp(right, op),
+        LogicMode::TwoValuedConflate => Ok(two_valued(left.sql_cmp(right, op)?)),
+        LogicMode::TwoValuedSyntacticEq => match op {
+            CmpOp::Eq => Ok(left.syntactic_eq(right)),
+            _ => Ok(two_valued(left.sql_cmp(right, op)?)),
+        },
     }
 }
 
@@ -538,7 +582,7 @@ fn two_valued(t: Truth) -> Truth {
 /// identity, `COUNT(*)` counts rows unconditionally. `SUM`/`AVG` demand
 /// integers and error deterministically on overflow; `MIN`/`MAX` use the
 /// SQL order, so mixed-type groups surface the comparison's type error.
-struct AggAcc {
+pub(crate) struct AggAcc {
     /// The `DISTINCT` filter; `None` for plain aggregates.
     seen: Option<HashSet<Value>>,
     state: AccState,
@@ -565,7 +609,7 @@ enum AccState {
 }
 
 impl AggAcc {
-    fn new(spec: &AggSpec) -> AggAcc {
+    pub(crate) fn new(spec: &AggSpec) -> AggAcc {
         let state = match (spec.func, spec.arg.is_some()) {
             (AggFunc::Count, _) => AccState::Count(0),
             (_, false) => AccState::Invalid,
@@ -579,7 +623,7 @@ impl AggAcc {
     }
 
     /// One input row for an argument-less aggregate (`COUNT(*)`).
-    fn step_row(&mut self) {
+    pub(crate) fn step_row(&mut self) {
         if let AccState::Count(n) = &mut self.state {
             *n += 1;
         }
@@ -587,7 +631,7 @@ impl AggAcc {
 
     /// One argument value: skip `NULL`s, apply the `DISTINCT` filter,
     /// fold into the state.
-    fn step_value(&mut self, value: Value) -> Result<(), EvalError> {
+    pub(crate) fn step_value(&mut self, value: Value) -> Result<(), EvalError> {
         if value.is_null() {
             return Ok(());
         }
@@ -621,7 +665,7 @@ impl AggAcc {
         Ok(())
     }
 
-    fn finalize(self) -> Result<Value, EvalError> {
+    pub(crate) fn finalize(self) -> Result<Value, EvalError> {
         Ok(match self.state {
             AccState::Count(n) => Value::Int(n),
             AccState::Sum { sum, any } => {
@@ -656,7 +700,13 @@ fn add_int(op: &'static str, acc: i64, value: &Value) -> Result<i64, EvalError> 
             right: value.type_name(),
         });
     };
-    acc.checked_add(*n).ok_or_else(|| EvalError::malformed(format!("integer overflow in {op}")))
+    add_int_raw(op, acc, *n)
+}
+
+/// The unboxed accumulation step shared with the vectorized `SUM`
+/// kernel: same checked addition, same deterministic overflow error.
+pub(crate) fn add_int_raw(op: &'static str, acc: i64, n: i64) -> Result<i64, EvalError> {
+    acc.checked_add(n).ok_or_else(|| EvalError::malformed(format!("integer overflow in {op}")))
 }
 
 /// A demand-driven row source over a plan: `Scan`s, set operations and
@@ -847,7 +897,7 @@ impl Eq for HeapEntry {}
 /// All of them hash *borrowed* rows (as [`sqlsem_core::Table::counts`]
 /// does): a keep-mask is computed over references first, then the kept
 /// rows are moved out — no row is ever cloned, whether kept or dropped.
-fn set_op(op: SetOp, all: bool, left: Vec<Row>, right: Vec<Row>) -> Vec<Row> {
+pub(crate) fn set_op(op: SetOp, all: bool, left: Vec<Row>, right: Vec<Row>) -> Vec<Row> {
     match (op, all) {
         (SetOp::Union, true) => {
             let mut out = left;
@@ -914,7 +964,7 @@ fn count(rows: &[Row]) -> HashMap<&Row, usize> {
 
 /// Duplicate elimination `ε` without cloning: first occurrences are
 /// marked over borrowed rows, then moved out.
-fn dedup(rows: Vec<Row>) -> Vec<Row> {
+pub(crate) fn dedup(rows: Vec<Row>) -> Vec<Row> {
     let mut seen = HashSet::with_capacity(rows.len());
     let keep: Vec<bool> = rows.iter().map(|r| seen.insert(r)).collect();
     filter_by(rows, keep)

@@ -6,15 +6,66 @@
 
 use std::fmt::Write as _;
 
+use crate::optimize::{route_batches, BatchMode, BatchRoutes};
 use crate::plan::{AggSpec, Expr, Plan, Pred, Prepared};
 
 /// Renders a prepared query as an indented operator tree.
 pub fn explain(prepared: &Prepared) -> String {
+    render(prepared, None)
+}
+
+/// Renders a prepared query as the vectorized executor would run it:
+/// every batch-driven operator carries a `[vectorized, batch=N]`
+/// annotation, with `guarded rows` added where the routing analysis
+/// fell back to per-selected-row evaluation through the row engine.
+/// Subplans inside predicates always run in the row engine, so they
+/// print unannotated.
+pub fn explain_vectorized(
+    prepared: &Prepared,
+    db: &sqlsem_core::Database,
+    batch_size: usize,
+) -> String {
+    let routes = route_batches(&prepared.plan, db);
+    render(prepared, Some(&VecCtx { routes, batch: batch_size.max(1) }))
+}
+
+fn render(prepared: &Prepared, ctx: Option<&VecCtx>) -> String {
     let mut out = String::new();
     let cols: Vec<String> = prepared.columns.iter().map(|c| c.to_string()).collect();
     let _ = writeln!(out, "output: [{}]", cols.join(", "));
-    explain_plan(&prepared.plan, 0, &mut out);
+    explain_plan(&prepared.plan, 0, &mut out, ctx);
     out
+}
+
+/// The vectorized-rendering context: the routing verdicts for the root
+/// plan plus the batch granularity to print.
+struct VecCtx {
+    routes: BatchRoutes,
+    batch: usize,
+}
+
+/// The `[vectorized…]` annotation for one operator, empty outside
+/// vectorized rendering. Batch-kernel operators (scans, joins, routed
+/// filters/projections/aggregations) print `[vectorized, batch=N]`;
+/// guarded fallbacks print `[vectorized, guarded rows, batch=N]`;
+/// row-ordered operators (sorts, set operations, slicing) print
+/// nothing — they consume the batch pipeline's materialized rows.
+fn vec_note(plan: &Plan, ctx: Option<&VecCtx>) -> String {
+    let Some(ctx) = ctx else { return String::new() };
+    match plan {
+        Plan::Scan { .. } | Plan::HashJoin { .. } => {
+            format!(" [vectorized, batch={}]", ctx.batch)
+        }
+        Plan::Filter { .. } | Plan::Project { .. } | Plan::GroupAggregate { .. } => {
+            match ctx.routes.mode(plan) {
+                BatchMode::Kernel => format!(" [vectorized, batch={}]", ctx.batch),
+                BatchMode::Guarded => {
+                    format!(" [vectorized, guarded rows, batch={}]", ctx.batch)
+                }
+            }
+        }
+        _ => String::new(),
+    }
 }
 
 fn indent(level: usize, out: &mut String) {
@@ -23,36 +74,37 @@ fn indent(level: usize, out: &mut String) {
     }
 }
 
-fn explain_plan(plan: &Plan, level: usize, out: &mut String) {
+fn explain_plan(plan: &Plan, level: usize, out: &mut String, ctx: Option<&VecCtx>) {
     indent(level, out);
+    let note = vec_note(plan, ctx);
     match plan {
         Plan::Scan { table } => {
-            let _ = writeln!(out, "Scan {table}");
+            let _ = writeln!(out, "Scan {table}{note}");
         }
         Plan::Product { inputs } => {
             let _ = writeln!(out, "Product ({} inputs)", inputs.len());
             for input in inputs {
-                explain_plan(input, level + 1, out);
+                explain_plan(input, level + 1, out, ctx);
             }
         }
         Plan::Filter { input, pred } => {
-            let _ = writeln!(out, "Filter {}", render_pred(pred));
-            explain_plan(input, level + 1, out);
+            let _ = writeln!(out, "Filter {}{note}", render_pred(pred));
+            explain_plan(input, level + 1, out, ctx);
             explain_subplans(pred, level + 1, out);
         }
         Plan::Project { input, exprs } => {
             let rendered: Vec<String> = exprs.iter().map(render_expr).collect();
-            let _ = writeln!(out, "Project [{}]", rendered.join(", "));
-            explain_plan(input, level + 1, out);
+            let _ = writeln!(out, "Project [{}]{note}", rendered.join(", "));
+            explain_plan(input, level + 1, out, ctx);
         }
         Plan::Distinct { input } => {
             let _ = writeln!(out, "Distinct");
-            explain_plan(input, level + 1, out);
+            explain_plan(input, level + 1, out, ctx);
         }
         Plan::SetOp { op, all, left, right } => {
             let _ = writeln!(out, "{}{}", op.keyword(), if *all { " ALL" } else { "" });
-            explain_plan(left, level + 1, out);
-            explain_plan(right, level + 1, out);
+            explain_plan(left, level + 1, out, ctx);
+            explain_plan(right, level + 1, out, ctx);
         }
         Plan::GroupAggregate { input, keys, aggs, having, output } => {
             let keys: Vec<String> = keys.iter().map(render_expr).collect();
@@ -68,15 +120,16 @@ fn explain_plan(plan: &Plan, level: usize, out: &mut String) {
             if let Some(pred) = having {
                 let _ = write!(out, " having={}", render_pred(pred));
             }
+            out.push_str(&note);
             out.push('\n');
-            explain_plan(input, level + 1, out);
+            explain_plan(input, level + 1, out, ctx);
             if let Some(pred) = having {
                 explain_subplans(pred, level + 1, out);
             }
         }
         Plan::Sort { input, keys } => {
             let _ = writeln!(out, "Sort keys=[{}]", render_sort_keys(keys));
-            explain_plan(input, level + 1, out);
+            explain_plan(input, level + 1, out, ctx);
         }
         Plan::Limit { input, limit, offset } => {
             match limit {
@@ -91,7 +144,7 @@ fn explain_plan(plan: &Plan, level: usize, out: &mut String) {
                 let _ = write!(out, " offset={offset}");
             }
             out.push('\n');
-            explain_plan(input, level + 1, out);
+            explain_plan(input, level + 1, out, ctx);
         }
         Plan::TopK { input, keys, limit, offset } => {
             let _ = write!(out, "TopK k={limit}");
@@ -104,7 +157,7 @@ fn explain_plan(plan: &Plan, level: usize, out: &mut String) {
                 render_sort_keys(keys),
                 offset + limit
             );
-            explain_plan(input, level + 1, out);
+            explain_plan(input, level + 1, out, ctx);
         }
         Plan::HashJoin { left, right, keys } => {
             let rendered: Vec<String> = keys
@@ -118,9 +171,9 @@ fn explain_plan(plan: &Plan, level: usize, out: &mut String) {
                     )
                 })
                 .collect();
-            let _ = writeln!(out, "HashJoin on [{}]", rendered.join(", "));
-            explain_plan(left, level + 1, out);
-            explain_plan(right, level + 1, out);
+            let _ = writeln!(out, "HashJoin on [{}]{note}", rendered.join(", "));
+            explain_plan(left, level + 1, out, ctx);
+            explain_plan(right, level + 1, out, ctx);
         }
     }
 }
@@ -150,12 +203,12 @@ fn explain_subplans(pred: &Pred, level: usize, out: &mut String) {
         Pred::In { plan, cache, .. } => {
             indent(level, out);
             let _ = writeln!(out, "[IN subplan{}]", annotations(false, *cache));
-            explain_plan(plan, level + 1, out);
+            explain_plan(plan, level + 1, out, None);
         }
         Pred::Exists { plan, early_exit, cache } => {
             indent(level, out);
             let _ = writeln!(out, "[EXISTS subplan{}]", annotations(*early_exit, *cache));
-            explain_plan(plan, level + 1, out);
+            explain_plan(plan, level + 1, out, None);
         }
         Pred::And(a, b) | Pred::Or(a, b) => {
             explain_subplans(a, level, out);
@@ -281,6 +334,35 @@ mod tests {
         assert!(text.contains("Filter (#0.1 = 1 AND (#0.0) IN <subplan>)"), "{text}");
         // …and the uncorrelated IN subquery is cached.
         assert!(text.contains("[IN subplan, cached #0]"), "{text}");
+    }
+
+    #[test]
+    fn explain_vectorized_annotates_batch_operators() {
+        let schema = Schema::builder().table("R", ["A", "B"]).table("S", ["A"]).build().unwrap();
+        let db = Database::new(schema.clone());
+        let q = compile("SELECT R.B FROM R, S WHERE R.A = S.A AND R.B = 1", &schema).unwrap();
+        let text = crate::Engine::new(&db)
+            .with_vectorized(true)
+            .with_batch_size(1024)
+            .explain(&q)
+            .unwrap();
+        assert!(text.contains("Scan R [vectorized, batch=1024]"), "{text}");
+        assert!(text.contains("HashJoin on [left.0 = right.0] [vectorized, batch=1024]"), "{text}");
+        // R.B = 1 over integer-typed columns kernels; the projection of
+        // a plain column reference kernels too.
+        assert!(text.contains("Filter #0.1 = 1 [vectorized, batch=1024]"), "{text}");
+        assert!(text.contains("Project [#0.1] [vectorized, batch=1024]"), "{text}");
+        // A correlated EXISTS never kernels: guarded fallback, and the
+        // subplan prints unannotated.
+        let q2 =
+            compile("SELECT R.A FROM R WHERE EXISTS (SELECT * FROM S WHERE S.A = R.A)", &schema)
+                .unwrap();
+        let text2 = crate::Engine::new(&db).with_vectorized(true).explain(&q2).unwrap();
+        assert!(text2.contains("guarded rows, batch=1024"), "{text2}");
+        assert!(text2.contains("Scan S\n") || text2.contains("Scan S "), "{text2}");
+        // The row-engine explain stays annotation-free.
+        let plain = crate::Engine::new(&db).explain(&q).unwrap();
+        assert!(!plain.contains("vectorized"), "{plain}");
     }
 
     #[test]

@@ -46,20 +46,24 @@
 
 mod analysis;
 pub mod backend;
+pub mod batch;
 pub mod compile;
 pub mod exec;
 pub mod explain;
 pub mod optimize;
 pub mod plan;
+pub mod vexec;
 
 use sqlsem_core::{Database, Dialect, EvalError, LogicMode, PredicateRegistry, Query, Table};
 
 pub use backend::{Backend, QueryBackend};
+pub use batch::{Batch, Column, TruthVec, DEFAULT_BATCH_SIZE};
 pub use compile::compile as compile_plan;
 pub use exec::Executor;
-pub use explain::explain;
+pub use explain::{explain, explain_vectorized};
 pub use optimize::optimize;
 pub use plan::{Expr, JoinKey, Plan, Pred, Prepared};
+pub use vexec::VecExecutor;
 
 /// The engine facade: a database plus dialect/logic configuration,
 /// mirroring [`sqlsem_core::Evaluator`]'s interface so the validation
@@ -71,11 +75,14 @@ pub struct Engine<'a> {
     logic: LogicMode,
     preds: PredicateRegistry,
     optimize: bool,
+    vectorized: bool,
+    batch_size: usize,
 }
 
 impl<'a> Engine<'a> {
     /// An engine with Standard dialect, three-valued logic and the
-    /// optimizer enabled.
+    /// optimizer enabled (row-at-a-time execution; see
+    /// [`Engine::with_vectorized`] for the columnar executor).
     pub fn new(db: &'a Database) -> Self {
         Engine {
             db,
@@ -83,6 +90,8 @@ impl<'a> Engine<'a> {
             logic: LogicMode::ThreeValued,
             preds: PredicateRegistry::new(),
             optimize: true,
+            vectorized: false,
+            batch_size: DEFAULT_BATCH_SIZE,
         }
     }
 
@@ -118,9 +127,40 @@ impl<'a> Engine<'a> {
         self
     }
 
+    /// Selects batch-at-a-time execution through the columnar executor
+    /// ([`VecExecutor`]) instead of the row-at-a-time [`Executor`]. Off
+    /// by default. The plans are identical — only the execution strategy
+    /// changes, and the vectorized path is differentially validated to
+    /// coincide with the row engine on rows, multiplicities and error
+    /// verdicts.
+    #[must_use]
+    pub fn with_vectorized(mut self, vectorized: bool) -> Self {
+        self.vectorized = vectorized;
+        self
+    }
+
+    /// Sets the vectorized executor's batch granularity (rows per
+    /// columnar batch; clamped to at least 1). Only observable through
+    /// timing — every batch size computes the same results.
+    #[must_use]
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size.max(1);
+        self
+    }
+
     /// The dialect in effect.
     pub fn dialect(&self) -> Dialect {
         self.dialect
+    }
+
+    /// `true` when queries run through the vectorized executor.
+    pub fn vectorized(&self) -> bool {
+        self.vectorized
+    }
+
+    /// The vectorized executor's batch granularity.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
     }
 
     /// Compiles a query to a physical plan without running it (optimized
@@ -133,9 +173,17 @@ impl<'a> Engine<'a> {
     /// `EXPLAIN`: the compiled plan as an indented operator tree, with
     /// positional references rendered as `#depth.index` and optimizer
     /// decisions (hash joins, pushed filters, subquery caching and early
-    /// exit) visible as operators and annotations.
+    /// exit) visible as operators and annotations. Under
+    /// [`Engine::with_vectorized`] each batch-driven operator is
+    /// additionally annotated `[vectorized, batch=N]` (or
+    /// `[vectorized, guarded rows, batch=N]` for guarded fallbacks).
     pub fn explain(&self, query: &Query) -> Result<String, EvalError> {
-        Ok(explain::explain(&self.prepare(query)?))
+        let prepared = self.prepare(query)?;
+        Ok(if self.vectorized {
+            explain::explain_vectorized(&prepared, self.db, self.batch_size)
+        } else {
+            explain::explain(&prepared)
+        })
     }
 
     /// Compiles and executes a closed query.
@@ -148,8 +196,13 @@ impl<'a> Engine<'a> {
     /// skipping the compile+optimize work — the execution half of a
     /// prepared statement.
     pub fn execute_prepared(&self, prepared: &Prepared) -> Result<Table, EvalError> {
-        let mut exec = Executor::new(self.db, self.logic, &self.preds);
-        let rows = exec.run(&prepared.plan)?;
+        let rows = if self.vectorized {
+            let mut exec = VecExecutor::new(self.db, self.logic, &self.preds, self.batch_size);
+            exec.run(&prepared.plan)?
+        } else {
+            let mut exec = Executor::new(self.db, self.logic, &self.preds);
+            exec.run(&prepared.plan)?
+        };
         Table::with_rows(prepared.columns.clone(), rows)
     }
 }
@@ -271,15 +324,20 @@ mod tests {
             let q = sql(text, &schema).unwrap();
             for dialect in Dialect::ALL {
                 let spec = Evaluator::new(&db).with_dialect(dialect).eval(&q).unwrap();
-                for optimized in [false, true] {
+                for (optimized, vectorized) in [(false, false), (true, false), (true, true)] {
                     let mine = Engine::new(&db)
                         .with_dialect(dialect)
                         .with_optimizations(optimized)
+                        .with_vectorized(vectorized)
+                        .with_batch_size(3)
                         .execute(&q)
                         .unwrap();
                     let a: Vec<_> = spec.rows().collect();
                     let b: Vec<_> = mine.rows().collect();
-                    assert_eq!(a, b, "{text} [{dialect}, optimized={optimized}]");
+                    assert_eq!(
+                        a, b,
+                        "{text} [{dialect}, optimized={optimized}, vectorized={vectorized}]"
+                    );
                 }
             }
         }

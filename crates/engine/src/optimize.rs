@@ -52,6 +52,132 @@ pub fn optimize(prepared: Prepared, db: &Database) -> Prepared {
     Prepared { plan, columns: prepared.columns, cache_slots: opt.slots }
 }
 
+/// How the vectorized executor ([`crate::vexec`]) runs one operator:
+/// `Kernel` evaluates whole batches speculatively (including rows an
+/// earlier filter deselected), `Guarded` evaluates per *selected* row
+/// through the embedded row executor so the first error raised is
+/// identical to the row engine's.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum BatchMode {
+    /// Speculative whole-batch evaluation — proven error-free.
+    Kernel,
+    /// Per-selected-row evaluation through the row executor.
+    Guarded,
+}
+
+/// The batch-routing verdicts for one plan: which `Filter`, `Project`
+/// and `GroupAggregate` nodes the vectorized executor may run as
+/// speculative kernels, keyed by node address (stable while the
+/// borrowed plan is alive — the same device as the executor's per-site
+/// `IN` arity check).
+pub(crate) struct BatchRoutes {
+    modes: std::collections::HashMap<usize, BatchMode>,
+}
+
+impl BatchRoutes {
+    /// The mode routed for `node`; unknown nodes are conservatively
+    /// guarded.
+    pub(crate) fn mode(&self, node: &Plan) -> BatchMode {
+        let addr = node as *const Plan as usize;
+        self.modes.get(&addr).copied().unwrap_or(BatchMode::Guarded)
+    }
+}
+
+/// Routing analysis for the vectorized executor. Walks every node the
+/// batch executor itself drives (subplans inside predicates always run
+/// in the row engine and need no routing) and decides, per operator,
+/// whether a speculative whole-batch kernel is sound:
+///
+/// * a `Filter` kernels iff its predicate is pure comparison /
+///   null-test / boolean structure (no subqueries, no user predicates,
+///   no deferred errors, depth-0 references only) **and**
+///   [`pred_total`] proves it error-free for the input's column types —
+///   so evaluating even deselected rows cannot raise an error the row
+///   engine would not;
+/// * a `Project` kernels iff every expression is a constant, a deferred
+///   error, or a depth-0 column — a pure gather/broadcast (the executor
+///   raises a deferred error iff at least one row is selected, exactly
+///   like the row engine);
+/// * a `GroupAggregate` kernels iff its keys and aggregate arguments
+///   are constants or depth-0 columns (deferred errors fall back, so
+///   error order stays the row engine's).
+pub(crate) fn route_batches(plan: &Plan, db: &Database) -> BatchRoutes {
+    let mut routes = BatchRoutes { modes: std::collections::HashMap::new() };
+    route_node(plan, db, &mut routes);
+    routes
+}
+
+fn route_node(plan: &Plan, db: &Database, routes: &mut BatchRoutes) {
+    let addr = plan as *const Plan as usize;
+    match plan {
+        Plan::Scan { .. } => {}
+        Plan::Product { inputs } => {
+            for input in inputs {
+                route_node(input, db, routes);
+            }
+        }
+        Plan::Filter { input, pred } => {
+            route_node(input, db, routes);
+            let kernel = kernel_pred(pred, input.arity(db)) && {
+                let types = col_types(input, &mut Vec::new(), db);
+                pred_total(pred, &mut vec![types], db)
+            };
+            routes.modes.insert(addr, if kernel { BatchMode::Kernel } else { BatchMode::Guarded });
+        }
+        Plan::Project { input, exprs } => {
+            route_node(input, db, routes);
+            let arity = input.arity(db);
+            let kernel =
+                exprs.iter().all(|e| matches!(e, Expr::Deferred(_)) || kernel_expr(e, arity));
+            routes.modes.insert(addr, if kernel { BatchMode::Kernel } else { BatchMode::Guarded });
+        }
+        Plan::GroupAggregate { input, keys, aggs, .. } => {
+            route_node(input, db, routes);
+            let arity = input.arity(db);
+            let kernel = keys.iter().all(|e| kernel_expr(e, arity))
+                && aggs.iter().all(|s| s.arg.as_ref().is_none_or(|e| kernel_expr(e, arity)));
+            routes.modes.insert(addr, if kernel { BatchMode::Kernel } else { BatchMode::Guarded });
+        }
+        Plan::Distinct { input }
+        | Plan::Sort { input, .. }
+        | Plan::Limit { input, .. }
+        | Plan::TopK { input, .. } => route_node(input, db, routes),
+        Plan::SetOp { left, right, .. } | Plan::HashJoin { left, right, .. } => {
+            route_node(left, db, routes);
+            route_node(right, db, routes);
+        }
+    }
+}
+
+/// Structural half of the filter-kernel gate: only predicates built
+/// from batch-evaluable pieces qualify. Subqueries and user predicates
+/// never kernel (`IN` in particular stops comparing once its
+/// accumulator is true, so a speculative evaluation could raise errors
+/// the row engine skips).
+fn kernel_pred(pred: &Pred, arity: usize) -> bool {
+    match pred {
+        Pred::True | Pred::False => true,
+        Pred::Cmp { left, right, .. } | Pred::IsDistinct { left, right, .. } => {
+            kernel_expr(left, arity) && kernel_expr(right, arity)
+        }
+        Pred::Like { term, pattern, .. } => kernel_expr(term, arity) && kernel_expr(pattern, arity),
+        Pred::IsNull { expr, .. } => kernel_expr(expr, arity),
+        Pred::And(a, b) | Pred::Or(a, b) => kernel_pred(a, arity) && kernel_pred(b, arity),
+        Pred::Not(p) => kernel_pred(p, arity),
+        Pred::User { .. } | Pred::In { .. } | Pred::Exists { .. } => false,
+    }
+}
+
+/// `true` for expressions a kernel can evaluate over a batch: constants
+/// (broadcast) and in-range depth-0 columns (gather).
+fn kernel_expr(expr: &Expr, arity: usize) -> bool {
+    match expr {
+        Expr::Const(_) => true,
+        Expr::Col { depth: 0, index } => *index < arity,
+        Expr::Col { .. } | Expr::Deferred(_) => false,
+    }
+}
+
 struct Optimizer<'a> {
     db: &'a Database,
     /// Compile-time type frames mirroring the runtime correlation stack.

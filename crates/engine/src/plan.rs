@@ -10,6 +10,18 @@
 //! statement. This makes the engine a structurally independent
 //! implementation, which is what gives the §4 differential validation its
 //! force.
+//!
+//! One plan tree serves two executors: the row-at-a-time
+//! [`Executor`](crate::exec::Executor) interprets every operator
+//! tuple-by-tuple, while the vectorized
+//! [`VecExecutor`](crate::vexec::VecExecutor) executes `Scan`,
+//! `Filter`, `Project`, `HashJoin` and `GroupAggregate` over columnar
+//! batches (kernel or guarded per-row, as decided by
+//! `route_batches` in `crate::optimize`) and the
+//! order-sensitive operators on materialized rows. The positional,
+//! flat-expression discipline here is what makes the columnar kernels
+//! possible at all: a `Col { depth: 0, index }` *is* a column of the
+//! batch, with no name resolution left to do per value.
 
 use sqlsem_core::{AggFunc, CmpOp, EvalError, Name, Value};
 

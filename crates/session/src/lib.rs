@@ -49,7 +49,7 @@ use sqlsem_core::{
     Database, Dialect, EvalError, LogicMode, Name, PredicateRegistry, Query, Row, Schema, Span,
     Table, Value,
 };
-use sqlsem_engine::{Engine, Prepared};
+use sqlsem_engine::{Engine, Prepared, DEFAULT_BATCH_SIZE};
 use sqlsem_parser::{annotate_statement, parse_script, parse_statement, Statement};
 
 pub use error::SqlsemError;
@@ -76,6 +76,7 @@ pub struct SessionBuilder {
     backend: Backend,
     preds: PredicateRegistry,
     db: Option<Database>,
+    batch_size: Option<usize>,
 }
 
 impl SessionBuilder {
@@ -113,6 +114,16 @@ impl SessionBuilder {
         self
     }
 
+    /// Sets the batch granularity of [`Backend::VectorizedEngine`]
+    /// (rows per columnar batch; clamped to at least 1). Ignored by the
+    /// other backends. Every batch size computes the same results —
+    /// the flag exists so harnesses can fuzz chunk boundaries.
+    #[must_use]
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = Some(batch_size.max(1));
+        self
+    }
+
     /// Seeds the session with an existing database (schema and data) —
     /// the bridge from the direct-crate-access flow.
     #[must_use]
@@ -136,6 +147,7 @@ impl SessionBuilder {
             logic: self.logic,
             backend: self.backend,
             preds: self.preds,
+            batch_size: self.batch_size.unwrap_or(DEFAULT_BATCH_SIZE),
             id: NEXT_SESSION_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
             epoch: 0,
         }
@@ -260,6 +272,8 @@ pub struct Session {
     logic: LogicMode,
     backend: Backend,
     preds: PredicateRegistry,
+    /// Rows per columnar batch for the vectorized backend.
+    batch_size: usize,
     /// Process-unique identity; prepared statements record it so a
     /// handle prepared on one session is never trusted by another whose
     /// epoch counter happens to coincide.
@@ -281,6 +295,7 @@ impl Clone for Session {
             logic: self.logic,
             backend: self.backend,
             preds: self.preds.clone(),
+            batch_size: self.batch_size,
             id: NEXT_SESSION_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
             epoch: 0,
         }
@@ -330,6 +345,12 @@ impl Session {
         self.backend
     }
 
+    /// The vectorized backend's batch granularity (rows per columnar
+    /// batch).
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
     /// Switches the dialect. Invalidates prepared statements (they
     /// transparently re-prepare on next execution).
     pub fn set_dialect(&mut self, dialect: Dialect) {
@@ -346,6 +367,13 @@ impl Session {
     /// Switches the backend. Invalidates prepared statements.
     pub fn set_backend(&mut self, backend: Backend) {
         self.backend = backend;
+        self.epoch += 1;
+    }
+
+    /// Switches the vectorized backend's batch granularity (clamped to
+    /// at least 1). Invalidates prepared statements.
+    pub fn set_batch_size(&mut self, batch_size: usize) {
+        self.batch_size = batch_size.max(1);
         self.epoch += 1;
     }
 
@@ -424,7 +452,12 @@ impl Session {
                 Ok(StatementResult::Rows(out))
             }
             (Statement::Explain(_), Some(plan)) => {
-                Ok(StatementResult::Explained(sqlsem_engine::explain(plan)))
+                let text = if self.backend == Backend::VectorizedEngine {
+                    sqlsem_engine::explain_vectorized(plan, &self.db, self.batch_size)
+                } else {
+                    sqlsem_engine::explain(plan)
+                };
+                Ok(StatementResult::Explained(text))
             }
             _ => self.run(&prepared.statement.clone(), &sql, span),
         }
@@ -437,7 +470,7 @@ impl Session {
     /// feed printed SQL to [`Session::execute`] so the text pipeline is
     /// under test too.
     pub fn execute_query(&self, query: &Query) -> Result<Table, SqlsemError> {
-        self.backend.execute(&self.db, self.dialect, self.logic, &self.preds, query).map_err(|e| {
+        self.backend_execute(query).map_err(|e| {
             let sql = sqlsem_parser::to_sql(query, self.dialect);
             let span = Span::of(&sql);
             SqlsemError::eval(e, sql, span)
@@ -459,14 +492,32 @@ impl Session {
 
     // -- internals ---------------------------------------------------------
 
-    /// The engine configured for this session (used by the two engine
-    /// backends; `optimize` reflects the backend choice).
+    /// The engine configured for this session (used by the three engine
+    /// backends; `optimize`, `vectorized` and the batch size reflect
+    /// the backend choice).
     fn engine(&self) -> Engine<'_> {
         Engine::new(&self.db)
             .with_dialect(self.dialect)
             .with_logic(self.logic)
             .with_predicates(self.preds.clone())
-            .with_optimizations(self.backend == Backend::OptimizedEngine)
+            .with_optimizations(matches!(
+                self.backend,
+                Backend::OptimizedEngine | Backend::VectorizedEngine
+            ))
+            .with_vectorized(self.backend == Backend::VectorizedEngine)
+            .with_batch_size(self.batch_size)
+    }
+
+    /// Runs a query through the session's backend. Engine backends go
+    /// through [`Session::engine`], so the session's batch size reaches
+    /// the vectorized executor.
+    fn backend_execute(&self, query: &Query) -> Result<Table, EvalError> {
+        match self.backend {
+            Backend::SpecInterpreter => {
+                self.backend.execute(&self.db, self.dialect, self.logic, &self.preds, query)
+            }
+            _ => self.engine().execute(query),
+        }
     }
 
     /// The `EXPLAIN` rendering for the spec interpreter, which has no
@@ -488,10 +539,7 @@ impl Session {
     ) -> Result<StatementResult, SqlsemError> {
         match statement {
             Statement::Query(q) => {
-                let out = self
-                    .backend
-                    .execute(&self.db, self.dialect, self.logic, &self.preds, q)
-                    .map_err(|e| SqlsemError::eval(e, sql, span))?;
+                let out = self.backend_execute(q).map_err(|e| SqlsemError::eval(e, sql, span))?;
                 Ok(StatementResult::Rows(out))
             }
             Statement::Explain(q) => match self.backend {

@@ -49,6 +49,10 @@ pub struct ValidationConfig {
     /// always the reference). The default, the optimized engine, is the
     /// paper's setup: spec vs independent implementation.
     pub backend: Backend,
+    /// Batch granularity for [`Backend::VectorizedEngine`] candidates
+    /// (`None` keeps the engine default). Ignored by other backends;
+    /// sweeps vary it to fuzz chunk boundaries.
+    pub batch_size: Option<usize>,
     /// How many disagreement samples to retain in the report.
     pub keep_samples: usize,
     /// Additionally check that printing and re-compiling each query
@@ -76,6 +80,7 @@ impl ValidationConfig {
             dialects: vec![Dialect::PostgreSql, Dialect::Oracle],
             logics: vec![LogicMode::ThreeValued],
             backend: Backend::OptimizedEngine,
+            batch_size: None,
             keep_samples: 5,
             check_roundtrip: false,
         }
@@ -92,6 +97,7 @@ impl ValidationConfig {
             dialects: Dialect::ALL.to_vec(),
             logics: vec![LogicMode::ThreeValued],
             backend: Backend::OptimizedEngine,
+            batch_size: None,
             keep_samples: 5,
             check_roundtrip: true,
         }
@@ -145,6 +151,13 @@ impl ValidationConfig {
     #[must_use]
     pub fn with_backend(mut self, backend: Backend) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Sets the vectorized candidate's batch granularity.
+    #[must_use]
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = Some(batch_size);
         self
     }
 
@@ -290,9 +303,15 @@ pub fn session_outcome(session: &mut Session, sql: &str) -> Outcome {
 
 /// A candidate session over `db` for one sweep: the database is moved
 /// in (no clone), and the caller retargets dialect/logic per
-/// comparison.
-pub fn candidate_session(db: Database, backend: Backend) -> Session {
-    Session::builder().with_database(db).with_backend(backend).build()
+/// comparison. `batch_size` sets the vectorized backend's batch
+/// granularity (`None` keeps the engine default; other backends ignore
+/// it).
+pub fn candidate_session(db: Database, backend: Backend, batch_size: Option<usize>) -> Session {
+    let builder = Session::builder().with_database(db).with_backend(backend);
+    match batch_size {
+        Some(n) => builder.with_batch_size(n).build(),
+        None => builder.build(),
+    }
 }
 
 /// Runs the §4 validation experiment: formal semantics vs the candidate
@@ -320,7 +339,7 @@ pub fn run_validation(schema: &Schema, config: &ValidationConfig) -> ValidationR
 
         // One session per iteration (the database moves in; query
         // execution never mutates it), retargeted per combination.
-        let mut session = candidate_session(db, config.backend);
+        let mut session = candidate_session(db, config.backend, config.batch_size);
         for (dialect, stats) in per_dialect.iter_mut() {
             let sql = sqlsem_parser::to_sql(&query, *dialect);
             session.set_dialect(*dialect);
@@ -419,7 +438,7 @@ mod tests {
 
     #[test]
     fn every_backend_agrees_through_the_session() {
-        // The same 40 cases, candidate swapped across all three
+        // The same 40 cases, candidate swapped across all four
         // backends — including the spec interpreter itself, which
         // checks the print→parse→annotate→execute pipeline is the
         // identity on semantics.

@@ -28,8 +28,10 @@
 //! SQL
 //! ```
 //!
-//! Meta commands: `\d` shows the schema, `\backend spec|naive|optimized`,
-//! `\dialect standard|postgresql|oracle`, `\q` quits.
+//! Meta commands: `\d` shows the schema,
+//! `\backend spec|naive|optimized|vectorized`, `\batchsize N` (the
+//! vectorized backend's rows-per-batch), `\dialect
+//! standard|postgresql|oracle`, `\q` quits.
 
 use std::io::{self, BufRead, IsTerminal, Write};
 
@@ -56,6 +58,13 @@ fn meta_command(session: &mut Session, line: &str) -> bool {
             }
             Err(e) => println!("{e}"),
         },
+        (Some("\\batchsize"), Some(arg)) => match arg.parse::<usize>() {
+            Ok(n) if n > 0 => {
+                session.set_batch_size(n);
+                println!("batch size: {n}");
+            }
+            _ => println!("unknown batch size {arg:?}: expected a positive integer"),
+        },
         (Some("\\dialect"), Some(arg)) => {
             let dialect = match arg.to_ascii_lowercase().as_str() {
                 "standard" => Some(Dialect::Standard),
@@ -74,8 +83,8 @@ fn meta_command(session: &mut Session, line: &str) -> bool {
             }
         }
         _ => println!(
-            "meta commands: \\d (schema)  \\backend <spec|naive|optimized>  \
-             \\dialect <standard|postgresql|oracle>  \\q (quit)"
+            "meta commands: \\d (schema)  \\backend <spec|naive|optimized|vectorized>  \
+             \\batchsize <rows>  \\dialect <standard|postgresql|oracle>  \\q (quit)"
         ),
     }
     true

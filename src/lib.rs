@@ -30,7 +30,7 @@
 //! ```
 //!
 //! Sessions are configured via [`Session::builder`] — any of the three
-//! dialects × three logic modes × three backends — and support
+//! dialects × three logic modes × four backends — and support
 //! [`Session::prepare`]d statements that cache the compile+optimize
 //! work across executions:
 //!

@@ -1,7 +1,7 @@
 //! Integration suite for the unified `Session` API: DDL/DML round
 //! trips, the pure-SQL script across every dialect × logic × backend
 //! combination, prepared-statement reuse, the single error type, and a
-//! differential sweep asserting that all three backends coincide when
+//! differential sweep asserting that all four backends coincide when
 //! driven through sessions — including on error verdicts.
 
 use sqlsem::{table, Backend, Dialect, LogicMode, Session, SqlsemError, StatementResult, Value};
@@ -241,14 +241,14 @@ fn prepared_explain_and_ddl_statements_work() {
 }
 
 // ---------------------------------------------------------------------------
-// Differential sweep: the three backends coincide through the Session API
+// Differential sweep: the four backends coincide through the Session API
 // ---------------------------------------------------------------------------
 
 #[test]
 fn backends_coincide_on_generated_queries_including_error_verdicts() {
     // 150 generated query/database pairs (the §4 shapes, aggregates
     // included), each printed to SQL and executed through sessions over
-    // all three backends, all dialects × logic modes. The spec
+    // all four backends, all dialects × logic modes. The spec
     // interpreter is the baseline; agreement must include the error
     // verdict (Ok-vs-Err and the ambiguity character).
     let schema = sqlsem_generator::paper_schema();
@@ -258,10 +258,16 @@ fn backends_coincide_on_generated_queries_including_error_verdicts() {
         let (query, db) = iteration_case(&schema, &config, i);
         // One session per backend per case, retargeted across the nine
         // dialect × logic combinations.
-        let mut spec_session = candidate_session(db.clone(), Backend::SpecInterpreter);
+        let mut spec_session = candidate_session(db.clone(), Backend::SpecInterpreter, None);
         let mut engines = [
-            (Backend::NaiveEngine, candidate_session(db.clone(), Backend::NaiveEngine)),
-            (Backend::OptimizedEngine, candidate_session(db, Backend::OptimizedEngine)),
+            (Backend::NaiveEngine, candidate_session(db.clone(), Backend::NaiveEngine, None)),
+            (
+                Backend::OptimizedEngine,
+                candidate_session(db.clone(), Backend::OptimizedEngine, None),
+            ),
+            // Batch size 3 keeps the columnar executor crossing chunk
+            // boundaries on these small instances.
+            (Backend::VectorizedEngine, candidate_session(db, Backend::VectorizedEngine, Some(3))),
         ];
         for dialect in Dialect::ALL {
             let sql = sqlsem::to_sql(&query, dialect);
