@@ -12,15 +12,22 @@
 //!   [`sqlsem_engine::Plan::TopK`], which keeps at most
 //!   `offset + limit` rows in its sort buffer).
 //!
-//! Two further measurements pit the row-at-a-time optimized engine
+//! Four further measurements pit the row-at-a-time optimized engine
 //! against the columnar executor at 100k and 1M rows (100k only with
 //! `--quick`):
 //!
 //! * **vec_join** — the same equi-join, row hash-join vs the vectorized
-//!   single-`Int`-key hash-join kernel;
+//!   single-`Int`-key hash-join kernel (gather views + parallel
+//!   morsels);
+//! * **vec_join_late** — a wider four-column projection of the same
+//!   join, where late materialization pays the most: the join emits
+//!   view-sharing batches and rows are only built at the sink;
 //! * **vec_group** — `GROUP BY` with `COUNT(*)`/`SUM` over a
 //!   1000-group integer key, row-at-a-time grouping vs the columnar
-//!   group kernel's unboxed accumulators.
+//!   group kernel's unboxed accumulators;
+//! * **vec_sort** — the `ORDER BY … LIMIT 10` top-k, row bounded heap
+//!   vs the vectorized columnar-key heap that materializes only the
+//!   winners.
 //!
 //! Both sides are checked to coincide before timing, so the numbers are
 //! for provably identical results. With `--record` the measurements are
@@ -37,7 +44,7 @@
 //! cargo run --release -p sqlsem-bench --bin join_scaling -- --quick --check BENCH_join_scaling.json
 //! ```
 //!
-//! `--check` covers all four sections; the vectorized timings are held
+//! `--check` covers all six sections; the vectorized timings are held
 //! to the same `3x + 1 ms` threshold as the row-engine ones.
 
 use std::time::Instant;
@@ -233,6 +240,15 @@ fn main() {
         &group_schema,
     )
     .unwrap();
+    // The late-materialization showcase: a wider projection of the same
+    // join. The vectorized join emits batches whose columns share the
+    // probe/build storage through gather views; the four output columns
+    // only become rows at the sink.
+    let late_q = sqlsem_parser::compile(
+        "SELECT x.A AS a1, x.B AS b, y.A AS a2, y.C AS c FROM R x, S y WHERE x.A = y.A",
+        &schema,
+    )
+    .unwrap();
     for &n in &vec_sizes {
         let db = instance(&schema, n);
         let row_engine = Engine::new(&db);
@@ -244,6 +260,34 @@ fn main() {
         let (row_ms, _) = time_ms(|| row_engine.execute(&join_q).unwrap().len(), reps);
         measurements.push(Measurement {
             bench: "vec_join",
+            rows: n as u64,
+            naive_ms: Some(row_ms),
+            optimized_ms: vec_ms,
+            out_rows,
+        });
+
+        let a = row_engine.execute(&late_q).unwrap();
+        let b = vec_engine.execute(&late_q).unwrap();
+        assert!(a.coincides(&b), "row and vectorized wide join disagree at n={n}");
+        let (vec_ms, out_rows) = time_ms(|| vec_engine.execute(&late_q).unwrap().len(), reps);
+        let (row_ms, _) = time_ms(|| row_engine.execute(&late_q).unwrap().len(), reps);
+        measurements.push(Measurement {
+            bench: "vec_join_late",
+            rows: n as u64,
+            naive_ms: Some(row_ms),
+            optimized_ms: vec_ms,
+            out_rows,
+        });
+
+        // Top-k as lists: the row bounded heap vs the vectorized
+        // columnar-key heap.
+        let a = row_engine.execute(&topk_q).unwrap();
+        let b = vec_engine.execute(&topk_q).unwrap();
+        assert!(a.rows().eq(b.rows()), "row and vectorized top-k disagree as lists at n={n}");
+        let (vec_ms, out_rows) = time_ms(|| vec_engine.execute(&topk_q).unwrap().len(), reps);
+        let (row_ms, _) = time_ms(|| row_engine.execute(&topk_q).unwrap().len(), reps);
+        measurements.push(Measurement {
+            bench: "vec_sort",
             rows: n as u64,
             naive_ms: Some(row_ms),
             optimized_ms: vec_ms,
@@ -318,11 +362,13 @@ fn main() {
                 .join(",\n")
         };
         let json = format!(
-            "{{\n  \"bench\": \"join_scaling\",\n  \"reps\": {reps},\n  \"measurements\": [\n{}\n  ],\n  \"top_k\": [\n{}\n  ],\n  \"vec_join\": [\n{}\n  ],\n  \"vec_group\": [\n{}\n  ]\n}}\n",
+            "{{\n  \"bench\": \"join_scaling\",\n  \"reps\": {reps},\n  \"measurements\": [\n{}\n  ],\n  \"top_k\": [\n{}\n  ],\n  \"vec_join\": [\n{}\n  ],\n  \"vec_join_late\": [\n{}\n  ],\n  \"vec_group\": [\n{}\n  ],\n  \"vec_sort\": [\n{}\n  ]\n}}\n",
             section("join_scaling"),
             section("top_k"),
             vec_section("vec_join"),
-            vec_section("vec_group")
+            vec_section("vec_join_late"),
+            vec_section("vec_group"),
+            vec_section("vec_sort")
         );
         std::fs::write("BENCH_join_scaling.json", &json).expect("write baseline");
         println!("\nrecorded BENCH_join_scaling.json");
@@ -337,7 +383,9 @@ fn main() {
             ("measurements", "join_scaling", "optimized_ms"),
             ("top_k", "top_k", "optimized_ms"),
             ("vec_join", "vec_join", "vectorized_ms"),
+            ("vec_join_late", "vec_join_late", "vectorized_ms"),
             ("vec_group", "vec_group", "vectorized_ms"),
+            ("vec_sort", "vec_sort", "vectorized_ms"),
         ] {
             for (rows, base_ms) in baseline_pairs(&baseline, section, ms_field) {
                 let Some(m) = measurements.iter().find(|m| m.bench == name && m.rows == rows)

@@ -25,9 +25,11 @@
 //!     --queries 2000 --seed 1 --backend optimized
 //! ```
 //!
-//! `--backend vectorized` runs the columnar executor as the candidate;
-//! `--batch-size N` then sets its batch granularity (the nightly matrix
-//! sweeps 1, 3 and 1024 to fuzz chunk boundaries).
+//! `--backend vectorized` runs the columnar executor as the candidate
+//! and `--backend adaptive` the dispatching default; `--batch-size N`
+//! then sets the batch granularity and `--threads N` the morsel worker
+//! count (the nightly matrix sweeps batch sizes 1, 3 and 1024 and
+//! thread counts 1, 2 and 8 to fuzz chunk boundaries and scheduling).
 
 use sqlsem_bench::arg;
 use sqlsem_core::{Dialect, Evaluator, LogicMode, Query, Schema};
@@ -100,6 +102,8 @@ fn main() {
     let backend: Backend = arg("--backend", Backend::OptimizedEngine);
     let batch_size: usize = arg("--batch-size", 0);
     let batch_size = (batch_size > 0).then_some(batch_size);
+    let threads: usize = arg("--threads", 0);
+    let threads = (threads > 0).then_some(threads);
     let dump_dir: String = arg("--dump", String::new());
 
     let combos: Vec<(Dialect, LogicMode)> = Dialect::ALL
@@ -154,7 +158,8 @@ fn main() {
     };
 
     let (pitfall_schema, pitfalls) = pitfall_cases();
-    let mut pit_session = candidate_session(pitfall_db(&pitfall_schema), backend, batch_size);
+    let mut pit_session =
+        candidate_session(pitfall_db(&pitfall_schema), backend, batch_size, threads);
     for tally in tallies.iter_mut() {
         for query in &pitfalls {
             check(tally, query, &mut pit_session);
@@ -167,16 +172,17 @@ fn main() {
     let start = std::time::Instant::now();
     for i in 0..queries {
         let (query, db) = iteration_case(&schema, &config, i);
-        let mut session = candidate_session(db, backend, batch_size);
+        let mut session = candidate_session(db, backend, batch_size, threads);
         for tally in tallies.iter_mut() {
             check(tally, &query, &mut session);
         }
     }
 
     let batch_note = batch_size.map(|n| format!(", batch size {n}")).unwrap_or_default();
+    let thread_note = threads.map(|n| format!(", threads {n}")).unwrap_or_default();
     println!(
         "optimizer gauntlet: {} pitfall + {queries} random queries per combination \
-         (candidate backend {backend}{batch_note} via Session, seed {seed}, row cap {rows}) \
+         (candidate backend {backend}{batch_note}{thread_note} via Session, seed {seed}, row cap {rows}) \
          in {:.2?}\n",
         pitfalls.len(),
         start.elapsed()

@@ -1,8 +1,12 @@
 //! Regenerates the §4 generator-calibration table: TPC-H query shape
 //! statistics and the four parameters derived from them — then times a
-//! batch of TPC-H-calibrated random queries through each of the four
+//! batch of TPC-H-calibrated random queries through each of the five
 //! backends (spec interpreter, naive engine, optimized engine,
-//! vectorized engine), with an agreement gate before the timings.
+//! vectorized engine, adaptive dispatcher), with an agreement gate
+//! before the timings. The per-backend table is the recorded basis for
+//! [`sqlsem_engine::ADAPTIVE_ROW_CUTOFF`]: at the small row caps used
+//! here the row engine wins per query, which is why the adaptive
+//! dispatcher routes sub-threshold inputs to it.
 //!
 //! The row cap defaults to 8 (the scaled-down default the other
 //! experiment binaries use): the spec interpreter materializes full
@@ -34,7 +38,7 @@ fn main() {
     let cases: Vec<_> = (0..queries).map(|i| iteration_case(&schema, &config, i)).collect();
     let preds = PredicateRegistry::new();
 
-    // Agreement gate: all four backends must coincide on every case
+    // Agreement gate: all five backends must coincide on every case
     // before their timings mean anything.
     let outcome = |backend: Backend, case: &(sqlsem_core::Query, sqlsem_core::Database)| {
         backend.execute(&case.1, Dialect::PostgreSql, LogicMode::ThreeValued, &preds, &case.0)
@@ -60,4 +64,11 @@ fn main() {
         let ms = start.elapsed().as_secs_f64() * 1e3;
         println!("{:>14} {:>12.2} {:>14.3}", backend.to_string(), ms, ms / queries as f64);
     }
+    println!(
+        "\nadaptive dispatch: scans of < {} rows run on the row engine, larger \
+         ones on the vectorized engine (see the optimized-vs-vectorized \
+         per-query gap above for the small-input basis; BENCH_join_scaling.json \
+         records the large-input crossover)",
+        sqlsem_engine::ADAPTIVE_ROW_CUTOFF
+    );
 }

@@ -1,11 +1,12 @@
-//! One execution interface over the workspace's four evaluators.
+//! One execution interface over the workspace's five evaluators.
 //!
 //! The paper's whole point is that a single formal semantics stands
 //! behind many consumers; this module is the code-level rendering of
-//! that idea. The four ways the workspace can run a query — the
+//! that idea. The five ways the workspace can run a query — the
 //! denotational spec interpreter ([`sqlsem_core::Evaluator`]), the
-//! engine with its optimizer disabled, the engine with it enabled, and
-//! the engine driving its plans through the columnar batch executor —
+//! engine with its optimizer disabled, the engine with it enabled, the
+//! engine driving its plans through the columnar batch executor, and
+//! the adaptive dispatcher choosing between the last two per query —
 //! are unified behind the [`QueryBackend`] trait and selected by the
 //! [`Backend`] enum, so that the `Session` API, the §4 harness and the
 //! optimizer gauntlet can all swap evaluation strategies without
@@ -42,7 +43,7 @@ impl QueryBackend for Engine<'_> {
 
 /// Which evaluation strategy a session (or harness) runs queries with.
 ///
-/// All four implement the same semantics — the optimizer gauntlet's
+/// All five implement the same semantics — the optimizer gauntlet's
 /// standing result is that they are indistinguishable under the paper's
 /// coincidence criterion — but they differ in pedigree and speed:
 ///
@@ -54,28 +55,36 @@ impl QueryBackend for Engine<'_> {
 ///   equi-joins, subquery caching and `EXISTS` early exit;
 /// * [`Backend::VectorizedEngine`] runs the optimized plans
 ///   batch-at-a-time through the columnar executor
-///   ([`crate::vexec::VecExecutor`]).
+///   ([`crate::vexec::VecExecutor`]);
+/// * [`Backend::Adaptive`] (the default) dispatches per query: the
+///   vectorized executor over big inputs, the row engine below the
+///   calibrated [`crate::ADAPTIVE_ROW_CUTOFF`], where batch setup
+///   overhead dominates.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum Backend {
     /// The denotational interpreter `⟦·⟧` of `sqlsem-core`.
     SpecInterpreter,
     /// The physical-plan engine, optimizations off.
     NaiveEngine,
-    /// The physical-plan engine, optimizations on (the default).
-    #[default]
+    /// The physical-plan engine, optimizations on.
     OptimizedEngine,
     /// The physical-plan engine with optimizations on, executed
     /// batch-at-a-time over columnar batches.
     VectorizedEngine,
+    /// Per-query dispatch between the optimized row engine and the
+    /// vectorized executor, by estimated input size (the default).
+    #[default]
+    Adaptive,
 }
 
 impl Backend {
     /// All backends, for exhaustive differential sweeps.
-    pub const ALL: [Backend; 4] = [
+    pub const ALL: [Backend; 5] = [
         Backend::SpecInterpreter,
         Backend::NaiveEngine,
         Backend::OptimizedEngine,
         Backend::VectorizedEngine,
+        Backend::Adaptive,
     ];
 
     /// An executor for this backend over `db`, configured with the given
@@ -114,6 +123,13 @@ impl Backend {
                     .with_predicates(preds.clone())
                     .with_vectorized(true),
             ),
+            Backend::Adaptive => Box::new(
+                Engine::new(db)
+                    .with_dialect(dialect)
+                    .with_logic(logic)
+                    .with_predicates(preds.clone())
+                    .with_adaptive(true),
+            ),
         }
     }
 
@@ -137,6 +153,7 @@ impl fmt::Display for Backend {
             Backend::NaiveEngine => "naive",
             Backend::OptimizedEngine => "optimized",
             Backend::VectorizedEngine => "vectorized",
+            Backend::Adaptive => "adaptive",
         })
     }
 }
@@ -145,15 +162,16 @@ impl FromStr for Backend {
     type Err = String;
 
     /// Parses the `--backend` spelling used by the experiment binaries:
-    /// `spec`, `naive`, `optimized` or `vectorized`.
+    /// `spec`, `naive`, `optimized`, `vectorized` or `adaptive`.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         match s.to_ascii_lowercase().as_str() {
             "spec" | "spec-interpreter" | "interpreter" => Ok(Backend::SpecInterpreter),
             "naive" | "naive-engine" => Ok(Backend::NaiveEngine),
             "optimized" | "optimized-engine" | "engine" => Ok(Backend::OptimizedEngine),
             "vectorized" | "vectorized-engine" | "vec" => Ok(Backend::VectorizedEngine),
+            "adaptive" | "auto" => Ok(Backend::Adaptive),
             other => Err(format!(
-                "unknown backend {other:?}: expected spec, naive, optimized or vectorized"
+                "unknown backend {other:?}: expected spec, naive, optimized, vectorized or adaptive"
             )),
         }
     }
@@ -196,10 +214,12 @@ mod tests {
         assert_eq!("optimized".parse::<Backend>().unwrap(), Backend::OptimizedEngine);
         assert_eq!("vectorized".parse::<Backend>().unwrap(), Backend::VectorizedEngine);
         assert_eq!("vec".parse::<Backend>().unwrap(), Backend::VectorizedEngine);
+        assert_eq!("adaptive".parse::<Backend>().unwrap(), Backend::Adaptive);
+        assert_eq!("auto".parse::<Backend>().unwrap(), Backend::Adaptive);
         assert!("postgres".parse::<Backend>().is_err());
         for b in Backend::ALL {
             assert_eq!(b.to_string().parse::<Backend>().unwrap(), b);
         }
-        assert_eq!(Backend::default(), Backend::OptimizedEngine);
+        assert_eq!(Backend::default(), Backend::Adaptive);
     }
 }

@@ -5,7 +5,15 @@
 //! Filters never materialize their survivors — they refine the batch's
 //! *selection vector* instead, so downstream operators iterate only the
 //! live physical indices while the column storage is shared untouched
-//! (columns are cheaply cloneable behind `Rc`).
+//! (columns are cheaply cloneable behind `Arc`, which also makes whole
+//! batches `Send`/`Sync` for the executor's morsel parallelism).
+//!
+//! Joins never materialize their outputs either: a column can carry a
+//! *gather view* — a shared index vector into the backing storage — so
+//! a join output batch is `O(arity)` to assemble regardless of how many
+//! rows matched. Values are resolved through the view lazily, and rows
+//! are only built at the sink ([`Batch::row`] / [`Batch::append_rows`])
+//! or when a kernel asks for dense storage ([`Column::dense`]).
 //!
 //! Predicate kernels evaluate a condition over a whole batch at once and
 //! produce a [`TruthVec`] — Kleene truth values as a pair of bitmaps
@@ -21,7 +29,7 @@
 //! executor runs them solely on predicates the totality analysis
 //! (`crate::analysis`) proved error-free for the whole column type set.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use sqlsem_core::{CmpOp, EvalError, LogicMode, Row, Truth, Value};
 
@@ -121,12 +129,18 @@ struct ColumnInner {
     nulls: Bitmap,
 }
 
-/// One column of a batch: typed storage plus the null bitmap. Cloning is
-/// `O(1)` — the storage is shared behind an `Rc` — which is what makes a
-/// vectorized projection of plain column references free.
+/// One column of a batch: typed storage plus the null bitmap, and an
+/// optional *gather view* mapping logical positions to physical slots
+/// of the backing storage. Cloning is `O(1)` — storage and view are
+/// shared behind `Arc`s — which is what makes a vectorized projection
+/// of plain column references (and a late-materialized join output)
+/// free.
 #[derive(Clone)]
 pub struct Column {
-    inner: Rc<ColumnInner>,
+    inner: Arc<ColumnInner>,
+    /// Logical index → physical storage slot. `None` means the identity
+    /// view (logical position `i` *is* storage slot `i`).
+    view: Option<Arc<Vec<u32>>>,
 }
 
 impl Column {
@@ -159,7 +173,7 @@ impl Column {
             }
             ColumnData::Mixed(values)
         };
-        Column { inner: Rc::new(ColumnInner { data, nulls }) }
+        Column { inner: Arc::new(ColumnInner { data, nulls }), view: None }
     }
 
     /// A column broadcasting one constant over `len` rows (how the
@@ -170,12 +184,15 @@ impl Column {
             Value::Int(n) => (ColumnData::Int(vec![*n; len]), Bitmap::zeros(len)),
             other => (ColumnData::Mixed(vec![other.clone(); len]), Bitmap::zeros(len)),
         };
-        Column { inner: Rc::new(ColumnInner { data, nulls }) }
+        Column { inner: Arc::new(ColumnInner { data, nulls }), view: None }
     }
 
-    /// Number of physical rows.
+    /// Number of logical rows (the view's length, when one is attached).
     pub fn len(&self) -> usize {
-        self.inner.nulls.len()
+        match &self.view {
+            None => self.inner.nulls.len(),
+            Some(v) => v.len(),
+        }
     }
 
     /// `true` iff the column has no rows.
@@ -183,47 +200,93 @@ impl Column {
         self.len() == 0
     }
 
-    /// `true` iff the value at `i` is `NULL`.
-    pub fn is_null(&self, i: usize) -> bool {
-        self.inner.nulls.get(i)
+    /// The physical storage slot behind logical position `i`.
+    fn phys(&self, i: usize) -> usize {
+        match &self.view {
+            None => i,
+            Some(v) => v[i] as usize,
+        }
     }
 
-    /// The null bitmap.
+    /// `true` iff the value at logical position `i` is `NULL`.
+    pub fn is_null(&self, i: usize) -> bool {
+        self.inner.nulls.get(self.phys(i))
+    }
+
+    /// The null bitmap of the *backing storage* (indexed by physical
+    /// slot, ignoring any gather view — see [`Column::dense`]).
     pub fn nulls(&self) -> &Bitmap {
         &self.inner.nulls
     }
 
-    /// The typed storage.
+    /// The typed *backing storage* (indexed by physical slot, ignoring
+    /// any gather view — see [`Column::dense`]).
     pub fn data(&self) -> &ColumnData {
         &self.inner.data
     }
 
-    /// The value at physical index `i`, as a [`Value`].
+    /// The value at logical position `i`, as a [`Value`].
     pub fn value(&self, i: usize) -> Value {
-        if self.inner.nulls.get(i) {
+        let p = self.phys(i);
+        if self.inner.nulls.get(p) {
             return Value::Null;
         }
         match &self.inner.data {
-            ColumnData::Int(v) => Value::Int(v[i]),
-            ColumnData::Mixed(v) => v[i].clone(),
+            ColumnData::Int(v) => Value::Int(v[p]),
+            ColumnData::Mixed(v) => v[p].clone(),
         }
     }
 
-    /// The unboxed integer storage, when this is an integer column.
+    /// The unboxed integer storage — only when this is an *unviewed*
+    /// integer column, so the slice can be indexed by logical position
+    /// directly. Viewed columns return `None`; callers that want the
+    /// unboxed path over a join output go through [`Column::dense`]
+    /// first.
     pub fn as_int(&self) -> Option<&[i64]> {
+        if self.view.is_some() {
+            return None;
+        }
         match &self.inner.data {
             ColumnData::Int(v) => Some(v),
             ColumnData::Mixed(_) => None,
         }
     }
 
-    /// A new dense column holding the values at `indices`, in order.
+    /// `true` iff the backing storage is unboxed integers (viewed or
+    /// not) — the gate for the kernels' integer fast paths.
+    pub fn is_int(&self) -> bool {
+        matches!(self.inner.data, ColumnData::Int(_))
+    }
+
+    /// A lazy column over the values at `indices` (logical positions of
+    /// `self`), in order: `O(1)` when `self` is unviewed (the index
+    /// vector becomes the view), one composition pass otherwise.
+    pub fn with_view(&self, indices: Arc<Vec<u32>>) -> Column {
+        let view = match &self.view {
+            None => indices,
+            Some(v) => Arc::new(indices.iter().map(|&i| v[i as usize]).collect()),
+        };
+        Column { inner: Arc::clone(&self.inner), view: Some(view) }
+    }
+
+    /// A lazy column over the values at `indices`, in order — the
+    /// gather, deferred: no storage is copied until someone needs the
+    /// column dense.
     pub fn gather(&self, indices: &[u32]) -> Column {
-        let mut nulls = Bitmap::zeros(indices.len());
+        self.with_view(Arc::new(indices.to_vec()))
+    }
+
+    /// Resolves any gather view into fresh dense storage (an `O(1)`
+    /// clone when the column is already dense).
+    pub fn dense(&self) -> Column {
+        let Some(view) = &self.view else {
+            return self.clone();
+        };
+        let mut nulls = Bitmap::zeros(view.len());
         let data = match &self.inner.data {
             ColumnData::Int(v) => {
-                let mut ints = Vec::with_capacity(indices.len());
-                for (out, &i) in indices.iter().enumerate() {
+                let mut ints = Vec::with_capacity(view.len());
+                for (out, &i) in view.iter().enumerate() {
                     let i = i as usize;
                     if self.inner.nulls.get(i) {
                         nulls.set(out);
@@ -233,8 +296,8 @@ impl Column {
                 ColumnData::Int(ints)
             }
             ColumnData::Mixed(v) => {
-                let mut values = Vec::with_capacity(indices.len());
-                for (out, &i) in indices.iter().enumerate() {
+                let mut values = Vec::with_capacity(view.len());
+                for (out, &i) in view.iter().enumerate() {
                     let i = i as usize;
                     if self.inner.nulls.get(i) {
                         nulls.set(out);
@@ -244,7 +307,7 @@ impl Column {
                 ColumnData::Mixed(values)
             }
         };
-        Column { inner: Rc::new(ColumnInner { data, nulls }) }
+        Column { inner: Arc::new(ColumnInner { data, nulls }), view: None }
     }
 }
 
@@ -256,7 +319,7 @@ impl Column {
 pub struct Batch {
     columns: Vec<Column>,
     rows: usize,
-    sel: Option<Rc<Vec<u32>>>,
+    sel: Option<Arc<Vec<u32>>>,
 }
 
 impl Batch {
@@ -317,13 +380,13 @@ impl Batch {
     pub fn restrict(&self, verdicts: &TruthVec) -> Batch {
         let sel: Vec<u32> =
             self.indices().filter(|&i| verdicts.is_true(i)).map(|i| i as u32).collect();
-        Batch { columns: self.columns.clone(), rows: self.rows, sel: Some(Rc::new(sel)) }
+        Batch { columns: self.columns.clone(), rows: self.rows, sel: Some(Arc::new(sel)) }
     }
 
     /// A batch with the same columns restricted to an explicit selection
     /// (physical indices, ascending).
     pub fn with_selection(&self, sel: Vec<u32>) -> Batch {
-        Batch { columns: self.columns.clone(), rows: self.rows, sel: Some(Rc::new(sel)) }
+        Batch { columns: self.columns.clone(), rows: self.rows, sel: Some(Arc::new(sel)) }
     }
 
     /// A batch with the same selection but different columns — the
@@ -342,13 +405,50 @@ impl Batch {
     }
 
     /// Concatenates the *selected* rows of many batches into one dense
-    /// batch. `arity` fixes the column count when `batches` is empty.
+    /// batch, column by column — no row round trip. `arity` fixes the
+    /// column count when `batches` is empty. A column of the output is
+    /// unboxed iff that column is integer-backed in every input batch.
     pub fn concat(arity: usize, batches: &[Batch]) -> Batch {
-        let mut rows = Vec::new();
-        for b in batches {
-            b.append_rows(&mut rows);
-        }
-        Batch::from_rows(arity, &rows)
+        let total: usize = batches.iter().map(Batch::selected).sum();
+        let columns = (0..arity)
+            .map(|j| {
+                let mut nulls = Bitmap::zeros(total);
+                let mut out = 0usize;
+                let all_int = batches.iter().all(|b| b.column(j).is_int());
+                let data = if all_int {
+                    let mut ints = Vec::with_capacity(total);
+                    for b in batches {
+                        let c = b.column(j);
+                        let ColumnData::Int(v) = &c.inner.data else { unreachable!() };
+                        for i in b.indices() {
+                            let p = c.phys(i);
+                            if c.inner.nulls.get(p) {
+                                nulls.set(out);
+                            }
+                            ints.push(v[p]);
+                            out += 1;
+                        }
+                    }
+                    ColumnData::Int(ints)
+                } else {
+                    let mut values = Vec::with_capacity(total);
+                    for b in batches {
+                        let c = b.column(j);
+                        for i in b.indices() {
+                            let v = c.value(i);
+                            if v.is_null() {
+                                nulls.set(out);
+                            }
+                            values.push(v);
+                            out += 1;
+                        }
+                    }
+                    ColumnData::Mixed(values)
+                };
+                Column { inner: Arc::new(ColumnInner { data, nulls }), view: None }
+            })
+            .collect();
+        Batch { columns, rows: total, sel: None }
     }
 }
 
@@ -589,6 +689,66 @@ mod tests {
         }
         let twice = filtered.restrict(&small);
         assert_eq!(twice.indices().collect::<Vec<_>>(), vec![0, 2]);
+    }
+
+    #[test]
+    fn gather_views_compose_and_resolve_lazily() {
+        let c = col(&[Value::Int(10), Value::Null, Value::Int(30), Value::Int(40)]);
+        // A view reorders and repeats without touching storage.
+        let v = c.gather(&[3, 0, 0, 1]);
+        assert_eq!(v.len(), 4);
+        assert_eq!(v.value(0), Value::Int(40));
+        assert_eq!(v.value(1), Value::Int(10));
+        assert_eq!(v.value(2), Value::Int(10));
+        assert!(v.is_null(3));
+        // Viewed columns refuse the unboxed fast path until densified.
+        assert!(c.as_int().is_some());
+        assert!(v.as_int().is_none());
+        assert!(v.is_int());
+        // Composing a view over a view resolves through both.
+        let vv = v.gather(&[1, 3]);
+        assert_eq!(vv.value(0), Value::Int(10));
+        assert!(vv.is_null(1));
+        // Densifying restores the kernel path with the viewed order.
+        let d = vv.dense();
+        assert_eq!(d.as_int().unwrap(), &[10, 0]);
+        assert_eq!(d.value(0), Value::Int(10));
+        assert!(d.is_null(1));
+    }
+
+    #[test]
+    fn empty_gather_views_are_well_formed() {
+        let c = col(&[Value::Int(1), Value::from("x")]);
+        let empty = c.gather(&[]);
+        assert_eq!(empty.len(), 0);
+        let d = empty.dense();
+        assert_eq!(d.len(), 0);
+    }
+
+    #[test]
+    fn concat_is_columnar_and_view_aware() {
+        let rows: Vec<Row> = (0..6).map(|i| row![i, i * 2]).collect();
+        let batch = Batch::from_rows(2, &rows);
+        // Restrict to odd rows, then concat with a viewed (gathered) batch.
+        let mut odd = TruthVec::all_false(6);
+        for i in (1..6).step_by(2) {
+            odd.set(i, Truth::True);
+        }
+        let filtered = batch.restrict(&odd);
+        let idx: Vec<u32> = vec![5, 0];
+        let viewed =
+            Batch::from_columns((0..2).map(|j| batch.column(j).gather(&idx)).collect(), idx.len());
+        let joined = Batch::concat(2, &[filtered, viewed]);
+        assert_eq!(joined.selected(), 5);
+        let got: Vec<Row> = {
+            let mut out = Vec::new();
+            joined.append_rows(&mut out);
+            out
+        };
+        let want: Vec<Row> = vec![row![1, 2], row![3, 6], row![5, 10], row![5, 10], row![0, 0]];
+        assert_eq!(got, want);
+        // The concatenated integer columns are dense again.
+        assert!(joined.column(0).as_int().is_some());
     }
 
     #[test]

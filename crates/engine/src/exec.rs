@@ -829,14 +829,14 @@ impl<'p> Cursor<'p> {
 /// because every compared entry of one `TopK` shares the same key
 /// directions, and the type discipline has already pinned each key
 /// column to a single type.
-struct SortToken {
+pub(crate) struct SortToken {
     value: Value,
     desc: bool,
     nulls_first: bool,
 }
 
 impl SortToken {
-    fn new(value: Value, key: &SortKey) -> SortToken {
+    pub(crate) fn new(value: Value, key: &SortKey) -> SortToken {
         SortToken { value, desc: key.desc, nulls_first: key.nulls_first }
     }
 }

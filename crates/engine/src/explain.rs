@@ -46,10 +46,12 @@ struct VecCtx {
 
 /// The `[vectorized…]` annotation for one operator, empty outside
 /// vectorized rendering. Batch-kernel operators (scans, joins, routed
-/// filters/projections/aggregations) print `[vectorized, batch=N]`;
-/// guarded fallbacks print `[vectorized, guarded rows, batch=N]`;
-/// row-ordered operators (sorts, set operations, slicing) print
-/// nothing — they consume the batch pipeline's materialized rows.
+/// filters/projections/aggregations, and sorts/top-k with provably
+/// total structural keys) print `[vectorized, batch=N]`; guarded
+/// filters/projections/aggregations print `[vectorized, guarded rows,
+/// batch=N]`; the remaining row-ordered operators (set operations,
+/// slicing, guarded sorts) print nothing — they consume the batch
+/// pipeline's materialized rows.
 fn vec_note(plan: &Plan, ctx: Option<&VecCtx>) -> String {
     let Some(ctx) = ctx else { return String::new() };
     match plan {
@@ -64,6 +66,10 @@ fn vec_note(plan: &Plan, ctx: Option<&VecCtx>) -> String {
                 }
             }
         }
+        Plan::Sort { .. } | Plan::TopK { .. } => match ctx.routes.mode(plan) {
+            BatchMode::Kernel => format!(" [vectorized, batch={}]", ctx.batch),
+            BatchMode::Guarded => String::new(),
+        },
         _ => String::new(),
     }
 }
@@ -128,7 +134,7 @@ fn explain_plan(plan: &Plan, level: usize, out: &mut String, ctx: Option<&VecCtx
             }
         }
         Plan::Sort { input, keys } => {
-            let _ = writeln!(out, "Sort keys=[{}]", render_sort_keys(keys));
+            let _ = writeln!(out, "Sort keys=[{}]{note}", render_sort_keys(keys));
             explain_plan(input, level + 1, out, ctx);
         }
         Plan::Limit { input, limit, offset } => {
@@ -153,7 +159,7 @@ fn explain_plan(plan: &Plan, level: usize, out: &mut String, ctx: Option<&VecCtx
             }
             let _ = writeln!(
                 out,
-                " keys=[{}] [bounded heap, ≤ {} rows]",
+                " keys=[{}] [bounded heap, ≤ {} rows]{note}",
                 render_sort_keys(keys),
                 offset + limit
             );

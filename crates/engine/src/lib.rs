@@ -65,6 +65,13 @@ pub use optimize::optimize;
 pub use plan::{Expr, JoinKey, Plan, Pred, Prepared};
 pub use vexec::VecExecutor;
 
+/// The adaptive dispatcher's row-count cutover: plans whose largest
+/// referenced base table holds fewer rows than this run on the row
+/// engine (batch setup overhead dominates small inputs — see
+/// `tpch_calibration`, which records the per-backend basis for this
+/// number); everything at or above it runs vectorized.
+pub const ADAPTIVE_ROW_CUTOFF: usize = 256;
+
 /// The engine facade: a database plus dialect/logic configuration,
 /// mirroring [`sqlsem_core::Evaluator`]'s interface so the validation
 /// harness can drive both uniformly.
@@ -76,13 +83,16 @@ pub struct Engine<'a> {
     preds: PredicateRegistry,
     optimize: bool,
     vectorized: bool,
+    adaptive: bool,
     batch_size: usize,
+    threads: usize,
 }
 
 impl<'a> Engine<'a> {
     /// An engine with Standard dialect, three-valued logic and the
     /// optimizer enabled (row-at-a-time execution; see
-    /// [`Engine::with_vectorized`] for the columnar executor).
+    /// [`Engine::with_vectorized`] for the columnar executor and
+    /// [`Engine::with_adaptive`] for per-query dispatch between the two).
     pub fn new(db: &'a Database) -> Self {
         Engine {
             db,
@@ -91,7 +101,9 @@ impl<'a> Engine<'a> {
             preds: PredicateRegistry::new(),
             optimize: true,
             vectorized: false,
+            adaptive: false,
             batch_size: DEFAULT_BATCH_SIZE,
+            threads: 0,
         }
     }
 
@@ -139,12 +151,35 @@ impl<'a> Engine<'a> {
         self
     }
 
+    /// Selects *adaptive* dispatch: each query runs through the
+    /// vectorized executor when its largest referenced base table has at
+    /// least [`ADAPTIVE_ROW_CUTOFF`] rows, and through the row engine
+    /// below that (where per-query batch setup costs more than it
+    /// saves). Off by default; takes precedence over
+    /// [`Engine::with_vectorized`] only in the sense that the row engine
+    /// may be chosen even when `vectorized` is unset.
+    #[must_use]
+    pub fn with_adaptive(mut self, adaptive: bool) -> Self {
+        self.adaptive = adaptive;
+        self
+    }
+
     /// Sets the vectorized executor's batch granularity (rows per
     /// columnar batch; clamped to at least 1). Only observable through
     /// timing — every batch size computes the same results.
     #[must_use]
     pub fn with_batch_size(mut self, batch_size: usize) -> Self {
         self.batch_size = batch_size.max(1);
+        self
+    }
+
+    /// Sets the vectorized executor's morsel worker count: `0` (the
+    /// default) means one worker per available CPU, `1` pins every stage
+    /// to the calling thread. Only observable through timing — morsel
+    /// results are stitched back in input order.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 
@@ -158,9 +193,20 @@ impl<'a> Engine<'a> {
         self.vectorized
     }
 
+    /// `true` when queries dispatch adaptively between the row engine
+    /// and the vectorized executor.
+    pub fn adaptive(&self) -> bool {
+        self.adaptive
+    }
+
     /// The vectorized executor's batch granularity.
     pub fn batch_size(&self) -> usize {
         self.batch_size
+    }
+
+    /// The vectorized executor's morsel worker count (`0` = one per CPU).
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Compiles a query to a physical plan without running it (optimized
@@ -176,14 +222,38 @@ impl<'a> Engine<'a> {
     /// exit) visible as operators and annotations. Under
     /// [`Engine::with_vectorized`] each batch-driven operator is
     /// additionally annotated `[vectorized, batch=N]` (or
-    /// `[vectorized, guarded rows, batch=N]` for guarded fallbacks).
+    /// `[vectorized, guarded rows, batch=N]` for guarded fallbacks);
+    /// under [`Engine::with_adaptive`] a `dispatch:` header records
+    /// which engine this query would run on and why.
     pub fn explain(&self, query: &Query) -> Result<String, EvalError> {
         let prepared = self.prepare(query)?;
-        Ok(if self.vectorized {
-            explain::explain_vectorized(&prepared, self.db, self.batch_size)
+        Ok(self.explain_prepared(&prepared))
+    }
+
+    /// Renders an already-compiled plan (see [`Engine::explain`]),
+    /// applying the same vectorized/adaptive presentation rules.
+    pub fn explain_prepared(&self, prepared: &Prepared) -> String {
+        if self.adaptive {
+            if self.dispatch_vectorized(prepared) {
+                format!("dispatch: [adaptive: vectorized, batch={}]\n", self.batch_size)
+                    + &explain::explain_vectorized(prepared, self.db, self.batch_size)
+            } else {
+                format!("dispatch: [adaptive: row, n<{ADAPTIVE_ROW_CUTOFF}]\n")
+                    + &explain::explain(prepared)
+            }
+        } else if self.vectorized {
+            explain::explain_vectorized(prepared, self.db, self.batch_size)
         } else {
-            explain::explain(&prepared)
-        })
+            explain::explain(prepared)
+        }
+    }
+
+    /// The adaptive dispatch decision for one plan: vectorize iff the
+    /// largest base table the main plan tree scans meets the calibrated
+    /// cutoff. (Subplans inside predicates always run in the row engine,
+    /// so they don't weigh in.)
+    fn dispatch_vectorized(&self, prepared: &Prepared) -> bool {
+        plan_scan_rows(&prepared.plan, self.db) >= ADAPTIVE_ROW_CUTOFF
     }
 
     /// Compiles and executes a closed query.
@@ -196,14 +266,36 @@ impl<'a> Engine<'a> {
     /// skipping the compile+optimize work — the execution half of a
     /// prepared statement.
     pub fn execute_prepared(&self, prepared: &Prepared) -> Result<Table, EvalError> {
-        let rows = if self.vectorized {
-            let mut exec = VecExecutor::new(self.db, self.logic, &self.preds, self.batch_size);
+        let vectorized = self.vectorized || (self.adaptive && self.dispatch_vectorized(prepared));
+        let rows = if vectorized {
+            let mut exec = VecExecutor::new(self.db, self.logic, &self.preds, self.batch_size)
+                .with_threads(self.threads);
             exec.run(&prepared.plan)?
         } else {
             let mut exec = Executor::new(self.db, self.logic, &self.preds);
             exec.run(&prepared.plan)?
         };
         Table::with_rows(prepared.columns.clone(), rows)
+    }
+}
+
+/// The adaptive dispatcher's cardinality estimate: the largest row
+/// count among the base tables the main plan tree scans (unknown tables
+/// count 0 — execution will raise before engine choice matters).
+fn plan_scan_rows(plan: &Plan, db: &Database) -> usize {
+    match plan {
+        Plan::Scan { table } => db.stored_table(table).map_or(0, |t| t.len()),
+        Plan::Product { inputs } => inputs.iter().map(|p| plan_scan_rows(p, db)).max().unwrap_or(0),
+        Plan::Filter { input, .. }
+        | Plan::Project { input, .. }
+        | Plan::Distinct { input }
+        | Plan::GroupAggregate { input, .. }
+        | Plan::Sort { input, .. }
+        | Plan::Limit { input, .. }
+        | Plan::TopK { input, .. } => plan_scan_rows(input, db),
+        Plan::SetOp { left, right, .. } | Plan::HashJoin { left, right, .. } => {
+            plan_scan_rows(left, db).max(plan_scan_rows(right, db))
+        }
     }
 }
 

@@ -65,9 +65,9 @@ pub(crate) enum BatchMode {
     Guarded,
 }
 
-/// The batch-routing verdicts for one plan: which `Filter`, `Project`
-/// and `GroupAggregate` nodes the vectorized executor may run as
-/// speculative kernels, keyed by node address (stable while the
+/// The batch-routing verdicts for one plan: which `Filter`, `Project`,
+/// `GroupAggregate`, `Sort` and `TopK` nodes the vectorized executor
+/// may run as speculative kernels, keyed by node address (stable while the
 /// borrowed plan is alive — the same device as the executor's per-site
 /// `IN` arity check).
 pub(crate) struct BatchRoutes {
@@ -100,7 +100,11 @@ impl BatchRoutes {
 ///   like the row engine);
 /// * a `GroupAggregate` kernels iff its keys and aggregate arguments
 ///   are constants or depth-0 columns (deferred errors fall back, so
-///   error order stays the row engine's).
+///   error order stays the row engine's);
+/// * a `Sort`/`TopK` kernels iff every key is a constant or depth-0
+///   column *and* provably single-typed, so columnar key extraction
+///   plus the shared [`sqlsem_core::order::key_ordering`] rule needs no
+///   per-row type discipline.
 pub(crate) fn route_batches(plan: &Plan, db: &Database) -> BatchRoutes {
     let mut routes = BatchRoutes { modes: std::collections::HashMap::new() };
     route_node(plan, db, &mut routes);
@@ -138,10 +142,23 @@ fn route_node(plan: &Plan, db: &Database, routes: &mut BatchRoutes) {
                 && aggs.iter().all(|s| s.arg.as_ref().is_none_or(|e| kernel_expr(e, arity)));
             routes.modes.insert(addr, if kernel { BatchMode::Kernel } else { BatchMode::Guarded });
         }
-        Plan::Distinct { input }
-        | Plan::Sort { input, .. }
-        | Plan::Limit { input, .. }
-        | Plan::TopK { input, .. } => route_node(input, db, routes),
+        // A `Sort`/`TopK` kernels iff every key is a constant or a
+        // depth-0 column **and** the type analysis proves key comparison
+        // total (one non-null type per key — the `rewrite_limit` gate):
+        // then columnar key extraction with no per-row type discipline
+        // raises exactly the row engine's (non-)errors.
+        Plan::Sort { input, keys } | Plan::TopK { input, keys, .. } => {
+            route_node(input, db, routes);
+            let arity = input.arity(db);
+            let kernel = keys.iter().all(|k| kernel_expr(&k.expr, arity)) && {
+                let frames = vec![col_types(input, &mut Vec::new(), db)];
+                keys.iter().all(|k| {
+                    expr_types(&k.expr, &frames).is_some_and(|t| t.non_null().count() <= 1)
+                })
+            };
+            routes.modes.insert(addr, if kernel { BatchMode::Kernel } else { BatchMode::Guarded });
+        }
+        Plan::Distinct { input } | Plan::Limit { input, .. } => route_node(input, db, routes),
         Plan::SetOp { left, right, .. } | Plan::HashJoin { left, right, .. } => {
             route_node(left, db, routes);
             route_node(right, db, routes);

@@ -27,20 +27,43 @@
 //!   fires first, and [`compare`](sqlsem_core::Table) treats any two
 //!   non-ambiguity errors as coinciding.
 //!
-//! Sorting, set operations, `DISTINCT` and `LIMIT` feed through the row
-//! engine's own implementations over materialized batches — they are
-//! row-order transformations with no per-row expression work to
-//! vectorize.
+//! Set operations, `DISTINCT` and `LIMIT` feed through the row engine's
+//! own implementations over materialized batches — they are row-order
+//! transformations with no per-row expression work to vectorize. `Sort`
+//! and `TopK` vectorize when routing proved their keys structural *and*
+//! total: key tuples are extracted column-at-a-time and rows are
+//! materialized only in output order (for `TopK`, only the `≤ offset +
+//! limit` winners ever become rows).
+//!
+//! **Morsel parallelism.** Stages the routing marked speculation-safe
+//! *and* that profile compute-bound — scan batching, kernel filters,
+//! and the general hash-join build — fan out over scoped worker
+//! threads in contiguous morsels, and their results are stitched back
+//! in morsel order, so output order (and which error would surface
+//! first) is independent of scheduling. Allocation-heavy stages (the
+//! join probe, the row-materializing sink) measured slower under
+//! concurrent allocation and stay single-threaded. Guarded
+//! (error-capable) stages stay pinned to the sequential row path: they
+//! need the executor's mutable frame stack, and keeping them
+//! single-threaded is what makes error verdicts race-free by
+//! construction.
 
-use std::collections::HashMap;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
 
 use sqlsem_core::order;
 use sqlsem_core::{Database, EvalError, LogicMode, PredicateRegistry, Row, Truth, Value};
 
 use crate::batch::{self, Batch, Column, TruthVec, DEFAULT_BATCH_SIZE};
-use crate::exec::{self, AggAcc, Executor};
+use crate::exec::{self, AggAcc, Executor, SortToken};
 use crate::optimize::{route_batches, BatchMode, BatchRoutes};
-use crate::plan::{AggSpec, Expr, JoinKey, Plan, Pred};
+use crate::plan::{AggSpec, Expr, JoinKey, Plan, Pred, SortKey};
+
+/// Stages working over fewer rows than this stay single-threaded:
+/// spawning scoped workers costs hundreds of microseconds, so fanning
+/// out only pays off on large inputs (a per-worker hash-table merge
+/// pass raises the bar further for the join build).
+const PARALLEL_MIN_ROWS: usize = 1 << 16;
 
 /// The batch-at-a-time executor. Wraps a row [`Executor`] for guarded
 /// fallbacks (and for every subplan inside a predicate), so both
@@ -48,18 +71,27 @@ use crate::plan::{AggSpec, Expr, JoinKey, Plan, Pred};
 pub struct VecExecutor<'a> {
     rows: Executor<'a>,
     batch_size: usize,
+    /// Resolved once at configuration time: probing
+    /// `available_parallelism` per operator call is a syscall that
+    /// dominates sub-millisecond queries.
+    workers: usize,
 }
 
 impl<'a> VecExecutor<'a> {
     /// Creates a vectorized executor with the given batch granularity
-    /// (clamped to at least one row per batch).
+    /// (clamped to at least one row per batch) and automatic thread
+    /// count (one worker per available CPU).
     pub fn new(
         db: &'a Database,
         logic: LogicMode,
         preds: &'a PredicateRegistry,
         batch_size: usize,
     ) -> Self {
-        VecExecutor { rows: Executor::new(db, logic, preds), batch_size: batch_size.max(1) }
+        VecExecutor {
+            rows: Executor::new(db, logic, preds),
+            batch_size: batch_size.max(1),
+            workers: effective_threads(0),
+        }
     }
 
     /// Creates a vectorized executor with [`DEFAULT_BATCH_SIZE`].
@@ -69,6 +101,18 @@ impl<'a> VecExecutor<'a> {
         preds: &'a PredicateRegistry,
     ) -> Self {
         VecExecutor::new(db, logic, preds, DEFAULT_BATCH_SIZE)
+    }
+
+    /// Sets the morsel worker count: `0` (the default) means one worker
+    /// per available CPU, `1` pins every stage to the calling thread.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.workers = effective_threads(threads);
+        self
+    }
+
+    /// The resolved worker count for parallel stages.
+    fn workers(&self) -> usize {
+        self.workers
     }
 
     /// Runs a plan to completion, returning its bag of rows — the same
@@ -84,18 +128,33 @@ impl<'a> VecExecutor<'a> {
     /// live here, on top of the batch pipeline.
     fn run_rows(&mut self, plan: &Plan, routes: &BatchRoutes) -> Result<Vec<Row>, EvalError> {
         match plan {
+            // A kernel-routed sort (structural, provably total keys)
+            // extracts key tuples straight from the columns and
+            // materializes rows only in output order.
             Plan::Sort { input, keys } => {
-                let rows = self.run_rows(input, routes)?;
-                self.rows.sort_rows(rows, keys)
+                if routes.mode(plan) == BatchMode::Kernel {
+                    let batches = self.batches(input, routes)?;
+                    Ok(sort_batches(&batches, keys))
+                } else {
+                    let rows = self.run_rows(input, routes)?;
+                    self.rows.sort_rows(rows, keys)
+                }
             }
-            // The optimizer builds `TopK` only for provably total sort
-            // keys, so over a fully materialized input the stable sort
-            // plus slice computes exactly the heap's list — without
-            // needing the row engine's streaming cursor machinery.
+            // A kernel-routed `TopK` streams batches into the bounded
+            // heap, keeping (batch, row) handles: only the `≤ offset +
+            // limit` winners are ever materialized. The guarded
+            // fallback mirrors the heap with a full stable sort — the
+            // optimizer builds `TopK` only for provably total sort
+            // keys, so the sorted prefix equals the heap's list.
             Plan::TopK { input, keys, limit, offset } => {
-                let rows = self.run_rows(input, routes)?;
-                let sorted = self.rows.sort_rows(rows, keys)?;
-                Ok(order::slice_rows(sorted, Some(*limit), Some(*offset)))
+                if routes.mode(plan) == BatchMode::Kernel {
+                    let batches = self.batches(input, routes)?;
+                    Ok(topk_batches(&batches, keys, *limit, *offset))
+                } else {
+                    let rows = self.run_rows(input, routes)?;
+                    let sorted = self.rows.sort_rows(rows, keys)?;
+                    Ok(order::slice_rows(sorted, Some(*limit), Some(*offset)))
+                }
             }
             Plan::Limit { input, limit, offset } => {
                 let rows = self.run_rows(input, routes)?;
@@ -123,9 +182,14 @@ impl<'a> VecExecutor<'a> {
                 }
                 Ok(acc)
             }
+            // The sink: this is where gather views finally become rows,
+            // batch by batch. Materialization is one heap allocation
+            // per row, and concurrent allocation measures slower than
+            // sequential here, so the sink stays on one thread — the
+            // morsel workers are for the compute-bound stages upstream.
             _ => {
                 let batches = self.batches(plan, routes)?;
-                let mut out = Vec::new();
+                let mut out = Vec::with_capacity(batches.iter().map(Batch::selected).sum());
                 for b in &batches {
                     b.append_rows(&mut out);
                 }
@@ -134,9 +198,12 @@ impl<'a> VecExecutor<'a> {
         }
     }
 
-    /// Chunks materialized rows into dense batches.
+    /// Chunks materialized rows into dense batches, one chunk per
+    /// morsel worker once the input is big enough to amortize spawns.
     fn chunk(&self, arity: usize, rows: &[Row]) -> Vec<Batch> {
-        rows.chunks(self.batch_size).map(|c| Batch::from_rows(arity, c)).collect()
+        let chunks: Vec<&[Row]> = rows.chunks(self.batch_size).collect();
+        let workers = if rows.len() >= PARALLEL_MIN_ROWS { self.workers() } else { 1 };
+        parallel_map(workers, &chunks, |_, c| Batch::from_rows(arity, c))
     }
 
     /// Runs a subtree batch-at-a-time. Operators without a batch
@@ -160,10 +227,19 @@ impl<'a> VecExecutor<'a> {
                 let inputs = self.batches(input, routes)?;
                 let mut out = Vec::with_capacity(inputs.len());
                 match routes.mode(plan) {
+                    // Kernels are total for the whole column type set,
+                    // so fanning batches out over workers cannot change
+                    // which error surfaces (none can); results rejoin
+                    // in batch order.
                     BatchMode::Kernel => {
-                        for b in inputs {
-                            let verdicts = self.pred_kernel(pred, &b)?;
-                            out.push(b.restrict(&verdicts));
+                        let logic = self.rows.logic;
+                        let total: usize = inputs.iter().map(Batch::physical_rows).sum();
+                        let workers = if total >= PARALLEL_MIN_ROWS { self.workers() } else { 1 };
+                        let verdicts = parallel_map(workers, &inputs, |_, b| {
+                            pred_kernel(logic, pred, b).map(|v| b.restrict(&v))
+                        });
+                        for v in verdicts {
+                            out.push(v?);
                         }
                     }
                     BatchMode::Guarded => {
@@ -262,54 +338,6 @@ impl<'a> VecExecutor<'a> {
         Ok(out)
     }
 
-    /// Evaluates a routed-total predicate over every physical row of a
-    /// batch. The logical connectives evaluate *both* operands — exactly
-    /// like the row engine, which never short-circuits `AND`/`OR`.
-    fn pred_kernel(&self, pred: &Pred, b: &Batch) -> Result<TruthVec, EvalError> {
-        let len = b.physical_rows();
-        match pred {
-            Pred::True => Ok(TruthVec::all_true(len)),
-            Pred::False => Ok(TruthVec::all_false(len)),
-            Pred::Cmp { left, op, right } => batch::cmp_kernel(
-                self.rows.logic,
-                &self.operand(left, b),
-                *op,
-                &self.operand(right, b),
-            ),
-            Pred::IsNull { expr, negated } => {
-                Ok(batch::is_null_kernel(&self.operand(expr, b), *negated))
-            }
-            Pred::IsDistinct { left, right, negated } => Ok(batch::is_distinct_kernel(
-                &self.operand(left, b),
-                &self.operand(right, b),
-                *negated,
-            )),
-            Pred::Like { term, pattern, negated } => batch::like_kernel(
-                self.rows.logic,
-                &self.operand(term, b),
-                &self.operand(pattern, b),
-                *negated,
-            ),
-            Pred::And(a, c) => Ok(self.pred_kernel(a, b)?.and(&self.pred_kernel(c, b)?)),
-            Pred::Or(a, c) => Ok(self.pred_kernel(a, b)?.or(&self.pred_kernel(c, b)?)),
-            Pred::Not(p) => Ok(self.pred_kernel(p, b)?.not()),
-            // Routing never kernels subqueries or user predicates; this
-            // arm is defensive (the gauntlet would surface it as a
-            // disagreement, not silently wrong rows).
-            _ => Err(EvalError::malformed("subquery predicate reached the batch kernel")),
-        }
-    }
-
-    /// A kernel operand as a column over the batch's physical rows.
-    fn operand(&self, expr: &Expr, b: &Batch) -> Column {
-        match expr {
-            Expr::Const(v) => Column::broadcast(v, b.physical_rows()),
-            Expr::Col { depth: 0, index } => b.column(*index).clone(),
-            // Unreachable under the routing gate (see `pred_kernel`).
-            _ => Column::broadcast(&Value::Null, b.physical_rows()),
-        }
-    }
-
     /// The batch hash join. Build on the right, probe with the left —
     /// the left subtree runs first, like the row engine's, so input
     /// error order is unchanged. Single integer keys take an unboxed
@@ -327,53 +355,84 @@ impl<'a> VecExecutor<'a> {
         let lbatches = self.batches(left, routes)?;
         let rbatches = self.batches(right, routes)?;
         let rarity = right.arity(self.rows.db);
+        // Columnar concat: the build side never round-trips through rows.
         let build = Batch::concat(rarity, &rbatches);
+        drop(rbatches);
         let null_matches = matches!(self.rows.logic, LogicMode::TwoValuedSyntacticEq);
+        let workers = self.workers();
 
         let single_int = keys.len() == 1
-            && build.column(keys[0].right).as_int().is_some()
-            && lbatches.iter().all(|b| b.column(keys[0].left).as_int().is_some());
+            && build.column(keys[0].right).is_int()
+            && lbatches.iter().all(|b| b.column(keys[0].left).is_int());
 
-        let mut out = Vec::with_capacity(lbatches.len());
         if single_int {
             let k = keys[0];
-            let bc = build.column(k.right);
+            let bc = build.column(k.right).dense();
             let bvals = bc.as_int().expect("checked above");
-            let mut table: HashMap<Option<i64>, Vec<u32>> =
-                HashMap::with_capacity(build.physical_rows());
-            for (i, &v) in bvals.iter().enumerate() {
-                let key = if bc.is_null(i) {
-                    if !null_matches && !k.null_safe {
-                        continue;
+            let n = build.physical_rows();
+            // A chained-index table: `head` maps each key to its first
+            // build row, `next` threads equal-key rows in ascending
+            // order (`NO_ROW` terminates a chain; the reverse build
+            // scan is what makes the chains ascend). One flat array
+            // replaces a `Vec<u32>` allocation per distinct key, and
+            // the multiplicative [`IntHasher`] replaces SipHash —
+            // together they take the million-row build from seconds to
+            // tens of milliseconds. Null keys only ever chain off
+            // `null_head`, which only null probes consult.
+            const NO_ROW: u32 = u32::MAX;
+            let mut head: HashMap<i64, u32, std::hash::BuildHasherDefault<IntHasher>> =
+                HashMap::with_capacity_and_hasher(n, Default::default());
+            let mut next: Vec<u32> = vec![NO_ROW; n];
+            let mut null_head: u32 = NO_ROW;
+            for i in (0..n).rev() {
+                if bc.is_null(i) {
+                    if null_matches || k.null_safe {
+                        next[i] = null_head;
+                        null_head = i as u32;
                     }
-                    None
                 } else {
-                    Some(v)
-                };
-                table.entry(key).or_default().push(i as u32);
-            }
-            for b in &lbatches {
-                let lc = b.column(k.left);
-                let lvals = lc.as_int().expect("checked above");
-                let (mut lidx, mut ridx) = (Vec::new(), Vec::new());
-                for i in b.indices() {
-                    let key = if lc.is_null(i) {
-                        if !null_matches && !k.null_safe {
-                            continue;
+                    match head.entry(bvals[i]) {
+                        std::collections::hash_map::Entry::Occupied(mut o) => {
+                            next[i] = *o.get();
+                            o.insert(i as u32);
                         }
-                        None
-                    } else {
-                        Some(lvals[i])
-                    };
-                    if let Some(matches) = table.get(&key) {
-                        for &r in matches {
-                            lidx.push(i as u32);
-                            ridx.push(r);
+                        std::collections::hash_map::Entry::Vacant(v) => {
+                            v.insert(i as u32);
                         }
                     }
                 }
-                out.push(Self::join_gather(b, &lidx, &build, &ridx));
             }
+            // The probe emits growing index vectors and gathered output
+            // batches — allocation-heavy work that concurrent threads
+            // only slow down here (see the sink note in `run_rows`), so
+            // it runs batch by batch on one thread.
+            Ok(lbatches
+                .iter()
+                .map(|b| {
+                    let lc = b.column(k.left).dense();
+                    let lvals = lc.as_int().expect("checked above");
+                    // Reserving one slot per probe row skips the realloc
+                    // ladder; near-total joins fill most of it anyway.
+                    let mut lidx = Vec::with_capacity(b.selected());
+                    let mut ridx = Vec::with_capacity(b.selected());
+                    for i in b.indices() {
+                        let mut m = if lc.is_null(i) {
+                            if !null_matches && !k.null_safe {
+                                continue;
+                            }
+                            null_head
+                        } else {
+                            head.get(&lvals[i]).copied().unwrap_or(NO_ROW)
+                        };
+                        while m != NO_ROW {
+                            lidx.push(i as u32);
+                            ridx.push(m);
+                            m = next[m as usize];
+                        }
+                    }
+                    join_gather(b, lidx, &build, ridx)
+                })
+                .collect())
         } else {
             // The general path: a key is `None` when the row is excluded
             // outright (a null under a non-null-safe `=` key). `side`
@@ -386,44 +445,55 @@ impl<'a> VecExecutor<'a> {
                 }
                 Some(keys.iter().map(|k| cols.column(side(k)).value(i)).collect::<Vec<Value>>())
             };
-            let mut table: HashMap<Vec<Value>, Vec<u32>> =
-                HashMap::with_capacity(build.physical_rows());
-            for i in 0..build.physical_rows() {
-                if let Some(key) = key_of(&build, i, |k| k.right) {
-                    table.entry(key).or_default().push(i as u32);
+            // Key extraction is pure (`Column::value` cannot error), so
+            // big builds are speculation-safe to split into contiguous
+            // morsels whose partial tables merge in morsel order —
+            // every per-key index list stays ascending, keeping the
+            // probe's match order scheduling-free.
+            let insert_range = |lo: usize, hi: usize| {
+                let mut t: HashMap<Vec<Value>, Vec<u32>> = HashMap::new();
+                for i in lo..hi {
+                    if let Some(key) = key_of(&build, i, |k| k.right) {
+                        t.entry(key).or_default().push(i as u32);
+                    }
                 }
-            }
-            for b in &lbatches {
-                let (mut lidx, mut ridx) = (Vec::new(), Vec::new());
-                for i in b.indices() {
-                    if let Some(key) = key_of(b, i, |k| k.left) {
-                        if let Some(matches) = table.get(&key) {
-                            for &r in matches {
-                                lidx.push(i as u32);
-                                ridx.push(r);
+                t
+            };
+            let n = build.physical_rows();
+            let table = if workers > 1 && n >= PARALLEL_MIN_ROWS {
+                let ranges = split_ranges(n, workers);
+                let partials = parallel_map(workers, &ranges, |_, &(lo, hi)| insert_range(lo, hi));
+                let mut merged: HashMap<Vec<Value>, Vec<u32>> = HashMap::with_capacity(n);
+                for part in partials {
+                    for (key, mut idxs) in part {
+                        merged.entry(key).or_default().append(&mut idxs);
+                    }
+                }
+                merged
+            } else {
+                insert_range(0, n)
+            };
+            // Like the single-`Int` fast path, the allocation-heavy
+            // probe stays sequential; only the build fans out.
+            Ok(lbatches
+                .iter()
+                .map(|b| {
+                    let mut lidx = Vec::with_capacity(b.selected());
+                    let mut ridx = Vec::with_capacity(b.selected());
+                    for i in b.indices() {
+                        if let Some(key) = key_of(b, i, |k| k.left) {
+                            if let Some(matches) = table.get(&key) {
+                                for &r in matches {
+                                    lidx.push(i as u32);
+                                    ridx.push(r);
+                                }
                             }
                         }
                     }
-                }
-                out.push(Self::join_gather(b, &lidx, &build, &ridx));
-            }
+                    join_gather(b, lidx, &build, ridx)
+                })
+                .collect())
         }
-        Ok(out)
-    }
-
-    /// Assembles one dense output batch of a join: the probe-side columns
-    /// gathered by the probe indices, then the build-side columns
-    /// gathered by the matching build indices.
-    fn join_gather(probe: &Batch, lidx: &[u32], build: &Batch, ridx: &[u32]) -> Batch {
-        debug_assert_eq!(lidx.len(), ridx.len());
-        let mut columns = Vec::with_capacity(probe.arity() + build.arity());
-        for j in 0..probe.arity() {
-            columns.push(probe.column(j).gather(lidx));
-        }
-        for j in 0..build.arity() {
-            columns.push(build.column(j).gather(ridx));
-        }
-        Batch::from_columns(columns, lidx.len())
     }
 
     /// The vectorized group-aggregate, used when routing proved every
@@ -654,6 +724,248 @@ impl AggResult {
     }
 }
 
+/// Evaluates a routed-total predicate over every physical row of a
+/// batch. The logical connectives evaluate *both* operands — exactly
+/// like the row engine, which never short-circuits `AND`/`OR`. A free
+/// function (no executor state) so kernel filters can fan out over
+/// morsel workers.
+fn pred_kernel(logic: LogicMode, pred: &Pred, b: &Batch) -> Result<TruthVec, EvalError> {
+    let len = b.physical_rows();
+    match pred {
+        Pred::True => Ok(TruthVec::all_true(len)),
+        Pred::False => Ok(TruthVec::all_false(len)),
+        Pred::Cmp { left, op, right } => {
+            batch::cmp_kernel(logic, &operand(left, b), *op, &operand(right, b))
+        }
+        Pred::IsNull { expr, negated } => Ok(batch::is_null_kernel(&operand(expr, b), *negated)),
+        Pred::IsDistinct { left, right, negated } => {
+            Ok(batch::is_distinct_kernel(&operand(left, b), &operand(right, b), *negated))
+        }
+        Pred::Like { term, pattern, negated } => {
+            batch::like_kernel(logic, &operand(term, b), &operand(pattern, b), *negated)
+        }
+        Pred::And(a, c) => Ok(pred_kernel(logic, a, b)?.and(&pred_kernel(logic, c, b)?)),
+        Pred::Or(a, c) => Ok(pred_kernel(logic, a, b)?.or(&pred_kernel(logic, c, b)?)),
+        Pred::Not(p) => Ok(pred_kernel(logic, p, b)?.not()),
+        // Routing never kernels subqueries or user predicates; this
+        // arm is defensive (the gauntlet would surface it as a
+        // disagreement, not silently wrong rows).
+        _ => Err(EvalError::malformed("subquery predicate reached the batch kernel")),
+    }
+}
+
+/// A kernel operand as a column over the batch's physical rows. Viewed
+/// (join-output) columns are resolved dense here so the comparison
+/// kernels keep their unboxed integer paths; dense columns cost an
+/// `O(1)` clone.
+fn operand(expr: &Expr, b: &Batch) -> Column {
+    match expr {
+        Expr::Const(v) => Column::broadcast(v, b.physical_rows()),
+        Expr::Col { depth: 0, index } => b.column(*index).dense(),
+        // Unreachable under the routing gate (see `pred_kernel`).
+        _ => Column::broadcast(&Value::Null, b.physical_rows()),
+    }
+}
+
+/// Assembles one join output batch *lazily*: every probe-side column
+/// shares one gather view (the probe indices), every build-side column
+/// shares the other — `O(arity)`, not `O(rows × arity)`. Rows
+/// materialize only at the sink.
+fn join_gather(probe: &Batch, lidx: Vec<u32>, build: &Batch, ridx: Vec<u32>) -> Batch {
+    debug_assert_eq!(lidx.len(), ridx.len());
+    let rows = lidx.len();
+    let (lidx, ridx) = (Arc::new(lidx), Arc::new(ridx));
+    let mut columns = Vec::with_capacity(probe.arity() + build.arity());
+    for j in 0..probe.arity() {
+        columns.push(probe.column(j).with_view(Arc::clone(&lidx)));
+    }
+    for j in 0..build.arity() {
+        columns.push(build.column(j).with_view(Arc::clone(&ridx)));
+    }
+    Batch::from_columns(columns, rows)
+}
+
+/// One sort key's value at a batch position. Routing admits only
+/// constants and depth-0 columns here (and proved them total), so this
+/// cannot raise.
+fn key_value(expr: &Expr, b: &Batch, i: usize) -> Value {
+    match expr {
+        Expr::Const(v) => v.clone(),
+        Expr::Col { depth: 0, index } => b.column(*index).value(i),
+        // Unreachable under the routing gate.
+        _ => Value::Null,
+    }
+}
+
+/// The vectorized sort: extracts the (provably total, single-typed) key
+/// tuples column-at-a-time, stable-sorts lightweight `(keys, batch,
+/// row)` handles with the shared [`order::key_ordering`] rule, and
+/// materializes rows only in output order. No per-row type discipline
+/// is needed — the routing gate is exactly the `rewrite_limit` totality
+/// proof, under which [`order::KeyTypeCheck`] can never fire.
+fn sort_batches(batches: &[Batch], keys: &[SortKey]) -> Vec<Row> {
+    let selected: usize = batches.iter().map(Batch::selected).sum();
+    let mut handles: Vec<(Vec<Value>, u32, u32)> = Vec::with_capacity(selected);
+    for (bi, b) in batches.iter().enumerate() {
+        for i in b.indices() {
+            let vals = keys.iter().map(|k| key_value(&k.expr, b, i)).collect();
+            handles.push((vals, bi as u32, i as u32));
+        }
+    }
+    handles.sort_by(|(a, ..), (b, ..)| {
+        keys.iter()
+            .zip(a.iter().zip(b.iter()))
+            .map(|(k, (x, y))| order::key_ordering(x, y, k.desc, k.nulls_first))
+            .find(|o| *o != std::cmp::Ordering::Equal)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    handles.into_iter().map(|(_, bi, i)| batches[bi as usize].row(i as usize)).collect()
+}
+
+/// A bounded-heap entry over batch handles: ordered like the row
+/// engine's `HeapEntry` (key tokens, then input sequence), but carrying
+/// a `(batch, row)` address instead of a materialized row.
+struct VecHeapEntry {
+    tokens: Vec<SortToken>,
+    seq: usize,
+    batch: u32,
+    row: u32,
+}
+
+impl Ord for VecHeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.tokens.cmp(&other.tokens).then_with(|| self.seq.cmp(&other.seq))
+    }
+}
+
+impl PartialOrd for VecHeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl PartialEq for VecHeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for VecHeapEntry {}
+
+/// The vectorized `TopK`: streams batch positions through the bounded
+/// max-heap (top = worst retained row, ties broken by input sequence so
+/// the retained prefix is exactly the stable sort's) and materializes
+/// only the `≤ offset + limit` winning rows, in output order.
+fn topk_batches(batches: &[Batch], keys: &[SortKey], limit: u64, offset: u64) -> Vec<Row> {
+    let m = usize::try_from(offset.saturating_add(limit)).unwrap_or(usize::MAX);
+    let mut heap: BinaryHeap<VecHeapEntry> = BinaryHeap::new();
+    let mut seq = 0usize;
+    for (bi, b) in batches.iter().enumerate() {
+        for i in b.indices() {
+            seq += 1;
+            if m == 0 {
+                // LIMIT 0 (+ no offset): nothing can be kept; the keys
+                // are provably total, so unlike the row engine's
+                // streaming top-k there is no error left to surface.
+                continue;
+            }
+            let tokens = keys.iter().map(|k| SortToken::new(key_value(&k.expr, b, i), k)).collect();
+            heap.push(VecHeapEntry { tokens, seq, batch: bi as u32, row: i as u32 });
+            if heap.len() > m {
+                heap.pop();
+            }
+        }
+    }
+    let skip = usize::try_from(offset).unwrap_or(usize::MAX);
+    heap.into_sorted_vec()
+        .into_iter()
+        .skip(skip)
+        .map(|e| batches[e.batch as usize].row(e.row as usize))
+        .collect()
+}
+
+/// Resolved morsel worker count: `0` means one worker per available
+/// CPU. The CPU count is probed once per process — the probe is a
+/// syscall that can cost as much as a whole small query.
+fn effective_threads(threads: usize) -> usize {
+    static CPUS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    if threads == 0 {
+        *CPUS.get_or_init(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+    } else {
+        threads
+    }
+}
+
+/// A multiplicative hasher for the single-`Int`-key join table.
+///
+/// SipHash's per-insert cost dominates a million-row build; one
+/// Fibonacci multiply plus a shift-xor finish is several times cheaper
+/// and mixes well enough for non-adversarial benchmark keys. The byte
+/// fallback (never hit by `HashMap<i64, _>`, which calls `write_i64`)
+/// is FNV-1a so the hasher stays a total `Hasher` implementation.
+#[derive(Default)]
+struct IntHasher(u64);
+
+impl std::hash::Hasher for IntHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn write_i64(&mut self, i: i64) {
+        let h = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 = h ^ (h >> 29);
+    }
+}
+
+/// Splits `n` items into at most `workers` contiguous, nearly equal
+/// `(lo, hi)` ranges.
+fn split_ranges(n: usize, workers: usize) -> Vec<(usize, usize)> {
+    let workers = workers.clamp(1, n.max(1));
+    let chunk = n.div_ceil(workers);
+    (0..n).step_by(chunk.max(1)).map(|lo| (lo, (lo + chunk).min(n))).collect()
+}
+
+/// Maps `f` over `items` on up to `workers` scoped threads in
+/// contiguous chunks, returning results in item order — so callers see
+/// output identical to a sequential loop regardless of scheduling. One
+/// worker (or one item) short-circuits to the plain loop; `f` receives
+/// the item index alongside the item.
+fn parallel_map<T, R, F>(workers: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = workers.min(items.len());
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let chunk = items.len().div_ceil(workers);
+    let mut out: Vec<R> = Vec::with_capacity(items.len());
+    std::thread::scope(|s| {
+        let f = &f;
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .enumerate()
+            .map(|(w, part)| {
+                s.spawn(move || {
+                    part.iter().enumerate().map(|(i, t)| f(w * chunk + i, t)).collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("morsel worker panicked"));
+        }
+    });
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -773,6 +1085,43 @@ mod tests {
             let out = vexec.run(&plan).unwrap();
             assert_eq!(out.len(), 10);
             assert_eq!(out[7], row![7]);
+        }
+    }
+
+    #[test]
+    fn parallel_morsels_match_the_sequential_path_at_scale() {
+        // A join whose build side exceeds PARALLEL_MIN_ROWS, so the
+        // morsel-parallel hash build, probe, filter and sink paths all
+        // actually run — results must be identical (same rows, same
+        // order) at every thread count, including oversubscribed.
+        let n = PARALLEL_MIN_ROWS + 4096;
+        let schema =
+            Schema::builder().table("T", ["A", "B"]).table("U", ["A", "B"]).build().unwrap();
+        let mut db = Database::new(schema.clone());
+        let rows = |seed: i64| -> Vec<Row> {
+            (0..n)
+                .map(|i| {
+                    let a = if i % 9 == 8 { Value::Null } else { Value::Int(i as i64) };
+                    Row::new(vec![a, Value::Int((i as i64).wrapping_mul(seed) % 13)])
+                })
+                .collect()
+        };
+        db.insert("T", Table::with_rows(vec!["A".into(), "B".into()], rows(3)).unwrap()).unwrap();
+        db.insert("U", Table::with_rows(vec!["A".into(), "B".into()], rows(5)).unwrap()).unwrap();
+        let q = sqlsem_parser::compile(
+            "SELECT x.B, y.B FROM T x, U y WHERE x.A = y.A AND x.B < 11",
+            &schema,
+        )
+        .unwrap();
+        let prepared = optimize(compile(&q, &db, Dialect::PostgreSql).unwrap(), &db);
+        let preds = PredicateRegistry::new();
+        let expected =
+            Executor::new(&db, LogicMode::ThreeValued, &preds).run(&prepared.plan).unwrap();
+        for threads in [1, 2, 8] {
+            let mut vexec =
+                VecExecutor::new(&db, LogicMode::ThreeValued, &preds, 1024).with_threads(threads);
+            let got = vexec.run(&prepared.plan).unwrap();
+            assert_eq!(expected, got, "threads={threads}");
         }
     }
 

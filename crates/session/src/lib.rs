@@ -77,11 +77,12 @@ pub struct SessionBuilder {
     preds: PredicateRegistry,
     db: Option<Database>,
     batch_size: Option<usize>,
+    threads: usize,
 }
 
 impl SessionBuilder {
     /// A builder with the defaults: Standard dialect, three-valued
-    /// logic, optimized engine, empty schema.
+    /// logic, adaptive backend, empty schema.
     pub fn new() -> Self {
         SessionBuilder::default()
     }
@@ -124,6 +125,18 @@ impl SessionBuilder {
         self
     }
 
+    /// Sets the worker-thread count for the vectorized executor's
+    /// speculation-safe stages (`0` = one worker per available core,
+    /// `1` = pinned sequential). Ignored by the row backends. Every
+    /// thread count computes the same results in the same order — the
+    /// flag exists for calibration and for harnesses that fuzz
+    /// scheduling.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
     /// Seeds the session with an existing database (schema and data) —
     /// the bridge from the direct-crate-access flow.
     #[must_use]
@@ -148,6 +161,7 @@ impl SessionBuilder {
             backend: self.backend,
             preds: self.preds,
             batch_size: self.batch_size.unwrap_or(DEFAULT_BATCH_SIZE),
+            threads: self.threads,
             id: NEXT_SESSION_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
             epoch: 0,
         }
@@ -274,6 +288,9 @@ pub struct Session {
     preds: PredicateRegistry,
     /// Rows per columnar batch for the vectorized backend.
     batch_size: usize,
+    /// Worker threads for the vectorized executor's parallel stages
+    /// (`0` = auto, `1` = sequential).
+    threads: usize,
     /// Process-unique identity; prepared statements record it so a
     /// handle prepared on one session is never trusted by another whose
     /// epoch counter happens to coincide.
@@ -296,6 +313,7 @@ impl Clone for Session {
             backend: self.backend,
             preds: self.preds.clone(),
             batch_size: self.batch_size,
+            threads: self.threads,
             id: NEXT_SESSION_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
             epoch: 0,
         }
@@ -310,7 +328,7 @@ impl Default for Session {
 
 impl Session {
     /// A session with the default configuration (Standard dialect, 3VL,
-    /// optimized engine) over an initially empty schema.
+    /// adaptive backend) over an initially empty schema.
     pub fn new() -> Session {
         SessionBuilder::new().build()
     }
@@ -351,6 +369,12 @@ impl Session {
         self.batch_size
     }
 
+    /// The worker-thread count for the vectorized executor's parallel
+    /// stages (`0` = auto, `1` = sequential).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
     /// Switches the dialect. Invalidates prepared statements (they
     /// transparently re-prepare on next execution).
     pub fn set_dialect(&mut self, dialect: Dialect) {
@@ -374,6 +398,14 @@ impl Session {
     /// at least 1). Invalidates prepared statements.
     pub fn set_batch_size(&mut self, batch_size: usize) {
         self.batch_size = batch_size.max(1);
+        self.epoch += 1;
+    }
+
+    /// Switches the worker-thread count for the vectorized executor's
+    /// parallel stages (`0` = auto, `1` = sequential). Invalidates
+    /// prepared statements.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads;
         self.epoch += 1;
     }
 
@@ -452,12 +484,7 @@ impl Session {
                 Ok(StatementResult::Rows(out))
             }
             (Statement::Explain(_), Some(plan)) => {
-                let text = if self.backend == Backend::VectorizedEngine {
-                    sqlsem_engine::explain_vectorized(plan, &self.db, self.batch_size)
-                } else {
-                    sqlsem_engine::explain(plan)
-                };
-                Ok(StatementResult::Explained(text))
+                Ok(StatementResult::Explained(self.engine().explain_prepared(plan)))
             }
             _ => self.run(&prepared.statement.clone(), &sql, span),
         }
@@ -492,9 +519,9 @@ impl Session {
 
     // -- internals ---------------------------------------------------------
 
-    /// The engine configured for this session (used by the three engine
-    /// backends; `optimize`, `vectorized` and the batch size reflect
-    /// the backend choice).
+    /// The engine configured for this session (used by the engine
+    /// backends; `optimize`, `vectorized`, `adaptive`, the batch size
+    /// and the thread count reflect the backend choice).
     fn engine(&self) -> Engine<'_> {
         Engine::new(&self.db)
             .with_dialect(self.dialect)
@@ -502,10 +529,12 @@ impl Session {
             .with_predicates(self.preds.clone())
             .with_optimizations(matches!(
                 self.backend,
-                Backend::OptimizedEngine | Backend::VectorizedEngine
+                Backend::OptimizedEngine | Backend::VectorizedEngine | Backend::Adaptive
             ))
             .with_vectorized(self.backend == Backend::VectorizedEngine)
+            .with_adaptive(self.backend == Backend::Adaptive)
             .with_batch_size(self.batch_size)
+            .with_threads(self.threads)
     }
 
     /// Runs a query through the session's backend. Engine backends go

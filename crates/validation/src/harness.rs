@@ -53,6 +53,11 @@ pub struct ValidationConfig {
     /// (`None` keeps the engine default). Ignored by other backends;
     /// sweeps vary it to fuzz chunk boundaries.
     pub batch_size: Option<usize>,
+    /// Worker-thread count for the vectorized executor's parallel
+    /// stages (`None` keeps the engine default of auto; `Some(1)` pins
+    /// the sequential path). Ignored by the row backends; sweeps vary
+    /// it to fuzz morsel scheduling.
+    pub threads: Option<usize>,
     /// How many disagreement samples to retain in the report.
     pub keep_samples: usize,
     /// Additionally check that printing and re-compiling each query
@@ -81,6 +86,7 @@ impl ValidationConfig {
             logics: vec![LogicMode::ThreeValued],
             backend: Backend::OptimizedEngine,
             batch_size: None,
+            threads: None,
             keep_samples: 5,
             check_roundtrip: false,
         }
@@ -98,6 +104,7 @@ impl ValidationConfig {
             logics: vec![LogicMode::ThreeValued],
             backend: Backend::OptimizedEngine,
             batch_size: None,
+            threads: None,
             keep_samples: 5,
             check_roundtrip: true,
         }
@@ -158,6 +165,14 @@ impl ValidationConfig {
     #[must_use]
     pub fn with_batch_size(mut self, batch_size: usize) -> Self {
         self.batch_size = Some(batch_size);
+        self
+    }
+
+    /// Sets the vectorized candidate's worker-thread count (`0` = auto,
+    /// `1` = sequential).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
         self
     }
 
@@ -304,14 +319,22 @@ pub fn session_outcome(session: &mut Session, sql: &str) -> Outcome {
 /// A candidate session over `db` for one sweep: the database is moved
 /// in (no clone), and the caller retargets dialect/logic per
 /// comparison. `batch_size` sets the vectorized backend's batch
-/// granularity (`None` keeps the engine default; other backends ignore
-/// it).
-pub fn candidate_session(db: Database, backend: Backend, batch_size: Option<usize>) -> Session {
-    let builder = Session::builder().with_database(db).with_backend(backend);
-    match batch_size {
-        Some(n) => builder.with_batch_size(n).build(),
-        None => builder.build(),
+/// granularity and `threads` its morsel worker count (`None` keeps the
+/// engine defaults; the row backends ignore both).
+pub fn candidate_session(
+    db: Database,
+    backend: Backend,
+    batch_size: Option<usize>,
+    threads: Option<usize>,
+) -> Session {
+    let mut builder = Session::builder().with_database(db).with_backend(backend);
+    if let Some(n) = batch_size {
+        builder = builder.with_batch_size(n);
     }
+    if let Some(n) = threads {
+        builder = builder.with_threads(n);
+    }
+    builder.build()
 }
 
 /// Runs the §4 validation experiment: formal semantics vs the candidate
@@ -339,7 +362,7 @@ pub fn run_validation(schema: &Schema, config: &ValidationConfig) -> ValidationR
 
         // One session per iteration (the database moves in; query
         // execution never mutates it), retargeted per combination.
-        let mut session = candidate_session(db, config.backend, config.batch_size);
+        let mut session = candidate_session(db, config.backend, config.batch_size, config.threads);
         for (dialect, stats) in per_dialect.iter_mut() {
             let sql = sqlsem_parser::to_sql(&query, *dialect);
             session.set_dialect(*dialect);
@@ -438,7 +461,7 @@ mod tests {
 
     #[test]
     fn every_backend_agrees_through_the_session() {
-        // The same 40 cases, candidate swapped across all four
+        // The same 40 cases, candidate swapped across all five
         // backends — including the spec interpreter itself, which
         // checks the print→parse→annotate→execute pipeline is the
         // identity on semantics.

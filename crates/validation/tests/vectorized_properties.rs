@@ -5,13 +5,21 @@
 //!
 //! * degenerate batch shapes — empty inputs, batch size 1, inputs
 //!   landing exactly on the 1024-row default batch boundary;
-//! * error verdicts — a poisoned value in the middle of a batch must
-//!   yield the same verdict as the row engine under the §4 coincidence
-//!   criterion, at every batch size;
+//! * empty gather sets — joins whose late-materialized output views
+//!   select zero rows;
+//! * error verdicts — a poisoned value in the middle of a batch (and of
+//!   a morsel) must yield the same verdict as the row engine under the
+//!   §4 coincidence criterion, at every batch size and in every logic
+//!   mode;
 //! * NULL-heavy data under each [`LogicMode`] (§6);
+//! * morsel scheduling — thread counts 1, 2 and 8 must be
+//!   indistinguishable;
+//! * the adaptive dispatcher coinciding on both sides of its row-count
+//!   cutover;
 //! * a 150-query random sweep where the spec interpreter, the naive
-//!   engine, the optimized engine, and the vectorized engine must all
-//!   agree — including agreement on errors.
+//!   engine, the optimized engine, the vectorized engine and the
+//!   adaptive dispatcher must all agree — including agreement on
+//!   errors.
 
 use sqlsem_core::LogicMode;
 use sqlsem_engine::Backend;
@@ -119,26 +127,110 @@ fn mid_batch_error_matches_the_row_engine_verdict() {
     // through the second batch: comparing it with an integer is a type
     // error. The vectorized executor must report the same verdict as
     // the row engine — at batch size 1 (error row in its own batch),
-    // 3 (error row mid-batch), and 1024 (error row mid-first-batch).
+    // 3 (error row mid-batch), and 1024 (error row mid-first-batch,
+    // which with 2050+ rows is also mid-*morsel* under the parallel
+    // scan) — and in every logic mode, since the guarded error path is
+    // what pins those batches to the sequential route.
     let mut setup = int_table_script(2050);
     setup.push_str("INSERT INTO T VALUES ('poison', 5);\n");
-    for batch in [1, 3, 1024] {
-        check_sql(&setup, "SELECT T.A AS A FROM T WHERE T.A < 9000", LogicMode::ThreeValued, batch);
-        check_sql(
-            &setup,
-            "SELECT COUNT(*) AS n FROM T WHERE T.A < 9000",
-            LogicMode::ThreeValued,
-            batch,
-        );
-        // And both sides must actually error (agreement alone could be
-        // two successes).
-        let mut session = Session::builder()
+    for logic in LogicMode::ALL {
+        for batch in [1, 3, 1024] {
+            check_sql(&setup, "SELECT T.A AS A FROM T WHERE T.A < 9000", logic, batch);
+            check_sql(&setup, "SELECT COUNT(*) AS n FROM T WHERE T.A < 9000", logic, batch);
+            // And both sides must actually error (agreement alone could
+            // be two successes).
+            let mut session = Session::builder()
+                .with_backend(Backend::VectorizedEngine)
+                .with_batch_size(batch)
+                .build();
+            session.run_script(&setup).unwrap();
+            session.set_logic(logic);
+            let outcome = session_outcome(&mut session, "SELECT T.A AS A FROM T WHERE T.A < 9000");
+            assert!(outcome.is_err(), "poisoned comparison must error at batch={batch} {logic:?}");
+        }
+    }
+}
+
+#[test]
+fn empty_gather_sets_agree_on_late_materialized_joins() {
+    // Joins whose gather views select zero rows: disjoint keys, an
+    // all-NULL probe side, and a filter that empties the input before
+    // the join. The late-materializing join must produce the same empty
+    // (or near-empty) bags as the row engine, including through the
+    // wide projection where output columns are pure views.
+    let setup = "CREATE TABLE T (A, B); CREATE TABLE U (A, B);\n\
+                 INSERT INTO T VALUES (1, 10), (2, 20), (NULL, 30);\n\
+                 INSERT INTO U VALUES (7, 70), (8, 80), (NULL, 90);";
+    let sqls = [
+        // Disjoint keys: zero matches out of a real build table.
+        "SELECT x.B, y.B FROM T x, U y WHERE x.A = y.A",
+        // Wide projection over the empty join output: every output
+        // column is a view over an empty gather set.
+        "SELECT x.A, x.B, y.A, y.B FROM T x, U y WHERE x.A = y.A",
+        // The probe side is emptied before the join.
+        "SELECT x.B, y.B FROM T x, U y WHERE x.A = y.A AND x.B > 9000",
+        // Aggregation over the empty join output.
+        "SELECT COUNT(*) AS n FROM T x, U y WHERE x.A = y.A",
+        // Ordering over the empty join output.
+        "SELECT x.B AS b FROM T x, U y WHERE x.A = y.A ORDER BY b LIMIT 3",
+    ];
+    for logic in LogicMode::ALL {
+        for sql in &sqls {
+            for batch in [1, 2, 1024] {
+                check_sql(setup, sql, logic, batch);
+            }
+        }
+    }
+}
+
+#[test]
+fn adaptive_dispatch_coincides_across_the_cutover() {
+    // The adaptive backend must agree with the optimized engine on both
+    // sides of ADAPTIVE_ROW_CUTOFF — small inputs dispatch to the row
+    // engine, large ones to the vectorized engine — and EXPLAIN must
+    // say which side was taken.
+    let small = format!("{}{PARTNER}", int_table_script(20));
+    let big = format!("{}{PARTNER}", int_table_script(sqlsem_engine::ADAPTIVE_ROW_CUTOFF + 50));
+    for (setup, expect) in [(&small, "[adaptive: row"), (&big, "[adaptive: vectorized")] {
+        let mut reference = Session::builder().with_backend(Backend::OptimizedEngine).build();
+        reference.run_script(setup).unwrap();
+        let mut adaptive = Session::builder().with_backend(Backend::Adaptive).build();
+        adaptive.run_script(setup).unwrap();
+        for sql in SHAPES {
+            let order = sqlsem_parser::compile(sql, reference.schema())
+                .ok()
+                .and_then(|q| ordered_comparison(&q, reference.schema()));
+            let want = session_outcome(&mut reference, sql);
+            let got = session_outcome(&mut adaptive, sql);
+            match compare_with_order(&want, &got, order.as_ref()) {
+                Verdict::AgreeResult | Verdict::AgreeError => {}
+                Verdict::Disagree(detail) => panic!("adaptive vs optimized on {sql}: {detail}"),
+            }
+            let plan = adaptive
+                .execute(&format!("EXPLAIN {sql}"))
+                .unwrap()
+                .plan()
+                .expect("EXPLAIN renders")
+                .to_string();
+            assert!(plan.contains(expect), "expected {expect:?} in:\n{plan}");
+        }
+    }
+}
+
+#[test]
+fn morsel_thread_counts_are_indistinguishable() {
+    // The same random sweep pinned sequential, at the 2 cores the
+    // machine has, and oversubscribed at 8 workers: scheduling must not
+    // be observable in results or error verdicts.
+    let schema = paper_schema();
+    for threads in [1, 2, 8] {
+        let config = ValidationConfig::quick(40, 0x700F)
             .with_backend(Backend::VectorizedEngine)
-            .with_batch_size(batch)
-            .build();
-        session.run_script(&setup).unwrap();
-        let outcome = session_outcome(&mut session, "SELECT T.A AS A FROM T WHERE T.A < 9000");
-        assert!(outcome.is_err(), "poisoned comparison must error at batch={batch}");
+            .with_batch_size(3)
+            .with_threads(threads)
+            .with_roundtrip(false);
+        let report = run_validation(&schema, &config);
+        assert!(report.all_agree(), "threads {threads}:\n{report}");
     }
 }
 
@@ -177,11 +269,12 @@ fn null_heavy_data_agrees_under_every_logic_mode() {
 }
 
 #[test]
-fn sweep_150_queries_spec_naive_optimized_vectorized_agree() {
+fn sweep_150_queries_all_five_backends_agree() {
     // The §4 sweep with every backend as the candidate against the
     // spec interpreter: 150 random queries, all dialects. Transitively
-    // this is spec ≡ naive ≡ optimized ≡ vectorized, and the quick
-    // config's ambiguous stars make the error-verdict agreement real.
+    // this is spec ≡ naive ≡ optimized ≡ vectorized ≡ adaptive, and the
+    // quick config's ambiguous stars make the error-verdict agreement
+    // real.
     let schema = paper_schema();
     for backend in Backend::ALL {
         let config =

@@ -29,9 +29,11 @@
 //! ```
 //!
 //! Meta commands: `\d` shows the schema,
-//! `\backend spec|naive|optimized|vectorized`, `\batchsize N` (the
-//! vectorized backend's rows-per-batch), `\dialect
-//! standard|postgresql|oracle`, `\q` quits.
+//! `\backend spec|naive|optimized|vectorized|adaptive`, `\batchsize N`
+//! (the vectorized backend's rows-per-batch), `\threads N` (morsel
+//! workers for the vectorized executor; 0 = auto), `\adaptive on|off`
+//! (shorthand for switching between the adaptive and optimized
+//! backends), `\dialect standard|postgresql|oracle`, `\q` quits.
 
 use std::io::{self, BufRead, IsTerminal, Write};
 
@@ -65,6 +67,24 @@ fn meta_command(session: &mut Session, line: &str) -> bool {
             }
             _ => println!("unknown batch size {arg:?}: expected a positive integer"),
         },
+        (Some("\\threads"), Some(arg)) => match arg.parse::<usize>() {
+            Ok(n) => {
+                session.set_threads(n);
+                println!("threads: {}", if n == 0 { "auto".to_string() } else { n.to_string() });
+            }
+            Err(_) => println!("unknown thread count {arg:?}: expected an integer (0 = auto)"),
+        },
+        (Some("\\adaptive"), Some(arg)) => match arg.to_ascii_lowercase().as_str() {
+            "on" => {
+                session.set_backend(Backend::Adaptive);
+                println!("backend: {}", session.backend());
+            }
+            "off" => {
+                session.set_backend(Backend::OptimizedEngine);
+                println!("backend: {}", session.backend());
+            }
+            _ => println!("unknown adaptive setting {arg:?}: expected on or off"),
+        },
         (Some("\\dialect"), Some(arg)) => {
             let dialect = match arg.to_ascii_lowercase().as_str() {
                 "standard" => Some(Dialect::Standard),
@@ -83,8 +103,9 @@ fn meta_command(session: &mut Session, line: &str) -> bool {
             }
         }
         _ => println!(
-            "meta commands: \\d (schema)  \\backend <spec|naive|optimized|vectorized>  \
-             \\batchsize <rows>  \\dialect <standard|postgresql|oracle>  \\q (quit)"
+            "meta commands: \\d (schema)  \\backend <spec|naive|optimized|vectorized|adaptive>  \
+             \\batchsize <rows>  \\threads <n>  \\adaptive <on|off>  \
+             \\dialect <standard|postgresql|oracle>  \\q (quit)"
         ),
     }
     true

@@ -241,14 +241,14 @@ fn prepared_explain_and_ddl_statements_work() {
 }
 
 // ---------------------------------------------------------------------------
-// Differential sweep: the four backends coincide through the Session API
+// Differential sweep: the five backends coincide through the Session API
 // ---------------------------------------------------------------------------
 
 #[test]
 fn backends_coincide_on_generated_queries_including_error_verdicts() {
     // 150 generated query/database pairs (the §4 shapes, aggregates
     // included), each printed to SQL and executed through sessions over
-    // all four backends, all dialects × logic modes. The spec
+    // all five backends, all dialects × logic modes. The spec
     // interpreter is the baseline; agreement must include the error
     // verdict (Ok-vs-Err and the ambiguity character).
     let schema = sqlsem_generator::paper_schema();
@@ -258,16 +258,23 @@ fn backends_coincide_on_generated_queries_including_error_verdicts() {
         let (query, db) = iteration_case(&schema, &config, i);
         // One session per backend per case, retargeted across the nine
         // dialect × logic combinations.
-        let mut spec_session = candidate_session(db.clone(), Backend::SpecInterpreter, None);
+        let mut spec_session = candidate_session(db.clone(), Backend::SpecInterpreter, None, None);
         let mut engines = [
-            (Backend::NaiveEngine, candidate_session(db.clone(), Backend::NaiveEngine, None)),
+            (Backend::NaiveEngine, candidate_session(db.clone(), Backend::NaiveEngine, None, None)),
             (
                 Backend::OptimizedEngine,
-                candidate_session(db.clone(), Backend::OptimizedEngine, None),
+                candidate_session(db.clone(), Backend::OptimizedEngine, None, None),
             ),
             // Batch size 3 keeps the columnar executor crossing chunk
-            // boundaries on these small instances.
-            (Backend::VectorizedEngine, candidate_session(db, Backend::VectorizedEngine, Some(3))),
+            // boundaries on these small instances; two morsel workers
+            // exercise the parallel stitching path.
+            (
+                Backend::VectorizedEngine,
+                candidate_session(db.clone(), Backend::VectorizedEngine, Some(3), Some(2)),
+            ),
+            // The adaptive dispatcher must coincide on both sides of its
+            // cutover (these small instances land on the row engine).
+            (Backend::Adaptive, candidate_session(db, Backend::Adaptive, Some(3), Some(2))),
         ];
         for dialect in Dialect::ALL {
             let sql = sqlsem::to_sql(&query, dialect);
