@@ -41,10 +41,11 @@
 use std::collections::HashMap;
 use std::collections::HashSet;
 
+use sqlsem_core::ast::JoinKind;
 use sqlsem_core::{EvalError, Name, Schema};
 
 use crate::expr::{signature, RaCond, RaExpr, RaTerm};
-use crate::gadgets::{syntactic_eq, NameGen};
+use crate::gadgets::{null_row, syntactic_eq, NameGen};
 use crate::params::params;
 
 /// Compiles a closed SQL-RA query into an equivalent pure RA query
@@ -119,6 +120,16 @@ pub fn twovalify(expr: &RaExpr, schema: &Schema, gen: &mut NameGen) -> Result<Ra
             keys: keys.clone(),
             limit: *limit,
             offset: *offset,
+        },
+        // The join condition matters only through "is it t": matching
+        // keeps the θ-true pairs, and the dangling test asks for the
+        // absence of any θ-true counterpart, so θᵗ is a drop-in
+        // replacement on both counts.
+        RaExpr::OuterJoin { kind, left, right, cond } => RaExpr::OuterJoin {
+            kind: *kind,
+            left: Box::new(twovalify(left, schema, gen)?),
+            right: Box::new(twovalify(right, schema, gen)?),
+            cond: cond_t(cond, schema, gen)?,
         },
     })
 }
@@ -276,7 +287,60 @@ pub fn decorrelate(expr: &RaExpr, schema: &Schema, gen: &mut NameGen) -> Result<
             limit: *limit,
             offset: *offset,
         },
+        // A subquery-free ON leaves the operator in place (like γ and τ,
+        // ⟕ is an operator, not a condition extension); a subquery in
+        // the ON is compiled away through the elimination identity.
+        RaExpr::OuterJoin { kind, left, right, cond } => {
+            let l = decorrelate(left, schema, gen)?;
+            let r = decorrelate(right, schema, gen)?;
+            if has_subquery(cond) {
+                let expanded = expand_outer_join(*kind, l, r, cond, schema, gen)?;
+                decorrelate(&expanded, schema, gen)?
+            } else {
+                RaExpr::OuterJoin {
+                    kind: *kind,
+                    left: Box::new(l),
+                    right: Box::new(r),
+                    cond: cond.clone(),
+                }
+            }
+        }
     })
+}
+
+/// The outer-join elimination identity, extending Proposition 2 to ⟕:
+///
+/// ```text
+/// L ⟕_θ R = σ_θ(L × R) ∪ (σ_{empty(σ_θ(R))}(L) × nullrow(ℓ(R)))
+/// L ⟖_θ R = σ_θ(L × R) ∪ (nullrow(ℓ(L)) × σ_{empty(σ_θ(L))}(R))
+/// L ⟗_θ R = σ_θ(L × R) ∪ both dangling pieces
+/// ```
+///
+/// The dangling test `empty(σ_θ(R))` runs with `ℓ(L)` free, bound row by
+/// row by the enclosing selection over `L` — exactly the dangling-tuple
+/// rule: a row is padded iff *no* counterpart makes θ true, with an
+/// unknown verdict neither matching nor blocking the padding. The
+/// identity holds for three-valued θ as-is; no two-valuing is required
+/// (though by the time [`decorrelate`] expands, θ already is two-valued).
+pub fn expand_outer_join(
+    kind: JoinKind,
+    left: RaExpr,
+    right: RaExpr,
+    cond: &RaCond,
+    schema: &Schema,
+    gen: &mut NameGen,
+) -> Result<RaExpr, EvalError> {
+    let mut out = left.clone().product(right.clone()).select(cond.clone());
+    if kind.keeps_left() {
+        let dangling =
+            left.clone().select(RaCond::Empty(Box::new(right.clone().select(cond.clone()))));
+        out = out.union(dangling.product(null_row(right.clone(), schema, gen)?));
+    }
+    if kind.keeps_right() {
+        let dangling = right.select(RaCond::Empty(Box::new(left.clone().select(cond.clone()))));
+        out = out.union(null_row(left, schema, gen)?.product(dangling));
+    }
+    Ok(out)
 }
 
 /// `true` iff the condition mentions `empty` (or a stray `∈`).
@@ -449,6 +513,22 @@ fn substitute(
             limit: *limit,
             offset: *offset,
         },
+        // Like σ over the product: the joined row binds ℓ(L) ++ ℓ(R) in
+        // the ON condition, so those names are not free there.
+        RaExpr::OuterJoin { kind, left, right, cond } => {
+            let bound: HashSet<Name> = signature(expr, schema)?.into_iter().collect();
+            let narrowed: HashMap<Name, Name> = map
+                .iter()
+                .filter(|(k, _)| !bound.contains(*k))
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect();
+            RaExpr::OuterJoin {
+                kind: *kind,
+                left: Box::new(substitute(left, map, schema)?),
+                right: Box::new(substitute(right, map, schema)?),
+                cond: substitute_cond(cond, &narrowed, schema)?,
+            }
+        }
     })
 }
 
@@ -600,6 +680,29 @@ fn lift(
                 return Err(EvalError::malformed("cannot decorrelate a parameterised sort/limit"));
             }
         }
+        RaExpr::OuterJoin { kind, left, right, cond } => {
+            if params(e, schema)?.is_empty() {
+                // Uncorrelated: the same joined table under every binding.
+                u.product(e.clone())
+            } else {
+                // A correlated ON (it is always the ON: translated FROM
+                // operands are closed) expands via the elimination
+                // identity into σ/×/∪ pieces, each of which this
+                // construction already lifts — the dangling tests become
+                // nested empty() atoms handled by `filter`, and the
+                // nullrow gadget is closed, so its key-less γ takes the
+                // uncorrelated branch above.
+                let expanded = expand_outer_join(
+                    *kind,
+                    (**left).clone(),
+                    (**right).clone(),
+                    cond,
+                    schema,
+                    gen,
+                )?;
+                lift(&expanded, u, u_sig, schema, gen)?
+            }
+        }
     })
 }
 
@@ -731,6 +834,58 @@ mod tests {
         // R has (1,2) twice; the semijoin must keep both copies.
         check_pipeline(
             "SELECT x.A AS a, x.B AS b FROM R x WHERE EXISTS (SELECT y.A FROM S y WHERE y.A = x.A)",
+        );
+    }
+
+    #[test]
+    fn outer_join_expansion_matches_the_operator() {
+        // The elimination identity against the operator, on data with
+        // NULL join keys (u verdicts must not block the padding).
+        let schema = schema();
+        let db = db();
+        for kind in [JoinKind::Left, JoinKind::Right, JoinKind::Full] {
+            let left = RaExpr::Base(Name::new("R"));
+            let right = RaExpr::Base(Name::new("S")).rename(["C"]);
+            let cond = RaCond::eq(RaTerm::name("A"), RaTerm::name("C"));
+            let operator = left.clone().outer_join(kind, right.clone(), cond.clone());
+            let via_operator = RaEvaluator::new(&db).eval(&operator).unwrap();
+            let mut gen = NameGen::avoiding_expr(&operator);
+            let expanded = expand_outer_join(kind, left, right, &cond, &schema, &mut gen).unwrap();
+            let via_expansion = RaEvaluator::new(&db).eval(&expanded).unwrap();
+            assert!(
+                via_operator.coincides(&via_expansion),
+                "{kind:?}:\noperator:\n{via_operator}\nexpansion:\n{via_expansion}"
+            );
+        }
+    }
+
+    #[test]
+    fn outer_joins_survive_the_whole_pipeline() {
+        check_pipeline("SELECT x.A AS la, y.A AS ra FROM R x LEFT OUTER JOIN S y ON x.A = y.A");
+        check_pipeline("SELECT x.A AS la, y.A AS ra FROM R x RIGHT OUTER JOIN S y ON x.A = y.A");
+        check_pipeline("SELECT x.A AS la, y.A AS ra FROM R x FULL OUTER JOIN S y ON x.A = y.A");
+        check_pipeline("SELECT x.B AS b FROM R x LEFT OUTER JOIN S y ON x.A < y.A");
+    }
+
+    #[test]
+    fn outer_join_on_with_subquery_expands() {
+        // A subquery inside ON forces the expansion path in decorrelate.
+        check_pipeline(
+            "SELECT x.A AS la, y.A AS ra FROM R x LEFT OUTER JOIN S y \
+             ON x.A = y.A AND EXISTS (SELECT z.A FROM S z WHERE z.A = x.A)",
+        );
+        check_pipeline(
+            "SELECT x.A AS la, y.A AS ra FROM R x FULL OUTER JOIN S y \
+             ON x.A IN (SELECT z.A FROM S z WHERE z.A = y.A)",
+        );
+    }
+
+    #[test]
+    fn outer_join_inside_subquery_decorrelates() {
+        // Uncorrelated join inside EXISTS: lift takes the product branch.
+        check_pipeline(
+            "SELECT A FROM S WHERE EXISTS (\
+                SELECT x.A AS a FROM R x LEFT OUTER JOIN S y ON x.A = y.A WHERE x.B = S.A)",
         );
     }
 

@@ -136,6 +136,38 @@ impl<'a> RaEvaluator<'a> {
                 signature(expr, self.db.schema())?;
                 Ok(self.eval_in(a, env)?.product(&self.eval_in(b, env)?))
             }
+            RaExpr::OuterJoin { kind, left, right, cond } => {
+                let sig = signature(expr, self.db.schema())?;
+                let lt = self.eval_in(left, env)?;
+                let rt = self.eval_in(right, env)?;
+                let mut out = Table::new(sig.clone())?;
+                let left_pad = Row::new(vec![Value::Null; lt.arity()]);
+                let right_pad = Row::new(vec![Value::Null; rt.arity()]);
+                let mut right_matched = vec![false; rt.len()];
+                for lrow in lt.rows() {
+                    let mut matched = false;
+                    for (j, rrow) in rt.rows().enumerate() {
+                        let joined = lrow.concat(rrow);
+                        let inner = env.with_row(&sig, &joined);
+                        if self.eval_cond(cond, &inner)?.is_true() {
+                            matched = true;
+                            right_matched[j] = true;
+                            out.push(joined)?;
+                        }
+                    }
+                    if !matched && kind.keeps_left() {
+                        out.push(lrow.concat(&right_pad))?;
+                    }
+                }
+                if kind.keeps_right() {
+                    for (j, rrow) in rt.rows().enumerate() {
+                        if !right_matched[j] {
+                            out.push(left_pad.concat(rrow))?;
+                        }
+                    }
+                }
+                Ok(out)
+            }
             RaExpr::Union(a, b) => self.eval_in(a, env)?.union_all(&self.eval_in(b, env)?),
             RaExpr::Inter(a, b) => self.eval_in(a, env)?.intersect_all(&self.eval_in(b, env)?),
             RaExpr::Diff(a, b) => self.eval_in(a, env)?.except_all(&self.eval_in(b, env)?),

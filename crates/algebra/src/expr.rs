@@ -20,6 +20,7 @@
 
 use std::fmt;
 
+use sqlsem_core::ast::JoinKind;
 use sqlsem_core::{AggFunc, CmpOp, EvalError, Name, Schema, Value};
 
 /// An RA term: a (plain) attribute name, or a constant (`NULL` is
@@ -205,6 +206,27 @@ pub enum RaExpr {
     },
     /// Product `E₁ × E₂`: signatures must be disjoint.
     Product(Box<RaExpr>, Box<RaExpr>),
+    /// Outer join `E₁ ⟕_θ E₂` / `⟖` / `⟗`: the θ-matching pairs of the
+    /// product, plus each dangling row of the preserved side(s) padded
+    /// with `NULL`s on the other side. A row is *dangling* iff **no**
+    /// counterpart makes θ *true* (an unknown verdict neither matches nor
+    /// blocks the padding). Signatures must be disjoint, as for `×`.
+    ///
+    /// Like `γ` and `τ` this is an extension operator; unlike them it is
+    /// definable in the Figure 8 fragment —
+    /// [`crate::eliminate()`](crate::eliminate::eliminate) rewrites it
+    /// away via the classical identity
+    /// `L ⟕_θ R = σ_θ(L×R) ∪ (σ_{empty(σ_θ(R))}(L) × nullrow(ℓR))`.
+    OuterJoin {
+        /// Which side(s) are preserved.
+        kind: JoinKind,
+        /// The left operand.
+        left: Box<RaExpr>,
+        /// The right operand.
+        right: Box<RaExpr>,
+        /// The join condition θ, evaluated under 3VL like any selection.
+        cond: RaCond,
+    },
     /// Bag union: signatures must coincide.
     Union(Box<RaExpr>, Box<RaExpr>),
     /// Bag intersection: signatures must coincide.
@@ -331,6 +353,12 @@ impl RaExpr {
         RaExpr::Product(Box::new(self), Box::new(other))
     }
 
+    /// `self ⟕_cond other` (or `⟖`/`⟗` per `kind`).
+    #[must_use]
+    pub fn outer_join(self, kind: JoinKind, other: RaExpr, cond: RaCond) -> RaExpr {
+        RaExpr::OuterJoin { kind, left: Box::new(self), right: Box::new(other), cond }
+    }
+
     /// `self ∪ other`.
     #[must_use]
     pub fn union(self, other: RaExpr) -> RaExpr {
@@ -397,6 +425,11 @@ impl RaExpr {
             | RaExpr::Union(a, b)
             | RaExpr::Inter(a, b)
             | RaExpr::Diff(a, b) => a.is_pure() && b.is_pure(),
+            // The outer join itself is definable in pure RA (see
+            // `eliminate`); only a condition extension makes it impure.
+            RaExpr::OuterJoin { left, right, cond, .. } => {
+                left.is_pure() && right.is_pure() && cond_is_pure_deep(cond)
+            }
         }
     }
 
@@ -422,6 +455,9 @@ impl RaExpr {
             | RaExpr::Inter(a, b)
             | RaExpr::Diff(a, b) => {
                 n += a.size() + b.size();
+            }
+            RaExpr::OuterJoin { left, right, cond, .. } => {
+                n += left.size() + right.size() + cond_size(cond);
             }
         }
         n
@@ -482,6 +518,20 @@ pub fn signature(expr: &RaExpr, schema: &Schema) -> Result<Vec<Name>, EvalError>
             for n in &sb {
                 if sa.contains(n) {
                     return Err(EvalError::malformed(format!("× operands share attribute {n}")));
+                }
+            }
+            let mut out = sa;
+            out.extend(sb);
+            Ok(out)
+        }
+        RaExpr::OuterJoin { left, right, .. } => {
+            let sa = signature(left, schema)?;
+            let sb = signature(right, schema)?;
+            for n in &sb {
+                if sa.contains(n) {
+                    return Err(EvalError::malformed(format!(
+                        "outer-join operands share attribute {n}"
+                    )));
                 }
             }
             let mut out = sa;
@@ -582,6 +632,14 @@ impl fmt::Display for RaExpr {
             }
             RaExpr::Select { input, cond } => write!(f, "σ[{cond}]({input})"),
             RaExpr::Product(a, b) => write!(f, "({a} × {b})"),
+            RaExpr::OuterJoin { kind, left, right, cond } => {
+                let op = match kind {
+                    JoinKind::Left => "⟕",
+                    JoinKind::Right => "⟖",
+                    JoinKind::Full => "⟗",
+                };
+                write!(f, "({left} {op}[{cond}] {right})")
+            }
             RaExpr::Union(a, b) => write!(f, "({a} ∪ {b})"),
             RaExpr::Inter(a, b) => write!(f, "({a} ∩ {b})"),
             RaExpr::Diff(a, b) => write!(f, "({a} − {b})"),

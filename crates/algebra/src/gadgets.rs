@@ -73,6 +73,11 @@ pub fn collect_names(expr: &RaExpr, out: &mut HashSet<Name>) {
             collect_names(input, out);
         }
         RaExpr::Dedup(input) => collect_names(input, out),
+        RaExpr::OuterJoin { left, right, cond, .. } => {
+            collect_cond_names(cond, out);
+            collect_names(left, out);
+            collect_names(right, out);
+        }
         RaExpr::Sort { input, keys, .. } => {
             out.extend(keys.iter().map(|k| k.column.clone()));
             collect_names(input, out);
@@ -129,6 +134,26 @@ pub fn syntactic_eq(t1: RaTerm, t2: RaTerm) -> RaCond {
         .and(RaCond::IsConst(t1.clone()))
         .and(RaCond::IsConst(t2.clone()))
         .or(RaCond::Null(t1).and(RaCond::Null(t2)))
+}
+
+/// The all-`NULL` singleton `nullrow(ℓ(E))`: one row of `NULL`s under
+/// `E`'s signature, built inside the fragment as a key-less grouping
+/// over an emptied input —
+/// `ρ_{→ℓ(E)}(γ_{∅; MAX(A₁)→h₁,…,MAX(Aₖ)→hₖ}(σ_FALSE(E)))`.
+/// A key-less `γ` always produces exactly one group, and every aggregate
+/// over the empty group is `NULL`. Used by the outer-join elimination.
+pub fn null_row(of: RaExpr, schema: &Schema, gen: &mut NameGen) -> Result<RaExpr, EvalError> {
+    let sig = signature(&of, schema)?;
+    let aggs: Vec<crate::expr::RaAggregate> = sig
+        .iter()
+        .map(|c| crate::expr::RaAggregate {
+            func: sqlsem_core::AggFunc::Max,
+            distinct: false,
+            arg: Some(c.clone()),
+            output: gen.fresh(c.as_str()),
+        })
+        .collect();
+    Ok(of.select(RaCond::False).group_by(Vec::<Name>::new(), aggs).rename(sig))
 }
 
 /// Syntactic natural join `E₁ ⋈ₛ E₂`: natural join where the comparison

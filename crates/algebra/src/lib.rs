@@ -50,11 +50,11 @@ pub mod gadgets;
 pub mod params;
 pub mod translate;
 
-pub use eliminate::{decorrelate, eliminate, twovalify};
+pub use eliminate::{decorrelate, eliminate, expand_outer_join, twovalify};
 pub use eval::{RaEnv, RaEvaluator};
 pub use expr::{signature, RaCond, RaExpr, RaSortKey, RaTerm};
 pub use gadgets::{
-    project_with_repetition, syntactic_antijoin, syntactic_eq, syntactic_natural_join,
+    null_row, project_with_repetition, syntactic_antijoin, syntactic_eq, syntactic_natural_join,
     syntactic_semijoin, NameGen,
 };
 pub use params::{cond_params, is_closed, params};

@@ -51,6 +51,15 @@ pub fn params(expr: &RaExpr, schema: &Schema) -> Result<HashSet<Name>, EvalError
             out.extend(params(b, schema)?);
             Ok(out)
         }
+        // Like σ over the product: θ is evaluated with the joined row's
+        // attributes (ℓ(E₁) ++ ℓ(E₂)) bound locally.
+        RaExpr::OuterJoin { left, right, cond, .. } => {
+            let mut out = params(left, schema)?;
+            out.extend(params(right, schema)?);
+            let bound: HashSet<Name> = signature(expr, schema)?.into_iter().collect();
+            out.extend(cond_params(cond, &bound, schema)?);
+            Ok(out)
+        }
     }
 }
 

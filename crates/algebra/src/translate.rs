@@ -23,7 +23,9 @@
 use std::collections::HashSet;
 use std::fmt;
 
-use sqlsem_core::ast::{Condition, FromItem, Query, SelectList, SelectQuery, TableRef, Term};
+use sqlsem_core::ast::{
+    Condition, FromExpr, FromItem, Query, SelectList, SelectQuery, TableRef, Term,
+};
 use sqlsem_core::{EvalError, FullName, Name, Schema, SetOp};
 
 use crate::expr::{RaCond, RaExpr, RaTerm};
@@ -68,21 +70,33 @@ pub fn is_data_manipulation(query: &Query) -> Result<(), TranslateError> {
         }
         Query::Select(s) => {
             check_block_shape_select(s)?;
-            for f in &s.from {
+            for f in s.from.iter().flat_map(FromExpr::leaves) {
                 if let TableRef::Query(q) = &f.table {
                     is_data_manipulation(q)?;
                 }
             }
             let mut err = None;
-            s.where_.visit_queries(&mut |q| {
-                if err.is_none() {
-                    // visit_queries recurses itself; checking the block
-                    // shape at each node is equivalent to full recursion.
-                    if let Err(e) = check_block_shape(q) {
-                        err = Some(e);
+            {
+                let mut check = |q: &Query| {
+                    if err.is_none() {
+                        // visit_queries recurses itself; checking the
+                        // block shape at each node is equivalent to full
+                        // recursion.
+                        if let Err(e) = check_block_shape(q) {
+                            err = Some(e);
+                        }
+                    }
+                };
+                // ON subqueries recurse like WHERE subqueries (the leaf
+                // subqueries a join visitor also reaches were fully
+                // checked above; re-checking their shape is harmless).
+                for fe in &s.from {
+                    if matches!(fe, FromExpr::Join { .. }) {
+                        fe.visit_queries(&mut check);
                     }
                 }
-            });
+                s.where_.visit_queries(&mut check);
+            }
             match err {
                 Some(e) => Err(e),
                 None => Ok(()),
@@ -111,11 +125,15 @@ fn check_block_shape_select(s: &SelectQuery) -> Result<(), TranslateError> {
             )));
         }
     }
-    where_aggregate_free(&s.where_)?;
+    fragment_condition_terms(&s.where_, "WHERE")?;
+    for fe in &s.from {
+        check_on_conditions(fe)?;
+    }
     if s.is_grouped() {
         return check_grouped_shape(s, items);
     }
-    let local: HashSet<&Name> = s.from.iter().map(|f| &f.alias).collect();
+    let local: HashSet<&Name> =
+        s.from.iter().flat_map(FromExpr::leaves).map(|f| &f.alias).collect();
     for item in items {
         match &item.term {
             Term::Const(_) => {
@@ -126,6 +144,11 @@ fn check_block_shape_select(s: &SelectQuery) -> Result<(), TranslateError> {
             Term::Agg(_) => {
                 return Err(TranslateError::NotDataManipulation(
                     "aggregates require a grouped block".into(),
+                ))
+            }
+            Term::Case { .. } | Term::Coalesce(_) | Term::Nullif(..) => {
+                return Err(TranslateError::NotDataManipulation(
+                    "CASE/COALESCE/NULLIF terms are outside the data-manipulation fragment".into(),
                 ))
             }
             Term::Col(n) if !local.contains(&n.table) => {
@@ -139,18 +162,38 @@ fn check_block_shape_select(s: &SelectQuery) -> Result<(), TranslateError> {
     Ok(())
 }
 
-/// Rejects aggregate terms in a `WHERE` clause (subqueries excluded —
-/// they are checked as blocks of their own).
-fn where_aggregate_free(cond: &Condition) -> Result<(), TranslateError> {
-    let mut found = false;
-    cond.visit_terms(&mut |t| found |= t.is_aggregate());
-    if found {
-        Err(TranslateError::NotDataManipulation(
-            "aggregate functions are not allowed in WHERE".into(),
-        ))
-    } else {
-        Ok(())
+/// Checks every `ON` condition in a `FROM` expression the way `WHERE`
+/// conditions are checked.
+fn check_on_conditions(fe: &FromExpr) -> Result<(), TranslateError> {
+    if let FromExpr::Join { left, right, on, .. } = fe {
+        check_on_conditions(left)?;
+        check_on_conditions(right)?;
+        fragment_condition_terms(on, "ON")?;
     }
+    Ok(())
+}
+
+/// Rejects aggregate terms and null combinators in a condition —
+/// Definition 1's terms are full names and constants only (subqueries
+/// excluded: they are checked as blocks of their own).
+fn fragment_condition_terms(cond: &Condition, context: &str) -> Result<(), TranslateError> {
+    let mut aggregate = false;
+    let mut combinator = false;
+    cond.visit_terms(&mut |t| {
+        aggregate |= t.is_aggregate();
+        combinator |= matches!(t, Term::Case { .. } | Term::Coalesce(_) | Term::Nullif(..));
+    });
+    if aggregate {
+        return Err(TranslateError::NotDataManipulation(format!(
+            "aggregate functions are not allowed in {context}"
+        )));
+    }
+    if combinator {
+        return Err(TranslateError::NotDataManipulation(format!(
+            "CASE/COALESCE/NULLIF terms in {context} are outside the data-manipulation fragment"
+        )));
+    }
+    Ok(())
 }
 
 /// The grouped extension of Definition 1, shaped so the block maps onto
@@ -162,7 +205,8 @@ fn check_grouped_shape(
     s: &SelectQuery,
     items: &[sqlsem_core::SelectItem],
 ) -> Result<(), TranslateError> {
-    let local: HashSet<&Name> = s.from.iter().map(|f| &f.alias).collect();
+    let local: HashSet<&Name> =
+        s.from.iter().flat_map(FromExpr::leaves).map(|f| &f.alias).collect();
     let mut seen_keys = HashSet::with_capacity(s.group_by.len());
     for key in &s.group_by {
         match key {
@@ -297,14 +341,8 @@ pub fn query_names(query: &Query, out: &mut HashSet<Name>) {
                     collect_term_names(&i.term, out);
                 }
             }
-            for f in &s.from {
-                out.insert(f.alias.clone());
-                if let TableRef::Base(r) = &f.table {
-                    out.insert(r.clone());
-                }
-                if let Some(cols) = &f.columns {
-                    out.extend(cols.iter().cloned());
-                }
+            for fe in &s.from {
+                collect_from_expr_names(fe, out);
             }
             collect_condition_names(&s.where_, out);
             for key in &s.group_by {
@@ -313,6 +351,25 @@ pub fn query_names(query: &Query, out: &mut HashSet<Name>) {
             collect_condition_names(&s.having, out);
         }
     });
+}
+
+fn collect_from_expr_names(fe: &FromExpr, out: &mut HashSet<Name>) {
+    match fe {
+        FromExpr::Item(f) => {
+            out.insert(f.alias.clone());
+            if let TableRef::Base(r) = &f.table {
+                out.insert(r.clone());
+            }
+            if let Some(cols) = &f.columns {
+                out.extend(cols.iter().cloned());
+            }
+        }
+        FromExpr::Join { left, right, on, .. } => {
+            collect_from_expr_names(left, out);
+            collect_from_expr_names(right, out);
+            collect_condition_names(on, out);
+        }
+    }
 }
 
 fn collect_term_names(term: &Term, out: &mut HashSet<Name>) {
@@ -413,10 +470,11 @@ impl Translator<'_> {
     }
 
     fn select(&mut self, s: &SelectQuery) -> Result<RaExpr, TranslateError> {
-        // τ:β ↦ ρ^χ_{N₁}(E₁) × ⋯ × ρ^χ_{Nₖ}(Eₖ)
+        // τ:β ↦ ρ^χ_{N₁}(E₁) × ⋯ × ρ^χ_{Nₖ}(Eₖ), with join trees kept
+        // as ⟕/⟖/⟗ over the χ-renamed operands.
         let mut product: Option<RaExpr> = None;
-        for item in &s.from {
-            let e = self.from_item(item)?;
+        for fe in &s.from {
+            let e = self.from_expr(fe)?;
             product = Some(match product {
                 None => e,
                 Some(acc) => acc.product(e),
@@ -446,7 +504,7 @@ impl Translator<'_> {
             .iter()
             .map(|i| match &i.term {
                 Term::Col(n) => self.chi.name(n),
-                Term::Const(_) | Term::Agg(_) => unreachable!("checked by is_data_manipulation"),
+                _ => unreachable!("checked by is_data_manipulation"),
             })
             .collect();
         let beta: Vec<Name> = items.iter().map(|i| i.alias.clone()).collect();
@@ -583,8 +641,27 @@ impl Translator<'_> {
         })
     }
 
-    /// `T AS N ↦ ρ^χ_N(E)` — prefixing by renaming. (`from_*` is the
-    /// FROM clause, not a conversion constructor.)
+    /// A `FROM` expression: a leaf item, or an outer-join tree. The ON
+    /// condition translates like a `WHERE` condition — its full names
+    /// all map through the same global `χ`, so references to the two
+    /// operands land on the combined signature and references to
+    /// enclosing scopes stay free (a correlated ON, resolved by the
+    /// evaluator's environment). (`from_*` is the FROM clause, not a
+    /// conversion constructor.)
+    #[allow(clippy::wrong_self_convention)]
+    fn from_expr(&mut self, fe: &FromExpr) -> Result<RaExpr, TranslateError> {
+        match fe {
+            FromExpr::Item(item) => self.from_item(item),
+            FromExpr::Join { kind, left, right, on } => {
+                let l = self.from_expr(left)?;
+                let r = self.from_expr(right)?;
+                let cond = self.condition(on)?;
+                Ok(l.outer_join(*kind, r, cond))
+            }
+        }
+    }
+
+    /// `T AS N ↦ ρ^χ_N(E)` — prefixing by renaming.
     #[allow(clippy::wrong_self_convention)]
     fn from_item(&mut self, item: &FromItem) -> Result<RaExpr, TranslateError> {
         let (expr, natural) = match &item.table {
@@ -676,7 +753,9 @@ impl Translator<'_> {
         match term {
             Term::Const(v) => RaTerm::Const(v.clone()),
             Term::Col(n) => RaTerm::Name(self.chi.name(n)),
-            Term::Agg(_) => unreachable!("WHERE clauses are checked aggregate-free"),
+            Term::Agg(_) | Term::Case { .. } | Term::Coalesce(_) | Term::Nullif(..) => {
+                unreachable!("conditions are checked free of aggregates and combinators")
+            }
         }
     }
 }
@@ -850,6 +929,52 @@ mod tests {
             "SELECT x.A AS k FROM R x WHERE COUNT(*) > 1",
             // A non-key, non-aggregated select term.
             "SELECT x.B AS b FROM R x GROUP BY x.A",
+        ] {
+            let q = compile(sql, &schema).unwrap();
+            assert!(
+                matches!(translate(&q, &schema), Err(TranslateError::NotDataManipulation(_))),
+                "{sql} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn outer_joins_translate() {
+        check_equivalent("SELECT x.A AS la, y.A AS ra FROM R x LEFT OUTER JOIN S y ON x.A = y.A");
+        check_equivalent("SELECT x.A AS la, y.A AS ra FROM R x RIGHT OUTER JOIN S y ON x.A = y.A");
+        check_equivalent("SELECT x.A AS la, y.A AS ra FROM R x FULL OUTER JOIN S y ON x.A = y.A");
+        // A join tree mixed with a plain product item.
+        check_equivalent(
+            "SELECT x.A AS xa, y.A AS ya, z.A AS za \
+             FROM R x LEFT OUTER JOIN S y ON x.A = y.A, S z",
+        );
+        // Chained joins associate left; null-padded keys fall out of the
+        // second ON as u, which neither matches nor blocks the padding.
+        check_equivalent(
+            "SELECT x.A AS xa, z.A AS za FROM R x \
+             LEFT OUTER JOIN S y ON x.A = y.A FULL OUTER JOIN S z ON y.A = z.A",
+        );
+        // A subquery in ON translates to an ∈/empty extension inside ⟕.
+        check_equivalent(
+            "SELECT x.A AS la, y.A AS ra FROM R x LEFT OUTER JOIN S y \
+             ON x.A = y.A AND EXISTS (SELECT z.A FROM S z WHERE z.A = x.A)",
+        );
+        // Correlated ON inside a subquery: the free names are χ-renamed
+        // parameters resolved by the evaluator's environment.
+        check_equivalent(
+            "SELECT A FROM S WHERE EXISTS (\
+                SELECT x.A AS a FROM R x LEFT OUTER JOIN S y ON x.A = S.A)",
+        );
+    }
+
+    #[test]
+    fn null_combinators_are_outside_the_fragment() {
+        let schema = schema();
+        for sql in [
+            "SELECT CASE WHEN R.A = 1 THEN R.A ELSE R.B END AS c FROM R",
+            "SELECT COALESCE(R.A, R.B) AS c FROM R",
+            "SELECT R.A AS a FROM R WHERE NULLIF(R.A, R.B) IS NULL",
+            "SELECT x.A AS a FROM R x LEFT OUTER JOIN S y ON COALESCE(x.A, 0) = y.A",
         ] {
             let q = compile(sql, &schema).unwrap();
             assert!(

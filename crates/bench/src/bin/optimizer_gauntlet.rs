@@ -42,7 +42,11 @@ use sqlsem_validation::{
 };
 
 /// Example 1 and Example 2, the shapes whose null/ambiguity behaviour
-/// the optimizations are most likely to disturb.
+/// the optimizations are most likely to disturb, plus the outer-join /
+/// combinator shapes whose dangling-tuple padding is most sensitive to
+/// the logic mode (over the pitfall data `R = {1, NULL}`, `S = {NULL}`,
+/// `R.A = S.A` matches nothing under 3VL but matches the `NULL`s under
+/// syntactic equality, flipping which side gets padded).
 fn pitfall_cases() -> (Schema, Vec<Query>) {
     let schema = Schema::builder().table("R", ["A"]).table("S", ["A"]).build().unwrap();
     let sqls = [
@@ -51,6 +55,11 @@ fn pitfall_cases() -> (Schema, Vec<Query>) {
         "SELECT A FROM R EXCEPT SELECT A FROM S",
         "SELECT * FROM R x, S y WHERE x.A = y.A",
         "SELECT * FROM (SELECT R.A, R.A FROM R) AS T",
+        "SELECT * FROM R LEFT JOIN S ON R.A = S.A",
+        "SELECT * FROM R FULL OUTER JOIN S ON R.A = S.A",
+        "SELECT COALESCE(S.A, R.A, 0) AS c FROM R LEFT JOIN S ON R.A < S.A",
+        "SELECT CASE WHEN S.A IS NULL THEN 0 ELSE S.A END AS c \
+         FROM R RIGHT JOIN S ON NULLIF(R.A, 1) = S.A",
     ];
     let queries = sqls.iter().map(|s| sqlsem_parser::compile(s, &schema).unwrap()).collect();
     (schema, queries)
@@ -105,6 +114,10 @@ fn main() {
     let threads: usize = arg("--threads", 0);
     let threads = (threads > 0).then_some(threads);
     let dump_dir: String = arg("--dump", String::new());
+    // `--gen outer-join-heavy` switches the random sweep to the
+    // outer-join-heavy generator preset (the nightly matrix runs it);
+    // the default keeps the small TPC-H-calibrated shapes of `quick`.
+    let gen_preset: String = arg("--gen", String::new());
 
     let combos: Vec<(Dialect, LogicMode)> = Dialect::ALL
         .into_iter()
@@ -169,6 +182,16 @@ fn main() {
     let schema = paper_schema();
     let mut config = ValidationConfig::quick(queries, seed);
     config.data_config.max_rows = rows;
+    match gen_preset.as_str() {
+        "" => {}
+        "outer-join-heavy" => {
+            config.query_config = sqlsem_generator::QueryGenConfig::outer_join_heavy();
+        }
+        other => {
+            eprintln!("unknown --gen preset {other:?} (expected \"outer-join-heavy\")");
+            std::process::exit(2);
+        }
+    }
     let start = std::time::Instant::now();
     for i in 0..queries {
         let (query, db) = iteration_case(&schema, &config, i);

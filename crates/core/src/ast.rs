@@ -108,13 +108,21 @@ impl fmt::Display for Aggregate {
     }
 }
 
-/// A term `t`: a constant from `C`, a full name (§2), or — in the
-/// grouping fragment — an aggregate application.
+/// A term `t`: a constant from `C`, a full name (§2), an aggregate
+/// application (grouping fragment), or a null combinator (`CASE`,
+/// `COALESCE`, `NULLIF`).
 ///
 /// `NULL` is represented as `Term::Const(Value::Null)`. Aggregate terms
 /// are only meaningful in the `SELECT` list and `HAVING` clause of a
 /// grouped block; everywhere else they are rejected
 /// ([`crate::error::EvalError::MisplacedAggregate`]).
+///
+/// The null combinators are the idioms real queries use to work around
+/// three-valued logic, and the constructs where the choice of logic mode
+/// (§6) is most visible: a `CASE` branch whose condition evaluates to
+/// *unknown* is **not taken** (unknown ≠ true), `COALESCE` yields the
+/// first non-`NULL` operand, and `NULLIF(t₁, t₂)` yields `NULL` when the
+/// two are equal *under the active logic mode's equality*.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum Term {
     /// A constant or `NULL`.
@@ -123,6 +131,28 @@ pub enum Term {
     Col(FullName),
     /// An aggregate application `F([DISTINCT] t)` / `COUNT(*)`.
     Agg(Box<Aggregate>),
+    /// A searched `CASE WHEN θ₁ THEN t₁ … [ELSE t] END`. Branches are
+    /// tried in order; the first whose condition is *true* (not merely
+    /// non-false) supplies the value. With no true branch the `ELSE`
+    /// term applies; a missing `ELSE` yields `NULL` (SQL-92 §8.10's
+    /// implicit `ELSE NULL`). The *simple* form
+    /// `CASE t WHEN v₁ THEN t₁ … END` is surface syntax only: the
+    /// parser desugars it to the searched form with `t = vᵢ`
+    /// comparisons, which is exactly PostgreSQL's documented expansion.
+    Case {
+        /// The `WHEN θ THEN t` branches, in syntactic order (non-empty).
+        branches: Vec<(Condition, Term)>,
+        /// The `ELSE` term; `None` means the implicit `ELSE NULL`.
+        else_: Option<Box<Term>>,
+    },
+    /// `COALESCE(t₁, …, tₙ)` — the first non-`NULL` operand, `NULL` if
+    /// all are (n ≥ 1). Evaluation is lazy left to right: operands after
+    /// the first non-`NULL` one are not evaluated, so their errors are
+    /// not raised (matching `CASE WHEN t₁ IS NOT NULL THEN t₁ …`).
+    Coalesce(Vec<Term>),
+    /// `NULLIF(t₁, t₂)` — `NULL` when `t₁ = t₂` holds (under the active
+    /// logic mode's equality), otherwise `t₁`.
+    Nullif(Box<Term>, Box<Term>),
 }
 
 impl Term {
@@ -151,14 +181,72 @@ impl Term {
         Term::Agg(Box::new(Aggregate { func, distinct: true, arg: Some(arg.into()) }))
     }
 
+    /// A searched `CASE` with the given branches and optional `ELSE`.
+    pub fn case<C, T, I>(branches: I, else_: Option<Term>) -> Term
+    where
+        C: Into<Condition>,
+        T: Into<Term>,
+        I: IntoIterator<Item = (C, T)>,
+    {
+        Term::Case {
+            branches: branches.into_iter().map(|(c, t)| (c.into(), t.into())).collect(),
+            else_: else_.map(Box::new),
+        }
+    }
+
+    /// `COALESCE(terms…)`.
+    pub fn coalesce<T: Into<Term>, I: IntoIterator<Item = T>>(terms: I) -> Term {
+        Term::Coalesce(terms.into_iter().map(Into::into).collect())
+    }
+
+    /// `NULLIF(left, right)`.
+    pub fn nullif(left: impl Into<Term>, right: impl Into<Term>) -> Term {
+        Term::Nullif(Box::new(left.into()), Box::new(right.into()))
+    }
+
     /// `true` iff the term is an aggregate application.
     pub fn is_aggregate(&self) -> bool {
         matches!(self, Term::Agg(_))
     }
 
+    /// `true` iff an aggregate application occurs anywhere in the term —
+    /// including inside `CASE`/`COALESCE`/`NULLIF`, whose presence makes
+    /// a block implicitly grouped just like a top-level aggregate.
+    pub fn contains_aggregate(&self) -> bool {
+        let mut found = false;
+        self.visit_aggregates(&mut |_| found = true);
+        found
+    }
+
+    /// Visits every aggregate application in the term, in syntactic
+    /// order, descending into the null combinators (including branch
+    /// conditions) but *not* into subqueries, whose aggregates belong to
+    /// their own blocks.
+    pub fn visit_aggregates<'a>(&'a self, f: &mut impl FnMut(&'a Aggregate)) {
+        match self {
+            Term::Const(_) | Term::Col(_) => {}
+            Term::Agg(a) => f(a),
+            Term::Case { branches, else_ } => {
+                for (cond, term) in branches {
+                    cond.visit_terms(&mut |t| t.visit_aggregates(f));
+                    term.visit_aggregates(f);
+                }
+                if let Some(e) = else_ {
+                    e.visit_aggregates(f);
+                }
+            }
+            Term::Coalesce(terms) => terms.iter().for_each(|t| t.visit_aggregates(f)),
+            Term::Nullif(a, b) => {
+                a.visit_aggregates(f);
+                b.visit_aggregates(f);
+            }
+        }
+    }
+
     /// Visits every full name the term mentions, descending into
-    /// aggregate arguments — the walker behind name collection in the
-    /// translation crates.
+    /// aggregate arguments and the null combinators (including `CASE`
+    /// branch conditions, but not subqueries) — the walker behind name
+    /// collection in the translation crates.
     pub fn visit_columns(&self, f: &mut impl FnMut(&FullName)) {
         match self {
             Term::Const(_) => {}
@@ -167,6 +255,47 @@ impl Term {
                 if let Some(arg) = &a.arg {
                     arg.visit_columns(f);
                 }
+            }
+            Term::Case { branches, else_ } => {
+                for (cond, term) in branches {
+                    cond.visit_terms(&mut |t| t.visit_columns(f));
+                    term.visit_columns(f);
+                }
+                if let Some(e) = else_ {
+                    e.visit_columns(f);
+                }
+            }
+            Term::Coalesce(terms) => terms.iter().for_each(|t| t.visit_columns(f)),
+            Term::Nullif(a, b) => {
+                a.visit_columns(f);
+                b.visit_columns(f);
+            }
+        }
+    }
+
+    /// Visits every query nested in the term (via `CASE` branch
+    /// conditions, which may contain `IN`/`EXISTS`), outermost first.
+    pub fn visit_queries(&self, f: &mut impl FnMut(&Query)) {
+        match self {
+            Term::Const(_) | Term::Col(_) => {}
+            Term::Agg(a) => {
+                if let Some(arg) = &a.arg {
+                    arg.visit_queries(f);
+                }
+            }
+            Term::Case { branches, else_ } => {
+                for (cond, term) in branches {
+                    cond.visit_queries(f);
+                    term.visit_queries(f);
+                }
+                if let Some(e) = else_ {
+                    e.visit_queries(f);
+                }
+            }
+            Term::Coalesce(terms) => terms.iter().for_each(|t| t.visit_queries(f)),
+            Term::Nullif(a, b) => {
+                a.visit_queries(f);
+                b.visit_queries(f);
             }
         }
     }
@@ -182,7 +311,7 @@ impl Term {
     pub fn as_col(&self) -> Option<&FullName> {
         match self {
             Term::Col(n) => Some(n),
-            Term::Const(_) | Term::Agg(_) => None,
+            _ => None,
         }
     }
 }
@@ -193,6 +322,27 @@ impl fmt::Display for Term {
             Term::Const(v) => write!(f, "{v}"),
             Term::Col(n) => write!(f, "{n}"),
             Term::Agg(a) => write!(f, "{a}"),
+            Term::Case { branches, else_ } => {
+                f.write_str("CASE")?;
+                for (cond, term) in branches {
+                    write!(f, " WHEN {cond} THEN {term}")?;
+                }
+                if let Some(e) = else_ {
+                    write!(f, " ELSE {e}")?;
+                }
+                f.write_str(" END")
+            }
+            Term::Coalesce(terms) => {
+                f.write_str("COALESCE(")?;
+                for (i, t) in terms.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                f.write_str(")")
+            }
+            Term::Nullif(a, b) => write!(f, "NULLIF({a}, {b})"),
         }
     }
 }
@@ -216,7 +366,7 @@ impl From<i64> for Term {
 }
 
 /// One item of an explicit `SELECT` list: `t AS N′`.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct SelectItem {
     /// The term being output.
     pub term: Term,
@@ -238,7 +388,7 @@ impl fmt::Display for SelectItem {
 }
 
 /// The `SELECT` list: either `*` or an explicit list `α:β′`.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum SelectList {
     /// `SELECT *` — whose meaning depends on the context (§3): expanded to
     /// the full names of the local scope, or replaced by an arbitrary
@@ -267,7 +417,7 @@ impl SelectList {
 
 /// A reference to a table: either a base table name or a subquery (the
 /// `T` of the paper's conventions).
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum TableRef {
     /// A base table `R`.
     Base(Name),
@@ -276,7 +426,7 @@ pub enum TableRef {
 }
 
 /// One item of a `FROM` clause: `T AS N` or `T AS N(A₁,…,Aₙ)`.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct FromItem {
     /// The table being aliased.
     pub table: TableRef,
@@ -303,6 +453,178 @@ impl FromItem {
     pub fn with_columns<N: Into<Name>, I: IntoIterator<Item = N>>(mut self, columns: I) -> Self {
         self.columns = Some(columns.into_iter().map(Into::into).collect());
         self
+    }
+}
+
+impl fmt::Display for FromItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.table {
+            TableRef::Base(r) => write!(f, "{r}")?,
+            TableRef::Query(q) => write!(f, "({q})")?,
+        }
+        write!(f, " AS {}", self.alias)?;
+        if let Some(cols) = &self.columns {
+            f.write_str("(")?;
+            for (j, c) in cols.iter().enumerate() {
+                if j > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{c}")?;
+            }
+            f.write_str(")")?;
+        }
+        Ok(())
+    }
+}
+
+/// The outer-join kinds. (`INNER JOIN … ON θ` is expressible in the
+/// base fragment as a product plus a `WHERE` conjunct, so only the
+/// outer kinds — the ones whose null-padding the base fragment cannot
+/// express — are modelled as join operators.)
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum JoinKind {
+    /// `LEFT [OUTER] JOIN`: every left row survives; those with no
+    /// match are padded with `NULL`s on the right.
+    Left,
+    /// `RIGHT [OUTER] JOIN`: every right row survives; those with no
+    /// match are padded with `NULL`s on the left.
+    Right,
+    /// `FULL [OUTER] JOIN`: unmatched rows of *both* sides survive,
+    /// padded on the opposite side.
+    Full,
+}
+
+impl JoinKind {
+    /// All join kinds.
+    pub const ALL: [JoinKind; 3] = [JoinKind::Left, JoinKind::Right, JoinKind::Full];
+
+    /// The SQL keyword (without the optional `OUTER`).
+    pub fn keyword(self) -> &'static str {
+        match self {
+            JoinKind::Left => "LEFT",
+            JoinKind::Right => "RIGHT",
+            JoinKind::Full => "FULL",
+        }
+    }
+
+    /// `true` iff unmatched *left* rows survive (LEFT and FULL).
+    pub fn keeps_left(self) -> bool {
+        matches!(self, JoinKind::Left | JoinKind::Full)
+    }
+
+    /// `true` iff unmatched *right* rows survive (RIGHT and FULL).
+    pub fn keeps_right(self) -> bool {
+        matches!(self, JoinKind::Right | JoinKind::Full)
+    }
+}
+
+/// One element of a `FROM` clause: a plain item, or an outer-join tree
+/// `τ₁ (LEFT|RIGHT|FULL) [OUTER] JOIN τ₂ ON θ` over items.
+///
+/// The join result's columns are the left operand's followed by the
+/// right operand's, each keeping its own alias qualification — a join
+/// introduces **no** new alias, exactly as in SQL. The `ON` condition
+/// is evaluated under the combined scope of the two operands (plus any
+/// enclosing scopes), per the active logic mode; a joined pair is kept
+/// iff the condition is *true*.
+///
+/// The dangling-tuple rule follows Ricciotti & Cheney's formalization
+/// ("A Formalization of SQL with Nulls"): a left row is *dangling* iff
+/// **no** right row makes the condition true — conditions evaluating to
+/// *unknown* do not match, but they also do not stop the row from being
+/// padded. Dangling rows are emitted once, padded with `NULL`s on the
+/// deficient side.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum FromExpr {
+    /// A plain `FROM` item `T AS N`.
+    Item(FromItem),
+    /// An outer join of two `FROM` expressions.
+    Join {
+        /// Which outer join.
+        kind: JoinKind,
+        /// The left operand.
+        left: Box<FromExpr>,
+        /// The right operand.
+        right: Box<FromExpr>,
+        /// The `ON` condition θ.
+        on: Box<Condition>,
+    },
+}
+
+impl FromExpr {
+    /// `left kind OUTER JOIN right ON on`.
+    pub fn join(
+        kind: JoinKind,
+        left: impl Into<FromExpr>,
+        right: impl Into<FromExpr>,
+        on: Condition,
+    ) -> FromExpr {
+        FromExpr::Join {
+            kind,
+            left: Box::new(left.into()),
+            right: Box::new(right.into()),
+            on: Box::new(on),
+        }
+    }
+
+    /// The leaf `FROM` items of the expression, left to right — the
+    /// order their columns are concatenated in.
+    pub fn leaves(&self) -> Vec<&FromItem> {
+        let mut out = Vec::new();
+        self.visit_items(&mut |item| out.push(item));
+        out
+    }
+
+    /// Visits every leaf `FROM` item, left to right.
+    pub fn visit_items<'a>(&'a self, f: &mut impl FnMut(&'a FromItem)) {
+        match self {
+            FromExpr::Item(item) => f(item),
+            FromExpr::Join { left, right, .. } => {
+                left.visit_items(f);
+                right.visit_items(f);
+            }
+        }
+    }
+
+    /// Visits every query nested in the expression — leaf subqueries and
+    /// queries inside `ON` conditions — outermost first.
+    pub fn visit_queries(&self, f: &mut impl FnMut(&Query)) {
+        match self {
+            FromExpr::Item(item) => {
+                if let TableRef::Query(q) = &item.table {
+                    q.visit(f);
+                }
+            }
+            FromExpr::Join { left, right, on, .. } => {
+                left.visit_queries(f);
+                right.visit_queries(f);
+                on.visit_queries(f);
+            }
+        }
+    }
+}
+
+impl From<FromItem> for FromExpr {
+    fn from(item: FromItem) -> Self {
+        FromExpr::Item(item)
+    }
+}
+
+impl fmt::Display for FromExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FromExpr::Item(item) => write!(f, "{item}"),
+            FromExpr::Join { kind, left, right, on } => {
+                write!(f, "{left} {} OUTER JOIN ", kind.keyword())?;
+                // A right-nested join operand needs parentheses: the
+                // parser associates join chains to the left.
+                match &**right {
+                    FromExpr::Join { .. } => write!(f, "({right})")?,
+                    FromExpr::Item(_) => write!(f, "{right}")?,
+                }
+                write!(f, " ON {on}")
+            }
+        }
     }
 }
 
@@ -405,14 +727,15 @@ impl From<&str> for OrderKey {
 /// A `SELECT`-`FROM`-`WHERE` block, optionally grouped
 /// (`GROUP BY`/`HAVING`/aggregates) and optionally ordered/limited
 /// (`ORDER BY`/`LIMIT`/`OFFSET`, the list-valued extension).
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct SelectQuery {
     /// Whether `DISTINCT` duplicate elimination is applied.
     pub distinct: bool,
     /// The `SELECT` list (`*` or `α:β′`).
     pub select: SelectList,
-    /// The `FROM` clause `τ:β` (non-empty, k > 0).
-    pub from: Vec<FromItem>,
+    /// The `FROM` clause `τ:β` (non-empty, k > 0): a comma list of
+    /// items and/or outer-join trees.
+    pub from: Vec<FromExpr>,
     /// The `WHERE` condition θ (`TRUE` when absent in surface syntax).
     pub where_: Condition,
     /// The `GROUP BY` keys (empty when the clause is absent). Keys
@@ -437,12 +760,13 @@ pub struct SelectQuery {
 }
 
 impl SelectQuery {
-    /// Creates a plain `SELECT … FROM … WHERE TRUE` block.
-    pub fn new(select: SelectList, from: Vec<FromItem>) -> Self {
+    /// Creates a plain `SELECT … FROM … WHERE TRUE` block. The `FROM`
+    /// elements may be given as [`FromItem`]s or [`FromExpr`]s.
+    pub fn new<F: Into<FromExpr>, I: IntoIterator<Item = F>>(select: SelectList, from: I) -> Self {
         SelectQuery {
             distinct: false,
             select,
-            from,
+            from: from.into_iter().map(Into::into).collect(),
             where_: Condition::True,
             group_by: Vec::new(),
             having: Condition::True,
@@ -518,12 +842,13 @@ impl SelectQuery {
         }
         match &self.select {
             SelectList::Star => false,
-            SelectList::Items(items) => items.iter().any(|i| i.term.is_aggregate()),
+            SelectList::Items(items) => items.iter().any(|i| i.term.contains_aggregate()),
         }
     }
 
     /// The aggregates of this block's `SELECT` list and `HAVING` clause,
-    /// in syntactic order with duplicates removed. Subqueries are *not*
+    /// in syntactic order with duplicates removed — including aggregates
+    /// nested inside `CASE`/`COALESCE`/`NULLIF`. Subqueries are *not*
     /// descended into: their aggregates belong to their own blocks.
     pub fn aggregates(&self) -> Vec<&Aggregate> {
         let mut out: Vec<&Aggregate> = Vec::new();
@@ -535,16 +860,10 @@ impl SelectQuery {
         };
         if let SelectList::Items(items) = &self.select {
             for item in items {
-                if let Term::Agg(a) = &item.term {
-                    push(a);
-                }
+                item.term.visit_aggregates(&mut push);
             }
         }
-        self.having.visit_terms(&mut |t| {
-            if let Term::Agg(a) = t {
-                push(a);
-            }
-        });
+        self.having.visit_terms(&mut |t| t.visit_aggregates(&mut push));
         out
     }
 }
@@ -554,7 +873,7 @@ impl SelectQuery {
 // so boxing them to shrink the `SetOp` variant would pessimise the
 // common case.
 #[allow(clippy::large_enum_variant)]
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum Query {
     /// A `SELECT`-`FROM`-`WHERE` block.
     Select(SelectQuery),
@@ -595,16 +914,23 @@ impl Query {
         Query::SetOp { op: SetOp::Except, all, left: Box::new(self), right: Box::new(other) }
     }
 
-    /// Visits this query and every subquery (in `FROM` and in conditions),
-    /// outermost first.
+    /// Visits this query and every subquery (in `FROM` — including `ON`
+    /// conditions — in the `SELECT` list and `GROUP BY` keys via `CASE`
+    /// branches, and in conditions), outermost first.
     pub fn visit(&self, f: &mut impl FnMut(&Query)) {
         f(self);
         match self {
             Query::Select(s) => {
-                for item in &s.from {
-                    if let TableRef::Query(q) = &item.table {
-                        q.visit(f);
+                for fe in &s.from {
+                    fe.visit_queries(f);
+                }
+                if let SelectList::Items(items) = &s.select {
+                    for item in items {
+                        item.term.visit_queries(f);
                     }
+                }
+                for key in &s.group_by {
+                    key.visit_queries(f);
                 }
                 s.where_.visit_queries(f);
                 s.having.visit_queries(f);
@@ -626,7 +952,7 @@ impl Query {
 }
 
 /// A condition θ (Figure 2).
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum Condition {
     /// The constant condition `TRUE`.
     True,
@@ -791,23 +1117,32 @@ impl Condition {
         }
     }
 
-    /// Visits every query nested in the condition, outermost first.
+    /// Visits every query nested in the condition — in `IN`/`EXISTS`
+    /// and inside the condition's terms (via `CASE` branch conditions)
+    /// — outermost first.
     pub fn visit_queries(&self, f: &mut impl FnMut(&Query)) {
         match self {
-            Condition::In { query, .. } => query.visit(f),
+            Condition::In { terms, query, .. } => {
+                terms.iter().for_each(|t| t.visit_queries(f));
+                query.visit(f);
+            }
             Condition::Exists(query) => query.visit(f),
             Condition::And(a, b) | Condition::Or(a, b) => {
                 a.visit_queries(f);
                 b.visit_queries(f);
             }
             Condition::Not(c) => c.visit_queries(f),
-            Condition::True
-            | Condition::False
-            | Condition::Cmp { .. }
-            | Condition::Like { .. }
-            | Condition::Pred { .. }
-            | Condition::IsNull { .. }
-            | Condition::IsDistinct { .. } => {}
+            Condition::True | Condition::False => {}
+            Condition::Cmp { left, right, .. } | Condition::IsDistinct { left, right, .. } => {
+                left.visit_queries(f);
+                right.visit_queries(f);
+            }
+            Condition::Like { term, pattern, .. } => {
+                term.visit_queries(f);
+                pattern.visit_queries(f);
+            }
+            Condition::Pred { args, .. } => args.iter().for_each(|t| t.visit_queries(f)),
+            Condition::IsNull { term, .. } => term.visit_queries(f),
         }
     }
 
@@ -904,25 +1239,11 @@ impl fmt::Display for SelectQuery {
             }
         }
         f.write_str(" FROM ")?;
-        for (i, item) in self.from.iter().enumerate() {
+        for (i, fe) in self.from.iter().enumerate() {
             if i > 0 {
                 f.write_str(", ")?;
             }
-            match &item.table {
-                TableRef::Base(r) => write!(f, "{r}")?,
-                TableRef::Query(q) => write!(f, "({q})")?,
-            }
-            write!(f, " AS {}", item.alias)?;
-            if let Some(cols) = &item.columns {
-                f.write_str("(")?;
-                for (j, c) in cols.iter().enumerate() {
-                    if j > 0 {
-                        f.write_str(", ")?;
-                    }
-                    write!(f, "{c}")?;
-                }
-                f.write_str(")")?;
-            }
+            write!(f, "{fe}")?;
         }
         if self.where_ != Condition::True {
             write!(f, " WHERE {}", self.where_)?;

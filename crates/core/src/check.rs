@@ -17,7 +17,7 @@
 
 use std::collections::HashSet;
 
-use crate::ast::{AggFunc, Condition, Query, SelectList, SelectQuery, TableRef, Term};
+use crate::ast::{AggFunc, Condition, FromExpr, Query, SelectList, SelectQuery, TableRef, Term};
 use crate::dialect::Dialect;
 use crate::error::EvalError;
 use crate::name::{FullName, Name};
@@ -48,16 +48,44 @@ fn check_rec(
         Query::Select(s) => {
             // FROM subqueries are checked in the *enclosing* scopes only:
             // the local scope is not visible to them (Figure 5 evaluates
-            // them under the outer environment η).
-            for item in &s.from {
-                if let TableRef::Query(sub) = &item.table {
-                    check_rec(sub, schema, dialect, stack, false)?;
-                }
+            // them under the outer environment η). Join `ON` conditions
+            // are checked under the join subtree's own scope.
+            for fe in &s.from {
+                check_from_expr(fe, schema, dialect, stack)?;
             }
             let local = sig::scope(&s.from, schema)?;
             stack.push(local);
             let result = check_block(s, schema, dialect, stack, exists)
                 .and_then(|()| check_order_keys(s, dialect, stack, exists));
+            stack.pop();
+            result
+        }
+    }
+}
+
+/// Checks one `FROM` expression: leaf subqueries resolve in the
+/// *enclosing* scopes only, and each join's `ON` condition resolves in
+/// the scope of that join's own leaves plus the enclosing scopes — a
+/// sibling `FROM` item is not visible to it.
+fn check_from_expr(
+    fe: &FromExpr,
+    schema: &Schema,
+    dialect: Dialect,
+    stack: &mut Vec<Vec<FullName>>,
+) -> Result<(), EvalError> {
+    match fe {
+        FromExpr::Item(item) => {
+            if let TableRef::Query(sub) = &item.table {
+                check_rec(sub, schema, dialect, stack, false)?;
+            }
+            Ok(())
+        }
+        FromExpr::Join { left, right, on, .. } => {
+            check_from_expr(left, schema, dialect, stack)?;
+            check_from_expr(right, schema, dialect, stack)?;
+            let scope = sig::from_expr_scope(fe, schema)?;
+            stack.push(scope);
+            let result = check_condition(on, schema, dialect, stack);
             stack.pop();
             result
         }
@@ -112,7 +140,7 @@ fn check_block(
                 return Err(EvalError::ZeroArity);
             }
             for item in items {
-                resolve_term(&item.term, stack)?;
+                resolve_term(&item.term, schema, dialect, stack)?;
             }
         }
         SelectList::Star => {
@@ -157,7 +185,7 @@ fn check_grouped_block(
     // GROUP BY keys resolve like ordinary terms; aggregates are rejected
     // by `resolve_term`.
     for key in &s.group_by {
-        resolve_term(key, stack)?;
+        resolve_term(key, schema, dialect, stack)?;
     }
     // Aggregate arguments range over the group's member records, so they
     // resolve with the local scope still in place; nested aggregates are
@@ -168,12 +196,17 @@ fn check_grouped_block(
                 return Err(EvalError::malformed("only COUNT may be applied to *"))
             }
             None => {}
-            Some(arg) => resolve_term(arg, stack)?,
+            Some(arg) => resolve_term(arg, schema, dialect, stack)?,
         }
     }
     // Swap the local scope for the key scope (the full names the grouped
     // environment binds), then check the SELECT list and HAVING.
-    let local_aliases: HashSet<Name> = s.from.iter().map(|f| f.alias.clone()).collect();
+    let mut local_aliases: HashSet<Name> = HashSet::new();
+    for fe in &s.from {
+        for item in fe.leaves() {
+            local_aliases.insert(item.alias.clone());
+        }
+    }
     let local = stack.pop().expect("local scope was pushed");
     let mut key_scope: Vec<FullName> = Vec::new();
     for key in &s.group_by {
@@ -190,7 +223,7 @@ fn check_grouped_block(
                 return Err(EvalError::ZeroArity);
             }
             for item in items {
-                check_grouped_term(&item.term, s, &local_aliases, stack)?;
+                check_grouped_term(&item.term, s, &local_aliases, schema, dialect, stack)?;
             }
         }
         check_grouped_condition(&s.having, s, &local_aliases, schema, dialect, stack)
@@ -204,7 +237,9 @@ fn check_grouped_term(
     term: &Term,
     s: &SelectQuery,
     local_aliases: &HashSet<Name>,
-    stack: &[Vec<FullName>],
+    schema: &Schema,
+    dialect: Dialect,
+    stack: &mut Vec<Vec<FullName>>,
 ) -> Result<(), EvalError> {
     if s.group_by.contains(term) {
         return Ok(()); // a group key: already resolved
@@ -218,6 +253,29 @@ fn check_grouped_term(
             } else {
                 resolve(n, stack)
             }
+        }
+        // Every part of a combinator obeys the grouped typing rules; a
+        // CASE branch condition is checked as a grouped condition, so its
+        // subqueries see the key scope.
+        Term::Case { branches, else_ } => {
+            for (cond, result) in branches {
+                check_grouped_condition(cond, s, local_aliases, schema, dialect, stack)?;
+                check_grouped_term(result, s, local_aliases, schema, dialect, stack)?;
+            }
+            match else_ {
+                Some(e) => check_grouped_term(e, s, local_aliases, schema, dialect, stack),
+                None => Ok(()),
+            }
+        }
+        Term::Coalesce(terms) => {
+            for t in terms {
+                check_grouped_term(t, s, local_aliases, schema, dialect, stack)?;
+            }
+            Ok(())
+        }
+        Term::Nullif(a, b) => {
+            check_grouped_term(a, s, local_aliases, schema, dialect, stack)?;
+            check_grouped_term(b, s, local_aliases, schema, dialect, stack)
         }
     }
 }
@@ -233,23 +291,25 @@ fn check_grouped_condition(
     match cond {
         Condition::True | Condition::False => Ok(()),
         Condition::Cmp { left, right, .. } | Condition::IsDistinct { left, right, .. } => {
-            check_grouped_term(left, s, local_aliases, stack)?;
-            check_grouped_term(right, s, local_aliases, stack)
+            check_grouped_term(left, s, local_aliases, schema, dialect, stack)?;
+            check_grouped_term(right, s, local_aliases, schema, dialect, stack)
         }
         Condition::Like { term, pattern, .. } => {
-            check_grouped_term(term, s, local_aliases, stack)?;
-            check_grouped_term(pattern, s, local_aliases, stack)
+            check_grouped_term(term, s, local_aliases, schema, dialect, stack)?;
+            check_grouped_term(pattern, s, local_aliases, schema, dialect, stack)
         }
         Condition::Pred { args, .. } => {
             for t in args {
-                check_grouped_term(t, s, local_aliases, stack)?;
+                check_grouped_term(t, s, local_aliases, schema, dialect, stack)?;
             }
             Ok(())
         }
-        Condition::IsNull { term, .. } => check_grouped_term(term, s, local_aliases, stack),
+        Condition::IsNull { term, .. } => {
+            check_grouped_term(term, s, local_aliases, schema, dialect, stack)
+        }
         Condition::In { terms, query, .. } => {
             for t in terms {
-                check_grouped_term(t, s, local_aliases, stack)?;
+                check_grouped_term(t, s, local_aliases, schema, dialect, stack)?;
             }
             // The subquery sees the key scope (pushed by the caller).
             check_rec(query, schema, dialect, stack, false)
@@ -272,27 +332,27 @@ fn check_condition(
     match cond {
         Condition::True | Condition::False => Ok(()),
         Condition::Cmp { left, right, .. } => {
-            resolve_term(left, stack)?;
-            resolve_term(right, stack)
+            resolve_term(left, schema, dialect, stack)?;
+            resolve_term(right, schema, dialect, stack)
         }
         Condition::Like { term, pattern, .. } => {
-            resolve_term(term, stack)?;
-            resolve_term(pattern, stack)
+            resolve_term(term, schema, dialect, stack)?;
+            resolve_term(pattern, schema, dialect, stack)
         }
         Condition::Pred { args, .. } => {
             for t in args {
-                resolve_term(t, stack)?;
+                resolve_term(t, schema, dialect, stack)?;
             }
             Ok(())
         }
-        Condition::IsNull { term, .. } => resolve_term(term, stack),
+        Condition::IsNull { term, .. } => resolve_term(term, schema, dialect, stack),
         Condition::IsDistinct { left, right, .. } => {
-            resolve_term(left, stack)?;
-            resolve_term(right, stack)
+            resolve_term(left, schema, dialect, stack)?;
+            resolve_term(right, schema, dialect, stack)
         }
         Condition::In { terms, query, .. } => {
             for t in terms {
-                resolve_term(t, stack)?;
+                resolve_term(t, schema, dialect, stack)?;
             }
             check_rec(query, schema, dialect, stack, false)
         }
@@ -305,7 +365,12 @@ fn check_condition(
     }
 }
 
-fn resolve_term(term: &Term, stack: &[Vec<FullName>]) -> Result<(), EvalError> {
+fn resolve_term(
+    term: &Term,
+    schema: &Schema,
+    dialect: Dialect,
+    stack: &mut Vec<Vec<FullName>>,
+) -> Result<(), EvalError> {
     match term {
         Term::Const(_) => Ok(()),
         Term::Col(name) => resolve(name, stack),
@@ -313,6 +378,28 @@ fn resolve_term(term: &Term, stack: &[Vec<FullName>]) -> Result<(), EvalError> {
         // a grouped block, which `check_grouped_block` handles; any term
         // reaching this resolver is in a plain context.
         Term::Agg(_) => Err(EvalError::MisplacedAggregate("this context")),
+        // CASE branch conditions are full conditions — they may nest
+        // subqueries, which is why term resolution carries the schema.
+        Term::Case { branches, else_ } => {
+            for (cond, result) in branches {
+                check_condition(cond, schema, dialect, stack)?;
+                resolve_term(result, schema, dialect, stack)?;
+            }
+            match else_ {
+                Some(e) => resolve_term(e, schema, dialect, stack),
+                None => Ok(()),
+            }
+        }
+        Term::Coalesce(terms) => {
+            for t in terms {
+                resolve_term(t, schema, dialect, stack)?;
+            }
+            Ok(())
+        }
+        Term::Nullif(a, b) => {
+            resolve_term(a, schema, dialect, stack)?;
+            resolve_term(b, schema, dialect, stack)
+        }
     }
 }
 

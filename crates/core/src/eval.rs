@@ -24,13 +24,14 @@
 use std::collections::{HashMap, HashSet};
 
 use crate::ast::{
-    AggFunc, Aggregate, Condition, FromItem, Query, SelectList, SelectQuery, SetOp, TableRef, Term,
+    AggFunc, Aggregate, Condition, FromExpr, FromItem, Query, SelectList, SelectQuery, SetOp,
+    TableRef, Term,
 };
 use crate::check;
 use crate::dialect::{Dialect, LogicMode};
 use crate::env::Env;
 use crate::error::EvalError;
-use crate::name::Name;
+use crate::name::{FullName, Name};
 use crate::pred::PredicateRegistry;
 use crate::row::Row;
 use crate::schema::Database;
@@ -176,14 +177,15 @@ impl<'a> Evaluator<'a> {
         sig::check_distinct_aliases(&s.from)?;
 
         // ⟦τ:β⟧_{D,η,x} = ⟦T₁⟧_{D,η,0} × ⋯ × ⟦Tₖ⟧_{D,η,0}: each element of
-        // the FROM clause is evaluated under the *outer* environment.
-        let tables: Vec<Table> =
-            s.from.iter().map(|item| self.eval_from_item(item, env)).collect::<Result<_, _>>()?;
-
-        // The scope ℓ(τ:β): each table's columns prefixed by its alias.
+        // the FROM clause — a plain item or an outer-join tree — is
+        // evaluated under the *outer* environment, producing its table
+        // and its slice of the scope ℓ(τ:β).
+        let mut tables: Vec<Table> = Vec::with_capacity(s.from.len());
         let mut scope = Vec::new();
-        for (item, t) in s.from.iter().zip(&tables) {
-            scope.extend(item.alias.prefix(t.columns()));
+        for fe in &s.from {
+            let (t, names) = self.eval_from_expr(fe, env)?;
+            scope.extend(names);
+            tables.push(t);
         }
 
         // The Cartesian product, with ℓ(τ) as its column tuple.
@@ -301,6 +303,74 @@ impl<'a> Evaluator<'a> {
         }
     }
 
+    /// `⟦F⟧_{D,η,0}` for one `FROM` expression — a plain item or an
+    /// outer-join tree — returning the table together with its slice of
+    /// the scope `ℓ(τ:β)`.
+    ///
+    /// The outer-join rule (after Ricciotti & Cheney's formalization): the
+    /// inner part is every concatenation `r̄·s̄` whose `ON` condition is
+    /// *true* under the active logic mode; a row is *dangling* iff **no**
+    /// counterpart makes `ON` true — `unknown` neither matches nor blocks
+    /// padding — and dangling rows on a preserved side are padded with
+    /// `NULL`s on the other side.
+    ///
+    /// Row order is canonical (the engines reproduce it exactly): for each
+    /// left row in order, its matches in right order, with its null-padded
+    /// row inline if dangling and the left side is preserved; dangling
+    /// right rows trail in right order if the right side is preserved. The
+    /// `ON` condition is evaluated in left-major pair order, so errors
+    /// surface identically everywhere.
+    fn eval_from_expr(
+        &self,
+        fe: &FromExpr,
+        env: &Env,
+    ) -> Result<(Table, Vec<FullName>), EvalError> {
+        match fe {
+            FromExpr::Item(item) => {
+                let t = self.eval_from_item(item, env)?;
+                let scope = item.alias.prefix(t.columns());
+                Ok((t, scope))
+            }
+            FromExpr::Join { kind, left, right, on } => {
+                let (lt, lscope) = self.eval_from_expr(left, env)?;
+                let (rt, rscope) = self.eval_from_expr(right, env)?;
+                // The join's scope is the concatenation of its operands' —
+                // `ON` sees both sides (plus the outer η), nothing else.
+                let mut scope = lscope;
+                scope.extend(rscope);
+                let mut columns = lt.columns().to_vec();
+                columns.extend_from_slice(rt.columns());
+                let mut out = Table::new(columns)?;
+                let left_pad = Row::new(vec![Value::Null; lt.arity()]);
+                let right_pad = Row::new(vec![Value::Null; rt.arity()]);
+                let mut right_matched = vec![false; rt.len()];
+                for lrow in lt.rows() {
+                    let mut matched = false;
+                    for (j, rrow) in rt.rows().enumerate() {
+                        let joined = lrow.concat(rrow);
+                        let env1 = env.update(&scope, &joined)?;
+                        if self.eval_condition(on, &env1)?.is_true() {
+                            matched = true;
+                            right_matched[j] = true;
+                            out.push(joined)?;
+                        }
+                    }
+                    if !matched && kind.keeps_left() {
+                        out.push(lrow.concat(&right_pad))?;
+                    }
+                }
+                if kind.keeps_right() {
+                    for (j, rrow) in rt.rows().enumerate() {
+                        if !right_matched[j] {
+                            out.push(left_pad.concat(rrow))?;
+                        }
+                    }
+                }
+                Ok((out, scope))
+            }
+        }
+    }
+
     /// The grouping fragment's semantics: partition the surviving
     /// `FROM`–`WHERE` records by the (null-safe) `GROUP BY` key tuple,
     /// compute every aggregate of the block eagerly per group, keep the
@@ -352,7 +422,12 @@ impl<'a> Evaluator<'a> {
             return Err(EvalError::ZeroArity);
         }
         let aggs = s.aggregates();
-        let local_aliases: HashSet<&Name> = s.from.iter().map(|f| &f.alias).collect();
+        let mut local_aliases: HashSet<&Name> = HashSet::new();
+        for fe in &s.from {
+            for item in fe.leaves() {
+                local_aliases.insert(&item.alias);
+            }
+        }
 
         let columns = items.iter().map(|i| i.alias.clone()).collect();
         let mut out = Table::new(columns)?;
@@ -441,6 +516,38 @@ impl<'a> Evaluator<'a> {
                     Err(EvalError::UngroupedColumn(n.clone()))
                 } else {
                     ctx.env.lookup(n).cloned()
+                }
+            }
+            // The null combinators keep their plain semantics, with every
+            // part resolved under the grouped scope — so a branch may mix
+            // keys, aggregates, and outer references.
+            Term::Case { branches, else_ } => {
+                for (cond, result) in branches {
+                    if self.eval_grouped_condition(cond, ctx)?.is_true() {
+                        return self.eval_grouped_term(result, ctx);
+                    }
+                }
+                match else_ {
+                    Some(e) => self.eval_grouped_term(e, ctx),
+                    None => Ok(Value::Null),
+                }
+            }
+            Term::Coalesce(terms) => {
+                for t in terms {
+                    let v = self.eval_grouped_term(t, ctx)?;
+                    if !v.is_null() {
+                        return Ok(v);
+                    }
+                }
+                Ok(Value::Null)
+            }
+            Term::Nullif(a, b) => {
+                let l = self.eval_grouped_term(a, ctx)?;
+                let r = self.eval_grouped_term(b, ctx)?;
+                if self.cmp_values(&l, CmpOp::Eq, &r)?.is_true() {
+                    Ok(Value::Null)
+                } else {
+                    Ok(l)
                 }
             }
         }
@@ -588,6 +695,43 @@ impl<'a> Evaluator<'a> {
             Term::Const(v) => Ok(v.clone()),
             Term::Col(name) => env.lookup(name).cloned(),
             Term::Agg(_) => Err(EvalError::MisplacedAggregate("this context")),
+            // CASE takes the first branch whose condition is *true* under
+            // the active logic mode — `unknown` falls through — and a
+            // missing ELSE is the Standard's implicit `ELSE NULL`. Later
+            // branches are not evaluated, so their errors are not raised.
+            Term::Case { branches, else_ } => {
+                for (cond, result) in branches {
+                    if self.eval_condition(cond, env)?.is_true() {
+                        return self.eval_term(result, env);
+                    }
+                }
+                match else_ {
+                    Some(e) => self.eval_term(e, env),
+                    None => Ok(Value::Null),
+                }
+            }
+            // COALESCE is lazy left-to-right: operands after the first
+            // non-null are not evaluated, so their errors are not raised.
+            Term::Coalesce(terms) => {
+                for t in terms {
+                    let v = self.eval_term(t, env)?;
+                    if !v.is_null() {
+                        return Ok(v);
+                    }
+                }
+                Ok(Value::Null)
+            }
+            // NULLIF(a, b) = CASE WHEN a = b THEN NULL ELSE a END, with
+            // `=` read under the active logic mode.
+            Term::Nullif(a, b) => {
+                let l = self.eval_term(a, env)?;
+                let r = self.eval_term(b, env)?;
+                if self.cmp_values(&l, CmpOp::Eq, &r)?.is_true() {
+                    Ok(Value::Null)
+                } else {
+                    Ok(l)
+                }
+            }
         }
     }
 }
@@ -1140,8 +1284,10 @@ mod tests {
     #[test]
     fn empty_from_is_malformed() {
         let db = example2_db();
-        let q =
-            Query::Select(SelectQuery::new(SelectList::items([(Term::from(1i64), "X")]), vec![]));
+        let q = Query::Select(SelectQuery::new(
+            SelectList::items([(Term::from(1i64), "X")]),
+            Vec::<FromExpr>::new(),
+        ));
         assert!(matches!(Evaluator::new(&db).eval(&q).unwrap_err(), EvalError::Malformed(_)));
     }
 

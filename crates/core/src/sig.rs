@@ -15,7 +15,7 @@
 //! tuple of **full** names the clause brings into scope; the evaluator
 //! binds it to each record of the Cartesian product (§3).
 
-use crate::ast::{FromItem, Query, SelectList, TableRef};
+use crate::ast::{FromExpr, FromItem, Query, SelectList, TableRef};
 use crate::error::EvalError;
 use crate::name::{FullName, Name};
 use crate::schema::Schema;
@@ -36,8 +36,10 @@ pub fn output_columns(query: &Query, schema: &Schema) -> Result<Vec<Name>, EvalE
             }
             SelectList::Star => {
                 let mut cols = Vec::new();
-                for item in &s.from {
-                    cols.extend(from_item_columns(item, schema)?);
+                for fe in &s.from {
+                    for item in fe.leaves() {
+                        cols.extend(from_item_columns(item, schema)?);
+                    }
                 }
                 Ok(cols)
             }
@@ -71,28 +73,42 @@ pub fn from_item_columns(item: &FromItem, schema: &Schema) -> Result<Vec<Name>, 
     }
 }
 
-/// The scope `ℓ(τ:β)` of a `FROM` clause: each item's columns prefixed by
-/// its alias, concatenated in clause order (§3).
-///
-/// Also rejects duplicate aliases within one `FROM` clause, which RDBMSs
-/// refuse at compile time.
-pub fn scope(from: &[FromItem], schema: &Schema) -> Result<Vec<FullName>, EvalError> {
-    check_distinct_aliases(from)?;
+/// The scope contributed by one `FROM` expression: every leaf item's
+/// columns prefixed by its alias, left to right — a join introduces no
+/// alias of its own, so its scope is just the concatenation of its
+/// operands' scopes.
+pub fn from_expr_scope(fe: &FromExpr, schema: &Schema) -> Result<Vec<FullName>, EvalError> {
     let mut names = Vec::new();
-    for item in from {
+    for item in fe.leaves() {
         let cols = from_item_columns(item, schema)?;
         names.extend(item.alias.prefix(&cols));
     }
     Ok(names)
 }
 
-/// Errors with [`EvalError::DuplicateAlias`] if two `FROM` items share an
-/// alias.
-pub fn check_distinct_aliases(from: &[FromItem]) -> Result<(), EvalError> {
+/// The scope `ℓ(τ:β)` of a `FROM` clause: each leaf item's columns
+/// prefixed by its alias, concatenated in clause order (§3).
+///
+/// Also rejects duplicate aliases within one `FROM` clause, which RDBMSs
+/// refuse at compile time.
+pub fn scope(from: &[FromExpr], schema: &Schema) -> Result<Vec<FullName>, EvalError> {
+    check_distinct_aliases(from)?;
+    let mut names = Vec::new();
+    for fe in from {
+        names.extend(from_expr_scope(fe, schema)?);
+    }
+    Ok(names)
+}
+
+/// Errors with [`EvalError::DuplicateAlias`] if two `FROM` leaf items
+/// share an alias — including leaves on opposite sides of a join.
+pub fn check_distinct_aliases(from: &[FromExpr]) -> Result<(), EvalError> {
     let mut seen = std::collections::HashSet::with_capacity(from.len());
-    for item in from {
-        if !seen.insert(&item.alias) {
-            return Err(EvalError::DuplicateAlias(item.alias.clone()));
+    for fe in from {
+        for item in fe.leaves() {
+            if !seen.insert(item.alias.clone()) {
+                return Err(EvalError::DuplicateAlias(item.alias.clone()));
+            }
         }
     }
     Ok(())
@@ -156,7 +172,8 @@ mod tests {
 
     #[test]
     fn scope_prefixes_with_aliases() {
-        let from = vec![FromItem::base("R", "X"), FromItem::base("S", "Y")];
+        let from: Vec<FromExpr> =
+            vec![FromItem::base("R", "X").into(), FromItem::base("S", "Y").into()];
         let s = scope(&from, &schema()).unwrap();
         assert_eq!(
             s,
@@ -171,19 +188,20 @@ mod tests {
 
     #[test]
     fn scope_rejects_duplicate_aliases() {
-        let from = vec![FromItem::base("R", "T"), FromItem::base("S", "T")];
+        let from: Vec<FromExpr> =
+            vec![FromItem::base("R", "T").into(), FromItem::base("S", "T").into()];
         assert_eq!(scope(&from, &schema()).unwrap_err(), EvalError::DuplicateAlias(Name::new("T")));
     }
 
     #[test]
     fn unknown_base_table_is_an_error() {
-        let from = vec![FromItem::base("Z", "Z")];
+        let from: Vec<FromExpr> = vec![FromItem::base("Z", "Z").into()];
         assert_eq!(scope(&from, &schema()).unwrap_err(), EvalError::UnknownTable(Name::new("Z")));
     }
 
     #[test]
     fn column_rename_arity_checked() {
-        let from = vec![FromItem::base("R", "T").with_columns(["X"])];
+        let from: Vec<FromExpr> = vec![FromItem::base("R", "T").with_columns(["X"]).into()];
         assert!(matches!(
             scope(&from, &schema()).unwrap_err(),
             EvalError::ColumnRenameArity { expected: 2, got: 1, .. }
@@ -196,7 +214,7 @@ mod tests {
             SelectList::items([(Term::col("R", "A"), "P"), (Term::col("R", "B"), "Q")]),
             vec![FromItem::base("R", "R")],
         ));
-        let from = vec![FromItem::subquery(inner, "U")];
+        let from: Vec<FromExpr> = vec![FromItem::subquery(inner, "U").into()];
         let s = scope(&from, &schema()).unwrap();
         assert_eq!(s, vec![FullName::new("U", "P"), FullName::new("U", "Q")]);
     }

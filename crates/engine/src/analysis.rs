@@ -123,6 +123,24 @@ pub(crate) fn col_types(plan: &Plan, frames: &mut TypeFrames, db: &Database) -> 
             l.extend(col_types(right, frames, db));
             l
         }
+        // An outer join null-pads the dangling side's counterpart: every
+        // column of a padded side may additionally be NULL.
+        Plan::OuterJoin { kind, left, right, .. } => {
+            let mut l = col_types(left, frames, db);
+            let mut r = col_types(right, frames, db);
+            if kind.keeps_right() {
+                for c in &mut l {
+                    *c = c.union(TypeSet(TypeSet::NULL));
+                }
+            }
+            if kind.keeps_left() {
+                for c in &mut r {
+                    *c = c.union(TypeSet(TypeSet::NULL));
+                }
+            }
+            l.extend(r);
+            l
+        }
         Plan::GroupAggregate { input, keys, aggs, output, .. } => {
             let group = group_frame_types(input, keys, aggs, frames, db);
             frames.push(group);
@@ -205,6 +223,11 @@ pub(crate) fn expr_types(expr: &Expr, frames: &TypeFrames) -> Option<TypeSet> {
                 .copied()
                 .unwrap_or(TypeSet::ALL),
         ),
+        // Conservatively error-capable: CASE branch predicates and the
+        // NULLIF comparison can raise type errors (and may run subplans),
+        // and COALESCE's laziness makes its error behaviour depend on
+        // the data. None of the totality-gated rewrites apply to them.
+        Expr::Case { .. } | Expr::Coalesce(_) | Expr::Nullif(..) => None,
     }
 }
 
@@ -302,6 +325,19 @@ pub(crate) fn plan_total(plan: &Plan, frames: &mut TypeFrames, db: &Database) ->
         Plan::HashJoin { left, right, .. } => {
             plan_total(left, frames, db) && plan_total(right, frames, db)
         }
+        // Total iff both inputs are and the ON condition is, under the
+        // joined-row frame (the padded output types are a superset of
+        // the candidate rows ON actually sees, so they are safe here).
+        Plan::OuterJoin { left, right, on, .. } => {
+            if !plan_total(left, frames, db) || !plan_total(right, frames, db) {
+                return false;
+            }
+            let types = col_types(plan, frames, db);
+            frames.push(types);
+            let ok = pred_total(on, frames, db);
+            frames.pop();
+            ok
+        }
         Plan::Limit { input, .. } => plan_total(input, frames, db),
         // A sort is total iff its keys resolve (no deferred errors) and
         // each key column is single-typed, so neither the comparison nor
@@ -358,6 +394,12 @@ pub(crate) fn plan_is_correlated(plan: &Plan, local: usize) -> bool {
         Plan::SetOp { left, right, .. } | Plan::HashJoin { left, right, .. } => {
             plan_is_correlated(left, local) || plan_is_correlated(right, local)
         }
+        // ON runs under the joined-row frame, one extra local frame.
+        Plan::OuterJoin { left, right, on, .. } => {
+            plan_is_correlated(left, local)
+                || plan_is_correlated(right, local)
+                || pred_is_correlated(on, local + 1)
+        }
         Plan::Limit { input, .. } => plan_is_correlated(input, local),
         // Sort keys run under the output-row frame, one extra local
         // frame like `Project` expressions.
@@ -401,7 +443,17 @@ fn pred_is_correlated(pred: &Pred, local: usize) -> bool {
 }
 
 fn expr_escapes(expr: &Expr, local: usize) -> bool {
-    matches!(expr, Expr::Col { depth, .. } if *depth >= local)
+    match expr {
+        Expr::Col { depth, .. } => *depth >= local,
+        Expr::Const(_) | Expr::Deferred(_) => false,
+        // Combinators evaluate in place — no frame of their own.
+        Expr::Case { branches, else_ } => {
+            branches.iter().any(|(p, e)| pred_is_correlated(p, local) || expr_escapes(e, local))
+                || else_.as_ref().is_some_and(|e| expr_escapes(e, local))
+        }
+        Expr::Coalesce(exprs) => exprs.iter().any(|e| expr_escapes(e, local)),
+        Expr::Nullif(a, b) => expr_escapes(a, local) || expr_escapes(b, local),
+    }
 }
 
 /// `true` iff the plan invokes any user predicate (an opaque, possibly
@@ -416,6 +468,9 @@ pub(crate) fn plan_has_user_pred(plan: &Plan) -> bool {
         Plan::SetOp { left, right, .. } | Plan::HashJoin { left, right, .. } => {
             plan_has_user_pred(left) || plan_has_user_pred(right)
         }
+        Plan::OuterJoin { left, right, on, .. } => {
+            plan_has_user_pred(left) || plan_has_user_pred(right) || pred_has_user_pred(on)
+        }
         Plan::GroupAggregate { input, having, .. } => {
             plan_has_user_pred(input) || having.as_ref().is_some_and(pred_has_user_pred)
         }
@@ -428,9 +483,31 @@ pub(crate) fn plan_has_user_pred(plan: &Plan) -> bool {
 fn pred_has_user_pred(pred: &Pred) -> bool {
     match pred {
         Pred::User { .. } => true,
-        Pred::In { plan, .. } | Pred::Exists { plan, .. } => plan_has_user_pred(plan),
+        Pred::In { exprs, plan, .. } => {
+            exprs.iter().any(expr_has_user_pred) || plan_has_user_pred(plan)
+        }
+        Pred::Exists { plan, .. } => plan_has_user_pred(plan),
         Pred::And(a, b) | Pred::Or(a, b) => pred_has_user_pred(a) || pred_has_user_pred(b),
         Pred::Not(p) => pred_has_user_pred(p),
-        _ => false,
+        Pred::Cmp { left, right, .. } | Pred::IsDistinct { left, right, .. } => {
+            expr_has_user_pred(left) || expr_has_user_pred(right)
+        }
+        Pred::Like { term, pattern, .. } => expr_has_user_pred(term) || expr_has_user_pred(pattern),
+        Pred::IsNull { expr, .. } => expr_has_user_pred(expr),
+        Pred::True | Pred::False => false,
+    }
+}
+
+/// Expressions can nest predicates (and through them, subplans) inside
+/// `CASE` branches — the walk must descend into them.
+fn expr_has_user_pred(expr: &Expr) -> bool {
+    match expr {
+        Expr::Const(_) | Expr::Col { .. } | Expr::Deferred(_) => false,
+        Expr::Case { branches, else_ } => {
+            branches.iter().any(|(p, e)| pred_has_user_pred(p) || expr_has_user_pred(e))
+                || else_.as_ref().is_some_and(|e| expr_has_user_pred(e))
+        }
+        Expr::Coalesce(exprs) => exprs.iter().any(expr_has_user_pred),
+        Expr::Nullif(a, b) => expr_has_user_pred(a) || expr_has_user_pred(b),
     }
 }

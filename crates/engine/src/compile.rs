@@ -14,7 +14,7 @@
 use std::collections::HashSet;
 
 use sqlsem_core::ast::{
-    Aggregate, Condition, FromItem, Query, SelectList, SelectQuery, TableRef, Term,
+    Aggregate, Condition, FromExpr, FromItem, Query, SelectList, SelectQuery, TableRef, Term,
 };
 use sqlsem_core::{
     AggFunc, Database, Dialect, EvalError, FullName, Name, STAR_EXISTS_COLUMN, STAR_EXISTS_CONSTANT,
@@ -105,9 +105,9 @@ impl Compiler<'_> {
         // Compile FROM inputs in the *enclosing* scopes only.
         let mut inputs = Vec::with_capacity(s.from.len());
         let mut scope: Vec<FullName> = Vec::new();
-        for item in &s.from {
-            let (plan, columns) = self.from_item(item)?;
-            scope.extend(item.alias.prefix(&columns));
+        for fe in &s.from {
+            let (plan, fe_scope) = self.from_expr(fe)?;
+            scope.extend(fe_scope);
             inputs.push(plan);
         }
         let product = if inputs.len() == 1 {
@@ -177,7 +177,8 @@ impl Compiler<'_> {
         for i in 0..aggs.len() {
             group_scope.push(placeholder(s.group_by.len() + i));
         }
-        let local_aliases: HashSet<Name> = s.from.iter().map(|f| f.alias.clone()).collect();
+        let local_aliases: HashSet<Name> =
+            s.from.iter().flat_map(FromExpr::leaves).map(|f| f.alias.clone()).collect();
         *self.stack.last_mut().expect("local scope pushed") = group_scope;
         self.group = Some(GroupContext { keys: s.group_by.clone(), aggs: aggs_ast, local_aliases });
 
@@ -299,6 +300,41 @@ impl Compiler<'_> {
         Ok(Prepared { plan, columns, cache_slots: 0 })
     }
 
+    /// Compiles one `FROM`-clause entry — a plain item or a join tree —
+    /// returning its plan and the full names its row contributes to the
+    /// block scope. `ON` conditions are compiled with the joined scope
+    /// (left ++ right) temporarily pushed as the innermost frame, so
+    /// depth-0 references inside them bind the candidate joined row and
+    /// correlated references deepen by one — exactly how the executor
+    /// evaluates them at run time.
+    #[allow(clippy::wrong_self_convention)]
+    fn from_expr(&mut self, fe: &FromExpr) -> Result<(Plan, Vec<FullName>), EvalError> {
+        match fe {
+            FromExpr::Item(item) => {
+                let (plan, columns) = self.from_item(item)?;
+                Ok((plan, item.alias.prefix(&columns)))
+            }
+            FromExpr::Join { kind, left, right, on } => {
+                let (lp, lscope) = self.from_expr(left)?;
+                let (rp, rscope) = self.from_expr(right)?;
+                let mut scope = lscope;
+                scope.extend(rscope);
+                self.stack.push(scope);
+                let on = self.condition(on);
+                let scope = self.stack.pop().expect("joined scope pushed above");
+                Ok((
+                    Plan::OuterJoin {
+                        kind: *kind,
+                        left: Box::new(lp),
+                        right: Box::new(rp),
+                        on: on?,
+                    },
+                    scope,
+                ))
+            }
+        }
+    }
+
     // `from_*` here is the FROM clause, not a conversion constructor.
     #[allow(clippy::wrong_self_convention)]
     fn from_item(&mut self, item: &FromItem) -> Result<(Plan, Vec<Name>), EvalError> {
@@ -408,6 +444,23 @@ impl Compiler<'_> {
         match term {
             Term::Const(v) => Ok(Expr::Const(v.clone())),
             Term::Col(name) => self.resolve(name),
+            Term::Case { branches, else_ } => {
+                let mut compiled = Vec::with_capacity(branches.len());
+                for (cond, result) in branches {
+                    compiled.push((self.condition(cond)?, self.term(result)?));
+                }
+                let else_ = match else_ {
+                    Some(t) => Some(Box::new(self.term(t)?)),
+                    None => None,
+                };
+                Ok(Expr::Case { branches: compiled, else_ })
+            }
+            Term::Coalesce(terms) => {
+                Ok(Expr::Coalesce(terms.iter().map(|t| self.term(t)).collect::<Result<_, _>>()?))
+            }
+            Term::Nullif(a, b) => {
+                Ok(Expr::Nullif(Box::new(self.term(a)?), Box::new(self.term(b)?)))
+            }
             // Aggregates outside a grouped SELECT/HAVING: WHERE clauses,
             // GROUP BY keys, nested aggregate arguments.
             Term::Agg(_) => self.fail(EvalError::MisplacedAggregate("this context")),

@@ -14,6 +14,7 @@
 use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 
+use sqlsem_core::ast::JoinKind;
 use sqlsem_core::order;
 use sqlsem_core::{
     AggFunc, CmpOp, Database, Dialect, EvalError, LogicMode, PredicateRegistry, Row, SetOp, Truth,
@@ -129,6 +130,7 @@ impl<'a> Executor<'a> {
                 Ok(set_op(*op, *all, l, r))
             }
             Plan::HashJoin { left, right, keys } => self.hash_join(left, right, keys),
+            Plan::OuterJoin { kind, left, right, on } => self.outer_join(*kind, left, right, on),
             Plan::GroupAggregate { input, keys, aggs, having, output } => {
                 self.group_aggregate(input, keys, aggs, having.as_ref(), output)
             }
@@ -381,6 +383,57 @@ impl<'a> Executor<'a> {
         Ok(out)
     }
 
+    /// Nested-loop outer join in the canonical order of the semantics:
+    /// for each left row (in order) every joining right row (in order),
+    /// a null-padded row inline when a kept left row dangles, then the
+    /// dangling right rows trailing (in order) when the kind keeps them.
+    /// A row *dangles* iff the `ON` condition is **true** for no
+    /// counterpart: an *unknown* verdict neither joins the pair nor
+    /// blocks the padding. `ON` is evaluated left-major with the joined
+    /// candidate row pushed as the innermost frame, so its subplans see
+    /// outer rows at `depth ≥ 1` exactly as under `Filter`.
+    fn outer_join(
+        &mut self,
+        kind: JoinKind,
+        left: &Plan,
+        right: &Plan,
+        on: &Pred,
+    ) -> Result<Vec<Row>, EvalError> {
+        // Left first: materialization order is clause order, so error
+        // order matches the naive product's.
+        let lrows = self.run(left)?;
+        let rrows = self.run(right)?;
+        let lpad = Row::new(vec![Value::Null; left.arity(self.db)]);
+        let rpad = Row::new(vec![Value::Null; right.arity(self.db)]);
+        let mut right_matched = vec![false; rrows.len()];
+        let mut out = Vec::new();
+        for lrow in &lrows {
+            let mut matched = false;
+            for (i, rrow) in rrows.iter().enumerate() {
+                self.frames.push(lrow.concat(rrow));
+                let verdict = self.eval_pred(on);
+                let joined = self.frames.pop().expect("frame pushed above");
+                if verdict?.is_true() {
+                    matched = true;
+                    right_matched[i] = true;
+                    out.push(joined);
+                }
+            }
+            if !matched && kind.keeps_left() {
+                out.push(lrow.concat(&rpad));
+            }
+        }
+        if kind.keeps_right() {
+            for (i, rrow) in rrows.iter().enumerate() {
+                if !right_matched[i] {
+                    out.push(lpad.concat(rrow));
+                }
+            }
+        }
+        self.produced += out.len();
+        Ok(out)
+    }
+
     /// Pushes a correlation frame — the vectorized executor's guarded
     /// per-row paths use this to evaluate expressions and predicates
     /// through the row engine, so both executors share one semantics.
@@ -393,7 +446,9 @@ impl<'a> Executor<'a> {
         self.frames.pop().expect("pop_frame pairs with push_frame")
     }
 
-    pub(crate) fn eval_expr(&self, expr: &Expr) -> Result<Value, EvalError> {
+    // `&mut self` because `Case` branch predicates are full [`Pred`]s:
+    // they may run subplans, which touch the caches and row counters.
+    pub(crate) fn eval_expr(&mut self, expr: &Expr) -> Result<Value, EvalError> {
         match expr {
             Expr::Const(v) => Ok(v.clone()),
             Expr::Deferred(err) => Err(err.clone()),
@@ -408,6 +463,37 @@ impl<'a> Executor<'a> {
                     .get(*index)
                     .cloned()
                     .ok_or_else(|| EvalError::malformed("column index out of range"))
+            }
+            Expr::Case { branches, else_ } => {
+                for (pred, result) in branches {
+                    if self.eval_pred(pred)?.is_true() {
+                        return self.eval_expr(result);
+                    }
+                }
+                match else_ {
+                    Some(e) => self.eval_expr(e),
+                    None => Ok(Value::Null),
+                }
+            }
+            Expr::Coalesce(exprs) => {
+                // Lazy left to right: operands after the first non-NULL
+                // one are not evaluated, so their errors are not raised.
+                for e in exprs {
+                    let v = self.eval_expr(e)?;
+                    if !v.is_null() {
+                        return Ok(v);
+                    }
+                }
+                Ok(Value::Null)
+            }
+            Expr::Nullif(a, b) => {
+                let l = self.eval_expr(a)?;
+                let r = self.eval_expr(b)?;
+                if self.compare(&l, CmpOp::Eq, &r)?.is_true() {
+                    Ok(Value::Null)
+                } else {
+                    Ok(l)
+                }
             }
         }
     }
@@ -745,6 +831,7 @@ impl<'p> Cursor<'p> {
             Plan::Scan { .. }
             | Plan::SetOp { .. }
             | Plan::HashJoin { .. }
+            | Plan::OuterJoin { .. }
             | Plan::GroupAggregate { .. }
             | Plan::Sort { .. }
             | Plan::Limit { .. }

@@ -70,6 +70,12 @@ fn vec_note(plan: &Plan, ctx: Option<&VecCtx>) -> String {
             BatchMode::Kernel => format!(" [vectorized, batch={}]", ctx.batch),
             BatchMode::Guarded => String::new(),
         },
+        // An equi-ON outer join takes the hash fast path; other shapes
+        // fall back to the row engine's nested loop and print nothing.
+        Plan::OuterJoin { .. } => match ctx.routes.mode(plan) {
+            BatchMode::Kernel => format!(" [vectorized, hash, batch={}]", ctx.batch),
+            BatchMode::Guarded => String::new(),
+        },
         _ => String::new(),
     }
 }
@@ -165,6 +171,12 @@ fn explain_plan(plan: &Plan, level: usize, out: &mut String, ctx: Option<&VecCtx
             );
             explain_plan(input, level + 1, out, ctx);
         }
+        Plan::OuterJoin { kind, left, right, on } => {
+            let _ = writeln!(out, "{} on {}{note}", kind.keyword(), render_pred(on));
+            explain_plan(left, level + 1, out, ctx);
+            explain_plan(right, level + 1, out, ctx);
+            explain_subplans(on, level + 1, out);
+        }
         Plan::HashJoin { left, right, keys } => {
             let rendered: Vec<String> = keys
                 .iter()
@@ -256,6 +268,22 @@ fn render_expr(expr: &Expr) -> String {
         Expr::Const(v) => v.to_string(),
         Expr::Col { depth, index } => format!("#{depth}.{index}"),
         Expr::Deferred(err) => format!("⟂({err})"),
+        Expr::Case { branches, else_ } => {
+            let mut s = String::from("CASE");
+            for (pred, result) in branches {
+                let _ = write!(s, " WHEN {} THEN {}", render_pred(pred), render_expr(result));
+            }
+            if let Some(e) = else_ {
+                let _ = write!(s, " ELSE {}", render_expr(e));
+            }
+            s.push_str(" END");
+            s
+        }
+        Expr::Coalesce(exprs) => {
+            let rendered: Vec<String> = exprs.iter().map(render_expr).collect();
+            format!("COALESCE({})", rendered.join(", "))
+        }
+        Expr::Nullif(a, b) => format!("NULLIF({}, {})", render_expr(a), render_expr(b)),
     }
 }
 

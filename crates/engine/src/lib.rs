@@ -293,7 +293,9 @@ fn plan_scan_rows(plan: &Plan, db: &Database) -> usize {
         | Plan::Sort { input, .. }
         | Plan::Limit { input, .. }
         | Plan::TopK { input, .. } => plan_scan_rows(input, db),
-        Plan::SetOp { left, right, .. } | Plan::HashJoin { left, right, .. } => {
+        Plan::SetOp { left, right, .. }
+        | Plan::HashJoin { left, right, .. }
+        | Plan::OuterJoin { left, right, .. } => {
             plan_scan_rows(left, db).max(plan_scan_rows(right, db))
         }
     }
@@ -346,6 +348,19 @@ mod tests {
             "SELECT T.n AS n FROM (SELECT R.A AS k, COUNT(*) AS n FROM R GROUP BY R.A) AS T \
              WHERE T.n > 1",
             "SELECT A FROM S WHERE A IN (SELECT R.A FROM R GROUP BY R.A HAVING COUNT(*) > 1)",
+            // The outer-join and combinator fragment.
+            "SELECT * FROM R LEFT JOIN S ON R.A = S.A",
+            "SELECT * FROM R RIGHT OUTER JOIN S ON R.A = S.A",
+            "SELECT * FROM R FULL JOIN S ON R.A = S.A",
+            "SELECT * FROM R LEFT JOIN S ON R.A < S.A",
+            "SELECT x.B FROM R x LEFT JOIN R y ON x.A = y.A AND y.B IS NOT NULL",
+            "SELECT S.A FROM S LEFT JOIN R ON EXISTS (SELECT * FROM R z WHERE z.A = S.A)",
+            "SELECT CASE WHEN R.A = 1 THEN R.B ELSE R.A END AS c FROM R",
+            "SELECT CASE WHEN R.A IS NULL THEN 0 END AS c FROM R",
+            "SELECT COALESCE(R.B, R.A, 7) AS c FROM R",
+            "SELECT NULLIF(R.A, 1) AS n FROM R",
+            "SELECT R.A FROM R WHERE COALESCE(R.B, 0) > 1",
+            "SELECT R.A AS k, COUNT(COALESCE(R.B, R.A)) AS n FROM R GROUP BY R.A",
         ];
         for text in queries {
             let q = sql(text, &schema).unwrap();
@@ -483,6 +498,36 @@ mod tests {
         };
         assert!(naive.contains("Sort keys=["), "{naive}");
         assert!(naive.contains("Limit n=5 offset=2"), "{naive}");
+    }
+
+    #[test]
+    fn adaptive_dispatch_cuts_over_exactly_at_the_calibrated_row_count() {
+        // The dispatch rule is `rows >= ADAPTIVE_ROW_CUTOFF`: one row
+        // below the cutoff stays on the row engine, the cutoff itself
+        // and one above it vectorize. Pinning the boundary keeps the
+        // calibrated constant from silently drifting off-by-one.
+        let schema = Schema::builder().table("T", ["A"]).build().unwrap();
+        let q = sql("SELECT A FROM T WHERE A > 0", &schema).unwrap();
+        for (rows, vectorized) in [
+            (ADAPTIVE_ROW_CUTOFF - 1, false),
+            (ADAPTIVE_ROW_CUTOFF, true),
+            (ADAPTIVE_ROW_CUTOFF + 1, true),
+        ] {
+            let mut db = Database::new(schema.clone());
+            let data: Vec<_> = (0..rows as i64).map(|i| sqlsem_core::row![i]).collect();
+            db.insert("T", Table::with_rows(vec!["A".into()], data).unwrap()).unwrap();
+            let engine = Engine::new(&db).with_adaptive(true);
+            let plan = engine.explain(&q).unwrap();
+            if vectorized {
+                assert!(plan.starts_with("dispatch: [adaptive: vectorized"), "{rows}: {plan}");
+            } else {
+                assert!(plan.starts_with("dispatch: [adaptive: row"), "{rows}: {plan}");
+            }
+            // The dispatch decision only picks an executor; results are
+            // identical on both sides of the boundary.
+            let out = engine.execute(&q).unwrap();
+            assert_eq!(out.len(), rows.saturating_sub(1));
+        }
     }
 
     #[test]

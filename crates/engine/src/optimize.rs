@@ -163,7 +163,49 @@ fn route_node(plan: &Plan, db: &Database, routes: &mut BatchRoutes) {
             route_node(left, db, routes);
             route_node(right, db, routes);
         }
+        // An outer join kernels as a hash join with matched-row
+        // bookkeeping iff its ON is a single in-range equi-comparison
+        // that spans the two sides **and** the comparison is provably
+        // total for the inputs' column types: the hash path never
+        // evaluates the comparison value-by-value, so an error-capable
+        // one (mixed-type columns) must take the nested-loop fallback.
+        Plan::OuterJoin { left, right, on, .. } => {
+            route_node(left, db, routes);
+            route_node(right, db, routes);
+            let (la, ra) = (left.arity(db), right.arity(db));
+            let kernel = outer_equi_shape(on, la, ra).is_some() && {
+                let mut types = col_types(left, &mut Vec::new(), db);
+                types.extend(col_types(right, &mut Vec::new(), db));
+                pred_total(on, &mut vec![types], db)
+            };
+            routes.modes.insert(addr, if kernel { BatchMode::Kernel } else { BatchMode::Guarded });
+        }
     }
+}
+
+/// Matches an outer join's ON of the shape `#0.l = #0.r` where `l` falls
+/// in the left input and `r` in the right (either written order),
+/// returning the key positions *local to each side*. Only this shape may
+/// take the vectorized hash path.
+pub(crate) fn outer_equi_shape(
+    on: &Pred,
+    left_arity: usize,
+    right_arity: usize,
+) -> Option<JoinKey> {
+    let Pred::Cmp {
+        left: Expr::Col { depth: 0, index: a },
+        op: CmpOp::Eq,
+        right: Expr::Col { depth: 0, index: b },
+    } = on
+    else {
+        return None;
+    };
+    let (l, r) = if a < b { (*a, *b) } else { (*b, *a) };
+    (l < left_arity && (left_arity..left_arity + right_arity).contains(&r)).then(|| JoinKey {
+        left: l,
+        right: r - left_arity,
+        null_safe: false,
+    })
 }
 
 /// Structural half of the filter-kernel gate: only predicates built
@@ -186,12 +228,17 @@ fn kernel_pred(pred: &Pred, arity: usize) -> bool {
 }
 
 /// `true` for expressions a kernel can evaluate over a batch: constants
-/// (broadcast) and in-range depth-0 columns (gather).
+/// (broadcast) and in-range depth-0 columns (gather). Combinators never
+/// kernel — their branching and laziness are row-at-a-time semantics.
 fn kernel_expr(expr: &Expr, arity: usize) -> bool {
     match expr {
         Expr::Const(_) => true,
         Expr::Col { depth: 0, index } => *index < arity,
-        Expr::Col { .. } | Expr::Deferred(_) => false,
+        Expr::Col { .. }
+        | Expr::Deferred(_)
+        | Expr::Case { .. }
+        | Expr::Coalesce(_)
+        | Expr::Nullif(..) => false,
     }
 }
 
@@ -222,6 +269,20 @@ impl Optimizer<'_> {
                 right: Box::new(self.plan(*right)),
                 keys,
             },
+            // The join itself stays put (its canonical row order is the
+            // operator's contract), but ON subqueries get the usual
+            // treatment — cache slots and early exit — under the
+            // joined-row frame.
+            Plan::OuterJoin { kind, left, right, on } => {
+                let left = Box::new(self.plan(*left));
+                let right = Box::new(self.plan(*right));
+                let mut types = col_types(&left, &mut self.frames, self.db);
+                types.extend(col_types(&right, &mut self.frames, self.db));
+                self.frames.push(types);
+                let on = self.pred(on);
+                self.frames.pop();
+                Plan::OuterJoin { kind, left, right, on }
+            }
             Plan::Project { input, exprs } => {
                 Plan::Project { input: Box::new(self.plan(*input)), exprs }
             }
@@ -571,13 +632,32 @@ impl Optimizer<'_> {
     }
 }
 
-/// `true` iff the predicate contains an `IN`/`EXISTS` subplan anywhere.
+/// `true` iff the predicate contains an `IN`/`EXISTS` subplan anywhere —
+/// including inside `CASE` branch predicates nested in expressions.
 fn pred_has_subplan(pred: &Pred) -> bool {
     match pred {
         Pred::In { .. } | Pred::Exists { .. } => true,
         Pred::And(a, b) | Pred::Or(a, b) => pred_has_subplan(a) || pred_has_subplan(b),
         Pred::Not(p) => pred_has_subplan(p),
-        _ => false,
+        Pred::Cmp { left, right, .. } | Pred::IsDistinct { left, right, .. } => {
+            expr_has_subplan(left) || expr_has_subplan(right)
+        }
+        Pred::Like { term, pattern, .. } => expr_has_subplan(term) || expr_has_subplan(pattern),
+        Pred::User { args, .. } => args.iter().any(expr_has_subplan),
+        Pred::IsNull { expr, .. } => expr_has_subplan(expr),
+        Pred::True | Pred::False => false,
+    }
+}
+
+fn expr_has_subplan(expr: &Expr) -> bool {
+    match expr {
+        Expr::Const(_) | Expr::Col { .. } | Expr::Deferred(_) => false,
+        Expr::Case { branches, else_ } => {
+            branches.iter().any(|(p, e)| pred_has_subplan(p) || expr_has_subplan(e))
+                || else_.as_ref().is_some_and(|e| expr_has_subplan(e))
+        }
+        Expr::Coalesce(exprs) => exprs.iter().any(expr_has_subplan),
+        Expr::Nullif(a, b) => expr_has_subplan(a) || expr_has_subplan(b),
     }
 }
 
@@ -587,10 +667,7 @@ fn pred_has_subplan(pred: &Pred) -> bool {
 /// — the group frame and the input-row frame sit at the same stack
 /// height. Only called on subplan-free conjuncts.
 fn subst_key_refs(pred: Pred, keys: &[Expr]) -> Pred {
-    let expr = |e: Expr| match e {
-        Expr::Col { depth: 0, index } => keys[index].clone(),
-        e => e,
-    };
+    let expr = |e: Expr| subst_key_expr(e, keys);
     match pred {
         Pred::True | Pred::False => pred,
         Pred::Cmp { left, op, right } => Pred::Cmp { left: expr(left), op, right: expr(right) },
@@ -614,6 +691,29 @@ fn subst_key_refs(pred: Pred, keys: &[Expr]) -> Pred {
         Pred::In { .. } | Pred::Exists { .. } => {
             unreachable!("subplan conjuncts are never pushed")
         }
+    }
+}
+
+/// The expression half of [`subst_key_refs`]: combinators substitute
+/// recursively (they add no frame, so depth 0 still means the group
+/// frame inside them).
+fn subst_key_expr(e: Expr, keys: &[Expr]) -> Expr {
+    match e {
+        Expr::Col { depth: 0, index } => keys[index].clone(),
+        Expr::Case { branches, else_ } => Expr::Case {
+            branches: branches
+                .into_iter()
+                .map(|(p, r)| (subst_key_refs(p, keys), subst_key_expr(r, keys)))
+                .collect(),
+            else_: else_.map(|e| Box::new(subst_key_expr(*e, keys))),
+        },
+        Expr::Coalesce(exprs) => {
+            Expr::Coalesce(exprs.into_iter().map(|e| subst_key_expr(e, keys)).collect())
+        }
+        Expr::Nullif(a, b) => {
+            Expr::Nullif(Box::new(subst_key_expr(*a, keys)), Box::new(subst_key_expr(*b, keys)))
+        }
+        e => e,
     }
 }
 
@@ -666,13 +766,7 @@ fn product_refs(pred: &Pred, target: usize) -> Vec<usize> {
 }
 
 fn collect_pred_refs(pred: &Pred, target: usize, out: &mut Vec<usize>) {
-    let mut expr = |e: &Expr| {
-        if let Expr::Col { depth, index } = e {
-            if *depth == target {
-                out.push(*index);
-            }
-        }
-    };
+    let mut expr = |e: &Expr| collect_expr_refs(e, target, out);
     match pred {
         Pred::True | Pred::False => {}
         Pred::Cmp { left, right, .. } | Pred::IsDistinct { left, right, .. } => {
@@ -698,6 +792,30 @@ fn collect_pred_refs(pred: &Pred, target: usize, out: &mut Vec<usize>) {
     }
 }
 
+/// Collects an expression's references at the target depth, descending
+/// into combinators (which add no frame of their own — their branch
+/// predicates see the same stack as the expression itself).
+fn collect_expr_refs(expr: &Expr, target: usize, out: &mut Vec<usize>) {
+    match expr {
+        Expr::Col { depth, index } if *depth == target => out.push(*index),
+        Expr::Col { .. } | Expr::Const(_) | Expr::Deferred(_) => {}
+        Expr::Case { branches, else_ } => {
+            for (p, e) in branches {
+                collect_pred_refs(p, target, out);
+                collect_expr_refs(e, target, out);
+            }
+            if let Some(e) = else_ {
+                collect_expr_refs(e, target, out);
+            }
+        }
+        Expr::Coalesce(exprs) => exprs.iter().for_each(|e| collect_expr_refs(e, target, out)),
+        Expr::Nullif(a, b) => {
+            collect_expr_refs(a, target, out);
+            collect_expr_refs(b, target, out);
+        }
+    }
+}
+
 /// Walks a subplan looking for references that resolve to the filter
 /// frame. Each `Filter`/`Project` inside the subplan pushes one more
 /// runtime frame around its expressions, so the target depth grows by
@@ -716,16 +834,19 @@ fn collect_plan_refs(plan: &Plan, target: usize, out: &mut Vec<usize>) {
         Plan::Project { input, exprs } => {
             collect_plan_refs(input, target, out);
             for e in exprs {
-                if let Expr::Col { depth, index } = e {
-                    if *depth == target + 1 {
-                        out.push(*index);
-                    }
-                }
+                collect_expr_refs(e, target + 1, out);
             }
         }
         Plan::SetOp { left, right, .. } | Plan::HashJoin { left, right, .. } => {
             collect_plan_refs(left, target, out);
             collect_plan_refs(right, target, out);
+        }
+        // The ON condition runs under the joined-row frame, one extra
+        // frame like a `Filter` predicate.
+        Plan::OuterJoin { left, right, on, .. } => {
+            collect_plan_refs(left, target, out);
+            collect_plan_refs(right, target, out);
+            collect_pred_refs(on, target + 1, out);
         }
         Plan::Limit { input, .. } => collect_plan_refs(input, target, out),
         // Sort keys see the output-row frame: one extra frame, like
@@ -733,24 +854,14 @@ fn collect_plan_refs(plan: &Plan, target: usize, out: &mut Vec<usize>) {
         Plan::Sort { input, keys } | Plan::TopK { input, keys, .. } => {
             collect_plan_refs(input, target, out);
             for k in keys {
-                if let Expr::Col { depth, index } = &k.expr {
-                    if *depth == target + 1 {
-                        out.push(*index);
-                    }
-                }
+                collect_expr_refs(&k.expr, target + 1, out);
             }
         }
         // Keys/arguments see the input-row frame, HAVING and the output
         // see the group frame: one extra frame either way.
         Plan::GroupAggregate { input, keys, aggs, having, output } => {
             collect_plan_refs(input, target, out);
-            let mut expr = |e: &Expr| {
-                if let Expr::Col { depth, index } = e {
-                    if *depth == target + 1 {
-                        out.push(*index);
-                    }
-                }
-            };
+            let mut expr = |e: &Expr| collect_expr_refs(e, target + 1, out);
             keys.iter().for_each(&mut expr);
             aggs.iter().filter_map(|s| s.arg.as_ref()).for_each(&mut expr);
             output.iter().for_each(&mut expr);
@@ -830,6 +941,12 @@ fn remap_plan(plan: Plan, target: usize, offset: usize) -> Plan {
             right: Box::new(remap_plan(*right, target, offset)),
             keys,
         },
+        Plan::OuterJoin { kind, left, right, on } => Plan::OuterJoin {
+            kind,
+            left: Box::new(remap_plan(*left, target, offset)),
+            right: Box::new(remap_plan(*right, target, offset)),
+            on: remap_pred(on, target + 1, offset),
+        },
         Plan::GroupAggregate { input, keys, aggs, having, output } => Plan::GroupAggregate {
             input: Box::new(remap_plan(*input, target, offset)),
             keys: keys.into_iter().map(|e| remap_expr(e, target + 1, offset)).collect(),
@@ -865,6 +982,22 @@ fn remap_sort_keys(keys: Vec<SortKey>, target: usize, offset: usize) -> Vec<Sort
 fn remap_expr(expr: Expr, target: usize, offset: usize) -> Expr {
     match expr {
         Expr::Col { depth, index } if depth == target => Expr::Col { depth, index: index - offset },
+        // Combinators add no frame: branch predicates and nested
+        // expressions remap at the same target depth.
+        Expr::Case { branches, else_ } => Expr::Case {
+            branches: branches
+                .into_iter()
+                .map(|(p, e)| (remap_pred(p, target, offset), remap_expr(e, target, offset)))
+                .collect(),
+            else_: else_.map(|e| Box::new(remap_expr(*e, target, offset))),
+        },
+        Expr::Coalesce(exprs) => {
+            Expr::Coalesce(exprs.into_iter().map(|e| remap_expr(e, target, offset)).collect())
+        }
+        Expr::Nullif(a, b) => Expr::Nullif(
+            Box::new(remap_expr(*a, target, offset)),
+            Box::new(remap_expr(*b, target, offset)),
+        ),
         e => e,
     }
 }
@@ -907,7 +1040,9 @@ mod tests {
                 n += count_ops(input, pred);
             }
             Plan::Project { input, .. } => n += count_ops(input, pred),
-            Plan::SetOp { left, right, .. } | Plan::HashJoin { left, right, .. } => {
+            Plan::SetOp { left, right, .. }
+            | Plan::HashJoin { left, right, .. }
+            | Plan::OuterJoin { left, right, .. } => {
                 n += count_ops(left, pred) + count_ops(right, pred);
             }
         }

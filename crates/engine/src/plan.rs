@@ -23,6 +23,7 @@
 //! possible at all: a `Col { depth: 0, index }` *is* a column of the
 //! batch, with no name resolution left to do per value.
 
+use sqlsem_core::ast::JoinKind;
 use sqlsem_core::{AggFunc, CmpOp, EvalError, Name, Value};
 
 /// A compiled scalar expression.
@@ -38,6 +39,26 @@ pub enum Expr {
         /// Column position within that frame.
         index: usize,
     },
+    /// A searched `CASE`: the first branch whose predicate is *true*
+    /// (under the active logic mode) yields its expression; otherwise the
+    /// `ELSE` expression, or `NULL` when it is absent. Branch predicates
+    /// are full [`Pred`]s and may contain subplans, which is why an
+    /// expression containing a `Case` is evaluated through the same
+    /// mutable executor state as predicates.
+    Case {
+        /// `WHEN p THEN e` branches, in source order.
+        branches: Vec<(Pred, Expr)>,
+        /// The `ELSE` expression, `None` when omitted (yields `NULL`).
+        else_: Option<Box<Expr>>,
+    },
+    /// `COALESCE(e₁, …, eₙ)`: the first non-`NULL` operand, evaluated
+    /// lazily left to right — operands after the first non-`NULL` one are
+    /// not evaluated, so their errors are not raised.
+    Coalesce(Vec<Expr>),
+    /// `NULLIF(e₁, e₂)`: `NULL` when `e₁ = e₂` is *true* under the active
+    /// logic mode, otherwise `e₁`. Both operands are always evaluated,
+    /// and the comparison can raise a type error.
+    Nullif(Box<Expr>, Box<Expr>),
     /// A reference that failed to resolve under the *Standard* dialect.
     /// The Figures 4–7 semantics surfaces ambiguous/unbound references
     /// only when the environment is consulted, so for that dialect the
@@ -202,6 +223,27 @@ pub enum Plan {
         /// frame.
         output: Vec<Expr>,
     },
+    /// An outer join `left JOIN right ON on` (one `FROM`-clause join
+    /// tree node). Produces, in the canonical order of the semantics:
+    /// for each left row (in order) its joining right rows (in order),
+    /// with a null-padded row inline when a kept left row has no
+    /// counterpart; then the dangling right rows (in order), null-padded
+    /// on the left, when the kind keeps the right side. A row is
+    /// *dangling* iff `on` is **true** for no counterpart — an *unknown*
+    /// verdict neither joins the pair nor blocks the padding. The output
+    /// row layout is `left ++ right`. Evaluating `on` pushes the
+    /// candidate joined row onto the correlation stack, exactly like
+    /// [`Plan::Filter`] does.
+    OuterJoin {
+        /// Which sides keep dangling rows.
+        kind: JoinKind,
+        /// Left input.
+        left: Box<Plan>,
+        /// Right input.
+        right: Box<Plan>,
+        /// The `ON` condition, over the joined row at depth 0.
+        on: Pred,
+    },
     /// Hash equi-join: the rows of `left × right` whose key columns join,
     /// produced by building a hash table on `right` and probing it with
     /// `left`. Introduced by the optimizer for equality conjuncts that
@@ -310,7 +352,9 @@ impl Plan {
             Plan::Project { exprs, .. } => exprs.len(),
             Plan::GroupAggregate { output, .. } => output.len(),
             Plan::SetOp { left, .. } => left.arity(db),
-            Plan::HashJoin { left, right, .. } => left.arity(db) + right.arity(db),
+            Plan::HashJoin { left, right, .. } | Plan::OuterJoin { left, right, .. } => {
+                left.arity(db) + right.arity(db)
+            }
         }
     }
 
@@ -358,7 +402,7 @@ impl Plan {
                 }
                 Ok(l)
             }
-            Plan::HashJoin { left, right, .. } => {
+            Plan::HashJoin { left, right, .. } | Plan::OuterJoin { left, right, .. } => {
                 Ok(left.arity_checked(db)? + right.arity_checked(db)?)
             }
         }

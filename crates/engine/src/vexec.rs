@@ -51,6 +51,7 @@
 use std::collections::{BinaryHeap, HashMap};
 use std::sync::Arc;
 
+use sqlsem_core::ast::JoinKind;
 use sqlsem_core::order;
 use sqlsem_core::{Database, EvalError, LogicMode, PredicateRegistry, Row, Truth, Value};
 
@@ -279,6 +280,11 @@ impl<'a> VecExecutor<'a> {
                 }
             }
             Plan::HashJoin { left, right, keys } => self.hash_join(left, right, keys, routes),
+            Plan::OuterJoin { kind, left, right, on } => {
+                let arity = plan.arity(self.rows.db);
+                let out = self.outer_join(plan, *kind, left, right, on, routes)?;
+                Ok(self.chunk(arity, &out))
+            }
             Plan::GroupAggregate { input, keys, aggs, having, output } => {
                 let mode = routes.mode(plan);
                 let inputs = self.batches(input, routes)?;
@@ -494,6 +500,92 @@ impl<'a> VecExecutor<'a> {
                 })
                 .collect())
         }
+    }
+
+    /// The outer join over vectorized inputs. Both subtrees run
+    /// batch-at-a-time; the join itself produces the row engine's
+    /// canonical order — each left row's matches in right order (with
+    /// an inline null-padded row when the left row is dangling and the
+    /// kind keeps it), then the trailing null-padded dangling right
+    /// rows. Kernel routing (a single depth-0 equi `ON` proved total)
+    /// replaces the nested loop with a hash table; per-key build lists
+    /// ascend, so match order is unchanged. A row is dangling iff `ON`
+    /// is *true* for no counterpart, so under three-valued and
+    /// conflating logics a null key never matches, while under the
+    /// syntactic-equality 2VL nulls participate like constants —
+    /// exactly [`Self::hash_join`]'s rule.
+    fn outer_join(
+        &mut self,
+        plan: &Plan,
+        kind: JoinKind,
+        left: &Plan,
+        right: &Plan,
+        on: &Pred,
+        routes: &BatchRoutes,
+    ) -> Result<Vec<Row>, EvalError> {
+        let (larity, rarity) = (left.arity(self.rows.db), right.arity(self.rows.db));
+        let lrows = self.run_rows(left, routes)?;
+        let rrows = self.run_rows(right, routes)?;
+        let lpad = Row::new(vec![Value::Null; larity]);
+        let rpad = Row::new(vec![Value::Null; rarity]);
+        let mut right_matched = vec![false; rrows.len()];
+        let mut out = Vec::new();
+        if routes.mode(plan) == BatchMode::Kernel {
+            let key = crate::optimize::outer_equi_shape(on, larity, rarity)
+                .expect("kernel routing implies the equi shape");
+            let null_matches = matches!(self.rows.logic, LogicMode::TwoValuedSyntacticEq);
+            let mut table: HashMap<&Value, Vec<u32>> = HashMap::new();
+            for (i, rrow) in rrows.iter().enumerate() {
+                let v = &rrow[key.right];
+                if v.is_null() && !null_matches {
+                    continue; // `NULL = x` is never true; stays dangling.
+                }
+                table.entry(v).or_default().push(i as u32);
+            }
+            for lrow in &lrows {
+                let v = &lrow[key.left];
+                let matches = if v.is_null() && !null_matches { None } else { table.get(v) };
+                match matches {
+                    Some(idxs) => {
+                        for &ri in idxs {
+                            right_matched[ri as usize] = true;
+                            out.push(lrow.concat(&rrows[ri as usize]));
+                        }
+                    }
+                    None if kind.keeps_left() => out.push(lrow.concat(&rpad)),
+                    None => {}
+                }
+            }
+        } else {
+            // The guarded nested loop: the `ON` predicate runs through
+            // the embedded row executor under the candidate joined
+            // frame, so subqueries, user predicates and error verdicts
+            // behave exactly as in [`Executor::run`].
+            for lrow in &lrows {
+                let mut matched = false;
+                for (i, rrow) in rrows.iter().enumerate() {
+                    self.rows.push_frame(lrow.concat(rrow));
+                    let verdict = self.rows.eval_pred(on);
+                    let joined = self.rows.pop_frame();
+                    if verdict?.is_true() {
+                        matched = true;
+                        right_matched[i] = true;
+                        out.push(joined);
+                    }
+                }
+                if !matched && kind.keeps_left() {
+                    out.push(lrow.concat(&rpad));
+                }
+            }
+        }
+        if kind.keeps_right() {
+            for (i, rrow) in rrows.iter().enumerate() {
+                if !right_matched[i] {
+                    out.push(lpad.concat(rrow));
+                }
+            }
+        }
+        Ok(out)
     }
 
     /// The vectorized group-aggregate, used when routing proved every
@@ -1033,6 +1125,45 @@ mod tests {
             check("SELECT * FROM R x, S y WHERE x.A = y.A", logic);
             check("SELECT * FROM R x, S y WHERE x.A IS NOT DISTINCT FROM y.A", logic);
         }
+    }
+
+    #[test]
+    fn outer_joins_match_the_row_engine_per_logic_mode() {
+        for logic in LogicMode::ALL {
+            // The single-equi shape kernels (hash path) — including the
+            // null keys whose match behaviour is logic-mode-dependent.
+            check("SELECT * FROM R LEFT JOIN S ON R.A = S.A", logic);
+            check("SELECT * FROM R RIGHT JOIN S ON R.A = S.A", logic);
+            check("SELECT * FROM R FULL OUTER JOIN S ON R.A = S.A", logic);
+            // Non-equi and compound `ON`s take the guarded nested loop.
+            check("SELECT * FROM R LEFT JOIN S ON R.A < S.A", logic);
+            check("SELECT * FROM R FULL JOIN S ON R.A = S.A AND S.C > 100", logic);
+            // Combinators over padded (null) columns.
+            check("SELECT COALESCE(y.C, 0) AS c FROM R x LEFT JOIN S y ON x.A = y.A", logic);
+            check(
+                "SELECT CASE WHEN y.A IS NULL THEN 'dangling' ELSE 'matched' END AS t \
+                 FROM R x LEFT JOIN S y ON x.A = y.A",
+                logic,
+            );
+        }
+    }
+
+    #[test]
+    fn outer_join_kernel_routing_requires_the_total_equi_shape() {
+        // `R.A = S.A` over Int∪Null columns is total → hash kernel;
+        // `R.A < S.A` is not the equi shape → guarded fallback. The
+        // EXPLAIN annotations pin both decisions.
+        let (schema, db) = db_rs();
+        let hash =
+            sqlsem_parser::compile("SELECT * FROM R LEFT JOIN S ON R.A = S.A", &schema).unwrap();
+        let prepared = optimize(compile(&hash, &db, Dialect::PostgreSql).unwrap(), &db);
+        let plan = crate::explain::explain_vectorized(&prepared, &db, DEFAULT_BATCH_SIZE);
+        assert!(plan.contains("[vectorized, hash, batch="), "{plan}");
+        let loop_ =
+            sqlsem_parser::compile("SELECT * FROM R LEFT JOIN S ON R.A < S.A", &schema).unwrap();
+        let prepared = optimize(compile(&loop_, &db, Dialect::PostgreSql).unwrap(), &db);
+        let plan = crate::explain::explain_vectorized(&prepared, &db, DEFAULT_BATCH_SIZE);
+        assert!(!plan.contains("hash"), "{plan}");
     }
 
     #[test]

@@ -31,7 +31,9 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
-use sqlsem_core::ast::{Condition, FromItem, Query, SelectItem, SelectList, SelectQuery, Term};
+use sqlsem_core::ast::{
+    Condition, FromExpr, FromItem, JoinKind, Query, SelectItem, SelectList, SelectQuery, Term,
+};
 use sqlsem_core::{AggFunc, CmpOp, FullName, Name, Schema, SetOp, Value};
 
 /// Shape parameters for random query generation.
@@ -80,6 +82,21 @@ pub struct QueryGenConfig {
     /// half the time — a `HAVING` clause). Gated like
     /// `ambiguous_star_prob`; `0.0` disables the aggregation fragment.
     pub aggregate_prob: f64,
+    /// Probability (per fold opportunity) that two adjacent `FROM`
+    /// items are folded into an outer join — kind uniform over
+    /// `LEFT`/`RIGHT`/`FULL`, `ON` either a plain equality between one
+    /// column of each operand (the shape the engines' hash fast paths
+    /// key on) or general condition atoms (non-equi comparisons,
+    /// `IS NULL`, nested and correlated subqueries). Folding repeats
+    /// while the coin keeps landing, so left-deep join chains occur.
+    /// `0.0` disables the outer-join fragment.
+    pub outer_join_prob: f64,
+    /// Probability that a generated term is a null combinator — a
+    /// searched `CASE`, `COALESCE` or `NULLIF` over simple operand
+    /// terms. `0.0` disables the combinator fragment (and
+    /// data-manipulation mode always does: Definition 1's RA
+    /// translation has no term for them).
+    pub combinator_prob: f64,
     /// Probability that the *outermost* block carries the ordering
     /// fragment: `ORDER BY` over its output columns (1–2 keys, random
     /// direction and `NULLS` placement), usually with a `LIMIT` and
@@ -112,6 +129,8 @@ impl QueryGenConfig {
             ambiguous_star_prob: 0.01,
             repeated_output_prob: 0.05,
             aggregate_prob: 0.2,
+            outer_join_prob: 0.2,
+            combinator_prob: 0.1,
             order_prob: 0.25,
             data_manipulation_only: false,
         }
@@ -140,9 +159,24 @@ impl QueryGenConfig {
             ambiguous_star_prob: 0.0,
             repeated_output_prob: 0.0,
             aggregate_prob: 0.0,
+            combinator_prob: 0.0,
             order_prob: 0.0,
             data_manipulation_only: true,
             ..QueryGenConfig::small()
+        }
+    }
+
+    /// An outer-join-heavy preset for targeted sweeps: most multi-item
+    /// `FROM` clauses fold into `LEFT`/`RIGHT`/`FULL` join trees and a
+    /// quarter of all terms are null combinators, so a few hundred
+    /// queries exercise dangling-tuple padding, `ON` evaluation under
+    /// every logic mode, and `CASE`/`COALESCE`/`NULLIF` over padded
+    /// columns far more densely than the calibrated shape does.
+    pub fn outer_join_heavy() -> Self {
+        QueryGenConfig {
+            outer_join_prob: 0.75,
+            combinator_prob: 0.25,
+            ..QueryGenConfig::tpch_calibrated()
         }
     }
 }
@@ -272,8 +306,8 @@ impl Gen<'_> {
         let max_items = (self.tables_budget + 1).min(3);
         let n_items = rng.gen_range(1..=max_items.max(1));
         // The first item was already budgeted; the rest consume as added.
-        let mut from = Vec::with_capacity(n_items);
-        let mut scope: Scope = Vec::with_capacity(n_items);
+        let mut from: Vec<FromExpr> = Vec::with_capacity(n_items);
+        let mut groups: Vec<Scope> = Vec::with_capacity(n_items);
         for i in 0..n_items {
             if i > 0 {
                 if self.tables_budget == 0 {
@@ -282,9 +316,43 @@ impl Gen<'_> {
                 self.tables_budget -= 1;
             }
             let (item, entry) = self.from_item(rng, depth, scopes);
-            from.push(item);
-            scope.push(entry);
+            from.push(FromExpr::from(item));
+            groups.push(vec![entry]);
         }
+        // Fold adjacent FROM entries into outer-join trees while the coin
+        // keeps landing (left-deep chains occur). The visible columns of
+        // the block are the same whether items stay comma-separated or
+        // fold, so the local scope is just the flattened groups.
+        while from.len() >= 2
+            && self.config.outer_join_prob > 0.0
+            && rng.gen_bool(self.config.outer_join_prob)
+        {
+            let right = from.pop().expect("len checked");
+            let left = from.pop().expect("len checked");
+            let rgroup = groups.pop().expect("len checked");
+            let lgroup = groups.pop().expect("len checked");
+            let kind = *JoinKind::ALL.choose(rng).expect("non-empty");
+            // Half the time the ON is the single-equality shape the
+            // vectorized hash path keys on; otherwise general condition
+            // atoms over the joined scope (only the join operands are
+            // visible to ON, plus enclosing scopes for correlation).
+            let equi = (Self::column_in(&lgroup, rng), Self::column_in(&rgroup, rng));
+            let on = match equi {
+                (Some(l), Some(r)) if rng.gen_bool(0.5) => Condition::eq(l, r),
+                _ => {
+                    let mut joined = lgroup.clone();
+                    joined.extend(rgroup.iter().cloned());
+                    scopes.push(joined);
+                    let n = rng.gen_range(1..=2);
+                    let on = self.condition(rng, depth, scopes, n);
+                    scopes.pop();
+                    on
+                }
+            };
+            from.push(FromExpr::join(kind, left, right, on));
+            groups.push(lgroup.into_iter().chain(rgroup).collect());
+        }
+        let scope: Scope = groups.into_iter().flatten().collect();
 
         scopes.push(scope);
         // A block is grouped with `aggregate_prob`, provided the local
@@ -663,9 +731,61 @@ impl Gen<'_> {
         }
     }
 
-    /// A term over the visible scopes: a constant, a local column, or
-    /// (with `correlated_prob`) a column of an enclosing scope.
+    /// A term over the visible scopes: with `combinator_prob` a null
+    /// combinator over simple operands, otherwise a [`Self::simple_term`].
     fn term(&mut self, rng: &mut StdRng, scopes: &[Scope]) -> Term {
+        if !self.config.data_manipulation_only
+            && self.config.combinator_prob > 0.0
+            && rng.gen_bool(self.config.combinator_prob)
+        {
+            return self.combinator_term(rng, scopes);
+        }
+        self.simple_term(rng, scopes)
+    }
+
+    /// A null combinator: a searched `CASE` (1–2 branches, `ELSE` most
+    /// of the time), a `COALESCE` of 2–3 operands, or a `NULLIF`.
+    /// Operands are [`Self::simple_term`]s and `CASE` branch conditions
+    /// are comparison / `IS NULL` atoms — the combinator fragment
+    /// stresses null propagation, not recursion, so combinators never
+    /// nest inside each other here (nesting still happens through
+    /// subqueries whose select lists carry their own combinators).
+    fn combinator_term(&mut self, rng: &mut StdRng, scopes: &[Scope]) -> Term {
+        match rng.gen_range(0..3) {
+            0 => {
+                let branches: Vec<(Condition, Term)> = (0..rng.gen_range(1..=2usize))
+                    .map(|_| {
+                        let cond = if rng.gen_bool(0.3) {
+                            Condition::IsNull {
+                                term: self.simple_term(rng, scopes),
+                                negated: rng.gen_bool(0.5),
+                            }
+                        } else {
+                            let op = *CmpOp::ALL.choose(rng).expect("non-empty");
+                            Condition::cmp(
+                                self.simple_term(rng, scopes),
+                                op,
+                                self.simple_term(rng, scopes),
+                            )
+                        };
+                        (cond, self.simple_term(rng, scopes))
+                    })
+                    .collect();
+                let else_ = rng.gen_bool(0.6).then(|| self.simple_term(rng, scopes));
+                Term::case(branches, else_)
+            }
+            1 => {
+                let n = rng.gen_range(2..=3usize);
+                Term::coalesce((0..n).map(|_| self.simple_term(rng, scopes)).collect::<Vec<_>>())
+            }
+            _ => Term::nullif(self.simple_term(rng, scopes), self.simple_term(rng, scopes)),
+        }
+    }
+
+    /// A simple term over the visible scopes: a constant, a local
+    /// column, or (with `correlated_prob`) a column of an enclosing
+    /// scope.
+    fn simple_term(&mut self, rng: &mut StdRng, scopes: &[Scope]) -> Term {
         if rng.gen_bool(self.config.constant_prob) {
             return if rng.gen_bool(self.config.null_const_prob) {
                 Term::Const(Value::Null)
@@ -784,26 +904,54 @@ pub fn is_data_manipulation(query: &Query) -> bool {
             if s.is_grouped() {
                 return false;
             }
-            let local: std::collections::HashSet<&Name> = s.from.iter().map(|f| &f.alias).collect();
+            let local: std::collections::HashSet<&Name> =
+                s.from.iter().flat_map(FromExpr::leaves).map(|f| &f.alias).collect();
             if !items.iter().all(|i| match &i.term {
                 Term::Col(n) => local.contains(&n.table),
-                Term::Const(_) | Term::Agg(_) => false,
+                _ => false,
             }) {
                 return false;
             }
+            // ON conditions translate like WHERE conditions, but the null
+            // combinators have no RA term to map to.
+            if !s.from.iter().all(from_expr_on_conditions_in_fragment) {
+                return false;
+            }
             // Recurse into FROM and WHERE subqueries.
-            let from_ok = s.from.iter().all(|f| match &f.table {
+            let from_ok = s.from.iter().flat_map(FromExpr::leaves).all(|f| match &f.table {
                 sqlsem_core::ast::TableRef::Base(_) => true,
                 sqlsem_core::ast::TableRef::Query(q) => is_data_manipulation(q),
             });
             let mut cond_ok = true;
-            s.where_.visit_queries(&mut |q| {
+            let mut check = |q: &Query| {
                 // visit_queries visits nested queries of subqueries too;
                 // is_data_manipulation recursion already covers those, but
                 // re-checking is harmless and keeps this simple.
                 cond_ok &= is_data_manipulation_block_shape(q);
-            });
+            };
+            for fe in &s.from {
+                if matches!(fe, FromExpr::Join { .. }) {
+                    fe.visit_queries(&mut check);
+                }
+            }
+            s.where_.visit_queries(&mut check);
             from_ok && cond_ok
+        }
+    }
+}
+
+/// `true` iff every `ON` condition in the `FROM` expression stays inside
+/// the fragment: no aggregates, no `CASE`/`COALESCE`/`NULLIF` terms.
+fn from_expr_on_conditions_in_fragment(fe: &FromExpr) -> bool {
+    match fe {
+        FromExpr::Item(_) => true,
+        FromExpr::Join { left, right, on, .. } => {
+            let mut ok = true;
+            on.visit_terms(&mut |t| {
+                ok &= matches!(t, Term::Col(_) | Term::Const(_));
+            });
+            ok && from_expr_on_conditions_in_fragment(left)
+                && from_expr_on_conditions_in_fragment(right)
         }
     }
 }
@@ -822,10 +970,14 @@ fn is_data_manipulation_block_shape(query: &Query) -> bool {
             if !items.iter().all(|i| seen.insert(&i.alias)) {
                 return false;
             }
-            let local: std::collections::HashSet<&Name> = s.from.iter().map(|f| &f.alias).collect();
+            let local: std::collections::HashSet<&Name> =
+                s.from.iter().flat_map(FromExpr::leaves).map(|f| &f.alias).collect();
+            if !s.from.iter().all(from_expr_on_conditions_in_fragment) {
+                return false;
+            }
             items.iter().all(|i| match &i.term {
                 Term::Col(n) => local.contains(&n.table),
-                Term::Const(_) | Term::Agg(_) => false,
+                _ => false,
             })
         }
     }
@@ -884,6 +1036,7 @@ mod tests {
                     tables += s
                         .from
                         .iter()
+                        .flat_map(sqlsem_core::ast::FromExpr::leaves)
                         .filter(|f| matches!(f.table, sqlsem_core::ast::TableRef::Base(_)))
                         .count();
                 }
@@ -943,6 +1096,70 @@ mod tests {
         assert!(grouped >= 50, "only {grouped} grouped blocks in 300 queries");
         assert!(keyless >= 10, "only {keyless} keyless aggregations in 300 queries");
         assert!(with_having >= 10, "only {with_having} HAVING clauses in 300 queries");
+    }
+
+    #[test]
+    fn outer_joins_and_combinators_are_generated_and_resolve_statically() {
+        // The heavy preset must actually emit the new fragment — every
+        // join kind, equi and non-equi ON shapes, and all three
+        // combinators — and each such query already passed the static
+        // check inside generated_queries_resolve_statically's sweep; here
+        // we pin the coverage counts so a probability regression shows up.
+        let schema = paper_schema();
+        let g = QueryGenerator::new(&schema, QueryGenConfig::outer_join_heavy());
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut kinds = std::collections::HashSet::new();
+        let mut equi = 0usize;
+        let mut general = 0usize;
+        let (mut cases, mut coalesces, mut nullifs) = (0usize, 0usize, 0usize);
+        for i in 0..300 {
+            let q = g.generate(&mut rng);
+            check_query(&q, &schema, Dialect::PostgreSql)
+                .unwrap_or_else(|e| panic!("query {i} fails PostgreSQL check: {e}\n{q}"));
+            q.visit(&mut |node| {
+                let Query::Select(s) = node else { return };
+                for fe in &s.from {
+                    visit_joins(fe, &mut |kind, on| {
+                        kinds.insert(kind);
+                        match on {
+                            Condition::Cmp {
+                                left: Term::Col(_),
+                                op: CmpOp::Eq,
+                                right: Term::Col(_),
+                            } => {
+                                equi += 1;
+                            }
+                            _ => general += 1,
+                        }
+                    });
+                }
+                let mut count = |t: &Term| match t {
+                    Term::Case { .. } => cases += 1,
+                    Term::Coalesce(_) => coalesces += 1,
+                    Term::Nullif(..) => nullifs += 1,
+                    _ => {}
+                };
+                if let SelectList::Items(items) = &s.select {
+                    items.iter().for_each(|i| count(&i.term));
+                }
+                s.where_.visit_terms(&mut count);
+                s.having.visit_terms(&mut count);
+            });
+        }
+        assert_eq!(kinds.len(), JoinKind::ALL.len(), "missing join kinds: saw {kinds:?}");
+        assert!(equi >= 20, "only {equi} equi ON clauses in 300 queries");
+        assert!(general >= 20, "only {general} general ON clauses in 300 queries");
+        assert!(cases >= 20, "only {cases} CASE terms in 300 queries");
+        assert!(coalesces >= 20, "only {coalesces} COALESCE terms in 300 queries");
+        assert!(nullifs >= 20, "only {nullifs} NULLIF terms in 300 queries");
+    }
+
+    fn visit_joins(fe: &FromExpr, f: &mut impl FnMut(JoinKind, &Condition)) {
+        if let FromExpr::Join { kind, left, right, on } = fe {
+            f(*kind, on);
+            visit_joins(left, f);
+            visit_joins(right, f);
+        }
     }
 
     #[test]

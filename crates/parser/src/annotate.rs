@@ -30,7 +30,9 @@ use std::fmt;
 use sqlsem_core::ast as core_ast;
 use sqlsem_core::{Name, Schema, Value};
 
-use crate::surface::{SCondition, SFromItem, SQuery, SSelectList, SSelectQuery, STableRef, STerm};
+use crate::surface::{
+    SCondition, SFromExpr, SFromItem, SQuery, SSelectList, SSelectQuery, STableRef, STerm,
+};
 
 /// The output name given to constant `SELECT` items that carry no `AS`
 /// alias (PostgreSQL's convention).
@@ -141,13 +143,14 @@ fn annotate_select(
     stack: &mut Vec<Scope>,
 ) -> Result<core_ast::SelectQuery, AnnotateError> {
     // FROM items first: subqueries are annotated in the *enclosing*
-    // scopes (the local scope is not visible to them, Figure 5).
+    // scopes (the local scope is not visible to them, Figure 5), and
+    // each join's ON condition in its own subtree's scope.
     let mut from = Vec::with_capacity(s.from.len());
     let mut scope: Scope = Vec::with_capacity(s.from.len());
-    for item in &s.from {
-        let (core_item, entry) = annotate_from_item(item, schema, stack)?;
-        from.push(core_item);
-        scope.push(entry);
+    for fe in &s.from {
+        let (core_expr, entries) = annotate_from_expr(fe, schema, stack)?;
+        from.push(core_expr);
+        scope.extend(entries);
     }
     // Duplicate aliases are a compile error in RDBMSs.
     let mut seen = std::collections::HashSet::with_capacity(scope.len());
@@ -164,14 +167,18 @@ fn annotate_select(
             SSelectList::Items(items) => {
                 let mut out = Vec::with_capacity(items.len());
                 for item in items {
-                    let term = resolve_term(&item.term, stack)?;
+                    let term = resolve_term(&item.term, schema, stack)?;
                     let alias = match (&item.alias, &item.term) {
                         (Some(a), _) => a.clone(),
                         // Unnamed column references keep the column name…
                         (None, STerm::Col { column, .. }) => column.clone(),
                         // …unnamed aggregates take the function's name
-                        // (PostgreSQL's convention)…
+                        // (PostgreSQL's convention), and so do the null
+                        // combinators…
                         (None, STerm::Agg { func, .. }) => Name::new(func.default_alias()),
+                        (None, STerm::Case { .. }) => Name::new("case"),
+                        (None, STerm::Coalesce(_)) => Name::new("coalesce"),
+                        (None, STerm::Nullif(..)) => Name::new("nullif"),
                         // …and unnamed constants get the marker name.
                         (None, STerm::Const(_)) => Name::new(UNNAMED_COLUMN),
                     };
@@ -184,8 +191,11 @@ fn annotate_select(
             None => core_ast::Condition::True,
             Some(c) => annotate_condition(c, schema, stack)?,
         };
-        let group_by =
-            s.group_by.iter().map(|t| resolve_term(t, stack)).collect::<Result<_, _>>()?;
+        let group_by = s
+            .group_by
+            .iter()
+            .map(|t| resolve_term(t, schema, stack))
+            .collect::<Result<Vec<_>, _>>()?;
         let having = match &s.having {
             None => core_ast::Condition::True,
             Some(c) => annotate_condition(c, schema, stack)?,
@@ -217,6 +227,39 @@ fn annotate_select(
     })();
     stack.pop();
     result
+}
+
+/// Annotates one `FROM` expression, returning its core form together
+/// with the scope entries its leaves contribute, left to right. A
+/// join's `ON` condition resolves against exactly those entries (plus
+/// the enclosing scopes): sibling `FROM` elements are not visible, and
+/// the join itself introduces no alias.
+fn annotate_from_expr(
+    fe: &SFromExpr,
+    schema: &Schema,
+    stack: &mut Vec<Scope>,
+) -> Result<(core_ast::FromExpr, Vec<ScopeEntry>), AnnotateError> {
+    match fe {
+        SFromExpr::Item(item) => {
+            let (core_item, entry) = annotate_from_item(item, schema, stack)?;
+            Ok((core_ast::FromExpr::Item(core_item), vec![entry]))
+        }
+        SFromExpr::Join { kind, left, right, on } => {
+            let (l, mut entries) = annotate_from_expr(left, schema, stack)?;
+            let (r, right_entries) = annotate_from_expr(right, schema, stack)?;
+            entries.extend(right_entries);
+            stack.push(entries.clone());
+            let on = annotate_condition(on, schema, stack);
+            stack.pop();
+            let join = core_ast::FromExpr::Join {
+                kind: *kind,
+                left: Box::new(l),
+                right: Box::new(r),
+                on: Box::new(on?),
+            };
+            Ok((join, entries))
+        }
+    }
 }
 
 fn annotate_from_item(
@@ -270,29 +313,33 @@ fn annotate_condition(
         SCondition::True => core_ast::Condition::True,
         SCondition::False => core_ast::Condition::False,
         SCondition::Cmp { left, op, right } => core_ast::Condition::Cmp {
-            left: resolve_term(left, stack)?,
+            left: resolve_term(left, schema, stack)?,
             op: *op,
-            right: resolve_term(right, stack)?,
+            right: resolve_term(right, schema, stack)?,
         },
         SCondition::Like { term, pattern, negated } => core_ast::Condition::Like {
-            term: resolve_term(term, stack)?,
-            pattern: resolve_term(pattern, stack)?,
+            term: resolve_term(term, schema, stack)?,
+            pattern: resolve_term(pattern, schema, stack)?,
             negated: *negated,
         },
         SCondition::Pred { name, args } => core_ast::Condition::Pred {
             name: name.clone(),
-            args: args.iter().map(|t| resolve_term(t, stack)).collect::<Result<_, _>>()?,
+            args: args.iter().map(|t| resolve_term(t, schema, stack)).collect::<Result<_, _>>()?,
         },
-        SCondition::IsNull { term, negated } => {
-            core_ast::Condition::IsNull { term: resolve_term(term, stack)?, negated: *negated }
-        }
+        SCondition::IsNull { term, negated } => core_ast::Condition::IsNull {
+            term: resolve_term(term, schema, stack)?,
+            negated: *negated,
+        },
         SCondition::IsDistinct { left, right, negated } => core_ast::Condition::IsDistinct {
-            left: resolve_term(left, stack)?,
-            right: resolve_term(right, stack)?,
+            left: resolve_term(left, schema, stack)?,
+            right: resolve_term(right, schema, stack)?,
             negated: *negated,
         },
         SCondition::In { terms, query, negated } => core_ast::Condition::In {
-            terms: terms.iter().map(|t| resolve_term(t, stack)).collect::<Result<_, _>>()?,
+            terms: terms
+                .iter()
+                .map(|t| resolve_term(t, schema, stack))
+                .collect::<Result<_, _>>()?,
             query: Box::new(annotate_query(query, schema, stack)?),
             negated: *negated,
         },
@@ -313,7 +360,11 @@ fn annotate_condition(
     })
 }
 
-fn resolve_term(term: &STerm, stack: &[Scope]) -> Result<core_ast::Term, AnnotateError> {
+fn resolve_term(
+    term: &STerm,
+    schema: &Schema,
+    stack: &mut Vec<Scope>,
+) -> Result<core_ast::Term, AnnotateError> {
     match term {
         STerm::Const(v) => Ok(core_ast::Term::Const(v.clone())),
         STerm::Agg { func, distinct, arg } => {
@@ -322,7 +373,7 @@ fn resolve_term(term: &STerm, stack: &[Scope]) -> Result<core_ast::Term, Annotat
             // typing rules' job (checked per dialect, not at annotation).
             let arg = match arg {
                 None => None,
-                Some(t) => Some(resolve_term(t, stack)?),
+                Some(t) => Some(resolve_term(t, schema, stack)?),
             };
             Ok(core_ast::Term::Agg(Box::new(core_ast::Aggregate {
                 func: *func,
@@ -330,6 +381,28 @@ fn resolve_term(term: &STerm, stack: &[Scope]) -> Result<core_ast::Term, Annotat
                 arg,
             })))
         }
+        // CASE branch conditions are full conditions — they may nest
+        // subqueries, which is why term resolution carries the schema
+        // and a mutable scope stack.
+        STerm::Case { branches, else_ } => {
+            let mut out = Vec::with_capacity(branches.len());
+            for (cond, result) in branches {
+                let cond = annotate_condition(cond, schema, stack)?;
+                out.push((cond, resolve_term(result, schema, stack)?));
+            }
+            let else_ = match else_ {
+                None => None,
+                Some(e) => Some(Box::new(resolve_term(e, schema, stack)?)),
+            };
+            Ok(core_ast::Term::Case { branches: out, else_ })
+        }
+        STerm::Coalesce(terms) => Ok(core_ast::Term::Coalesce(
+            terms.iter().map(|t| resolve_term(t, schema, stack)).collect::<Result<_, _>>()?,
+        )),
+        STerm::Nullif(a, b) => Ok(core_ast::Term::Nullif(
+            Box::new(resolve_term(a, schema, stack)?),
+            Box::new(resolve_term(b, schema, stack)?),
+        )),
         STerm::Col { table: Some(t), column: c } => {
             // Qualified: find the innermost scope defining alias `t`.
             for scope in stack.iter().rev() {

@@ -10,11 +10,12 @@
 //!   a nested condition; the parser resolves this with bounded
 //!   backtracking over the token index.
 
+use sqlsem_core::ast::JoinKind;
 use sqlsem_core::{CmpOp, Name, SetOp, Span, Value};
 
 use crate::surface::{
-    SCondition, SFromItem, SQuery, SSelectItem, SSelectList, SSelectQuery, SStatement, STableRef,
-    STerm,
+    SCondition, SFromExpr, SFromItem, SQuery, SSelectItem, SSelectList, SSelectQuery, SStatement,
+    STableRef, STerm,
 };
 use crate::token::{lex, Keyword, Token, TokenKind};
 
@@ -231,7 +232,15 @@ impl Parser {
                 self.expect(&TokenKind::LParen)?;
                 let mut columns = vec![self.column_declaration()?];
                 while self.eat(&TokenKind::Comma) {
-                    columns.push(self.column_declaration()?);
+                    let at = self.offset();
+                    let col = self.column_declaration()?;
+                    if columns.contains(&col) {
+                        return Err(ParseError {
+                            message: format!("duplicate column {col} in CREATE TABLE {table}"),
+                            offset: at,
+                        });
+                    }
+                    columns.push(col);
                 }
                 self.expect(&TokenKind::RParen)?;
                 Ok(SStatement::CreateTable { table, columns })
@@ -248,7 +257,15 @@ impl Parser {
                 let columns = if self.eat(&TokenKind::LParen) {
                     let mut cols = vec![self.ident()?];
                     while self.eat(&TokenKind::Comma) {
-                        cols.push(self.ident()?);
+                        let at = self.offset();
+                        let col = self.ident()?;
+                        if cols.contains(&col) {
+                            return Err(ParseError {
+                                message: format!("duplicate column {col} in INSERT column list"),
+                                offset: at,
+                            });
+                        }
+                        cols.push(col);
                     }
                     self.expect(&TokenKind::RParen)?;
                     Some(cols)
@@ -392,8 +409,8 @@ impl Parser {
         }
     }
 
-    /// select_block := SELECT [DISTINCT] select_list FROM from_item
-    ///                 (',' from_item)* [WHERE condition]
+    /// select_block := SELECT [DISTINCT] select_list FROM from_expr
+    ///                 (',' from_expr)* [WHERE condition]
     ///                 [GROUP BY term (',' term)*] [HAVING condition]
     ///
     /// The ordering clauses are parsed one level up
@@ -404,9 +421,9 @@ impl Parser {
         let distinct = self.eat_kw(Keyword::Distinct);
         let select = self.select_list()?;
         self.expect_kw(Keyword::From)?;
-        let mut from = vec![self.from_item()?];
+        let mut from = vec![self.from_expr()?];
         while self.eat(&TokenKind::Comma) {
-            from.push(self.from_item()?);
+            from.push(self.from_expr()?);
         }
         let where_ = if self.eat_kw(Keyword::Where) { Some(self.condition()?) } else { None };
         let group_by = if self.eat_kw(Keyword::Group) {
@@ -533,6 +550,70 @@ impl Parser {
         let term = self.term()?;
         let alias = if self.eat_kw(Keyword::As) { Some(self.ident()?) } else { None };
         Ok(SSelectItem { term, alias })
+    }
+
+    /// from_expr := from_operand ((LEFT | RIGHT | FULL) [OUTER] JOIN
+    ///              from_operand ON condition)*
+    ///
+    /// Join chains associate to the left, as in SQL. `OUTER` is a
+    /// contextual noise word; the join kinds themselves are reserved
+    /// (otherwise `FROM R LEFT JOIN S` would read `LEFT` as `R`'s
+    /// alias).
+    // `from_*` here is the FROM clause, not a conversion constructor.
+    #[allow(clippy::wrong_self_convention)]
+    fn from_expr(&mut self) -> Result<SFromExpr, ParseError> {
+        let mut left = self.from_operand()?;
+        loop {
+            let kind = match self.peek() {
+                Some(TokenKind::Keyword(Keyword::Left)) => JoinKind::Left,
+                Some(TokenKind::Keyword(Keyword::Right)) => JoinKind::Right,
+                Some(TokenKind::Keyword(Keyword::Full)) => JoinKind::Full,
+                Some(TokenKind::Keyword(Keyword::Join)) => {
+                    return self.error(
+                        "only LEFT/RIGHT/FULL OUTER JOIN are in the fragment; \
+                         write an inner join as FROM R, S WHERE …",
+                    )
+                }
+                _ => break,
+            };
+            self.pos += 1;
+            self.eat_contextual("OUTER");
+            self.expect_kw(Keyword::Join)?;
+            let right = self.from_operand()?;
+            self.expect_kw(Keyword::On)?;
+            let on = self.condition()?;
+            left = SFromExpr::Join {
+                kind,
+                left: Box::new(left),
+                right: Box::new(right),
+                on: Box::new(on),
+            };
+        }
+        Ok(left)
+    }
+
+    /// from_operand := from_item | '(' from_expr ')'
+    ///
+    /// After `(`, a `SELECT` always means a parenthesised subquery (a
+    /// plain item). Otherwise the parenthesised-join-tree reading is
+    /// *tried* with backtracking — a `(` can also open a parenthesised
+    /// subquery like `((SELECT … LIMIT 1) UNION …) AS x`, which only
+    /// the `from_item` reading parses.
+    #[allow(clippy::wrong_self_convention)]
+    fn from_operand(&mut self) -> Result<SFromExpr, ParseError> {
+        if self.peek() == Some(&TokenKind::LParen)
+            && !matches!(self.peek_at(1), Some(TokenKind::Keyword(Keyword::Select)))
+        {
+            let save = self.pos;
+            self.pos += 1; // the '('
+            if let Ok(fe @ SFromExpr::Join { .. }) = self.from_expr() {
+                if self.eat(&TokenKind::RParen) {
+                    return Ok(fe);
+                }
+            }
+            self.pos = save;
+        }
+        Ok(SFromExpr::Item(self.from_item()?))
     }
 
     // `from_*` here is the FROM clause, not a conversion constructor.
@@ -780,6 +861,34 @@ impl Parser {
     // -- terms ----------------------------------------------------------------
 
     fn term(&mut self) -> Result<STerm, ParseError> {
+        match self.peek() {
+            Some(TokenKind::Keyword(Keyword::Case)) => {
+                self.pos += 1;
+                return self.case_tail();
+            }
+            // COALESCE/NULLIF reach here as keywords only when applied
+            // (the lexer's contextual rule), so `(` is certain.
+            Some(TokenKind::Keyword(Keyword::Coalesce)) => {
+                self.pos += 1;
+                self.expect(&TokenKind::LParen)?;
+                let mut terms = vec![self.term()?];
+                while self.eat(&TokenKind::Comma) {
+                    terms.push(self.term()?);
+                }
+                self.expect(&TokenKind::RParen)?;
+                return Ok(STerm::Coalesce(terms));
+            }
+            Some(TokenKind::Keyword(Keyword::Nullif)) => {
+                self.pos += 1;
+                self.expect(&TokenKind::LParen)?;
+                let a = self.term()?;
+                self.expect(&TokenKind::Comma)?;
+                let b = self.term()?;
+                self.expect(&TokenKind::RParen)?;
+                return Ok(STerm::Nullif(Box::new(a), Box::new(b)));
+            }
+            _ => {}
+        }
         if let Some(func) = self.peek_agg_func() {
             self.pos += 1;
             self.expect(&TokenKind::LParen)?;
@@ -833,11 +942,60 @@ impl Parser {
             _ => self.error("expected a term"),
         }
     }
+
+    /// The body of a `CASE` expression, after the `CASE` keyword:
+    ///
+    /// ```text
+    /// case_tail := [term] WHEN … THEN term (WHEN … THEN term)*
+    ///              [ELSE term] END
+    /// ```
+    ///
+    /// The searched form (`CASE WHEN θ THEN …`) keeps its conditions;
+    /// the simple form (`CASE t WHEN v THEN …`) desugars at parse time
+    /// to the searched form with `t = vᵢ` branch conditions —
+    /// PostgreSQL's documented expansion, which also fixes its
+    /// semantics under each logic mode.
+    fn case_tail(&mut self) -> Result<STerm, ParseError> {
+        let operand = if self.peek() == Some(&TokenKind::Keyword(Keyword::When)) {
+            None
+        } else {
+            Some(self.term()?)
+        };
+        self.expect_kw(Keyword::When)?;
+        let mut branches = Vec::new();
+        loop {
+            let cond = match &operand {
+                None => self.condition()?,
+                Some(t) => {
+                    let value = self.term()?;
+                    SCondition::Cmp { left: t.clone(), op: CmpOp::Eq, right: value }
+                }
+            };
+            self.expect_kw(Keyword::Then)?;
+            let result = self.term()?;
+            branches.push((cond, result));
+            if !self.eat_kw(Keyword::When) {
+                break;
+            }
+        }
+        let else_ = if self.eat_kw(Keyword::Else) { Some(Box::new(self.term()?)) } else { None };
+        self.expect_kw(Keyword::End)?;
+        Ok(STerm::Case { branches, else_ })
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The plain item a `FROM` element must be, for tests written
+    /// against the pre-join surface.
+    fn item(fe: &SFromExpr) -> &SFromItem {
+        match fe {
+            SFromExpr::Item(i) => i,
+            SFromExpr::Join { .. } => panic!("expected a plain FROM item, got a join"),
+        }
+    }
 
     #[test]
     fn parses_minimal_select() {
@@ -865,23 +1023,23 @@ mod tests {
     fn parses_aliases_with_and_without_as() {
         let q = parse_query("SELECT x.A FROM R AS x, S y").unwrap();
         let SQuery::Select(s) = q else { panic!() };
-        assert_eq!(s.from[0].alias, Some(Name::new("x")));
-        assert_eq!(s.from[1].alias, Some(Name::new("y")));
+        assert_eq!(item(&s.from[0]).alias, Some(Name::new("x")));
+        assert_eq!(item(&s.from[1]).alias, Some(Name::new("y")));
     }
 
     #[test]
     fn parses_from_column_rename() {
         let q = parse_query("SELECT * FROM R AS N(A1, A2)").unwrap();
         let SQuery::Select(s) = q else { panic!() };
-        assert_eq!(s.from[0].columns, Some(vec![Name::new("A1"), Name::new("A2")]));
+        assert_eq!(item(&s.from[0]).columns, Some(vec![Name::new("A1"), Name::new("A2")]));
     }
 
     #[test]
     fn parses_subquery_in_from() {
         let q = parse_query("SELECT * FROM (SELECT B FROM T) AS U").unwrap();
         let SQuery::Select(s) = q else { panic!() };
-        assert!(matches!(s.from[0].table, STableRef::Query(_)));
-        assert_eq!(s.from[0].alias, Some(Name::new("U")));
+        assert!(matches!(item(&s.from[0]).table, STableRef::Query(_)));
+        assert_eq!(item(&s.from[0]).alias, Some(Name::new("U")));
     }
 
     #[test]
@@ -1155,7 +1313,7 @@ mod tests {
         // And ordered subqueries keep working in FROM and IN.
         let q = parse_query("SELECT T.A FROM (SELECT A FROM R ORDER BY A LIMIT 2) AS T").unwrap();
         let SQuery::Select(s) = q else { panic!() };
-        let STableRef::Query(sub) = &s.from[0].table else { panic!() };
+        let STableRef::Query(sub) = &item(&s.from[0]).table else { panic!() };
         let SQuery::Select(sub) = &**sub else { panic!() };
         assert_eq!(sub.limit, Some(2));
         parse_query("SELECT A FROM R WHERE A IN (SELECT A FROM S ORDER BY A LIMIT 1)").unwrap();
@@ -1192,6 +1350,104 @@ mod tests {
         )
         .unwrap();
         parse_query("SELECT R.A FROM R EXCEPT SELECT S.A FROM S").unwrap();
+    }
+
+    #[test]
+    fn parses_outer_joins_left_associated() {
+        let q =
+            parse_query("SELECT * FROM R LEFT OUTER JOIN S ON R.A = S.A RIGHT JOIN T ON S.A = T.A")
+                .unwrap();
+        let SQuery::Select(s) = q else { panic!() };
+        assert_eq!(s.from.len(), 1);
+        let SFromExpr::Join { kind: JoinKind::Right, left, right, .. } = &s.from[0] else {
+            panic!("expected RIGHT join at the top, got {:?}", s.from[0])
+        };
+        assert!(matches!(**left, SFromExpr::Join { kind: JoinKind::Left, .. }));
+        assert_eq!(item(right).alias, None);
+        // FULL with and without OUTER; a join beside a comma item.
+        let q = parse_query("SELECT * FROM R FULL JOIN S ON TRUE, T").unwrap();
+        let SQuery::Select(s) = q else { panic!() };
+        assert_eq!(s.from.len(), 2);
+        assert!(matches!(s.from[0], SFromExpr::Join { kind: JoinKind::Full, .. }));
+        // Parenthesised right operand overrides the left association.
+        let q = parse_query(
+            "SELECT * FROM R LEFT JOIN (S FULL OUTER JOIN T ON S.A = T.A) ON R.A = S.A",
+        )
+        .unwrap();
+        let SQuery::Select(s) = q else { panic!() };
+        let SFromExpr::Join { kind: JoinKind::Left, right, .. } = &s.from[0] else { panic!() };
+        assert!(matches!(**right, SFromExpr::Join { kind: JoinKind::Full, .. }));
+    }
+    #[test]
+    fn join_operands_take_aliases_and_subqueries() {
+        let q =
+            parse_query("SELECT * FROM R AS x LEFT JOIN (SELECT A FROM S) AS y(B) ON x.A = y.B")
+                .unwrap();
+        let SQuery::Select(s) = q else { panic!() };
+        let SFromExpr::Join { left, right, on, .. } = &s.from[0] else { panic!() };
+        assert_eq!(item(left).alias, Some(Name::new("x")));
+        assert!(matches!(item(right).table, STableRef::Query(_)));
+        assert_eq!(item(right).columns, Some(vec![Name::new("B")]));
+        assert!(matches!(**on, SCondition::Cmp { .. }));
+    }
+
+    #[test]
+    fn inner_join_is_rejected_with_guidance() {
+        let err = parse_query("SELECT * FROM R JOIN S ON R.A = S.A").unwrap_err();
+        assert!(err.message.contains("inner join"), "{err}");
+        // LEFT etc. are reserved: not usable as aliases.
+        assert!(parse_query("SELECT * FROM R LEFT").is_err());
+    }
+
+    #[test]
+    fn parses_searched_and_simple_case() {
+        let q = parse_query(
+            "SELECT CASE WHEN A = 1 THEN 'one' WHEN A = 2 THEN 'two' ELSE 'many' END FROM R",
+        )
+        .unwrap();
+        let SQuery::Select(s) = q else { panic!() };
+        let SSelectList::Items(items) = &s.select else { panic!() };
+        let STerm::Case { branches, else_ } = &items[0].term else { panic!() };
+        assert_eq!(branches.len(), 2);
+        assert!(else_.is_some());
+        // The simple form desugars to equality branches; ELSE optional.
+        let q = parse_query("SELECT CASE A WHEN 1 THEN 'one' END FROM R").unwrap();
+        let SQuery::Select(s) = q else { panic!() };
+        let SSelectList::Items(items) = &s.select else { panic!() };
+        let STerm::Case { branches, else_ } = &items[0].term else { panic!() };
+        assert_eq!(
+            branches[0].0,
+            SCondition::Cmp {
+                left: STerm::col("A"),
+                op: CmpOp::Eq,
+                right: STerm::Const(Value::Int(1))
+            }
+        );
+        assert!(else_.is_none());
+        // CASE nests in conditions and aggregates.
+        parse_condition("CASE WHEN A IS NULL THEN 0 ELSE A END > 1").unwrap();
+        parse_query("SELECT SUM(CASE WHEN A > 0 THEN A ELSE 0 END) FROM R").unwrap();
+        // A branch condition may hold a subquery.
+        parse_query("SELECT CASE WHEN EXISTS (SELECT * FROM S) THEN 1 ELSE 0 END FROM R").unwrap();
+        assert!(parse_query("SELECT CASE END FROM R").is_err());
+        assert!(parse_query("SELECT CASE WHEN A = 1 THEN 2 FROM R").is_err());
+    }
+
+    #[test]
+    fn parses_coalesce_and_nullif() {
+        let q = parse_query("SELECT COALESCE(A, B, 0), NULLIF(A, -1) FROM R").unwrap();
+        let SQuery::Select(s) = q else { panic!() };
+        let SSelectList::Items(items) = &s.select else { panic!() };
+        let STerm::Coalesce(terms) = &items[0].term else { panic!() };
+        assert_eq!(terms.len(), 3);
+        assert!(matches!(&items[1].term, STerm::Nullif(..)));
+        // Contextual: bare coalesce/nullif stay identifiers.
+        let q = parse_query("SELECT coalesce, nullif FROM R").unwrap();
+        let SQuery::Select(s) = q else { panic!() };
+        let SSelectList::Items(items) = &s.select else { panic!() };
+        assert_eq!(items[0].term, STerm::col("coalesce"));
+        assert_eq!(items[1].term, STerm::col("nullif"));
+        assert!(parse_query("SELECT NULLIF(A) FROM R").is_err());
     }
 
     #[test]

@@ -9,7 +9,7 @@
 use std::fmt::Write as _;
 
 use sqlsem_core::ast::{
-    Condition, FromItem, Query, SelectList, SelectQuery, SetOp, TableRef, Term,
+    Condition, FromExpr, FromItem, Query, SelectList, SelectQuery, SetOp, TableRef, Term,
 };
 use sqlsem_core::Dialect;
 
@@ -73,16 +73,17 @@ fn write_select(out: &mut String, s: &SelectQuery, dialect: Dialect) {
                 if i > 0 {
                     out.push_str(", ");
                 }
-                let _ = write!(out, "{} AS {}", item.term, item.alias);
+                write_term(out, &item.term, dialect);
+                let _ = write!(out, " AS {}", item.alias);
             }
         }
     }
     out.push_str(" FROM ");
-    for (i, item) in s.from.iter().enumerate() {
+    for (i, fe) in s.from.iter().enumerate() {
         if i > 0 {
             out.push_str(", ");
         }
-        write_from_item(out, item, dialect);
+        write_from_expr(out, fe, dialect);
     }
     if s.where_ != Condition::True {
         out.push_str(" WHERE ");
@@ -94,7 +95,7 @@ fn write_select(out: &mut String, s: &SelectQuery, dialect: Dialect) {
             if i > 0 {
                 out.push_str(", ");
             }
-            let _ = write!(out, "{k}");
+            write_term(out, k, dialect);
         }
     }
     if s.having != Condition::True {
@@ -143,6 +144,86 @@ fn write_limit_offset(out: &mut String, s: &SelectQuery, dialect: Dialect, sep: 
     }
 }
 
+fn write_from_expr(out: &mut String, fe: &FromExpr, dialect: Dialect) {
+    match fe {
+        FromExpr::Item(item) => write_from_item(out, item, dialect),
+        FromExpr::Join { kind, left, right, on } => {
+            write_from_expr(out, left, dialect);
+            let _ = write!(out, " {} OUTER JOIN ", kind.keyword());
+            // Same rule as the core `Display`: a right-nested join needs
+            // parentheses because the parser associates chains to the left.
+            match &**right {
+                FromExpr::Join { .. } => {
+                    out.push('(');
+                    write_from_expr(out, right, dialect);
+                    out.push(')');
+                }
+                FromExpr::Item(_) => write_from_expr(out, right, dialect),
+            }
+            out.push_str(" ON ");
+            write_condition(out, on, dialect);
+        }
+    }
+}
+
+/// Dialect-aware term printing. Constants, columns and plain aggregates
+/// match the core `Display`; the null combinators recurse because a
+/// `CASE` branch condition (and hence anything under it) may embed a
+/// subquery whose set operations print differently per dialect.
+fn write_term(out: &mut String, term: &Term, dialect: Dialect) {
+    match term {
+        Term::Const(_) | Term::Col(_) => {
+            let _ = write!(out, "{term}");
+        }
+        Term::Agg(a) => match &a.arg {
+            None => {
+                let _ = write!(out, "{}(*)", a.func.keyword());
+            }
+            Some(t) => {
+                let _ = write!(
+                    out,
+                    "{}({}",
+                    a.func.keyword(),
+                    if a.distinct { "DISTINCT " } else { "" }
+                );
+                write_term(out, t, dialect);
+                out.push(')');
+            }
+        },
+        Term::Case { branches, else_ } => {
+            out.push_str("CASE");
+            for (cond, result) in branches {
+                out.push_str(" WHEN ");
+                write_condition(out, cond, dialect);
+                out.push_str(" THEN ");
+                write_term(out, result, dialect);
+            }
+            if let Some(e) = else_ {
+                out.push_str(" ELSE ");
+                write_term(out, e, dialect);
+            }
+            out.push_str(" END");
+        }
+        Term::Coalesce(terms) => {
+            out.push_str("COALESCE(");
+            for (i, t) in terms.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_term(out, t, dialect);
+            }
+            out.push(')');
+        }
+        Term::Nullif(a, b) => {
+            out.push_str("NULLIF(");
+            write_term(out, a, dialect);
+            out.push_str(", ");
+            write_term(out, b, dialect);
+            out.push(')');
+        }
+    }
+}
+
 fn write_from_item(out: &mut String, item: &FromItem, dialect: Dialect) {
     match &item.table {
         TableRef::Base(r) => {
@@ -172,10 +253,14 @@ fn write_condition(out: &mut String, cond: &Condition, dialect: Dialect) {
         Condition::True => out.push_str("TRUE"),
         Condition::False => out.push_str("FALSE"),
         Condition::Cmp { left, op, right } => {
-            let _ = write!(out, "{left} {op} {right}");
+            write_term(out, left, dialect);
+            let _ = write!(out, " {op} ");
+            write_term(out, right, dialect);
         }
         Condition::Like { term, pattern, negated } => {
-            let _ = write!(out, "{term} {}LIKE {pattern}", if *negated { "NOT " } else { "" });
+            write_term(out, term, dialect);
+            let _ = write!(out, " {}LIKE ", if *negated { "NOT " } else { "" });
+            write_term(out, pattern, dialect);
         }
         Condition::Pred { name, args } => {
             let _ = write!(out, "{name}(");
@@ -183,22 +268,21 @@ fn write_condition(out: &mut String, cond: &Condition, dialect: Dialect) {
                 if i > 0 {
                     out.push_str(", ");
                 }
-                let _ = write!(out, "{a}");
+                write_term(out, a, dialect);
             }
             out.push(')');
         }
         Condition::IsNull { term, negated } => {
-            let _ = write!(out, "{term} IS {}NULL", if *negated { "NOT " } else { "" });
+            write_term(out, term, dialect);
+            let _ = write!(out, " IS {}NULL", if *negated { "NOT " } else { "" });
         }
         Condition::IsDistinct { left, right, negated } => {
-            let _ = write!(
-                out,
-                "{left} IS {}DISTINCT FROM {right}",
-                if *negated { "NOT " } else { "" }
-            );
+            write_term(out, left, dialect);
+            let _ = write!(out, " IS {}DISTINCT FROM ", if *negated { "NOT " } else { "" });
+            write_term(out, right, dialect);
         }
         Condition::In { terms, query, negated } => {
-            write_term_tuple(out, terms);
+            write_term_tuple(out, terms, dialect);
             let _ = write!(out, " {}IN (", if *negated { "NOT " } else { "" });
             write_query(out, query, dialect);
             out.push(')');
@@ -232,16 +316,16 @@ fn write_condition(out: &mut String, cond: &Condition, dialect: Dialect) {
     }
 }
 
-fn write_term_tuple(out: &mut String, terms: &[Term]) {
+fn write_term_tuple(out: &mut String, terms: &[Term], dialect: Dialect) {
     if terms.len() == 1 {
-        let _ = write!(out, "{}", terms[0]);
+        write_term(out, &terms[0], dialect);
     } else {
         out.push('(');
         for (i, t) in terms.iter().enumerate() {
             if i > 0 {
                 out.push_str(", ");
             }
-            let _ = write!(out, "{t}");
+            write_term(out, t, dialect);
         }
         out.push(')');
     }
@@ -294,37 +378,19 @@ fn write_query_pretty(out: &mut String, query: &Query, dialect: Dialect, level: 
                         if i > 0 {
                             out.push_str(", ");
                         }
-                        let _ = write!(out, "{} AS {}", item.term, item.alias);
+                        write_term(out, &item.term, dialect);
+                        let _ = write!(out, " AS {}", item.alias);
                     }
                 }
             }
             out.push('\n');
             indent(out, level);
             out.push_str("FROM ");
-            for (i, item) in s.from.iter().enumerate() {
+            for (i, fe) in s.from.iter().enumerate() {
                 if i > 0 {
                     out.push_str(", ");
                 }
-                match &item.table {
-                    TableRef::Base(_) => write_from_item(out, item, dialect),
-                    TableRef::Query(q) => {
-                        out.push_str("(\n");
-                        write_query_pretty(out, q, dialect, level + 1);
-                        out.push('\n');
-                        indent(out, level);
-                        let _ = write!(out, ") AS {}", item.alias);
-                        if let Some(cols) = &item.columns {
-                            out.push('(');
-                            for (j, c) in cols.iter().enumerate() {
-                                if j > 0 {
-                                    out.push_str(", ");
-                                }
-                                let _ = write!(out, "{c}");
-                            }
-                            out.push(')');
-                        }
-                    }
-                }
+                write_from_expr_pretty(out, fe, dialect, level);
             }
             if s.where_ != Condition::True {
                 out.push('\n');
@@ -340,7 +406,7 @@ fn write_query_pretty(out: &mut String, query: &Query, dialect: Dialect, level: 
                     if i > 0 {
                         out.push_str(", ");
                     }
-                    let _ = write!(out, "{k}");
+                    write_term(out, k, dialect);
                 }
             }
             if s.having != Condition::True {
@@ -367,6 +433,35 @@ fn write_query_pretty(out: &mut String, query: &Query, dialect: Dialect, level: 
             out.push('\n');
             write_operand_pretty(out, right, dialect, level);
         }
+    }
+}
+
+/// Pretty-mode `FROM` element. Subquery items expand over multiple
+/// lines; join trees print on the current line (their operands are
+/// almost always base tables or short subqueries).
+fn write_from_expr_pretty(out: &mut String, fe: &FromExpr, dialect: Dialect, level: usize) {
+    match fe {
+        FromExpr::Item(item) => match &item.table {
+            TableRef::Base(_) => write_from_item(out, item, dialect),
+            TableRef::Query(q) => {
+                out.push_str("(\n");
+                write_query_pretty(out, q, dialect, level + 1);
+                out.push('\n');
+                indent(out, level);
+                let _ = write!(out, ") AS {}", item.alias);
+                if let Some(cols) = &item.columns {
+                    out.push('(');
+                    for (j, c) in cols.iter().enumerate() {
+                        if j > 0 {
+                            out.push_str(", ");
+                        }
+                        let _ = write!(out, "{c}");
+                    }
+                    out.push(')');
+                }
+            }
+        },
+        FromExpr::Join { .. } => write_from_expr(out, fe, dialect),
     }
 }
 
@@ -432,6 +527,14 @@ mod tests {
             "SELECT A FROM R UNION ALL SELECT A FROM S",
             "SELECT A FROM R EXCEPT SELECT A FROM S",
             "SELECT R.A FROM R WHERE EXISTS (SELECT * FROM S WHERE S.A = R.A) AND R.A = 1",
+            "SELECT * FROM R LEFT OUTER JOIN S ON R.A = S.A",
+            "SELECT R.A FROM R FULL JOIN (SELECT A FROM S) AS T ON R.A = T.A",
+            "SELECT R.A FROM R RIGHT JOIN S ON R.A = S.A LEFT JOIN (SELECT 1 AS B FROM S) AS U ON S.A = U.B",
+            "SELECT R.A FROM R LEFT JOIN (S RIGHT JOIN (SELECT A FROM S) AS T ON S.A = T.A) ON R.A = S.A",
+            "SELECT CASE WHEN R.A = 1 THEN 10 ELSE R.A END AS c FROM R",
+            "SELECT CASE R.A WHEN 1 THEN 2 WHEN 2 THEN 3 END AS c FROM R",
+            "SELECT COALESCE(R.A, 0) AS c, NULLIF(R.A, 1) AS n FROM R",
+            "SELECT SUM(CASE WHEN R.A IS NULL THEN 0 ELSE R.A END) AS s FROM R",
         ] {
             let q = compile(sql);
             for dialect in Dialect::ALL {
@@ -471,6 +574,28 @@ mod tests {
                 assert_eq!(reparsed, q, "dialect {dialect}: {printed}");
             }
         }
+    }
+
+    #[test]
+    fn minus_nested_in_case_branch_is_translated_too() {
+        let q = compile(
+            "SELECT CASE WHEN A IN (SELECT A FROM R EXCEPT SELECT A FROM S) \
+             THEN 1 ELSE 0 END AS c FROM R",
+        );
+        let oracle = to_sql(&q, Dialect::Oracle);
+        assert!(oracle.contains("MINUS"), "{oracle}");
+        assert!(!oracle.contains("EXCEPT"), "{oracle}");
+        let reparsed = annotate(&parse_query(&oracle).unwrap(), &schema()).unwrap();
+        assert_eq!(reparsed, q);
+    }
+
+    #[test]
+    fn pretty_renders_outer_joins() {
+        let q = compile("SELECT R.A FROM R LEFT JOIN S ON R.A = S.A WHERE S.A IS NULL");
+        let pretty = to_sql_pretty(&q, Dialect::Standard);
+        assert!(pretty.contains("LEFT OUTER JOIN"), "{pretty}");
+        let reparsed = annotate(&parse_query(&pretty).unwrap(), &schema()).unwrap();
+        assert_eq!(reparsed, q);
     }
 
     #[test]

@@ -226,6 +226,19 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_columns_are_rejected_with_spans() {
+        let err = parse_statement("CREATE TABLE T (A, B, A)").unwrap_err();
+        assert!(err.message.contains("duplicate column A"), "{err}");
+        assert_eq!(err.offset, 22); // points at the second A
+                                    // Type annotations don't make the names distinct.
+        let err = parse_statement("CREATE TABLE T (id INT, id TEXT)").unwrap_err();
+        assert!(err.message.contains("duplicate column id"), "{err}");
+        let err = parse_statement("INSERT INTO R (A, A) VALUES (1, 2)").unwrap_err();
+        assert!(err.message.contains("duplicate column A"), "{err}");
+        assert_eq!(err.offset, 18);
+    }
+
+    #[test]
     fn parses_drop_table() {
         let s = parse_statement("DROP TABLE R").unwrap();
         assert_eq!(s, SStatement::DropTable { table: Name::new("R") });

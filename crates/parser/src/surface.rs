@@ -31,6 +31,18 @@ pub enum STerm {
         /// The argument; `None` is `COUNT(*)`.
         arg: Option<Box<STerm>>,
     },
+    /// A searched `CASE WHEN θ THEN t … [ELSE t] END`. The simple form
+    /// `CASE t WHEN v THEN r … END` is desugared to this at parse time.
+    Case {
+        /// The `WHEN`/`THEN` branches, in source order (non-empty).
+        branches: Vec<(SCondition, STerm)>,
+        /// The `ELSE` term, if written.
+        else_: Option<Box<STerm>>,
+    },
+    /// `COALESCE(t₁, …, tₙ)` (n ≥ 1).
+    Coalesce(Vec<STerm>),
+    /// `NULLIF(t₁, t₂)`.
+    Nullif(Box<STerm>, Box<STerm>),
 }
 
 impl STerm {
@@ -94,6 +106,26 @@ pub struct SFromItem {
     pub columns: Option<Vec<Name>>,
 }
 
+/// One surface `FROM` element: a plain item or an outer-join tree.
+/// Join chains associate to the left, as in SQL.
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SFromExpr {
+    /// A plain item.
+    Item(SFromItem),
+    /// `F₁ kind [OUTER] JOIN F₂ ON θ`.
+    Join {
+        /// `LEFT`, `RIGHT` or `FULL`.
+        kind: sqlsem_core::ast::JoinKind,
+        /// The left operand.
+        left: Box<SFromExpr>,
+        /// The right operand.
+        right: Box<SFromExpr>,
+        /// The `ON` condition.
+        on: Box<SCondition>,
+    },
+}
+
 /// One surface `ORDER BY` key: `N [ASC|DESC] [NULLS FIRST|LAST]`. The
 /// key names an *output column* of the block (SQL-92's rule).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -115,7 +147,7 @@ pub struct SSelectQuery {
     /// The select list.
     pub select: SSelectList,
     /// The `FROM` clause (non-empty).
-    pub from: Vec<SFromItem>,
+    pub from: Vec<SFromExpr>,
     /// The `WHERE` condition; `None` means no clause was written.
     pub where_: Option<SCondition>,
     /// The `GROUP BY` keys; empty when the clause is absent.

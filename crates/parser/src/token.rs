@@ -45,6 +45,15 @@ impl std::error::Error for LexError {}
 /// SQL-92 or PostgreSQL either): the statement parser recognises the
 /// bare identifier in statement position, so `explain` stays usable as
 /// a column or alias name.
+///
+/// The join fragment reserves `JOIN`/`ON`/`LEFT`/`RIGHT`/`FULL` and the
+/// `CASE` expression reserves `CASE`/`WHEN`/`THEN`/`ELSE`/`END` (all
+/// SQL-92 reserved words) — reserving `LEFT` et al. is what stops
+/// `FROM R LEFT JOIN S` from reading `LEFT` as `R`'s alias. `OUTER` is
+/// *not* reserved: the `FROM` parser recognises it positionally between
+/// a join kind and `JOIN`, so `outer` stays usable as a name.
+/// `COALESCE` and `NULLIF` are contextual exactly like the aggregate
+/// names: keywords only when directly applied to `(`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 #[allow(missing_docs)]
 pub enum Keyword {
@@ -89,6 +98,18 @@ pub enum Keyword {
     Offset,
     Fetch,
     Only,
+    Join,
+    On,
+    Left,
+    Right,
+    Full,
+    Case,
+    When,
+    Then,
+    Else,
+    End,
+    Coalesce,
+    Nullif,
 }
 
 impl Keyword {
@@ -97,6 +118,13 @@ impl Keyword {
     /// applied (`COUNT(…)`), and as identifiers otherwise.
     pub fn is_aggregate_name(self) -> bool {
         matches!(self, Keyword::Count | Keyword::Sum | Keyword::Avg | Keyword::Min | Keyword::Max)
+    }
+
+    /// `true` for the words that are keywords only when directly applied
+    /// (`NAME(…)`): the aggregate function names plus `COALESCE` and
+    /// `NULLIF`, which PostgreSQL likewise keeps non-reserved.
+    pub fn is_contextual_fn_name(self) -> bool {
+        self.is_aggregate_name() || matches!(self, Keyword::Coalesce | Keyword::Nullif)
     }
 
     /// Parses a keyword from an identifier-shaped word, case-insensitively.
@@ -145,6 +173,18 @@ impl Keyword {
             "OFFSET" => Some(Keyword::Offset),
             "FETCH" => Some(Keyword::Fetch),
             "ONLY" => Some(Keyword::Only),
+            "JOIN" => Some(Keyword::Join),
+            "ON" => Some(Keyword::On),
+            "LEFT" => Some(Keyword::Left),
+            "RIGHT" => Some(Keyword::Right),
+            "FULL" => Some(Keyword::Full),
+            "CASE" => Some(Keyword::Case),
+            "WHEN" => Some(Keyword::When),
+            "THEN" => Some(Keyword::Then),
+            "ELSE" => Some(Keyword::Else),
+            "END" => Some(Keyword::End),
+            "COALESCE" => Some(Keyword::Coalesce),
+            "NULLIF" => Some(Keyword::Nullif),
             _ => None,
         }
     }
@@ -194,6 +234,18 @@ impl fmt::Display for Keyword {
             Keyword::Offset => "OFFSET",
             Keyword::Fetch => "FETCH",
             Keyword::Only => "ONLY",
+            Keyword::Join => "JOIN",
+            Keyword::On => "ON",
+            Keyword::Left => "LEFT",
+            Keyword::Right => "RIGHT",
+            Keyword::Full => "FULL",
+            Keyword::Case => "CASE",
+            Keyword::When => "WHEN",
+            Keyword::Then => "THEN",
+            Keyword::Else => "ELSE",
+            Keyword::End => "END",
+            Keyword::Coalesce => "COALESCE",
+            Keyword::Nullif => "NULLIF",
         };
         f.write_str(s)
     }
@@ -434,7 +486,7 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                     // only when a `(` follows (an application), and stay
                     // ordinary identifiers everywhere else — so a column
                     // or output name `count` remains parseable.
-                    Some(k) if k.is_aggregate_name() && !followed_by_lparen(bytes, end) => {
+                    Some(k) if k.is_contextual_fn_name() && !followed_by_lparen(bytes, end) => {
                         TokenKind::Ident(word.to_string())
                     }
                     Some(k) => TokenKind::Keyword(k),

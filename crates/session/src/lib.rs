@@ -24,6 +24,33 @@
 //! assert!(out.rows().unwrap().is_empty());
 //! ```
 //!
+//! The outer-join and null-combinator fragment works the same way —
+//! a dangling row is padded with `NULL`s, and `CASE`/`COALESCE`
+//! observe the padding:
+//!
+//! ```
+//! use sqlsem_session::Session;
+//!
+//! let mut session = Session::new();
+//! session
+//!     .run_script(
+//!         "CREATE TABLE R (A); CREATE TABLE S (A, C); \
+//!          INSERT INTO R VALUES (1), (2); INSERT INTO S VALUES (1, 10);",
+//!     )
+//!     .unwrap();
+//! let tagged = session
+//!     .execute(
+//!         "SELECT CASE WHEN S.A IS NULL THEN 0 ELSE S.A END AS tag, \
+//!                 COALESCE(S.C, -1) AS c \
+//!          FROM R LEFT JOIN S ON R.A = S.A",
+//!     )
+//!     .unwrap();
+//! // R.A = 1 matches; R.A = 2 dangles and is padded with NULLs,
+//! // which the combinators turn back into defaults.
+//! use sqlsem_core::table;
+//! assert!(tagged.rows().unwrap().coincides(&table! { ["tag", "c"]; [1, 10], [0, -1] }));
+//! ```
+//!
 //! Swapping the execution strategy is a builder choice, not a rewrite:
 //!
 //! ```

@@ -30,7 +30,10 @@
 
 use std::collections::HashSet;
 
-use sqlsem_core::ast::{Condition, FromItem, Query, SelectList, SelectQuery, TableRef, Term};
+use sqlsem_core::ast::{
+    Aggregate, Condition, FromExpr, FromItem, Query, SelectItem, SelectList, SelectQuery, TableRef,
+    Term,
+};
 use sqlsem_core::{CmpOp, LogicMode, Name};
 
 /// Which two-valued interpretation of the equality predicate is in force
@@ -90,14 +93,17 @@ fn collect_names(query: &Query, out: &mut HashSet<Name>) {
                     collect_term_names(&i.term, out);
                 }
             }
-            for f in &s.from {
-                out.insert(f.alias.clone());
-                if let TableRef::Base(r) = &f.table {
-                    out.insert(r.clone());
-                }
-                if let Some(cols) = &f.columns {
-                    out.extend(cols.iter().cloned());
-                }
+            for fe in &s.from {
+                fe.visit_items(&mut |f| {
+                    out.insert(f.alias.clone());
+                    if let TableRef::Base(r) = &f.table {
+                        out.insert(r.clone());
+                    }
+                    if let Some(cols) = &f.columns {
+                        out.extend(cols.iter().cloned());
+                    }
+                });
+                collect_on_names(fe, out);
             }
             collect_cond_names(&s.where_, out);
             for key in &s.group_by {
@@ -118,6 +124,16 @@ fn collect_term_names(term: &Term, out: &mut HashSet<Name>) {
 fn collect_cond_names(cond: &Condition, out: &mut HashSet<Name>) {
     // Nested queries are handled by `collect_names`' visitor.
     cond.visit_terms(&mut |t| collect_term_names(t, out));
+}
+
+/// Collects the names used in `ON` conditions anywhere in a `FROM`
+/// expression (leaf items are covered by the caller's item visitor).
+fn collect_on_names(fe: &FromExpr, out: &mut HashSet<Name>) {
+    if let FromExpr::Join { left, right, on, .. } = fe {
+        collect_on_names(left, out);
+        collect_on_names(right, out);
+        collect_cond_names(on, out);
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -142,22 +158,11 @@ fn query_2v(query: &Query, eq: EqInterpretation, names: &mut Names) -> Query {
         },
         Query::Select(s) => Query::Select(SelectQuery {
             distinct: s.distinct,
-            select: s.select.clone(),
-            from: s
-                .from
-                .iter()
-                .map(|f| FromItem {
-                    table: match &f.table {
-                        TableRef::Base(r) => TableRef::Base(r.clone()),
-                        TableRef::Query(q) => TableRef::Query(Box::new(query_2v(q, eq, names))),
-                    },
-                    alias: f.alias.clone(),
-                    columns: f.columns.clone(),
-                })
-                .collect(),
+            select: select_2v(&s.select, eq, names),
+            from: s.from.iter().map(|fe| from_2v(fe, eq, names)).collect(),
             // Only rows with θ = t are kept, so θ becomes θᵗ.
             where_: cond_t(&s.where_, eq, names),
-            group_by: s.group_by.clone(),
+            group_by: s.group_by.iter().map(|t| term_2v(t, eq, names)).collect(),
             // Groups are kept exactly when HAVING is t, so it becomes θᵗ
             // too; the aggregates themselves are logic-mode independent.
             having: cond_t(&s.having, eq, names),
@@ -170,26 +175,115 @@ fn query_2v(query: &Query, eq: EqInterpretation, names: &mut Names) -> Query {
     }
 }
 
+/// The forward translation of a `FROM` expression. A join pair matches
+/// (and padding is withheld) exactly when the `ON` condition is `t`
+/// under 3VL, so `ON` translates like `WHERE`: `θ ↦ θᵗ`. The dangling
+/// rows — no counterpart with `ON` = `t` — are then the same on both
+/// sides of the translation, so the padded output coincides too.
+fn from_2v(fe: &FromExpr, eq: EqInterpretation, names: &mut Names) -> FromExpr {
+    match fe {
+        FromExpr::Item(f) => FromExpr::Item(item_2v(f, eq, names)),
+        FromExpr::Join { kind, left, right, on } => FromExpr::Join {
+            kind: *kind,
+            left: Box::new(from_2v(left, eq, names)),
+            right: Box::new(from_2v(right, eq, names)),
+            on: Box::new(cond_t(on, eq, names)),
+        },
+    }
+}
+
+fn item_2v(f: &FromItem, eq: EqInterpretation, names: &mut Names) -> FromItem {
+    FromItem {
+        table: match &f.table {
+            TableRef::Base(r) => TableRef::Base(r.clone()),
+            TableRef::Query(q) => TableRef::Query(Box::new(query_2v(q, eq, names))),
+        },
+        alias: f.alias.clone(),
+        columns: f.columns.clone(),
+    }
+}
+
+fn select_2v(select: &SelectList, eq: EqInterpretation, names: &mut Names) -> SelectList {
+    match select {
+        SelectList::Star => SelectList::Star,
+        SelectList::Items(items) => SelectList::Items(
+            items
+                .iter()
+                .map(|i| SelectItem { term: term_2v(&i.term, eq, names), alias: i.alias.clone() })
+                .collect(),
+        ),
+    }
+}
+
+/// The forward translation of a *term*: `CASE` embeds conditions whose
+/// branch is taken exactly when the condition is `t`, so each branch
+/// condition becomes its `θᵗ` — the term then evaluates to the same
+/// value under `⟦·⟧₂ᵥ` as the original did under 3VL. `COALESCE` is
+/// condition-free and `NULLIF`'s equality verdict is "is `t`", which
+/// every logic mode answers identically on the reachable cases (a
+/// `NULL` operand makes the result `NULL`-or-first-operand either way),
+/// so both only recurse.
+fn term_2v(term: &Term, eq: EqInterpretation, names: &mut Names) -> Term {
+    match term {
+        Term::Const(_) | Term::Col(_) => term.clone(),
+        Term::Agg(a) => Term::Agg(Box::new(Aggregate {
+            func: a.func,
+            distinct: a.distinct,
+            arg: a.arg.as_ref().map(|t| term_2v(t, eq, names)),
+        })),
+        Term::Case { branches, else_ } => Term::Case {
+            branches: branches
+                .iter()
+                .map(|(c, t)| (cond_t(c, eq, names), term_2v(t, eq, names)))
+                .collect(),
+            else_: else_.as_ref().map(|t| Box::new(term_2v(t, eq, names))),
+        },
+        Term::Coalesce(ts) => Term::Coalesce(ts.iter().map(|t| term_2v(t, eq, names)).collect()),
+        Term::Nullif(a, b) => {
+            Term::Nullif(Box::new(term_2v(a, eq, names)), Box::new(term_2v(b, eq, names)))
+        }
+    }
+}
+
 /// `θᵗ`: true under `⟦·⟧₂ᵥ` exactly when `θ` is `t` under 3VL.
 fn cond_t(cond: &Condition, eq: EqInterpretation, names: &mut Names) -> Condition {
     match cond {
         Condition::True => Condition::True,
         Condition::False => Condition::False,
-        Condition::Cmp { left, op, right } => match (eq, op) {
-            // Syntactic mode: (t₁ = t₂)ᵗ = t₁ = t₂ AND (t₁,t₂) IS NOT NULL.
-            (EqInterpretation::Syntactic, CmpOp::Eq) => {
-                Condition::Cmp { left: left.clone(), op: *op, right: right.clone() }
-                    .and(Condition::is_not_null(left.clone()))
-                    .and(Condition::is_not_null(right.clone()))
+        Condition::Cmp { left, op, right } => {
+            let (l, r) = (term_2v(left, eq, names), term_2v(right, eq, names));
+            match (eq, op) {
+                // Syntactic mode: (t₁ = t₂)ᵗ = t₁ = t₂ AND (t₁,t₂) IS NOT NULL.
+                (EqInterpretation::Syntactic, CmpOp::Eq) => {
+                    Condition::Cmp { left: l.clone(), op: *op, right: r.clone() }
+                        .and(Condition::is_not_null(l))
+                        .and(Condition::is_not_null(r))
+                }
+                // Conflating mode: P(t̄)ᵗ = P(t̄) — conflation already maps u
+                // to f.
+                _ => Condition::Cmp { left: l, op: *op, right: r },
             }
-            // Conflating mode: P(t̄)ᵗ = P(t̄) — conflation already maps u
-            // to f.
-            _ => cond.clone(),
+        }
+        // Other predicates conflate in both modes (terms still translate:
+        // they may embed `CASE` conditions).
+        Condition::Like { term, pattern, negated } => Condition::Like {
+            term: term_2v(term, eq, names),
+            pattern: term_2v(pattern, eq, names),
+            negated: *negated,
         },
-        // Other predicates conflate in both modes.
-        Condition::Like { .. } | Condition::Pred { .. } => cond.clone(),
+        Condition::Pred { name, args } => Condition::Pred {
+            name: name.clone(),
+            args: args.iter().map(|a| term_2v(a, eq, names)).collect(),
+        },
         // Already two-valued under every semantics.
-        Condition::IsNull { .. } | Condition::IsDistinct { .. } => cond.clone(),
+        Condition::IsNull { term, negated } => {
+            Condition::IsNull { term: term_2v(term, eq, names), negated: *negated }
+        }
+        Condition::IsDistinct { left, right, negated } => Condition::IsDistinct {
+            left: term_2v(left, eq, names),
+            right: term_2v(right, eq, names),
+            negated: *negated,
+        },
         Condition::Exists(q) => Condition::Exists(Box::new(query_2v(q, eq, names))),
         Condition::And(a, b) => cond_t(a, eq, names).and(cond_t(b, eq, names)),
         Condition::Or(a, b) => cond_t(a, eq, names).or(cond_t(b, eq, names)),
@@ -211,31 +305,32 @@ fn cond_f(cond: &Condition, eq: EqInterpretation, names: &mut Names) -> Conditio
         Condition::False => Condition::True,
         // P(t̄)ᶠ = NOT P(t̄) AND t̄ IS NOT NULL.
         Condition::Cmp { left, op, right } => {
-            let base = match (eq, op) {
-                (EqInterpretation::Syntactic, CmpOp::Eq) => {
-                    Condition::Cmp { left: left.clone(), op: *op, right: right.clone() }.not()
-                }
-                _ => Condition::Cmp { left: left.clone(), op: *op, right: right.clone() }.not(),
-            };
-            base.and(Condition::is_not_null(left.clone()))
-                .and(Condition::is_not_null(right.clone()))
+            let (l, r) = (term_2v(left, eq, names), term_2v(right, eq, names));
+            Condition::Cmp { left: l.clone(), op: *op, right: r.clone() }
+                .not()
+                .and(Condition::is_not_null(l))
+                .and(Condition::is_not_null(r))
         }
         Condition::Like { term, pattern, negated } => {
-            Condition::Like { term: term.clone(), pattern: pattern.clone(), negated: !*negated }
-                .and(Condition::is_not_null(term.clone()))
-                .and(Condition::is_not_null(pattern.clone()))
+            let (t, p) = (term_2v(term, eq, names), term_2v(pattern, eq, names));
+            Condition::Like { term: t.clone(), pattern: p.clone(), negated: !*negated }
+                .and(Condition::is_not_null(t))
+                .and(Condition::is_not_null(p))
         }
         Condition::Pred { name, args } => {
+            let args: Vec<Term> = args.iter().map(|a| term_2v(a, eq, names)).collect();
             let guards = Condition::all(args.iter().map(|a| Condition::is_not_null(a.clone())));
-            Condition::Pred { name: name.clone(), args: args.clone() }.not().and(guards)
+            Condition::Pred { name: name.clone(), args }.not().and(guards)
         }
         Condition::IsNull { term, negated } => {
-            Condition::IsNull { term: term.clone(), negated: !*negated }
+            Condition::IsNull { term: term_2v(term, eq, names), negated: !*negated }
         }
         // Two-valued: its f-translation is the opposite polarity.
-        Condition::IsDistinct { left, right, negated } => {
-            Condition::IsDistinct { left: left.clone(), right: right.clone(), negated: !*negated }
-        }
+        Condition::IsDistinct { left, right, negated } => Condition::IsDistinct {
+            left: term_2v(left, eq, names),
+            right: term_2v(right, eq, names),
+            negated: !*negated,
+        },
         Condition::Exists(q) => Condition::Exists(Box::new(query_2v(q, eq, names))).not(),
         Condition::And(a, b) => cond_f(a, eq, names).or(cond_f(b, eq, names)),
         Condition::Or(a, b) => cond_f(a, eq, names).and(cond_f(b, eq, names)),
@@ -252,14 +347,13 @@ fn cond_f(cond: &Condition, eq: EqInterpretation, names: &mut Names) -> Conditio
 
 /// `(t̄ IN Q)ᵗ`.
 fn in_t(terms: &[Term], query: &Query, eq: EqInterpretation, names: &mut Names) -> Condition {
+    let terms: Vec<Term> = terms.iter().map(|t| term_2v(t, eq, names)).collect();
     let q2 = query_2v(query, eq, names);
     match eq {
         // Conflating equality: t̄ IN Q′ is already right — each component
         // equality conflates u to f, so the disjunction is t exactly when
         // a row matches with all components true.
-        EqInterpretation::Conflate => {
-            Condition::In { terms: terms.to_vec(), query: Box::new(q2), negated: false }
-        }
+        EqInterpretation::Conflate => Condition::In { terms, query: Box::new(q2), negated: false },
         // Syntactic equality would let NULL match NULL, so the membership
         // is spelled out with guarded comparisons (§6):
         // EXISTS (SELECT * FROM Q′ AS N(Ā) WHERE ⋀ (tᵢ = N.Aᵢ)ᵗ).
@@ -280,6 +374,7 @@ fn in_t(terms: &[Term], query: &Query, eq: EqInterpretation, names: &mut Names) 
 
 /// `(t̄ IN Q)ᶠ` — the Figure 10 `NOT EXISTS` construction.
 fn in_f(terms: &[Term], query: &Query, eq: EqInterpretation, names: &mut Names) -> Condition {
+    let terms: Vec<Term> = terms.iter().map(|t| term_2v(t, eq, names)).collect();
     let q2 = query_2v(query, eq, names);
     let (from_item, alias, columns) = named_subquery(q2, terms.len(), names);
     let component = |t: &Term, a: &Name| -> Condition {
@@ -332,26 +427,77 @@ fn query_3v(query: &Query, eq: EqInterpretation, names: &mut Names) -> Query {
         },
         Query::Select(s) => Query::Select(SelectQuery {
             distinct: s.distinct,
-            select: s.select.clone(),
-            from: s
-                .from
-                .iter()
-                .map(|f| FromItem {
-                    table: match &f.table {
-                        TableRef::Base(r) => TableRef::Base(r.clone()),
-                        TableRef::Query(q) => TableRef::Query(Box::new(query_3v(q, eq, names))),
-                    },
-                    alias: f.alias.clone(),
-                    columns: f.columns.clone(),
-                })
-                .collect(),
+            select: select_3v(&s.select, eq, names),
+            from: s.from.iter().map(|fe| from_3v(fe, eq, names)).collect(),
             where_: cond_3v(&s.where_, eq, names),
-            group_by: s.group_by.clone(),
+            group_by: s.group_by.iter().map(|t| term_3v(t, eq, names)).collect(),
             having: cond_3v(&s.having, eq, names),
             order_by: s.order_by.clone(),
             limit: s.limit,
             offset: s.offset,
         }),
+    }
+}
+
+/// The backward translation of a `FROM` expression: as in [`from_2v`],
+/// the join match criterion "`ON` is `t`" makes `ON` translate exactly
+/// like `WHERE`.
+fn from_3v(fe: &FromExpr, eq: EqInterpretation, names: &mut Names) -> FromExpr {
+    match fe {
+        FromExpr::Item(f) => FromExpr::Item(item_3v(f, eq, names)),
+        FromExpr::Join { kind, left, right, on } => FromExpr::Join {
+            kind: *kind,
+            left: Box::new(from_3v(left, eq, names)),
+            right: Box::new(from_3v(right, eq, names)),
+            on: Box::new(cond_3v(on, eq, names)),
+        },
+    }
+}
+
+fn item_3v(f: &FromItem, eq: EqInterpretation, names: &mut Names) -> FromItem {
+    FromItem {
+        table: match &f.table {
+            TableRef::Base(r) => TableRef::Base(r.clone()),
+            TableRef::Query(q) => TableRef::Query(Box::new(query_3v(q, eq, names))),
+        },
+        alias: f.alias.clone(),
+        columns: f.columns.clone(),
+    }
+}
+
+fn select_3v(select: &SelectList, eq: EqInterpretation, names: &mut Names) -> SelectList {
+    match select {
+        SelectList::Star => SelectList::Star,
+        SelectList::Items(items) => SelectList::Items(
+            items
+                .iter()
+                .map(|i| SelectItem { term: term_3v(&i.term, eq, names), alias: i.alias.clone() })
+                .collect(),
+        ),
+    }
+}
+
+/// The backward translation of a term (see [`term_2v`] for why only
+/// `CASE`'s branch conditions need rewriting).
+fn term_3v(term: &Term, eq: EqInterpretation, names: &mut Names) -> Term {
+    match term {
+        Term::Const(_) | Term::Col(_) => term.clone(),
+        Term::Agg(a) => Term::Agg(Box::new(Aggregate {
+            func: a.func,
+            distinct: a.distinct,
+            arg: a.arg.as_ref().map(|t| term_3v(t, eq, names)),
+        })),
+        Term::Case { branches, else_ } => Term::Case {
+            branches: branches
+                .iter()
+                .map(|(c, t)| (cond_3v(c, eq, names), term_3v(t, eq, names)))
+                .collect(),
+            else_: else_.as_ref().map(|t| Box::new(term_3v(t, eq, names))),
+        },
+        Term::Coalesce(ts) => Term::Coalesce(ts.iter().map(|t| term_3v(t, eq, names)).collect()),
+        Term::Nullif(a, b) => {
+            Term::Nullif(Box::new(term_3v(a, eq, names)), Box::new(term_3v(b, eq, names)))
+        }
     }
 }
 
@@ -361,30 +507,39 @@ fn query_3v(query: &Query, eq: EqInterpretation, names: &mut Names) -> Query {
 fn cond_3v(cond: &Condition, eq: EqInterpretation, names: &mut Names) -> Condition {
     match cond {
         // Already two-valued under 3VL as well: nothing to do.
-        Condition::True
-        | Condition::False
-        | Condition::IsNull { .. }
-        | Condition::IsDistinct { .. } => cond.clone(),
+        Condition::True | Condition::False => cond.clone(),
+        Condition::IsNull { term, negated } => {
+            Condition::IsNull { term: term_3v(term, eq, names), negated: *negated }
+        }
+        Condition::IsDistinct { left, right, negated } => Condition::IsDistinct {
+            left: term_3v(left, eq, names),
+            right: term_3v(right, eq, names),
+            negated: *negated,
+        },
         Condition::Cmp { left, op, right } => {
-            let guarded = Condition::Cmp { left: left.clone(), op: *op, right: right.clone() }
-                .and(Condition::is_not_null(left.clone()))
-                .and(Condition::is_not_null(right.clone()));
+            let (l, r) = (term_3v(left, eq, names), term_3v(right, eq, names));
+            let guarded = Condition::Cmp { left: l.clone(), op: *op, right: r.clone() }
+                .and(Condition::is_not_null(l.clone()))
+                .and(Condition::is_not_null(r.clone()));
             match (eq, op) {
                 // Syntactic equality: t₁ ≐ t₂ is also t when both are
                 // NULL (Definition 2).
-                (EqInterpretation::Syntactic, CmpOp::Eq) => guarded
-                    .or(Condition::is_null(left.clone()).and(Condition::is_null(right.clone()))),
+                (EqInterpretation::Syntactic, CmpOp::Eq) => {
+                    guarded.or(Condition::is_null(l).and(Condition::is_null(r)))
+                }
                 _ => guarded,
             }
         }
         Condition::Like { term, pattern, negated } => {
-            Condition::Like { term: term.clone(), pattern: pattern.clone(), negated: *negated }
-                .and(Condition::is_not_null(term.clone()))
-                .and(Condition::is_not_null(pattern.clone()))
+            let (t, p) = (term_3v(term, eq, names), term_3v(pattern, eq, names));
+            Condition::Like { term: t.clone(), pattern: p.clone(), negated: *negated }
+                .and(Condition::is_not_null(t))
+                .and(Condition::is_not_null(p))
         }
         Condition::Pred { name, args } => {
+            let args: Vec<Term> = args.iter().map(|a| term_3v(a, eq, names)).collect();
             let guards = Condition::all(args.iter().map(|a| Condition::is_not_null(a.clone())));
-            Condition::Pred { name: name.clone(), args: args.clone() }.and(guards)
+            Condition::Pred { name: name.clone(), args }.and(guards)
         }
         Condition::Exists(q) => Condition::Exists(Box::new(query_3v(q, eq, names))),
         Condition::And(a, b) => cond_3v(a, eq, names).and(cond_3v(b, eq, names)),
@@ -394,6 +549,7 @@ fn cond_3v(cond: &Condition, eq: EqInterpretation, names: &mut Names) -> Conditi
         Condition::In { terms, query, negated } => {
             // ⟦t̄ IN Q⟧₂ᵥ = ∃ row with all components 2v-true: spell it
             // out with EXISTS and per-component u-free equalities.
+            let terms: Vec<Term> = terms.iter().map(|t| term_3v(t, eq, names)).collect();
             let q3 = query_3v(query, eq, names);
             let (from_item, alias, columns) = named_subquery(q3, terms.len(), names);
             let body = Condition::all(terms.iter().zip(&columns).map(|(t, a)| {

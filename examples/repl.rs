@@ -39,6 +39,31 @@ use std::io::{self, BufRead, IsTerminal, Write};
 
 use sqlsem::{Backend, Dialect, Session};
 
+/// `true` when the accumulated input forms a submittable statement: its
+/// last non-whitespace character is a `;` that sits *outside* every
+/// single-quoted string literal. Checking the raw line for a trailing
+/// `;` (as this REPL once did) submits half a statement whenever a
+/// string literal spans lines and the first line happens to end in `;`.
+/// The scan toggles on each `'`, which also handles the `''` escape: in
+/// a literal, `''` toggles out and straight back in, leaving the state
+/// open — exactly the lexer's reading.
+fn terminated(buffer: &str) -> bool {
+    let mut in_string = false;
+    let mut complete = false;
+    for c in buffer.chars() {
+        match c {
+            '\'' => {
+                in_string = !in_string;
+                complete = false;
+            }
+            ';' if !in_string => complete = true,
+            c if c.is_whitespace() => {}
+            _ => complete = false,
+        }
+    }
+    complete
+}
+
 /// Handles a `\…` meta command; returns `false` when the REPL should
 /// quit.
 fn meta_command(session: &mut Session, line: &str) -> bool {
@@ -148,8 +173,9 @@ fn main() {
         }
         buffer.push_str(&line);
         buffer.push('\n');
-        // Keep reading until the statement is terminated.
-        if !trimmed.ends_with(';') {
+        // Keep reading until the statement is terminated — a `;` inside
+        // an open string literal does not count.
+        if !terminated(&buffer) {
             prompt(&buffer);
             continue;
         }

@@ -94,6 +94,28 @@ fn script_errors_carry_the_offending_statement_span() {
     assert!(text.contains("SELECT nope FROM R"), "{text}");
 }
 
+#[test]
+fn duplicate_column_names_are_rejected_before_anything_applies() {
+    let mut s = Session::new();
+    // A repeated column in CREATE TABLE is a parse-stage error (caught
+    // with a span pointing at the second occurrence) and never reaches
+    // the schema.
+    let err = s.execute("CREATE TABLE T (A, B, A)").unwrap_err();
+    assert!(matches!(err, SqlsemError::Parse { .. }), "{err:?}");
+    assert!(err.to_string().contains("duplicate column A"), "{err}");
+    assert!(s.schema().is_empty());
+    // Type annotations don't make the names distinct.
+    let err = s.execute("CREATE TABLE T (id INT, id TEXT)").unwrap_err();
+    assert!(err.to_string().contains("duplicate column id"), "{err}");
+    // A repeated INSERT target column is rejected the same way, with no
+    // half-applied rows.
+    s.execute("CREATE TABLE R (A, B)").unwrap();
+    let err = s.execute("INSERT INTO R (A, A) VALUES (1, 2)").unwrap_err();
+    assert!(matches!(err, SqlsemError::Parse { .. }), "{err:?}");
+    assert!(err.to_string().contains("duplicate column A"), "{err}");
+    assert_eq!(s.database().total_rows(), 0);
+}
+
 // ---------------------------------------------------------------------------
 // The acceptance script: 3 dialects × 3 logic modes × 3 backends
 // ---------------------------------------------------------------------------
