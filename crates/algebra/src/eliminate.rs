@@ -720,9 +720,12 @@ mod tests {
 
     fn db() -> Database {
         let mut db = Database::new(schema());
-        db.insert("R", table! { ["A", "B"]; [1, 2], [1, 2], [Value::Null, 3], [4, Value::Null] })
-            .unwrap();
-        db.insert("S", table! { ["A"]; [1], [Value::Null], [4] }).unwrap();
+        db.replace_table(
+            "R",
+            table! { ["A", "B"]; [1, 2], [1, 2], [Value::Null, 3], [4, Value::Null] },
+        )
+        .unwrap();
+        db.replace_table("S", table! { ["A"]; [1], [Value::Null], [4] }).unwrap();
         db
     }
 
@@ -796,8 +799,8 @@ mod tests {
         // empty rather than {1, 4}.
         let schema = schema();
         let mut db = Database::new(schema.clone());
-        db.insert("R", table! { ["A", "B"]; [1, 0], [Value::Null, 0] }).unwrap();
-        db.insert("S", table! { ["A"]; [Value::Null] }).unwrap();
+        db.replace_table("R", table! { ["A", "B"]; [1, 0], [Value::Null, 0] }).unwrap();
+        db.replace_table("S", table! { ["A"]; [Value::Null] }).unwrap();
         let q = compile("SELECT DISTINCT R.A FROM R WHERE R.A NOT IN (SELECT S.A FROM S)", &schema)
             .unwrap();
         let expected = Evaluator::new(&db).eval(&q).unwrap();

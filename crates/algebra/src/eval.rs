@@ -327,8 +327,8 @@ mod tests {
             .build()
             .unwrap();
         let mut db = Database::new(schema);
-        db.insert("R", table! { ["A", "B"]; [1, 2], [1, 2], [Value::Null, 3] }).unwrap();
-        db.insert("S", table! { ["C"]; [1], [9] }).unwrap();
+        db.replace_table("R", table! { ["A", "B"]; [1, 2], [1, 2], [Value::Null, 3] }).unwrap();
+        db.replace_table("S", table! { ["C"]; [1], [9] }).unwrap();
         db
     }
 
@@ -413,7 +413,7 @@ mod tests {
         use sqlsem_core::AggFunc;
         let schema = sqlsem_core::Schema::builder().table("R", ["A", "B"]).build().unwrap();
         let mut db = Database::new(schema);
-        db.insert(
+        db.replace_table(
             "R",
             table! { ["A", "B"]; [1, 2], [1, Value::Null], [Value::Null, 5], [Value::Null, 5] },
         )

@@ -294,8 +294,8 @@ mod tests {
         let schema =
             Schema::builder().table("R", ["A", "B"]).table("S", ["B", "C"]).build().unwrap();
         let mut db = Database::new(schema);
-        db.insert("R", table! { ["A", "B"]; [1, 2], [1, 2], [3, Value::Null] }).unwrap();
-        db.insert("S", table! { ["B", "C"]; [2, 7], [Value::Null, 8] }).unwrap();
+        db.replace_table("R", table! { ["A", "B"]; [1, 2], [1, 2], [3, Value::Null] }).unwrap();
+        db.replace_table("S", table! { ["B", "C"]; [2, 7], [Value::Null, 8] }).unwrap();
         db
     }
 

@@ -24,8 +24,8 @@
 //!
 //! let schema = Schema::builder().table("R", ["A"]).table("S", ["A"]).build().unwrap();
 //! let mut db = Database::new(schema.clone());
-//! db.insert("R", table! { ["A"]; [1], [Value::Null] }).unwrap();
-//! db.insert("S", table! { ["A"]; [Value::Null] }).unwrap();
+//! db.replace_table("R", table! { ["A"]; [1], [Value::Null] }).unwrap();
+//! db.replace_table("S", table! { ["A"]; [Value::Null] }).unwrap();
 //!
 //! // Example 1's Q1 — empty under 3VL.
 //! let q = compile("SELECT DISTINCT R.A FROM R WHERE R.A NOT IN (SELECT S.A FROM S)", &schema)

@@ -773,9 +773,12 @@ mod tests {
 
     fn db() -> Database {
         let mut db = Database::new(schema());
-        db.insert("R", table! { ["A", "B"]; [1, 2], [1, 2], [Value::Null, 3], [4, Value::Null] })
-            .unwrap();
-        db.insert("S", table! { ["A"]; [1], [Value::Null], [4] }).unwrap();
+        db.replace_table(
+            "R",
+            table! { ["A", "B"]; [1, 2], [1, 2], [Value::Null, 3], [4, Value::Null] },
+        )
+        .unwrap();
+        db.replace_table("S", table! { ["A"]; [1], [Value::Null], [4] }).unwrap();
         db
     }
 

@@ -28,10 +28,16 @@ fn db_strategy() -> impl Strategy<Value = Database> {
             let schema =
                 Schema::builder().table("R", ["A", "B"]).table("S", ["B", "C"]).build().unwrap();
             let mut db = Database::new(schema);
-            db.insert("R", Table::with_rows(vec![Name::new("A"), Name::new("B")], r_rows).unwrap())
-                .unwrap();
-            db.insert("S", Table::with_rows(vec![Name::new("B"), Name::new("C")], s_rows).unwrap())
-                .unwrap();
+            db.replace_table(
+                "R",
+                Table::with_rows(vec![Name::new("A"), Name::new("B")], r_rows).unwrap(),
+            )
+            .unwrap();
+            db.replace_table(
+                "S",
+                Table::with_rows(vec![Name::new("B"), Name::new("C")], s_rows).unwrap(),
+            )
+            .unwrap();
             db
         },
     )

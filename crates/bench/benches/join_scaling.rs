@@ -29,8 +29,10 @@ fn instance(schema: &Schema, n: usize) -> Database {
             .map(|i| Row::new(vec![Value::Int(i as i64), Value::Int(i as i64 * payload)]))
             .collect()
     };
-    db.insert("R", Table::with_rows(vec!["A".into(), "B".into()], rows(2)).unwrap()).unwrap();
-    db.insert("S", Table::with_rows(vec!["A".into(), "C".into()], rows(3)).unwrap()).unwrap();
+    db.replace_table("R", Table::with_rows(vec!["A".into(), "B".into()], rows(2)).unwrap())
+        .unwrap();
+    db.replace_table("S", Table::with_rows(vec!["A".into(), "C".into()], rows(3)).unwrap())
+        .unwrap();
     db
 }
 

@@ -16,8 +16,8 @@ use sqlsem_parser::compile;
 fn main() {
     let schema = Schema::builder().table("R", ["A"]).table("S", ["A"]).build().unwrap();
     let mut db = Database::new(schema.clone());
-    db.insert("R", table! { ["A"]; [1], [Value::Null] }).unwrap();
-    db.insert("S", table! { ["A"]; [Value::Null] }).unwrap();
+    db.replace_table("R", table! { ["A"]; [1], [Value::Null] }).unwrap();
+    db.replace_table("S", table! { ["A"]; [Value::Null] }).unwrap();
 
     println!("Example 1: R = {{1, NULL}}, S = {{NULL}}\n");
 

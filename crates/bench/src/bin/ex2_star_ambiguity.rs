@@ -16,7 +16,7 @@ use sqlsem_parser::compile;
 fn main() {
     let schema = Schema::builder().table("R", ["A"]).build().unwrap();
     let mut db = Database::new(schema.clone());
-    db.insert("R", table! { ["A"]; [1], [2] }).unwrap();
+    db.replace_table("R", table! { ["A"]; [1], [2] }).unwrap();
 
     let standalone = "SELECT * FROM (SELECT R.A, R.A FROM R) AS T";
     let under_exists =

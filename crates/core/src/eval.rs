@@ -58,7 +58,7 @@ pub const STAR_EXISTS_COLUMN: &str = "c";
 ///
 /// let schema = Schema::builder().table("R", ["A"]).build().unwrap();
 /// let mut db = Database::new(schema);
-/// db.insert("R", table! { ["A"]; [1], [2] }).unwrap();
+/// db.replace_table("R", table! { ["A"]; [1], [2] }).unwrap();
 ///
 /// // SELECT R.A AS A FROM R AS R
 /// let q = Query::Select(SelectQuery::new(
@@ -864,8 +864,8 @@ mod tests {
     fn example1_db() -> Database {
         let schema = Schema::builder().table("R", ["A"]).table("S", ["A"]).build().unwrap();
         let mut db = Database::new(schema);
-        db.insert("R", table! { ["A"]; [1], [Value::Null] }).unwrap();
-        db.insert("S", table! { ["A"]; [Value::Null] }).unwrap();
+        db.replace_table("R", table! { ["A"]; [1], [Value::Null] }).unwrap();
+        db.replace_table("S", table! { ["A"]; [Value::Null] }).unwrap();
         db
     }
 
@@ -956,7 +956,7 @@ mod tests {
     fn example2_db() -> Database {
         let schema = Schema::builder().table("R", ["A"]).build().unwrap();
         let mut db = Database::new(schema);
-        db.insert("R", table! { ["A"]; [1], [2] }).unwrap();
+        db.replace_table("R", table! { ["A"]; [1], [2] }).unwrap();
         db
     }
 
@@ -1032,8 +1032,8 @@ mod tests {
         // |S| times, with S's own multiplicities.
         let schema = Schema::builder().table("R", ["A"]).table("S", ["B"]).build().unwrap();
         let mut db = Database::new(schema);
-        db.insert("R", table! { ["A"]; [1], [1] }).unwrap();
-        db.insert("S", table! { ["B"]; [7], [7], [8] }).unwrap();
+        db.replace_table("R", table! { ["A"]; [1], [1] }).unwrap();
+        db.replace_table("S", table! { ["B"]; [7], [7], [8] }).unwrap();
         let q = Query::Select(SelectQuery::new(
             SelectList::items([(Term::col("R", "A"), "A")]),
             vec![FromItem::base("R", "R"), FromItem::base("S", "S")],
@@ -1048,8 +1048,8 @@ mod tests {
         // outer scope per record.
         let schema = Schema::builder().table("R", ["A"]).table("S", ["B"]).build().unwrap();
         let mut db = Database::new(schema);
-        db.insert("R", table! { ["A"]; [1], [2], [3] }).unwrap();
-        db.insert("S", table! { ["B"]; [2], [3], [3] }).unwrap();
+        db.replace_table("R", table! { ["A"]; [1], [2], [3] }).unwrap();
+        db.replace_table("S", table! { ["B"]; [2], [3], [3] }).unwrap();
         let sub = Query::Select(
             SelectQuery::new(SelectList::Star, vec![FromItem::base("S", "S")])
                 .filter(Condition::eq(Term::col("S", "B"), Term::col("R", "A"))),
@@ -1086,7 +1086,7 @@ mod tests {
     fn distinct_eliminates_duplicates() {
         let schema = Schema::builder().table("R", ["A"]).build().unwrap();
         let mut db = Database::new(schema);
-        db.insert("R", table! { ["A"]; [1], [1], [2] }).unwrap();
+        db.replace_table("R", table! { ["A"]; [1], [1], [2] }).unwrap();
         let q = |distinct: bool| {
             let base = SelectQuery::new(
                 SelectList::items([(Term::col("R", "A"), "A")]),
@@ -1103,8 +1103,8 @@ mod tests {
     fn set_operations_match_figure7() {
         let schema = Schema::builder().table("R", ["A"]).table("S", ["A"]).build().unwrap();
         let mut db = Database::new(schema);
-        db.insert("R", table! { ["A"]; [1], [1], [2] }).unwrap();
-        db.insert("S", table! { ["A"]; [1], [3] }).unwrap();
+        db.replace_table("R", table! { ["A"]; [1], [1], [2] }).unwrap();
+        db.replace_table("S", table! { ["A"]; [1], [3] }).unwrap();
         let sel = |t: &str| {
             Query::Select(SelectQuery::new(
                 SelectList::items([(Term::col(t, "A"), "A")]),
@@ -1136,7 +1136,7 @@ mod tests {
         // R = {1,1}, S = {} : EXCEPT gives {1} not {1,1}.
         let schema = Schema::builder().table("R", ["A"]).table("S", ["A"]).build().unwrap();
         let mut db = Database::new(schema);
-        db.insert("R", table! { ["A"]; [1], [1] }).unwrap();
+        db.replace_table("R", table! { ["A"]; [1], [1] }).unwrap();
         let r = Query::Select(SelectQuery::new(
             SelectList::items([(Term::col("R", "A"), "A")]),
             vec![FromItem::base("R", "R")],
@@ -1153,8 +1153,8 @@ mod tests {
     fn in_with_nulls_follows_kleene_disjunction() {
         let schema = Schema::builder().table("R", ["A"]).table("S", ["A"]).build().unwrap();
         let mut db = Database::new(schema);
-        db.insert("R", table! { ["A"]; [1] }).unwrap();
-        db.insert("S", table! { ["A"]; [Value::Null], [2] }).unwrap();
+        db.replace_table("R", table! { ["A"]; [1] }).unwrap();
+        db.replace_table("S", table! { ["A"]; [Value::Null], [2] }).unwrap();
         let sub = Query::Select(SelectQuery::new(
             SelectList::items([(Term::col("S", "A"), "A")]),
             vec![FromItem::base("S", "S")],
@@ -1221,8 +1221,8 @@ mod tests {
         // the differences all come from u).
         let schema = Schema::builder().table("R", ["A"]).table("S", ["A"]).build().unwrap();
         let mut db = Database::new(schema);
-        db.insert("R", table! { ["A"]; [1], [2] }).unwrap();
-        db.insert("S", table! { ["A"]; [2] }).unwrap();
+        db.replace_table("R", table! { ["A"]; [1], [2] }).unwrap();
+        db.replace_table("S", table! { ["A"]; [2] }).unwrap();
         for logic in LogicMode::ALL {
             let out = Evaluator::new(&db).with_logic(logic).eval(&q1()).unwrap();
             assert!(out.coincides(&table! { ["A"]; [1] }), "mode {logic}: got\n{out}");
@@ -1233,7 +1233,7 @@ mod tests {
     fn user_predicates_follow_figure6_null_rule() {
         let schema = Schema::builder().table("R", ["A"]).build().unwrap();
         let mut db = Database::new(schema);
-        db.insert("R", table! { ["A"]; [2], [3], [Value::Null] }).unwrap();
+        db.replace_table("R", table! { ["A"]; [2], [3], [Value::Null] }).unwrap();
         let q = Query::Select(
             SelectQuery::new(
                 SelectList::items([(Term::col("R", "A"), "A")]),
@@ -1266,7 +1266,7 @@ mod tests {
         // directly with a non-empty environment.
         let schema = Schema::builder().table("R", ["A"]).build().unwrap();
         let mut db = Database::new(schema);
-        db.insert("R", table! { ["A"]; [1], [2] }).unwrap();
+        db.replace_table("R", table! { ["A"]; [1], [2] }).unwrap();
         let inner = Query::Select(
             SelectQuery::new(
                 SelectList::items([(Term::col("R", "A"), "A")]),
@@ -1306,7 +1306,7 @@ mod tests {
         // records, COUNT(R.A) skips NULLs.
         let schema = Schema::builder().table("R", ["A"]).build().unwrap();
         let mut db = Database::new(schema);
-        db.insert("R", table! { ["A"]; [1], [1], [Value::Null] }).unwrap();
+        db.replace_table("R", table! { ["A"]; [1], [1], [Value::Null] }).unwrap();
         let q = grouped(
             vec![
                 SelectItem::new(Term::col("R", "A"), "k"),
@@ -1349,7 +1349,7 @@ mod tests {
     fn having_filters_groups_and_sees_the_grouped_environment() {
         let schema = Schema::builder().table("R", ["A"]).build().unwrap();
         let mut db = Database::new(schema);
-        db.insert("R", table! { ["A"]; [1], [1], [2] }).unwrap();
+        db.replace_table("R", table! { ["A"]; [1], [1], [2] }).unwrap();
         // HAVING COUNT(*) > 1 keeps only the group of 1s; the key R.A is
         // usable in HAVING too.
         let q = grouped(
@@ -1365,7 +1365,7 @@ mod tests {
     fn grouped_typing_errors_surface_at_evaluation() {
         let schema = Schema::builder().table("R", ["A", "B"]).build().unwrap();
         let mut db = Database::new(schema);
-        db.insert("R", table! { ["A", "B"]; [1, 2] }).unwrap();
+        db.replace_table("R", table! { ["A", "B"]; [1, 2] }).unwrap();
         // A non-key local column in the SELECT list of a grouped block.
         let q = grouped(vec![SelectItem::new(Term::col("R", "B"), "b")], Condition::True);
         assert!(matches!(Evaluator::new(&db).eval(&q).unwrap_err(), EvalError::UngroupedColumn(_)));
@@ -1405,7 +1405,7 @@ mod tests {
     fn distinct_aggregates_and_extremes() {
         let schema = Schema::builder().table("R", ["A"]).build().unwrap();
         let mut db = Database::new(schema);
-        db.insert("R", table! { ["A"]; [3], [3], [1], [Value::Null] }).unwrap();
+        db.replace_table("R", table! { ["A"]; [3], [3], [1], [Value::Null] }).unwrap();
         let q = Query::Select(SelectQuery::new(
             SelectList::Items(vec![
                 SelectItem::new(Term::agg_distinct(AggFunc::Sum, Term::col("R", "A")), "sd"),
@@ -1424,8 +1424,8 @@ mod tests {
         // is bound per group; only keys with a partner in S survive.
         let schema = Schema::builder().table("R", ["A"]).table("S", ["B"]).build().unwrap();
         let mut db = Database::new(schema);
-        db.insert("R", table! { ["A"]; [1], [1], [2] }).unwrap();
-        db.insert("S", table! { ["B"]; [2] }).unwrap();
+        db.replace_table("R", table! { ["A"]; [1], [1], [2] }).unwrap();
+        db.replace_table("S", table! { ["B"]; [2] }).unwrap();
         let sub = Query::Select(
             SelectQuery::new(SelectList::Star, vec![FromItem::base("S", "S")])
                 .filter(Condition::eq(Term::col("S", "B"), Term::col("R", "A"))),
@@ -1445,7 +1445,7 @@ mod tests {
     fn sum_type_errors_are_deterministic() {
         let schema = Schema::builder().table("R", ["A"]).build().unwrap();
         let mut db = Database::new(schema);
-        db.insert("R", table! { ["A"]; [Value::str("x")] }).unwrap();
+        db.replace_table("R", table! { ["A"]; [Value::str("x")] }).unwrap();
         let q = Query::Select(SelectQuery::new(
             SelectList::Items(vec![SelectItem::new(
                 Term::agg(AggFunc::Sum, Term::col("R", "A")),

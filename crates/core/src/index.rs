@@ -1,0 +1,283 @@
+//! Secondary indexes over base tables.
+//!
+//! An index is an ordered map from key tuples (one [`Value`] per indexed
+//! column) to the *row ids* of the stored table rows carrying that
+//! tuple, with postings kept in ascending row-id order. Two decisions
+//! keep index-driven execution invisible under the §4 coincidence
+//! criterion:
+//!
+//! * **Key order is the list semantics' order.** [`IndexKey`] compares
+//!   with [`crate::order::key_ordering`] (ascending, `NULL`s last) — the one
+//!   shared comparison rule of `ORDER BY` — so the placement of `NULL`
+//!   keys and the within-type order cannot diverge from what PR 5
+//!   formalized for sorting. Mixed non-null types stay totally ordered
+//!   (the derived order on [`Value`] breaks the tie), so the map is
+//!   always well-formed; what mixing *does* cost is usability, below.
+//! * **Mixed-type columns poison the index.** A heap scan evaluating
+//!   `a = 5` over a column holding both integers and strings raises a
+//!   deterministic `TypeMismatch` under the three-valued and conflating
+//!   logics; an index lookup would silently miss instead. Rather than
+//!   re-deriving error verdicts at lookup time, an index whose column
+//!   ever saw two non-null types is marked *poisoned* and the optimizer
+//!   refuses to select it — the scan (and its error) always wins.
+//!
+//! Postings reference positions into the stored table's row list, and
+//! lookups return them ascending — so an index-driven operator emits
+//! rows in *insertion order*, byte-identical to the filtered heap scan
+//! it replaces. Index order is a search structure here, never an output
+//! order.
+
+use std::collections::btree_map::BTreeMap;
+use std::fmt;
+use std::ops::Bound;
+
+use crate::name::Name;
+use crate::order::key_ordering;
+use crate::row::Row;
+use crate::table::Table;
+use crate::value::Value;
+
+/// The declaration of a secondary index: a name, the base table it
+/// covers, and the indexed columns in key order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IndexDef {
+    /// The index name (unique across the database).
+    pub name: Name,
+    /// The base table the index covers.
+    pub table: Name,
+    /// The indexed attribute names, most significant first.
+    pub columns: Vec<Name>,
+}
+
+/// A key tuple in the index order: component-wise
+/// [`crate::order::key_ordering`] (ascending, `NULL`s last), first difference
+/// wins. Equality under this order is syntactic value identity, which
+/// is exactly the match rule of hash-join keys and `GROUP BY`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IndexKey(pub Vec<Value>);
+
+impl Ord for IndexKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0
+            .iter()
+            .zip(other.0.iter())
+            .map(|(a, b)| key_ordering(a, b, false, false))
+            .find(|o| *o != std::cmp::Ordering::Equal)
+            .unwrap_or_else(|| self.0.len().cmp(&other.0.len()))
+    }
+}
+
+impl PartialOrd for IndexKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Display for IndexKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+/// A secondary index: key tuples mapped to ascending row-id postings,
+/// plus the per-column type discipline that decides whether the
+/// optimizer may use it (see the module docs on poisoning).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Index {
+    def: IndexDef,
+    /// Resolved positions of [`IndexDef::columns`] in the table layout.
+    cols: Vec<usize>,
+    map: BTreeMap<IndexKey, Vec<usize>>,
+    /// The established non-null type per key column (`None` until one
+    /// is seen), mirroring [`crate::order::KeyTypeCheck`]'s rule.
+    types: Vec<Option<&'static str>>,
+    /// `true` once any key column saw two distinct non-null types.
+    poisoned: bool,
+}
+
+impl Index {
+    /// Builds an index over the current contents of `table` (which must
+    /// match the resolved column positions).
+    pub fn build(def: IndexDef, cols: Vec<usize>, table: &Table) -> Index {
+        let types = vec![None; cols.len()];
+        let mut index = Index { def, cols, map: BTreeMap::new(), types, poisoned: false };
+        for (rowid, row) in table.rows().enumerate() {
+            index.note_row(rowid, row);
+        }
+        index
+    }
+
+    /// The index declaration.
+    pub fn def(&self) -> &IndexDef {
+        &self.def
+    }
+
+    /// Resolved table-column positions of the key columns, in key order.
+    pub fn cols(&self) -> &[usize] {
+        &self.cols
+    }
+
+    /// `true` once some key column held two distinct non-null types —
+    /// the optimizer must not select a poisoned index (a heap scan
+    /// raises `TypeMismatch` where a lookup would silently miss).
+    pub fn poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// The established non-null type of key column `i`, if any value
+    /// fixed one yet.
+    pub fn column_type(&self, i: usize) -> Option<&'static str> {
+        self.types.get(i).copied().flatten()
+    }
+
+    /// Number of distinct key tuples currently indexed.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Total number of postings (indexed rows).
+    pub fn entries(&self) -> usize {
+        self.map.values().map(Vec::len).sum()
+    }
+
+    /// Adds one stored row (by id) to the index. Ids must arrive in
+    /// ascending order — which [`crate::Database`]'s append path
+    /// guarantees — so every posting list stays sorted.
+    pub fn note_row(&mut self, rowid: usize, row: &Row) {
+        let key: Vec<Value> = self.cols.iter().map(|&c| row[c].clone()).collect();
+        for (slot, v) in self.types.iter_mut().zip(key.iter()) {
+            if v.is_null() {
+                continue;
+            }
+            match slot {
+                None => *slot = Some(v.type_name()),
+                Some(t) if *t == v.type_name() => {}
+                Some(_) => self.poisoned = true,
+            }
+        }
+        self.map.entry(IndexKey(key)).or_default().push(rowid);
+    }
+
+    /// Rebuilds the index from scratch over the table's current rows —
+    /// the maintenance path for content replacement.
+    pub fn rebuild(&mut self, table: &Table) {
+        self.map.clear();
+        self.types = vec![None; self.cols.len()];
+        self.poisoned = false;
+        for (rowid, row) in table.rows().enumerate() {
+            self.note_row(rowid, row);
+        }
+    }
+
+    /// The ascending row ids holding exactly this key tuple (syntactic
+    /// identity — `NULL` components match `NULL`, never a constant).
+    pub fn point(&self, key: &[Value]) -> &[usize] {
+        self.map.get(&IndexKey(key.to_vec())).map_or(&[], Vec::as_slice)
+    }
+
+    /// The row ids whose *first* key component falls in the given
+    /// bounds, returned in ascending (insertion) order. Only meaningful
+    /// for single-column indexes — multi-column prefixes would need
+    /// sentinel completion, which no caller requires yet.
+    pub fn range(&self, lo: Bound<&Value>, hi: Bound<&Value>) -> Vec<usize> {
+        let wrap = |b: Bound<&Value>| match b {
+            Bound::Included(v) => Bound::Included(IndexKey(vec![v.clone()])),
+            Bound::Excluded(v) => Bound::Excluded(IndexKey(vec![v.clone()])),
+            Bound::Unbounded => Bound::Unbounded,
+        };
+        let mut out: Vec<usize> =
+            self.map.range((wrap(lo), wrap(hi))).flat_map(|(_, ids)| ids.iter().copied()).collect();
+        // Distinct keys interleave in insertion order; restore it.
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table;
+
+    fn sample() -> Table {
+        table! { ["A", "B"]; [1, 10], [3, 30], [1, 11], [Value::Null, 99], [2, 20] }
+    }
+
+    fn def(cols: &[&str]) -> IndexDef {
+        IndexDef {
+            name: Name::new("t_idx"),
+            table: Name::new("T"),
+            columns: cols.iter().map(Name::new).collect(),
+        }
+    }
+
+    #[test]
+    fn point_lookup_returns_ascending_row_ids() {
+        let t = sample();
+        let idx = Index::build(def(&["A"]), vec![0], &t);
+        assert_eq!(idx.point(&[Value::Int(1)]), &[0, 2]);
+        assert_eq!(idx.point(&[Value::Int(2)]), &[4]);
+        assert_eq!(idx.point(&[Value::Int(7)]), &[] as &[usize]);
+        // NULL keys are indexed and match only NULL (syntactic identity).
+        assert_eq!(idx.point(&[Value::Null]), &[3]);
+        assert!(!idx.poisoned());
+        assert_eq!(idx.column_type(0), Some("integer"));
+        assert_eq!(idx.entries(), 5);
+        assert_eq!(idx.distinct_keys(), 4);
+    }
+
+    #[test]
+    fn range_respects_nulls_last_and_restores_insertion_order() {
+        let t = sample();
+        let idx = Index::build(def(&["A"]), vec![0], &t);
+        // a >= 2: NULL ranks after every constant, so the NULL row is
+        // excluded by an Excluded(NULL) upper bound.
+        let null = Value::Null;
+        let ids = idx.range(Bound::Included(&Value::Int(2)), Bound::Excluded(&null));
+        assert_eq!(ids, vec![1, 4]);
+        // a < 3 in insertion order: rows 0, 2 (A=1) then 4 (A=2),
+        // restored to 0, 2, 4.
+        let ids = idx.range(Bound::Unbounded, Bound::Excluded(&Value::Int(3)));
+        assert_eq!(ids, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn mixed_types_poison_the_index() {
+        let t = table! { ["A"]; [1], ["x"], [2] };
+        let idx = Index::build(def(&["A"]), vec![0], &t);
+        assert!(idx.poisoned());
+        // The map itself stays well-formed (total order over Value).
+        assert_eq!(idx.entries(), 3);
+    }
+
+    #[test]
+    fn incremental_and_rebuild_agree() {
+        let t = sample();
+        let built = Index::build(def(&["B", "A"]), vec![1, 0], &t);
+        let mut incremental = Index::build(def(&["B", "A"]), vec![1, 0], &table! { ["A", "B"]; });
+        for (i, r) in t.rows().enumerate() {
+            incremental.note_row(i, r);
+        }
+        assert_eq!(built, incremental);
+        let mut rebuilt = built.clone();
+        rebuilt.rebuild(&t);
+        assert_eq!(built, rebuilt);
+        assert_eq!(built.point(&[Value::Int(30), Value::Int(3)]), &[1]);
+    }
+
+    #[test]
+    fn key_ordering_matches_the_list_semantics() {
+        // NULL sorts last, so in the BTreeMap it is the greatest key.
+        let t = sample();
+        let idx = Index::build(def(&["A"]), vec![0], &t);
+        let keys: Vec<&IndexKey> = idx.map.keys().collect();
+        assert_eq!(keys.last().unwrap().0, vec![Value::Null]);
+        assert_eq!(keys[0].0, vec![Value::Int(1)]);
+    }
+}

@@ -30,8 +30,8 @@
 //! // Schema and data of the paper's Example 1: R = {1, NULL}, S = {NULL}.
 //! let schema = Schema::builder().table("R", ["A"]).table("S", ["A"]).build().unwrap();
 //! let mut db = Database::new(schema);
-//! db.insert("R", table! { ["A"]; [1], [Value::Null] }).unwrap();
-//! db.insert("S", table! { ["A"]; [Value::Null] }).unwrap();
+//! db.replace_table("R", table! { ["A"]; [1], [Value::Null] }).unwrap();
+//! db.replace_table("S", table! { ["A"]; [Value::Null] }).unwrap();
 //!
 //! // Q1: SELECT DISTINCT R.A FROM R WHERE R.A NOT IN (SELECT S.A FROM S)
 //! let sub = Query::Select(SelectQuery::new(
@@ -61,6 +61,7 @@ pub mod dialect;
 pub mod env;
 pub mod error;
 pub mod eval;
+pub mod index;
 pub mod name;
 pub mod order;
 pub mod pred;
@@ -79,6 +80,7 @@ pub use dialect::{Dialect, LogicMode};
 pub use env::{Binding, Env};
 pub use error::{EvalError, Span};
 pub use eval::{aggregate, Evaluator, STAR_EXISTS_COLUMN, STAR_EXISTS_CONSTANT};
+pub use index::{Index, IndexDef, IndexKey};
 pub use name::{FullName, Name};
 pub use pred::{Predicate, PredicateRegistry};
 pub use row::Row;

@@ -10,6 +10,7 @@ use std::collections::HashMap;
 use std::fmt;
 
 use crate::error::EvalError;
+use crate::index::{Index, IndexDef};
 use crate::name::Name;
 use crate::table::Table;
 
@@ -179,6 +180,19 @@ pub enum SchemaError {
     },
     /// A base table was declared with no attributes.
     NoAttributes(Name),
+    /// An index referred to an attribute its table does not declare.
+    UnknownAttribute {
+        /// The table the index covers.
+        table: Name,
+        /// The attribute the table does not declare.
+        attribute: Name,
+    },
+    /// Two indexes share a name.
+    DuplicateIndex(Name),
+    /// `DROP INDEX` on an index the database does not have.
+    UnknownIndex(Name),
+    /// An index was declared with no key columns.
+    NoIndexColumns(Name),
 }
 
 impl fmt::Display for SchemaError {
@@ -190,6 +204,12 @@ impl fmt::Display for SchemaError {
                 write!(f, "table {table} declares attribute {attribute} more than once")
             }
             SchemaError::NoAttributes(t) => write!(f, "table {t} has no attributes"),
+            SchemaError::UnknownAttribute { table, attribute } => {
+                write!(f, "table {table} has no attribute {attribute}")
+            }
+            SchemaError::DuplicateIndex(i) => write!(f, "index {i} already exists"),
+            SchemaError::UnknownIndex(i) => write!(f, "index {i} does not exist"),
+            SchemaError::NoIndexColumns(i) => write!(f, "index {i} has no key columns"),
         }
     }
 }
@@ -206,19 +226,22 @@ impl std::error::Error for SchemaError {}
 /// use sqlsem_core::{Database, Schema, Value, table};
 /// let schema = Schema::builder().table("R", ["A"]).build().unwrap();
 /// let mut db = Database::new(schema);
-/// db.insert("R", table! { ["A"]; [1], [Value::Null] }).unwrap();
+/// db.replace_table("R", table! { ["A"]; [1], [Value::Null] }).unwrap();
 /// assert_eq!(db.table("R").unwrap().len(), 2);
 /// ```
 #[derive(Clone, Debug, PartialEq)]
 pub struct Database {
     schema: Schema,
     tables: HashMap<Name, Table>,
+    /// Secondary indexes in creation order (deterministic, so the
+    /// optimizer's index choice cannot depend on hash iteration).
+    indexes: Vec<Index>,
 }
 
 impl Database {
     /// Creates a database over the schema with every base table empty.
     pub fn new(schema: Schema) -> Self {
-        Database { schema, tables: HashMap::new() }
+        Database { schema, tables: HashMap::new(), indexes: Vec::new() }
     }
 
     /// The schema of the database.
@@ -226,11 +249,14 @@ impl Database {
         &self.schema
     }
 
-    /// Populates (or replaces) the contents of base table `name`.
+    /// Replaces the contents of base table `name` wholesale (any
+    /// previous rows are discarded) and rebuilds its indexes.
     ///
     /// The given table must have the arity the schema declares; its column
-    /// names are replaced by the schema's attribute names.
-    pub fn insert(&mut self, name: impl Into<Name>, table: Table) -> Result<(), EvalError> {
+    /// names are replaced by the schema's attribute names. For the
+    /// `INSERT INTO` behaviour — appending — use
+    /// [`Database::append_rows`].
+    pub fn replace_table(&mut self, name: impl Into<Name>, table: Table) -> Result<(), EvalError> {
         let name = name.into();
         let Some(attrs) = self.schema.attributes(&name) else {
             return Err(EvalError::UnknownTable(name));
@@ -243,8 +269,24 @@ impl Database {
             });
         }
         let table = table.with_columns(attrs.to_vec())?;
+        for index in self.indexes.iter_mut().filter(|i| i.def().table == name) {
+            index.rebuild(&table);
+        }
         self.tables.insert(name, table);
         Ok(())
+    }
+
+    /// Renamed: this method *replaces* the table's contents rather than
+    /// appending, which read as an `INSERT` at call sites. Use
+    /// [`Database::replace_table`] (same behaviour, explicit name) or
+    /// [`Database::append_rows`] (the `INSERT INTO` semantics).
+    #[deprecated(
+        since = "0.9.0",
+        note = "renamed to `replace_table`; for appending use \
+                                          `append_rows` — `insert` replaces the contents"
+    )]
+    pub fn insert(&mut self, name: impl Into<Name>, table: Table) -> Result<(), EvalError> {
+        self.replace_table(name, table)
     }
 
     /// The interpretation `R^D` of a base table: its stored contents, or
@@ -281,12 +323,86 @@ impl Database {
         Ok(())
     }
 
-    /// `DROP TABLE name`: removes the base table and its contents.
+    /// `DROP TABLE name`: removes the base table, its contents, and any
+    /// indexes covering it.
     pub fn drop_table(&mut self, name: impl AsRef<str>) -> Result<(), SchemaError> {
         let name = name.as_ref();
         self.schema = self.schema.without_table(name)?;
         self.tables.remove(name);
+        self.indexes.retain(|i| i.def().table.as_str() != name);
         Ok(())
+    }
+
+    /// `CREATE INDEX name ON table (columns…)`: declares a secondary
+    /// index and builds it over the table's current contents. Fails
+    /// without side effects if the name is taken, the table is unknown,
+    /// or any key column is missing or repeated.
+    pub fn create_index<N, T, A, I>(
+        &mut self,
+        name: N,
+        table: T,
+        columns: I,
+    ) -> Result<(), SchemaError>
+    where
+        N: Into<Name>,
+        T: Into<Name>,
+        A: Into<Name>,
+        I: IntoIterator<Item = A>,
+    {
+        let name = name.into();
+        let table = table.into();
+        let columns: Vec<Name> = columns.into_iter().map(Into::into).collect();
+        if self.indexes.iter().any(|i| i.def().name == name) {
+            return Err(SchemaError::DuplicateIndex(name));
+        }
+        let Some(attrs) = self.schema.attributes(&table) else {
+            return Err(SchemaError::UnknownTable(table));
+        };
+        if columns.is_empty() {
+            return Err(SchemaError::NoIndexColumns(name));
+        }
+        let mut cols = Vec::with_capacity(columns.len());
+        let mut seen = std::collections::HashSet::with_capacity(columns.len());
+        for c in &columns {
+            let Some(pos) = attrs.iter().position(|a| a == c) else {
+                return Err(SchemaError::UnknownAttribute { table, attribute: c.clone() });
+            };
+            if !seen.insert(pos) {
+                return Err(SchemaError::DuplicateAttribute { table, attribute: c.clone() });
+            }
+            cols.push(pos);
+        }
+        let def = IndexDef { name, table: table.clone(), columns };
+        let empty = Table::new(attrs.to_vec()).expect("schema attributes are well-formed");
+        let contents = self.tables.get(&table).unwrap_or(&empty);
+        self.indexes.push(Index::build(def, cols, contents));
+        Ok(())
+    }
+
+    /// `DROP INDEX name`: removes a secondary index.
+    pub fn drop_index(&mut self, name: impl AsRef<str>) -> Result<(), SchemaError> {
+        let name = name.as_ref();
+        let Some(pos) = self.indexes.iter().position(|i| i.def().name.as_str() == name) else {
+            return Err(SchemaError::UnknownIndex(Name::new(name)));
+        };
+        self.indexes.remove(pos);
+        Ok(())
+    }
+
+    /// The index of that name, if declared.
+    pub fn index(&self, name: impl AsRef<str>) -> Option<&Index> {
+        let name = name.as_ref();
+        self.indexes.iter().find(|i| i.def().name.as_str() == name)
+    }
+
+    /// All indexes, in creation order.
+    pub fn indexes(&self) -> &[Index] {
+        &self.indexes
+    }
+
+    /// The indexes covering one base table, in creation order.
+    pub fn indexes_on<'a>(&'a self, table: &'a str) -> impl Iterator<Item = &'a Index> {
+        self.indexes.iter().filter(move |i| i.def().table.as_str() == table)
     }
 
     /// `INSERT INTO name VALUES …`: appends rows to a base table
@@ -314,6 +430,12 @@ impl Database {
             None => Table::new(attrs.to_vec())?,
         };
         let mut all = table.into_rows();
+        let first_id = all.len();
+        for index in self.indexes.iter_mut().filter(|i| i.def().table == name) {
+            for (offset, row) in rows.iter().enumerate() {
+                index.note_row(first_id + offset, row);
+            }
+        }
         all.extend(rows);
         let columns = self.schema.attributes(&name).expect("checked above").to_vec();
         self.tables.insert(name, Table::with_rows(columns, all)?);
@@ -382,12 +504,29 @@ mod tests {
         let s = Schema::builder().table("R", ["A"]).build().unwrap();
         let mut db = Database::new(s);
         assert!(matches!(
-            db.insert("X", table! { ["A"]; [1] }).unwrap_err(),
+            db.replace_table("X", table! { ["A"]; [1] }).unwrap_err(),
             EvalError::UnknownTable(_)
         ));
         assert!(matches!(
-            db.insert("R", table! { ["A", "B"]; [1, 2] }).unwrap_err(),
+            db.replace_table("R", table! { ["A", "B"]; [1, 2] }).unwrap_err(),
             EvalError::ArityMismatch { .. }
+        ));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_insert_still_replaces_the_table() {
+        let s = Schema::builder().table("R", ["A"]).build().unwrap();
+        let mut db = Database::new(s);
+        db.insert("R", table! { ["A"]; [1] }).unwrap();
+        // `insert` was always whole-table replacement, never append —
+        // the shim must keep that behaviour.
+        db.insert("R", table! { ["A"]; [2], [3] }).unwrap();
+        assert_eq!(db.table("R").unwrap().len(), 2);
+        assert_eq!(db.table("R").unwrap().multiplicity(&row![1]), 0);
+        assert!(matches!(
+            db.insert("X", table! { ["A"]; [1] }).unwrap_err(),
+            EvalError::UnknownTable(_)
         ));
     }
 
@@ -395,7 +534,7 @@ mod tests {
     fn insert_adopts_schema_column_names() {
         let s = Schema::builder().table("R", ["A"]).build().unwrap();
         let mut db = Database::new(s);
-        db.insert("R", table! { ["anything"]; [7] }).unwrap();
+        db.replace_table("R", table! { ["anything"]; [7] }).unwrap();
         let t = db.table("R").unwrap();
         assert_eq!(t.columns(), &[Name::new("A")]);
         assert_eq!(t.multiplicity(&row![7]), 1);
@@ -405,7 +544,7 @@ mod tests {
     fn create_drop_and_append() {
         let s = Schema::builder().table("R", ["A"]).build().unwrap();
         let mut db = Database::new(s);
-        db.insert("R", table! { ["A"]; [1] }).unwrap();
+        db.replace_table("R", table! { ["A"]; [1] }).unwrap();
 
         // CREATE TABLE S(B, C) leaves R's contents alone.
         db.create_table("S", ["B", "C"]).unwrap();
@@ -453,8 +592,8 @@ mod tests {
     fn total_rows_sums_tables() {
         let s = Schema::builder().table("R", ["A"]).table("S", ["B"]).build().unwrap();
         let mut db = Database::new(s);
-        db.insert("R", table! { ["A"]; [1], [2] }).unwrap();
-        db.insert("S", table! { ["B"]; [3] }).unwrap();
+        db.replace_table("R", table! { ["A"]; [1], [2] }).unwrap();
+        db.replace_table("S", table! { ["B"]; [3] }).unwrap();
         assert_eq!(db.total_rows(), 3);
     }
 }

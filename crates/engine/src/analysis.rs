@@ -85,7 +85,9 @@ pub(crate) type TypeFrames = Vec<Vec<TypeSet>>;
 /// outer frames (correlated references resolve against `frames`).
 pub(crate) fn col_types(plan: &Plan, frames: &mut TypeFrames, db: &Database) -> Vec<TypeSet> {
     match plan {
-        Plan::Scan { table } => match db.table(table) {
+        // An `IndexScan` produces a subset of the scan's rows, so the
+        // scan's column types are a sound (conservative) answer.
+        Plan::Scan { table } | Plan::IndexScan { table, .. } => match db.table(table) {
             Ok(t) => {
                 let mut cols = vec![TypeSet::EMPTY; t.arity()];
                 for row in t.rows() {
@@ -97,6 +99,11 @@ pub(crate) fn col_types(plan: &Plan, frames: &mut TypeFrames, db: &Database) -> 
             }
             Err(_) => Vec::new(),
         },
+        Plan::IndexJoin { left, table, .. } => {
+            let mut l = col_types(left, frames, db);
+            l.extend(col_types(&Plan::Scan { table: table.clone() }, frames, db));
+            l
+        }
         Plan::Product { inputs } => inputs.iter().flat_map(|p| col_types(p, frames, db)).collect(),
         Plan::Filter { input, .. }
         | Plan::Distinct { input }
@@ -325,6 +332,11 @@ pub(crate) fn plan_total(plan: &Plan, frames: &mut TypeFrames, db: &Database) ->
         Plan::HashJoin { left, right, .. } => {
             plan_total(left, frames, db) && plan_total(right, frames, db)
         }
+        // An index lookup evaluates nothing per row — it can only select
+        // a subset of the stored rows — so totality reduces to the probe
+        // input (and trivially holds for the scan).
+        Plan::IndexScan { .. } => true,
+        Plan::IndexJoin { left, .. } => plan_total(left, frames, db),
         // Total iff both inputs are and the ON condition is, under the
         // joined-row frame (the padded output types are a superset of
         // the candidate rows ON actually sees, so they are safe here).
@@ -382,7 +394,8 @@ pub(crate) fn plan_total(plan: &Plan, frames: &mut TypeFrames, db: &Database) ->
 /// `depth >= local` escapes to an enclosing block's row.
 pub(crate) fn plan_is_correlated(plan: &Plan, local: usize) -> bool {
     match plan {
-        Plan::Scan { .. } => false,
+        Plan::Scan { .. } | Plan::IndexScan { .. } => false,
+        Plan::IndexJoin { left, .. } => plan_is_correlated(left, local),
         Plan::Product { inputs } => inputs.iter().any(|p| plan_is_correlated(p, local)),
         Plan::Distinct { input } => plan_is_correlated(input, local),
         Plan::Filter { input, pred } => {
@@ -460,7 +473,8 @@ fn expr_escapes(expr: &Expr, local: usize) -> bool {
 /// non-deterministic host function): such plans are never cached.
 pub(crate) fn plan_has_user_pred(plan: &Plan) -> bool {
     match plan {
-        Plan::Scan { .. } => false,
+        Plan::Scan { .. } | Plan::IndexScan { .. } => false,
+        Plan::IndexJoin { left, .. } => plan_has_user_pred(left),
         Plan::Product { inputs } => inputs.iter().any(plan_has_user_pred),
         Plan::Distinct { input } => plan_has_user_pred(input),
         Plan::Filter { input, pred } => plan_has_user_pred(input) || pred_has_user_pred(pred),

@@ -21,7 +21,7 @@ use sqlsem_core::{
     Value,
 };
 
-use crate::plan::{AggSpec, Expr, JoinKey, Plan, Pred, SortKey};
+use crate::plan::{AggSpec, Expr, IndexOp, JoinKey, Plan, Pred, SortKey};
 
 /// A memoized subquery result, stored in the slot the optimizer assigned.
 enum CachedSub {
@@ -143,7 +143,105 @@ impl<'a> Executor<'a> {
                 Ok(order::slice_rows(rows, *limit, Some(*offset)))
             }
             Plan::TopK { input, keys, limit, offset } => self.top_k(input, keys, *limit, *offset),
+            Plan::IndexScan { table, index, op, .. } => self.index_scan(table, index, op),
+            Plan::IndexJoin { left, table, index, keys } => {
+                self.index_join(left, table, index, keys)
+            }
         }
+    }
+
+    /// Reads the rows a secondary index selects, in ascending row-id
+    /// (insertion) order — the same subset, in the same order, as the
+    /// `Filter` over `Scan` this operator replaces.
+    fn index_scan(
+        &mut self,
+        table: &sqlsem_core::Name,
+        index: &sqlsem_core::Name,
+        op: &IndexOp,
+    ) -> Result<Vec<Row>, EvalError> {
+        let idx = self.db.index(index).ok_or_else(|| {
+            EvalError::malformed(format!("plan references unknown index {index}"))
+        })?;
+        let ids: Vec<usize> = match op {
+            IndexOp::Point(values) => idx.point(values).to_vec(),
+            IndexOp::Range { op, value } => {
+                // NULL keys rank above every constant in the index order
+                // (NULLS last), so an upper bound excluding NULL drops
+                // them — matching the comparison's *unknown* verdict.
+                use std::ops::Bound;
+                let null = Value::Null;
+                let (lo, hi) = match op {
+                    CmpOp::Gt => (Bound::Excluded(value), Bound::Excluded(&null)),
+                    CmpOp::Geq => (Bound::Included(value), Bound::Excluded(&null)),
+                    CmpOp::Lt => (Bound::Unbounded, Bound::Excluded(value)),
+                    CmpOp::Leq => (Bound::Unbounded, Bound::Included(value)),
+                    other => {
+                        return Err(EvalError::malformed(format!(
+                            "index range over non-range operator {}",
+                            other.symbol()
+                        )))
+                    }
+                };
+                idx.range(lo, hi)
+            }
+        };
+        let Some(stored) = self.db.stored_table(table) else {
+            // A never-populated table has an empty index.
+            return Ok(Vec::new());
+        };
+        let rows = stored.rows().as_slice();
+        ids.iter()
+            .map(|&i| {
+                rows.get(i).cloned().ok_or_else(|| {
+                    EvalError::malformed(format!("index {index} posting {i} out of range"))
+                })
+            })
+            .collect()
+    }
+
+    /// Index nested-loop join: probes the indexed table once per left
+    /// row. Mirrors [`Executor::hash_join`] exactly — same null
+    /// exclusion rule, same syntactic match, and postings arrive in
+    /// ascending row-id order, which is the order the hash join's build
+    /// lists preserve.
+    fn index_join(
+        &mut self,
+        left: &Plan,
+        table: &sqlsem_core::Name,
+        index: &sqlsem_core::Name,
+        keys: &[JoinKey],
+    ) -> Result<Vec<Row>, EvalError> {
+        let lrows = self.run(left)?;
+        let idx = self.db.index(index).ok_or_else(|| {
+            EvalError::malformed(format!("plan references unknown index {index}"))
+        })?;
+        // Probe values are assembled in *index key order*: key column i
+        // of the index corresponds to the join key whose `right` side is
+        // that table column (the optimizer guarantees the bijection).
+        let mut probe_cols = Vec::with_capacity(keys.len());
+        for &col in idx.cols() {
+            let key = keys.iter().find(|k| k.right == col).ok_or_else(|| {
+                EvalError::malformed(format!("index {index} key column {col} has no join key"))
+            })?;
+            probe_cols.push((key.left, key.null_safe));
+        }
+        let null_matches = matches!(self.logic, LogicMode::TwoValuedSyntacticEq);
+        let rrows = self.db.stored_table(table).map_or(&[] as &[Row], |t| t.rows().as_slice());
+        let mut out = Vec::new();
+        for lrow in &lrows {
+            if !null_matches && probe_cols.iter().any(|&(l, ns)| !ns && lrow[l].is_null()) {
+                continue;
+            }
+            let probe: Vec<Value> = probe_cols.iter().map(|&(l, _)| lrow[l].clone()).collect();
+            for &i in idx.point(&probe) {
+                let rrow = rrows.get(i).ok_or_else(|| {
+                    EvalError::malformed(format!("index {index} posting {i} out of range"))
+                })?;
+                out.push(lrow.concat(rrow));
+            }
+        }
+        self.produced += out.len();
+        Ok(out)
     }
 
     /// Raises the deferred resolution error of an unresolved (Standard
@@ -835,7 +933,9 @@ impl<'p> Cursor<'p> {
             | Plan::GroupAggregate { .. }
             | Plan::Sort { .. }
             | Plan::Limit { .. }
-            | Plan::TopK { .. } => Cursor::Rows(exec.run(plan)?.into_iter()),
+            | Plan::TopK { .. }
+            | Plan::IndexScan { .. }
+            | Plan::IndexJoin { .. } => Cursor::Rows(exec.run(plan)?.into_iter()),
             Plan::Product { inputs } => {
                 let inputs: Vec<Vec<Row>> =
                     inputs.iter().map(|p| exec.run(p)).collect::<Result<_, _>>()?;
@@ -1089,8 +1189,8 @@ mod tests {
     fn example1_db() -> Database {
         let schema = Schema::builder().table("R", ["A"]).table("S", ["A"]).build().unwrap();
         let mut db = Database::new(schema);
-        db.insert("R", table! { ["A"]; [1], [Value::Null] }).unwrap();
-        db.insert("S", table! { ["A"]; [Value::Null] }).unwrap();
+        db.replace_table("R", table! { ["A"]; [1], [Value::Null] }).unwrap();
+        db.replace_table("S", table! { ["A"]; [Value::Null] }).unwrap();
         db
     }
 
@@ -1154,9 +1254,9 @@ mod tests {
             .build()
             .unwrap();
         let mut db = Database::new(schema);
-        db.insert("R", table! { ["A"]; [1], [2] }).unwrap();
-        db.insert("S", table! { ["B"]; [1], [2] }).unwrap();
-        db.insert("T", table! { ["C"]; [2] }).unwrap();
+        db.replace_table("R", table! { ["A"]; [1], [2] }).unwrap();
+        db.replace_table("S", table! { ["B"]; [1], [2] }).unwrap();
+        db.replace_table("T", table! { ["C"]; [2] }).unwrap();
         // SELECT R.A FROM R WHERE EXISTS (
         //   SELECT * FROM S WHERE S.B = R.A AND EXISTS (
         //     SELECT * FROM T WHERE T.C = S.B AND T.C = R.A))
@@ -1187,8 +1287,8 @@ mod tests {
     fn product_multiplicities_multiply() {
         let schema = Schema::builder().table("R", ["A"]).table("S", ["B"]).build().unwrap();
         let mut db = Database::new(schema);
-        db.insert("R", table! { ["A"]; [1], [1] }).unwrap();
-        db.insert("S", table! { ["B"]; [5], [5], [5] }).unwrap();
+        db.replace_table("R", table! { ["A"]; [1], [1] }).unwrap();
+        db.replace_table("S", table! { ["B"]; [5], [5], [5] }).unwrap();
         let q = Query::Select(SelectQuery::new(
             SelectList::Star,
             vec![FromItem::base("R", "R"), FromItem::base("S", "S")],
@@ -1201,7 +1301,7 @@ mod tests {
     fn postgres_star_passthrough_keeps_duplicate_columns() {
         let schema = Schema::builder().table("R", ["A"]).build().unwrap();
         let mut db = Database::new(schema);
-        db.insert("R", table! { ["A"]; [3] }).unwrap();
+        db.replace_table("R", table! { ["A"]; [3] }).unwrap();
         let inner = Query::Select(SelectQuery::new(
             SelectList::items([(Term::col("R", "A"), "A"), (Term::col("R", "A"), "A")]),
             vec![FromItem::base("R", "R")],
@@ -1218,8 +1318,8 @@ mod tests {
     fn set_operations_match_figure7() {
         let schema = Schema::builder().table("R", ["A"]).table("S", ["A"]).build().unwrap();
         let mut db = Database::new(schema);
-        db.insert("R", table! { ["A"]; [1], [1], [2] }).unwrap();
-        db.insert("S", table! { ["A"]; [1], [3] }).unwrap();
+        db.replace_table("R", table! { ["A"]; [1], [1], [2] }).unwrap();
+        db.replace_table("S", table! { ["A"]; [1], [3] }).unwrap();
         let sel = |t: &str| {
             Query::Select(SelectQuery::new(
                 SelectList::items([(Term::col(t, "A"), "A")]),
@@ -1251,8 +1351,8 @@ mod tests {
         // a 1-column scan and a 2-column scan.
         let schema = Schema::builder().table("U", ["A"]).table("W", ["A", "B"]).build().unwrap();
         let mut db = Database::new(schema);
-        db.insert("U", table! { ["A"]; [1] }).unwrap();
-        db.insert("W", table! { ["A", "B"]; [2, 3] }).unwrap();
+        db.replace_table("U", table! { ["A"]; [1] }).unwrap();
+        db.replace_table("W", table! { ["A", "B"]; [2, 3] }).unwrap();
         let sub = |first: &str, second: &str| Plan::SetOp {
             op: SetOp::Union,
             all: true,
@@ -1289,8 +1389,8 @@ mod tests {
         let mut db = Database::new(schema);
         let rows: Vec<Row> = (0..100).map(|i| row![i]).collect();
         let hundred = sqlsem_core::Table::with_rows(vec!["A".into()], rows).unwrap();
-        db.insert("R", hundred.clone()).unwrap();
-        db.insert("S", hundred.with_columns(vec!["B".into()]).unwrap()).unwrap();
+        db.replace_table("R", hundred.clone()).unwrap();
+        db.replace_table("S", hundred.with_columns(vec!["B".into()]).unwrap()).unwrap();
         // EXISTS over a 100×100 product.
         let sub = Query::Select(SelectQuery::new(
             SelectList::Star,
@@ -1325,8 +1425,8 @@ mod tests {
         let mut db = Database::new(schema);
         let rows: Vec<Row> = (0..30).map(|i| row![i]).collect();
         let thirty = sqlsem_core::Table::with_rows(vec!["A".into()], rows).unwrap();
-        db.insert("R", thirty.clone()).unwrap();
-        db.insert("S", thirty.with_columns(vec!["B".into()]).unwrap()).unwrap();
+        db.replace_table("R", thirty.clone()).unwrap();
+        db.replace_table("S", thirty.with_columns(vec!["B".into()]).unwrap()).unwrap();
         // The IN subquery contains a 30×30 product: per-outer-row
         // re-execution costs 30 × 900 produced rows, cached costs 900.
         let sub = Query::Select(SelectQuery::new(
@@ -1359,8 +1459,8 @@ mod tests {
     fn hash_join_null_keys_follow_the_logic_mode() {
         let schema = Schema::builder().table("R", ["A"]).table("S", ["A"]).build().unwrap();
         let mut db = Database::new(schema.clone());
-        db.insert("R", table! { ["A"]; [1], [Value::Null] }).unwrap();
-        db.insert("S", table! { ["A"]; [1], [Value::Null], [Value::Null] }).unwrap();
+        db.replace_table("R", table! { ["A"]; [1], [Value::Null] }).unwrap();
+        db.replace_table("S", table! { ["A"]; [1], [Value::Null], [Value::Null] }).unwrap();
         let q = sqlsem_parser::compile("SELECT * FROM R x, S y WHERE x.A = y.A", &schema).unwrap();
         let plan = |engine: &crate::Engine<'_>| engine.prepare(&q).unwrap().plan;
         let engine = crate::Engine::new(&db).with_dialect(Dialect::PostgreSql);

@@ -7,7 +7,7 @@
 use std::fmt::Write as _;
 
 use crate::optimize::{route_batches, BatchMode, BatchRoutes};
-use crate::plan::{AggSpec, Expr, Plan, Pred, Prepared};
+use crate::plan::{AggSpec, Expr, IndexOp, Plan, Pred, Prepared};
 
 /// Renders a prepared query as an indented operator tree.
 pub fn explain(prepared: &Prepared) -> String {
@@ -192,6 +192,34 @@ fn explain_plan(plan: &Plan, level: usize, out: &mut String, ctx: Option<&VecCtx
             let _ = writeln!(out, "HashJoin on [{}]{note}", rendered.join(", "));
             explain_plan(left, level + 1, out, ctx);
             explain_plan(right, level + 1, out, ctx);
+        }
+        Plan::IndexScan { table: _, index, keys, op } => {
+            let key_names: Vec<String> = keys.iter().map(|k| k.to_string()).collect();
+            let lookup = match op {
+                IndexOp::Point(values) => {
+                    let eqs: Vec<String> =
+                        keys.iter().zip(values).map(|(k, v)| format!("{k} = {v}")).collect();
+                    format!("point {}", eqs.join(", "))
+                }
+                IndexOp::Range { op, value } => format!("range {} {op} {value}", keys[0]),
+            };
+            let _ =
+                writeln!(out, "IndexScan idx={index} keys=[{}] [{lookup}]", key_names.join(", "));
+        }
+        Plan::IndexJoin { left, table: _, index, keys } => {
+            let rendered: Vec<String> = keys
+                .iter()
+                .map(|k| {
+                    format!(
+                        "left.{} {} right.{}",
+                        k.left,
+                        if k.null_safe { "<=>" } else { "=" },
+                        k.right
+                    )
+                })
+                .collect();
+            let _ = writeln!(out, "IndexJoin idx={index} on [{}]", rendered.join(", "));
+            explain_plan(left, level + 1, out, ctx);
         }
     }
 }
@@ -397,6 +425,29 @@ mod tests {
         // The row-engine explain stays annotation-free.
         let plain = crate::Engine::new(&db).explain(&q).unwrap();
         assert!(!plain.contains("vectorized"), "{plain}");
+    }
+
+    #[test]
+    fn explain_renders_index_scans_and_index_joins() {
+        use sqlsem_core::table;
+        let schema = Schema::builder().table("t", ["a", "b"]).table("u", ["a"]).build().unwrap();
+        let mut db = Database::new(schema.clone());
+        db.replace_table("t", table! { ["a", "b"]; [1, 2], [7, 3] }).unwrap();
+        db.replace_table("u", table! { ["a"]; [7] }).unwrap();
+        db.create_index("t_a_idx", "t", ["a"]).unwrap();
+
+        let q = compile("SELECT b FROM t WHERE a >= 5", &schema).unwrap();
+        let text = crate::Engine::new(&db).explain(&q).unwrap();
+        assert!(text.contains("IndexScan idx=t_a_idx keys=[a] [range a >= 5]"), "{text}");
+
+        let q = compile("SELECT b FROM t WHERE a = 7", &schema).unwrap();
+        let text = crate::Engine::new(&db).explain(&q).unwrap();
+        assert!(text.contains("IndexScan idx=t_a_idx keys=[a] [point a = 7]"), "{text}");
+
+        let q = compile("SELECT t.b FROM u, t WHERE u.a = t.a", &schema).unwrap();
+        let text = crate::Engine::new(&db).explain(&q).unwrap();
+        assert!(text.contains("IndexJoin idx=t_a_idx on [left.0 = right.0]"), "{text}");
+        assert!(text.contains("Scan u"), "{text}");
     }
 
     #[test]

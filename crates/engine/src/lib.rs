@@ -32,8 +32,8 @@
 //!
 //! let schema = Schema::builder().table("R", ["A"]).table("S", ["A"]).build().unwrap();
 //! let mut db = Database::new(schema.clone());
-//! db.insert("R", table! { ["A"]; [1], [Value::Null] }).unwrap();
-//! db.insert("S", table! { ["A"]; [Value::Null] }).unwrap();
+//! db.replace_table("R", table! { ["A"]; [1], [Value::Null] }).unwrap();
+//! db.replace_table("S", table! { ["A"]; [Value::Null] }).unwrap();
 //!
 //! let q = compile("SELECT DISTINCT R.A FROM R WHERE R.A NOT IN (SELECT S.A FROM S)", &schema)
 //!     .unwrap();
@@ -56,7 +56,7 @@ pub mod vexec;
 
 use sqlsem_core::{Database, Dialect, EvalError, LogicMode, PredicateRegistry, Query, Table};
 
-pub use backend::{Backend, QueryBackend};
+pub use backend::{persistent_database, Backend, QueryBackend};
 pub use batch::{Batch, Column, TruthVec, DEFAULT_BATCH_SIZE};
 pub use compile::compile as compile_plan;
 pub use exec::Executor;
@@ -298,6 +298,12 @@ fn plan_scan_rows(plan: &Plan, db: &Database) -> usize {
         | Plan::OuterJoin { left, right, .. } => {
             plan_scan_rows(left, db).max(plan_scan_rows(right, db))
         }
+        // An index scan reads only matching postings; count it like its
+        // base table so dispatch stays conservative.
+        Plan::IndexScan { table, .. } => db.stored_table(table).map_or(0, |t| t.len()),
+        Plan::IndexJoin { left, table, .. } => {
+            plan_scan_rows(left, db).max(db.stored_table(table).map_or(0, |t| t.len()))
+        }
     }
 }
 
@@ -314,9 +320,12 @@ mod tests {
     fn engine_agrees_with_denotational_semantics_on_handwritten_queries() {
         let schema = Schema::builder().table("R", ["A", "B"]).table("S", ["A"]).build().unwrap();
         let mut db = Database::new(schema.clone());
-        db.insert("R", table! { ["A", "B"]; [1, 2], [1, 2], [Value::Null, 3], [4, Value::Null] })
-            .unwrap();
-        db.insert("S", table! { ["A"]; [1], [Value::Null], [4] }).unwrap();
+        db.replace_table(
+            "R",
+            table! { ["A", "B"]; [1, 2], [1, 2], [Value::Null, 3], [4, Value::Null] },
+        )
+        .unwrap();
+        db.replace_table("S", table! { ["A"]; [1], [Value::Null], [4] }).unwrap();
 
         let queries = [
             "SELECT A, B FROM R",
@@ -401,7 +410,7 @@ mod tests {
         assert!(Engine::new(&empty).with_dialect(Dialect::PostgreSql).execute(&q).is_ok());
 
         let mut populated = Database::new(schema.clone());
-        populated.insert("R", table! { ["A"]; [1] }).unwrap();
+        populated.replace_table("R", table! { ["A"]; [1] }).unwrap();
         assert!(Engine::new(&populated).execute(&q).unwrap_err().is_ambiguity());
     }
 
@@ -411,7 +420,7 @@ mod tests {
         // positions, not just the same bag.
         let schema = Schema::builder().table("R", ["A", "B"]).build().unwrap();
         let mut db = Database::new(schema.clone());
-        db.insert(
+        db.replace_table(
             "R",
             table! { ["A", "B"]; [2, 10], [1, 20], [2, 30], [Value::Null, 40], [1, 50] },
         )
@@ -515,7 +524,7 @@ mod tests {
         ] {
             let mut db = Database::new(schema.clone());
             let data: Vec<_> = (0..rows as i64).map(|i| sqlsem_core::row![i]).collect();
-            db.insert("T", Table::with_rows(vec!["A".into()], data).unwrap()).unwrap();
+            db.replace_table("T", Table::with_rows(vec!["A".into()], data).unwrap()).unwrap();
             let engine = Engine::new(&db).with_adaptive(true);
             let plan = engine.explain(&q).unwrap();
             if vectorized {

@@ -41,7 +41,7 @@ use crate::analysis::{
     agg_total, col_types, expr_types, group_frame_types, plan_has_user_pred, plan_is_correlated,
     plan_total, pred_total, TypeFrames,
 };
-use crate::plan::{AggSpec, Expr, JoinKey, Plan, Pred, Prepared, SortKey};
+use crate::plan::{AggSpec, Expr, IndexOp, JoinKey, Plan, Pred, Prepared, SortKey};
 
 /// Optimizes a compiled plan. The result computes the same function as
 /// the input — same rows, same multiplicities, same error verdicts —
@@ -159,6 +159,10 @@ fn route_node(plan: &Plan, db: &Database, routes: &mut BatchRoutes) {
             routes.modes.insert(addr, if kernel { BatchMode::Kernel } else { BatchMode::Guarded });
         }
         Plan::Distinct { input } | Plan::Limit { input, .. } => route_node(input, db, routes),
+        // Index operators have no batch kernels: the row executor runs
+        // them and the batches are chunked from its output.
+        Plan::IndexScan { .. } => {}
+        Plan::IndexJoin { left, .. } => route_node(left, db, routes),
         Plan::SetOp { left, right, .. } | Plan::HashJoin { left, right, .. } => {
             route_node(left, db, routes);
             route_node(right, db, routes);
@@ -296,7 +300,7 @@ impl Optimizer<'_> {
                 self.frames.pop();
                 match input {
                     Plan::Product { inputs } => self.reorder(inputs, pred),
-                    input => Plan::Filter { input: Box::new(input), pred },
+                    input => self.index_filter(input, pred),
                 }
             }
             Plan::GroupAggregate { input, keys, aggs, having, output } => {
@@ -321,6 +325,111 @@ impl Optimizer<'_> {
                 let input = self.plan(*input);
                 self.rewrite_limit(input, limit, offset)
             }
+            // Produced by this pass, not the compiler; keep idempotent.
+            Plan::IndexScan { .. } => plan,
+            Plan::IndexJoin { left, table, index, keys } => {
+                Plan::IndexJoin { left: Box::new(self.plan(*left)), table, index, keys }
+            }
+        }
+    }
+
+    /// `Filter` directly over `Scan` becomes an [`Plan::IndexScan`] (+
+    /// residual filter) when a secondary index covers filtered columns.
+    /// Gated like `reorder`: **every** conjunct must be provably total
+    /// before any is consumed — `AND` never short-circuits, so removing
+    /// a conjunct changes which comparisons run, which is observable
+    /// through errors unless none can raise. The totality proof is
+    /// data-seeded ([`col_types`] reads the stored rows), so it also
+    /// subsumes the index's type discipline: a poisoned index implies a
+    /// mixed-type column, which already fails `cmp_total`. The
+    /// `poisoned` check below is defense in depth.
+    fn index_filter(&mut self, input: Plan, pred: Pred) -> Plan {
+        let Plan::Scan { table } = &input else {
+            return Plan::Filter { input: Box::new(input), pred };
+        };
+        if self.db.indexes_on(table.as_str()).next().is_none() {
+            return Plan::Filter { input: Box::new(input), pred };
+        }
+        let table = table.clone();
+        let conjuncts = split_and(pred);
+        let refold = |input: Plan, conjuncts: Vec<Pred>| Plan::Filter {
+            input: Box::new(input),
+            pred: and_all(conjuncts).expect("split of a predicate is non-empty"),
+        };
+
+        let types = col_types(&input, &mut self.frames, self.db);
+        self.frames.push(types);
+        let total = conjuncts.iter().all(|c| pred_total(c, &mut self.frames, self.db));
+        self.frames.pop();
+        if !total {
+            return refold(input, conjuncts);
+        }
+
+        // The comparisons an index can serve: `#0.col op const` (or
+        // flipped) with a non-NULL constant.
+        let shapes: Vec<Option<(usize, CmpOp, &sqlsem_core::Value)>> =
+            conjuncts.iter().map(index_cmp_shape).collect();
+
+        // Point lookups first (they consume the most conjuncts), then
+        // single-column ranges; indexes are tried in creation order, so
+        // the choice is deterministic.
+        let mut chosen: Option<(sqlsem_core::Name, IndexOp, Vec<usize>)> = None;
+        for index in self.db.indexes_on(table.as_str()) {
+            if index.poisoned() {
+                continue;
+            }
+            let eq_pick = |col: usize| {
+                shapes.iter().position(|s| s.is_some_and(|(c, op, _)| c == col && op == CmpOp::Eq))
+            };
+            let eq_picks: Option<Vec<usize>> = index.cols().iter().map(|&c| eq_pick(c)).collect();
+            if let Some(picks) = eq_picks {
+                let values = picks
+                    .iter()
+                    .map(|&i| shapes[i].expect("picked shape").2.clone())
+                    .collect::<Vec<_>>();
+                chosen = Some((index.def().name.clone(), IndexOp::Point(values), picks));
+                break;
+            }
+        }
+        if chosen.is_none() {
+            for index in self.db.indexes_on(table.as_str()) {
+                if index.poisoned() || index.cols().len() != 1 {
+                    continue;
+                }
+                let col = index.cols()[0];
+                let pick = shapes
+                    .iter()
+                    .position(|s| s.is_some_and(|(c, op, _)| c == col && is_range_op(op)));
+                if let Some(i) = pick {
+                    let (_, op, value) = shapes[i].expect("picked shape");
+                    chosen = Some((
+                        index.def().name.clone(),
+                        IndexOp::Range { op, value: value.clone() },
+                        vec![i],
+                    ));
+                    break;
+                }
+            }
+        }
+
+        let Some((index, op, consumed)) = chosen else {
+            return refold(input, conjuncts);
+        };
+        let keys: Vec<sqlsem_core::Name> = {
+            let attrs = self.db.schema().attributes(&table).expect("indexed table exists");
+            let cols = self.db.index(&index).expect("chosen index exists").cols();
+            cols.iter().map(|&c| attrs[c].clone()).collect()
+        };
+        let scan = Plan::IndexScan { table, index, keys, op };
+        let residual: Vec<Pred> = conjuncts
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| !consumed.contains(i))
+            .map(|(_, c)| c)
+            .collect();
+        match and_all(residual) {
+            Some(pred) => Plan::Filter { input: Box::new(scan), pred },
+            None => scan,
         }
     }
 
@@ -473,7 +582,7 @@ impl Optimizer<'_> {
         let pred = and_all(pushed).expect("at least one key-only conjunct");
         let input = match input {
             Plan::Product { inputs } => self.reorder(inputs, pred),
-            input => Plan::Filter { input: Box::new(input), pred },
+            input => self.index_filter(input, pred),
         };
         rebuild(input, and_all(residual))
     }
@@ -512,6 +621,42 @@ impl Optimizer<'_> {
         let slot = self.slots;
         self.slots += 1;
         Some(slot)
+    }
+
+    /// One equi-join link of the chain: a hash join, or — when the build
+    /// side is a bare `Scan` whose table has an index keyed on exactly
+    /// the join's right-side columns — an index nested-loop join.
+    ///
+    /// Both operators match by *syntactic value identity* (the hash
+    /// join's `HashMap` key equality; the index's `key_ordering`-equal),
+    /// so the swap is sound even for mixed-type or poisoned columns: no
+    /// comparison in either path can raise, and a type-mismatched pair
+    /// simply fails to match in both. Output order is identical too —
+    /// left rows probe in order, and postings (ascending row ids) mirror
+    /// the build lists' insertion order.
+    fn equi_join(&mut self, left: Plan, right: Plan, keys: Vec<JoinKey>) -> Plan {
+        if let Plan::Scan { table } = &right {
+            let rights: std::collections::HashSet<usize> = keys.iter().map(|k| k.right).collect();
+            if rights.len() == keys.len() {
+                let chosen = self
+                    .db
+                    .indexes_on(table.as_str())
+                    .find(|index| {
+                        index.cols().len() == keys.len()
+                            && index.cols().iter().all(|c| rights.contains(c))
+                    })
+                    .map(|index| index.def().name.clone());
+                if let Some(index) = chosen {
+                    return Plan::IndexJoin {
+                        left: Box::new(left),
+                        table: table.clone(),
+                        index,
+                        keys,
+                    };
+                }
+            }
+        }
+        Plan::HashJoin { left: Box::new(left), right: Box::new(right), keys }
     }
 
     /// The heart of the pass: `Filter` over `Product` becomes pushed
@@ -596,7 +741,10 @@ impl Optimizer<'_> {
         let mut filtered: Vec<Plan> = Vec::with_capacity(inputs.len());
         for (input, preds) in inputs.into_iter().zip(pushed) {
             filtered.push(match and_all(preds) {
-                Some(pred) => Plan::Filter { input: Box::new(input), pred },
+                // Conjunct totality was proven above for the whole
+                // conjunction, but `index_filter` re-checks against the
+                // single input's frame (same column types, remapped).
+                Some(pred) => self.index_filter(input, pred),
                 None => input,
             });
         }
@@ -619,7 +767,7 @@ impl Optimizer<'_> {
                     if keys.is_empty() {
                         Plan::Product { inputs: vec![left, input] }
                     } else {
-                        Plan::HashJoin { left: Box::new(left), right: Box::new(input), keys }
+                        self.equi_join(left, input, keys)
                     }
                 }
             });
@@ -732,6 +880,26 @@ fn split_and(pred: Pred) -> Vec<Pred> {
 /// Re-folds conjuncts left-associatively; `None` for an empty list.
 fn and_all(conjuncts: Vec<Pred>) -> Option<Pred> {
     conjuncts.into_iter().reduce(|a, b| Pred::And(Box::new(a), Box::new(b)))
+}
+
+/// Matches `#0.col op const` (or the flipped `const op #0.col`, with the
+/// operator mirrored) against a non-`NULL` constant — the comparisons a
+/// secondary index can serve.
+fn index_cmp_shape(pred: &Pred) -> Option<(usize, CmpOp, &sqlsem_core::Value)> {
+    let Pred::Cmp { left, op, right } = pred else { return None };
+    match (left, right) {
+        (Expr::Col { depth: 0, index }, Expr::Const(v)) if !v.is_null() => Some((*index, *op, v)),
+        (Expr::Const(v), Expr::Col { depth: 0, index }) if !v.is_null() => {
+            Some((*index, op.flipped(), v))
+        }
+        _ => None,
+    }
+}
+
+/// `true` for the ordered comparisons a single-column index can answer
+/// as one B-tree range.
+fn is_range_op(op: CmpOp) -> bool {
+    matches!(op, CmpOp::Lt | CmpOp::Leq | CmpOp::Gt | CmpOp::Geq)
 }
 
 /// Matches `#0.l = #0.r` (null_safe = false) and
@@ -849,6 +1017,11 @@ fn collect_plan_refs(plan: &Plan, target: usize, out: &mut Vec<usize>) {
             collect_pred_refs(on, target + 1, out);
         }
         Plan::Limit { input, .. } => collect_plan_refs(input, target, out),
+        // An index scan's operands are constants; an index join's keys
+        // are positional columns of its own inputs — neither reads the
+        // filter frame.
+        Plan::IndexScan { .. } => {}
+        Plan::IndexJoin { left, .. } => collect_plan_refs(left, target, out),
         // Sort keys see the output-row frame: one extra frame, like
         // `Project` expressions.
         Plan::Sort { input, keys } | Plan::TopK { input, keys, .. } => {
@@ -970,6 +1143,13 @@ fn remap_plan(plan: Plan, target: usize, offset: usize) -> Plan {
         Plan::Limit { input, limit, offset: skip } => {
             Plan::Limit { input: Box::new(remap_plan(*input, target, offset)), limit, offset: skip }
         }
+        Plan::IndexScan { .. } => plan,
+        Plan::IndexJoin { left, table, index, keys } => Plan::IndexJoin {
+            left: Box::new(remap_plan(*left, target, offset)),
+            table,
+            index,
+            keys,
+        },
     }
 }
 
@@ -1012,8 +1192,8 @@ mod tests {
         let schema =
             Schema::builder().table("R", ["A", "B"]).table("S", ["A", "C"]).build().unwrap();
         let mut db = Database::new(schema);
-        db.insert("R", table! { ["A", "B"]; [1, 2], [Value::Null, 3] }).unwrap();
-        db.insert("S", table! { ["A", "C"]; [1, 9], [4, 8] }).unwrap();
+        db.replace_table("R", table! { ["A", "B"]; [1, 2], [Value::Null, 3] }).unwrap();
+        db.replace_table("S", table! { ["A", "C"]; [1, 9], [4, 8] }).unwrap();
         db
     }
 
@@ -1045,6 +1225,8 @@ mod tests {
             | Plan::OuterJoin { left, right, .. } => {
                 n += count_ops(left, pred) + count_ops(right, pred);
             }
+            Plan::IndexScan { .. } => {}
+            Plan::IndexJoin { left, .. } => n += count_ops(left, pred),
         }
         n
     }
@@ -1347,6 +1529,118 @@ mod tests {
                     }
                     (a, b) => panic!("{text} [{logic:?}]: {a:?} vs {b:?}"),
                 }
+            }
+        }
+    }
+
+    /// `db()` plus a single-column index on R(A) and a composite on
+    /// S(A, C).
+    fn indexed_db() -> Database {
+        let mut db = db();
+        db.create_index("r_a_idx", "R", ["A"]).unwrap();
+        db.create_index("s_ac_idx", "S", ["A", "C"]).unwrap();
+        db
+    }
+
+    #[test]
+    fn equality_filter_over_scan_becomes_index_point_scan() {
+        let db = indexed_db();
+        let p = prepare("SELECT R.B FROM R WHERE R.A = 1", &db);
+        let Plan::Project { input, .. } = &p.plan else { panic!("{:?}", p.plan) };
+        let Plan::IndexScan { index, keys, op, .. } = &**input else { panic!("{input:?}") };
+        assert_eq!(index.as_str(), "r_a_idx");
+        assert_eq!(keys.iter().map(|k| k.as_str()).collect::<Vec<_>>(), ["A"]);
+        assert_eq!(op, &IndexOp::Point(vec![Value::from(1)]));
+    }
+
+    #[test]
+    fn composite_index_point_scan_consumes_both_conjuncts() {
+        let db = indexed_db();
+        // Conjunct order is reversed relative to key order, and one
+        // comparison is flipped — both normalize into the key tuple.
+        let p = prepare("SELECT S.A FROM S WHERE S.C = 9 AND 1 = S.A", &db);
+        let Plan::Project { input, .. } = &p.plan else { panic!("{:?}", p.plan) };
+        let Plan::IndexScan { index, op, .. } = &**input else { panic!("{input:?}") };
+        assert_eq!(index.as_str(), "s_ac_idx");
+        assert_eq!(op, &IndexOp::Point(vec![Value::from(1), Value::from(9)]));
+    }
+
+    #[test]
+    fn range_filter_becomes_index_range_scan_with_residual() {
+        let db = indexed_db();
+        let p = prepare("SELECT R.B FROM R WHERE R.A >= 1 AND R.B = 3", &db);
+        let Plan::Project { input, .. } = &p.plan else { panic!("{:?}", p.plan) };
+        let Plan::Filter { input: scan, pred } = &**input else { panic!("{input:?}") };
+        let Plan::IndexScan { index, op, .. } = &**scan else { panic!("{scan:?}") };
+        assert_eq!(index.as_str(), "r_a_idx");
+        assert_eq!(op, &IndexOp::Range { op: CmpOp::Geq, value: Value::from(1) });
+        // The non-indexed conjunct stays as the residual filter.
+        assert!(
+            matches!(pred, Pred::Cmp { left: Expr::Col { depth: 0, index: 1 }, .. }),
+            "{pred:?}"
+        );
+    }
+
+    #[test]
+    fn error_capable_conjunction_refuses_the_index_rewrite() {
+        // `R.A = 'x'` can raise (R.A holds integers), so neither conjunct
+        // may be served from the index: consuming `R.A = 1` would change
+        // which comparisons execute, which is observable through errors.
+        let db = indexed_db();
+        let p = prepare("SELECT R.B FROM R WHERE R.A = 1 AND R.A = 'x'", &db);
+        assert_eq!(count_ops(&p.plan, &mut |p| matches!(p, Plan::IndexScan { .. })), 0);
+        assert_eq!(count_ops(&p.plan, &mut |p| matches!(p, Plan::Filter { .. })), 1);
+    }
+
+    #[test]
+    fn mixed_type_column_refuses_the_index_rewrite() {
+        // A column holding both Int and Str fails `cmp_total` (and the
+        // index is poisoned) — the filter stays a heap scan.
+        let mut db = db();
+        db.replace_table("R", table! { ["A", "B"]; [1, 2], ["x", 3] }).unwrap();
+        db.create_index("r_a_idx", "R", ["A"]).unwrap();
+        assert!(db.index("r_a_idx").unwrap().poisoned());
+        let p = prepare("SELECT R.B FROM R WHERE R.A = 1", &db);
+        assert_eq!(count_ops(&p.plan, &mut |p| matches!(p, Plan::IndexScan { .. })), 0);
+    }
+
+    #[test]
+    fn equi_join_against_an_indexed_scan_becomes_index_join() {
+        let mut db = db();
+        db.create_index("s_a_idx", "S", ["A"]).unwrap();
+        let p = prepare("SELECT R.B, S.C FROM R, S WHERE R.A = S.A", &db);
+        let Plan::Project { input, .. } = &p.plan else { panic!("{:?}", p.plan) };
+        let Plan::IndexJoin { left, table, index, keys } = &**input else { panic!("{input:?}") };
+        assert!(matches!(&**left, Plan::Scan { .. }), "{left:?}");
+        assert_eq!(table.as_str(), "S");
+        assert_eq!(index.as_str(), "s_a_idx");
+        assert_eq!(keys, &vec![JoinKey { left: 0, right: 0, null_safe: false }]);
+    }
+
+    #[test]
+    fn index_plans_execute_identically_to_unindexed_plans() {
+        use sqlsem_core::{LogicMode, PredicateRegistry};
+        let plain = db();
+        let indexed = indexed_db();
+        let schema = plain.schema().clone();
+        let queries = [
+            "SELECT R.B FROM R WHERE R.A = 1",
+            "SELECT R.B FROM R WHERE R.A = 99",
+            "SELECT R.B FROM R WHERE R.A >= 1",
+            "SELECT R.B FROM R WHERE R.A < 4 AND R.B = 3",
+            "SELECT S.A FROM S WHERE S.C = 9 AND S.A = 1",
+            "SELECT R.B, S.C FROM R, S WHERE R.A = S.A",
+            "SELECT R.A FROM R, S WHERE R.A IS NOT DISTINCT FROM S.A",
+        ];
+        let preds = PredicateRegistry::new();
+        for text in queries {
+            let q = sql(text, &schema).unwrap();
+            for logic in LogicMode::ALL {
+                let naive =
+                    crate::exec::execute(&q, &plain, Dialect::Standard, logic, &preds).expect(text);
+                let opt = crate::Engine::new(&indexed).with_logic(logic).execute(&q).expect(text);
+                // Bit-for-bit: index postings restore insertion order.
+                assert_eq!(naive, opt, "{text} [{logic:?}]");
             }
         }
     }

@@ -295,6 +295,68 @@ pub enum Plan {
         /// `OFFSET m` (0 when absent).
         offset: u64,
     },
+    /// The optimizer's rewrite of `Filter` over `Scan` when a secondary
+    /// index covers the filtered columns: read only the matching row ids
+    /// out of the index instead of testing every stored row. Posting
+    /// lists are kept in ascending row-id order, so the operator emits
+    /// rows in *insertion order* — byte-identical to the filtered heap
+    /// scan it replaces, never in index-key order. The rewrite is gated
+    /// on the consumed comparisons being provably total (single-typed
+    /// column, matching constant, unpoisoned index), so index lookup can
+    /// never silently skip a row whose evaluation would have raised.
+    IndexScan {
+        /// The scanned base table.
+        table: Name,
+        /// The chosen index.
+        index: Name,
+        /// The index's key column names in key order, carried so
+        /// `EXPLAIN` can print the lookup without schema access.
+        keys: Vec<Name>,
+        /// How matching row ids are selected from the index.
+        op: IndexOp,
+    },
+    /// Index nested-loop equi-join: [`Plan::HashJoin`] with the build
+    /// side replaced by point lookups into a base table's index. Probes
+    /// the left rows in order; each probe's postings come back in
+    /// ascending row-id (= insertion) order, so the output is exactly
+    /// the hash join's. Match rule is syntactic value identity on both
+    /// paths, so null/`IS NOT DISTINCT FROM` handling carries over
+    /// unchanged.
+    IndexJoin {
+        /// Left (probe) input.
+        left: Box<Plan>,
+        /// The right side: a base table reached through its index.
+        table: Name,
+        /// The index probed once per left row; its key columns are
+        /// exactly the `right` positions of `keys`.
+        index: Name,
+        /// The join keys (`left` = probe column in the left rows,
+        /// `right` = column position in the indexed table).
+        keys: Vec<JoinKey>,
+    },
+}
+
+/// How a [`Plan::IndexScan`] selects row ids from its index.
+#[derive(Clone, Debug, PartialEq)]
+pub enum IndexOp {
+    /// Equality on the full key tuple, values in index key order — the
+    /// rewrite of one `=` conjunct per key column. Constants are
+    /// non-`NULL` by construction (a `col = NULL` comparison is never
+    /// *true*, and the rewrite leaves it alone).
+    Point(Vec<Value>),
+    /// The rewrite of a single ordered comparison `col op value` on the
+    /// index's first (and only) key column. Kept as the original
+    /// operator so `EXPLAIN` can print the source predicate; the
+    /// executor translates it to a B-tree bound pair exploiting the
+    /// NULLS-last key order (`NULL` keys rank above every constant, so
+    /// an upper bound excluding `NULL` drops them, exactly like the
+    /// comparison's *unknown* verdict).
+    Range {
+        /// The comparison operator (`<`, `<=`, `>`, `>=`).
+        op: CmpOp,
+        /// The non-`NULL` constant bound.
+        value: Value,
+    },
 }
 
 /// One compiled `ORDER BY` key of a [`Plan::Sort`]/[`Plan::TopK`]: an
@@ -355,6 +417,12 @@ impl Plan {
             Plan::HashJoin { left, right, .. } | Plan::OuterJoin { left, right, .. } => {
                 left.arity(db) + right.arity(db)
             }
+            Plan::IndexScan { table, .. } => {
+                db.schema().attributes(table).map_or(0, |attrs| attrs.len())
+            }
+            Plan::IndexJoin { left, table, .. } => {
+                left.arity(db) + db.schema().attributes(table).map_or(0, |attrs| attrs.len())
+            }
         }
     }
 
@@ -405,6 +473,9 @@ impl Plan {
             Plan::HashJoin { left, right, .. } | Plan::OuterJoin { left, right, .. } => {
                 Ok(left.arity_checked(db)? + right.arity_checked(db)?)
             }
+            Plan::IndexScan { .. } => Ok(self.arity(db)),
+            Plan::IndexJoin { left, table, .. } => Ok(left.arity_checked(db)?
+                + db.schema().attributes(table).map_or(0, |attrs| attrs.len())),
         }
     }
 }

@@ -303,6 +303,16 @@ impl<'a> VecExecutor<'a> {
                     }
                 }
             }
+            // Index operators have no batch kernels: posting-list
+            // gathers are row-id driven already, so the row engine runs
+            // the whole subtree and the output is chunked back into
+            // batches. (An explicit arm — the `other` fallback below
+            // would bounce through `run_rows` and recurse forever.)
+            Plan::IndexScan { .. } | Plan::IndexJoin { .. } => {
+                let arity = plan.arity(self.rows.db);
+                let rows = self.rows.run(plan)?;
+                Ok(self.chunk(arity, &rows))
+            }
             other => {
                 let arity = other.arity(self.rows.db);
                 let rows = self.run_rows(other, routes)?;
@@ -1069,12 +1079,13 @@ mod tests {
         let schema =
             Schema::builder().table("R", ["A", "B"]).table("S", ["A", "C"]).build().unwrap();
         let mut db = Database::new(schema.clone());
-        db.insert(
+        db.replace_table(
             "R",
             table! { ["A", "B"]; [1, 10], [2, 20], [Value::Null, 30], [2, Value::Null] },
         )
         .unwrap();
-        db.insert("S", table! { ["A", "C"]; [2, 100], [3, 200], [Value::Null, 300] }).unwrap();
+        db.replace_table("S", table! { ["A", "C"]; [2, 100], [3, 200], [Value::Null, 300] })
+            .unwrap();
         (schema, db)
     }
 
@@ -1208,7 +1219,7 @@ mod tests {
         let schema = Schema::builder().table("T", ["A"]).build().unwrap();
         let mut db = Database::new(schema);
         let rows: Vec<Row> = (0..10).map(|i| row![i]).collect();
-        db.insert("T", Table::with_rows(vec!["A".into()], rows).unwrap()).unwrap();
+        db.replace_table("T", Table::with_rows(vec!["A".into()], rows).unwrap()).unwrap();
         let preds = PredicateRegistry::new();
         let plan = Plan::Scan { table: "T".into() };
         for batch_size in [1, 3, 10, 1024] {
@@ -1237,8 +1248,10 @@ mod tests {
                 })
                 .collect()
         };
-        db.insert("T", Table::with_rows(vec!["A".into(), "B".into()], rows(3)).unwrap()).unwrap();
-        db.insert("U", Table::with_rows(vec!["A".into(), "B".into()], rows(5)).unwrap()).unwrap();
+        db.replace_table("T", Table::with_rows(vec!["A".into(), "B".into()], rows(3)).unwrap())
+            .unwrap();
+        db.replace_table("U", Table::with_rows(vec!["A".into(), "B".into()], rows(5)).unwrap())
+            .unwrap();
         let q = sqlsem_parser::compile(
             "SELECT x.B, y.B FROM T x, U y WHERE x.A = y.A AND x.B < 11",
             &schema,

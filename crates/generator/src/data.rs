@@ -68,7 +68,7 @@ pub fn random_database(schema: &Schema, config: &DataGenConfig, rng: &mut StdRng
             let row: Row = (0..attrs.len()).map(|_| random_value(config, rng)).collect();
             table.push(row).expect("row arity matches by construction");
         }
-        db.insert(name.clone(), table).expect("table matches schema by construction");
+        db.replace_table(name.clone(), table).expect("table matches schema by construction");
     }
     db
 }

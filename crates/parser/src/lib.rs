@@ -97,8 +97,8 @@ mod tests {
     fn compile_then_evaluate_example1() {
         let schema = Schema::builder().table("R", ["A"]).table("S", ["A"]).build().unwrap();
         let mut db = Database::new(schema.clone());
-        db.insert("R", table! { ["A"]; [1], [Value::Null] }).unwrap();
-        db.insert("S", table! { ["A"]; [Value::Null] }).unwrap();
+        db.replace_table("R", table! { ["A"]; [1], [Value::Null] }).unwrap();
+        db.replace_table("S", table! { ["A"]; [Value::Null] }).unwrap();
 
         let q1 =
             compile("SELECT DISTINCT R.A FROM R WHERE R.A NOT IN (SELECT S.A FROM S)", &schema)
@@ -120,8 +120,8 @@ mod tests {
     fn oracle_minus_compiles_and_runs() {
         let schema = Schema::builder().table("R", ["A"]).table("S", ["A"]).build().unwrap();
         let mut db = Database::new(schema.clone());
-        db.insert("R", table! { ["A"]; [1], [2] }).unwrap();
-        db.insert("S", table! { ["A"]; [2] }).unwrap();
+        db.replace_table("R", table! { ["A"]; [1], [2] }).unwrap();
+        db.replace_table("S", table! { ["A"]; [2] }).unwrap();
         let q = compile("SELECT R.A FROM R MINUS SELECT S.A FROM S", &schema).unwrap();
         let out = Evaluator::new(&db).with_dialect(Dialect::Oracle).eval(&q).unwrap();
         assert!(out.coincides(&table! { ["A"]; [1] }));

@@ -207,6 +207,18 @@ impl Parser {
         }
     }
 
+    /// Consumes an identifier-shaped token equal to `word`
+    /// (case-insensitively), for positional keywords like `INDEX`.
+    fn eat_word(&mut self, word: &str) -> bool {
+        if let Some(TokenKind::Ident(s)) = self.peek() {
+            if s.eq_ignore_ascii_case(word) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
     // -- statements --------------------------------------------------------
 
     /// statement := CREATE TABLE … | DROP TABLE … | INSERT INTO … |
@@ -227,6 +239,28 @@ impl Parser {
         match self.peek() {
             Some(TokenKind::Keyword(Keyword::Create)) => {
                 self.pos += 1;
+                // `INDEX` is positional, like `EXPLAIN`: a keyword only
+                // right after CREATE/DROP, an identifier anywhere else.
+                if self.eat_word("INDEX") {
+                    let name = self.ident()?;
+                    self.expect_kw(Keyword::On)?;
+                    let table = self.ident()?;
+                    self.expect(&TokenKind::LParen)?;
+                    let mut columns = vec![self.ident()?];
+                    while self.eat(&TokenKind::Comma) {
+                        let at = self.offset();
+                        let col = self.ident()?;
+                        if columns.contains(&col) {
+                            return Err(ParseError {
+                                message: format!("duplicate column {col} in CREATE INDEX {name}"),
+                                offset: at,
+                            });
+                        }
+                        columns.push(col);
+                    }
+                    self.expect(&TokenKind::RParen)?;
+                    return Ok(SStatement::CreateIndex { name, table, columns });
+                }
                 self.expect_kw(Keyword::Table)?;
                 let table = self.ident()?;
                 self.expect(&TokenKind::LParen)?;
@@ -247,6 +281,9 @@ impl Parser {
             }
             Some(TokenKind::Keyword(Keyword::Drop)) => {
                 self.pos += 1;
+                if self.eat_word("INDEX") {
+                    return Ok(SStatement::DropIndex { name: self.ident()? });
+                }
                 self.expect_kw(Keyword::Table)?;
                 Ok(SStatement::DropTable { table: self.ident()? })
             }

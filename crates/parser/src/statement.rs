@@ -40,6 +40,20 @@ pub enum Statement {
         /// The base table to remove.
         table: Name,
     },
+    /// `CREATE INDEX name ON table (columns…)`.
+    CreateIndex {
+        /// The new index's name.
+        name: Name,
+        /// The indexed base table.
+        table: Name,
+        /// The key columns, outermost first.
+        columns: Vec<Name>,
+    },
+    /// `DROP INDEX name`.
+    DropIndex {
+        /// The index to remove.
+        name: Name,
+    },
     /// `INSERT INTO table [(columns…)] VALUES rows…`.
     Insert {
         /// The target base table.
@@ -83,6 +97,12 @@ pub fn annotate_statement(
             Statement::CreateTable { table: table.clone(), columns: columns.clone() }
         }
         SStatement::DropTable { table } => Statement::DropTable { table: table.clone() },
+        SStatement::CreateIndex { name, table, columns } => Statement::CreateIndex {
+            name: name.clone(),
+            table: table.clone(),
+            columns: columns.clone(),
+        },
+        SStatement::DropIndex { name } => Statement::DropIndex { name: name.clone() },
         SStatement::Insert { table, columns, rows } => {
             Statement::Insert { table: table.clone(), columns: columns.clone(), rows: rows.clone() }
         }
@@ -167,6 +187,13 @@ pub fn statement_to_sql(statement: &Statement, dialect: Dialect) -> String {
             out
         }
         Statement::DropTable { table } => format!("DROP TABLE {table}"),
+        Statement::CreateIndex { name, table, columns } => {
+            let mut out = format!("CREATE INDEX {name} ON {table} (");
+            name_list(&mut out, columns);
+            out.push(')');
+            out
+        }
+        Statement::DropIndex { name } => format!("DROP INDEX {name}"),
         Statement::Insert { table, columns, rows } => {
             let mut out = format!("INSERT INTO {table} ");
             if let Some(cols) = columns {
@@ -242,6 +269,29 @@ mod tests {
     fn parses_drop_table() {
         let s = parse_statement("DROP TABLE R").unwrap();
         assert_eq!(s, SStatement::DropTable { table: Name::new("R") });
+    }
+
+    #[test]
+    fn parses_create_and_drop_index() {
+        let s = parse_statement("CREATE INDEX r_ab_idx ON R (A, B)").unwrap();
+        assert_eq!(
+            s,
+            SStatement::CreateIndex {
+                name: Name::new("r_ab_idx"),
+                table: Name::new("R"),
+                columns: vec![Name::new("A"), Name::new("B")],
+            }
+        );
+        let s = parse_statement("drop index r_ab_idx;").unwrap();
+        assert_eq!(s, SStatement::DropIndex { name: Name::new("r_ab_idx") });
+        let err = parse_statement("CREATE INDEX i ON R (A, A)").unwrap_err();
+        assert!(err.message.contains("duplicate column A"), "{err}");
+        assert!(parse_statement("CREATE INDEX i ON R ()").is_err());
+        assert!(parse_statement("CREATE INDEX i R (A)").is_err());
+        // `index` is positional, not reserved: still a fine identifier.
+        use crate::parser::parse_query;
+        parse_query("SELECT index FROM R").unwrap();
+        parse_query("SELECT index.A FROM index").unwrap();
     }
 
     #[test]
@@ -321,6 +371,8 @@ mod tests {
         let statements = [
             "CREATE TABLE T (A, B)",
             "DROP TABLE R",
+            "CREATE INDEX r_a_idx ON R (A, B)",
+            "DROP INDEX r_a_idx",
             "INSERT INTO R VALUES (1, 'it''s'), (-2, NULL)",
             "INSERT INTO R (B, A) VALUES (TRUE, FALSE)",
             "EXPLAIN SELECT R.A AS A FROM R AS R WHERE R.A IS NOT NULL",

@@ -211,6 +211,24 @@ pub enum SStatement {
         /// The base table to remove.
         table: Name,
     },
+    /// `CREATE INDEX name ON R (A₁, …, Aₖ)`. Like `EXPLAIN`, `INDEX` is
+    /// a positional word, not a reserved one: it is recognised only
+    /// directly after `CREATE`/`DROP`, so `index` stays a valid column
+    /// or table name.
+    CreateIndex {
+        /// The new index's name.
+        name: Name,
+        /// The indexed base table.
+        table: Name,
+        /// The key columns, outermost first (non-empty, distinct —
+        /// validated when the statement executes).
+        columns: Vec<Name>,
+    },
+    /// `DROP INDEX name`.
+    DropIndex {
+        /// The index to remove.
+        name: Name,
+    },
     /// `INSERT INTO R [(A₁,…,Aₖ)] VALUES (v̄₁), …, (v̄ₘ)`. Values are
     /// constants of the fragment (integers, strings, booleans, `NULL`).
     Insert {

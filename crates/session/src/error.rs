@@ -59,6 +59,15 @@ pub enum SqlsemError {
         /// Span of the offending statement within `sql`.
         span: Span,
     },
+    /// The durable storage layer failed: an I/O error, a corrupt
+    /// checkpoint file, or a WAL record that no longer replays. Carries
+    /// the rendered storage error — the underlying `io::Error` is
+    /// neither `Clone` nor `PartialEq`, so the message is kept rather
+    /// than the source.
+    Storage {
+        /// The rendered storage error.
+        message: String,
+    },
 }
 
 impl SqlsemError {
@@ -80,13 +89,20 @@ impl SqlsemError {
         SqlsemError::Eval { source, sql: sql.into(), span }
     }
 
-    /// The SQL source the session was executing when the error arose.
+    pub(crate) fn storage(source: impl fmt::Display) -> Self {
+        SqlsemError::Storage { message: source.to_string() }
+    }
+
+    /// The SQL source the session was executing when the error arose
+    /// (empty for storage errors, which may arise outside any
+    /// statement — at open or checkpoint time).
     pub fn sql(&self) -> &str {
         match self {
             SqlsemError::Parse { sql, .. }
             | SqlsemError::Annotate { sql, .. }
             | SqlsemError::Schema { sql, .. }
             | SqlsemError::Eval { sql, .. } => sql,
+            SqlsemError::Storage { .. } => "",
         }
     }
 
@@ -97,6 +113,7 @@ impl SqlsemError {
             | SqlsemError::Annotate { span, .. }
             | SqlsemError::Schema { span, .. }
             | SqlsemError::Eval { span, .. } => *span,
+            SqlsemError::Storage { .. } => Span::new(0, 0),
         }
     }
 
@@ -139,6 +156,7 @@ impl fmt::Display for SqlsemError {
                 write!(f, "evaluation error: {source}")?;
                 self.write_statement(f)
             }
+            SqlsemError::Storage { message } => write!(f, "storage error: {message}"),
         }
     }
 }
@@ -167,6 +185,7 @@ impl std::error::Error for SqlsemError {
             SqlsemError::Annotate { source, .. } => Some(source),
             SqlsemError::Schema { source, .. } => Some(source),
             SqlsemError::Eval { source, .. } => Some(source),
+            SqlsemError::Storage { .. } => None,
         }
     }
 }

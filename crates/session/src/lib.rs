@@ -71,6 +71,7 @@
 mod error;
 
 use std::fmt;
+use std::path::PathBuf;
 
 use sqlsem_core::{
     Database, Dialect, EvalError, LogicMode, Name, PredicateRegistry, Query, Row, Schema, Span,
@@ -78,6 +79,7 @@ use sqlsem_core::{
 };
 use sqlsem_engine::{Engine, Prepared, DEFAULT_BATCH_SIZE};
 use sqlsem_parser::{annotate_statement, parse_script, parse_statement, Statement};
+use sqlsem_storage::{Storage, WalOp, DEFAULT_CHECKPOINT_THRESHOLD};
 
 pub use error::SqlsemError;
 pub use sqlsem_engine::Backend;
@@ -105,6 +107,7 @@ pub struct SessionBuilder {
     db: Option<Database>,
     batch_size: Option<usize>,
     threads: usize,
+    storage: Option<PathBuf>,
 }
 
 impl SessionBuilder {
@@ -179,19 +182,80 @@ impl SessionBuilder {
         self
     }
 
+    /// Backs the session with the durable storage engine rooted at
+    /// `dir` (created if absent): every DDL/DML statement is logged to
+    /// the write-ahead log and fsynced before it is acknowledged, and
+    /// reopening the same directory recovers the last committed state —
+    /// checkpoint plus WAL replay, torn tail truncated.
+    ///
+    /// When the directory already holds a database, that recovered
+    /// state wins and any [`SessionBuilder::with_database`] /
+    /// [`SessionBuilder::with_schema`] seed is ignored; a *fresh*
+    /// directory is seeded from the provided database (if any).
+    ///
+    /// ```no_run
+    /// use sqlsem_session::Session;
+    ///
+    /// let dir = std::env::temp_dir().join("sqlsem-quickstart");
+    /// let mut s = Session::builder().with_storage(&dir).try_build().unwrap();
+    /// s.execute("CREATE TABLE R (A)").unwrap();
+    /// s.execute("INSERT INTO R VALUES (1), (2)").unwrap();
+    /// s.execute("CREATE INDEX r_a_idx ON R (A)").unwrap();
+    /// drop(s); // or crash —
+    /// let mut s = Session::builder().with_storage(&dir).try_build().unwrap();
+    /// let n = s.execute("SELECT COUNT(*) AS n FROM R WHERE R.A = 1").unwrap();
+    /// assert_eq!(n.rows().unwrap().len(), 1); // recovered, index and all
+    /// ```
+    #[must_use]
+    pub fn with_storage(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.storage = Some(dir.into());
+        self
+    }
+
     /// Finishes the builder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`SessionBuilder::with_storage`] was given a directory
+    /// that cannot be opened or recovered — use
+    /// [`SessionBuilder::try_build`] to handle storage failures.
     pub fn build(self) -> Session {
-        Session {
-            db: self.db.unwrap_or_else(|| Database::new(Schema::default())),
+        self.try_build().expect("session storage opens")
+    }
+
+    /// Finishes the builder, surfacing storage failures as
+    /// [`SqlsemError::Storage`] instead of panicking. Infallible when
+    /// no storage directory was configured.
+    pub fn try_build(self) -> Result<Session, SqlsemError> {
+        let (db, storage) = match self.storage {
+            None => (self.db.unwrap_or_else(|| Database::new(Schema::default())), None),
+            Some(dir) => {
+                let (mut storage, recovered) = Storage::open(&dir).map_err(SqlsemError::storage)?;
+                let fresh = recovered.schema().is_empty() && recovered.indexes().is_empty();
+                let db = match (fresh, self.db) {
+                    // A fresh store adopts (and persists) the seed.
+                    (true, Some(seed)) => {
+                        storage.save_all(&seed).map_err(SqlsemError::storage)?;
+                        seed
+                    }
+                    // Recovered durable state always wins over a seed.
+                    (_, _) => recovered,
+                };
+                (db, Some(storage))
+            }
+        };
+        Ok(Session {
+            db,
             dialect: self.dialect,
             logic: self.logic,
             backend: self.backend,
             preds: self.preds,
             batch_size: self.batch_size.unwrap_or(DEFAULT_BATCH_SIZE),
             threads: self.threads,
+            storage,
             id: NEXT_SESSION_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
             epoch: 0,
-        }
+        })
     }
 }
 
@@ -215,6 +279,10 @@ pub enum StatementResult {
         /// Number of rows appended.
         rows: usize,
     },
+    /// `CREATE INDEX` succeeded.
+    IndexCreated(Name),
+    /// `DROP INDEX` succeeded.
+    IndexDropped(Name),
 }
 
 impl StatementResult {
@@ -251,6 +319,8 @@ impl StatementResult {
             StatementResult::Created(_) => "CREATE TABLE".to_string(),
             StatementResult::Dropped(_) => "DROP TABLE".to_string(),
             StatementResult::Inserted { rows, .. } => format!("INSERT 0 {rows}"),
+            StatementResult::IndexCreated(_) => "CREATE INDEX".to_string(),
+            StatementResult::IndexDropped(_) => "DROP INDEX".to_string(),
         }
     }
 }
@@ -318,6 +388,10 @@ pub struct Session {
     /// Worker threads for the vectorized executor's parallel stages
     /// (`0` = auto, `1` = sequential).
     threads: usize,
+    /// The durable store backing this session, when configured via
+    /// [`SessionBuilder::with_storage`]: every mutating statement is
+    /// WAL-logged and fsynced before it is acknowledged.
+    storage: Option<Storage>,
     /// Process-unique identity; prepared statements record it so a
     /// handle prepared on one session is never trusted by another whose
     /// epoch counter happens to coincide.
@@ -331,7 +405,9 @@ impl Clone for Session {
     /// A cloned session is an independent copy of the database and
     /// configuration with a *fresh identity*: prepared statements from
     /// the original transparently re-prepare on first use with the
-    /// clone (the two sessions' schemas can diverge from here on).
+    /// clone (the two sessions' schemas can diverge from here on). The
+    /// clone is **in-memory**: it does not share (or reopen) the
+    /// original's storage directory — one WAL has one writer.
     fn clone(&self) -> Self {
         Session {
             db: self.db.clone(),
@@ -341,6 +417,7 @@ impl Clone for Session {
             preds: self.preds.clone(),
             batch_size: self.batch_size,
             threads: self.threads,
+            storage: None,
             id: NEXT_SESSION_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
             epoch: 0,
         }
@@ -400,6 +477,22 @@ impl Session {
     /// stages (`0` = auto, `1` = sequential).
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The durable store backing this session, when one was configured
+    /// via [`SessionBuilder::with_storage`] — exposes the directory,
+    /// WAL length and per-table page/row statistics (`\d` in the REPL).
+    pub fn storage(&self) -> Option<&Storage> {
+        self.storage.as_ref()
+    }
+
+    /// Forces a checkpoint of the durable store (compacting the WAL
+    /// into the paged checkpoint file). A no-op for in-memory sessions.
+    pub fn checkpoint(&mut self) -> Result<(), SqlsemError> {
+        match self.storage.as_mut() {
+            Some(s) => s.checkpoint(&self.db).map_err(SqlsemError::storage),
+            None => Ok(()),
+        }
     }
 
     /// Switches the dialect. Invalidates prepared statements (they
@@ -554,9 +647,16 @@ impl Session {
             .with_dialect(self.dialect)
             .with_logic(self.logic)
             .with_predicates(self.preds.clone())
+            // `Persistent` sessions execute like the optimized engine:
+            // durability lives in the session's storage wiring (and, in
+            // the harnesses, in `persistent_database`'s round trip), not
+            // in the per-query evaluator.
             .with_optimizations(matches!(
                 self.backend,
-                Backend::OptimizedEngine | Backend::VectorizedEngine | Backend::Adaptive
+                Backend::OptimizedEngine
+                    | Backend::VectorizedEngine
+                    | Backend::Adaptive
+                    | Backend::Persistent
             ))
             .with_vectorized(self.backend == Backend::VectorizedEngine)
             .with_adaptive(self.backend == Backend::Adaptive)
@@ -613,31 +713,77 @@ impl Session {
                     .create_table(table.clone(), columns.clone())
                     .map_err(|e| SqlsemError::schema(e, sql, span))?;
                 self.epoch += 1;
+                self.persist(WalOp::CreateTable { name: table.clone(), columns: columns.clone() })?;
                 Ok(StatementResult::Created(table.clone()))
             }
             Statement::DropTable { table } => {
                 self.db.drop_table(table).map_err(|e| SqlsemError::schema(e, sql, span))?;
                 self.epoch += 1;
+                self.persist(WalOp::DropTable { name: table.clone() })?;
                 Ok(StatementResult::Dropped(table.clone()))
             }
+            Statement::CreateIndex { name, table, columns } => {
+                self.db
+                    .create_index(name.clone(), table.clone(), columns.clone())
+                    .map_err(|e| SqlsemError::schema(e, sql, span))?;
+                // Indexes don't change name resolution, but they do
+                // change plans — cached prepared plans must recompile.
+                self.epoch += 1;
+                self.persist(WalOp::CreateIndex {
+                    name: name.clone(),
+                    table: table.clone(),
+                    columns: columns.clone(),
+                })?;
+                Ok(StatementResult::IndexCreated(name.clone()))
+            }
+            Statement::DropIndex { name } => {
+                self.db.drop_index(name).map_err(|e| SqlsemError::schema(e, sql, span))?;
+                self.epoch += 1;
+                self.persist(WalOp::DropIndex { name: name.clone() })?;
+                Ok(StatementResult::IndexDropped(name.clone()))
+            }
             Statement::Insert { table, columns, rows } => {
-                let count = self
-                    .insert(table, columns.as_deref(), rows)
+                let full = self
+                    .full_rows(table, columns.as_deref(), rows)
                     .map_err(|e| SqlsemError::eval(e, sql, span))?;
+                let logged = self.storage.is_some().then(|| full.clone());
+                let count = self
+                    .db
+                    .append_rows(table.clone(), full)
+                    .map_err(|e| SqlsemError::eval(e, sql, span))?;
+                if let Some(rows) = logged {
+                    self.persist(WalOp::Append { table: table.clone(), rows })?;
+                }
                 Ok(StatementResult::Inserted { table: table.clone(), rows: count })
             }
         }
     }
 
-    /// `INSERT INTO table [(columns)] VALUES rows`: reorders each value
-    /// tuple into schema attribute order (filling unmentioned columns
-    /// with `NULL`) and appends.
-    fn insert(
-        &mut self,
+    /// Logs one mutation to the WAL and fsyncs before the statement is
+    /// acknowledged (group commit: one `fdatasync` per statement), then
+    /// checkpoints if the WAL has outgrown its threshold. A no-op for
+    /// in-memory sessions.
+    fn persist(&mut self, op: WalOp) -> Result<(), SqlsemError> {
+        let Some(storage) = self.storage.as_mut() else {
+            return Ok(());
+        };
+        storage.log(&op).map_err(SqlsemError::storage)?;
+        storage.commit().map_err(SqlsemError::storage)?;
+        storage
+            .maybe_checkpoint(&self.db, DEFAULT_CHECKPOINT_THRESHOLD)
+            .map_err(SqlsemError::storage)
+    }
+
+    /// `INSERT INTO table [(columns)] VALUES rows`, the pure half:
+    /// reorders each value tuple into schema attribute order (filling
+    /// unmentioned columns with `NULL`) without appending — the caller
+    /// appends and, for durable sessions, WAL-logs the same rows.
+    fn full_rows(
+        &self,
         table: &Name,
         columns: Option<&[Name]>,
         rows: &[Vec<Value>],
-    ) -> Result<usize, EvalError> {
+    ) -> Result<Vec<Row>, EvalError> {
         let Some(attrs) = self.db.schema().attributes(table) else {
             return Err(EvalError::UnknownTable(table.clone()));
         };
@@ -670,6 +816,6 @@ impl Session {
                 reordered
             }
         };
-        self.db.append_rows(table.clone(), full_rows)
+        Ok(full_rows)
     }
 }

@@ -1,0 +1,48 @@
+//! Error type for the storage layer.
+
+use std::fmt;
+use std::io;
+
+/// Errors raised while persisting or recovering a database.
+///
+/// A truncated or checksum-corrupt *WAL tail* is deliberately **not** an
+/// error — that is the expected shape of a crash, and recovery stops at
+/// the first bad record. `Corrupt` is reserved for the checkpoint file,
+/// whose write is atomic (temp file + rename): damage there means the
+/// file was tampered with or the medium failed, not that we crashed.
+#[derive(Debug)]
+pub enum StorageError {
+    /// An underlying filesystem operation failed.
+    Io(io::Error),
+    /// The checkpoint file is malformed (bad magic, impossible page
+    /// references, undecodable catalog or row bytes).
+    Corrupt(String),
+    /// A recovered WAL record did not apply cleanly to the database it
+    /// was replayed against — the log and checkpoint disagree.
+    Replay(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "storage i/o error: {e}"),
+            StorageError::Corrupt(what) => write!(f, "corrupt checkpoint: {what}"),
+            StorageError::Replay(what) => write!(f, "WAL replay failed: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StorageError {
+    fn from(e: io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}

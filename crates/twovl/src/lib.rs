@@ -22,8 +22,8 @@
 //!
 //! let schema = Schema::builder().table("R", ["A"]).table("S", ["A"]).build().unwrap();
 //! let mut db = Database::new(schema.clone());
-//! db.insert("R", table! { ["A"]; [1], [Value::Null] }).unwrap();
-//! db.insert("S", table! { ["A"]; [Value::Null] }).unwrap();
+//! db.replace_table("R", table! { ["A"]; [1], [Value::Null] }).unwrap();
+//! db.replace_table("S", table! { ["A"]; [Value::Null] }).unwrap();
 //!
 //! // Example 1's Q1: empty under 3VL because of the NULL in S.
 //! let q = compile("SELECT DISTINCT R.A FROM R WHERE R.A NOT IN (SELECT S.A FROM S)", &schema)
@@ -57,9 +57,12 @@ mod tests {
 
     fn db() -> Database {
         let mut db = Database::new(schema());
-        db.insert("R", table! { ["A", "B"]; [1, 2], [1, 2], [Value::Null, 3], [4, Value::Null] })
-            .unwrap();
-        db.insert("S", table! { ["A"]; [1], [Value::Null], [4] }).unwrap();
+        db.replace_table(
+            "R",
+            table! { ["A", "B"]; [1, 2], [1, 2], [Value::Null, 3], [4, Value::Null] },
+        )
+        .unwrap();
+        db.replace_table("S", table! { ["A"]; [1], [Value::Null], [4] }).unwrap();
         db
     }
 
@@ -137,8 +140,8 @@ mod tests {
         // is NOT empty — the translation is what restores the behaviour.
         let schema = Schema::builder().table("R", ["A"]).table("S", ["A"]).build().unwrap();
         let mut db = Database::new(schema.clone());
-        db.insert("R", table! { ["A"]; [1], [Value::Null] }).unwrap();
-        db.insert("S", table! { ["A"]; [Value::Null] }).unwrap();
+        db.replace_table("R", table! { ["A"]; [1], [Value::Null] }).unwrap();
+        db.replace_table("S", table! { ["A"]; [Value::Null] }).unwrap();
         let q = compile("SELECT DISTINCT R.A FROM R WHERE R.A NOT IN (SELECT S.A FROM S)", &schema)
             .unwrap();
         let three = Evaluator::new(&db).eval(&q).unwrap();
@@ -162,8 +165,8 @@ mod tests {
     fn translations_leave_null_free_data_unchanged() {
         let schema = schema();
         let mut db = Database::new(schema.clone());
-        db.insert("R", table! { ["A", "B"]; [1, 2], [3, 4] }).unwrap();
-        db.insert("S", table! { ["A"]; [1] }).unwrap();
+        db.replace_table("R", table! { ["A", "B"]; [1, 2], [3, 4] }).unwrap();
+        db.replace_table("S", table! { ["A"]; [1] }).unwrap();
         for sql in QUERIES {
             let q = compile(sql, &schema).unwrap();
             let base = Evaluator::new(&db).eval(&q).unwrap();

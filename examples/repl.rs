@@ -28,16 +28,59 @@
 //! SQL
 //! ```
 //!
-//! Meta commands: `\d` shows the schema,
-//! `\backend spec|naive|optimized|vectorized|adaptive`, `\batchsize N`
-//! (the vectorized backend's rows-per-batch), `\threads N` (morsel
-//! workers for the vectorized executor; 0 = auto), `\adaptive on|off`
-//! (shorthand for switching between the adaptive and optimized
-//! backends), `\dialect standard|postgresql|oracle`, `\q` quits.
+//! Meta commands: `\d` shows the schema, the indexes, and — when the
+//! REPL was started with `--storage DIR` — each table's on-disk page
+//! and row counts, `\backend spec|naive|optimized|vectorized|adaptive`,
+//! `\batchsize N` (the vectorized backend's rows-per-batch),
+//! `\threads N` (morsel workers for the vectorized executor; 0 = auto),
+//! `\adaptive on|off` (shorthand for switching between the adaptive
+//! and optimized backends), `\dialect standard|postgresql|oracle`,
+//! `\q` quits.
+//!
+//! With `--storage DIR` the session opens a durable store in `DIR`
+//! (replaying its WAL if a previous run crashed); every DDL and
+//! `INSERT` is logged and fsynced before it reports success, so
+//! `CREATE TABLE`/`INSERT`/`CREATE INDEX` survive a kill and a
+//! reopen of the same directory.
 
 use std::io::{self, BufRead, IsTerminal, Write};
 
 use sqlsem::{Backend, Dialect, Session};
+
+/// Prints the schema, index definitions and (when a durable store is
+/// attached) per-table on-disk footprints — the `\d` meta command.
+/// Checkpoints first so the reported pages/rows reflect the current
+/// database rather than whatever the last WAL compaction happened to
+/// capture.
+fn describe(session: &mut Session) {
+    if session.storage().is_some() {
+        if let Err(e) = session.checkpoint() {
+            println!("{e}");
+        }
+    }
+    let schema = session.schema();
+    if schema.is_empty() {
+        println!("(no tables — try CREATE TABLE R (A);)");
+    } else {
+        println!("{schema}");
+    }
+    let indexes = session.database().indexes();
+    if !indexes.is_empty() {
+        println!("Indexes:");
+        for index in indexes {
+            let def = index.def();
+            let cols: Vec<String> = def.columns.iter().map(|c| c.to_string()).collect();
+            println!("  {} ON {} ({})", def.name, def.table, cols.join(", "));
+        }
+    }
+    if let Some(storage) = session.storage() {
+        println!("Storage ({}):", storage.dir().display());
+        for (table, _) in schema.iter() {
+            let stats = storage.table_stats(table.as_ref()).unwrap_or_default();
+            println!("  {table}: {} pages, {} rows on disk", stats.pages, stats.rows);
+        }
+    }
+}
 
 /// `true` when the accumulated input forms a submittable statement: its
 /// last non-whitespace character is a `;` that sits *outside* every
@@ -70,14 +113,7 @@ fn meta_command(session: &mut Session, line: &str) -> bool {
     let mut words = line.split_whitespace();
     match (words.next(), words.next()) {
         (Some("\\q"), _) => return false,
-        (Some("\\d"), _) => {
-            let schema = session.schema();
-            if schema.is_empty() {
-                println!("(no tables — try CREATE TABLE R (A);)");
-            } else {
-                println!("{schema}");
-            }
-        }
+        (Some("\\d"), _) => describe(session),
         (Some("\\backend"), Some(arg)) => match arg.parse::<Backend>() {
             Ok(backend) => {
                 session.set_backend(backend);
@@ -128,7 +164,8 @@ fn meta_command(session: &mut Session, line: &str) -> bool {
             }
         }
         _ => println!(
-            "meta commands: \\d (schema)  \\backend <spec|naive|optimized|vectorized|adaptive>  \
+            "meta commands: \\d (schema, indexes, on-disk stats)  \
+             \\backend <spec|naive|optimized|vectorized|adaptive>  \
              \\batchsize <rows>  \\threads <n>  \\adaptive <on|off>  \
              \\dialect <standard|postgresql|oracle>  \\q (quit)"
         ),
@@ -137,7 +174,32 @@ fn meta_command(session: &mut Session, line: &str) -> bool {
 }
 
 fn main() {
-    let mut session = Session::new();
+    // `--storage DIR` attaches a durable store; everything else about
+    // the REPL is unchanged.
+    let mut args = std::env::args().skip(1);
+    let mut session = match args.next().as_deref() {
+        None => Session::new(),
+        Some("--storage") => {
+            let dir = args.next().unwrap_or_else(|| {
+                eprintln!("usage: repl [--storage DIR]");
+                std::process::exit(2);
+            });
+            match Session::builder().with_storage(&dir).try_build() {
+                Ok(session) => {
+                    println!("storage: {dir}");
+                    session
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        Some(other) => {
+            eprintln!("unknown argument {other:?}; usage: repl [--storage DIR]");
+            std::process::exit(2);
+        }
+    };
     let stdin = io::stdin();
     let interactive = stdin.is_terminal();
     if interactive {

@@ -61,6 +61,9 @@
 //!   statements, and dialect-aware printers;
 //! * [`engine`] — an independent volcano-style engine standing in for
 //!   the PostgreSQL/Oracle validation oracles of §4;
+//! * [`storage`] — the durable storage engine: paged checkpoint files,
+//!   a checksummed write-ahead log with crash recovery, and the store
+//!   behind [`SessionBuilder::with_storage`] and `Backend::Persistent`;
 //! * [`algebra`] — bag relational algebra, SQL-RA, and the provably
 //!   correct SQL → RA translation of §5 (Theorem 1);
 //! * [`twovl`] — the Figure 10 translations eliminating three-valued
@@ -79,8 +82,8 @@
 //! // Example 1 from the paper: R = {1, NULL}, S = {NULL}.
 //! let schema = Schema::builder().table("R", ["A"]).table("S", ["A"]).build().unwrap();
 //! let mut db = Database::new(schema.clone());
-//! db.insert("R", table! { ["A"]; [1], [Value::Null] }).unwrap();
-//! db.insert("S", table! { ["A"]; [Value::Null] }).unwrap();
+//! db.replace_table("R", table! { ["A"]; [1], [Value::Null] }).unwrap();
+//! db.replace_table("S", table! { ["A"]; [Value::Null] }).unwrap();
 //!
 //! let q = compile("SELECT DISTINCT R.A FROM R WHERE R.A NOT IN (SELECT S.A FROM S)", &schema)
 //!     .unwrap();
@@ -96,6 +99,7 @@ pub use sqlsem_engine as engine;
 pub use sqlsem_generator as generator;
 pub use sqlsem_parser as parser;
 pub use sqlsem_session as session;
+pub use sqlsem_storage as storage;
 pub use sqlsem_twovl as twovl;
 pub use sqlsem_validation as validation;
 

@@ -75,7 +75,7 @@ fn empty_group_sum_is_null_while_count_is_zero() {
     );
     // The same asymmetry via WHERE FALSE on a populated table.
     let mut db = Database::new(paper_schema());
-    db.insert("R1", table! { ["A1", "A2"]; [1, 2], [3, 4] }).unwrap();
+    db.replace_table("R1", table! { ["A1", "A2"]; [1, 2], [3, 4] }).unwrap();
     let out =
         run_coinciding("SELECT COUNT(t.A1) AS vals, SUM(t.A1) AS s FROM R1 t WHERE FALSE", &db);
     assert!(out.coincides(&table! { ["vals", "s"]; [0, Value::Null] }), "got:\n{out}");
@@ -127,7 +127,7 @@ fn group_by_partitions_are_disjoint_and_exhaustive() {
 fn null_keys_form_a_single_group() {
     let schema = Schema::builder().table("R", ["A", "B"]).build().unwrap();
     let mut db = Database::new(schema);
-    db.insert(
+    db.replace_table(
         "R",
         table! { ["A", "B"]; [Value::Null, 1], [Value::Null, 2], [1, 3], [Value::Null, 4] },
     )
@@ -144,7 +144,7 @@ fn null_keys_form_a_single_group() {
 fn distinct_aggregates_deduplicate_before_folding() {
     let schema = Schema::builder().table("R", ["A"]).build().unwrap();
     let mut db = Database::new(schema);
-    db.insert("R", table! { ["A"]; [2], [2], [3], [Value::Null] }).unwrap();
+    db.replace_table("R", table! { ["A"]; [2], [2], [3], [Value::Null] }).unwrap();
     let out = run_coinciding(
         "SELECT COUNT(R.A) AS c, COUNT(DISTINCT R.A) AS cd, \
          SUM(R.A) AS s, SUM(DISTINCT R.A) AS sd, AVG(DISTINCT R.A) AS ad FROM R",

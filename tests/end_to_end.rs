@@ -22,14 +22,17 @@ fn schema() -> Schema {
 
 fn db() -> Database {
     let mut db = Database::new(schema());
-    db.insert(
+    db.replace_table(
         "R",
         table! { ["A", "B"]; [1, 2], [1, 2], [Value::Null, 3], [4, Value::Null], [5, 5] },
     )
     .unwrap();
-    db.insert("S", table! { ["A"]; [1], [Value::Null], [4], [4] }).unwrap();
-    db.insert("T", table! { ["A", "B", "C"]; [1, 2, 3], [Value::Null, Value::Null, Value::Null] })
-        .unwrap();
+    db.replace_table("S", table! { ["A"]; [1], [Value::Null], [4], [4] }).unwrap();
+    db.replace_table(
+        "T",
+        table! { ["A", "B", "C"]; [1, 2, 3], [Value::Null, Value::Null, Value::Null] },
+    )
+    .unwrap();
     db
 }
 

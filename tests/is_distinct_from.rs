@@ -10,7 +10,7 @@ use sqlsem_twovl::{to_three_valued, to_two_valued, EqInterpretation};
 fn setup() -> (Schema, Database) {
     let schema = Schema::builder().table("R", ["A", "B"]).build().unwrap();
     let mut db = Database::new(schema.clone());
-    db.insert(
+    db.replace_table(
         "R",
         table! {
             ["A", "B"];

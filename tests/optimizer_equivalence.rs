@@ -85,12 +85,12 @@ fn null_pitfalls_and_handwritten_shapes_coincide() {
     let schema = Schema::builder().table("R", ["A", "B"]).table("S", ["A"]).build().unwrap();
     let mut db = sqlsem::core::Database::new(schema.clone());
     // Duplicates and nulls on both sides.
-    db.insert(
+    db.replace_table(
         "R",
         table! { ["A", "B"]; [1, 2], [1, 2], [Value::Null, 3], [4, Value::Null], [4, 5] },
     )
     .unwrap();
-    db.insert("S", table! { ["A"]; [1], [1], [Value::Null], [4] }).unwrap();
+    db.replace_table("S", table! { ["A"]; [1], [1], [Value::Null], [4] }).unwrap();
     let cases = [
         // Example 1's three inequivalent shapes.
         "SELECT DISTINCT R.A FROM R WHERE R.A NOT IN (SELECT S.A FROM S)",
@@ -133,7 +133,7 @@ fn empty_inputs_keep_deferred_errors_deferred() {
     // the filtered product, and the pushed filter empties it).
     let schema = Schema::builder().table("R", ["A"]).table("S", ["A"]).build().unwrap();
     let mut db = sqlsem::core::Database::new(schema.clone());
-    db.insert("R", sqlsem::core::table! { ["A"]; [1] }).unwrap();
+    db.replace_table("R", sqlsem::core::table! { ["A"]; [1] }).unwrap();
     // S stays empty: the product is empty however the plan is shaped.
     let q = sqlsem::compile(
         "SELECT * FROM (SELECT x.A, x.A FROM R x, S y WHERE x.A = y.A) AS T",

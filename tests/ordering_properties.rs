@@ -31,7 +31,7 @@ fn schema() -> Schema {
 /// known insertion order.
 fn db() -> Database {
     let mut db = Database::new(schema());
-    db.insert(
+    db.replace_table(
         "R",
         table! { ["A", "B"];
             [3, 10], [1, 20], [3, 30], [Value::Null, 40], [2, 50], [1, 60], [2, 70]

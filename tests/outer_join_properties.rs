@@ -35,8 +35,9 @@ fn schema() -> Schema {
 /// one instance.
 fn db() -> Database {
     let mut db = Database::new(schema());
-    db.insert("R", table! { ["A", "B"]; [1, 10], [2, 20], [Value::Null, 30], [4, 40] }).unwrap();
-    db.insert("S", table! { ["A", "C"]; [1, 100], [1, 101], [3, 300], [Value::Null, 999] })
+    db.replace_table("R", table! { ["A", "B"]; [1, 10], [2, 20], [Value::Null, 30], [4, 40] })
+        .unwrap();
+    db.replace_table("S", table! { ["A", "C"]; [1, 100], [1, 101], [3, 300], [Value::Null, 999] })
         .unwrap();
     db
 }

@@ -7,8 +7,8 @@ use sqlsem_engine::Engine;
 fn example1_db() -> (Schema, Database) {
     let schema = Schema::builder().table("R", ["A"]).table("S", ["A"]).build().unwrap();
     let mut db = Database::new(schema.clone());
-    db.insert("R", table! { ["A"]; [1], [Value::Null] }).unwrap();
-    db.insert("S", table! { ["A"]; [Value::Null] }).unwrap();
+    db.replace_table("R", table! { ["A"]; [1], [Value::Null] }).unwrap();
+    db.replace_table("S", table! { ["A"]; [Value::Null] }).unwrap();
     (schema, db)
 }
 
@@ -48,7 +48,7 @@ fn example2_standalone_query_is_dialect_dependent() {
     // compile-time error in some of the commercial RDBMSs."
     let schema = Schema::builder().table("R", ["A"]).build().unwrap();
     let mut db = Database::new(schema.clone());
-    db.insert("R", table! { ["A"]; [7] }).unwrap();
+    db.replace_table("R", table! { ["A"]; [7] }).unwrap();
     let q = compile("SELECT * FROM (SELECT R.A, R.A FROM R) AS T", &schema).unwrap();
 
     // PostgreSQL: fine, returns the duplicated column.
@@ -67,7 +67,7 @@ fn example2_under_exists_works_everywhere() {
     // nonempty.
     let schema = Schema::builder().table("R", ["A"]).build().unwrap();
     let mut db = Database::new(schema.clone());
-    db.insert("R", table! { ["A"]; [7], [8] }).unwrap();
+    db.replace_table("R", table! { ["A"]; [7], [8] }).unwrap();
     let q = compile(
         "SELECT * FROM R WHERE EXISTS ( SELECT * FROM (SELECT R.A, R.A FROM R) AS T )",
         &schema,
@@ -112,7 +112,7 @@ fn figure5_projection_example() {
     use sqlsem_algebra::{RaEvaluator, RaExpr};
     let schema = Schema::builder().table("R", ["A", "B"]).build().unwrap();
     let mut db = Database::new(schema);
-    db.insert("R", table! { ["A", "B"]; [0, 1], [0, 2] }).unwrap();
+    db.replace_table("R", table! { ["A", "B"]; [0, 1], [0, 2] }).unwrap();
     let out =
         RaEvaluator::new(&db).eval(&RaExpr::Base(sqlsem::Name::new("R")).project(["A"])).unwrap();
     assert!(out.multiset_eq(&table! { ["A"]; [0], [0] }));
@@ -222,7 +222,7 @@ fn example2_ambiguous_reference_as_grouping_key_errors_like_the_paper_says() {
     use sqlsem::{FromItem, Query, SelectList, SelectQuery, Term};
     let schema = Schema::builder().table("R", ["A"]).build().unwrap();
     let mut db = Database::new(schema.clone());
-    db.insert("R", table! { ["A"]; [7] }).unwrap();
+    db.replace_table("R", table! { ["A"]; [7] }).unwrap();
     assert!(compile(
         "SELECT COUNT(*) AS n FROM (SELECT R.A, R.A FROM R) AS T GROUP BY T.A",
         &schema,
