@@ -1,0 +1,244 @@
+//! The server saturation bench: an in-process `sqlsem-server` on an
+//! ephemeral port, N ∈ {1, 8, 64} concurrent TCP clients, read-heavy
+//! and write-heavy workloads, p50/p95 per-statement latency and
+//! aggregate throughput.
+//!
+//! What the numbers are expected to show:
+//!
+//! * **read-heavy** — readers evaluate against lock-free snapshots, so
+//!   aggregate throughput *scales* with client count until the machine
+//!   runs out of cores (no shared lock on the read path to collapse
+//!   onto);
+//! * **write-heavy** — writers serialize through the commit queue, so
+//!   aggregate throughput saturates, but *group commit* keeps per-op
+//!   latency from growing linearly: concurrent writers share one
+//!   snapshot publish (and, on a durable database, one fsync) per
+//!   batch.
+//!
+//! With `--record` the measurements are written to
+//! `BENCH_saturation.json` (the committed baseline); with
+//! `--check <baseline.json>` the bench re-runs and fails if any p50 at
+//! a matching client count regressed more than [`CHECK_FACTOR`]× +
+//! [`CHECK_SLACK_MS`] — the same guard shape as `join_scaling`.
+//!
+//! ```text
+//! cargo run --release -p sqlsem-bench --bin saturation -- --record
+//! cargo run --release -p sqlsem-bench --bin saturation -- --quick --check BENCH_saturation.json
+//! ```
+
+use std::sync::Barrier;
+use std::time::Instant;
+
+use sqlsem_bench::{arg, flag};
+use sqlsem_server::{Client, Server};
+
+/// Maximum allowed slow-down of a p50 against the committed baseline
+/// before `--check` fails.
+const CHECK_FACTOR: f64 = 3.0;
+
+/// Additive slack on top of the 3x threshold: loopback-TCP round trips
+/// sit well under a millisecond, where scheduler noise on shared CI
+/// runners dominates any real signal.
+const CHECK_SLACK_MS: f64 = 1.0;
+
+struct Measurement {
+    workload: &'static str,
+    clients: usize,
+    ops: usize,
+    p50_ms: f64,
+    p95_ms: f64,
+    throughput: f64,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+/// Runs one workload at one client count: every client is a real TCP
+/// connection driving the line protocol, all released together by a
+/// barrier; per-statement latencies are merged across clients.
+fn run(server: &Server, workload: &'static str, clients: usize, ops: usize) -> Measurement {
+    let barrier = Barrier::new(clients + 1);
+    let (latencies, elapsed) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let barrier = &barrier;
+                let addr = server.local_addr();
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect to bench server");
+                    barrier.wait();
+                    let mut latencies = Vec::with_capacity(ops);
+                    for i in 0..ops {
+                        let statement = match workload {
+                            "read_heavy" => format!(
+                                "SELECT COUNT(*) AS n FROM R WHERE R.A = {}",
+                                (c * ops + i) % 1000
+                            ),
+                            _ => format!("INSERT INTO W VALUES ({c}, {i})"),
+                        };
+                        let start = Instant::now();
+                        let reply = client.send(&statement).expect("statement round trip");
+                        latencies.push(start.elapsed().as_secs_f64() * 1e3);
+                        assert!(
+                            !reply.contains("error"),
+                            "bench statement failed under {workload}: {reply}"
+                        );
+                    }
+                    latencies
+                })
+            })
+            .collect();
+        barrier.wait();
+        let start = Instant::now();
+        let latencies: Vec<f64> =
+            handles.into_iter().flat_map(|h| h.join().expect("bench client")).collect();
+        (latencies, start.elapsed().as_secs_f64())
+    });
+    let mut sorted = latencies;
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let total_ops = clients * ops;
+    Measurement {
+        workload,
+        clients,
+        ops: total_ops,
+        p50_ms: percentile(&sorted, 0.50),
+        p95_ms: percentile(&sorted, 0.95),
+        throughput: total_ops as f64 / elapsed,
+    }
+}
+
+/// Extracts `(clients, p50_ms)` pairs from one section of the baseline
+/// JSON. Hand-rolled (the workspace is offline — no serde).
+fn baseline_pairs(json: &str, section: &str) -> Vec<(usize, f64)> {
+    let Some(start) = json.find(&format!("\"{section}\"")) else { return Vec::new() };
+    let rest = &json[start..];
+    let (Some(open), Some(close)) = (rest.find('['), rest.find(']')) else { return Vec::new() };
+    let field = |obj: &str, name: &str| -> Option<f64> {
+        let at = obj.find(&format!("\"{name}\""))?;
+        let tail = obj[at..].split_once(':')?.1;
+        let num: String = tail
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+            .collect();
+        num.parse().ok()
+    };
+    rest[open + 1..close]
+        .split('}')
+        .filter_map(|obj| Some((field(obj, "clients")? as usize, field(obj, "p50_ms")?)))
+        .collect()
+}
+
+fn main() {
+    let quick = flag("--quick");
+    let record = flag("--record");
+    let check_path: String = arg("--check", String::new());
+    let read_ops: usize = arg("--read-ops", if quick { 50 } else { 200 });
+    let write_ops: usize = arg("--write-ops", if quick { 25 } else { 100 });
+    let counts: Vec<usize> = if quick { vec![1, 8] } else { vec![1, 8, 64] };
+
+    // One in-process server for the whole run: in-memory shared
+    // database, seeded through a direct (non-TCP) connection.
+    let server = Server::bind("127.0.0.1:0").expect("bind bench server");
+    let mut seed = server.shared().connect();
+    seed.execute("CREATE TABLE R (A, B)").unwrap();
+    for chunk in 0..10 {
+        let rows: Vec<String> =
+            (0..100).map(|i| format!("({}, {})", chunk * 100 + i, i % 7)).collect();
+        seed.execute(&format!("INSERT INTO R VALUES {}", rows.join(", "))).unwrap();
+    }
+    // A secondary index turns the read probe into an index point
+    // lookup, so the measured cost is the protocol + snapshot path
+    // rather than a table scan.
+    seed.execute("CREATE INDEX r_a_idx ON R (A)").unwrap();
+    // The write-heavy workload appends to its own table so repeated
+    // runs at growing client counts don't slow the read probes down.
+    seed.execute("CREATE TABLE W (C, I)").unwrap();
+
+    println!("server saturation: clients x ops over loopback TCP, in-memory shared database\n");
+    println!(
+        "{:>12} {:>8} {:>10} {:>10} {:>10} {:>14}",
+        "workload", "clients", "ops", "p50_ms", "p95_ms", "ops_per_s"
+    );
+    let mut measurements = Vec::new();
+    for &clients in &counts {
+        for (workload, ops) in [("read_heavy", read_ops), ("write_heavy", write_ops)] {
+            let m = run(&server, workload, clients, ops);
+            println!(
+                "{:>12} {:>8} {:>10} {:>10.4} {:>10.4} {:>14.0}",
+                m.workload, m.clients, m.ops, m.p50_ms, m.p95_ms, m.throughput
+            );
+            measurements.push(m);
+        }
+    }
+    server.shutdown();
+
+    if record {
+        let section = |name: &str| -> String {
+            measurements
+                .iter()
+                .filter(|m| m.workload == name)
+                .map(|m| {
+                    format!(
+                        "    {{\"clients\": {}, \"ops\": {}, \"p50_ms\": {:.4}, \
+                         \"p95_ms\": {:.4}, \"ops_per_s\": {:.0}}}",
+                        m.clients, m.ops, m.p50_ms, m.p95_ms, m.throughput
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(",\n")
+        };
+        let cores = std::thread::available_parallelism().map_or(0, usize::from);
+        let json = format!(
+            "{{\n  \"bench\": \"saturation\",\n  \"cores\": {cores},\n  \
+             \"read_heavy\": [\n{}\n  ],\n  \"write_heavy\": [\n{}\n  ]\n}}\n",
+            section("read_heavy"),
+            section("write_heavy")
+        );
+        std::fs::write("BENCH_saturation.json", &json).expect("write baseline");
+        println!("\nrecorded BENCH_saturation.json");
+    }
+
+    if !check_path.is_empty() {
+        let baseline = std::fs::read_to_string(&check_path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {check_path}: {e}"));
+        let mut checked = 0usize;
+        let mut regressions = Vec::new();
+        for section in ["read_heavy", "write_heavy"] {
+            for (clients, base_ms) in baseline_pairs(&baseline, section) {
+                let Some(m) =
+                    measurements.iter().find(|m| m.workload == section && m.clients == clients)
+                else {
+                    continue;
+                };
+                checked += 1;
+                if m.p50_ms > base_ms * CHECK_FACTOR + CHECK_SLACK_MS {
+                    regressions.push(format!(
+                        "{section} at {clients} client(s): p50 {:.3} ms vs baseline \
+                         {base_ms:.3} ms (> {CHECK_FACTOR}x + {CHECK_SLACK_MS} ms)",
+                        m.p50_ms
+                    ));
+                }
+            }
+        }
+        println!(
+            "\nbench guard: {checked} baseline point(s) checked \
+             (threshold {CHECK_FACTOR}x + {CHECK_SLACK_MS} ms)"
+        );
+        if checked == 0 {
+            eprintln!("bench guard: no baseline points matched the run's client counts");
+            std::process::exit(1);
+        }
+        if !regressions.is_empty() {
+            for r in &regressions {
+                eprintln!("REGRESSION: {r}");
+            }
+            std::process::exit(1);
+        }
+        println!("bench guard: no regressions");
+    }
+}

@@ -16,6 +16,8 @@
 //! | `sec6_twovl` | §6 / Theorem 2 — 3VL ≡ 2VL on random queries |
 //! | `optimizer_gauntlet` | beyond the paper — optimized engine vs spec interpreter vs naive engine, all `LogicMode` × dialect combinations |
 //! | `join_scaling` | beyond the paper — hash-join vs naive-product scaling at 1×/10×/100× the §4 row cap (`--record` writes `BENCH_join_scaling.json`) |
+//! | `concurrent_gauntlet` | beyond the paper — N writers × M readers over one `SharedDatabase`: snapshot reads vs the spec interpreter, serial replay of the commit log, all combinations |
+//! | `saturation` | beyond the paper — the TCP server under 1/8/64 concurrent clients, read-heavy vs write-heavy, p50/p95 + throughput (`--record` writes `BENCH_saturation.json`) |
 //!
 //! Benchmarks (`cargo bench -p sqlsem-bench`) measure the cost of the
 //! denotational interpreter against the independent engine and the

@@ -183,9 +183,9 @@ impl Index {
     }
 
     /// The row ids whose *first* key component falls in the given
-    /// bounds, returned in ascending (insertion) order. Only meaningful
-    /// for single-column indexes — multi-column prefixes would need
-    /// sentinel completion, which no caller requires yet.
+    /// bounds, returned in ascending (insertion) order. For a range on
+    /// a later key column under leading equalities, use
+    /// [`Index::prefix_range`].
     pub fn range(&self, lo: Bound<&Value>, hi: Bound<&Value>) -> Vec<usize> {
         let wrap = |b: Bound<&Value>| match b {
             Bound::Included(v) => Bound::Included(IndexKey(vec![v.clone()])),
@@ -194,6 +194,80 @@ impl Index {
         };
         let mut out: Vec<usize> =
             self.map.range((wrap(lo), wrap(hi))).flat_map(|(_, ids)| ids.iter().copied()).collect();
+        // Distinct keys interleave in insertion order; restore it.
+        out.sort_unstable();
+        out
+    }
+
+    /// The row ids whose key starts with exactly `prefix` (syntactic
+    /// identity, like [`Index::point`]) and whose *next* key component
+    /// falls in the given bounds, returned in ascending (insertion)
+    /// order — the composite-prefix range scan (`a = 1 AND b = 2 AND
+    /// c > 5` on an index over `(a, b, c, …)`).
+    ///
+    /// `NULL` at the range position never qualifies: a comparison with
+    /// `NULL` is unknown under every logic mode, and `NULL`s sort last
+    /// within the prefix region, so iteration simply stops there. An
+    /// empty `prefix` with both bounds on column 0 behaves like
+    /// [`Index::range`] minus the `NULL` tail.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prefix` is not strictly shorter than the key arity
+    /// (there must be a next component to range over).
+    pub fn prefix_range(
+        &self,
+        prefix: &[Value],
+        lo: Bound<&Value>,
+        hi: Bound<&Value>,
+    ) -> Vec<usize> {
+        let p = prefix.len();
+        assert!(p < self.cols.len(), "prefix_range needs a key column past the prefix");
+        // A bare prefix tuple is the infimum of all its extensions
+        // (IndexKey breaks component ties by length), so seeking to it —
+        // or to `prefix ++ [lo]` — lands on the first candidate key.
+        let start = match lo {
+            Bound::Included(v) | Bound::Excluded(v) => {
+                let mut key = prefix.to_vec();
+                key.push(v.clone());
+                IndexKey(key)
+            }
+            Bound::Unbounded => IndexKey(prefix.to_vec()),
+        };
+        let mut out = Vec::new();
+        for (key, ids) in self.map.range((Bound::Included(start), Bound::Unbounded)) {
+            // Keys are full-arity tuples sorted lexicographically: once
+            // the prefix components stop matching, the region is over.
+            let same_prefix = key.0[..p]
+                .iter()
+                .zip(prefix)
+                .all(|(a, b)| key_ordering(a, b, false, false) == std::cmp::Ordering::Equal);
+            if !same_prefix {
+                break;
+            }
+            let c = &key.0[p];
+            // NULLs sort last within the region and never satisfy a
+            // comparison — stopping here is the upper fence for the
+            // unbounded (`>`/`>=`) shapes.
+            if c.is_null() {
+                break;
+            }
+            match hi {
+                Bound::Included(v) if key_ordering(c, v, false, false).is_gt() => break,
+                Bound::Excluded(v) if key_ordering(c, v, false, false).is_ge() => break,
+                _ => {}
+            }
+            // An excluded lower bound seeks to the bound value itself
+            // (extensions of `prefix ++ [v]` sort after the bare tuple,
+            // so B-tree bound exclusion cannot skip them) and steps over
+            // the equal run here.
+            if let Bound::Excluded(v) = lo {
+                if key_ordering(c, v, false, false).is_eq() {
+                    continue;
+                }
+            }
+            out.extend(ids.iter().copied());
+        }
         // Distinct keys interleave in insertion order; restore it.
         out.sort_unstable();
         out
@@ -269,6 +343,79 @@ mod tests {
         rebuilt.rebuild(&t);
         assert_eq!(built, rebuilt);
         assert_eq!(built.point(&[Value::Int(30), Value::Int(3)]), &[1]);
+    }
+
+    #[test]
+    fn prefix_range_scans_composite_suffix_columns() {
+        // Index on (A, B); rows chosen so A = 1 has a spread of Bs,
+        // including a NULL, and other A groups surround the region.
+        let t = table! {
+            ["A", "B"];
+            [1, 10], [2, 5], [1, 30], [0, 99], [1, 20], [1, Value::Null], [2, 40]
+        };
+        let idx = Index::build(def(&["A", "B"]), vec![0, 1], &t);
+        let one = Value::Int(1);
+        // A = 1 AND B > 10 → rows (1,30) and (1,20), insertion order.
+        let ids = idx.prefix_range(
+            std::slice::from_ref(&one),
+            Bound::Excluded(&Value::Int(10)),
+            Bound::Unbounded,
+        );
+        assert_eq!(ids, vec![2, 4]);
+        // A = 1 AND B >= 10 includes the bound itself.
+        let ids = idx.prefix_range(
+            std::slice::from_ref(&one),
+            Bound::Included(&Value::Int(10)),
+            Bound::Unbounded,
+        );
+        assert_eq!(ids, vec![0, 2, 4]);
+        // A = 1 AND B < 30: NULL B never qualifies, neighbours A = 0 / A = 2 stay out.
+        let ids = idx.prefix_range(
+            std::slice::from_ref(&one),
+            Bound::Unbounded,
+            Bound::Excluded(&Value::Int(30)),
+        );
+        assert_eq!(ids, vec![0, 4]);
+        // A = 1 AND B <= 30.
+        let ids = idx.prefix_range(
+            std::slice::from_ref(&one),
+            Bound::Unbounded,
+            Bound::Included(&Value::Int(30)),
+        );
+        assert_eq!(ids, vec![0, 2, 4]);
+        // A = 7 matches nothing at all.
+        let ids = idx.prefix_range(&[Value::Int(7)], Bound::Unbounded, Bound::Unbounded);
+        assert_eq!(ids, Vec::<usize>::new());
+        // Empty prefix ranges over column A like `range`, minus NULL
+        // *keys at the range position* — (1, NULL) still qualifies,
+        // its A is not NULL.
+        let ids = idx.prefix_range(&[], Bound::Included(&Value::Int(1)), Bound::Unbounded);
+        assert_eq!(ids, vec![0, 1, 2, 4, 5, 6]);
+    }
+
+    #[test]
+    fn prefix_range_on_three_columns_skips_extension_runs() {
+        // Index on (A, B, C): an excluded bound on B must skip every
+        // extension (1, 10, *) — B-tree bound exclusion alone cannot.
+        let t = table! {
+            ["A", "B", "C"];
+            [1, 10, 1], [1, 10, 2], [1, 11, 1], [1, 9, 9], [2, 10, 1]
+        };
+        let idx = Index::build(def(&["A", "B", "C"]), vec![0, 1, 2], &t);
+        let one = Value::Int(1);
+        let ids = idx.prefix_range(
+            std::slice::from_ref(&one),
+            Bound::Excluded(&Value::Int(10)),
+            Bound::Unbounded,
+        );
+        assert_eq!(ids, vec![2]);
+        // Two-column prefix, range on C.
+        let ids = idx.prefix_range(
+            &[one.clone(), Value::Int(10)],
+            Bound::Included(&Value::Int(2)),
+            Bound::Unbounded,
+        );
+        assert_eq!(ids, vec![1]);
     }
 
     #[test]

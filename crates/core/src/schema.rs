@@ -8,6 +8,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 use crate::error::EvalError;
 use crate::index::{Index, IndexDef};
@@ -222,6 +223,14 @@ impl std::error::Error for SchemaError {}
 /// Tables that have not been populated are implicitly empty. The stored
 /// table's column names are always the schema's attribute names.
 ///
+/// Stored tables are held behind [`Arc`], so cloning a database — the
+/// snapshot-publication step of a shared, multi-session database — is
+/// cheap: table contents are shared copy-on-write, and only a table the
+/// clone subsequently mutates is deep-copied ([`Database::append_rows`]
+/// reuses the buffer when it holds the only reference). Indexes are
+/// cloned eagerly; they are derived state and typically far smaller
+/// than the data.
+///
 /// ```
 /// use sqlsem_core::{Database, Schema, Value, table};
 /// let schema = Schema::builder().table("R", ["A"]).build().unwrap();
@@ -232,7 +241,7 @@ impl std::error::Error for SchemaError {}
 #[derive(Clone, Debug, PartialEq)]
 pub struct Database {
     schema: Schema,
-    tables: HashMap<Name, Table>,
+    tables: HashMap<Name, Arc<Table>>,
     /// Secondary indexes in creation order (deterministic, so the
     /// optimizer's index choice cannot depend on hash iteration).
     indexes: Vec<Index>,
@@ -272,21 +281,8 @@ impl Database {
         for index in self.indexes.iter_mut().filter(|i| i.def().table == name) {
             index.rebuild(&table);
         }
-        self.tables.insert(name, table);
+        self.tables.insert(name, Arc::new(table));
         Ok(())
-    }
-
-    /// Renamed: this method *replaces* the table's contents rather than
-    /// appending, which read as an `INSERT` at call sites. Use
-    /// [`Database::replace_table`] (same behaviour, explicit name) or
-    /// [`Database::append_rows`] (the `INSERT INTO` semantics).
-    #[deprecated(
-        since = "0.9.0",
-        note = "renamed to `replace_table`; for appending use \
-                                          `append_rows` — `insert` replaces the contents"
-    )]
-    pub fn insert(&mut self, name: impl Into<Name>, table: Table) -> Result<(), EvalError> {
-        self.replace_table(name, table)
     }
 
     /// The interpretation `R^D` of a base table: its stored contents, or
@@ -294,7 +290,7 @@ impl Database {
     pub fn table(&self, name: impl AsRef<str>) -> Result<Table, EvalError> {
         let name = name.as_ref();
         if let Some(t) = self.tables.get(name) {
-            return Ok(t.clone());
+            return Ok(t.as_ref().clone());
         }
         match self.schema.attributes(name) {
             Some(attrs) => Table::new(attrs.to_vec()),
@@ -308,7 +304,7 @@ impl Database {
     /// stored contents; fall back to [`Database::table`] for the empty
     /// instance or the unknown-table error).
     pub fn stored_table(&self, name: impl AsRef<str>) -> Option<&Table> {
-        self.tables.get(name.as_ref())
+        self.tables.get(name.as_ref()).map(Arc::as_ref)
     }
 
     /// `CREATE TABLE name(attrs…)`: extends the schema with a new, empty
@@ -374,7 +370,7 @@ impl Database {
         }
         let def = IndexDef { name, table: table.clone(), columns };
         let empty = Table::new(attrs.to_vec()).expect("schema attributes are well-formed");
-        let contents = self.tables.get(&table).unwrap_or(&empty);
+        let contents = self.tables.get(&table).map_or(&empty, Arc::as_ref);
         self.indexes.push(Index::build(def, cols, contents));
         Ok(())
     }
@@ -406,9 +402,10 @@ impl Database {
     }
 
     /// `INSERT INTO name VALUES …`: appends rows to a base table
-    /// (unlike [`Database::insert`], which *replaces* the contents).
-    /// Returns the number of rows appended; fails without modifying the
-    /// table if the name is unknown or any row has the wrong arity.
+    /// (unlike [`Database::replace_table`], which discards the previous
+    /// contents). Returns the number of rows appended; fails without
+    /// modifying the table if the name is unknown or any row has the
+    /// wrong arity.
     pub fn append_rows<I>(&mut self, name: impl Into<Name>, rows: I) -> Result<usize, EvalError>
     where
         I: IntoIterator<Item = crate::row::Row>,
@@ -426,7 +423,9 @@ impl Database {
         }
         let count = rows.len();
         let table = match self.tables.remove(&name) {
-            Some(t) => t,
+            // Copy-on-write: reuse the buffer when this database holds
+            // the only reference, deep-copy when snapshots share it.
+            Some(t) => Arc::try_unwrap(t).unwrap_or_else(|shared| (*shared).clone()),
             None => Table::new(attrs.to_vec())?,
         };
         let mut all = table.into_rows();
@@ -438,14 +437,14 @@ impl Database {
         }
         all.extend(rows);
         let columns = self.schema.attributes(&name).expect("checked above").to_vec();
-        self.tables.insert(name, Table::with_rows(columns, all)?);
+        self.tables.insert(name, Arc::new(Table::with_rows(columns, all)?));
         Ok(count)
     }
 
     /// Total number of rows across all base tables (for experiment
     /// reporting).
     pub fn total_rows(&self) -> usize {
-        self.tables.values().map(Table::len).sum()
+        self.tables.values().map(|t| t.len()).sum()
     }
 }
 
@@ -514,20 +513,21 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_insert_still_replaces_the_table() {
+    fn cloned_databases_share_tables_until_one_appends() {
         let s = Schema::builder().table("R", ["A"]).build().unwrap();
         let mut db = Database::new(s);
-        db.insert("R", table! { ["A"]; [1] }).unwrap();
-        // `insert` was always whole-table replacement, never append —
-        // the shim must keep that behaviour.
-        db.insert("R", table! { ["A"]; [2], [3] }).unwrap();
-        assert_eq!(db.table("R").unwrap().len(), 2);
-        assert_eq!(db.table("R").unwrap().multiplicity(&row![1]), 0);
-        assert!(matches!(
-            db.insert("X", table! { ["A"]; [1] }).unwrap_err(),
-            EvalError::UnknownTable(_)
+        db.replace_table("R", table! { ["A"]; [1] }).unwrap();
+        let snapshot = db.clone();
+        // The clone shares the stored buffer (copy-on-write)…
+        assert!(std::ptr::eq(
+            db.stored_table("R").unwrap() as *const Table,
+            snapshot.stored_table("R").unwrap() as *const Table,
         ));
+        // …until the original appends, which copies; the snapshot is
+        // unaffected.
+        db.append_rows("R", vec![row![2]]).unwrap();
+        assert_eq!(db.table("R").unwrap().len(), 2);
+        assert_eq!(snapshot.table("R").unwrap().len(), 1);
     }
 
     #[test]

@@ -164,15 +164,20 @@ impl<'a> Executor<'a> {
         })?;
         let ids: Vec<usize> = match op {
             IndexOp::Point(values) => idx.point(values).to_vec(),
-            IndexOp::Range { op, value } => {
-                // NULL keys rank above every constant in the index order
-                // (NULLS last), so an upper bound excluding NULL drops
-                // them — matching the comparison's *unknown* verdict.
+            IndexOp::Range { prefix, op, value } => {
+                // `prefix_range` walks the keys equality-pinned to
+                // `prefix` and ranges over the next key column; NULL
+                // keys rank last within the region and terminate the
+                // walk — matching the comparison's *unknown* verdict.
                 use std::ops::Bound;
-                let null = Value::Null;
+                if prefix.len() >= idx.cols().len() {
+                    return Err(EvalError::malformed(format!(
+                        "index range prefix covers every key column of {index}"
+                    )));
+                }
                 let (lo, hi) = match op {
-                    CmpOp::Gt => (Bound::Excluded(value), Bound::Excluded(&null)),
-                    CmpOp::Geq => (Bound::Included(value), Bound::Excluded(&null)),
+                    CmpOp::Gt => (Bound::Excluded(value), Bound::Unbounded),
+                    CmpOp::Geq => (Bound::Included(value), Bound::Unbounded),
                     CmpOp::Lt => (Bound::Unbounded, Bound::Excluded(value)),
                     CmpOp::Leq => (Bound::Unbounded, Bound::Included(value)),
                     other => {
@@ -182,7 +187,7 @@ impl<'a> Executor<'a> {
                         )))
                     }
                 };
-                idx.range(lo, hi)
+                idx.prefix_range(prefix, lo, hi)
             }
         };
         let Some(stored) = self.db.stored_table(table) else {

@@ -201,7 +201,12 @@ fn explain_plan(plan: &Plan, level: usize, out: &mut String, ctx: Option<&VecCtx
                         keys.iter().zip(values).map(|(k, v)| format!("{k} = {v}")).collect();
                     format!("point {}", eqs.join(", "))
                 }
-                IndexOp::Range { op, value } => format!("range {} {op} {value}", keys[0]),
+                IndexOp::Range { prefix, op, value } => {
+                    let mut parts: Vec<String> =
+                        keys.iter().zip(prefix).map(|(k, v)| format!("{k} = {v}")).collect();
+                    parts.push(format!("{} {op} {value}", keys[prefix.len()]));
+                    format!("range {}", parts.join(", "))
+                }
             };
             let _ =
                 writeln!(out, "IndexScan idx={index} keys=[{}] [{lookup}]", key_names.join(", "));
@@ -448,6 +453,27 @@ mod tests {
         let text = crate::Engine::new(&db).explain(&q).unwrap();
         assert!(text.contains("IndexJoin idx=t_a_idx on [left.0 = right.0]"), "{text}");
         assert!(text.contains("Scan u"), "{text}");
+    }
+
+    #[test]
+    fn explain_renders_composite_prefix_ranges() {
+        use sqlsem_core::table;
+        let schema = Schema::builder().table("t", ["a", "b", "c"]).build().unwrap();
+        let mut db = Database::new(schema.clone());
+        db.replace_table("t", table! { ["a", "b", "c"]; [1, 2, 3], [1, 5, 9] }).unwrap();
+        db.create_index("t_ab_idx", "t", ["a", "b"]).unwrap();
+
+        // Equality on the leading key column + range on the next: the
+        // prefix is pinned in the rendering.
+        let q = compile("SELECT c FROM t WHERE a = 1 AND b > 2", &schema).unwrap();
+        let text = crate::Engine::new(&db).explain(&q).unwrap();
+        assert!(text.contains("IndexScan idx=t_ab_idx keys=[a, b] [range a = 1, b > 2]"), "{text}");
+
+        // A bare range on the first column of a composite index works
+        // too (empty prefix).
+        let q = compile("SELECT c FROM t WHERE a <= 1", &schema).unwrap();
+        let text = crate::Engine::new(&db).explain(&q).unwrap();
+        assert!(text.contains("IndexScan idx=t_ab_idx keys=[a, b] [range a <= 1]"), "{text}");
     }
 
     #[test]

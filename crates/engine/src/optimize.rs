@@ -371,8 +371,9 @@ impl Optimizer<'_> {
             conjuncts.iter().map(index_cmp_shape).collect();
 
         // Point lookups first (they consume the most conjuncts), then
-        // single-column ranges; indexes are tried in creation order, so
-        // the choice is deterministic.
+        // prefix ranges (equalities pinning leading key columns, one
+        // ordered comparison on the next); indexes are tried in
+        // creation order, so the choice is deterministic.
         let mut chosen: Option<(sqlsem_core::Name, IndexOp, Vec<usize>)> = None;
         for index in self.db.indexes_on(table.as_str()) {
             if index.poisoned() {
@@ -393,22 +394,45 @@ impl Optimizer<'_> {
         }
         if chosen.is_none() {
             for index in self.db.indexes_on(table.as_str()) {
-                if index.poisoned() || index.cols().len() != 1 {
+                if index.poisoned() {
                     continue;
                 }
-                let col = index.cols()[0];
+                // Equality conjuncts pin a leading prefix of the key
+                // columns (possibly empty)…
+                let mut picks = Vec::new();
+                for &col in index.cols() {
+                    let eq = shapes
+                        .iter()
+                        .position(|s| s.is_some_and(|(c, op, _)| c == col && op == CmpOp::Eq));
+                    match eq {
+                        Some(i) => picks.push(i),
+                        None => break,
+                    }
+                }
+                if picks.len() == index.cols().len() {
+                    // Full-key equality — the point pass already
+                    // rejected every index, so this cannot be reached;
+                    // skip rather than range over a missing column.
+                    continue;
+                }
+                // …and the next key column takes one ordered comparison.
+                let col = index.cols()[picks.len()];
                 let pick = shapes
                     .iter()
                     .position(|s| s.is_some_and(|(c, op, _)| c == col && is_range_op(op)));
-                if let Some(i) = pick {
-                    let (_, op, value) = shapes[i].expect("picked shape");
-                    chosen = Some((
-                        index.def().name.clone(),
-                        IndexOp::Range { op, value: value.clone() },
-                        vec![i],
-                    ));
-                    break;
-                }
+                let Some(i) = pick else {
+                    continue;
+                };
+                let prefix: Vec<sqlsem_core::Value> =
+                    picks.iter().map(|&p| shapes[p].expect("picked shape").2.clone()).collect();
+                let (_, op, value) = shapes[i].expect("picked shape");
+                picks.push(i);
+                chosen = Some((
+                    index.def().name.clone(),
+                    IndexOp::Range { prefix, op, value: value.clone() },
+                    picks,
+                ));
+                break;
             }
         }
 
@@ -1573,12 +1597,40 @@ mod tests {
         let Plan::Filter { input: scan, pred } = &**input else { panic!("{input:?}") };
         let Plan::IndexScan { index, op, .. } = &**scan else { panic!("{scan:?}") };
         assert_eq!(index.as_str(), "r_a_idx");
-        assert_eq!(op, &IndexOp::Range { op: CmpOp::Geq, value: Value::from(1) });
+        assert_eq!(op, &IndexOp::Range { prefix: vec![], op: CmpOp::Geq, value: Value::from(1) });
         // The non-indexed conjunct stays as the residual filter.
         assert!(
             matches!(pred, Pred::Cmp { left: Expr::Col { depth: 0, index: 1 }, .. }),
             "{pred:?}"
         );
+    }
+
+    #[test]
+    fn composite_prefix_range_consumes_equality_and_comparison() {
+        let db = indexed_db();
+        // Equality pins the leading key column of s_ac_idx, the ordered
+        // comparison ranges over the next — both conjuncts are consumed,
+        // so no residual filter remains.
+        let p = prepare("SELECT S.C FROM S WHERE S.A = 1 AND S.C > 2", &db);
+        let Plan::Project { input, .. } = &p.plan else { panic!("{:?}", p.plan) };
+        let Plan::IndexScan { index, op, .. } = &**input else { panic!("{input:?}") };
+        assert_eq!(index.as_str(), "s_ac_idx");
+        assert_eq!(
+            op,
+            &IndexOp::Range { prefix: vec![Value::from(1)], op: CmpOp::Gt, value: Value::from(2) }
+        );
+    }
+
+    #[test]
+    fn bare_range_on_composite_index_first_column_is_served() {
+        let db = indexed_db();
+        // PR 9 refused multi-column indexes for ranges outright; an
+        // empty prefix now serves `S.A >= 1` from s_ac_idx.
+        let p = prepare("SELECT S.C FROM S WHERE S.A >= 1", &db);
+        let Plan::Project { input, .. } = &p.plan else { panic!("{:?}", p.plan) };
+        let Plan::IndexScan { index, op, .. } = &**input else { panic!("{input:?}") };
+        assert_eq!(index.as_str(), "s_ac_idx");
+        assert_eq!(op, &IndexOp::Range { prefix: vec![], op: CmpOp::Geq, value: Value::from(1) });
     }
 
     #[test]
@@ -1629,6 +1681,10 @@ mod tests {
             "SELECT R.B FROM R WHERE R.A >= 1",
             "SELECT R.B FROM R WHERE R.A < 4 AND R.B = 3",
             "SELECT S.A FROM S WHERE S.C = 9 AND S.A = 1",
+            "SELECT S.C FROM S WHERE S.A = 1 AND S.C > 2",
+            "SELECT S.C FROM S WHERE S.A = 1 AND S.C <= 9",
+            "SELECT S.C FROM S WHERE S.A >= 1",
+            "SELECT S.C FROM S WHERE S.A = 99 AND S.C < 5",
             "SELECT R.B, S.C FROM R, S WHERE R.A = S.A",
             "SELECT R.A FROM R, S WHERE R.A IS NOT DISTINCT FROM S.A",
         ];

@@ -344,14 +344,20 @@ pub enum IndexOp {
     /// non-`NULL` by construction (a `col = NULL` comparison is never
     /// *true*, and the rewrite leaves it alone).
     Point(Vec<Value>),
-    /// The rewrite of a single ordered comparison `col op value` on the
-    /// index's first (and only) key column. Kept as the original
-    /// operator so `EXPLAIN` can print the source predicate; the
-    /// executor translates it to a B-tree bound pair exploiting the
-    /// NULLS-last key order (`NULL` keys rank above every constant, so
-    /// an upper bound excluding `NULL` drops them, exactly like the
-    /// comparison's *unknown* verdict).
+    /// The rewrite of equality conjuncts pinning a leading *prefix* of
+    /// the key columns plus one ordered comparison `col op value` on
+    /// the next key column (`a = 1 AND b > 5` on an index over
+    /// `(a, b)`; an empty prefix is a plain range on the first column).
+    /// Kept as the original operator so `EXPLAIN` can print the source
+    /// predicate; the executor hands it to
+    /// [`sqlsem_core::Index::prefix_range`], which exploits the
+    /// NULLS-last key order (`NULL` keys rank above every constant
+    /// within the prefix region, so iteration stops there, exactly like
+    /// the comparison's *unknown* verdict).
     Range {
+        /// Non-`NULL` constants equality-pinning the leading key
+        /// columns; the ranged column is the one at `prefix.len()`.
+        prefix: Vec<Value>,
         /// The comparison operator (`<`, `<=`, `>`, `>=`).
         op: CmpOp,
         /// The non-`NULL` constant bound.

@@ -1,0 +1,76 @@
+//! The `sqlsem-server` binary: serves a [`SharedDatabase`] over TCP.
+//!
+//! ```text
+//! sqlsem-server [--listen ADDR] [--storage DIR]
+//!               [--dialect standard|postgresql|oracle]
+//!               [--logic 3vl|2vl|2vl-syntactic-eq]
+//!               [--backend spec|naive|optimized|vectorized|adaptive]
+//! ```
+//!
+//! `--listen` defaults to `127.0.0.1:5433` (`:0` picks a free port —
+//! the chosen address is printed on startup). With `--storage DIR` the
+//! database is durable: the directory is recovered on startup and every
+//! commit batch is fsynced to its WAL before any writer in the batch is
+//! acknowledged.
+
+use sqlsem_server::{parse_dialect, parse_logic, ServerBuilder};
+use sqlsem_session::SharedDatabase;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sqlsem-server [--listen ADDR] [--storage DIR] \
+         [--dialect standard|postgresql|oracle] [--logic 3vl|2vl|2vl-syntactic-eq] \
+         [--backend spec|naive|optimized|vectorized|adaptive]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut listen = "127.0.0.1:5433".to_string();
+    let mut storage: Option<String> = None;
+    let mut builder = ServerBuilder::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let Some(value) = args.next() else { usage() };
+        match flag.as_str() {
+            "--listen" => listen = value,
+            "--storage" => storage = Some(value),
+            "--dialect" => match parse_dialect(&value) {
+                Some(d) => builder = builder.with_dialect(d),
+                None => usage(),
+            },
+            "--logic" => match parse_logic(&value) {
+                Some(l) => builder = builder.with_logic(l),
+                None => usage(),
+            },
+            "--backend" => match value.parse() {
+                Ok(b) => builder = builder.with_backend(b),
+                Err(_) => usage(),
+            },
+            _ => usage(),
+        }
+    }
+    let shared = match &storage {
+        Some(dir) => match SharedDatabase::open(dir) {
+            Ok(shared) => {
+                println!("storage: {dir}");
+                shared
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        },
+        None => SharedDatabase::in_memory(),
+    };
+    match builder.with_shared(&shared).bind(&listen) {
+        Ok(server) => {
+            println!("listening on {}", server.local_addr());
+            server.wait();
+        }
+        Err(e) => {
+            eprintln!("cannot listen on {listen}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

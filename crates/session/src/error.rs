@@ -59,6 +59,14 @@ pub enum SqlsemError {
         /// Span of the offending statement within `sql`.
         span: Span,
     },
+    /// The session was configured inconsistently — e.g. a shared
+    /// database combined with a private storage directory (durability
+    /// for a [`SharedDatabase`](crate::SharedDatabase) is configured
+    /// when the shared handle is opened, not per connection).
+    Config {
+        /// What was inconsistent.
+        message: String,
+    },
     /// The durable storage layer failed: an I/O error, a corrupt
     /// checkpoint file, or a WAL record that no longer replays. Carries
     /// the rendered storage error — the underlying `io::Error` is
@@ -93,6 +101,10 @@ impl SqlsemError {
         SqlsemError::Storage { message: source.to_string() }
     }
 
+    pub(crate) fn config(message: impl Into<String>) -> Self {
+        SqlsemError::Config { message: message.into() }
+    }
+
     /// The SQL source the session was executing when the error arose
     /// (empty for storage errors, which may arise outside any
     /// statement — at open or checkpoint time).
@@ -102,7 +114,7 @@ impl SqlsemError {
             | SqlsemError::Annotate { sql, .. }
             | SqlsemError::Schema { sql, .. }
             | SqlsemError::Eval { sql, .. } => sql,
-            SqlsemError::Storage { .. } => "",
+            SqlsemError::Storage { .. } | SqlsemError::Config { .. } => "",
         }
     }
 
@@ -113,7 +125,7 @@ impl SqlsemError {
             | SqlsemError::Annotate { span, .. }
             | SqlsemError::Schema { span, .. }
             | SqlsemError::Eval { span, .. } => *span,
-            SqlsemError::Storage { .. } => Span::new(0, 0),
+            SqlsemError::Storage { .. } | SqlsemError::Config { .. } => Span::new(0, 0),
         }
     }
 
@@ -157,6 +169,7 @@ impl fmt::Display for SqlsemError {
                 self.write_statement(f)
             }
             SqlsemError::Storage { message } => write!(f, "storage error: {message}"),
+            SqlsemError::Config { message } => write!(f, "configuration error: {message}"),
         }
     }
 }
@@ -185,7 +198,7 @@ impl std::error::Error for SqlsemError {
             SqlsemError::Annotate { source, .. } => Some(source),
             SqlsemError::Schema { source, .. } => Some(source),
             SqlsemError::Eval { source, .. } => Some(source),
-            SqlsemError::Storage { .. } => None,
+            SqlsemError::Storage { .. } | SqlsemError::Config { .. } => None,
         }
     }
 }

@@ -64,14 +64,40 @@
 //!     assert_eq!(n.rows().unwrap().len(), 1);
 //! }
 //! ```
+//!
+//! ## Connections and sharing
+//!
+//! [`Session`] is an alias for [`Connection`]: the cheap per-caller
+//! object carrying configuration (dialect × logic × backend) and the
+//! prepared-statement identity, layered over either an **owned**
+//! database (the historical single-caller mode above) or a
+//! [`SharedDatabase`] — a versioned MVCC cell many connections use
+//! concurrently. Readers evaluate against lock-free `Arc<Database>`
+//! snapshots; every DDL/DML statement serializes through a group-commit
+//! queue that WAL-logs and fsyncs each batch once, then publishes one
+//! new snapshot (see [`SharedDatabase`] and `sqlsem-server` for the TCP
+//! front end):
+//!
+//! ```
+//! use sqlsem_session::SharedDatabase;
+//!
+//! let shared = SharedDatabase::in_memory();
+//! let mut writer = shared.connect();
+//! let mut reader = shared.connect();
+//! writer.run_script("CREATE TABLE R (A); INSERT INTO R VALUES (1), (2)").unwrap();
+//! let n = reader.execute("SELECT COUNT(*) AS n FROM R").unwrap();
+//! assert_eq!(n.rows().unwrap().len(), 1);
+//! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 mod error;
+mod shared;
 
 use std::fmt;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 use sqlsem_core::{
     Database, Dialect, EvalError, LogicMode, Name, PredicateRegistry, Query, Row, Schema, Span,
@@ -82,6 +108,7 @@ use sqlsem_parser::{annotate_statement, parse_script, parse_statement, Statement
 use sqlsem_storage::{Storage, WalOp, DEFAULT_CHECKPOINT_THRESHOLD};
 
 pub use error::SqlsemError;
+pub use shared::SharedDatabase;
 pub use sqlsem_engine::Backend;
 
 /// Builder for [`Session`]: dialect × logic mode × backend, plus an
@@ -108,6 +135,7 @@ pub struct SessionBuilder {
     batch_size: Option<usize>,
     threads: usize,
     storage: Option<PathBuf>,
+    shared: Option<SharedDatabase>,
 }
 
 impl SessionBuilder {
@@ -212,6 +240,22 @@ impl SessionBuilder {
         self
     }
 
+    /// Connects the session to an existing [`SharedDatabase`] instead
+    /// of an owned one: reads evaluate against lock-free snapshots of
+    /// the shared state, and every DDL/DML statement serializes through
+    /// its commit queue. Mutually exclusive with
+    /// [`SessionBuilder::with_storage`] (durability belongs to
+    /// [`SharedDatabase::open`]) and with
+    /// [`SessionBuilder::with_database`] /
+    /// [`SessionBuilder::with_schema`] (a shared database is seeded
+    /// when it is created) — [`SessionBuilder::try_build`] reports the
+    /// conflict as [`SqlsemError::Config`].
+    #[must_use]
+    pub fn with_shared(mut self, shared: &SharedDatabase) -> Self {
+        self.shared = Some(shared.clone());
+        self
+    }
+
     /// Finishes the builder.
     ///
     /// # Panics
@@ -227,32 +271,53 @@ impl SessionBuilder {
     /// [`SqlsemError::Storage`] instead of panicking. Infallible when
     /// no storage directory was configured.
     pub fn try_build(self) -> Result<Session, SqlsemError> {
-        let (db, storage) = match self.storage {
-            None => (self.db.unwrap_or_else(|| Database::new(Schema::default())), None),
-            Some(dir) => {
-                let (mut storage, recovered) = Storage::open(&dir).map_err(SqlsemError::storage)?;
-                let fresh = recovered.schema().is_empty() && recovered.indexes().is_empty();
-                let db = match (fresh, self.db) {
-                    // A fresh store adopts (and persists) the seed.
-                    (true, Some(seed)) => {
-                        storage.save_all(&seed).map_err(SqlsemError::storage)?;
-                        seed
+        let handle = match self.shared {
+            Some(shared) => {
+                if self.storage.is_some() {
+                    return Err(SqlsemError::config(
+                        "with_shared and with_storage are mutually exclusive: durability for \
+                         a shared database is configured by SharedDatabase::open",
+                    ));
+                }
+                if self.db.is_some() {
+                    return Err(SqlsemError::config(
+                        "with_shared and with_database/with_schema are mutually exclusive: \
+                         a shared database is seeded when it is created",
+                    ));
+                }
+                let (snap, version) = shared.snapshot_versioned();
+                DbHandle::Shared { shared, snap, version, pinned: false }
+            }
+            None => {
+                let (db, storage) = match self.storage {
+                    None => (self.db.unwrap_or_else(|| Database::new(Schema::default())), None),
+                    Some(dir) => {
+                        let (mut storage, recovered) =
+                            Storage::open(&dir).map_err(SqlsemError::storage)?;
+                        let fresh = recovered.schema().is_empty() && recovered.indexes().is_empty();
+                        let db = match (fresh, self.db) {
+                            // A fresh store adopts (and persists) the seed.
+                            (true, Some(seed)) => {
+                                storage.save_all(&seed).map_err(SqlsemError::storage)?;
+                                seed
+                            }
+                            // Recovered durable state always wins over a seed.
+                            (_, _) => recovered,
+                        };
+                        (db, Some(storage))
                     }
-                    // Recovered durable state always wins over a seed.
-                    (_, _) => recovered,
                 };
-                (db, Some(storage))
+                DbHandle::Owned { db, storage }
             }
         };
-        Ok(Session {
-            db,
+        Ok(Connection {
+            handle,
             dialect: self.dialect,
             logic: self.logic,
             backend: self.backend,
             preds: self.preds,
             batch_size: self.batch_size.unwrap_or(DEFAULT_BATCH_SIZE),
             threads: self.threads,
-            storage,
             id: NEXT_SESSION_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
             epoch: 0,
         })
@@ -311,6 +376,17 @@ impl StatementResult {
         }
     }
 
+    /// Number of rows the statement changed: the appended count for an
+    /// `INSERT`, `0` for queries, `EXPLAIN` and DDL — so wire protocols
+    /// and the REPL can report mutation sizes without matching on
+    /// variants.
+    pub fn rows_affected(&self) -> usize {
+        match self {
+            StatementResult::Inserted { rows, .. } => *rows,
+            _ => 0,
+        }
+    }
+
     /// A psql-style command tag: `SELECT 3`, `CREATE TABLE`, `INSERT 0 2`…
     pub fn tag(&self) -> String {
         match self {
@@ -341,13 +417,17 @@ impl fmt::Display for StatementResult {
 /// backends) compile+optimize work of one statement, cached for reuse.
 ///
 /// Handles stay valid across DDL: each records the identity and schema
-/// *epoch* of the session that compiled it, and
+/// *epoch* of the session that compiled it — plus, on a shared
+/// database, the snapshot *version* — and
 /// [`Session::execute_prepared`] transparently re-prepares from the
 /// original SQL when the schema (or the session's
 /// dialect/logic/backend configuration) has changed since — or when
 /// the handle is executed on a different session than it was prepared
 /// on, so a cached positional plan never runs against a schema it was
-/// not compiled for.
+/// not compiled for. The version check is deliberately coarse (any
+/// commit from any connection re-prepares): the optimizer's totality
+/// proofs are data-seeded, so even a plain `INSERT` elsewhere can
+/// invalidate a cached plan.
 #[derive(Clone, Debug)]
 pub struct PreparedStatement {
     sql: String,
@@ -355,6 +435,7 @@ pub struct PreparedStatement {
     plan: Option<Prepared>,
     session_id: u64,
     epoch: u64,
+    db_version: u64,
 }
 
 impl PreparedStatement {
@@ -373,12 +454,47 @@ impl PreparedStatement {
 /// statement can tell which session compiled it.
 static NEXT_SESSION_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 
-/// A stateful SQL session: one object that owns a [`Database`] and
-/// executes SQL text under a fixed dialect × logic mode × backend
-/// configuration. See the [crate docs](crate) for examples.
+/// The historical name of [`Connection`], kept as an alias so existing
+/// call sites (and the harnesses built on them) compile unchanged.
+pub type Session = Connection;
+
+/// How a connection reaches its database.
 #[derive(Debug)]
-pub struct Session {
-    db: Database,
+enum DbHandle {
+    /// The connection privately owns the database — the historical
+    /// single-caller `Session` — optionally backed by a private durable
+    /// store.
+    Owned {
+        /// The owned database.
+        db: Database,
+        /// The durable store, when configured via
+        /// [`SessionBuilder::with_storage`]: every mutating statement
+        /// is WAL-logged and fsynced before it is acknowledged.
+        storage: Option<Storage>,
+    },
+    /// The connection reads lock-free snapshots of a [`SharedDatabase`]
+    /// and writes through its commit queue.
+    Shared {
+        /// The shared cell.
+        shared: SharedDatabase,
+        /// The snapshot statements currently evaluate against
+        /// (refreshed at every statement unless pinned).
+        snap: Arc<Database>,
+        /// The version of `snap`.
+        version: u64,
+        /// `true` while [`Connection::pin_snapshot`] holds reads at
+        /// `snap`.
+        pinned: bool,
+    },
+}
+
+/// A stateful SQL connection: one object that executes SQL text under
+/// a fixed dialect × logic mode × backend configuration, over either
+/// an owned [`Database`] or a [`SharedDatabase`]. See the
+/// [crate docs](crate) for examples.
+#[derive(Debug)]
+pub struct Connection {
+    handle: DbHandle,
     dialect: Dialect,
     logic: LogicMode,
     backend: Backend,
@@ -388,10 +504,6 @@ pub struct Session {
     /// Worker threads for the vectorized executor's parallel stages
     /// (`0` = auto, `1` = sequential).
     threads: usize,
-    /// The durable store backing this session, when configured via
-    /// [`SessionBuilder::with_storage`]: every mutating statement is
-    /// WAL-logged and fsynced before it is acknowledged.
-    storage: Option<Storage>,
     /// Process-unique identity; prepared statements record it so a
     /// handle prepared on one session is never trusted by another whose
     /// epoch counter happens to coincide.
@@ -401,39 +513,43 @@ pub struct Session {
     epoch: u64,
 }
 
-impl Clone for Session {
-    /// A cloned session is an independent copy of the database and
-    /// configuration with a *fresh identity*: prepared statements from
-    /// the original transparently re-prepare on first use with the
-    /// clone (the two sessions' schemas can diverge from here on). The
-    /// clone is **in-memory**: it does not share (or reopen) the
-    /// original's storage directory — one WAL has one writer.
+impl Clone for Connection {
+    /// What a clone means depends on how the connection reaches its
+    /// database:
+    ///
+    /// * **Shared**: the clone is a new connection over the *same*
+    ///   [`SharedDatabase`] — same configuration, fresh identity. Both
+    ///   see each other's committed writes; this is the natural "one
+    ///   more caller" operation.
+    /// * **Owned**: the historical fork semantics — an independent
+    ///   in-memory deep copy whose schema can diverge from here on,
+    ///   never sharing (or reopening) the original's storage directory.
+    ///   This silent fork is **deprecated as a `clone` meaning**; new
+    ///   code should say [`Connection::fork`], which spells the copy
+    ///   out (and also works on shared connections, detaching a private
+    ///   copy of the current snapshot).
     fn clone(&self) -> Self {
-        Session {
-            db: self.db.clone(),
-            dialect: self.dialect,
-            logic: self.logic,
-            backend: self.backend,
-            preds: self.preds.clone(),
-            batch_size: self.batch_size,
-            threads: self.threads,
-            storage: None,
-            id: NEXT_SESSION_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
-            epoch: 0,
+        match &self.handle {
+            DbHandle::Owned { .. } => self.fork(),
+            DbHandle::Shared { shared, .. } => {
+                let shared = shared.clone();
+                let (snap, version) = shared.snapshot_versioned();
+                self.fresh_with(DbHandle::Shared { shared, snap, version, pinned: false })
+            }
         }
     }
 }
 
-impl Default for Session {
+impl Default for Connection {
     fn default() -> Self {
-        Session::new()
+        Connection::new()
     }
 }
 
-impl Session {
+impl Connection {
     /// A session with the default configuration (Standard dialect, 3VL,
     /// adaptive backend) over an initially empty schema.
-    pub fn new() -> Session {
+    pub fn new() -> Connection {
         SessionBuilder::new().build()
     }
 
@@ -442,14 +558,100 @@ impl Session {
         SessionBuilder::new()
     }
 
-    /// The database the session owns.
+    /// An independent in-memory deep copy of this connection's current
+    /// database view (for a shared connection: the current snapshot),
+    /// with the same configuration and a fresh identity. The fork owns
+    /// its database — it never shares the original's storage directory
+    /// or shared cell, and the two schemas can diverge from here on.
+    pub fn fork(&self) -> Connection {
+        self.fresh_with(DbHandle::Owned { db: self.database().clone(), storage: None })
+    }
+
+    /// A connection with this one's configuration, a fresh identity,
+    /// and the given handle.
+    fn fresh_with(&self, handle: DbHandle) -> Connection {
+        Connection {
+            handle,
+            dialect: self.dialect,
+            logic: self.logic,
+            backend: self.backend,
+            preds: self.preds.clone(),
+            batch_size: self.batch_size,
+            threads: self.threads,
+            id: NEXT_SESSION_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            epoch: 0,
+        }
+    }
+
+    /// The database this connection currently reads: the owned database,
+    /// or — on a shared connection — the snapshot as of the last
+    /// statement (each statement refreshes it unless
+    /// [`Connection::pin_snapshot`] is in effect).
     pub fn database(&self) -> &Database {
-        &self.db
+        match &self.handle {
+            DbHandle::Owned { db, .. } => db,
+            DbHandle::Shared { snap, .. } => snap,
+        }
     }
 
     /// The current schema.
     pub fn schema(&self) -> &Schema {
-        self.db.schema()
+        self.database().schema()
+    }
+
+    /// The shared database this connection participates in, when it was
+    /// built with [`SessionBuilder::with_shared`] (or
+    /// [`SharedDatabase::connect`]).
+    pub fn shared_database(&self) -> Option<&SharedDatabase> {
+        match &self.handle {
+            DbHandle::Owned { .. } => None,
+            DbHandle::Shared { shared, .. } => Some(shared),
+        }
+    }
+
+    /// Freezes reads at the current snapshot of the shared database:
+    /// until [`Connection::unpin_snapshot`], statements keep evaluating
+    /// against this exact version even as other connections commit.
+    /// Writes still go through the commit queue (they are just not
+    /// observed). The differential harnesses pin around each read so
+    /// the spec interpreter can be run on the *same* value. A no-op on
+    /// owned connections, whose database only changes under their own
+    /// hands.
+    pub fn pin_snapshot(&mut self) {
+        self.refresh();
+        if let DbHandle::Shared { pinned, .. } = &mut self.handle {
+            *pinned = true;
+        }
+    }
+
+    /// Releases [`Connection::pin_snapshot`]: the next statement sees
+    /// the latest committed state again.
+    pub fn unpin_snapshot(&mut self) {
+        if let DbHandle::Shared { pinned, .. } = &mut self.handle {
+            *pinned = false;
+        }
+        self.refresh();
+    }
+
+    /// The version of the snapshot this connection currently reads
+    /// (`0` on owned connections, whose database is unversioned).
+    pub fn snapshot_version(&self) -> u64 {
+        match &self.handle {
+            DbHandle::Owned { .. } => 0,
+            DbHandle::Shared { version, .. } => *version,
+        }
+    }
+
+    /// Takes the latest published snapshot, unless reads are pinned or
+    /// the database is owned.
+    fn refresh(&mut self) {
+        if let DbHandle::Shared { shared, snap, version, pinned } = &mut self.handle {
+            if !*pinned {
+                let (s, v) = shared.snapshot_versioned();
+                *snap = s;
+                *version = v;
+            }
+        }
     }
 
     /// The dialect in effect.
@@ -482,16 +684,25 @@ impl Session {
     /// The durable store backing this session, when one was configured
     /// via [`SessionBuilder::with_storage`] — exposes the directory,
     /// WAL length and per-table page/row statistics (`\d` in the REPL).
+    /// `None` on shared connections, whose durability lives with the
+    /// [`SharedDatabase`].
     pub fn storage(&self) -> Option<&Storage> {
-        self.storage.as_ref()
+        match &self.handle {
+            DbHandle::Owned { storage, .. } => storage.as_ref(),
+            DbHandle::Shared { .. } => None,
+        }
     }
 
     /// Forces a checkpoint of the durable store (compacting the WAL
-    /// into the paged checkpoint file). A no-op for in-memory sessions.
+    /// into the paged checkpoint file). A no-op for in-memory sessions;
+    /// on a shared connection, checkpoints the shared store.
     pub fn checkpoint(&mut self) -> Result<(), SqlsemError> {
-        match self.storage.as_mut() {
-            Some(s) => s.checkpoint(&self.db).map_err(SqlsemError::storage),
-            None => Ok(()),
+        match &mut self.handle {
+            DbHandle::Owned { db, storage: Some(s) } => {
+                s.checkpoint(db).map_err(SqlsemError::storage)
+            }
+            DbHandle::Owned { storage: None, .. } => Ok(()),
+            DbHandle::Shared { shared, .. } => shared.checkpoint(),
         }
     }
 
@@ -532,9 +743,10 @@ impl Session {
     /// Parses and executes one SQL statement (a trailing `;` is
     /// allowed).
     pub fn execute(&mut self, sql: &str) -> Result<StatementResult, SqlsemError> {
+        self.refresh();
         let span = Span::of(sql);
         let surface = parse_statement(sql).map_err(|e| SqlsemError::parse(e, sql))?;
-        let statement = annotate_statement(&surface, self.db.schema())
+        let statement = annotate_statement(&surface, self.schema())
             .map_err(|e| SqlsemError::annotate(e, sql, span))?;
         self.run(&statement, sql, span)
     }
@@ -548,7 +760,11 @@ impl Session {
         let statements = parse_script(sql).map_err(|e| SqlsemError::parse(e, sql))?;
         let mut results = Vec::with_capacity(statements.len());
         for spanned in statements {
-            let statement = annotate_statement(&spanned.statement, self.db.schema())
+            // Per-statement refresh: on a shared connection, DDL from
+            // other connections is visible between script statements,
+            // exactly as it is between separate `execute` calls.
+            self.refresh();
+            let statement = annotate_statement(&spanned.statement, self.schema())
                 .map_err(|e| SqlsemError::annotate(e, sql, spanned.span))?;
             results.push(self.run(&statement, sql, spanned.span)?);
         }
@@ -562,7 +778,7 @@ impl Session {
     pub fn prepare(&self, sql: &str) -> Result<PreparedStatement, SqlsemError> {
         let span = Span::of(sql);
         let surface = parse_statement(sql).map_err(|e| SqlsemError::parse(e, sql))?;
-        let statement = annotate_statement(&surface, self.db.schema())
+        let statement = annotate_statement(&surface, self.schema())
             .map_err(|e| SqlsemError::annotate(e, sql, span))?;
         let plan = match (&statement, self.backend) {
             // The spec interpreter has no compiled form: its "plan" is
@@ -579,6 +795,7 @@ impl Session {
             plan,
             session_id: self.id,
             epoch: self.epoch,
+            db_version: self.snapshot_version(),
         })
     }
 
@@ -590,7 +807,11 @@ impl Session {
         &mut self,
         prepared: &mut PreparedStatement,
     ) -> Result<StatementResult, SqlsemError> {
-        if prepared.session_id != self.id || prepared.epoch != self.epoch {
+        self.refresh();
+        if prepared.session_id != self.id
+            || prepared.epoch != self.epoch
+            || prepared.db_version != self.snapshot_version()
+        {
             *prepared = self.prepare(&prepared.sql)?;
         }
         let span = Span::of(&prepared.sql);
@@ -643,7 +864,7 @@ impl Session {
     /// backends; `optimize`, `vectorized`, `adaptive`, the batch size
     /// and the thread count reflect the backend choice).
     fn engine(&self) -> Engine<'_> {
-        Engine::new(&self.db)
+        Engine::new(self.database())
             .with_dialect(self.dialect)
             .with_logic(self.logic)
             .with_predicates(self.preds.clone())
@@ -670,7 +891,7 @@ impl Session {
     fn backend_execute(&self, query: &Query) -> Result<Table, EvalError> {
         match self.backend {
             Backend::SpecInterpreter => {
-                self.backend.execute(&self.db, self.dialect, self.logic, &self.preds, query)
+                self.backend.execute(self.database(), self.dialect, self.logic, &self.preds, query)
             }
             _ => self.engine().execute(query),
         }
@@ -709,69 +930,71 @@ impl Session {
                 }
             },
             Statement::CreateTable { table, columns } => {
-                self.db
-                    .create_table(table.clone(), columns.clone())
-                    .map_err(|e| SqlsemError::schema(e, sql, span))?;
+                let op = WalOp::CreateTable { name: table.clone(), columns: columns.clone() };
+                self.apply(op, sql, span)?;
                 self.epoch += 1;
-                self.persist(WalOp::CreateTable { name: table.clone(), columns: columns.clone() })?;
                 Ok(StatementResult::Created(table.clone()))
             }
             Statement::DropTable { table } => {
-                self.db.drop_table(table).map_err(|e| SqlsemError::schema(e, sql, span))?;
+                self.apply(WalOp::DropTable { name: table.clone() }, sql, span)?;
                 self.epoch += 1;
-                self.persist(WalOp::DropTable { name: table.clone() })?;
                 Ok(StatementResult::Dropped(table.clone()))
             }
             Statement::CreateIndex { name, table, columns } => {
-                self.db
-                    .create_index(name.clone(), table.clone(), columns.clone())
-                    .map_err(|e| SqlsemError::schema(e, sql, span))?;
-                // Indexes don't change name resolution, but they do
-                // change plans — cached prepared plans must recompile.
-                self.epoch += 1;
-                self.persist(WalOp::CreateIndex {
+                let op = WalOp::CreateIndex {
                     name: name.clone(),
                     table: table.clone(),
                     columns: columns.clone(),
-                })?;
+                };
+                self.apply(op, sql, span)?;
+                // Indexes don't change name resolution, but they do
+                // change plans — cached prepared plans must recompile.
+                self.epoch += 1;
                 Ok(StatementResult::IndexCreated(name.clone()))
             }
             Statement::DropIndex { name } => {
-                self.db.drop_index(name).map_err(|e| SqlsemError::schema(e, sql, span))?;
+                self.apply(WalOp::DropIndex { name: name.clone() }, sql, span)?;
                 self.epoch += 1;
-                self.persist(WalOp::DropIndex { name: name.clone() })?;
                 Ok(StatementResult::IndexDropped(name.clone()))
             }
             Statement::Insert { table, columns, rows } => {
                 let full = self
                     .full_rows(table, columns.as_deref(), rows)
                     .map_err(|e| SqlsemError::eval(e, sql, span))?;
-                let logged = self.storage.is_some().then(|| full.clone());
-                let count = self
-                    .db
-                    .append_rows(table.clone(), full)
-                    .map_err(|e| SqlsemError::eval(e, sql, span))?;
-                if let Some(rows) = logged {
-                    self.persist(WalOp::Append { table: table.clone(), rows })?;
-                }
+                let count = full.len();
+                self.apply(WalOp::Append { table: table.clone(), rows: full }, sql, span)?;
                 Ok(StatementResult::Inserted { table: table.clone(), rows: count })
             }
         }
     }
 
-    /// Logs one mutation to the WAL and fsyncs before the statement is
-    /// acknowledged (group commit: one `fdatasync` per statement), then
-    /// checkpoints if the WAL has outgrown its threshold. A no-op for
-    /// in-memory sessions.
-    fn persist(&mut self, op: WalOp) -> Result<(), SqlsemError> {
-        let Some(storage) = self.storage.as_mut() else {
-            return Ok(());
-        };
-        storage.log(&op).map_err(SqlsemError::storage)?;
-        storage.commit().map_err(SqlsemError::storage)?;
-        storage
-            .maybe_checkpoint(&self.db, DEFAULT_CHECKPOINT_THRESHOLD)
-            .map_err(SqlsemError::storage)
+    /// Routes one mutation to wherever this connection's database
+    /// lives. Owned: apply to the private copy, then WAL-log, fsync,
+    /// and maybe checkpoint (group commit: one `fdatasync` per
+    /// statement). Shared: submit to the [`SharedDatabase`] commit
+    /// queue, block until a leader commits the batch, and refresh the
+    /// snapshot — publish-before-deliver in the queue guarantees the
+    /// refreshed snapshot contains this write.
+    fn apply(&mut self, op: WalOp, sql: &str, span: Span) -> Result<(), SqlsemError> {
+        match &mut self.handle {
+            DbHandle::Owned { db, storage } => {
+                shared::apply_op(db, &op).map_err(|e| e.into_sqlsem(sql, span))?;
+                let Some(storage) = storage.as_mut() else {
+                    return Ok(());
+                };
+                storage.log(&op).map_err(SqlsemError::storage)?;
+                storage.commit().map_err(SqlsemError::storage)?;
+                storage
+                    .maybe_checkpoint(db, DEFAULT_CHECKPOINT_THRESHOLD)
+                    .map_err(SqlsemError::storage)
+            }
+            DbHandle::Shared { shared, .. } => {
+                let cell = shared.clone();
+                cell.commit(op).map_err(|e| e.into_sqlsem(sql, span))?;
+                self.refresh();
+                Ok(())
+            }
+        }
     }
 
     /// `INSERT INTO table [(columns)] VALUES rows`, the pure half:
@@ -784,7 +1007,7 @@ impl Session {
         columns: Option<&[Name]>,
         rows: &[Vec<Value>],
     ) -> Result<Vec<Row>, EvalError> {
-        let Some(attrs) = self.db.schema().attributes(table) else {
+        let Some(attrs) = self.schema().attributes(table) else {
             return Err(EvalError::UnknownTable(table.clone()));
         };
         let attrs = attrs.to_vec();

@@ -42,9 +42,16 @@
 //! `INSERT` is logged and fsynced before it reports success, so
 //! `CREATE TABLE`/`INSERT`/`CREATE INDEX` survive a kill and a
 //! reopen of the same directory.
+//!
+//! With `--connect ADDR` the REPL is a **network client** instead: no
+//! local database — every statement (and every `\…` meta command) is
+//! sent to a running `sqlsem-server` over its line protocol and the
+//! response block is printed verbatim. Multiple clients pointed at the
+//! same server share one database with snapshot-isolated reads.
 
 use std::io::{self, BufRead, IsTerminal, Write};
 
+use sqlsem::server::Client;
 use sqlsem::{Backend, Dialect, Session};
 
 /// Prints the schema, index definitions and (when a durable store is
@@ -173,15 +180,113 @@ fn meta_command(session: &mut Session, line: &str) -> bool {
     true
 }
 
+/// Splits a `;`-terminated buffer into its individual statements (the
+/// same quote-aware scan as [`terminated`]) — the server protocol is
+/// one statement per line, so a `A; B` input line becomes two sends.
+fn split_statements(buffer: &str) -> Vec<String> {
+    let mut statements = Vec::new();
+    let mut current = String::new();
+    let mut in_string = false;
+    for c in buffer.chars() {
+        match c {
+            '\'' => {
+                in_string = !in_string;
+                current.push(c);
+            }
+            ';' if !in_string => {
+                if !current.trim().is_empty() {
+                    statements.push(current.trim().to_string());
+                }
+                current.clear();
+            }
+            _ => current.push(c),
+        }
+    }
+    if !current.trim().is_empty() {
+        statements.push(current.trim().to_string());
+    }
+    statements
+}
+
+/// The REPL's client mode: forward every statement and meta command to
+/// a `sqlsem-server`, print each response block. Returns on `\q`, EOF,
+/// or a dropped connection.
+fn client_loop(mut client: Client, interactive: bool) {
+    println!("{}", client.greeting());
+    let stdin = io::stdin();
+    let mut buffer = String::new();
+    let prompt = |buffer: &str| {
+        if interactive {
+            print!("{}", if buffer.is_empty() { "sql> " } else { "  -> " });
+            io::stdout().flush().ok();
+        }
+    };
+    prompt(&buffer);
+    for line in stdin.lock().lines() {
+        let line = line.expect("stdin is readable");
+        let trimmed = line.trim();
+        if buffer.is_empty() && trimmed.starts_with('\\') {
+            match client.send(trimmed) {
+                Ok(reply) => println!("{reply}"),
+                Err(e) => {
+                    eprintln!("connection lost: {e}");
+                    return;
+                }
+            }
+            if trimmed == "\\q" {
+                return;
+            }
+            prompt(&buffer);
+            continue;
+        }
+        if !interactive && !trimmed.is_empty() {
+            println!("sql> {trimmed}");
+        }
+        buffer.push_str(&line);
+        buffer.push('\n');
+        if !terminated(&buffer) {
+            prompt(&buffer);
+            continue;
+        }
+        for statement in split_statements(&buffer) {
+            match client.send(&statement) {
+                Ok(reply) => println!("{reply}"),
+                Err(e) => {
+                    eprintln!("connection lost: {e}");
+                    return;
+                }
+            }
+        }
+        buffer.clear();
+        prompt(&buffer);
+    }
+}
+
 fn main() {
-    // `--storage DIR` attaches a durable store; everything else about
-    // the REPL is unchanged.
+    // `--storage DIR` attaches a durable store; `--connect ADDR` turns
+    // the REPL into a network client of a running sqlsem-server.
     let mut args = std::env::args().skip(1);
     let mut session = match args.next().as_deref() {
         None => Session::new(),
+        Some("--connect") => {
+            let addr = args.next().unwrap_or_else(|| {
+                eprintln!("usage: repl [--storage DIR | --connect ADDR]");
+                std::process::exit(2);
+            });
+            match Client::connect(&addr) {
+                Ok(client) => {
+                    client_loop(client, io::stdin().is_terminal());
+                    return;
+                }
+                Err(e) => {
+                    eprintln!("cannot connect to {addr}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
         Some("--storage") => {
             let dir = args.next().unwrap_or_else(|| {
-                eprintln!("usage: repl [--storage DIR]");
+                eprintln!("usage: repl [--storage DIR | --connect ADDR]");
                 std::process::exit(2);
             });
             match Session::builder().with_storage(&dir).try_build() {
@@ -196,7 +301,7 @@ fn main() {
             }
         }
         Some(other) => {
-            eprintln!("unknown argument {other:?}; usage: repl [--storage DIR]");
+            eprintln!("unknown argument {other:?}; usage: repl [--storage DIR | --connect ADDR]");
             std::process::exit(2);
         }
     };

@@ -49,6 +49,27 @@
 //! assert_eq!(first, again);
 //! ```
 //!
+//! ## Concurrency: `SharedDatabase` and `Connection`
+//!
+//! `Session` is an alias for [`Connection`], which can also be opened
+//! over a [`SharedDatabase`] — a versioned, concurrently shared
+//! database where readers take lock-free snapshots and writers
+//! serialize through a group-commit queue:
+//!
+//! ```
+//! use sqlsem::SharedDatabase;
+//!
+//! let shared = SharedDatabase::in_memory();
+//! let mut writer = shared.connect();
+//! let mut reader = shared.connect();
+//! writer.run_script("CREATE TABLE R (A); INSERT INTO R VALUES (1), (2)").unwrap();
+//! let out = reader.execute("SELECT COUNT(*) AS n FROM R").unwrap();
+//! assert_eq!(out.rows().unwrap().len(), 1);
+//! ```
+//!
+//! The [`server`] module serves such a database over TCP, one thread
+//! and one `Connection` per client.
+//!
 //! ## Advanced: direct crate access
 //!
 //! The layers behind `Session` remain public, for consumers that work
@@ -70,7 +91,10 @@
 //!   logic (§6, Theorem 2);
 //! * [`generator`] — TPC-H-calibrated random query and data generation;
 //! * [`validation`] — the §4 differential validation harness;
-//! * [`session`] — the [`Session`] machinery itself.
+//! * [`session`] — the [`Session`] machinery itself, including the
+//!   [`SharedDatabase`] MVCC cell behind concurrent [`Connection`]s;
+//! * [`server`] — the TCP front end multiplexing remote clients over
+//!   one shared database.
 //!
 //! The pre-`Session` wire-it-yourself flow still works, and is the
 //! right tool when a consumer needs to hold the intermediate artifacts
@@ -98,6 +122,7 @@ pub use sqlsem_core as core;
 pub use sqlsem_engine as engine;
 pub use sqlsem_generator as generator;
 pub use sqlsem_parser as parser;
+pub use sqlsem_server as server;
 pub use sqlsem_session as session;
 pub use sqlsem_storage as storage;
 pub use sqlsem_twovl as twovl;
@@ -113,5 +138,6 @@ pub use sqlsem_parser::{
     to_sql_pretty, Statement,
 };
 pub use sqlsem_session::{
-    Backend, PreparedStatement, Session, SessionBuilder, SqlsemError, StatementResult,
+    Backend, Connection, PreparedStatement, Session, SessionBuilder, SharedDatabase, SqlsemError,
+    StatementResult,
 };

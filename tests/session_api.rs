@@ -248,6 +248,30 @@ fn prepared_statements_do_not_leak_across_sessions() {
 }
 
 #[test]
+fn owned_clone_keeps_fork_semantics_and_fork_spells_them_out() {
+    // The deprecated-shim contract: on an *owned* session `clone` still
+    // means what it always did — an independent divergent copy — and
+    // `fork` is the explicit spelling of the same operation. (On a
+    // shared-database connection `clone` instead means "one more
+    // caller"; see tests/concurrency.rs.)
+    let mut original = Session::new();
+    original.run_script("CREATE TABLE R (A); INSERT INTO R VALUES (1)").unwrap();
+
+    let mut cloned = original.clone();
+    let mut forked = original.fork();
+    for copy in [&mut cloned, &mut forked] {
+        copy.execute("INSERT INTO R VALUES (2)").unwrap();
+        copy.execute("CREATE TABLE ONLY_IN_COPY (X)").unwrap();
+        let out = copy.execute("SELECT R.A FROM R").unwrap();
+        assert!(out.rows().unwrap().coincides(&table! { ["A"]; [1], [2] }));
+    }
+    // The original never observes either copy's divergence.
+    let out = original.execute("SELECT R.A FROM R").unwrap();
+    assert!(out.rows().unwrap().coincides(&table! { ["A"]; [1] }));
+    assert!(original.execute("SELECT * FROM ONLY_IN_COPY").is_err());
+}
+
+#[test]
 fn prepared_explain_and_ddl_statements_work() {
     let mut s = Session::new();
     s.run_script("CREATE TABLE R (A); INSERT INTO R VALUES (1)").unwrap();
